@@ -1,0 +1,57 @@
+//! §III per-technique ablation benches: vector-width sweep, work-group
+//! sweep, the dmmm optimization stack, host data paths and compiler hints.
+//! Prints the ablation table once, then times each technique's pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use harness::ablation;
+
+fn ablation_benches(c: &mut Criterion) {
+    eprintln!("\n{}", ablation::report(true));
+
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(10);
+
+    g.bench_function("vector_width_sweep", |b| {
+        b.iter(|| {
+            let r = ablation::vector_width_sweep(1 << 12);
+            assert!(r.best().is_some());
+            r.best_cost()
+        })
+    });
+
+    g.bench_function("wg_sweep_dmmm", |b| {
+        b.iter(|| {
+            let (r, driver) = ablation::wg_sweep_dmmm(32);
+            assert!(driver > 0);
+            r.best_cost()
+        })
+    });
+
+    g.bench_function("dmmm_stack", |b| {
+        b.iter(|| {
+            let s = ablation::dmmm_stack(32);
+            assert_eq!(s.len(), 3);
+            s.last().unwrap().1
+        })
+    });
+
+    g.bench_function("datapath_compare", |b| {
+        b.iter(|| {
+            let (copy, map) = ablation::datapath_compare(1 << 14);
+            assert!(copy > map);
+            copy / map
+        })
+    });
+
+    g.bench_function("hints_effect", |b| {
+        b.iter(|| {
+            let (no, yes) = ablation::hints_effect(256);
+            no / yes
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, ablation_benches);
+criterion_main!(benches);

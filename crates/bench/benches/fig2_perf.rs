@@ -1,0 +1,55 @@
+//! Figure 2 regeneration bench: runs every benchmark × version × precision
+//! at test scale and prints the speedup rows (the figure's bar heights)
+//! once per group, while Criterion measures the end-to-end simulation cost
+//! of each bar.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpc_kernels::{test_suite, Precision, Variant};
+
+fn bench_fig2(c: &mut Criterion, prec: Precision, tag: &str) {
+    let suite = test_suite();
+    // Print the figure rows once (paper-vs-measured shape at this scale).
+    eprintln!("\nFigure 2{tag} rows (test scale, speedup over Serial):");
+    for b in &suite {
+        if let Ok(serial) = b.run(Variant::Serial, prec) {
+            let mut row = format!("  {:<7}", b.name());
+            for v in [Variant::OpenMp, Variant::OpenCl, Variant::OpenClOpt] {
+                match b.run(v, prec) {
+                    Ok(r) => row.push_str(&format!(" {:>7.2}", serial.time_s / r.time_s)),
+                    Err(_) => row.push_str(&format!(" {:>7}", "-")),
+                }
+            }
+            eprintln!("{row}");
+        }
+    }
+    let mut g = c.benchmark_group(format!("fig2{tag}"));
+    g.sample_size(10);
+    for b in test_suite() {
+        let name = b.name().to_string();
+        for v in Variant::ALL {
+            // Skip the known amcd double-precision compiler bug.
+            if b.run(v, prec).is_err() {
+                continue;
+            }
+            g.bench_function(format!("{name}/{}", v.label().replace(' ', "_")), |bench| {
+                bench.iter(|| {
+                    let r = b.run(v, prec).expect("variant runs");
+                    assert!(r.validated);
+                    r.time_s
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn fig2a(c: &mut Criterion) {
+    bench_fig2(c, Precision::F32, "a_single");
+}
+
+fn fig2b(c: &mut Criterion) {
+    bench_fig2(c, Precision::F64, "b_double");
+}
+
+criterion_group!(benches, fig2a, fig2b);
+criterion_main!(benches);

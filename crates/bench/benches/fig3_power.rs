@@ -1,0 +1,59 @@
+//! Figure 3 regeneration bench: measured board power (simulated WT230) per
+//! benchmark version, normalized to Serial. Criterion times the
+//! run+measurement pipeline; the figure rows print once per group.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use harness::measure;
+use hpc_kernels::{test_suite, Precision, Variant};
+use powersim::PowerModel;
+
+fn bench_fig3(c: &mut Criterion, prec: Precision, tag: &str) {
+    let model = PowerModel::default();
+    let suite = test_suite();
+    eprintln!("\nFigure 3{tag} rows (test scale, power normalized to Serial):");
+    for b in &suite {
+        if let Ok(serial) = b.run(Variant::Serial, prec) {
+            let (sm, _, _) = measure(&serial, &model, 1);
+            let mut row = format!("  {:<7}", b.name());
+            for v in [Variant::OpenMp, Variant::OpenCl, Variant::OpenClOpt] {
+                match b.run(v, prec) {
+                    Ok(r) => {
+                        let (m, _, _) = measure(&r, &model, 2);
+                        row.push_str(&format!(" {:>7.2}", m.mean_power_w / sm.mean_power_w));
+                    }
+                    Err(_) => row.push_str(&format!(" {:>7}", "-")),
+                }
+            }
+            eprintln!("{row}");
+        }
+    }
+    let mut g = c.benchmark_group(format!("fig3{tag}"));
+    g.sample_size(10);
+    // Benchmark the measurement pipeline on a representative subset (one
+    // memory-bound, one atomic-bound, one compute-bound benchmark).
+    for b in test_suite() {
+        if !matches!(b.name(), "vecop" | "hist" | "nbody") {
+            continue;
+        }
+        let name = b.name().to_string();
+        g.bench_function(format!("{name}/measure_opt"), |bench| {
+            bench.iter(|| {
+                let r = b.run(Variant::OpenClOpt, prec).expect("runs");
+                let (m, _, _) = measure(&r, &model, 3);
+                m.mean_power_w
+            })
+        });
+    }
+    g.finish();
+}
+
+fn fig3a(c: &mut Criterion) {
+    bench_fig3(c, Precision::F32, "a_single");
+}
+
+fn fig3b(c: &mut Criterion) {
+    bench_fig3(c, Precision::F64, "b_double");
+}
+
+criterion_group!(benches, fig3a, fig3b);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Figure 4 regeneration bench: energy-to-solution (simulated WT230
+//! integration over the §IV-D repetition window) normalized to Serial.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use harness::measure;
+use hpc_kernels::{test_suite, Precision, Variant};
+use powersim::PowerModel;
+
+fn bench_fig4(c: &mut Criterion, prec: Precision, tag: &str) {
+    let model = PowerModel::default();
+    let suite = test_suite();
+    eprintln!("\nFigure 4{tag} rows (test scale, energy normalized to Serial):");
+    for b in &suite {
+        if let Ok(serial) = b.run(Variant::Serial, prec) {
+            let (_, _, se) = measure(&serial, &model, 1);
+            let mut row = format!("  {:<7}", b.name());
+            for v in [Variant::OpenMp, Variant::OpenCl, Variant::OpenClOpt] {
+                match b.run(v, prec) {
+                    Ok(r) => {
+                        let (_, _, e) = measure(&r, &model, 2);
+                        row.push_str(&format!(" {:>7.2}", e / se));
+                    }
+                    Err(_) => row.push_str(&format!(" {:>7}", "-")),
+                }
+            }
+            eprintln!("{row}");
+        }
+    }
+    let mut g = c.benchmark_group(format!("fig4{tag}"));
+    g.sample_size(10);
+    for b in test_suite() {
+        if !matches!(b.name(), "dmmm" | "2dcon" | "spmv") {
+            continue;
+        }
+        let name = b.name().to_string();
+        g.bench_function(format!("{name}/energy_ratio"), |bench| {
+            bench.iter(|| {
+                let s = b.run(Variant::Serial, prec).expect("serial");
+                let o = b.run(Variant::OpenClOpt, prec).expect("opt");
+                let (_, _, es) = measure(&s, &model, 4);
+                let (_, _, eo) = measure(&o, &model, 5);
+                eo / es
+            })
+        });
+    }
+    g.finish();
+}
+
+fn fig4a(c: &mut Criterion) {
+    bench_fig4(c, Precision::F32, "a_single");
+}
+
+fn fig4b(c: &mut Criterion) {
+    bench_fig4(c, Precision::F64, "b_double");
+}
+
+criterion_group!(benches, fig4a, fig4b);
+criterion_main!(benches);

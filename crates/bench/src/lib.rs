@@ -1,0 +1,1 @@
+//! Criterion benches for the reproduction live in `benches/`; see the crate manifest.

@@ -1,0 +1,563 @@
+//! Constant folding and dead-code elimination.
+//!
+//! The §III-B "Directives and Type Qualifiers" discussion is about giving
+//! the compiler license to optimize (`const` → "the compiler can make more
+//! assumptions and produce significant optimizations"). These two passes
+//! are the concrete form of that license on our IR:
+//!
+//! * **fold**: a binary/unary/mad/select op whose operands are all
+//!   immediates is computed at compile time and replaced by a `Mov` of the
+//!   result; immediate-`Mov` registers that are never reassigned propagate
+//!   into operand positions, cascading further folds.
+//! * **dce**: pure ops whose destination register is never read anywhere
+//!   (and which have no memory side effects) are deleted.
+//!
+//! Both passes are semantics-preserving for *all* kernels (verified by the
+//! equivalence tests below). The [`autotune`](mod@crate::autotune) pipeline
+//! runs [`optimize`] on every transformed candidate, cleaning up what
+//! vectorization/unrolling exposed before the candidate is costed.
+
+use kernel_ir::{eval_bin, eval_mad, eval_un, Lanes, Op, Operand, Program, Reg, Scalar,
+    Value, VType};
+use std::collections::HashMap;
+
+/// Evaluate an immediate operand at type `ty` (width-1 evaluation is
+/// enough: widened immediates splat).
+fn imm_value(o: &Operand, ty: VType) -> Option<Value> {
+    match o {
+        Operand::ImmF(x) => Some(match ty.elem {
+            Scalar::F32 => Value::splat_f32(*x as f32, ty.width),
+            Scalar::F64 => Value::splat_f64(*x, ty.width),
+            _ => return None,
+        }),
+        Operand::ImmI(x) => Some(match ty.elem {
+            Scalar::F32 => Value::splat_f32(*x as f32, ty.width),
+            Scalar::F64 => Value::splat_f64(*x as f64, ty.width),
+            Scalar::I32 => Value::splat_i32(*x as i32, ty.width),
+            Scalar::I64 => Value::splat_i64(*x, ty.width),
+            Scalar::U32 => Value::splat_u32(*x as u32, ty.width),
+            Scalar::U64 => Value::splat_u64(*x as u64, ty.width),
+            Scalar::Bool => return None,
+        }),
+        Operand::Reg(_) => None,
+    }
+}
+
+/// Turn a computed scalar-or-splat value back into an immediate operand, if
+/// it is exactly representable (floats round-trip through f64; integers
+/// through i64).
+fn value_to_imm(v: &Value) -> Option<Operand> {
+    // All lanes must agree (they do for splat computations).
+    let w = v.width() as usize;
+    match v.lanes() {
+        Lanes::F32(a) => {
+            if a[..w].iter().all(|x| *x == a[0]) {
+                Some(Operand::ImmF(a[0] as f64))
+            } else {
+                None
+            }
+        }
+        Lanes::F64(a) => {
+            if a[..w].iter().all(|x| *x == a[0]) {
+                Some(Operand::ImmF(a[0]))
+            } else {
+                None
+            }
+        }
+        Lanes::I32(a) => {
+            a[..w].iter().all(|x| *x == a[0]).then(|| Operand::ImmI(a[0] as i64))
+        }
+        Lanes::I64(a) => a[..w].iter().all(|x| *x == a[0]).then(|| Operand::ImmI(a[0])),
+        Lanes::U32(a) => {
+            a[..w].iter().all(|x| *x == a[0]).then(|| Operand::ImmI(a[0] as i64))
+        }
+        Lanes::U64(a) => {
+            if a[..w].iter().all(|x| *x == a[0]) && a[0] <= i64::MAX as u64 {
+                Some(Operand::ImmI(a[0] as i64))
+            } else {
+                None
+            }
+        }
+        Lanes::Bool(_) => None,
+    }
+}
+
+/// How many times each register is written anywhere in the program.
+fn write_counts(p: &Program) -> HashMap<Reg, u32> {
+    let mut counts = HashMap::new();
+    for op in &p.body {
+        op.visit(&mut |o| {
+            if let Some(d) = o.dst_reg() {
+                *counts.entry(d).or_insert(0) += 1;
+            }
+        });
+    }
+    counts
+}
+
+/// Constant-fold `p`. Single fixed pass over the (recursively visited)
+/// body, applied repeatedly by [`optimize`] until it stops changing.
+pub fn fold_constants(p: &Program) -> Program {
+    let mut out = p.clone();
+    let writes = write_counts(p);
+    // Registers holding a program-wide constant: written exactly once, by a
+    // top-level `Mov` of an immediate, and **not read before that `Mov`**
+    // (registers zero-initialize, so a read preceding the write must keep
+    // seeing zero). `read_set`-style linear scan tracks reads-so-far.
+    let mut consts: HashMap<Reg, Operand> = HashMap::new();
+    let mut read_before: std::collections::HashSet<Reg> = Default::default();
+    for op in &out.body {
+        if let Op::Mov { dst, a: a @ (Operand::ImmF(_) | Operand::ImmI(_)) } = op {
+            if writes.get(dst) == Some(&1) && !read_before.contains(dst) {
+                consts.insert(*dst, *a);
+            }
+        }
+        // Record every register this op (or anything nested in it) reads.
+        op.visit(&mut |o| {
+            let mut use_op = |x: &Operand| {
+                if let Operand::Reg(r) = x {
+                    read_before.insert(*r);
+                }
+            };
+            match o {
+                Op::Bin { a, b, .. } => {
+                    use_op(a);
+                    use_op(b);
+                }
+                Op::Un { a, .. } | Op::Mov { a, .. } | Op::Cast { a, .. } => use_op(a),
+                Op::Mad { a, b, c, .. } => {
+                    use_op(a);
+                    use_op(b);
+                    use_op(c);
+                }
+                Op::Select { cond, a, b, .. } => {
+                    use_op(cond);
+                    use_op(a);
+                    use_op(b);
+                }
+                Op::Horiz { a, .. } | Op::Extract { a, .. } => use_op(a),
+                Op::Insert { v, .. } => use_op(v),
+                Op::Load { idx, .. } => use_op(idx),
+                Op::VLoad { base, .. } => use_op(base),
+                Op::Store { idx, val, .. } => {
+                    use_op(idx);
+                    use_op(val);
+                }
+                Op::VStore { base, val, .. } => {
+                    use_op(base);
+                    use_op(val);
+                }
+                Op::Atomic { idx, val, .. } => {
+                    use_op(idx);
+                    use_op(val);
+                }
+                Op::For { start, end, step, .. } => {
+                    use_op(start);
+                    use_op(end);
+                    use_op(step);
+                }
+                Op::If { cond, .. } => use_op(cond),
+                Op::Query { .. } | Op::Barrier => {}
+            }
+        });
+    }
+    let subst = |o: &mut Operand| {
+        if let Operand::Reg(r) = o {
+            if let Some(imm) = consts.get(r) {
+                *o = *imm;
+            }
+        }
+    };
+    fn rewrite(
+        ops: &mut [Op],
+        regs: &[VType],
+        writes: &HashMap<Reg, u32>,
+        subst: &impl Fn(&mut Operand),
+    ) {
+        for op in ops {
+            match op {
+                Op::Bin { dst, op: b, a, b: rhs } => {
+                    subst(a);
+                    subst(rhs);
+                    let ty = regs[dst.0 as usize];
+                    // Compare ops change the result type; skip folding them.
+                    if !b.is_compare() && writes.get(dst) == Some(&1) {
+                        if let (Some(va), Some(vb)) = (imm_value(a, ty), imm_value(rhs, ty))
+                        {
+                            // Division by a zero immediate must stay a
+                            // runtime fault, not a compile-time panic.
+                            let divides = matches!(
+                                b,
+                                kernel_ir::BinOp::Div | kernel_ir::BinOp::Rem
+                            );
+                            let zero_rhs = matches!(rhs, Operand::ImmI(0));
+                            if !(divides && zero_rhs && ty.elem.is_int()) {
+                                if let Some(imm) = value_to_imm(&eval_bin(*b, &va, &vb)) {
+                                    *op = Op::Mov { dst: *dst, a: imm };
+                                }
+                            }
+                        }
+                    }
+                }
+                Op::Un { dst, op: u, a } => {
+                    subst(a);
+                    let ty = regs[dst.0 as usize];
+                    if writes.get(dst) == Some(&1) && !matches!(u, kernel_ir::UnOp::Not) {
+                        if let Some(va) = imm_value(a, ty) {
+                            if ty.elem.is_float() {
+                                if let Some(imm) = value_to_imm(&eval_un(*u, &va)) {
+                                    *op = Op::Mov { dst: *dst, a: imm };
+                                }
+                            }
+                        }
+                    }
+                }
+                Op::Mad { dst, a, b, c } => {
+                    subst(a);
+                    subst(b);
+                    subst(c);
+                    let ty = regs[dst.0 as usize];
+                    if writes.get(dst) == Some(&1) {
+                        if let (Some(va), Some(vb), Some(vc)) =
+                            (imm_value(a, ty), imm_value(b, ty), imm_value(c, ty))
+                        {
+                            if let Some(imm) = value_to_imm(&eval_mad(&va, &vb, &vc)) {
+                                *op = Op::Mov { dst: *dst, a: imm };
+                            }
+                        }
+                    }
+                }
+                Op::Select { cond, a, b, .. } => {
+                    subst(cond);
+                    subst(a);
+                    subst(b);
+                }
+                Op::Mov { a, .. } | Op::Cast { a, .. } => subst(a),
+                Op::Insert { v, .. } => subst(v),
+                Op::Load { idx, .. } => subst(idx),
+                Op::VLoad { base, .. } => subst(base),
+                Op::Store { idx, val, .. } => {
+                    subst(idx);
+                    subst(val);
+                }
+                Op::VStore { base, val, .. } => {
+                    subst(base);
+                    subst(val);
+                }
+                Op::Atomic { idx, val, .. } => {
+                    subst(idx);
+                    subst(val);
+                }
+                Op::For { start, end, step, body, .. } => {
+                    subst(start);
+                    subst(end);
+                    subst(step);
+                    rewrite(body, regs, writes, subst);
+                }
+                Op::If { cond, then, els } => {
+                    subst(cond);
+                    rewrite(then, regs, writes, subst);
+                    rewrite(els, regs, writes, subst);
+                }
+                Op::Horiz { .. } | Op::Extract { .. } | Op::Query { .. } | Op::Barrier => {}
+            }
+        }
+    }
+    let regs = out.regs.clone();
+    rewrite(&mut out.body, &regs, &writes, &subst);
+    out
+}
+
+/// Registers read anywhere in the program (as operands).
+fn read_set(p: &Program) -> std::collections::HashSet<Reg> {
+    let mut reads = std::collections::HashSet::new();
+    for op in &p.body {
+        op.visit(&mut |o| {
+            let mut use_op = |x: &Operand| {
+                if let Operand::Reg(r) = x {
+                    reads.insert(*r);
+                }
+            };
+            match o {
+                Op::Bin { a, b, .. } => {
+                    use_op(a);
+                    use_op(b);
+                }
+                Op::Un { a, .. } | Op::Mov { a, .. } | Op::Cast { a, .. } => use_op(a),
+                Op::Mad { a, b, c, .. } => {
+                    use_op(a);
+                    use_op(b);
+                    use_op(c);
+                }
+                Op::Select { cond, a, b, .. } => {
+                    use_op(cond);
+                    use_op(a);
+                    use_op(b);
+                }
+                Op::Horiz { a, .. } | Op::Extract { a, .. } => use_op(a),
+                Op::Insert { v, .. } => use_op(v),
+                Op::Load { idx, .. } => use_op(idx),
+                Op::VLoad { base, .. } => use_op(base),
+                Op::Store { idx, val, .. } => {
+                    use_op(idx);
+                    use_op(val);
+                }
+                Op::VStore { base, val, .. } => {
+                    use_op(base);
+                    use_op(val);
+                }
+                Op::Atomic { idx, val, .. } => {
+                    use_op(idx);
+                    use_op(val);
+                }
+                Op::For { start, end, step, .. } => {
+                    use_op(start);
+                    use_op(end);
+                    use_op(step);
+                }
+                Op::If { cond, .. } => use_op(cond),
+                Op::Query { .. } | Op::Barrier => {}
+            }
+        });
+    }
+    reads
+}
+
+/// Whether deleting this op is safe when its destination is dead: pure
+/// register computations only (memory writes and atomics always stay, and
+/// loads stay too — a real compiler may not remove a potentially-faulting
+/// access, and our cost model counts them).
+fn is_pure(op: &Op) -> bool {
+    matches!(
+        op,
+        Op::Bin { .. }
+            | Op::Un { .. }
+            | Op::Mad { .. }
+            | Op::Select { .. }
+            | Op::Mov { .. }
+            | Op::Cast { .. }
+            | Op::Horiz { .. }
+            | Op::Extract { .. }
+            | Op::Insert { .. }
+            | Op::Query { .. }
+    )
+}
+
+/// Delete pure ops whose destination register is never read.
+pub fn eliminate_dead_code(p: &Program) -> Program {
+    let mut out = p.clone();
+    let reads = read_set(p);
+    fn sweep(ops: &mut Vec<Op>, reads: &std::collections::HashSet<Reg>) {
+        ops.retain_mut(|op| {
+            match op {
+                Op::For { body, .. } => {
+                    sweep(body, reads);
+                    true
+                }
+                Op::If { then, els, .. } => {
+                    sweep(then, reads);
+                    sweep(els, reads);
+                    true
+                }
+                other => {
+                    if let Some(d) = other.dst_reg() {
+                        if is_pure(other) && !reads.contains(&d) {
+                            return false;
+                        }
+                    }
+                    true
+                }
+            }
+        });
+    }
+    sweep(&mut out.body, &reads);
+    out
+}
+
+/// Fold + DCE to a fixed point (bounded — each iteration strictly shrinks
+/// or stabilizes the op count).
+pub fn optimize(p: &Program) -> Program {
+    let mut cur = p.clone();
+    for _ in 0..8 {
+        let folded = fold_constants(&cur);
+        let swept = eliminate_dead_code(&folded);
+        let before = op_count(&cur);
+        let after = op_count(&swept);
+        cur = swept;
+        if after == before {
+            break;
+        }
+    }
+    cur.validate().expect("optimizer produced invalid IR — pass bug");
+    cur
+}
+
+/// Total op count including nested bodies (pass-effect metric).
+pub fn op_count(p: &Program) -> usize {
+    let mut n = 0;
+    for op in &p.body {
+        op.visit(&mut |_| n += 1);
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kernel_ir::prelude::*;
+    use kernel_ir::{Access, BufferData, NullTracer};
+
+    /// Kernel with foldable constant arithmetic feeding a store.
+    fn const_heavy() -> Program {
+        let mut kb = KernelBuilder::new("ch");
+        let o = kb.arg_global(Scalar::F32, Access::WriteOnly, true);
+        let gid = kb.query_global_id(0);
+        let a = kb.mov(Operand::ImmF(2.0), VType::scalar(Scalar::F32));
+        let b = kb.bin(BinOp::Mul, a.into(), Operand::ImmF(3.0), VType::scalar(Scalar::F32));
+        let c = kb.bin(BinOp::Add, b.into(), Operand::ImmF(1.0), VType::scalar(Scalar::F32));
+        let dead = kb.bin(BinOp::Sub, c.into(), Operand::ImmF(5.0), VType::scalar(Scalar::F32));
+        let _ = dead; // never used
+        kb.store(o, gid.into(), c.into());
+        kb.finish()
+    }
+
+    fn run(p: &Program, n: usize) -> Vec<f32> {
+        let mut pool = MemoryPool::new();
+        let o = pool.add(BufferData::zeroed(Scalar::F32, n));
+        run_ndrange(p, &[ArgBinding::Global(o)], &mut pool, NDRange::d1(n, n.min(4)),
+            &mut NullTracer).unwrap();
+        pool.get(o).as_f32().to_vec()
+    }
+
+    #[test]
+    fn folds_and_sweeps_constant_chain() {
+        let p = const_heavy();
+        let o = optimize(&p);
+        assert!(op_count(&o) < op_count(&p), "{} -> {}", op_count(&p), op_count(&o));
+        assert_eq!(run(&p, 8), run(&o, 8));
+        assert_eq!(run(&o, 8), vec![7.0f32; 8]);
+        // The dead subtract disappeared entirely.
+        let s = o.to_string();
+        assert!(!s.contains("- 5"), "dead op survived:\n{s}");
+    }
+
+    #[test]
+    fn does_not_fold_runtime_values() {
+        // gid-dependent arithmetic must survive.
+        let mut kb = KernelBuilder::new("rt");
+        let o = kb.arg_global(Scalar::U32, Access::ReadWrite, false);
+        let gid = kb.query_global_id(0);
+        let v = kb.load(Scalar::U32, o, gid.into());
+        let w = kb.bin(BinOp::Add, v.into(), Operand::ImmI(1), VType::scalar(Scalar::U32));
+        kb.store(o, gid.into(), w.into());
+        let p = kb.finish();
+        let o2 = optimize(&p);
+        assert_eq!(op_count(&p), op_count(&o2));
+    }
+
+    #[test]
+    fn keeps_loads_and_stores() {
+        // A dead *load* stays (cost model counts it; faulting semantics).
+        let mut kb = KernelBuilder::new("dl");
+        let a = kb.arg_global(Scalar::F32, Access::ReadOnly, true);
+        let o = kb.arg_global(Scalar::F32, Access::WriteOnly, true);
+        let gid = kb.query_global_id(0);
+        let _dead_load = kb.load(Scalar::F32, a, gid.into());
+        kb.store(o, gid.into(), Operand::ImmF(1.0));
+        let p = kb.finish();
+        let opt = optimize(&p);
+        let loads = |p: &Program| {
+            let mut n = 0;
+            for op in &p.body {
+                op.visit(&mut |o| n += matches!(o, Op::Load { .. }) as usize);
+            }
+            n
+        };
+        assert_eq!(loads(&p), loads(&opt));
+    }
+
+    #[test]
+    fn multiply_written_register_not_propagated() {
+        // acc initialized to a constant then accumulated in a loop: the
+        // initial Mov must NOT be propagated into the loop body.
+        let mut kb = KernelBuilder::new("acc");
+        let o = kb.arg_global(Scalar::F32, Access::ReadWrite, false);
+        let acc = kb.mov(Operand::ImmF(1.0), VType::scalar(Scalar::F32));
+        kb.for_loop(Operand::ImmI(0), Operand::ImmI(4), Operand::ImmI(1), |kb, _| {
+            kb.bin_into(acc, BinOp::Mul, acc.into(), Operand::ImmF(2.0));
+        });
+        let gid = kb.query_global_id(0);
+        kb.store(o, gid.into(), acc.into());
+        let p = kb.finish();
+        let opt = optimize(&p);
+        assert_eq!(run(&p, 2), run(&opt, 2));
+        assert_eq!(run(&opt, 2), vec![16.0f32; 2]);
+    }
+
+    #[test]
+    fn read_before_write_sees_zero_init_not_the_constant() {
+        // Hand-built IR reading a register before its single Mov: the read
+        // observes the zero initialization; propagation must not rewrite it.
+        use kernel_ir::{ArgDecl, Hints, Reg};
+        let p = Program {
+            name: "rbw".into(),
+            args: vec![ArgDecl::GlobalBuf {
+                elem: Scalar::F32,
+                access: kernel_ir::Access::ReadWrite,
+                restrict: false,
+            }],
+            regs: vec![
+                kernel_ir::VType::scalar(Scalar::F32), // r0: read early, Mov'd late
+                kernel_ir::VType::scalar(Scalar::F32), // r1: captures early value
+                kernel_ir::VType::scalar(Scalar::U32), // r2: gid
+            ],
+            body: vec![
+                Op::Query { dst: Reg(2), q: kernel_ir::Builtin::GlobalId(0) },
+                // r1 = r0 + 1.0 (r0 is still zero here)
+                Op::Bin {
+                    dst: Reg(1),
+                    op: kernel_ir::BinOp::Add,
+                    a: Operand::Reg(Reg(0)),
+                    b: Operand::ImmF(1.0),
+                },
+                // r0 = 42.0 (single write, but AFTER the read)
+                Op::Mov { dst: Reg(0), a: Operand::ImmF(42.0) },
+                Op::Store {
+                    buf: kernel_ir::ArgIdx(0),
+                    idx: Operand::Reg(Reg(2)),
+                    val: Operand::Reg(Reg(1)),
+                },
+            ],
+            hints: Hints::default(),
+        };
+        p.validate().unwrap();
+        let opt = optimize(&p);
+        assert_eq!(run(&p, 2), run(&opt, 2));
+        assert_eq!(run(&opt, 2), vec![1.0f32; 2], "read-before-write must stay 0+1");
+    }
+
+    #[test]
+    fn integer_division_by_zero_not_folded() {
+        let mut kb = KernelBuilder::new("dz");
+        let o = kb.arg_global(Scalar::I32, Access::ReadWrite, false);
+        let a = kb.mov(Operand::ImmI(4), VType::scalar(Scalar::I32));
+        let d = kb.bin(BinOp::Div, a.into(), Operand::ImmI(0), VType::scalar(Scalar::I32));
+        let gid = kb.query_global_id(0);
+        kb.store(o, gid.into(), d.into());
+        let p = kb.finish();
+        // Optimizing must not panic at compile time...
+        let opt = optimize(&p);
+        // ...and the fault must still happen at run time.
+        let r = std::panic::catch_unwind(|| run(&opt, 1));
+        assert!(r.is_err(), "division by zero must remain a runtime fault");
+    }
+
+    #[test]
+    fn idempotent_at_fixed_point() {
+        let p = const_heavy();
+        let once = optimize(&p);
+        let twice = optimize(&once);
+        assert_eq!(op_count(&once), op_count(&twice));
+        assert_eq!(run(&once, 4), run(&twice, 4));
+    }
+}

@@ -1,0 +1,111 @@
+//! Data-organization helpers (§III-B "Data Organization").
+//!
+//! Array-of-Structures is the natural layout for particle data (nbody's
+//! `{x, y, z, m}` records) but vector loads then straddle fields. The
+//! Structure-of-Arrays layout puts each field in its own contiguous array,
+//! so a `vload4` fetches four `x` coordinates at once. These helpers do the
+//! host-side conversion; the nbody benchmark uses them to build its SOA
+//! buffers, and the ablation bench measures the difference.
+
+/// A 3-component particle record in AOS form.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Particle<T> {
+    pub x: T,
+    pub y: T,
+    pub z: T,
+    pub m: T,
+}
+
+/// SOA form of a particle set.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ParticlesSoa<T> {
+    pub x: Vec<T>,
+    pub y: Vec<T>,
+    pub z: Vec<T>,
+    pub m: Vec<T>,
+}
+
+impl<T: Copy> ParticlesSoa<T> {
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    pub fn get(&self, i: usize) -> Particle<T> {
+        Particle { x: self.x[i], y: self.y[i], z: self.z[i], m: self.m[i] }
+    }
+}
+
+/// AOS → SOA.
+pub fn aos_to_soa<T: Copy>(aos: &[Particle<T>]) -> ParticlesSoa<T> {
+    ParticlesSoa {
+        x: aos.iter().map(|p| p.x).collect(),
+        y: aos.iter().map(|p| p.y).collect(),
+        z: aos.iter().map(|p| p.z).collect(),
+        m: aos.iter().map(|p| p.m).collect(),
+    }
+}
+
+/// SOA → AOS.
+pub fn soa_to_aos<T: Copy>(soa: &ParticlesSoa<T>) -> Vec<Particle<T>> {
+    (0..soa.len()).map(|i| soa.get(i)).collect()
+}
+
+/// Flatten AOS records into one interleaved array (`x0 y0 z0 m0 x1 …`) —
+/// the memory image an AOS OpenCL kernel indexes with `4*i + field`.
+pub fn aos_flatten<T: Copy>(aos: &[Particle<T>]) -> Vec<T> {
+    let mut out = Vec::with_capacity(aos.len() * 4);
+    for p in aos {
+        out.extend_from_slice(&[p.x, p.y, p.z, p.m]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Particle<f32>> {
+        (0..5)
+            .map(|i| Particle {
+                x: i as f32,
+                y: i as f32 + 0.25,
+                z: i as f32 + 0.5,
+                m: 1.0 + i as f32,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let aos = sample();
+        let soa = aos_to_soa(&aos);
+        assert_eq!(soa.len(), 5);
+        assert_eq!(soa_to_aos(&soa), aos);
+    }
+
+    #[test]
+    fn soa_fields_contiguous() {
+        let soa = aos_to_soa(&sample());
+        assert_eq!(soa.x, vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(soa.m[4], 5.0);
+    }
+
+    #[test]
+    fn flatten_interleaves() {
+        let flat = aos_flatten(&sample());
+        assert_eq!(flat.len(), 20);
+        assert_eq!(&flat[..4], &[0.0, 0.25, 0.5, 1.0]);
+        assert_eq!(flat[4], 1.0); // x1
+    }
+
+    #[test]
+    fn empty_sets() {
+        let soa = aos_to_soa::<f64>(&[]);
+        assert!(soa.is_empty());
+        assert!(soa_to_aos(&soa).is_empty());
+    }
+}

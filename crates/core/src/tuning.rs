@@ -1,0 +1,148 @@
+//! Empirical parameter tuning (§III-A "Load distribution", §III-B "Vector
+//! Sizes").
+//!
+//! The paper's position is that neither the driver's automatic work-group
+//! size nor any single vector width is reliably best — you *measure*. These
+//! tuners wrap that measurement loop: they evaluate a candidate list with a
+//! caller-supplied closure (typically "launch on the simulator and return
+//! seconds"), skip candidates that fail (`CL_OUT_OF_RESOURCES` → `None` —
+//! which is exactly how the double-precision nbody/2dcon kernels fall back
+//! to narrower vectors), and report the winner plus the full table.
+
+/// One evaluated candidate.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TuningEntry<P> {
+    pub param: P,
+    /// Measured cost (seconds), or `None` when the candidate failed to run.
+    pub cost: Option<f64>,
+}
+
+/// Outcome of a tuning sweep.
+#[derive(Clone, Debug)]
+pub struct TuningResult<P> {
+    pub entries: Vec<TuningEntry<P>>,
+    /// Index into `entries` of the best successful candidate.
+    best: Option<usize>,
+}
+
+impl<P: Clone> TuningResult<P> {
+    /// Best parameter, if any candidate succeeded.
+    pub fn best(&self) -> Option<&P> {
+        self.best.map(|i| &self.entries[i].param)
+    }
+
+    pub fn best_cost(&self) -> Option<f64> {
+        self.best.and_then(|i| self.entries[i].cost)
+    }
+
+    /// How many candidates failed (resource errors etc.).
+    pub fn failures(&self) -> usize {
+        self.entries.iter().filter(|e| e.cost.is_none()).count()
+    }
+
+    /// Ratio worst/best over successful candidates — how much tuning
+    /// mattered.
+    pub fn spread(&self) -> Option<f64> {
+        let costs: Vec<f64> = self.entries.iter().filter_map(|e| e.cost).collect();
+        if costs.is_empty() {
+            return None;
+        }
+        let min = costs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = costs.iter().cloned().fold(0.0, f64::max);
+        Some(max / min)
+    }
+}
+
+/// Sweep `candidates`, measuring each with `eval`; `None` marks a failed
+/// candidate.
+pub fn sweep<P: Clone>(
+    candidates: &[P],
+    mut eval: impl FnMut(&P) -> Option<f64>,
+) -> TuningResult<P> {
+    let mut entries: Vec<TuningEntry<P>> = Vec::with_capacity(candidates.len());
+    let mut best: Option<usize> = None;
+    for (i, p) in candidates.iter().enumerate() {
+        let cost = eval(p);
+        if let Some(c) = cost {
+            if best.map_or(true, |b| c < entries[b].cost.unwrap_or(f64::INFINITY)) {
+                best = Some(i);
+            }
+        }
+        entries.push(TuningEntry { param: p.clone(), cost });
+    }
+    TuningResult { entries, best }
+}
+
+/// Work-group-size candidates the paper's methodology would try for a 1-D
+/// kernel: powers of two up to the device max.
+pub fn wg_size_candidates(max_wg: u32) -> Vec<usize> {
+    let mut v = Vec::new();
+    let mut s = 16usize;
+    while s <= max_wg as usize {
+        v.push(s);
+        s *= 2;
+    }
+    v
+}
+
+/// Vector-width candidates of §III-B ("experiment with different vector
+/// sizes, e.g. 4, 8, 16").
+pub const VECTOR_WIDTH_CANDIDATES: [u8; 3] = [4, 8, 16];
+
+/// §III-A "Load distribution": the Mali developer-guide formula for the
+/// optimal global work size — device max work-group size × shader cores ×
+/// a constant that is "four or eight for the Mali-T604".
+pub fn guide_global_size(max_wg: u32, shader_cores: u32, constant: u32) -> usize {
+    (max_wg * shader_cores * constant) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_finds_minimum() {
+        let r = sweep(&[16usize, 32, 64, 128, 256], |&wg| {
+            // synthetic cost curve with minimum at 64
+            Some(((wg as f64).log2() - 6.0).abs() + 1.0)
+        });
+        assert_eq!(r.best(), Some(&64));
+        assert_eq!(r.failures(), 0);
+        assert!(r.spread().unwrap() > 1.0);
+    }
+
+    #[test]
+    fn sweep_skips_failures() {
+        // 128+ "fails with CL_OUT_OF_RESOURCES"
+        let r = sweep(&[64usize, 128, 256], |&wg| if wg >= 128 { None } else { Some(1.0) });
+        assert_eq!(r.best(), Some(&64));
+        assert_eq!(r.failures(), 2);
+    }
+
+    #[test]
+    fn sweep_all_failures_yields_none() {
+        let r = sweep(&[1, 2, 3], |_| None::<f64>);
+        assert!(r.best().is_none());
+        assert!(r.best_cost().is_none());
+        assert!(r.spread().is_none());
+    }
+
+    #[test]
+    fn wg_candidates_reach_device_max() {
+        assert_eq!(wg_size_candidates(256), vec![16, 32, 64, 128, 256]);
+        assert_eq!(wg_size_candidates(64), vec![16, 32, 64]);
+    }
+
+    #[test]
+    fn guide_formula_t604() {
+        // 256 × 4 cores × 4..8 — the developer-guide numbers for T604.
+        assert_eq!(guide_global_size(256, 4, 4), 4096);
+        assert_eq!(guide_global_size(256, 4, 8), 8192);
+    }
+
+    #[test]
+    fn first_minimum_wins_ties() {
+        let r = sweep(&[1, 2, 3], |_| Some(5.0));
+        assert_eq!(r.best(), Some(&1));
+    }
+}

@@ -1,0 +1,437 @@
+//! Automatic vectorization of element-wise kernels (§III-B
+//! "Vectorization").
+//!
+//! The pass turns a scalar map-shaped kernel — every work-item loads
+//! elements at `get_global_id(0)`, computes, stores at `get_global_id(0)` —
+//! into a kernel where each work-item processes `W` consecutive elements
+//! with `vloadW`/`vstoreW` and W-lane arithmetic, so the host shrinks the
+//! global work size by `W`. This is exactly the transformation the paper
+//! applies by hand to vecop-style kernels, and the *refusal diagnostics*
+//! reproduce its discussion of why some benchmarks don't vectorize:
+//! indirect accesses (spmv), atomics (hist), control flow (amcd), AOS
+//! layout / non-gid indexing (nbody).
+
+use kernel_ir::{BinOp, Builtin, Op, Operand, Program, Reg, Scalar, VType};
+
+/// Why the vectorizer declined a kernel.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VectorizeRefusal {
+    /// Loops would need dependence analysis beyond this pass.
+    HasLoop,
+    /// Divergent control flow: would require if-conversion.
+    HasBranch,
+    HasBarrier,
+    /// Atomic RMWs don't widen (hist).
+    HasAtomic,
+    /// A load/store is indexed by something other than `get_global_id(0)`
+    /// (spmv's `x[col[j]]`, nbody's AOS strides).
+    NonGidIndexing,
+    /// Kernel already uses vector types.
+    AlreadyVector,
+    /// `get_global_id(0)` is consumed as a *value* (stored or used in
+    /// non-index arithmetic); widening would broadcast one id across all
+    /// lanes instead of producing gid·W+lane per lane.
+    GidUsedAsData,
+    /// Uses local ids / local memory, whose meaning changes under widening.
+    UsesLocalStructure,
+    /// Requested width out of the OpenCL 2/4/8/16 set, or would exceed 16
+    /// lanes.
+    BadWidth,
+}
+
+impl std::fmt::Display for VectorizeRefusal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            VectorizeRefusal::HasLoop => "kernel contains loops",
+            VectorizeRefusal::HasBranch => "kernel contains divergent control flow",
+            VectorizeRefusal::HasBarrier => "kernel contains barriers",
+            VectorizeRefusal::HasAtomic => "kernel contains atomic operations",
+            VectorizeRefusal::NonGidIndexing => {
+                "memory access not indexed directly by get_global_id(0)"
+            }
+            VectorizeRefusal::AlreadyVector => "kernel already uses vector types",
+            VectorizeRefusal::GidUsedAsData => {
+                "get_global_id(0) is used as data, not just as an index"
+            }
+            VectorizeRefusal::UsesLocalStructure => "kernel uses local ids or local memory",
+            VectorizeRefusal::BadWidth => "unsupported vector width",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A successfully vectorized kernel.
+#[derive(Clone, Debug)]
+pub struct Vectorized {
+    pub program: Program,
+    /// Lane count per work-item.
+    pub width: u8,
+    /// Divide the original global work size by this before enqueue.
+    pub global_divisor: usize,
+}
+
+/// Attempt to vectorize `p` by factor `width`.
+pub fn vectorize(p: &Program, width: u8) -> Result<Vectorized, VectorizeRefusal> {
+    if !matches!(width, 2 | 4 | 8 | 16) {
+        return Err(VectorizeRefusal::BadWidth);
+    }
+    // ---- shape checks -------------------------------------------------
+    let mut gid_regs: Vec<Reg> = Vec::new();
+    for op in &p.body {
+        match op {
+            Op::For { .. } => return Err(VectorizeRefusal::HasLoop),
+            Op::If { .. } => return Err(VectorizeRefusal::HasBranch),
+            Op::Barrier => return Err(VectorizeRefusal::HasBarrier),
+            Op::Atomic { .. } => return Err(VectorizeRefusal::HasAtomic),
+            Op::Query { dst, q } => match q {
+                Builtin::GlobalId(0) => gid_regs.push(*dst),
+                Builtin::GlobalSize(_) | Builtin::NumGroups(_) => {}
+                _ => return Err(VectorizeRefusal::UsesLocalStructure),
+            },
+            _ => {}
+        }
+    }
+    if p.regs.iter().any(|t| t.width > 1) {
+        return Err(VectorizeRefusal::AlreadyVector);
+    }
+    if p.args.iter().any(|a| matches!(a, kernel_ir::ArgDecl::LocalBuf { .. })) {
+        return Err(VectorizeRefusal::UsesLocalStructure);
+    }
+    let is_gid = |o: &Operand| matches!(o, Operand::Reg(r) if gid_regs.contains(r));
+    // The gid registers may appear ONLY as Load/Store indices: any other
+    // use (arithmetic, stored value) is per-item data that widening would
+    // corrupt (one id broadcast to W lanes).
+    for op in &p.body {
+        let uses_gid_as_data = match op {
+            // Index positions are the legitimate use.
+            Op::Load { .. } => false,
+            Op::Store { val, .. } => is_gid(val),
+            Op::Query { .. } => false,
+            Op::Bin { a, b, .. } => is_gid(a) || is_gid(b),
+            Op::Un { a, .. } | Op::Mov { a, .. } | Op::Cast { a, .. } => is_gid(a),
+            Op::Mad { a, b, c, .. } => is_gid(a) || is_gid(b) || is_gid(c),
+            Op::Select { cond, a, b, .. } => is_gid(cond) || is_gid(a) || is_gid(b),
+            Op::Horiz { a, .. } | Op::Extract { a, .. } => is_gid(a),
+            Op::Insert { v, .. } => is_gid(v),
+            _ => false,
+        };
+        if uses_gid_as_data {
+            return Err(VectorizeRefusal::GidUsedAsData);
+        }
+    }
+    // Every memory access must be gid-indexed (scalar-arg loads exempt).
+    for op in &p.body {
+        match op {
+            Op::Load { buf, idx, .. } => {
+                let is_scalar_arg = matches!(
+                    p.args.get(buf.0 as usize),
+                    Some(kernel_ir::ArgDecl::Scalar { .. })
+                );
+                if !is_scalar_arg && !is_gid(idx) {
+                    return Err(VectorizeRefusal::NonGidIndexing);
+                }
+            }
+            Op::Store { idx, .. } => {
+                if !is_gid(idx) {
+                    return Err(VectorizeRefusal::NonGidIndexing);
+                }
+            }
+            Op::VLoad { .. } | Op::VStore { .. } => {
+                return Err(VectorizeRefusal::AlreadyVector)
+            }
+            _ => {}
+        }
+    }
+
+    // ---- varying analysis ------------------------------------------------
+    // A register is *varying* if its value differs per lane after widening:
+    // anything data-flow-reachable from a gid-indexed load. gid itself and
+    // uniform scalars stay width-1 (immediates/scalars broadcast at use).
+    let nregs = p.regs.len();
+    let mut varying = vec![false; nregs];
+    // Seed: destinations of gid-indexed buffer loads.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for op in &p.body {
+            let deps_varying = |v: &mut Vec<bool>, ops: &[&Operand]| {
+                ops.iter().any(|o| matches!(o, Operand::Reg(r) if v[r.0 as usize]))
+            };
+            let mark = |v: &mut Vec<bool>, r: Reg| {
+                if !v[r.0 as usize] {
+                    v[r.0 as usize] = true;
+                    true
+                } else {
+                    false
+                }
+            };
+            match op {
+                Op::Load { dst, buf, .. } => {
+                    let is_scalar_arg = matches!(
+                        p.args.get(buf.0 as usize),
+                        Some(kernel_ir::ArgDecl::Scalar { .. })
+                    );
+                    if !is_scalar_arg {
+                        changed |= mark(&mut varying, *dst);
+                    }
+                }
+                Op::Bin { dst, a, b, .. } => {
+                    if deps_varying(&mut varying, &[a, b]) {
+                        changed |= mark(&mut varying, *dst);
+                    }
+                }
+                Op::Un { dst, a, .. } | Op::Mov { dst, a } | Op::Cast { dst, a } => {
+                    if deps_varying(&mut varying, &[a]) {
+                        changed |= mark(&mut varying, *dst);
+                    }
+                }
+                Op::Mad { dst, a, b, c } => {
+                    if deps_varying(&mut varying, &[a, b, c]) {
+                        changed |= mark(&mut varying, *dst);
+                    }
+                }
+                Op::Select { dst, cond, a, b } => {
+                    if deps_varying(&mut varying, &[cond, a, b]) {
+                        changed |= mark(&mut varying, *dst);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // ---- rewrite ---------------------------------------------------------
+    let mut out = p.clone();
+    out.name = format!("{}_v{width}", p.name);
+    for (i, t) in out.regs.iter_mut().enumerate() {
+        if varying[i] {
+            if t.width as usize * width as usize > kernel_ir::MAX_LANES {
+                return Err(VectorizeRefusal::BadWidth);
+            }
+            *t = VType::new(t.elem, t.width * width);
+        }
+    }
+    // Each gid query gains a companion base register (gid * width) used by
+    // the widened loads/stores.
+    let mut base_of: std::collections::HashMap<u32, Reg> = Default::default();
+    let mut new_body = Vec::with_capacity(out.body.len() + gid_regs.len());
+    for op in out.body.drain(..) {
+        match op {
+            Op::Query { dst, q: Builtin::GlobalId(0) } => {
+                new_body.push(Op::Query { dst, q: Builtin::GlobalId(0) });
+                let base = Reg(out.regs.len() as u32);
+                out.regs.push(VType::scalar(Scalar::U32));
+                new_body.push(Op::Bin {
+                    dst: base,
+                    op: BinOp::Mul,
+                    a: Operand::Reg(dst),
+                    b: Operand::ImmI(width as i64),
+                });
+                base_of.insert(dst.0, base);
+            }
+            Op::Load { dst, buf, idx } => {
+                let is_scalar_arg = matches!(
+                    p.args.get(buf.0 as usize),
+                    Some(kernel_ir::ArgDecl::Scalar { .. })
+                );
+                if is_scalar_arg {
+                    new_body.push(Op::Load { dst, buf, idx });
+                } else {
+                    let Operand::Reg(g) = idx else { unreachable!("checked gid-indexed") };
+                    let base = base_of[&g.0];
+                    new_body.push(Op::VLoad { dst, buf, base: Operand::Reg(base) });
+                }
+            }
+            Op::Store { buf, idx, val } => {
+                let Operand::Reg(g) = idx else { unreachable!("checked gid-indexed") };
+                let base = base_of[&g.0];
+                // VStore requires a register value; materialize immediates.
+                let val = match val {
+                    Operand::Reg(r) if varying[r.0 as usize] => Operand::Reg(r),
+                    other => {
+                        let elem = p.args[buf.0 as usize].elem();
+                        let tmp = Reg(out.regs.len() as u32);
+                        out.regs.push(VType::new(elem, width));
+                        new_body.push(Op::Mov { dst: tmp, a: other });
+                        Operand::Reg(tmp)
+                    }
+                };
+                new_body.push(Op::VStore { buf, base: Operand::Reg(base), val });
+            }
+            other => new_body.push(other),
+        }
+    }
+    out.body = new_body;
+    out.validate().expect("vectorizer produced invalid IR — pass bug");
+    Ok(Vectorized { program: out, width, global_divisor: width as usize })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kernel_ir::prelude::*;
+    use kernel_ir::{Access, AtomicOp, BufferData, NullTracer};
+
+    fn vecop() -> Program {
+        let mut kb = KernelBuilder::new("vecop");
+        let a = kb.arg_global(Scalar::F32, Access::ReadOnly, true);
+        let b = kb.arg_global(Scalar::F32, Access::ReadOnly, true);
+        let c = kb.arg_global(Scalar::F32, Access::WriteOnly, true);
+        let gid = kb.query_global_id(0);
+        let va = kb.load(Scalar::F32, a, gid.into());
+        let vb = kb.load(Scalar::F32, b, gid.into());
+        let s = kb.bin(BinOp::Add, va.into(), vb.into(), VType::scalar(Scalar::F32));
+        kb.store(c, gid.into(), s.into());
+        kb.finish()
+    }
+
+    fn run(p: &Program, n: usize, wg: usize) -> Vec<f32> {
+        let mut pool = MemoryPool::new();
+        let a = pool.add(BufferData::from((0..64).map(|i| i as f32).cycle().take(n.max(64))
+            .take(n).collect::<Vec<_>>()));
+        let b = pool.add(BufferData::from(vec![0.5f32; n]));
+        let c = pool.add(BufferData::zeroed(Scalar::F32, n));
+        let bind = [ArgBinding::Global(a), ArgBinding::Global(b), ArgBinding::Global(c)];
+        let total = n / (p.regs.iter().map(|t| t.width).max().unwrap_or(1) as usize).max(1);
+        run_ndrange(p, &bind, &mut pool, NDRange::d1(total, wg), &mut NullTracer).unwrap();
+        pool.get(c).as_f32().to_vec()
+    }
+
+    #[test]
+    fn vectorized_vecop_matches_scalar() {
+        let p = vecop();
+        let scalar_out = run(&p, 256, 16);
+        for w in [2u8, 4, 8, 16] {
+            let v = vectorize(&p, w).unwrap();
+            assert_eq!(v.global_divisor, w as usize);
+            let vec_out = run(&v.program, 256, 8);
+            assert_eq!(scalar_out, vec_out, "width {w} diverged");
+        }
+    }
+
+    #[test]
+    fn widened_registers_only_for_varying() {
+        let p = vecop();
+        let v = vectorize(&p, 4).unwrap();
+        // The gid register stays scalar.
+        let scalars =
+            v.program.regs.iter().filter(|t| t.width == 1).count();
+        let vectors = v.program.regs.iter().filter(|t| t.width == 4).count();
+        assert!(scalars >= 2, "gid + base must stay scalar");
+        assert_eq!(vectors, 3, "two loads + one sum widened");
+    }
+
+    #[test]
+    fn refuses_loops() {
+        let mut kb = KernelBuilder::new("loopy");
+        let a = kb.arg_global(Scalar::F32, Access::ReadWrite, true);
+        let gid = kb.query_global_id(0);
+        let acc = kb.mov(Operand::ImmF(0.0), VType::scalar(Scalar::F32));
+        kb.for_loop(Operand::ImmI(0), Operand::ImmI(4), Operand::ImmI(1), |kb, _| {
+            kb.bin_into(acc, BinOp::Add, acc.into(), Operand::ImmF(1.0));
+        });
+        kb.store(a, gid.into(), acc.into());
+        assert_eq!(vectorize(&kb.finish(), 4).unwrap_err(), VectorizeRefusal::HasLoop);
+    }
+
+    #[test]
+    fn refuses_atomics_like_hist() {
+        let mut kb = KernelBuilder::new("hist");
+        let h = kb.arg_global(Scalar::U32, Access::ReadWrite, false);
+        let gid = kb.query_global_id(0);
+        let _ = gid;
+        kb.atomic(AtomicOp::Inc, h, Operand::ImmI(0), Operand::ImmI(0));
+        assert_eq!(vectorize(&kb.finish(), 4).unwrap_err(), VectorizeRefusal::HasAtomic);
+    }
+
+    #[test]
+    fn refuses_indirect_like_spmv() {
+        let mut kb = KernelBuilder::new("spmv_ish");
+        let col = kb.arg_global(Scalar::U32, Access::ReadOnly, true);
+        let x = kb.arg_global(Scalar::F32, Access::ReadOnly, true);
+        let y = kb.arg_global(Scalar::F32, Access::WriteOnly, true);
+        let gid = kb.query_global_id(0);
+        let c = kb.load(Scalar::U32, col, gid.into());
+        let v = kb.load(Scalar::F32, x, c.into()); // x[col[gid]]
+        kb.store(y, gid.into(), v.into());
+        assert_eq!(
+            vectorize(&kb.finish(), 4).unwrap_err(),
+            VectorizeRefusal::NonGidIndexing
+        );
+    }
+
+    #[test]
+    fn refuses_local_ids() {
+        let mut kb = KernelBuilder::new("lid");
+        let a = kb.arg_global(Scalar::F32, Access::ReadWrite, true);
+        let lid = kb.query_local_id(0);
+        let v = kb.load(Scalar::F32, a, lid.into());
+        kb.store(a, lid.into(), v.into());
+        assert_eq!(
+            vectorize(&kb.finish(), 4).unwrap_err(),
+            VectorizeRefusal::UsesLocalStructure
+        );
+    }
+
+    #[test]
+    fn refuses_branches() {
+        let mut kb = KernelBuilder::new("br");
+        let a = kb.arg_global(Scalar::F32, Access::ReadWrite, true);
+        let gid = kb.query_global_id(0);
+        let v = kb.load(Scalar::F32, a, gid.into());
+        let c = kb.bin(BinOp::Lt, v.into(), Operand::ImmF(0.0), VType::scalar(Scalar::F32));
+        kb.if_then(c.into(), |kb| {
+            kb.store(a, gid.into(), Operand::ImmF(0.0));
+        });
+        assert_eq!(vectorize(&kb.finish(), 4).unwrap_err(), VectorizeRefusal::HasBranch);
+    }
+
+    #[test]
+    fn refuses_gid_as_data() {
+        // out[i] = i: widening would store gid (not gid*W+lane) per lane.
+        let mut kb = KernelBuilder::new("iota");
+        let o = kb.arg_global(Scalar::U32, Access::WriteOnly, true);
+        let gid = kb.query_global_id(0);
+        kb.store(o, gid.into(), gid.into());
+        assert_eq!(vectorize(&kb.finish(), 4).unwrap_err(),
+            VectorizeRefusal::GidUsedAsData);
+        // gid fed into arithmetic is equally data.
+        let mut kb2 = KernelBuilder::new("scaled");
+        let o2 = kb2.arg_global(Scalar::F32, Access::WriteOnly, true);
+        let gid2 = kb2.query_global_id(0);
+        let f = kb2.cast(gid2.into(), VType::scalar(Scalar::F32));
+        kb2.store(o2, gid2.into(), f.into());
+        assert_eq!(vectorize(&kb2.finish(), 4).unwrap_err(),
+            VectorizeRefusal::GidUsedAsData);
+    }
+
+    #[test]
+    fn refuses_bad_width() {
+        assert_eq!(vectorize(&vecop(), 3).unwrap_err(), VectorizeRefusal::BadWidth);
+        assert_eq!(vectorize(&vecop(), 32).unwrap_err(), VectorizeRefusal::BadWidth);
+    }
+
+    #[test]
+    fn select_chains_widen() {
+        // clamp kernel: out[i] = min(max(a[i], 0), 1) via select
+        let mut kb = KernelBuilder::new("clamp");
+        let a = kb.arg_global(Scalar::F32, Access::ReadOnly, true);
+        let o = kb.arg_global(Scalar::F32, Access::WriteOnly, true);
+        let gid = kb.query_global_id(0);
+        let v = kb.load(Scalar::F32, a, gid.into());
+        let neg = kb.bin(BinOp::Lt, v.into(), Operand::ImmF(0.0), VType::scalar(Scalar::F32));
+        let clamped = kb.select(neg.into(), Operand::ImmF(0.0), v.into(),
+            VType::scalar(Scalar::F32));
+        kb.store(o, gid.into(), clamped.into());
+        let p = kb.finish();
+        let v4 = vectorize(&p, 4).unwrap();
+        v4.program.validate().unwrap();
+
+        let mut pool = MemoryPool::new();
+        let ab = pool.add(BufferData::from(vec![-1.0f32, 2.0, -3.0, 4.0, 5.0, -6.0, 7.0, -8.0]));
+        let ob = pool.add(BufferData::zeroed(Scalar::F32, 8));
+        run_ndrange(&v4.program, &[ArgBinding::Global(ab), ArgBinding::Global(ob)],
+            &mut pool, NDRange::d1(2, 2), &mut NullTracer).unwrap();
+        assert_eq!(pool.get(ob).as_f32(), &[0.0, 2.0, 0.0, 4.0, 5.0, 0.0, 7.0, 0.0]);
+    }
+}

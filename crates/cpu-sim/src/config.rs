@@ -1,0 +1,144 @@
+//! Cortex-A15 cost-model configuration.
+//!
+//! Structural parameters (clock, core count, cache geometry) are the
+//! documented Exynos 5250 values; per-op cycle costs are calibrated
+//! effective throughput numbers for *scalar* code — the paper's CPU builds
+//! use no NEON vectorization (§IV-B/§IV-C), so every vector-typed IR op is
+//! scalarized when it runs here.
+
+use memsim::{CacheConfig, DramConfig};
+
+/// All knobs of the CPU timing model.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CortexA15Config {
+    /// Core clock: Exynos 5250 runs the A15 pair at 1.7 GHz.
+    pub freq_hz: f64,
+    /// Physical cores available (2 on the Exynos 5250).
+    pub max_cores: u32,
+
+    // ---- per-op effective cycle costs (scalar lane) -------------------
+    /// Add/sub/compare/logic/min/max.
+    pub cy_simple: f64,
+    /// Multiply.
+    pub cy_mul: f64,
+    /// `mad` lowered to mul+add (scalar VFP has no fused issue win).
+    pub cy_mad: f64,
+    /// Divide (iterative, not pipelined).
+    pub cy_div: f64,
+    /// sqrt (VSQRT, not pipelined).
+    pub cy_sqrt: f64,
+    /// Reciprocal square root: VSQRT + VDIV back-to-back (no rsqrt
+    /// instruction in scalar VFP).
+    pub cy_rsqrt: f64,
+    /// exp/log via libm call.
+    pub cy_transcendental: f64,
+    /// Moves, selects, casts, lane shuffles.
+    pub cy_move: f64,
+    /// Horizontal reduction per lane.
+    pub cy_horiz: f64,
+    /// Loop back-edge (compare + branch + index update).
+    pub cy_loop: f64,
+    /// Per-work-item dispatch when iterating an NDRange as nested loops.
+    pub cy_item: f64,
+    /// Atomic RMW (LDREX/STREX round trip).
+    pub cy_atomic: f64,
+    /// Multiplier on float costs when operating on f64 (scalar VFP double
+    /// issue is slightly slower and moves twice the data through the RF).
+    pub f64_factor: f64,
+    /// Sustained instruction-level parallelism: effective ops retired per
+    /// cycle for independent scalar arithmetic (the A15 is 3-wide OoO but
+    /// scalar FP sustains well below that on these kernels).
+    pub ilp: f64,
+    /// Cost factor for *integer* simple/mul ops: address arithmetic
+    /// dual-issues on the A15's two integer ALUs and hides behind FP, so
+    /// it is far cheaper than its instruction count suggests.
+    pub int_op_factor: f64,
+    /// Compute-cycle inflation when both cores run (shared L2 ports,
+    /// snoop traffic): why OpenMP tops out below 2.0x even when
+    /// compute-bound (§V-A band 1.2..1.9).
+    pub smp_compute_penalty: f64,
+
+    // ---- memory -------------------------------------------------------
+    /// Issue cost of one load/store lane (address generation + AGU slot).
+    pub cy_mem_issue: f64,
+    /// Extra core cycles for an L1 hit beyond the pipelined load slot.
+    pub cy_l1_hit: f64,
+    /// Core cycles exposed by an L2 hit (partially hidden by OoO).
+    pub cy_l2_hit: f64,
+    /// Fraction of DRAM latency exposed on *scattered* misses (OoO window
+    /// hides some; dependent gathers expose most).
+    pub scatter_latency_exposure: f64,
+    /// Streaming bandwidth one core can sustain by itself (load/store unit
+    /// + MSHR limits keep a single A15 well below controller peak).
+    pub core_stream_bw: f64,
+    /// Incremental aggregate-bandwidth factor per additional core (two
+    /// streaming cores contend on the bus: aggregate =
+    /// `core_stream_bw * (1 + smp_bw_scale * (cores-1))`).
+    pub smp_bw_scale: f64,
+    pub l1: CacheConfig,
+    pub l2: CacheConfig,
+    pub dram: DramConfig,
+
+    // ---- OpenMP ---------------------------------------------------------
+    /// Fork/join + barrier cost per parallel region, seconds.
+    pub omp_region_overhead_s: f64,
+}
+
+impl Default for CortexA15Config {
+    fn default() -> Self {
+        CortexA15Config {
+            freq_hz: 1.7e9,
+            max_cores: 2,
+            cy_simple: 1.0,
+            cy_mul: 1.0,
+            cy_mad: 1.7,
+            cy_div: 14.0,
+            cy_sqrt: 15.0,
+            cy_rsqrt: 27.0,
+            cy_transcendental: 30.0,
+            cy_move: 0.5,
+            cy_horiz: 1.0,
+            cy_loop: 1.5,
+            cy_item: 2.0,
+            cy_atomic: 4.0,
+            f64_factor: 1.25,
+            ilp: 1.15,
+            int_op_factor: 0.35,
+            smp_compute_penalty: 1.10,
+            cy_mem_issue: 1.0,
+            cy_l1_hit: 0.75,
+            cy_l2_hit: 9.0,
+            scatter_latency_exposure: 0.55,
+            core_stream_bw: 2.6e9,
+            smp_bw_scale: 0.38,
+            // 32 KiB / 64 B / 2-way I+D split: model D-cache only.
+            l1: CacheConfig::new(32 * 1024, 64, 2),
+            // 1 MiB shared L2, 16-way.
+            l2: CacheConfig::new(1024 * 1024, 64, 16),
+            dram: DramConfig::ddr3l_1600_x32(),
+            omp_region_overhead_s: 18e-6,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_exynos_5250() {
+        let c = CortexA15Config::default();
+        assert_eq!(c.freq_hz, 1.7e9);
+        assert_eq!(c.max_cores, 2);
+        assert_eq!(c.l1.size_bytes, 32 * 1024);
+        assert_eq!(c.l2.size_bytes, 1024 * 1024);
+    }
+
+    #[test]
+    fn special_ops_cost_more_than_simple() {
+        let c = CortexA15Config::default();
+        assert!(c.cy_div > 5.0 * c.cy_simple);
+        assert!(c.cy_sqrt > 5.0 * c.cy_simple);
+        assert!(c.cy_transcendental > c.cy_sqrt);
+    }
+}

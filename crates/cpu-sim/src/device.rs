@@ -1,0 +1,486 @@
+//! The Cortex-A15 device: executes kernel-ir programs functionally and
+//! derives Serial (1-core) / OpenMP (2-core) timing, cache behaviour and
+//! power activity.
+//!
+//! Scheduling model: the NDRange's work-groups are the OpenMP loop
+//! iterations; a `cores`-way run partitions them into contiguous blocks
+//! (static scheduling, like the paper's OpenMP builds), so per-group cost
+//! differences surface as load imbalance — the effect `spmv` is designed to
+//! measure.
+
+use crate::config::CortexA15Config;
+use kernel_ir::{
+    ArgBinding, ExecError, ExecTracer, GroupExecutor, MemAccess, MemoryPool, NDRange, OpClass,
+    Pattern, Program, Scalar, VType,
+};
+use memsim::{Hierarchy, HierarchyStats, StrideClassifier};
+use powersim::Activity;
+
+/// Timing/energy outcome of one CPU run.
+#[derive(Clone, Debug)]
+pub struct CpuReport {
+    /// Wall-clock time of the parallel region, seconds.
+    pub time_s: f64,
+    /// Core-compute component (max over cores), seconds.
+    pub compute_time_s: f64,
+    /// DRAM bandwidth component, seconds.
+    pub mem_time_s: f64,
+    /// Cores the run occupied.
+    pub cores_used: u32,
+    /// Activity vector for the power model.
+    pub activity: Activity,
+    /// Cache/DRAM statistics.
+    pub hier: HierarchyStats,
+    /// Total issued compute cycles (all cores).
+    pub total_cycles: f64,
+}
+
+/// Tracer accumulating per-group compute cycles and driving the cache
+/// hierarchy.
+struct CpuTracer<'c> {
+    cfg: &'c CortexA15Config,
+    hier: Hierarchy,
+    /// Compute cycles charged to each completed/current group.
+    group_cycles: Vec<f64>,
+    cur: f64,
+    strides: StrideClassifier,
+}
+
+impl<'c> CpuTracer<'c> {
+    fn new(cfg: &'c CortexA15Config) -> Self {
+        CpuTracer {
+            cfg,
+            hier: Hierarchy::with_l1(cfg.l1, cfg.l2),
+            group_cycles: Vec::new(),
+            cur: 0.0,
+            strides: StrideClassifier::default(),
+        }
+    }
+
+    fn finish_group(&mut self) {
+        self.group_cycles.push(self.cur);
+        self.cur = 0.0;
+    }
+
+    fn op_cost(&self, class: OpClass, ty: VType) -> f64 {
+        let c = self.cfg;
+        let base = match class {
+            OpClass::Simple => c.cy_simple,
+            OpClass::Mul => c.cy_mul,
+            OpClass::Mad => c.cy_mad,
+            OpClass::Div => c.cy_div,
+            OpClass::Special => c.cy_sqrt,
+            OpClass::Rsqrt => c.cy_rsqrt,
+            OpClass::Transcendental => c.cy_transcendental,
+            OpClass::Move => c.cy_move,
+            OpClass::Horizontal => c.cy_horiz,
+        };
+        // No NEON: vector ops are scalarized lane by lane.
+        let lanes = ty.width as f64;
+        let f64x = if ty.elem == Scalar::F64 { c.f64_factor } else { 1.0 };
+        // Integer address arithmetic dual-issues and hides behind FP.
+        let intx = if ty.elem.is_int()
+            && matches!(class, OpClass::Simple | OpClass::Mul | OpClass::Move)
+        {
+            c.int_op_factor
+        } else {
+            1.0
+        };
+        base * lanes * f64x * intx / c.ilp
+    }
+}
+
+impl ExecTracer for CpuTracer<'_> {
+    fn op(&mut self, class: OpClass, ty: VType) {
+        self.cur += self.op_cost(class, ty);
+    }
+
+    fn mem(&mut self, a: &MemAccess) {
+        let c = self.cfg;
+        let write = matches!(a.kind, kernel_ir::AccessKind::Write);
+        let atomic = matches!(a.kind, kernel_ir::AccessKind::Atomic);
+        // Issue cost: one AGU slot per lane (scalarized, no NEON loads).
+        self.cur += c.cy_mem_issue * a.width as f64 / c.ilp;
+        if atomic {
+            self.cur += c.cy_atomic;
+        }
+        match a.pattern {
+            Pattern::Scalar | Pattern::Contiguous => {
+                // Scalar streams that hop around (indirect x[col[j]]) are
+                // scattered traffic even though each access is scalar.
+                let streaming =
+                    a.pattern == Pattern::Contiguous || self.strides.classify_stream(a.stream, a.addr);
+                let out = self.hier.access(a.addr, a.bytes, write || atomic, streaming);
+                self.cur += out.l1_hits as f64 * c.cy_l1_hit
+                    + out.l2_hits as f64 * c.cy_l2_hit;
+                if !streaming {
+                    // Scattered misses expose latency the prefetcher can't
+                    // hide.
+                    self.cur += out.dram_lines as f64
+                        * c.dram.latency
+                        * c.scatter_latency_exposure
+                        * c.freq_hz;
+                }
+                // Streaming DRAM lines are charged through the bandwidth
+                // term; the prefetcher hides their latency.
+            }
+            Pattern::Gather => {
+                let addrs = a.lane_addrs.expect("gather carries lane addresses");
+                let lane_bytes = a.elem.bytes();
+                for &addr in addrs.iter().take(a.width as usize) {
+                    let out = self.hier.access(addr, lane_bytes, write || atomic, false);
+                    self.cur += out.l1_hits as f64 * c.cy_l1_hit
+                        + out.l2_hits as f64 * c.cy_l2_hit;
+                    // Scattered misses expose part of the DRAM latency to
+                    // the core (the OoO window can't hide 110 ns).
+                    self.cur += out.dram_lines as f64
+                        * c.dram.latency
+                        * c.scatter_latency_exposure
+                        * c.freq_hz;
+                }
+            }
+        }
+    }
+
+    fn loop_iter(&mut self) {
+        self.cur += self.cfg.cy_loop / self.cfg.ilp;
+    }
+
+    fn thread_start(&mut self) {
+        self.cur += self.cfg.cy_item / self.cfg.ilp;
+    }
+
+    fn group_start(&mut self) {
+        if !self.group_cycles.is_empty() || self.cur > 0.0 {
+            self.finish_group();
+        } else if self.group_cycles.is_empty() && self.cur == 0.0 {
+            // First group: nothing to flush, but keep slot alignment by
+            // doing nothing until it completes.
+        }
+    }
+
+    fn barrier(&mut self, _items: u32) {
+        // Barriers are free on a sequential CPU schedule (each phase is a
+        // plain loop).
+    }
+}
+
+/// The device.
+#[derive(Clone, Debug, Default)]
+pub struct CortexA15 {
+    pub cfg: CortexA15Config,
+}
+
+impl CortexA15 {
+    pub fn new(cfg: CortexA15Config) -> Self {
+        CortexA15 { cfg }
+    }
+
+    /// Execute `program` over `ndrange` using `cores` cores (1 = the
+    /// paper's Serial build, 2 = OpenMP). Mutates buffers in `pool`.
+    pub fn run(
+        &self,
+        program: &Program,
+        bindings: &[ArgBinding],
+        pool: &mut MemoryPool,
+        ndrange: NDRange,
+        cores: u32,
+    ) -> Result<CpuReport, ExecError> {
+        assert!(
+            cores >= 1 && cores <= self.cfg.max_cores,
+            "cores must be in 1..={}",
+            self.cfg.max_cores
+        );
+        let mut tracer = CpuTracer::new(&self.cfg);
+        {
+            let mut ex = GroupExecutor::new(program, bindings, pool, ndrange, &mut tracer)?;
+            ex.run_all();
+        }
+        tracer.finish_group();
+        // tracer.group_cycles got an extra empty leading slot pattern; the
+        // flush-on-start plus final flush yields exactly one entry per group.
+        let groups = tracer.group_cycles;
+        debug_assert_eq!(groups.len(), ndrange.total_groups().max(1));
+
+        // Static block partition over cores.
+        let mut core_cycles = vec![0.0f64; cores as usize];
+        let chunk = groups.len().div_ceil(cores as usize).max(1);
+        for (i, g) in groups.iter().enumerate() {
+            core_cycles[(i / chunk).min(cores as usize - 1)] += *g;
+        }
+        let total_cycles: f64 = core_cycles.iter().sum();
+        let smp = if cores > 1 { self.cfg.smp_compute_penalty } else { 1.0 };
+        let compute_time =
+            core_cycles.iter().cloned().fold(0.0, f64::max) * smp / self.cfg.freq_hz;
+        // Memory time: DRAM-side limit (controller efficiency, scatter
+        // derating) or the cores' aggregate streaming capability, whichever
+        // binds.
+        let traffic = tracer.hier.stats.traffic;
+        let dram_side = traffic.bandwidth_time(&self.cfg.dram);
+        let aggregate_core_bw =
+            self.cfg.core_stream_bw * (1.0 + self.cfg.smp_bw_scale * (cores as f64 - 1.0));
+        let core_side =
+            traffic.total_bytes(&self.cfg.dram) as f64 / aggregate_core_bw;
+        let mem_time = dram_side.max(core_side);
+        let region_overhead =
+            if cores > 1 { self.cfg.omp_region_overhead_s } else { 0.0 };
+        let time_s = compute_time.max(mem_time) + region_overhead;
+
+        let mut cpu_busy = [0.0f64; 2];
+        for c in 0..cores.min(2) as usize {
+            // A core is busy (not clock-gated) for the whole region when it
+            // has work; scale by its share when imbalanced.
+            let share = if compute_time > 0.0 {
+                (core_cycles[c] / self.cfg.freq_hz / compute_time).clamp(0.0, 1.0)
+            } else {
+                1.0
+            };
+            // Memory-stalled time still burns most of the core power; count
+            // busy as the max of compute share and the stall window.
+            cpu_busy[c] = time_s * share.max(if mem_time > compute_time { 0.85 } else { 0.0 });
+        }
+
+        let hier = tracer.hier.stats;
+        let activity = Activity {
+            duration_s: time_s,
+            cpu_busy_s: cpu_busy,
+            gpu_active_s: 0.0,
+            gpu_arith_util_s: 0.0,
+            gpu_ls_util_s: 0.0,
+            dram_bytes: hier.traffic.total_lines() * self.cfg.dram.line_bytes as u64,
+        };
+
+        Ok(CpuReport {
+            time_s,
+            compute_time_s: compute_time,
+            mem_time_s: mem_time,
+            cores_used: cores,
+            activity,
+            hier,
+            total_cycles,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kernel_ir::prelude::*;
+    use kernel_ir::{Access, BufferData};
+
+    /// out[i] = a[i] * a[i] with heavy per-item compute (to be compute-bound).
+    fn compute_heavy(n_iters: i64) -> Program {
+        let mut kb = KernelBuilder::new("heavy");
+        let a = kb.arg_global(Scalar::F32, Access::ReadOnly, true);
+        let out = kb.arg_global(Scalar::F32, Access::WriteOnly, true);
+        let gid = kb.query_global_id(0);
+        let v = kb.load(Scalar::F32, a, gid.into());
+        let acc = kb.mov(v.into(), VType::scalar(Scalar::F32));
+        kb.for_loop(Operand::ImmI(0), Operand::ImmI(n_iters), Operand::ImmI(1), |kb, _| {
+            kb.mad_into(acc, acc.into(), Operand::ImmF(1.0000001), Operand::ImmF(1e-7));
+        });
+        kb.store(out, gid.into(), acc.into());
+        kb.finish()
+    }
+
+    fn streaming_kernel() -> Program {
+        let mut kb = KernelBuilder::new("stream");
+        let a = kb.arg_global(Scalar::F32, Access::ReadOnly, true);
+        let b = kb.arg_global(Scalar::F32, Access::ReadOnly, true);
+        let c = kb.arg_global(Scalar::F32, Access::WriteOnly, true);
+        let gid = kb.query_global_id(0);
+        let va = kb.load(Scalar::F32, a, gid.into());
+        let vb = kb.load(Scalar::F32, b, gid.into());
+        let s = kb.bin(BinOp::Add, va.into(), vb.into(), VType::scalar(Scalar::F32));
+        kb.store(c, gid.into(), s.into());
+        kb.finish()
+    }
+
+    fn setup_streaming(n: usize) -> (MemoryPool, [ArgBinding; 3]) {
+        let mut pool = MemoryPool::new();
+        let a = pool.add(BufferData::from(vec![1.0f32; n]));
+        let b = pool.add(BufferData::from(vec![2.0f32; n]));
+        let c = pool.add(BufferData::zeroed(Scalar::F32, n));
+        (pool, [ArgBinding::Global(a), ArgBinding::Global(b), ArgBinding::Global(c)])
+    }
+
+    #[test]
+    fn computes_correct_results() {
+        let dev = CortexA15::default();
+        let p = streaming_kernel();
+        let (mut pool, bindings) = setup_streaming(1024);
+        dev.run(&p, &bindings, &mut pool, NDRange::d1(1024, 64), 1).unwrap();
+        assert!(pool.get(2).as_f32().iter().all(|&x| x == 3.0));
+    }
+
+    #[test]
+    fn compute_bound_kernel_scales_with_cores() {
+        let dev = CortexA15::default();
+        let p = compute_heavy(2000);
+        let mk = || {
+            let mut pool = MemoryPool::new();
+            let a = pool.add(BufferData::from(vec![1.0f32; 128]));
+            let out = pool.add(BufferData::zeroed(Scalar::F32, 128));
+            (pool, [ArgBinding::Global(a), ArgBinding::Global(out)])
+        };
+        let (mut p1, b1) = mk();
+        let r1 = dev.run(&p, &b1, &mut p1, NDRange::d1(128, 16), 1).unwrap();
+        let (mut p2, b2) = mk();
+        let r2 = dev.run(&p, &b2, &mut p2, NDRange::d1(128, 16), 2).unwrap();
+        let speedup = r1.time_s / r2.time_s;
+        // The smp_compute_penalty keeps even perfect splits below 2.0x,
+        // matching the paper's observed 1.2..1.9 band.
+        assert!(
+            (1.55..=1.95).contains(&speedup),
+            "compute-bound OpenMP speedup {speedup:.2} outside 1.55..1.95"
+        );
+    }
+
+    #[test]
+    fn memory_bound_kernel_scales_poorly() {
+        let dev = CortexA15::default();
+        let p = streaming_kernel();
+        let n = 1 << 20; // 12 MiB of traffic >> L2
+        let (mut p1, b1) = setup_streaming(n);
+        let r1 = dev.run(&p, &b1, &mut p1, NDRange::d1(n, 256), 1).unwrap();
+        let (mut p2, b2) = setup_streaming(n);
+        let r2 = dev.run(&p, &b2, &mut p2, NDRange::d1(n, 256), 2).unwrap();
+        let speedup = r1.time_s / r2.time_s;
+        assert!(
+            speedup < 1.6,
+            "memory-bound kernel should not scale to 2 cores (got {speedup:.2})"
+        );
+    }
+
+    #[test]
+    fn time_positive_and_decomposed() {
+        let dev = CortexA15::default();
+        let p = streaming_kernel();
+        let (mut pool, bindings) = setup_streaming(4096);
+        let r = dev.run(&p, &bindings, &mut pool, NDRange::d1(4096, 64), 1).unwrap();
+        assert!(r.time_s > 0.0);
+        assert!(r.time_s + 1e-15 >= r.compute_time_s.max(r.mem_time_s));
+        assert!(r.activity.dram_bytes > 0);
+        assert_eq!(r.cores_used, 1);
+        assert_eq!(r.activity.cpu_busy_s[1], 0.0);
+    }
+
+    #[test]
+    fn omp_run_uses_second_core() {
+        let dev = CortexA15::default();
+        let p = compute_heavy(100);
+        let mut pool = MemoryPool::new();
+        let a = pool.add(BufferData::from(vec![1.0f32; 256]));
+        let out = pool.add(BufferData::zeroed(Scalar::F32, 256));
+        let b = [ArgBinding::Global(a), ArgBinding::Global(out)];
+        let r = dev.run(&p, &b, &mut pool, NDRange::d1(256, 16), 2).unwrap();
+        assert!(r.activity.cpu_busy_s[1] > 0.0);
+    }
+
+    #[test]
+    fn imbalanced_groups_hurt_two_core_time() {
+        // Group 0..7 heavy, 8..15 trivial → block partition puts all heavy
+        // work on core 0.
+        let mut kb = KernelBuilder::new("imb");
+        let out = kb.arg_global(Scalar::F32, Access::ReadWrite, true);
+        let gid = kb.query_global_id(0);
+        let half = kb.bin(BinOp::Lt, gid.into(), Operand::ImmI(128), VType::scalar(Scalar::U32));
+        let acc = kb.mov(Operand::ImmF(1.0), VType::scalar(Scalar::F32));
+        kb.if_then(half.into(), |kb| {
+            kb.for_loop(Operand::ImmI(0), Operand::ImmI(5000), Operand::ImmI(1), |kb, _| {
+                kb.mad_into(acc, acc.into(), Operand::ImmF(0.9999), Operand::ImmF(1e-6));
+            });
+        });
+        kb.store(out, gid.into(), acc.into());
+        let p = kb.finish();
+        let dev = CortexA15::default();
+        let mut pool = MemoryPool::new();
+        let o = pool.add(BufferData::zeroed(Scalar::F32, 256));
+        let b = [ArgBinding::Global(o)];
+        let r1 = dev.run(&p, &b, &mut pool, NDRange::d1(256, 16), 1).unwrap();
+        let r2 = dev.run(&p, &b, &mut pool, NDRange::d1(256, 16), 2).unwrap();
+        let speedup = r1.time_s / r2.time_s;
+        assert!(
+            speedup < 1.25,
+            "all-heavy-on-one-core should not speed up (got {speedup:.2})"
+        );
+    }
+
+    #[test]
+    fn f64_slower_than_f32() {
+        let mk = |elem: Scalar| {
+            let mut kb = KernelBuilder::new("fp");
+            let a = kb.arg_global(elem, Access::ReadOnly, true);
+            let out = kb.arg_global(elem, Access::WriteOnly, true);
+            let gid = kb.query_global_id(0);
+            let v = kb.load(elem, a, gid.into());
+            let acc = kb.mov(v.into(), VType::scalar(elem));
+            kb.for_loop(Operand::ImmI(0), Operand::ImmI(500), Operand::ImmI(1), |kb, _| {
+                kb.mad_into(acc, acc.into(), Operand::ImmF(1.000001), Operand::ImmF(1e-9));
+            });
+            kb.store(out, gid.into(), acc.into());
+            kb.finish()
+        };
+        let dev = CortexA15::default();
+        let run = |elem: Scalar| {
+            let mut pool = MemoryPool::new();
+            let (a, o) = match elem {
+                Scalar::F32 => (
+                    pool.add(BufferData::from(vec![1.0f32; 64])),
+                    pool.add(BufferData::zeroed(Scalar::F32, 64)),
+                ),
+                _ => (
+                    pool.add(BufferData::from(vec![1.0f64; 64])),
+                    pool.add(BufferData::zeroed(Scalar::F64, 64)),
+                ),
+            };
+            let b = [ArgBinding::Global(a), ArgBinding::Global(o)];
+            dev.run(&mk(elem), &b, &mut pool, NDRange::d1(64, 16), 1).unwrap().time_s
+        };
+        let t32 = run(Scalar::F32);
+        let t64 = run(Scalar::F64);
+        assert!(t64 > t32, "f64 ({t64:.3e}) should be slower than f32 ({t32:.3e})");
+    }
+
+    #[test]
+    fn gather_misses_cost_latency() {
+        // Random gather over a large buffer vs contiguous reads of the same
+        // volume: gather must be slower.
+        let n: usize = 1 << 18;
+        let mut kb = KernelBuilder::new("gather");
+        let idx_buf = kb.arg_global(Scalar::U32, Access::ReadOnly, true);
+        let x = kb.arg_global(Scalar::F32, Access::ReadOnly, true);
+        let out = kb.arg_global(Scalar::F32, Access::WriteOnly, true);
+        let gid = kb.query_global_id(0);
+        let i = kb.load(Scalar::U32, idx_buf, gid.into());
+        // gather via a width-1 indirect load: still classified Scalar
+        // pattern, so build a width-2 index vector to force Gather.
+        let iv = kb.mov(Operand::ImmI(0), VType::new(Scalar::U32, 2));
+        kb.insert_into(iv, i.into(), 0);
+        kb.insert_into(iv, i.into(), 1);
+        let v = kb.load(Scalar::F32, x, iv.into());
+        let s = kb.horiz(HorizOp::Add, v);
+        kb.store(out, gid.into(), s.into());
+        let p = kb.finish();
+        p.validate().unwrap();
+
+        let dev = CortexA15::default();
+        let run = |indices: Vec<u32>| {
+            let mut pool = MemoryPool::new();
+            let ib = pool.add(BufferData::from(indices));
+            let xb = pool.add(BufferData::zeroed(Scalar::F32, n));
+            let ob = pool.add(BufferData::zeroed(Scalar::F32, n / 16));
+            let b = [ArgBinding::Global(ib), ArgBinding::Global(xb), ArgBinding::Global(ob)];
+            dev.run(&p, &b, &mut pool, NDRange::d1(n / 16, 64), 1).unwrap().time_s
+        };
+        let seq: Vec<u32> = (0..n as u32 / 16).collect();
+        let scattered: Vec<u32> =
+            (0..n as u32 / 16).map(|i| (i.wrapping_mul(2654435761)) % (n as u32)).collect();
+        let t_seq = run(seq);
+        let t_rand = run(scattered);
+        assert!(
+            t_rand > 1.5 * t_seq,
+            "scattered gather ({t_rand:.3e}) should be ≫ sequential ({t_seq:.3e})"
+        );
+    }
+}

@@ -1,0 +1,238 @@
+//! §III ablation: isolate each optimization technique's contribution.
+//!
+//! The paper reports only the combined OpenCL→OpenCL-Opt jump; this module
+//! decomposes it (per DESIGN.md's experiment index) so the bench suite can
+//! regenerate a per-technique table: vectorization, vector-width choice,
+//! loop unrolling, work-group tuning, host data path, and compiler hints.
+
+use hpc_kernels::common::{gpu_context, launch};
+use hpc_kernels::dmmm::Dmmm;
+use hpc_kernels::vecop::Vecop;
+use hpc_kernels::Precision;
+use kernel_ir::{BufferData, Scalar};
+use mali_hpc::{sweep, unroll, vectorize, TuningResult};
+use ocl_runtime::{Context, KernelArg, MemFlags};
+use std::fmt::Write as _;
+
+/// GPU time of one vecop launch at a given vector width (1 = scalar).
+pub fn vecop_time_at_width(b: &Vecop, width: u8) -> Option<f64> {
+    let prog = if width == 1 {
+        b.kernel(Precision::F32)
+    } else {
+        vectorize(&b.kernel(Precision::F32), width).ok()?.program
+    };
+    let (mut ctx, ids) = gpu_context(vec![
+        BufferData::zeroed(Scalar::F32, b.n),
+        BufferData::zeroed(Scalar::F32, b.n),
+        BufferData::zeroed(Scalar::F32, b.n),
+    ]);
+    let k = ctx.build_kernel(prog).ok()?;
+    let args: Vec<KernelArg> = ids.iter().map(|&x| KernelArg::Buf(x)).collect();
+    launch(&mut ctx, &k, [b.n / width as usize, 1, 1], Some([128, 1, 1]), &args)
+        .ok()
+        .map(|(t, _)| t)
+}
+
+/// Vector-width sweep (§III-B "Vector Sizes").
+pub fn vector_width_sweep(n: usize) -> TuningResult<u8> {
+    let b = Vecop { n };
+    sweep(&[1u8, 2, 4, 8, 16], |&w| vecop_time_at_width(&b, w))
+}
+
+/// Work-group-size sweep on the naive dmmm kernel (§III-A "Load
+/// distribution"): how much the local size matters, and what the driver
+/// would have picked.
+pub fn wg_sweep_dmmm(n: usize) -> (TuningResult<usize>, usize) {
+    let b = Dmmm { n, opt_unroll: 2, opt_width: 4 };
+    let prog = b.kernel(Precision::F32);
+    let result = sweep(&[4usize, 8, 16, 32, 64], |&wgx| {
+        let (a, bb) = b.inputs();
+        let (mut ctx, ids) = gpu_context(vec![
+            Precision::F32.buffer(&a),
+            Precision::F32.buffer(&bb),
+            BufferData::zeroed(Scalar::F32, n * n),
+        ]);
+        let k = ctx.build_kernel(prog.clone()).ok()?;
+        let args: Vec<KernelArg> = ids.iter().map(|&x| KernelArg::Buf(x)).collect();
+        if n % wgx != 0 {
+            return None;
+        }
+        launch(&mut ctx, &k, [n, n, 1], Some([wgx, 1, 1]), &args).ok().map(|(t, _)| t)
+    });
+    // What the driver would pick with local=NULL.
+    let (a, bb) = b.inputs();
+    let (ctx, _ids) = gpu_context(vec![
+        Precision::F32.buffer(&a),
+        Precision::F32.buffer(&bb),
+        BufferData::zeroed(Scalar::F32, n * n),
+    ]);
+    let k = ctx.build_kernel(prog).expect("dmmm builds");
+    let driver = ctx.driver_local_size(&k, [n, n, 1])[0];
+    (result, driver)
+}
+
+/// dmmm technique stack: naive → +vectorize → +unroll (all at the tuned
+/// work-group size). Returns (label, seconds) rows.
+pub fn dmmm_stack(n: usize) -> Vec<(String, f64)> {
+    let b = Dmmm { n, opt_unroll: 2, opt_width: 4 };
+    let run = |prog: kernel_ir::Program, gx: usize| -> f64 {
+        let (a, bb) = b.inputs();
+        let (mut ctx, ids) = gpu_context(vec![
+            Precision::F32.buffer(&a),
+            Precision::F32.buffer(&bb),
+            BufferData::zeroed(Scalar::F32, n * n),
+        ]);
+        let k = ctx.build_kernel(prog).expect("builds");
+        let args: Vec<KernelArg> = ids.iter().map(|&x| KernelArg::Buf(x)).collect();
+        launch(&mut ctx, &k, [gx, n, 1], Some([16.min(gx), 8, 1]), &args)
+            .expect("launch")
+            .0
+    };
+    let naive = b.kernel(Precision::F32);
+    let vec4 = b.opt_kernel_base(Precision::F32, 4);
+    let vec4_unrolled = unroll(&vec4, 2).expect("unrolls");
+    vec![
+        ("naive (scalar, tuned wg)".into(), run(naive, n)),
+        ("+ vectorize (vload4 B-row)".into(), run(vec4, n / 4)),
+        ("+ unroll x2".into(), run(vec4_unrolled, n / 4)),
+    ]
+}
+
+/// Host data-path comparison (§III-A): moving `n` floats in and out via
+/// copies vs map/unmap. Returns (copy_s, map_s).
+pub fn datapath_compare(n: usize) -> (f64, f64) {
+    // Copy path.
+    let mut ctx1 = Context::new(mali_gpu::MaliT604::default());
+    let b1 = ctx1.create_buffer(Scalar::F32, n, MemFlags::UseHostPtr);
+    ctx1.enqueue_write_buffer(b1, BufferData::F32(vec![1.0; n])).expect("write");
+    let _ = ctx1.enqueue_read_buffer(b1).expect("read");
+    let (t_copy, _) = ctx1.timeline(false);
+    // Map path.
+    let mut ctx2 = Context::new(mali_gpu::MaliT604::default());
+    let b2 = ctx2.create_buffer(Scalar::F32, n, MemFlags::AllocHostPtr);
+    {
+        let data = ctx2.enqueue_map_buffer(b2).expect("map");
+        if let BufferData::F32(v) = data {
+            v.fill(1.0);
+        }
+    }
+    ctx2.enqueue_unmap(b2).expect("unmap");
+    let _ = ctx2.enqueue_map_buffer(b2).expect("map back");
+    ctx2.enqueue_unmap(b2).expect("unmap");
+    let (t_map, _) = ctx2.timeline(false);
+    (t_copy, t_map)
+}
+
+/// Hints (inline/const) effect on a compute-bound kernel.
+pub fn hints_effect(n: usize) -> (f64, f64) {
+    use hpc_kernels::amcd::Amcd;
+    use hpc_kernels::{Benchmark as _, Variant};
+    let b = Amcd { walkers: n, steps: 64 };
+    let no = b.run(Variant::OpenCl, Precision::F32).expect("runs").time_s;
+    let yes = b.run(Variant::OpenClOpt, Precision::F32).expect("runs").time_s;
+    (no, yes)
+}
+
+/// Render the full ablation report.
+pub fn report(small: bool) -> String {
+    let (nvec, ndm, nio, namcd) = if small {
+        (1 << 14, 64, 1 << 16, 512)
+    } else {
+        (1 << 20, 192, 1 << 22, 8192)
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "== §III ablation ==\n");
+
+    let vw = vector_width_sweep(nvec);
+    let _ = writeln!(out, "vector width (vecop, {nvec} elems, wg 128):");
+    for e in &vw.entries {
+        match e.cost {
+            Some(c) => {
+                let _ = writeln!(out, "  width {:>2}: {:.3e} s", e.param, c);
+            }
+            None => {
+                let _ = writeln!(out, "  width {:>2}: failed", e.param);
+            }
+        }
+    }
+    let _ = writeln!(
+        out,
+        "  best: {:?}, spread {:.2}x\n",
+        vw.best(),
+        vw.spread().unwrap_or(1.0)
+    );
+
+    let (wg, driver) = wg_sweep_dmmm(ndm);
+    let _ = writeln!(out, "work-group size (naive dmmm {ndm}x{ndm}):");
+    for e in &wg.entries {
+        if let Some(c) = e.cost {
+            let _ = writeln!(out, "  wg {:>3}x1: {:.3e} s", e.param, c);
+        }
+    }
+    let _ = writeln!(
+        out,
+        "  best: {:?}, spread {:.2}x, driver would pick {driver}\n",
+        wg.best(),
+        wg.spread().unwrap_or(1.0)
+    );
+
+    let _ = writeln!(out, "dmmm technique stack ({ndm}x{ndm}):");
+    let stack = dmmm_stack(ndm);
+    let base = stack[0].1;
+    for (label, t) in &stack {
+        let _ = writeln!(out, "  {label:<28} {t:.3e} s  ({:.2}x)", base / t);
+    }
+    let _ = writeln!(out);
+
+    let (t_copy, t_map) = datapath_compare(nio);
+    let _ = writeln!(
+        out,
+        "host data path ({nio} floats round-trip): copies {:.3e} s vs map/unmap {:.3e} s ({:.1}x)\n",
+        t_copy,
+        t_map,
+        t_copy / t_map
+    );
+
+    let (no_hints, with_hints) = hints_effect(namcd);
+    let _ = writeln!(
+        out,
+        "directives/type qualifiers (amcd {namcd} walkers): {:.3e} s -> {:.3e} s ({:.2}x)",
+        no_hints,
+        with_hints,
+        no_hints / with_hints
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_widths_all_run() {
+        let r = vector_width_sweep(1 << 12);
+        assert_eq!(r.failures(), 0);
+        // Scalar must not be the best width on this architecture.
+        assert_ne!(r.best(), Some(&1));
+    }
+
+    #[test]
+    fn datapath_copy_slower() {
+        let (c, m) = datapath_compare(1 << 16);
+        assert!(c > m);
+    }
+
+    #[test]
+    fn dmmm_stack_improves_monotonically() {
+        let s = dmmm_stack(32);
+        assert!(s[1].1 < s[0].1, "vectorization should help");
+        assert!(s[2].1 <= s[1].1 * 1.1, "unrolling should not badly hurt");
+    }
+
+    #[test]
+    fn report_renders() {
+        let r = report(true);
+        assert!(r.contains("vector width"));
+        assert!(r.contains("host data path"));
+    }
+}

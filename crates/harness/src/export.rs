@@ -1,0 +1,117 @@
+//! CSV export of suite results, for external plotting of the figures.
+//!
+//! One row per (benchmark, version, precision) cell with the raw measured
+//! quantities plus the serial-normalized ratios the paper's figures plot.
+//! Skipped cells (the amcd double-precision driver bug) export with a
+//! `skip_reason` and empty numeric fields, so a plotting script sees the
+//! missing bars explicitly.
+
+use crate::runner::SuiteResults;
+use hpc_kernels::{Precision, Variant};
+use std::fmt::Write as _;
+
+/// CSV header, stable across releases (append-only policy).
+pub const HEADER: &str = "bench,version,precision,time_s,power_w,power_sigma_w,\
+energy_j,iterations,speedup,power_ratio,energy_ratio,note,skip_reason";
+
+fn esc(s: &str) -> String {
+    if s.contains(',') || s.contains('"') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Render the whole sweep as CSV.
+pub fn to_csv(results: &SuiteResults) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{HEADER}");
+    for bench in &results.bench_names {
+        for prec in Precision::ALL {
+            for v in Variant::ALL {
+                match results.cell(bench, v, prec) {
+                    Some(cell) => {
+                        let _ = writeln!(
+                            out,
+                            "{bench},{},{},{:.6e},{:.4},{:.6},{:.6e},{},{},{},{},{},",
+                            v.label().replace(' ', "-"),
+                            prec.label(),
+                            cell.outcome.time_s,
+                            cell.measurement.mean_power_w,
+                            cell.measurement.std_power_w,
+                            cell.energy_j,
+                            cell.iterations,
+                            fmt_ratio(results.speedup(bench, v, prec)),
+                            fmt_ratio(results.power_ratio(bench, v, prec)),
+                            fmt_ratio(results.energy_ratio(bench, v, prec)),
+                            esc(cell.outcome.note.as_deref().unwrap_or("")),
+                        );
+                    }
+                    None => {
+                        let reason = results
+                            .skip_reason(bench, v, prec)
+                            .map(|r| r.to_string())
+                            .unwrap_or_default();
+                        let _ = writeln!(
+                            out,
+                            "{bench},{},{},,,,,,,,,,{}",
+                            v.label().replace(' ', "-"),
+                            prec.label(),
+                            esc(&reason),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn fmt_ratio(r: Option<f64>) -> String {
+    r.map(|x| format!("{x:.4}")).unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_suite;
+
+    #[test]
+    fn csv_covers_every_cell_and_marks_skips() {
+        let results = run_suite(&hpc_kernels::test_suite(), false);
+        let csv = to_csv(&results);
+        let lines: Vec<&str> = csv.lines().collect();
+        // header + 9 benches x 4 versions x 2 precisions
+        assert_eq!(lines.len(), 1 + 9 * 4 * 2);
+        assert_eq!(lines[0], HEADER);
+        // Every data line has the full column count.
+        let cols = HEADER.split(',').count();
+        for l in &lines[1..] {
+            // Quoted fields in this format never contain commas (notes are
+            // escaped but short); a simple count is enough for the suite.
+            assert!(
+                l.split(',').count() >= cols - 1,
+                "short row: {l}"
+            );
+        }
+        // The amcd f64 GPU rows carry a skip reason and no numbers.
+        let amcd_skips: Vec<&&str> = lines
+            .iter()
+            .filter(|l| l.starts_with("amcd,OpenCL") && l.contains("double"))
+            .collect();
+        assert_eq!(amcd_skips.len(), 2);
+        for l in amcd_skips {
+            assert!(l.contains("compiler bug"), "{l}");
+        }
+        // Serial rows have speedup 1.
+        assert!(lines.iter().any(|l| l.starts_with("vecop,Serial,single") &&
+            l.contains(",1.0000,")));
+    }
+
+    #[test]
+    fn escaping() {
+        assert_eq!(esc("plain"), "plain");
+        assert_eq!(esc("a,b"), "\"a,b\"");
+        assert_eq!(esc("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+}

@@ -1,0 +1,174 @@
+//! Figure/table generation: paper-vs-measured for Figures 2, 3, 4 and the
+//! §V-D summary.
+
+use crate::paper;
+use crate::runner::SuiteResults;
+use hpc_kernels::{Precision, Variant};
+use std::fmt::Write as _;
+
+fn fmt_opt(v: Option<f64>) -> String {
+    match v {
+        Some(x) => format!("{x:8.2}"),
+        None => format!("{:>8}", "-"),
+    }
+}
+
+/// Figure 2 — speedup over the Serial version.
+pub fn fig2(results: &SuiteResults, prec: Precision) -> String {
+    let mut out = String::new();
+    let sub = if prec == Precision::F32 { "(a) single" } else { "(b) double" };
+    let _ = writeln!(out, "Figure 2{sub}-precision: speedup over Serial");
+    let _ = writeln!(
+        out,
+        "{:<7} {:>8} {:>17} {:>17} {:>17}",
+        "bench", "OpenMP", "OpenCL", "OpenCL-Opt", ""
+    );
+    let _ = writeln!(
+        out,
+        "{:<7} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "", "meas", "meas", "paper", "meas", "paper", ""
+    );
+    for b in paper::BENCH_ORDER {
+        let omp = results.speedup(b, Variant::OpenMp, prec);
+        let ocl = results.speedup(b, Variant::OpenCl, prec);
+        let opt = results.speedup(b, Variant::OpenClOpt, prec);
+        let mut line = format!(
+            "{b:<7} {} {} {} {} {}",
+            fmt_opt(omp),
+            fmt_opt(ocl),
+            fmt_opt(paper::speedup(b, Variant::OpenCl, prec)),
+            fmt_opt(opt),
+            fmt_opt(paper::speedup(b, Variant::OpenClOpt, prec)),
+        );
+        if let Some(skip) = results.skip_reason(b, Variant::OpenCl, prec) {
+            let _ = write!(line, "   [{skip}]");
+        }
+        let _ = writeln!(out, "{line}");
+    }
+    let omp_avg = results.mean_over_benches(Variant::OpenMp, prec, SuiteResults::speedup);
+    let _ = writeln!(
+        out,
+        "OpenMP avg: measured {omp_avg:.2} | paper {} (band {}..{})",
+        paper::OMP_SPEEDUP_AVG,
+        paper::OMP_SPEEDUP_BAND.0,
+        paper::OMP_SPEEDUP_BAND.1
+    );
+    out
+}
+
+/// Figure 3 — mean board power normalized to Serial.
+pub fn fig3(results: &SuiteResults, prec: Precision) -> String {
+    let mut out = String::new();
+    let sub = if prec == Precision::F32 { "(a) single" } else { "(b) double" };
+    let _ = writeln!(out, "Figure 3{sub}-precision: power normalized to Serial");
+    let _ = writeln!(
+        out,
+        "{:<7} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "bench", "OpenMP", "OpenCL", "paper", "Opt", ""
+    );
+    for b in paper::BENCH_ORDER {
+        let _ = writeln!(
+            out,
+            "{b:<7} {} {} {} {}",
+            fmt_opt(results.power_ratio(b, Variant::OpenMp, prec)),
+            fmt_opt(results.power_ratio(b, Variant::OpenCl, prec)),
+            fmt_opt(paper::power_ratio(b, Variant::OpenCl)),
+            fmt_opt(results.power_ratio(b, Variant::OpenClOpt, prec)),
+        );
+    }
+    let omp = results.mean_over_benches(Variant::OpenMp, prec, SuiteResults::power_ratio);
+    let ocl = results.mean_over_benches(Variant::OpenCl, prec, SuiteResults::power_ratio);
+    let _ = writeln!(
+        out,
+        "averages: OpenMP {omp:.2} (paper {}) | OpenCL {ocl:.2} (paper {})",
+        paper::OMP_POWER_AVG,
+        paper::OCL_POWER_AVG
+    );
+    out
+}
+
+/// Figure 4 — energy-to-solution normalized to Serial.
+pub fn fig4(results: &SuiteResults, prec: Precision) -> String {
+    let mut out = String::new();
+    let sub = if prec == Precision::F32 { "(a) single" } else { "(b) double" };
+    let _ = writeln!(out, "Figure 4{sub}-precision: energy-to-solution normalized to Serial");
+    let _ = writeln!(
+        out,
+        "{:<7} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "bench", "OpenMP", "OpenCL", "paper", "Opt", "paper"
+    );
+    for b in paper::BENCH_ORDER {
+        let _ = writeln!(
+            out,
+            "{b:<7} {} {} {} {} {}",
+            fmt_opt(results.energy_ratio(b, Variant::OpenMp, prec)),
+            fmt_opt(results.energy_ratio(b, Variant::OpenCl, prec)),
+            fmt_opt(paper::energy_ratio(b, Variant::OpenCl, prec)),
+            fmt_opt(results.energy_ratio(b, Variant::OpenClOpt, prec)),
+            fmt_opt(paper::energy_ratio(b, Variant::OpenClOpt, prec)),
+        );
+    }
+    let ocl = results.mean_over_benches(Variant::OpenCl, prec, SuiteResults::energy_ratio);
+    let opt = results.mean_over_benches(Variant::OpenClOpt, prec, SuiteResults::energy_ratio);
+    let (p_ocl, p_opt) = match prec {
+        Precision::F32 => paper::ENERGY_AVG_F32,
+        Precision::F64 => paper::ENERGY_AVG_F64,
+    };
+    let _ = writeln!(
+        out,
+        "averages: OpenCL {ocl:.2} (paper {p_ocl}) | Opt {opt:.2} (paper {p_opt})"
+    );
+    out
+}
+
+/// §V-D summary: headline averages across both precisions.
+pub fn summary(results: &SuiteResults) -> String {
+    let mut speedups = Vec::new();
+    let mut energies = Vec::new();
+    for prec in Precision::ALL {
+        for b in paper::BENCH_ORDER {
+            if let Some(s) = results.speedup(b, Variant::OpenClOpt, prec) {
+                speedups.push(s);
+            }
+            if let Some(e) = results.energy_ratio(b, Variant::OpenClOpt, prec) {
+                energies.push(e);
+            }
+        }
+    }
+    let s_avg = speedups.iter().sum::<f64>() / speedups.len() as f64;
+    let e_avg = energies.iter().sum::<f64>() / energies.len() as f64;
+    let mut out = String::new();
+    let _ = writeln!(out, "Results summary (§V-D):");
+    let _ = writeln!(
+        out,
+        "  OpenCL-Opt speedup over Serial, avg across precisions: measured {s_avg:.1}x | paper {}x",
+        paper::HEADLINE_SPEEDUP
+    );
+    let _ = writeln!(
+        out,
+        "  OpenCL-Opt energy vs Serial, avg across precisions:    measured {:.0}% | paper {:.0}%",
+        e_avg * 100.0,
+        paper::HEADLINE_ENERGY * 100.0
+    );
+    out
+}
+
+/// Computed headline numbers, for tests and EXPERIMENTS.md generation.
+pub fn headline(results: &SuiteResults) -> (f64, f64) {
+    let mut speedups = Vec::new();
+    let mut energies = Vec::new();
+    for prec in Precision::ALL {
+        for b in paper::BENCH_ORDER {
+            if let Some(s) = results.speedup(b, Variant::OpenClOpt, prec) {
+                speedups.push(s);
+            }
+            if let Some(e) = results.energy_ratio(b, Variant::OpenClOpt, prec) {
+                energies.push(e);
+            }
+        }
+    }
+    (
+        speedups.iter().sum::<f64>() / speedups.len() as f64,
+        energies.iter().sum::<f64>() / energies.len() as f64,
+    )
+}

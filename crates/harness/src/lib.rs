@@ -1,0 +1,20 @@
+//! # harness — figure regeneration for the reproduction
+//!
+//! Runs the nine-benchmark suite on the simulated Exynos 5250 (Serial /
+//! OpenMP on `cpu-sim`, OpenCL / OpenCL-Opt on `mali-gpu` via
+//! `ocl-runtime`), measures power/energy with the simulated Yokogawa WT230
+//! per the paper's §IV-D methodology, and prints paper-vs-measured tables
+//! for every figure. See the `harness` binary for the CLI.
+
+pub mod ablation;
+pub mod dvfs;
+pub mod export;
+pub mod figures;
+pub mod hetero;
+pub mod paper;
+pub mod roofline;
+pub mod runner;
+
+pub use export::to_csv;
+pub use figures::{fig2, fig3, fig4, headline, summary};
+pub use runner::{measure, run_suite, Cell, SuiteResults};

@@ -1,0 +1,95 @@
+//! CLI for the reproduction harness.
+//!
+//! ```text
+//! harness all            # every figure + summary (paper-scale inputs)
+//! harness fig2a|fig2b    # Figure 2 speedups
+//! harness fig3a|fig3b    # Figure 3 power
+//! harness fig4a|fig4b    # Figure 4 energy-to-solution
+//! harness summary        # §V-D headline numbers
+//! harness ablation       # §III per-technique decomposition
+//! harness dvfs           # extension: GPU frequency/voltage sweep
+//! harness roofline       # roofline placement of the GPU kernels
+//! harness hetero         # extension: CPU+GPU co-execution splits
+//! harness csv            # machine-readable results (one row per cell)
+//! harness --test-scale … # same, on small inputs (seconds instead of minutes)
+//! ```
+
+use harness::{fig2, fig3, fig4, run_suite, summary};
+use hpc_kernels::Precision;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let test_scale = args.iter().any(|a| a == "--test-scale");
+    let cmds: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let cmd = cmds.first().copied().unwrap_or("all");
+    const KNOWN: [&str; 13] = [
+        "all", "fig2a", "fig2b", "fig3a", "fig3b", "fig4a", "fig4b", "summary",
+        "ablation", "dvfs", "roofline", "hetero", "csv",
+    ];
+    if !KNOWN.contains(&cmd) {
+        eprintln!("unknown command '{cmd}'");
+        eprintln!("usage: harness [{}] [--test-scale]", KNOWN.join("|"));
+        std::process::exit(2);
+    }
+
+    if cmd == "ablation" {
+        print!("{}", harness::ablation::report(test_scale));
+        return;
+    }
+    if cmd == "dvfs" {
+        print!("{}", harness::dvfs::report());
+        return;
+    }
+    if cmd == "hetero" {
+        print!("{}", harness::hetero::report());
+        return;
+    }
+    if cmd == "roofline" {
+        print!("{}", harness::roofline::report(hpc_kernels::Precision::F32));
+        print!("\n{}", harness::roofline::report(hpc_kernels::Precision::F64));
+        return;
+    }
+
+    let benches = if test_scale {
+        hpc_kernels::test_suite()
+    } else {
+        hpc_kernels::suite()
+    };
+    eprintln!(
+        "running the {} suite ({} benchmarks x 4 versions x 2 precisions)...",
+        if test_scale { "test-scale" } else { "paper-scale" },
+        benches.len()
+    );
+    let results = run_suite(&benches, true);
+
+    if cmd == "csv" {
+        print!("{}", harness::to_csv(&results));
+        return;
+    }
+    let wants = |c: &str| cmd == "all" || cmd == c;
+    if wants("fig2a") {
+        println!("{}", fig2(&results, Precision::F32));
+    }
+    if wants("fig2b") {
+        println!("{}", fig2(&results, Precision::F64));
+    }
+    if wants("fig3a") {
+        println!("{}", fig3(&results, Precision::F32));
+    }
+    if wants("fig3b") {
+        println!("{}", fig3(&results, Precision::F64));
+    }
+    if wants("fig4a") {
+        println!("{}", fig4(&results, Precision::F32));
+    }
+    if wants("fig4b") {
+        println!("{}", fig4(&results, Precision::F64));
+    }
+    if wants("summary") {
+        println!("{}", summary(&results));
+    }
+}

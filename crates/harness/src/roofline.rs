@@ -1,0 +1,232 @@
+//! Roofline analysis of the nine GPU kernels.
+//!
+//! A diagnostic the paper's §V discussion performs informally ("in absence
+//! of sufficient computation, the memory bandwidth can limit the
+//! performance"): for each benchmark's naive and optimized GPU kernels,
+//! count flops and DRAM bytes from the interpreter's event stream, place
+//! the kernel on the Mali-T604's roofline (peak GFLOP/s vs sustained
+//! GB/s × operational intensity), and report attained vs attainable.
+
+use hpc_kernels::{suite, Precision, Variant};
+use mali_gpu::MaliConfig;
+use std::fmt::Write as _;
+
+/// One kernel's roofline placement.
+#[derive(Clone, Debug)]
+pub struct RooflinePoint {
+    pub bench: String,
+    pub variant: Variant,
+    /// Useful floating-point operations (mads count 2).
+    pub flops: f64,
+    /// DRAM bytes moved (cache-filtered traffic).
+    pub dram_bytes: f64,
+    /// flops / byte.
+    pub intensity: f64,
+    /// Attained GFLOP/s (flops / measured time).
+    pub attained_gflops: f64,
+    /// min(peak, intensity × bandwidth) for this device.
+    pub attainable_gflops: f64,
+}
+
+impl RooflinePoint {
+    /// Fraction of the roofline ceiling the kernel reaches.
+    pub fn efficiency(&self) -> f64 {
+        if self.attainable_gflops > 0.0 {
+            self.attained_gflops / self.attainable_gflops
+        } else {
+            0.0
+        }
+    }
+
+    /// Whether the roofline puts this kernel under the bandwidth slope
+    /// rather than the compute ceiling.
+    pub fn memory_bound(&self, cfg: &MaliConfig) -> bool {
+        self.intensity * cfg.gpu_stream_bw / 1e9 < peak_gflops(cfg)
+    }
+}
+
+/// Device compute ceiling in GFLOP/s. Uses the f32 FMA peak.
+pub fn peak_gflops(cfg: &MaliConfig) -> f64 {
+    cfg.peak_f32_gflops()
+}
+
+/// Estimate flops from a run's activity: we recover them from the
+/// benchmark's analytic operation counts (exact for these kernels — the
+/// event stream's `lanes_issued` includes index arithmetic, which roofline
+/// analysis conventionally excludes).
+fn analytic_flops(bench: &str, prec_bytes: f64) -> Option<(f64, f64)> {
+    // (flops, minimum-useful-bytes) per benchmark at the suite's default
+    // sizes. Minimum bytes = each input read once + each output written
+    // once (the compulsory roofline traffic).
+    let b = prec_bytes;
+    Some(match bench {
+        "vecop" => {
+            let n = (1 << 20) as f64;
+            (n, 3.0 * n * b)
+        }
+        "red" => {
+            let n = (1 << 20) as f64;
+            (n, n * b)
+        }
+        "nbody" => {
+            let n = 1024f64;
+            // ~19 flops per interaction (3 sub, 3 fma=6, rsqrt~2, 2 mul,
+            // 1 mul, 3 fma=6 minus bookkeeping) — conventional nbody count.
+            (19.0 * n * n, 4.0 * n * b + 4.0 * n * b)
+        }
+        "dmmm" => {
+            let n = 160f64;
+            (2.0 * n * n * n, 3.0 * n * n * b)
+        }
+        "2dcon" => {
+            let m = 512f64;
+            (2.0 * 25.0 * m * m, 2.0 * m * m * b)
+        }
+        "3dstc" => {
+            let d = 64f64;
+            (8.0 * d * d * d, 2.0 * d * d * d * b)
+        }
+        _ => return None, // spmv/hist/amcd: integer- or rng-dominated
+    })
+}
+
+/// Build the roofline table for the GPU versions of the flop-dominated
+/// benchmarks.
+pub fn points(prec: Precision) -> Vec<RooflinePoint> {
+    let cfg = MaliConfig::default();
+    let mut out = Vec::new();
+    let prec_bytes = prec.elem().bytes() as f64;
+    for b in suite() {
+        let Some((flops, _min_bytes)) = analytic_flops(b.name(), prec_bytes) else {
+            continue;
+        };
+        for v in [Variant::OpenCl, Variant::OpenClOpt] {
+            let Ok(r) = b.run(v, prec) else { continue };
+            let dram_bytes = r.activity.dram_bytes as f64;
+            let intensity = if dram_bytes > 0.0 { flops / dram_bytes } else { f64::INFINITY };
+            let attained = flops / r.time_s / 1e9;
+            let attainable =
+                peak_gflops(&cfg).min(intensity * cfg.gpu_stream_bw / 1e9);
+            out.push(RooflinePoint {
+                bench: b.name().to_string(),
+                variant: v,
+                flops,
+                dram_bytes,
+                intensity,
+                attained_gflops: attained,
+                attainable_gflops: attainable,
+            });
+        }
+    }
+    out
+}
+
+/// Render the report.
+pub fn report(prec: Precision) -> String {
+    let cfg = MaliConfig::default();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== roofline, {} precision (peak {:.1} GFLOP/s, stream {:.1} GB/s) ==",
+        prec.label(),
+        peak_gflops(&cfg),
+        cfg.gpu_stream_bw / 1e9
+    );
+    let _ = writeln!(
+        out,
+        "{:<7} {:<11} {:>10} {:>9} {:>10} {:>12} {:>6} {:>7}",
+        "bench", "version", "GFLOP", "GB", "flop/B", "attained", "ceil", "eff"
+    );
+    for p in points(prec) {
+        let bound = if p.memory_bound(&cfg) { "mem" } else { "fp" };
+        let _ = writeln!(
+            out,
+            "{:<7} {:<11} {:>10.3} {:>9.3} {:>10.2} {:>9.2} GF {:>6.1} {:>6.0}% ({bound})",
+            p.bench,
+            p.variant.label(),
+            p.flops / 1e9,
+            p.dram_bytes / 1e9,
+            p.intensity,
+            p.attained_gflops,
+            p.attainable_gflops,
+            p.efficiency() * 100.0,
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\nReading: 'mem' rows sit under the bandwidth slope — §V's 'in absence of\n\
+         sufficient computation, the memory bandwidth can limit the performance';\n\
+         optimization moves kernels toward (and along) the ceiling."
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flop_dominated_benchmarks_covered() {
+        let pts = points(Precision::F32);
+        let names: std::collections::HashSet<_> =
+            pts.iter().map(|p| p.bench.as_str()).collect();
+        for b in ["vecop", "red", "nbody", "dmmm", "2dcon", "3dstc"] {
+            assert!(names.contains(b), "missing {b}");
+        }
+    }
+
+    #[test]
+    fn attained_never_exceeds_device_peak() {
+        let cfg = MaliConfig::default();
+        for p in points(Precision::F32) {
+            assert!(
+                p.attained_gflops <= peak_gflops(&cfg) * 1.05,
+                "{} {:?} attains {:.1} GF > peak",
+                p.bench,
+                p.variant,
+                p.attained_gflops
+            );
+        }
+    }
+
+    #[test]
+    fn vecop_is_memory_bound_and_dmmm_is_not() {
+        let cfg = MaliConfig::default();
+        let pts = points(Precision::F32);
+        let find = |b: &str, v: Variant| {
+            pts.iter().find(|p| p.bench == b && p.variant == v).unwrap()
+        };
+        assert!(find("vecop", Variant::OpenClOpt).memory_bound(&cfg));
+        assert!(
+            find("dmmm", Variant::OpenClOpt).intensity
+                > find("vecop", Variant::OpenClOpt).intensity * 5.0,
+            "dmmm reuse must show up as far higher operational intensity"
+        );
+    }
+
+    #[test]
+    fn optimization_raises_attained_flops() {
+        let pts = points(Precision::F32);
+        for b in ["dmmm", "2dcon"] {
+            let naive = pts
+                .iter()
+                .find(|p| p.bench == b && p.variant == Variant::OpenCl)
+                .unwrap();
+            let opt = pts
+                .iter()
+                .find(|p| p.bench == b && p.variant == Variant::OpenClOpt)
+                .unwrap();
+            assert!(
+                opt.attained_gflops > naive.attained_gflops,
+                "{b}: opt should climb the roofline"
+            );
+        }
+    }
+
+    #[test]
+    fn report_renders() {
+        let r = report(Precision::F32);
+        assert!(r.contains("roofline"));
+        assert!(r.contains("dmmm"));
+    }
+}

@@ -1,0 +1,173 @@
+//! Suite execution + measurement: runs every benchmark/variant/precision,
+//! applies the §IV-D methodology (stretch runs to meter-friendly windows,
+//! 20 repetitions on the simulated WT230), and caches the results.
+
+use hpc_kernels::{Benchmark, Precision, RunOutcome, RunSkip, Variant};
+use powersim::{Measurement, PowerModel, Wt230};
+use std::collections::HashMap;
+
+/// One fully-measured cell (benchmark × variant × precision).
+#[derive(Clone, Debug)]
+pub struct Cell {
+    pub outcome: RunOutcome,
+    pub measurement: Measurement,
+    /// Back-to-back repetitions inside the measured window (§IV-D: "we
+    /// adjusted the number of iterations ... long enough to get an accurate
+    /// energy consumption figure").
+    pub iterations: u32,
+    /// Energy of one run of the workload, joules.
+    pub energy_j: f64,
+}
+
+/// Results of a full sweep.
+pub struct SuiteResults {
+    pub cells: HashMap<(String, Variant, u8), Result<Cell, RunSkip>>,
+    pub bench_names: Vec<String>,
+}
+
+fn prec_key(p: Precision) -> u8 {
+    match p {
+        Precision::F32 => 32,
+        Precision::F64 => 64,
+    }
+}
+
+/// Minimum measured-window length (seconds of simulated time).
+const MIN_WINDOW_S: f64 = 2.0;
+
+/// Measure one outcome with the meter methodology.
+pub fn measure(outcome: &RunOutcome, model: &PowerModel, seed: u64) -> (Measurement, u32, f64) {
+    let iterations = (MIN_WINDOW_S / outcome.time_s.max(1e-9)).ceil().clamp(1.0, 1e8) as u32;
+    let window = outcome.activity.repeat(iterations);
+    let mut meter = Wt230::with_defaults(seed);
+    let m = meter.measure(model, &window, 20);
+    let energy = m.energy_per_iteration(iterations);
+    (m, iterations, energy)
+}
+
+/// Run and measure the whole suite. `verbose` prints progress to stderr.
+pub fn run_suite(benches: &[Box<dyn Benchmark>], verbose: bool) -> SuiteResults {
+    let model = PowerModel::default();
+    let mut cells = HashMap::new();
+    let mut names = Vec::new();
+    for (bi, b) in benches.iter().enumerate() {
+        names.push(b.name().to_string());
+        for prec in Precision::ALL {
+            for v in Variant::ALL {
+                if verbose {
+                    eprintln!(
+                        "[{}/{}] {} {} {}",
+                        bi + 1,
+                        benches.len(),
+                        b.name(),
+                        v.label(),
+                        prec.label()
+                    );
+                }
+                let entry = match b.run(v, prec) {
+                    Ok(outcome) => {
+                        assert!(
+                            outcome.validated,
+                            "{} {} {} failed output validation (max rel err {:.3e})",
+                            b.name(),
+                            v.label(),
+                            prec.label(),
+                            outcome.max_rel_err
+                        );
+                        let seed = (bi as u64) << 8 | prec_key(prec) as u64;
+                        let (m, iters, energy) = measure(&outcome, &model, seed);
+                        Ok(Cell { outcome, measurement: m, iterations: iters, energy_j: energy })
+                    }
+                    Err(skip) => Err(skip),
+                };
+                cells.insert((b.name().to_string(), v, prec_key(prec)), entry);
+            }
+        }
+    }
+    SuiteResults { cells, bench_names: names }
+}
+
+impl SuiteResults {
+    pub fn cell(&self, bench: &str, v: Variant, prec: Precision) -> Option<&Cell> {
+        self.cells
+            .get(&(bench.to_string(), v, prec_key(prec)))
+            .and_then(|r| r.as_ref().ok())
+    }
+
+    pub fn skip_reason(&self, bench: &str, v: Variant, prec: Precision) -> Option<&RunSkip> {
+        self.cells
+            .get(&(bench.to_string(), v, prec_key(prec)))
+            .and_then(|r| r.as_ref().err())
+    }
+
+    /// Speedup over Serial (same precision).
+    pub fn speedup(&self, bench: &str, v: Variant, prec: Precision) -> Option<f64> {
+        let serial = self.cell(bench, Variant::Serial, prec)?;
+        let cell = self.cell(bench, v, prec)?;
+        Some(serial.outcome.time_s / cell.outcome.time_s)
+    }
+
+    /// Measured mean power normalized to Serial.
+    pub fn power_ratio(&self, bench: &str, v: Variant, prec: Precision) -> Option<f64> {
+        let serial = self.cell(bench, Variant::Serial, prec)?;
+        let cell = self.cell(bench, v, prec)?;
+        Some(cell.measurement.mean_power_w / serial.measurement.mean_power_w)
+    }
+
+    /// Energy-to-solution normalized to Serial.
+    pub fn energy_ratio(&self, bench: &str, v: Variant, prec: Precision) -> Option<f64> {
+        let serial = self.cell(bench, Variant::Serial, prec)?;
+        let cell = self.cell(bench, v, prec)?;
+        Some(cell.energy_j / serial.energy_j)
+    }
+
+    /// Mean over benchmarks of a per-cell metric (skipping missing cells).
+    pub fn mean_over_benches(
+        &self,
+        v: Variant,
+        prec: Precision,
+        f: impl Fn(&Self, &str, Variant, Precision) -> Option<f64>,
+    ) -> f64 {
+        let vals: Vec<f64> =
+            self.bench_names.iter().filter_map(|b| f(self, b, v, prec)).collect();
+        vals.iter().sum::<f64>() / vals.len().max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powersim::Activity;
+
+    fn fake_outcome(t: f64) -> RunOutcome {
+        RunOutcome {
+            time_s: t,
+            activity: Activity {
+                duration_s: t,
+                cpu_busy_s: [t, 0.0],
+                ..Default::default()
+            },
+            validated: true,
+            max_rel_err: 0.0,
+            note: None,
+        }
+    }
+
+    #[test]
+    fn measure_stretches_short_runs() {
+        let model = PowerModel::default();
+        let (m, iters, energy) = measure(&fake_outcome(1e-3), &model, 1);
+        assert!(iters >= 2000);
+        assert!(m.duration_s >= 2.0);
+        // Energy per iteration ≈ P × 1 ms.
+        let p = model.average_power(&fake_outcome(1e-3).activity);
+        assert!((energy - p * 1e-3).abs() / (p * 1e-3) < 0.01);
+    }
+
+    #[test]
+    fn measure_long_runs_once() {
+        let model = PowerModel::default();
+        let (_, iters, _) = measure(&fake_outcome(5.0), &model, 1);
+        assert_eq!(iters, 1);
+    }
+}

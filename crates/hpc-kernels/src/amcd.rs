@@ -1,0 +1,306 @@
+//! **amcd** — atomic Monte-Carlo dynamics (§IV-A).
+//!
+//! Independent Markov-chain Monte-Carlo walkers: each work-item owns one
+//! atom coordinate, proposes random displacements (32-bit LCG, implemented
+//! *inside the kernel* with exact integer IR ops) and accepts/rejects with
+//! the Metropolis rule `u < exp(-ΔE)`. Compute-bound with divergent
+//! branches — which cost nothing on Mali (§III-B) — and with few
+//! optimization hot-spots, so OpenCL-Opt only adds hints and a tuned
+//! work-group size ("we did not find many hot spots … only slightly
+//! faster", §V-A).
+//!
+//! The Metropolis `exp` sits inside data-dependent control flow; in double
+//! precision this is the exact kernel shape that hits the emulated driver
+//! bug, so the f64 GPU variants return [`RunSkip::CompilerBug`] — the
+//! missing amcd bars of Fig. 2(b)/3(b)/4(b).
+
+use crate::common::{
+    gpu_context, launch, run_cpu_kernel, Benchmark, Precision, RunOutcome, RunSkip, Variant,
+};
+use kernel_ir::prelude::*;
+use kernel_ir::Access;
+use ocl_runtime::KernelArg;
+
+/// MCMC parameters: `walkers` independent chains × `steps` Metropolis
+/// steps in a harmonic potential `E(x) = x²`.
+pub struct Amcd {
+    pub walkers: usize,
+    pub steps: usize,
+}
+
+impl Default for Amcd {
+    fn default() -> Self {
+        Amcd { walkers: 8192, steps: 192 }
+    }
+}
+
+const LCG_A: u32 = 1664525;
+const LCG_C: u32 = 1013904223;
+/// Proposal step size.
+const DELTA: f64 = 0.5;
+
+impl Amcd {
+    pub fn test_size() -> Self {
+        Amcd { walkers: 256, steps: 32 }
+    }
+
+    /// Initial coordinates.
+    pub fn init(&self) -> Vec<f64> {
+        crate::common::prng_uniform(31, self.walkers).iter().map(|&x| x * 2.0 - 1.0).collect()
+    }
+
+    /// Exact Rust replica of the kernel (same LCG, same float ops in the
+    /// same order) — the validation reference.
+    pub fn reference(&self, prec: Precision) -> Vec<f64> {
+        self.init()
+            .iter()
+            .enumerate()
+            .map(|(i, &x0)| {
+                let mut seed: u32 = (i as u32).wrapping_mul(2654435761).wrapping_add(12345);
+                let mut next_u = || {
+                    seed = seed.wrapping_mul(LCG_A).wrapping_add(LCG_C);
+                    (seed >> 8) as f64 / (1u32 << 24) as f64
+                };
+                match prec {
+                    Precision::F32 => {
+                        let mut x = x0 as f32;
+                        for _ in 0..self.steps {
+                            let dx = (next_u() as f32 - 0.5) * (2.0 * DELTA as f32);
+                            let u = next_u() as f32;
+                            let xn = x + dx;
+                            let de = xn * xn - x * x;
+                            if de < 0.0 {
+                                x = xn;
+                            } else if u < (-de).exp() {
+                                x = xn;
+                            }
+                        }
+                        x as f64
+                    }
+                    Precision::F64 => {
+                        let mut x = x0;
+                        for _ in 0..self.steps {
+                            let dx = (next_u() - 0.5) * (2.0 * DELTA);
+                            let u = next_u();
+                            let xn = x + dx;
+                            let de = xn * xn - x * x;
+                            if de < 0.0 {
+                                x = xn;
+                            } else if u < (-de).exp() {
+                                x = xn;
+                            }
+                        }
+                        x
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// The kernel (shared by all versions; `hints` differ for Opt).
+    pub fn kernel(&self, prec: Precision, hints: Hints) -> Program {
+        let e = prec.elem();
+        let mut kb = KernelBuilder::new("amcd");
+        kb.hints(hints);
+        let pos = kb.arg_global(e, Access::ReadWrite, true);
+        let gid = kb.query_global_id(0);
+
+        // seed = gid * 2654435761 + 12345  (u32 wrapping)
+        let seed = kb.bin(
+            BinOp::Mul,
+            gid.into(),
+            Operand::ImmI(2654435761),
+            VType::scalar(Scalar::U32),
+        );
+        kb.bin_into(seed, BinOp::Add, seed.into(), Operand::ImmI(12345));
+
+        let x = kb.load(e, pos, gid.into());
+        let xv = kb.mov(x.into(), VType::scalar(e));
+
+        kb.for_loop(
+            Operand::ImmI(0),
+            Operand::ImmI(self.steps as i64),
+            Operand::ImmI(1),
+            |kb, _| {
+                // Two LCG draws → dx and u.
+                let draw = |kb: &mut KernelBuilder, seed: Reg, e: Scalar| -> Reg {
+                    kb.bin_into(seed, BinOp::Mul, seed.into(), Operand::ImmI(LCG_A as i64));
+                    kb.bin_into(seed, BinOp::Add, seed.into(), Operand::ImmI(LCG_C as i64));
+                    let hi =
+                        kb.bin(BinOp::Shr, seed.into(), Operand::ImmI(8),
+                            VType::scalar(Scalar::U32));
+                    let f = kb.cast(hi.into(), VType::scalar(e));
+                    kb.bin(
+                        BinOp::Mul,
+                        f.into(),
+                        Operand::ImmF(1.0 / (1u32 << 24) as f64),
+                        VType::scalar(e),
+                    )
+                };
+                let u1 = draw(kb, seed, e);
+                let u = draw(kb, seed, e);
+                let half = kb.bin(BinOp::Sub, u1.into(), Operand::ImmF(0.5), VType::scalar(e));
+                let dx = kb.bin(
+                    BinOp::Mul,
+                    half.into(),
+                    Operand::ImmF(2.0 * DELTA),
+                    VType::scalar(e),
+                );
+                let xn = kb.bin(BinOp::Add, xv.into(), dx.into(), VType::scalar(e));
+                let xn2 = kb.bin(BinOp::Mul, xn.into(), xn.into(), VType::scalar(e));
+                let x2 = kb.bin(BinOp::Mul, xv.into(), xv.into(), VType::scalar(e));
+                let de = kb.bin(BinOp::Sub, xn2.into(), x2.into(), VType::scalar(e));
+                let downhill =
+                    kb.bin(BinOp::Lt, de.into(), Operand::ImmF(0.0), VType::scalar(e));
+                kb.if_then_else(
+                    downhill.into(),
+                    |kb| {
+                        kb.mov_into(xv, xn.into());
+                    },
+                    |kb| {
+                        // Metropolis: accept if u < exp(-dE). The f64 `exp`
+                        // inside this branch is the driver-bug trigger.
+                        let nde = kb.un(UnOp::Neg, de.into(), VType::scalar(e));
+                        let p = kb.un(UnOp::Exp, nde.into(), VType::scalar(e));
+                        let accept =
+                            kb.bin(BinOp::Lt, u.into(), p.into(), VType::scalar(e));
+                        kb.if_then(accept.into(), |kb| {
+                            kb.mov_into(xv, xn.into());
+                        });
+                    },
+                );
+            },
+        );
+        kb.store(pos, gid.into(), xv.into());
+        kb.finish()
+    }
+
+    fn check(&self, out: &kernel_ir::BufferData, prec: Precision) -> (bool, f64) {
+        let reference = self.reference(prec);
+        // Chains are chaotic in principle, but the kernel replays the exact
+        // same float ops as the reference, so results match tightly.
+        crate::common::validate(out, &reference, prec)
+    }
+}
+
+impl Benchmark for Amcd {
+    fn name(&self) -> &'static str {
+        "amcd"
+    }
+
+    fn description(&self) -> &'static str {
+        "Metropolis Monte-Carlo chains; compute-bound, divergent branches"
+    }
+
+    fn run(&self, variant: Variant, prec: Precision) -> Result<RunOutcome, RunSkip> {
+        let bufs = vec![prec.buffer(&self.init())];
+        match variant {
+            Variant::Serial | Variant::OpenMp => {
+                let mut pool = MemoryPool::new();
+                let ids: Vec<ArgBinding> =
+                    bufs.into_iter().map(|d| ArgBinding::Global(pool.add(d))).collect();
+                let cores = if variant == Variant::Serial { 1 } else { 2 };
+                let (t, act, pool) = run_cpu_kernel(
+                    &self.kernel(prec, Hints::default()),
+                    &ids,
+                    pool,
+                    NDRange::d1(self.walkers, 64),
+                    cores,
+                );
+                let (ok, err) = self.check(pool.get(0), prec);
+                Ok(RunOutcome { time_s: t, activity: act, validated: ok, max_rel_err: err,
+                    note: None })
+            }
+            Variant::OpenCl | Variant::OpenClOpt => {
+                let opt = variant == Variant::OpenClOpt;
+                let hints = if opt {
+                    Hints { inline: true, const_args: true }
+                } else {
+                    Hints::default()
+                };
+                let (mut ctx, ids) = gpu_context(bufs);
+                // In double precision the build fails — the paper's missing
+                // amcd bars.
+                let k = ctx
+                    .build_kernel(self.kernel(prec, hints))
+                    .map_err(|e| RunSkip::CompilerBug(e.to_string()))?;
+                let args: Vec<KernelArg> = ids.iter().map(|&b| KernelArg::Buf(b)).collect();
+                let local = if opt { Some([128, 1, 1]) } else { None };
+                let (t, act) = launch(&mut ctx, &k, [self.walkers, 1, 1], local, &args)
+                    .map_err(|e| RunSkip::LaunchFailure(e.to_string()))?;
+                let (ok, err) = self.check(ctx.buffer_data(ids[0]), prec);
+                Ok(RunOutcome {
+                    time_s: t,
+                    activity: act,
+                    validated: ok,
+                    max_rel_err: err,
+                    note: Some(if opt { "hints + wg 128".into() } else {
+                        "naive port".into() }),
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_and_f32_gpu_validate() {
+        let b = Amcd::test_size();
+        for v in Variant::ALL {
+            let r = b.run(v, Precision::F32).unwrap();
+            assert!(r.validated, "{} err {:.3e}", v.label(), r.max_rel_err);
+        }
+        for v in [Variant::Serial, Variant::OpenMp] {
+            let r = b.run(v, Precision::F64).unwrap();
+            assert!(r.validated, "{} f64 err {:.3e}", v.label(), r.max_rel_err);
+        }
+    }
+
+    #[test]
+    fn f64_gpu_hits_compiler_bug() {
+        // §V-A: "not presented due to a compiler issue that does not allow
+        // the correct termination of the compilation phase".
+        let b = Amcd::test_size();
+        for v in [Variant::OpenCl, Variant::OpenClOpt] {
+            match b.run(v, Precision::F64) {
+                Err(RunSkip::CompilerBug(msg)) => {
+                    assert!(msg.contains("CL_BUILD_PROGRAM_FAILURE"), "{msg}");
+                }
+                other => panic!("expected compiler bug, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn chains_actually_move() {
+        let b = Amcd::test_size();
+        let init = b.init();
+        let fin = b.reference(Precision::F64);
+        let moved = init.iter().zip(&fin).filter(|(a, b)| (*a - *b).abs() > 1e-9).count();
+        assert!(moved > b.walkers / 2, "most chains should accept steps ({moved} moved)");
+        // Equilibrium of E = x² at the implied temperature contracts the
+        // spread vs the uniform init.
+        let var = |v: &[f64]| {
+            let m = v.iter().sum::<f64>() / v.len() as f64;
+            v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / v.len() as f64
+        };
+        assert!(var(&fin) > 0.0);
+        let _ = var(&init);
+    }
+
+    #[test]
+    fn opt_only_slightly_faster() {
+        // §V-A: "the OpenCL Opt is only slightly faster".
+        let b = Amcd::default();
+        let naive = b.run(Variant::OpenCl, Precision::F32).unwrap();
+        let opt = b.run(Variant::OpenClOpt, Precision::F32).unwrap();
+        let gain = naive.time_s / opt.time_s;
+        assert!(
+            (1.0..1.35).contains(&gain),
+            "amcd opt gain should be modest, got {gain:.2}"
+        );
+    }
+}

@@ -1,0 +1,252 @@
+//! **hist** — histogram with configurable bucket count (§IV-A).
+//!
+//! Counts value occurrences with hardware atomics. The naive GPU port
+//! fires one global `atomic_inc` per element; with the (realistically
+//! skewed) input distribution the hot buckets serialize in the L2 atomic
+//! unit and one-element work-items pay full thread overhead — the paper
+//! measures it *below* the serial CPU version. The optimized version uses
+//! the classic local-privatization pattern the paper describes: a per-
+//! work-group histogram in local memory (cheap local atomics), a barrier,
+//! and a merge stage of global atomic adds, with each work-item consuming
+//! K elements.
+
+use crate::common::{
+    gpu_context, launch, run_cpu_kernel, Benchmark, Precision, RunOutcome, RunSkip, Variant,
+};
+use kernel_ir::prelude::*;
+use kernel_ir::Access;
+use ocl_runtime::KernelArg;
+
+/// Histogram parameters.
+pub struct Hist {
+    pub n: usize,
+    pub buckets: usize,
+    /// Elements consumed per work-item in the optimized kernel.
+    pub opt_items_per_thread: usize,
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Hist { n: 1 << 20, buckets: 256, opt_items_per_thread: 16 }
+    }
+}
+
+impl Hist {
+    pub fn test_size() -> Self {
+        Hist { n: 1 << 12, buckets: 64, opt_items_per_thread: 8 }
+    }
+
+    /// Skewed input: a triangular-ish distribution so some buckets are hot
+    /// (real histograms are never uniform — and the hot buckets are what
+    /// serializes the naive kernel).
+    pub fn input(&self) -> Vec<u32> {
+        let u = crate::common::prng_uniform(17, self.n);
+        let b = self.buckets as f64;
+        u.iter().map(|&x| ((x * x) * b) as u32).collect()
+    }
+
+    pub fn reference(&self) -> Vec<u32> {
+        let mut h = vec![0u32; self.buckets];
+        for v in self.input() {
+            h[v as usize] += 1;
+        }
+        h
+    }
+
+    /// Scalar kernel: one element per item, global atomic increment.
+    /// The CPU versions run the same code; on the OpenMP build the atomics
+    /// are what keep two threads correct, matching a pragma-omp-atomic
+    /// implementation.
+    pub fn kernel(&self, _prec: Precision) -> Program {
+        let mut kb = KernelBuilder::new("hist");
+        let data = kb.arg_global(Scalar::U32, Access::ReadOnly, true);
+        let hist = kb.arg_global(Scalar::U32, Access::ReadWrite, false);
+        let gid = kb.query_global_id(0);
+        let v = kb.load(Scalar::U32, data, gid.into());
+        kb.atomic(AtomicOp::Inc, hist, v.into(), Operand::ImmI(0));
+        kb.finish()
+    }
+
+    /// Optimized kernel: local privatization + two-phase merge.
+    ///
+    /// The merge phase assigns one bucket per work-item of the group, so
+    /// the bucket count must not exceed the launch work-group size (256 on
+    /// the T604) — enforced here rather than producing silently-partial
+    /// histograms.
+    pub fn opt_kernel(&self, _prec: Precision) -> Program {
+        assert!(
+            self.buckets <= 256,
+            "opt histogram merges one bucket per work-item: buckets ({}) exceed the maximum work-group size (256)",
+            self.buckets
+        );
+        let k = self.opt_items_per_thread as i64;
+        let mut kb = KernelBuilder::new("hist_opt");
+        kb.hints(Hints { inline: true, const_args: true });
+        let data = kb.arg_global(Scalar::U32, Access::ReadOnly, true);
+        let hist = kb.arg_global(Scalar::U32, Access::ReadWrite, false);
+        let local_hist = kb.arg_local(Scalar::U32);
+        // Phase 1: each item accumulates K elements into the local histogram.
+        let gid = kb.query_global_id(0);
+        let base = kb.bin(BinOp::Mul, gid.into(), Operand::ImmI(k), VType::scalar(Scalar::U32));
+        kb.for_loop(Operand::ImmI(0), Operand::ImmI(k), Operand::ImmI(1), |kb, i| {
+            let idx = kb.bin(BinOp::Add, base.into(), i.into(), VType::scalar(Scalar::U32));
+            let v = kb.load(Scalar::U32, data, idx.into());
+            kb.atomic(AtomicOp::Inc, local_hist, v.into(), Operand::ImmI(0));
+        });
+        kb.barrier();
+        // Phase 2: the first `buckets` items of the group merge local →
+        // global with one atomic add each.
+        let lid = kb.query_local_id(0);
+        let in_range = kb.bin(
+            BinOp::Lt,
+            lid.into(),
+            Operand::ImmI(self.buckets as i64),
+            VType::scalar(Scalar::U32),
+        );
+        kb.if_then(in_range.into(), |kb| {
+            let cnt = kb.load(Scalar::U32, local_hist, lid.into());
+            let nz = kb.bin(BinOp::Gt, cnt.into(), Operand::ImmI(0), VType::scalar(Scalar::U32));
+            kb.if_then(nz.into(), |kb| {
+                kb.atomic(AtomicOp::Add, hist, lid.into(), cnt.into());
+            });
+        });
+        kb.finish()
+    }
+
+    fn check(&self, got: &kernel_ir::BufferData) -> (bool, f64) {
+        let reference = self.reference();
+        let got = got.as_u32();
+        let ok = got == reference.as_slice();
+        let err = if ok { 0.0 } else { 1.0 };
+        (ok, err)
+    }
+}
+
+impl Benchmark for Hist {
+    fn name(&self) -> &'static str {
+        "hist"
+    }
+
+    fn description(&self) -> &'static str {
+        "histogram via hardware atomics; privatization + reduction on the GPU"
+    }
+
+    fn run(&self, variant: Variant, prec: Precision) -> Result<RunOutcome, RunSkip> {
+        let bufs = vec![
+            kernel_ir::BufferData::U32(self.input()),
+            kernel_ir::BufferData::zeroed(Scalar::U32, self.buckets),
+        ];
+        match variant {
+            Variant::Serial | Variant::OpenMp => {
+                let mut pool = MemoryPool::new();
+                let ids: Vec<ArgBinding> =
+                    bufs.into_iter().map(|d| ArgBinding::Global(pool.add(d))).collect();
+                let cores = if variant == Variant::Serial { 1 } else { 2 };
+                let (t, act, pool) = run_cpu_kernel(
+                    &self.kernel(prec),
+                    &ids,
+                    pool,
+                    NDRange::d1(self.n, 256),
+                    cores,
+                );
+                let (ok, err) = self.check(pool.get(1));
+                Ok(RunOutcome { time_s: t, activity: act, validated: ok, max_rel_err: err,
+                    note: None })
+            }
+            Variant::OpenCl => {
+                let (mut ctx, ids) = gpu_context(bufs);
+                let k = ctx
+                    .build_kernel(self.kernel(prec))
+                    .map_err(|e| RunSkip::CompilerBug(e.to_string()))?;
+                let args: Vec<KernelArg> = ids.iter().map(|&b| KernelArg::Buf(b)).collect();
+                let (t, act) = launch(&mut ctx, &k, [self.n, 1, 1], None, &args)
+                    .map_err(|e| RunSkip::LaunchFailure(e.to_string()))?;
+                let (ok, err) = self.check(ctx.buffer_data(ids[1]));
+                Ok(RunOutcome { time_s: t, activity: act, validated: ok, max_rel_err: err,
+                    note: Some("global atomics per element".into()) })
+            }
+            Variant::OpenClOpt => {
+                let (mut ctx, ids) = gpu_context(bufs);
+                let k = ctx
+                    .build_kernel(self.opt_kernel(prec))
+                    .map_err(|e| RunSkip::CompilerBug(e.to_string()))?;
+                let wg = 256.min(self.buckets.max(64));
+                let threads = self.n / self.opt_items_per_thread;
+                let args = vec![
+                    KernelArg::Buf(ids[0]),
+                    KernelArg::Buf(ids[1]),
+                    KernelArg::Local(self.buckets),
+                ];
+                let (t, act) =
+                    launch(&mut ctx, &k, [threads, 1, 1], Some([wg, 1, 1]), &args)
+                        .map_err(|e| RunSkip::LaunchFailure(e.to_string()))?;
+                let (ok, err) = self.check(ctx.buffer_data(ids[1]));
+                Ok(RunOutcome {
+                    time_s: t,
+                    activity: act,
+                    validated: ok,
+                    max_rel_err: err,
+                    note: Some(format!(
+                        "local privatization, {} elems/item, wg {wg}",
+                        self.opt_items_per_thread
+                    )),
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_variants_count_exactly() {
+        let b = Hist::test_size();
+        for v in Variant::ALL {
+            let r = b.run(v, Precision::F32).unwrap();
+            assert!(r.validated, "{} produced a wrong histogram", v.label());
+        }
+    }
+
+    #[test]
+    fn input_is_skewed() {
+        let b = Hist::test_size();
+        let h = b.reference();
+        let max = *h.iter().max().unwrap() as f64;
+        let mean = h.iter().sum::<u32>() as f64 / h.len() as f64;
+        assert!(max > 2.0 * mean, "hot buckets expected (max {max}, mean {mean:.1})");
+        assert_eq!(h.iter().sum::<u32>() as usize, b.n);
+    }
+
+    #[test]
+    fn privatization_beats_global_atomics() {
+        let b = Hist::default();
+        let naive = b.run(Variant::OpenCl, Precision::F32).unwrap();
+        let opt = b.run(Variant::OpenClOpt, Precision::F32).unwrap();
+        assert!(
+            opt.time_s < naive.time_s / 1.5,
+            "privatized hist should clearly win (naive {:.3e}, opt {:.3e})",
+            naive.time_s,
+            opt.time_s
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed the maximum work-group size")]
+    fn opt_kernel_rejects_too_many_buckets() {
+        let b = Hist { n: 1 << 12, buckets: 512, opt_items_per_thread: 8 };
+        let _ = b.opt_kernel(Precision::F32);
+    }
+
+    #[test]
+    fn precision_is_irrelevant_to_hist() {
+        // Integer benchmark: both "precisions" produce identical results
+        // and near-identical times (the paper still reports both bars).
+        let b = Hist::test_size();
+        let r32 = b.run(Variant::OpenCl, Precision::F32).unwrap();
+        let r64 = b.run(Variant::OpenCl, Precision::F64).unwrap();
+        assert!(r32.validated && r64.validated);
+        assert!((r32.time_s / r64.time_s - 1.0).abs() < 0.05);
+    }
+}

@@ -1,0 +1,476 @@
+//! **nbody** — all-pairs gravitational N-body step (§IV-A).
+//!
+//! Position/mass records live in an **AOS** buffer (`x y z m` interleaved),
+//! exactly like the paper's port, which "does not apply any change to the
+//! main data structure representation that would lead to an easier
+//! applicability of vector optimizations". Consequently the optimized
+//! version gains little: inner-loop unrolling, hints and a tuned
+//! work-group size — and in double precision the unrolled kernel's
+//! register footprint trips `CL_OUT_OF_RESOURCES` at the tuned group size,
+//! forcing a fallback that shrinks the Opt-vs-naive gap to almost nothing
+//! (Fig. 2(b): 9.3× vs 10×).
+
+use crate::common::{
+    gpu_context, launch, run_cpu_kernel, validate, Benchmark, Precision, RunOutcome, RunSkip,
+    Variant,
+};
+use kernel_ir::prelude::*;
+use kernel_ir::Access;
+use mali_hpc::unroll;
+use ocl_runtime::KernelArg;
+
+/// N-body parameters: one leapfrog-style step over all pairs.
+pub struct Nbody {
+    pub n: usize,
+    pub dt: f64,
+    /// Inner-loop unroll factor for the optimized kernel.
+    pub opt_unroll: u32,
+}
+
+impl Default for Nbody {
+    fn default() -> Self {
+        Nbody { n: 1024, dt: 0.01, opt_unroll: 4 }
+    }
+}
+
+const SOFTENING: f64 = 1e-3;
+
+impl Nbody {
+    pub fn test_size() -> Self {
+        Nbody { n: 128, dt: 0.01, opt_unroll: 4 }
+    }
+
+    /// AOS-flattened `x y z m` records.
+    pub fn bodies(&self) -> Vec<f64> {
+        let u = crate::common::prng_uniform(37, self.n * 4);
+        let mut out = Vec::with_capacity(self.n * 4);
+        for i in 0..self.n {
+            out.push(u[4 * i] * 2.0 - 1.0);
+            out.push(u[4 * i + 1] * 2.0 - 1.0);
+            out.push(u[4 * i + 2] * 2.0 - 1.0);
+            out.push(0.5 + u[4 * i + 3]); // mass
+        }
+        out
+    }
+
+    /// Reference accelerations ×dt (the kernel's output: velocity deltas),
+    /// AOS layout `ax ay az 0`.
+    pub fn reference(&self, prec: Precision) -> Vec<f64> {
+        let b = self.bodies();
+        let mut out = vec![0.0; self.n * 4];
+        match prec {
+            Precision::F64 => {
+                for i in 0..self.n {
+                    let (xi, yi, zi) = (b[4 * i], b[4 * i + 1], b[4 * i + 2]);
+                    let (mut ax, mut ay, mut az) = (0.0f64, 0.0, 0.0);
+                    for j in 0..self.n {
+                        let dx = b[4 * j] - xi;
+                        let dy = b[4 * j + 1] - yi;
+                        let dz = b[4 * j + 2] - zi;
+                        let d2 = dx * dx + dy * dy + dz * dz + SOFTENING;
+                        let inv = 1.0 / d2.sqrt();
+                        let inv3 = inv * inv * inv;
+                        let s = b[4 * j + 3] * inv3;
+                        ax += dx * s;
+                        ay += dy * s;
+                        az += dz * s;
+                    }
+                    out[4 * i] = ax * self.dt;
+                    out[4 * i + 1] = ay * self.dt;
+                    out[4 * i + 2] = az * self.dt;
+                }
+            }
+            Precision::F32 => {
+                let bf: Vec<f32> = b.iter().map(|&x| x as f32).collect();
+                for i in 0..self.n {
+                    let (xi, yi, zi) = (bf[4 * i], bf[4 * i + 1], bf[4 * i + 2]);
+                    let (mut ax, mut ay, mut az) = (0.0f32, 0.0, 0.0);
+                    for j in 0..self.n {
+                        let dx = bf[4 * j] - xi;
+                        let dy = bf[4 * j + 1] - yi;
+                        let dz = bf[4 * j + 2] - zi;
+                        let d2 = dx * dx + dy * dy + dz * dz + SOFTENING as f32;
+                        let inv = 1.0 / d2.sqrt();
+                        let inv3 = inv * inv * inv;
+                        let s = bf[4 * j + 3] * inv3;
+                        ax += dx * s;
+                        ay += dy * s;
+                        az += dz * s;
+                    }
+                    out[4 * i] = (ax * self.dt as f32) as f64;
+                    out[4 * i + 1] = (ay * self.dt as f32) as f64;
+                    out[4 * i + 2] = (az * self.dt as f32) as f64;
+                }
+            }
+        }
+        out
+    }
+
+    /// The AOS kernel shared by all versions.
+    pub fn kernel(&self, prec: Precision, hints: Hints) -> Program {
+        let e = prec.elem();
+        let mut kb = KernelBuilder::new("nbody");
+        kb.hints(hints);
+        let pos = kb.arg_global(e, Access::ReadOnly, true);
+        let dv = kb.arg_global(e, Access::WriteOnly, true);
+        let gid = kb.query_global_id(0);
+        let base = kb.bin(BinOp::Mul, gid.into(), Operand::ImmI(4), VType::scalar(Scalar::U32));
+        let b1 = kb.bin(BinOp::Add, base.into(), Operand::ImmI(1), VType::scalar(Scalar::U32));
+        let b2 = kb.bin(BinOp::Add, base.into(), Operand::ImmI(2), VType::scalar(Scalar::U32));
+        let xi = kb.load(e, pos, base.into());
+        let yi = kb.load(e, pos, b1.into());
+        let zi = kb.load(e, pos, b2.into());
+        let ax = kb.mov(Operand::ImmF(0.0), VType::scalar(e));
+        let ay = kb.mov(Operand::ImmF(0.0), VType::scalar(e));
+        let az = kb.mov(Operand::ImmF(0.0), VType::scalar(e));
+        kb.for_loop(
+            Operand::ImmI(0),
+            Operand::ImmI(self.n as i64),
+            Operand::ImmI(1),
+            |kb, j| {
+                // One float4/double4 load per AOS record (`pos[j]` in
+                // OpenCL C is a single vector load even in the naive port).
+                let jb = kb.bin(BinOp::Mul, j.into(), Operand::ImmI(4),
+                    VType::scalar(Scalar::U32));
+                let body = kb.vload(e, 4, pos, jb.into());
+                let xj = kb.extract(body, 0);
+                let yj = kb.extract(body, 1);
+                let zj = kb.extract(body, 2);
+                let mj = kb.extract(body, 3);
+                let dx = kb.bin(BinOp::Sub, xj.into(), xi.into(), VType::scalar(e));
+                let dy = kb.bin(BinOp::Sub, yj.into(), yi.into(), VType::scalar(e));
+                let dz = kb.bin(BinOp::Sub, zj.into(), zi.into(), VType::scalar(e));
+                let d2 = kb.mad(dx.into(), dx.into(), Operand::ImmF(SOFTENING),
+                    VType::scalar(e));
+                let d2b = kb.mad(dy.into(), dy.into(), d2.into(), VType::scalar(e));
+                let d2c = kb.mad(dz.into(), dz.into(), d2b.into(), VType::scalar(e));
+                let inv = kb.un(UnOp::Rsqrt, d2c.into(), VType::scalar(e));
+                let inv2 = kb.bin(BinOp::Mul, inv.into(), inv.into(), VType::scalar(e));
+                let inv3 = kb.bin(BinOp::Mul, inv2.into(), inv.into(), VType::scalar(e));
+                let s = kb.bin(BinOp::Mul, mj.into(), inv3.into(), VType::scalar(e));
+                kb.mad_into(ax, dx.into(), s.into(), ax.into());
+                kb.mad_into(ay, dy.into(), s.into(), ay.into());
+                kb.mad_into(az, dz.into(), s.into(), az.into());
+            },
+        );
+        for (acc, off) in [(ax, 0i64), (ay, 1), (az, 2)] {
+            let idx = kb.bin(
+                BinOp::Add,
+                base.into(),
+                Operand::ImmI(off),
+                VType::scalar(Scalar::U32),
+            );
+            let v = kb.bin(BinOp::Mul, acc.into(), Operand::ImmF(self.dt),
+                VType::scalar(e));
+            kb.store(dv, idx.into(), v.into());
+        }
+        kb.finish()
+    }
+
+    /// Optimized kernel: the shared kernel unrolled by `opt_unroll` with
+    /// hints — the only §III techniques applicable without changing the
+    /// AOS data structure.
+    pub fn opt_kernel(&self, prec: Precision) -> Program {
+        let base = self.kernel(prec, Hints { inline: true, const_args: true });
+        unroll(&base, self.opt_unroll).expect("n divisible by unroll factor")
+    }
+
+    fn check(&self, out: &kernel_ir::BufferData, prec: Precision) -> (bool, f64) {
+        let reference = self.reference(prec);
+        // Compare only the x/y/z lanes (w stays zero on both sides).
+        validate(out, &reference, prec)
+    }
+
+    // ---- extension: the SOA variant the paper declined ------------------
+
+    /// SOA inputs: the bodies re-organized per §III-B "Data Organization"
+    /// (`x[]`, `y[]`, `z[]`, `m[]`).
+    pub fn bodies_soa(&self) -> [Vec<f64>; 4] {
+        let aos = self.bodies();
+        let mut soa = [
+            Vec::with_capacity(self.n),
+            Vec::with_capacity(self.n),
+            Vec::with_capacity(self.n),
+            Vec::with_capacity(self.n),
+        ];
+        for i in 0..self.n {
+            for f in 0..4 {
+                soa[f].push(aos[4 * i + f]);
+            }
+        }
+        soa
+    }
+
+    /// **Extension kernel** (not one of the paper's four versions): the
+    /// AOS→SOA transformation the paper explicitly did *not* apply
+    /// ("the OpenCL version does not apply any change to the main data
+    /// structure representation that would lead to an easier applicability
+    /// of vector optimizations", §V-A). With SOA arrays, the inner loop
+    /// vectorizes: one `vload4` per coordinate array processes four
+    /// j-bodies at once with vector arithmetic and vector `rsqrt`.
+    pub fn soa_kernel(&self, prec: Precision, width: u8) -> Program {
+        let e = prec.elem();
+        let vt = VType::new(e, width);
+        let mut kb = KernelBuilder::new(format!("nbody_soa_v{width}"));
+        kb.hints(Hints { inline: true, const_args: true });
+        let xs = kb.arg_global(e, Access::ReadOnly, true);
+        let ys = kb.arg_global(e, Access::ReadOnly, true);
+        let zs = kb.arg_global(e, Access::ReadOnly, true);
+        let ms = kb.arg_global(e, Access::ReadOnly, true);
+        let dv = kb.arg_global(e, Access::WriteOnly, true);
+        let gid = kb.query_global_id(0);
+        let xi = kb.load(e, xs, gid.into());
+        let yi = kb.load(e, ys, gid.into());
+        let zi = kb.load(e, zs, gid.into());
+        let ax = kb.mov(Operand::ImmF(0.0), vt);
+        let ay = kb.mov(Operand::ImmF(0.0), vt);
+        let az = kb.mov(Operand::ImmF(0.0), vt);
+        kb.for_loop(
+            Operand::ImmI(0),
+            Operand::ImmI(self.n as i64),
+            Operand::ImmI(width as i64),
+            |kb, j| {
+                let xj = kb.vload(e, width, xs, j.into());
+                let yj = kb.vload(e, width, ys, j.into());
+                let zj = kb.vload(e, width, zs, j.into());
+                let mj = kb.vload(e, width, ms, j.into());
+                // Scalar xi broadcasts across the vector lanes.
+                let dx = kb.bin(BinOp::Sub, xj.into(), xi.into(), vt);
+                let dy = kb.bin(BinOp::Sub, yj.into(), yi.into(), vt);
+                let dz = kb.bin(BinOp::Sub, zj.into(), zi.into(), vt);
+                let d2 = kb.mad(dx.into(), dx.into(), Operand::ImmF(SOFTENING), vt);
+                let d2b = kb.mad(dy.into(), dy.into(), d2.into(), vt);
+                let d2c = kb.mad(dz.into(), dz.into(), d2b.into(), vt);
+                let inv = kb.un(UnOp::Rsqrt, d2c.into(), vt);
+                let inv2 = kb.bin(BinOp::Mul, inv.into(), inv.into(), vt);
+                let inv3 = kb.bin(BinOp::Mul, inv2.into(), inv.into(), vt);
+                let s = kb.bin(BinOp::Mul, mj.into(), inv3.into(), vt);
+                kb.mad_into(ax, dx.into(), s.into(), ax.into());
+                kb.mad_into(ay, dy.into(), s.into(), ay.into());
+                kb.mad_into(az, dz.into(), s.into(), az.into());
+            },
+        );
+        // Horizontal reduction of the lane-partial accelerations, then the
+        // same AOS output layout as the paper's kernels (so validation is
+        // shared).
+        let base = kb.bin(BinOp::Mul, gid.into(), Operand::ImmI(4), VType::scalar(Scalar::U32));
+        for (acc, off) in [(ax, 0i64), (ay, 1), (az, 2)] {
+            let h = kb.horiz(HorizOp::Add, acc);
+            let scaled =
+                kb.bin(BinOp::Mul, h.into(), Operand::ImmF(self.dt), VType::scalar(e));
+            let idx = kb.bin(
+                BinOp::Add,
+                base.into(),
+                Operand::ImmI(off),
+                VType::scalar(Scalar::U32),
+            );
+            kb.store(dv, idx.into(), scaled.into());
+        }
+        kb.finish()
+    }
+
+    /// Run the SOA extension on the GPU; returns the usual outcome (compare
+    /// its time against `Variant::OpenClOpt` to see what the paper left on
+    /// the table).
+    pub fn run_soa_extension(&self, prec: Precision, width: u8) -> Result<RunOutcome, RunSkip> {
+        let e = prec.elem();
+        let soa = self.bodies_soa();
+        let bufs = vec![
+            prec.buffer(&soa[0]),
+            prec.buffer(&soa[1]),
+            prec.buffer(&soa[2]),
+            prec.buffer(&soa[3]),
+            kernel_ir::BufferData::zeroed(e, self.n * 4),
+        ];
+        let (mut ctx, ids) = gpu_context(bufs);
+        let k = ctx
+            .build_kernel(self.soa_kernel(prec, width))
+            .map_err(|e| RunSkip::CompilerBug(e.to_string()))?;
+        let args: Vec<ocl_runtime::KernelArg> =
+            ids.iter().map(|&b| ocl_runtime::KernelArg::Buf(b)).collect();
+        // Same fallback discipline as the AOS opt version.
+        let mut note = format!("SOA extension, vload{width}, wg 128");
+        let attempt = launch(&mut ctx, &k, [self.n, 1, 1], Some([128, 1, 1]), &args);
+        let (t, act) = match attempt {
+            Ok(r) => r,
+            Err(ocl_runtime::ClError::OutOfResources { .. }) => {
+                note = format!("SOA extension, vload{width}: fell back to wg 32");
+                launch(&mut ctx, &k, [self.n, 1, 1], Some([32, 1, 1]), &args)
+                    .map_err(|e| RunSkip::LaunchFailure(e.to_string()))?
+            }
+            Err(e) => return Err(RunSkip::LaunchFailure(e.to_string())),
+        };
+        // Validate with a looser association-aware bound: the vector-lane
+        // partial sums change the accumulation order, so f32 errors grow
+        // slightly relative to the sequential reference.
+        let reference = self.reference(prec);
+        let err = crate::common::max_rel_err(ctx.buffer_data(ids[4]), &reference);
+        let tol = match prec {
+            Precision::F32 => 5e-3,
+            Precision::F64 => 1e-9,
+        };
+        Ok(RunOutcome {
+            time_s: t,
+            activity: act,
+            validated: err <= tol,
+            max_rel_err: err,
+            note: Some(note),
+        })
+    }
+}
+
+impl Benchmark for Nbody {
+    fn name(&self) -> &'static str {
+        "nbody"
+    }
+
+    fn description(&self) -> &'static str {
+        "all-pairs gravitational interactions; AOS layout, rsqrt-heavy"
+    }
+
+    fn run(&self, variant: Variant, prec: Precision) -> Result<RunOutcome, RunSkip> {
+        let e = prec.elem();
+        let bufs = vec![
+            prec.buffer(&self.bodies()),
+            kernel_ir::BufferData::zeroed(e, self.n * 4),
+        ];
+        match variant {
+            Variant::Serial | Variant::OpenMp => {
+                let mut pool = MemoryPool::new();
+                let ids: Vec<ArgBinding> =
+                    bufs.into_iter().map(|d| ArgBinding::Global(pool.add(d))).collect();
+                let cores = if variant == Variant::Serial { 1 } else { 2 };
+                let (t, act, pool) = run_cpu_kernel(
+                    &self.kernel(prec, Hints::default()),
+                    &ids,
+                    pool,
+                    NDRange::d1(self.n, 64),
+                    cores,
+                );
+                let (ok, err) = self.check(pool.get(1), prec);
+                Ok(RunOutcome { time_s: t, activity: act, validated: ok, max_rel_err: err,
+                    note: None })
+            }
+            Variant::OpenCl => {
+                let (mut ctx, ids) = gpu_context(bufs);
+                let k = ctx
+                    .build_kernel(self.kernel(prec, Hints::default()))
+                    .map_err(|e| RunSkip::CompilerBug(e.to_string()))?;
+                let args: Vec<KernelArg> = ids.iter().map(|&b| KernelArg::Buf(b)).collect();
+                let (t, act) = launch(&mut ctx, &k, [self.n, 1, 1], None, &args)
+                    .map_err(|e| RunSkip::LaunchFailure(e.to_string()))?;
+                let (ok, err) = self.check(ctx.buffer_data(ids[1]), prec);
+                Ok(RunOutcome { time_s: t, activity: act, validated: ok, max_rel_err: err,
+                    note: Some("AOS naive port".into()) })
+            }
+            Variant::OpenClOpt => {
+                let (mut ctx, ids) = gpu_context(bufs);
+                let k = ctx
+                    .build_kernel(self.opt_kernel(prec))
+                    .map_err(|e| RunSkip::CompilerBug(e.to_string()))?;
+                let args: Vec<KernelArg> = ids.iter().map(|&b| KernelArg::Buf(b)).collect();
+                // Tuned work-group size first; on CL_OUT_OF_RESOURCES fall
+                // back to smaller groups, as the paper had to in f64.
+                let mut note = format!("unroll x{}, wg 128", self.opt_unroll);
+                let attempt = launch(&mut ctx, &k, [self.n, 1, 1], Some([128, 1, 1]), &args);
+                let (t, act) = match attempt {
+                    Ok(r) => r,
+                    Err(ocl_runtime::ClError::OutOfResources { .. }) => {
+                        note = format!(
+                            "unroll x{}: wg 128 hit CL_OUT_OF_RESOURCES, fell back to wg 32",
+                            self.opt_unroll
+                        );
+                        launch(&mut ctx, &k, [self.n, 1, 1], Some([32, 1, 1]), &args)
+                            .map_err(|e| RunSkip::LaunchFailure(e.to_string()))?
+                    }
+                    Err(e) => return Err(RunSkip::LaunchFailure(e.to_string())),
+                };
+                let (ok, err) = self.check(ctx.buffer_data(ids[1]), prec);
+                Ok(RunOutcome { time_s: t, activity: act, validated: ok, max_rel_err: err,
+                    note: Some(note) })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_variants_validate() {
+        let b = Nbody::test_size();
+        for prec in Precision::ALL {
+            for v in Variant::ALL {
+                let r = b.run(v, prec).unwrap();
+                assert!(
+                    r.validated,
+                    "{} {} err {:.3e}",
+                    v.label(),
+                    prec.label(),
+                    r.max_rel_err
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gpu_wins_big_even_unoptimized() {
+        // Fig. 2(a): nbody OpenCL reaches 17.2× — the naive port already
+        // flies because rsqrt is native and divergence costs nothing.
+        let b = Nbody::default();
+        let serial = b.run(Variant::Serial, Precision::F32).unwrap();
+        let naive = b.run(Variant::OpenCl, Precision::F32).unwrap();
+        let speedup = serial.time_s / naive.time_s;
+        assert!(speedup > 6.0, "nbody naive GPU speedup {speedup:.1} too small");
+    }
+
+    #[test]
+    fn opt_gain_is_modest() {
+        // §V-A: without the SOA transform the opt version "does not show
+        // significant improvements".
+        let b = Nbody::default();
+        let naive = b.run(Variant::OpenCl, Precision::F32).unwrap();
+        let opt = b.run(Variant::OpenClOpt, Precision::F32).unwrap();
+        let gain = naive.time_s / opt.time_s;
+        assert!((0.95..1.6).contains(&gain), "nbody opt gain {gain:.2} out of band");
+    }
+
+    #[test]
+    fn soa_extension_validates_and_beats_aos_opt() {
+        // §III-B Data Organization, applied where the paper declined to:
+        // the SOA kernel vectorizes the inner loop and should beat the
+        // AOS-bound optimized version.
+        let b = Nbody::default();
+        let aos_opt = b.run(Variant::OpenClOpt, Precision::F32).unwrap();
+        let soa = b.run_soa_extension(Precision::F32, 4).unwrap();
+        assert!(soa.validated, "SOA kernel wrong (err {:.3e})", soa.max_rel_err);
+        assert!(
+            soa.time_s < aos_opt.time_s,
+            "SOA ({:.3e}) should beat AOS opt ({:.3e})",
+            soa.time_s,
+            aos_opt.time_s
+        );
+    }
+
+    #[test]
+    fn soa_extension_widths_agree() {
+        let b = Nbody::test_size();
+        for w in [2u8, 4, 8] {
+            let r = b.run_soa_extension(Precision::F32, w).unwrap();
+            assert!(r.validated, "width {w} err {:.3e}", r.max_rel_err);
+        }
+    }
+
+    #[test]
+    fn f64_opt_falls_back_on_registers() {
+        let b = Nbody { n: 512, dt: 0.01, opt_unroll: 8 };
+        let r = b.run(Variant::OpenClOpt, Precision::F64).unwrap();
+        assert!(r.validated);
+        assert!(
+            r.note.as_deref().unwrap_or("").contains("CL_OUT_OF_RESOURCES"),
+            "expected register-pressure fallback, note: {:?}",
+            r.note
+        );
+    }
+}

@@ -1,0 +1,244 @@
+//! **spmv** — sparse matrix–vector multiplication (§IV-A).
+//!
+//! `y = A·x` with A in CSR form. The row-length distribution is skewed
+//! (power-law-ish), making spmv "useful as a metric to measure performance
+//! in cases of load imbalance". The indirect `x[col[j]]` gathers defeat
+//! vectorization (the pass refuses with `NonGidIndexing`), so — exactly as
+//! in the paper — the optimized version only retunes the work-group size
+//! and adds compiler hints, and spmv stays the weakest GPU benchmark
+//! (1.25× in Fig. 2(a)).
+
+use crate::common::{
+    gpu_context, launch, run_cpu_kernel, validate, Benchmark, Precision, RunOutcome, RunSkip,
+    Variant,
+};
+use kernel_ir::prelude::*;
+use kernel_ir::Access;
+use ocl_runtime::KernelArg;
+
+/// CSR workload parameters.
+pub struct Spmv {
+    pub rows: usize,
+    /// Mean non-zeros per row (actual rows vary from 1 to ~8× this).
+    pub nnz_per_row: usize,
+}
+
+impl Default for Spmv {
+    fn default() -> Self {
+        Spmv { rows: 16 * 1024, nnz_per_row: 16 }
+    }
+}
+
+/// CSR arrays in f64 (values) + u32 (structure).
+pub struct Csr {
+    pub row_ptr: Vec<u32>,
+    pub col: Vec<u32>,
+    pub val: Vec<f64>,
+    pub x: Vec<f64>,
+}
+
+impl Spmv {
+    pub fn test_size() -> Self {
+        Spmv { rows: 512, nnz_per_row: 8 }
+    }
+
+    /// Deterministic skewed CSR matrix: row r gets
+    /// `1 + (r·φ mod 8)·nnz/4` entries, columns scattered by a hash.
+    pub fn matrix(&self) -> Csr {
+        let mut row_ptr = Vec::with_capacity(self.rows + 1);
+        let mut col = Vec::new();
+        let mut val = Vec::new();
+        row_ptr.push(0u32);
+        let uni = crate::common::prng_uniform(41, self.rows * self.nnz_per_row * 3);
+        let mut u = uni.iter();
+        for r in 0..self.rows {
+            // Skewed length: most rows short, a heavy tail up to 8× mean.
+            let h = (r as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 40;
+            let len = 1 + (h as usize % (2 * self.nnz_per_row))
+                + if h % 16 == 0 { 6 * self.nnz_per_row } else { 0 };
+            for k in 0..len {
+                let c = ((r * 7 + k * 131 + (h as usize & 0xffff)) * 2654435761) % self.rows;
+                col.push(c as u32);
+                val.push(*u.next().unwrap_or(&0.5) - 0.5);
+            }
+            row_ptr.push(col.len() as u32);
+        }
+        let x = crate::common::prng_uniform(43, self.rows);
+        Csr { row_ptr, col, val, x }
+    }
+
+    fn reference(&self, prec: Precision) -> Vec<f64> {
+        let m = self.matrix();
+        (0..self.rows)
+            .map(|r| {
+                let (s, e) = (m.row_ptr[r] as usize, m.row_ptr[r + 1] as usize);
+                match prec {
+                    Precision::F64 => (s..e).map(|j| m.val[j] * m.x[m.col[j] as usize]).sum(),
+                    Precision::F32 => {
+                        let mut acc = 0f32;
+                        for j in s..e {
+                            acc = (m.val[j] as f32).mul_add(m.x[m.col[j] as usize] as f32, acc);
+                        }
+                        acc as f64
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// CSR row-per-work-item kernel (shared by all versions).
+    pub fn kernel(&self, prec: Precision, hints: Hints) -> Program {
+        let e = prec.elem();
+        let mut kb = KernelBuilder::new("spmv");
+        kb.hints(hints);
+        let row_ptr = kb.arg_global(Scalar::U32, Access::ReadOnly, true);
+        let col = kb.arg_global(Scalar::U32, Access::ReadOnly, true);
+        let val = kb.arg_global(e, Access::ReadOnly, true);
+        let x = kb.arg_global(e, Access::ReadOnly, true);
+        let y = kb.arg_global(e, Access::WriteOnly, true);
+        let gid = kb.query_global_id(0);
+        let start = kb.load(Scalar::U32, row_ptr, gid.into());
+        let gid1 = kb.bin(BinOp::Add, gid.into(), Operand::ImmI(1), VType::scalar(Scalar::U32));
+        let end = kb.load(Scalar::U32, row_ptr, gid1.into());
+        let acc = kb.mov(Operand::ImmF(0.0), VType::scalar(e));
+        kb.for_loop(start.into(), end.into(), Operand::ImmI(1), |kb, j| {
+            let c = kb.load(Scalar::U32, col, j.into());
+            let v = kb.load(e, val, j.into());
+            let xv = kb.load(e, x, c.into()); // the indirect gather
+            kb.mad_into(acc, v.into(), xv.into(), acc.into());
+        });
+        kb.store(y, gid.into(), acc.into());
+        kb.finish()
+    }
+
+    fn buffers(&self, prec: Precision) -> (Vec<kernel_ir::BufferData>, Csr) {
+        let m = self.matrix();
+        let bufs = vec![
+            kernel_ir::BufferData::U32(m.row_ptr.clone()),
+            kernel_ir::BufferData::U32(m.col.clone()),
+            prec.buffer(&m.val),
+            prec.buffer(&m.x),
+            kernel_ir::BufferData::zeroed(prec.elem(), self.rows),
+        ];
+        (bufs, m)
+    }
+}
+
+impl Benchmark for Spmv {
+    fn name(&self) -> &'static str {
+        "spmv"
+    }
+
+    fn description(&self) -> &'static str {
+        "sparse matrix-vector multiply (CSR); measures load imbalance"
+    }
+
+    fn run(&self, variant: Variant, prec: Precision) -> Result<RunOutcome, RunSkip> {
+        let reference = self.reference(prec);
+        let (bufs, _m) = self.buffers(prec);
+        match variant {
+            Variant::Serial | Variant::OpenMp => {
+                let mut pool = MemoryPool::new();
+                let ids: Vec<ArgBinding> =
+                    bufs.into_iter().map(|d| ArgBinding::Global(pool.add(d))).collect();
+                let cores = if variant == Variant::Serial { 1 } else { 2 };
+                let (t, act, pool) = run_cpu_kernel(
+                    &self.kernel(prec, Hints::default()),
+                    &ids,
+                    pool,
+                    NDRange::d1(self.rows, 64),
+                    cores,
+                );
+                let (ok, err) = validate(pool.get(4), &reference, prec);
+                Ok(RunOutcome { time_s: t, activity: act, validated: ok, max_rel_err: err,
+                    note: None })
+            }
+            Variant::OpenCl | Variant::OpenClOpt => {
+                let opt = variant == Variant::OpenClOpt;
+                let hints = if opt {
+                    Hints { inline: true, const_args: true }
+                } else {
+                    Hints::default()
+                };
+                let (mut ctx, ids) = gpu_context(bufs);
+                let k = ctx
+                    .build_kernel(self.kernel(prec, hints))
+                    .map_err(|e| RunSkip::CompilerBug(e.to_string()))?;
+                let args: Vec<KernelArg> = ids.iter().map(|&b| KernelArg::Buf(b)).collect();
+                // Opt: tuned work-group size (64 — small groups even out the
+                // skewed row lengths across cores); naive: driver pick.
+                let local = if opt { Some([64, 1, 1]) } else { None };
+                let (t, act) = launch(&mut ctx, &k, [self.rows, 1, 1], local, &args)
+                    .map_err(|e| RunSkip::LaunchFailure(e.to_string()))?;
+                let (ok, err) = validate(ctx.buffer_data(ids[4]), &reference, prec);
+                Ok(RunOutcome {
+                    time_s: t,
+                    activity: act,
+                    validated: ok,
+                    max_rel_err: err,
+                    note: Some(if opt { "wg 64 + hints".into() } else {
+                        "driver-chosen local size".into() }),
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mali_hpc::vectorize::{vectorize, VectorizeRefusal};
+
+    #[test]
+    fn all_variants_validate() {
+        let b = Spmv::test_size();
+        for prec in Precision::ALL {
+            for v in Variant::ALL {
+                let r = b.run(v, prec).unwrap();
+                assert!(r.validated, "{} {} err {:.3e}", v.label(), prec.label(), r.max_rel_err);
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_is_skewed() {
+        let b = Spmv::test_size();
+        let m = b.matrix();
+        let lens: Vec<u32> =
+            m.row_ptr.windows(2).map(|w| w[1] - w[0]).collect();
+        let max = *lens.iter().max().unwrap();
+        let mean = lens.iter().sum::<u32>() as f64 / lens.len() as f64;
+        assert!(
+            max as f64 > 3.0 * mean,
+            "tail rows should dominate (max {max}, mean {mean:.1})"
+        );
+        assert_eq!(*m.row_ptr.last().unwrap() as usize, m.col.len());
+    }
+
+    #[test]
+    fn vectorizer_refuses_spmv() {
+        // The paper's observation, as a diagnostic: spmv's indirect access
+        // defeats vectorization (it also contains a loop, which the pass
+        // reports first).
+        let b = Spmv::test_size();
+        let err = vectorize(&b.kernel(Precision::F32, Hints::default()), 4).unwrap_err();
+        assert!(matches!(
+            err,
+            VectorizeRefusal::HasLoop | VectorizeRefusal::NonGidIndexing
+        ));
+    }
+
+    #[test]
+    fn opt_improves_but_modestly() {
+        let b = Spmv::default();
+        let naive = b.run(Variant::OpenCl, Precision::F32).unwrap();
+        let opt = b.run(Variant::OpenClOpt, Precision::F32).unwrap();
+        assert!(opt.time_s <= naive.time_s * 1.02, "opt should not be slower");
+        assert!(
+            opt.time_s > naive.time_s * 0.5,
+            "spmv has no big optimization win (naive {:.3e}, opt {:.3e})",
+            naive.time_s,
+            opt.time_s
+        );
+    }
+}

@@ -1,0 +1,321 @@
+//! **3dstc** — 7-point 3-D stencil (§IV-A).
+//!
+//! `out[x,y,z] = c0·in[x,y,z] + c1·(6 neighbours)` over the interior of a
+//! cubic volume; regular strided accesses. Per the paper, the optimized
+//! version does **not** vectorize — "3dstc does not take advantage of
+//! vector instructions and limits the optimizations to work-group size
+//! tuning and data reuse": each optimized work-item walks a column of Z
+//! output points, keeping the three z-plane values of the column in
+//! registers so every input is loaded once instead of three times.
+
+use crate::common::{
+    gpu_context, launch, run_cpu_kernel, validate, Benchmark, Precision, RunOutcome, RunSkip,
+    Variant,
+};
+use kernel_ir::prelude::*;
+use kernel_ir::Access;
+use ocl_runtime::KernelArg;
+
+/// Stencil parameters. Interior points are `dim-2` per axis; `dim-2` must
+/// be divisible by the work-group tiles used below.
+pub struct Stencil3d {
+    pub dim: usize,
+    /// Z-points computed per work-item in the optimized kernel.
+    pub opt_z_per_thread: usize,
+}
+
+impl Default for Stencil3d {
+    fn default() -> Self {
+        Stencil3d { dim: 66, opt_z_per_thread: 8 }
+    }
+}
+
+const C0: f64 = 0.4;
+const C1: f64 = 0.1;
+
+impl Stencil3d {
+    pub fn test_size() -> Self {
+        Stencil3d { dim: 18, opt_z_per_thread: 4 }
+    }
+
+    fn interior(&self) -> usize {
+        self.dim - 2
+    }
+
+    pub fn input(&self) -> Vec<f64> {
+        crate::common::prng_uniform(29, self.dim * self.dim * self.dim)
+    }
+
+    fn at(&self, v: &[f64], x: usize, y: usize, z: usize) -> f64 {
+        v[(z * self.dim + y) * self.dim + x]
+    }
+
+    /// f64 reference over the interior; output indexed like the input
+    /// volume (border kept zero).
+    pub fn reference(&self, prec: Precision) -> Vec<f64> {
+        let input = self.input();
+        let d = self.dim;
+        let mut out = vec![0.0; d * d * d];
+        for z in 1..d - 1 {
+            for y in 1..d - 1 {
+                for x in 1..d - 1 {
+                    let neigh = self.at(&input, x - 1, y, z)
+                        + self.at(&input, x + 1, y, z)
+                        + self.at(&input, x, y - 1, z)
+                        + self.at(&input, x, y + 1, z)
+                        + self.at(&input, x, y, z - 1)
+                        + self.at(&input, x, y, z + 1);
+                    let v = match prec {
+                        Precision::F64 => C0 * self.at(&input, x, y, z) + C1 * neigh,
+                        Precision::F32 => {
+                            let n = (self.at(&input, x - 1, y, z) as f32
+                                + self.at(&input, x + 1, y, z) as f32
+                                + self.at(&input, x, y - 1, z) as f32
+                                + self.at(&input, x, y + 1, z) as f32
+                                + self.at(&input, x, y, z - 1) as f32
+                                + self.at(&input, x, y, z + 1) as f32)
+                                * C1 as f32;
+                            (C0 as f32).mul_add(self.at(&input, x, y, z) as f32, n) as f64
+                        }
+                    };
+                    out[(z * d + y) * d + x] = v;
+                }
+            }
+        }
+        out
+    }
+
+    /// Emit `idx = ((z·d) + y)·d + x` from coordinate registers.
+    fn emit_index(
+        kb: &mut KernelBuilder,
+        d: i64,
+        x: Operand,
+        y: Operand,
+        z: Operand,
+    ) -> Reg {
+        let zy = kb.bin(BinOp::Mul, z, Operand::ImmI(d), VType::scalar(Scalar::U32));
+        let zy2 = kb.bin(BinOp::Add, zy.into(), y, VType::scalar(Scalar::U32));
+        let row = kb.bin(BinOp::Mul, zy2.into(), Operand::ImmI(d), VType::scalar(Scalar::U32));
+        kb.bin(BinOp::Add, row.into(), x, VType::scalar(Scalar::U32))
+    }
+
+    /// Naive kernel: one interior point per work-item, 3-D NDRange over the
+    /// interior (ids offset by +1).
+    pub fn kernel(&self, prec: Precision) -> Program {
+        let e = prec.elem();
+        let d = self.dim as i64;
+        let mut kb = KernelBuilder::new("stencil3d");
+        let inp = kb.arg_global(e, Access::ReadOnly, true);
+        let out = kb.arg_global(e, Access::WriteOnly, true);
+        let gx = kb.query_global_id(0);
+        let gy = kb.query_global_id(1);
+        let gz = kb.query_global_id(2);
+        let x = kb.bin(BinOp::Add, gx.into(), Operand::ImmI(1), VType::scalar(Scalar::U32));
+        let y = kb.bin(BinOp::Add, gy.into(), Operand::ImmI(1), VType::scalar(Scalar::U32));
+        let z = kb.bin(BinOp::Add, gz.into(), Operand::ImmI(1), VType::scalar(Scalar::U32));
+        let xm = kb.bin(BinOp::Sub, x.into(), Operand::ImmI(1), VType::scalar(Scalar::U32));
+        let xp = kb.bin(BinOp::Add, x.into(), Operand::ImmI(1), VType::scalar(Scalar::U32));
+        let ym = kb.bin(BinOp::Sub, y.into(), Operand::ImmI(1), VType::scalar(Scalar::U32));
+        let yp = kb.bin(BinOp::Add, y.into(), Operand::ImmI(1), VType::scalar(Scalar::U32));
+        let zm = kb.bin(BinOp::Sub, z.into(), Operand::ImmI(1), VType::scalar(Scalar::U32));
+        let zp = kb.bin(BinOp::Add, z.into(), Operand::ImmI(1), VType::scalar(Scalar::U32));
+
+        let center = Self::emit_index(&mut kb, d, x.into(), y.into(), z.into());
+        let i_xm = Self::emit_index(&mut kb, d, xm.into(), y.into(), z.into());
+        let i_xp = Self::emit_index(&mut kb, d, xp.into(), y.into(), z.into());
+        let i_ym = Self::emit_index(&mut kb, d, x.into(), ym.into(), z.into());
+        let i_yp = Self::emit_index(&mut kb, d, x.into(), yp.into(), z.into());
+        let i_zm = Self::emit_index(&mut kb, d, x.into(), y.into(), zm.into());
+        let i_zp = Self::emit_index(&mut kb, d, x.into(), y.into(), zp.into());
+
+        let vc = kb.load(e, inp, center.into());
+        let acc = kb.mov(Operand::ImmF(0.0), VType::scalar(e));
+        for idx in [i_xm, i_xp, i_ym, i_yp, i_zm, i_zp] {
+            let v = kb.load(e, inp, idx.into());
+            kb.bin_into(acc, BinOp::Add, acc.into(), v.into());
+        }
+        let res = kb.mad(vc.into(), Operand::ImmF(C0), Operand::ImmF(0.0), VType::scalar(e));
+        let res2 = kb.mad(acc.into(), Operand::ImmF(C1), res.into(), VType::scalar(e));
+        kb.store(out, center.into(), res2.into());
+        kb.finish()
+    }
+
+    /// Optimized kernel: each item computes `opt_z_per_thread` points of a
+    /// z-column, carrying the (z-1, z, z+1) center values in registers —
+    /// the §V-A "data reuse" optimization. The z-plane loads drop from 3
+    /// per output to 1 per output, and the thread count shrinks by the
+    /// same factor.
+    pub fn opt_kernel(&self, prec: Precision) -> Program {
+        let e = prec.elem();
+        let d = self.dim as i64;
+        let zs = self.opt_z_per_thread as i64;
+        let mut kb = KernelBuilder::new("stencil3d_opt");
+        kb.hints(Hints { inline: true, const_args: true });
+        let inp = kb.arg_global(e, Access::ReadOnly, true);
+        let out = kb.arg_global(e, Access::WriteOnly, true);
+        let gx = kb.query_global_id(0);
+        let gy = kb.query_global_id(1);
+        let gz = kb.query_global_id(2);
+        let x = kb.bin(BinOp::Add, gx.into(), Operand::ImmI(1), VType::scalar(Scalar::U32));
+        let y = kb.bin(BinOp::Add, gy.into(), Operand::ImmI(1), VType::scalar(Scalar::U32));
+        let z0 = kb.bin(BinOp::Mul, gz.into(), Operand::ImmI(zs), VType::scalar(Scalar::U32));
+        let z0p1 = kb.bin(BinOp::Add, z0.into(), Operand::ImmI(1), VType::scalar(Scalar::U32));
+        let xm = kb.bin(BinOp::Sub, x.into(), Operand::ImmI(1), VType::scalar(Scalar::U32));
+        let xp = kb.bin(BinOp::Add, x.into(), Operand::ImmI(1), VType::scalar(Scalar::U32));
+        let ym = kb.bin(BinOp::Sub, y.into(), Operand::ImmI(1), VType::scalar(Scalar::U32));
+        let yp = kb.bin(BinOp::Add, y.into(), Operand::ImmI(1), VType::scalar(Scalar::U32));
+
+        // Rolling registers: below = in[x,y,z-1], mid = in[x,y,z].
+        let z0m1 = kb.bin(BinOp::Sub, z0p1.into(), Operand::ImmI(1), VType::scalar(Scalar::U32));
+        let i_below = Self::emit_index(&mut kb, d, x.into(), y.into(), z0m1.into());
+        let below = kb.load(e, inp, i_below.into());
+        let i_mid = Self::emit_index(&mut kb, d, x.into(), y.into(), z0p1.into());
+        let mid = kb.load(e, inp, i_mid.into());
+
+        kb.for_loop(Operand::ImmI(0), Operand::ImmI(zs), Operand::ImmI(1), |kb, k| {
+            let z = {
+                let t = kb.bin(BinOp::Add, z0p1.into(), k.into(), VType::scalar(Scalar::U32));
+                t
+            };
+            let zp = kb.bin(BinOp::Add, z.into(), Operand::ImmI(1), VType::scalar(Scalar::U32));
+            let i_above = Self::emit_index(kb, d, x.into(), y.into(), zp.into());
+            let above = kb.load(e, inp, i_above.into());
+            // In-plane neighbours (not reusable across z).
+            let acc = kb.mov(Operand::ImmF(0.0), VType::scalar(e));
+            for (xx, yy) in [(xm, y), (xp, y), (x, ym), (x, yp)] {
+                let i = Self::emit_index(kb, d, xx.into(), yy.into(), z.into());
+                let v = kb.load(e, inp, i.into());
+                kb.bin_into(acc, BinOp::Add, acc.into(), v.into());
+            }
+            kb.bin_into(acc, BinOp::Add, acc.into(), below.into());
+            kb.bin_into(acc, BinOp::Add, acc.into(), above.into());
+            let res = kb.mad(mid.into(), Operand::ImmF(C0), Operand::ImmF(0.0),
+                VType::scalar(e));
+            let res2 = kb.mad(acc.into(), Operand::ImmF(C1), res.into(), VType::scalar(e));
+            let i_out = Self::emit_index(kb, d, x.into(), y.into(), z.into());
+            kb.store(out, i_out.into(), res2.into());
+            // Roll the column registers.
+            kb.mov_into(below, mid.into());
+            kb.mov_into(mid, above.into());
+        });
+        kb.finish()
+    }
+
+    fn volume(&self) -> usize {
+        self.dim * self.dim * self.dim
+    }
+}
+
+impl Benchmark for Stencil3d {
+    fn name(&self) -> &'static str {
+        "3dstc"
+    }
+
+    fn description(&self) -> &'static str {
+        "7-point 3-D stencil; regular strided accesses, register data reuse"
+    }
+
+    fn run(&self, variant: Variant, prec: Precision) -> Result<RunOutcome, RunSkip> {
+        let reference = self.reference(prec);
+        let n = self.interior();
+        let bufs = vec![
+            prec.buffer(&self.input()),
+            kernel_ir::BufferData::zeroed(prec.elem(), self.volume()),
+        ];
+        // Validate only interior points (border stays zero on both sides).
+        let check = |out: &kernel_ir::BufferData| validate(out, &reference, prec);
+        match variant {
+            Variant::Serial | Variant::OpenMp => {
+                let mut pool = MemoryPool::new();
+                let ids: Vec<ArgBinding> =
+                    bufs.into_iter().map(|d| ArgBinding::Global(pool.add(d))).collect();
+                let cores = if variant == Variant::Serial { 1 } else { 2 };
+                let (t, act, pool) = run_cpu_kernel(
+                    &self.kernel(prec),
+                    &ids,
+                    pool,
+                    NDRange::d3([n, n, n], [n, 1, 1]),
+                    cores,
+                );
+                let (ok, err) = check(pool.get(1));
+                Ok(RunOutcome { time_s: t, activity: act, validated: ok, max_rel_err: err,
+                    note: None })
+            }
+            Variant::OpenCl => {
+                let (mut ctx, ids) = gpu_context(bufs);
+                let k = ctx
+                    .build_kernel(self.kernel(prec))
+                    .map_err(|e| RunSkip::CompilerBug(e.to_string()))?;
+                let args: Vec<KernelArg> = ids.iter().map(|&b| KernelArg::Buf(b)).collect();
+                let (t, act) = launch(&mut ctx, &k, [n, n, n], None, &args)
+                    .map_err(|e| RunSkip::LaunchFailure(e.to_string()))?;
+                let (ok, err) = check(ctx.buffer_data(ids[1]));
+                Ok(RunOutcome { time_s: t, activity: act, validated: ok, max_rel_err: err,
+                    note: Some("driver-chosen local size (1-D strips)".into()) })
+            }
+            Variant::OpenClOpt => {
+                let (mut ctx, ids) = gpu_context(bufs);
+                let k = ctx
+                    .build_kernel(self.opt_kernel(prec))
+                    .map_err(|e| RunSkip::CompilerBug(e.to_string()))?;
+                let args: Vec<KernelArg> = ids.iter().map(|&b| KernelArg::Buf(b)).collect();
+                let zt = n / self.opt_z_per_thread;
+                // Tuned 2-D tile: 16×8 spatial tile per group.
+                let (t, act) = launch(&mut ctx, &k, [n, n, zt], Some([16, 8, 1]), &args)
+                    .map_err(|e| RunSkip::LaunchFailure(e.to_string()))?;
+                let (ok, err) = check(ctx.buffer_data(ids[1]));
+                Ok(RunOutcome {
+                    time_s: t,
+                    activity: act,
+                    validated: ok,
+                    max_rel_err: err,
+                    note: Some(format!(
+                        "z-column register reuse x{}, tile 16x8",
+                        self.opt_z_per_thread
+                    )),
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_variants_validate() {
+        let b = Stencil3d::test_size();
+        for prec in Precision::ALL {
+            for v in Variant::ALL {
+                let r = b.run(v, prec).unwrap();
+                assert!(
+                    r.validated,
+                    "{} {} err {:.3e}",
+                    v.label(),
+                    prec.label(),
+                    r.max_rel_err
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn opt_loads_fewer_bytes() {
+        // The rolling-register column reuses z-plane loads: per output, the
+        // naive kernel loads 7 values, the optimized ~5.
+        let b = Stencil3d::test_size();
+        let naive = b.run(Variant::OpenCl, Precision::F32).unwrap();
+        let opt = b.run(Variant::OpenClOpt, Precision::F32).unwrap();
+        assert!(opt.time_s < naive.time_s, "reuse should win");
+    }
+
+    #[test]
+    fn interior_divisible_by_tiles() {
+        let b = Stencil3d::default();
+        let n = b.dim - 2;
+        assert_eq!(n % 16, 0);
+        assert_eq!(n % 8, 0);
+        assert_eq!(n % b.opt_z_per_thread, 0);
+    }
+}

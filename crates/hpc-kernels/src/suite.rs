@@ -1,0 +1,121 @@
+//! The full benchmark suite at paper scale and at test scale.
+
+use crate::amcd::Amcd;
+use crate::common::Benchmark;
+use crate::conv2d::Conv2d;
+use crate::dmmm::Dmmm;
+use crate::hist::Hist;
+use crate::nbody::Nbody;
+use crate::red::Red;
+use crate::spmv::Spmv;
+use crate::stencil3d::Stencil3d;
+use crate::vecop::Vecop;
+
+/// All nine benchmarks at evaluation scale, in the paper's figure order
+/// (spmv, vecop, hist, 3dstc, red, amcd, nbody, 2dcon, dmmm).
+pub fn suite() -> Vec<Box<dyn Benchmark>> {
+    vec![
+        Box::new(Spmv::default()),
+        Box::new(Vecop::default()),
+        Box::new(Hist::default()),
+        Box::new(Stencil3d::default()),
+        Box::new(Red::default()),
+        Box::new(Amcd::default()),
+        Box::new(Nbody::default()),
+        Box::new(Conv2d::default()),
+        Box::new(Dmmm::default()),
+    ]
+}
+
+/// Quarter-scale instances: large enough to amortize launch/fork
+/// overheads (so figure *shapes* hold), small enough for integration
+/// tests.
+pub fn mid_suite() -> Vec<Box<dyn Benchmark>> {
+    vec![
+        Box::new(Spmv { rows: 4096, nnz_per_row: 16 }),
+        Box::new(Vecop { n: 1 << 18 }),
+        Box::new(Hist { n: 1 << 18, buckets: 256, opt_items_per_thread: 16 }),
+        Box::new(Stencil3d { dim: 34, opt_z_per_thread: 8 }),
+        Box::new(Red { n: 1 << 18, wg: 128, naive_groups: 128, opt_groups: 16 }),
+        Box::new(Amcd { walkers: 2048, steps: 96 }),
+        Box::new(Nbody { n: 512, dt: 0.01, opt_unroll: 4 }),
+        Box::new(Conv2d { n: 132 }),
+        Box::new(Dmmm { n: 96, opt_unroll: 2, opt_width: 4 }),
+    ]
+}
+
+/// Small instances of the same nine benchmarks (fast enough for CI).
+pub fn test_suite() -> Vec<Box<dyn Benchmark>> {
+    vec![
+        Box::new(Spmv::test_size()),
+        Box::new(Vecop::test_size()),
+        Box::new(Hist::test_size()),
+        Box::new(Stencil3d::test_size()),
+        Box::new(Red::test_size()),
+        Box::new(Amcd::test_size()),
+        Box::new(Nbody::test_size()),
+        Box::new(Conv2d::test_size()),
+        Box::new(Dmmm::test_size()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::{Precision, RunSkip, Variant};
+
+    #[test]
+    fn suite_has_the_paper_order() {
+        let names: Vec<&str> = suite().iter().map(|b| b.name()).collect();
+        assert_eq!(
+            names,
+            ["spmv", "vecop", "hist", "3dstc", "red", "amcd", "nbody", "2dcon", "dmmm"]
+        );
+    }
+
+    #[test]
+    fn every_benchmark_runs_and_validates_at_test_scale() {
+        for b in test_suite() {
+            for prec in Precision::ALL {
+                for v in Variant::ALL {
+                    match b.run(v, prec) {
+                        Ok(r) => assert!(
+                            r.validated,
+                            "{} {} {} failed validation (err {:.3e})",
+                            b.name(),
+                            v.label(),
+                            prec.label(),
+                            r.max_rel_err
+                        ),
+                        Err(RunSkip::CompilerBug(_))
+                            if b.name() == "amcd"
+                                && prec == Precision::F64
+                                && v.on_gpu() => {}
+                        Err(e) => {
+                            panic!("{} {} {}: {e}", b.name(), v.label(), prec.label())
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mid_suite_runs_cleanly() {
+        // Spot-check shapes/divisibility of the mid-scale instances.
+        for b in mid_suite() {
+            let r = b.run(Variant::OpenClOpt, Precision::F32);
+            match r {
+                Ok(r) => assert!(r.validated, "{} failed validation", b.name()),
+                Err(e) => panic!("{}: {e}", b.name()),
+            }
+        }
+    }
+
+    #[test]
+    fn descriptions_are_present() {
+        for b in suite() {
+            assert!(!b.description().is_empty());
+        }
+    }
+}

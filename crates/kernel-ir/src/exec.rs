@@ -1,0 +1,997 @@
+//! The IR interpreter.
+//!
+//! Execution is per-work-group: all work-items of a group run each barrier
+//! phase to completion before the next phase starts (the strongest legal
+//! schedule, equivalent to any OpenCL-conformant one for barrier-correct
+//! kernels). Every issued op and memory access is reported to an
+//! [`ExecTracer`], which is how the device models meter cost without the
+//! interpreter knowing anything about cycles.
+
+use crate::instr::{ArgDecl, AtomicOp, Builtin, HorizOp, Op, Operand};
+use crate::memory::{BufferData, MemoryPool};
+use crate::ops::{eval_bin, eval_mad, eval_select, eval_un};
+use crate::program::Program;
+use crate::trace::{AccessKind, ExecTracer, MemAccess, OpClass, Pattern};
+use crate::types::{MemSpace, Scalar, VType, MAX_LANES};
+use crate::value::Value;
+
+/// Simulated base address of the per-group "local memory" window. On Mali
+/// local memory is carved out of global memory; we place it in a distinct
+/// high region so cache models can still tell the spaces apart if they care.
+pub const LOCAL_MEM_BASE: u64 = 1 << 40;
+/// Address stride reserved per work-group for its local buffers.
+pub const LOCAL_MEM_STRIDE: u64 = 1 << 20;
+
+/// An OpenCL-style 3-dimensional index space.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NDRange {
+    pub global: [usize; 3],
+    pub local: [usize; 3],
+}
+
+impl NDRange {
+    /// 1-D range.
+    pub fn d1(global: usize, local: usize) -> Self {
+        NDRange { global: [global, 1, 1], local: [local, 1, 1] }
+    }
+
+    /// 2-D range.
+    pub fn d2(gx: usize, gy: usize, lx: usize, ly: usize) -> Self {
+        NDRange { global: [gx, gy, 1], local: [lx, ly, 1] }
+    }
+
+    /// 3-D range.
+    pub fn d3(g: [usize; 3], l: [usize; 3]) -> Self {
+        NDRange { global: g, local: l }
+    }
+
+    pub fn num_groups(&self) -> [usize; 3] {
+        [
+            self.global[0] / self.local[0],
+            self.global[1] / self.local[1],
+            self.global[2] / self.local[2],
+        ]
+    }
+
+    pub fn total_groups(&self) -> usize {
+        let g = self.num_groups();
+        g[0] * g[1] * g[2]
+    }
+
+    pub fn group_size(&self) -> usize {
+        self.local[0] * self.local[1] * self.local[2]
+    }
+
+    pub fn total_items(&self) -> usize {
+        self.global[0] * self.global[1] * self.global[2]
+    }
+
+    /// Check divisibility, as `clEnqueueNDRangeKernel` does.
+    pub fn valid(&self) -> bool {
+        (0..3).all(|d| {
+            self.local[d] > 0
+                && self.global[d] > 0
+                && self.global[d] % self.local[d] == 0
+        })
+    }
+
+    /// Linear group id → 3-D group coordinates.
+    pub fn group_coords(&self, linear: usize) -> [usize; 3] {
+        let n = self.num_groups();
+        [linear % n[0], (linear / n[0]) % n[1], linear / (n[0] * n[1])]
+    }
+}
+
+/// One bound kernel argument.
+#[derive(Clone, Debug)]
+pub enum ArgBinding {
+    /// Global buffer: index into the launch's [`MemoryPool`].
+    Global(usize),
+    /// Local buffer: element count to allocate per work-group.
+    LocalSize(usize),
+    /// By-value scalar.
+    Scalar(Value),
+}
+
+/// Execution error surfaced to the runtime layer.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ExecError {
+    InvalidNDRange(NDRange),
+    BindingMismatch(String),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::InvalidNDRange(n) => {
+                write!(f, "global size {:?} not divisible by local size {:?}", n.global, n.local)
+            }
+            ExecError::BindingMismatch(s) => write!(f, "argument binding mismatch: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Check bindings against the program's argument declarations.
+pub fn check_bindings(
+    program: &Program,
+    bindings: &[ArgBinding],
+    pool: &MemoryPool,
+) -> Result<(), ExecError> {
+    if bindings.len() != program.args.len() {
+        return Err(ExecError::BindingMismatch(format!(
+            "kernel {} expects {} args, got {}",
+            program.name,
+            program.args.len(),
+            bindings.len()
+        )));
+    }
+    for (i, (decl, bind)) in program.args.iter().zip(bindings).enumerate() {
+        match (decl, bind) {
+            (ArgDecl::GlobalBuf { elem, .. }, ArgBinding::Global(idx)) => {
+                if *idx >= pool.len() {
+                    return Err(ExecError::BindingMismatch(format!(
+                        "arg {i}: buffer index {idx} out of pool range"
+                    )));
+                }
+                if pool.get(*idx).elem() != *elem {
+                    return Err(ExecError::BindingMismatch(format!(
+                        "arg {i}: buffer elem {:?} != declared {elem:?}",
+                        pool.get(*idx).elem()
+                    )));
+                }
+            }
+            (ArgDecl::LocalBuf { .. }, ArgBinding::LocalSize(_)) => {}
+            (ArgDecl::Scalar { ty }, ArgBinding::Scalar(v)) => {
+                if v.vtype() != VType::scalar(*ty) {
+                    return Err(ExecError::BindingMismatch(format!(
+                        "arg {i}: scalar {:?} != declared {ty:?}",
+                        v.vtype()
+                    )));
+                }
+            }
+            _ => {
+                return Err(ExecError::BindingMismatch(format!(
+                    "arg {i}: binding kind does not match declaration"
+                )))
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Per-work-item execution state.
+struct ItemCtx {
+    regs: Vec<Value>,
+    global_id: [usize; 3],
+    local_id: [usize; 3],
+}
+
+/// Executes one work-group at a time.
+pub struct GroupExecutor<'a, T: ExecTracer> {
+    program: &'a Program,
+    bindings: &'a [ArgBinding],
+    pool: &'a mut MemoryPool,
+    ndrange: NDRange,
+    pub tracer: &'a mut T,
+}
+
+impl<'a, T: ExecTracer> GroupExecutor<'a, T> {
+    pub fn new(
+        program: &'a Program,
+        bindings: &'a [ArgBinding],
+        pool: &'a mut MemoryPool,
+        ndrange: NDRange,
+        tracer: &'a mut T,
+    ) -> Result<Self, ExecError> {
+        if !ndrange.valid() {
+            return Err(ExecError::InvalidNDRange(ndrange));
+        }
+        check_bindings(program, bindings, pool)?;
+        Ok(GroupExecutor { program, bindings, pool, ndrange, tracer })
+    }
+
+    /// Run one work-group identified by its linear id.
+    pub fn run_group(&mut self, group_linear: usize) {
+        let group_id = self.ndrange.group_coords(group_linear);
+        self.tracer.group_start();
+
+        // Allocate this group's local buffers.
+        let mut locals: Vec<Option<BufferData>> = Vec::with_capacity(self.bindings.len());
+        let mut local_addrs: Vec<u64> = Vec::with_capacity(self.bindings.len());
+        let mut next_local = LOCAL_MEM_BASE + group_linear as u64 * LOCAL_MEM_STRIDE;
+        for (decl, bind) in self.program.args.iter().zip(self.bindings) {
+            match (decl, bind) {
+                (ArgDecl::LocalBuf { elem }, ArgBinding::LocalSize(n)) => {
+                    locals.push(Some(BufferData::zeroed(*elem, *n)));
+                    local_addrs.push(next_local);
+                    next_local += (*n as u64 * elem.bytes() as u64).max(64);
+                }
+                _ => {
+                    locals.push(None);
+                    local_addrs.push(0);
+                }
+            }
+        }
+
+        // Materialize per-item contexts.
+        let lsz = self.ndrange.local;
+        let n_items = self.ndrange.group_size();
+        let mut items: Vec<ItemCtx> = (0..n_items)
+            .map(|lin| {
+                let local_id = [lin % lsz[0], (lin / lsz[0]) % lsz[1], lin / (lsz[0] * lsz[1])];
+                let global_id = [
+                    group_id[0] * lsz[0] + local_id[0],
+                    group_id[1] * lsz[1] + local_id[1],
+                    group_id[2] * lsz[2] + local_id[2],
+                ];
+                ItemCtx {
+                    regs: self.program.regs.iter().map(|t| Value::zero(*t)).collect(),
+                    global_id,
+                    local_id,
+                }
+            })
+            .collect();
+
+        let phases = self.program.phases();
+        let mut group = GroupState { locals, local_addrs, group_id };
+        for (pi, phase) in phases.iter().enumerate() {
+            for item in items.iter_mut() {
+                if pi == 0 {
+                    self.tracer.thread_start();
+                }
+                exec_block(
+                    self.program,
+                    self.bindings,
+                    self.pool,
+                    &mut group,
+                    self.ndrange,
+                    item,
+                    phase,
+                    self.tracer,
+                );
+            }
+            if pi + 1 < phases.len() {
+                self.tracer.barrier(n_items as u32);
+            }
+        }
+    }
+
+    /// Run every group in linear order (functional-reference schedule).
+    pub fn run_all(&mut self) {
+        for g in 0..self.ndrange.total_groups() {
+            self.run_group(g);
+        }
+    }
+}
+
+/// Convenience: run a full NDRange over a pool with a tracer.
+pub fn run_ndrange<T: ExecTracer>(
+    program: &Program,
+    bindings: &[ArgBinding],
+    pool: &mut MemoryPool,
+    ndrange: NDRange,
+    tracer: &mut T,
+) -> Result<(), ExecError> {
+    let mut ex = GroupExecutor::new(program, bindings, pool, ndrange, tracer)?;
+    ex.run_all();
+    Ok(())
+}
+
+struct GroupState {
+    locals: Vec<Option<BufferData>>,
+    local_addrs: Vec<u64>,
+    #[allow(dead_code)]
+    group_id: [usize; 3],
+}
+
+#[allow(clippy::too_many_arguments)]
+fn exec_block<T: ExecTracer>(
+    prog: &Program,
+    bindings: &[ArgBinding],
+    pool: &mut MemoryPool,
+    group: &mut GroupState,
+    ndr: NDRange,
+    item: &mut ItemCtx,
+    ops: &[Op],
+    tracer: &mut T,
+) {
+    for op in ops {
+        exec_op(prog, bindings, pool, group, ndr, item, op, tracer);
+    }
+}
+
+fn eval_operand(item: &ItemCtx, o: &Operand, want: VType) -> Value {
+    match o {
+        Operand::Reg(r) => {
+            let v = item.regs[r.0 as usize];
+            v.broadcast(want.width)
+        }
+        Operand::ImmF(x) => match want.elem {
+            Scalar::F32 => Value::splat_f32(*x as f32, want.width),
+            Scalar::F64 => Value::splat_f64(*x, want.width),
+            other => panic!("float immediate in {other} context"),
+        },
+        Operand::ImmI(x) => match want.elem {
+            Scalar::F32 => Value::splat_f32(*x as f32, want.width),
+            Scalar::F64 => Value::splat_f64(*x as f64, want.width),
+            Scalar::I32 => Value::splat_i32(*x as i32, want.width),
+            Scalar::I64 => Value::splat_i64(*x, want.width),
+            Scalar::U32 => Value::splat_u32(*x as u32, want.width),
+            Scalar::U64 => Value::splat_u64(*x as u64, want.width),
+            Scalar::Bool => panic!("integer immediate in bool context"),
+        },
+    }
+}
+
+/// Element-index width of an index operand used for gathers.
+fn operand_width(prog: &Program, o: &Operand) -> u8 {
+    match o {
+        Operand::Reg(r) => prog.reg_ty(*r).width,
+        _ => 1,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn exec_op<T: ExecTracer>(
+    prog: &Program,
+    bindings: &[ArgBinding],
+    pool: &mut MemoryPool,
+    group: &mut GroupState,
+    ndr: NDRange,
+    item: &mut ItemCtx,
+    op: &Op,
+    tracer: &mut T,
+) {
+    match op {
+        Op::Bin { dst, op: b, a, b: rhs } => {
+            let dt = prog.reg_ty(*dst);
+            let src_ty = if b.is_compare() {
+                // operand type comes from whichever side is a register
+                match (a, rhs) {
+                    (Operand::Reg(r), _) | (_, Operand::Reg(r)) => prog.reg_ty(*r),
+                    _ => panic!("compare with two immediates"),
+                }
+            } else {
+                dt
+            };
+            let va = eval_operand(item, a, src_ty);
+            let vb = eval_operand(item, rhs, src_ty);
+            let class = match b {
+                crate::instr::BinOp::Mul => OpClass::Mul,
+                crate::instr::BinOp::Div | crate::instr::BinOp::Rem => OpClass::Div,
+                _ => OpClass::Simple,
+            };
+            tracer.op(class, src_ty);
+            item.regs[dst.0 as usize] = eval_bin(*b, &va, &vb);
+        }
+        Op::Un { dst, op: u, a } => {
+            let dt = prog.reg_ty(*dst);
+            let va = eval_operand(item, a, dt);
+            let class = match u {
+                crate::instr::UnOp::Exp | crate::instr::UnOp::Log => OpClass::Transcendental,
+                crate::instr::UnOp::Rsqrt => OpClass::Rsqrt,
+                _ if u.is_special() => OpClass::Special,
+                _ => OpClass::Simple,
+            };
+            tracer.op(class, dt);
+            item.regs[dst.0 as usize] = eval_un(*u, &va);
+        }
+        Op::Mad { dst, a, b, c } => {
+            let dt = prog.reg_ty(*dst);
+            let va = eval_operand(item, a, dt);
+            let vb = eval_operand(item, b, dt);
+            let vc = eval_operand(item, c, dt);
+            tracer.op(OpClass::Mad, dt);
+            item.regs[dst.0 as usize] = eval_mad(&va, &vb, &vc);
+        }
+        Op::Select { dst, cond, a, b } => {
+            let dt = prog.reg_ty(*dst);
+            let vc = eval_operand(item, cond, VType { elem: Scalar::Bool, width: dt.width });
+            let va = eval_operand(item, a, dt);
+            let vb = eval_operand(item, b, dt);
+            tracer.op(OpClass::Move, dt);
+            item.regs[dst.0 as usize] = eval_select(&vc, &va, &vb);
+        }
+        Op::Mov { dst, a } => {
+            let dt = prog.reg_ty(*dst);
+            tracer.op(OpClass::Move, dt);
+            item.regs[dst.0 as usize] = eval_operand(item, a, dt);
+        }
+        Op::Cast { dst, a } => {
+            let dt = prog.reg_ty(*dst);
+            let src = match a {
+                Operand::Reg(r) => item.regs[r.0 as usize],
+                _ => eval_operand(item, a, dt),
+            };
+            tracer.op(OpClass::Move, dt);
+            item.regs[dst.0 as usize] = src.cast(dt.elem);
+        }
+        Op::Horiz { dst, op: h, a } => {
+            let src = match a {
+                Operand::Reg(r) => item.regs[r.0 as usize],
+                _ => panic!("horizontal reduction of immediate"),
+            };
+            tracer.op(OpClass::Horizontal, src.vtype());
+            item.regs[dst.0 as usize] = match h {
+                HorizOp::Add => src.reduce_add(),
+                HorizOp::Min => src.reduce_min(),
+                HorizOp::Max => src.reduce_max(),
+            };
+        }
+        Op::Extract { dst, a, lane } => {
+            let src = match a {
+                Operand::Reg(r) => item.regs[r.0 as usize],
+                _ => panic!("extract from immediate"),
+            };
+            tracer.op(OpClass::Move, VType::scalar(src.elem()));
+            item.regs[dst.0 as usize] = src.extract(*lane as usize);
+        }
+        Op::Insert { dst, v, lane } => {
+            let dt = prog.reg_ty(*dst);
+            let val = eval_operand(item, v, VType::scalar(dt.elem));
+            tracer.op(OpClass::Move, VType::scalar(dt.elem));
+            let cur = item.regs[dst.0 as usize];
+            item.regs[dst.0 as usize] = cur.insert(*lane as usize, &val);
+        }
+        Op::Query { dst, q } => {
+            let v = match q {
+                Builtin::GlobalId(d) => item.global_id[*d as usize],
+                Builtin::LocalId(d) => item.local_id[*d as usize],
+                Builtin::GroupId(d) => item.global_id[*d as usize] / ndr.local[*d as usize],
+                Builtin::GlobalSize(d) => ndr.global[*d as usize],
+                Builtin::LocalSize(d) => ndr.local[*d as usize],
+                Builtin::NumGroups(d) => ndr.num_groups()[*d as usize],
+            };
+            tracer.op(OpClass::Move, VType::scalar(Scalar::U32));
+            item.regs[dst.0 as usize] = Value::u32(v as u32);
+        }
+        Op::Load { dst, buf, idx } => {
+            let dt = prog.reg_ty(*dst);
+            match &bindings[buf.0 as usize] {
+                ArgBinding::Scalar(v) => {
+                    // By-value scalar arg: free register read, no memory event.
+                    item.regs[dst.0 as usize] = *v;
+                }
+                ArgBinding::Global(pool_idx) => {
+                    let iw = operand_width(prog, idx);
+                    let vidx =
+                        eval_operand(item, idx, VType { elem: Scalar::U32, width: iw.max(1) });
+                    let data = pool.get(*pool_idx);
+                    let val = if dt.width == 1 {
+                        data.get(vidx.lane_index(0))
+                    } else {
+                        data.gather(&vidx)
+                    };
+                    emit_global_access(
+                        pool, *pool_idx, &vidx, dt, AccessKind::Read, buf.0, tracer,
+                    );
+                    item.regs[dst.0 as usize] = val;
+                }
+                ArgBinding::LocalSize(_) => {
+                    let iw = operand_width(prog, idx);
+                    let vidx =
+                        eval_operand(item, idx, VType { elem: Scalar::U32, width: iw.max(1) });
+                    let base = group.local_addrs[buf.0 as usize];
+                    let data = group.locals[buf.0 as usize].as_ref().expect("local buffer");
+                    let val = if dt.width == 1 {
+                        data.get(vidx.lane_index(0))
+                    } else {
+                        data.gather(&vidx)
+                    };
+                    emit_local_access(base, &vidx, dt, AccessKind::Read, buf.0, tracer);
+                    item.regs[dst.0 as usize] = val;
+                }
+            }
+        }
+        Op::VLoad { dst, buf, base } => {
+            let dt = prog.reg_ty(*dst);
+            let b = eval_operand(item, base, VType::scalar(Scalar::U32)).lane_index(0);
+            match &bindings[buf.0 as usize] {
+                ArgBinding::Global(pool_idx) => {
+                    let val = pool.get(*pool_idx).vload(b, dt.width);
+                    tracer.mem(&MemAccess {
+                        stream: buf.0,
+                        space: MemSpace::Global,
+                        kind: AccessKind::Read,
+                        addr: pool.elem_addr(*pool_idx, b),
+                        bytes: dt.bytes(),
+                        elem: dt.elem,
+                        width: dt.width,
+                        pattern: if dt.width == 1 { Pattern::Scalar } else { Pattern::Contiguous },
+                        lane_addrs: None,
+                    });
+                    item.regs[dst.0 as usize] = val;
+                }
+                ArgBinding::LocalSize(_) => {
+                    let addr = group.local_addrs[buf.0 as usize]
+                        + b as u64 * dt.elem.bytes() as u64;
+                    let data = group.locals[buf.0 as usize].as_ref().expect("local buffer");
+                    let val = data.vload(b, dt.width);
+                    tracer.mem(&MemAccess {
+                        stream: buf.0,
+                        space: MemSpace::Local,
+                        kind: AccessKind::Read,
+                        addr,
+                        bytes: dt.bytes(),
+                        elem: dt.elem,
+                        width: dt.width,
+                        pattern: if dt.width == 1 { Pattern::Scalar } else { Pattern::Contiguous },
+                        lane_addrs: None,
+                    });
+                    item.regs[dst.0 as usize] = val;
+                }
+                ArgBinding::Scalar(_) => panic!("vload from scalar argument"),
+            }
+        }
+        Op::Store { buf, idx, val } => {
+            let iw = operand_width(prog, idx);
+            let elem = match &bindings[buf.0 as usize] {
+                ArgBinding::Global(pool_idx) => pool.get(*pool_idx).elem(),
+                ArgBinding::LocalSize(_) => {
+                    group.locals[buf.0 as usize].as_ref().expect("local buffer").elem()
+                }
+                ArgBinding::Scalar(_) => panic!("store to scalar argument"),
+            };
+            let vt = VType { elem, width: iw };
+            let vidx = eval_operand(item, idx, VType { elem: Scalar::U32, width: iw });
+            let vval = eval_operand(item, val, vt);
+            match &bindings[buf.0 as usize] {
+                ArgBinding::Global(pool_idx) => {
+                    emit_global_access(pool, *pool_idx, &vidx, vt, AccessKind::Write, buf.0, tracer);
+                    let data = pool.get_mut(*pool_idx);
+                    for lane in 0..iw as usize {
+                        data.set(vidx.lane_index(lane), &vval, lane);
+                    }
+                }
+                ArgBinding::LocalSize(_) => {
+                    let base = group.local_addrs[buf.0 as usize];
+                    emit_local_access(base, &vidx, vt, AccessKind::Write, buf.0, tracer);
+                    let data = group.locals[buf.0 as usize].as_mut().expect("local buffer");
+                    for lane in 0..iw as usize {
+                        data.set(vidx.lane_index(lane), &vval, lane);
+                    }
+                }
+                ArgBinding::Scalar(_) => unreachable!(),
+            }
+        }
+        Op::VStore { buf, base, val } => {
+            let b = eval_operand(item, base, VType::scalar(Scalar::U32)).lane_index(0);
+            let vval = match val {
+                Operand::Reg(r) => item.regs[r.0 as usize],
+                _ => panic!("vstore of immediate"),
+            };
+            let vt = vval.vtype();
+            match &bindings[buf.0 as usize] {
+                ArgBinding::Global(pool_idx) => {
+                    tracer.mem(&MemAccess {
+                        stream: buf.0,
+                        space: MemSpace::Global,
+                        kind: AccessKind::Write,
+                        addr: pool.elem_addr(*pool_idx, b),
+                        bytes: vt.bytes(),
+                        elem: vt.elem,
+                        width: vt.width,
+                        pattern: if vt.width == 1 { Pattern::Scalar } else { Pattern::Contiguous },
+                        lane_addrs: None,
+                    });
+                    pool.get_mut(*pool_idx).vstore(b, &vval);
+                }
+                ArgBinding::LocalSize(_) => {
+                    let addr = group.local_addrs[buf.0 as usize]
+                        + b as u64 * vt.elem.bytes() as u64;
+                    tracer.mem(&MemAccess {
+                        stream: buf.0,
+                        space: MemSpace::Local,
+                        kind: AccessKind::Write,
+                        addr,
+                        bytes: vt.bytes(),
+                        elem: vt.elem,
+                        width: vt.width,
+                        pattern: if vt.width == 1 { Pattern::Scalar } else { Pattern::Contiguous },
+                        lane_addrs: None,
+                    });
+                    group.locals[buf.0 as usize]
+                        .as_mut()
+                        .expect("local buffer")
+                        .vstore(b, &vval);
+                }
+                ArgBinding::Scalar(_) => panic!("vstore to scalar argument"),
+            }
+        }
+        Op::Atomic { op: aop, buf, idx, val, old } => {
+            let i = eval_operand(item, idx, VType::scalar(Scalar::U32)).lane_index(0);
+            let (elem, space, addr) = match &bindings[buf.0 as usize] {
+                ArgBinding::Global(pool_idx) => (
+                    pool.get(*pool_idx).elem(),
+                    MemSpace::Global,
+                    pool.elem_addr(*pool_idx, i),
+                ),
+                ArgBinding::LocalSize(_) => {
+                    let e =
+                        group.locals[buf.0 as usize].as_ref().expect("local buffer").elem();
+                    let base = group.local_addrs[buf.0 as usize];
+                    (e, MemSpace::Local, base + i as u64 * e.bytes() as u64)
+                }
+                ArgBinding::Scalar(_) => panic!("atomic on scalar argument"),
+            };
+            let vval = eval_operand(item, val, VType::scalar(elem));
+            tracer.mem(&MemAccess {
+                stream: buf.0,
+                space,
+                kind: AccessKind::Atomic,
+                addr,
+                bytes: elem.bytes(),
+                elem,
+                width: 1,
+                pattern: Pattern::Scalar,
+                lane_addrs: None,
+            });
+            let data: &mut BufferData = match &bindings[buf.0 as usize] {
+                ArgBinding::Global(pool_idx) => pool.get_mut(*pool_idx),
+                ArgBinding::LocalSize(_) => {
+                    group.locals[buf.0 as usize].as_mut().expect("local buffer")
+                }
+                ArgBinding::Scalar(_) => unreachable!(),
+            };
+            let cur = data.get(i);
+            if let Some(o) = old {
+                item.regs[o.0 as usize] = cur;
+            }
+            let next = match aop {
+                AtomicOp::Add => eval_bin(crate::instr::BinOp::Add, &cur, &vval),
+                AtomicOp::Inc => {
+                    let one = eval_operand(item, &Operand::ImmI(1), VType::scalar(elem));
+                    eval_bin(crate::instr::BinOp::Add, &cur, &one)
+                }
+                AtomicOp::Min => eval_bin(crate::instr::BinOp::Min, &cur, &vval),
+                AtomicOp::Max => eval_bin(crate::instr::BinOp::Max, &cur, &vval),
+            };
+            data.set(i, &next, 0);
+        }
+        Op::For { var, start, end, step, body } => {
+            let vt = prog.reg_ty(*var);
+            let vstart = eval_operand(item, start, vt);
+            let vend = eval_operand(item, end, vt);
+            let vstep = eval_operand(item, step, vt);
+            let (mut i, end_i, step_i) = (vstart.lane_i64(0), vend.lane_i64(0), vstep.lane_i64(0));
+            assert!(step_i != 0, "zero loop step");
+            while (step_i > 0 && i < end_i) || (step_i < 0 && i > end_i) {
+                item.regs[var.0 as usize] = match vt.elem {
+                    Scalar::I32 => Value::i32(i as i32),
+                    Scalar::I64 => Value::i64(i),
+                    Scalar::U32 => Value::u32(i as u32),
+                    Scalar::U64 => Value::u64(i as u64),
+                    other => panic!("loop counter of type {other}"),
+                };
+                tracer.loop_iter();
+                exec_block(prog, bindings, pool, group, ndr, item, body, tracer);
+                i += step_i;
+            }
+        }
+        Op::If { cond, then, els } => {
+            let c = eval_operand(item, cond, VType::scalar(Scalar::Bool));
+            tracer.op(OpClass::Simple, VType::scalar(Scalar::Bool));
+            if c.lane_bool(0) {
+                exec_block(prog, bindings, pool, group, ndr, item, then, tracer);
+            } else {
+                exec_block(prog, bindings, pool, group, ndr, item, els, tracer);
+            }
+        }
+        Op::Barrier => {
+            unreachable!("barriers are phase boundaries, handled by run_group")
+        }
+    }
+}
+
+fn emit_global_access<T: ExecTracer>(
+    pool: &MemoryPool,
+    pool_idx: usize,
+    vidx: &Value,
+    vt: VType,
+    kind: AccessKind,
+    stream: u32,
+    tracer: &mut T,
+) {
+    let w = vidx.width();
+    if w == 1 {
+        tracer.mem(&MemAccess {
+            stream,
+            space: MemSpace::Global,
+            kind,
+            addr: pool.elem_addr(pool_idx, vidx.lane_index(0)),
+            bytes: vt.elem.bytes(),
+            elem: vt.elem,
+            width: 1,
+            pattern: Pattern::Scalar,
+            lane_addrs: None,
+        });
+    } else {
+        let mut lane_addrs = [0u64; MAX_LANES];
+        for lane in 0..w as usize {
+            lane_addrs[lane] = pool.elem_addr(pool_idx, vidx.lane_index(lane));
+        }
+        tracer.mem(&MemAccess {
+            stream,
+            space: MemSpace::Global,
+            kind,
+            addr: lane_addrs[0],
+            bytes: vt.elem.bytes() * w as u32,
+            elem: vt.elem,
+            width: w,
+            pattern: Pattern::Gather,
+            lane_addrs: Some(lane_addrs),
+        });
+    }
+}
+
+fn emit_local_access<T: ExecTracer>(
+    base: u64,
+    vidx: &Value,
+    vt: VType,
+    kind: AccessKind,
+    stream: u32,
+    tracer: &mut T,
+) {
+    let w = vidx.width();
+    if w == 1 {
+        tracer.mem(&MemAccess {
+            stream,
+            space: MemSpace::Local,
+            kind,
+            addr: base + vidx.lane_index(0) as u64 * vt.elem.bytes() as u64,
+            bytes: vt.elem.bytes(),
+            elem: vt.elem,
+            width: 1,
+            pattern: Pattern::Scalar,
+            lane_addrs: None,
+        });
+    } else {
+        let mut lane_addrs = [0u64; MAX_LANES];
+        for lane in 0..w as usize {
+            lane_addrs[lane] = base + vidx.lane_index(lane) as u64 * vt.elem.bytes() as u64;
+        }
+        tracer.mem(&MemAccess {
+            stream,
+            space: MemSpace::Local,
+            kind,
+            addr: lane_addrs[0],
+            bytes: vt.elem.bytes() * w as u32,
+            elem: vt.elem,
+            width: w,
+            pattern: Pattern::Gather,
+            lane_addrs: Some(lane_addrs),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+    use crate::instr::BinOp;
+    use crate::trace::{CountingTracer, NullTracer};
+    use crate::types::Access;
+
+    /// c[i] = a[i] + b[i]
+    fn vecadd_kernel() -> Program {
+        let mut kb = KernelBuilder::new("vecadd");
+        let a = kb.arg_global(Scalar::F32, Access::ReadOnly, true);
+        let b = kb.arg_global(Scalar::F32, Access::ReadOnly, true);
+        let c = kb.arg_global(Scalar::F32, Access::WriteOnly, true);
+        let gid = kb.query_global_id(0);
+        let va = kb.load(Scalar::F32, a, gid.into());
+        let vb = kb.load(Scalar::F32, b, gid.into());
+        let s = kb.bin(BinOp::Add, va.into(), vb.into(), VType::scalar(Scalar::F32));
+        kb.store(c, gid.into(), s.into());
+        kb.finish()
+    }
+
+    #[test]
+    fn vecadd_computes() {
+        let p = vecadd_kernel();
+        p.validate().expect("valid kernel");
+        let mut pool = MemoryPool::new();
+        let a = pool.add(BufferData::from((0..64).map(|i| i as f32).collect::<Vec<_>>()));
+        let b = pool.add(BufferData::from(vec![1.0f32; 64]));
+        let c = pool.add(BufferData::zeroed(Scalar::F32, 64));
+        let bindings =
+            [ArgBinding::Global(a), ArgBinding::Global(b), ArgBinding::Global(c)];
+        let mut t = NullTracer;
+        run_ndrange(&p, &bindings, &mut pool, NDRange::d1(64, 16), &mut t).unwrap();
+        for i in 0..64 {
+            assert_eq!(pool.get(c).as_f32()[i], i as f32 + 1.0);
+        }
+    }
+
+    #[test]
+    fn vecadd_event_counts() {
+        let p = vecadd_kernel();
+        let mut pool = MemoryPool::new();
+        let a = pool.add(BufferData::zeroed(Scalar::F32, 64));
+        let b = pool.add(BufferData::zeroed(Scalar::F32, 64));
+        let c = pool.add(BufferData::zeroed(Scalar::F32, 64));
+        let bindings =
+            [ArgBinding::Global(a), ArgBinding::Global(b), ArgBinding::Global(c)];
+        let mut t = CountingTracer::default();
+        run_ndrange(&p, &bindings, &mut pool, NDRange::d1(64, 16), &mut t).unwrap();
+        assert_eq!(t.threads, 64);
+        assert_eq!(t.groups, 4);
+        assert_eq!(t.loads, 128);
+        assert_eq!(t.stores, 64);
+        assert_eq!(t.bytes_read, 128 * 4);
+        assert_eq!(t.bytes_written, 64 * 4);
+    }
+
+    #[test]
+    fn vectorized_vecadd_matches_scalar() {
+        // float4 version: gid processes elements [4*gid, 4*gid+4)
+        let mut kb = KernelBuilder::new("vecadd4");
+        let a = kb.arg_global(Scalar::F32, Access::ReadOnly, true);
+        let b = kb.arg_global(Scalar::F32, Access::ReadOnly, true);
+        let c = kb.arg_global(Scalar::F32, Access::WriteOnly, true);
+        let gid = kb.query_global_id(0);
+        let base = kb.bin(
+            BinOp::Mul,
+            gid.into(),
+            Operand::ImmI(4),
+            VType::scalar(Scalar::U32),
+        );
+        let va = kb.vload(Scalar::F32, 4, a, base.into());
+        let vb = kb.vload(Scalar::F32, 4, b, base.into());
+        let s = kb.bin(BinOp::Add, va.into(), vb.into(), VType::new(Scalar::F32, 4));
+        kb.vstore(c, base.into(), s.into());
+        let p = kb.finish();
+        p.validate().expect("valid");
+
+        let mut pool = MemoryPool::new();
+        let a = pool.add(BufferData::from((0..64).map(|i| i as f32 * 0.5).collect::<Vec<_>>()));
+        let b = pool.add(BufferData::from((0..64).map(|i| i as f32).collect::<Vec<_>>()));
+        let c = pool.add(BufferData::zeroed(Scalar::F32, 64));
+        let bindings =
+            [ArgBinding::Global(a), ArgBinding::Global(b), ArgBinding::Global(c)];
+        let mut t = CountingTracer::default();
+        run_ndrange(&p, &bindings, &mut pool, NDRange::d1(16, 8), &mut t).unwrap();
+        for i in 0..64 {
+            assert_eq!(pool.get(c).as_f32()[i], i as f32 * 1.5);
+        }
+        // 16 threads × 2 vloads, all contiguous.
+        assert_eq!(t.loads, 32);
+        assert_eq!(t.contiguous, 32 + 16);
+        assert_eq!(t.bytes_read, 128 * 4);
+    }
+
+    #[test]
+    fn barrier_phases_share_local_memory() {
+        // Each item writes its local id to local mem; after the barrier,
+        // item 0 sums them and stores to out[group_id].
+        let mut kb = KernelBuilder::new("localsum");
+        let out = kb.arg_global(Scalar::U32, Access::WriteOnly, true);
+        let scratch = kb.arg_local(Scalar::U32);
+        let lid = kb.query_local_id(0);
+        kb.store(scratch, lid.into(), lid.into());
+        kb.barrier();
+        let lid2 = kb.query_local_id(0);
+        let is_zero = kb.bin(BinOp::Eq, lid2.into(), Operand::ImmI(0), VType::scalar(Scalar::U32));
+        kb.if_then(is_zero.into(), |kb| {
+            let acc = kb.mov(Operand::ImmI(0), VType::scalar(Scalar::U32));
+            let lsz = kb.query_local_size(0);
+            kb.for_loop(Operand::ImmI(0), lsz.into(), Operand::ImmI(1), |kb, i| {
+                let v = kb.load(Scalar::U32, scratch, i.into());
+                kb.bin_into(acc, BinOp::Add, acc.into(), v.into());
+            });
+            let gid = kb.query_group_id(0);
+            kb.store(out, gid.into(), acc.into());
+        });
+        let p = kb.finish();
+        p.validate().expect("valid");
+
+        let mut pool = MemoryPool::new();
+        let out_b = pool.add(BufferData::zeroed(Scalar::U32, 4));
+        let bindings = [ArgBinding::Global(out_b), ArgBinding::LocalSize(8)];
+        let mut t = NullTracer;
+        run_ndrange(&p, &bindings, &mut pool, NDRange::d1(32, 8), &mut t).unwrap();
+        // sum of 0..8 = 28 in every group
+        for g in 0..4 {
+            assert_eq!(pool.get(out_b).as_u32()[g], 28);
+        }
+    }
+
+    #[test]
+    fn atomics_serialize_correctly() {
+        let mut kb = KernelBuilder::new("count");
+        let out = kb.arg_global(Scalar::U32, Access::ReadWrite, false);
+        kb.atomic(AtomicOp::Inc, out, Operand::ImmI(0), Operand::ImmI(0));
+        let p = kb.finish();
+        p.validate().expect("valid");
+        let mut pool = MemoryPool::new();
+        let out_b = pool.add(BufferData::zeroed(Scalar::U32, 1));
+        let mut t = CountingTracer::default();
+        run_ndrange(&p, &[ArgBinding::Global(out_b)], &mut pool, NDRange::d1(100, 10), &mut t)
+            .unwrap();
+        assert_eq!(pool.get(out_b).as_u32()[0], 100);
+        assert_eq!(t.atomics, 100);
+    }
+
+    #[test]
+    fn scalar_args_are_readable() {
+        let mut kb = KernelBuilder::new("saxpy_alpha");
+        let x = kb.arg_global(Scalar::F32, Access::ReadWrite, true);
+        let alpha = kb.arg_scalar(Scalar::F32);
+        let gid = kb.query_global_id(0);
+        let va = kb.load_scalar_arg(alpha);
+        let vx = kb.load(Scalar::F32, x, gid.into());
+        let r = kb.bin(BinOp::Mul, vx.into(), va.into(), VType::scalar(Scalar::F32));
+        kb.store(x, gid.into(), r.into());
+        let p = kb.finish();
+        p.validate().expect("valid");
+        let mut pool = MemoryPool::new();
+        let x_b = pool.add(BufferData::from(vec![2.0f32; 8]));
+        let bindings = [ArgBinding::Global(x_b), ArgBinding::Scalar(Value::f32(3.0))];
+        run_ndrange(&p, &bindings, &mut pool, NDRange::d1(8, 8), &mut NullTracer).unwrap();
+        assert_eq!(pool.get(x_b).as_f32(), &[6.0f32; 8]);
+    }
+
+    #[test]
+    fn invalid_ndrange_rejected() {
+        let p = vecadd_kernel();
+        let mut pool = MemoryPool::new();
+        let a = pool.add(BufferData::zeroed(Scalar::F32, 64));
+        let b = pool.add(BufferData::zeroed(Scalar::F32, 64));
+        let c = pool.add(BufferData::zeroed(Scalar::F32, 64));
+        let bindings =
+            [ArgBinding::Global(a), ArgBinding::Global(b), ArgBinding::Global(c)];
+        let err = run_ndrange(&p, &bindings, &mut pool, NDRange::d1(63, 16), &mut NullTracer);
+        assert!(matches!(err, Err(ExecError::InvalidNDRange(_))));
+    }
+
+    #[test]
+    fn binding_mismatch_rejected() {
+        let p = vecadd_kernel();
+        let mut pool = MemoryPool::new();
+        let a = pool.add(BufferData::zeroed(Scalar::F32, 64));
+        let err = run_ndrange(
+            &p,
+            &[ArgBinding::Global(a)],
+            &mut pool,
+            NDRange::d1(64, 16),
+            &mut NullTracer,
+        );
+        assert!(matches!(err, Err(ExecError::BindingMismatch(_))));
+    }
+
+    #[test]
+    fn ndrange_helpers() {
+        let n = NDRange::d2(64, 32, 8, 4);
+        assert_eq!(n.num_groups(), [8, 8, 1]);
+        assert_eq!(n.total_groups(), 64);
+        assert_eq!(n.group_size(), 32);
+        assert_eq!(n.total_items(), 2048);
+        assert_eq!(n.group_coords(9), [1, 1, 0]);
+    }
+
+    #[test]
+    fn for_loop_with_negative_step() {
+        let mut kb = KernelBuilder::new("countdown");
+        let out = kb.arg_global(Scalar::I32, Access::ReadWrite, false);
+        let acc = kb.mov(Operand::ImmI(0), VType::scalar(Scalar::I32));
+        kb.for_loop_typed(
+            Scalar::I32,
+            Operand::ImmI(5),
+            Operand::ImmI(0),
+            Operand::ImmI(-1),
+            |kb, i| {
+                kb.bin_into(acc, BinOp::Add, acc.into(), i.into());
+            },
+        );
+        kb.store(out, Operand::ImmI(0), acc.into());
+        let p = kb.finish();
+        p.validate().expect("valid");
+        let mut pool = MemoryPool::new();
+        let out_b = pool.add(BufferData::zeroed(Scalar::I32, 1));
+        run_ndrange(&p, &[ArgBinding::Global(out_b)], &mut pool, NDRange::d1(1, 1), &mut NullTracer)
+            .unwrap();
+        assert_eq!(pool.get(out_b).as_i32()[0], 5 + 4 + 3 + 2 + 1);
+    }
+}

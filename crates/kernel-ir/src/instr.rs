@@ -1,0 +1,332 @@
+//! Instruction set of the kernel IR.
+//!
+//! The IR is a register machine with *structured* control flow (`For`, `If`)
+//! — the shape OpenCL kernels in the paper actually have — which keeps the
+//! interpreter simple and makes transformation passes (vectorization, loop
+//! unrolling) tractable.
+
+use crate::types::{MemSpace, Scalar, VType};
+
+/// A virtual register index. Registers are typed; see
+/// [`Program::regs`](crate::program::Program).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub u32);
+
+/// Kernel argument index (buffers and scalars share one argument list,
+/// exactly like `clSetKernelArg` positions).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ArgIdx(pub u32);
+
+/// An instruction operand: a register or an immediate. Immediates broadcast
+/// to the width required by the consuming instruction.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Operand {
+    Reg(Reg),
+    /// Float immediate; materialized as the float type of the consuming op.
+    ImmF(f64),
+    /// Integer immediate; materialized as the integer type of the consuming op.
+    ImmI(i64),
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Self {
+        Operand::Reg(r)
+    }
+}
+
+/// Two-operand arithmetic/logic operations, applied lane-wise.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    /// Remainder (integer only in our kernels).
+    Rem,
+    Min,
+    Max,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    /// Comparisons produce `Bool` vectors.
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+}
+
+impl BinOp {
+    /// Whether the result element type is `Bool` rather than the input type.
+    pub const fn is_compare(self) -> bool {
+        matches!(
+            self,
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne
+        )
+    }
+
+    /// Whether the op is integer-only.
+    pub const fn int_only(self) -> bool {
+        matches!(
+            self,
+            BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Shl | BinOp::Shr | BinOp::Rem
+        )
+    }
+}
+
+/// One-operand operations, applied lane-wise.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    Neg,
+    Abs,
+    Sqrt,
+    /// Reciprocal square root — a native special-function op on the Mali
+    /// arithmetic pipe, heavily used by `nbody`.
+    Rsqrt,
+    Exp,
+    Log,
+    Not,
+}
+
+impl UnOp {
+    /// Special-function ops go through the (slower) SFU path on both devices.
+    pub const fn is_special(self) -> bool {
+        matches!(self, UnOp::Sqrt | UnOp::Rsqrt | UnOp::Exp | UnOp::Log)
+    }
+}
+
+/// Horizontal (cross-lane) reductions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum HorizOp {
+    Add,
+    Min,
+    Max,
+}
+
+/// Atomic read-modify-write operations on buffers. Mali-T604 implements
+/// these in hardware (in the L2 / snoop-control unit).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AtomicOp {
+    Add,
+    /// `atomic_inc` — add 1, return old value.
+    Inc,
+    Min,
+    Max,
+}
+
+/// Work-item/built-in queries (OpenCL `get_global_id` & friends).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Builtin {
+    GlobalId(u8),
+    LocalId(u8),
+    GroupId(u8),
+    GlobalSize(u8),
+    LocalSize(u8),
+    NumGroups(u8),
+}
+
+/// One IR instruction.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Op {
+    /// `dst = a <op> b` (lane-wise; scalar operands broadcast).
+    Bin { dst: Reg, op: BinOp, a: Operand, b: Operand },
+    /// `dst = <op> a`.
+    Un { dst: Reg, op: UnOp, a: Operand },
+    /// Fused multiply-add `dst = a*b + c` — one arithmetic-pipe slot on Mali.
+    Mad { dst: Reg, a: Operand, b: Operand, c: Operand },
+    /// Lane-wise `dst = cond ? a : b`; `cond` is a Bool vector of the same
+    /// width (this is how divergence-free Mali code expresses branches).
+    Select { dst: Reg, cond: Operand, a: Operand, b: Operand },
+    /// Copy/materialize.
+    Mov { dst: Reg, a: Operand },
+    /// Lane-wise type conversion to the destination register's type.
+    Cast { dst: Reg, a: Operand },
+    /// Horizontal reduction of a vector register into a scalar register.
+    Horiz { dst: Reg, op: HorizOp, a: Operand },
+    /// Extract lane `lane` of `a` into scalar `dst`.
+    Extract { dst: Reg, a: Operand, lane: u8 },
+    /// Insert scalar `v` into lane `lane` of vector register `dst`.
+    Insert { dst: Reg, v: Operand, lane: u8 },
+    /// Built-in work-item query; `dst` must be a scalar `U32` register.
+    Query { dst: Reg, q: Builtin },
+
+    /// Gather load: lane `i` of `dst` comes from `buf[idx.lane(i)]`.
+    /// With scalar `dst`/`idx` this is a plain scalar load.
+    Load { dst: Reg, buf: ArgIdx, idx: Operand },
+    /// Contiguous vector load of `dst.width` elements starting at scalar
+    /// element index `base` (OpenCL `vloadN`).
+    VLoad { dst: Reg, buf: ArgIdx, base: Operand },
+    /// Scatter store, mirror of `Load`.
+    Store { buf: ArgIdx, idx: Operand, val: Operand },
+    /// Contiguous vector store, mirror of `VLoad` (OpenCL `vstoreN`).
+    VStore { buf: ArgIdx, base: Operand, val: Operand },
+    /// Atomic RMW on a buffer element; optionally returns the old value.
+    Atomic { op: AtomicOp, buf: ArgIdx, idx: Operand, val: Operand, old: Option<Reg> },
+
+    /// Counted loop: `for (var = start; var < end; var += step) body`.
+    /// `var` is a scalar integer register.
+    For { var: Reg, start: Operand, end: Operand, step: Operand, body: Vec<Op> },
+    /// Scalar conditional.
+    If { cond: Operand, then: Vec<Op>, els: Vec<Op> },
+    /// Work-group barrier (`barrier(CLK_*_MEM_FENCE)`). Only valid at the
+    /// top level of the kernel body — the uniform-control-flow requirement
+    /// OpenCL imposes anyway.
+    Barrier,
+}
+
+impl Op {
+    /// Visit this op and all nested ops (pre-order).
+    pub fn visit<'a>(&'a self, f: &mut dyn FnMut(&'a Op)) {
+        f(self);
+        match self {
+            Op::For { body, .. } => {
+                for op in body {
+                    op.visit(f);
+                }
+            }
+            Op::If { then, els, .. } => {
+                for op in then.iter().chain(els) {
+                    op.visit(f);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Registers written by this op (not descending into bodies).
+    pub fn dst_reg(&self) -> Option<Reg> {
+        match self {
+            Op::Bin { dst, .. }
+            | Op::Un { dst, .. }
+            | Op::Mad { dst, .. }
+            | Op::Select { dst, .. }
+            | Op::Mov { dst, .. }
+            | Op::Cast { dst, .. }
+            | Op::Horiz { dst, .. }
+            | Op::Extract { dst, .. }
+            | Op::Insert { dst, .. }
+            | Op::Query { dst, .. }
+            | Op::Load { dst, .. }
+            | Op::VLoad { dst, .. } => Some(*dst),
+            Op::Atomic { old, .. } => *old,
+            Op::For { var, .. } => Some(*var),
+            _ => None,
+        }
+    }
+}
+
+/// Kernel argument declaration.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ArgDecl {
+    /// A `__global` buffer argument.
+    GlobalBuf {
+        elem: Scalar,
+        access: crate::types::Access,
+        /// `restrict`-qualified — lets the compiler assume no aliasing
+        /// (Section III-B "Directives and Type Qualifiers").
+        restrict: bool,
+    },
+    /// A `__local` buffer argument; its element count is supplied at launch
+    /// (like `clSetKernelArg(…, size, NULL)`).
+    LocalBuf { elem: Scalar },
+    /// A scalar argument passed by value.
+    Scalar { ty: Scalar },
+}
+
+impl ArgDecl {
+    pub fn space(&self) -> Option<MemSpace> {
+        match self {
+            ArgDecl::GlobalBuf { .. } => Some(MemSpace::Global),
+            ArgDecl::LocalBuf { .. } => Some(MemSpace::Local),
+            ArgDecl::Scalar { .. } => None,
+        }
+    }
+
+    pub fn elem(&self) -> Scalar {
+        match self {
+            ArgDecl::GlobalBuf { elem, .. } | ArgDecl::LocalBuf { elem } => *elem,
+            ArgDecl::Scalar { ty } => *ty,
+        }
+    }
+}
+
+/// Compiler-hint metadata from Section III-B ("Directives and Type
+/// Qualifiers"). These don't change semantics; device models apply small
+/// instruction-overhead reductions when they are set, mirroring the paper's
+/// measured effect of `inline`/`const`/`restrict`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Hints {
+    /// Helper functions marked `inline` (larger basic blocks, no call
+    /// overhead).
+    pub inline: bool,
+    /// Scalar/pointer args marked `const`.
+    pub const_args: bool,
+}
+
+/// The wider vector type used by a `VType` after vectorization; helper used
+/// by passes and tests.
+pub fn widen(ty: VType, factor: u8) -> VType {
+    VType::new(ty.elem, ty.width * factor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Access;
+
+    #[test]
+    fn compare_ops_flagged() {
+        assert!(BinOp::Lt.is_compare());
+        assert!(!BinOp::Add.is_compare());
+    }
+
+    #[test]
+    fn int_only_ops() {
+        assert!(BinOp::Xor.int_only());
+        assert!(BinOp::Rem.int_only());
+        assert!(!BinOp::Mul.int_only());
+    }
+
+    #[test]
+    fn special_unops() {
+        assert!(UnOp::Rsqrt.is_special());
+        assert!(UnOp::Exp.is_special());
+        assert!(!UnOp::Neg.is_special());
+    }
+
+    #[test]
+    fn visit_descends_into_loops() {
+        let inner = Op::Mov { dst: Reg(1), a: Operand::ImmI(0) };
+        let outer = Op::For {
+            var: Reg(0),
+            start: Operand::ImmI(0),
+            end: Operand::ImmI(4),
+            step: Operand::ImmI(1),
+            body: vec![inner.clone(), Op::If {
+                cond: Operand::Reg(Reg(2)),
+                then: vec![inner.clone()],
+                els: vec![],
+            }],
+        };
+        let mut n = 0;
+        outer.visit(&mut |_| n += 1);
+        assert_eq!(n, 4); // for + mov + if + mov
+    }
+
+    #[test]
+    fn arg_decl_spaces() {
+        let g = ArgDecl::GlobalBuf { elem: Scalar::F32, access: Access::ReadOnly, restrict: true };
+        assert_eq!(g.space(), Some(MemSpace::Global));
+        let l = ArgDecl::LocalBuf { elem: Scalar::U32 };
+        assert_eq!(l.space(), Some(MemSpace::Local));
+        assert_eq!(ArgDecl::Scalar { ty: Scalar::I32 }.space(), None);
+    }
+
+    #[test]
+    fn widen_helper() {
+        assert_eq!(widen(VType::scalar(Scalar::F32), 4), VType::new(Scalar::F32, 4));
+    }
+}

@@ -1,0 +1,309 @@
+//! Device memory: typed buffers and the flat address space they live in.
+//!
+//! Buffers carry a *simulated base address* so cache models downstream see a
+//! realistic address stream (distinct buffers map to distinct, page-aligned
+//! regions, as the Mali MMU would arrange them).
+
+use crate::types::Scalar;
+use crate::value::Value;
+
+/// Typed element storage of one buffer.
+#[derive(Clone, Debug, PartialEq)]
+pub enum BufferData {
+    F32(Vec<f32>),
+    F64(Vec<f64>),
+    I32(Vec<i32>),
+    I64(Vec<i64>),
+    U32(Vec<u32>),
+    U64(Vec<u64>),
+}
+
+impl BufferData {
+    /// Zero-initialized buffer of `len` elements.
+    pub fn zeroed(elem: Scalar, len: usize) -> BufferData {
+        match elem {
+            Scalar::F32 => BufferData::F32(vec![0.0; len]),
+            Scalar::F64 => BufferData::F64(vec![0.0; len]),
+            Scalar::I32 => BufferData::I32(vec![0; len]),
+            Scalar::I64 => BufferData::I64(vec![0; len]),
+            Scalar::U32 => BufferData::U32(vec![0; len]),
+            Scalar::U64 => BufferData::U64(vec![0; len]),
+            Scalar::Bool => panic!("bool buffers are not storable"),
+        }
+    }
+
+    pub fn elem(&self) -> Scalar {
+        match self {
+            BufferData::F32(_) => Scalar::F32,
+            BufferData::F64(_) => Scalar::F64,
+            BufferData::I32(_) => Scalar::I32,
+            BufferData::I64(_) => Scalar::I64,
+            BufferData::U32(_) => Scalar::U32,
+            BufferData::U64(_) => Scalar::U64,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        match self {
+            BufferData::F32(v) => v.len(),
+            BufferData::F64(v) => v.len(),
+            BufferData::I32(v) => v.len(),
+            BufferData::I64(v) => v.len(),
+            BufferData::U32(v) => v.len(),
+            BufferData::U64(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Byte size of the buffer contents.
+    pub fn bytes(&self) -> u64 {
+        self.len() as u64 * self.elem().bytes() as u64
+    }
+
+    /// Read one element as a scalar [`Value`]. Panics on out-of-bounds, which
+    /// surfaces kernel indexing bugs immediately (a real device would fault
+    /// or corrupt memory — the simulator is stricter).
+    pub fn get(&self, i: usize) -> Value {
+        match self {
+            BufferData::F32(v) => Value::f32(v[i]),
+            BufferData::F64(v) => Value::f64(v[i]),
+            BufferData::I32(v) => Value::i32(v[i]),
+            BufferData::I64(v) => Value::i64(v[i]),
+            BufferData::U32(v) => Value::u32(v[i]),
+            BufferData::U64(v) => Value::u64(v[i]),
+        }
+    }
+
+    /// Write lane `lane` of `val` to element `i`.
+    pub fn set(&mut self, i: usize, val: &Value, lane: usize) {
+        match self {
+            BufferData::F32(v) => v[i] = val.lane_f64(lane) as f32,
+            BufferData::F64(v) => v[i] = val.lane_f64(lane),
+            BufferData::I32(v) => v[i] = val.lane_i64(lane) as i32,
+            BufferData::I64(v) => v[i] = val.lane_i64(lane),
+            BufferData::U32(v) => v[i] = val.lane_i64(lane) as u32,
+            BufferData::U64(v) => v[i] = val.lane_i64(lane) as u64,
+        }
+    }
+
+    /// Gather `width` lanes at element indices given by `idx` lanes.
+    pub fn gather(&self, idx: &Value) -> Value {
+        let w = idx.width() as usize;
+        let mut out = Value::zero(crate::types::VType::new(self.elem(), w as u8));
+        for lane in 0..w {
+            out = out.insert(lane, &self.get(idx.lane_index(lane)));
+        }
+        out
+    }
+
+    /// Contiguous load of `width` elements starting at `base`.
+    pub fn vload(&self, base: usize, width: u8) -> Value {
+        let mut out = Value::zero(crate::types::VType::new(self.elem(), width));
+        for lane in 0..width as usize {
+            out = out.insert(lane, &self.get(base + lane));
+        }
+        out
+    }
+
+    /// Contiguous store of all lanes of `val` starting at `base`.
+    pub fn vstore(&mut self, base: usize, val: &Value) {
+        for lane in 0..val.width() as usize {
+            self.set(base + lane, val, lane);
+        }
+    }
+
+    /// Convenience accessors for host code / validation.
+    pub fn as_f32(&self) -> &[f32] {
+        match self {
+            BufferData::F32(v) => v,
+            _ => panic!("buffer is {:?}, not f32", self.elem()),
+        }
+    }
+    pub fn as_f64(&self) -> &[f64] {
+        match self {
+            BufferData::F64(v) => v,
+            _ => panic!("buffer is {:?}, not f64", self.elem()),
+        }
+    }
+    pub fn as_u32(&self) -> &[u32] {
+        match self {
+            BufferData::U32(v) => v,
+            _ => panic!("buffer is {:?}, not u32", self.elem()),
+        }
+    }
+    pub fn as_i32(&self) -> &[i32] {
+        match self {
+            BufferData::I32(v) => v,
+            _ => panic!("buffer is {:?}, not i32", self.elem()),
+        }
+    }
+
+    /// Lane `i` as f64 for tolerance comparisons in tests/validators.
+    pub fn elem_f64(&self, i: usize) -> f64 {
+        self.get(i).lane_f64(0)
+    }
+}
+
+impl From<Vec<f32>> for BufferData {
+    fn from(v: Vec<f32>) -> Self {
+        BufferData::F32(v)
+    }
+}
+impl From<Vec<f64>> for BufferData {
+    fn from(v: Vec<f64>) -> Self {
+        BufferData::F64(v)
+    }
+}
+impl From<Vec<i32>> for BufferData {
+    fn from(v: Vec<i32>) -> Self {
+        BufferData::I32(v)
+    }
+}
+impl From<Vec<u32>> for BufferData {
+    fn from(v: Vec<u32>) -> Self {
+        BufferData::U32(v)
+    }
+}
+impl From<Vec<i64>> for BufferData {
+    fn from(v: Vec<i64>) -> Self {
+        BufferData::I64(v)
+    }
+}
+impl From<Vec<u64>> for BufferData {
+    fn from(v: Vec<u64>) -> Self {
+        BufferData::U64(v)
+    }
+}
+
+/// Alignment of simulated buffer base addresses (one 4 KiB page).
+pub const BUFFER_ALIGN: u64 = 4096;
+
+/// A set of buffers laid out in a single simulated physical address space.
+#[derive(Clone, Debug, Default)]
+pub struct MemoryPool {
+    buffers: Vec<BufferData>,
+    bases: Vec<u64>,
+    next_base: u64,
+}
+
+impl MemoryPool {
+    pub fn new() -> Self {
+        MemoryPool { buffers: Vec::new(), bases: Vec::new(), next_base: BUFFER_ALIGN }
+    }
+
+    /// Add a buffer; returns its pool index.
+    ///
+    /// Bases are page-aligned and *colored*: each buffer is additionally
+    /// staggered by a line-aligned offset so that same-index elements of
+    /// consecutive buffers do not land in the same cache set (a packed
+    /// layout would alias power-of-two-sized buffers pathologically, which
+    /// real allocators avoid by accident).
+    pub fn add(&mut self, data: BufferData) -> usize {
+        let idx = self.buffers.len();
+        let size = data.bytes().max(1);
+        let color = (idx as u64 % 13) * 832; // 13 x 64-byte lines per step
+        self.bases.push(self.next_base + color);
+        self.next_base +=
+            (size + color).div_ceil(BUFFER_ALIGN) * BUFFER_ALIGN + BUFFER_ALIGN;
+        self.buffers.push(data);
+        idx
+    }
+
+    pub fn len(&self) -> usize {
+        self.buffers.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buffers.is_empty()
+    }
+
+    pub fn get(&self, idx: usize) -> &BufferData {
+        &self.buffers[idx]
+    }
+
+    pub fn get_mut(&mut self, idx: usize) -> &mut BufferData {
+        &mut self.buffers[idx]
+    }
+
+    /// Simulated physical base address of buffer `idx`.
+    pub fn base_addr(&self, idx: usize) -> u64 {
+        self.bases[idx]
+    }
+
+    /// Simulated physical address of element `elem_idx` in buffer `idx`.
+    pub fn elem_addr(&self, idx: usize, elem_idx: usize) -> u64 {
+        self.bases[idx] + elem_idx as u64 * self.buffers[idx].elem().bytes() as u64
+    }
+
+    pub fn take(self) -> Vec<BufferData> {
+        self.buffers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_typed() {
+        let b = BufferData::zeroed(Scalar::F64, 8);
+        assert_eq!(b.len(), 8);
+        assert_eq!(b.elem(), Scalar::F64);
+        assert_eq!(b.bytes(), 64);
+    }
+
+    #[test]
+    fn vload_vstore_roundtrip() {
+        let mut b = BufferData::from(vec![0f32; 8]);
+        let v = Value::f32s(&[1.0, 2.0, 3.0, 4.0]);
+        b.vstore(2, &v);
+        let r = b.vload(2, 4);
+        assert_eq!(r, v);
+        assert_eq!(b.as_f32()[1], 0.0);
+        assert_eq!(b.as_f32()[6], 0.0);
+    }
+
+    #[test]
+    fn gather_respects_indices() {
+        let b = BufferData::from(vec![10f32, 11.0, 12.0, 13.0]);
+        let idx = Value::u32s(&[3, 0]);
+        let g = b.gather(&idx);
+        assert_eq!(g.lane_f64(0), 13.0);
+        assert_eq!(g.lane_f64(1), 10.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_faults() {
+        let b = BufferData::from(vec![1f32]);
+        let _ = b.get(5);
+    }
+
+    #[test]
+    fn pool_addresses_disjoint_and_aligned() {
+        let mut pool = MemoryPool::new();
+        let a = pool.add(BufferData::zeroed(Scalar::F32, 1000));
+        let b = pool.add(BufferData::zeroed(Scalar::F64, 10));
+        let base_a = pool.base_addr(a);
+        let base_b = pool.base_addr(b);
+        // Bases are line-aligned (coloring staggers them off page
+        // boundaries on purpose).
+        assert_eq!(base_a % 64, 0);
+        assert_eq!(base_b % 64, 0);
+        // b starts past the end of a.
+        assert!(base_b >= base_a + 4000);
+        // element addressing scales with element size.
+        assert_eq!(pool.elem_addr(b, 3), base_b + 24);
+    }
+
+    #[test]
+    fn set_get_integer_exact() {
+        let mut b = BufferData::zeroed(Scalar::U64, 2);
+        let big = Value::u64(u64::MAX - 1);
+        b.set(1, &big, 0);
+        assert_eq!(b.get(1), big);
+    }
+}

@@ -1,0 +1,344 @@
+//! Lane-wise evaluation of arithmetic operations on [`Value`]s.
+//!
+//! Semantics follow OpenCL C: integer arithmetic wraps, shifts mask the
+//! shift amount by the lane width (as ARM hardware does), float math is
+//! IEEE-754 (`f32`/`f64` native Rust semantics — both full-profile
+//! compliant, matching the Mali-T604's IEEE-754-2008 support).
+
+use crate::instr::{BinOp, UnOp};
+use crate::types::{Scalar, VType, MAX_LANES};
+use crate::value::{Lanes, Value};
+
+/// Result type of a binary op on operands of type `ty`.
+pub fn bin_result_type(op: BinOp, ty: VType) -> VType {
+    if op.is_compare() {
+        VType { elem: Scalar::Bool, width: ty.width }
+    } else {
+        ty
+    }
+}
+
+macro_rules! float_bin {
+    ($op:expr, $a:expr, $b:expr, $w:expr, $t:ty, $variant:ident, $ctor:ident) => {{
+        let mut out = [<$t>::default(); MAX_LANES];
+        for i in 0..$w {
+            out[i] = match $op {
+                BinOp::Add => $a[i] + $b[i],
+                BinOp::Sub => $a[i] - $b[i],
+                BinOp::Mul => $a[i] * $b[i],
+                BinOp::Div => $a[i] / $b[i],
+                BinOp::Rem => $a[i] % $b[i],
+                BinOp::Min => $a[i].min($b[i]),
+                BinOp::Max => $a[i].max($b[i]),
+                _ => unreachable!("non-arith float op handled elsewhere"),
+            };
+        }
+        Value::$ctor(&out[..$w])
+    }};
+}
+
+macro_rules! int_bin {
+    ($op:expr, $a:expr, $b:expr, $w:expr, $t:ty, $ctor:ident) => {{
+        let mut out = [<$t>::default(); MAX_LANES];
+        let lane_bits = (<$t>::BITS - 1) as $t;
+        for i in 0..$w {
+            out[i] = match $op {
+                BinOp::Add => $a[i].wrapping_add($b[i]),
+                BinOp::Sub => $a[i].wrapping_sub($b[i]),
+                BinOp::Mul => $a[i].wrapping_mul($b[i]),
+                BinOp::Div => {
+                    assert!($b[i] != 0, "integer division by zero in kernel");
+                    $a[i].wrapping_div($b[i])
+                }
+                BinOp::Rem => {
+                    assert!($b[i] != 0, "integer remainder by zero in kernel");
+                    $a[i].wrapping_rem($b[i])
+                }
+                BinOp::Min => $a[i].min($b[i]),
+                BinOp::Max => $a[i].max($b[i]),
+                BinOp::And => $a[i] & $b[i],
+                BinOp::Or => $a[i] | $b[i],
+                BinOp::Xor => $a[i] ^ $b[i],
+                BinOp::Shl => $a[i].wrapping_shl(($b[i] & lane_bits) as u32),
+                BinOp::Shr => $a[i].wrapping_shr(($b[i] & lane_bits) as u32),
+                _ => unreachable!("comparison handled elsewhere"),
+            };
+        }
+        Value::$ctor(&out[..$w])
+    }};
+}
+
+macro_rules! cmp_bin {
+    ($op:expr, $a:expr, $b:expr, $w:expr) => {{
+        let mut out = [false; MAX_LANES];
+        for i in 0..$w {
+            out[i] = match $op {
+                BinOp::Lt => $a[i] < $b[i],
+                BinOp::Le => $a[i] <= $b[i],
+                BinOp::Gt => $a[i] > $b[i],
+                BinOp::Ge => $a[i] >= $b[i],
+                BinOp::Eq => $a[i] == $b[i],
+                BinOp::Ne => $a[i] != $b[i],
+                _ => unreachable!(),
+            };
+        }
+        Value::bools(&out[..$w])
+    }};
+}
+
+/// Apply a binary op to two values of identical type/width.
+pub fn eval_bin(op: BinOp, a: &Value, b: &Value) -> Value {
+    assert_eq!(a.vtype(), b.vtype(), "binop operand type mismatch: {op:?}");
+    let w = a.width() as usize;
+    if op.is_compare() {
+        return match (a.lanes(), b.lanes()) {
+            (Lanes::F32(x), Lanes::F32(y)) => cmp_bin!(op, x, y, w),
+            (Lanes::F64(x), Lanes::F64(y)) => cmp_bin!(op, x, y, w),
+            (Lanes::I32(x), Lanes::I32(y)) => cmp_bin!(op, x, y, w),
+            (Lanes::I64(x), Lanes::I64(y)) => cmp_bin!(op, x, y, w),
+            (Lanes::U32(x), Lanes::U32(y)) => cmp_bin!(op, x, y, w),
+            (Lanes::U64(x), Lanes::U64(y)) => cmp_bin!(op, x, y, w),
+            (Lanes::Bool(x), Lanes::Bool(y)) => cmp_bin!(op, x, y, w),
+            _ => unreachable!("types already checked equal"),
+        };
+    }
+    match (a.lanes(), b.lanes()) {
+        (Lanes::F32(x), Lanes::F32(y)) => {
+            assert!(!op.int_only(), "{op:?} is integer-only, applied to float");
+            float_bin!(op, x, y, w, f32, F32, f32s)
+        }
+        (Lanes::F64(x), Lanes::F64(y)) => {
+            assert!(!op.int_only(), "{op:?} is integer-only, applied to double");
+            float_bin!(op, x, y, w, f64, F64, f64s)
+        }
+        (Lanes::I32(x), Lanes::I32(y)) => int_bin!(op, x, y, w, i32, i32s),
+        (Lanes::I64(x), Lanes::I64(y)) => int_bin!(op, x, y, w, i64, i64s),
+        (Lanes::U32(x), Lanes::U32(y)) => int_bin!(op, x, y, w, u32, u32s),
+        (Lanes::U64(x), Lanes::U64(y)) => int_bin!(op, x, y, w, u64, u64s),
+        (Lanes::Bool(_), Lanes::Bool(_)) => {
+            panic!("arithmetic binop {op:?} on bool vectors")
+        }
+        _ => unreachable!("types already checked equal"),
+    }
+}
+
+macro_rules! float_un {
+    ($op:expr, $a:expr, $w:expr, $t:ty, $ctor:ident) => {{
+        let mut out = [<$t>::default(); MAX_LANES];
+        for i in 0..$w {
+            out[i] = match $op {
+                UnOp::Neg => -$a[i],
+                UnOp::Abs => $a[i].abs(),
+                UnOp::Sqrt => $a[i].sqrt(),
+                UnOp::Rsqrt => 1.0 / $a[i].sqrt(),
+                UnOp::Exp => $a[i].exp(),
+                UnOp::Log => $a[i].ln(),
+                UnOp::Not => panic!("bitwise not on float"),
+            };
+        }
+        Value::$ctor(&out[..$w])
+    }};
+}
+
+/// Apply a unary op lane-wise.
+pub fn eval_un(op: UnOp, a: &Value) -> Value {
+    let w = a.width() as usize;
+    match a.lanes() {
+        Lanes::F32(x) => float_un!(op, x, w, f32, f32s),
+        Lanes::F64(x) => float_un!(op, x, w, f64, f64s),
+        Lanes::I32(x) => {
+            let mut out = [0i32; MAX_LANES];
+            for i in 0..w {
+                out[i] = match op {
+                    UnOp::Neg => x[i].wrapping_neg(),
+                    UnOp::Abs => x[i].wrapping_abs(),
+                    UnOp::Not => !x[i],
+                    _ => panic!("{op:?} on int lanes"),
+                };
+            }
+            Value::i32s(&out[..w])
+        }
+        Lanes::I64(x) => {
+            let mut out = [0i64; MAX_LANES];
+            for i in 0..w {
+                out[i] = match op {
+                    UnOp::Neg => x[i].wrapping_neg(),
+                    UnOp::Abs => x[i].wrapping_abs(),
+                    UnOp::Not => !x[i],
+                    _ => panic!("{op:?} on long lanes"),
+                };
+            }
+            Value::i64s(&out[..w])
+        }
+        Lanes::U32(x) => {
+            let mut out = [0u32; MAX_LANES];
+            for i in 0..w {
+                out[i] = match op {
+                    UnOp::Neg => x[i].wrapping_neg(),
+                    UnOp::Abs => x[i],
+                    UnOp::Not => !x[i],
+                    _ => panic!("{op:?} on uint lanes"),
+                };
+            }
+            Value::u32s(&out[..w])
+        }
+        Lanes::U64(x) => {
+            let mut out = [0u64; MAX_LANES];
+            for i in 0..w {
+                out[i] = match op {
+                    UnOp::Neg => x[i].wrapping_neg(),
+                    UnOp::Abs => x[i],
+                    UnOp::Not => !x[i],
+                    _ => panic!("{op:?} on ulong lanes"),
+                };
+            }
+            Value::u64s(&out[..w])
+        }
+        Lanes::Bool(x) => {
+            let mut out = [false; MAX_LANES];
+            for i in 0..w {
+                out[i] = match op {
+                    UnOp::Not => !x[i],
+                    _ => panic!("{op:?} on bool lanes"),
+                };
+            }
+            Value::bools(&out[..w])
+        }
+    }
+}
+
+/// Lane-wise select: `cond ? a : b`.
+pub fn eval_select(cond: &Value, a: &Value, b: &Value) -> Value {
+    assert_eq!(cond.elem(), Scalar::Bool, "select condition must be bool");
+    assert_eq!(a.vtype(), b.vtype(), "select arm type mismatch");
+    assert_eq!(cond.width(), a.width(), "select width mismatch");
+    let mut out = *b;
+    for i in 0..a.width() as usize {
+        if cond.lane_bool(i) {
+            out = out.insert(i, &a.extract(i));
+        }
+    }
+    out
+}
+
+/// Fused multiply-add `a*b + c` (single rounding, like hardware FMA).
+pub fn eval_mad(a: &Value, b: &Value, c: &Value) -> Value {
+    assert_eq!(a.vtype(), b.vtype(), "mad operand type mismatch");
+    assert_eq!(a.vtype(), c.vtype(), "mad operand type mismatch");
+    let w = a.width() as usize;
+    match (a.lanes(), b.lanes(), c.lanes()) {
+        (Lanes::F32(x), Lanes::F32(y), Lanes::F32(z)) => {
+            let mut out = [0f32; MAX_LANES];
+            for i in 0..w {
+                out[i] = x[i].mul_add(y[i], z[i]);
+            }
+            Value::f32s(&out[..w])
+        }
+        (Lanes::F64(x), Lanes::F64(y), Lanes::F64(z)) => {
+            let mut out = [0f64; MAX_LANES];
+            for i in 0..w {
+                out[i] = x[i].mul_add(y[i], z[i]);
+            }
+            Value::f64s(&out[..w])
+        }
+        _ => {
+            // Integer mad: multiply then add, wrapping.
+            let p = eval_bin(BinOp::Mul, a, b);
+            eval_bin(BinOp::Add, &p, c)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn float_arith() {
+        let a = Value::f32s(&[1.0, 2.0, 3.0, 4.0]);
+        let b = Value::f32s(&[4.0, 3.0, 2.0, 1.0]);
+        let s = eval_bin(BinOp::Add, &a, &b);
+        for i in 0..4 {
+            assert_eq!(s.lane_f64(i), 5.0);
+        }
+        let m = eval_bin(BinOp::Max, &a, &b);
+        assert_eq!(m.lane_f64(0), 4.0);
+        assert_eq!(m.lane_f64(3), 4.0);
+    }
+
+    #[test]
+    fn int_wrapping() {
+        let a = Value::u32s(&[u32::MAX]);
+        let b = Value::u32s(&[1]);
+        assert_eq!(eval_bin(BinOp::Add, &a, &b).lane_i64(0), 0);
+        let c = Value::i32s(&[i32::MIN]);
+        assert_eq!(eval_un(UnOp::Neg, &c).lane_i64(0), i32::MIN as i64);
+    }
+
+    #[test]
+    fn shift_masks_amount() {
+        // OpenCL/ARM semantics: shift amount taken modulo lane bits.
+        let a = Value::u32s(&[1]);
+        let b = Value::u32s(&[33]);
+        assert_eq!(eval_bin(BinOp::Shl, &a, &b).lane_i64(0), 2);
+    }
+
+    #[test]
+    fn compare_yields_bools() {
+        let a = Value::f64s(&[1.0, 5.0]);
+        let b = Value::f64s(&[2.0, 2.0]);
+        let c = eval_bin(BinOp::Lt, &a, &b);
+        assert_eq!(c.elem(), Scalar::Bool);
+        assert!(c.lane_bool(0));
+        assert!(!c.lane_bool(1));
+    }
+
+    #[test]
+    fn select_lanewise() {
+        let c = Value::bools(&[true, false, true, false]);
+        let a = Value::i32s(&[1, 1, 1, 1]);
+        let b = Value::i32s(&[9, 9, 9, 9]);
+        let s = eval_select(&c, &a, &b);
+        assert_eq!(
+            (0..4).map(|i| s.lane_i64(i)).collect::<Vec<_>>(),
+            vec![1, 9, 1, 9]
+        );
+    }
+
+    #[test]
+    fn mad_is_fused_f32() {
+        // FMA has a single rounding: (a*b + c) where a*b would round in f32.
+        let a = Value::f32(1.0 + f32::EPSILON);
+        let s = eval_mad(&a, &a, &Value::f32(-1.0));
+        let expected = (1.0f32 + f32::EPSILON).mul_add(1.0 + f32::EPSILON, -1.0);
+        assert_eq!(s.lane_f64(0), expected as f64);
+    }
+
+    #[test]
+    fn rsqrt() {
+        let a = Value::f32(4.0);
+        assert_eq!(eval_un(UnOp::Rsqrt, &a).lane_f64(0), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "integer division by zero")]
+    fn int_div_zero_faults() {
+        let a = Value::i32(1);
+        let b = Value::i32(0);
+        let _ = eval_bin(BinOp::Div, &a, &b);
+    }
+
+    #[test]
+    #[should_panic(expected = "integer-only")]
+    fn xor_on_float_rejected() {
+        let a = Value::f32(1.0);
+        let _ = eval_bin(BinOp::Xor, &a, &a);
+    }
+
+    #[test]
+    fn bin_result_type_compare() {
+        let t = VType::new(Scalar::F32, 4);
+        assert_eq!(bin_result_type(BinOp::Lt, t), VType::new(Scalar::Bool, 4));
+        assert_eq!(bin_result_type(BinOp::Add, t), t);
+    }
+}

@@ -1,0 +1,722 @@
+//! Kernel programs: argument/register declarations, body, validation and
+//! static resource analysis.
+
+use crate::instr::{ArgDecl, ArgIdx, Builtin, Hints, Op, Operand, Reg};
+use crate::ops::bin_result_type;
+use crate::types::{Scalar, VType};
+
+/// A complete kernel: what `clCreateKernel` would hand back, before the
+/// device compiler (in `ocl-runtime`) checks resource limits.
+#[derive(Clone, Debug)]
+pub struct Program {
+    pub name: String,
+    pub args: Vec<ArgDecl>,
+    /// Declared virtual registers; index = `Reg(i)`.
+    pub regs: Vec<VType>,
+    pub body: Vec<Op>,
+    pub hints: Hints,
+}
+
+/// A validation diagnostic.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ValidationError(pub String);
+
+impl std::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+impl Program {
+    /// Type of register `r`; panics if undeclared (IR construction bug).
+    pub fn reg_ty(&self, r: Reg) -> VType {
+        self.regs[r.0 as usize]
+    }
+
+    /// Whether the kernel body contains any barrier.
+    pub fn has_barrier(&self) -> bool {
+        self.body.iter().any(|op| {
+            let mut found = false;
+            op.visit(&mut |o| found |= matches!(o, Op::Barrier));
+            found
+        })
+    }
+
+    /// Whether any register or buffer uses 64-bit floating point — the
+    /// property the emulated driver bug (amcd, §V-A) keys on.
+    pub fn uses_f64(&self) -> bool {
+        self.regs.iter().any(|t| t.elem == Scalar::F64)
+            || self.args.iter().any(|a| a.elem() == Scalar::F64)
+    }
+
+    /// Whether the kernel body contains `exp`/`log` special functions.
+    pub fn uses_transcendental(&self) -> bool {
+        let mut found = false;
+        for op in &self.body {
+            op.visit(&mut |o| {
+                if let Op::Un { op: u, .. } = o {
+                    found |= matches!(u, crate::instr::UnOp::Exp | crate::instr::UnOp::Log);
+                }
+            });
+        }
+        found
+    }
+
+    /// Per-work-item register footprint in 128-bit hardware registers.
+    ///
+    /// This is the quantity the Mali compiler reports and the occupancy /
+    /// `CL_OUT_OF_RESOURCES` logic in `mali-gpu` consumes: wide vector types
+    /// and unrolled bodies inflate it, narrowing the resident-thread count.
+    ///
+    /// Estimated by register-allocation-style liveness: the peak number of
+    /// simultaneously-live *bits* over a linearized walk of the body
+    /// (virtual registers with disjoint live ranges share hardware
+    /// registers, and four live `float` scalars pack into one 128-bit
+    /// register), rounded up to whole registers with a one-register
+    /// scheduling margin.
+    pub fn register_footprint(&self) -> u32 {
+        let n = self.regs.len();
+        if n == 0 {
+            return 1;
+        }
+        struct Walker {
+            first: Vec<usize>,
+            last: Vec<usize>,
+            pos: usize,
+        }
+        impl Walker {
+            fn touch(&mut self, r: Reg) {
+                let i = r.0 as usize;
+                if self.first[i] == usize::MAX {
+                    self.first[i] = self.pos;
+                }
+                self.last[i] = self.pos;
+            }
+            fn use_op(&mut self, o: &Operand) {
+                if let Operand::Reg(r) = o {
+                    self.touch(*r);
+                }
+            }
+            fn walk(&mut self, ops: &[Op]) {
+                for op in ops {
+                    self.pos += 1;
+                    if let Some(d) = op.dst_reg() {
+                        self.touch(d);
+                    }
+                    match op {
+                        Op::Bin { a, b, .. } => {
+                            self.use_op(a);
+                            self.use_op(b);
+                        }
+                        Op::Un { a, .. } | Op::Mov { a, .. } | Op::Cast { a, .. } => {
+                            self.use_op(a)
+                        }
+                        Op::Mad { a, b, c, .. } => {
+                            self.use_op(a);
+                            self.use_op(b);
+                            self.use_op(c);
+                        }
+                        Op::Select { cond, a, b, .. } => {
+                            self.use_op(cond);
+                            self.use_op(a);
+                            self.use_op(b);
+                        }
+                        Op::Horiz { a, .. } | Op::Extract { a, .. } => self.use_op(a),
+                        Op::Insert { v, .. } => self.use_op(v),
+                        Op::Load { idx, .. } => self.use_op(idx),
+                        Op::VLoad { base, .. } => self.use_op(base),
+                        Op::Store { idx, val, .. } => {
+                            self.use_op(idx);
+                            self.use_op(val);
+                        }
+                        Op::VStore { base, val, .. } => {
+                            self.use_op(base);
+                            self.use_op(val);
+                        }
+                        Op::Atomic { idx, val, .. } => {
+                            self.use_op(idx);
+                            self.use_op(val);
+                        }
+                        Op::For { var, start, end, step, body } => {
+                            self.use_op(start);
+                            self.use_op(end);
+                            self.use_op(step);
+                            let loop_start = self.pos;
+                            self.walk(body);
+                            // Back-edge: the counter, plus every value that
+                            // was live before the loop and is used inside
+                            // it, stays live to the loop's end.
+                            self.pos += 1;
+                            self.touch(*var);
+                            let loop_end = self.pos;
+                            for i in 0..self.first.len() {
+                                if self.first[i] < loop_start
+                                    && self.last[i] > loop_start
+                                    && self.last[i] < loop_end
+                                {
+                                    self.last[i] = loop_end;
+                                }
+                            }
+                        }
+                        Op::If { cond, then, els } => {
+                            self.use_op(cond);
+                            self.walk(then);
+                            self.walk(els);
+                        }
+                        Op::Query { .. } | Op::Barrier => {}
+                    }
+                }
+            }
+        }
+        // Linearized pre-order walk; loop bodies count once (temporaries
+        // recycle across iterations; loop-carried values are extended to
+        // the loop end).
+        let mut w = Walker { first: vec![usize::MAX; n], last: vec![0usize; n], pos: 0 };
+        w.walk(&self.body);
+        let (first, last) = (w.first, w.last);
+        let mut events: Vec<(usize, i64)> = Vec::new();
+        for (i, ty) in self.regs.iter().enumerate() {
+            if first[i] == usize::MAX {
+                continue;
+            }
+            let bits = (ty.elem.bytes() * 8 * ty.width as u32) as i64;
+            events.push((first[i], bits));
+            events.push((last[i] + 1, -bits));
+        }
+        events.sort();
+        let (mut cur, mut peak) = (0i64, 0i64);
+        for (_, d) in events {
+            cur += d;
+            peak = peak.max(cur);
+        }
+        (peak as u32).div_ceil(128) + 1
+    }
+
+    /// Split the top-level body at barriers into phases. A kernel without
+    /// barriers has exactly one phase. The interpreter runs each phase for
+    /// every work-item in a group before moving to the next phase, which is
+    /// exactly the synchronization a barrier guarantees.
+    pub fn phases(&self) -> Vec<&[Op]> {
+        let mut phases = Vec::new();
+        let mut start = 0;
+        for (i, op) in self.body.iter().enumerate() {
+            if matches!(op, Op::Barrier) {
+                phases.push(&self.body[start..i]);
+                start = i + 1;
+            }
+        }
+        phases.push(&self.body[start..]);
+        phases
+    }
+
+    /// Count of dynamic-instruction-free metadata: number of top-level
+    /// barriers.
+    pub fn barrier_count(&self) -> usize {
+        self.body.iter().filter(|op| matches!(op, Op::Barrier)).count()
+    }
+
+    /// Full type/structure validation. Returns every diagnostic found.
+    pub fn validate(&self) -> Result<(), Vec<ValidationError>> {
+        let mut errs = Vec::new();
+        let mut ctx = Validator { prog: self, errs: &mut errs };
+        ctx.block(&self.body, true);
+        if errs.is_empty() {
+            Ok(())
+        } else {
+            Err(errs)
+        }
+    }
+}
+
+struct Validator<'a> {
+    prog: &'a Program,
+    errs: &'a mut Vec<ValidationError>,
+}
+
+impl<'a> Validator<'a> {
+    fn err(&mut self, msg: String) {
+        self.errs.push(ValidationError(format!("{}: {}", self.prog.name, msg)));
+    }
+
+    fn reg_ty(&mut self, r: Reg) -> Option<VType> {
+        if (r.0 as usize) < self.prog.regs.len() {
+            Some(self.prog.regs[r.0 as usize])
+        } else {
+            self.err(format!("register r{} not declared", r.0));
+            None
+        }
+    }
+
+    /// Check `o` can produce a value of type `want`. Width-1 registers of
+    /// the right element type are accepted in vector contexts (OpenCL's
+    /// scalar-vector broadcast, which the interpreter implements).
+    fn operand(&mut self, o: &Operand, want: VType, what: &str) {
+        match o {
+            Operand::Reg(r) => {
+                if let Some(t) = self.reg_ty(*r) {
+                    let broadcast_ok = t.width == 1 && t.elem == want.elem;
+                    if t != want && !broadcast_ok {
+                        self.err(format!(
+                            "{what}: register r{} has type {t}, expected {want}",
+                            r.0
+                        ));
+                    }
+                }
+            }
+            Operand::ImmF(_) => {
+                if !want.elem.is_float() {
+                    self.err(format!("{what}: float immediate in {want} context"));
+                }
+            }
+            Operand::ImmI(_) => {
+                if want.elem == Scalar::Bool {
+                    self.err(format!("{what}: integer immediate in bool context"));
+                }
+            }
+        }
+    }
+
+    /// Type of a register operand, or `None` for immediates.
+    fn operand_reg_ty(&mut self, o: &Operand) -> Option<VType> {
+        match o {
+            Operand::Reg(r) => self.reg_ty(*r),
+            _ => None,
+        }
+    }
+
+    fn buf(&mut self, b: ArgIdx, what: &str) -> Option<&'a ArgDecl> {
+        match self.prog.args.get(b.0 as usize) {
+            Some(a @ (ArgDecl::GlobalBuf { .. } | ArgDecl::LocalBuf { .. })) => Some(a),
+            Some(ArgDecl::Scalar { .. }) => {
+                self.err(format!("{what}: arg {} is a scalar, not a buffer", b.0));
+                None
+            }
+            None => {
+                self.err(format!("{what}: arg {} not declared", b.0));
+                None
+            }
+        }
+    }
+
+    fn check_readable(&mut self, b: ArgIdx, what: &str) {
+        if let Some(ArgDecl::GlobalBuf { access, .. }) = self.prog.args.get(b.0 as usize) {
+            if !access.readable() {
+                self.err(format!("{what}: read from write-only buffer arg {}", b.0));
+            }
+        }
+    }
+
+    fn check_writable(&mut self, b: ArgIdx, what: &str) {
+        if let Some(ArgDecl::GlobalBuf { access, .. }) = self.prog.args.get(b.0 as usize) {
+            if !access.writable() {
+                self.err(format!("{what}: write to read-only (const) buffer arg {}", b.0));
+            }
+        }
+    }
+
+    fn index_operand(&mut self, o: &Operand, want_width: u8, what: &str) {
+        match o {
+            Operand::Reg(r) => {
+                if let Some(t) = self.reg_ty(*r) {
+                    if !t.elem.is_int() {
+                        self.err(format!("{what}: index register must be integer, got {t}"));
+                    }
+                    if t.width != want_width {
+                        self.err(format!(
+                            "{what}: index width {} != expected {want_width}",
+                            t.width
+                        ));
+                    }
+                }
+            }
+            Operand::ImmI(v) => {
+                if *v < 0 {
+                    self.err(format!("{what}: negative immediate index {v}"));
+                }
+            }
+            Operand::ImmF(_) => self.err(format!("{what}: float immediate as index")),
+        }
+    }
+
+    fn block(&mut self, ops: &[Op], top_level: bool) {
+        for op in ops {
+            self.op(op, top_level);
+        }
+    }
+
+    fn op(&mut self, op: &Op, top_level: bool) {
+        match op {
+            Op::Bin { dst, op: b, a, b: rhs } => {
+                let Some(dt) = self.reg_ty(*dst) else { return };
+                if b.is_compare() {
+                    if dt.elem != Scalar::Bool {
+                        self.err(format!("compare {b:?} destination must be bool, got {dt}"));
+                        return;
+                    }
+                    // Operand type determined by whichever side is a register.
+                    let src_ty = self
+                        .operand_reg_ty(a)
+                        .or_else(|| self.operand_reg_ty(rhs));
+                    match src_ty {
+                        Some(st) => {
+                            if st.width != dt.width {
+                                self.err(format!(
+                                    "compare width mismatch: operands {st}, dst {dt}"
+                                ));
+                            }
+                            self.operand(a, st, "compare lhs");
+                            self.operand(rhs, st, "compare rhs");
+                        }
+                        None => self.err("compare with two immediates".into()),
+                    }
+                } else {
+                    if b.int_only() && !dt.elem.is_int() {
+                        self.err(format!("integer-only op {b:?} on {dt}"));
+                    }
+                    if dt.elem == Scalar::Bool {
+                        self.err(format!("arithmetic {b:?} on bool register"));
+                    }
+                    debug_assert!(bin_result_type(*b, dt) == dt);
+                    self.operand(a, dt, "binop lhs");
+                    self.operand(rhs, dt, "binop rhs");
+                }
+            }
+            Op::Un { dst, op: u, a } => {
+                let Some(dt) = self.reg_ty(*dst) else { return };
+                if u.is_special() && !dt.elem.is_float() {
+                    self.err(format!("special function {u:?} on non-float {dt}"));
+                }
+                self.operand(a, dt, "unop operand");
+            }
+            Op::Mad { dst, a, b, c } => {
+                let Some(dt) = self.reg_ty(*dst) else { return };
+                if dt.elem == Scalar::Bool {
+                    self.err("mad on bool register".into());
+                }
+                self.operand(a, dt, "mad a");
+                self.operand(b, dt, "mad b");
+                self.operand(c, dt, "mad c");
+            }
+            Op::Select { dst, cond, a, b } => {
+                let Some(dt) = self.reg_ty(*dst) else { return };
+                self.operand(cond, VType { elem: Scalar::Bool, width: dt.width }, "select cond");
+                self.operand(a, dt, "select a");
+                self.operand(b, dt, "select b");
+            }
+            Op::Mov { dst, a } => {
+                let Some(dt) = self.reg_ty(*dst) else { return };
+                self.operand(a, dt, "mov src");
+            }
+            Op::Cast { dst, a } => {
+                let Some(_) = self.reg_ty(*dst) else { return };
+                if let Operand::Reg(r) = a {
+                    if let Some(st) = self.reg_ty(*r) {
+                        let dt = self.prog.reg_ty(*dst);
+                        if st.width != dt.width {
+                            self.err(format!("cast width mismatch: {st} -> {dt}"));
+                        }
+                    }
+                }
+            }
+            Op::Horiz { dst, a, .. } => {
+                let Some(dt) = self.reg_ty(*dst) else { return };
+                if !dt.is_scalar() {
+                    self.err(format!("horizontal reduction dst must be scalar, got {dt}"));
+                }
+                if let Some(st) = self.operand_reg_ty(a) {
+                    if st.elem != dt.elem {
+                        self.err(format!("horizontal reduction elem mismatch {st} -> {dt}"));
+                    }
+                } else {
+                    self.err("horizontal reduction of an immediate".into());
+                }
+            }
+            Op::Extract { dst, a, lane } => {
+                let Some(dt) = self.reg_ty(*dst) else { return };
+                if !dt.is_scalar() {
+                    self.err(format!("extract dst must be scalar, got {dt}"));
+                }
+                if let Some(st) = self.operand_reg_ty(a) {
+                    if st.elem != dt.elem {
+                        self.err(format!("extract elem mismatch {st} -> {dt}"));
+                    }
+                    if *lane as usize >= st.width as usize {
+                        self.err(format!("extract lane {lane} out of range for {st}"));
+                    }
+                } else {
+                    self.err("extract from an immediate".into());
+                }
+            }
+            Op::Insert { dst, v, lane } => {
+                let Some(dt) = self.reg_ty(*dst) else { return };
+                if *lane as usize >= dt.width as usize {
+                    self.err(format!("insert lane {lane} out of range for {dt}"));
+                }
+                self.operand(v, VType::scalar(dt.elem), "insert value");
+            }
+            Op::Query { dst, q } => {
+                let Some(dt) = self.reg_ty(*dst) else { return };
+                if dt != VType::scalar(Scalar::U32) {
+                    self.err(format!("query {q:?} destination must be scalar uint, got {dt}"));
+                }
+                let dim = match q {
+                    Builtin::GlobalId(d)
+                    | Builtin::LocalId(d)
+                    | Builtin::GroupId(d)
+                    | Builtin::GlobalSize(d)
+                    | Builtin::LocalSize(d)
+                    | Builtin::NumGroups(d) => *d,
+                };
+                if dim > 2 {
+                    self.err(format!("query dimension {dim} > 2"));
+                }
+            }
+            Op::Load { dst, buf, idx } => {
+                let Some(dt) = self.reg_ty(*dst) else { return };
+                // A Load from a by-value scalar argument reads the argument
+                // itself (see `KernelBuilder::load_scalar_arg`).
+                if let Some(ArgDecl::Scalar { ty }) = self.prog.args.get(buf.0 as usize) {
+                    if dt != VType::scalar(*ty) {
+                        self.err(format!(
+                            "scalar-arg load: register {dt} != argument type {ty}"
+                        ));
+                    }
+                    if !matches!(idx, Operand::ImmI(0)) {
+                        self.err("scalar-arg load must use index 0".into());
+                    }
+                    return;
+                }
+                if let Some(decl) = self.buf(*buf, "load") {
+                    if decl.elem() != dt.elem {
+                        self.err(format!(
+                            "load elem mismatch: buffer {} vs register {}",
+                            decl.elem(),
+                            dt.elem
+                        ));
+                    }
+                }
+                self.check_readable(*buf, "load");
+                self.index_operand(idx, dt.width, "load index");
+            }
+            Op::VLoad { dst, buf, base } => {
+                let Some(dt) = self.reg_ty(*dst) else { return };
+                if let Some(decl) = self.buf(*buf, "vload") {
+                    if decl.elem() != dt.elem {
+                        self.err(format!(
+                            "vload elem mismatch: buffer {} vs register {}",
+                            decl.elem(),
+                            dt.elem
+                        ));
+                    }
+                }
+                self.check_readable(*buf, "vload");
+                self.index_operand(base, 1, "vload base");
+            }
+            Op::Store { buf, idx, val } => {
+                let decl_elem = self.buf(*buf, "store").map(|d| d.elem());
+                self.check_writable(*buf, "store");
+                let width = match self.operand_reg_ty(idx) {
+                    Some(t) => t.width,
+                    None => 1,
+                };
+                self.index_operand(idx, width, "store index");
+                if let Some(e) = decl_elem {
+                    self.operand(val, VType { elem: e, width }, "store value");
+                }
+            }
+            Op::VStore { buf, base, val } => {
+                let decl_elem = self.buf(*buf, "vstore").map(|d| d.elem());
+                self.check_writable(*buf, "vstore");
+                self.index_operand(base, 1, "vstore base");
+                match (self.operand_reg_ty(val), decl_elem) {
+                    (Some(t), Some(e)) if t.elem != e => {
+                        self.err(format!("vstore elem mismatch: {t} into {e} buffer"));
+                    }
+                    (None, _) => self.err("vstore of an immediate".into()),
+                    _ => {}
+                }
+            }
+            Op::Atomic { buf, idx, val, old, .. } => {
+                if let Some(decl) = self.buf(*buf, "atomic") {
+                    let e = decl.elem();
+                    if !e.is_int() {
+                        self.err(format!("atomic on non-integer buffer ({e})"));
+                    }
+                    self.operand(val, VType::scalar(e), "atomic value");
+                    if let Some(o) = old {
+                        if let Some(ot) = self.reg_ty(*o) {
+                            if ot != VType::scalar(e) {
+                                self.err(format!(
+                                    "atomic old-value register {ot} != buffer elem {e}"
+                                ));
+                            }
+                        }
+                    }
+                }
+                self.check_writable(*buf, "atomic");
+                self.index_operand(idx, 1, "atomic index");
+            }
+            Op::For { var, start, end, step, body } => {
+                if let Some(vt) = self.reg_ty(*var) {
+                    if !vt.is_scalar() || !vt.elem.is_int() {
+                        self.err(format!("loop variable must be scalar int, got {vt}"));
+                    }
+                    self.operand(start, vt, "loop start");
+                    self.operand(end, vt, "loop end");
+                    self.operand(step, vt, "loop step");
+                    if let Operand::ImmI(0) = step {
+                        self.err("loop step of zero".into());
+                    }
+                }
+                self.block(body, false);
+            }
+            Op::If { cond, then, els } => {
+                self.operand(cond, VType::scalar(Scalar::Bool), "if condition");
+                self.block(then, false);
+                self.block(els, false);
+            }
+            Op::Barrier => {
+                if !top_level {
+                    self.err(
+                        "barrier inside control flow (OpenCL requires uniform execution)".into(),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+    use crate::instr::{BinOp, UnOp};
+    use crate::types::Access;
+
+    fn trivial_valid() -> Program {
+        let mut kb = KernelBuilder::new("t");
+        let buf = kb.arg_global(Scalar::F32, Access::ReadWrite, true);
+        let gid = kb.query_global_id(0);
+        let v = kb.load(Scalar::F32, buf, gid.into());
+        let r = kb.bin(BinOp::Add, v.into(), Operand::ImmF(1.0), VType::scalar(Scalar::F32));
+        kb.store(buf, gid.into(), r.into());
+        kb.finish()
+    }
+
+    #[test]
+    fn valid_program_validates() {
+        let p = trivial_valid();
+        assert!(p.validate().is_ok(), "{:?}", p.validate());
+    }
+
+    #[test]
+    fn detects_type_mismatch() {
+        let mut p = trivial_valid();
+        // Overwrite the add with a f64-context immediate misuse: make dst a
+        // bool register.
+        p.regs.push(VType::scalar(Scalar::Bool));
+        let r = Reg((p.regs.len() - 1) as u32);
+        p.body.push(Op::Bin { dst: r, op: BinOp::Add, a: Operand::ImmI(1), b: Operand::ImmI(2) });
+        let errs = p.validate().unwrap_err();
+        assert!(errs.iter().any(|e| e.0.contains("bool")));
+    }
+
+    #[test]
+    fn detects_write_to_readonly() {
+        let mut kb = KernelBuilder::new("ro");
+        let buf = kb.arg_global(Scalar::F32, Access::ReadOnly, false);
+        let gid = kb.query_global_id(0);
+        kb.store(buf, gid.into(), Operand::ImmF(0.0));
+        let p = kb.finish();
+        let errs = p.validate().unwrap_err();
+        assert!(errs.iter().any(|e| e.0.contains("read-only")));
+    }
+
+    #[test]
+    fn detects_barrier_in_loop() {
+        let mut kb = KernelBuilder::new("b");
+        let i = kb.reg(VType::scalar(Scalar::U32));
+        let p = {
+            let mut p = kb.finish();
+            p.body.push(Op::For {
+                var: i,
+                start: Operand::ImmI(0),
+                end: Operand::ImmI(2),
+                step: Operand::ImmI(1),
+                body: vec![Op::Barrier],
+            });
+            p
+        };
+        let errs = p.validate().unwrap_err();
+        assert!(errs.iter().any(|e| e.0.contains("barrier inside control flow")));
+    }
+
+    #[test]
+    fn detects_undeclared_register() {
+        let p = Program {
+            name: "u".into(),
+            args: vec![],
+            regs: vec![],
+            body: vec![Op::Un { dst: Reg(7), op: UnOp::Neg, a: Operand::ImmI(1) }],
+            hints: Hints::default(),
+        };
+        let errs = p.validate().unwrap_err();
+        assert!(errs.iter().any(|e| e.0.contains("not declared")));
+    }
+
+    #[test]
+    fn phases_split_on_barrier() {
+        let mut kb = KernelBuilder::new("ph");
+        let _ = kb.query_local_id(0);
+        kb.barrier();
+        let _ = kb.query_local_id(0);
+        kb.barrier();
+        let p = kb.finish();
+        let phases = p.phases();
+        assert_eq!(phases.len(), 3);
+        assert_eq!(phases[0].len(), 1);
+        assert_eq!(phases[2].len(), 0);
+        assert_eq!(p.barrier_count(), 2);
+        assert!(p.has_barrier());
+    }
+
+    #[test]
+    fn footprint_counts_live_bits() {
+        // Peak liveness is at the first consuming add, where a (512b),
+        // b (256b), c (32b) and the new a2 (512b) overlap: 1312 bits ->
+        // ceil(1312/128)+1 = 12 registers.
+        let mut kb = KernelBuilder::new("fp");
+        let a = kb.mov(Operand::ImmF(0.0), VType::new(Scalar::F32, 16));
+        let b = kb.mov(Operand::ImmF(0.0), VType::new(Scalar::F64, 4));
+        let c = kb.mov(Operand::ImmI(0), VType::scalar(Scalar::U32));
+        // Keep all three live to the same point.
+        let a2 = kb.bin(BinOp::Add, a.into(), a.into(), VType::new(Scalar::F32, 16));
+        let b2 = kb.bin(BinOp::Add, b.into(), b.into(), VType::new(Scalar::F64, 4));
+        let c2 = kb.bin(BinOp::Add, c.into(), c.into(), VType::scalar(Scalar::U32));
+        let _ = (a2, b2, c2);
+        let p = kb.finish();
+        assert_eq!(p.register_footprint(), 12);
+
+        // Disjoint live ranges coalesce: two sequential f32x16 temporaries
+        // peak at roughly one vector's bits, not two.
+        let mut kb2 = KernelBuilder::new("fp2");
+        let x = kb2.mov(Operand::ImmF(0.0), VType::new(Scalar::F32, 16));
+        let _x2 = kb2.bin(BinOp::Add, x.into(), x.into(), VType::new(Scalar::F32, 16));
+        let y = kb2.mov(Operand::ImmF(1.0), VType::new(Scalar::F32, 16));
+        let _y2 = kb2.bin(BinOp::Add, y.into(), y.into(), VType::new(Scalar::F32, 16));
+        let p2 = kb2.finish();
+        assert!(p2.register_footprint() <= 10, "got {}", p2.register_footprint());
+    }
+
+    #[test]
+    fn uses_f64_detection() {
+        let mut kb = KernelBuilder::new("d");
+        let _ = kb.reg(VType::scalar(Scalar::F64));
+        assert!(kb.finish().uses_f64());
+        let mut kb2 = KernelBuilder::new("s");
+        let _ = kb2.reg(VType::scalar(Scalar::F32));
+        assert!(!kb2.finish().uses_f64());
+    }
+}

@@ -1,0 +1,288 @@
+//! Static program analysis: instruction mix, memory-access summary and an
+//! arithmetic-intensity estimate, derived from the IR without executing it.
+//!
+//! Complements the dynamic event stream: the harness's roofline view
+//! measures what *ran*; this module predicts the same quantities from the
+//! program text (per work-item, with loop trip counts folded in when they
+//! are compile-time immediates), which is what a §III-style optimization
+//! guide reasons about before ever launching a kernel.
+
+use crate::instr::{Op, Operand, UnOp};
+use crate::program::Program;
+
+/// Per-work-item static instruction counts. Loop bodies are weighted by
+/// their immediate trip counts; dynamic-bound loops are weighted by
+/// [`StaticMix::DYNAMIC_TRIP_ASSUMPTION`] and flagged.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StaticMix {
+    /// Floating-point operations (a mad counts 2).
+    pub flops: f64,
+    /// Integer/move/compare operations (address arithmetic etc.).
+    pub int_ops: f64,
+    /// Special-function ops (sqrt/rsqrt/exp/log).
+    pub special_ops: f64,
+    /// Memory load instructions (any width).
+    pub loads: f64,
+    /// Memory store instructions.
+    pub stores: f64,
+    /// Atomic RMWs.
+    pub atomics: f64,
+    /// Bytes read per item, counting each load's full width.
+    pub bytes_read: f64,
+    /// Bytes written per item.
+    pub bytes_written: f64,
+    /// Top-level barriers.
+    pub barriers: usize,
+    /// True when any loop had non-immediate bounds (counts are then lower
+    /// bounds scaled by the assumption below).
+    pub has_dynamic_loops: bool,
+}
+
+impl StaticMix {
+    /// Trip count assumed for loops whose bounds are not compile-time
+    /// immediates.
+    pub const DYNAMIC_TRIP_ASSUMPTION: f64 = 16.0;
+
+    /// flops per byte of memory traffic — the roofline x-axis, statically
+    /// estimated.
+    pub fn arithmetic_intensity(&self) -> f64 {
+        let bytes = self.bytes_read + self.bytes_written;
+        if bytes > 0.0 {
+            self.flops / bytes
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Fraction of instructions that are memory accesses.
+    pub fn memory_instruction_fraction(&self) -> f64 {
+        let mem = self.loads + self.stores + self.atomics;
+        let total = mem + self.flops + self.int_ops + self.special_ops;
+        if total > 0.0 {
+            mem / total
+        } else {
+            0.0
+        }
+    }
+}
+
+fn trip_count(start: &Operand, end: &Operand, step: &Operand) -> Option<f64> {
+    if let (Operand::ImmI(s), Operand::ImmI(e), Operand::ImmI(st)) = (start, end, step) {
+        if *st > 0 && e > s {
+            return Some(((e - s + st - 1) / st) as f64);
+        }
+        if *st < 0 && e < s {
+            return Some(((s - e - st - 1) / -st) as f64);
+        }
+        return Some(0.0);
+    }
+    None
+}
+
+/// Analyze `p` and return its per-work-item static mix.
+pub fn analyze(p: &Program) -> StaticMix {
+    let mut mix = StaticMix::default();
+    walk(p, &p.body, 1.0, &mut mix, true);
+    mix
+}
+
+fn elem_bytes(p: &Program, buf: crate::instr::ArgIdx) -> f64 {
+    p.args.get(buf.0 as usize).map(|a| a.elem().bytes() as f64).unwrap_or(4.0)
+}
+
+fn walk(p: &Program, ops: &[Op], weight: f64, mix: &mut StaticMix, top: bool) {
+    for op in ops {
+        match op {
+            Op::Bin { dst, .. } => {
+                if p.reg_ty(*dst).elem.is_float() {
+                    mix.flops += weight * p.reg_ty(*dst).width as f64;
+                } else {
+                    mix.int_ops += weight;
+                }
+            }
+            Op::Mad { dst, .. } => {
+                if p.reg_ty(*dst).elem.is_float() {
+                    mix.flops += 2.0 * weight * p.reg_ty(*dst).width as f64;
+                } else {
+                    mix.int_ops += weight;
+                }
+            }
+            Op::Un { dst, op: u, .. } => match u {
+                UnOp::Sqrt | UnOp::Rsqrt | UnOp::Exp | UnOp::Log => {
+                    mix.special_ops += weight * p.reg_ty(*dst).width as f64;
+                }
+                _ => {
+                    if p.reg_ty(*dst).elem.is_float() {
+                        mix.flops += weight * p.reg_ty(*dst).width as f64;
+                    } else {
+                        mix.int_ops += weight;
+                    }
+                }
+            },
+            Op::Select { .. } | Op::Mov { .. } | Op::Cast { .. } | Op::Horiz { .. }
+            | Op::Extract { .. } | Op::Insert { .. } | Op::Query { .. } => {
+                mix.int_ops += weight;
+            }
+            Op::Load { dst, buf, .. } => {
+                // Scalar-arg "loads" are register reads, not memory.
+                if matches!(
+                    p.args.get(buf.0 as usize),
+                    Some(crate::instr::ArgDecl::Scalar { .. })
+                ) {
+                    continue;
+                }
+                mix.loads += weight;
+                mix.bytes_read += weight * p.reg_ty(*dst).width as f64 * elem_bytes(p, *buf);
+            }
+            Op::VLoad { dst, buf, .. } => {
+                mix.loads += weight;
+                mix.bytes_read += weight * p.reg_ty(*dst).width as f64 * elem_bytes(p, *buf);
+            }
+            Op::Store { buf, idx, .. } => {
+                mix.stores += weight;
+                let w = match idx {
+                    Operand::Reg(r) => p.reg_ty(*r).width as f64,
+                    _ => 1.0,
+                };
+                mix.bytes_written += weight * w * elem_bytes(p, *buf);
+            }
+            Op::VStore { buf, val, .. } => {
+                mix.stores += weight;
+                let w = match val {
+                    Operand::Reg(r) => p.reg_ty(*r).width as f64,
+                    _ => 1.0,
+                };
+                mix.bytes_written += weight * w * elem_bytes(p, *buf);
+            }
+            Op::Atomic { .. } => {
+                mix.atomics += weight;
+            }
+            Op::For { start, end, step, body, .. } => {
+                let trips = match trip_count(start, end, step) {
+                    Some(t) => t,
+                    None => {
+                        mix.has_dynamic_loops = true;
+                        StaticMix::DYNAMIC_TRIP_ASSUMPTION
+                    }
+                };
+                mix.int_ops += weight * trips; // back-edge
+                walk(p, body, weight * trips, mix, false);
+            }
+            Op::If { then, els, .. } => {
+                mix.int_ops += weight;
+                // Weight both arms by half: branchless expectation.
+                walk(p, then, weight * 0.5, mix, false);
+                walk(p, els, weight * 0.5, mix, false);
+            }
+            Op::Barrier => {
+                if top {
+                    mix.barriers += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+    use crate::types::Scalar;
+    use crate::instr::BinOp;
+    use crate::types::{Access, VType};
+
+    #[test]
+    fn vecadd_mix() {
+        let mut kb = KernelBuilder::new("va");
+        let a = kb.arg_global(Scalar::F32, Access::ReadOnly, true);
+        let b = kb.arg_global(Scalar::F32, Access::ReadOnly, true);
+        let c = kb.arg_global(Scalar::F32, Access::WriteOnly, true);
+        let gid = kb.query_global_id(0);
+        let va = kb.load(Scalar::F32, a, gid.into());
+        let vb = kb.load(Scalar::F32, b, gid.into());
+        let s = kb.bin(BinOp::Add, va.into(), vb.into(), VType::scalar(Scalar::F32));
+        kb.store(c, gid.into(), s.into());
+        let mix = analyze(&kb.finish());
+        assert_eq!(mix.flops, 1.0);
+        assert_eq!(mix.loads, 2.0);
+        assert_eq!(mix.stores, 1.0);
+        assert_eq!(mix.bytes_read, 8.0);
+        assert_eq!(mix.bytes_written, 4.0);
+        // 1 flop / 12 bytes — memory bound, as §V says of vecop.
+        assert!((mix.arithmetic_intensity() - 1.0 / 12.0).abs() < 1e-12);
+        assert!(!mix.has_dynamic_loops);
+    }
+
+    #[test]
+    fn loop_weighting_with_immediate_trips() {
+        let mut kb = KernelBuilder::new("loop");
+        let a = kb.arg_global(Scalar::F64, Access::ReadOnly, true);
+        let o = kb.arg_global(Scalar::F64, Access::WriteOnly, true);
+        let gid = kb.query_global_id(0);
+        let acc = kb.mov(crate::instr::Operand::ImmF(0.0), VType::scalar(Scalar::F64));
+        kb.for_loop(
+            crate::instr::Operand::ImmI(0),
+            crate::instr::Operand::ImmI(10),
+            crate::instr::Operand::ImmI(1),
+            |kb, i| {
+                let v = kb.load(Scalar::F64, a, i.into());
+                kb.mad_into(acc, v.into(), v.into(), acc.into());
+            },
+        );
+        kb.store(o, gid.into(), acc.into());
+        let mix = analyze(&kb.finish());
+        assert_eq!(mix.loads, 10.0);
+        assert_eq!(mix.flops, 20.0); // 10 mads x 2
+        assert_eq!(mix.bytes_read, 80.0);
+    }
+
+    #[test]
+    fn dynamic_loops_flagged() {
+        let mut kb = KernelBuilder::new("dyn");
+        let ptr = kb.arg_global(Scalar::U32, Access::ReadOnly, true);
+        let o = kb.arg_global(Scalar::F32, Access::WriteOnly, true);
+        let gid = kb.query_global_id(0);
+        let end = kb.load(Scalar::U32, ptr, gid.into());
+        let acc = kb.mov(crate::instr::Operand::ImmF(0.0), VType::scalar(Scalar::F32));
+        kb.for_loop(crate::instr::Operand::ImmI(0), end.into(),
+            crate::instr::Operand::ImmI(1), |kb, _| {
+                kb.bin_into(acc, BinOp::Add, acc.into(), crate::instr::Operand::ImmF(1.0));
+            });
+        kb.store(o, gid.into(), acc.into());
+        let mix = analyze(&kb.finish());
+        assert!(mix.has_dynamic_loops);
+        assert_eq!(mix.flops, StaticMix::DYNAMIC_TRIP_ASSUMPTION);
+    }
+
+    #[test]
+    fn vector_ops_count_lanes() {
+        let mut kb = KernelBuilder::new("v");
+        let a = kb.arg_global(Scalar::F32, Access::ReadOnly, true);
+        let o = kb.arg_global(Scalar::F32, Access::WriteOnly, true);
+        let gid = kb.query_global_id(0);
+        let v = kb.vload(Scalar::F32, 8, a, gid.into());
+        let s = kb.bin(BinOp::Mul, v.into(), v.into(), VType::new(Scalar::F32, 8));
+        kb.vstore(o, gid.into(), s.into());
+        let mix = analyze(&kb.finish());
+        assert_eq!(mix.flops, 8.0);
+        assert_eq!(mix.loads, 1.0);
+        assert_eq!(mix.bytes_read, 32.0);
+        assert_eq!(mix.bytes_written, 32.0);
+    }
+
+    #[test]
+    fn special_and_atomic_counting() {
+        let mut kb = KernelBuilder::new("sa");
+        let h = kb.arg_global(Scalar::U32, Access::ReadWrite, false);
+        let a = kb.arg_global(Scalar::F32, Access::ReadOnly, true);
+        let gid = kb.query_global_id(0);
+        let v = kb.load(Scalar::F32, a, gid.into());
+        let _r = kb.un(UnOp::Rsqrt, v.into(), VType::scalar(Scalar::F32));
+        kb.atomic(crate::instr::AtomicOp::Inc, h, gid.into(),
+            crate::instr::Operand::ImmI(0));
+        let mix = analyze(&kb.finish());
+        assert_eq!(mix.special_ops, 1.0);
+        assert_eq!(mix.atomics, 1.0);
+        assert!(mix.memory_instruction_fraction() > 0.3);
+    }
+}

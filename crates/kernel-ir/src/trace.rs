@@ -1,0 +1,231 @@
+//! Execution-event tracing.
+//!
+//! The interpreter is *functional* (it computes real results) and *observable*
+//! (it reports every issued operation and memory access to an [`ExecTracer`]).
+//! Device models implement `ExecTracer` to turn the event stream into cycles,
+//! cache traffic and power activity.
+
+use crate::types::{MemSpace, Scalar, VType};
+
+/// Classification of an issued arithmetic/move operation, used by device
+/// cost tables.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Add/sub/min/max/compare/logic — single-slot ALU ops.
+    Simple,
+    /// Multiply.
+    Mul,
+    /// Fused multiply-add (two flops in one slot).
+    Mad,
+    /// Division — iterative on both devices.
+    Div,
+    /// sqrt — special function unit.
+    Special,
+    /// rsqrt — native single op on the Mali SFU; sqrt+divide on scalar VFP.
+    Rsqrt,
+    /// exp / log — long-latency transcendental (libm on the CPU, SFU
+    /// iteration on the GPU).
+    Transcendental,
+    /// Register moves, casts, lane insert/extract, select.
+    Move,
+    /// Cross-lane horizontal reduction.
+    Horizontal,
+}
+
+/// Whether a memory access reads, writes, or atomically updates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    Read,
+    Write,
+    /// Atomic read-modify-write (serializes in the L2 on Mali).
+    Atomic,
+}
+
+/// Spatial pattern of a (possibly multi-lane) memory access. Devices use
+/// this to model the bandwidth efficiency of scalar vs vector vs gather
+/// accesses — the core of the paper's vectorized-load guideline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Pattern {
+    /// One scalar element.
+    Scalar,
+    /// `width` contiguous elements via vload/vstore — one wide transaction.
+    Contiguous,
+    /// Lane addresses are arbitrary (indirect indexing, e.g. spmv's
+    /// `x[col[j]]`).
+    Gather,
+}
+
+/// One memory access event emitted by the interpreter.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MemAccess {
+    pub space: MemSpace,
+    pub kind: AccessKind,
+    /// Stream identity: the kernel-argument index of the buffer. Lets
+    /// prefetcher-style models track interleaved walks of different
+    /// buffers as independent streams.
+    pub stream: u32,
+    /// Simulated physical byte address of the first lane.
+    pub addr: u64,
+    /// Total bytes moved by the access.
+    pub bytes: u32,
+    /// Element type accessed.
+    pub elem: Scalar,
+    /// Number of lanes.
+    pub width: u8,
+    pub pattern: Pattern,
+    /// Per-lane addresses for gathers (up to 16); `None` for
+    /// scalar/contiguous where `addr`+`bytes` describe the span.
+    pub lane_addrs: Option<[u64; crate::types::MAX_LANES]>,
+}
+
+/// Observer of interpreter events. All methods have empty defaults so cost
+/// models only override what they meter.
+pub trait ExecTracer {
+    /// An arithmetic-pipe operation of class `class` on type `ty` was issued.
+    fn op(&mut self, class: OpClass, ty: VType) {
+        let _ = (class, ty);
+    }
+    /// A memory access was issued.
+    fn mem(&mut self, access: &MemAccess) {
+        let _ = access;
+    }
+    /// A work-group barrier completed for `items` work-items.
+    fn barrier(&mut self, items: u32) {
+        let _ = items;
+    }
+    /// One loop back-edge executed (models branch/index overhead).
+    fn loop_iter(&mut self) {}
+    /// A work-item began executing.
+    fn thread_start(&mut self) {}
+    /// A work-group was dispatched.
+    fn group_start(&mut self) {}
+}
+
+/// Tracer that discards everything — used for pure-functional runs
+/// (validation against reference implementations).
+#[derive(Default, Clone, Copy)]
+pub struct NullTracer;
+
+impl ExecTracer for NullTracer {}
+
+/// Simple counting tracer used by tests and the ablation harness.
+#[derive(Default, Clone, Debug)]
+pub struct CountingTracer {
+    pub ops: u64,
+    pub special_ops: u64,
+    pub mad_ops: u64,
+    pub loads: u64,
+    pub stores: u64,
+    pub atomics: u64,
+    pub bytes_read: u64,
+    pub bytes_written: u64,
+    pub local_accesses: u64,
+    pub gathers: u64,
+    pub contiguous: u64,
+    pub barriers: u64,
+    pub loop_iters: u64,
+    pub threads: u64,
+    pub groups: u64,
+    /// Sum over vector ops of lane counts — measures SIMD utilization.
+    pub lanes_issued: u64,
+}
+
+impl ExecTracer for CountingTracer {
+    fn op(&mut self, class: OpClass, ty: VType) {
+        self.ops += 1;
+        self.lanes_issued += ty.width as u64;
+        match class {
+            OpClass::Special | OpClass::Rsqrt | OpClass::Transcendental => self.special_ops += 1,
+            OpClass::Mad => self.mad_ops += 1,
+            _ => {}
+        }
+    }
+
+    fn mem(&mut self, a: &MemAccess) {
+        match a.kind {
+            AccessKind::Read => {
+                self.loads += 1;
+                self.bytes_read += a.bytes as u64;
+            }
+            AccessKind::Write => {
+                self.stores += 1;
+                self.bytes_written += a.bytes as u64;
+            }
+            AccessKind::Atomic => self.atomics += 1,
+        }
+        if a.space == MemSpace::Local {
+            self.local_accesses += 1;
+        }
+        match a.pattern {
+            Pattern::Gather => self.gathers += 1,
+            Pattern::Contiguous => self.contiguous += 1,
+            Pattern::Scalar => {}
+        }
+    }
+
+    fn barrier(&mut self, items: u32) {
+        self.barriers += items as u64;
+    }
+
+    fn loop_iter(&mut self) {
+        self.loop_iters += 1;
+    }
+
+    fn thread_start(&mut self) {
+        self.threads += 1;
+    }
+
+    fn group_start(&mut self) {
+        self.groups += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_tracer_accumulates() {
+        let mut t = CountingTracer::default();
+        t.op(OpClass::Mad, VType::new(Scalar::F32, 4));
+        t.op(OpClass::Special, VType::scalar(Scalar::F32));
+        t.mem(&MemAccess {
+            stream: 0,
+            space: MemSpace::Global,
+            kind: AccessKind::Read,
+            addr: 0,
+            bytes: 16,
+            elem: Scalar::F32,
+            width: 4,
+            pattern: Pattern::Contiguous,
+            lane_addrs: None,
+        });
+        t.mem(&MemAccess {
+            stream: 1,
+            space: MemSpace::Local,
+            kind: AccessKind::Atomic,
+            addr: 64,
+            bytes: 4,
+            elem: Scalar::U32,
+            width: 1,
+            pattern: Pattern::Scalar,
+            lane_addrs: None,
+        });
+        assert_eq!(t.ops, 2);
+        assert_eq!(t.mad_ops, 1);
+        assert_eq!(t.special_ops, 1);
+        assert_eq!(t.lanes_issued, 5);
+        assert_eq!(t.bytes_read, 16);
+        assert_eq!(t.contiguous, 1);
+        assert_eq!(t.atomics, 1);
+        assert_eq!(t.local_accesses, 1);
+    }
+
+    #[test]
+    fn null_tracer_is_noop() {
+        let mut t = NullTracer;
+        t.op(OpClass::Simple, VType::scalar(Scalar::I32));
+        t.barrier(32);
+        t.loop_iter();
+    }
+}

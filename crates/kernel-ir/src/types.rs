@@ -1,0 +1,237 @@
+//! Element and vector types of the kernel IR.
+//!
+//! The IR mirrors the OpenCL C type system that the paper's kernels use:
+//! scalar `float`/`double`/integer types plus the short-vector forms
+//! (`float4`, `double2`, ...) that map onto the Mali-T604's 128-bit vector
+//! registers.
+
+use std::fmt;
+
+/// Element (lane) type of a register, buffer or immediate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Scalar {
+    /// 32-bit IEEE-754 float (`float`).
+    F32,
+    /// 64-bit IEEE-754 float (`double`). Full-profile requirement.
+    F64,
+    /// 32-bit signed integer (`int`).
+    I32,
+    /// 64-bit signed integer (`long`). Natively supported by Mali-T604.
+    I64,
+    /// 32-bit unsigned integer (`uint`).
+    U32,
+    /// 64-bit unsigned integer (`ulong`).
+    U64,
+    /// Boolean lane, result of comparisons. Not storable in buffers.
+    Bool,
+}
+
+impl Scalar {
+    /// Size of one lane in bytes as stored in memory.
+    ///
+    /// `Bool` is register-only; it reports 1 byte but [`Scalar::storable`]
+    /// is `false` for it.
+    pub const fn bytes(self) -> u32 {
+        match self {
+            Scalar::F32 | Scalar::I32 | Scalar::U32 => 4,
+            Scalar::F64 | Scalar::I64 | Scalar::U64 => 8,
+            Scalar::Bool => 1,
+        }
+    }
+
+    /// Whether the type can live in a memory buffer.
+    pub const fn storable(self) -> bool {
+        !matches!(self, Scalar::Bool)
+    }
+
+    /// Whether the type is a floating-point type.
+    pub const fn is_float(self) -> bool {
+        matches!(self, Scalar::F32 | Scalar::F64)
+    }
+
+    /// Whether the type is an integer type (signed or unsigned).
+    pub const fn is_int(self) -> bool {
+        matches!(self, Scalar::I32 | Scalar::I64 | Scalar::U32 | Scalar::U64)
+    }
+
+    /// OpenCL C spelling of the type, used by the pretty printer.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Scalar::F32 => "float",
+            Scalar::F64 => "double",
+            Scalar::I32 => "int",
+            Scalar::I64 => "long",
+            Scalar::U32 => "uint",
+            Scalar::U64 => "ulong",
+            Scalar::Bool => "bool",
+        }
+    }
+}
+
+impl fmt::Display for Scalar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Maximum number of lanes in a vector value (OpenCL's widest short vector).
+pub const MAX_LANES: usize = 16;
+
+/// A (possibly vector) register type: element type plus lane count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct VType {
+    pub elem: Scalar,
+    pub width: u8,
+}
+
+impl VType {
+    /// Construct a vector type. Panics on invalid widths — IR construction
+    /// bugs should fail fast.
+    pub fn new(elem: Scalar, width: u8) -> Self {
+        assert!(
+            matches!(width, 1 | 2 | 4 | 8 | 16),
+            "invalid vector width {width}; OpenCL allows 1/2/4/8/16"
+        );
+        VType { elem, width }
+    }
+
+    /// Scalar (single-lane) type.
+    pub const fn scalar(elem: Scalar) -> Self {
+        VType { elem, width: 1 }
+    }
+
+    pub const fn is_scalar(self) -> bool {
+        self.width == 1
+    }
+
+    /// Total byte footprint of one value of this type.
+    pub const fn bytes(self) -> u32 {
+        self.elem.bytes() * self.width as u32
+    }
+
+    /// Number of 128-bit hardware registers a value of this type occupies
+    /// on the Mali register file (minimum one).
+    pub const fn hw_regs_128(self) -> u32 {
+        let bits = self.elem.bytes() * 8 * self.width as u32;
+        let regs = bits.div_ceil(128);
+        if regs == 0 {
+            1
+        } else {
+            regs
+        }
+    }
+
+    /// Same element type, different width.
+    pub fn with_width(self, width: u8) -> Self {
+        VType::new(self.elem, width)
+    }
+}
+
+impl fmt::Display for VType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.width == 1 {
+            write!(f, "{}", self.elem)
+        } else {
+            write!(f, "{}{}", self.elem, self.width)
+        }
+    }
+}
+
+/// OpenCL memory spaces relevant to the study. `Private` is implicit in
+/// registers; images/constant memory are folded into `Global` with a
+/// read-only access qualifier, matching how the Mali driver maps them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MemSpace {
+    /// Device-visible global memory. On Mali this is the single unified
+    /// memory system behind the shared L2.
+    Global,
+    /// Work-group local memory. On Mali this is *physically global memory* —
+    /// the device models charge it accordingly (the paper's point that
+    /// local-memory tiling buys nothing on this architecture).
+    Local,
+}
+
+impl fmt::Display for MemSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemSpace::Global => f.write_str("__global"),
+            MemSpace::Local => f.write_str("__local"),
+        }
+    }
+}
+
+/// Buffer access qualifier; lets the validator reject writes through
+/// `const` pointers and lets the cost model reward read-only metadata.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Access {
+    ReadOnly,
+    WriteOnly,
+    ReadWrite,
+}
+
+impl Access {
+    pub const fn readable(self) -> bool {
+        !matches!(self, Access::WriteOnly)
+    }
+    pub const fn writable(self) -> bool {
+        !matches!(self, Access::ReadOnly)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_sizes_match_opencl() {
+        assert_eq!(Scalar::F32.bytes(), 4);
+        assert_eq!(Scalar::F64.bytes(), 8);
+        assert_eq!(Scalar::I32.bytes(), 4);
+        assert_eq!(Scalar::I64.bytes(), 8);
+        assert_eq!(Scalar::U32.bytes(), 4);
+        assert_eq!(Scalar::U64.bytes(), 8);
+    }
+
+    #[test]
+    fn bool_not_storable() {
+        assert!(!Scalar::Bool.storable());
+        assert!(Scalar::F32.storable());
+    }
+
+    #[test]
+    fn vtype_display_matches_opencl_spelling() {
+        assert_eq!(VType::new(Scalar::F32, 4).to_string(), "float4");
+        assert_eq!(VType::scalar(Scalar::F64).to_string(), "double");
+        assert_eq!(VType::new(Scalar::U32, 16).to_string(), "uint16");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid vector width")]
+    fn vtype_rejects_width_3() {
+        let _ = VType::new(Scalar::F32, 3);
+    }
+
+    #[test]
+    fn hw_register_footprint() {
+        // float4 exactly fills one 128-bit register.
+        assert_eq!(VType::new(Scalar::F32, 4).hw_regs_128(), 1);
+        // double2 also fills one.
+        assert_eq!(VType::new(Scalar::F64, 2).hw_regs_128(), 1);
+        // double4 needs two.
+        assert_eq!(VType::new(Scalar::F64, 4).hw_regs_128(), 2);
+        // float16 needs four.
+        assert_eq!(VType::new(Scalar::F32, 16).hw_regs_128(), 4);
+        // a scalar still consumes a whole register.
+        assert_eq!(VType::scalar(Scalar::F32).hw_regs_128(), 1);
+        // double16 = 1024 bits = eight registers.
+        assert_eq!(VType::new(Scalar::F64, 16).hw_regs_128(), 8);
+    }
+
+    #[test]
+    fn access_qualifiers() {
+        assert!(Access::ReadOnly.readable());
+        assert!(!Access::ReadOnly.writable());
+        assert!(Access::ReadWrite.readable() && Access::ReadWrite.writable());
+        assert!(!Access::WriteOnly.readable());
+    }
+}

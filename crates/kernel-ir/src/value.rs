@@ -1,0 +1,429 @@
+//! Runtime values of the IR interpreter.
+//!
+//! A [`Value`] is a short vector of up to [`MAX_LANES`] lanes of one element
+//! type. Lane storage is a fixed array so values never heap-allocate; the
+//! interpreter copies them freely.
+
+use crate::types::{Scalar, VType, MAX_LANES};
+
+/// Lane storage for every supported element type.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Lanes {
+    F32([f32; MAX_LANES]),
+    F64([f64; MAX_LANES]),
+    I32([i32; MAX_LANES]),
+    I64([i64; MAX_LANES]),
+    U32([u32; MAX_LANES]),
+    U64([u64; MAX_LANES]),
+    Bool([bool; MAX_LANES]),
+}
+
+/// A runtime vector value: element type, width and lane data.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Value {
+    width: u8,
+    lanes: Lanes,
+}
+
+macro_rules! ctor {
+    ($fn_name:ident, $splat:ident, $t:ty, $variant:ident) => {
+        /// Build a value from a lane slice (1..=16 lanes).
+        pub fn $fn_name(vals: &[$t]) -> Value {
+            assert!(
+                !vals.is_empty() && vals.len() <= MAX_LANES,
+                "value must have 1..=16 lanes, got {}",
+                vals.len()
+            );
+            let mut arr = [<$t>::default(); MAX_LANES];
+            arr[..vals.len()].copy_from_slice(vals);
+            Value { width: vals.len() as u8, lanes: Lanes::$variant(arr) }
+        }
+
+        /// Build a value with all `width` lanes equal to `v`.
+        pub fn $splat(v: $t, width: u8) -> Value {
+            Value { width, lanes: Lanes::$variant([v; MAX_LANES]) }
+        }
+    };
+}
+
+impl Value {
+    ctor!(f32s, splat_f32, f32, F32);
+    ctor!(f64s, splat_f64, f64, F64);
+    ctor!(i32s, splat_i32, i32, I32);
+    ctor!(i64s, splat_i64, i64, I64);
+    ctor!(u32s, splat_u32, u32, U32);
+    ctor!(u64s, splat_u64, u64, U64);
+    ctor!(bools, splat_bool, bool, Bool);
+
+    /// Scalar constructors.
+    pub fn f32(v: f32) -> Value {
+        Value::f32s(&[v])
+    }
+    pub fn f64(v: f64) -> Value {
+        Value::f64s(&[v])
+    }
+    pub fn i32(v: i32) -> Value {
+        Value::i32s(&[v])
+    }
+    pub fn i64(v: i64) -> Value {
+        Value::i64s(&[v])
+    }
+    pub fn u32(v: u32) -> Value {
+        Value::u32s(&[v])
+    }
+    pub fn u64(v: u64) -> Value {
+        Value::u64s(&[v])
+    }
+    pub fn bool(v: bool) -> Value {
+        Value::bools(&[v])
+    }
+
+    /// Zero of a given type (false for Bool).
+    pub fn zero(ty: VType) -> Value {
+        let w = ty.width;
+        match ty.elem {
+            Scalar::F32 => Value::splat_f32(0.0, w),
+            Scalar::F64 => Value::splat_f64(0.0, w),
+            Scalar::I32 => Value::splat_i32(0, w),
+            Scalar::I64 => Value::splat_i64(0, w),
+            Scalar::U32 => Value::splat_u32(0, w),
+            Scalar::U64 => Value::splat_u64(0, w),
+            Scalar::Bool => Value::splat_bool(false, w),
+        }
+    }
+
+    pub fn width(&self) -> u8 {
+        self.width
+    }
+
+    pub fn elem(&self) -> Scalar {
+        match self.lanes {
+            Lanes::F32(_) => Scalar::F32,
+            Lanes::F64(_) => Scalar::F64,
+            Lanes::I32(_) => Scalar::I32,
+            Lanes::I64(_) => Scalar::I64,
+            Lanes::U32(_) => Scalar::U32,
+            Lanes::U64(_) => Scalar::U64,
+            Lanes::Bool(_) => Scalar::Bool,
+        }
+    }
+
+    pub fn vtype(&self) -> VType {
+        VType { elem: self.elem(), width: self.width }
+    }
+
+    pub fn lanes(&self) -> &Lanes {
+        &self.lanes
+    }
+
+    /// Lane `i` as f64 (lossless for floats and for integers < 2^53; only
+    /// used for float contexts and diagnostics, never for exact int math).
+    pub fn lane_f64(&self, i: usize) -> f64 {
+        assert!(i < self.width as usize, "lane {i} out of range");
+        match self.lanes {
+            Lanes::F32(a) => a[i] as f64,
+            Lanes::F64(a) => a[i],
+            Lanes::I32(a) => a[i] as f64,
+            Lanes::I64(a) => a[i] as f64,
+            Lanes::U32(a) => a[i] as f64,
+            Lanes::U64(a) => a[i] as f64,
+            Lanes::Bool(a) => {
+                if a[i] {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// Lane `i` as i64 (exact for all integer lanes; truncates floats).
+    pub fn lane_i64(&self, i: usize) -> i64 {
+        assert!(i < self.width as usize, "lane {i} out of range");
+        match self.lanes {
+            Lanes::F32(a) => a[i] as i64,
+            Lanes::F64(a) => a[i] as i64,
+            Lanes::I32(a) => a[i] as i64,
+            Lanes::I64(a) => a[i],
+            Lanes::U32(a) => a[i] as i64,
+            Lanes::U64(a) => a[i] as i64,
+            Lanes::Bool(a) => a[i] as i64,
+        }
+    }
+
+    /// Lane `i` as usize, for memory indexing. Panics on negative values —
+    /// a kernel indexing with a negative value is a kernel bug the simulator
+    /// must surface, like a real device fault.
+    pub fn lane_index(&self, i: usize) -> usize {
+        let v = self.lane_i64(i);
+        assert!(v >= 0, "negative buffer index {v}");
+        v as usize
+    }
+
+    /// Lane `i` as bool. Panics if the value is not a Bool vector.
+    pub fn lane_bool(&self, i: usize) -> bool {
+        match self.lanes {
+            Lanes::Bool(a) => a[i],
+            _ => panic!("lane_bool on non-bool value {:?}", self.elem()),
+        }
+    }
+
+    /// Broadcast a scalar (width-1) value to `width` lanes; identity if the
+    /// widths already match.
+    pub fn broadcast(&self, width: u8) -> Value {
+        if self.width == width {
+            return *self;
+        }
+        assert_eq!(
+            self.width, 1,
+            "can only broadcast scalars (have width {})",
+            self.width
+        );
+        macro_rules! bc {
+            ($a:expr, $variant:ident) => {
+                Value { width, lanes: Lanes::$variant([$a[0]; MAX_LANES]) }
+            };
+        }
+        match self.lanes {
+            Lanes::F32(a) => bc!(a, F32),
+            Lanes::F64(a) => bc!(a, F64),
+            Lanes::I32(a) => bc!(a, I32),
+            Lanes::I64(a) => bc!(a, I64),
+            Lanes::U32(a) => bc!(a, U32),
+            Lanes::U64(a) => bc!(a, U64),
+            Lanes::Bool(a) => bc!(a, Bool),
+        }
+    }
+
+    /// Extract one lane as a scalar value.
+    pub fn extract(&self, lane: usize) -> Value {
+        assert!(lane < self.width as usize, "extract lane {lane} out of range");
+        macro_rules! ex {
+            ($a:expr, $variant:ident, $d:expr) => {{
+                let mut arr = [$d; MAX_LANES];
+                arr[0] = $a[lane];
+                Value { width: 1, lanes: Lanes::$variant(arr) }
+            }};
+        }
+        match self.lanes {
+            Lanes::F32(a) => ex!(a, F32, 0.0f32),
+            Lanes::F64(a) => ex!(a, F64, 0.0f64),
+            Lanes::I32(a) => ex!(a, I32, 0i32),
+            Lanes::I64(a) => ex!(a, I64, 0i64),
+            Lanes::U32(a) => ex!(a, U32, 0u32),
+            Lanes::U64(a) => ex!(a, U64, 0u64),
+            Lanes::Bool(a) => ex!(a, Bool, false),
+        }
+    }
+
+    /// Replace one lane with the single lane of a scalar value of the same
+    /// element type.
+    pub fn insert(&self, lane: usize, v: &Value) -> Value {
+        assert!(lane < self.width as usize, "insert lane {lane} out of range");
+        assert_eq!(v.width, 1, "insert source must be scalar");
+        assert_eq!(v.elem(), self.elem(), "insert element type mismatch");
+        let mut out = *self;
+        macro_rules! ins {
+            ($variant:ident) => {{
+                if let (Lanes::$variant(dst), Lanes::$variant(src)) =
+                    (&mut out.lanes, &v.lanes)
+                {
+                    dst[lane] = src[0];
+                }
+            }};
+        }
+        match self.lanes {
+            Lanes::F32(_) => ins!(F32),
+            Lanes::F64(_) => ins!(F64),
+            Lanes::I32(_) => ins!(I32),
+            Lanes::I64(_) => ins!(I64),
+            Lanes::U32(_) => ins!(U32),
+            Lanes::U64(_) => ins!(U64),
+            Lanes::Bool(_) => ins!(Bool),
+        }
+        out
+    }
+
+    /// Horizontal sum of all lanes, returned as a scalar of the same type.
+    /// Lanes are added left-to-right (the deterministic order OpenCL's
+    /// `dot`-style built-ins would use on this hardware).
+    pub fn reduce_add(&self) -> Value {
+        let w = self.width as usize;
+        match self.lanes {
+            Lanes::F32(a) => Value::f32(a[..w].iter().sum()),
+            Lanes::F64(a) => Value::f64(a[..w].iter().sum()),
+            Lanes::I32(a) => Value::i32(a[..w].iter().fold(0i32, |s, &x| s.wrapping_add(x))),
+            Lanes::I64(a) => Value::i64(a[..w].iter().fold(0i64, |s, &x| s.wrapping_add(x))),
+            Lanes::U32(a) => Value::u32(a[..w].iter().fold(0u32, |s, &x| s.wrapping_add(x))),
+            Lanes::U64(a) => Value::u64(a[..w].iter().fold(0u64, |s, &x| s.wrapping_add(x))),
+            Lanes::Bool(_) => panic!("reduce_add on bool vector"),
+        }
+    }
+
+    /// Horizontal minimum of all lanes.
+    pub fn reduce_min(&self) -> Value {
+        let w = self.width as usize;
+        match self.lanes {
+            Lanes::F32(a) => Value::f32(a[..w].iter().copied().fold(f32::INFINITY, f32::min)),
+            Lanes::F64(a) => Value::f64(a[..w].iter().copied().fold(f64::INFINITY, f64::min)),
+            Lanes::I32(a) => Value::i32(*a[..w].iter().min().unwrap()),
+            Lanes::I64(a) => Value::i64(*a[..w].iter().min().unwrap()),
+            Lanes::U32(a) => Value::u32(*a[..w].iter().min().unwrap()),
+            Lanes::U64(a) => Value::u64(*a[..w].iter().min().unwrap()),
+            Lanes::Bool(_) => panic!("reduce_min on bool vector"),
+        }
+    }
+
+    /// Horizontal maximum of all lanes.
+    pub fn reduce_max(&self) -> Value {
+        let w = self.width as usize;
+        match self.lanes {
+            Lanes::F32(a) => Value::f32(a[..w].iter().copied().fold(f32::NEG_INFINITY, f32::max)),
+            Lanes::F64(a) => Value::f64(a[..w].iter().copied().fold(f64::NEG_INFINITY, f64::max)),
+            Lanes::I32(a) => Value::i32(*a[..w].iter().max().unwrap()),
+            Lanes::I64(a) => Value::i64(*a[..w].iter().max().unwrap()),
+            Lanes::U32(a) => Value::u32(*a[..w].iter().max().unwrap()),
+            Lanes::U64(a) => Value::u64(*a[..w].iter().max().unwrap()),
+            Lanes::Bool(_) => panic!("reduce_max on bool vector"),
+        }
+    }
+
+    /// Convert each lane to `to`, with C-style semantics (float→int
+    /// truncates, int→float rounds to nearest).
+    pub fn cast(&self, to: Scalar) -> Value {
+        let w = self.width;
+        macro_rules! out_from_f64 {
+            ($get:expr) => {{
+                let mut v = Value::zero(VType { elem: to, width: w });
+                for i in 0..w as usize {
+                    let x: f64 = $get(i);
+                    v = v.insert(
+                        i,
+                        &match to {
+                            Scalar::F32 => Value::f32(x as f32),
+                            Scalar::F64 => Value::f64(x),
+                            Scalar::I32 => Value::i32(x as i32),
+                            Scalar::I64 => Value::i64(x as i64),
+                            Scalar::U32 => Value::u32(x as u32),
+                            Scalar::U64 => Value::u64(x as u64),
+                            Scalar::Bool => Value::bool(x != 0.0),
+                        },
+                    );
+                }
+                v
+            }};
+        }
+        // Integer-to-integer conversions must be exact, so route them through
+        // i64/u64 rather than f64.
+        if self.elem().is_int() && (to.is_int() || to == Scalar::Bool) {
+            let mut v = Value::zero(VType { elem: to, width: w });
+            for i in 0..w as usize {
+                let x = match self.lanes {
+                    Lanes::U32(a) => a[i] as u64 as i64,
+                    Lanes::U64(a) => a[i] as i64,
+                    _ => self.lane_i64(i),
+                };
+                v = v.insert(
+                    i,
+                    &match to {
+                        Scalar::I32 => Value::i32(x as i32),
+                        Scalar::I64 => Value::i64(x),
+                        Scalar::U32 => Value::u32(x as u32),
+                        Scalar::U64 => Value::u64(x as u64),
+                        Scalar::Bool => Value::bool(x != 0),
+                        _ => unreachable!(),
+                    },
+                );
+            }
+            return v;
+        }
+        out_from_f64!(|i| self.lane_f64(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splat_and_lanes() {
+        let v = Value::splat_f32(2.5, 4);
+        assert_eq!(v.width(), 4);
+        assert_eq!(v.elem(), Scalar::F32);
+        for i in 0..4 {
+            assert_eq!(v.lane_f64(i), 2.5);
+        }
+    }
+
+    #[test]
+    fn broadcast_scalar() {
+        let v = Value::f64(3.0).broadcast(8);
+        assert_eq!(v.width(), 8);
+        assert_eq!(v.lane_f64(7), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "can only broadcast scalars")]
+    fn broadcast_vector_panics() {
+        let _ = Value::f32s(&[1.0, 2.0]).broadcast(4);
+    }
+
+    #[test]
+    fn extract_insert_roundtrip() {
+        let v = Value::f32s(&[1.0, 2.0, 3.0, 4.0]);
+        let e = v.extract(2);
+        assert_eq!(e.lane_f64(0), 3.0);
+        let v2 = v.insert(0, &Value::f32(9.0));
+        assert_eq!(v2.lane_f64(0), 9.0);
+        assert_eq!(v2.lane_f64(3), 4.0);
+    }
+
+    #[test]
+    fn reduce_add_f32_left_to_right() {
+        let v = Value::f32s(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(v.reduce_add().lane_f64(0), 10.0);
+    }
+
+    #[test]
+    fn reduce_add_wrapping_ints() {
+        let v = Value::u32s(&[u32::MAX, 1]);
+        assert_eq!(v.reduce_add().lane_i64(0), 0);
+    }
+
+    #[test]
+    fn reduce_min_max() {
+        let v = Value::i32s(&[3, -7, 12, 0]);
+        assert_eq!(v.reduce_min().lane_i64(0), -7);
+        assert_eq!(v.reduce_max().lane_i64(0), 12);
+    }
+
+    #[test]
+    fn cast_float_to_int_truncates() {
+        let v = Value::f32s(&[1.9, -1.9]);
+        let c = v.cast(Scalar::I32);
+        assert_eq!(c.lane_i64(0), 1);
+        assert_eq!(c.lane_i64(1), -1);
+    }
+
+    #[test]
+    fn cast_int_exact_u64() {
+        // Values above 2^53 must survive u64 -> u32 truncation exactly.
+        let v = Value::u64(0x1234_5678_9abc_def0);
+        let c = v.cast(Scalar::U32);
+        assert_eq!(c.lane_i64(0), 0x9abc_def0u32 as i64);
+    }
+
+    #[test]
+    fn lane_index_rejects_negative() {
+        let v = Value::i32(-1);
+        let r = std::panic::catch_unwind(|| v.lane_index(0));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn zero_has_right_type() {
+        let z = Value::zero(VType::new(Scalar::U64, 2));
+        assert_eq!(z.vtype(), VType::new(Scalar::U64, 2));
+        assert_eq!(z.lane_i64(1), 0);
+    }
+}

@@ -1,0 +1,209 @@
+//! Mali-T604 cost-model configuration.
+//!
+//! Structural parameters follow ARM's published material on the Midgard
+//! architecture (Figure 1 of the paper): four shader cores, each with two
+//! arithmetic pipes built around 128-bit vector registers, one load/store
+//! pipe and one texturing pipe (unused by compute), a shared L2 kept
+//! coherent by the snoop-control unit, and a hardware job manager that
+//! distributes work-groups over the cores. Per-op slot costs are calibrated
+//! effective numbers.
+
+use memsim::{CacheConfig, DramConfig};
+
+/// All knobs of the GPU timing model.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MaliConfig {
+    /// Shader clock. The Mali-T604 in the Exynos 5250 runs at 533 MHz.
+    pub freq_hz: f64,
+    /// Shader cores (4 on the T604).
+    pub shader_cores: u32,
+    /// Arithmetic pipes per core (2 on the T604).
+    pub arith_pipes: u32,
+
+    // ---- arithmetic-pipe slot costs -----------------------------------
+    // One "slot" is one pipe-cycle of a 128-bit vector operation. An op on
+    // a type wider than 128 bits takes ceil(bits/128) slots — this is what
+    // makes vector-size tuning (§III-B) a real trade-off.
+    /// Add/sub/compare/logic/min/max.
+    pub slots_simple: f64,
+    /// Multiply.
+    pub slots_mul: f64,
+    /// Fused multiply-add (single slot — the pipe is FMA-based).
+    pub slots_mad: f64,
+    /// Divide.
+    pub slots_div: f64,
+    /// sqrt/rsqrt on the special-function path.
+    pub slots_special: f64,
+    /// exp/log.
+    pub slots_transcendental: f64,
+    /// Moves/selects/lane ops.
+    pub slots_move: f64,
+    /// Horizontal reduction.
+    pub slots_horiz: f64,
+    /// Loop back-edge cost in slots.
+    pub slots_loop: f64,
+    /// VLIW co-issue factor for *scalar* (width-1) operations: the Midgard
+    /// arithmetic pipe is VLIW and can pack independent scalar ops, so
+    /// scalar code gets `1/scalar_coissue` of a slot per op. Vector ops
+    /// already fill the datapath and get no packing.
+    pub scalar_coissue: f64,
+    /// Same, for scalar *double* ops: only two f64 lanes fit a 128-bit
+    /// datapath, so far less packing is available — the reason the paper's
+    /// double-precision GPU speedups sit well below the single-precision
+    /// ones for scalar-heavy kernels (nbody 9.3x vs 17.2x).
+    pub scalar_coissue_f64: f64,
+
+    // ---- thread / group machinery ---------------------------------------
+    /// Core front-end cycles to create, schedule and retire one work-item.
+    /// This is the overhead that vectorization's "fewer work-items for the
+    /// same work" guideline (§III-B) attacks.
+    pub cy_thread: f64,
+    /// Job-manager + core cycles to dispatch one work-group.
+    pub cy_group_dispatch: f64,
+    /// Host-side enqueue/flush overhead per kernel launch, seconds.
+    pub launch_overhead_s: f64,
+
+    // ---- load/store pipe -------------------------------------------------
+    /// LS-pipe cycles per 128-bit beat of a contiguous access (the LS
+    /// datapath is 128 bits wide: a scalar load and a float4 vload both
+    /// take one beat; a float8 takes two — still 4x the bandwidth per
+    /// instruction of scalar code, the §III-B argument for vload/vstore).
+    pub ls_issue: f64,
+    /// Additional LS cycles per lane of a gather/scatter beyond the first.
+    pub ls_gather_lane: f64,
+    /// Extra LS cycles when the access hits in L2 (partially hidden).
+    pub cy_l2_hit: f64,
+    /// Extra LS cycles per *scattered* access (random scalar loads /
+    /// gather lanes): the L2 lookup latency cannot be hidden behind a
+    /// stream and stalls the thread slot (spmv's `x[col[j]]`).
+    pub cy_ls_scatter: f64,
+
+    // ---- atomics ----------------------------------------------------------
+    /// Cycles the L2 atomic unit needs per atomic *to the same cache
+    /// line* — same-address atomics from all cores serialize here (the
+    /// hist hot-bucket effect); different lines pipeline.
+    pub atomic_global_serial_cy: f64,
+    /// LS-pipe cycles for a work-group-local atomic (different groups touch
+    /// different lines, so these stay parallel across cores).
+    pub atomic_local_cy: f64,
+
+    // ---- occupancy / registers -------------------------------------------
+    /// 128-bit registers available per shader core for thread contexts.
+    pub registers_per_core: u32,
+    /// Device maximum work-group size (CL_DEVICE_MAX_WORK_GROUP_SIZE = 256).
+    pub max_wg_size: u32,
+    /// Resident threads per core needed for full memory-latency hiding.
+    pub full_hiding_threads: u32,
+    /// Fraction of DRAM latency exposed per scattered line at full
+    /// occupancy (rises as occupancy falls).
+    pub scatter_exposure: f64,
+
+    // ---- memory ------------------------------------------------------------
+    /// Shared L2 (256 KiB on the Exynos 5250's T604 integration).
+    pub l2: CacheConfig,
+    pub dram: DramConfig,
+    /// Streaming bandwidth the GPU's LS path can pull from the controller.
+    pub gpu_stream_bw: f64,
+}
+
+impl Default for MaliConfig {
+    fn default() -> Self {
+        MaliConfig {
+            freq_hz: 533e6,
+            shader_cores: 4,
+            arith_pipes: 2,
+            slots_simple: 1.0,
+            slots_mul: 1.0,
+            slots_mad: 1.0,
+            slots_div: 8.0,
+            slots_special: 2.0,
+            slots_transcendental: 16.0,
+            slots_move: 0.15,
+            slots_horiz: 1.0,
+            slots_loop: 1.0,
+            scalar_coissue: 2.2,
+            scalar_coissue_f64: 1.15,
+            cy_thread: 11.0,
+            cy_group_dispatch: 280.0,
+            launch_overhead_s: 55e-6,
+            ls_issue: 1.0,
+            ls_gather_lane: 1.0,
+            cy_l2_hit: 0.4,
+            cy_ls_scatter: 13.0,
+            atomic_global_serial_cy: 14.0,
+            atomic_local_cy: 1.0,
+            registers_per_core: 2048,
+            max_wg_size: 256,
+            full_hiding_threads: 48,
+            scatter_exposure: 0.10,
+            l2: CacheConfig::new(256 * 1024, 64, 8),
+            dram: DramConfig::ddr3l_1600_x32(),
+            gpu_stream_bw: 5.8e9,
+        }
+    }
+}
+
+impl MaliConfig {
+    /// Total arithmetic pipes on the device.
+    pub fn total_pipes(&self) -> u32 {
+        self.shader_cores * self.arith_pipes
+    }
+
+    /// Peak single-precision GFLOP/s (FMA counted as 2 flops, 4 f32 lanes
+    /// per slot) — a sanity metric, ~17 GFLOPS for the T604 defaults.
+    pub fn peak_f32_gflops(&self) -> f64 {
+        self.total_pipes() as f64 * self.freq_hz * 4.0 * 2.0 / 1e9
+    }
+
+    /// Maximum resident threads per core for a kernel with the given
+    /// per-thread register footprint (128-bit units).
+    pub fn resident_threads(&self, footprint: u32) -> u32 {
+        if footprint == 0 {
+            self.max_wg_size
+        } else {
+            self.registers_per_core / footprint
+        }
+    }
+
+    /// Whether a kernel with `footprint` registers/thread can run a
+    /// work-group of `wg_size` items. Barrier semantics require the whole
+    /// group resident, so `wg_size × footprint` must fit in the register
+    /// file; otherwise the driver returns `CL_OUT_OF_RESOURCES` — the
+    /// failure the paper hits with nbody/2dcon double-precision optimized
+    /// kernels (§V-A).
+    pub fn wg_fits(&self, footprint: u32, wg_size: u32) -> bool {
+        wg_size <= self.max_wg_size && self.resident_threads(footprint) >= wg_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t604_structure() {
+        let c = MaliConfig::default();
+        assert_eq!(c.shader_cores, 4);
+        assert_eq!(c.total_pipes(), 8);
+        assert_eq!(c.max_wg_size, 256);
+        assert_eq!(c.l2.size_bytes, 256 * 1024);
+    }
+
+    #[test]
+    fn peak_flops_in_t604_ballpark() {
+        let c = MaliConfig::default();
+        let gf = c.peak_f32_gflops();
+        assert!((25.0..45.0).contains(&gf), "peak {gf} GFLOPS");
+    }
+
+    #[test]
+    fn occupancy_math() {
+        let c = MaliConfig::default();
+        assert_eq!(c.resident_threads(8), 256);
+        assert_eq!(c.resident_threads(32), 64);
+        assert!(c.wg_fits(8, 256));
+        assert!(!c.wg_fits(16, 256)); // 256×16 = 4096 > 2048
+        assert!(c.wg_fits(16, 128));
+        assert!(!c.wg_fits(8, 512)); // above device max
+    }
+}

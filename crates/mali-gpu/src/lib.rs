@@ -1,0 +1,25 @@
+//! # mali-gpu — ARM Mali-T604 compute-architecture simulator
+//!
+//! A functional + timing model of the GPU the paper evaluates (Figure 1):
+//!
+//! * **4 shader cores**, each with **two 128-bit VLIW arithmetic pipes**, a
+//!   load/store pipe and a texturing pipe (idle for compute);
+//! * a hardware **job manager** distributing work-groups round-robin;
+//! * a **shared 256 KiB L2** (snoop-control-unit coherent) in front of the
+//!   board's DDR3L-1600 channel;
+//! * a **unified memory system** — "local" memory is physically global, and
+//!   there are no warps, hence **no thread-divergence penalty**;
+//! * a per-core **register file** that bounds work-group residency: kernels
+//!   whose `wg_size × register footprint` exceeds it fail with
+//!   `CL_OUT_OF_RESOURCES`, exactly like the paper's double-precision
+//!   nbody/2dcon optimized kernels.
+//!
+//! Execution is driven by the `kernel-ir` interpreter, so results are real;
+//! the [`MaliT604`] device turns the traced event stream into time, cache
+//! traffic, occupancy and a [`powersim::Activity`] vector.
+
+pub mod config;
+pub mod device;
+
+pub use config::MaliConfig;
+pub use device::{MaliError, MaliReport, MaliT604};

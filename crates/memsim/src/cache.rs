@@ -1,0 +1,299 @@
+//! Set-associative, write-back, write-allocate cache with true-LRU
+//! replacement.
+//!
+//! Used as the Cortex-A15 L1/L2 and as the Mali-T604 shared L2. The model is
+//! functional only in the *tag* sense: it tracks which lines are resident,
+//! not their data (data correctness is the interpreter's job).
+
+/// Geometry of one cache level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u32,
+    /// Line size in bytes.
+    pub line_bytes: u32,
+    /// Associativity (ways per set).
+    pub assoc: u32,
+}
+
+impl CacheConfig {
+    pub fn new(size_bytes: u32, line_bytes: u32, assoc: u32) -> Self {
+        let cfg = CacheConfig { size_bytes, line_bytes, assoc };
+        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(cfg.num_sets() > 0, "size/assoc/line combination yields zero sets");
+        assert_eq!(
+            size_bytes % (line_bytes * assoc),
+            0,
+            "size must be divisible by line*assoc"
+        );
+        cfg
+    }
+
+    pub fn num_sets(&self) -> u32 {
+        self.size_bytes / (self.line_bytes * self.assoc)
+    }
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// LRU timestamp (larger = more recent).
+    stamp: u64,
+}
+
+/// Counters accumulated over the cache's lifetime.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub accesses: u64,
+    pub hits: u64,
+    pub misses: u64,
+    /// Dirty lines evicted (each costs a line write to the next level).
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// Outcome of probing one line-sized chunk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Probe {
+    Hit,
+    /// Miss; `writeback` reports whether a dirty victim was evicted.
+    Miss { writeback: bool },
+}
+
+/// The cache proper.
+#[derive(Clone, Debug)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: Vec<Line>,
+    clock: u64,
+    pub stats: CacheStats,
+}
+
+impl Cache {
+    pub fn new(cfg: CacheConfig) -> Self {
+        let lines = (cfg.num_sets() * cfg.assoc) as usize;
+        Cache { cfg, sets: vec![Line::default(); lines], clock: 0, stats: CacheStats::default() }
+    }
+
+    pub fn config(&self) -> CacheConfig {
+        self.cfg
+    }
+
+    /// Invalidate everything and zero the statistics.
+    pub fn reset(&mut self) {
+        for l in &mut self.sets {
+            *l = Line::default();
+        }
+        self.clock = 0;
+        self.stats = CacheStats::default();
+    }
+
+    #[inline]
+    fn set_range(&self, addr: u64) -> (usize, u64) {
+        let line = addr / self.cfg.line_bytes as u64;
+        let set = (line % self.cfg.num_sets() as u64) as usize;
+        let tag = line / self.cfg.num_sets() as u64;
+        (set * self.cfg.assoc as usize, tag)
+    }
+
+    /// Probe a single address (the line containing it).
+    pub fn probe(&mut self, addr: u64, write: bool) -> Probe {
+        self.clock += 1;
+        self.stats.accesses += 1;
+        let (base, tag) = self.set_range(addr);
+        let ways = self.cfg.assoc as usize;
+        // Hit path.
+        for w in 0..ways {
+            let l = &mut self.sets[base + w];
+            if l.valid && l.tag == tag {
+                l.stamp = self.clock;
+                l.dirty |= write;
+                self.stats.hits += 1;
+                return Probe::Hit;
+            }
+        }
+        // Miss: fill into the LRU way.
+        self.stats.misses += 1;
+        let mut victim = base;
+        for w in 1..ways {
+            if lru_before(&self.sets[base + w], &self.sets[victim]) {
+                victim = base + w;
+            }
+        }
+        let evicted_dirty = self.sets[victim].valid && self.sets[victim].dirty;
+        if evicted_dirty {
+            self.stats.writebacks += 1;
+        }
+        self.sets[victim] =
+            Line { tag, valid: true, dirty: write, stamp: self.clock };
+        Probe::Miss { writeback: evicted_dirty }
+    }
+
+    /// Access a byte span, probing every line it touches. Returns
+    /// `(hit_lines, miss_lines, writebacks)`.
+    pub fn access(&mut self, addr: u64, bytes: u32, write: bool) -> (u32, u32, u32) {
+        let line = self.cfg.line_bytes as u64;
+        let first = addr / line;
+        let last = (addr + bytes.max(1) as u64 - 1) / line;
+        let (mut hits, mut misses, mut wbs) = (0, 0, 0);
+        for l in first..=last {
+            match self.probe(l * line, write) {
+                Probe::Hit => hits += 1,
+                Probe::Miss { writeback } => {
+                    misses += 1;
+                    if writeback {
+                        wbs += 1;
+                    }
+                }
+            }
+        }
+        (hits, misses, wbs)
+    }
+}
+
+fn lru_before(a: &Line, b: &Line) -> bool {
+    // Invalid lines are always preferred victims; otherwise oldest stamp.
+    match (a.valid, b.valid) {
+        (false, true) => true,
+        (true, false) => false,
+        _ => a.stamp < b.stamp,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 sets × 2 ways × 64B lines = 512 B
+        Cache::new(CacheConfig::new(512, 64, 2))
+    }
+
+    #[test]
+    fn config_geometry() {
+        let c = CacheConfig::new(32 * 1024, 64, 4);
+        assert_eq!(c.num_sets(), 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn bad_geometry_rejected() {
+        let _ = CacheConfig::new(1000, 64, 2);
+    }
+
+    #[test]
+    fn first_access_misses_then_hits() {
+        let mut c = tiny();
+        assert_eq!(c.probe(0x100, false), Probe::Miss { writeback: false });
+        assert_eq!(c.probe(0x100, false), Probe::Hit);
+        assert_eq!(c.probe(0x13f, false), Probe::Hit); // same 64B line
+        assert_eq!(c.probe(0x140, false), Probe::Miss { writeback: false });
+        assert_eq!(c.stats.hits, 2);
+        assert_eq!(c.stats.misses, 2);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = tiny();
+        // Three distinct tags mapping to set 0 (addresses differing by
+        // sets*line = 256 B).
+        c.probe(0, false); // A
+        c.probe(256, false); // B — set full
+        c.probe(0, false); // touch A, making B the LRU
+        c.probe(512, false); // C evicts B
+        assert_eq!(c.probe(0, false), Probe::Hit); // A survived
+        assert_eq!(c.probe(256, false), Probe::Miss { writeback: false }); // B gone
+    }
+
+    #[test]
+    fn writeback_on_dirty_eviction() {
+        let mut c = tiny();
+        c.probe(0, true); // dirty A
+        c.probe(256, false); // B
+        let p = c.probe(512, false); // evicts A (LRU), which is dirty
+        assert_eq!(p, Probe::Miss { writeback: true });
+        assert_eq!(c.stats.writebacks, 1);
+    }
+
+    #[test]
+    fn span_access_counts_lines() {
+        let mut c = tiny();
+        // 16 bytes fully inside one line: one probe.
+        let (h, m, _) = c.access(0, 16, false);
+        assert_eq!((h, m), (0, 1));
+        // 16 bytes straddling a line boundary: two probes, first line hits.
+        let (h, m, _) = c.access(56, 16, false);
+        assert_eq!((h, m), (1, 1));
+    }
+
+    #[test]
+    fn streaming_scalar_hits_within_line() {
+        // Sequential 4-byte accesses: 1 miss per 16 accesses on 64B lines.
+        let mut c = Cache::new(CacheConfig::new(32 * 1024, 64, 4));
+        for i in 0..1024u64 {
+            c.access(i * 4, 4, false);
+        }
+        assert_eq!(c.stats.misses, 1024 / 16);
+        assert_eq!(c.stats.hits, 1024 - 64);
+    }
+
+    #[test]
+    fn working_set_larger_than_cache_thrashes() {
+        let mut c = tiny(); // 512 B
+        // Stream 4 KiB twice; second pass still misses every line.
+        for pass in 0..2 {
+            let before = c.stats.misses;
+            for i in 0..64u64 {
+                c.access(i * 64, 64, false);
+            }
+            let new_misses = c.stats.misses - before;
+            assert_eq!(new_misses, 64, "pass {pass} should miss all lines");
+        }
+    }
+
+    #[test]
+    fn working_set_smaller_than_cache_stays_resident() {
+        let mut c = Cache::new(CacheConfig::new(32 * 1024, 64, 4));
+        for pass in 0..3 {
+            let before = c.stats.misses;
+            for i in 0..128u64 {
+                c.access(i * 64, 64, false);
+            }
+            let new = c.stats.misses - before;
+            if pass == 0 {
+                assert_eq!(new, 128);
+            } else {
+                assert_eq!(new, 0, "8 KiB set must stay resident in 32 KiB cache");
+            }
+        }
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut c = tiny();
+        c.probe(0, true);
+        c.reset();
+        assert_eq!(c.stats, CacheStats::default());
+        assert_eq!(c.probe(0, false), Probe::Miss { writeback: false });
+    }
+
+    #[test]
+    fn hit_rate() {
+        let mut c = tiny();
+        c.probe(0, false);
+        c.probe(0, false);
+        assert!((c.stats.hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+}

@@ -1,0 +1,148 @@
+//! DRAM timing model.
+//!
+//! The Arndale board carries 2 GB of DDR3L-1600 on a 32-bit channel:
+//! 6.4 GB/s theoretical peak shared between the Cortex-A15 pair and the
+//! Mali-T604. The model exposes a *sustained* bandwidth (peak derated by a
+//! controller-efficiency factor), a first-access latency used for
+//! dependent/pointer-chasing access chains, and line-granular transfer
+//! accounting (misses always move whole cache lines).
+
+/// DRAM/controller parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DramConfig {
+    /// Theoretical peak bandwidth in bytes/second.
+    pub peak_bw: f64,
+    /// Fraction of peak sustainable for well-formed streaming traffic.
+    pub stream_efficiency: f64,
+    /// Additional derating for scattered (non-streaming) line fetches,
+    /// modelling row-buffer misses.
+    pub scatter_efficiency: f64,
+    /// Load-to-use latency of one line fetch in seconds (row activate +
+    /// CAS + transfer + interconnect).
+    pub latency: f64,
+    /// Transfer granularity in bytes (cache line).
+    pub line_bytes: u32,
+}
+
+impl DramConfig {
+    /// DDR3L-1600 × 32-bit, as on the Exynos 5250 Arndale board.
+    pub fn ddr3l_1600_x32() -> Self {
+        DramConfig {
+            peak_bw: 6.4e9,
+            stream_efficiency: 0.80,
+            scatter_efficiency: 0.35,
+            latency: 110e-9,
+            line_bytes: 64,
+        }
+    }
+
+    /// Sustained streaming bandwidth in bytes/second.
+    pub fn stream_bw(&self) -> f64 {
+        self.peak_bw * self.stream_efficiency
+    }
+
+    /// Sustained bandwidth for scattered line fetches.
+    pub fn scatter_bw(&self) -> f64 {
+        self.peak_bw * self.scatter_efficiency
+    }
+
+    /// Time to stream `lines` cache lines (bandwidth-bound, latency hidden
+    /// by prefetch/pipelining).
+    pub fn stream_time(&self, lines: u64) -> f64 {
+        lines as f64 * self.line_bytes as f64 / self.stream_bw()
+    }
+
+    /// Time to fetch `lines` scattered cache lines when requests can overlap
+    /// (bandwidth-bound at the derated scatter rate).
+    pub fn scatter_time(&self, lines: u64) -> f64 {
+        lines as f64 * self.line_bytes as f64 / self.scatter_bw()
+    }
+
+    /// Time for `lines` *dependent* line fetches (each must complete before
+    /// the next issues — the pointer-chasing worst case).
+    pub fn dependent_time(&self, lines: u64) -> f64 {
+        lines as f64 * self.latency
+    }
+}
+
+/// Accumulates DRAM traffic for one simulated run.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct DramTraffic {
+    /// Lines fetched by streaming (contiguous-pattern) misses.
+    pub stream_lines: u64,
+    /// Lines fetched by scattered (gather/random) misses.
+    pub scatter_lines: u64,
+    /// Lines written back.
+    pub writeback_lines: u64,
+}
+
+impl DramTraffic {
+    pub fn total_lines(&self) -> u64 {
+        self.stream_lines + self.scatter_lines + self.writeback_lines
+    }
+
+    pub fn total_bytes(&self, cfg: &DramConfig) -> u64 {
+        self.total_lines() * cfg.line_bytes as u64
+    }
+
+    /// Bandwidth-limited time for this traffic, assuming enough parallelism
+    /// to overlap latencies (GPU-style or prefetched CPU streaming).
+    pub fn bandwidth_time(&self, cfg: &DramConfig) -> f64 {
+        cfg.stream_time(self.stream_lines + self.writeback_lines)
+            + cfg.scatter_time(self.scatter_lines)
+    }
+
+    pub fn add(&mut self, other: &DramTraffic) {
+        self.stream_lines += other.stream_lines;
+        self.scatter_lines += other.scatter_lines;
+        self.writeback_lines += other.writeback_lines;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exynos_defaults_sane() {
+        let d = DramConfig::ddr3l_1600_x32();
+        assert!(d.stream_bw() > 4.0e9 && d.stream_bw() < 6.4e9);
+        assert!(d.scatter_bw() < d.stream_bw());
+        assert!(d.latency > 50e-9);
+    }
+
+    #[test]
+    fn stream_time_scales_linearly() {
+        let d = DramConfig::ddr3l_1600_x32();
+        let t1 = d.stream_time(1000);
+        let t2 = d.stream_time(2000);
+        assert!((t2 / t1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dependent_fetches_cost_latency_each() {
+        let d = DramConfig::ddr3l_1600_x32();
+        assert!((d.dependent_time(100) - 100.0 * d.latency).abs() < 1e-15);
+        // Dependent access is far slower than streaming the same lines.
+        assert!(d.dependent_time(100) > 5.0 * d.stream_time(100));
+    }
+
+    #[test]
+    fn traffic_accumulates() {
+        let mut t = DramTraffic::default();
+        t.add(&DramTraffic { stream_lines: 10, scatter_lines: 5, writeback_lines: 2 });
+        t.add(&DramTraffic { stream_lines: 1, scatter_lines: 0, writeback_lines: 0 });
+        assert_eq!(t.total_lines(), 18);
+        let cfg = DramConfig::ddr3l_1600_x32();
+        assert_eq!(t.total_bytes(&cfg), 18 * 64);
+        assert!(t.bandwidth_time(&cfg) > 0.0);
+    }
+
+    #[test]
+    fn scattered_traffic_slower_than_streamed() {
+        let cfg = DramConfig::ddr3l_1600_x32();
+        let streamed = DramTraffic { stream_lines: 1000, ..Default::default() };
+        let scattered = DramTraffic { scatter_lines: 1000, ..Default::default() };
+        assert!(scattered.bandwidth_time(&cfg) > streamed.bandwidth_time(&cfg));
+    }
+}

@@ -1,0 +1,213 @@
+//! A small cache hierarchy: optional L1 in front of an L2 in front of DRAM
+//! traffic accounting.
+//!
+//! The CPU model instantiates L1(32K)+L2(1M); the Mali model instantiates
+//! only the shared L2(256K). The hierarchy classifies each access's deepest
+//! level and sorts DRAM line fetches into streaming vs scattered traffic
+//! based on the access pattern the IR interpreter reported.
+
+use crate::cache::{Cache, CacheConfig, Probe};
+use crate::dram::DramTraffic;
+
+/// Deepest level an access had to reach.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HitLevel {
+    L1,
+    L2,
+    Dram,
+}
+
+/// Per-access outcome summary for cost models.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AccessOutcome {
+    pub l1_hits: u32,
+    pub l2_hits: u32,
+    pub dram_lines: u32,
+    pub writeback_lines: u32,
+}
+
+impl AccessOutcome {
+    pub fn deepest(&self) -> HitLevel {
+        if self.dram_lines > 0 {
+            HitLevel::Dram
+        } else if self.l2_hits > 0 {
+            HitLevel::L2
+        } else {
+            HitLevel::L1
+        }
+    }
+}
+
+/// Aggregate statistics for one simulated kernel run.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct HierarchyStats {
+    pub accesses: u64,
+    pub l1_hits: u64,
+    pub l2_hits: u64,
+    pub dram_lines: u64,
+    pub traffic: DramTraffic,
+}
+
+/// The hierarchy proper.
+#[derive(Clone, Debug)]
+pub struct Hierarchy {
+    l1: Option<Cache>,
+    l2: Cache,
+    pub stats: HierarchyStats,
+}
+
+impl Hierarchy {
+    /// CPU-style two-level hierarchy.
+    pub fn with_l1(l1: CacheConfig, l2: CacheConfig) -> Self {
+        Hierarchy { l1: Some(Cache::new(l1)), l2: Cache::new(l2), stats: Default::default() }
+    }
+
+    /// GPU-style single shared L2.
+    pub fn l2_only(l2: CacheConfig) -> Self {
+        Hierarchy { l1: None, l2: Cache::new(l2), stats: Default::default() }
+    }
+
+    pub fn reset(&mut self) {
+        if let Some(l1) = &mut self.l1 {
+            l1.reset();
+        }
+        self.l2.reset();
+        self.stats = Default::default();
+    }
+
+    pub fn l2_stats(&self) -> crate::cache::CacheStats {
+        self.l2.stats
+    }
+
+    /// Run one span access through the hierarchy.
+    ///
+    /// `streaming` marks whether DRAM line fetches caused by this access
+    /// should be charged at streaming or scattered bandwidth (set from the
+    /// IR access pattern: contiguous/scalar sequential → streaming; gather →
+    /// scattered).
+    pub fn access(&mut self, addr: u64, bytes: u32, write: bool, streaming: bool) -> AccessOutcome {
+        self.stats.accesses += 1;
+        let mut out = AccessOutcome::default();
+        let line = self.l2.config().line_bytes as u64;
+        let first = addr / line;
+        let last = (addr + bytes.max(1) as u64 - 1) / line;
+        for l in first..=last {
+            let a = l * line;
+            // L1 probe (if present).
+            if let Some(l1) = &mut self.l1 {
+                match l1.probe(a, write) {
+                    Probe::Hit => {
+                        out.l1_hits += 1;
+                        continue;
+                    }
+                    Probe::Miss { writeback } => {
+                        if writeback {
+                            // L1 victim written into L2.
+                            let _ = self.l2.probe(a, true);
+                        }
+                    }
+                }
+            }
+            // L2 probe.
+            match self.l2.probe(a, write) {
+                Probe::Hit => out.l2_hits += 1,
+                Probe::Miss { writeback } => {
+                    out.dram_lines += 1;
+                    if writeback {
+                        out.writeback_lines += 1;
+                    }
+                }
+            }
+        }
+        self.stats.l1_hits += out.l1_hits as u64;
+        self.stats.l2_hits += out.l2_hits as u64;
+        self.stats.dram_lines += out.dram_lines as u64;
+        if streaming {
+            self.stats.traffic.stream_lines += out.dram_lines as u64;
+        } else {
+            self.stats.traffic.scatter_lines += out.dram_lines as u64;
+        }
+        self.stats.traffic.writeback_lines += out.writeback_lines as u64;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cpu_like() -> Hierarchy {
+        Hierarchy::with_l1(
+            CacheConfig::new(1024, 64, 2), // tiny L1 for testability
+            CacheConfig::new(8192, 64, 4),
+        )
+    }
+
+    #[test]
+    fn l1_hit_after_fill() {
+        let mut h = cpu_like();
+        let first = h.access(0x40, 4, false, true);
+        assert_eq!(first.deepest(), HitLevel::Dram);
+        let second = h.access(0x44, 4, false, true);
+        assert_eq!(second.deepest(), HitLevel::L1);
+    }
+
+    #[test]
+    fn l2_catches_l1_evictions() {
+        let mut h = cpu_like();
+        // Fill 2 KiB (> L1 1 KiB, < L2 8 KiB).
+        for i in 0..32u64 {
+            h.access(i * 64, 64, false, true);
+        }
+        // Second pass: L1 misses for early lines, but L2 holds everything.
+        let out = h.access(0, 64, false, true);
+        assert_eq!(out.deepest(), HitLevel::L2);
+        assert_eq!(out.dram_lines, 0);
+    }
+
+    #[test]
+    fn traffic_classified_by_pattern() {
+        let mut h = Hierarchy::l2_only(CacheConfig::new(1024, 64, 2));
+        h.access(0, 64, false, true);
+        h.access(4096, 64, false, false);
+        assert_eq!(h.stats.traffic.stream_lines, 1);
+        assert_eq!(h.stats.traffic.scatter_lines, 1);
+    }
+
+    #[test]
+    fn writes_generate_writebacks_on_eviction() {
+        let mut h = Hierarchy::l2_only(CacheConfig::new(128, 64, 1)); // 2 sets, direct-mapped
+        h.access(0, 4, true, true); // dirty set 0
+        let out = h.access(128, 4, false, true); // same set, evicts dirty line
+        assert_eq!(out.writeback_lines, 1);
+        assert_eq!(h.stats.traffic.writeback_lines, 1);
+    }
+
+    #[test]
+    fn span_crossing_lines_counts_each() {
+        let mut h = Hierarchy::l2_only(CacheConfig::new(1024, 64, 2));
+        let out = h.access(60, 8, false, true); // straddles two lines
+        assert_eq!(out.dram_lines, 2);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut h = cpu_like();
+        for i in 0..16u64 {
+            h.access(i * 4, 4, false, true);
+        }
+        assert_eq!(h.stats.accesses, 16);
+        assert_eq!(h.stats.l1_hits, 15); // one 64B line fill, 15 hits
+        assert_eq!(h.stats.dram_lines, 1);
+    }
+
+    #[test]
+    fn reset_restores_cold_state() {
+        let mut h = cpu_like();
+        h.access(0, 4, false, true);
+        h.reset();
+        assert_eq!(h.stats.accesses, 0);
+        let out = h.access(0, 4, false, true);
+        assert_eq!(out.deepest(), HitLevel::Dram);
+    }
+}

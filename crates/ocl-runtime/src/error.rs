@@ -1,0 +1,74 @@
+//! OpenCL-style error codes surfaced by the simulated runtime.
+
+use mali_gpu::MaliError;
+
+/// The subset of `cl_int` error codes this study's host code can encounter,
+/// plus the build-failure payload `clGetProgramBuildInfo` would return.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ClError {
+    /// `CL_BUILD_PROGRAM_FAILURE` with the build log.
+    BuildProgramFailure(String),
+    /// `CL_OUT_OF_RESOURCES` — the register-file/work-group check failed at
+    /// enqueue (see [`mali_gpu::MaliConfig::wg_fits`]).
+    OutOfResources { footprint: u32, wg_size: u32 },
+    /// `CL_INVALID_WORK_GROUP_SIZE` — local does not divide global, or
+    /// exceeds the device maximum.
+    InvalidWorkGroupSize(String),
+    /// `CL_INVALID_KERNEL_ARGS` — unset or mistyped argument.
+    InvalidKernelArgs(String),
+    /// `CL_INVALID_MEM_OBJECT`.
+    InvalidMemObject(String),
+    /// `CL_INVALID_VALUE` catch-all for host-API misuse.
+    InvalidValue(String),
+}
+
+impl std::fmt::Display for ClError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClError::BuildProgramFailure(log) => {
+                write!(f, "CL_BUILD_PROGRAM_FAILURE: {log}")
+            }
+            ClError::OutOfResources { footprint, wg_size } => write!(
+                f,
+                "CL_OUT_OF_RESOURCES (wg_size {wg_size} x {footprint} regs/thread)"
+            ),
+            ClError::InvalidWorkGroupSize(s) => write!(f, "CL_INVALID_WORK_GROUP_SIZE: {s}"),
+            ClError::InvalidKernelArgs(s) => write!(f, "CL_INVALID_KERNEL_ARGS: {s}"),
+            ClError::InvalidMemObject(s) => write!(f, "CL_INVALID_MEM_OBJECT: {s}"),
+            ClError::InvalidValue(s) => write!(f, "CL_INVALID_VALUE: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ClError {}
+
+impl From<MaliError> for ClError {
+    fn from(e: MaliError) -> Self {
+        match e {
+            MaliError::OutOfResources { footprint, wg_size, .. } => {
+                ClError::OutOfResources { footprint, wg_size }
+            }
+            MaliError::Exec(e) => ClError::InvalidValue(e.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = ClError::OutOfResources { footprint: 40, wg_size: 256 };
+        assert!(e.to_string().contains("CL_OUT_OF_RESOURCES"));
+        let b = ClError::BuildProgramFailure("ICE".into());
+        assert!(b.to_string().contains("CL_BUILD_PROGRAM_FAILURE"));
+    }
+
+    #[test]
+    fn mali_error_conversion() {
+        let e: ClError =
+            MaliError::OutOfResources { footprint: 9, wg_size: 256, available: 2048 }.into();
+        assert_eq!(e, ClError::OutOfResources { footprint: 9, wg_size: 256 });
+    }
+}

@@ -1,0 +1,19 @@
+//! # ocl-runtime — an OpenCL-1.1-style host API over the Mali simulator
+//!
+//! Models the host side of the paper's stack: contexts, buffers with
+//! `CL_MEM_ALLOC_HOST_PTR` / `CL_MEM_USE_HOST_PTR` semantics, the
+//! map-vs-copy data paths of §III-A, an in-order profiled command queue,
+//! a kernel compiler that reproduces the paper's driver bug (the
+//! double-precision `amcd` internal compiler error), the register-file
+//! `CL_OUT_OF_RESOURCES` enqueue check, and the driver's imperfect
+//! automatic local-work-size heuristic.
+
+pub mod compiler;
+pub mod context;
+pub mod error;
+
+pub use compiler::{build, build_for, BuildError, CompiledKernel, Profile};
+pub use context::{
+    BufId, Context, Event, EventKind, HostCosts, KernelArg, LaunchInfo, MemFlags,
+};
+pub use error::ClError;

@@ -1,0 +1,132 @@
+//! Activity vectors: what the device simulators report, and what the power
+//! model converts to watts.
+
+/// Resource-activity summary of one benchmark run on the SoC.
+///
+/// Every field is a *busy time in seconds* (or bytes for DRAM): the device
+/// models integrate utilization over the run, so a pipe at 50% utilization
+/// for 2 s reports 1 s of busy time. The power model multiplies these by
+/// per-resource power coefficients.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Activity {
+    /// Wall-clock duration of the measured region, seconds.
+    pub duration_s: f64,
+    /// Busy seconds of each Cortex-A15 core (compute + stalls-on-memory;
+    /// i.e. not clock-gated).
+    pub cpu_busy_s: [f64; 2],
+    /// Seconds during which the GPU is powered (job on the job manager).
+    pub gpu_active_s: f64,
+    /// Arithmetic-pipe busy seconds summed over all 8 pipes, normalized to
+    /// one pipe (0..=8 × duration effectively, but we store pipe-seconds /
+    /// 8 so the coefficient is "all arith pipes at full").
+    pub gpu_arith_util_s: f64,
+    /// Load/store-pipe busy seconds, normalized the same way (fraction of
+    /// all 4 LS pipes, times seconds).
+    pub gpu_ls_util_s: f64,
+    /// Total DRAM bytes moved (lines × 64).
+    pub dram_bytes: u64,
+}
+
+impl Activity {
+    /// Activity of an idle board over `t` seconds.
+    pub fn idle(t: f64) -> Self {
+        Activity { duration_s: t, ..Default::default() }
+    }
+
+    /// Sum two sequential activity windows.
+    pub fn concat(&self, other: &Activity) -> Activity {
+        Activity {
+            duration_s: self.duration_s + other.duration_s,
+            cpu_busy_s: [
+                self.cpu_busy_s[0] + other.cpu_busy_s[0],
+                self.cpu_busy_s[1] + other.cpu_busy_s[1],
+            ],
+            gpu_active_s: self.gpu_active_s + other.gpu_active_s,
+            gpu_arith_util_s: self.gpu_arith_util_s + other.gpu_arith_util_s,
+            gpu_ls_util_s: self.gpu_ls_util_s + other.gpu_ls_util_s,
+            dram_bytes: self.dram_bytes + other.dram_bytes,
+        }
+    }
+
+    /// Scale the window as if the run repeated `n` times (used by the
+    /// harness to stretch short kernels to meter-friendly durations, exactly
+    /// like the paper's "we adjusted the number of iterations" methodology).
+    pub fn repeat(&self, n: u32) -> Activity {
+        let k = n as f64;
+        Activity {
+            duration_s: self.duration_s * k,
+            cpu_busy_s: [self.cpu_busy_s[0] * k, self.cpu_busy_s[1] * k],
+            gpu_active_s: self.gpu_active_s * k,
+            gpu_arith_util_s: self.gpu_arith_util_s * k,
+            gpu_ls_util_s: self.gpu_ls_util_s * k,
+            dram_bytes: self.dram_bytes * n as u64,
+        }
+    }
+
+    /// Average DRAM bandwidth over the window, bytes/second.
+    pub fn dram_bw(&self) -> f64 {
+        if self.duration_s == 0.0 {
+            0.0
+        } else {
+            self.dram_bytes as f64 / self.duration_s
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_is_all_zero_but_time() {
+        let a = Activity::idle(2.0);
+        assert_eq!(a.duration_s, 2.0);
+        assert_eq!(a.cpu_busy_s, [0.0, 0.0]);
+        assert_eq!(a.dram_bytes, 0);
+    }
+
+    #[test]
+    fn concat_adds_everything() {
+        let a = Activity {
+            duration_s: 1.0,
+            cpu_busy_s: [1.0, 0.0],
+            gpu_active_s: 0.0,
+            gpu_arith_util_s: 0.0,
+            gpu_ls_util_s: 0.0,
+            dram_bytes: 100,
+        };
+        let b = Activity {
+            duration_s: 2.0,
+            cpu_busy_s: [0.5, 2.0],
+            gpu_active_s: 2.0,
+            gpu_arith_util_s: 1.0,
+            gpu_ls_util_s: 0.25,
+            dram_bytes: 900,
+        };
+        let c = a.concat(&b);
+        assert_eq!(c.duration_s, 3.0);
+        assert_eq!(c.cpu_busy_s, [1.5, 2.0]);
+        assert_eq!(c.dram_bytes, 1000);
+        assert_eq!(c.gpu_arith_util_s, 1.0);
+    }
+
+    #[test]
+    fn repeat_scales_linearly() {
+        let a = Activity {
+            duration_s: 0.1,
+            cpu_busy_s: [0.1, 0.0],
+            dram_bytes: 64,
+            ..Default::default()
+        };
+        let r = a.repeat(20);
+        assert!((r.duration_s - 2.0).abs() < 1e-12);
+        assert_eq!(r.dram_bytes, 1280);
+    }
+
+    #[test]
+    fn bandwidth_calc() {
+        let a = Activity { duration_s: 2.0, dram_bytes: 1_000_000, ..Default::default() };
+        assert_eq!(a.dram_bw(), 500_000.0);
+        assert_eq!(Activity::default().dram_bw(), 0.0);
+    }
+}

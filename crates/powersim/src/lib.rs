@@ -1,0 +1,81 @@
+//! # powersim — board power model and power-meter simulation
+//!
+//! Reproduces the measurement side of the paper's methodology (§IV):
+//!
+//! * an **activity-based power model** of the Arndale / Exynos 5250 board
+//!   (`P = P_idle + ΣP_i·util_i` over CPU cores, GPU pipes and the DRAM
+//!   interface) — see [`PowerModel`];
+//! * a **Yokogawa WT230** model (10 Hz sampling, 0.1% accuracy, 20-repetition
+//!   mean/σ statistics) — see [`Wt230`];
+//! * the [`Activity`] vector produced by `cpu-sim`/`mali-gpu` runs and
+//!   consumed by both.
+//!
+//! Energy-to-solution (Figure 4 of the paper) is the measured energy of the
+//! benchmark's parallel region, normalized to the Serial version by the
+//! harness.
+
+pub mod activity;
+pub mod meter;
+pub mod model;
+
+pub use activity::Activity;
+pub use meter::{mean_std, Measurement, MeterConfig, Wt230};
+pub use model::PowerModel;
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_activity() -> impl Strategy<Value = Activity> {
+        (
+            0.001f64..10.0,
+            0.0f64..10.0,
+            0.0f64..10.0,
+            0.0f64..10.0,
+            0.0f64..10.0,
+            0u64..10_000_000_000,
+        )
+            .prop_map(|(t, c0, c1, ga, gl, d)| Activity {
+                duration_s: t,
+                cpu_busy_s: [c0.min(t), c1.min(t)],
+                gpu_active_s: ga.min(t),
+                gpu_arith_util_s: ga.min(t).min(gl + ga) * 0.5,
+                gpu_ls_util_s: gl.min(t),
+                dram_bytes: d,
+            })
+    }
+
+    proptest! {
+        /// Power is bounded below by idle and above by the sum of all
+        /// coefficients.
+        #[test]
+        fn power_bounded(a in arb_activity()) {
+            let m = PowerModel::default();
+            let p = m.average_power(&a);
+            let max = m.board_idle_w + 2.0 * m.cpu_core_w + m.host_during_gpu_w
+                + m.gpu_base_w + m.gpu_arith_full_w + m.gpu_ls_full_w + m.dram_full_w;
+            prop_assert!(p >= m.board_idle_w - 1e-12);
+            prop_assert!(p <= max + 1e-9);
+        }
+
+        /// The meter's reading stays within gain+noise bounds of the truth.
+        #[test]
+        fn meter_within_rated_accuracy(a in arb_activity(), seed in 0u64..1000) {
+            let m = PowerModel::default();
+            let truth = m.average_power(&a);
+            let meas = Wt230::with_defaults(seed).measure(&m, &a, 20);
+            let tol = 0.0016; // 0.1% gain + 0.05% noise, with margin
+            prop_assert!((meas.mean_power_w - truth).abs() <= truth * tol);
+        }
+
+        /// Energy scales linearly when the activity window repeats.
+        #[test]
+        fn energy_linear_in_repeats(a in arb_activity(), n in 1u32..20) {
+            let m = PowerModel::default();
+            let e1 = m.energy(&a);
+            let en = m.energy(&a.repeat(n));
+            prop_assert!((en - e1 * n as f64).abs() <= e1 * n as f64 * 1e-9 + 1e-12);
+        }
+    }
+}

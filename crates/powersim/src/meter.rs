@@ -1,0 +1,233 @@
+//! Yokogawa WT230 power-meter model.
+//!
+//! The paper measures board power with a WT230: 10 Hz sampling, 0.1% rated
+//! accuracy, and reports mean and standard deviation over 20 repetitions of
+//! each experiment (observing that the deviation is negligible). This
+//! module reproduces that measurement pipeline on top of the analytic power
+//! trace, so the harness reports the same statistics the paper's Section IV-D
+//! methodology produces.
+
+use crate::activity::Activity;
+use crate::model::PowerModel;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Meter characteristics.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MeterConfig {
+    /// Sampling frequency, Hz (WT230: 10 Hz).
+    pub sample_hz: f64,
+    /// Rated gain accuracy as a fraction (WT230: 0.1% → 0.001). A fixed
+    /// per-instrument gain error is drawn uniformly within ±accuracy.
+    pub accuracy: f64,
+    /// RMS of per-sample white noise as a fraction of the reading.
+    pub sample_noise: f64,
+}
+
+impl Default for MeterConfig {
+    fn default() -> Self {
+        MeterConfig { sample_hz: 10.0, accuracy: 0.001, sample_noise: 0.0005 }
+    }
+}
+
+/// One measured experiment: mean ± std over repetitions.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Measurement {
+    /// Simulated wall-clock duration of one repetition, seconds.
+    pub duration_s: f64,
+    pub mean_power_w: f64,
+    pub std_power_w: f64,
+    pub mean_energy_j: f64,
+    pub std_energy_j: f64,
+    pub repetitions: u32,
+}
+
+impl Measurement {
+    /// Energy-to-solution per single run of the workload (the figure-4
+    /// quantity) given that the measured window held `iters` back-to-back
+    /// runs.
+    pub fn energy_per_iteration(&self, iters: u32) -> f64 {
+        self.mean_energy_j / iters as f64
+    }
+
+    /// Energy-delay product per solution (J·s): the metric that rewards
+    /// being fast *and* frugal — E·t per iteration. Useful when comparing
+    /// operating points where energy alone would pick an arbitrarily slow
+    /// configuration (see the DVFS extension).
+    pub fn edp_per_iteration(&self, iters: u32) -> f64 {
+        let t_iter = self.duration_s / iters as f64;
+        self.energy_per_iteration(iters) * t_iter
+    }
+}
+
+/// The meter.
+#[derive(Clone, Debug)]
+pub struct Wt230 {
+    cfg: MeterConfig,
+    rng: StdRng,
+    /// Per-instrument gain error, fixed at construction (within ±accuracy).
+    gain: f64,
+}
+
+impl Wt230 {
+    /// Deterministic meter: all randomness comes from `seed`.
+    pub fn new(cfg: MeterConfig, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let gain = 1.0 + rng.gen_range(-cfg.accuracy..=cfg.accuracy);
+        Wt230 { cfg, rng, gain }
+    }
+
+    pub fn with_defaults(seed: u64) -> Self {
+        Wt230::new(MeterConfig::default(), seed)
+    }
+
+    /// Sample one repetition of a constant-power window; returns
+    /// (mean sampled power, integrated energy).
+    fn sample_once(&mut self, true_power: f64, duration_s: f64) -> (f64, f64) {
+        let n = (duration_s * self.cfg.sample_hz).floor().max(1.0) as usize;
+        let mut acc = 0.0;
+        for _ in 0..n {
+            let noise = 1.0 + self.rng.gen_range(-1.0..1.0) * self.cfg.sample_noise;
+            acc += true_power * self.gain * noise;
+        }
+        let mean = acc / n as f64;
+        (mean, mean * duration_s)
+    }
+
+    /// Full paper methodology: repeat the experiment `reps` times, sample
+    /// each at 10 Hz, return mean/std statistics.
+    pub fn measure(
+        &mut self,
+        model: &PowerModel,
+        activity: &Activity,
+        reps: u32,
+    ) -> Measurement {
+        assert!(reps > 0, "at least one repetition required");
+        let true_power = model.average_power(activity);
+        let mut powers = Vec::with_capacity(reps as usize);
+        let mut energies = Vec::with_capacity(reps as usize);
+        for _ in 0..reps {
+            let (p, e) = self.sample_once(true_power, activity.duration_s);
+            powers.push(p);
+            energies.push(e);
+        }
+        let (pm, ps) = mean_std(&powers);
+        let (em, es) = mean_std(&energies);
+        Measurement {
+            duration_s: activity.duration_s,
+            mean_power_w: pm,
+            std_power_w: ps,
+            mean_energy_j: em,
+            std_energy_j: es,
+            repetitions: reps,
+        }
+    }
+}
+
+/// Sample mean and (population) standard deviation.
+pub fn mean_std(xs: &[f64]) -> (f64, f64) {
+    assert!(!xs.is_empty());
+    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+    (mean, var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn activity(power_shape: f64, t: f64) -> Activity {
+        Activity { duration_s: t, cpu_busy_s: [power_shape, 0.0], ..Default::default() }
+    }
+
+    #[test]
+    fn measurement_close_to_analytic() {
+        let model = PowerModel::default();
+        let a = activity(2.0, 2.0);
+        let truth = model.average_power(&a);
+        let mut meter = Wt230::with_defaults(42);
+        let m = meter.measure(&model, &a, 20);
+        // Within 0.2% (gain 0.1% + noise).
+        assert!(
+            (m.mean_power_w - truth).abs() / truth < 0.002,
+            "meter {m:?} vs truth {truth}"
+        );
+        assert!((m.mean_energy_j - truth * 2.0).abs() / (truth * 2.0) < 0.002);
+    }
+
+    #[test]
+    fn std_dev_negligible_as_paper_reports() {
+        // §IV-D: "the standard deviation is negligible".
+        let model = PowerModel::default();
+        let a = activity(1.0, 2.0);
+        let mut meter = Wt230::with_defaults(7);
+        let m = meter.measure(&model, &a, 20);
+        assert!(m.std_power_w / m.mean_power_w < 0.001);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let model = PowerModel::default();
+        let a = activity(1.5, 1.0);
+        let m1 = Wt230::with_defaults(99).measure(&model, &a, 20);
+        let m2 = Wt230::with_defaults(99).measure(&model, &a, 20);
+        assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn different_instruments_differ_slightly() {
+        let model = PowerModel::default();
+        let a = activity(1.5, 1.0);
+        let m1 = Wt230::with_defaults(1).measure(&model, &a, 20);
+        let m2 = Wt230::with_defaults(2).measure(&model, &a, 20);
+        assert_ne!(m1.mean_power_w, m2.mean_power_w);
+        assert!((m1.mean_power_w - m2.mean_power_w).abs() / m1.mean_power_w < 0.005);
+    }
+
+    #[test]
+    fn short_window_still_gets_one_sample() {
+        let model = PowerModel::default();
+        let a = activity(0.01, 0.01); // 10 ms < one 100 ms sample period
+        let mut meter = Wt230::with_defaults(3);
+        let m = meter.measure(&model, &a, 5);
+        assert!(m.mean_power_w > 0.0);
+    }
+
+    #[test]
+    fn energy_per_iteration_divides() {
+        let m = Measurement {
+            duration_s: 2.0,
+            mean_power_w: 4.0,
+            std_power_w: 0.0,
+            mean_energy_j: 8.0,
+            std_energy_j: 0.0,
+            repetitions: 20,
+        };
+        assert_eq!(m.energy_per_iteration(4), 2.0);
+    }
+
+    #[test]
+    fn edp_combines_energy_and_delay() {
+        let m = Measurement {
+            duration_s: 2.0,
+            mean_power_w: 4.0,
+            std_power_w: 0.0,
+            mean_energy_j: 8.0,
+            std_energy_j: 0.0,
+            repetitions: 20,
+        };
+        // 4 iterations: 2 J and 0.5 s each -> EDP 1.0 J*s.
+        assert!((m.edp_per_iteration(4) - 1.0).abs() < 1e-12);
+        // A config twice as slow at half the power has the same energy but
+        // twice the EDP.
+        let slow = Measurement { duration_s: 4.0, mean_power_w: 2.0, mean_energy_j: 8.0, ..m };
+        assert!(slow.edp_per_iteration(4) > m.edp_per_iteration(4) * 1.9);
+    }
+
+    #[test]
+    fn mean_std_basics() {
+        let (m, s) = mean_std(&[1.0, 3.0]);
+        assert_eq!(m, 2.0);
+        assert_eq!(s, 1.0);
+    }
+}

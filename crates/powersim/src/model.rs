@@ -1,0 +1,175 @@
+//! Board power model for the Samsung Exynos 5 Dual (Arndale) platform.
+//!
+//! Activity-based: `P = P_idle + Σ coefficient × utilization`. Coefficients
+//! are calibrated so the *relative* power figures of the paper's Figure 3
+//! hold: OpenMP ≈ +31% over Serial, OpenCL on the GPU ≈ Serial ±20% with
+//! the sign tracking pipe/DRAM utilization.
+
+use crate::activity::Activity;
+
+/// Power coefficients of the simulated board (watts).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PowerModel {
+    /// Whole-board idle power: PMIC, DRAM refresh, peripherals, both CPU
+    /// cores clock-gated, GPU power-gated.
+    pub board_idle_w: f64,
+    /// One Cortex-A15 core running flat out at 1.7 GHz.
+    pub cpu_core_w: f64,
+    /// Host-side driver overhead while a GPU job is in flight (the CPU
+    /// polls/sleeps in `clFinish`).
+    pub host_during_gpu_w: f64,
+    /// GPU powered with the job manager active but pipes idle.
+    pub gpu_base_w: f64,
+    /// All eight arithmetic pipes at 100% issue rate.
+    pub gpu_arith_full_w: f64,
+    /// All four load/store pipes at 100% issue rate.
+    pub gpu_ls_full_w: f64,
+    /// DRAM interface at 100% of sustained streaming bandwidth.
+    pub dram_full_w: f64,
+    /// Sustained bandwidth that counts as "100% DRAM utilization", bytes/s.
+    pub dram_ref_bw: f64,
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        PowerModel {
+            board_idle_w: 2.60,
+            cpu_core_w: 1.25,
+            host_during_gpu_w: 0.18,
+            gpu_base_w: 0.35,
+            gpu_arith_full_w: 1.05,
+            gpu_ls_full_w: 0.35,
+            dram_full_w: 1.10,
+            dram_ref_bw: 5.12e9,
+        }
+    }
+}
+
+impl PowerModel {
+    /// Average board power over an activity window, watts.
+    pub fn average_power(&self, a: &Activity) -> f64 {
+        if a.duration_s <= 0.0 {
+            return self.board_idle_w;
+        }
+        let t = a.duration_s;
+        let cpu = (a.cpu_busy_s[0] + a.cpu_busy_s[1]) / t * self.cpu_core_w;
+        let gpu_window = (a.gpu_active_s / t).clamp(0.0, 1.0);
+        let gpu = gpu_window * (self.gpu_base_w + self.host_during_gpu_w)
+            + (a.gpu_arith_util_s / t).clamp(0.0, 1.0) * self.gpu_arith_full_w
+            + (a.gpu_ls_util_s / t).clamp(0.0, 1.0) * self.gpu_ls_full_w;
+        let dram = (a.dram_bw() / self.dram_ref_bw).clamp(0.0, 1.0) * self.dram_full_w;
+        self.board_idle_w + cpu + gpu + dram
+    }
+
+    /// Exact energy of the window (power × time), joules. The meter model
+    /// in [`crate::meter`] adds sampling/accuracy effects on top of this.
+    pub fn energy(&self, a: &Activity) -> f64 {
+        self.average_power(a) * a.duration_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn serial_like(t: f64) -> Activity {
+        Activity {
+            duration_s: t,
+            cpu_busy_s: [t, 0.0],
+            dram_bytes: (1.0e9 * t) as u64,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn idle_power_is_baseline() {
+        let m = PowerModel::default();
+        assert_eq!(m.average_power(&Activity::idle(1.0)), m.board_idle_w);
+    }
+
+    #[test]
+    fn openmp_power_ratio_in_paper_band() {
+        // Paper Fig. 3(a): OpenMP power is +23%..+45% over Serial.
+        let m = PowerModel::default();
+        let serial = serial_like(1.0);
+        let omp = Activity {
+            duration_s: 0.6,
+            cpu_busy_s: [0.6, 0.6],
+            dram_bytes: (1.6e9 * 0.6) as u64,
+            ..Default::default()
+        };
+        let ratio = m.average_power(&omp) / m.average_power(&serial);
+        assert!(
+            (1.15..1.55).contains(&ratio),
+            "OpenMP/Serial power ratio {ratio:.2} outside plausible band"
+        );
+    }
+
+    #[test]
+    fn gpu_power_near_serial() {
+        // Paper Fig. 3(a): OpenCL power within roughly -20%..+25% of Serial.
+        let m = PowerModel::default();
+        let serial = serial_like(1.0);
+        let gpu = Activity {
+            duration_s: 1.0,
+            gpu_active_s: 1.0,
+            gpu_arith_util_s: 0.7,
+            gpu_ls_util_s: 0.5,
+            dram_bytes: 2_000_000_000,
+            ..Default::default()
+        };
+        let ratio = m.average_power(&gpu) / m.average_power(&serial);
+        assert!((0.75..1.30).contains(&ratio), "GPU/Serial power ratio {ratio:.2}");
+    }
+
+    #[test]
+    fn stalled_gpu_draws_less_than_busy_gpu() {
+        let m = PowerModel::default();
+        let busy = Activity {
+            duration_s: 1.0,
+            gpu_active_s: 1.0,
+            gpu_arith_util_s: 1.0,
+            gpu_ls_util_s: 0.8,
+            dram_bytes: 4_000_000_000,
+            ..Default::default()
+        };
+        let stalled = Activity {
+            duration_s: 1.0,
+            gpu_active_s: 1.0,
+            gpu_arith_util_s: 0.05,
+            gpu_ls_util_s: 0.05,
+            dram_bytes: 200_000_000,
+            ..Default::default()
+        };
+        assert!(m.average_power(&stalled) < m.average_power(&busy) - 0.5);
+    }
+
+    #[test]
+    fn energy_is_power_times_time() {
+        let m = PowerModel::default();
+        let a = serial_like(2.0);
+        assert!((m.energy(&a) - m.average_power(&a) * 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_clamped() {
+        // Over-reported activity (util > 1) must not explode the model.
+        let m = PowerModel::default();
+        let a = Activity {
+            duration_s: 1.0,
+            gpu_active_s: 5.0,
+            gpu_arith_util_s: 5.0,
+            gpu_ls_util_s: 5.0,
+            dram_bytes: u64::MAX / 2,
+            ..Default::default()
+        };
+        let p = m.average_power(&a);
+        let max = m.board_idle_w
+            + m.gpu_base_w
+            + m.host_during_gpu_w
+            + m.gpu_arith_full_w
+            + m.gpu_ls_full_w
+            + m.dram_full_w;
+        assert!(p <= max + 1e-9);
+    }
+}

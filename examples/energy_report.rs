@@ -1,0 +1,59 @@
+//! Energy-to-solution measurement walkthrough: the paper's §IV-D
+//! methodology end to end for one benchmark — run the parallel region,
+//! stretch it to a meter-friendly window, sample the simulated Yokogawa
+//! WT230 at 10 Hz over 20 repetitions, and report mean ± σ power and the
+//! per-solution energy, for all four versions.
+//!
+//! ```sh
+//! cargo run --release --example energy_report [bench]
+//! ```
+
+use harness::measure;
+use hpc_kernels::{suite, Precision, Variant};
+use powersim::PowerModel;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "2dcon".into());
+    let benches = suite();
+    let Some(b) = benches.iter().find(|b| b.name() == which) else {
+        eprintln!(
+            "unknown benchmark '{which}'; pick one of: {}",
+            benches.iter().map(|b| b.name()).collect::<Vec<_>>().join(" ")
+        );
+        std::process::exit(2);
+    };
+    let model = PowerModel::default();
+
+    println!("energy-to-solution report: {} ({})\n", b.name(), b.description());
+    for prec in Precision::ALL {
+        println!("--- {} precision ---", prec.label());
+        let mut serial_energy = None;
+        for v in Variant::ALL {
+            match b.run(v, prec) {
+                Ok(r) => {
+                    let (m, iters, energy) = measure(&r, &model, 42);
+                    if v == Variant::Serial {
+                        serial_energy = Some(energy);
+                    }
+                    let rel = serial_energy.map(|s| energy / s).unwrap_or(1.0);
+                    println!(
+                        "{:<11} t={:>9.3} ms  window {iters:>6} iters  \
+                         P = {:>5.2} +- {:.3} W   E = {:>8.4} J/solution ({:>5.1}% of Serial)",
+                        v.label(),
+                        r.time_s * 1e3,
+                        m.mean_power_w,
+                        m.std_power_w,
+                        energy,
+                        rel * 100.0
+                    );
+                }
+                Err(e) => println!("{:<11} skipped: {e}", v.label()),
+            }
+        }
+        println!();
+    }
+    println!(
+        "(The WT230 model samples at 10 Hz with 0.1% gain accuracy; the σ column\n\
+         reproduces the paper's observation that run-to-run deviation is negligible.)"
+    );
+}

@@ -1,0 +1,56 @@
+//! N-body on the simulated SoC: the paper's four versions side by side,
+//! plus what the paper *didn't* do — the AOS→SOA layout change (§III-B
+//! "Data Organization") that unlocks vectorization.
+//!
+//! ```sh
+//! cargo run --release --example nbody_sim
+//! ```
+
+use hpc_kernels::nbody::Nbody;
+use hpc_kernels::{Benchmark, Precision, Variant};
+use mali_hpc::{aos_flatten, aos_to_soa, Particle};
+
+fn main() {
+    let nb = Nbody::default();
+    println!("all-pairs N-body, n = {} bodies, one step\n", nb.n);
+
+    for prec in Precision::ALL {
+        println!("--- {} precision ---", prec.label());
+        let serial = nb.run(Variant::Serial, prec).expect("serial runs");
+        for v in Variant::ALL {
+            match nb.run(v, prec) {
+                Ok(r) => {
+                    println!(
+                        "{:<11} {:>9.3} ms   speedup {:>5.2}x   {}",
+                        v.label(),
+                        r.time_s * 1e3,
+                        serial.time_s / r.time_s,
+                        r.note.unwrap_or_default()
+                    );
+                }
+                Err(e) => println!("{:<11} skipped: {e}", v.label()),
+            }
+        }
+        println!();
+    }
+
+    // The §III-B data-organization story: AOS records vs SOA arrays.
+    println!("--- data layout (§III-B) ---");
+    let aos: Vec<Particle<f32>> = (0..8)
+        .map(|i| Particle {
+            x: i as f32,
+            y: i as f32 * 0.5,
+            z: -(i as f32),
+            m: 1.0,
+        })
+        .collect();
+    let flat = aos_flatten(&aos);
+    let soa = aos_to_soa(&aos);
+    println!("AOS memory image (vload4 straddles fields): {:?}", &flat[..8]);
+    println!("SOA x-array        (vload4 gets 4 x-coords): {:?}", &soa.x[..4]);
+    println!(
+        "\nThe paper keeps the AOS layout for a fair code-base comparison, which\n\
+         is why nbody's OpenCL-Opt gains little: only unrolling and work-group\n\
+         tuning apply (see the fallback notes above for double precision)."
+    );
+}

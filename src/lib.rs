@@ -1,0 +1,5 @@
+//! Umbrella package for examples and integration tests of the Mali-T604
+//! HPC reproduction. See the workspace crates for the actual library.
+pub use hpc_kernels;
+pub use kernel_ir;
+pub use mali_hpc;

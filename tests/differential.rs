@@ -1,0 +1,235 @@
+//! Differential testing: randomly generated kernels must produce identical
+//! results on the plain interpreter, the Cortex-A15 device (1 and 2 cores)
+//! and the Mali-T604 device. The devices only *meter* — they must never
+//! change semantics. This is the deepest guarantee behind every number in
+//! EXPERIMENTS.md.
+
+use kernel_ir::prelude::*;
+use kernel_ir::Access;
+use proptest::prelude::*;
+
+/// A recipe for one random op in a straight-line elementwise kernel.
+#[derive(Clone, Debug)]
+enum Step {
+    Add(f32),
+    Mul(f32),
+    Mad(f32, f32),
+    Sub(f32),
+    MinC(f32),
+    MaxC(f32),
+    Abs,
+    Neg,
+    Sqrt,
+    /// clamp-to-zero via compare+select
+    Relu,
+    CastRoundTrip,
+}
+
+fn arb_step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (-8.0f32..8.0).prop_map(Step::Add),
+        (-4.0f32..4.0).prop_map(Step::Mul),
+        ((-4.0f32..4.0), (-8.0f32..8.0)).prop_map(|(a, b)| Step::Mad(a, b)),
+        (-8.0f32..8.0).prop_map(Step::Sub),
+        (-8.0f32..8.0).prop_map(Step::MinC),
+        (-8.0f32..8.0).prop_map(Step::MaxC),
+        Just(Step::Abs),
+        Just(Step::Neg),
+        Just(Step::Sqrt),
+        Just(Step::Relu),
+        Just(Step::CastRoundTrip),
+    ]
+}
+
+/// Build the kernel: out[i] = chain(a[i]).
+fn build(steps: &[Step]) -> Program {
+    let f32s = VType::scalar(Scalar::F32);
+    let mut kb = KernelBuilder::new("chain");
+    let a = kb.arg_global(Scalar::F32, Access::ReadOnly, true);
+    let o = kb.arg_global(Scalar::F32, Access::WriteOnly, true);
+    let gid = kb.query_global_id(0);
+    let mut cur = kb.load(Scalar::F32, a, gid.into());
+    for s in steps {
+        cur = match s {
+            Step::Add(c) => kb.bin(BinOp::Add, cur.into(), Operand::ImmF(*c as f64), f32s),
+            Step::Mul(c) => kb.bin(BinOp::Mul, cur.into(), Operand::ImmF(*c as f64), f32s),
+            Step::Mad(m, c) => kb.mad(
+                cur.into(),
+                Operand::ImmF(*m as f64),
+                Operand::ImmF(*c as f64),
+                f32s,
+            ),
+            Step::Sub(c) => kb.bin(BinOp::Sub, cur.into(), Operand::ImmF(*c as f64), f32s),
+            Step::MinC(c) => kb.bin(BinOp::Min, cur.into(), Operand::ImmF(*c as f64), f32s),
+            Step::MaxC(c) => kb.bin(BinOp::Max, cur.into(), Operand::ImmF(*c as f64), f32s),
+            Step::Abs => kb.un(UnOp::Abs, cur.into(), f32s),
+            Step::Neg => kb.un(UnOp::Neg, cur.into(), f32s),
+            Step::Sqrt => {
+                // keep the domain non-negative first
+                let nn = kb.un(UnOp::Abs, cur.into(), f32s);
+                kb.un(UnOp::Sqrt, nn.into(), f32s)
+            }
+            Step::Relu => {
+                let neg = kb.bin(BinOp::Lt, cur.into(), Operand::ImmF(0.0), f32s);
+                kb.select(neg.into(), Operand::ImmF(0.0), cur.into(), f32s)
+            }
+            Step::CastRoundTrip => {
+                let d = kb.cast(cur.into(), VType::scalar(Scalar::F64));
+                kb.cast(d.into(), f32s)
+            }
+        };
+    }
+    kb.store(o, gid.into(), cur.into());
+    kb.finish()
+}
+
+fn run_interp(p: &Program, input: &[f32], wg: usize) -> Vec<f32> {
+    let mut pool = MemoryPool::new();
+    let a = pool.add(input.to_vec().into());
+    let o = pool.add(BufferData::zeroed(Scalar::F32, input.len()));
+    run_ndrange(
+        p,
+        &[ArgBinding::Global(a), ArgBinding::Global(o)],
+        &mut pool,
+        NDRange::d1(input.len(), wg),
+        &mut NullTracer,
+    )
+    .unwrap();
+    pool.get(o).as_f32().to_vec()
+}
+
+fn run_cpu(p: &Program, input: &[f32], wg: usize, cores: u32) -> Vec<f32> {
+    let mut pool = MemoryPool::new();
+    let a = pool.add(input.to_vec().into());
+    let o = pool.add(BufferData::zeroed(Scalar::F32, input.len()));
+    cpu_sim::CortexA15::default()
+        .run(
+            p,
+            &[ArgBinding::Global(a), ArgBinding::Global(o)],
+            &mut pool,
+            NDRange::d1(input.len(), wg),
+            cores,
+        )
+        .unwrap();
+    pool.get(o).as_f32().to_vec()
+}
+
+fn run_gpu(p: &Program, input: &[f32], wg: usize) -> Vec<f32> {
+    let mut pool = MemoryPool::new();
+    let a = pool.add(input.to_vec().into());
+    let o = pool.add(BufferData::zeroed(Scalar::F32, input.len()));
+    mali_gpu::MaliT604::default()
+        .run(
+            p,
+            &[ArgBinding::Global(a), ArgBinding::Global(o)],
+            &mut pool,
+            NDRange::d1(input.len(), wg),
+        )
+        .unwrap();
+    pool.get(o).as_f32().to_vec()
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// All four execution paths agree bit-for-bit on random op chains.
+    #[test]
+    fn devices_agree_bitwise(
+        steps in prop::collection::vec(arb_step(), 1..12),
+        input in prop::collection::vec(-50.0f32..50.0, 64),
+        wg_i in 0usize..3,
+    ) {
+        let wg = [8usize, 16, 32][wg_i];
+        let p = build(&steps);
+        p.validate().unwrap();
+        let base = run_interp(&p, &input, wg);
+        prop_assert_eq!(bits(&base), bits(&run_cpu(&p, &input, wg, 1)), "CPU-1 diverged");
+        prop_assert_eq!(bits(&base), bits(&run_cpu(&p, &input, wg, 2)), "CPU-2 diverged");
+        prop_assert_eq!(bits(&base), bits(&run_gpu(&p, &input, wg)), "GPU diverged");
+    }
+
+    /// Vectorization of the same random chain is also bit-exact (lane-wise
+    /// ops are order-independent per element).
+    #[test]
+    fn vectorized_random_chain_bit_exact(
+        steps in prop::collection::vec(arb_step(), 1..10),
+        input in prop::collection::vec(-50.0f32..50.0, 64),
+    ) {
+        let p = build(&steps);
+        let base = run_interp(&p, &input, 16);
+        for w in [2u8, 4, 8] {
+            let v = mali_hpc::vectorize(&p, w).unwrap();
+            let mut pool = MemoryPool::new();
+            let a = pool.add(input.clone().into());
+            let o = pool.add(BufferData::zeroed(Scalar::F32, input.len()));
+            run_ndrange(&v.program,
+                &[ArgBinding::Global(a), ArgBinding::Global(o)],
+                &mut pool, NDRange::d1(input.len() / w as usize, 8),
+                &mut NullTracer).unwrap();
+            prop_assert_eq!(bits(&base), bits(&pool.get(o).as_f32().to_vec()),
+                "width {} diverged", w);
+        }
+    }
+
+    /// The fold/DCE optimizer preserves random-chain semantics bit-exactly.
+    #[test]
+    fn optimizer_random_chain_bit_exact(
+        steps in prop::collection::vec(arb_step(), 1..12),
+        input in prop::collection::vec(-50.0f32..50.0, 32),
+    ) {
+        let p = build(&steps);
+        let opt = mali_hpc::fold::optimize(&p);
+        prop_assert_eq!(
+            bits(&run_interp(&p, &input, 8)),
+            bits(&run_interp(&opt, &input, 8))
+        );
+    }
+}
+
+/// Multi-dimensional id plumbing: a 3-D kernel writing its linearized
+/// global id must produce the identity permutation on every device.
+#[test]
+fn three_dimensional_ids_agree() {
+    let mut kb = KernelBuilder::new("id3");
+    let o = kb.arg_global(Scalar::U32, Access::WriteOnly, true);
+    let gx = kb.query_global_id(0);
+    let gy = kb.query_global_id(1);
+    let gz = kb.query_global_id(2);
+    let sx = kb.query_global_size(0);
+    let sy = kb.query_global_size(1);
+    // idx = (gz*sy + gy)*sx + gx
+    let t1 = kb.bin(BinOp::Mul, gz.into(), sy.into(), VType::scalar(Scalar::U32));
+    let t2 = kb.bin(BinOp::Add, t1.into(), gy.into(), VType::scalar(Scalar::U32));
+    let t3 = kb.bin(BinOp::Mul, t2.into(), sx.into(), VType::scalar(Scalar::U32));
+    let idx = kb.bin(BinOp::Add, t3.into(), gx.into(), VType::scalar(Scalar::U32));
+    kb.store(o, idx.into(), idx.into());
+    let p = kb.finish();
+    p.validate().unwrap();
+
+    let ndr = NDRange::d3([8, 6, 4], [4, 3, 2]);
+    let n = ndr.total_items();
+    let expected: Vec<u32> = (0..n as u32).collect();
+
+    let mut pool = MemoryPool::new();
+    let o1 = pool.add(BufferData::zeroed(Scalar::U32, n));
+    run_ndrange(&p, &[ArgBinding::Global(o1)], &mut pool, ndr, &mut NullTracer).unwrap();
+    assert_eq!(pool.get(o1).as_u32(), expected.as_slice());
+
+    let mut pool2 = MemoryPool::new();
+    let o2 = pool2.add(BufferData::zeroed(Scalar::U32, n));
+    mali_gpu::MaliT604::default()
+        .run(&p, &[ArgBinding::Global(o2)], &mut pool2, ndr)
+        .unwrap();
+    assert_eq!(pool2.get(o2).as_u32(), expected.as_slice());
+
+    let mut pool3 = MemoryPool::new();
+    let o3 = pool3.add(BufferData::zeroed(Scalar::U32, n));
+    cpu_sim::CortexA15::default()
+        .run(&p, &[ArgBinding::Global(o3)], &mut pool3, ndr, 2)
+        .unwrap();
+    assert_eq!(pool3.get(o3).as_u32(), expected.as_slice());
+}

@@ -1,0 +1,145 @@
+//! Scientific shape assertions: the qualitative claims of the paper's
+//! Figures 2–4 and §V, checked on the test-scale suite. These are the
+//! properties the reproduction must preserve regardless of exact numbers:
+//! who wins, where the crossovers are, which bars are missing.
+
+use harness::{headline, run_suite};
+use hpc_kernels::{mid_suite, Precision, RunSkip, Variant};
+use std::sync::OnceLock;
+
+/// The mid-scale sweep is the expensive part; run it once for all tests.
+fn results() -> &'static harness::SuiteResults {
+    static RESULTS: OnceLock<harness::SuiteResults> = OnceLock::new();
+    RESULTS.get_or_init(|| run_suite(&mid_suite(), false))
+}
+
+#[test]
+fn optimization_never_loses_and_usually_wins() {
+    let r = results();
+    for prec in Precision::ALL {
+        for b in &r.bench_names {
+            let (Some(naive), Some(opt)) = (
+                r.speedup(b, Variant::OpenCl, prec),
+                r.speedup(b, Variant::OpenClOpt, prec),
+            ) else {
+                continue;
+            };
+            assert!(
+                opt >= naive * 0.93,
+                "{b} {}: OpenCL-Opt ({opt:.2}) clearly lost to naive ({naive:.2})",
+                prec.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn openmp_band_holds() {
+    // §V-A: OpenMP speedups sit in a band below 2.0 (paper: 1.2..1.9).
+    // Mid-scale inputs still pay a visible fork/join share on the fastest
+    // kernels, hence the slightly widened lower bound.
+    let r = results();
+    for prec in Precision::ALL {
+        for b in &r.bench_names {
+            let s = r.speedup(b, Variant::OpenMp, prec).expect("OpenMP always runs");
+            assert!(
+                (1.0..2.0).contains(&s),
+                "{b} {}: OpenMP speedup {s:.2} outside the plausible band",
+                prec.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn compute_bound_kernels_dominate_memory_bound_on_gpu() {
+    // Figure 2's global shape: nbody/2dcon/dmmm (compute/data-reuse heavy)
+    // beat spmv/vecop/hist (bandwidth/atomic bound) by a wide margin.
+    let r = results();
+    let prec = Precision::F32;
+    let winners = ["nbody", "2dcon", "dmmm"];
+    let laggards = ["spmv", "vecop", "hist"];
+    let min_winner = winners
+        .iter()
+        .map(|b| r.speedup(b, Variant::OpenClOpt, prec).unwrap())
+        .fold(f64::INFINITY, f64::min);
+    let max_laggard = laggards
+        .iter()
+        .map(|b| r.speedup(b, Variant::OpenClOpt, prec).unwrap())
+        .fold(0.0, f64::max);
+    assert!(
+        min_winner > max_laggard,
+        "compute-bound winners ({min_winner:.2}) must beat bandwidth-bound \
+         laggards ({max_laggard:.2})"
+    );
+}
+
+#[test]
+fn amcd_double_gpu_bars_missing() {
+    // §V-A: the amcd double-precision OpenCL versions do not compile.
+    let r = results();
+    for v in [Variant::OpenCl, Variant::OpenClOpt] {
+        match r.skip_reason("amcd", v, Precision::F64) {
+            Some(RunSkip::CompilerBug(_)) => {}
+            other => panic!("expected compiler bug for amcd f64 {v:?}, got {other:?}"),
+        }
+        assert!(r.cell("amcd", v, Precision::F64).is_none());
+    }
+    // Single precision runs fine.
+    assert!(r.cell("amcd", Variant::OpenCl, Precision::F32).is_some());
+}
+
+#[test]
+fn gpu_power_stays_near_serial_while_openmp_rises() {
+    // Figure 3's story: the second CPU core costs real power; the GPU runs
+    // at roughly serial-level board power.
+    let r = results();
+    let prec = Precision::F32;
+    for b in &r.bench_names {
+        if let Some(p) = r.power_ratio(b, Variant::OpenMp, prec) {
+            assert!(p > 1.1, "{b}: OpenMP power ratio {p:.2} should exceed serial");
+        }
+        if let Some(p) = r.power_ratio(b, Variant::OpenCl, prec) {
+            assert!(
+                (0.6..1.45).contains(&p),
+                "{b}: OpenCL power ratio {p:.2} should stay near serial"
+            );
+        }
+    }
+}
+
+#[test]
+fn opt_energy_always_beats_naive_energy() {
+    // §V-C: "for all the benchmarks under study, OpenCL Opt benchmarks
+    // have better energy-to-solution than the corresponding non-optimized
+    // OpenCL implementations".
+    let r = results();
+    for prec in Precision::ALL {
+        for b in &r.bench_names {
+            let (Some(naive), Some(opt)) = (
+                r.energy_ratio(b, Variant::OpenCl, prec),
+                r.energy_ratio(b, Variant::OpenClOpt, prec),
+            ) else {
+                continue;
+            };
+            assert!(
+                opt <= naive * 1.05,
+                "{b} {}: opt energy {opt:.2} worse than naive {naive:.2}",
+                prec.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn headline_direction_holds_at_mid_scale() {
+    // At quarter scale the absolute averages shrink (smaller inputs
+    // amortize less launch overhead), but the §V-D direction must hold:
+    // the optimized GPU versions are much faster than serial on average
+    // and use much less energy. The full-scale harness lands at 7.7x /
+    // 34% vs the paper's 8.7x / 32% (EXPERIMENTS.md).
+    let r = results();
+    let (speedup, energy) = headline(r);
+    assert!(speedup > 3.0, "headline speedup {speedup:.2} too low");
+    assert!(energy < 0.65, "headline energy fraction {energy:.2} too high");
+}

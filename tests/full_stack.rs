@@ -1,0 +1,149 @@
+//! End-to-end integration: host API → compiler → GPU device → interpreter
+//! → cache/power models, spanning every crate in the workspace.
+
+use kernel_ir::prelude::*;
+use kernel_ir::Access;
+use mali_gpu::MaliT604;
+use ocl_runtime::{Context, EventKind, KernelArg, MemFlags};
+use powersim::{PowerModel, Wt230};
+
+/// The full host workflow of the paper's recommended data path: allocate
+/// with ALLOC_HOST_PTR, fill via map, launch, read back via map.
+#[test]
+fn recommended_host_flow_end_to_end() {
+    let n = 4096;
+    let mut ctx = Context::new(MaliT604::default());
+    let buf = ctx.create_buffer(Scalar::F32, n, MemFlags::AllocHostPtr);
+
+    // Fill through a mapping (zero-copy).
+    {
+        let data = ctx.enqueue_map_buffer(buf).unwrap();
+        if let kernel_ir::BufferData::F32(v) = data {
+            for (i, x) in v.iter_mut().enumerate() {
+                *x = i as f32;
+            }
+        }
+    }
+    ctx.enqueue_unmap(buf).unwrap();
+
+    // Kernel: x[i] = sqrt(x[i]).
+    let mut kb = KernelBuilder::new("sqrt_map");
+    let a = kb.arg_global(Scalar::F32, Access::ReadWrite, true);
+    let gid = kb.query_global_id(0);
+    let v = kb.load(Scalar::F32, a, gid.into());
+    let s = kb.un(UnOp::Sqrt, v.into(), VType::scalar(Scalar::F32));
+    kb.store(a, gid.into(), s.into());
+    let k = ctx.build_kernel(kb.finish()).unwrap();
+
+    let info = ctx
+        .enqueue_nd_range(&k, [n, 1, 1], None, &[KernelArg::Buf(buf)])
+        .unwrap();
+    assert!(info.report.time_s > 0.0);
+
+    // Results visible through another mapping.
+    let data = ctx.enqueue_map_buffer(buf).unwrap();
+    let out = data.as_f32();
+    assert_eq!(out[0], 0.0);
+    assert_eq!(out[4], 2.0);
+    assert_eq!(out[2500], (2500f32).sqrt());
+    ctx.enqueue_unmap(buf).unwrap();
+
+    // The profiled queue recorded the whole story.
+    let events = ctx.finish();
+    let kinds: Vec<bool> =
+        events.iter().map(|e| matches!(e.kind, EventKind::Kernel { .. })).collect();
+    assert_eq!(events.len(), 5); // map, unmap, kernel, map, unmap
+    assert_eq!(kinds, [false, false, true, false, false]);
+}
+
+/// Kernel activity flows into the power model and the meter coherently.
+#[test]
+fn activity_to_energy_pipeline() {
+    let n = 1 << 16;
+    let mut ctx = Context::new(MaliT604::default());
+    let buf =
+        ctx.create_buffer_init(vec![1.5f32; n].into(), MemFlags::AllocHostPtr);
+    let mut kb = KernelBuilder::new("scale");
+    let a = kb.arg_global(Scalar::F32, Access::ReadWrite, true);
+    let gid = kb.query_global_id(0);
+    let v = kb.load(Scalar::F32, a, gid.into());
+    let s = kb.bin(BinOp::Mul, v.into(), Operand::ImmF(2.0), VType::scalar(Scalar::F32));
+    kb.store(a, gid.into(), s.into());
+    let k = ctx.build_kernel(kb.finish()).unwrap();
+    let info = ctx
+        .enqueue_nd_range(&k, [n, 1, 1], Some([128, 1, 1]), &[KernelArg::Buf(buf)])
+        .unwrap();
+
+    let model = PowerModel::default();
+    let act = info.report.activity;
+    assert!(act.gpu_active_s > 0.0);
+    assert!(act.dram_bytes > 0);
+    let p = model.average_power(&act);
+    // GPU-active power must exceed idle but stay under the full-tilt bound.
+    assert!(p > model.board_idle_w + 0.3);
+    assert!(p < 8.0);
+
+    let mut meter = Wt230::with_defaults(5);
+    let m = meter.measure(&model, &act.repeat(10_000), 20);
+    let analytic = model.energy(&act) * 10_000.0;
+    assert!((m.mean_energy_j - analytic).abs() / analytic < 0.005);
+}
+
+/// The same IR program produces identical results on the CPU and GPU
+/// devices — the cross-device functional-equivalence guarantee everything
+/// else rests on.
+#[test]
+fn cpu_and_gpu_agree_bitwise() {
+    let n = 2048;
+    let mut kb = KernelBuilder::new("poly");
+    let a = kb.arg_global(Scalar::F32, Access::ReadOnly, true);
+    let o = kb.arg_global(Scalar::F32, Access::WriteOnly, true);
+    let gid = kb.query_global_id(0);
+    let v = kb.load(Scalar::F32, a, gid.into());
+    let v2 = kb.mad(v.into(), v.into(), Operand::ImmF(1.0), VType::scalar(Scalar::F32));
+    let v3 = kb.un(UnOp::Rsqrt, v2.into(), VType::scalar(Scalar::F32));
+    kb.store(o, gid.into(), v3.into());
+    let p = kb.finish();
+
+    let input: Vec<f32> = (0..n).map(|i| i as f32 * 0.37 - 300.0).collect();
+
+    let run_gpu = || {
+        let mut pool = MemoryPool::new();
+        let ab = pool.add(input.clone().into());
+        let ob = pool.add(kernel_ir::BufferData::zeroed(Scalar::F32, n));
+        MaliT604::default()
+            .run(&p, &[ArgBinding::Global(ab), ArgBinding::Global(ob)], &mut pool,
+                NDRange::d1(n, 64))
+            .unwrap();
+        pool.get(ob).as_f32().to_vec()
+    };
+    let run_cpu = |cores| {
+        let mut pool = MemoryPool::new();
+        let ab = pool.add(input.clone().into());
+        let ob = pool.add(kernel_ir::BufferData::zeroed(Scalar::F32, n));
+        cpu_sim::CortexA15::default()
+            .run(&p, &[ArgBinding::Global(ab), ArgBinding::Global(ob)], &mut pool,
+                NDRange::d1(n, 64), cores)
+            .unwrap();
+        pool.get(ob).as_f32().to_vec()
+    };
+    let gpu = run_gpu();
+    assert_eq!(gpu, run_cpu(1), "GPU vs 1-core CPU results must be identical");
+    assert_eq!(gpu, run_cpu(2), "GPU vs 2-core CPU results must be identical");
+}
+
+/// Buffers created UseHostPtr + write/read round-trip correctly and cost
+/// more than the mapped path (the §III-A motivation, as an invariant).
+#[test]
+fn copy_path_roundtrip_and_cost() {
+    let n = 1 << 18;
+    let mut ctx = Context::new(MaliT604::default());
+    let b = ctx.create_buffer(Scalar::F32, n, MemFlags::UseHostPtr);
+    let data: Vec<f32> = (0..n).map(|i| (i % 97) as f32).collect();
+    ctx.enqueue_write_buffer(b, data.clone().into()).unwrap();
+    let back = ctx.enqueue_read_buffer(b).unwrap();
+    assert_eq!(back.as_f32(), data.as_slice());
+    let (t_all, act) = ctx.timeline(false);
+    assert!(t_all > 2.0 * (n as f64 * 4.0) / ctx.host_costs.memcpy_bw * 0.9);
+    assert!(act.dram_bytes >= 4 * (n as u64) * 4);
+}

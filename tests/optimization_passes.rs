@@ -1,0 +1,166 @@
+//! Integration tests of the `mali-hpc` optimization passes against the
+//! device models: transformations must preserve semantics *and* move the
+//! simulated performance in the direction §III promises.
+
+use kernel_ir::prelude::*;
+use kernel_ir::Access;
+use mali_gpu::MaliT604;
+use mali_hpc::{autotune, sweep, unroll, vectorize, wg_size_candidates, SearchSpace};
+
+/// `out[i] = a[i]*a[i] + b[i]` — a clean vectorization target.
+fn fma_map() -> Program {
+    let mut kb = KernelBuilder::new("fma_map");
+    let a = kb.arg_global(Scalar::F32, Access::ReadOnly, true);
+    let b = kb.arg_global(Scalar::F32, Access::ReadOnly, true);
+    let o = kb.arg_global(Scalar::F32, Access::WriteOnly, true);
+    let gid = kb.query_global_id(0);
+    let va = kb.load(Scalar::F32, a, gid.into());
+    let vb = kb.load(Scalar::F32, b, gid.into());
+    let r = kb.mad(va.into(), va.into(), vb.into(), VType::scalar(Scalar::F32));
+    kb.store(o, gid.into(), r.into());
+    kb.finish()
+}
+
+fn run_on_gpu(p: &Program, n: usize, items: usize, wg: usize) -> (Vec<f32>, f64) {
+    let mut pool = MemoryPool::new();
+    let a = pool.add((0..n).map(|i| (i % 13) as f32).collect::<Vec<_>>().into());
+    let b = pool.add((0..n).map(|i| (i % 7) as f32).collect::<Vec<_>>().into());
+    let o = pool.add(kernel_ir::BufferData::zeroed(Scalar::F32, n));
+    let rep = MaliT604::default()
+        .run(
+            p,
+            &[ArgBinding::Global(a), ArgBinding::Global(b), ArgBinding::Global(o)],
+            &mut pool,
+            NDRange::d1(items, wg),
+        )
+        .unwrap();
+    (pool.get(o).as_f32().to_vec(), rep.time_s)
+}
+
+#[test]
+fn vectorize_preserves_results_and_speeds_up_on_device() {
+    let n = 1 << 16;
+    let p = fma_map();
+    let (base_out, base_t) = run_on_gpu(&p, n, n, 128);
+    for w in [2u8, 4, 8] {
+        let v = vectorize(&p, w).unwrap();
+        let (out, t) = run_on_gpu(&v.program, n, n / w as usize, 128);
+        assert_eq!(base_out, out, "width {w} changed results");
+        assert!(
+            t < base_t,
+            "width {w} should beat scalar ({t:.3e} vs {base_t:.3e})"
+        );
+    }
+}
+
+#[test]
+fn vectorize_then_widths_rank_sanely() {
+    // Wider is not always better (§III-B "Vector Sizes"): past the LS
+    // beat width, returns flatten while register footprint keeps rising.
+    let n = 1 << 16;
+    let p = fma_map();
+    let mut footprints = Vec::new();
+    let mut times = Vec::new();
+    for w in [4u8, 8, 16] {
+        let v = vectorize(&p, w).unwrap();
+        footprints.push(v.program.register_footprint());
+        let (_, t) = run_on_gpu(&v.program, n, n / w as usize, 64);
+        times.push(t);
+    }
+    assert!(footprints.windows(2).all(|w| w[0] <= w[1]), "footprint monotone in width");
+    let best = times.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!(times[2] <= times[0] * 1.5, "width 16 should not collapse");
+    assert!(best < times[0] * 1.01, "width 8/16 should at least match width 4");
+}
+
+/// Unroll composed after vectorize: still correct on-device and the
+/// footprint cost is visible.
+#[test]
+fn unroll_composes_with_vectorize_on_device() {
+    // Row-sum kernel with a loop so the unroller has a target.
+    let mut kb = KernelBuilder::new("rowsum");
+    let a = kb.arg_global(Scalar::F32, Access::ReadOnly, true);
+    let b = kb.arg_global(Scalar::F32, Access::ReadOnly, true);
+    let o = kb.arg_global(Scalar::F32, Access::WriteOnly, true);
+    let gid = kb.query_global_id(0);
+    let base = kb.bin(BinOp::Mul, gid.into(), Operand::ImmI(32), VType::scalar(Scalar::U32));
+    let acc = kb.mov(Operand::ImmF(0.0), VType::scalar(Scalar::F32));
+    kb.for_loop(Operand::ImmI(0), Operand::ImmI(32), Operand::ImmI(4), |kb, i| {
+        let idx = kb.bin(BinOp::Add, base.into(), i.into(), VType::scalar(Scalar::U32));
+        let v = kb.vload(Scalar::F32, 4, a, idx.into());
+        let w = kb.vload(Scalar::F32, 4, b, idx.into());
+        let s = kb.bin(BinOp::Add, v.into(), w.into(), VType::new(Scalar::F32, 4));
+        let h = kb.horiz(HorizOp::Add, s);
+        kb.bin_into(acc, BinOp::Add, acc.into(), h.into());
+    });
+    kb.store(o, gid.into(), acc.into());
+    let p = kb.finish();
+
+    let n = 32 * 512;
+    let (base_out, _) = run_on_gpu(&p, n, 512, 64);
+    let u = unroll(&p, 4).unwrap();
+    assert!(u.register_footprint() > p.register_footprint());
+    let (out, _) = run_on_gpu(&u, n, 512, 64);
+    assert_eq!(base_out, out);
+}
+
+#[test]
+fn wg_sweep_on_device_finds_a_divisible_winner() {
+    let n = 1 << 14;
+    let p = fma_map();
+    let result = sweep(&wg_size_candidates(256), |&wg| {
+        if n % wg != 0 {
+            return None;
+        }
+        Some(run_on_gpu(&p, n, n, wg).1)
+    });
+    let best = *result.best().expect("some wg works");
+    assert!(n % best == 0);
+    assert!(result.spread().unwrap() >= 1.0);
+}
+
+#[test]
+fn autotune_against_the_device_beats_the_naive_launch() {
+    let n = 1 << 14;
+    let base = fma_map();
+    let space = SearchSpace {
+        widths: vec![1, 2, 4, 8],
+        unrolls: vec![1], // no loop to unroll in a map kernel
+        work_groups: vec![32, 64, 128],
+    };
+    let result = autotune(&base, &space, |p, divisor, wg| {
+        let items = n / divisor;
+        if items % wg != 0 {
+            return None;
+        }
+        Some(run_on_gpu(p, n, items, wg).1)
+    });
+    let (c, best_cost) = result.best().expect("search succeeds");
+    assert!(c.width > 1, "the tuner must discover vectorization (got {c:?})");
+    let gain = result.gain_over_baseline().expect("scalar baseline ran");
+    assert!(gain > 1.3, "autotuned gain {gain:.2} too small");
+    assert!(best_cost > 0.0);
+    // The winning program actually runs and is correct.
+    let p = result.best_program.as_ref().unwrap();
+    let (out, _) = run_on_gpu(p, n, n / c.width as usize, c.work_group);
+    let (reference, _) = run_on_gpu(&base, n, n, 64);
+    assert_eq!(out, reference);
+}
+
+#[test]
+fn vectorizer_diagnostics_cover_the_papers_benchmarks() {
+    use hpc_kernels::{hist::Hist, nbody::Nbody, spmv::Spmv, Precision};
+    use mali_hpc::VectorizeRefusal;
+    // hist: atomics.
+    let h = Hist::test_size().kernel(Precision::F32);
+    assert_eq!(vectorize(&h, 4).unwrap_err(), VectorizeRefusal::HasAtomic);
+    // spmv: loop (and indirect accesses behind it).
+    let s = Spmv::test_size().kernel(Precision::F32, kernel_ir::Hints::default());
+    assert!(matches!(
+        vectorize(&s, 4).unwrap_err(),
+        VectorizeRefusal::HasLoop | VectorizeRefusal::NonGidIndexing
+    ));
+    // nbody: the all-pairs loop.
+    let nb = Nbody::test_size().kernel(Precision::F32, kernel_ir::Hints::default());
+    assert_eq!(vectorize(&nb, 4).unwrap_err(), VectorizeRefusal::HasLoop);
+}

@@ -1,0 +1,193 @@
+//! The paper's incidental findings, reproduced as executable facts: the
+//! driver bug, the resource-limit fallbacks, the imperfect automatic
+//! local-size selection, and the architectural properties of §III-B.
+
+use hpc_kernels::{Benchmark, Precision, RunSkip, Variant};
+use kernel_ir::prelude::*;
+use kernel_ir::Access;
+use mali_gpu::{MaliError, MaliT604};
+use ocl_runtime::{ClError, Context, KernelArg, MemFlags};
+
+/// §V-A: "The Atomic Monte-Carlo Dynamics (amcd) OpenCL versions are not
+/// presented due to a compiler issue that does not allow the correct
+/// termination of the compilation phase for the OpenCL kernel in double
+/// precision."
+#[test]
+fn amcd_double_precision_driver_bug() {
+    let b = hpc_kernels::amcd::Amcd::test_size();
+    for v in [Variant::OpenCl, Variant::OpenClOpt] {
+        let err = b.run(v, Precision::F64).unwrap_err();
+        let RunSkip::CompilerBug(msg) = err else {
+            panic!("expected CompilerBug, got something else")
+        };
+        assert!(msg.contains("internal compiler error"));
+    }
+    // The same kernels in single precision compile and validate.
+    for v in [Variant::OpenCl, Variant::OpenClOpt] {
+        assert!(b.run(v, Precision::F32).unwrap().validated);
+    }
+    // CPU versions are unaffected in both precisions.
+    assert!(b.run(Variant::Serial, Precision::F64).unwrap().validated);
+}
+
+/// §V-A: the double-precision optimized kernels of nbody hit
+/// CL_OUT_OF_RESOURCES at the tuned work-group size and must fall back,
+/// shrinking the Opt-vs-naive gap.
+#[test]
+fn nbody_f64_register_fallback_shrinks_the_gap() {
+    let b = hpc_kernels::nbody::Nbody::default();
+    // f32 opt launches at the tuned size.
+    let f32_opt = b.run(Variant::OpenClOpt, Precision::F32).unwrap();
+    assert!(!f32_opt.note.as_deref().unwrap().contains("CL_OUT_OF_RESOURCES"));
+    // f64 opt records the fallback.
+    let f64_opt = b.run(Variant::OpenClOpt, Precision::F64).unwrap();
+    assert!(f64_opt.note.as_deref().unwrap().contains("CL_OUT_OF_RESOURCES"));
+    // And the remaining gain over naive is small (paper: 9.3x -> 10x).
+    let f64_naive = b.run(Variant::OpenCl, Precision::F64).unwrap();
+    let gain = f64_naive.time_s / f64_opt.time_s;
+    assert!(
+        (0.9..1.35).contains(&gain),
+        "f64 opt gain should be small after the fallback, got {gain:.2}"
+    );
+}
+
+/// §V-A: 2dcon in double precision cannot hold the widest vectors either.
+#[test]
+fn conv2d_f64_narrows_vectors() {
+    let b = hpc_kernels::conv2d::Conv2d::default();
+    let f32_note = b.run(Variant::OpenClOpt, Precision::F32).unwrap().note.unwrap();
+    let f64_note = b.run(Variant::OpenClOpt, Precision::F64).unwrap().note.unwrap();
+    assert!(f32_note.starts_with("vload8"), "{f32_note}");
+    assert!(f64_note.contains("CL_OUT_OF_RESOURCES"), "{f64_note}");
+    assert!(f64_note.contains("vload4"), "{f64_note}");
+}
+
+/// §III-A: the driver's automatic local size is legal but not always good —
+/// for a 2-D kernel it produces a 1-D strip.
+#[test]
+fn driver_local_size_is_one_dimensional() {
+    let ctx = Context::new(MaliT604::default());
+    let mut kb = KernelBuilder::new("k2d");
+    let a = kb.arg_global(Scalar::F32, Access::ReadWrite, true);
+    let gx = kb.query_global_id(0);
+    let gy = kb.query_global_id(1);
+    let w = kb.bin(BinOp::Mul, gy.into(), Operand::ImmI(64), VType::scalar(Scalar::U32));
+    let idx = kb.bin(BinOp::Add, w.into(), gx.into(), VType::scalar(Scalar::U32));
+    let v = kb.load(Scalar::F32, a, idx.into());
+    kb.store(a, idx.into(), v.into());
+    let k = ctx.build_kernel(kb.finish()).unwrap();
+    let local = ctx.driver_local_size(&k, [64, 64, 1]);
+    assert_eq!(local[1], 1, "driver ignores the second dimension");
+    assert_eq!(local[2], 1);
+    assert!(local[0] >= 32);
+}
+
+/// §III-B "Thread Divergence": no penalty on Mali, by construction of the
+/// architecture (checked at the device level in mali-gpu's unit tests; here
+/// we confirm it survives the full runtime stack with a divergent kernel).
+#[test]
+fn divergent_kernel_runs_at_straight_line_speed() {
+    let n = 1 << 14;
+    let mut ctx = Context::new(MaliT604::default());
+    let buf = ctx.create_buffer_init(
+        (0..n).map(|i| i as f32).collect::<Vec<_>>().into(),
+        MemFlags::AllocHostPtr,
+    );
+    let build = |divergent: bool| {
+        let mut kb = KernelBuilder::new(if divergent { "div" } else { "flat" });
+        let a = kb.arg_global(Scalar::F32, Access::ReadWrite, true);
+        let gid = kb.query_global_id(0);
+        let v = kb.load(Scalar::F32, a, gid.into());
+        let parity =
+            kb.bin(BinOp::And, gid.into(), Operand::ImmI(1), VType::scalar(Scalar::U32));
+        let odd =
+            kb.bin(BinOp::Eq, parity.into(), Operand::ImmI(1), VType::scalar(Scalar::U32));
+        let out = kb.mov(Operand::ImmF(0.0), VType::scalar(Scalar::F32));
+        if divergent {
+            kb.if_then_else(
+                odd.into(),
+                |kb| {
+                    let t = kb.bin(BinOp::Mul, v.into(), Operand::ImmF(3.0),
+                        VType::scalar(Scalar::F32));
+                    kb.mov_into(out, t.into());
+                },
+                |kb| {
+                    let t = kb.bin(BinOp::Mul, v.into(), Operand::ImmF(5.0),
+                        VType::scalar(Scalar::F32));
+                    kb.mov_into(out, t.into());
+                },
+            );
+        } else {
+            let t = kb.bin(BinOp::Mul, v.into(), Operand::ImmF(3.0),
+                VType::scalar(Scalar::F32));
+            kb.mov_into(out, t.into());
+        }
+        kb.store(a, gid.into(), out.into());
+        kb.finish()
+    };
+    let kd = ctx.build_kernel(build(true)).unwrap();
+    let kf = ctx.build_kernel(build(false)).unwrap();
+    let td = ctx
+        .enqueue_nd_range(&kd, [n, 1, 1], Some([128, 1, 1]), &[KernelArg::Buf(buf)])
+        .unwrap()
+        .report
+        .time_s;
+    let tf = ctx
+        .enqueue_nd_range(&kf, [n, 1, 1], Some([128, 1, 1]), &[KernelArg::Buf(buf)])
+        .unwrap()
+        .report
+        .time_s;
+    let ratio = td / tf;
+    assert!(
+        ratio < 1.4,
+        "divergence must not double execution time on Mali (ratio {ratio:.2})"
+    );
+}
+
+/// The enqueue-time resource check is exactly the register-file rule.
+#[test]
+fn out_of_resources_matches_occupancy_math() {
+    let dev = MaliT604::default();
+    let mut kb = KernelBuilder::new("fat");
+    let a = kb.arg_global(Scalar::F64, Access::ReadWrite, true);
+    // Keep 16 double8 values (4 hw regs each) simultaneously live.
+    let vals: Vec<_> =
+        (0..16).map(|i| kb.mov(Operand::ImmF(i as f64), VType::new(Scalar::F64, 8))).collect();
+    let acc = kb.mov(Operand::ImmF(0.0), VType::new(Scalar::F64, 8));
+    for v in &vals {
+        kb.bin_into(acc, BinOp::Add, acc.into(), (*v).into());
+    }
+    let h = kb.horiz(HorizOp::Add, acc);
+    let gid = kb.query_global_id(0);
+    kb.store(a, gid.into(), h.into());
+    let p = kb.finish();
+    let fp = p.register_footprint();
+    let max_wg = dev.cfg.resident_threads(fp);
+    // Just-fits succeeds; one-over fails.
+    let fit = max_wg.next_power_of_two() / 2; // a power of two <= max_wg
+    assert!(dev.check_resources(&p, NDRange::d1(fit as usize * 4, fit as usize)).is_ok());
+    let over = (max_wg + 1).next_power_of_two().min(256);
+    if over > max_wg && over <= dev.cfg.max_wg_size {
+        let err = dev
+            .check_resources(&p, NDRange::d1(over as usize * 4, over as usize))
+            .unwrap_err();
+        assert!(matches!(err, MaliError::OutOfResources { .. }));
+    }
+}
+
+/// CL error surfaces cleanly through the runtime for oversized groups.
+#[test]
+fn oversized_work_group_rejected_at_enqueue() {
+    let mut ctx = Context::new(MaliT604::default());
+    let b = ctx.create_buffer(Scalar::F32, 1024, MemFlags::AllocHostPtr);
+    let mut kb = KernelBuilder::new("id");
+    let a = kb.arg_global(Scalar::F32, Access::ReadWrite, true);
+    let gid = kb.query_global_id(0);
+    let v = kb.load(Scalar::F32, a, gid.into());
+    kb.store(a, gid.into(), v.into());
+    let k = ctx.build_kernel(kb.finish()).unwrap();
+    let err = ctx
+        .enqueue_nd_range(&k, [1024, 1, 1], Some([512, 1, 1]), &[KernelArg::Buf(b)])
+        .unwrap_err();
+    assert!(matches!(err, ClError::InvalidWorkGroupSize(_)));
+}

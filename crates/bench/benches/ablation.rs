@@ -1,57 +1,51 @@
 //! §III per-technique ablation benches: vector-width sweep, work-group
 //! sweep, the dmmm optimization stack, host data paths and compiler hints.
 //! Prints the ablation table once, then times each technique's pipeline.
+//! (Plain timing main — the workspace builds offline, so no criterion.)
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use harness::ablation;
 
-fn ablation_benches(c: &mut Criterion) {
-    eprintln!("\n{}", ablation::report(true));
-
-    let mut g = c.benchmark_group("ablation");
-    g.sample_size(10);
-
-    g.bench_function("vector_width_sweep", |b| {
-        b.iter(|| {
-            let r = ablation::vector_width_sweep(1 << 12);
-            assert!(r.best().is_some());
-            r.best_cost()
-        })
-    });
-
-    g.bench_function("wg_sweep_dmmm", |b| {
-        b.iter(|| {
-            let (r, driver) = ablation::wg_sweep_dmmm(32);
-            assert!(driver > 0);
-            r.best_cost()
-        })
-    });
-
-    g.bench_function("dmmm_stack", |b| {
-        b.iter(|| {
-            let s = ablation::dmmm_stack(32);
-            assert_eq!(s.len(), 3);
-            s.last().unwrap().1
-        })
-    });
-
-    g.bench_function("datapath_compare", |b| {
-        b.iter(|| {
-            let (copy, map) = ablation::datapath_compare(1 << 14);
-            assert!(copy > map);
-            copy / map
-        })
-    });
-
-    g.bench_function("hints_effect", |b| {
-        b.iter(|| {
-            let (no, yes) = ablation::hints_effect(256);
-            no / yes
-        })
-    });
-
-    g.finish();
+fn time_iters<R>(name: &str, iters: u32, mut f: impl FnMut() -> R) {
+    std::hint::black_box(f());
+    let t0 = std::time::Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    let per = t0.elapsed().as_secs_f64() / iters as f64;
+    println!("  {name:<40} {:>10.3} ms/iter", per * 1e3);
 }
 
-criterion_group!(benches, ablation_benches);
-criterion_main!(benches);
+fn main() {
+    eprintln!("\n{}", ablation::report(true));
+
+    println!("ablation: technique-pipeline cost");
+
+    time_iters("vector_width_sweep", 3, || {
+        let r = ablation::vector_width_sweep(1 << 12);
+        assert!(r.best().is_some());
+        r.best_cost()
+    });
+
+    time_iters("wg_sweep_dmmm", 3, || {
+        let (r, driver) = ablation::wg_sweep_dmmm(32);
+        assert!(driver > 0);
+        r.best_cost()
+    });
+
+    time_iters("dmmm_stack", 3, || {
+        let s = ablation::dmmm_stack(32);
+        assert_eq!(s.len(), 3);
+        s.last().unwrap().1
+    });
+
+    time_iters("datapath_compare", 3, || {
+        let (copy, map) = ablation::datapath_compare(1 << 14);
+        assert!(copy > map);
+        copy / map
+    });
+
+    time_iters("hints_effect", 3, || {
+        let (no, yes) = ablation::hints_effect(256);
+        no / yes
+    });
+}

@@ -1,12 +1,21 @@
 //! Figure 2 regeneration bench: runs every benchmark × version × precision
-//! at test scale and prints the speedup rows (the figure's bar heights)
-//! once per group, while Criterion measures the end-to-end simulation cost
-//! of each bar.
+//! at test scale and prints the speedup rows (the figure's bar heights),
+//! then times the end-to-end simulation cost of each bar. (Plain timing
+//! main — the workspace builds offline, so no criterion.)
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use hpc_kernels::{test_suite, Precision, Variant};
 
-fn bench_fig2(c: &mut Criterion, prec: Precision, tag: &str) {
+fn time_iters<R>(name: &str, iters: u32, mut f: impl FnMut() -> R) {
+    std::hint::black_box(f()); // warm-up
+    let t0 = std::time::Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    let per = t0.elapsed().as_secs_f64() / iters as f64;
+    println!("  {name:<40} {:>10.3} ms/iter", per * 1e3);
+}
+
+fn bench_fig2(prec: Precision, tag: &str) {
     let suite = test_suite();
     // Print the figure rows once (paper-vs-measured shape at this scale).
     eprintln!("\nFigure 2{tag} rows (test scale, speedup over Serial):");
@@ -22,8 +31,7 @@ fn bench_fig2(c: &mut Criterion, prec: Precision, tag: &str) {
             eprintln!("{row}");
         }
     }
-    let mut g = c.benchmark_group(format!("fig2{tag}"));
-    g.sample_size(10);
+    println!("fig2{tag}: simulation cost per bar");
     for b in test_suite() {
         let name = b.name().to_string();
         for v in Variant::ALL {
@@ -31,25 +39,20 @@ fn bench_fig2(c: &mut Criterion, prec: Precision, tag: &str) {
             if b.run(v, prec).is_err() {
                 continue;
             }
-            g.bench_function(format!("{name}/{}", v.label().replace(' ', "_")), |bench| {
-                bench.iter(|| {
+            time_iters(
+                &format!("{name}/{}", v.label().replace(' ', "_")),
+                3,
+                || {
                     let r = b.run(v, prec).expect("variant runs");
                     assert!(r.validated);
                     r.time_s
-                })
-            });
+                },
+            );
         }
     }
-    g.finish();
 }
 
-fn fig2a(c: &mut Criterion) {
-    bench_fig2(c, Precision::F32, "a_single");
+fn main() {
+    bench_fig2(Precision::F32, "a_single");
+    bench_fig2(Precision::F64, "b_double");
 }
-
-fn fig2b(c: &mut Criterion) {
-    bench_fig2(c, Precision::F64, "b_double");
-}
-
-criterion_group!(benches, fig2a, fig2b);
-criterion_main!(benches);

@@ -1,13 +1,23 @@
 //! Figure 3 regeneration bench: measured board power (simulated WT230) per
-//! benchmark version, normalized to Serial. Criterion times the
-//! run+measurement pipeline; the figure rows print once per group.
+//! benchmark version, normalized to Serial. Times the run+measurement
+//! pipeline after printing the figure rows once. (Plain timing main — the
+//! workspace builds offline, so no criterion.)
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use harness::measure;
 use hpc_kernels::{test_suite, Precision, Variant};
 use powersim::PowerModel;
 
-fn bench_fig3(c: &mut Criterion, prec: Precision, tag: &str) {
+fn time_iters<R>(name: &str, iters: u32, mut f: impl FnMut() -> R) {
+    std::hint::black_box(f());
+    let t0 = std::time::Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    let per = t0.elapsed().as_secs_f64() / iters as f64;
+    println!("  {name:<40} {:>10.3} ms/iter", per * 1e3);
+}
+
+fn bench_fig3(prec: Precision, tag: &str) {
     let model = PowerModel::default();
     let suite = test_suite();
     eprintln!("\nFigure 3{tag} rows (test scale, power normalized to Serial):");
@@ -27,33 +37,23 @@ fn bench_fig3(c: &mut Criterion, prec: Precision, tag: &str) {
             eprintln!("{row}");
         }
     }
-    let mut g = c.benchmark_group(format!("fig3{tag}"));
-    g.sample_size(10);
-    // Benchmark the measurement pipeline on a representative subset (one
-    // memory-bound, one atomic-bound, one compute-bound benchmark).
+    println!("fig3{tag}: measurement-pipeline cost");
+    // Time the pipeline on a representative subset (one memory-bound, one
+    // atomic-bound, one compute-bound benchmark).
     for b in test_suite() {
         if !matches!(b.name(), "vecop" | "hist" | "nbody") {
             continue;
         }
         let name = b.name().to_string();
-        g.bench_function(format!("{name}/measure_opt"), |bench| {
-            bench.iter(|| {
-                let r = b.run(Variant::OpenClOpt, prec).expect("runs");
-                let (m, _, _) = measure(&r, &model, 3);
-                m.mean_power_w
-            })
+        time_iters(&format!("{name}/measure_opt"), 3, || {
+            let r = b.run(Variant::OpenClOpt, prec).expect("runs");
+            let (m, _, _) = measure(&r, &model, 3);
+            m.mean_power_w
         });
     }
-    g.finish();
 }
 
-fn fig3a(c: &mut Criterion) {
-    bench_fig3(c, Precision::F32, "a_single");
+fn main() {
+    bench_fig3(Precision::F32, "a_single");
+    bench_fig3(Precision::F64, "b_double");
 }
-
-fn fig3b(c: &mut Criterion) {
-    bench_fig3(c, Precision::F64, "b_double");
-}
-
-criterion_group!(benches, fig3a, fig3b);
-criterion_main!(benches);

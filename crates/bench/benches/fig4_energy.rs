@@ -1,12 +1,22 @@
 //! Figure 4 regeneration bench: energy-to-solution (simulated WT230
 //! integration over the §IV-D repetition window) normalized to Serial.
+//! (Plain timing main — the workspace builds offline, so no criterion.)
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use harness::measure;
 use hpc_kernels::{test_suite, Precision, Variant};
 use powersim::PowerModel;
 
-fn bench_fig4(c: &mut Criterion, prec: Precision, tag: &str) {
+fn time_iters<R>(name: &str, iters: u32, mut f: impl FnMut() -> R) {
+    std::hint::black_box(f());
+    let t0 = std::time::Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    let per = t0.elapsed().as_secs_f64() / iters as f64;
+    println!("  {name:<40} {:>10.3} ms/iter", per * 1e3);
+}
+
+fn bench_fig4(prec: Precision, tag: &str) {
     let model = PowerModel::default();
     let suite = test_suite();
     eprintln!("\nFigure 4{tag} rows (test scale, energy normalized to Serial):");
@@ -26,33 +36,23 @@ fn bench_fig4(c: &mut Criterion, prec: Precision, tag: &str) {
             eprintln!("{row}");
         }
     }
-    let mut g = c.benchmark_group(format!("fig4{tag}"));
-    g.sample_size(10);
+    println!("fig4{tag}: energy-ratio pipeline cost");
     for b in test_suite() {
         if !matches!(b.name(), "dmmm" | "2dcon" | "spmv") {
             continue;
         }
         let name = b.name().to_string();
-        g.bench_function(format!("{name}/energy_ratio"), |bench| {
-            bench.iter(|| {
-                let s = b.run(Variant::Serial, prec).expect("serial");
-                let o = b.run(Variant::OpenClOpt, prec).expect("opt");
-                let (_, _, es) = measure(&s, &model, 4);
-                let (_, _, eo) = measure(&o, &model, 5);
-                eo / es
-            })
+        time_iters(&format!("{name}/energy_ratio"), 3, || {
+            let s = b.run(Variant::Serial, prec).expect("serial");
+            let o = b.run(Variant::OpenClOpt, prec).expect("opt");
+            let (_, _, es) = measure(&s, &model, 4);
+            let (_, _, eo) = measure(&o, &model, 5);
+            eo / es
         });
     }
-    g.finish();
 }
 
-fn fig4a(c: &mut Criterion) {
-    bench_fig4(c, Precision::F32, "a_single");
+fn main() {
+    bench_fig4(Precision::F32, "a_single");
+    bench_fig4(Precision::F64, "b_double");
 }
-
-fn fig4b(c: &mut Criterion) {
-    bench_fig4(c, Precision::F64, "b_double");
-}
-
-criterion_group!(benches, fig4a, fig4b);
-criterion_main!(benches);

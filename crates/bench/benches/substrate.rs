@@ -1,8 +1,8 @@
 //! Substrate micro-benchmarks: throughput of the building blocks the
 //! reproduction rests on — IR interpretation, cache simulation, the GPU
-//! and CPU device models, and the power meter.
+//! and CPU device models, and the power meter. (Plain timing main — the
+//! workspace builds offline, so no criterion.)
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use kernel_ir::prelude::*;
 use kernel_ir::{Access, BufferData};
 use memsim::{Cache, CacheConfig, Hierarchy};
@@ -14,89 +14,115 @@ fn saxpy_kernel(n_ops: i64) -> Program {
     let gid = kb.query_global_id(0);
     let v = kb.load(Scalar::F32, x, gid.into());
     let acc = kb.mov(v.into(), VType::scalar(Scalar::F32));
-    kb.for_loop(Operand::ImmI(0), Operand::ImmI(n_ops), Operand::ImmI(1), |kb, _| {
-        kb.mad_into(acc, acc.into(), Operand::ImmF(1.000001), Operand::ImmF(1e-8));
-    });
+    kb.for_loop(
+        Operand::ImmI(0),
+        Operand::ImmI(n_ops),
+        Operand::ImmI(1),
+        |kb, _| {
+            kb.mad_into(
+                acc,
+                acc.into(),
+                Operand::ImmF(1.000001),
+                Operand::ImmF(1e-8),
+            );
+        },
+    );
     kb.store(x, gid.into(), acc.into());
     kb.finish()
 }
 
-fn interpreter(c: &mut Criterion) {
-    let mut g = c.benchmark_group("interpreter");
+/// Time `f`, printing per-iteration latency and elements/second.
+fn time_throughput<R>(name: &str, iters: u32, elements: u64, mut f: impl FnMut() -> R) {
+    std::hint::black_box(f()); // warm-up
+    let t0 = std::time::Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    let per = t0.elapsed().as_secs_f64() / iters as f64;
+    println!(
+        "  {name:<30} {:>10.3} ms/iter  {:>12.0} elem/s",
+        per * 1e3,
+        elements as f64 / per
+    );
+}
+
+fn interpreter() {
+    println!("interpreter:");
     let p = saxpy_kernel(256);
     let items = 256usize;
-    g.throughput(Throughput::Elements((items * 256) as u64));
-    g.bench_function("mad_ops", |b| {
-        b.iter(|| {
-            let mut pool = MemoryPool::new();
-            let x = pool.add(BufferData::from(vec![1.0f32; items]));
-            run_ndrange(&p, &[ArgBinding::Global(x)], &mut pool,
-                NDRange::d1(items, 64), &mut NullTracer).unwrap();
-            pool.get(x).as_f32()[0]
-        })
+    time_throughput("mad_ops", 10, (items * 256) as u64, || {
+        let mut pool = MemoryPool::new();
+        let x = pool.add(BufferData::from(vec![1.0f32; items]));
+        run_ndrange(
+            &p,
+            &[ArgBinding::Global(x)],
+            &mut pool,
+            NDRange::d1(items, 64),
+            &mut NullTracer,
+        )
+        .unwrap();
+        pool.get(x).as_f32()[0]
     });
-    g.finish();
 }
 
-fn cache_model(c: &mut Criterion) {
-    let mut g = c.benchmark_group("memsim");
+fn cache_model() {
+    println!("memsim:");
     let n = 100_000u64;
-    g.throughput(Throughput::Elements(n));
-    g.bench_function("l1_stream_probe", |b| {
-        let mut cache = Cache::new(CacheConfig::new(32 * 1024, 64, 4));
-        b.iter(|| {
-            for i in 0..n {
-                cache.probe(i * 4 % (1 << 20), false);
-            }
-            cache.stats.hits
-        })
+    let mut cache = Cache::new(CacheConfig::new(32 * 1024, 64, 4));
+    time_throughput("l1_stream_probe", 10, n, || {
+        for i in 0..n {
+            cache.probe(i * 4 % (1 << 20), false);
+        }
+        cache.stats.hits
     });
-    g.bench_function("hierarchy_access", |b| {
-        let mut h = Hierarchy::with_l1(
-            CacheConfig::new(32 * 1024, 64, 2),
-            CacheConfig::new(1024 * 1024, 64, 16),
-        );
-        b.iter(|| {
-            for i in 0..n {
-                h.access(i * 8 % (1 << 22), 4, i % 7 == 0, true);
-            }
-            h.stats.dram_lines
-        })
+    let mut h = Hierarchy::with_l1(
+        CacheConfig::new(32 * 1024, 64, 2),
+        CacheConfig::new(1024 * 1024, 64, 16),
+    );
+    time_throughput("hierarchy_access", 10, n, || {
+        for i in 0..n {
+            h.access(i * 8 % (1 << 22), 4, i % 7 == 0, true);
+        }
+        h.stats.dram_lines
     });
-    g.finish();
 }
 
-fn devices(c: &mut Criterion) {
-    let mut g = c.benchmark_group("devices");
-    g.sample_size(10);
+fn devices() {
+    println!("devices:");
     let p = saxpy_kernel(64);
     let items = 4096usize;
-    g.throughput(Throughput::Elements((items * 64) as u64));
-    g.bench_function("mali_t604_run", |b| {
-        let dev = mali_gpu::MaliT604::default();
-        b.iter(|| {
-            let mut pool = MemoryPool::new();
-            let x = pool.add(BufferData::from(vec![1.0f32; items]));
-            dev.run(&p, &[ArgBinding::Global(x)], &mut pool, NDRange::d1(items, 128))
-                .unwrap()
-                .time_s
-        })
+    let elements = (items * 64) as u64;
+    let gpu = mali_gpu::MaliT604::default();
+    time_throughput("mali_t604_run", 5, elements, || {
+        let mut pool = MemoryPool::new();
+        let x = pool.add(BufferData::from(vec![1.0f32; items]));
+        gpu.run(
+            &p,
+            &[ArgBinding::Global(x)],
+            &mut pool,
+            NDRange::d1(items, 128),
+        )
+        .unwrap()
+        .time_s
     });
-    g.bench_function("cortex_a15_run", |b| {
-        let dev = cpu_sim::CortexA15::default();
-        b.iter(|| {
-            let mut pool = MemoryPool::new();
-            let x = pool.add(BufferData::from(vec![1.0f32; items]));
-            dev.run(&p, &[ArgBinding::Global(x)], &mut pool, NDRange::d1(items, 128), 2)
-                .unwrap()
-                .time_s
-        })
+    let cpu = cpu_sim::CortexA15::default();
+    time_throughput("cortex_a15_run", 5, elements, || {
+        let mut pool = MemoryPool::new();
+        let x = pool.add(BufferData::from(vec![1.0f32; items]));
+        cpu.run(
+            &p,
+            &[ArgBinding::Global(x)],
+            &mut pool,
+            NDRange::d1(items, 128),
+            2,
+        )
+        .unwrap()
+        .time_s
     });
-    g.finish();
 }
 
-fn meter(c: &mut Criterion) {
-    let mut g = c.benchmark_group("powersim");
+fn meter() {
+    println!("powersim:");
     let model = PowerModel::default();
     let act = Activity {
         duration_s: 5.0,
@@ -106,12 +132,15 @@ fn meter(c: &mut Criterion) {
         gpu_ls_util_s: 1.0,
         dram_bytes: 10_000_000_000,
     };
-    g.bench_function("wt230_measure_20_reps", |b| {
-        let mut m = Wt230::with_defaults(11);
-        b.iter(|| m.measure(&model, &act, 20).mean_energy_j)
+    let mut m = Wt230::with_defaults(11);
+    time_throughput("wt230_measure_20_reps", 10, 20, || {
+        m.measure(&model, &act, 20).mean_energy_j
     });
-    g.finish();
 }
 
-criterion_group!(benches, interpreter, cache_model, devices, meter);
-criterion_main!(benches);
+fn main() {
+    interpreter();
+    cache_model();
+    devices();
+    meter();
+}

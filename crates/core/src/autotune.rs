@@ -135,10 +135,7 @@ impl AutotuneResult {
 /// Transform `base` for one candidate. Width 1 / unroll 1 are identities.
 /// Returns the transformed program plus the factor by which the *global
 /// size* must shrink (the vectorizer's `global_divisor`).
-pub fn transform(
-    base: &Program,
-    c: Candidate,
-) -> Result<(Program, usize), CandidateSkip> {
+pub fn transform(base: &Program, c: Candidate) -> Result<(Program, usize), CandidateSkip> {
     let (mut p, divisor) = if c.width > 1 {
         let v = vectorize(base, c.width).map_err(CandidateSkip::Vectorize)?;
         (v.program, v.global_divisor)
@@ -168,10 +165,20 @@ pub fn autotune(
     let mut best_program = None;
     for &width in &space.widths {
         for &unroll_f in &space.unrolls {
-            let candidate_base =
-                transform(base, Candidate { width, unroll: unroll_f, work_group: 0 });
+            let candidate_base = transform(
+                base,
+                Candidate {
+                    width,
+                    unroll: unroll_f,
+                    work_group: 0,
+                },
+            );
             for &wg in &space.work_groups {
-                let candidate = Candidate { width, unroll: unroll_f, work_group: wg };
+                let candidate = Candidate {
+                    width,
+                    unroll: unroll_f,
+                    work_group: wg,
+                };
                 let outcome = match &candidate_base {
                     Err(skip) => Err(skip.clone()),
                     Ok((p, divisor)) => match eval(p, *divisor, wg) {
@@ -193,7 +200,11 @@ pub fn autotune(
             }
         }
     }
-    AutotuneResult { trials, best, best_program }
+    AutotuneResult {
+        trials,
+        best,
+        best_program,
+    }
 }
 
 #[cfg(test)]
@@ -208,7 +219,12 @@ mod tests {
         let o = kb.arg_global(Scalar::F32, Access::WriteOnly, true);
         let gid = kb.query_global_id(0);
         let v = kb.load(Scalar::F32, a, gid.into());
-        let r = kb.mad(v.into(), v.into(), Operand::ImmF(1.0), VType::scalar(Scalar::F32));
+        let r = kb.mad(
+            v.into(),
+            v.into(),
+            Operand::ImmF(1.0),
+            VType::scalar(Scalar::F32),
+        );
         kb.store(o, gid.into(), r.into());
         kb.finish()
     }
@@ -220,7 +236,7 @@ mod tests {
         if wg > 128 {
             return None; // pretend OUT_OF_RESOURCES
         }
-        let w = divisor.max(1).min(8) as f64;
+        let w = divisor.clamp(1, 8) as f64;
         Some(1.0 / w + (wg as f64 - 128.0).abs() * 1e-4)
     }
 
@@ -229,7 +245,11 @@ mod tests {
         let r = autotune(&map_kernel(), &SearchSpace::default(), fake_eval);
         let (c, cost) = r.best().expect("something ran");
         assert_eq!(c.work_group, 128);
-        assert!(c.width >= 8, "width {} should saturate the fake model", c.width);
+        assert!(
+            c.width >= 8,
+            "width {} should saturate the fake model",
+            c.width
+        );
         assert!(cost <= 0.126);
         assert!(r.best_program.is_some());
         // unroll candidates were skipped (no loop) and recorded as such.
@@ -239,8 +259,7 @@ mod tests {
             .any(|s| s.contains("no top-level loop")));
         // wg 256 candidates were rejected by the launcher.
         assert!(r.trials.iter().any(|t| {
-            t.candidate.work_group == 256
-                && matches!(t.outcome, Err(CandidateSkip::Launch))
+            t.candidate.work_group == 256 && matches!(t.outcome, Err(CandidateSkip::Launch))
         }));
     }
 
@@ -262,10 +281,7 @@ mod tests {
         let r = autotune(&p, &SearchSpace::default(), |_, _, wg| Some(wg as f64));
         let (c, _) = r.best().unwrap();
         assert_eq!(c.width, 1);
-        assert!(r
-            .skip_reasons()
-            .iter()
-            .any(|s| s.contains("atomic")));
+        assert!(r.skip_reasons().iter().any(|s| s.contains("atomic")));
     }
 
     #[test]

@@ -17,8 +17,9 @@
 //! runs [`optimize`] on every transformed candidate, cleaning up what
 //! vectorization/unrolling exposed before the candidate is costed.
 
-use kernel_ir::{eval_bin, eval_mad, eval_un, Lanes, Op, Operand, Program, Reg, Scalar,
-    Value, VType};
+use kernel_ir::{
+    eval_bin, eval_mad, eval_un, Lanes, Op, Operand, Program, Reg, Scalar, VType, Value,
+};
 use std::collections::HashMap;
 
 /// Evaluate an immediate operand at type `ty` (width-1 evaluation is
@@ -64,13 +65,18 @@ fn value_to_imm(v: &Value) -> Option<Operand> {
                 None
             }
         }
-        Lanes::I32(a) => {
-            a[..w].iter().all(|x| *x == a[0]).then(|| Operand::ImmI(a[0] as i64))
-        }
-        Lanes::I64(a) => a[..w].iter().all(|x| *x == a[0]).then(|| Operand::ImmI(a[0])),
-        Lanes::U32(a) => {
-            a[..w].iter().all(|x| *x == a[0]).then(|| Operand::ImmI(a[0] as i64))
-        }
+        Lanes::I32(a) => a[..w]
+            .iter()
+            .all(|x| *x == a[0])
+            .then(|| Operand::ImmI(a[0] as i64)),
+        Lanes::I64(a) => a[..w]
+            .iter()
+            .all(|x| *x == a[0])
+            .then(|| Operand::ImmI(a[0])),
+        Lanes::U32(a) => a[..w]
+            .iter()
+            .all(|x| *x == a[0])
+            .then(|| Operand::ImmI(a[0] as i64)),
         Lanes::U64(a) => {
             if a[..w].iter().all(|x| *x == a[0]) && a[0] <= i64::MAX as u64 {
                 Some(Operand::ImmI(a[0] as i64))
@@ -107,7 +113,11 @@ pub fn fold_constants(p: &Program) -> Program {
     let mut consts: HashMap<Reg, Operand> = HashMap::new();
     let mut read_before: std::collections::HashSet<Reg> = Default::default();
     for op in &out.body {
-        if let Op::Mov { dst, a: a @ (Operand::ImmF(_) | Operand::ImmI(_)) } = op {
+        if let Op::Mov {
+            dst,
+            a: a @ (Operand::ImmF(_) | Operand::ImmI(_)),
+        } = op
+        {
             if writes.get(dst) == Some(&1) && !read_before.contains(dst) {
                 consts.insert(*dst, *a);
             }
@@ -151,7 +161,9 @@ pub fn fold_constants(p: &Program) -> Program {
                     use_op(idx);
                     use_op(val);
                 }
-                Op::For { start, end, step, .. } => {
+                Op::For {
+                    start, end, step, ..
+                } => {
                     use_op(start);
                     use_op(end);
                     use_op(step);
@@ -176,20 +188,22 @@ pub fn fold_constants(p: &Program) -> Program {
     ) {
         for op in ops {
             match op {
-                Op::Bin { dst, op: b, a, b: rhs } => {
+                Op::Bin {
+                    dst,
+                    op: b,
+                    a,
+                    b: rhs,
+                } => {
                     subst(a);
                     subst(rhs);
                     let ty = regs[dst.0 as usize];
                     // Compare ops change the result type; skip folding them.
                     if !b.is_compare() && writes.get(dst) == Some(&1) {
-                        if let (Some(va), Some(vb)) = (imm_value(a, ty), imm_value(rhs, ty))
-                        {
+                        if let (Some(va), Some(vb)) = (imm_value(a, ty), imm_value(rhs, ty)) {
                             // Division by a zero immediate must stay a
                             // runtime fault, not a compile-time panic.
-                            let divides = matches!(
-                                b,
-                                kernel_ir::BinOp::Div | kernel_ir::BinOp::Rem
-                            );
+                            let divides =
+                                matches!(b, kernel_ir::BinOp::Div | kernel_ir::BinOp::Rem);
                             let zero_rhs = matches!(rhs, Operand::ImmI(0));
                             if !(divides && zero_rhs && ty.elem.is_int()) {
                                 if let Some(imm) = value_to_imm(&eval_bin(*b, &va, &vb)) {
@@ -248,7 +262,13 @@ pub fn fold_constants(p: &Program) -> Program {
                     subst(idx);
                     subst(val);
                 }
-                Op::For { start, end, step, body, .. } => {
+                Op::For {
+                    start,
+                    end,
+                    step,
+                    body,
+                    ..
+                } => {
                     subst(start);
                     subst(end);
                     subst(step);
@@ -310,7 +330,9 @@ fn read_set(p: &Program) -> std::collections::HashSet<Reg> {
                     use_op(idx);
                     use_op(val);
                 }
-                Op::For { start, end, step, .. } => {
+                Op::For {
+                    start, end, step, ..
+                } => {
                     use_op(start);
                     use_op(end);
                     use_op(step);
@@ -348,25 +370,23 @@ pub fn eliminate_dead_code(p: &Program) -> Program {
     let mut out = p.clone();
     let reads = read_set(p);
     fn sweep(ops: &mut Vec<Op>, reads: &std::collections::HashSet<Reg>) {
-        ops.retain_mut(|op| {
-            match op {
-                Op::For { body, .. } => {
-                    sweep(body, reads);
-                    true
-                }
-                Op::If { then, els, .. } => {
-                    sweep(then, reads);
-                    sweep(els, reads);
-                    true
-                }
-                other => {
-                    if let Some(d) = other.dst_reg() {
-                        if is_pure(other) && !reads.contains(&d) {
-                            return false;
-                        }
+        ops.retain_mut(|op| match op {
+            Op::For { body, .. } => {
+                sweep(body, reads);
+                true
+            }
+            Op::If { then, els, .. } => {
+                sweep(then, reads);
+                sweep(els, reads);
+                true
+            }
+            other => {
+                if let Some(d) = other.dst_reg() {
+                    if is_pure(other) && !reads.contains(&d) {
+                        return false;
                     }
-                    true
                 }
+                true
             }
         });
     }
@@ -388,7 +408,8 @@ pub fn optimize(p: &Program) -> Program {
             break;
         }
     }
-    cur.validate().expect("optimizer produced invalid IR — pass bug");
+    cur.validate()
+        .expect("optimizer produced invalid IR — pass bug");
     cur
 }
 
@@ -413,9 +434,24 @@ mod tests {
         let o = kb.arg_global(Scalar::F32, Access::WriteOnly, true);
         let gid = kb.query_global_id(0);
         let a = kb.mov(Operand::ImmF(2.0), VType::scalar(Scalar::F32));
-        let b = kb.bin(BinOp::Mul, a.into(), Operand::ImmF(3.0), VType::scalar(Scalar::F32));
-        let c = kb.bin(BinOp::Add, b.into(), Operand::ImmF(1.0), VType::scalar(Scalar::F32));
-        let dead = kb.bin(BinOp::Sub, c.into(), Operand::ImmF(5.0), VType::scalar(Scalar::F32));
+        let b = kb.bin(
+            BinOp::Mul,
+            a.into(),
+            Operand::ImmF(3.0),
+            VType::scalar(Scalar::F32),
+        );
+        let c = kb.bin(
+            BinOp::Add,
+            b.into(),
+            Operand::ImmF(1.0),
+            VType::scalar(Scalar::F32),
+        );
+        let dead = kb.bin(
+            BinOp::Sub,
+            c.into(),
+            Operand::ImmF(5.0),
+            VType::scalar(Scalar::F32),
+        );
         let _ = dead; // never used
         kb.store(o, gid.into(), c.into());
         kb.finish()
@@ -424,8 +460,14 @@ mod tests {
     fn run(p: &Program, n: usize) -> Vec<f32> {
         let mut pool = MemoryPool::new();
         let o = pool.add(BufferData::zeroed(Scalar::F32, n));
-        run_ndrange(p, &[ArgBinding::Global(o)], &mut pool, NDRange::d1(n, n.min(4)),
-            &mut NullTracer).unwrap();
+        run_ndrange(
+            p,
+            &[ArgBinding::Global(o)],
+            &mut pool,
+            NDRange::d1(n, n.min(4)),
+            &mut NullTracer,
+        )
+        .unwrap();
         pool.get(o).as_f32().to_vec()
     }
 
@@ -433,7 +475,12 @@ mod tests {
     fn folds_and_sweeps_constant_chain() {
         let p = const_heavy();
         let o = optimize(&p);
-        assert!(op_count(&o) < op_count(&p), "{} -> {}", op_count(&p), op_count(&o));
+        assert!(
+            op_count(&o) < op_count(&p),
+            "{} -> {}",
+            op_count(&p),
+            op_count(&o)
+        );
         assert_eq!(run(&p, 8), run(&o, 8));
         assert_eq!(run(&o, 8), vec![7.0f32; 8]);
         // The dead subtract disappeared entirely.
@@ -448,7 +495,12 @@ mod tests {
         let o = kb.arg_global(Scalar::U32, Access::ReadWrite, false);
         let gid = kb.query_global_id(0);
         let v = kb.load(Scalar::U32, o, gid.into());
-        let w = kb.bin(BinOp::Add, v.into(), Operand::ImmI(1), VType::scalar(Scalar::U32));
+        let w = kb.bin(
+            BinOp::Add,
+            v.into(),
+            Operand::ImmI(1),
+            VType::scalar(Scalar::U32),
+        );
         kb.store(o, gid.into(), w.into());
         let p = kb.finish();
         let o2 = optimize(&p);
@@ -483,9 +535,14 @@ mod tests {
         let mut kb = KernelBuilder::new("acc");
         let o = kb.arg_global(Scalar::F32, Access::ReadWrite, false);
         let acc = kb.mov(Operand::ImmF(1.0), VType::scalar(Scalar::F32));
-        kb.for_loop(Operand::ImmI(0), Operand::ImmI(4), Operand::ImmI(1), |kb, _| {
-            kb.bin_into(acc, BinOp::Mul, acc.into(), Operand::ImmF(2.0));
-        });
+        kb.for_loop(
+            Operand::ImmI(0),
+            Operand::ImmI(4),
+            Operand::ImmI(1),
+            |kb, _| {
+                kb.bin_into(acc, BinOp::Mul, acc.into(), Operand::ImmF(2.0));
+            },
+        );
         let gid = kb.query_global_id(0);
         kb.store(o, gid.into(), acc.into());
         let p = kb.finish();
@@ -512,7 +569,10 @@ mod tests {
                 kernel_ir::VType::scalar(Scalar::U32), // r2: gid
             ],
             body: vec![
-                Op::Query { dst: Reg(2), q: kernel_ir::Builtin::GlobalId(0) },
+                Op::Query {
+                    dst: Reg(2),
+                    q: kernel_ir::Builtin::GlobalId(0),
+                },
                 // r1 = r0 + 1.0 (r0 is still zero here)
                 Op::Bin {
                     dst: Reg(1),
@@ -521,7 +581,10 @@ mod tests {
                     b: Operand::ImmF(1.0),
                 },
                 // r0 = 42.0 (single write, but AFTER the read)
-                Op::Mov { dst: Reg(0), a: Operand::ImmF(42.0) },
+                Op::Mov {
+                    dst: Reg(0),
+                    a: Operand::ImmF(42.0),
+                },
                 Op::Store {
                     buf: kernel_ir::ArgIdx(0),
                     idx: Operand::Reg(Reg(2)),
@@ -533,7 +596,11 @@ mod tests {
         p.validate().unwrap();
         let opt = optimize(&p);
         assert_eq!(run(&p, 2), run(&opt, 2));
-        assert_eq!(run(&opt, 2), vec![1.0f32; 2], "read-before-write must stay 0+1");
+        assert_eq!(
+            run(&opt, 2),
+            vec![1.0f32; 2],
+            "read-before-write must stay 0+1"
+        );
     }
 
     #[test]
@@ -541,7 +608,12 @@ mod tests {
         let mut kb = KernelBuilder::new("dz");
         let o = kb.arg_global(Scalar::I32, Access::ReadWrite, false);
         let a = kb.mov(Operand::ImmI(4), VType::scalar(Scalar::I32));
-        let d = kb.bin(BinOp::Div, a.into(), Operand::ImmI(0), VType::scalar(Scalar::I32));
+        let d = kb.bin(
+            BinOp::Div,
+            a.into(),
+            Operand::ImmI(0),
+            VType::scalar(Scalar::I32),
+        );
         let gid = kb.query_global_id(0);
         kb.store(o, gid.into(), d.into());
         let p = kb.finish();

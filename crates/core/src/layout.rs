@@ -35,7 +35,12 @@ impl<T: Copy> ParticlesSoa<T> {
     }
 
     pub fn get(&self, i: usize) -> Particle<T> {
-        Particle { x: self.x[i], y: self.y[i], z: self.z[i], m: self.m[i] }
+        Particle {
+            x: self.x[i],
+            y: self.y[i],
+            z: self.z[i],
+            m: self.m[i],
+        }
     }
 }
 

@@ -64,11 +64,14 @@ pub fn sweep<P: Clone>(
     for (i, p) in candidates.iter().enumerate() {
         let cost = eval(p);
         if let Some(c) = cost {
-            if best.map_or(true, |b| c < entries[b].cost.unwrap_or(f64::INFINITY)) {
+            if best.is_none_or(|b| c < entries[b].cost.unwrap_or(f64::INFINITY)) {
                 best = Some(i);
             }
         }
-        entries.push(TuningEntry { param: p.clone(), cost });
+        entries.push(TuningEntry {
+            param: p.clone(),
+            cost,
+        });
     }
     TuningResult { entries, best }
 }
@@ -114,7 +117,13 @@ mod tests {
     #[test]
     fn sweep_skips_failures() {
         // 128+ "fails with CL_OUT_OF_RESOURCES"
-        let r = sweep(&[64usize, 128, 256], |&wg| if wg >= 128 { None } else { Some(1.0) });
+        let r = sweep(&[64usize, 128, 256], |&wg| {
+            if wg >= 128 {
+                None
+            } else {
+                Some(1.0)
+            }
+        });
         assert_eq!(r.best(), Some(&64));
         assert_eq!(r.failures(), 2);
     }

@@ -96,7 +96,13 @@ fn subst_operands(op: &mut Op, from: Reg, to: Reg) {
             fix(idx);
             fix(val);
         }
-        Op::For { start, end, step, body, .. } => {
+        Op::For {
+            start,
+            end,
+            step,
+            body,
+            ..
+        } => {
             fix(start);
             fix(end);
             fix(step);
@@ -208,7 +214,9 @@ fn body_temporaries(body: &[Op]) -> Vec<Reg> {
                     read(idx);
                     read(val);
                 }
-                Op::For { start, end, step, .. } => {
+                Op::For {
+                    start, end, step, ..
+                } => {
                     read(start);
                     read(end);
                     read(step);
@@ -219,7 +227,11 @@ fn body_temporaries(body: &[Op]) -> Vec<Reg> {
             if let Some(d) = op.dst_reg() {
                 // A write inside an If/For may not execute every iteration:
                 // treat it as loop-carried (non-renameable).
-                let class = if depth == 0 { First::Write } else { First::Read };
+                let class = if depth == 0 {
+                    First::Write
+                } else {
+                    First::Read
+                };
                 first.entry(d).or_insert(class);
             }
             match op {
@@ -257,7 +269,14 @@ pub fn unroll(p: &Program, factor: u32) -> Result<Program, UnrollRefusal> {
         .iter()
         .position(|op| matches!(op, Op::For { .. }))
         .ok_or(UnrollRefusal::NoLoop)?;
-    let Op::For { var, start, end, step, body } = &p.body[loop_pos] else {
+    let Op::For {
+        var,
+        start,
+        end,
+        step,
+        body,
+    } = &p.body[loop_pos]
+    else {
         unreachable!()
     };
     let (Operand::ImmI(s), Operand::ImmI(e), Operand::ImmI(st)) = (start, end, step) else {
@@ -296,8 +315,12 @@ pub fn unroll(p: &Program, factor: u32) -> Result<Program, UnrollRefusal> {
         op.visit(&mut |o| {
             found |= matches!(
                 o,
-                Op::Store { .. } | Op::VStore { .. } | Op::Atomic { .. } | Op::If { .. }
-                    | Op::For { .. } | Op::Barrier
+                Op::Store { .. }
+                    | Op::VStore { .. }
+                    | Op::Atomic { .. }
+                    | Op::If { .. }
+                    | Op::For { .. }
+                    | Op::Barrier
             )
         });
         found
@@ -359,7 +382,8 @@ pub fn unroll(p: &Program, factor: u32) -> Result<Program, UnrollRefusal> {
         step: Operand::ImmI(st * factor as i64),
         body: new_body,
     };
-    out.validate().expect("unroller produced invalid IR — pass bug");
+    out.validate()
+        .expect("unroller produced invalid IR — pass bug");
     Ok(out)
 }
 
@@ -375,14 +399,28 @@ mod tests {
         let a = kb.arg_global(Scalar::F32, Access::ReadOnly, true);
         let o = kb.arg_global(Scalar::F32, Access::WriteOnly, true);
         let gid = kb.query_global_id(0);
-        let base =
-            kb.bin(BinOp::Mul, gid.into(), Operand::ImmI(16), VType::scalar(Scalar::U32));
+        let base = kb.bin(
+            BinOp::Mul,
+            gid.into(),
+            Operand::ImmI(16),
+            VType::scalar(Scalar::U32),
+        );
         let acc = kb.mov(Operand::ImmF(0.0), VType::scalar(Scalar::F32));
-        kb.for_loop(Operand::ImmI(0), Operand::ImmI(16), Operand::ImmI(1), |kb, i| {
-            let idx = kb.bin(BinOp::Add, base.into(), i.into(), VType::scalar(Scalar::U32));
-            let v = kb.load(Scalar::F32, a, idx.into());
-            kb.bin_into(acc, BinOp::Add, acc.into(), v.into());
-        });
+        kb.for_loop(
+            Operand::ImmI(0),
+            Operand::ImmI(16),
+            Operand::ImmI(1),
+            |kb, i| {
+                let idx = kb.bin(
+                    BinOp::Add,
+                    base.into(),
+                    i.into(),
+                    VType::scalar(Scalar::U32),
+                );
+                let v = kb.load(Scalar::F32, a, idx.into());
+                kb.bin_into(acc, BinOp::Add, acc.into(), v.into());
+            },
+        );
         kb.store(o, gid.into(), acc.into());
         kb.finish()
     }
@@ -390,12 +428,19 @@ mod tests {
     fn run(p: &Program) -> (Vec<f32>, CountingTracer) {
         let n = 8;
         let mut pool = MemoryPool::new();
-        let a = pool
-            .add(BufferData::from((0..n * 16).map(|i| (i % 7) as f32).collect::<Vec<_>>()));
+        let a = pool.add(BufferData::from(
+            (0..n * 16).map(|i| (i % 7) as f32).collect::<Vec<_>>(),
+        ));
         let o = pool.add(BufferData::zeroed(Scalar::F32, n));
         let mut t = CountingTracer::default();
-        run_ndrange(p, &[ArgBinding::Global(a), ArgBinding::Global(o)], &mut pool,
-            NDRange::d1(n, 4), &mut t).unwrap();
+        run_ndrange(
+            p,
+            &[ArgBinding::Global(a), ArgBinding::Global(o)],
+            &mut pool,
+            NDRange::d1(n, 4),
+            &mut t,
+        )
+        .unwrap();
         (pool.get(o).as_f32().to_vec(), t)
     }
 
@@ -424,7 +469,10 @@ mod tests {
         let p = rowsum(); // trip 16
         assert_eq!(
             unroll(&p, 3).unwrap_err(),
-            UnrollRefusal::TripNotDivisible { trip: 16, factor: 3 }
+            UnrollRefusal::TripNotDivisible {
+                trip: 16,
+                factor: 3
+            }
         );
     }
 
@@ -440,7 +488,10 @@ mod tests {
 
     #[test]
     fn refuses_trivial_factor() {
-        assert_eq!(unroll(&rowsum(), 1).unwrap_err(), UnrollRefusal::TrivialFactor);
+        assert_eq!(
+            unroll(&rowsum(), 1).unwrap_err(),
+            UnrollRefusal::TrivialFactor
+        );
     }
 
     #[test]
@@ -455,7 +506,10 @@ mod tests {
             kb.bin_into(acc, BinOp::Add, acc.into(), Operand::ImmF(1.0));
         });
         kb.store(a, gid.into(), acc.into());
-        assert_eq!(unroll(&kb.finish(), 2).unwrap_err(), UnrollRefusal::DynamicBounds);
+        assert_eq!(
+            unroll(&kb.finish(), 2).unwrap_err(),
+            UnrollRefusal::DynamicBounds
+        );
     }
 
     #[test]
@@ -478,26 +532,45 @@ mod tests {
         let o = kb.arg_global(Scalar::F32, Access::ReadWrite, false);
         let t = kb.mov(Operand::ImmF(0.0), VType::scalar(Scalar::F32));
         let acc = kb.mov(Operand::ImmF(0.0), VType::scalar(Scalar::F32));
-        kb.for_loop_typed(Scalar::I32, Operand::ImmI(0), Operand::ImmI(8), Operand::ImmI(1),
+        kb.for_loop_typed(
+            Scalar::I32,
+            Operand::ImmI(0),
+            Operand::ImmI(8),
+            Operand::ImmI(1),
             |kb, i| {
-                let rem = kb.bin(BinOp::Rem, i.into(), Operand::ImmI(3),
-                    VType::scalar(Scalar::I32));
-                let hit = kb.bin(BinOp::Eq, rem.into(), Operand::ImmI(0),
-                    VType::scalar(Scalar::I32));
+                let rem = kb.bin(
+                    BinOp::Rem,
+                    i.into(),
+                    Operand::ImmI(3),
+                    VType::scalar(Scalar::I32),
+                );
+                let hit = kb.bin(
+                    BinOp::Eq,
+                    rem.into(),
+                    Operand::ImmI(0),
+                    VType::scalar(Scalar::I32),
+                );
                 kb.if_then(hit.into(), |kb| {
                     let cast = kb.cast(i.into(), VType::scalar(Scalar::F32));
                     kb.mov_into(t, cast.into());
                 });
                 kb.bin_into(acc, BinOp::Add, acc.into(), t.into());
-            });
+            },
+        );
         let gid = kb.query_global_id(0);
         kb.store(o, gid.into(), acc.into());
         let p = kb.finish();
         let run_it = |p: &Program| {
             let mut pool = MemoryPool::new();
             let ob = pool.add(BufferData::zeroed(Scalar::F32, 1));
-            run_ndrange(p, &[ArgBinding::Global(ob)], &mut pool, NDRange::d1(1, 1),
-                &mut NullTracer).unwrap();
+            run_ndrange(
+                p,
+                &[ArgBinding::Global(ob)],
+                &mut pool,
+                NDRange::d1(1, 1),
+                &mut NullTracer,
+            )
+            .unwrap();
             pool.get(ob).as_f32()[0]
         };
         let rolled = run_it(&p);
@@ -514,18 +587,29 @@ mod tests {
         let mut kb = KernelBuilder::new("down");
         let o = kb.arg_global(Scalar::I32, Access::ReadWrite, false);
         let acc = kb.mov(Operand::ImmI(0), VType::scalar(Scalar::I32));
-        kb.for_loop_typed(Scalar::I32, Operand::ImmI(8), Operand::ImmI(0), Operand::ImmI(-1),
+        kb.for_loop_typed(
+            Scalar::I32,
+            Operand::ImmI(8),
+            Operand::ImmI(0),
+            Operand::ImmI(-1),
             |kb, i| {
                 kb.bin_into(acc, BinOp::Add, acc.into(), i.into());
-            });
+            },
+        );
         let gid = kb.query_global_id(0);
         kb.store(o, gid.into(), acc.into());
         let p = kb.finish();
         let u = unroll(&p, 4).unwrap();
         let mut pool = MemoryPool::new();
         let ob = pool.add(BufferData::zeroed(Scalar::I32, 1));
-        run_ndrange(&u, &[ArgBinding::Global(ob)], &mut pool, NDRange::d1(1, 1),
-            &mut NullTracer).unwrap();
+        run_ndrange(
+            &u,
+            &[ArgBinding::Global(ob)],
+            &mut pool,
+            NDRange::d1(1, 1),
+            &mut NullTracer,
+        )
+        .unwrap();
         assert_eq!(pool.get(ob).as_i32()[0], 8 + 7 + 6 + 5 + 4 + 3 + 2 + 1);
     }
 }

@@ -94,7 +94,10 @@ pub fn vectorize(p: &Program, width: u8) -> Result<Vectorized, VectorizeRefusal>
     if p.regs.iter().any(|t| t.width > 1) {
         return Err(VectorizeRefusal::AlreadyVector);
     }
-    if p.args.iter().any(|a| matches!(a, kernel_ir::ArgDecl::LocalBuf { .. })) {
+    if p.args
+        .iter()
+        .any(|a| matches!(a, kernel_ir::ArgDecl::LocalBuf { .. }))
+    {
         return Err(VectorizeRefusal::UsesLocalStructure);
     }
     let is_gid = |o: &Operand| matches!(o, Operand::Reg(r) if gid_regs.contains(r));
@@ -131,14 +134,10 @@ pub fn vectorize(p: &Program, width: u8) -> Result<Vectorized, VectorizeRefusal>
                     return Err(VectorizeRefusal::NonGidIndexing);
                 }
             }
-            Op::Store { idx, .. } => {
-                if !is_gid(idx) {
-                    return Err(VectorizeRefusal::NonGidIndexing);
-                }
+            Op::Store { idx, .. } if !is_gid(idx) => {
+                return Err(VectorizeRefusal::NonGidIndexing);
             }
-            Op::VLoad { .. } | Op::VStore { .. } => {
-                return Err(VectorizeRefusal::AlreadyVector)
-            }
+            Op::VLoad { .. } | Op::VStore { .. } => return Err(VectorizeRefusal::AlreadyVector),
             _ => {}
         }
     }
@@ -155,7 +154,8 @@ pub fn vectorize(p: &Program, width: u8) -> Result<Vectorized, VectorizeRefusal>
         changed = false;
         for op in &p.body {
             let deps_varying = |v: &mut Vec<bool>, ops: &[&Operand]| {
-                ops.iter().any(|o| matches!(o, Operand::Reg(r) if v[r.0 as usize]))
+                ops.iter()
+                    .any(|o| matches!(o, Operand::Reg(r) if v[r.0 as usize]))
             };
             let mark = |v: &mut Vec<bool>, r: Reg| {
                 if !v[r.0 as usize] {
@@ -175,25 +175,19 @@ pub fn vectorize(p: &Program, width: u8) -> Result<Vectorized, VectorizeRefusal>
                         changed |= mark(&mut varying, *dst);
                     }
                 }
-                Op::Bin { dst, a, b, .. } => {
-                    if deps_varying(&mut varying, &[a, b]) {
-                        changed |= mark(&mut varying, *dst);
-                    }
+                Op::Bin { dst, a, b, .. } if deps_varying(&mut varying, &[a, b]) => {
+                    changed |= mark(&mut varying, *dst);
                 }
-                Op::Un { dst, a, .. } | Op::Mov { dst, a } | Op::Cast { dst, a } => {
-                    if deps_varying(&mut varying, &[a]) {
-                        changed |= mark(&mut varying, *dst);
-                    }
+                Op::Un { dst, a, .. } | Op::Mov { dst, a } | Op::Cast { dst, a }
+                    if deps_varying(&mut varying, &[a]) =>
+                {
+                    changed |= mark(&mut varying, *dst);
                 }
-                Op::Mad { dst, a, b, c } => {
-                    if deps_varying(&mut varying, &[a, b, c]) {
-                        changed |= mark(&mut varying, *dst);
-                    }
+                Op::Mad { dst, a, b, c } if deps_varying(&mut varying, &[a, b, c]) => {
+                    changed |= mark(&mut varying, *dst);
                 }
-                Op::Select { dst, cond, a, b } => {
-                    if deps_varying(&mut varying, &[cond, a, b]) {
-                        changed |= mark(&mut varying, *dst);
-                    }
+                Op::Select { dst, cond, a, b } if deps_varying(&mut varying, &[cond, a, b]) => {
+                    changed |= mark(&mut varying, *dst);
                 }
                 _ => {}
             }
@@ -217,8 +211,14 @@ pub fn vectorize(p: &Program, width: u8) -> Result<Vectorized, VectorizeRefusal>
     let mut new_body = Vec::with_capacity(out.body.len() + gid_regs.len());
     for op in out.body.drain(..) {
         match op {
-            Op::Query { dst, q: Builtin::GlobalId(0) } => {
-                new_body.push(Op::Query { dst, q: Builtin::GlobalId(0) });
+            Op::Query {
+                dst,
+                q: Builtin::GlobalId(0),
+            } => {
+                new_body.push(Op::Query {
+                    dst,
+                    q: Builtin::GlobalId(0),
+                });
                 let base = Reg(out.regs.len() as u32);
                 out.regs.push(VType::scalar(Scalar::U32));
                 new_body.push(Op::Bin {
@@ -237,13 +237,21 @@ pub fn vectorize(p: &Program, width: u8) -> Result<Vectorized, VectorizeRefusal>
                 if is_scalar_arg {
                     new_body.push(Op::Load { dst, buf, idx });
                 } else {
-                    let Operand::Reg(g) = idx else { unreachable!("checked gid-indexed") };
+                    let Operand::Reg(g) = idx else {
+                        unreachable!("checked gid-indexed")
+                    };
                     let base = base_of[&g.0];
-                    new_body.push(Op::VLoad { dst, buf, base: Operand::Reg(base) });
+                    new_body.push(Op::VLoad {
+                        dst,
+                        buf,
+                        base: Operand::Reg(base),
+                    });
                 }
             }
             Op::Store { buf, idx, val } => {
-                let Operand::Reg(g) = idx else { unreachable!("checked gid-indexed") };
+                let Operand::Reg(g) = idx else {
+                    unreachable!("checked gid-indexed")
+                };
                 let base = base_of[&g.0];
                 // VStore requires a register value; materialize immediates.
                 let val = match val {
@@ -256,14 +264,23 @@ pub fn vectorize(p: &Program, width: u8) -> Result<Vectorized, VectorizeRefusal>
                         Operand::Reg(tmp)
                     }
                 };
-                new_body.push(Op::VStore { buf, base: Operand::Reg(base), val });
+                new_body.push(Op::VStore {
+                    buf,
+                    base: Operand::Reg(base),
+                    val,
+                });
             }
             other => new_body.push(other),
         }
     }
     out.body = new_body;
-    out.validate().expect("vectorizer produced invalid IR — pass bug");
-    Ok(Vectorized { program: out, width, global_divisor: width as usize })
+    out.validate()
+        .expect("vectorizer produced invalid IR — pass bug");
+    Ok(Vectorized {
+        program: out,
+        width,
+        global_divisor: width as usize,
+    })
 }
 
 #[cfg(test)]
@@ -287,11 +304,21 @@ mod tests {
 
     fn run(p: &Program, n: usize, wg: usize) -> Vec<f32> {
         let mut pool = MemoryPool::new();
-        let a = pool.add(BufferData::from((0..64).map(|i| i as f32).cycle().take(n.max(64))
-            .take(n).collect::<Vec<_>>()));
+        let a = pool.add(BufferData::from(
+            (0..64)
+                .map(|i| i as f32)
+                .cycle()
+                .take(n.max(64))
+                .take(n)
+                .collect::<Vec<_>>(),
+        ));
         let b = pool.add(BufferData::from(vec![0.5f32; n]));
         let c = pool.add(BufferData::zeroed(Scalar::F32, n));
-        let bind = [ArgBinding::Global(a), ArgBinding::Global(b), ArgBinding::Global(c)];
+        let bind = [
+            ArgBinding::Global(a),
+            ArgBinding::Global(b),
+            ArgBinding::Global(c),
+        ];
         let total = n / (p.regs.iter().map(|t| t.width).max().unwrap_or(1) as usize).max(1);
         run_ndrange(p, &bind, &mut pool, NDRange::d1(total, wg), &mut NullTracer).unwrap();
         pool.get(c).as_f32().to_vec()
@@ -314,8 +341,7 @@ mod tests {
         let p = vecop();
         let v = vectorize(&p, 4).unwrap();
         // The gid register stays scalar.
-        let scalars =
-            v.program.regs.iter().filter(|t| t.width == 1).count();
+        let scalars = v.program.regs.iter().filter(|t| t.width == 1).count();
         let vectors = v.program.regs.iter().filter(|t| t.width == 4).count();
         assert!(scalars >= 2, "gid + base must stay scalar");
         assert_eq!(vectors, 3, "two loads + one sum widened");
@@ -327,11 +353,19 @@ mod tests {
         let a = kb.arg_global(Scalar::F32, Access::ReadWrite, true);
         let gid = kb.query_global_id(0);
         let acc = kb.mov(Operand::ImmF(0.0), VType::scalar(Scalar::F32));
-        kb.for_loop(Operand::ImmI(0), Operand::ImmI(4), Operand::ImmI(1), |kb, _| {
-            kb.bin_into(acc, BinOp::Add, acc.into(), Operand::ImmF(1.0));
-        });
+        kb.for_loop(
+            Operand::ImmI(0),
+            Operand::ImmI(4),
+            Operand::ImmI(1),
+            |kb, _| {
+                kb.bin_into(acc, BinOp::Add, acc.into(), Operand::ImmF(1.0));
+            },
+        );
         kb.store(a, gid.into(), acc.into());
-        assert_eq!(vectorize(&kb.finish(), 4).unwrap_err(), VectorizeRefusal::HasLoop);
+        assert_eq!(
+            vectorize(&kb.finish(), 4).unwrap_err(),
+            VectorizeRefusal::HasLoop
+        );
     }
 
     #[test]
@@ -341,7 +375,10 @@ mod tests {
         let gid = kb.query_global_id(0);
         let _ = gid;
         kb.atomic(AtomicOp::Inc, h, Operand::ImmI(0), Operand::ImmI(0));
-        assert_eq!(vectorize(&kb.finish(), 4).unwrap_err(), VectorizeRefusal::HasAtomic);
+        assert_eq!(
+            vectorize(&kb.finish(), 4).unwrap_err(),
+            VectorizeRefusal::HasAtomic
+        );
     }
 
     #[test]
@@ -379,11 +416,19 @@ mod tests {
         let a = kb.arg_global(Scalar::F32, Access::ReadWrite, true);
         let gid = kb.query_global_id(0);
         let v = kb.load(Scalar::F32, a, gid.into());
-        let c = kb.bin(BinOp::Lt, v.into(), Operand::ImmF(0.0), VType::scalar(Scalar::F32));
+        let c = kb.bin(
+            BinOp::Lt,
+            v.into(),
+            Operand::ImmF(0.0),
+            VType::scalar(Scalar::F32),
+        );
         kb.if_then(c.into(), |kb| {
             kb.store(a, gid.into(), Operand::ImmF(0.0));
         });
-        assert_eq!(vectorize(&kb.finish(), 4).unwrap_err(), VectorizeRefusal::HasBranch);
+        assert_eq!(
+            vectorize(&kb.finish(), 4).unwrap_err(),
+            VectorizeRefusal::HasBranch
+        );
     }
 
     #[test]
@@ -393,22 +438,32 @@ mod tests {
         let o = kb.arg_global(Scalar::U32, Access::WriteOnly, true);
         let gid = kb.query_global_id(0);
         kb.store(o, gid.into(), gid.into());
-        assert_eq!(vectorize(&kb.finish(), 4).unwrap_err(),
-            VectorizeRefusal::GidUsedAsData);
+        assert_eq!(
+            vectorize(&kb.finish(), 4).unwrap_err(),
+            VectorizeRefusal::GidUsedAsData
+        );
         // gid fed into arithmetic is equally data.
         let mut kb2 = KernelBuilder::new("scaled");
         let o2 = kb2.arg_global(Scalar::F32, Access::WriteOnly, true);
         let gid2 = kb2.query_global_id(0);
         let f = kb2.cast(gid2.into(), VType::scalar(Scalar::F32));
         kb2.store(o2, gid2.into(), f.into());
-        assert_eq!(vectorize(&kb2.finish(), 4).unwrap_err(),
-            VectorizeRefusal::GidUsedAsData);
+        assert_eq!(
+            vectorize(&kb2.finish(), 4).unwrap_err(),
+            VectorizeRefusal::GidUsedAsData
+        );
     }
 
     #[test]
     fn refuses_bad_width() {
-        assert_eq!(vectorize(&vecop(), 3).unwrap_err(), VectorizeRefusal::BadWidth);
-        assert_eq!(vectorize(&vecop(), 32).unwrap_err(), VectorizeRefusal::BadWidth);
+        assert_eq!(
+            vectorize(&vecop(), 3).unwrap_err(),
+            VectorizeRefusal::BadWidth
+        );
+        assert_eq!(
+            vectorize(&vecop(), 32).unwrap_err(),
+            VectorizeRefusal::BadWidth
+        );
     }
 
     #[test]
@@ -419,19 +474,39 @@ mod tests {
         let o = kb.arg_global(Scalar::F32, Access::WriteOnly, true);
         let gid = kb.query_global_id(0);
         let v = kb.load(Scalar::F32, a, gid.into());
-        let neg = kb.bin(BinOp::Lt, v.into(), Operand::ImmF(0.0), VType::scalar(Scalar::F32));
-        let clamped = kb.select(neg.into(), Operand::ImmF(0.0), v.into(),
-            VType::scalar(Scalar::F32));
+        let neg = kb.bin(
+            BinOp::Lt,
+            v.into(),
+            Operand::ImmF(0.0),
+            VType::scalar(Scalar::F32),
+        );
+        let clamped = kb.select(
+            neg.into(),
+            Operand::ImmF(0.0),
+            v.into(),
+            VType::scalar(Scalar::F32),
+        );
         kb.store(o, gid.into(), clamped.into());
         let p = kb.finish();
         let v4 = vectorize(&p, 4).unwrap();
         v4.program.validate().unwrap();
 
         let mut pool = MemoryPool::new();
-        let ab = pool.add(BufferData::from(vec![-1.0f32, 2.0, -3.0, 4.0, 5.0, -6.0, 7.0, -8.0]));
+        let ab = pool.add(BufferData::from(vec![
+            -1.0f32, 2.0, -3.0, 4.0, 5.0, -6.0, 7.0, -8.0,
+        ]));
         let ob = pool.add(BufferData::zeroed(Scalar::F32, 8));
-        run_ndrange(&v4.program, &[ArgBinding::Global(ab), ArgBinding::Global(ob)],
-            &mut pool, NDRange::d1(2, 2), &mut NullTracer).unwrap();
-        assert_eq!(pool.get(ob).as_f32(), &[0.0, 2.0, 0.0, 4.0, 5.0, 0.0, 7.0, 0.0]);
+        run_ndrange(
+            &v4.program,
+            &[ArgBinding::Global(ab), ArgBinding::Global(ob)],
+            &mut pool,
+            NDRange::d1(2, 2),
+            &mut NullTracer,
+        )
+        .unwrap();
+        assert_eq!(
+            pool.get(ob).as_f32(),
+            &[0.0, 2.0, 0.0, 4.0, 5.0, 0.0, 7.0, 0.0]
+        );
     }
 }

@@ -15,6 +15,7 @@ use kernel_ir::{
 };
 use memsim::{Hierarchy, HierarchyStats, StrideClassifier};
 use powersim::Activity;
+use telemetry::{Counters, WorkSpan};
 
 /// Timing/energy outcome of one CPU run.
 #[derive(Clone, Debug)]
@@ -33,6 +34,11 @@ pub struct CpuReport {
     pub hier: HierarchyStats,
     /// Total issued compute cycles (all cores).
     pub total_cycles: f64,
+    /// Performance-counter snapshot for this run.
+    pub counters: Counters,
+    /// Per-core work-group execution intervals (simulated time, seconds,
+    /// relative to the start of the parallel region).
+    pub spans: Vec<WorkSpan>,
 }
 
 /// Tracer accumulating per-group compute cycles and driving the cache
@@ -44,6 +50,7 @@ struct CpuTracer<'c> {
     group_cycles: Vec<f64>,
     cur: f64,
     strides: StrideClassifier,
+    counters: Counters,
 }
 
 impl<'c> CpuTracer<'c> {
@@ -54,6 +61,7 @@ impl<'c> CpuTracer<'c> {
             group_cycles: Vec::new(),
             cur: 0.0,
             strides: StrideClassifier::default(),
+            counters: Counters::default(),
         }
     }
 
@@ -77,7 +85,11 @@ impl<'c> CpuTracer<'c> {
         };
         // No NEON: vector ops are scalarized lane by lane.
         let lanes = ty.width as f64;
-        let f64x = if ty.elem == Scalar::F64 { c.f64_factor } else { 1.0 };
+        let f64x = if ty.elem == Scalar::F64 {
+            c.f64_factor
+        } else {
+            1.0
+        };
         // Integer address arithmetic dual-issues and hides behind FP.
         let intx = if ty.elem.is_int()
             && matches!(class, OpClass::Simple | OpClass::Mul | OpClass::Move)
@@ -92,10 +104,12 @@ impl<'c> CpuTracer<'c> {
 
 impl ExecTracer for CpuTracer<'_> {
     fn op(&mut self, class: OpClass, ty: VType) {
+        self.counters.note_op(class, ty);
         self.cur += self.op_cost(class, ty);
     }
 
     fn mem(&mut self, a: &MemAccess) {
+        self.counters.note_mem(a);
         let c = self.cfg;
         let write = matches!(a.kind, kernel_ir::AccessKind::Write);
         let atomic = matches!(a.kind, kernel_ir::AccessKind::Atomic);
@@ -108,11 +122,12 @@ impl ExecTracer for CpuTracer<'_> {
             Pattern::Scalar | Pattern::Contiguous => {
                 // Scalar streams that hop around (indirect x[col[j]]) are
                 // scattered traffic even though each access is scalar.
-                let streaming =
-                    a.pattern == Pattern::Contiguous || self.strides.classify_stream(a.stream, a.addr);
-                let out = self.hier.access(a.addr, a.bytes, write || atomic, streaming);
-                self.cur += out.l1_hits as f64 * c.cy_l1_hit
-                    + out.l2_hits as f64 * c.cy_l2_hit;
+                let streaming = a.pattern == Pattern::Contiguous
+                    || self.strides.classify_stream(a.stream, a.addr);
+                let out = self
+                    .hier
+                    .access(a.addr, a.bytes, write || atomic, streaming);
+                self.cur += out.l1_hits as f64 * c.cy_l1_hit + out.l2_hits as f64 * c.cy_l2_hit;
                 if !streaming {
                     // Scattered misses expose latency the prefetcher can't
                     // hide.
@@ -129,8 +144,7 @@ impl ExecTracer for CpuTracer<'_> {
                 let lane_bytes = a.elem.bytes();
                 for &addr in addrs.iter().take(a.width as usize) {
                     let out = self.hier.access(addr, lane_bytes, write || atomic, false);
-                    self.cur += out.l1_hits as f64 * c.cy_l1_hit
-                        + out.l2_hits as f64 * c.cy_l2_hit;
+                    self.cur += out.l1_hits as f64 * c.cy_l1_hit + out.l2_hits as f64 * c.cy_l2_hit;
                     // Scattered misses expose part of the DRAM latency to
                     // the core (the OoO window can't hide 110 ns).
                     self.cur += out.dram_lines as f64
@@ -143,14 +157,17 @@ impl ExecTracer for CpuTracer<'_> {
     }
 
     fn loop_iter(&mut self) {
+        self.counters.note_loop_iter();
         self.cur += self.cfg.cy_loop / self.cfg.ilp;
     }
 
     fn thread_start(&mut self) {
+        self.counters.note_thread_start();
         self.cur += self.cfg.cy_item / self.cfg.ilp;
     }
 
     fn group_start(&mut self) {
+        self.counters.note_group_start();
         if !self.group_cycles.is_empty() || self.cur > 0.0 {
             self.finish_group();
         } else if self.group_cycles.is_empty() && self.cur == 0.0 {
@@ -159,9 +176,10 @@ impl ExecTracer for CpuTracer<'_> {
         }
     }
 
-    fn barrier(&mut self, _items: u32) {
+    fn barrier(&mut self, items: u32) {
         // Barriers are free on a sequential CPU schedule (each phase is a
-        // plain loop).
+        // plain loop) — but still counted.
+        self.counters.note_barrier(items);
     }
 }
 
@@ -202,16 +220,31 @@ impl CortexA15 {
         let groups = tracer.group_cycles;
         debug_assert_eq!(groups.len(), ndrange.total_groups().max(1));
 
-        // Static block partition over cores.
+        // Static block partition over cores. Each group's interval on its
+        // core is recorded as a telemetry span (in wall-clock seconds, with
+        // the SMP penalty applied so spans line up with compute time).
         let mut core_cycles = vec![0.0f64; cores as usize];
         let chunk = groups.len().div_ceil(cores as usize).max(1);
+        let smp = if cores > 1 {
+            self.cfg.smp_compute_penalty
+        } else {
+            1.0
+        };
+        let cy_to_s = smp / self.cfg.freq_hz;
+        let mut spans = Vec::with_capacity(groups.len());
         for (i, g) in groups.iter().enumerate() {
-            core_cycles[(i / chunk).min(cores as usize - 1)] += *g;
+            let core = (i / chunk).min(cores as usize - 1);
+            let start = core_cycles[core];
+            core_cycles[core] = start + *g;
+            spans.push(WorkSpan {
+                core: core as u32,
+                group: i as u32,
+                start_s: start * cy_to_s,
+                end_s: core_cycles[core] * cy_to_s,
+            });
         }
         let total_cycles: f64 = core_cycles.iter().sum();
-        let smp = if cores > 1 { self.cfg.smp_compute_penalty } else { 1.0 };
-        let compute_time =
-            core_cycles.iter().cloned().fold(0.0, f64::max) * smp / self.cfg.freq_hz;
+        let compute_time = core_cycles.iter().cloned().fold(0.0, f64::max) * smp / self.cfg.freq_hz;
         // Memory time: DRAM-side limit (controller efficiency, scatter
         // derating) or the cores' aggregate streaming capability, whichever
         // binds.
@@ -219,11 +252,13 @@ impl CortexA15 {
         let dram_side = traffic.bandwidth_time(&self.cfg.dram);
         let aggregate_core_bw =
             self.cfg.core_stream_bw * (1.0 + self.cfg.smp_bw_scale * (cores as f64 - 1.0));
-        let core_side =
-            traffic.total_bytes(&self.cfg.dram) as f64 / aggregate_core_bw;
+        let core_side = traffic.total_bytes(&self.cfg.dram) as f64 / aggregate_core_bw;
         let mem_time = dram_side.max(core_side);
-        let region_overhead =
-            if cores > 1 { self.cfg.omp_region_overhead_s } else { 0.0 };
+        let region_overhead = if cores > 1 {
+            self.cfg.omp_region_overhead_s
+        } else {
+            0.0
+        };
         let time_s = compute_time.max(mem_time) + region_overhead;
 
         let mut cpu_busy = [0.0f64; 2];
@@ -241,6 +276,8 @@ impl CortexA15 {
         }
 
         let hier = tracer.hier.stats;
+        let mut counters = tracer.counters;
+        counters.absorb_hier(&hier);
         let activity = Activity {
             duration_s: time_s,
             cpu_busy_s: cpu_busy,
@@ -258,6 +295,8 @@ impl CortexA15 {
             activity,
             hier,
             total_cycles,
+            counters,
+            spans,
         })
     }
 }
@@ -276,9 +315,19 @@ mod tests {
         let gid = kb.query_global_id(0);
         let v = kb.load(Scalar::F32, a, gid.into());
         let acc = kb.mov(v.into(), VType::scalar(Scalar::F32));
-        kb.for_loop(Operand::ImmI(0), Operand::ImmI(n_iters), Operand::ImmI(1), |kb, _| {
-            kb.mad_into(acc, acc.into(), Operand::ImmF(1.0000001), Operand::ImmF(1e-7));
-        });
+        kb.for_loop(
+            Operand::ImmI(0),
+            Operand::ImmI(n_iters),
+            Operand::ImmI(1),
+            |kb, _| {
+                kb.mad_into(
+                    acc,
+                    acc.into(),
+                    Operand::ImmF(1.0000001),
+                    Operand::ImmF(1e-7),
+                );
+            },
+        );
         kb.store(out, gid.into(), acc.into());
         kb.finish()
     }
@@ -301,7 +350,14 @@ mod tests {
         let a = pool.add(BufferData::from(vec![1.0f32; n]));
         let b = pool.add(BufferData::from(vec![2.0f32; n]));
         let c = pool.add(BufferData::zeroed(Scalar::F32, n));
-        (pool, [ArgBinding::Global(a), ArgBinding::Global(b), ArgBinding::Global(c)])
+        (
+            pool,
+            [
+                ArgBinding::Global(a),
+                ArgBinding::Global(b),
+                ArgBinding::Global(c),
+            ],
+        )
     }
 
     #[test]
@@ -309,7 +365,8 @@ mod tests {
         let dev = CortexA15::default();
         let p = streaming_kernel();
         let (mut pool, bindings) = setup_streaming(1024);
-        dev.run(&p, &bindings, &mut pool, NDRange::d1(1024, 64), 1).unwrap();
+        dev.run(&p, &bindings, &mut pool, NDRange::d1(1024, 64), 1)
+            .unwrap();
         assert!(pool.get(2).as_f32().iter().all(|&x| x == 3.0));
     }
 
@@ -357,7 +414,9 @@ mod tests {
         let dev = CortexA15::default();
         let p = streaming_kernel();
         let (mut pool, bindings) = setup_streaming(4096);
-        let r = dev.run(&p, &bindings, &mut pool, NDRange::d1(4096, 64), 1).unwrap();
+        let r = dev
+            .run(&p, &bindings, &mut pool, NDRange::d1(4096, 64), 1)
+            .unwrap();
         assert!(r.time_s > 0.0);
         assert!(r.time_s + 1e-15 >= r.compute_time_s.max(r.mem_time_s));
         assert!(r.activity.dram_bytes > 0);
@@ -384,12 +443,22 @@ mod tests {
         let mut kb = KernelBuilder::new("imb");
         let out = kb.arg_global(Scalar::F32, Access::ReadWrite, true);
         let gid = kb.query_global_id(0);
-        let half = kb.bin(BinOp::Lt, gid.into(), Operand::ImmI(128), VType::scalar(Scalar::U32));
+        let half = kb.bin(
+            BinOp::Lt,
+            gid.into(),
+            Operand::ImmI(128),
+            VType::scalar(Scalar::U32),
+        );
         let acc = kb.mov(Operand::ImmF(1.0), VType::scalar(Scalar::F32));
         kb.if_then(half.into(), |kb| {
-            kb.for_loop(Operand::ImmI(0), Operand::ImmI(5000), Operand::ImmI(1), |kb, _| {
-                kb.mad_into(acc, acc.into(), Operand::ImmF(0.9999), Operand::ImmF(1e-6));
-            });
+            kb.for_loop(
+                Operand::ImmI(0),
+                Operand::ImmI(5000),
+                Operand::ImmI(1),
+                |kb, _| {
+                    kb.mad_into(acc, acc.into(), Operand::ImmF(0.9999), Operand::ImmF(1e-6));
+                },
+            );
         });
         kb.store(out, gid.into(), acc.into());
         let p = kb.finish();
@@ -415,9 +484,19 @@ mod tests {
             let gid = kb.query_global_id(0);
             let v = kb.load(elem, a, gid.into());
             let acc = kb.mov(v.into(), VType::scalar(elem));
-            kb.for_loop(Operand::ImmI(0), Operand::ImmI(500), Operand::ImmI(1), |kb, _| {
-                kb.mad_into(acc, acc.into(), Operand::ImmF(1.000001), Operand::ImmF(1e-9));
-            });
+            kb.for_loop(
+                Operand::ImmI(0),
+                Operand::ImmI(500),
+                Operand::ImmI(1),
+                |kb, _| {
+                    kb.mad_into(
+                        acc,
+                        acc.into(),
+                        Operand::ImmF(1.000001),
+                        Operand::ImmF(1e-9),
+                    );
+                },
+            );
             kb.store(out, gid.into(), acc.into());
             kb.finish()
         };
@@ -435,11 +514,16 @@ mod tests {
                 ),
             };
             let b = [ArgBinding::Global(a), ArgBinding::Global(o)];
-            dev.run(&mk(elem), &b, &mut pool, NDRange::d1(64, 16), 1).unwrap().time_s
+            dev.run(&mk(elem), &b, &mut pool, NDRange::d1(64, 16), 1)
+                .unwrap()
+                .time_s
         };
         let t32 = run(Scalar::F32);
         let t64 = run(Scalar::F64);
-        assert!(t64 > t32, "f64 ({t64:.3e}) should be slower than f32 ({t32:.3e})");
+        assert!(
+            t64 > t32,
+            "f64 ({t64:.3e}) should be slower than f32 ({t32:.3e})"
+        );
     }
 
     #[test]
@@ -470,12 +554,19 @@ mod tests {
             let ib = pool.add(BufferData::from(indices));
             let xb = pool.add(BufferData::zeroed(Scalar::F32, n));
             let ob = pool.add(BufferData::zeroed(Scalar::F32, n / 16));
-            let b = [ArgBinding::Global(ib), ArgBinding::Global(xb), ArgBinding::Global(ob)];
-            dev.run(&p, &b, &mut pool, NDRange::d1(n / 16, 64), 1).unwrap().time_s
+            let b = [
+                ArgBinding::Global(ib),
+                ArgBinding::Global(xb),
+                ArgBinding::Global(ob),
+            ];
+            dev.run(&p, &b, &mut pool, NDRange::d1(n / 16, 64), 1)
+                .unwrap()
+                .time_s
         };
         let seq: Vec<u32> = (0..n as u32 / 16).collect();
-        let scattered: Vec<u32> =
-            (0..n as u32 / 16).map(|i| (i.wrapping_mul(2654435761)) % (n as u32)).collect();
+        let scattered: Vec<u32> = (0..n as u32 / 16)
+            .map(|i| (i.wrapping_mul(2654435761)) % (n as u32))
+            .collect();
         let t_seq = run(seq);
         let t_rand = run(scattered);
         assert!(

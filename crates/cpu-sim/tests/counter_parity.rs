@@ -1,0 +1,98 @@
+//! Dynamic counters vs static analysis: on a loop-free kernel, the
+//! telemetry counters divided by the item count must reproduce
+//! `kernel_ir::stats::analyze` exactly — the contract that makes static
+//! prediction and dynamic measurement diffable.
+
+use cpu_sim::{CortexA15, CortexA15Config};
+use kernel_ir::prelude::*;
+use kernel_ir::Access;
+
+/// A loop-free saxpy-with-trimmings kernel: loads, a mad, a special op
+/// and a store, so every `StaticMix` column is exercised.
+fn loop_free_kernel() -> Program {
+    let mut kb = KernelBuilder::new("parity");
+    let a = kb.arg_global(Scalar::F32, Access::ReadOnly, true);
+    let b = kb.arg_global(Scalar::F32, Access::ReadOnly, true);
+    let c = kb.arg_global(Scalar::F32, Access::WriteOnly, true);
+    let gid = kb.query_global_id(0);
+    let va = kb.load(Scalar::F32, a, gid.into());
+    let vb = kb.load(Scalar::F32, b, gid.into());
+    let m = kb.mad(va.into(), vb.into(), vb.into(), VType::scalar(Scalar::F32));
+    let s = kb.un(UnOp::Sqrt, m.into(), VType::scalar(Scalar::F32));
+    kb.store(c, gid.into(), s.into());
+    kb.finish()
+}
+
+#[test]
+fn per_item_counters_match_static_mix() {
+    let program = loop_free_kernel();
+    let predicted = kernel_ir::stats::analyze(&program);
+    assert!(!predicted.has_dynamic_loops, "kernel must be loop-free");
+
+    let n = 1024usize;
+    let mut pool = MemoryPool::new();
+    let bindings: Vec<ArgBinding> = (0..3)
+        .map(|i| ArgBinding::Global(pool.add(kernel_ir::BufferData::F32(vec![0.5 + i as f32; n]))))
+        .collect();
+    let dev = CortexA15::new(CortexA15Config::default());
+    let report = dev
+        .run(&program, &bindings, &mut pool, NDRange::d1(n, 64), 2)
+        .expect("launch");
+
+    let measured = report.counters.per_item_mix();
+    assert_eq!(report.counters.threads, n as u64);
+    assert_eq!(measured.flops, predicted.flops, "flops per item");
+    assert_eq!(measured.int_ops, predicted.int_ops, "int ops per item");
+    assert_eq!(
+        measured.special_ops, predicted.special_ops,
+        "special ops per item"
+    );
+    assert_eq!(measured.loads, predicted.loads, "loads per item");
+    assert_eq!(measured.stores, predicted.stores, "stores per item");
+    assert_eq!(measured.atomics, predicted.atomics, "atomics per item");
+    assert_eq!(
+        measured.bytes_read, predicted.bytes_read,
+        "bytes read per item"
+    );
+    assert_eq!(
+        measured.bytes_written, predicted.bytes_written,
+        "bytes written per item"
+    );
+}
+
+#[test]
+fn spans_cover_compute_time_per_core() {
+    let program = loop_free_kernel();
+    let n = 4096usize;
+    let mut pool = MemoryPool::new();
+    let bindings: Vec<ArgBinding> = (0..3)
+        .map(|_| ArgBinding::Global(pool.add(kernel_ir::BufferData::F32(vec![1.0; n]))))
+        .collect();
+    let dev = CortexA15::new(CortexA15Config::default());
+    let report = dev
+        .run(&program, &bindings, &mut pool, NDRange::d1(n, 64), 2)
+        .expect("launch");
+
+    assert_eq!(report.spans.len(), n / 64, "one span per work-group");
+    // The latest span end is the compute component of the region time.
+    let makespan = report.spans.iter().map(|s| s.end_s).fold(0.0, f64::max);
+    let rel = (makespan - report.compute_time_s).abs() / report.compute_time_s;
+    assert!(
+        rel < 1e-9,
+        "makespan {makespan:.3e} vs compute {:.3e}",
+        report.compute_time_s
+    );
+    // Spans on one core never overlap.
+    for core in 0..2u32 {
+        let mut ends: Vec<(f64, f64)> = report
+            .spans
+            .iter()
+            .filter(|s| s.core == core)
+            .map(|s| (s.start_s, s.end_s))
+            .collect();
+        ends.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        for w in ends.windows(2) {
+            assert!(w[0].1 <= w[1].0 + 1e-15, "overlap on core {core}");
+        }
+    }
+}

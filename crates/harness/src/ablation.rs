@@ -28,9 +28,15 @@ pub fn vecop_time_at_width(b: &Vecop, width: u8) -> Option<f64> {
     ]);
     let k = ctx.build_kernel(prog).ok()?;
     let args: Vec<KernelArg> = ids.iter().map(|&x| KernelArg::Buf(x)).collect();
-    launch(&mut ctx, &k, [b.n / width as usize, 1, 1], Some([128, 1, 1]), &args)
-        .ok()
-        .map(|(t, _)| t)
+    launch(
+        &mut ctx,
+        &k,
+        [b.n / width as usize, 1, 1],
+        Some([128, 1, 1]),
+        &args,
+    )
+    .ok()
+    .map(|(t, _)| t)
 }
 
 /// Vector-width sweep (§III-B "Vector Sizes").
@@ -43,7 +49,11 @@ pub fn vector_width_sweep(n: usize) -> TuningResult<u8> {
 /// distribution"): how much the local size matters, and what the driver
 /// would have picked.
 pub fn wg_sweep_dmmm(n: usize) -> (TuningResult<usize>, usize) {
-    let b = Dmmm { n, opt_unroll: 2, opt_width: 4 };
+    let b = Dmmm {
+        n,
+        opt_unroll: 2,
+        opt_width: 4,
+    };
     let prog = b.kernel(Precision::F32);
     let result = sweep(&[4usize, 8, 16, 32, 64], |&wgx| {
         let (a, bb) = b.inputs();
@@ -54,10 +64,12 @@ pub fn wg_sweep_dmmm(n: usize) -> (TuningResult<usize>, usize) {
         ]);
         let k = ctx.build_kernel(prog.clone()).ok()?;
         let args: Vec<KernelArg> = ids.iter().map(|&x| KernelArg::Buf(x)).collect();
-        if n % wgx != 0 {
+        if !n.is_multiple_of(wgx) {
             return None;
         }
-        launch(&mut ctx, &k, [n, n, 1], Some([wgx, 1, 1]), &args).ok().map(|(t, _)| t)
+        launch(&mut ctx, &k, [n, n, 1], Some([wgx, 1, 1]), &args)
+            .ok()
+            .map(|(t, _)| t)
     });
     // What the driver would pick with local=NULL.
     let (a, bb) = b.inputs();
@@ -74,7 +86,11 @@ pub fn wg_sweep_dmmm(n: usize) -> (TuningResult<usize>, usize) {
 /// dmmm technique stack: naive → +vectorize → +unroll (all at the tuned
 /// work-group size). Returns (label, seconds) rows.
 pub fn dmmm_stack(n: usize) -> Vec<(String, f64)> {
-    let b = Dmmm { n, opt_unroll: 2, opt_width: 4 };
+    let b = Dmmm {
+        n,
+        opt_unroll: 2,
+        opt_width: 4,
+    };
     let run = |prog: kernel_ir::Program, gx: usize| -> f64 {
         let (a, bb) = b.inputs();
         let (mut ctx, ids) = gpu_context(vec![
@@ -84,7 +100,13 @@ pub fn dmmm_stack(n: usize) -> Vec<(String, f64)> {
         ]);
         let k = ctx.build_kernel(prog).expect("builds");
         let args: Vec<KernelArg> = ids.iter().map(|&x| KernelArg::Buf(x)).collect();
-        launch(&mut ctx, &k, [gx, n, 1], Some([16.min(gx), 8, 1]), &args)
+        // Largest power-of-two x-extent (≤16) that divides the global size,
+        // so the vectorized pass (gx = n/4) stays launchable.
+        let lx = [16usize, 8, 4, 2, 1]
+            .into_iter()
+            .find(|&d| gx.is_multiple_of(d))
+            .unwrap_or(1);
+        launch(&mut ctx, &k, [gx, n, 1], Some([lx, 8, 1]), &args)
             .expect("launch")
             .0
     };
@@ -104,7 +126,8 @@ pub fn datapath_compare(n: usize) -> (f64, f64) {
     // Copy path.
     let mut ctx1 = Context::new(mali_gpu::MaliT604::default());
     let b1 = ctx1.create_buffer(Scalar::F32, n, MemFlags::UseHostPtr);
-    ctx1.enqueue_write_buffer(b1, BufferData::F32(vec![1.0; n])).expect("write");
+    ctx1.enqueue_write_buffer(b1, BufferData::F32(vec![1.0; n]))
+        .expect("write");
     let _ = ctx1.enqueue_read_buffer(b1).expect("read");
     let (t_copy, _) = ctx1.timeline(false);
     // Map path.
@@ -127,9 +150,15 @@ pub fn datapath_compare(n: usize) -> (f64, f64) {
 pub fn hints_effect(n: usize) -> (f64, f64) {
     use hpc_kernels::amcd::Amcd;
     use hpc_kernels::{Benchmark as _, Variant};
-    let b = Amcd { walkers: n, steps: 64 };
+    let b = Amcd {
+        walkers: n,
+        steps: 64,
+    };
     let no = b.run(Variant::OpenCl, Precision::F32).expect("runs").time_s;
-    let yes = b.run(Variant::OpenClOpt, Precision::F32).expect("runs").time_s;
+    let yes = b
+        .run(Variant::OpenClOpt, Precision::F32)
+        .expect("runs")
+        .time_s;
     (no, yes)
 }
 

@@ -51,8 +51,10 @@ pub fn model_at(freq_hz: f64, volt: f64) -> PowerModel {
 pub fn sweep_benchmark(name: &str) -> Vec<DvfsPoint> {
     let mut out = Vec::new();
     for (f, v) in DVFS_STEPS {
-        let mut cfg = MaliConfig::default();
-        cfg.freq_hz = f;
+        let cfg = MaliConfig {
+            freq_hz: f,
+            ..Default::default()
+        };
         // Run via a scaled device: reuse the benchmark's kernels through
         // the suite is not possible (they build their own contexts), so we
         // reproduce the launch here for the supported kernels.
@@ -89,12 +91,22 @@ fn run_opt_at(name: &str, cfg: MaliConfig) -> (f64, Activity) {
                 .collect();
             let k = ctx.build_kernel(prog).expect("builds");
             let args: Vec<KernelArg> = ids.iter().map(|&x| KernelArg::Buf(x)).collect();
-            launch(&mut ctx, &k, [b.n / width as usize, 1, 1], Some([128, 1, 1]), &args)
-                .expect("launch")
+            launch(
+                &mut ctx,
+                &k,
+                [b.n / width as usize, 1, 1],
+                Some([128, 1, 1]),
+                &args,
+            )
+            .expect("launch")
         }
         "nbody" => {
             // Compute-bound regime.
-            let b = hpc_kernels::nbody::Nbody { n: 512, dt: 0.01, opt_unroll: 4 };
+            let b = hpc_kernels::nbody::Nbody {
+                n: 512,
+                dt: 0.01,
+                opt_unroll: 4,
+            };
             let prog = b.opt_kernel(Precision::F32);
             let (mut ctx, ids) = gpu_context(vec![
                 Precision::F32.buffer(&b.bodies()),
@@ -117,17 +129,28 @@ pub fn report() -> String {
         "== extension: GPU DVFS sweep (not in the paper; §V-D motivates it) =="
     );
     for name in ["vecop", "nbody"] {
-        let regime = if name == "vecop" { "memory-bound" } else { "compute-bound" };
+        let regime = if name == "vecop" {
+            "memory-bound"
+        } else {
+            "compute-bound"
+        };
         let _ = writeln!(out, "\n{name} ({regime}), OpenCL-Opt kernel:");
-        let _ = writeln!(out, "  {:>7} {:>6} {:>10} {:>8} {:>10}", "MHz", "V", "time", "power",
-            "energy");
+        let _ = writeln!(
+            out,
+            "  {:>7} {:>6} {:>10} {:>8} {:>10}",
+            "MHz", "V", "time", "power", "energy"
+        );
         let points = sweep_benchmark(name);
         let best = points
             .iter()
             .map(|p| p.energy_j)
             .fold(f64::INFINITY, f64::min);
         for p in &points {
-            let marker = if (p.energy_j - best).abs() < 1e-12 { "  <-- min energy" } else { "" };
+            let marker = if (p.energy_j - best).abs() < 1e-12 {
+                "  <-- min energy"
+            } else {
+                ""
+            };
             let _ = writeln!(
                 out,
                 "  {:>7.0} {:>6.2} {:>8.2}ms {:>7.2}W {:>9.4}J{marker}",
@@ -207,5 +230,4 @@ mod tests {
         assert!(r.contains("vecop"));
         assert!(r.contains("nbody"));
     }
-
 }

@@ -15,11 +15,53 @@ pub const HEADER: &str = "bench,version,precision,time_s,power_w,power_sigma_w,\
 energy_j,iterations,speedup,power_ratio,energy_ratio,note,skip_reason";
 
 fn esc(s: &str) -> String {
-    if s.contains(',') || s.contains('"') {
+    // RFC 4180: a field containing separators, quotes OR line breaks must
+    // be quoted (embedded quotes doubled). Newlines used to slip through
+    // unquoted and broke the row structure of the file.
+    if s.contains([',', '"', '\n', '\r']) {
         format!("\"{}\"", s.replace('"', "\"\""))
     } else {
         s.to_string()
     }
+}
+
+/// Minimal RFC 4180 parser for the round-trip test and downstream tools:
+/// splits `csv` into records of fields, honouring quoted fields that
+/// contain commas, doubled quotes and embedded line breaks.
+pub fn parse_csv(csv: &str) -> Vec<Vec<String>> {
+    let mut records = Vec::new();
+    let mut record = Vec::new();
+    let mut field = String::new();
+    let mut quoted = false;
+    let mut chars = csv.chars().peekable();
+    while let Some(c) = chars.next() {
+        if quoted {
+            match c {
+                '"' if chars.peek() == Some(&'"') => {
+                    chars.next();
+                    field.push('"');
+                }
+                '"' => quoted = false,
+                c => field.push(c),
+            }
+        } else {
+            match c {
+                '"' => quoted = true,
+                ',' => record.push(std::mem::take(&mut field)),
+                '\n' => {
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                }
+                '\r' => {}
+                c => field.push(c),
+            }
+        }
+    }
+    if !field.is_empty() || !record.is_empty() {
+        record.push(field);
+        records.push(record);
+    }
+    records
 }
 
 /// Render the whole sweep as CSV.
@@ -71,6 +113,113 @@ fn fmt_ratio(r: Option<f64>) -> String {
     r.map(|x| format!("{x:.4}")).unwrap_or_default()
 }
 
+// ---- JSONL metrics artifact ----
+//
+// One JSON object per cell, one line each. Schema is append-only like the
+// CSV header: existing keys never change meaning, new keys only get added
+// (documented in DESIGN.md §Observability).
+
+fn jnum(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".into()
+    }
+}
+
+fn jstr(s: &str) -> String {
+    format!("\"{}\"", telemetry::json_escape(s))
+}
+
+fn jopt(r: Option<f64>) -> String {
+    r.map(jnum).unwrap_or_else(|| "null".into())
+}
+
+/// Render the sweep as JSON Lines, one object per cell (skips included
+/// with `"skip_reason"` set and the numeric fields null).
+pub fn to_jsonl(results: &SuiteResults) -> String {
+    let mut out = String::new();
+    for bench in &results.bench_names {
+        for prec in Precision::ALL {
+            for v in Variant::ALL {
+                let mut obj = vec![
+                    ("bench".into(), jstr(bench)),
+                    ("version".into(), jstr(&v.label().replace(' ', "-"))),
+                    ("precision".into(), jstr(prec.label())),
+                ];
+                match results.cell(bench, v, prec) {
+                    Some(cell) => {
+                        let c = &cell.counters;
+                        obj.extend([
+                            ("time_s".into(), jnum(cell.outcome.time_s)),
+                            ("power_w".into(), jnum(cell.measurement.mean_power_w)),
+                            ("power_sigma_w".into(), jnum(cell.measurement.std_power_w)),
+                            ("energy_j".into(), jnum(cell.energy_j)),
+                            ("iterations".into(), format!("{}", cell.iterations)),
+                            ("speedup".into(), jopt(results.speedup(bench, v, prec))),
+                            (
+                                "power_ratio".into(),
+                                jopt(results.power_ratio(bench, v, prec)),
+                            ),
+                            (
+                                "energy_ratio".into(),
+                                jopt(results.energy_ratio(bench, v, prec)),
+                            ),
+                            (
+                                "note".into(),
+                                cell.outcome
+                                    .note
+                                    .as_deref()
+                                    .map(jstr)
+                                    .unwrap_or_else(|| "null".into()),
+                            ),
+                            ("flops".into(), jnum(c.flops)),
+                            ("int_ops".into(), jnum(c.int_ops)),
+                            ("special_ops".into(), jnum(c.special_ops)),
+                            ("total_ops".into(), format!("{}", c.total_ops())),
+                            ("avg_vector_width".into(), jnum(c.avg_vector_width())),
+                            ("loads".into(), format!("{}", c.loads)),
+                            ("stores".into(), format!("{}", c.stores)),
+                            ("atomics".into(), format!("{}", c.atomics)),
+                            ("bytes_read".into(), format!("{}", c.bytes_read)),
+                            ("bytes_written".into(), format!("{}", c.bytes_written)),
+                            ("l1_hit_rate".into(), jnum(c.l1_hit_rate())),
+                            ("l2_hit_rate".into(), jnum(c.l2_hit_rate())),
+                            ("dram_lines".into(), format!("{}", c.dram_lines)),
+                            (
+                                "dram_stream_fraction".into(),
+                                jnum(c.dram_stream_fraction()),
+                            ),
+                            ("occupancy".into(), jnum(c.occupancy())),
+                            (
+                                "registers_per_thread".into(),
+                                format!("{}", c.registers_per_thread),
+                            ),
+                            (
+                                "arithmetic_intensity".into(),
+                                jnum(c.arithmetic_intensity()),
+                            ),
+                        ]);
+                    }
+                    None => {
+                        let reason = results
+                            .skip_reason(bench, v, prec)
+                            .map(|r| r.to_string())
+                            .unwrap_or_default();
+                        obj.push(("skip_reason".into(), jstr(&reason)));
+                    }
+                }
+                let fields: Vec<String> = obj
+                    .iter()
+                    .map(|(k, v): &(String, String)| format!("{}:{v}", jstr(k)))
+                    .collect();
+                let _ = writeln!(out, "{{{}}}", fields.join(","));
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -84,16 +233,24 @@ mod tests {
         // header + 9 benches x 4 versions x 2 precisions
         assert_eq!(lines.len(), 1 + 9 * 4 * 2);
         assert_eq!(lines[0], HEADER);
-        // Every data line has the full column count.
+        // Every record parses to the full column count.
         let cols = HEADER.split(',').count();
-        for l in &lines[1..] {
-            // Quoted fields in this format never contain commas (notes are
-            // escaped but short); a simple count is enough for the suite.
-            assert!(
-                l.split(',').count() >= cols - 1,
-                "short row: {l}"
-            );
+        let records = parse_csv(&csv);
+        assert_eq!(records.len(), lines.len());
+        for r in &records {
+            assert_eq!(r.len(), cols, "bad record: {r:?}");
         }
+        // JSONL artifact: one object line per cell, same coverage.
+        let jsonl = to_jsonl(&results);
+        let jlines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(jlines.len(), 9 * 4 * 2);
+        for l in &jlines {
+            assert!(l.starts_with("{\"bench\":\"") && l.ends_with('}'), "{l}");
+        }
+        assert!(jlines.iter().any(|l| l.contains("\"occupancy\":")));
+        assert!(jlines
+            .iter()
+            .any(|l| l.contains("\"skip_reason\":\"compiler bug")));
         // The amcd f64 GPU rows carry a skip reason and no numbers.
         let amcd_skips: Vec<&&str> = lines
             .iter()
@@ -104,8 +261,9 @@ mod tests {
             assert!(l.contains("compiler bug"), "{l}");
         }
         // Serial rows have speedup 1.
-        assert!(lines.iter().any(|l| l.starts_with("vecop,Serial,single") &&
-            l.contains(",1.0000,")));
+        assert!(lines
+            .iter()
+            .any(|l| l.starts_with("vecop,Serial,single") && l.contains(",1.0000,")));
     }
 
     #[test]
@@ -113,5 +271,28 @@ mod tests {
         assert_eq!(esc("plain"), "plain");
         assert_eq!(esc("a,b"), "\"a,b\"");
         assert_eq!(esc("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(esc("line\nbreak"), "\"line\nbreak\"");
+        assert_eq!(esc("cr\rhere"), "\"cr\rhere\"");
+    }
+
+    #[test]
+    fn csv_round_trips_hostile_fields() {
+        let fields = [
+            "plain",
+            "with,comma",
+            "with \"quotes\"",
+            "multi\nline,\"note\"",
+            "",
+            "trailing\r",
+        ];
+        let row = fields.map(esc).join(",");
+        let parsed = parse_csv(&format!("{row}\nnext,line\n"));
+        assert_eq!(parsed.len(), 2);
+        for (got, want) in parsed[0].iter().zip(fields) {
+            // CRs are record noise in RFC 4180 unquoted context; inside
+            // quotes they survive.
+            assert_eq!(got, want, "round-trip mismatch");
+        }
+        assert_eq!(parsed[1], vec!["next", "line"]);
     }
 }

@@ -16,7 +16,11 @@ fn fmt_opt(v: Option<f64>) -> String {
 /// Figure 2 — speedup over the Serial version.
 pub fn fig2(results: &SuiteResults, prec: Precision) -> String {
     let mut out = String::new();
-    let sub = if prec == Precision::F32 { "(a) single" } else { "(b) double" };
+    let sub = if prec == Precision::F32 {
+        "(a) single"
+    } else {
+        "(b) double"
+    };
     let _ = writeln!(out, "Figure 2{sub}-precision: speedup over Serial");
     let _ = writeln!(
         out,
@@ -59,7 +63,11 @@ pub fn fig2(results: &SuiteResults, prec: Precision) -> String {
 /// Figure 3 — mean board power normalized to Serial.
 pub fn fig3(results: &SuiteResults, prec: Precision) -> String {
     let mut out = String::new();
-    let sub = if prec == Precision::F32 { "(a) single" } else { "(b) double" };
+    let sub = if prec == Precision::F32 {
+        "(a) single"
+    } else {
+        "(b) double"
+    };
     let _ = writeln!(out, "Figure 3{sub}-precision: power normalized to Serial");
     let _ = writeln!(
         out,
@@ -90,8 +98,15 @@ pub fn fig3(results: &SuiteResults, prec: Precision) -> String {
 /// Figure 4 — energy-to-solution normalized to Serial.
 pub fn fig4(results: &SuiteResults, prec: Precision) -> String {
     let mut out = String::new();
-    let sub = if prec == Precision::F32 { "(a) single" } else { "(b) double" };
-    let _ = writeln!(out, "Figure 4{sub}-precision: energy-to-solution normalized to Serial");
+    let sub = if prec == Precision::F32 {
+        "(a) single"
+    } else {
+        "(b) double"
+    };
+    let _ = writeln!(
+        out,
+        "Figure 4{sub}-precision: energy-to-solution normalized to Serial"
+    );
     let _ = writeln!(
         out,
         "{:<7} {:>8} {:>8} {:>8} {:>8} {:>8}",

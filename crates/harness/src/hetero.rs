@@ -37,12 +37,7 @@ pub struct SplitPoint {
 /// Shared-DRAM correction: when both devices stream concurrently, the
 /// combined demand can exceed the channel. Inflate the overlap window by
 /// the over-subscription factor.
-fn co_execution_time(
-    gpu_time: f64,
-    cpu_time: f64,
-    gpu_act: &Activity,
-    cpu_act: &Activity,
-) -> f64 {
+fn co_execution_time(gpu_time: f64, cpu_time: f64, gpu_act: &Activity, cpu_act: &Activity) -> f64 {
     let overlap = gpu_time.min(cpu_time);
     if overlap <= 0.0 {
         return gpu_time.max(cpu_time);
@@ -70,7 +65,11 @@ fn round_to(x: usize, granule: usize) -> usize {
 }
 
 fn split_nbody(f: f64) -> SplitPoint {
-    let b = hpc_kernels::nbody::Nbody { n: 512, dt: 0.01, opt_unroll: 4 };
+    let b = hpc_kernels::nbody::Nbody {
+        n: 512,
+        dt: 0.01,
+        opt_unroll: 4,
+    };
     let n_gpu = round_to((b.n as f64 * f) as usize, 32);
     let n_cpu = b.n - n_gpu;
     // GPU side: first n_gpu bodies' outputs.
@@ -123,8 +122,14 @@ fn split_vecop(f: f64) -> SplitPoint {
         let (prog, width) = b.opt_kernel(Precision::F32);
         let k = ctx.build_kernel(prog).expect("builds");
         let args: Vec<KernelArg> = ids.iter().map(|&x| KernelArg::Buf(x)).collect();
-        launch(&mut ctx, &k, [n_gpu / width as usize, 1, 1], Some([128, 1, 1]), &args)
-            .expect("launch")
+        launch(
+            &mut ctx,
+            &k,
+            [n_gpu / width as usize, 1, 1],
+            Some([128, 1, 1]),
+            &args,
+        )
+        .expect("launch")
     } else {
         (0.0, Activity::default())
     };
@@ -160,8 +165,13 @@ fn finish_split(
     let time = co_execution_time(gpu_time, cpu_time, &gpu_act, &cpu_act);
     let mut activity = gpu_act.concat(&cpu_act);
     activity.duration_s = time;
-    SplitPoint { gpu_fraction: f, gpu_time_s: gpu_time, cpu_time_s: cpu_time, time_s: time,
-        activity }
+    SplitPoint {
+        gpu_fraction: f,
+        gpu_time_s: gpu_time,
+        cpu_time_s: cpu_time,
+        time_s: time,
+        activity,
+    }
 }
 
 /// Sweep the split fraction; returns (points, best index).
@@ -186,7 +196,11 @@ pub fn report() -> String {
         "== extension: CPU+GPU co-execution (the Maghazeh et al. question) =="
     );
     for bench in ["nbody", "vecop"] {
-        let regime = if bench == "nbody" { "compute-bound" } else { "memory-bound" };
+        let regime = if bench == "nbody" {
+            "compute-bound"
+        } else {
+            "memory-bound"
+        };
         let _ = writeln!(out, "\n{bench} ({regime}):");
         let (points, best) = sweep(bench);
         let gpu_only = points.last().unwrap().time_s;
@@ -231,7 +245,10 @@ mod tests {
         assert_eq!(all_gpu.time_s, all_gpu.gpu_time_s);
         let all_cpu = run_split("nbody", 0.0);
         assert_eq!(all_cpu.gpu_time_s, 0.0);
-        assert!(all_cpu.time_s > all_gpu.time_s, "CPU-only must be slower for nbody");
+        assert!(
+            all_cpu.time_s > all_gpu.time_s,
+            "CPU-only must be slower for nbody"
+        );
     }
 
     #[test]
@@ -255,7 +272,10 @@ mod tests {
         // Neither device saturates DRAM alone, so splitting helps — but the
         // shared channel caps the gain well below the 2x a private-memory
         // system would allow.
-        assert!(gain > 1.05, "some co-execution gain expected (got {gain:.2}x)");
+        assert!(
+            gain > 1.05,
+            "some co-execution gain expected (got {gain:.2}x)"
+        );
         assert!(
             gain < 1.6,
             "shared DRAM should cap vecop's co-execution gain (got {gain:.2}x)"
@@ -270,8 +290,14 @@ mod tests {
             ..Default::default()
         };
         let t = co_execution_time(1.0, 1.0, &busy, &busy);
-        assert!(t > 2.0, "12 GB/s onto a 5.12 GB/s channel must stretch time, got {t}");
-        let idle = Activity { duration_s: 1.0, ..Default::default() };
+        assert!(
+            t > 2.0,
+            "12 GB/s onto a 5.12 GB/s channel must stretch time, got {t}"
+        );
+        let idle = Activity {
+            duration_s: 1.0,
+            ..Default::default()
+        };
         assert_eq!(co_execution_time(2.0, 0.0, &idle, &idle), 2.0);
     }
 }

@@ -12,9 +12,12 @@ pub mod export;
 pub mod figures;
 pub mod hetero;
 pub mod paper;
+pub mod profile;
 pub mod roofline;
 pub mod runner;
+pub mod trace;
 
-pub use export::to_csv;
+pub use export::{parse_csv, to_csv, to_jsonl};
 pub use figures::{fig2, fig3, fig4, headline, summary};
 pub use runner::{measure, run_suite, Cell, SuiteResults};
+pub use trace::write_traces;

@@ -11,31 +11,88 @@
 //! harness roofline       # roofline placement of the GPU kernels
 //! harness hetero         # extension: CPU+GPU co-execution splits
 //! harness csv            # machine-readable results (one row per cell)
-//! harness --test-scale … # same, on small inputs (seconds instead of minutes)
+//! harness jsonl          # same cells as JSON Lines (counter fields incl.)
+//! harness profile <b>    # per-variant performance-counter report
+//!
+//! Flags: --test-scale (small inputs), --trace <dir> (one Chrome trace
+//! file per cell + metrics.jsonl), --quiet, --verbose.
 //! ```
 
 use harness::{fig2, fig3, fig4, run_suite, summary};
 use hpc_kernels::Precision;
+use telemetry::log;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let test_scale = args.iter().any(|a| a == "--test-scale");
-    let cmds: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
+    let mut test_scale = false;
+    let mut quiet = false;
+    let mut verbose = false;
+    let mut trace_dir: Option<std::path::PathBuf> = None;
+    let mut cmds: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--test-scale" => test_scale = true,
+            "--quiet" => quiet = true,
+            "--verbose" => verbose = true,
+            "--trace" => match it.next() {
+                Some(dir) => trace_dir = Some(dir.into()),
+                None => {
+                    eprintln!("--trace needs a directory argument");
+                    std::process::exit(2);
+                }
+            },
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag '{flag}'");
+                std::process::exit(2);
+            }
+            cmd => cmds.push(cmd),
+        }
+    }
     let cmd = cmds.first().copied().unwrap_or("all");
-    const KNOWN: [&str; 13] = [
-        "all", "fig2a", "fig2b", "fig3a", "fig3b", "fig4a", "fig4b", "summary",
-        "ablation", "dvfs", "roofline", "hetero", "csv",
+    const KNOWN: [&str; 15] = [
+        "all", "fig2a", "fig2b", "fig3a", "fig3b", "fig4a", "fig4b", "summary", "ablation", "dvfs",
+        "roofline", "hetero", "csv", "jsonl", "profile",
     ];
     if !KNOWN.contains(&cmd) {
         eprintln!("unknown command '{cmd}'");
-        eprintln!("usage: harness [{}] [--test-scale]", KNOWN.join("|"));
+        eprintln!(
+            "usage: harness [{}] [--test-scale] [--trace <dir>] [--quiet|--verbose]",
+            KNOWN.join("|")
+        );
         std::process::exit(2);
     }
 
+    // Machine-readable subcommands keep stderr clean unless asked not to.
+    let machine = matches!(cmd, "csv" | "jsonl");
+    log::set_level(if quiet {
+        log::Level::Quiet
+    } else if verbose {
+        log::Level::Debug
+    } else if machine {
+        log::Level::Quiet
+    } else {
+        log::Level::Progress
+    });
+
+    if cmd == "profile" {
+        let Some(name) = cmds.get(1) else {
+            eprintln!("usage: harness profile <bench> [--test-scale]");
+            std::process::exit(2);
+        };
+        let benches = if test_scale {
+            hpc_kernels::test_suite()
+        } else {
+            hpc_kernels::suite()
+        };
+        let Some(b) = benches.iter().find(|b| b.name() == *name) else {
+            let names: Vec<&str> = benches.iter().map(|b| b.name()).collect();
+            eprintln!("unknown benchmark '{name}' (have: {})", names.join(", "));
+            std::process::exit(2);
+        };
+        print!("{}", harness::profile::report(b.as_ref()));
+        return;
+    }
     if cmd == "ablation" {
         print!("{}", harness::ablation::report(test_scale));
         return;
@@ -50,7 +107,10 @@ fn main() {
     }
     if cmd == "roofline" {
         print!("{}", harness::roofline::report(hpc_kernels::Precision::F32));
-        print!("\n{}", harness::roofline::report(hpc_kernels::Precision::F64));
+        print!(
+            "\n{}",
+            harness::roofline::report(hpc_kernels::Precision::F64)
+        );
         return;
     }
 
@@ -59,15 +119,37 @@ fn main() {
     } else {
         hpc_kernels::suite()
     };
-    eprintln!(
+    log::progress(&format!(
         "running the {} suite ({} benchmarks x 4 versions x 2 precisions)...",
-        if test_scale { "test-scale" } else { "paper-scale" },
+        if test_scale {
+            "test-scale"
+        } else {
+            "paper-scale"
+        },
         benches.len()
-    );
+    ));
     let results = run_suite(&benches, true);
+
+    if let Some(dir) = &trace_dir {
+        match harness::write_traces(&results, dir) {
+            Ok(paths) => log::progress(&format!(
+                "wrote {} trace files + metrics.jsonl to {}",
+                paths.len(),
+                dir.display()
+            )),
+            Err(e) => {
+                eprintln!("failed to write traces to {}: {e}", dir.display());
+                std::process::exit(1);
+            }
+        }
+    }
 
     if cmd == "csv" {
         print!("{}", harness::to_csv(&results));
+        return;
+    }
+    if cmd == "jsonl" {
+        print!("{}", harness::to_jsonl(&results));
         return;
     }
     let wants = |c: &str| cmd == "all" || cmd == c;

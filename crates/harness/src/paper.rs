@@ -9,8 +9,9 @@
 use hpc_kernels::{Precision, Variant};
 
 /// Benchmarks in figure order.
-pub const BENCH_ORDER: [&str; 9] =
-    ["spmv", "vecop", "hist", "3dstc", "red", "amcd", "nbody", "2dcon", "dmmm"];
+pub const BENCH_ORDER: [&str; 9] = [
+    "spmv", "vecop", "hist", "3dstc", "red", "amcd", "nbody", "2dcon", "dmmm",
+];
 
 /// Paper speedup over Serial (Figure 2).
 pub fn speedup(bench: &str, variant: Variant, prec: Precision) -> Option<f64> {
@@ -18,41 +19,41 @@ pub fn speedup(bench: &str, variant: Variant, prec: Precision) -> Option<f64> {
     use Variant::*;
     let v = match (prec, variant, bench) {
         // ---- Figure 2(a), single precision --------------------------
-        (F32, OpenCl, "spmv") => 0.8,    // "performance degradation" (bar)
-        (F32, OpenCl, "vecop") => 0.9,   // bar
-        (F32, OpenCl, "hist") => 0.85,   // bar
-        (F32, OpenCl, "3dstc") => 1.4,   // §V-A text
-        (F32, OpenCl, "red") => 2.1,     // text
-        (F32, OpenCl, "amcd") => 4.1,    // text
-        (F32, OpenCl, "nbody") => 17.2,  // text
-        (F32, OpenCl, "2dcon") => 3.6,   // text
-        (F32, OpenCl, "dmmm") => 6.2,    // text
+        (F32, OpenCl, "spmv") => 0.8, // "performance degradation" (bar)
+        (F32, OpenCl, "vecop") => 0.9, // bar
+        (F32, OpenCl, "hist") => 0.85, // bar
+        (F32, OpenCl, "3dstc") => 1.4, // §V-A text
+        (F32, OpenCl, "red") => 2.1,  // text
+        (F32, OpenCl, "amcd") => 4.1, // text
+        (F32, OpenCl, "nbody") => 17.2, // text
+        (F32, OpenCl, "2dcon") => 3.6, // text
+        (F32, OpenCl, "dmmm") => 6.2, // text
         (F32, OpenClOpt, "spmv") => 1.25, // text
         (F32, OpenClOpt, "vecop") => 2.2, // "between 2x and 4x" (bar)
-        (F32, OpenClOpt, "hist") => 2.5,  // bar
+        (F32, OpenClOpt, "hist") => 2.5, // bar
         (F32, OpenClOpt, "3dstc") => 3.0, // bar
-        (F32, OpenClOpt, "red") => 3.5,   // bar
-        (F32, OpenClOpt, "amcd") => 4.7,  // text
+        (F32, OpenClOpt, "red") => 3.5, // bar
+        (F32, OpenClOpt, "amcd") => 4.7, // text
         (F32, OpenClOpt, "nbody") => 20.0, // text
         (F32, OpenClOpt, "2dcon") => 24.0, // text
-        (F32, OpenClOpt, "dmmm") => 25.5,  // text
+        (F32, OpenClOpt, "dmmm") => 25.5, // text
         // ---- Figure 2(b), double precision ---------------------------
-        (F64, OpenCl, "spmv") => 0.8,   // "lower performance than Serial"
-        (F64, OpenCl, "vecop") => 1.5,  // text
-        (F64, OpenCl, "hist") => 0.9,   // bar
-        (F64, OpenCl, "3dstc") => 1.6,  // text
-        (F64, OpenCl, "red") => 1.7,    // text
-        (F64, OpenCl, "nbody") => 9.3,  // text
-        (F64, OpenCl, "2dcon") => 3.5,  // text
-        (F64, OpenCl, "dmmm") => 8.9,   // text
-        (F64, OpenClOpt, "spmv") => 1.2,  // "below 2x"
+        (F64, OpenCl, "spmv") => 0.8, // "lower performance than Serial"
+        (F64, OpenCl, "vecop") => 1.5, // text
+        (F64, OpenCl, "hist") => 0.9, // bar
+        (F64, OpenCl, "3dstc") => 1.6, // text
+        (F64, OpenCl, "red") => 1.7,  // text
+        (F64, OpenCl, "nbody") => 9.3, // text
+        (F64, OpenCl, "2dcon") => 3.5, // text
+        (F64, OpenCl, "dmmm") => 8.9, // text
+        (F64, OpenClOpt, "spmv") => 1.2, // "below 2x"
         (F64, OpenClOpt, "vecop") => 1.6, // "below 2x"
-        (F64, OpenClOpt, "hist") => 3.0,  // text
+        (F64, OpenClOpt, "hist") => 3.0, // text
         (F64, OpenClOpt, "3dstc") => 3.4, // text
-        (F64, OpenClOpt, "red") => 1.8,   // "below 2x"
+        (F64, OpenClOpt, "red") => 1.8, // "below 2x"
         (F64, OpenClOpt, "nbody") => 10.0, // text
-        (F64, OpenClOpt, "2dcon") => 9.6,  // text
-        (F64, OpenClOpt, "dmmm") => 30.0,  // text
+        (F64, OpenClOpt, "2dcon") => 9.6, // text
+        (F64, OpenClOpt, "dmmm") => 30.0, // text
         // amcd double GPU bars do not exist (compiler bug).
         (F64, OpenCl | OpenClOpt, "amcd") => return None,
         // OpenMP bars: only the aggregate is reported (1.2x–1.9x, avg 1.7).
@@ -72,15 +73,15 @@ pub const OMP_SPEEDUP_AVG: f64 = 1.7;
 pub fn power_ratio(bench: &str, variant: Variant) -> Option<f64> {
     use Variant::*;
     let v = match (variant, bench) {
-        (OpenMp, "vecop") => 1.23, // §V-B text: +23%
-        (OpenMp, "nbody") => 1.45, // +45%
+        (OpenMp, "vecop") => 1.23,  // §V-B text: +23%
+        (OpenMp, "nbody") => 1.45,  // +45%
         (OpenMp, _) => return None, // avg +31% reported
-        (OpenCl, "spmv") => 0.87,  // −13%
-        (OpenCl, "vecop") => 0.93, // −7%
-        (OpenCl, "hist") => 0.81,  // −19%
-        (OpenCl, "amcd") => 1.22,  // "up to 22%"
+        (OpenCl, "spmv") => 0.87,   // −13%
+        (OpenCl, "vecop") => 0.93,  // −7%
+        (OpenCl, "hist") => 0.81,   // −19%
+        (OpenCl, "amcd") => 1.22,   // "up to 22%"
         (OpenCl, "dmmm") => 1.22,
-        (OpenCl, _) => return None, // avg +7%
+        (OpenCl, _) => return None,    // avg +7%
         (OpenClOpt, _) => return None, // "very similar" to OpenCL except hist/dmmm
         (Serial, _) => 1.0,
     };
@@ -95,8 +96,8 @@ pub fn energy_ratio(bench: &str, variant: Variant, prec: Precision) -> Option<f6
     use Precision::*;
     use Variant::*;
     let v = match (prec, variant, bench) {
-        (F32, OpenCl, "red") => 0.49,   // "51% reduction"
-        (F32, OpenCl, "nbody") => 0.07, // "93%"
+        (F32, OpenCl, "red") => 0.49,     // "51% reduction"
+        (F32, OpenCl, "nbody") => 0.07,   // "93%"
         (F32, OpenClOpt, "spmv") => 0.66, // "34%"
         (F32, OpenClOpt, "dmmm") => 0.04, // "96%"
         (F64, OpenCl | OpenClOpt, "amcd") => return None,
@@ -122,11 +123,20 @@ mod tests {
 
     #[test]
     fn text_numbers_present() {
-        assert_eq!(speedup("nbody", Variant::OpenCl, Precision::F32), Some(17.2));
-        assert_eq!(speedup("dmmm", Variant::OpenClOpt, Precision::F64), Some(30.0));
+        assert_eq!(
+            speedup("nbody", Variant::OpenCl, Precision::F32),
+            Some(17.2)
+        );
+        assert_eq!(
+            speedup("dmmm", Variant::OpenClOpt, Precision::F64),
+            Some(30.0)
+        );
         assert_eq!(speedup("amcd", Variant::OpenCl, Precision::F64), None);
         assert_eq!(power_ratio("hist", Variant::OpenCl), Some(0.81));
-        assert_eq!(energy_ratio("dmmm", Variant::OpenClOpt, Precision::F32), Some(0.04));
+        assert_eq!(
+            energy_ratio("dmmm", Variant::OpenClOpt, Precision::F32),
+            Some(0.04)
+        );
     }
 
     #[test]

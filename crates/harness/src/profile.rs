@@ -1,0 +1,135 @@
+//! `harness profile <bench>` — per-variant performance-counter report.
+//!
+//! Runs one benchmark across all four versions and both precisions and
+//! prints the counter snapshot of each run: what the variant *did*
+//! (instruction mix, vector widths, memory patterns) and what the machine
+//! *made of it* (hit rates, DRAM line mix, occupancy). This is the
+//! human-readable view of the same `telemetry::Counters` the CSV/JSONL
+//! artifacts export.
+
+use hpc_kernels::{Benchmark, Precision, Variant};
+use std::fmt::Write as _;
+use telemetry::{Counters, OP_CLASS_NAMES, WIDTH_BUCKETS};
+
+fn mix_line(c: &Counters) -> String {
+    let total = c.total_ops().max(1) as f64;
+    let mut parts: Vec<String> = c
+        .ops_by_class
+        .iter()
+        .zip(OP_CLASS_NAMES)
+        .filter(|(&n, _)| n > 0)
+        .map(|(&n, name)| format!("{name} {:.0}%", 100.0 * n as f64 / total))
+        .collect();
+    if parts.is_empty() {
+        parts.push("(no ops)".into());
+    }
+    parts.join("  ")
+}
+
+fn width_line(c: &Counters) -> String {
+    c.width_hist
+        .iter()
+        .zip(WIDTH_BUCKETS)
+        .filter(|(&n, _)| n > 0)
+        .map(|(&n, w)| format!("x{w}:{n}"))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+/// Render the per-variant counter report for one benchmark.
+pub fn report(b: &dyn Benchmark) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "profile: {} — {}", b.name(), b.description());
+    for prec in Precision::ALL {
+        let _ = writeln!(out, "\n[{} precision]", prec.label());
+        for v in Variant::ALL {
+            match b.run(v, prec) {
+                Ok(o) => {
+                    let c = &o.telemetry.counters;
+                    let _ = writeln!(
+                        out,
+                        "  {:<11}  time {:.3e} s   flops {:.3e}   ops {}   avg width {:.2}",
+                        v.label(),
+                        o.time_s,
+                        c.flops,
+                        c.total_ops(),
+                        c.avg_vector_width(),
+                    );
+                    let _ = writeln!(
+                        out,
+                        "               L1 {:>5.1}%  L2 {:>5.1}%  DRAM lines {} \
+                         ({:.0}% streaming, {} scattered, {} written back)",
+                        100.0 * c.l1_hit_rate(),
+                        100.0 * c.l2_hit_rate(),
+                        c.dram_lines,
+                        100.0 * c.dram_stream_fraction(),
+                        c.dram_scatter_lines,
+                        c.dram_writeback_lines,
+                    );
+                    let _ = writeln!(
+                        out,
+                        "               loads {}  stores {}  atomics {}  local {}  \
+                         gather {}  contiguous {}  barrier-waits {}",
+                        c.loads,
+                        c.stores,
+                        c.atomics,
+                        c.local_accesses,
+                        c.gather_accesses,
+                        c.contiguous_accesses,
+                        c.barriers,
+                    );
+                    if v.on_gpu() {
+                        let _ = writeln!(
+                            out,
+                            "               occupancy {:.2} ({}/{} threads, {} regs/thread)",
+                            c.occupancy(),
+                            c.resident_threads,
+                            c.max_resident_threads,
+                            c.registers_per_thread,
+                        );
+                    }
+                    let _ = writeln!(out, "               mix: {}", mix_line(c));
+                    let width = width_line(c);
+                    if !width.is_empty() {
+                        let _ = writeln!(out, "               widths: {width}");
+                    }
+                    if let Some(note) = &o.note {
+                        let _ = writeln!(out, "               note: {note}");
+                    }
+                }
+                Err(skip) => {
+                    let _ = writeln!(out, "  {:<11}  -- skipped: {skip}", v.label());
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_covers_all_variants_and_counters() {
+        let benches = hpc_kernels::test_suite();
+        let b = benches.iter().find(|b| b.name() == "dmmm").unwrap();
+        let r = report(b.as_ref());
+        for v in Variant::ALL {
+            assert!(r.contains(v.label()), "missing {}", v.label());
+        }
+        assert!(r.contains("flops"));
+        assert!(r.contains("L1"));
+        assert!(r.contains("streaming"));
+        assert!(r.contains("occupancy"));
+        assert!(r.contains("mix:"));
+    }
+
+    #[test]
+    fn skips_are_reported_not_fatal() {
+        let benches = hpc_kernels::test_suite();
+        let b = benches.iter().find(|b| b.name() == "amcd").unwrap();
+        let r = report(b.as_ref());
+        assert!(r.contains("skipped: compiler bug"), "{r}");
+    }
+}

@@ -103,10 +103,13 @@ pub fn points(prec: Precision) -> Vec<RooflinePoint> {
         for v in [Variant::OpenCl, Variant::OpenClOpt] {
             let Ok(r) = b.run(v, prec) else { continue };
             let dram_bytes = r.activity.dram_bytes as f64;
-            let intensity = if dram_bytes > 0.0 { flops / dram_bytes } else { f64::INFINITY };
+            let intensity = if dram_bytes > 0.0 {
+                flops / dram_bytes
+            } else {
+                f64::INFINITY
+            };
             let attained = flops / r.time_s / 1e9;
-            let attainable =
-                peak_gflops(&cfg).min(intensity * cfg.gpu_stream_bw / 1e9);
+            let attainable = peak_gflops(&cfg).min(intensity * cfg.gpu_stream_bw / 1e9);
             out.push(RooflinePoint {
                 bench: b.name().to_string(),
                 variant: v,
@@ -168,8 +171,7 @@ mod tests {
     #[test]
     fn flop_dominated_benchmarks_covered() {
         let pts = points(Precision::F32);
-        let names: std::collections::HashSet<_> =
-            pts.iter().map(|p| p.bench.as_str()).collect();
+        let names: std::collections::HashSet<_> = pts.iter().map(|p| p.bench.as_str()).collect();
         for b in ["vecop", "red", "nbody", "dmmm", "2dcon", "3dstc"] {
             assert!(names.contains(b), "missing {b}");
         }
@@ -193,9 +195,8 @@ mod tests {
     fn vecop_is_memory_bound_and_dmmm_is_not() {
         let cfg = MaliConfig::default();
         let pts = points(Precision::F32);
-        let find = |b: &str, v: Variant| {
-            pts.iter().find(|p| p.bench == b && p.variant == v).unwrap()
-        };
+        let find =
+            |b: &str, v: Variant| pts.iter().find(|p| p.bench == b && p.variant == v).unwrap();
         assert!(find("vecop", Variant::OpenClOpt).memory_bound(&cfg));
         assert!(
             find("dmmm", Variant::OpenClOpt).intensity

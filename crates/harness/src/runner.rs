@@ -5,6 +5,7 @@
 use hpc_kernels::{Benchmark, Precision, RunOutcome, RunSkip, Variant};
 use powersim::{Measurement, PowerModel, Wt230};
 use std::collections::HashMap;
+use telemetry::{log, Counters};
 
 /// One fully-measured cell (benchmark × variant × precision).
 #[derive(Clone, Debug)]
@@ -17,6 +18,9 @@ pub struct Cell {
     pub iterations: u32,
     /// Energy of one run of the workload, joules.
     pub energy_j: f64,
+    /// Performance-counter snapshot of the measured region (one iteration;
+    /// copied out of `outcome.telemetry` so reports can index it directly).
+    pub counters: Counters,
 }
 
 /// Results of a full sweep.
@@ -37,7 +41,9 @@ const MIN_WINDOW_S: f64 = 2.0;
 
 /// Measure one outcome with the meter methodology.
 pub fn measure(outcome: &RunOutcome, model: &PowerModel, seed: u64) -> (Measurement, u32, f64) {
-    let iterations = (MIN_WINDOW_S / outcome.time_s.max(1e-9)).ceil().clamp(1.0, 1e8) as u32;
+    let iterations = (MIN_WINDOW_S / outcome.time_s.max(1e-9))
+        .ceil()
+        .clamp(1.0, 1e8) as u32;
     let window = outcome.activity.repeat(iterations);
     let mut meter = Wt230::with_defaults(seed);
     let m = meter.measure(model, &window, 20);
@@ -45,7 +51,9 @@ pub fn measure(outcome: &RunOutcome, model: &PowerModel, seed: u64) -> (Measurem
     (m, iterations, energy)
 }
 
-/// Run and measure the whole suite. `verbose` prints progress to stderr.
+/// Run and measure the whole suite. Progress goes through the
+/// [`telemetry::log`] levels; `verbose = false` keeps a caller (tests,
+/// machine-readable subcommands) silent regardless of the global level.
 pub fn run_suite(benches: &[Box<dyn Benchmark>], verbose: bool) -> SuiteResults {
     let model = PowerModel::default();
     let mut cells = HashMap::new();
@@ -55,14 +63,14 @@ pub fn run_suite(benches: &[Box<dyn Benchmark>], verbose: bool) -> SuiteResults 
         for prec in Precision::ALL {
             for v in Variant::ALL {
                 if verbose {
-                    eprintln!(
+                    log::progress(&format!(
                         "[{}/{}] {} {} {}",
                         bi + 1,
                         benches.len(),
                         b.name(),
                         v.label(),
                         prec.label()
-                    );
+                    ));
                 }
                 let entry = match b.run(v, prec) {
                     Ok(outcome) => {
@@ -76,7 +84,14 @@ pub fn run_suite(benches: &[Box<dyn Benchmark>], verbose: bool) -> SuiteResults 
                         );
                         let seed = (bi as u64) << 8 | prec_key(prec) as u64;
                         let (m, iters, energy) = measure(&outcome, &model, seed);
-                        Ok(Cell { outcome, measurement: m, iterations: iters, energy_j: energy })
+                        let counters = outcome.telemetry.counters.clone();
+                        Ok(Cell {
+                            outcome,
+                            measurement: m,
+                            iterations: iters,
+                            energy_j: energy,
+                            counters,
+                        })
                     }
                     Err(skip) => Err(skip),
                 };
@@ -84,7 +99,10 @@ pub fn run_suite(benches: &[Box<dyn Benchmark>], verbose: bool) -> SuiteResults 
             }
         }
     }
-    SuiteResults { cells, bench_names: names }
+    SuiteResults {
+        cells,
+        bench_names: names,
+    }
 }
 
 impl SuiteResults {
@@ -128,8 +146,11 @@ impl SuiteResults {
         prec: Precision,
         f: impl Fn(&Self, &str, Variant, Precision) -> Option<f64>,
     ) -> f64 {
-        let vals: Vec<f64> =
-            self.bench_names.iter().filter_map(|b| f(self, b, v, prec)).collect();
+        let vals: Vec<f64> = self
+            .bench_names
+            .iter()
+            .filter_map(|b| f(self, b, v, prec))
+            .collect();
         vals.iter().sum::<f64>() / vals.len().max(1) as f64
     }
 }
@@ -150,6 +171,7 @@ mod tests {
             validated: true,
             max_rel_err: 0.0,
             note: None,
+            telemetry: Default::default(),
         }
     }
 

@@ -1,0 +1,169 @@
+//! `--trace <dir>` — one Chrome trace-event file per measured cell.
+//!
+//! Each file opens directly in Perfetto (or `chrome://tracing`): the
+//! device is a process, its command queue and cores are threads, queue
+//! commands and per-core work-group intervals are complete spans, and the
+//! simulated WT230 board power is overlaid as a counter track. Real
+//! kernels finish in micro/milliseconds while the meter samples at 10 Hz,
+//! so the power track oversamples the model (with the meter's rated
+//! sample noise) instead of replaying genuine meter readings.
+
+use crate::export::to_jsonl;
+use crate::runner::{Cell, SuiteResults};
+use hpc_kernels::{Precision, Variant};
+use powersim::PowerModel;
+use sim_rng::Pcg32;
+use std::io;
+use std::path::{Path, PathBuf};
+use telemetry::TraceBuilder;
+
+/// Number of power samples overlaid on each trace.
+const POWER_SAMPLES: u32 = 32;
+
+/// Build the trace for one cell. `pid` 1 is the executing device; tid 0
+/// is the command queue (CPU runs: the parallel region), tids 1… are the
+/// cores.
+pub fn build_trace(bench: &str, v: Variant, prec: Precision, cell: &Cell) -> TraceBuilder {
+    let tel = &cell.outcome.telemetry;
+    let mut tb = TraceBuilder::new();
+    let (device, queue, core) = if v.on_gpu() {
+        ("mali-t604", "command queue", "shader core")
+    } else {
+        ("cortex-a15", "parallel region", "cpu core")
+    };
+    tb.process_name(
+        1,
+        &format!("{device} — {bench} {} {}", v.label(), prec.label()),
+    );
+    tb.thread_name(1, 0, queue);
+    let mut cores: Vec<u32> = tel.core_spans.iter().map(|s| s.core).collect();
+    cores.sort_unstable();
+    cores.dedup();
+    for &c in &cores {
+        tb.thread_name(1, c + 1, &format!("{core} {c}"));
+    }
+    for cmd in &tel.commands {
+        tb.span(&cmd.name, cmd.cat, 1, 0, cmd.start_s, cmd.duration_s());
+    }
+    for s in &tel.core_spans {
+        tb.span(
+            &format!("wg {}", s.group),
+            "workgroup",
+            1,
+            s.core + 1,
+            s.start_s,
+            s.duration_s(),
+        );
+    }
+
+    // Power overlay: the model's mean board power for this activity,
+    // jittered by the WT230's rated sample noise (±0.05%).
+    let t_end = tel.commands.iter().map(|c| c.end_s).fold(0.0, f64::max);
+    if t_end > 0.0 {
+        let model = PowerModel::default();
+        let watts = model.average_power(&cell.outcome.activity);
+        let mut rng = Pcg32::seed_from_u64(trace_seed(bench, v, prec));
+        for i in 0..=POWER_SAMPLES {
+            let ts = t_end * i as f64 / POWER_SAMPLES as f64;
+            let sample = watts * (1.0 + rng.gen_range_f64(-5e-4, 5e-4));
+            tb.counter("WT230 power (W)", 1, ts, &[("board_w", sample)]);
+        }
+    }
+    tb
+}
+
+fn trace_seed(bench: &str, v: Variant, prec: Precision) -> u64 {
+    let mut s: u64 = match prec {
+        Precision::F32 => 32,
+        Precision::F64 => 64,
+    };
+    s = s.wrapping_mul(31).wrapping_add(v as u64);
+    for b in bench.bytes() {
+        s = s.wrapping_mul(31).wrapping_add(b as u64);
+    }
+    s
+}
+
+/// File name for one cell's trace.
+pub fn trace_file_name(bench: &str, v: Variant, prec: Precision) -> String {
+    format!(
+        "{bench}_{}_{}.trace.json",
+        v.label().replace(' ', "-"),
+        prec.label()
+    )
+}
+
+/// Write one trace file per measured cell into `dir` (created if absent),
+/// plus the `metrics.jsonl` artifact. Returns the trace paths written.
+pub fn write_traces(results: &SuiteResults, dir: &Path) -> io::Result<Vec<PathBuf>> {
+    std::fs::create_dir_all(dir)?;
+    let mut written = Vec::new();
+    for bench in &results.bench_names {
+        for prec in Precision::ALL {
+            for v in Variant::ALL {
+                if let Some(cell) = results.cell(bench, v, prec) {
+                    let path = dir.join(trace_file_name(bench, v, prec));
+                    std::fs::write(&path, build_trace(bench, v, prec, cell).to_json())?;
+                    written.push(path);
+                }
+            }
+        }
+    }
+    std::fs::write(dir.join("metrics.jsonl"), to_jsonl(results))?;
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::measure;
+    use hpc_kernels::Benchmark;
+
+    fn cell_for(b: &dyn Benchmark, v: Variant) -> Cell {
+        let outcome = b.run(v, Precision::F32).unwrap();
+        let model = PowerModel::default();
+        let (m, iters, e) = measure(&outcome, &model, 7);
+        let counters = outcome.telemetry.counters.clone();
+        Cell {
+            outcome,
+            measurement: m,
+            iterations: iters,
+            energy_j: e,
+            counters,
+        }
+    }
+
+    #[test]
+    fn trace_spans_account_for_reported_time() {
+        let benches = hpc_kernels::test_suite();
+        for b in benches
+            .iter()
+            .filter(|b| ["vecop", "dmmm"].contains(&b.name()))
+        {
+            for v in [Variant::Serial, Variant::OpenCl, Variant::OpenClOpt] {
+                let cell = cell_for(b.as_ref(), v);
+                let t = cell.outcome.time_s;
+                let kt = cell.outcome.telemetry.kernel_time_s();
+                assert!(
+                    (kt - t).abs() <= 0.01 * t,
+                    "{} {}: span total {kt:.3e} vs time_s {t:.3e}",
+                    b.name(),
+                    v.label()
+                );
+                let json = build_trace(b.name(), v, Precision::F32, &cell).to_json();
+                assert!(json.starts_with("{\"traceEvents\":["));
+                assert!(json.contains(r#""ph":"X""#), "{}", b.name());
+                assert!(json.contains(r#""ph":"M""#));
+                assert!(json.contains(r#""ph":"C""#));
+                assert!(json.contains("board_w"));
+            }
+        }
+    }
+
+    #[test]
+    fn file_names_are_filesystem_safe() {
+        let n = trace_file_name("dmmm", Variant::OpenClOpt, Precision::F32);
+        assert_eq!(n, "dmmm_OpenCL-Opt_single.trace.json");
+        assert!(!n.contains(' '));
+    }
+}

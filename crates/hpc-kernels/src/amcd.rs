@@ -15,7 +15,8 @@
 //! missing amcd bars of Fig. 2(b)/3(b)/4(b).
 
 use crate::common::{
-    gpu_context, launch, run_cpu_kernel, Benchmark, Precision, RunOutcome, RunSkip, Variant,
+    collect_gpu_telemetry, gpu_context, launch, run_cpu_kernel, Benchmark, Precision, RunOutcome,
+    RunSkip, Variant,
 };
 use kernel_ir::prelude::*;
 use kernel_ir::Access;
@@ -30,7 +31,10 @@ pub struct Amcd {
 
 impl Default for Amcd {
     fn default() -> Self {
-        Amcd { walkers: 8192, steps: 192 }
+        Amcd {
+            walkers: 8192,
+            steps: 192,
+        }
     }
 }
 
@@ -41,12 +45,18 @@ const DELTA: f64 = 0.5;
 
 impl Amcd {
     pub fn test_size() -> Self {
-        Amcd { walkers: 256, steps: 32 }
+        Amcd {
+            walkers: 256,
+            steps: 32,
+        }
     }
 
     /// Initial coordinates.
     pub fn init(&self) -> Vec<f64> {
-        crate::common::prng_uniform(31, self.walkers).iter().map(|&x| x * 2.0 - 1.0).collect()
+        crate::common::prng_uniform(31, self.walkers)
+            .iter()
+            .map(|&x| x * 2.0 - 1.0)
+            .collect()
     }
 
     /// Exact Rust replica of the kernel (same LCG, same float ops in the
@@ -69,9 +79,7 @@ impl Amcd {
                             let u = next_u() as f32;
                             let xn = x + dx;
                             let de = xn * xn - x * x;
-                            if de < 0.0 {
-                                x = xn;
-                            } else if u < (-de).exp() {
+                            if de < 0.0 || u < (-de).exp() {
                                 x = xn;
                             }
                         }
@@ -84,9 +92,7 @@ impl Amcd {
                             let u = next_u();
                             let xn = x + dx;
                             let de = xn * xn - x * x;
-                            if de < 0.0 {
-                                x = xn;
-                            } else if u < (-de).exp() {
+                            if de < 0.0 || u < (-de).exp() {
                                 x = xn;
                             }
                         }
@@ -126,9 +132,12 @@ impl Amcd {
                 let draw = |kb: &mut KernelBuilder, seed: Reg, e: Scalar| -> Reg {
                     kb.bin_into(seed, BinOp::Mul, seed.into(), Operand::ImmI(LCG_A as i64));
                     kb.bin_into(seed, BinOp::Add, seed.into(), Operand::ImmI(LCG_C as i64));
-                    let hi =
-                        kb.bin(BinOp::Shr, seed.into(), Operand::ImmI(8),
-                            VType::scalar(Scalar::U32));
+                    let hi = kb.bin(
+                        BinOp::Shr,
+                        seed.into(),
+                        Operand::ImmI(8),
+                        VType::scalar(Scalar::U32),
+                    );
                     let f = kb.cast(hi.into(), VType::scalar(e));
                     kb.bin(
                         BinOp::Mul,
@@ -150,8 +159,7 @@ impl Amcd {
                 let xn2 = kb.bin(BinOp::Mul, xn.into(), xn.into(), VType::scalar(e));
                 let x2 = kb.bin(BinOp::Mul, xv.into(), xv.into(), VType::scalar(e));
                 let de = kb.bin(BinOp::Sub, xn2.into(), x2.into(), VType::scalar(e));
-                let downhill =
-                    kb.bin(BinOp::Lt, de.into(), Operand::ImmF(0.0), VType::scalar(e));
+                let downhill = kb.bin(BinOp::Lt, de.into(), Operand::ImmF(0.0), VType::scalar(e));
                 kb.if_then_else(
                     downhill.into(),
                     |kb| {
@@ -162,8 +170,7 @@ impl Amcd {
                         // inside this branch is the driver-bug trigger.
                         let nde = kb.un(UnOp::Neg, de.into(), VType::scalar(e));
                         let p = kb.un(UnOp::Exp, nde.into(), VType::scalar(e));
-                        let accept =
-                            kb.bin(BinOp::Lt, u.into(), p.into(), VType::scalar(e));
+                        let accept = kb.bin(BinOp::Lt, u.into(), p.into(), VType::scalar(e));
                         kb.if_then(accept.into(), |kb| {
                             kb.mov_into(xv, xn.into());
                         });
@@ -197,10 +204,12 @@ impl Benchmark for Amcd {
         match variant {
             Variant::Serial | Variant::OpenMp => {
                 let mut pool = MemoryPool::new();
-                let ids: Vec<ArgBinding> =
-                    bufs.into_iter().map(|d| ArgBinding::Global(pool.add(d))).collect();
+                let ids: Vec<ArgBinding> = bufs
+                    .into_iter()
+                    .map(|d| ArgBinding::Global(pool.add(d)))
+                    .collect();
                 let cores = if variant == Variant::Serial { 1 } else { 2 };
-                let (t, act, pool) = run_cpu_kernel(
+                let (t, act, pool, tel) = run_cpu_kernel(
                     &self.kernel(prec, Hints::default()),
                     &ids,
                     pool,
@@ -208,13 +217,22 @@ impl Benchmark for Amcd {
                     cores,
                 );
                 let (ok, err) = self.check(pool.get(0), prec);
-                Ok(RunOutcome { time_s: t, activity: act, validated: ok, max_rel_err: err,
-                    note: None })
+                Ok(RunOutcome {
+                    time_s: t,
+                    activity: act,
+                    validated: ok,
+                    max_rel_err: err,
+                    note: None,
+                    telemetry: tel,
+                })
             }
             Variant::OpenCl | Variant::OpenClOpt => {
                 let opt = variant == Variant::OpenClOpt;
                 let hints = if opt {
-                    Hints { inline: true, const_args: true }
+                    Hints {
+                        inline: true,
+                        const_args: true,
+                    }
                 } else {
                     Hints::default()
                 };
@@ -228,14 +246,19 @@ impl Benchmark for Amcd {
                 let local = if opt { Some([128, 1, 1]) } else { None };
                 let (t, act) = launch(&mut ctx, &k, [self.walkers, 1, 1], local, &args)
                     .map_err(|e| RunSkip::LaunchFailure(e.to_string()))?;
+                let tel = collect_gpu_telemetry(&mut ctx);
                 let (ok, err) = self.check(ctx.buffer_data(ids[0]), prec);
                 Ok(RunOutcome {
                     time_s: t,
                     activity: act,
                     validated: ok,
                     max_rel_err: err,
-                    note: Some(if opt { "hints + wg 128".into() } else {
-                        "naive port".into() }),
+                    note: Some(if opt {
+                        "hints + wg 128".into()
+                    } else {
+                        "naive port".into()
+                    }),
+                    telemetry: tel,
                 })
             }
         }
@@ -279,8 +302,15 @@ mod tests {
         let b = Amcd::test_size();
         let init = b.init();
         let fin = b.reference(Precision::F64);
-        let moved = init.iter().zip(&fin).filter(|(a, b)| (*a - *b).abs() > 1e-9).count();
-        assert!(moved > b.walkers / 2, "most chains should accept steps ({moved} moved)");
+        let moved = init
+            .iter()
+            .zip(&fin)
+            .filter(|(a, b)| (*a - *b).abs() > 1e-9)
+            .count();
+        assert!(
+            moved > b.walkers / 2,
+            "most chains should accept steps ({moved} moved)"
+        );
         // Equilibrium of E = x² at the implied temperature contracts the
         // spread vs the uniform init.
         let var = |v: &[f64]| {

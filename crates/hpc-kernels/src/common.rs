@@ -4,8 +4,9 @@
 use cpu_sim::{CortexA15, CortexA15Config};
 use kernel_ir::{ArgBinding, BufferData, MemoryPool, NDRange, Program, Scalar};
 use mali_gpu::{MaliConfig, MaliT604};
-use ocl_runtime::{ClError, CompiledKernel, Context, KernelArg, MemFlags};
+use ocl_runtime::{ClError, CompiledKernel, Context, EventKind, KernelArg, MemFlags};
 use powersim::Activity;
+use telemetry::{CommandSpan, RunTelemetry};
 
 /// Floating-point precision of a benchmark run (§V runs every benchmark in
 /// both).
@@ -63,8 +64,12 @@ pub enum Variant {
 }
 
 impl Variant {
-    pub const ALL: [Variant; 4] =
-        [Variant::Serial, Variant::OpenMp, Variant::OpenCl, Variant::OpenClOpt];
+    pub const ALL: [Variant; 4] = [
+        Variant::Serial,
+        Variant::OpenMp,
+        Variant::OpenCl,
+        Variant::OpenClOpt,
+    ];
 
     pub fn label(self) -> &'static str {
         match self {
@@ -94,6 +99,8 @@ pub struct RunOutcome {
     pub max_rel_err: f64,
     /// Free-form annotation (e.g. fallback decisions, tuned parameters).
     pub note: Option<String>,
+    /// Counter snapshot + span timeline of the measured region.
+    pub telemetry: RunTelemetry,
 }
 
 /// Why a variant could not produce a result (the paper's missing bars).
@@ -146,19 +153,86 @@ pub fn gpu() -> MaliT604 {
     MaliT604::new(MaliConfig::default())
 }
 
-/// Run a kernel on 1 or 2 CPU cores, returning (time, activity, pool).
+/// Run a kernel on 1 or 2 CPU cores, returning (time, activity, pool,
+/// telemetry).
 pub fn run_cpu_kernel(
     program: &Program,
     bindings: &[ArgBinding],
     mut pool: MemoryPool,
     ndrange: NDRange,
     cores: u32,
-) -> (f64, Activity, MemoryPool) {
+) -> (f64, Activity, MemoryPool, RunTelemetry) {
     let dev = cpu();
     let report = dev
         .run(program, bindings, &mut pool, ndrange, cores)
         .expect("CPU launch failed — benchmark bug");
-    (report.time_s, report.activity, pool)
+    let telemetry = RunTelemetry {
+        counters: report.counters.clone(),
+        commands: vec![CommandSpan {
+            name: program.name.clone(),
+            cat: "cpu",
+            start_s: 0.0,
+            end_s: report.time_s,
+        }],
+        core_spans: report.spans.clone(),
+    };
+    (report.time_s, report.activity, pool, telemetry)
+}
+
+/// Merge two run telemetries sequentially: the second run's spans are
+/// shifted to start where the first ended (multi-phase CPU benchmarks).
+pub fn chain_telemetry(first: RunTelemetry, second: &RunTelemetry) -> RunTelemetry {
+    let mut out = first;
+    let base = out.commands.iter().map(|c| c.end_s).fold(0.0, f64::max);
+    out.counters = out.counters.merge(&second.counters);
+    out.commands
+        .extend(second.commands.iter().map(|c| CommandSpan {
+            name: c.name.clone(),
+            cat: c.cat,
+            start_s: base + c.start_s,
+            end_s: base + c.end_s,
+        }));
+    out.core_spans
+        .extend(second.core_spans.iter().map(|s| telemetry::WorkSpan {
+            core: s.core,
+            group: s.group,
+            start_s: base + s.start_s,
+            end_s: base + s.end_s,
+        }));
+    out
+}
+
+/// Drain a GPU context's profiled events into run telemetry: queue
+/// commands become [`CommandSpan`]s, kernel events contribute their
+/// counter snapshots (merged) and per-core work-group spans.
+pub fn collect_gpu_telemetry(ctx: &mut Context) -> RunTelemetry {
+    let mut tel = RunTelemetry::default();
+    let mut have_counters = false;
+    for e in ctx.finish() {
+        let (name, cat) = match &e.kind {
+            EventKind::Kernel { name } => (name.clone(), "kernel"),
+            EventKind::WriteBuffer { bytes } => (format!("write {bytes} B"), "write"),
+            EventKind::ReadBuffer { bytes } => (format!("read {bytes} B"), "read"),
+            EventKind::Map { bytes } => (format!("map {bytes} B"), "map"),
+            EventKind::Unmap { bytes } => (format!("unmap {bytes} B"), "unmap"),
+        };
+        tel.commands.push(CommandSpan {
+            name,
+            cat,
+            start_s: e.start_s,
+            end_s: e.end_s,
+        });
+        if let Some(c) = &e.counters {
+            tel.counters = if have_counters {
+                tel.counters.merge(c)
+            } else {
+                c.clone()
+            };
+            have_counters = true;
+        }
+        tel.core_spans.extend(e.spans.iter().copied());
+    }
+    tel
 }
 
 /// Build a fresh GPU context with `buffers` pre-loaded via the recommended

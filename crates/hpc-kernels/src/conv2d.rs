@@ -9,8 +9,8 @@
 //! back, reproducing the `CL_OUT_OF_RESOURCES` gap-shrink of §V-A.
 
 use crate::common::{
-    gpu_context, launch, run_cpu_kernel, validate, Benchmark, Precision, RunOutcome, RunSkip,
-    Variant,
+    collect_gpu_telemetry, gpu_context, launch, run_cpu_kernel, validate, Benchmark, Precision,
+    RunOutcome, RunSkip, Variant,
 };
 use kernel_ir::prelude::*;
 use kernel_ir::Access;
@@ -91,37 +91,91 @@ impl Conv2d {
         let weights = kb.arg_global(e, Access::ReadOnly, true);
         let gx = kb.query_global_id(0);
         let gy = kb.query_global_id(1);
-        let x = kb.bin(BinOp::Add, gx.into(), Operand::ImmI(2), VType::scalar(Scalar::U32));
-        let y = kb.bin(BinOp::Add, gy.into(), Operand::ImmI(2), VType::scalar(Scalar::U32));
+        let x = kb.bin(
+            BinOp::Add,
+            gx.into(),
+            Operand::ImmI(2),
+            VType::scalar(Scalar::U32),
+        );
+        let y = kb.bin(
+            BinOp::Add,
+            gy.into(),
+            Operand::ImmI(2),
+            VType::scalar(Scalar::U32),
+        );
         let acc = kb.mov(Operand::ImmF(0.0), VType::scalar(e));
         // Taps as an IR loop pair — the unoptimized code shape.
-        kb.for_loop(Operand::ImmI(0), Operand::ImmI(5), Operand::ImmI(1), |kb, dy| {
-            let ry = kb.bin(BinOp::Add, y.into(), dy.into(), VType::scalar(Scalar::U32));
-            let ry2 = kb.bin(BinOp::Sub, ry.into(), Operand::ImmI(2), VType::scalar(Scalar::U32));
-            let row = kb.bin(BinOp::Mul, ry2.into(), Operand::ImmI(n), VType::scalar(Scalar::U32));
-            kb.for_loop(Operand::ImmI(0), Operand::ImmI(5), Operand::ImmI(1), |kb, dx| {
-                let rx = kb.bin(BinOp::Add, x.into(), dx.into(), VType::scalar(Scalar::U32));
-                let rx2 =
-                    kb.bin(BinOp::Sub, rx.into(), Operand::ImmI(2), VType::scalar(Scalar::U32));
-                let idx = kb.bin(BinOp::Add, row.into(), rx2.into(), VType::scalar(Scalar::U32));
-                let v = kb.load(e, img, idx.into());
-                // The unoptimized kernel reads its weights from a
-                // 25-entry constant buffer (immediates only appear after
-                // the Opt version's constant propagation).
-                let widx = kb.bin(
-                    BinOp::Mul,
-                    dy.into(),
-                    Operand::ImmI(5),
+        kb.for_loop(
+            Operand::ImmI(0),
+            Operand::ImmI(5),
+            Operand::ImmI(1),
+            |kb, dy| {
+                let ry = kb.bin(BinOp::Add, y.into(), dy.into(), VType::scalar(Scalar::U32));
+                let ry2 = kb.bin(
+                    BinOp::Sub,
+                    ry.into(),
+                    Operand::ImmI(2),
                     VType::scalar(Scalar::U32),
                 );
-                let widx2 = kb.bin(BinOp::Add, widx.into(), dx.into(),
-                    VType::scalar(Scalar::U32));
-                let wv = kb.load(e, weights, widx2.into());
-                kb.mad_into(acc, wv.into(), v.into(), acc.into());
-            });
-        });
-        let orow = kb.bin(BinOp::Mul, y.into(), Operand::ImmI(n), VType::scalar(Scalar::U32));
-        let oidx = kb.bin(BinOp::Add, orow.into(), x.into(), VType::scalar(Scalar::U32));
+                let row = kb.bin(
+                    BinOp::Mul,
+                    ry2.into(),
+                    Operand::ImmI(n),
+                    VType::scalar(Scalar::U32),
+                );
+                kb.for_loop(
+                    Operand::ImmI(0),
+                    Operand::ImmI(5),
+                    Operand::ImmI(1),
+                    |kb, dx| {
+                        let rx =
+                            kb.bin(BinOp::Add, x.into(), dx.into(), VType::scalar(Scalar::U32));
+                        let rx2 = kb.bin(
+                            BinOp::Sub,
+                            rx.into(),
+                            Operand::ImmI(2),
+                            VType::scalar(Scalar::U32),
+                        );
+                        let idx = kb.bin(
+                            BinOp::Add,
+                            row.into(),
+                            rx2.into(),
+                            VType::scalar(Scalar::U32),
+                        );
+                        let v = kb.load(e, img, idx.into());
+                        // The unoptimized kernel reads its weights from a
+                        // 25-entry constant buffer (immediates only appear after
+                        // the Opt version's constant propagation).
+                        let widx = kb.bin(
+                            BinOp::Mul,
+                            dy.into(),
+                            Operand::ImmI(5),
+                            VType::scalar(Scalar::U32),
+                        );
+                        let widx2 = kb.bin(
+                            BinOp::Add,
+                            widx.into(),
+                            dx.into(),
+                            VType::scalar(Scalar::U32),
+                        );
+                        let wv = kb.load(e, weights, widx2.into());
+                        kb.mad_into(acc, wv.into(), v.into(), acc.into());
+                    },
+                );
+            },
+        );
+        let orow = kb.bin(
+            BinOp::Mul,
+            y.into(),
+            Operand::ImmI(n),
+            VType::scalar(Scalar::U32),
+        );
+        let oidx = kb.bin(
+            BinOp::Add,
+            orow.into(),
+            x.into(),
+            VType::scalar(Scalar::U32),
+        );
         kb.store(out, oidx.into(), acc.into());
         kb.finish()
     }
@@ -133,7 +187,10 @@ impl Conv2d {
         let e = prec.elem();
         let n = self.n as i64;
         let mut kb = KernelBuilder::new(format!("conv2d_opt_v{width}"));
-        kb.hints(Hints { inline: true, const_args: true });
+        kb.hints(Hints {
+            inline: true,
+            const_args: true,
+        });
         let img = kb.arg_global(e, Access::ReadOnly, true);
         let out = kb.arg_global(e, Access::WriteOnly, true);
         let gx = kb.query_global_id(0);
@@ -145,8 +202,18 @@ impl Conv2d {
             Operand::ImmI(width as i64),
             VType::scalar(Scalar::U32),
         );
-        let x0 = kb.bin(BinOp::Add, xw.into(), Operand::ImmI(2), VType::scalar(Scalar::U32));
-        let y = kb.bin(BinOp::Add, gy.into(), Operand::ImmI(2), VType::scalar(Scalar::U32));
+        let x0 = kb.bin(
+            BinOp::Add,
+            xw.into(),
+            Operand::ImmI(2),
+            VType::scalar(Scalar::U32),
+        );
+        let y = kb.bin(
+            BinOp::Add,
+            gy.into(),
+            Operand::ImmI(2),
+            VType::scalar(Scalar::U32),
+        );
         let acc = kb.mov(Operand::ImmF(0.0), VType::new(e, width));
         for dy in 0..5i64 {
             let ry = kb.bin(
@@ -155,8 +222,18 @@ impl Conv2d {
                 Operand::ImmI(dy - 2),
                 VType::scalar(Scalar::U32),
             );
-            let row = kb.bin(BinOp::Mul, ry.into(), Operand::ImmI(n), VType::scalar(Scalar::U32));
-            let rowx = kb.bin(BinOp::Add, row.into(), x0.into(), VType::scalar(Scalar::U32));
+            let row = kb.bin(
+                BinOp::Mul,
+                ry.into(),
+                Operand::ImmI(n),
+                VType::scalar(Scalar::U32),
+            );
+            let rowx = kb.bin(
+                BinOp::Add,
+                row.into(),
+                x0.into(),
+                VType::scalar(Scalar::U32),
+            );
             for dx in 0..5i64 {
                 let base = kb.bin(
                     BinOp::Add,
@@ -173,8 +250,18 @@ impl Conv2d {
                 );
             }
         }
-        let orow = kb.bin(BinOp::Mul, y.into(), Operand::ImmI(n), VType::scalar(Scalar::U32));
-        let oidx = kb.bin(BinOp::Add, orow.into(), x0.into(), VType::scalar(Scalar::U32));
+        let orow = kb.bin(
+            BinOp::Mul,
+            y.into(),
+            Operand::ImmI(n),
+            VType::scalar(Scalar::U32),
+        );
+        let oidx = kb.bin(
+            BinOp::Add,
+            orow.into(),
+            x0.into(),
+            VType::scalar(Scalar::U32),
+        );
         kb.vstore(out, oidx.into(), acc.into());
         kb.finish()
     }
@@ -215,8 +302,8 @@ impl Benchmark for Conv2d {
                     ArgBinding::Global(w),
                 ];
                 let cores = if variant == Variant::Serial { 1 } else { 2 };
-                let local_x = if m % 64 == 0 { 64 } else { 16 };
-                let (t, act, pool) = run_cpu_kernel(
+                let local_x = if m.is_multiple_of(64) { 64 } else { 16 };
+                let (t, act, pool, tel) = run_cpu_kernel(
                     &self.kernel(prec),
                     &bindings,
                     pool,
@@ -224,8 +311,14 @@ impl Benchmark for Conv2d {
                     cores,
                 );
                 let (ok, err) = validate(pool.get(out), &reference, prec);
-                Ok(RunOutcome { time_s: t, activity: act, validated: ok, max_rel_err: err,
-                    note: None })
+                Ok(RunOutcome {
+                    time_s: t,
+                    activity: act,
+                    validated: ok,
+                    max_rel_err: err,
+                    note: None,
+                    telemetry: tel,
+                })
             }
             Variant::OpenCl => {
                 let (mut ctx, ids) = gpu_context(vec![
@@ -239,9 +332,16 @@ impl Benchmark for Conv2d {
                 let args: Vec<KernelArg> = ids.iter().map(|&b| KernelArg::Buf(b)).collect();
                 let (t, act) = launch(&mut ctx, &k, [m, m, 1], None, &args)
                     .map_err(|e| RunSkip::LaunchFailure(e.to_string()))?;
+                let tel = collect_gpu_telemetry(&mut ctx);
                 let (ok, err) = validate(ctx.buffer_data(ids[1]), &reference, prec);
-                Ok(RunOutcome { time_s: t, activity: act, validated: ok, max_rel_err: err,
-                    note: Some("scalar taps, driver local size".into()) })
+                Ok(RunOutcome {
+                    time_s: t,
+                    activity: act,
+                    validated: ok,
+                    max_rel_err: err,
+                    note: Some("scalar taps, driver local size".into()),
+                    telemetry: tel,
+                })
             }
             Variant::OpenClOpt => {
                 let (mut ctx, ids) = gpu_context(vec![
@@ -258,7 +358,10 @@ impl Benchmark for Conv2d {
                 // capped at 256 work-items — the tuned choice per width.
                 let tuned_wg = |gx: usize, gy: usize| -> [usize; 3] {
                     let pick = |g: usize| {
-                        [16usize, 8, 4, 2, 1].into_iter().find(|w| g % w == 0).unwrap()
+                        [16usize, 8, 4, 2, 1]
+                            .into_iter()
+                            .find(|w| g.is_multiple_of(*w))
+                            .unwrap()
                     };
                     let wx = pick(gx);
                     let mut wy = pick(gy);
@@ -271,7 +374,7 @@ impl Benchmark for Conv2d {
                 // launch narrows the width — the paper's double-precision
                 // fallback.
                 for width in [8u8, 4, 2] {
-                    if m % width as usize != 0 {
+                    if !m.is_multiple_of(width as usize) {
                         continue;
                     }
                     let wg = tuned_wg(m / width as usize, m);
@@ -297,12 +400,18 @@ impl Benchmark for Conv2d {
                         Err(e) => return Err(RunSkip::LaunchFailure(e.to_string())),
                     }
                 }
-                let (t, act) = result.ok_or_else(|| {
-                    RunSkip::LaunchFailure("no width/wg combination fits".into())
-                })?;
+                let (t, act) = result
+                    .ok_or_else(|| RunSkip::LaunchFailure("no width/wg combination fits".into()))?;
+                let tel = collect_gpu_telemetry(&mut ctx);
                 let (ok, err) = validate(ctx.buffer_data(ids[1]), &reference, prec);
-                Ok(RunOutcome { time_s: t, activity: act, validated: ok, max_rel_err: err,
-                    note: Some(note) })
+                Ok(RunOutcome {
+                    time_s: t,
+                    activity: act,
+                    validated: ok,
+                    max_rel_err: err,
+                    note: Some(note),
+                    telemetry: tel,
+                })
             }
         }
     }
@@ -347,7 +456,10 @@ mod tests {
         let r64 = b.run(Variant::OpenClOpt, Precision::F64).unwrap();
         let n32 = r32.note.unwrap();
         let n64 = r64.note.unwrap();
-        assert!(n32.starts_with("vload8"), "f32 should get the widest vector: {n32}");
+        assert!(
+            n32.starts_with("vload8"),
+            "f32 should get the widest vector: {n32}"
+        );
         assert!(
             n64.contains("CL_OUT_OF_RESOURCES") && n64.contains("vload4"),
             "f64 wide vectors should exceed the register file and fall back: {n64}"

@@ -8,8 +8,8 @@
 //! 30× double).
 
 use crate::common::{
-    gpu_context, launch, run_cpu_kernel, validate, Benchmark, Precision, RunOutcome, RunSkip,
-    Variant,
+    collect_gpu_telemetry, gpu_context, launch, run_cpu_kernel, validate, Benchmark, Precision,
+    RunOutcome, RunSkip, Variant,
 };
 use kernel_ir::prelude::*;
 use kernel_ir::Access;
@@ -27,13 +27,21 @@ pub struct Dmmm {
 
 impl Default for Dmmm {
     fn default() -> Self {
-        Dmmm { n: 160, opt_unroll: 2, opt_width: 4 }
+        Dmmm {
+            n: 160,
+            opt_unroll: 2,
+            opt_width: 4,
+        }
     }
 }
 
 impl Dmmm {
     pub fn test_size() -> Self {
-        Dmmm { n: 32, opt_unroll: 2, opt_width: 4 }
+        Dmmm {
+            n: 32,
+            opt_unroll: 2,
+            opt_width: 4,
+        }
     }
 
     pub fn inputs(&self) -> (Vec<f64>, Vec<f64>) {
@@ -85,17 +93,47 @@ impl Dmmm {
         let c = kb.arg_global(e, Access::WriteOnly, true);
         let col = kb.query_global_id(0);
         let row = kb.query_global_id(1);
-        let arow = kb.bin(BinOp::Mul, row.into(), Operand::ImmI(n), VType::scalar(Scalar::U32));
+        let arow = kb.bin(
+            BinOp::Mul,
+            row.into(),
+            Operand::ImmI(n),
+            VType::scalar(Scalar::U32),
+        );
         let acc = kb.mov(Operand::ImmF(0.0), VType::scalar(e));
-        kb.for_loop(Operand::ImmI(0), Operand::ImmI(n), Operand::ImmI(1), |kb, k| {
-            let ai = kb.bin(BinOp::Add, arow.into(), k.into(), VType::scalar(Scalar::U32));
-            let av = kb.load(e, a, ai.into());
-            let brow = kb.bin(BinOp::Mul, k.into(), Operand::ImmI(n), VType::scalar(Scalar::U32));
-            let bi = kb.bin(BinOp::Add, brow.into(), col.into(), VType::scalar(Scalar::U32));
-            let bv = kb.load(e, b, bi.into());
-            kb.mad_into(acc, av.into(), bv.into(), acc.into());
-        });
-        let ci = kb.bin(BinOp::Add, arow.into(), col.into(), VType::scalar(Scalar::U32));
+        kb.for_loop(
+            Operand::ImmI(0),
+            Operand::ImmI(n),
+            Operand::ImmI(1),
+            |kb, k| {
+                let ai = kb.bin(
+                    BinOp::Add,
+                    arow.into(),
+                    k.into(),
+                    VType::scalar(Scalar::U32),
+                );
+                let av = kb.load(e, a, ai.into());
+                let brow = kb.bin(
+                    BinOp::Mul,
+                    k.into(),
+                    Operand::ImmI(n),
+                    VType::scalar(Scalar::U32),
+                );
+                let bi = kb.bin(
+                    BinOp::Add,
+                    brow.into(),
+                    col.into(),
+                    VType::scalar(Scalar::U32),
+                );
+                let bv = kb.load(e, b, bi.into());
+                kb.mad_into(acc, av.into(), bv.into(), acc.into());
+            },
+        );
+        let ci = kb.bin(
+            BinOp::Add,
+            arow.into(),
+            col.into(),
+            VType::scalar(Scalar::U32),
+        );
         kb.store(c, ci.into(), acc.into());
         kb.finish()
     }
@@ -106,7 +144,10 @@ impl Dmmm {
         let e = prec.elem();
         let n = self.n as i64;
         let mut kb = KernelBuilder::new(format!("dmmm_opt_v{width}"));
-        kb.hints(Hints { inline: true, const_args: true });
+        kb.hints(Hints {
+            inline: true,
+            const_args: true,
+        });
         let a = kb.arg_global(e, Access::ReadOnly, true);
         let b = kb.arg_global(e, Access::ReadOnly, true);
         let c = kb.arg_global(e, Access::WriteOnly, true);
@@ -118,17 +159,47 @@ impl Dmmm {
             Operand::ImmI(width as i64),
             VType::scalar(Scalar::U32),
         );
-        let arow = kb.bin(BinOp::Mul, row.into(), Operand::ImmI(n), VType::scalar(Scalar::U32));
+        let arow = kb.bin(
+            BinOp::Mul,
+            row.into(),
+            Operand::ImmI(n),
+            VType::scalar(Scalar::U32),
+        );
         let acc = kb.mov(Operand::ImmF(0.0), VType::new(e, width));
-        kb.for_loop(Operand::ImmI(0), Operand::ImmI(n), Operand::ImmI(1), |kb, k| {
-            let ai = kb.bin(BinOp::Add, arow.into(), k.into(), VType::scalar(Scalar::U32));
-            let av = kb.load(e, a, ai.into()); // scalar; broadcasts in the mad
-            let brow = kb.bin(BinOp::Mul, k.into(), Operand::ImmI(n), VType::scalar(Scalar::U32));
-            let bi = kb.bin(BinOp::Add, brow.into(), col0.into(), VType::scalar(Scalar::U32));
-            let bv = kb.vload(e, width, b, bi.into());
-            kb.mad_into(acc, bv.into(), av.into(), acc.into());
-        });
-        let ci = kb.bin(BinOp::Add, arow.into(), col0.into(), VType::scalar(Scalar::U32));
+        kb.for_loop(
+            Operand::ImmI(0),
+            Operand::ImmI(n),
+            Operand::ImmI(1),
+            |kb, k| {
+                let ai = kb.bin(
+                    BinOp::Add,
+                    arow.into(),
+                    k.into(),
+                    VType::scalar(Scalar::U32),
+                );
+                let av = kb.load(e, a, ai.into()); // scalar; broadcasts in the mad
+                let brow = kb.bin(
+                    BinOp::Mul,
+                    k.into(),
+                    Operand::ImmI(n),
+                    VType::scalar(Scalar::U32),
+                );
+                let bi = kb.bin(
+                    BinOp::Add,
+                    brow.into(),
+                    col0.into(),
+                    VType::scalar(Scalar::U32),
+                );
+                let bv = kb.vload(e, width, b, bi.into());
+                kb.mad_into(acc, bv.into(), av.into(), acc.into());
+            },
+        );
+        let ci = kb.bin(
+            BinOp::Add,
+            arow.into(),
+            col0.into(),
+            VType::scalar(Scalar::U32),
+        );
         kb.vstore(c, ci.into(), acc.into());
         kb.finish()
     }
@@ -162,10 +233,12 @@ impl Benchmark for Dmmm {
         match variant {
             Variant::Serial | Variant::OpenMp => {
                 let mut pool = MemoryPool::new();
-                let ids: Vec<ArgBinding> =
-                    bufs.into_iter().map(|d| ArgBinding::Global(pool.add(d))).collect();
+                let ids: Vec<ArgBinding> = bufs
+                    .into_iter()
+                    .map(|d| ArgBinding::Global(pool.add(d)))
+                    .collect();
                 let cores = if variant == Variant::Serial { 1 } else { 2 };
-                let (t, act, pool) = run_cpu_kernel(
+                let (t, act, pool, tel) = run_cpu_kernel(
                     &self.kernel(prec),
                     &ids,
                     pool,
@@ -173,8 +246,14 @@ impl Benchmark for Dmmm {
                     cores,
                 );
                 let (ok, err) = validate(pool.get(2), &reference, prec);
-                Ok(RunOutcome { time_s: t, activity: act, validated: ok, max_rel_err: err,
-                    note: None })
+                Ok(RunOutcome {
+                    time_s: t,
+                    activity: act,
+                    validated: ok,
+                    max_rel_err: err,
+                    note: None,
+                    telemetry: tel,
+                })
             }
             Variant::OpenCl => {
                 let (mut ctx, ids) = gpu_context(bufs);
@@ -184,9 +263,16 @@ impl Benchmark for Dmmm {
                 let args: Vec<KernelArg> = ids.iter().map(|&b| KernelArg::Buf(b)).collect();
                 let (t, act) = launch(&mut ctx, &k, [n, n, 1], None, &args)
                     .map_err(|e| RunSkip::LaunchFailure(e.to_string()))?;
+                let tel = collect_gpu_telemetry(&mut ctx);
                 let (ok, err) = validate(ctx.buffer_data(ids[2]), &reference, prec);
-                Ok(RunOutcome { time_s: t, activity: act, validated: ok, max_rel_err: err,
-                    note: Some("one C element per item".into()) })
+                Ok(RunOutcome {
+                    time_s: t,
+                    activity: act,
+                    validated: ok,
+                    max_rel_err: err,
+                    note: Some("one C element per item".into()),
+                    telemetry: tel,
+                })
             }
             Variant::OpenClOpt => {
                 let (mut ctx, ids) = gpu_context(bufs);
@@ -198,11 +284,10 @@ impl Benchmark for Dmmm {
                         .build_kernel(self.opt_kernel(prec, width))
                         .map_err(|e| RunSkip::CompilerBug(e.to_string()))?;
                     for &wg in &[[16usize, 8, 1], [16, 4, 1], [8, 4, 1]] {
-                        if (n / width as usize) % wg[0] != 0 || n % wg[1] != 0 {
+                        if !(n / width as usize).is_multiple_of(wg[0]) || !n.is_multiple_of(wg[1]) {
                             continue;
                         }
-                        match launch(&mut ctx, &k, [n / width as usize, n, 1], Some(wg),
-                            &args) {
+                        match launch(&mut ctx, &k, [n / width as usize, n, 1], Some(wg), &args) {
                             Ok((t, act)) => {
                                 note = format!(
                                     "vload{width} row segment, unroll x{}, wg {}x{}",
@@ -216,12 +301,18 @@ impl Benchmark for Dmmm {
                         }
                     }
                 }
-                let (t, act) = result.ok_or_else(|| {
-                    RunSkip::LaunchFailure("no width/wg combination fits".into())
-                })?;
+                let (t, act) = result
+                    .ok_or_else(|| RunSkip::LaunchFailure("no width/wg combination fits".into()))?;
+                let tel = collect_gpu_telemetry(&mut ctx);
                 let (ok, err) = validate(ctx.buffer_data(ids[2]), &reference, prec);
-                Ok(RunOutcome { time_s: t, activity: act, validated: ok, max_rel_err: err,
-                    note: Some(note) })
+                Ok(RunOutcome {
+                    time_s: t,
+                    activity: act,
+                    validated: ok,
+                    max_rel_err: err,
+                    note: Some(note),
+                    telemetry: tel,
+                })
             }
         }
     }
@@ -256,8 +347,14 @@ mod tests {
         let opt = b.run(Variant::OpenClOpt, Precision::F32).unwrap();
         let s_naive = serial.time_s / naive.time_s;
         let s_opt = serial.time_s / opt.time_s;
-        assert!(s_opt > 2.0 * s_naive, "opt {s_opt:.1}x vs naive {s_naive:.1}x");
-        assert!(s_opt > 8.0, "dmmm opt should be a large win, got {s_opt:.1}x");
+        assert!(
+            s_opt > 2.0 * s_naive,
+            "opt {s_opt:.1}x vs naive {s_naive:.1}x"
+        );
+        assert!(
+            s_opt > 8.0,
+            "dmmm opt should be a large win, got {s_opt:.1}x"
+        );
     }
 
     #[test]
@@ -276,9 +373,18 @@ mod tests {
             let b_ = pool.add(Precision::F32.buffer(&bb));
             let c_ = pool.add(kernel_ir::BufferData::zeroed(Scalar::F32, b.n * b.n));
             let mut t = CountingTracer::default();
-            run_ndrange(p, &[ArgBinding::Global(a_), ArgBinding::Global(b_),
-                ArgBinding::Global(c_)], &mut pool,
-                NDRange::d2(items0, b.n, 8, 1), &mut t).unwrap();
+            run_ndrange(
+                p,
+                &[
+                    ArgBinding::Global(a_),
+                    ArgBinding::Global(b_),
+                    ArgBinding::Global(c_),
+                ],
+                &mut pool,
+                NDRange::d2(items0, b.n, 8, 1),
+                &mut t,
+            )
+            .unwrap();
             t
         };
         let t_naive = run(&p_naive, b.n);

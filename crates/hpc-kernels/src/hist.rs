@@ -11,7 +11,8 @@
 //! K elements.
 
 use crate::common::{
-    gpu_context, launch, run_cpu_kernel, Benchmark, Precision, RunOutcome, RunSkip, Variant,
+    collect_gpu_telemetry, gpu_context, launch, run_cpu_kernel, Benchmark, Precision, RunOutcome,
+    RunSkip, Variant,
 };
 use kernel_ir::prelude::*;
 use kernel_ir::Access;
@@ -27,13 +28,21 @@ pub struct Hist {
 
 impl Default for Hist {
     fn default() -> Self {
-        Hist { n: 1 << 20, buckets: 256, opt_items_per_thread: 16 }
+        Hist {
+            n: 1 << 20,
+            buckets: 256,
+            opt_items_per_thread: 16,
+        }
     }
 }
 
 impl Hist {
     pub fn test_size() -> Self {
-        Hist { n: 1 << 12, buckets: 64, opt_items_per_thread: 8 }
+        Hist {
+            n: 1 << 12,
+            buckets: 64,
+            opt_items_per_thread: 8,
+        }
     }
 
     /// Skewed input: a triangular-ish distribution so some buckets are hot
@@ -81,18 +90,36 @@ impl Hist {
         );
         let k = self.opt_items_per_thread as i64;
         let mut kb = KernelBuilder::new("hist_opt");
-        kb.hints(Hints { inline: true, const_args: true });
+        kb.hints(Hints {
+            inline: true,
+            const_args: true,
+        });
         let data = kb.arg_global(Scalar::U32, Access::ReadOnly, true);
         let hist = kb.arg_global(Scalar::U32, Access::ReadWrite, false);
         let local_hist = kb.arg_local(Scalar::U32);
         // Phase 1: each item accumulates K elements into the local histogram.
         let gid = kb.query_global_id(0);
-        let base = kb.bin(BinOp::Mul, gid.into(), Operand::ImmI(k), VType::scalar(Scalar::U32));
-        kb.for_loop(Operand::ImmI(0), Operand::ImmI(k), Operand::ImmI(1), |kb, i| {
-            let idx = kb.bin(BinOp::Add, base.into(), i.into(), VType::scalar(Scalar::U32));
-            let v = kb.load(Scalar::U32, data, idx.into());
-            kb.atomic(AtomicOp::Inc, local_hist, v.into(), Operand::ImmI(0));
-        });
+        let base = kb.bin(
+            BinOp::Mul,
+            gid.into(),
+            Operand::ImmI(k),
+            VType::scalar(Scalar::U32),
+        );
+        kb.for_loop(
+            Operand::ImmI(0),
+            Operand::ImmI(k),
+            Operand::ImmI(1),
+            |kb, i| {
+                let idx = kb.bin(
+                    BinOp::Add,
+                    base.into(),
+                    i.into(),
+                    VType::scalar(Scalar::U32),
+                );
+                let v = kb.load(Scalar::U32, data, idx.into());
+                kb.atomic(AtomicOp::Inc, local_hist, v.into(), Operand::ImmI(0));
+            },
+        );
         kb.barrier();
         // Phase 2: the first `buckets` items of the group merge local →
         // global with one atomic add each.
@@ -105,7 +132,12 @@ impl Hist {
         );
         kb.if_then(in_range.into(), |kb| {
             let cnt = kb.load(Scalar::U32, local_hist, lid.into());
-            let nz = kb.bin(BinOp::Gt, cnt.into(), Operand::ImmI(0), VType::scalar(Scalar::U32));
+            let nz = kb.bin(
+                BinOp::Gt,
+                cnt.into(),
+                Operand::ImmI(0),
+                VType::scalar(Scalar::U32),
+            );
             kb.if_then(nz.into(), |kb| {
                 kb.atomic(AtomicOp::Add, hist, lid.into(), cnt.into());
             });
@@ -139,10 +171,12 @@ impl Benchmark for Hist {
         match variant {
             Variant::Serial | Variant::OpenMp => {
                 let mut pool = MemoryPool::new();
-                let ids: Vec<ArgBinding> =
-                    bufs.into_iter().map(|d| ArgBinding::Global(pool.add(d))).collect();
+                let ids: Vec<ArgBinding> = bufs
+                    .into_iter()
+                    .map(|d| ArgBinding::Global(pool.add(d)))
+                    .collect();
                 let cores = if variant == Variant::Serial { 1 } else { 2 };
-                let (t, act, pool) = run_cpu_kernel(
+                let (t, act, pool, tel) = run_cpu_kernel(
                     &self.kernel(prec),
                     &ids,
                     pool,
@@ -150,8 +184,14 @@ impl Benchmark for Hist {
                     cores,
                 );
                 let (ok, err) = self.check(pool.get(1));
-                Ok(RunOutcome { time_s: t, activity: act, validated: ok, max_rel_err: err,
-                    note: None })
+                Ok(RunOutcome {
+                    time_s: t,
+                    activity: act,
+                    validated: ok,
+                    max_rel_err: err,
+                    note: None,
+                    telemetry: tel,
+                })
             }
             Variant::OpenCl => {
                 let (mut ctx, ids) = gpu_context(bufs);
@@ -161,9 +201,16 @@ impl Benchmark for Hist {
                 let args: Vec<KernelArg> = ids.iter().map(|&b| KernelArg::Buf(b)).collect();
                 let (t, act) = launch(&mut ctx, &k, [self.n, 1, 1], None, &args)
                     .map_err(|e| RunSkip::LaunchFailure(e.to_string()))?;
+                let tel = collect_gpu_telemetry(&mut ctx);
                 let (ok, err) = self.check(ctx.buffer_data(ids[1]));
-                Ok(RunOutcome { time_s: t, activity: act, validated: ok, max_rel_err: err,
-                    note: Some("global atomics per element".into()) })
+                Ok(RunOutcome {
+                    time_s: t,
+                    activity: act,
+                    validated: ok,
+                    max_rel_err: err,
+                    note: Some("global atomics per element".into()),
+                    telemetry: tel,
+                })
             }
             Variant::OpenClOpt => {
                 let (mut ctx, ids) = gpu_context(bufs);
@@ -177,9 +224,9 @@ impl Benchmark for Hist {
                     KernelArg::Buf(ids[1]),
                     KernelArg::Local(self.buckets),
                 ];
-                let (t, act) =
-                    launch(&mut ctx, &k, [threads, 1, 1], Some([wg, 1, 1]), &args)
-                        .map_err(|e| RunSkip::LaunchFailure(e.to_string()))?;
+                let (t, act) = launch(&mut ctx, &k, [threads, 1, 1], Some([wg, 1, 1]), &args)
+                    .map_err(|e| RunSkip::LaunchFailure(e.to_string()))?;
+                let tel = collect_gpu_telemetry(&mut ctx);
                 let (ok, err) = self.check(ctx.buffer_data(ids[1]));
                 Ok(RunOutcome {
                     time_s: t,
@@ -190,6 +237,7 @@ impl Benchmark for Hist {
                         "local privatization, {} elems/item, wg {wg}",
                         self.opt_items_per_thread
                     )),
+                    telemetry: tel,
                 })
             }
         }
@@ -215,7 +263,10 @@ mod tests {
         let h = b.reference();
         let max = *h.iter().max().unwrap() as f64;
         let mean = h.iter().sum::<u32>() as f64 / h.len() as f64;
-        assert!(max > 2.0 * mean, "hot buckets expected (max {max}, mean {mean:.1})");
+        assert!(
+            max > 2.0 * mean,
+            "hot buckets expected (max {max}, mean {mean:.1})"
+        );
         assert_eq!(h.iter().sum::<u32>() as usize, b.n);
     }
 
@@ -235,7 +286,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "exceed the maximum work-group size")]
     fn opt_kernel_rejects_too_many_buckets() {
-        let b = Hist { n: 1 << 12, buckets: 512, opt_items_per_thread: 8 };
+        let b = Hist {
+            n: 1 << 12,
+            buckets: 512,
+            opt_items_per_thread: 8,
+        };
         let _ = b.opt_kernel(Precision::F32);
     }
 

@@ -11,8 +11,8 @@
 //! (Fig. 2(b): 9.3× vs 10×).
 
 use crate::common::{
-    gpu_context, launch, run_cpu_kernel, validate, Benchmark, Precision, RunOutcome, RunSkip,
-    Variant,
+    collect_gpu_telemetry, gpu_context, launch, run_cpu_kernel, validate, Benchmark, Precision,
+    RunOutcome, RunSkip, Variant,
 };
 use kernel_ir::prelude::*;
 use kernel_ir::Access;
@@ -29,7 +29,11 @@ pub struct Nbody {
 
 impl Default for Nbody {
     fn default() -> Self {
-        Nbody { n: 1024, dt: 0.01, opt_unroll: 4 }
+        Nbody {
+            n: 1024,
+            dt: 0.01,
+            opt_unroll: 4,
+        }
     }
 }
 
@@ -37,7 +41,11 @@ const SOFTENING: f64 = 1e-3;
 
 impl Nbody {
     pub fn test_size() -> Self {
-        Nbody { n: 128, dt: 0.01, opt_unroll: 4 }
+        Nbody {
+            n: 128,
+            dt: 0.01,
+            opt_unroll: 4,
+        }
     }
 
     /// AOS-flattened `x y z m` records.
@@ -114,9 +122,24 @@ impl Nbody {
         let pos = kb.arg_global(e, Access::ReadOnly, true);
         let dv = kb.arg_global(e, Access::WriteOnly, true);
         let gid = kb.query_global_id(0);
-        let base = kb.bin(BinOp::Mul, gid.into(), Operand::ImmI(4), VType::scalar(Scalar::U32));
-        let b1 = kb.bin(BinOp::Add, base.into(), Operand::ImmI(1), VType::scalar(Scalar::U32));
-        let b2 = kb.bin(BinOp::Add, base.into(), Operand::ImmI(2), VType::scalar(Scalar::U32));
+        let base = kb.bin(
+            BinOp::Mul,
+            gid.into(),
+            Operand::ImmI(4),
+            VType::scalar(Scalar::U32),
+        );
+        let b1 = kb.bin(
+            BinOp::Add,
+            base.into(),
+            Operand::ImmI(1),
+            VType::scalar(Scalar::U32),
+        );
+        let b2 = kb.bin(
+            BinOp::Add,
+            base.into(),
+            Operand::ImmI(2),
+            VType::scalar(Scalar::U32),
+        );
         let xi = kb.load(e, pos, base.into());
         let yi = kb.load(e, pos, b1.into());
         let zi = kb.load(e, pos, b2.into());
@@ -130,8 +153,12 @@ impl Nbody {
             |kb, j| {
                 // One float4/double4 load per AOS record (`pos[j]` in
                 // OpenCL C is a single vector load even in the naive port).
-                let jb = kb.bin(BinOp::Mul, j.into(), Operand::ImmI(4),
-                    VType::scalar(Scalar::U32));
+                let jb = kb.bin(
+                    BinOp::Mul,
+                    j.into(),
+                    Operand::ImmI(4),
+                    VType::scalar(Scalar::U32),
+                );
                 let body = kb.vload(e, 4, pos, jb.into());
                 let xj = kb.extract(body, 0);
                 let yj = kb.extract(body, 1);
@@ -140,8 +167,12 @@ impl Nbody {
                 let dx = kb.bin(BinOp::Sub, xj.into(), xi.into(), VType::scalar(e));
                 let dy = kb.bin(BinOp::Sub, yj.into(), yi.into(), VType::scalar(e));
                 let dz = kb.bin(BinOp::Sub, zj.into(), zi.into(), VType::scalar(e));
-                let d2 = kb.mad(dx.into(), dx.into(), Operand::ImmF(SOFTENING),
-                    VType::scalar(e));
+                let d2 = kb.mad(
+                    dx.into(),
+                    dx.into(),
+                    Operand::ImmF(SOFTENING),
+                    VType::scalar(e),
+                );
                 let d2b = kb.mad(dy.into(), dy.into(), d2.into(), VType::scalar(e));
                 let d2c = kb.mad(dz.into(), dz.into(), d2b.into(), VType::scalar(e));
                 let inv = kb.un(UnOp::Rsqrt, d2c.into(), VType::scalar(e));
@@ -160,8 +191,12 @@ impl Nbody {
                 Operand::ImmI(off),
                 VType::scalar(Scalar::U32),
             );
-            let v = kb.bin(BinOp::Mul, acc.into(), Operand::ImmF(self.dt),
-                VType::scalar(e));
+            let v = kb.bin(
+                BinOp::Mul,
+                acc.into(),
+                Operand::ImmF(self.dt),
+                VType::scalar(e),
+            );
             kb.store(dv, idx.into(), v.into());
         }
         kb.finish()
@@ -171,7 +206,13 @@ impl Nbody {
     /// hints — the only §III techniques applicable without changing the
     /// AOS data structure.
     pub fn opt_kernel(&self, prec: Precision) -> Program {
-        let base = self.kernel(prec, Hints { inline: true, const_args: true });
+        let base = self.kernel(
+            prec,
+            Hints {
+                inline: true,
+                const_args: true,
+            },
+        );
         unroll(&base, self.opt_unroll).expect("n divisible by unroll factor")
     }
 
@@ -212,7 +253,10 @@ impl Nbody {
         let e = prec.elem();
         let vt = VType::new(e, width);
         let mut kb = KernelBuilder::new(format!("nbody_soa_v{width}"));
-        kb.hints(Hints { inline: true, const_args: true });
+        kb.hints(Hints {
+            inline: true,
+            const_args: true,
+        });
         let xs = kb.arg_global(e, Access::ReadOnly, true);
         let ys = kb.arg_global(e, Access::ReadOnly, true);
         let zs = kb.arg_global(e, Access::ReadOnly, true);
@@ -253,11 +297,20 @@ impl Nbody {
         // Horizontal reduction of the lane-partial accelerations, then the
         // same AOS output layout as the paper's kernels (so validation is
         // shared).
-        let base = kb.bin(BinOp::Mul, gid.into(), Operand::ImmI(4), VType::scalar(Scalar::U32));
+        let base = kb.bin(
+            BinOp::Mul,
+            gid.into(),
+            Operand::ImmI(4),
+            VType::scalar(Scalar::U32),
+        );
         for (acc, off) in [(ax, 0i64), (ay, 1), (az, 2)] {
             let h = kb.horiz(HorizOp::Add, acc);
-            let scaled =
-                kb.bin(BinOp::Mul, h.into(), Operand::ImmF(self.dt), VType::scalar(e));
+            let scaled = kb.bin(
+                BinOp::Mul,
+                h.into(),
+                Operand::ImmF(self.dt),
+                VType::scalar(e),
+            );
             let idx = kb.bin(
                 BinOp::Add,
                 base.into(),
@@ -286,8 +339,10 @@ impl Nbody {
         let k = ctx
             .build_kernel(self.soa_kernel(prec, width))
             .map_err(|e| RunSkip::CompilerBug(e.to_string()))?;
-        let args: Vec<ocl_runtime::KernelArg> =
-            ids.iter().map(|&b| ocl_runtime::KernelArg::Buf(b)).collect();
+        let args: Vec<ocl_runtime::KernelArg> = ids
+            .iter()
+            .map(|&b| ocl_runtime::KernelArg::Buf(b))
+            .collect();
         // Same fallback discipline as the AOS opt version.
         let mut note = format!("SOA extension, vload{width}, wg 128");
         let attempt = launch(&mut ctx, &k, [self.n, 1, 1], Some([128, 1, 1]), &args);
@@ -309,12 +364,14 @@ impl Nbody {
             Precision::F32 => 5e-3,
             Precision::F64 => 1e-9,
         };
+        let tel = collect_gpu_telemetry(&mut ctx);
         Ok(RunOutcome {
             time_s: t,
             activity: act,
             validated: err <= tol,
             max_rel_err: err,
             note: Some(note),
+            telemetry: tel,
         })
     }
 }
@@ -337,10 +394,12 @@ impl Benchmark for Nbody {
         match variant {
             Variant::Serial | Variant::OpenMp => {
                 let mut pool = MemoryPool::new();
-                let ids: Vec<ArgBinding> =
-                    bufs.into_iter().map(|d| ArgBinding::Global(pool.add(d))).collect();
+                let ids: Vec<ArgBinding> = bufs
+                    .into_iter()
+                    .map(|d| ArgBinding::Global(pool.add(d)))
+                    .collect();
                 let cores = if variant == Variant::Serial { 1 } else { 2 };
-                let (t, act, pool) = run_cpu_kernel(
+                let (t, act, pool, tel) = run_cpu_kernel(
                     &self.kernel(prec, Hints::default()),
                     &ids,
                     pool,
@@ -348,8 +407,14 @@ impl Benchmark for Nbody {
                     cores,
                 );
                 let (ok, err) = self.check(pool.get(1), prec);
-                Ok(RunOutcome { time_s: t, activity: act, validated: ok, max_rel_err: err,
-                    note: None })
+                Ok(RunOutcome {
+                    time_s: t,
+                    activity: act,
+                    validated: ok,
+                    max_rel_err: err,
+                    note: None,
+                    telemetry: tel,
+                })
             }
             Variant::OpenCl => {
                 let (mut ctx, ids) = gpu_context(bufs);
@@ -359,9 +424,16 @@ impl Benchmark for Nbody {
                 let args: Vec<KernelArg> = ids.iter().map(|&b| KernelArg::Buf(b)).collect();
                 let (t, act) = launch(&mut ctx, &k, [self.n, 1, 1], None, &args)
                     .map_err(|e| RunSkip::LaunchFailure(e.to_string()))?;
+                let tel = collect_gpu_telemetry(&mut ctx);
                 let (ok, err) = self.check(ctx.buffer_data(ids[1]), prec);
-                Ok(RunOutcome { time_s: t, activity: act, validated: ok, max_rel_err: err,
-                    note: Some("AOS naive port".into()) })
+                Ok(RunOutcome {
+                    time_s: t,
+                    activity: act,
+                    validated: ok,
+                    max_rel_err: err,
+                    note: Some("AOS naive port".into()),
+                    telemetry: tel,
+                })
             }
             Variant::OpenClOpt => {
                 let (mut ctx, ids) = gpu_context(bufs);
@@ -385,9 +457,16 @@ impl Benchmark for Nbody {
                     }
                     Err(e) => return Err(RunSkip::LaunchFailure(e.to_string())),
                 };
+                let tel = collect_gpu_telemetry(&mut ctx);
                 let (ok, err) = self.check(ctx.buffer_data(ids[1]), prec);
-                Ok(RunOutcome { time_s: t, activity: act, validated: ok, max_rel_err: err,
-                    note: Some(note) })
+                Ok(RunOutcome {
+                    time_s: t,
+                    activity: act,
+                    validated: ok,
+                    max_rel_err: err,
+                    note: Some(note),
+                    telemetry: tel,
+                })
             }
         }
     }
@@ -422,7 +501,10 @@ mod tests {
         let serial = b.run(Variant::Serial, Precision::F32).unwrap();
         let naive = b.run(Variant::OpenCl, Precision::F32).unwrap();
         let speedup = serial.time_s / naive.time_s;
-        assert!(speedup > 6.0, "nbody naive GPU speedup {speedup:.1} too small");
+        assert!(
+            speedup > 6.0,
+            "nbody naive GPU speedup {speedup:.1} too small"
+        );
     }
 
     #[test]
@@ -433,7 +515,10 @@ mod tests {
         let naive = b.run(Variant::OpenCl, Precision::F32).unwrap();
         let opt = b.run(Variant::OpenClOpt, Precision::F32).unwrap();
         let gain = naive.time_s / opt.time_s;
-        assert!((0.95..1.6).contains(&gain), "nbody opt gain {gain:.2} out of band");
+        assert!(
+            (0.95..1.6).contains(&gain),
+            "nbody opt gain {gain:.2} out of band"
+        );
     }
 
     #[test]
@@ -444,7 +529,11 @@ mod tests {
         let b = Nbody::default();
         let aos_opt = b.run(Variant::OpenClOpt, Precision::F32).unwrap();
         let soa = b.run_soa_extension(Precision::F32, 4).unwrap();
-        assert!(soa.validated, "SOA kernel wrong (err {:.3e})", soa.max_rel_err);
+        assert!(
+            soa.validated,
+            "SOA kernel wrong (err {:.3e})",
+            soa.max_rel_err
+        );
         assert!(
             soa.time_s < aos_opt.time_s,
             "SOA ({:.3e}) should beat AOS opt ({:.3e})",
@@ -464,11 +553,18 @@ mod tests {
 
     #[test]
     fn f64_opt_falls_back_on_registers() {
-        let b = Nbody { n: 512, dt: 0.01, opt_unroll: 8 };
+        let b = Nbody {
+            n: 512,
+            dt: 0.01,
+            opt_unroll: 8,
+        };
         let r = b.run(Variant::OpenClOpt, Precision::F64).unwrap();
         assert!(r.validated);
         assert!(
-            r.note.as_deref().unwrap_or("").contains("CL_OUT_OF_RESOURCES"),
+            r.note
+                .as_deref()
+                .unwrap_or("")
+                .contains("CL_OUT_OF_RESOURCES"),
             "expected register-pressure fallback, note: {:?}",
             r.note
         );

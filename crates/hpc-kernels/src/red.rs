@@ -8,7 +8,8 @@
 //! paper attributes to red's OpenCL-Opt version.
 
 use crate::common::{
-    gpu_context, launch, run_cpu_kernel, Benchmark, Precision, RunOutcome, RunSkip, Variant,
+    chain_telemetry, collect_gpu_telemetry, gpu_context, launch, run_cpu_kernel, Benchmark,
+    Precision, RunOutcome, RunSkip, Variant,
 };
 use kernel_ir::prelude::*;
 use kernel_ir::Access;
@@ -29,17 +30,32 @@ pub struct Red {
 
 impl Default for Red {
     fn default() -> Self {
-        Red { n: 1 << 20, wg: 128, naive_groups: 512, opt_groups: 64 }
+        Red {
+            n: 1 << 20,
+            wg: 128,
+            naive_groups: 512,
+            opt_groups: 64,
+        }
     }
 }
 
 impl Red {
     pub fn test_size() -> Self {
-        Red { n: 1 << 12, wg: 32, naive_groups: 16, opt_groups: 4 }
+        Red {
+            n: 1 << 12,
+            wg: 32,
+            naive_groups: 16,
+            opt_groups: 4,
+        }
     }
 
     fn threads(&self, opt: bool) -> usize {
-        self.wg * if opt { self.opt_groups } else { self.naive_groups }
+        self.wg
+            * if opt {
+                self.opt_groups
+            } else {
+                self.naive_groups
+            }
     }
 
     pub fn input(&self) -> Vec<f64> {
@@ -57,12 +73,19 @@ impl Red {
         let mut s = wg / 2;
         while s >= 1 {
             let lid = kb.query_local_id(0);
-            let active =
-                kb.bin(BinOp::Lt, lid.into(), Operand::ImmI(s as i64), VType::scalar(Scalar::U32));
+            let active = kb.bin(
+                BinOp::Lt,
+                lid.into(),
+                Operand::ImmI(s as i64),
+                VType::scalar(Scalar::U32),
+            );
             kb.if_then(active.into(), |kb| {
-                let other =
-                    kb.bin(BinOp::Add, lid.into(), Operand::ImmI(s as i64),
-                        VType::scalar(Scalar::U32));
+                let other = kb.bin(
+                    BinOp::Add,
+                    lid.into(),
+                    Operand::ImmI(s as i64),
+                    VType::scalar(Scalar::U32),
+                );
                 let v1 = kb.load(elem, local, lid.into());
                 let v2 = kb.load(elem, local, other.into());
                 let sum = kb.bin(BinOp::Add, v1.into(), v2.into(), VType::scalar(elem));
@@ -85,19 +108,38 @@ impl Red {
         let local = kb.arg_local(e);
         let gid = kb.query_global_id(0);
         let lid = kb.query_local_id(0);
-        let base = kb.bin(BinOp::Mul, gid.into(), Operand::ImmI(chunk),
-            VType::scalar(Scalar::U32));
+        let base = kb.bin(
+            BinOp::Mul,
+            gid.into(),
+            Operand::ImmI(chunk),
+            VType::scalar(Scalar::U32),
+        );
         let v = kb.mov(Operand::ImmF(0.0), VType::scalar(e));
-        kb.for_loop(Operand::ImmI(0), Operand::ImmI(chunk), Operand::ImmI(1), |kb, i| {
-            let idx = kb.bin(BinOp::Add, base.into(), i.into(), VType::scalar(Scalar::U32));
-            let x = kb.load(e, data, idx.into());
-            kb.bin_into(v, BinOp::Add, v.into(), x.into());
-        });
+        kb.for_loop(
+            Operand::ImmI(0),
+            Operand::ImmI(chunk),
+            Operand::ImmI(1),
+            |kb, i| {
+                let idx = kb.bin(
+                    BinOp::Add,
+                    base.into(),
+                    i.into(),
+                    VType::scalar(Scalar::U32),
+                );
+                let x = kb.load(e, data, idx.into());
+                kb.bin_into(v, BinOp::Add, v.into(), x.into());
+            },
+        );
         kb.store(local, lid.into(), v.into());
         kb.barrier();
         Self::emit_tree(&mut kb, local, e, self.wg);
         let lid2 = kb.query_local_id(0);
-        let is0 = kb.bin(BinOp::Eq, lid2.into(), Operand::ImmI(0), VType::scalar(Scalar::U32));
+        let is0 = kb.bin(
+            BinOp::Eq,
+            lid2.into(),
+            Operand::ImmI(0),
+            VType::scalar(Scalar::U32),
+        );
         kb.if_then(is0.into(), |kb| {
             let grp = kb.query_group_id(0);
             let total = kb.load(e, local, Operand::ImmI(0));
@@ -111,28 +153,50 @@ impl Red {
     pub fn stage1_opt(&self, prec: Precision) -> Program {
         let e = prec.elem();
         let k = self.n / self.threads(true);
-        assert!(k % 4 == 0, "pre-accumulation runs on vload4");
+        assert!(k.is_multiple_of(4), "pre-accumulation runs on vload4");
         let mut kb = KernelBuilder::new("red_stage1_opt");
-        kb.hints(Hints { inline: true, const_args: true });
+        kb.hints(Hints {
+            inline: true,
+            const_args: true,
+        });
         let data = kb.arg_global(e, Access::ReadOnly, true);
         let partial = kb.arg_global(e, Access::WriteOnly, true);
         let local = kb.arg_local(e);
         let gid = kb.query_global_id(0);
         let lid = kb.query_local_id(0);
-        let base =
-            kb.bin(BinOp::Mul, gid.into(), Operand::ImmI(k as i64), VType::scalar(Scalar::U32));
+        let base = kb.bin(
+            BinOp::Mul,
+            gid.into(),
+            Operand::ImmI(k as i64),
+            VType::scalar(Scalar::U32),
+        );
         let vacc = kb.mov(Operand::ImmF(0.0), VType::new(e, 4));
-        kb.for_loop(Operand::ImmI(0), Operand::ImmI(k as i64), Operand::ImmI(4), |kb, i| {
-            let off = kb.bin(BinOp::Add, base.into(), i.into(), VType::scalar(Scalar::U32));
-            let v = kb.vload(e, 4, data, off.into());
-            kb.bin_into(vacc, BinOp::Add, vacc.into(), v.into());
-        });
+        kb.for_loop(
+            Operand::ImmI(0),
+            Operand::ImmI(k as i64),
+            Operand::ImmI(4),
+            |kb, i| {
+                let off = kb.bin(
+                    BinOp::Add,
+                    base.into(),
+                    i.into(),
+                    VType::scalar(Scalar::U32),
+                );
+                let v = kb.vload(e, 4, data, off.into());
+                kb.bin_into(vacc, BinOp::Add, vacc.into(), v.into());
+            },
+        );
         let acc = kb.horiz(HorizOp::Add, vacc);
         kb.store(local, lid.into(), acc.into());
         kb.barrier();
         Self::emit_tree(&mut kb, local, e, self.wg);
         let lid2 = kb.query_local_id(0);
-        let is0 = kb.bin(BinOp::Eq, lid2.into(), Operand::ImmI(0), VType::scalar(Scalar::U32));
+        let is0 = kb.bin(
+            BinOp::Eq,
+            lid2.into(),
+            Operand::ImmI(0),
+            VType::scalar(Scalar::U32),
+        );
         kb.if_then(is0.into(), |kb| {
             let grp = kb.query_group_id(0);
             let total = kb.load(e, local, Operand::ImmI(0));
@@ -171,13 +235,28 @@ impl Red {
         let data = kb.arg_global(e, Access::ReadOnly, true);
         let partial = kb.arg_global(e, Access::WriteOnly, true);
         let gid = kb.query_global_id(0);
-        let base = kb.bin(BinOp::Mul, gid.into(), Operand::ImmI(chunk), VType::scalar(Scalar::U32));
+        let base = kb.bin(
+            BinOp::Mul,
+            gid.into(),
+            Operand::ImmI(chunk),
+            VType::scalar(Scalar::U32),
+        );
         let acc = kb.mov(Operand::ImmF(0.0), VType::scalar(e));
-        kb.for_loop(Operand::ImmI(0), Operand::ImmI(chunk), Operand::ImmI(1), |kb, i| {
-            let idx = kb.bin(BinOp::Add, base.into(), i.into(), VType::scalar(Scalar::U32));
-            let v = kb.load(e, data, idx.into());
-            kb.bin_into(acc, BinOp::Add, acc.into(), v.into());
-        });
+        kb.for_loop(
+            Operand::ImmI(0),
+            Operand::ImmI(chunk),
+            Operand::ImmI(1),
+            |kb, i| {
+                let idx = kb.bin(
+                    BinOp::Add,
+                    base.into(),
+                    i.into(),
+                    VType::scalar(Scalar::U32),
+                );
+                let v = kb.load(e, data, idx.into());
+                kb.bin_into(acc, BinOp::Add, acc.into(), v.into());
+            },
+        );
         kb.store(partial, gid.into(), acc.into());
         kb.finish()
     }
@@ -210,14 +289,14 @@ impl Benchmark for Red {
                 let partial = pool.add(kernel_ir::BufferData::zeroed(e, chunks));
                 let out = pool.add(kernel_ir::BufferData::zeroed(e, 1));
                 let cores = if variant == Variant::Serial { 1 } else { 2 };
-                let (t1, a1, pool) = run_cpu_kernel(
+                let (t1, a1, pool, tel1) = run_cpu_kernel(
                     &self.cpu_stage1(prec, chunks),
                     &[ArgBinding::Global(data), ArgBinding::Global(partial)],
                     pool,
                     NDRange::d1(chunks, 1),
                     cores,
                 );
-                let (t2, a2, pool) = run_cpu_kernel(
+                let (t2, a2, pool, tel2) = run_cpu_kernel(
                     &self.stage2(prec, chunks),
                     &[ArgBinding::Global(partial), ArgBinding::Global(out)],
                     pool,
@@ -231,18 +310,27 @@ impl Benchmark for Red {
                     validated: ok,
                     max_rel_err: err,
                     note: None,
+                    telemetry: chain_telemetry(tel1, &tel2),
                 })
             }
             Variant::OpenCl | Variant::OpenClOpt => {
                 let opt = variant == Variant::OpenClOpt;
                 let threads = self.threads(opt);
-                let groups = if opt { self.opt_groups } else { self.naive_groups };
+                let groups = if opt {
+                    self.opt_groups
+                } else {
+                    self.naive_groups
+                };
                 let (mut ctx, ids) = gpu_context(vec![
                     input,
                     kernel_ir::BufferData::zeroed(e, groups),
                     kernel_ir::BufferData::zeroed(e, 1),
                 ]);
-                let s1 = if opt { self.stage1_opt(prec) } else { self.stage1(prec) };
+                let s1 = if opt {
+                    self.stage1_opt(prec)
+                } else {
+                    self.stage1(prec)
+                };
                 let k1 = ctx
                     .build_kernel(s1)
                     .map_err(|e| RunSkip::CompilerBug(e.to_string()))?;
@@ -273,6 +361,7 @@ impl Benchmark for Red {
                     &[KernelArg::Buf(ids[1]), KernelArg::Buf(ids[2])],
                 )
                 .map_err(|e| RunSkip::LaunchFailure(e.to_string()))?;
+                let tel = collect_gpu_telemetry(&mut ctx);
                 let (ok, err) = self.check(ctx.buffer_data(ids[2]), prec);
                 Ok(RunOutcome {
                     time_s: t1 + t2,
@@ -284,6 +373,7 @@ impl Benchmark for Red {
                     } else {
                         "scalar accumulation".into()
                     }),
+                    telemetry: tel,
                 })
             }
         }

@@ -9,8 +9,8 @@
 //! (1.25× in Fig. 2(a)).
 
 use crate::common::{
-    gpu_context, launch, run_cpu_kernel, validate, Benchmark, Precision, RunOutcome, RunSkip,
-    Variant,
+    collect_gpu_telemetry, gpu_context, launch, run_cpu_kernel, validate, Benchmark, Precision,
+    RunOutcome, RunSkip, Variant,
 };
 use kernel_ir::prelude::*;
 use kernel_ir::Access;
@@ -25,7 +25,10 @@ pub struct Spmv {
 
 impl Default for Spmv {
     fn default() -> Self {
-        Spmv { rows: 16 * 1024, nnz_per_row: 16 }
+        Spmv {
+            rows: 16 * 1024,
+            nnz_per_row: 16,
+        }
     }
 }
 
@@ -39,7 +42,10 @@ pub struct Csr {
 
 impl Spmv {
     pub fn test_size() -> Self {
-        Spmv { rows: 512, nnz_per_row: 8 }
+        Spmv {
+            rows: 512,
+            nnz_per_row: 8,
+        }
     }
 
     /// Deterministic skewed CSR matrix: row r gets
@@ -54,8 +60,13 @@ impl Spmv {
         for r in 0..self.rows {
             // Skewed length: most rows short, a heavy tail up to 8× mean.
             let h = (r as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 40;
-            let len = 1 + (h as usize % (2 * self.nnz_per_row))
-                + if h % 16 == 0 { 6 * self.nnz_per_row } else { 0 };
+            let len = 1
+                + (h as usize % (2 * self.nnz_per_row))
+                + if h.is_multiple_of(16) {
+                    6 * self.nnz_per_row
+                } else {
+                    0
+                };
             for k in 0..len {
                 let c = ((r * 7 + k * 131 + (h as usize & 0xffff)) * 2654435761) % self.rows;
                 col.push(c as u32);
@@ -64,7 +75,12 @@ impl Spmv {
             row_ptr.push(col.len() as u32);
         }
         let x = crate::common::prng_uniform(43, self.rows);
-        Csr { row_ptr, col, val, x }
+        Csr {
+            row_ptr,
+            col,
+            val,
+            x,
+        }
     }
 
     fn reference(&self, prec: Precision) -> Vec<f64> {
@@ -98,7 +114,12 @@ impl Spmv {
         let y = kb.arg_global(e, Access::WriteOnly, true);
         let gid = kb.query_global_id(0);
         let start = kb.load(Scalar::U32, row_ptr, gid.into());
-        let gid1 = kb.bin(BinOp::Add, gid.into(), Operand::ImmI(1), VType::scalar(Scalar::U32));
+        let gid1 = kb.bin(
+            BinOp::Add,
+            gid.into(),
+            Operand::ImmI(1),
+            VType::scalar(Scalar::U32),
+        );
         let end = kb.load(Scalar::U32, row_ptr, gid1.into());
         let acc = kb.mov(Operand::ImmF(0.0), VType::scalar(e));
         kb.for_loop(start.into(), end.into(), Operand::ImmI(1), |kb, j| {
@@ -139,10 +160,12 @@ impl Benchmark for Spmv {
         match variant {
             Variant::Serial | Variant::OpenMp => {
                 let mut pool = MemoryPool::new();
-                let ids: Vec<ArgBinding> =
-                    bufs.into_iter().map(|d| ArgBinding::Global(pool.add(d))).collect();
+                let ids: Vec<ArgBinding> = bufs
+                    .into_iter()
+                    .map(|d| ArgBinding::Global(pool.add(d)))
+                    .collect();
                 let cores = if variant == Variant::Serial { 1 } else { 2 };
-                let (t, act, pool) = run_cpu_kernel(
+                let (t, act, pool, tel) = run_cpu_kernel(
                     &self.kernel(prec, Hints::default()),
                     &ids,
                     pool,
@@ -150,13 +173,22 @@ impl Benchmark for Spmv {
                     cores,
                 );
                 let (ok, err) = validate(pool.get(4), &reference, prec);
-                Ok(RunOutcome { time_s: t, activity: act, validated: ok, max_rel_err: err,
-                    note: None })
+                Ok(RunOutcome {
+                    time_s: t,
+                    activity: act,
+                    validated: ok,
+                    max_rel_err: err,
+                    note: None,
+                    telemetry: tel,
+                })
             }
             Variant::OpenCl | Variant::OpenClOpt => {
                 let opt = variant == Variant::OpenClOpt;
                 let hints = if opt {
-                    Hints { inline: true, const_args: true }
+                    Hints {
+                        inline: true,
+                        const_args: true,
+                    }
                 } else {
                     Hints::default()
                 };
@@ -170,14 +202,19 @@ impl Benchmark for Spmv {
                 let local = if opt { Some([64, 1, 1]) } else { None };
                 let (t, act) = launch(&mut ctx, &k, [self.rows, 1, 1], local, &args)
                     .map_err(|e| RunSkip::LaunchFailure(e.to_string()))?;
+                let tel = collect_gpu_telemetry(&mut ctx);
                 let (ok, err) = validate(ctx.buffer_data(ids[4]), &reference, prec);
                 Ok(RunOutcome {
                     time_s: t,
                     activity: act,
                     validated: ok,
                     max_rel_err: err,
-                    note: Some(if opt { "wg 64 + hints".into() } else {
-                        "driver-chosen local size".into() }),
+                    note: Some(if opt {
+                        "wg 64 + hints".into()
+                    } else {
+                        "driver-chosen local size".into()
+                    }),
+                    telemetry: tel,
                 })
             }
         }
@@ -195,7 +232,13 @@ mod tests {
         for prec in Precision::ALL {
             for v in Variant::ALL {
                 let r = b.run(v, prec).unwrap();
-                assert!(r.validated, "{} {} err {:.3e}", v.label(), prec.label(), r.max_rel_err);
+                assert!(
+                    r.validated,
+                    "{} {} err {:.3e}",
+                    v.label(),
+                    prec.label(),
+                    r.max_rel_err
+                );
             }
         }
     }
@@ -204,8 +247,7 @@ mod tests {
     fn matrix_is_skewed() {
         let b = Spmv::test_size();
         let m = b.matrix();
-        let lens: Vec<u32> =
-            m.row_ptr.windows(2).map(|w| w[1] - w[0]).collect();
+        let lens: Vec<u32> = m.row_ptr.windows(2).map(|w| w[1] - w[0]).collect();
         let max = *lens.iter().max().unwrap();
         let mean = lens.iter().sum::<u32>() as f64 / lens.len() as f64;
         assert!(
@@ -233,7 +275,10 @@ mod tests {
         let b = Spmv::default();
         let naive = b.run(Variant::OpenCl, Precision::F32).unwrap();
         let opt = b.run(Variant::OpenClOpt, Precision::F32).unwrap();
-        assert!(opt.time_s <= naive.time_s * 1.02, "opt should not be slower");
+        assert!(
+            opt.time_s <= naive.time_s * 1.02,
+            "opt should not be slower"
+        );
         assert!(
             opt.time_s > naive.time_s * 0.5,
             "spmv has no big optimization win (naive {:.3e}, opt {:.3e})",

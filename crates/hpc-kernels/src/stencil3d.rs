@@ -9,8 +9,8 @@
 //! registers so every input is loaded once instead of three times.
 
 use crate::common::{
-    gpu_context, launch, run_cpu_kernel, validate, Benchmark, Precision, RunOutcome, RunSkip,
-    Variant,
+    collect_gpu_telemetry, gpu_context, launch, run_cpu_kernel, validate, Benchmark, Precision,
+    RunOutcome, RunSkip, Variant,
 };
 use kernel_ir::prelude::*;
 use kernel_ir::Access;
@@ -26,7 +26,10 @@ pub struct Stencil3d {
 
 impl Default for Stencil3d {
     fn default() -> Self {
-        Stencil3d { dim: 66, opt_z_per_thread: 8 }
+        Stencil3d {
+            dim: 66,
+            opt_z_per_thread: 8,
+        }
     }
 }
 
@@ -35,7 +38,10 @@ const C1: f64 = 0.1;
 
 impl Stencil3d {
     pub fn test_size() -> Self {
-        Stencil3d { dim: 18, opt_z_per_thread: 4 }
+        Stencil3d {
+            dim: 18,
+            opt_z_per_thread: 4,
+        }
     }
 
     fn interior(&self) -> usize {
@@ -86,16 +92,15 @@ impl Stencil3d {
     }
 
     /// Emit `idx = ((z·d) + y)·d + x` from coordinate registers.
-    fn emit_index(
-        kb: &mut KernelBuilder,
-        d: i64,
-        x: Operand,
-        y: Operand,
-        z: Operand,
-    ) -> Reg {
+    fn emit_index(kb: &mut KernelBuilder, d: i64, x: Operand, y: Operand, z: Operand) -> Reg {
         let zy = kb.bin(BinOp::Mul, z, Operand::ImmI(d), VType::scalar(Scalar::U32));
         let zy2 = kb.bin(BinOp::Add, zy.into(), y, VType::scalar(Scalar::U32));
-        let row = kb.bin(BinOp::Mul, zy2.into(), Operand::ImmI(d), VType::scalar(Scalar::U32));
+        let row = kb.bin(
+            BinOp::Mul,
+            zy2.into(),
+            Operand::ImmI(d),
+            VType::scalar(Scalar::U32),
+        );
         kb.bin(BinOp::Add, row.into(), x, VType::scalar(Scalar::U32))
     }
 
@@ -110,15 +115,60 @@ impl Stencil3d {
         let gx = kb.query_global_id(0);
         let gy = kb.query_global_id(1);
         let gz = kb.query_global_id(2);
-        let x = kb.bin(BinOp::Add, gx.into(), Operand::ImmI(1), VType::scalar(Scalar::U32));
-        let y = kb.bin(BinOp::Add, gy.into(), Operand::ImmI(1), VType::scalar(Scalar::U32));
-        let z = kb.bin(BinOp::Add, gz.into(), Operand::ImmI(1), VType::scalar(Scalar::U32));
-        let xm = kb.bin(BinOp::Sub, x.into(), Operand::ImmI(1), VType::scalar(Scalar::U32));
-        let xp = kb.bin(BinOp::Add, x.into(), Operand::ImmI(1), VType::scalar(Scalar::U32));
-        let ym = kb.bin(BinOp::Sub, y.into(), Operand::ImmI(1), VType::scalar(Scalar::U32));
-        let yp = kb.bin(BinOp::Add, y.into(), Operand::ImmI(1), VType::scalar(Scalar::U32));
-        let zm = kb.bin(BinOp::Sub, z.into(), Operand::ImmI(1), VType::scalar(Scalar::U32));
-        let zp = kb.bin(BinOp::Add, z.into(), Operand::ImmI(1), VType::scalar(Scalar::U32));
+        let x = kb.bin(
+            BinOp::Add,
+            gx.into(),
+            Operand::ImmI(1),
+            VType::scalar(Scalar::U32),
+        );
+        let y = kb.bin(
+            BinOp::Add,
+            gy.into(),
+            Operand::ImmI(1),
+            VType::scalar(Scalar::U32),
+        );
+        let z = kb.bin(
+            BinOp::Add,
+            gz.into(),
+            Operand::ImmI(1),
+            VType::scalar(Scalar::U32),
+        );
+        let xm = kb.bin(
+            BinOp::Sub,
+            x.into(),
+            Operand::ImmI(1),
+            VType::scalar(Scalar::U32),
+        );
+        let xp = kb.bin(
+            BinOp::Add,
+            x.into(),
+            Operand::ImmI(1),
+            VType::scalar(Scalar::U32),
+        );
+        let ym = kb.bin(
+            BinOp::Sub,
+            y.into(),
+            Operand::ImmI(1),
+            VType::scalar(Scalar::U32),
+        );
+        let yp = kb.bin(
+            BinOp::Add,
+            y.into(),
+            Operand::ImmI(1),
+            VType::scalar(Scalar::U32),
+        );
+        let zm = kb.bin(
+            BinOp::Sub,
+            z.into(),
+            Operand::ImmI(1),
+            VType::scalar(Scalar::U32),
+        );
+        let zp = kb.bin(
+            BinOp::Add,
+            z.into(),
+            Operand::ImmI(1),
+            VType::scalar(Scalar::U32),
+        );
 
         let center = Self::emit_index(&mut kb, d, x.into(), y.into(), z.into());
         let i_xm = Self::emit_index(&mut kb, d, xm.into(), y.into(), z.into());
@@ -134,7 +184,12 @@ impl Stencil3d {
             let v = kb.load(e, inp, idx.into());
             kb.bin_into(acc, BinOp::Add, acc.into(), v.into());
         }
-        let res = kb.mad(vc.into(), Operand::ImmF(C0), Operand::ImmF(0.0), VType::scalar(e));
+        let res = kb.mad(
+            vc.into(),
+            Operand::ImmF(C0),
+            Operand::ImmF(0.0),
+            VType::scalar(e),
+        );
         let res2 = kb.mad(acc.into(), Operand::ImmF(C1), res.into(), VType::scalar(e));
         kb.store(out, center.into(), res2.into());
         kb.finish()
@@ -150,54 +205,120 @@ impl Stencil3d {
         let d = self.dim as i64;
         let zs = self.opt_z_per_thread as i64;
         let mut kb = KernelBuilder::new("stencil3d_opt");
-        kb.hints(Hints { inline: true, const_args: true });
+        kb.hints(Hints {
+            inline: true,
+            const_args: true,
+        });
         let inp = kb.arg_global(e, Access::ReadOnly, true);
         let out = kb.arg_global(e, Access::WriteOnly, true);
         let gx = kb.query_global_id(0);
         let gy = kb.query_global_id(1);
         let gz = kb.query_global_id(2);
-        let x = kb.bin(BinOp::Add, gx.into(), Operand::ImmI(1), VType::scalar(Scalar::U32));
-        let y = kb.bin(BinOp::Add, gy.into(), Operand::ImmI(1), VType::scalar(Scalar::U32));
-        let z0 = kb.bin(BinOp::Mul, gz.into(), Operand::ImmI(zs), VType::scalar(Scalar::U32));
-        let z0p1 = kb.bin(BinOp::Add, z0.into(), Operand::ImmI(1), VType::scalar(Scalar::U32));
-        let xm = kb.bin(BinOp::Sub, x.into(), Operand::ImmI(1), VType::scalar(Scalar::U32));
-        let xp = kb.bin(BinOp::Add, x.into(), Operand::ImmI(1), VType::scalar(Scalar::U32));
-        let ym = kb.bin(BinOp::Sub, y.into(), Operand::ImmI(1), VType::scalar(Scalar::U32));
-        let yp = kb.bin(BinOp::Add, y.into(), Operand::ImmI(1), VType::scalar(Scalar::U32));
+        let x = kb.bin(
+            BinOp::Add,
+            gx.into(),
+            Operand::ImmI(1),
+            VType::scalar(Scalar::U32),
+        );
+        let y = kb.bin(
+            BinOp::Add,
+            gy.into(),
+            Operand::ImmI(1),
+            VType::scalar(Scalar::U32),
+        );
+        let z0 = kb.bin(
+            BinOp::Mul,
+            gz.into(),
+            Operand::ImmI(zs),
+            VType::scalar(Scalar::U32),
+        );
+        let z0p1 = kb.bin(
+            BinOp::Add,
+            z0.into(),
+            Operand::ImmI(1),
+            VType::scalar(Scalar::U32),
+        );
+        let xm = kb.bin(
+            BinOp::Sub,
+            x.into(),
+            Operand::ImmI(1),
+            VType::scalar(Scalar::U32),
+        );
+        let xp = kb.bin(
+            BinOp::Add,
+            x.into(),
+            Operand::ImmI(1),
+            VType::scalar(Scalar::U32),
+        );
+        let ym = kb.bin(
+            BinOp::Sub,
+            y.into(),
+            Operand::ImmI(1),
+            VType::scalar(Scalar::U32),
+        );
+        let yp = kb.bin(
+            BinOp::Add,
+            y.into(),
+            Operand::ImmI(1),
+            VType::scalar(Scalar::U32),
+        );
 
         // Rolling registers: below = in[x,y,z-1], mid = in[x,y,z].
-        let z0m1 = kb.bin(BinOp::Sub, z0p1.into(), Operand::ImmI(1), VType::scalar(Scalar::U32));
+        let z0m1 = kb.bin(
+            BinOp::Sub,
+            z0p1.into(),
+            Operand::ImmI(1),
+            VType::scalar(Scalar::U32),
+        );
         let i_below = Self::emit_index(&mut kb, d, x.into(), y.into(), z0m1.into());
         let below = kb.load(e, inp, i_below.into());
         let i_mid = Self::emit_index(&mut kb, d, x.into(), y.into(), z0p1.into());
         let mid = kb.load(e, inp, i_mid.into());
 
-        kb.for_loop(Operand::ImmI(0), Operand::ImmI(zs), Operand::ImmI(1), |kb, k| {
-            let z = {
-                let t = kb.bin(BinOp::Add, z0p1.into(), k.into(), VType::scalar(Scalar::U32));
-                t
-            };
-            let zp = kb.bin(BinOp::Add, z.into(), Operand::ImmI(1), VType::scalar(Scalar::U32));
-            let i_above = Self::emit_index(kb, d, x.into(), y.into(), zp.into());
-            let above = kb.load(e, inp, i_above.into());
-            // In-plane neighbours (not reusable across z).
-            let acc = kb.mov(Operand::ImmF(0.0), VType::scalar(e));
-            for (xx, yy) in [(xm, y), (xp, y), (x, ym), (x, yp)] {
-                let i = Self::emit_index(kb, d, xx.into(), yy.into(), z.into());
-                let v = kb.load(e, inp, i.into());
-                kb.bin_into(acc, BinOp::Add, acc.into(), v.into());
-            }
-            kb.bin_into(acc, BinOp::Add, acc.into(), below.into());
-            kb.bin_into(acc, BinOp::Add, acc.into(), above.into());
-            let res = kb.mad(mid.into(), Operand::ImmF(C0), Operand::ImmF(0.0),
-                VType::scalar(e));
-            let res2 = kb.mad(acc.into(), Operand::ImmF(C1), res.into(), VType::scalar(e));
-            let i_out = Self::emit_index(kb, d, x.into(), y.into(), z.into());
-            kb.store(out, i_out.into(), res2.into());
-            // Roll the column registers.
-            kb.mov_into(below, mid.into());
-            kb.mov_into(mid, above.into());
-        });
+        kb.for_loop(
+            Operand::ImmI(0),
+            Operand::ImmI(zs),
+            Operand::ImmI(1),
+            |kb, k| {
+                let z = {
+                    kb.bin(
+                        BinOp::Add,
+                        z0p1.into(),
+                        k.into(),
+                        VType::scalar(Scalar::U32),
+                    )
+                };
+                let zp = kb.bin(
+                    BinOp::Add,
+                    z.into(),
+                    Operand::ImmI(1),
+                    VType::scalar(Scalar::U32),
+                );
+                let i_above = Self::emit_index(kb, d, x.into(), y.into(), zp.into());
+                let above = kb.load(e, inp, i_above.into());
+                // In-plane neighbours (not reusable across z).
+                let acc = kb.mov(Operand::ImmF(0.0), VType::scalar(e));
+                for (xx, yy) in [(xm, y), (xp, y), (x, ym), (x, yp)] {
+                    let i = Self::emit_index(kb, d, xx.into(), yy.into(), z.into());
+                    let v = kb.load(e, inp, i.into());
+                    kb.bin_into(acc, BinOp::Add, acc.into(), v.into());
+                }
+                kb.bin_into(acc, BinOp::Add, acc.into(), below.into());
+                kb.bin_into(acc, BinOp::Add, acc.into(), above.into());
+                let res = kb.mad(
+                    mid.into(),
+                    Operand::ImmF(C0),
+                    Operand::ImmF(0.0),
+                    VType::scalar(e),
+                );
+                let res2 = kb.mad(acc.into(), Operand::ImmF(C1), res.into(), VType::scalar(e));
+                let i_out = Self::emit_index(kb, d, x.into(), y.into(), z.into());
+                kb.store(out, i_out.into(), res2.into());
+                // Roll the column registers.
+                kb.mov_into(below, mid.into());
+                kb.mov_into(mid, above.into());
+            },
+        );
         kb.finish()
     }
 
@@ -227,10 +348,12 @@ impl Benchmark for Stencil3d {
         match variant {
             Variant::Serial | Variant::OpenMp => {
                 let mut pool = MemoryPool::new();
-                let ids: Vec<ArgBinding> =
-                    bufs.into_iter().map(|d| ArgBinding::Global(pool.add(d))).collect();
+                let ids: Vec<ArgBinding> = bufs
+                    .into_iter()
+                    .map(|d| ArgBinding::Global(pool.add(d)))
+                    .collect();
                 let cores = if variant == Variant::Serial { 1 } else { 2 };
-                let (t, act, pool) = run_cpu_kernel(
+                let (t, act, pool, tel) = run_cpu_kernel(
                     &self.kernel(prec),
                     &ids,
                     pool,
@@ -238,8 +361,14 @@ impl Benchmark for Stencil3d {
                     cores,
                 );
                 let (ok, err) = check(pool.get(1));
-                Ok(RunOutcome { time_s: t, activity: act, validated: ok, max_rel_err: err,
-                    note: None })
+                Ok(RunOutcome {
+                    time_s: t,
+                    activity: act,
+                    validated: ok,
+                    max_rel_err: err,
+                    note: None,
+                    telemetry: tel,
+                })
             }
             Variant::OpenCl => {
                 let (mut ctx, ids) = gpu_context(bufs);
@@ -249,9 +378,16 @@ impl Benchmark for Stencil3d {
                 let args: Vec<KernelArg> = ids.iter().map(|&b| KernelArg::Buf(b)).collect();
                 let (t, act) = launch(&mut ctx, &k, [n, n, n], None, &args)
                     .map_err(|e| RunSkip::LaunchFailure(e.to_string()))?;
+                let tel = collect_gpu_telemetry(&mut ctx);
                 let (ok, err) = check(ctx.buffer_data(ids[1]));
-                Ok(RunOutcome { time_s: t, activity: act, validated: ok, max_rel_err: err,
-                    note: Some("driver-chosen local size (1-D strips)".into()) })
+                Ok(RunOutcome {
+                    time_s: t,
+                    activity: act,
+                    validated: ok,
+                    max_rel_err: err,
+                    note: Some("driver-chosen local size (1-D strips)".into()),
+                    telemetry: tel,
+                })
             }
             Variant::OpenClOpt => {
                 let (mut ctx, ids) = gpu_context(bufs);
@@ -263,6 +399,7 @@ impl Benchmark for Stencil3d {
                 // Tuned 2-D tile: 16×8 spatial tile per group.
                 let (t, act) = launch(&mut ctx, &k, [n, n, zt], Some([16, 8, 1]), &args)
                     .map_err(|e| RunSkip::LaunchFailure(e.to_string()))?;
+                let tel = collect_gpu_telemetry(&mut ctx);
                 let (ok, err) = check(ctx.buffer_data(ids[1]));
                 Ok(RunOutcome {
                     time_s: t,
@@ -273,6 +410,7 @@ impl Benchmark for Stencil3d {
                         "z-column register reuse x{}, tile 16x8",
                         self.opt_z_per_thread
                     )),
+                    telemetry: tel,
                 })
             }
         }

@@ -32,15 +32,41 @@ pub fn suite() -> Vec<Box<dyn Benchmark>> {
 /// tests.
 pub fn mid_suite() -> Vec<Box<dyn Benchmark>> {
     vec![
-        Box::new(Spmv { rows: 4096, nnz_per_row: 16 }),
+        Box::new(Spmv {
+            rows: 4096,
+            nnz_per_row: 16,
+        }),
         Box::new(Vecop { n: 1 << 18 }),
-        Box::new(Hist { n: 1 << 18, buckets: 256, opt_items_per_thread: 16 }),
-        Box::new(Stencil3d { dim: 34, opt_z_per_thread: 8 }),
-        Box::new(Red { n: 1 << 18, wg: 128, naive_groups: 128, opt_groups: 16 }),
-        Box::new(Amcd { walkers: 2048, steps: 96 }),
-        Box::new(Nbody { n: 512, dt: 0.01, opt_unroll: 4 }),
+        Box::new(Hist {
+            n: 1 << 18,
+            buckets: 256,
+            opt_items_per_thread: 16,
+        }),
+        Box::new(Stencil3d {
+            dim: 34,
+            opt_z_per_thread: 8,
+        }),
+        Box::new(Red {
+            n: 1 << 18,
+            wg: 128,
+            naive_groups: 128,
+            opt_groups: 16,
+        }),
+        Box::new(Amcd {
+            walkers: 2048,
+            steps: 96,
+        }),
+        Box::new(Nbody {
+            n: 512,
+            dt: 0.01,
+            opt_unroll: 4,
+        }),
         Box::new(Conv2d { n: 132 }),
-        Box::new(Dmmm { n: 96, opt_unroll: 2, opt_width: 4 }),
+        Box::new(Dmmm {
+            n: 96,
+            opt_unroll: 2,
+            opt_width: 4,
+        }),
     ]
 }
 
@@ -88,9 +114,7 @@ mod tests {
                             r.max_rel_err
                         ),
                         Err(RunSkip::CompilerBug(_))
-                            if b.name() == "amcd"
-                                && prec == Precision::F64
-                                && v.on_gpu() => {}
+                            if b.name() == "amcd" && prec == Precision::F64 && v.on_gpu() => {}
                         Err(e) => {
                             panic!("{} {} {}: {e}", b.name(), v.label(), prec.label())
                         }

@@ -8,8 +8,8 @@
 //! wins.
 
 use crate::common::{
-    gpu_context, launch, run_cpu_kernel, validate, Benchmark, Precision, RunOutcome, RunSkip,
-    Variant,
+    collect_gpu_telemetry, gpu_context, launch, run_cpu_kernel, validate, Benchmark, Precision,
+    RunOutcome, RunSkip, Variant,
 };
 use kernel_ir::prelude::*;
 use kernel_ir::Access;
@@ -45,9 +45,11 @@ impl Vecop {
         match prec {
             // The reference models the arithmetic at the precision under
             // test, so validation checks the *kernel*, not float rounding.
-            Precision::F32 => {
-                a.iter().zip(&b).map(|(&x, &y)| (x as f32 + y as f32) as f64).collect()
-            }
+            Precision::F32 => a
+                .iter()
+                .zip(&b)
+                .map(|(&x, &y)| (x as f32 + y as f32) as f64)
+                .collect(),
             Precision::F64 => a.iter().zip(&b).map(|(&x, &y)| x + y).collect(),
         }
     }
@@ -74,7 +76,7 @@ impl Vecop {
     pub fn opt_kernel(&self, prec: Precision) -> (Program, u8) {
         let width = 8;
         assert!(
-            self.n % (width as usize * 128) == 0,
+            self.n.is_multiple_of(width as usize * 128),
             "vecop Opt runs width {width} x work-group 128: n ({}) must be a multiple of {}",
             self.n,
             width as usize * 128
@@ -104,10 +106,12 @@ impl Benchmark for Vecop {
         match variant {
             Variant::Serial | Variant::OpenMp => {
                 let mut pool = MemoryPool::new();
-                let ids: Vec<ArgBinding> =
-                    bufs.into_iter().map(|d| ArgBinding::Global(pool.add(d))).collect();
+                let ids: Vec<ArgBinding> = bufs
+                    .into_iter()
+                    .map(|d| ArgBinding::Global(pool.add(d)))
+                    .collect();
                 let cores = if variant == Variant::Serial { 1 } else { 2 };
-                let (t, act, pool) = run_cpu_kernel(
+                let (t, act, pool, tel) = run_cpu_kernel(
                     &self.kernel(prec),
                     &ids,
                     pool,
@@ -115,8 +119,14 @@ impl Benchmark for Vecop {
                     cores,
                 );
                 let (ok, err) = validate(pool.get(2), &reference, prec);
-                Ok(RunOutcome { time_s: t, activity: act, validated: ok, max_rel_err: err,
-                    note: None })
+                Ok(RunOutcome {
+                    time_s: t,
+                    activity: act,
+                    validated: ok,
+                    max_rel_err: err,
+                    note: None,
+                    telemetry: tel,
+                })
             }
             Variant::OpenCl => {
                 let (mut ctx, ids) = gpu_context(bufs);
@@ -126,9 +136,16 @@ impl Benchmark for Vecop {
                 let args: Vec<KernelArg> = ids.iter().map(|&b| KernelArg::Buf(b)).collect();
                 let (t, act) = launch(&mut ctx, &k, [self.n, 1, 1], None, &args)
                     .map_err(|e| RunSkip::LaunchFailure(e.to_string()))?;
+                let tel = collect_gpu_telemetry(&mut ctx);
                 let (ok, err) = validate(ctx.buffer_data(ids[2]), &reference, prec);
-                Ok(RunOutcome { time_s: t, activity: act, validated: ok, max_rel_err: err,
-                    note: Some("driver-chosen local size".into()) })
+                Ok(RunOutcome {
+                    time_s: t,
+                    activity: act,
+                    validated: ok,
+                    max_rel_err: err,
+                    note: Some("driver-chosen local size".into()),
+                    telemetry: tel,
+                })
             }
             Variant::OpenClOpt => {
                 let (mut ctx, ids) = gpu_context(bufs);
@@ -145,9 +162,16 @@ impl Benchmark for Vecop {
                     &args,
                 )
                 .map_err(|e| RunSkip::LaunchFailure(e.to_string()))?;
+                let tel = collect_gpu_telemetry(&mut ctx);
                 let (ok, err) = validate(ctx.buffer_data(ids[2]), &reference, prec);
-                Ok(RunOutcome { time_s: t, activity: act, validated: ok, max_rel_err: err,
-                    note: Some(format!("vectorized x{width}, wg 128")) })
+                Ok(RunOutcome {
+                    time_s: t,
+                    activity: act,
+                    validated: ok,
+                    max_rel_err: err,
+                    note: Some(format!("vectorized x{width}, wg 128")),
+                    telemetry: tel,
+                })
             }
         }
     }
@@ -203,12 +227,24 @@ mod tests {
             ]);
             let k = ctx.build_kernel(v.program).ok()?;
             let args: Vec<KernelArg> = ids.iter().map(|&x| KernelArg::Buf(x)).collect();
-            launch(&mut ctx, &k, [b.n / w as usize, 1, 1], Some([128, 1, 1]), &args)
-                .ok()
-                .map(|(t, _)| t)
+            launch(
+                &mut ctx,
+                &k,
+                [b.n / w as usize, 1, 1],
+                Some([128, 1, 1]),
+                &args,
+            )
+            .ok()
+            .map(|(t, _)| t)
         });
         let best = *result.best().expect("some width must work");
-        let cost8 = result.entries.iter().find(|e| e.param == 8).unwrap().cost.unwrap();
+        let cost8 = result
+            .entries
+            .iter()
+            .find(|e| e.param == 8)
+            .unwrap()
+            .cost
+            .unwrap();
         let best_cost = result.best_cost().unwrap();
         assert!(
             best == 8 || cost8 <= best_cost * 1.15,

@@ -1,8 +1,9 @@
-//! Property tests: every benchmark validates against its Rust reference on
-//! *randomized* problem sizes (drawn from each benchmark's legal size
-//! grid), across all four versions. This is the contract that makes the
-//! timing results trustworthy — the kernels compute the right answer at
-//! any size, not just the tuned defaults.
+//! Size-grid validation: every benchmark validates against its Rust
+//! reference on a grid of legal problem sizes (not just the tuned
+//! defaults), across all four versions and both precisions. This is the
+//! contract that makes the timing results trustworthy. (Formerly a
+//! proptest suite; now a deterministic sweep so the workspace builds
+//! offline.)
 
 use hpc_kernels::amcd::Amcd;
 use hpc_kernels::conv2d::Conv2d;
@@ -14,114 +15,154 @@ use hpc_kernels::spmv::Spmv;
 use hpc_kernels::stencil3d::Stencil3d;
 use hpc_kernels::vecop::Vecop;
 use hpc_kernels::{Benchmark, Precision, Variant};
-use proptest::prelude::*;
 
-/// Run all four versions at one precision; panic with context on any
+/// Run all four versions at both precisions; panic with context on any
 /// validation failure. (amcd f64 GPU skips are allowed by construction.)
-fn check_all(b: &dyn Benchmark, prec: Precision) -> Result<(), TestCaseError> {
-    for v in Variant::ALL {
-        match b.run(v, prec) {
-            Ok(r) => prop_assert!(
-                r.validated,
-                "{} {} {}: max rel err {:.3e}",
-                b.name(),
-                v.label(),
-                prec.label(),
-                r.max_rel_err
-            ),
-            Err(e) => {
-                let excused =
-                    b.name() == "amcd" && prec == Precision::F64 && v.on_gpu();
-                prop_assert!(excused, "{} {} {}: {e}", b.name(), v.label(), prec.label());
+fn check_all(b: &dyn Benchmark) {
+    for prec in Precision::ALL {
+        for v in Variant::ALL {
+            match b.run(v, prec) {
+                Ok(r) => assert!(
+                    r.validated,
+                    "{} {} {}: max rel err {:.3e}",
+                    b.name(),
+                    v.label(),
+                    prec.label(),
+                    r.max_rel_err
+                ),
+                Err(e) => {
+                    let excused = b.name() == "amcd" && prec == Precision::F64 && v.on_gpu();
+                    assert!(excused, "{} {} {}: {e}", b.name(), v.label(), prec.label());
+                }
             }
         }
     }
-    Ok(())
 }
 
-fn precisions() -> impl Strategy<Value = Precision> {
-    prop_oneof![Just(Precision::F32), Just(Precision::F64)]
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
-
-    #[test]
-    fn vecop_any_size(k in 1usize..6, prec in precisions()) {
-        check_all(&Vecop { n: 1024 * k }, prec)?;
-    }
-
-    #[test]
-    fn spmv_any_size(rows_k in 1usize..6, nnz in 4usize..12, prec in precisions()) {
-        check_all(&Spmv { rows: 64 * rows_k, nnz_per_row: nnz }, prec)?;
-    }
-
-    #[test]
-    fn hist_any_size(k in 1usize..6, prec in precisions()) {
-        check_all(&Hist { n: 512 * k, buckets: 64, opt_items_per_thread: 8 }, prec)?;
-    }
-
-    #[test]
-    fn stencil_any_size(k in 1usize..3, prec in precisions()) {
-        // interior 16k must divide the 16x8 tile and the z-column length 4.
-        check_all(&Stencil3d { dim: 16 * k + 2, opt_z_per_thread: 4 }, prec)?;
-    }
-
-    #[test]
-    fn red_any_size(k in 1usize..5, prec in precisions()) {
-        // n = wg(32) x naive_groups(16) x chunk(8k); opt chunk = 32k (mult of 4).
-        check_all(&Red { n: 32 * 16 * 8 * k, wg: 32, naive_groups: 16, opt_groups: 4 },
-            prec)?;
-    }
-
-    #[test]
-    fn amcd_any_size(wk in 1usize..4, steps in 8usize..48, prec in precisions()) {
-        check_all(&Amcd { walkers: 128 * wk, steps }, prec)?;
-    }
-
-    #[test]
-    fn nbody_any_size(k in 1usize..4, prec in precisions()) {
-        check_all(&Nbody { n: 128 * k, dt: 0.01, opt_unroll: 4 }, prec)?;
-    }
-
-    #[test]
-    fn conv2d_any_size(k in 2usize..6, prec in precisions()) {
-        check_all(&Conv2d { n: 16 * k + 4 }, prec)?;
-    }
-
-    #[test]
-    fn dmmm_any_size(k in 1usize..4, prec in precisions()) {
-        check_all(&Dmmm { n: 32 * k, opt_unroll: 2, opt_width: 4 }, prec)?;
+#[test]
+fn vecop_size_grid() {
+    for k in [1, 3, 5] {
+        check_all(&Vecop { n: 1024 * k });
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+#[test]
+fn spmv_size_grid() {
+    for (rows_k, nnz) in [(1, 4), (3, 7), (5, 11)] {
+        check_all(&Spmv {
+            rows: 64 * rows_k,
+            nnz_per_row: nnz,
+        });
+    }
+}
 
-    /// Device-model monotonicity: more elements never simulate faster
-    /// (checked on the memory-bound and compute-bound archetypes).
-    #[test]
-    fn time_monotone_in_problem_size(k in 1usize..5) {
+#[test]
+fn hist_size_grid() {
+    for k in [1, 3, 5] {
+        check_all(&Hist {
+            n: 512 * k,
+            buckets: 64,
+            opt_items_per_thread: 8,
+        });
+    }
+}
+
+#[test]
+fn stencil_size_grid() {
+    // interior 16k must divide the 16x8 tile and the z-column length 4.
+    for k in [1, 2] {
+        check_all(&Stencil3d {
+            dim: 16 * k + 2,
+            opt_z_per_thread: 4,
+        });
+    }
+}
+
+#[test]
+fn red_size_grid() {
+    // n = wg(32) x naive_groups(16) x chunk(8k); opt chunk = 32k (mult of 4).
+    for k in [1, 2, 4] {
+        check_all(&Red {
+            n: 32 * 16 * 8 * k,
+            wg: 32,
+            naive_groups: 16,
+            opt_groups: 4,
+        });
+    }
+}
+
+#[test]
+fn amcd_size_grid() {
+    for (wk, steps) in [(1, 8), (2, 23), (3, 47)] {
+        check_all(&Amcd {
+            walkers: 128 * wk,
+            steps,
+        });
+    }
+}
+
+#[test]
+fn nbody_size_grid() {
+    for k in [1, 2, 3] {
+        check_all(&Nbody {
+            n: 128 * k,
+            dt: 0.01,
+            opt_unroll: 4,
+        });
+    }
+}
+
+#[test]
+fn conv2d_size_grid() {
+    for k in [2, 3, 5] {
+        check_all(&Conv2d { n: 16 * k + 4 });
+    }
+}
+
+#[test]
+fn dmmm_size_grid() {
+    for k in [1, 2, 3] {
+        check_all(&Dmmm {
+            n: 32 * k,
+            opt_unroll: 2,
+            opt_width: 4,
+        });
+    }
+}
+
+/// Device-model monotonicity: more elements never simulate faster
+/// (checked on the memory-bound archetype).
+#[test]
+fn time_monotone_in_problem_size() {
+    for k in [1, 2, 4] {
         let small = Vecop { n: 1024 * k };
         let large = Vecop { n: 1024 * (k + 1) };
         for v in Variant::ALL {
             let ts = small.run(v, Precision::F32).unwrap().time_s;
             let tl = large.run(v, Precision::F32).unwrap().time_s;
-            prop_assert!(tl >= ts * 0.98,
-                "{}: larger input ran faster ({tl:.3e} < {ts:.3e})", v.label());
+            assert!(
+                tl >= ts * 0.98,
+                "{}: larger input ran faster ({tl:.3e} < {ts:.3e})",
+                v.label()
+            );
         }
     }
+}
 
-    /// f64 never beats f32 by more than noise on the same version (the
-    /// data is twice as wide everywhere).
-    #[test]
-    fn f64_never_faster_than_f32(k in 1usize..4) {
+/// f64 never beats f32 by more than noise on the same version (the
+/// data is twice as wide everywhere).
+#[test]
+fn f64_never_faster_than_f32() {
+    for k in [1, 3] {
         let b = Vecop { n: 2048 * k };
         for v in Variant::ALL {
             let t32 = b.run(v, Precision::F32).unwrap().time_s;
             let t64 = b.run(v, Precision::F64).unwrap().time_s;
-            prop_assert!(t64 >= t32 * 0.95,
-                "{}: f64 ({t64:.3e}) beat f32 ({t32:.3e})", v.label());
+            assert!(
+                t64 >= t32 * 0.95,
+                "{}: f64 ({t64:.3e}) beat f32 ({t32:.3e})",
+                v.label()
+            );
         }
     }
 }

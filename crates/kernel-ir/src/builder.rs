@@ -42,7 +42,11 @@ impl KernelBuilder {
 
     /// Declare a `__global` buffer argument.
     pub fn arg_global(&mut self, elem: Scalar, access: Access, restrict: bool) -> ArgIdx {
-        self.args.push(ArgDecl::GlobalBuf { elem, access, restrict });
+        self.args.push(ArgDecl::GlobalBuf {
+            elem,
+            access,
+            restrict,
+        });
         ArgIdx((self.args.len() - 1) as u32)
     }
 
@@ -65,7 +69,10 @@ impl KernelBuilder {
     }
 
     fn push(&mut self, op: Op) {
-        self.blocks.last_mut().expect("block stack never empty").push(op);
+        self.blocks
+            .last_mut()
+            .expect("block stack never empty")
+            .push(op);
     }
 
     // ---- straight-line ops --------------------------------------------
@@ -130,14 +137,22 @@ impl KernelBuilder {
     pub fn horiz(&mut self, op: HorizOp, a: Reg) -> Reg {
         let elem = self.regs[a.0 as usize].elem;
         let dst = self.reg(VType::scalar(elem));
-        self.push(Op::Horiz { dst, op, a: a.into() });
+        self.push(Op::Horiz {
+            dst,
+            op,
+            a: a.into(),
+        });
         dst
     }
 
     pub fn extract(&mut self, a: Reg, lane: u8) -> Reg {
         let elem = self.regs[a.0 as usize].elem;
         let dst = self.reg(VType::scalar(elem));
-        self.push(Op::Extract { dst, a: a.into(), lane });
+        self.push(Op::Extract {
+            dst,
+            a: a.into(),
+            lane,
+        });
         dst
     }
 
@@ -201,7 +216,13 @@ impl KernelBuilder {
     }
 
     pub fn atomic(&mut self, op: AtomicOp, buf: ArgIdx, idx: Operand, val: Operand) {
-        self.push(Op::Atomic { op, buf, idx, val, old: None });
+        self.push(Op::Atomic {
+            op,
+            buf,
+            idx,
+            val,
+            old: None,
+        });
     }
 
     pub fn atomic_old(
@@ -213,7 +234,13 @@ impl KernelBuilder {
         elem: Scalar,
     ) -> Reg {
         let old = self.reg(VType::scalar(elem));
-        self.push(Op::Atomic { op, buf, idx, val, old: Some(old) });
+        self.push(Op::Atomic {
+            op,
+            buf,
+            idx,
+            val,
+            old: Some(old),
+        });
         old
     }
 
@@ -225,7 +252,11 @@ impl KernelBuilder {
     pub fn load_scalar_arg(&mut self, arg: ArgIdx) -> Reg {
         let ty = self.args[arg.0 as usize].elem();
         let dst = self.reg(VType::scalar(ty));
-        self.push(Op::Load { dst, buf: arg, idx: Operand::ImmI(0) });
+        self.push(Op::Load {
+            dst,
+            buf: arg,
+            idx: Operand::ImmI(0),
+        });
         dst
     }
 
@@ -256,7 +287,13 @@ impl KernelBuilder {
         self.blocks.push(Vec::new());
         body(self, var);
         let body_ops = self.blocks.pop().expect("loop body block");
-        self.push(Op::For { var, start, end, step, body: body_ops });
+        self.push(Op::For {
+            var,
+            start,
+            end,
+            step,
+            body: body_ops,
+        });
     }
 
     /// `if (cond) then` with no else branch.
@@ -276,7 +313,11 @@ impl KernelBuilder {
         self.blocks.push(Vec::new());
         els(self);
         let els_ops = self.blocks.pop().expect("else block");
-        self.push(Op::If { cond, then: then_ops, els: els_ops });
+        self.push(Op::If {
+            cond,
+            then: then_ops,
+            els: els_ops,
+        });
     }
 
     /// Work-group barrier. Panics if inside a loop/if — the validator would
@@ -312,13 +353,23 @@ mod tests {
     fn builds_nested_structure() {
         let mut kb = KernelBuilder::new("nest");
         let acc = kb.mov(Operand::ImmF(0.0), VType::scalar(Scalar::F32));
-        kb.for_loop(Operand::ImmI(0), Operand::ImmI(10), Operand::ImmI(1), |kb, _i| {
-            kb.bin_into(acc, BinOp::Add, acc.into(), Operand::ImmF(1.0));
-            let c = kb.bin(BinOp::Lt, acc.into(), Operand::ImmF(5.0), VType::scalar(Scalar::F32));
-            kb.if_then(c.into(), |kb| {
+        kb.for_loop(
+            Operand::ImmI(0),
+            Operand::ImmI(10),
+            Operand::ImmI(1),
+            |kb, _i| {
                 kb.bin_into(acc, BinOp::Add, acc.into(), Operand::ImmF(1.0));
-            });
-        });
+                let c = kb.bin(
+                    BinOp::Lt,
+                    acc.into(),
+                    Operand::ImmF(5.0),
+                    VType::scalar(Scalar::F32),
+                );
+                kb.if_then(c.into(), |kb| {
+                    kb.bin_into(acc, BinOp::Add, acc.into(), Operand::ImmF(1.0));
+                });
+            },
+        );
         let p = kb.finish();
         assert!(p.validate().is_ok(), "{:?}", p.validate());
         assert_eq!(p.body.len(), 2); // mov + for
@@ -332,9 +383,14 @@ mod tests {
     #[should_panic(expected = "barrier may only be emitted at the top level")]
     fn barrier_inside_loop_panics_at_build() {
         let mut kb = KernelBuilder::new("bad");
-        kb.for_loop(Operand::ImmI(0), Operand::ImmI(2), Operand::ImmI(1), |kb, _| {
-            kb.barrier();
-        });
+        kb.for_loop(
+            Operand::ImmI(0),
+            Operand::ImmI(2),
+            Operand::ImmI(1),
+            |kb, _| {
+                kb.barrier();
+            },
+        );
     }
 
     #[test]
@@ -352,7 +408,12 @@ mod tests {
     fn compare_allocates_bool_register() {
         let mut kb = KernelBuilder::new("c");
         let a = kb.mov(Operand::ImmF(1.0), VType::new(Scalar::F32, 4));
-        let c = kb.bin(BinOp::Lt, a.into(), Operand::ImmF(2.0), VType::new(Scalar::F32, 4));
+        let c = kb.bin(
+            BinOp::Lt,
+            a.into(),
+            Operand::ImmF(2.0),
+            VType::new(Scalar::F32, 4),
+        );
         let p = kb.finish();
         assert_eq!(p.reg_ty(c), VType::new(Scalar::Bool, 4));
         assert!(p.validate().is_ok(), "{:?}", p.validate());

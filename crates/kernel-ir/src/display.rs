@@ -65,7 +65,12 @@ fn write_block(out: &mut String, ops: &[Op], indent: usize) {
     let pad = "  ".repeat(indent);
     for op in ops {
         match op {
-            Op::Bin { dst, op: b, a, b: rhs } => {
+            Op::Bin {
+                dst,
+                op: b,
+                a,
+                b: rhs,
+            } => {
                 if matches!(b, BinOp::Min | BinOp::Max) {
                     let _ = writeln!(
                         out,
@@ -145,7 +150,13 @@ fn write_block(out: &mut String, ops: &[Op], indent: usize) {
                 );
             }
             Op::Store { buf, idx, val } => {
-                let _ = writeln!(out, "{pad}arg{}[{}] = {};", buf.0, operand(idx), operand(val));
+                let _ = writeln!(
+                    out,
+                    "{pad}arg{}[{}] = {};",
+                    buf.0,
+                    operand(idx),
+                    operand(val)
+                );
             }
             Op::VStore { buf, base, val } => {
                 let _ = writeln!(
@@ -156,7 +167,13 @@ fn write_block(out: &mut String, ops: &[Op], indent: usize) {
                     operand(base)
                 );
             }
-            Op::Atomic { op: a, buf, idx, val, old } => {
+            Op::Atomic {
+                op: a,
+                buf,
+                idx,
+                val,
+                old,
+            } => {
                 let name = match a {
                     AtomicOp::Add => "atomic_add",
                     AtomicOp::Inc => "atomic_inc",
@@ -168,12 +185,7 @@ fn write_block(out: &mut String, ops: &[Op], indent: usize) {
                     None => String::new(),
                 };
                 if matches!(a, AtomicOp::Inc) {
-                    let _ = writeln!(
-                        out,
-                        "{pad}{prefix}{name}(&arg{}[{}]);",
-                        buf.0,
-                        operand(idx)
-                    );
+                    let _ = writeln!(out, "{pad}{prefix}{name}(&arg{}[{}]);", buf.0, operand(idx));
                 } else {
                     let _ = writeln!(
                         out,
@@ -184,7 +196,13 @@ fn write_block(out: &mut String, ops: &[Op], indent: usize) {
                     );
                 }
             }
-            Op::For { var, start, end, step, body } => {
+            Op::For {
+                var,
+                start,
+                end,
+                step,
+                body,
+            } => {
                 let _ = writeln!(
                     out,
                     "{pad}for (r{v} = {}; r{v} < {}; r{v} += {}) {{",
@@ -217,7 +235,11 @@ impl std::fmt::Display for Program {
         let mut args = Vec::new();
         for (i, a) in self.args.iter().enumerate() {
             match a {
-                ArgDecl::GlobalBuf { elem, access, restrict } => {
+                ArgDecl::GlobalBuf {
+                    elem,
+                    access,
+                    restrict,
+                } => {
                     let c = if !access.writable() { "const " } else { "" };
                     let r = if *restrict { " restrict" } else { "" };
                     args.push(format!("__global {c}{elem}*{r} arg{i}"));
@@ -256,33 +278,71 @@ mod tests {
         let av = kb.load_scalar_arg(alpha);
         let v = kb.load(Scalar::F32, a, gid.into());
         let vv = kb.vload(Scalar::F32, 4, a, gid.into());
-        let m = kb.mad(v.into(), av.into(), Operand::ImmF(1.0), VType::scalar(Scalar::F32));
+        let m = kb.mad(
+            v.into(),
+            av.into(),
+            Operand::ImmF(1.0),
+            VType::scalar(Scalar::F32),
+        );
         let s = kb.un(UnOp::Rsqrt, m.into(), VType::scalar(Scalar::F32));
-        let c = kb.bin(BinOp::Ge, s.into(), Operand::ImmF(0.5), VType::scalar(Scalar::F32));
-        let sel = kb.select(c.into(), s.into(), Operand::ImmF(0.0), VType::scalar(Scalar::F32));
+        let c = kb.bin(
+            BinOp::Ge,
+            s.into(),
+            Operand::ImmF(0.5),
+            VType::scalar(Scalar::F32),
+        );
+        let sel = kb.select(
+            c.into(),
+            s.into(),
+            Operand::ImmF(0.0),
+            VType::scalar(Scalar::F32),
+        );
         let hsum = kb.horiz(HorizOp::Add, vv);
         let ex = kb.extract(vv, 2);
         kb.insert_into(vv, ex.into(), 0);
         let as_u = kb.cast(sel.into(), VType::scalar(Scalar::U32));
         kb.atomic(AtomicOp::Add, h, Operand::ImmI(0), as_u.into());
-        let old = kb.atomic_old(AtomicOp::Inc, h, Operand::ImmI(1), Operand::ImmI(0),
-            Scalar::U32);
+        let old = kb.atomic_old(
+            AtomicOp::Inc,
+            h,
+            Operand::ImmI(1),
+            Operand::ImmI(0),
+            Scalar::U32,
+        );
         kb.store(l, gid.into(), hsum.into());
         kb.barrier();
         kb.vstore(a, gid.into(), vv.into());
-        kb.if_then_else(c.into(), |kb| {
-            kb.store(a, gid.into(), sel.into());
-        }, |kb| {
-            kb.store(a, gid.into(), Operand::ImmF(0.0));
-        });
+        kb.if_then_else(
+            c.into(),
+            |kb| {
+                kb.store(a, gid.into(), sel.into());
+            },
+            |kb| {
+                kb.store(a, gid.into(), Operand::ImmF(0.0));
+            },
+        );
         let _ = old;
         let p = kb.finish();
         let s = p.to_string();
         for needle in [
-            "__kernel void all_ops", "__local float*", "float arg3", "vload(",
-            "vstore(", "mad(", "rsqrt(", "select(", "hadd(", ".s2", ".s0 =",
-            "atomic_add(", "atomic_inc(", "barrier(", "if (", "} else {",
-            "convert(", ">=",
+            "__kernel void all_ops",
+            "__local float*",
+            "float arg3",
+            "vload(",
+            "vstore(",
+            "mad(",
+            "rsqrt(",
+            "select(",
+            "hadd(",
+            ".s2",
+            ".s0 =",
+            "atomic_add(",
+            "atomic_inc(",
+            "barrier(",
+            "if (",
+            "} else {",
+            "convert(",
+            ">=",
         ] {
             assert!(s.contains(needle), "missing `{needle}` in dump:\n{s}");
         }
@@ -293,10 +353,15 @@ mod tests {
         let mut kb = KernelBuilder::new("loops");
         let o = kb.arg_global(Scalar::I32, Access::ReadWrite, false);
         let acc = kb.mov(Operand::ImmI(0), VType::scalar(Scalar::I32));
-        kb.for_loop_typed(Scalar::I32, Operand::ImmI(3), Operand::ImmI(99), Operand::ImmI(6),
+        kb.for_loop_typed(
+            Scalar::I32,
+            Operand::ImmI(3),
+            Operand::ImmI(99),
+            Operand::ImmI(6),
             |kb, i| {
                 kb.bin_into(acc, BinOp::Add, acc.into(), i.into());
-            });
+            },
+        );
         let gid = kb.query_global_id(0);
         kb.store(o, gid.into(), acc.into());
         let s = kb.finish().to_string();
@@ -312,9 +377,14 @@ mod tests {
         let out = kb.arg_global(Scalar::F32, Access::WriteOnly, false);
         let gid = kb.query_global_id(0);
         let v = kb.load(Scalar::F32, a, gid.into());
-        kb.for_loop(Operand::ImmI(0), Operand::ImmI(3), Operand::ImmI(1), |kb, _i| {
-            kb.bin_into(v, BinOp::Mul, v.into(), Operand::ImmF(2.0));
-        });
+        kb.for_loop(
+            Operand::ImmI(0),
+            Operand::ImmI(3),
+            Operand::ImmI(1),
+            |kb, _i| {
+                kb.bin_into(v, BinOp::Mul, v.into(), Operand::ImmF(2.0));
+            },
+        );
         kb.store(out, gid.into(), v.into());
         kb.barrier();
         let p = kb.finish();

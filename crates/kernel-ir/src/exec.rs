@@ -32,17 +32,26 @@ pub struct NDRange {
 impl NDRange {
     /// 1-D range.
     pub fn d1(global: usize, local: usize) -> Self {
-        NDRange { global: [global, 1, 1], local: [local, 1, 1] }
+        NDRange {
+            global: [global, 1, 1],
+            local: [local, 1, 1],
+        }
     }
 
     /// 2-D range.
     pub fn d2(gx: usize, gy: usize, lx: usize, ly: usize) -> Self {
-        NDRange { global: [gx, gy, 1], local: [lx, ly, 1] }
+        NDRange {
+            global: [gx, gy, 1],
+            local: [lx, ly, 1],
+        }
     }
 
     /// 3-D range.
     pub fn d3(g: [usize; 3], l: [usize; 3]) -> Self {
-        NDRange { global: g, local: l }
+        NDRange {
+            global: g,
+            local: l,
+        }
     }
 
     pub fn num_groups(&self) -> [usize; 3] {
@@ -69,16 +78,18 @@ impl NDRange {
     /// Check divisibility, as `clEnqueueNDRangeKernel` does.
     pub fn valid(&self) -> bool {
         (0..3).all(|d| {
-            self.local[d] > 0
-                && self.global[d] > 0
-                && self.global[d] % self.local[d] == 0
+            self.local[d] > 0 && self.global[d] > 0 && self.global[d].is_multiple_of(self.local[d])
         })
     }
 
     /// Linear group id → 3-D group coordinates.
     pub fn group_coords(&self, linear: usize) -> [usize; 3] {
         let n = self.num_groups();
-        [linear % n[0], (linear / n[0]) % n[1], linear / (n[0] * n[1])]
+        [
+            linear % n[0],
+            (linear / n[0]) % n[1],
+            linear / (n[0] * n[1]),
+        ]
     }
 }
 
@@ -104,7 +115,11 @@ impl std::fmt::Display for ExecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ExecError::InvalidNDRange(n) => {
-                write!(f, "global size {:?} not divisible by local size {:?}", n.global, n.local)
+                write!(
+                    f,
+                    "global size {:?} not divisible by local size {:?}",
+                    n.global, n.local
+                )
             }
             ExecError::BindingMismatch(s) => write!(f, "argument binding mismatch: {s}"),
         }
@@ -189,7 +204,13 @@ impl<'a, T: ExecTracer> GroupExecutor<'a, T> {
             return Err(ExecError::InvalidNDRange(ndrange));
         }
         check_bindings(program, bindings, pool)?;
-        Ok(GroupExecutor { program, bindings, pool, ndrange, tracer })
+        Ok(GroupExecutor {
+            program,
+            bindings,
+            pool,
+            ndrange,
+            tracer,
+        })
     }
 
     /// Run one work-group identified by its linear id.
@@ -220,7 +241,11 @@ impl<'a, T: ExecTracer> GroupExecutor<'a, T> {
         let n_items = self.ndrange.group_size();
         let mut items: Vec<ItemCtx> = (0..n_items)
             .map(|lin| {
-                let local_id = [lin % lsz[0], (lin / lsz[0]) % lsz[1], lin / (lsz[0] * lsz[1])];
+                let local_id = [
+                    lin % lsz[0],
+                    (lin / lsz[0]) % lsz[1],
+                    lin / (lsz[0] * lsz[1]),
+                ];
                 let global_id = [
                     group_id[0] * lsz[0] + local_id[0],
                     group_id[1] * lsz[1] + local_id[1],
@@ -235,7 +260,11 @@ impl<'a, T: ExecTracer> GroupExecutor<'a, T> {
             .collect();
 
         let phases = self.program.phases();
-        let mut group = GroupState { locals, local_addrs, group_id };
+        let mut group = GroupState {
+            locals,
+            local_addrs,
+            group_id,
+        };
         for (pi, phase) in phases.iter().enumerate() {
             for item in items.iter_mut() {
                 if pi == 0 {
@@ -345,7 +374,12 @@ fn exec_op<T: ExecTracer>(
     tracer: &mut T,
 ) {
     match op {
-        Op::Bin { dst, op: b, a, b: rhs } => {
+        Op::Bin {
+            dst,
+            op: b,
+            a,
+            b: rhs,
+        } => {
             let dt = prog.reg_ty(*dst);
             let src_ty = if b.is_compare() {
                 // operand type comes from whichever side is a register
@@ -388,7 +422,14 @@ fn exec_op<T: ExecTracer>(
         }
         Op::Select { dst, cond, a, b } => {
             let dt = prog.reg_ty(*dst);
-            let vc = eval_operand(item, cond, VType { elem: Scalar::Bool, width: dt.width });
+            let vc = eval_operand(
+                item,
+                cond,
+                VType {
+                    elem: Scalar::Bool,
+                    width: dt.width,
+                },
+            );
             let va = eval_operand(item, a, dt);
             let vb = eval_operand(item, b, dt);
             tracer.op(OpClass::Move, dt);
@@ -456,23 +497,33 @@ fn exec_op<T: ExecTracer>(
                 }
                 ArgBinding::Global(pool_idx) => {
                     let iw = operand_width(prog, idx);
-                    let vidx =
-                        eval_operand(item, idx, VType { elem: Scalar::U32, width: iw.max(1) });
+                    let vidx = eval_operand(
+                        item,
+                        idx,
+                        VType {
+                            elem: Scalar::U32,
+                            width: iw.max(1),
+                        },
+                    );
                     let data = pool.get(*pool_idx);
                     let val = if dt.width == 1 {
                         data.get(vidx.lane_index(0))
                     } else {
                         data.gather(&vidx)
                     };
-                    emit_global_access(
-                        pool, *pool_idx, &vidx, dt, AccessKind::Read, buf.0, tracer,
-                    );
+                    emit_global_access(pool, *pool_idx, &vidx, dt, AccessKind::Read, buf.0, tracer);
                     item.regs[dst.0 as usize] = val;
                 }
                 ArgBinding::LocalSize(_) => {
                     let iw = operand_width(prog, idx);
-                    let vidx =
-                        eval_operand(item, idx, VType { elem: Scalar::U32, width: iw.max(1) });
+                    let vidx = eval_operand(
+                        item,
+                        idx,
+                        VType {
+                            elem: Scalar::U32,
+                            width: iw.max(1),
+                        },
+                    );
                     let base = group.local_addrs[buf.0 as usize];
                     let data = group.locals[buf.0 as usize].as_ref().expect("local buffer");
                     let val = if dt.width == 1 {
@@ -499,14 +550,18 @@ fn exec_op<T: ExecTracer>(
                         bytes: dt.bytes(),
                         elem: dt.elem,
                         width: dt.width,
-                        pattern: if dt.width == 1 { Pattern::Scalar } else { Pattern::Contiguous },
+                        pattern: if dt.width == 1 {
+                            Pattern::Scalar
+                        } else {
+                            Pattern::Contiguous
+                        },
                         lane_addrs: None,
                     });
                     item.regs[dst.0 as usize] = val;
                 }
                 ArgBinding::LocalSize(_) => {
-                    let addr = group.local_addrs[buf.0 as usize]
-                        + b as u64 * dt.elem.bytes() as u64;
+                    let addr =
+                        group.local_addrs[buf.0 as usize] + b as u64 * dt.elem.bytes() as u64;
                     let data = group.locals[buf.0 as usize].as_ref().expect("local buffer");
                     let val = data.vload(b, dt.width);
                     tracer.mem(&MemAccess {
@@ -517,7 +572,11 @@ fn exec_op<T: ExecTracer>(
                         bytes: dt.bytes(),
                         elem: dt.elem,
                         width: dt.width,
-                        pattern: if dt.width == 1 { Pattern::Scalar } else { Pattern::Contiguous },
+                        pattern: if dt.width == 1 {
+                            Pattern::Scalar
+                        } else {
+                            Pattern::Contiguous
+                        },
                         lane_addrs: None,
                     });
                     item.regs[dst.0 as usize] = val;
@@ -529,17 +588,33 @@ fn exec_op<T: ExecTracer>(
             let iw = operand_width(prog, idx);
             let elem = match &bindings[buf.0 as usize] {
                 ArgBinding::Global(pool_idx) => pool.get(*pool_idx).elem(),
-                ArgBinding::LocalSize(_) => {
-                    group.locals[buf.0 as usize].as_ref().expect("local buffer").elem()
-                }
+                ArgBinding::LocalSize(_) => group.locals[buf.0 as usize]
+                    .as_ref()
+                    .expect("local buffer")
+                    .elem(),
                 ArgBinding::Scalar(_) => panic!("store to scalar argument"),
             };
             let vt = VType { elem, width: iw };
-            let vidx = eval_operand(item, idx, VType { elem: Scalar::U32, width: iw });
+            let vidx = eval_operand(
+                item,
+                idx,
+                VType {
+                    elem: Scalar::U32,
+                    width: iw,
+                },
+            );
             let vval = eval_operand(item, val, vt);
             match &bindings[buf.0 as usize] {
                 ArgBinding::Global(pool_idx) => {
-                    emit_global_access(pool, *pool_idx, &vidx, vt, AccessKind::Write, buf.0, tracer);
+                    emit_global_access(
+                        pool,
+                        *pool_idx,
+                        &vidx,
+                        vt,
+                        AccessKind::Write,
+                        buf.0,
+                        tracer,
+                    );
                     let data = pool.get_mut(*pool_idx);
                     for lane in 0..iw as usize {
                         data.set(vidx.lane_index(lane), &vval, lane);
@@ -573,14 +648,18 @@ fn exec_op<T: ExecTracer>(
                         bytes: vt.bytes(),
                         elem: vt.elem,
                         width: vt.width,
-                        pattern: if vt.width == 1 { Pattern::Scalar } else { Pattern::Contiguous },
+                        pattern: if vt.width == 1 {
+                            Pattern::Scalar
+                        } else {
+                            Pattern::Contiguous
+                        },
                         lane_addrs: None,
                     });
                     pool.get_mut(*pool_idx).vstore(b, &vval);
                 }
                 ArgBinding::LocalSize(_) => {
-                    let addr = group.local_addrs[buf.0 as usize]
-                        + b as u64 * vt.elem.bytes() as u64;
+                    let addr =
+                        group.local_addrs[buf.0 as usize] + b as u64 * vt.elem.bytes() as u64;
                     tracer.mem(&MemAccess {
                         stream: buf.0,
                         space: MemSpace::Local,
@@ -589,7 +668,11 @@ fn exec_op<T: ExecTracer>(
                         bytes: vt.bytes(),
                         elem: vt.elem,
                         width: vt.width,
-                        pattern: if vt.width == 1 { Pattern::Scalar } else { Pattern::Contiguous },
+                        pattern: if vt.width == 1 {
+                            Pattern::Scalar
+                        } else {
+                            Pattern::Contiguous
+                        },
                         lane_addrs: None,
                     });
                     group.locals[buf.0 as usize]
@@ -600,7 +683,13 @@ fn exec_op<T: ExecTracer>(
                 ArgBinding::Scalar(_) => panic!("vstore to scalar argument"),
             }
         }
-        Op::Atomic { op: aop, buf, idx, val, old } => {
+        Op::Atomic {
+            op: aop,
+            buf,
+            idx,
+            val,
+            old,
+        } => {
             let i = eval_operand(item, idx, VType::scalar(Scalar::U32)).lane_index(0);
             let (elem, space, addr) = match &bindings[buf.0 as usize] {
                 ArgBinding::Global(pool_idx) => (
@@ -609,8 +698,10 @@ fn exec_op<T: ExecTracer>(
                     pool.elem_addr(*pool_idx, i),
                 ),
                 ArgBinding::LocalSize(_) => {
-                    let e =
-                        group.locals[buf.0 as usize].as_ref().expect("local buffer").elem();
+                    let e = group.locals[buf.0 as usize]
+                        .as_ref()
+                        .expect("local buffer")
+                        .elem();
                     let base = group.local_addrs[buf.0 as usize];
                     (e, MemSpace::Local, base + i as u64 * e.bytes() as u64)
                 }
@@ -650,7 +741,13 @@ fn exec_op<T: ExecTracer>(
             };
             data.set(i, &next, 0);
         }
-        Op::For { var, start, end, step, body } => {
+        Op::For {
+            var,
+            start,
+            end,
+            step,
+            body,
+        } => {
             let vt = prog.reg_ty(*var);
             let vstart = eval_operand(item, start, vt);
             let vend = eval_operand(item, end, vt);
@@ -709,8 +806,8 @@ fn emit_global_access<T: ExecTracer>(
         });
     } else {
         let mut lane_addrs = [0u64; MAX_LANES];
-        for lane in 0..w as usize {
-            lane_addrs[lane] = pool.elem_addr(pool_idx, vidx.lane_index(lane));
+        for (lane, slot) in lane_addrs.iter_mut().enumerate().take(w as usize) {
+            *slot = pool.elem_addr(pool_idx, vidx.lane_index(lane));
         }
         tracer.mem(&MemAccess {
             stream,
@@ -749,8 +846,8 @@ fn emit_local_access<T: ExecTracer>(
         });
     } else {
         let mut lane_addrs = [0u64; MAX_LANES];
-        for lane in 0..w as usize {
-            lane_addrs[lane] = base + vidx.lane_index(lane) as u64 * vt.elem.bytes() as u64;
+        for (lane, slot) in lane_addrs.iter_mut().enumerate().take(w as usize) {
+            *slot = base + vidx.lane_index(lane) as u64 * vt.elem.bytes() as u64;
         }
         tracer.mem(&MemAccess {
             stream,
@@ -793,11 +890,16 @@ mod tests {
         let p = vecadd_kernel();
         p.validate().expect("valid kernel");
         let mut pool = MemoryPool::new();
-        let a = pool.add(BufferData::from((0..64).map(|i| i as f32).collect::<Vec<_>>()));
+        let a = pool.add(BufferData::from(
+            (0..64).map(|i| i as f32).collect::<Vec<_>>(),
+        ));
         let b = pool.add(BufferData::from(vec![1.0f32; 64]));
         let c = pool.add(BufferData::zeroed(Scalar::F32, 64));
-        let bindings =
-            [ArgBinding::Global(a), ArgBinding::Global(b), ArgBinding::Global(c)];
+        let bindings = [
+            ArgBinding::Global(a),
+            ArgBinding::Global(b),
+            ArgBinding::Global(c),
+        ];
         let mut t = NullTracer;
         run_ndrange(&p, &bindings, &mut pool, NDRange::d1(64, 16), &mut t).unwrap();
         for i in 0..64 {
@@ -812,8 +914,11 @@ mod tests {
         let a = pool.add(BufferData::zeroed(Scalar::F32, 64));
         let b = pool.add(BufferData::zeroed(Scalar::F32, 64));
         let c = pool.add(BufferData::zeroed(Scalar::F32, 64));
-        let bindings =
-            [ArgBinding::Global(a), ArgBinding::Global(b), ArgBinding::Global(c)];
+        let bindings = [
+            ArgBinding::Global(a),
+            ArgBinding::Global(b),
+            ArgBinding::Global(c),
+        ];
         let mut t = CountingTracer::default();
         run_ndrange(&p, &bindings, &mut pool, NDRange::d1(64, 16), &mut t).unwrap();
         assert_eq!(t.threads, 64);
@@ -846,11 +951,18 @@ mod tests {
         p.validate().expect("valid");
 
         let mut pool = MemoryPool::new();
-        let a = pool.add(BufferData::from((0..64).map(|i| i as f32 * 0.5).collect::<Vec<_>>()));
-        let b = pool.add(BufferData::from((0..64).map(|i| i as f32).collect::<Vec<_>>()));
+        let a = pool.add(BufferData::from(
+            (0..64).map(|i| i as f32 * 0.5).collect::<Vec<_>>(),
+        ));
+        let b = pool.add(BufferData::from(
+            (0..64).map(|i| i as f32).collect::<Vec<_>>(),
+        ));
         let c = pool.add(BufferData::zeroed(Scalar::F32, 64));
-        let bindings =
-            [ArgBinding::Global(a), ArgBinding::Global(b), ArgBinding::Global(c)];
+        let bindings = [
+            ArgBinding::Global(a),
+            ArgBinding::Global(b),
+            ArgBinding::Global(c),
+        ];
         let mut t = CountingTracer::default();
         run_ndrange(&p, &bindings, &mut pool, NDRange::d1(16, 8), &mut t).unwrap();
         for i in 0..64 {
@@ -873,7 +985,12 @@ mod tests {
         kb.store(scratch, lid.into(), lid.into());
         kb.barrier();
         let lid2 = kb.query_local_id(0);
-        let is_zero = kb.bin(BinOp::Eq, lid2.into(), Operand::ImmI(0), VType::scalar(Scalar::U32));
+        let is_zero = kb.bin(
+            BinOp::Eq,
+            lid2.into(),
+            Operand::ImmI(0),
+            VType::scalar(Scalar::U32),
+        );
         kb.if_then(is_zero.into(), |kb| {
             let acc = kb.mov(Operand::ImmI(0), VType::scalar(Scalar::U32));
             let lsz = kb.query_local_size(0);
@@ -908,8 +1025,14 @@ mod tests {
         let mut pool = MemoryPool::new();
         let out_b = pool.add(BufferData::zeroed(Scalar::U32, 1));
         let mut t = CountingTracer::default();
-        run_ndrange(&p, &[ArgBinding::Global(out_b)], &mut pool, NDRange::d1(100, 10), &mut t)
-            .unwrap();
+        run_ndrange(
+            &p,
+            &[ArgBinding::Global(out_b)],
+            &mut pool,
+            NDRange::d1(100, 10),
+            &mut t,
+        )
+        .unwrap();
         assert_eq!(pool.get(out_b).as_u32()[0], 100);
         assert_eq!(t.atomics, 100);
     }
@@ -940,9 +1063,18 @@ mod tests {
         let a = pool.add(BufferData::zeroed(Scalar::F32, 64));
         let b = pool.add(BufferData::zeroed(Scalar::F32, 64));
         let c = pool.add(BufferData::zeroed(Scalar::F32, 64));
-        let bindings =
-            [ArgBinding::Global(a), ArgBinding::Global(b), ArgBinding::Global(c)];
-        let err = run_ndrange(&p, &bindings, &mut pool, NDRange::d1(63, 16), &mut NullTracer);
+        let bindings = [
+            ArgBinding::Global(a),
+            ArgBinding::Global(b),
+            ArgBinding::Global(c),
+        ];
+        let err = run_ndrange(
+            &p,
+            &bindings,
+            &mut pool,
+            NDRange::d1(63, 16),
+            &mut NullTracer,
+        );
         assert!(matches!(err, Err(ExecError::InvalidNDRange(_))));
     }
 
@@ -990,8 +1122,14 @@ mod tests {
         p.validate().expect("valid");
         let mut pool = MemoryPool::new();
         let out_b = pool.add(BufferData::zeroed(Scalar::I32, 1));
-        run_ndrange(&p, &[ArgBinding::Global(out_b)], &mut pool, NDRange::d1(1, 1), &mut NullTracer)
-            .unwrap();
+        run_ndrange(
+            &p,
+            &[ArgBinding::Global(out_b)],
+            &mut pool,
+            NDRange::d1(1, 1),
+            &mut NullTracer,
+        )
+        .unwrap();
         assert_eq!(pool.get(out_b).as_i32()[0], 5 + 4 + 3 + 2 + 1);
     }
 }

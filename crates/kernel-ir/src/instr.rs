@@ -132,14 +132,29 @@ pub enum Builtin {
 #[derive(Clone, Debug, PartialEq)]
 pub enum Op {
     /// `dst = a <op> b` (lane-wise; scalar operands broadcast).
-    Bin { dst: Reg, op: BinOp, a: Operand, b: Operand },
+    Bin {
+        dst: Reg,
+        op: BinOp,
+        a: Operand,
+        b: Operand,
+    },
     /// `dst = <op> a`.
     Un { dst: Reg, op: UnOp, a: Operand },
     /// Fused multiply-add `dst = a*b + c` — one arithmetic-pipe slot on Mali.
-    Mad { dst: Reg, a: Operand, b: Operand, c: Operand },
+    Mad {
+        dst: Reg,
+        a: Operand,
+        b: Operand,
+        c: Operand,
+    },
     /// Lane-wise `dst = cond ? a : b`; `cond` is a Bool vector of the same
     /// width (this is how divergence-free Mali code expresses branches).
-    Select { dst: Reg, cond: Operand, a: Operand, b: Operand },
+    Select {
+        dst: Reg,
+        cond: Operand,
+        a: Operand,
+        b: Operand,
+    },
     /// Copy/materialize.
     Mov { dst: Reg, a: Operand },
     /// Lane-wise type conversion to the destination register's type.
@@ -158,19 +173,47 @@ pub enum Op {
     Load { dst: Reg, buf: ArgIdx, idx: Operand },
     /// Contiguous vector load of `dst.width` elements starting at scalar
     /// element index `base` (OpenCL `vloadN`).
-    VLoad { dst: Reg, buf: ArgIdx, base: Operand },
+    VLoad {
+        dst: Reg,
+        buf: ArgIdx,
+        base: Operand,
+    },
     /// Scatter store, mirror of `Load`.
-    Store { buf: ArgIdx, idx: Operand, val: Operand },
+    Store {
+        buf: ArgIdx,
+        idx: Operand,
+        val: Operand,
+    },
     /// Contiguous vector store, mirror of `VLoad` (OpenCL `vstoreN`).
-    VStore { buf: ArgIdx, base: Operand, val: Operand },
+    VStore {
+        buf: ArgIdx,
+        base: Operand,
+        val: Operand,
+    },
     /// Atomic RMW on a buffer element; optionally returns the old value.
-    Atomic { op: AtomicOp, buf: ArgIdx, idx: Operand, val: Operand, old: Option<Reg> },
+    Atomic {
+        op: AtomicOp,
+        buf: ArgIdx,
+        idx: Operand,
+        val: Operand,
+        old: Option<Reg>,
+    },
 
     /// Counted loop: `for (var = start; var < end; var += step) body`.
     /// `var` is a scalar integer register.
-    For { var: Reg, start: Operand, end: Operand, step: Operand, body: Vec<Op> },
+    For {
+        var: Reg,
+        start: Operand,
+        end: Operand,
+        step: Operand,
+        body: Vec<Op>,
+    },
     /// Scalar conditional.
-    If { cond: Operand, then: Vec<Op>, els: Vec<Op> },
+    If {
+        cond: Operand,
+        then: Vec<Op>,
+        els: Vec<Op>,
+    },
     /// Work-group barrier (`barrier(CLK_*_MEM_FENCE)`). Only valid at the
     /// top level of the kernel body — the uniform-control-flow requirement
     /// OpenCL imposes anyway.
@@ -299,17 +342,23 @@ mod tests {
 
     #[test]
     fn visit_descends_into_loops() {
-        let inner = Op::Mov { dst: Reg(1), a: Operand::ImmI(0) };
+        let inner = Op::Mov {
+            dst: Reg(1),
+            a: Operand::ImmI(0),
+        };
         let outer = Op::For {
             var: Reg(0),
             start: Operand::ImmI(0),
             end: Operand::ImmI(4),
             step: Operand::ImmI(1),
-            body: vec![inner.clone(), Op::If {
-                cond: Operand::Reg(Reg(2)),
-                then: vec![inner.clone()],
-                els: vec![],
-            }],
+            body: vec![
+                inner.clone(),
+                Op::If {
+                    cond: Operand::Reg(Reg(2)),
+                    then: vec![inner.clone()],
+                    els: vec![],
+                },
+            ],
         };
         let mut n = 0;
         outer.visit(&mut |_| n += 1);
@@ -318,7 +367,11 @@ mod tests {
 
     #[test]
     fn arg_decl_spaces() {
-        let g = ArgDecl::GlobalBuf { elem: Scalar::F32, access: Access::ReadOnly, restrict: true };
+        let g = ArgDecl::GlobalBuf {
+            elem: Scalar::F32,
+            access: Access::ReadOnly,
+            restrict: true,
+        };
         assert_eq!(g.space(), Some(MemSpace::Global));
         let l = ArgDecl::LocalBuf { elem: Scalar::U32 };
         assert_eq!(l.space(), Some(MemSpace::Local));
@@ -327,6 +380,9 @@ mod tests {
 
     #[test]
     fn widen_helper() {
-        assert_eq!(widen(VType::scalar(Scalar::F32), 4), VType::new(Scalar::F32, 4));
+        assert_eq!(
+            widen(VType::scalar(Scalar::F32), 4),
+            VType::new(Scalar::F32, 4)
+        );
     }
 }

@@ -67,9 +67,7 @@ pub use memory::{BufferData, MemoryPool, BUFFER_ALIGN};
 pub use ops::{bin_result_type, eval_bin, eval_mad, eval_select, eval_un};
 pub use program::{Program, ValidationError};
 pub use stats::{analyze, StaticMix};
-pub use trace::{
-    AccessKind, CountingTracer, ExecTracer, MemAccess, NullTracer, OpClass, Pattern,
-};
+pub use trace::{AccessKind, CountingTracer, ExecTracer, MemAccess, NullTracer, OpClass, Pattern};
 pub use types::{Access, MemSpace, Scalar, VType, MAX_LANES};
 pub use value::{Lanes, Value};
 

@@ -191,7 +191,11 @@ pub struct MemoryPool {
 
 impl MemoryPool {
     pub fn new() -> Self {
-        MemoryPool { buffers: Vec::new(), bases: Vec::new(), next_base: BUFFER_ALIGN }
+        MemoryPool {
+            buffers: Vec::new(),
+            bases: Vec::new(),
+            next_base: BUFFER_ALIGN,
+        }
     }
 
     /// Add a buffer; returns its pool index.
@@ -206,8 +210,7 @@ impl MemoryPool {
         let size = data.bytes().max(1);
         let color = (idx as u64 % 13) * 832; // 13 x 64-byte lines per step
         self.bases.push(self.next_base + color);
-        self.next_base +=
-            (size + color).div_ceil(BUFFER_ALIGN) * BUFFER_ALIGN + BUFFER_ALIGN;
+        self.next_base += (size + color).div_ceil(BUFFER_ALIGN) * BUFFER_ALIGN + BUFFER_ALIGN;
         self.buffers.push(data);
         idx
     }

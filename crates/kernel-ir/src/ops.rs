@@ -12,7 +12,10 @@ use crate::value::{Lanes, Value};
 /// Result type of a binary op on operands of type `ty`.
 pub fn bin_result_type(op: BinOp, ty: VType) -> VType {
     if op.is_compare() {
-        VType { elem: Scalar::Bool, width: ty.width }
+        VType {
+            elem: Scalar::Bool,
+            width: ty.width,
+        }
     } else {
         ty
     }

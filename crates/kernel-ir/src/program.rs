@@ -110,9 +110,7 @@ impl Program {
                             self.use_op(a);
                             self.use_op(b);
                         }
-                        Op::Un { a, .. } | Op::Mov { a, .. } | Op::Cast { a, .. } => {
-                            self.use_op(a)
-                        }
+                        Op::Un { a, .. } | Op::Mov { a, .. } | Op::Cast { a, .. } => self.use_op(a),
                         Op::Mad { a, b, c, .. } => {
                             self.use_op(a);
                             self.use_op(b);
@@ -139,7 +137,13 @@ impl Program {
                             self.use_op(idx);
                             self.use_op(val);
                         }
-                        Op::For { var, start, end, step, body } => {
+                        Op::For {
+                            var,
+                            start,
+                            end,
+                            step,
+                            body,
+                        } => {
                             self.use_op(start);
                             self.use_op(end);
                             self.use_op(step);
@@ -173,7 +177,11 @@ impl Program {
         // Linearized pre-order walk; loop bodies count once (temporaries
         // recycle across iterations; loop-carried values are extended to
         // the loop end).
-        let mut w = Walker { first: vec![usize::MAX; n], last: vec![0usize; n], pos: 0 };
+        let mut w = Walker {
+            first: vec![usize::MAX; n],
+            last: vec![0usize; n],
+            pos: 0,
+        };
         w.walk(&self.body);
         let (first, last) = (w.first, w.last);
         let mut events: Vec<(usize, i64)> = Vec::new();
@@ -214,13 +222,19 @@ impl Program {
     /// Count of dynamic-instruction-free metadata: number of top-level
     /// barriers.
     pub fn barrier_count(&self) -> usize {
-        self.body.iter().filter(|op| matches!(op, Op::Barrier)).count()
+        self.body
+            .iter()
+            .filter(|op| matches!(op, Op::Barrier))
+            .count()
     }
 
     /// Full type/structure validation. Returns every diagnostic found.
     pub fn validate(&self) -> Result<(), Vec<ValidationError>> {
         let mut errs = Vec::new();
-        let mut ctx = Validator { prog: self, errs: &mut errs };
+        let mut ctx = Validator {
+            prog: self,
+            errs: &mut errs,
+        };
         ctx.block(&self.body, true);
         if errs.is_empty() {
             Ok(())
@@ -237,7 +251,8 @@ struct Validator<'a> {
 
 impl<'a> Validator<'a> {
     fn err(&mut self, msg: String) {
-        self.errs.push(ValidationError(format!("{}: {}", self.prog.name, msg)));
+        self.errs
+            .push(ValidationError(format!("{}: {}", self.prog.name, msg)));
     }
 
     fn reg_ty(&mut self, r: Reg) -> Option<VType> {
@@ -311,7 +326,10 @@ impl<'a> Validator<'a> {
     fn check_writable(&mut self, b: ArgIdx, what: &str) {
         if let Some(ArgDecl::GlobalBuf { access, .. }) = self.prog.args.get(b.0 as usize) {
             if !access.writable() {
-                self.err(format!("{what}: write to read-only (const) buffer arg {}", b.0));
+                self.err(format!(
+                    "{what}: write to read-only (const) buffer arg {}",
+                    b.0
+                ));
             }
         }
     }
@@ -348,7 +366,12 @@ impl<'a> Validator<'a> {
 
     fn op(&mut self, op: &Op, top_level: bool) {
         match op {
-            Op::Bin { dst, op: b, a, b: rhs } => {
+            Op::Bin {
+                dst,
+                op: b,
+                a,
+                b: rhs,
+            } => {
                 let Some(dt) = self.reg_ty(*dst) else { return };
                 if b.is_compare() {
                     if dt.elem != Scalar::Bool {
@@ -356,9 +379,7 @@ impl<'a> Validator<'a> {
                         return;
                     }
                     // Operand type determined by whichever side is a register.
-                    let src_ty = self
-                        .operand_reg_ty(a)
-                        .or_else(|| self.operand_reg_ty(rhs));
+                    let src_ty = self.operand_reg_ty(a).or_else(|| self.operand_reg_ty(rhs));
                     match src_ty {
                         Some(st) => {
                             if st.width != dt.width {
@@ -401,7 +422,14 @@ impl<'a> Validator<'a> {
             }
             Op::Select { dst, cond, a, b } => {
                 let Some(dt) = self.reg_ty(*dst) else { return };
-                self.operand(cond, VType { elem: Scalar::Bool, width: dt.width }, "select cond");
+                self.operand(
+                    cond,
+                    VType {
+                        elem: Scalar::Bool,
+                        width: dt.width,
+                    },
+                    "select cond",
+                );
                 self.operand(a, dt, "select a");
                 self.operand(b, dt, "select b");
             }
@@ -459,7 +487,9 @@ impl<'a> Validator<'a> {
             Op::Query { dst, q } => {
                 let Some(dt) = self.reg_ty(*dst) else { return };
                 if dt != VType::scalar(Scalar::U32) {
-                    self.err(format!("query {q:?} destination must be scalar uint, got {dt}"));
+                    self.err(format!(
+                        "query {q:?} destination must be scalar uint, got {dt}"
+                    ));
                 }
                 let dim = match q {
                     Builtin::GlobalId(d)
@@ -538,7 +568,9 @@ impl<'a> Validator<'a> {
                     _ => {}
                 }
             }
-            Op::Atomic { buf, idx, val, old, .. } => {
+            Op::Atomic {
+                buf, idx, val, old, ..
+            } => {
                 if let Some(decl) = self.buf(*buf, "atomic") {
                     let e = decl.elem();
                     if !e.is_int() {
@@ -558,7 +590,13 @@ impl<'a> Validator<'a> {
                 self.check_writable(*buf, "atomic");
                 self.index_operand(idx, 1, "atomic index");
             }
-            Op::For { var, start, end, step, body } => {
+            Op::For {
+                var,
+                start,
+                end,
+                step,
+                body,
+            } => {
                 if let Some(vt) = self.reg_ty(*var) {
                     if !vt.is_scalar() || !vt.elem.is_int() {
                         self.err(format!("loop variable must be scalar int, got {vt}"));
@@ -600,7 +638,12 @@ mod tests {
         let buf = kb.arg_global(Scalar::F32, Access::ReadWrite, true);
         let gid = kb.query_global_id(0);
         let v = kb.load(Scalar::F32, buf, gid.into());
-        let r = kb.bin(BinOp::Add, v.into(), Operand::ImmF(1.0), VType::scalar(Scalar::F32));
+        let r = kb.bin(
+            BinOp::Add,
+            v.into(),
+            Operand::ImmF(1.0),
+            VType::scalar(Scalar::F32),
+        );
         kb.store(buf, gid.into(), r.into());
         kb.finish()
     }
@@ -618,7 +661,12 @@ mod tests {
         // bool register.
         p.regs.push(VType::scalar(Scalar::Bool));
         let r = Reg((p.regs.len() - 1) as u32);
-        p.body.push(Op::Bin { dst: r, op: BinOp::Add, a: Operand::ImmI(1), b: Operand::ImmI(2) });
+        p.body.push(Op::Bin {
+            dst: r,
+            op: BinOp::Add,
+            a: Operand::ImmI(1),
+            b: Operand::ImmI(2),
+        });
         let errs = p.validate().unwrap_err();
         assert!(errs.iter().any(|e| e.0.contains("bool")));
     }
@@ -650,7 +698,9 @@ mod tests {
             p
         };
         let errs = p.validate().unwrap_err();
-        assert!(errs.iter().any(|e| e.0.contains("barrier inside control flow")));
+        assert!(errs
+            .iter()
+            .any(|e| e.0.contains("barrier inside control flow")));
     }
 
     #[test]
@@ -659,7 +709,11 @@ mod tests {
             name: "u".into(),
             args: vec![],
             regs: vec![],
-            body: vec![Op::Un { dst: Reg(7), op: UnOp::Neg, a: Operand::ImmI(1) }],
+            body: vec![Op::Un {
+                dst: Reg(7),
+                op: UnOp::Neg,
+                a: Operand::ImmI(1),
+            }],
             hints: Hints::default(),
         };
         let errs = p.validate().unwrap_err();
@@ -707,7 +761,11 @@ mod tests {
         let y = kb2.mov(Operand::ImmF(1.0), VType::new(Scalar::F32, 16));
         let _y2 = kb2.bin(BinOp::Add, y.into(), y.into(), VType::new(Scalar::F32, 16));
         let p2 = kb2.finish();
-        assert!(p2.register_footprint() <= 10, "got {}", p2.register_footprint());
+        assert!(
+            p2.register_footprint() <= 10,
+            "got {}",
+            p2.register_footprint()
+        );
     }
 
     #[test]

@@ -87,7 +87,10 @@ pub fn analyze(p: &Program) -> StaticMix {
 }
 
 fn elem_bytes(p: &Program, buf: crate::instr::ArgIdx) -> f64 {
-    p.args.get(buf.0 as usize).map(|a| a.elem().bytes() as f64).unwrap_or(4.0)
+    p.args
+        .get(buf.0 as usize)
+        .map(|a| a.elem().bytes() as f64)
+        .unwrap_or(4.0)
 }
 
 fn walk(p: &Program, ops: &[Op], weight: f64, mix: &mut StaticMix, top: bool) {
@@ -119,8 +122,13 @@ fn walk(p: &Program, ops: &[Op], weight: f64, mix: &mut StaticMix, top: bool) {
                     }
                 }
             },
-            Op::Select { .. } | Op::Mov { .. } | Op::Cast { .. } | Op::Horiz { .. }
-            | Op::Extract { .. } | Op::Insert { .. } | Op::Query { .. } => {
+            Op::Select { .. }
+            | Op::Mov { .. }
+            | Op::Cast { .. }
+            | Op::Horiz { .. }
+            | Op::Extract { .. }
+            | Op::Insert { .. }
+            | Op::Query { .. } => {
                 mix.int_ops += weight;
             }
             Op::Load { dst, buf, .. } => {
@@ -157,7 +165,13 @@ fn walk(p: &Program, ops: &[Op], weight: f64, mix: &mut StaticMix, top: bool) {
             Op::Atomic { .. } => {
                 mix.atomics += weight;
             }
-            Op::For { start, end, step, body, .. } => {
+            Op::For {
+                start,
+                end,
+                step,
+                body,
+                ..
+            } => {
                 let trips = match trip_count(start, end, step) {
                     Some(t) => t,
                     None => {
@@ -187,8 +201,8 @@ fn walk(p: &Program, ops: &[Op], weight: f64, mix: &mut StaticMix, top: bool) {
 mod tests {
     use super::*;
     use crate::builder::KernelBuilder;
-    use crate::types::Scalar;
     use crate::instr::BinOp;
+    use crate::types::Scalar;
     use crate::types::{Access, VType};
 
     #[test]
@@ -244,10 +258,19 @@ mod tests {
         let gid = kb.query_global_id(0);
         let end = kb.load(Scalar::U32, ptr, gid.into());
         let acc = kb.mov(crate::instr::Operand::ImmF(0.0), VType::scalar(Scalar::F32));
-        kb.for_loop(crate::instr::Operand::ImmI(0), end.into(),
-            crate::instr::Operand::ImmI(1), |kb, _| {
-                kb.bin_into(acc, BinOp::Add, acc.into(), crate::instr::Operand::ImmF(1.0));
-            });
+        kb.for_loop(
+            crate::instr::Operand::ImmI(0),
+            end.into(),
+            crate::instr::Operand::ImmI(1),
+            |kb, _| {
+                kb.bin_into(
+                    acc,
+                    BinOp::Add,
+                    acc.into(),
+                    crate::instr::Operand::ImmF(1.0),
+                );
+            },
+        );
         kb.store(o, gid.into(), acc.into());
         let mix = analyze(&kb.finish());
         assert!(mix.has_dynamic_loops);
@@ -278,8 +301,12 @@ mod tests {
         let gid = kb.query_global_id(0);
         let v = kb.load(Scalar::F32, a, gid.into());
         let _r = kb.un(UnOp::Rsqrt, v.into(), VType::scalar(Scalar::F32));
-        kb.atomic(crate::instr::AtomicOp::Inc, h, gid.into(),
-            crate::instr::Operand::ImmI(0));
+        kb.atomic(
+            crate::instr::AtomicOp::Inc,
+            h,
+            gid.into(),
+            crate::instr::Operand::ImmI(0),
+        );
         let mix = analyze(&kb.finish());
         assert_eq!(mix.special_ops, 1.0);
         assert_eq!(mix.atomics, 1.0);

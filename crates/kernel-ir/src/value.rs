@@ -36,12 +36,18 @@ macro_rules! ctor {
             );
             let mut arr = [<$t>::default(); MAX_LANES];
             arr[..vals.len()].copy_from_slice(vals);
-            Value { width: vals.len() as u8, lanes: Lanes::$variant(arr) }
+            Value {
+                width: vals.len() as u8,
+                lanes: Lanes::$variant(arr),
+            }
         }
 
         /// Build a value with all `width` lanes equal to `v`.
         pub fn $splat(v: $t, width: u8) -> Value {
-            Value { width, lanes: Lanes::$variant([v; MAX_LANES]) }
+            Value {
+                width,
+                lanes: Lanes::$variant([v; MAX_LANES]),
+            }
         }
     };
 }
@@ -109,7 +115,10 @@ impl Value {
     }
 
     pub fn vtype(&self) -> VType {
-        VType { elem: self.elem(), width: self.width }
+        VType {
+            elem: self.elem(),
+            width: self.width,
+        }
     }
 
     pub fn lanes(&self) -> &Lanes {
@@ -181,7 +190,10 @@ impl Value {
         );
         macro_rules! bc {
             ($a:expr, $variant:ident) => {
-                Value { width, lanes: Lanes::$variant([$a[0]; MAX_LANES]) }
+                Value {
+                    width,
+                    lanes: Lanes::$variant([$a[0]; MAX_LANES]),
+                }
             };
         }
         match self.lanes {
@@ -197,12 +209,18 @@ impl Value {
 
     /// Extract one lane as a scalar value.
     pub fn extract(&self, lane: usize) -> Value {
-        assert!(lane < self.width as usize, "extract lane {lane} out of range");
+        assert!(
+            lane < self.width as usize,
+            "extract lane {lane} out of range"
+        );
         macro_rules! ex {
             ($a:expr, $variant:ident, $d:expr) => {{
                 let mut arr = [$d; MAX_LANES];
                 arr[0] = $a[lane];
-                Value { width: 1, lanes: Lanes::$variant(arr) }
+                Value {
+                    width: 1,
+                    lanes: Lanes::$variant(arr),
+                }
             }};
         }
         match self.lanes {
@@ -219,15 +237,16 @@ impl Value {
     /// Replace one lane with the single lane of a scalar value of the same
     /// element type.
     pub fn insert(&self, lane: usize, v: &Value) -> Value {
-        assert!(lane < self.width as usize, "insert lane {lane} out of range");
+        assert!(
+            lane < self.width as usize,
+            "insert lane {lane} out of range"
+        );
         assert_eq!(v.width, 1, "insert source must be scalar");
         assert_eq!(v.elem(), self.elem(), "insert element type mismatch");
         let mut out = *self;
         macro_rules! ins {
             ($variant:ident) => {{
-                if let (Lanes::$variant(dst), Lanes::$variant(src)) =
-                    (&mut out.lanes, &v.lanes)
-                {
+                if let (Lanes::$variant(dst), Lanes::$variant(src)) = (&mut out.lanes, &v.lanes) {
                     dst[lane] = src[0];
                 }
             }};

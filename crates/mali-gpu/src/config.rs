@@ -158,11 +158,9 @@ impl MaliConfig {
     /// Maximum resident threads per core for a kernel with the given
     /// per-thread register footprint (128-bit units).
     pub fn resident_threads(&self, footprint: u32) -> u32 {
-        if footprint == 0 {
-            self.max_wg_size
-        } else {
-            self.registers_per_core / footprint
-        }
+        self.registers_per_core
+            .checked_div(footprint)
+            .unwrap_or(self.max_wg_size)
     }
 
     /// Whether a kernel with `footprint` registers/thread can run a

@@ -18,13 +18,18 @@ use kernel_ir::{
 };
 use memsim::{Hierarchy, HierarchyStats, StrideClassifier};
 use powersim::Activity;
+use telemetry::{Counters, WorkSpan};
 
 /// Launch failure modes of the simulated driver stack.
 #[derive(Clone, Debug, PartialEq)]
 pub enum MaliError {
     /// `CL_OUT_OF_RESOURCES`: the work-group's register demand exceeds the
     /// core's register file (wg_size × per-thread footprint > file size).
-    OutOfResources { footprint: u32, wg_size: u32, available: u32 },
+    OutOfResources {
+        footprint: u32,
+        wg_size: u32,
+        available: u32,
+    },
     /// NDRange / binding problems (maps to CL_INVALID_* at the API layer).
     Exec(ExecError),
 }
@@ -32,7 +37,11 @@ pub enum MaliError {
 impl std::fmt::Display for MaliError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            MaliError::OutOfResources { footprint, wg_size, available } => write!(
+            MaliError::OutOfResources {
+                footprint,
+                wg_size,
+                available,
+            } => write!(
                 f,
                 "CL_OUT_OF_RESOURCES: work-group of {wg_size} threads × {footprint} regs \
                  exceeds the {available}-register file"
@@ -73,6 +82,11 @@ pub struct MaliReport {
     pub hier: HierarchyStats,
     /// Work-groups executed.
     pub groups: usize,
+    /// Performance-counter snapshot for this launch.
+    pub counters: Counters,
+    /// Per-core work-group execution intervals (simulated time, seconds,
+    /// relative to the start of the compute phase).
+    pub spans: Vec<WorkSpan>,
 }
 
 /// Per-run accumulation.
@@ -89,6 +103,7 @@ struct MaliTracer<'c> {
     total_arith_slots: f64,
     total_ls_cycles: f64,
     strides: StrideClassifier,
+    counters: Counters,
 }
 
 #[derive(Clone, Copy, Default)]
@@ -111,6 +126,7 @@ impl<'c> MaliTracer<'c> {
             total_arith_slots: 0.0,
             total_ls_cycles: 0.0,
             strides: StrideClassifier::default(),
+            counters: Counters::default(),
         }
     }
 
@@ -136,8 +152,10 @@ impl<'c> MaliTracer<'c> {
         };
         let bits = ty.elem.bytes() as f64 * 8.0 * ty.width as f64;
         let units = (bits / 128.0).ceil().max(1.0);
-        let special = matches!(class, OpClass::Special | OpClass::Rsqrt
-            | OpClass::Transcendental | OpClass::Div);
+        let special = matches!(
+            class,
+            OpClass::Special | OpClass::Rsqrt | OpClass::Transcendental | OpClass::Div
+        );
         if ty.width == 1 && !special {
             // VLIW packing of independent scalar ops (long-latency special
             // ops monopolize the pipe and do not co-issue; f64 scalars
@@ -156,10 +174,12 @@ impl<'c> MaliTracer<'c> {
 
 impl ExecTracer for MaliTracer<'_> {
     fn op(&mut self, class: OpClass, ty: VType) {
+        self.counters.note_op(class, ty);
         self.cur.arith_slots += self.slots_for(class, ty);
     }
 
     fn mem(&mut self, a: &MemAccess) {
+        self.counters.note_mem(a);
         let c = self.cfg;
         let write = !matches!(a.kind, kernel_ir::AccessKind::Read);
         match a.kind {
@@ -179,12 +199,11 @@ impl ExecTracer for MaliTracer<'_> {
             }
             _ => match a.pattern {
                 Pattern::Scalar | Pattern::Contiguous => {
-                    let streaming =
-                        a.pattern == Pattern::Contiguous || self.strides.classify_stream(a.stream, a.addr);
+                    let streaming = a.pattern == Pattern::Contiguous
+                        || self.strides.classify_stream(a.stream, a.addr);
                     let out = self.hier.access(a.addr, a.bytes, write, streaming);
                     let beats = (a.bytes as f64 / 16.0).ceil().max(1.0);
-                    self.cur.ls_cycles +=
-                        c.ls_issue * beats + out.l2_hits as f64 * c.cy_l2_hit;
+                    self.cur.ls_cycles += c.ls_issue * beats + out.l2_hits as f64 * c.cy_l2_hit;
                     // Scattered *global* accesses expose L2 latency; local
                     // memory (one hot line per group) stays pipelined.
                     if !streaming && a.space == kernel_ir::MemSpace::Global {
@@ -194,8 +213,7 @@ impl ExecTracer for MaliTracer<'_> {
                 Pattern::Gather => {
                     let addrs = a.lane_addrs.expect("gather carries lane addresses");
                     let lane_bytes = a.elem.bytes();
-                    self.cur.ls_cycles +=
-                        c.ls_issue + c.ls_gather_lane * (a.width as f64 - 1.0);
+                    self.cur.ls_cycles += c.ls_issue + c.ls_gather_lane * (a.width as f64 - 1.0);
                     let scatter = if a.space == kernel_ir::MemSpace::Global {
                         c.cy_ls_scatter
                     } else {
@@ -211,14 +229,17 @@ impl ExecTracer for MaliTracer<'_> {
     }
 
     fn loop_iter(&mut self) {
+        self.counters.note_loop_iter();
         self.cur.arith_slots += self.cfg.slots_loop / self.cfg.scalar_coissue;
     }
 
     fn thread_start(&mut self) {
+        self.counters.note_thread_start();
         self.cur.threads += 1;
     }
 
     fn group_start(&mut self) {
+        self.counters.note_group_start();
         if self.started {
             self.flush();
         }
@@ -226,6 +247,7 @@ impl ExecTracer for MaliTracer<'_> {
     }
 
     fn barrier(&mut self, items: u32) {
+        self.counters.note_barrier(items);
         // A barrier drains the core's pipelines: charge one thread-switch
         // per item.
         self.cur.ls_cycles += items as f64 * 1.0;
@@ -277,26 +299,31 @@ impl MaliT604 {
         debug_assert_eq!(groups.len(), ndrange.total_groups().max(1));
         let cfg = &self.cfg;
 
-        // Job manager: round-robin groups over shader cores.
+        // Job manager: round-robin groups over shader cores. Record each
+        // group's interval on its core as a telemetry span.
         let cores = cfg.shader_cores as usize;
         let mut core_cycles = vec![0.0f64; cores];
+        let mut spans = Vec::with_capacity(groups.len());
         for (i, g) in groups.iter().enumerate() {
             let arith = g.arith_slots / cfg.arith_pipes as f64;
-            let group_cycles = arith.max(g.ls_cycles)
-                + g.threads as f64 * cfg.cy_thread
-                + cfg.cy_group_dispatch;
-            core_cycles[i % cores] += group_cycles;
+            let group_cycles =
+                arith.max(g.ls_cycles) + g.threads as f64 * cfg.cy_thread + cfg.cy_group_dispatch;
+            let core = i % cores;
+            let start = core_cycles[core];
+            core_cycles[core] = start + group_cycles;
+            spans.push(WorkSpan {
+                core: core as u32,
+                group: i as u32,
+                start_s: start / cfg.freq_hz,
+                end_s: core_cycles[core] / cfg.freq_hz,
+            });
         }
-        let compute_time =
-            core_cycles.iter().cloned().fold(0.0, f64::max) / cfg.freq_hz;
+        let compute_time = core_cycles.iter().cloned().fold(0.0, f64::max) / cfg.freq_hz;
 
         // Occupancy-dependent latency exposure for scattered traffic.
         let footprint = program.register_footprint();
-        let resident = cfg
-            .resident_threads(footprint)
-            .min(cfg.max_wg_size);
-        let hiding =
-            (resident as f64 / cfg.full_hiding_threads as f64).clamp(0.2, 1.0);
+        let resident = cfg.resident_threads(footprint).min(cfg.max_wg_size);
+        let hiding = (resident as f64 / cfg.full_hiding_threads as f64).clamp(0.2, 1.0);
         let traffic = tracer.hier.stats.traffic;
         let exposure_s = traffic.scatter_lines as f64 * cfg.dram.latency * cfg.scatter_exposure
             / hiding
@@ -310,19 +337,22 @@ impl MaliT604 {
         // Hotspot serialization: atomics to the same L2 line serialize in
         // the atomic unit; independent lines pipeline across banks.
         let hottest_line = tracer.atomic_lines.values().copied().max().unwrap_or(0);
-        let atomic_time =
-            hottest_line as f64 * cfg.atomic_global_serial_cy / cfg.freq_hz;
+        let atomic_time = hottest_line as f64 * cfg.atomic_global_serial_cy / cfg.freq_hz;
 
         let busy_time = (compute_time + exposure_s).max(mem_time).max(atomic_time);
         let time_s = busy_time + cfg.launch_overhead_s;
 
         let hier = tracer.hier.stats;
+        let mut counters = tracer.counters;
+        counters.absorb_hier(&hier);
+        counters.resident_threads = resident;
+        counters.max_resident_threads = cfg.max_wg_size;
+        counters.registers_per_thread = footprint;
         let activity = Activity {
             duration_s: time_s,
             cpu_busy_s: [0.0, 0.0],
             gpu_active_s: time_s,
-            gpu_arith_util_s: tracer.total_arith_slots
-                / (cfg.total_pipes() as f64 * cfg.freq_hz),
+            gpu_arith_util_s: tracer.total_arith_slots / (cfg.total_pipes() as f64 * cfg.freq_hz),
             gpu_ls_util_s: (tracer.total_ls_cycles / cfg.shader_cores as f64
                 + hottest_line as f64 * cfg.atomic_global_serial_cy)
                 / cfg.freq_hz,
@@ -340,6 +370,8 @@ impl MaliT604 {
             activity,
             hier,
             groups: groups.len(),
+            counters,
+            spans,
         })
     }
 }
@@ -369,8 +401,12 @@ mod tests {
         let b = kb.arg_global(Scalar::F32, Access::ReadOnly, true);
         let c = kb.arg_global(Scalar::F32, Access::WriteOnly, true);
         let gid = kb.query_global_id(0);
-        let base =
-            kb.bin(BinOp::Mul, gid.into(), Operand::ImmI(4), VType::scalar(Scalar::U32));
+        let base = kb.bin(
+            BinOp::Mul,
+            gid.into(),
+            Operand::ImmI(4),
+            VType::scalar(Scalar::U32),
+        );
         let va = kb.vload(Scalar::F32, 4, a, base.into());
         let vb = kb.vload(Scalar::F32, 4, b, base.into());
         let s = kb.bin(BinOp::Add, va.into(), vb.into(), VType::new(Scalar::F32, 4));
@@ -380,10 +416,19 @@ mod tests {
 
     fn setup(n: usize) -> (MemoryPool, Vec<ArgBinding>) {
         let mut pool = MemoryPool::new();
-        let a = pool.add(BufferData::from((0..n).map(|i| i as f32).collect::<Vec<_>>()));
+        let a = pool.add(BufferData::from(
+            (0..n).map(|i| i as f32).collect::<Vec<_>>(),
+        ));
         let b = pool.add(BufferData::from(vec![1.0f32; n]));
         let c = pool.add(BufferData::zeroed(Scalar::F32, n));
-        (pool, vec![ArgBinding::Global(a), ArgBinding::Global(b), ArgBinding::Global(c)])
+        (
+            pool,
+            vec![
+                ArgBinding::Global(a),
+                ArgBinding::Global(b),
+                ArgBinding::Global(c),
+            ],
+        )
     }
 
     #[test]
@@ -402,11 +447,13 @@ mod tests {
         let dev = MaliT604::default();
         let n = 1 << 18;
         let (mut p1, b1) = setup(n);
-        let r_scalar =
-            dev.run(&vecadd_scalar(), &b1, &mut p1, NDRange::d1(n, 128)).unwrap();
+        let r_scalar = dev
+            .run(&vecadd_scalar(), &b1, &mut p1, NDRange::d1(n, 128))
+            .unwrap();
         let (mut p2, b2) = setup(n);
-        let r_vec =
-            dev.run(&vecadd_vec4(), &b2, &mut p2, NDRange::d1(n / 4, 128)).unwrap();
+        let r_vec = dev
+            .run(&vecadd_vec4(), &b2, &mut p2, NDRange::d1(n / 4, 128))
+            .unwrap();
         // Same results.
         assert_eq!(p1.get(2).as_f32()[n - 1], p2.get(2).as_f32()[n - 1]);
         let speedup = r_scalar.time_s / r_vec.time_s;
@@ -426,29 +473,49 @@ mod tests {
             let mut kb = KernelBuilder::new("div");
             let a = kb.arg_global(Scalar::F32, Access::ReadWrite, true);
             let gid = kb.query_global_id(0);
-            let par =
-                kb.bin(BinOp::And, gid.into(), Operand::ImmI(1), VType::scalar(Scalar::U32));
-            let is_odd =
-                kb.bin(BinOp::Eq, par.into(), Operand::ImmI(1), VType::scalar(Scalar::U32));
+            let par = kb.bin(
+                BinOp::And,
+                gid.into(),
+                Operand::ImmI(1),
+                VType::scalar(Scalar::U32),
+            );
+            let is_odd = kb.bin(
+                BinOp::Eq,
+                par.into(),
+                Operand::ImmI(1),
+                VType::scalar(Scalar::U32),
+            );
             let v = kb.load(Scalar::F32, a, gid.into());
             let dst = kb.mov(Operand::ImmF(0.0), VType::scalar(Scalar::F32));
             if branchy {
                 kb.if_then_else(
                     is_odd.into(),
                     |kb| {
-                        let t = kb.mad(v.into(), Operand::ImmF(2.0), Operand::ImmF(1.0),
-                            VType::scalar(Scalar::F32));
+                        let t = kb.mad(
+                            v.into(),
+                            Operand::ImmF(2.0),
+                            Operand::ImmF(1.0),
+                            VType::scalar(Scalar::F32),
+                        );
                         kb.mov_into(dst, t.into());
                     },
                     |kb| {
-                        let t = kb.mad(v.into(), Operand::ImmF(3.0), Operand::ImmF(-1.0),
-                            VType::scalar(Scalar::F32));
+                        let t = kb.mad(
+                            v.into(),
+                            Operand::ImmF(3.0),
+                            Operand::ImmF(-1.0),
+                            VType::scalar(Scalar::F32),
+                        );
                         kb.mov_into(dst, t.into());
                     },
                 );
             } else {
-                let t1 = kb.mad(v.into(), Operand::ImmF(2.0), Operand::ImmF(1.0),
-                    VType::scalar(Scalar::F32));
+                let t1 = kb.mad(
+                    v.into(),
+                    Operand::ImmF(2.0),
+                    Operand::ImmF(1.0),
+                    VType::scalar(Scalar::F32),
+                );
                 kb.mov_into(dst, t1.into());
             }
             kb.store(a, gid.into(), dst.into());
@@ -494,12 +561,22 @@ mod tests {
         let mut pool = MemoryPool::new();
         let ab = pool.add(BufferData::zeroed(Scalar::F64, 256));
         let err = dev
-            .run(&p, &[ArgBinding::Global(ab)], &mut pool, NDRange::d1(256, 64))
+            .run(
+                &p,
+                &[ArgBinding::Global(ab)],
+                &mut pool,
+                NDRange::d1(256, 64),
+            )
             .unwrap_err();
         assert!(matches!(err, MaliError::OutOfResources { .. }), "{err}");
         let _ = regs;
         // A smaller work-group fits.
-        let ok = dev.run(&p, &[ArgBinding::Global(ab)], &mut pool, NDRange::d1(256, 8));
+        let ok = dev.run(
+            &p,
+            &[ArgBinding::Global(ab)],
+            &mut pool,
+            NDRange::d1(256, 8),
+        );
         assert!(ok.is_ok());
     }
 
@@ -546,10 +623,15 @@ mod tests {
             let out = kb.arg_global(Scalar::F32, Access::WriteOnly, true);
             let gid = kb.query_global_id(0);
             let acc = kb.mov(Operand::ImmF(0.0), VType::scalar(Scalar::F32));
-            kb.for_loop(Operand::ImmI(0), Operand::ImmI(16), Operand::ImmI(1), |kb, i| {
-                let v = kb.load(Scalar::F32, a, i.into());
-                kb.bin_into(acc, BinOp::Add, acc.into(), v.into());
-            });
+            kb.for_loop(
+                Operand::ImmI(0),
+                Operand::ImmI(16),
+                Operand::ImmI(1),
+                |kb, i| {
+                    let v = kb.load(Scalar::F32, a, i.into());
+                    kb.bin_into(acc, BinOp::Add, acc.into(), v.into());
+                },
+            );
             kb.store(out, gid.into(), acc.into());
             kb.finish()
         };
@@ -559,8 +641,12 @@ mod tests {
             let out = kb.arg_global(Scalar::F32, Access::WriteOnly, true);
             let tile = kb.arg_local(Scalar::F32);
             let lid = kb.query_local_id(0);
-            let in_range =
-                kb.bin(BinOp::Lt, lid.into(), Operand::ImmI(16), VType::scalar(Scalar::U32));
+            let in_range = kb.bin(
+                BinOp::Lt,
+                lid.into(),
+                Operand::ImmI(16),
+                VType::scalar(Scalar::U32),
+            );
             kb.if_then(in_range.into(), |kb| {
                 let v = kb.load(Scalar::F32, a, lid.into());
                 kb.store(tile, lid.into(), v.into());
@@ -568,10 +654,15 @@ mod tests {
             kb.barrier();
             let gid = kb.query_global_id(0);
             let acc = kb.mov(Operand::ImmF(0.0), VType::scalar(Scalar::F32));
-            kb.for_loop(Operand::ImmI(0), Operand::ImmI(16), Operand::ImmI(1), |kb, i| {
-                let v = kb.load(Scalar::F32, tile, i.into());
-                kb.bin_into(acc, BinOp::Add, acc.into(), v.into());
-            });
+            kb.for_loop(
+                Operand::ImmI(0),
+                Operand::ImmI(16),
+                Operand::ImmI(1),
+                |kb, i| {
+                    let v = kb.load(Scalar::F32, tile, i.into());
+                    kb.bin_into(acc, BinOp::Add, acc.into(), v.into());
+                },
+            );
             kb.store(out, gid.into(), acc.into());
             kb.finish()
         };
@@ -585,7 +676,9 @@ mod tests {
             if has_local {
                 b.push(ArgBinding::LocalSize(16));
             }
-            dev.run(p, &b, &mut pool, NDRange::d1(n, 64)).unwrap().time_s
+            dev.run(p, &b, &mut pool, NDRange::d1(n, 64))
+                .unwrap()
+                .time_s
         };
         let t_direct = run(&direct, false);
         let t_staged = run(&staged, true);
@@ -599,7 +692,9 @@ mod tests {
     fn report_fields_consistent() {
         let dev = MaliT604::default();
         let (mut pool, b) = setup(4096);
-        let r = dev.run(&vecadd_scalar(), &b, &mut pool, NDRange::d1(4096, 128)).unwrap();
+        let r = dev
+            .run(&vecadd_scalar(), &b, &mut pool, NDRange::d1(4096, 128))
+            .unwrap();
         assert!(r.time_s >= dev.cfg.launch_overhead_s);
         assert_eq!(r.groups, 32);
         assert!(r.activity.gpu_active_s > 0.0);
@@ -621,7 +716,12 @@ mod tests {
                 VType::scalar(Scalar::U32),
             );
             let v = kb.vload(Scalar::F32, w, a, base.into());
-            let s = kb.bin(BinOp::Add, v.into(), Operand::ImmF(1.0), VType::new(Scalar::F32, w));
+            let s = kb.bin(
+                BinOp::Add,
+                v.into(),
+                Operand::ImmF(1.0),
+                VType::new(Scalar::F32, w),
+            );
             kb.vstore(a, base.into(), s.into());
             kb.finish()
         };
@@ -630,8 +730,13 @@ mod tests {
         let run = |w: u8| {
             let mut pool = MemoryPool::new();
             let a = pool.add(BufferData::zeroed(Scalar::F32, n));
-            dev.run(&mk(w), &[ArgBinding::Global(a)], &mut pool,
-                NDRange::d1(n / w as usize, 64)).unwrap()
+            dev.run(
+                &mk(w),
+                &[ArgBinding::Global(a)],
+                &mut pool,
+                NDRange::d1(n / w as usize, 64),
+            )
+            .unwrap()
         };
         let r4 = run(4);
         let r16 = run(16);

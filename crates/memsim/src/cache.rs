@@ -18,9 +18,19 @@ pub struct CacheConfig {
 
 impl CacheConfig {
     pub fn new(size_bytes: u32, line_bytes: u32, assoc: u32) -> Self {
-        let cfg = CacheConfig { size_bytes, line_bytes, assoc };
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
-        assert!(cfg.num_sets() > 0, "size/assoc/line combination yields zero sets");
+        let cfg = CacheConfig {
+            size_bytes,
+            line_bytes,
+            assoc,
+        };
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        assert!(
+            cfg.num_sets() > 0,
+            "size/assoc/line combination yields zero sets"
+        );
         assert_eq!(
             size_bytes % (line_bytes * assoc),
             0,
@@ -68,7 +78,9 @@ impl CacheStats {
 pub enum Probe {
     Hit,
     /// Miss; `writeback` reports whether a dirty victim was evicted.
-    Miss { writeback: bool },
+    Miss {
+        writeback: bool,
+    },
 }
 
 /// The cache proper.
@@ -83,7 +95,12 @@ pub struct Cache {
 impl Cache {
     pub fn new(cfg: CacheConfig) -> Self {
         let lines = (cfg.num_sets() * cfg.assoc) as usize;
-        Cache { cfg, sets: vec![Line::default(); lines], clock: 0, stats: CacheStats::default() }
+        Cache {
+            cfg,
+            sets: vec![Line::default(); lines],
+            clock: 0,
+            stats: CacheStats::default(),
+        }
     }
 
     pub fn config(&self) -> CacheConfig {
@@ -135,9 +152,15 @@ impl Cache {
         if evicted_dirty {
             self.stats.writebacks += 1;
         }
-        self.sets[victim] =
-            Line { tag, valid: true, dirty: write, stamp: self.clock };
-        Probe::Miss { writeback: evicted_dirty }
+        self.sets[victim] = Line {
+            tag,
+            valid: true,
+            dirty: write,
+            stamp: self.clock,
+        };
+        Probe::Miss {
+            writeback: evicted_dirty,
+        }
     }
 
     /// Access a byte span, probing every line it touches. Returns
@@ -251,7 +274,7 @@ mod tests {
     #[test]
     fn working_set_larger_than_cache_thrashes() {
         let mut c = tiny(); // 512 B
-        // Stream 4 KiB twice; second pass still misses every line.
+                            // Stream 4 KiB twice; second pass still misses every line.
         for pass in 0..2 {
             let before = c.stats.misses;
             for i in 0..64u64 {

@@ -130,8 +130,16 @@ mod tests {
     #[test]
     fn traffic_accumulates() {
         let mut t = DramTraffic::default();
-        t.add(&DramTraffic { stream_lines: 10, scatter_lines: 5, writeback_lines: 2 });
-        t.add(&DramTraffic { stream_lines: 1, scatter_lines: 0, writeback_lines: 0 });
+        t.add(&DramTraffic {
+            stream_lines: 10,
+            scatter_lines: 5,
+            writeback_lines: 2,
+        });
+        t.add(&DramTraffic {
+            stream_lines: 1,
+            scatter_lines: 0,
+            writeback_lines: 0,
+        });
         assert_eq!(t.total_lines(), 18);
         let cfg = DramConfig::ddr3l_1600_x32();
         assert_eq!(t.total_bytes(&cfg), 18 * 64);
@@ -141,8 +149,14 @@ mod tests {
     #[test]
     fn scattered_traffic_slower_than_streamed() {
         let cfg = DramConfig::ddr3l_1600_x32();
-        let streamed = DramTraffic { stream_lines: 1000, ..Default::default() };
-        let scattered = DramTraffic { scatter_lines: 1000, ..Default::default() };
+        let streamed = DramTraffic {
+            stream_lines: 1000,
+            ..Default::default()
+        };
+        let scattered = DramTraffic {
+            scatter_lines: 1000,
+            ..Default::default()
+        };
         assert!(scattered.bandwidth_time(&cfg) > streamed.bandwidth_time(&cfg));
     }
 }

@@ -59,12 +59,20 @@ pub struct Hierarchy {
 impl Hierarchy {
     /// CPU-style two-level hierarchy.
     pub fn with_l1(l1: CacheConfig, l2: CacheConfig) -> Self {
-        Hierarchy { l1: Some(Cache::new(l1)), l2: Cache::new(l2), stats: Default::default() }
+        Hierarchy {
+            l1: Some(Cache::new(l1)),
+            l2: Cache::new(l2),
+            stats: Default::default(),
+        }
     }
 
     /// GPU-style single shared L2.
     pub fn l2_only(l2: CacheConfig) -> Self {
-        Hierarchy { l1: None, l2: Cache::new(l2), stats: Default::default() }
+        Hierarchy {
+            l1: None,
+            l2: Cache::new(l2),
+            stats: Default::default(),
+        }
     }
 
     pub fn reset(&mut self) {

@@ -17,27 +17,35 @@ pub use hierarchy::{AccessOutcome, Hierarchy, HierarchyStats, HitLevel};
 pub use stride::StrideClassifier;
 
 #[cfg(test)]
-mod proptests {
+mod randomized_tests {
+    //! Seeded randomized sweeps (the former proptest suite, rewritten over
+    //! the in-tree PRNG so the workspace builds offline).
+
     use super::*;
-    use proptest::prelude::*;
+    use sim_rng::Pcg32;
 
-    proptest! {
-        /// Cache invariant: hits + misses == accesses, writebacks <= misses.
-        #[test]
-        fn cache_counters_consistent(addrs in prop::collection::vec(0u64..65536, 1..500),
-                                     writes in prop::collection::vec(any::<bool>(), 500)) {
+    /// Cache invariant: hits + misses == accesses, writebacks <= misses.
+    #[test]
+    fn cache_counters_consistent() {
+        let mut rng = Pcg32::seed_from_u64(0xCAC4E);
+        for _ in 0..64 {
             let mut c = Cache::new(CacheConfig::new(2048, 64, 2));
-            for (a, w) in addrs.iter().zip(writes.iter()) {
-                c.probe(*a, *w);
+            let n = rng.gen_range_usize(1, 500);
+            for _ in 0..n {
+                c.probe(rng.next_u64() % 65536, rng.gen_bool());
             }
-            prop_assert_eq!(c.stats.hits + c.stats.misses, c.stats.accesses);
-            prop_assert!(c.stats.writebacks <= c.stats.misses);
+            assert_eq!(c.stats.hits + c.stats.misses, c.stats.accesses);
+            assert!(c.stats.writebacks <= c.stats.misses);
         }
+    }
 
-        /// Repeating the same trace twice can only raise the hit count on
-        /// the second pass when the working set fits.
-        #[test]
-        fn resident_set_hits_on_second_pass(start in 0u64..1024) {
+    /// Repeating the same trace twice can only raise the hit count on
+    /// the second pass when the working set fits.
+    #[test]
+    fn resident_set_hits_on_second_pass() {
+        let mut rng = Pcg32::seed_from_u64(0x5EC0);
+        for _ in 0..64 {
+            let start = rng.next_u64() % 1024;
             let mut c = Cache::new(CacheConfig::new(4096, 64, 4));
             // 2 KiB working set fits in 4 KiB.
             for i in 0..32u64 {
@@ -47,32 +55,48 @@ mod proptests {
             for i in 0..32u64 {
                 c.probe(start + i * 64, false);
             }
-            prop_assert_eq!(c.stats.misses, misses_first, "second pass must be all hits");
+            assert_eq!(c.stats.misses, misses_first, "second pass must be all hits");
         }
+    }
 
-        /// Hierarchy invariant: per-access outcome lines sum to the lines the
-        /// span touches.
-        #[test]
-        fn hierarchy_outcome_covers_span(addr in 0u64..100_000, bytes in 1u32..256) {
-            let mut h = Hierarchy::with_l1(
-                CacheConfig::new(1024, 64, 2),
-                CacheConfig::new(8192, 64, 4),
-            );
+    /// Hierarchy invariant: per-access outcome lines sum to the lines the
+    /// span touches.
+    #[test]
+    fn hierarchy_outcome_covers_span() {
+        let mut rng = Pcg32::seed_from_u64(0x41E2);
+        for _ in 0..256 {
+            let addr = rng.next_u64() % 100_000;
+            let bytes = 1 + rng.gen_below(255);
+            let mut h =
+                Hierarchy::with_l1(CacheConfig::new(1024, 64, 2), CacheConfig::new(8192, 64, 4));
             let out = h.access(addr, bytes, false, true);
             let first = addr / 64;
             let last = (addr + bytes as u64 - 1) / 64;
             let lines = (last - first + 1) as u32;
-            prop_assert_eq!(out.l1_hits + out.l2_hits + out.dram_lines, lines);
+            assert_eq!(out.l1_hits + out.l2_hits + out.dram_lines, lines);
         }
+    }
 
-        /// DRAM traffic time is monotone in the number of lines.
-        #[test]
-        fn dram_time_monotone(a in 0u64..10_000, b in 0u64..10_000) {
-            let cfg = DramConfig::ddr3l_1600_x32();
+    /// DRAM traffic time is monotone in the number of lines.
+    #[test]
+    fn dram_time_monotone() {
+        let cfg = DramConfig::ddr3l_1600_x32();
+        let mut rng = Pcg32::seed_from_u64(0xD3A);
+        for _ in 0..256 {
+            let a = rng.next_u64() % 10_000;
+            let b = rng.next_u64() % 10_000;
             let (lo, hi) = (a.min(b), a.max(b));
-            let t_lo = DramTraffic { stream_lines: lo, ..Default::default() }.bandwidth_time(&cfg);
-            let t_hi = DramTraffic { stream_lines: hi, ..Default::default() }.bandwidth_time(&cfg);
-            prop_assert!(t_lo <= t_hi);
+            let t_lo = DramTraffic {
+                stream_lines: lo,
+                ..Default::default()
+            }
+            .bandwidth_time(&cfg);
+            let t_hi = DramTraffic {
+                stream_lines: hi,
+                ..Default::default()
+            }
+            .bandwidth_time(&cfg);
+            assert!(t_lo <= t_hi);
         }
     }
 }

@@ -25,13 +25,21 @@ pub struct StrideClassifier {
 
 impl Default for StrideClassifier {
     fn default() -> Self {
-        StrideClassifier { last: HashMap::new(), region_shift: 14, window: 4096 }
+        StrideClassifier {
+            last: HashMap::new(),
+            region_shift: 14,
+            window: 4096,
+        }
     }
 }
 
 impl StrideClassifier {
     pub fn new(region_shift: u32, window: u64) -> Self {
-        StrideClassifier { last: HashMap::new(), region_shift, window }
+        StrideClassifier {
+            last: HashMap::new(),
+            region_shift,
+            window,
+        }
     }
 
     /// Record an access on stream `stream` (e.g. the buffer's argument
@@ -85,7 +93,10 @@ mod tests {
         let results: Vec<bool> = addrs.iter().map(|&a| c.classify(a)).collect();
         assert!(results[0], "first touch starts a stream");
         let scattered = results[1..].iter().filter(|&&s| !s).count();
-        assert_eq!(scattered, 4, "in-region hops beyond the window must scatter");
+        assert_eq!(
+            scattered, 4,
+            "in-region hops beyond the window must scatter"
+        );
         c.reset();
         // Distinct regions track independently: a first touch far away is a
         // fresh stream, not a scatter.
@@ -112,6 +123,9 @@ mod tests {
         c.classify(0);
         c.classify(4);
         c.reset();
-        assert!(c.classify(1 << 30), "first touch after reset is a stream start");
+        assert!(
+            c.classify(1 << 30),
+            "first touch after reset is a stream start"
+        );
     }
 }

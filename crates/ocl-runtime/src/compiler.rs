@@ -75,15 +75,11 @@ fn has_f64_transcendental_in_branch(p: &Program) -> bool {
                 {
                     return true;
                 }
-                Op::If { then, els, .. } => {
-                    if scan(p, then, true) || scan(p, els, true) {
-                        return true;
-                    }
+                Op::If { then, els, .. } if (scan(p, then, true) || scan(p, els, true)) => {
+                    return true;
                 }
-                Op::For { body, .. } => {
-                    if scan(p, body, in_branch) {
-                        return true;
-                    }
+                Op::For { body, .. } if scan(p, body, in_branch) => {
+                    return true;
                 }
                 _ => {}
             }
@@ -131,7 +127,11 @@ pub fn build(program: Program) -> Result<CompiledKernel, BuildError> {
         // const/restrict let the compiler hoist loads and relax aliasing.
         hint_factor *= 0.97;
     }
-    Ok(CompiledKernel { program, footprint, hint_factor })
+    Ok(CompiledKernel {
+        program,
+        footprint,
+        hint_factor,
+    })
 }
 
 #[cfg(test)]
@@ -146,7 +146,12 @@ mod tests {
         let out = kb.arg_global(elem, Access::ReadWrite, true);
         let gid = kb.query_global_id(0);
         let de = kb.load(elem, out, gid.into());
-        let cond = kb.bin(BinOp::Lt, de.into(), Operand::ImmF(0.5), VType::scalar(elem));
+        let cond = kb.bin(
+            BinOp::Lt,
+            de.into(),
+            Operand::ImmF(0.5),
+            VType::scalar(elem),
+        );
         kb.if_then(cond.into(), |kb| {
             let nde = kb.un(UnOp::Neg, de.into(), VType::scalar(elem));
             let p = kb.un(UnOp::Exp, nde.into(), VType::scalar(elem));
@@ -210,7 +215,10 @@ mod tests {
     #[test]
     fn hints_reduce_factor() {
         let mut kb = KernelBuilder::new("hinted");
-        kb.hints(Hints { inline: true, const_args: true });
+        kb.hints(Hints {
+            inline: true,
+            const_args: true,
+        });
         let a = kb.arg_global(Scalar::F32, Access::ReadWrite, true);
         let gid = kb.query_global_id(0);
         let v = kb.load(Scalar::F32, a, gid.into());

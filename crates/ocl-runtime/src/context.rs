@@ -18,6 +18,7 @@ use crate::error::ClError;
 use kernel_ir::{ArgBinding, BufferData, MemoryPool, NDRange, Scalar, Value};
 use mali_gpu::{MaliReport, MaliT604};
 use powersim::Activity;
+use telemetry::{Counters, WorkSpan};
 
 /// Buffer-allocation flags (the relevant subset of `cl_mem_flags`).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -65,6 +66,12 @@ pub struct Event {
     /// Queue-relative CL_PROFILING_COMMAND_END.
     pub end_s: f64,
     pub activity: Activity,
+    /// Kernel launches carry the device's performance-counter snapshot;
+    /// transfer commands carry `None`.
+    pub counters: Option<Counters>,
+    /// Kernel launches carry per-core work-group spans, queue-relative
+    /// (already offset by this event's `start_s` and the launch overhead).
+    pub spans: Vec<WorkSpan>,
 }
 
 /// Host-side transfer cost constants.
@@ -150,9 +157,28 @@ impl Context {
     }
 
     fn push_event(&mut self, kind: EventKind, time_s: f64, activity: Activity) {
+        self.push_event_full(kind, time_s, activity, None, Vec::new());
+    }
+
+    fn push_event_full(
+        &mut self,
+        kind: EventKind,
+        time_s: f64,
+        activity: Activity,
+        counters: Option<Counters>,
+        spans: Vec<WorkSpan>,
+    ) {
         let start_s = self.queue_clock;
         self.queue_clock += time_s;
-        self.events.push(Event { kind, time_s, start_s, end_s: self.queue_clock, activity });
+        self.events.push(Event {
+            kind,
+            time_s,
+            start_s,
+            end_s: self.queue_clock,
+            activity,
+            counters,
+            spans,
+        });
     }
 
     fn slot(&self, b: BufId) -> Result<&BufferSlot, ClError> {
@@ -164,7 +190,7 @@ impl Context {
     /// Raw read access without queue cost (test/validation helper, not a
     /// host-code path).
     pub fn buffer_data(&self, b: BufId) -> &BufferData {
-        &self.pool.get(self.buffers[b.0].pool_idx)
+        self.pool.get(self.buffers[b.0].pool_idx)
     }
 
     fn bytes_of(&self, b: BufId) -> u64 {
@@ -252,12 +278,8 @@ impl Context {
         let bytes = self.bytes_of(b);
         let c = self.host_costs;
         let (t, dram) = match flags {
-            MemFlags::AllocHostPtr => {
-                (c.map_overhead_s + bytes as f64 / c.cache_maint_bw, 0)
-            }
-            MemFlags::UseHostPtr => {
-                (c.rw_call_overhead_s + bytes as f64 / c.memcpy_bw, 2 * bytes)
-            }
+            MemFlags::AllocHostPtr => (c.map_overhead_s + bytes as f64 / c.cache_maint_bw, 0),
+            MemFlags::UseHostPtr => (c.rw_call_overhead_s + bytes as f64 / c.memcpy_bw, 2 * bytes),
         };
         self.push_event(
             EventKind::Unmap { bytes },
@@ -296,7 +318,7 @@ impl Context {
             .min(self.device.cfg.max_wg_size)
             .max(1);
         let mut wg = 1usize;
-        while wg * 2 <= regs_cap as usize && global[0] % (wg * 2) == 0 && wg * 2 <= 256 {
+        while wg * 2 <= regs_cap as usize && global[0].is_multiple_of(wg * 2) && wg * 2 <= 256 {
             wg *= 2;
         }
         [wg, 1, 1]
@@ -314,7 +336,7 @@ impl Context {
         let driver_chose = local.is_none();
         let local = local.unwrap_or_else(|| self.driver_local_size(kernel, global));
         for d in 0..3 {
-            if local[d] == 0 || global[d] == 0 || global[d] % local[d] != 0 {
+            if local[d] == 0 || global[d] == 0 || !global[d].is_multiple_of(local[d]) {
                 return Err(ClError::InvalidWorkGroupSize(format!(
                     "global {global:?} not divisible by local {local:?}"
                 )));
@@ -357,13 +379,37 @@ impl Context {
             report.compute_time_s *= kernel.hint_factor;
             report.activity.duration_s = report.time_s;
             report.activity.gpu_active_s = report.time_s;
+            for s in &mut report.spans {
+                s.start_s *= kernel.hint_factor;
+                s.end_s *= kernel.hint_factor;
+            }
         }
-        self.push_event(
-            EventKind::Kernel { name: kernel.program.name.clone() },
+        // Queue-relative spans: compute starts after the launch overhead.
+        let span_base = self.queue_clock + self.device.cfg.launch_overhead_s;
+        let spans: Vec<WorkSpan> = report
+            .spans
+            .iter()
+            .map(|s| WorkSpan {
+                core: s.core,
+                group: s.group,
+                start_s: span_base + s.start_s,
+                end_s: span_base + s.end_s,
+            })
+            .collect();
+        self.push_event_full(
+            EventKind::Kernel {
+                name: kernel.program.name.clone(),
+            },
             report.time_s,
             report.activity,
+            Some(report.counters.clone()),
+            spans,
         );
-        Ok(LaunchInfo { report, local, driver_chose_local: driver_chose })
+        Ok(LaunchInfo {
+            report,
+            local,
+            driver_chose_local: driver_chose,
+        })
     }
 
     // ---- queue drain ---------------------------------------------------------
@@ -422,7 +468,11 @@ mod tests {
                 &k,
                 [n, 1, 1],
                 Some([64, 1, 1]),
-                &[KernelArg::Buf(x), KernelArg::Buf(y), KernelArg::Scalar(Value::f32(3.0))],
+                &[
+                    KernelArg::Buf(x),
+                    KernelArg::Buf(y),
+                    KernelArg::Scalar(Value::f32(3.0)),
+                ],
             )
             .unwrap();
         assert!(!info.driver_chose_local);
@@ -444,7 +494,11 @@ mod tests {
                 &k,
                 [n, 1, 1],
                 None,
-                &[KernelArg::Buf(x), KernelArg::Buf(y), KernelArg::Scalar(Value::f32(1.0))],
+                &[
+                    KernelArg::Buf(x),
+                    KernelArg::Buf(y),
+                    KernelArg::Scalar(Value::f32(1.0)),
+                ],
             )
             .unwrap();
         assert!(info.driver_chose_local);
@@ -468,8 +522,12 @@ mod tests {
         let s = kb.horiz(kernel_ir::HorizOp::Add, acc);
         let gid = kb.query_global_id(0);
         let v = kb.load(Scalar::F32, a, gid.into());
-        let sum = kb.bin(kernel_ir::BinOp::Add, v.into(), s.into(),
-            VType::scalar(Scalar::F32));
+        let sum = kb.bin(
+            kernel_ir::BinOp::Add,
+            v.into(),
+            s.into(),
+            VType::scalar(Scalar::F32),
+        );
         kb.store(a, gid.into(), sum.into());
         let ctx = Context::new(MaliT604::default());
         let k = ctx.build_kernel(kb.finish()).unwrap();
@@ -484,7 +542,8 @@ mod tests {
         // Copy-based flow.
         let mut ctx1 = Context::new(MaliT604::default());
         let b1 = ctx1.create_buffer(Scalar::F32, n, MemFlags::UseHostPtr);
-        ctx1.enqueue_write_buffer(b1, vec![1.0f32; n].into()).unwrap();
+        ctx1.enqueue_write_buffer(b1, vec![1.0f32; n].into())
+            .unwrap();
         let _ = ctx1.enqueue_read_buffer(b1).unwrap();
         let (t_copy, a_copy) = ctx1.timeline(false);
         // Map-based flow.
@@ -529,7 +588,11 @@ mod tests {
                 &k,
                 [100, 1, 1],
                 Some([64, 1, 1]),
-                &[KernelArg::Buf(x), KernelArg::Buf(y), KernelArg::Scalar(Value::f32(1.0))],
+                &[
+                    KernelArg::Buf(x),
+                    KernelArg::Buf(y),
+                    KernelArg::Scalar(Value::f32(1.0)),
+                ],
             )
             .unwrap_err();
         assert!(matches!(err, ClError::InvalidWorkGroupSize(_)));
@@ -554,9 +617,17 @@ mod tests {
         let k = ctx.build_kernel(saxpy()).unwrap();
         let _ = ctx.enqueue_map_buffer(x).unwrap();
         ctx.enqueue_unmap(x).unwrap();
-        ctx.enqueue_nd_range(&k, [1 << 14, 1, 1], Some([64, 1, 1]),
-            &[KernelArg::Buf(x), KernelArg::Buf(y), KernelArg::Scalar(Value::f32(2.0))])
-            .unwrap();
+        ctx.enqueue_nd_range(
+            &k,
+            [1 << 14, 1, 1],
+            Some([64, 1, 1]),
+            &[
+                KernelArg::Buf(x),
+                KernelArg::Buf(y),
+                KernelArg::Scalar(Value::f32(2.0)),
+            ],
+        )
+        .unwrap();
         let events = ctx.finish();
         assert_eq!(events.len(), 3);
         let mut clock = 0.0;
@@ -577,13 +648,18 @@ mod tests {
         let mut ctx = Context::new(MaliT604::default());
         let x = ctx.create_buffer(Scalar::F32, 256, MemFlags::AllocHostPtr);
         let y = ctx.create_buffer(Scalar::F32, 256, MemFlags::AllocHostPtr);
-        ctx.enqueue_write_buffer(x, vec![1.0f32; 256].into()).unwrap();
+        ctx.enqueue_write_buffer(x, vec![1.0f32; 256].into())
+            .unwrap();
         let k = ctx.build_kernel(saxpy()).unwrap();
         ctx.enqueue_nd_range(
             &k,
             [256, 1, 1],
             Some([64, 1, 1]),
-            &[KernelArg::Buf(x), KernelArg::Buf(y), KernelArg::Scalar(Value::f32(1.0))],
+            &[
+                KernelArg::Buf(x),
+                KernelArg::Buf(y),
+                KernelArg::Scalar(Value::f32(1.0)),
+            ],
         )
         .unwrap();
         let (t_all, _) = ctx.timeline(false);

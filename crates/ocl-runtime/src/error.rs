@@ -45,9 +45,9 @@ impl std::error::Error for ClError {}
 impl From<MaliError> for ClError {
     fn from(e: MaliError) -> Self {
         match e {
-            MaliError::OutOfResources { footprint, wg_size, .. } => {
-                ClError::OutOfResources { footprint, wg_size }
-            }
+            MaliError::OutOfResources {
+                footprint, wg_size, ..
+            } => ClError::OutOfResources { footprint, wg_size },
             MaliError::Exec(e) => ClError::InvalidValue(e.to_string()),
         }
     }
@@ -59,7 +59,10 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        let e = ClError::OutOfResources { footprint: 40, wg_size: 256 };
+        let e = ClError::OutOfResources {
+            footprint: 40,
+            wg_size: 256,
+        };
         assert!(e.to_string().contains("CL_OUT_OF_RESOURCES"));
         let b = ClError::BuildProgramFailure("ICE".into());
         assert!(b.to_string().contains("CL_BUILD_PROGRAM_FAILURE"));
@@ -67,8 +70,18 @@ mod tests {
 
     #[test]
     fn mali_error_conversion() {
-        let e: ClError =
-            MaliError::OutOfResources { footprint: 9, wg_size: 256, available: 2048 }.into();
-        assert_eq!(e, ClError::OutOfResources { footprint: 9, wg_size: 256 });
+        let e: ClError = MaliError::OutOfResources {
+            footprint: 9,
+            wg_size: 256,
+            available: 2048,
+        }
+        .into();
+        assert_eq!(
+            e,
+            ClError::OutOfResources {
+                footprint: 9,
+                wg_size: 256
+            }
+        );
     }
 }

@@ -13,7 +13,5 @@ pub mod context;
 pub mod error;
 
 pub use compiler::{build, build_for, BuildError, CompiledKernel, Profile};
-pub use context::{
-    BufId, Context, Event, EventKind, HostCosts, KernelArg, LaunchInfo, MemFlags,
-};
+pub use context::{BufId, Context, Event, EventKind, HostCosts, KernelArg, LaunchInfo, MemFlags};
 pub use error::ClError;

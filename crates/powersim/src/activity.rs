@@ -30,7 +30,10 @@ pub struct Activity {
 impl Activity {
     /// Activity of an idle board over `t` seconds.
     pub fn idle(t: f64) -> Self {
-        Activity { duration_s: t, ..Default::default() }
+        Activity {
+            duration_s: t,
+            ..Default::default()
+        }
     }
 
     /// Sum two sequential activity windows.
@@ -125,7 +128,11 @@ mod tests {
 
     #[test]
     fn bandwidth_calc() {
-        let a = Activity { duration_s: 2.0, dram_bytes: 1_000_000, ..Default::default() };
+        let a = Activity {
+            duration_s: 2.0,
+            dram_bytes: 1_000_000,
+            ..Default::default()
+        };
         assert_eq!(a.dram_bw(), 500_000.0);
         assert_eq!(Activity::default().dram_bw(), 0.0);
     }

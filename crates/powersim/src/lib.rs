@@ -23,59 +23,83 @@ pub use meter::{mean_std, Measurement, MeterConfig, Wt230};
 pub use model::PowerModel;
 
 #[cfg(test)]
-mod proptests {
-    use super::*;
-    use proptest::prelude::*;
+mod randomized_tests {
+    //! Seeded randomized sweeps (the former proptest suite, rewritten over
+    //! the in-tree PRNG so the workspace builds offline).
 
-    fn arb_activity() -> impl Strategy<Value = Activity> {
-        (
-            0.001f64..10.0,
-            0.0f64..10.0,
-            0.0f64..10.0,
-            0.0f64..10.0,
-            0.0f64..10.0,
-            0u64..10_000_000_000,
-        )
-            .prop_map(|(t, c0, c1, ga, gl, d)| Activity {
-                duration_s: t,
-                cpu_busy_s: [c0.min(t), c1.min(t)],
-                gpu_active_s: ga.min(t),
-                gpu_arith_util_s: ga.min(t).min(gl + ga) * 0.5,
-                gpu_ls_util_s: gl.min(t),
-                dram_bytes: d,
-            })
+    use super::*;
+    use sim_rng::Pcg32;
+
+    fn random_activity(rng: &mut Pcg32) -> Activity {
+        let t = 0.001 + rng.next_f64() * 10.0;
+        let c0 = rng.next_f64() * 10.0;
+        let c1 = rng.next_f64() * 10.0;
+        let ga = rng.next_f64() * 10.0;
+        let gl = rng.next_f64() * 10.0;
+        let d = rng.next_u64() % 10_000_000_000;
+        Activity {
+            duration_s: t,
+            cpu_busy_s: [c0.min(t), c1.min(t)],
+            gpu_active_s: ga.min(t),
+            gpu_arith_util_s: ga.min(t).min(gl + ga) * 0.5,
+            gpu_ls_util_s: gl.min(t),
+            dram_bytes: d,
+        }
     }
 
-    proptest! {
-        /// Power is bounded below by idle and above by the sum of all
-        /// coefficients.
-        #[test]
-        fn power_bounded(a in arb_activity()) {
-            let m = PowerModel::default();
+    /// Power is bounded below by idle and above by the sum of all
+    /// coefficients.
+    #[test]
+    fn power_bounded() {
+        let m = PowerModel::default();
+        let max = m.board_idle_w
+            + 2.0 * m.cpu_core_w
+            + m.host_during_gpu_w
+            + m.gpu_base_w
+            + m.gpu_arith_full_w
+            + m.gpu_ls_full_w
+            + m.dram_full_w;
+        let mut rng = Pcg32::seed_from_u64(0xB0A7);
+        for _ in 0..256 {
+            let a = random_activity(&mut rng);
             let p = m.average_power(&a);
-            let max = m.board_idle_w + 2.0 * m.cpu_core_w + m.host_during_gpu_w
-                + m.gpu_base_w + m.gpu_arith_full_w + m.gpu_ls_full_w + m.dram_full_w;
-            prop_assert!(p >= m.board_idle_w - 1e-12);
-            prop_assert!(p <= max + 1e-9);
+            assert!(p >= m.board_idle_w - 1e-12, "below idle for {a:?}");
+            assert!(p <= max + 1e-9, "above rail sum for {a:?}");
         }
+    }
 
-        /// The meter's reading stays within gain+noise bounds of the truth.
-        #[test]
-        fn meter_within_rated_accuracy(a in arb_activity(), seed in 0u64..1000) {
-            let m = PowerModel::default();
+    /// The meter's reading stays within gain+noise bounds of the truth.
+    #[test]
+    fn meter_within_rated_accuracy() {
+        let m = PowerModel::default();
+        let mut rng = Pcg32::seed_from_u64(0x57D);
+        for seed in 0..128u64 {
+            let a = random_activity(&mut rng);
             let truth = m.average_power(&a);
             let meas = Wt230::with_defaults(seed).measure(&m, &a, 20);
             let tol = 0.0016; // 0.1% gain + 0.05% noise, with margin
-            prop_assert!((meas.mean_power_w - truth).abs() <= truth * tol);
+            assert!(
+                (meas.mean_power_w - truth).abs() <= truth * tol,
+                "seed {seed}: {} vs truth {truth}",
+                meas.mean_power_w
+            );
         }
+    }
 
-        /// Energy scales linearly when the activity window repeats.
-        #[test]
-        fn energy_linear_in_repeats(a in arb_activity(), n in 1u32..20) {
-            let m = PowerModel::default();
+    /// Energy scales linearly when the activity window repeats.
+    #[test]
+    fn energy_linear_in_repeats() {
+        let m = PowerModel::default();
+        let mut rng = Pcg32::seed_from_u64(0xE4E);
+        for _ in 0..128 {
+            let a = random_activity(&mut rng);
+            let n = 1 + rng.gen_below(19);
             let e1 = m.energy(&a);
             let en = m.energy(&a.repeat(n));
-            prop_assert!((en - e1 * n as f64).abs() <= e1 * n as f64 * 1e-9 + 1e-12);
+            assert!(
+                (en - e1 * n as f64).abs() <= e1 * n as f64 * 1e-9 + 1e-12,
+                "n {n}: {en} vs {e1}"
+            );
         }
     }
 }

@@ -9,8 +9,7 @@
 
 use crate::activity::Activity;
 use crate::model::PowerModel;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sim_rng::Pcg32;
 
 /// Meter characteristics.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -26,7 +25,11 @@ pub struct MeterConfig {
 
 impl Default for MeterConfig {
     fn default() -> Self {
-        MeterConfig { sample_hz: 10.0, accuracy: 0.001, sample_noise: 0.0005 }
+        MeterConfig {
+            sample_hz: 10.0,
+            accuracy: 0.001,
+            sample_noise: 0.0005,
+        }
     }
 }
 
@@ -64,7 +67,7 @@ impl Measurement {
 #[derive(Clone, Debug)]
 pub struct Wt230 {
     cfg: MeterConfig,
-    rng: StdRng,
+    rng: Pcg32,
     /// Per-instrument gain error, fixed at construction (within ±accuracy).
     gain: f64,
 }
@@ -72,8 +75,8 @@ pub struct Wt230 {
 impl Wt230 {
     /// Deterministic meter: all randomness comes from `seed`.
     pub fn new(cfg: MeterConfig, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let gain = 1.0 + rng.gen_range(-cfg.accuracy..=cfg.accuracy);
+        let mut rng = Pcg32::seed_from_u64(seed);
+        let gain = 1.0 + rng.gen_range_f64(-cfg.accuracy, cfg.accuracy);
         Wt230 { cfg, rng, gain }
     }
 
@@ -87,7 +90,7 @@ impl Wt230 {
         let n = (duration_s * self.cfg.sample_hz).floor().max(1.0) as usize;
         let mut acc = 0.0;
         for _ in 0..n {
-            let noise = 1.0 + self.rng.gen_range(-1.0..1.0) * self.cfg.sample_noise;
+            let noise = 1.0 + self.rng.gen_range_f64(-1.0, 1.0) * self.cfg.sample_noise;
             acc += true_power * self.gain * noise;
         }
         let mean = acc / n as f64;
@@ -96,12 +99,7 @@ impl Wt230 {
 
     /// Full paper methodology: repeat the experiment `reps` times, sample
     /// each at 10 Hz, return mean/std statistics.
-    pub fn measure(
-        &mut self,
-        model: &PowerModel,
-        activity: &Activity,
-        reps: u32,
-    ) -> Measurement {
+    pub fn measure(&mut self, model: &PowerModel, activity: &Activity, reps: u32) -> Measurement {
         assert!(reps > 0, "at least one repetition required");
         let true_power = model.average_power(activity);
         let mut powers = Vec::with_capacity(reps as usize);
@@ -137,7 +135,11 @@ mod tests {
     use super::*;
 
     fn activity(power_shape: f64, t: f64) -> Activity {
-        Activity { duration_s: t, cpu_busy_s: [power_shape, 0.0], ..Default::default() }
+        Activity {
+            duration_s: t,
+            cpu_busy_s: [power_shape, 0.0],
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -220,7 +222,12 @@ mod tests {
         assert!((m.edp_per_iteration(4) - 1.0).abs() < 1e-12);
         // A config twice as slow at half the power has the same energy but
         // twice the EDP.
-        let slow = Measurement { duration_s: 4.0, mean_power_w: 2.0, mean_energy_j: 8.0, ..m };
+        let slow = Measurement {
+            duration_s: 4.0,
+            mean_power_w: 2.0,
+            mean_energy_j: 8.0,
+            ..m
+        };
         assert!(slow.edp_per_iteration(4) > m.edp_per_iteration(4) * 1.9);
     }
 

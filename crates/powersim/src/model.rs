@@ -119,7 +119,10 @@ mod tests {
             ..Default::default()
         };
         let ratio = m.average_power(&gpu) / m.average_power(&serial);
-        assert!((0.75..1.30).contains(&ratio), "GPU/Serial power ratio {ratio:.2}");
+        assert!(
+            (0.75..1.30).contains(&ratio),
+            "GPU/Serial power ratio {ratio:.2}"
+        );
     }
 
     #[test]

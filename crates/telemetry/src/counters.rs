@@ -1,0 +1,485 @@
+//! Per-launch performance-counter snapshots.
+//!
+//! [`Counters`] accumulates the interpreter's [`ExecTracer`] event stream
+//! using the *same counting rules* as the static analyzer
+//! (`kernel_ir::stats::StaticMix`): float binary ops count `width` flops, a
+//! float mad counts `2 × width`, special functions (sqrt/rsqrt/exp/log)
+//! count lanes into `special_ops`, and every integer/move/compare/query op
+//! counts one `int_op` regardless of width. On a loop-free kernel the
+//! dynamic totals therefore equal `items × StaticMix` exactly — the
+//! contract the telemetry tests pin down.
+
+use kernel_ir::stats::StaticMix;
+use kernel_ir::{AccessKind, ExecTracer, MemAccess, MemSpace, OpClass, Pattern, VType};
+use memsim::HierarchyStats;
+
+/// Number of [`OpClass`] variants (fixed by `kernel-ir`).
+pub const OP_CLASS_COUNT: usize = 9;
+
+/// Display names, index-aligned with [`op_class_index`].
+pub const OP_CLASS_NAMES: [&str; OP_CLASS_COUNT] = [
+    "simple",
+    "mul",
+    "mad",
+    "div",
+    "special",
+    "rsqrt",
+    "transcendental",
+    "move",
+    "horizontal",
+];
+
+/// Stable index of an op class into [`Counters::ops_by_class`].
+pub fn op_class_index(c: OpClass) -> usize {
+    match c {
+        OpClass::Simple => 0,
+        OpClass::Mul => 1,
+        OpClass::Mad => 2,
+        OpClass::Div => 3,
+        OpClass::Special => 4,
+        OpClass::Rsqrt => 5,
+        OpClass::Transcendental => 6,
+        OpClass::Move => 7,
+        OpClass::Horizontal => 8,
+    }
+}
+
+/// Vector widths tracked by the histogram (lane counts are powers of two
+/// up to `MAX_LANES = 16`).
+pub const WIDTH_BUCKETS: [u8; 5] = [1, 2, 4, 8, 16];
+
+fn width_index(w: u8) -> usize {
+    match w {
+        1 => 0,
+        2 => 1,
+        4 => 2,
+        8 => 3,
+        _ => 4,
+    }
+}
+
+/// One launch's (or one aggregated region's) performance counters.
+///
+/// The instruction-stream fields are filled during execution via the
+/// tracer hooks; the memory-hierarchy block is copied from the device's
+/// [`HierarchyStats`] after the run; the occupancy block only applies to
+/// GPU launches and stays zero elsewhere.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Counters {
+    // ---- dynamic instruction stream ----
+    /// Issue counts per op class (see [`OP_CLASS_NAMES`]).
+    pub ops_by_class: [u64; OP_CLASS_COUNT],
+    /// Issue counts per vector width 1/2/4/8/16 (see [`WIDTH_BUCKETS`]).
+    pub width_hist: [u64; 5],
+    /// Floating-point operations (a float mad counts `2 × width`).
+    pub flops: f64,
+    /// Integer/move/compare/query operations (one per issue, like
+    /// `StaticMix`).
+    pub int_ops: f64,
+    /// Special-function lanes (sqrt/rsqrt/exp/log × width).
+    pub special_ops: f64,
+    /// Memory load instructions (any width; by-value scalar args excluded).
+    pub loads: u64,
+    /// Memory store instructions.
+    pub stores: u64,
+    /// Atomic RMW instructions.
+    pub atomics: u64,
+    pub bytes_read: u64,
+    pub bytes_written: u64,
+    /// Accesses to `__local` memory (loads + stores + atomics).
+    pub local_accesses: u64,
+    /// Multi-lane accesses with arbitrary per-lane addresses.
+    pub gather_accesses: u64,
+    /// Multi-lane contiguous (vload/vstore-style) accesses.
+    pub contiguous_accesses: u64,
+    /// Work-items that waited at barriers (summed per barrier).
+    pub barriers: u64,
+    pub loop_iters: u64,
+    pub threads: u64,
+    pub groups: u64,
+
+    // ---- memory-hierarchy outcome (from `HierarchyStats`) ----
+    /// Probes that reached the cache hierarchy.
+    pub hier_accesses: u64,
+    pub l1_hits: u64,
+    pub l2_hits: u64,
+    /// Cache lines filled from DRAM.
+    pub dram_lines: u64,
+    /// DRAM lines fetched by streaming (sequential) walks.
+    pub dram_stream_lines: u64,
+    /// DRAM lines fetched scattered (the paper's bandwidth-wasting case).
+    pub dram_scatter_lines: u64,
+    /// Dirty lines written back to DRAM.
+    pub dram_writeback_lines: u64,
+
+    // ---- occupancy / register pressure (GPU launches only) ----
+    /// Threads resident per shader core, as limited by register pressure.
+    pub resident_threads: u32,
+    /// The device's architectural thread capacity per core.
+    pub max_resident_threads: u32,
+    /// Registers each thread of this kernel occupies.
+    pub registers_per_thread: u32,
+}
+
+impl Counters {
+    // ---- tracer-event recording (same names as `ExecTracer` methods so
+    // device tracers can forward verbatim) ----
+
+    pub fn note_op(&mut self, class: OpClass, ty: VType) {
+        self.ops_by_class[op_class_index(class)] += 1;
+        self.width_hist[width_index(ty.width)] += 1;
+        let w = ty.width as f64;
+        match class {
+            OpClass::Special | OpClass::Rsqrt | OpClass::Transcendental => self.special_ops += w,
+            OpClass::Mad => {
+                if ty.elem.is_float() {
+                    self.flops += 2.0 * w;
+                } else {
+                    self.int_ops += 1.0;
+                }
+            }
+            OpClass::Move | OpClass::Horizontal => self.int_ops += 1.0,
+            OpClass::Simple | OpClass::Mul | OpClass::Div => {
+                if ty.elem.is_float() {
+                    self.flops += w;
+                } else {
+                    self.int_ops += 1.0;
+                }
+            }
+        }
+    }
+
+    pub fn note_mem(&mut self, a: &MemAccess) {
+        match a.kind {
+            AccessKind::Read => {
+                self.loads += 1;
+                self.bytes_read += a.bytes as u64;
+            }
+            AccessKind::Write => {
+                self.stores += 1;
+                self.bytes_written += a.bytes as u64;
+            }
+            AccessKind::Atomic => self.atomics += 1,
+        }
+        if a.space == MemSpace::Local {
+            self.local_accesses += 1;
+        }
+        match a.pattern {
+            Pattern::Gather => self.gather_accesses += 1,
+            Pattern::Contiguous => self.contiguous_accesses += 1,
+            Pattern::Scalar => {}
+        }
+    }
+
+    pub fn note_barrier(&mut self, items: u32) {
+        self.barriers += items as u64;
+    }
+
+    pub fn note_loop_iter(&mut self) {
+        self.loop_iters += 1;
+        // A back-edge is address arithmetic, same as `StaticMix`'s
+        // per-trip `int_ops` charge.
+        self.int_ops += 1.0;
+    }
+
+    pub fn note_thread_start(&mut self) {
+        self.threads += 1;
+    }
+
+    pub fn note_group_start(&mut self) {
+        self.groups += 1;
+    }
+
+    /// Copy the memory-hierarchy outcome of a finished run.
+    pub fn absorb_hier(&mut self, h: &HierarchyStats) {
+        self.hier_accesses = h.accesses;
+        self.l1_hits = h.l1_hits;
+        self.l2_hits = h.l2_hits;
+        self.dram_lines = h.dram_lines;
+        self.dram_stream_lines = h.traffic.stream_lines;
+        self.dram_scatter_lines = h.traffic.scatter_lines;
+        self.dram_writeback_lines = h.traffic.writeback_lines;
+    }
+
+    /// Combine two launches of the same cell (e.g. the two stages of the
+    /// reduction benchmark). Stream/hierarchy fields add; the occupancy
+    /// block keeps the more register-pressured (smaller-occupancy) launch.
+    pub fn merge(&self, other: &Counters) -> Counters {
+        let mut out = self.clone();
+        for i in 0..OP_CLASS_COUNT {
+            out.ops_by_class[i] += other.ops_by_class[i];
+        }
+        for i in 0..out.width_hist.len() {
+            out.width_hist[i] += other.width_hist[i];
+        }
+        out.flops += other.flops;
+        out.int_ops += other.int_ops;
+        out.special_ops += other.special_ops;
+        out.loads += other.loads;
+        out.stores += other.stores;
+        out.atomics += other.atomics;
+        out.bytes_read += other.bytes_read;
+        out.bytes_written += other.bytes_written;
+        out.local_accesses += other.local_accesses;
+        out.gather_accesses += other.gather_accesses;
+        out.contiguous_accesses += other.contiguous_accesses;
+        out.barriers += other.barriers;
+        out.loop_iters += other.loop_iters;
+        out.threads += other.threads;
+        out.groups += other.groups;
+        out.hier_accesses += other.hier_accesses;
+        out.l1_hits += other.l1_hits;
+        out.l2_hits += other.l2_hits;
+        out.dram_lines += other.dram_lines;
+        out.dram_stream_lines += other.dram_stream_lines;
+        out.dram_scatter_lines += other.dram_scatter_lines;
+        out.dram_writeback_lines += other.dram_writeback_lines;
+        let self_occ = self.occupancy();
+        let other_occ = other.occupancy();
+        if other.max_resident_threads != 0
+            && (self.max_resident_threads == 0 || other_occ < self_occ)
+        {
+            out.resident_threads = other.resident_threads;
+            out.max_resident_threads = other.max_resident_threads;
+            out.registers_per_thread = other.registers_per_thread;
+        }
+        out
+    }
+
+    // ---- derived rates ----
+
+    /// Total issued arithmetic/move ops.
+    pub fn total_ops(&self) -> u64 {
+        self.ops_by_class.iter().sum()
+    }
+
+    /// L1 hit rate over all hierarchy probes (0 when the device has no L1,
+    /// e.g. the Mali's shader cores probe a shared L2 only).
+    pub fn l1_hit_rate(&self) -> f64 {
+        ratio(self.l1_hits, self.hier_accesses)
+    }
+
+    /// L2 hit rate over the probes that reached the L2.
+    pub fn l2_hit_rate(&self) -> f64 {
+        ratio(self.l2_hits, self.hier_accesses - self.l1_hits)
+    }
+
+    /// Fraction of DRAM line fills that were streaming.
+    pub fn dram_stream_fraction(&self) -> f64 {
+        ratio(
+            self.dram_stream_lines,
+            self.dram_stream_lines + self.dram_scatter_lines,
+        )
+    }
+
+    /// Resident threads over architectural capacity (GPU launches).
+    pub fn occupancy(&self) -> f64 {
+        if self.max_resident_threads == 0 {
+            0.0
+        } else {
+            self.resident_threads as f64 / self.max_resident_threads as f64
+        }
+    }
+
+    /// Mean lanes per issued op — the SIMD-utilization headline.
+    pub fn avg_vector_width(&self) -> f64 {
+        let issues: u64 = self.width_hist.iter().sum();
+        if issues == 0 {
+            return 0.0;
+        }
+        let lanes: u64 = self
+            .width_hist
+            .iter()
+            .zip(WIDTH_BUCKETS)
+            .map(|(n, w)| n * w as u64)
+            .sum();
+        lanes as f64 / issues as f64
+    }
+
+    /// Measured flops per byte of memory traffic (roofline x-axis).
+    pub fn arithmetic_intensity(&self) -> f64 {
+        let bytes = (self.bytes_read + self.bytes_written) as f64;
+        if bytes > 0.0 {
+            self.flops / bytes
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Per-work-item view of the dynamic stream, comparable with
+    /// [`StaticMix`] on loop-free kernels (`assert_eq!`-comparable after
+    /// dividing by the launch's item count).
+    pub fn per_item_mix(&self) -> StaticMix {
+        let n = self.threads.max(1) as f64;
+        StaticMix {
+            flops: self.flops / n,
+            int_ops: self.int_ops / n,
+            special_ops: self.special_ops / n,
+            loads: self.loads as f64 / n,
+            stores: self.stores as f64 / n,
+            atomics: self.atomics as f64 / n,
+            bytes_read: self.bytes_read as f64 / n,
+            bytes_written: self.bytes_written as f64 / n,
+            barriers: 0,
+            has_dynamic_loops: false,
+        }
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Standalone tracer: counters with nothing else attached. Device cost
+/// models embed a [`Counters`] instead and forward their own events.
+#[derive(Clone, Debug, Default)]
+pub struct CounterTracer(pub Counters);
+
+impl ExecTracer for CounterTracer {
+    fn op(&mut self, class: OpClass, ty: VType) {
+        self.0.note_op(class, ty);
+    }
+    fn mem(&mut self, access: &MemAccess) {
+        self.0.note_mem(access);
+    }
+    fn barrier(&mut self, items: u32) {
+        self.0.note_barrier(items);
+    }
+    fn loop_iter(&mut self) {
+        self.0.note_loop_iter();
+    }
+    fn thread_start(&mut self) {
+        self.0.note_thread_start();
+    }
+    fn group_start(&mut self) {
+        self.0.note_group_start();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kernel_ir::Scalar;
+
+    fn mem(kind: AccessKind, space: MemSpace, bytes: u32, pattern: Pattern) -> MemAccess {
+        MemAccess {
+            space,
+            kind,
+            stream: 0,
+            addr: 0,
+            bytes,
+            elem: Scalar::F32,
+            width: if pattern == Pattern::Scalar { 1 } else { 4 },
+            pattern,
+            lane_addrs: None,
+        }
+    }
+
+    #[test]
+    fn op_accounting_follows_staticmix_rules() {
+        let mut c = Counters::default();
+        c.note_op(OpClass::Simple, VType::new(Scalar::F32, 4)); // 4 flops
+        c.note_op(OpClass::Mad, VType::new(Scalar::F32, 2)); // 4 flops
+        c.note_op(OpClass::Mad, VType::scalar(Scalar::I32)); // 1 int op
+        c.note_op(OpClass::Move, VType::new(Scalar::F32, 8)); // 1 int op
+        c.note_op(OpClass::Rsqrt, VType::new(Scalar::F32, 4)); // 4 special
+        assert_eq!(c.flops, 8.0);
+        assert_eq!(c.int_ops, 2.0);
+        assert_eq!(c.special_ops, 4.0);
+        assert_eq!(c.total_ops(), 5);
+        assert_eq!(c.width_hist, [1, 1, 2, 1, 0]);
+        let avg = c.avg_vector_width();
+        assert!((avg - (1 + 2 + 4 + 4 + 8) as f64 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mem_accounting() {
+        let mut c = Counters::default();
+        c.note_mem(&mem(
+            AccessKind::Read,
+            MemSpace::Global,
+            16,
+            Pattern::Contiguous,
+        ));
+        c.note_mem(&mem(
+            AccessKind::Write,
+            MemSpace::Global,
+            4,
+            Pattern::Scalar,
+        ));
+        c.note_mem(&mem(
+            AccessKind::Atomic,
+            MemSpace::Local,
+            4,
+            Pattern::Scalar,
+        ));
+        c.note_mem(&mem(
+            AccessKind::Read,
+            MemSpace::Global,
+            16,
+            Pattern::Gather,
+        ));
+        assert_eq!(c.loads, 2);
+        assert_eq!(c.stores, 1);
+        assert_eq!(c.atomics, 1);
+        assert_eq!(c.bytes_read, 32);
+        assert_eq!(c.bytes_written, 4);
+        assert_eq!(c.local_accesses, 1);
+        assert_eq!(c.gather_accesses, 1);
+        assert_eq!(c.contiguous_accesses, 1);
+    }
+
+    #[test]
+    fn hit_rates_and_occupancy() {
+        let c = Counters {
+            hier_accesses: 100,
+            l1_hits: 80,
+            l2_hits: 10,
+            dram_stream_lines: 9,
+            dram_scatter_lines: 1,
+            resident_threads: 128,
+            max_resident_threads: 256,
+            ..Default::default()
+        };
+        assert!((c.l1_hit_rate() - 0.8).abs() < 1e-12);
+        assert!((c.l2_hit_rate() - 0.5).abs() < 1e-12);
+        assert!((c.dram_stream_fraction() - 0.9).abs() < 1e-12);
+        assert!((c.occupancy() - 0.5).abs() < 1e-12);
+        // Degenerate denominators must not divide by zero.
+        let d = Counters::default();
+        assert_eq!(d.l1_hit_rate(), 0.0);
+        assert_eq!(d.occupancy(), 0.0);
+        assert_eq!(d.avg_vector_width(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_streams_and_keeps_tighter_occupancy() {
+        let a = Counters {
+            flops: 10.0,
+            loads: 3,
+            resident_threads: 256,
+            max_resident_threads: 256,
+            ..Default::default()
+        };
+        let b = Counters {
+            flops: 5.0,
+            loads: 1,
+            resident_threads: 64,
+            max_resident_threads: 256,
+            registers_per_thread: 16,
+            ..Default::default()
+        };
+        let m = a.merge(&b);
+        assert_eq!(m.flops, 15.0);
+        assert_eq!(m.loads, 4);
+        assert_eq!(m.resident_threads, 64);
+        assert_eq!(m.registers_per_thread, 16);
+        // And when the other side has no GPU block at all, keep ours.
+        let m2 = a.merge(&Counters::default());
+        assert_eq!(m2.resident_threads, 256);
+    }
+}

@@ -1,0 +1,30 @@
+//! # telemetry — performance counters, span recording and Perfetto export
+//!
+//! The paper argues from hardware observability: per-kernel runtimes,
+//! bandwidth behaviour, register pressure and 10 Hz WT230 power samples.
+//! This crate is the simulated equivalent. It gives the device models and
+//! the harness three things:
+//!
+//! * [`Counters`] — a per-launch performance-counter snapshot: dynamic
+//!   instruction mix by [`kernel_ir::OpClass`], vector-width histogram,
+//!   cache hit rates and streaming-vs-scattered DRAM lines, plus occupancy
+//!   and register pressure from the Mali model. The counting rules mirror
+//!   `kernel_ir::stats::StaticMix` exactly, so static prediction and
+//!   dynamic measurement can be diffed (see the crate tests).
+//! * [`TraceBuilder`] + [`WorkSpan`] — simulated-time span recording
+//!   exported as Chrome trace-event JSON, openable in Perfetto or
+//!   `chrome://tracing`, with power samples overlaid as counter tracks.
+//! * [`log`] — a tiny leveled stderr logger so the harness's progress
+//!   chatter can be silenced (`--quiet`) or expanded (`--verbose`)
+//!   without threading a verbosity flag through every call.
+
+pub mod counters;
+pub mod log;
+pub mod span;
+pub mod trace;
+
+pub use counters::{
+    op_class_index, CounterTracer, Counters, OP_CLASS_COUNT, OP_CLASS_NAMES, WIDTH_BUCKETS,
+};
+pub use span::{CommandSpan, RunTelemetry, WorkSpan};
+pub use trace::{json_escape, TraceBuilder};

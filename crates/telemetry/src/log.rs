@@ -1,0 +1,73 @@
+//! Tiny leveled stderr logger.
+//!
+//! The harness's progress chatter used to be raw `eprintln!` calls; the
+//! CSV/JSONL subcommands need a way to silence them without threading a
+//! verbosity flag through every function. One global level, three tiers:
+//!
+//! * `Quiet` — nothing (the default for machine-readable subcommands);
+//! * `Progress` — the per-cell progress lines (the interactive default);
+//! * `Debug` — extra detail (`--verbose`).
+//!
+//! Everything goes to stderr, so stdout stays machine-parsable.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    Quiet = 0,
+    Progress = 1,
+    Debug = 2,
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(Level::Progress as u8);
+
+pub fn set_level(level: Level) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+pub fn level() -> Level {
+    match LEVEL.load(Ordering::Relaxed) {
+        0 => Level::Quiet,
+        1 => Level::Progress,
+        _ => Level::Debug,
+    }
+}
+
+pub fn enabled(at: Level) -> bool {
+    level() >= at
+}
+
+/// Progress-tier line (shown unless `--quiet`).
+pub fn progress(msg: &str) {
+    if enabled(Level::Progress) {
+        eprintln!("{msg}");
+    }
+}
+
+/// Debug-tier line (shown only with `--verbose`).
+pub fn debug(msg: &str) {
+    if enabled(Level::Debug) {
+        eprintln!("{msg}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_roundtrip_and_ordering() {
+        let prev = level();
+        set_level(Level::Quiet);
+        assert_eq!(level(), Level::Quiet);
+        assert!(!enabled(Level::Progress));
+        set_level(Level::Debug);
+        assert!(enabled(Level::Progress));
+        assert!(enabled(Level::Debug));
+        set_level(Level::Progress);
+        assert!(enabled(Level::Progress));
+        assert!(!enabled(Level::Debug));
+        set_level(prev);
+    }
+}

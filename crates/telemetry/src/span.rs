@@ -1,0 +1,107 @@
+//! Simulated-time execution intervals.
+
+/// One work-group's execution interval on one core, in simulated seconds.
+///
+/// Both device models schedule work-groups onto cores with a per-core
+/// running clock; recording the (start, end) of each dispatch gives the
+/// per-core lanes of the Perfetto view.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WorkSpan {
+    /// Core index (shader core on the Mali, CPU core on the A15).
+    pub core: u32,
+    /// Linear work-group id.
+    pub group: u32,
+    pub start_s: f64,
+    pub end_s: f64,
+}
+
+impl WorkSpan {
+    pub fn duration_s(&self) -> f64 {
+        self.end_s - self.start_s
+    }
+}
+
+/// Total busy time across spans (the per-core union is not needed: spans
+/// on one core never overlap by construction).
+pub fn total_busy_s(spans: &[WorkSpan]) -> f64 {
+    spans.iter().map(WorkSpan::duration_s).sum()
+}
+
+/// Makespan: latest end time over all spans (0 for none).
+pub fn makespan_s(spans: &[WorkSpan]) -> f64 {
+    spans.iter().map(|s| s.end_s).fold(0.0, f64::max)
+}
+
+/// One queue-level command interval: a kernel launch, a host↔device
+/// transfer, a map/unmap, or a CPU parallel region. All spans of one run
+/// share a clock (queue-relative for GPU runs, region-relative for CPU).
+#[derive(Clone, Debug, PartialEq)]
+pub struct CommandSpan {
+    /// Display name (kernel name, `map 4096 B`, …).
+    pub name: String,
+    /// Category: `kernel`, `write`, `read`, `map`, `unmap` or `cpu`.
+    pub cat: &'static str,
+    pub start_s: f64,
+    pub end_s: f64,
+}
+
+impl CommandSpan {
+    pub fn duration_s(&self) -> f64 {
+        self.end_s - self.start_s
+    }
+}
+
+/// Everything one measured run hands to the observability layer: the
+/// merged counter snapshot, the queue-level command spans and the
+/// per-core work-group spans (same clock as the commands).
+#[derive(Clone, Debug, Default)]
+pub struct RunTelemetry {
+    pub counters: crate::Counters,
+    pub commands: Vec<CommandSpan>,
+    pub core_spans: Vec<WorkSpan>,
+}
+
+impl RunTelemetry {
+    /// Total time spent in kernel (or CPU-region) command spans — the
+    /// quantity the harness reports as `time_s` for a run.
+    pub fn kernel_time_s(&self) -> f64 {
+        self.commands
+            .iter()
+            .filter(|c| matches!(c.cat, "kernel" | "cpu"))
+            .map(CommandSpan::duration_s)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn busy_and_makespan() {
+        let spans = [
+            WorkSpan {
+                core: 0,
+                group: 0,
+                start_s: 0.0,
+                end_s: 1.0,
+            },
+            WorkSpan {
+                core: 1,
+                group: 1,
+                start_s: 0.0,
+                end_s: 2.5,
+            },
+            WorkSpan {
+                core: 0,
+                group: 2,
+                start_s: 1.0,
+                end_s: 1.5,
+            },
+        ];
+        assert!((total_busy_s(&spans) - 4.0).abs() < 1e-12);
+        assert!((makespan_s(&spans) - 2.5).abs() < 1e-12);
+        assert_eq!(makespan_s(&[]), 0.0);
+        assert!((spans[2].duration_s() - 0.5).abs() < 1e-12);
+    }
+}

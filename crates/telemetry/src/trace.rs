@@ -1,0 +1,187 @@
+//! Chrome trace-event JSON ("Trace Event Format") writer.
+//!
+//! Emits the JSON-object flavour `{"traceEvents": [...]}` that Perfetto
+//! and `chrome://tracing` open directly. Only the three event kinds the
+//! simulator needs are supported: complete spans (`ph:"X"`), counter
+//! samples (`ph:"C"`) and process/thread-name metadata (`ph:"M"`).
+//! Timestamps are microseconds; fractional values are preserved because
+//! simulated kernels routinely finish in nanoseconds.
+//!
+//! Serialization is hand-rolled (the workspace builds offline, so no
+//! serde): every string passes through [`json_escape`] and numbers use
+//! Rust's shortest-roundtrip float formatting.
+
+/// Escape a string for inclusion inside a JSON string literal (quotes not
+/// included).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// JSON number formatting: finite shortest-roundtrip, with non-finite
+/// values clamped (JSON has no Infinity/NaN).
+fn num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else if x > 0.0 {
+        "1e308".into()
+    } else if x < 0.0 {
+        "-1e308".into()
+    } else {
+        "0".into()
+    }
+}
+
+/// Incremental builder for one trace file.
+#[derive(Clone, Debug, Default)]
+pub struct TraceBuilder {
+    events: Vec<String>,
+}
+
+impl TraceBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Name the process `pid` (one simulated device per pid).
+    pub fn process_name(&mut self, pid: u32, name: &str) {
+        self.events.push(format!(
+            r#"{{"name":"process_name","ph":"M","pid":{pid},"tid":0,"args":{{"name":"{}"}}}}"#,
+            json_escape(name)
+        ));
+    }
+
+    /// Name the thread `tid` of process `pid` (one core per tid).
+    pub fn thread_name(&mut self, pid: u32, tid: u32, name: &str) {
+        self.events.push(format!(
+            r#"{{"name":"thread_name","ph":"M","pid":{pid},"tid":{tid},"args":{{"name":"{}"}}}}"#,
+            json_escape(name)
+        ));
+    }
+
+    /// A complete span (`ph:"X"`), timed in simulated seconds.
+    pub fn span(&mut self, name: &str, cat: &str, pid: u32, tid: u32, start_s: f64, dur_s: f64) {
+        self.events.push(format!(
+            r#"{{"name":"{}","cat":"{}","ph":"X","ts":{},"dur":{},"pid":{pid},"tid":{tid}}}"#,
+            json_escape(name),
+            json_escape(cat),
+            num(start_s * 1e6),
+            num(dur_s * 1e6),
+        ));
+    }
+
+    /// A counter sample (`ph:"C"`): one named track with one or more
+    /// series, rendered stacked by the viewer.
+    pub fn counter(&mut self, name: &str, pid: u32, ts_s: f64, series: &[(&str, f64)]) {
+        let args: Vec<String> = series
+            .iter()
+            .map(|(k, v)| format!(r#""{}":{}"#, json_escape(k), num(*v)))
+            .collect();
+        self.events.push(format!(
+            r#"{{"name":"{}","ph":"C","ts":{},"pid":{pid},"args":{{{}}}}}"#,
+            json_escape(name),
+            num(ts_s * 1e6),
+            args.join(","),
+        ));
+    }
+
+    /// Serialize to the JSON-object trace format.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"traceEvents\":[\n");
+        for (i, e) in self.events.iter().enumerate() {
+            out.push_str(e);
+            if i + 1 < self.events.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("],\"displayTimeUnit\":\"ms\"}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_cover_json_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("tab\there"), "tab\\there");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        assert_eq!(json_escape("plain"), "plain");
+    }
+
+    #[test]
+    fn span_and_counter_shape() {
+        let mut t = TraceBuilder::new();
+        t.process_name(1, "mali-t604");
+        t.thread_name(1, 3, "core 3");
+        t.span("kernel \"dmmm\"", "kernel", 1, 3, 1e-6, 2e-6);
+        t.counter("power", 1, 0.0, &[("board_w", 3.25)]);
+        let json = t.to_json();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains(r#""ph":"X""#));
+        assert!(json.contains(r#""ph":"C""#));
+        assert!(json.contains(r#""ph":"M""#));
+        assert!(json.contains(r#""ts":1,"dur":2"#), "{json}");
+        assert!(json.contains("kernel \\\"dmmm\\\""));
+        assert!(json.contains(r#""board_w":3.25"#));
+        assert_eq!(t.len(), 4);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn golden_trace_json() {
+        // Exact serialized form — pins the trace-event schema (field
+        // names, `ph` codes, µs timestamps) so a viewer-breaking change
+        // shows up as a diff here, not in Perfetto.
+        let mut t = TraceBuilder::new();
+        t.process_name(1, "mali-t604");
+        t.thread_name(1, 1, "shader core 0");
+        t.span("vecop", "kernel", 1, 0, 0.0, 5e-6);
+        t.span("wg 0", "workgroup", 1, 1, 1e-6, 2.5e-6);
+        t.counter("WT230 power (W)", 1, 0.0, &[("board_w", 3.5)]);
+        let golden = concat!(
+            "{\"traceEvents\":[\n",
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,",
+            "\"args\":{\"name\":\"mali-t604\"}},\n",
+            "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,",
+            "\"args\":{\"name\":\"shader core 0\"}},\n",
+            "{\"name\":\"vecop\",\"cat\":\"kernel\",\"ph\":\"X\",\"ts\":0,\"dur\":5,",
+            "\"pid\":1,\"tid\":0},\n",
+            "{\"name\":\"wg 0\",\"cat\":\"workgroup\",\"ph\":\"X\",\"ts\":1,\"dur\":2.5,",
+            "\"pid\":1,\"tid\":1},\n",
+            "{\"name\":\"WT230 power (W)\",\"ph\":\"C\",\"ts\":0,\"pid\":1,",
+            "\"args\":{\"board_w\":3.5}}\n",
+            "],\"displayTimeUnit\":\"ms\"}\n",
+        );
+        assert_eq!(t.to_json(), golden);
+    }
+
+    #[test]
+    fn non_finite_numbers_are_clamped() {
+        assert_eq!(num(f64::INFINITY), "1e308");
+        assert_eq!(num(f64::NEG_INFINITY), "-1e308");
+        assert_eq!(num(f64::NAN), "0");
+    }
+}

@@ -18,13 +18,21 @@ fn main() {
     let Some(b) = benches.iter().find(|b| b.name() == which) else {
         eprintln!(
             "unknown benchmark '{which}'; pick one of: {}",
-            benches.iter().map(|b| b.name()).collect::<Vec<_>>().join(" ")
+            benches
+                .iter()
+                .map(|b| b.name())
+                .collect::<Vec<_>>()
+                .join(" ")
         );
         std::process::exit(2);
     };
     let model = PowerModel::default();
 
-    println!("energy-to-solution report: {} ({})\n", b.name(), b.description());
+    println!(
+        "energy-to-solution report: {} ({})\n",
+        b.name(),
+        b.description()
+    );
     for prec in Precision::ALL {
         println!("--- {} precision ---", prec.label());
         let mut serial_energy = None;

@@ -55,7 +55,10 @@ fn main() {
     let nt = 1 << 16;
     let base = hpc_kernels::vecop::Vecop { n: nt }.kernel(Precision::F32);
     let space = SearchSpace::default();
-    println!("\nautotuner over (width x unroll x wg) = {} candidates on vecop:", space.len());
+    println!(
+        "\nautotuner over (width x unroll x wg) = {} candidates on vecop:",
+        space.len()
+    );
     let result = autotune(&base, &space, |p, divisor, wg| {
         let items = nt / divisor;
         if items % wg != 0 {
@@ -68,17 +71,25 @@ fn main() {
         ]);
         let k = ctx.build_kernel(p.clone()).ok()?;
         let args: Vec<KernelArg> = ids.iter().map(|&x| KernelArg::Buf(x)).collect();
-        launch(&mut ctx, &k, [items, 1, 1], Some([wg, 1, 1]), &args).ok().map(|(t, _)| t)
+        launch(&mut ctx, &k, [items, 1, 1], Some([wg, 1, 1]), &args)
+            .ok()
+            .map(|(t, _)| t)
     });
     if let Some((c, cost)) = result.best() {
         println!(
             "  best: width {} / unroll {} / wg {} at {:.3} ms  ({:.2}x over untransformed)",
-            c.width, c.unroll, c.work_group, cost * 1e3,
+            c.width,
+            c.unroll,
+            c.work_group,
+            cost * 1e3,
             result.gain_over_baseline().unwrap_or(1.0)
         );
     }
-    println!("  {} of {} candidates skipped; distinct reasons:", result.skipped(),
-        result.trials.len());
+    println!(
+        "  {} of {} candidates skipped; distinct reasons:",
+        result.skipped(),
+        result.trials.len()
+    );
     for reason in result.skip_reasons() {
         println!("    - {reason}");
     }

@@ -46,8 +46,14 @@ fn main() {
         .collect();
     let flat = aos_flatten(&aos);
     let soa = aos_to_soa(&aos);
-    println!("AOS memory image (vload4 straddles fields): {:?}", &flat[..8]);
-    println!("SOA x-array        (vload4 gets 4 x-coords): {:?}", &soa.x[..4]);
+    println!(
+        "AOS memory image (vload4 straddles fields): {:?}",
+        &flat[..8]
+    );
+    println!(
+        "SOA x-array        (vload4 gets 4 x-coords): {:?}",
+        &soa.x[..4]
+    );
     println!(
         "\nThe paper keeps the AOS layout for a fair code-base comparison, which\n\
          is why nbody's OpenCL-Opt gains little: only unrolling and work-group\n\

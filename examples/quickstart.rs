@@ -48,15 +48,24 @@ fn main() {
     let yb = ctx.create_buffer_init(vec![1.0f32; n].into(), MemFlags::AllocHostPtr);
     let kernel = ctx.build_kernel(program.clone()).expect("builds");
 
-    let args =
-        [KernelArg::Buf(xb), KernelArg::Buf(yb), KernelArg::Scalar(Value::f32(3.0))];
+    let args = [
+        KernelArg::Buf(xb),
+        KernelArg::Buf(yb),
+        KernelArg::Scalar(Value::f32(3.0)),
+    ];
     let info = ctx
         .enqueue_nd_range(&kernel, [n, 1, 1], None, &args)
         .expect("launch");
     println!("--- naive scalar launch ---");
     println!("driver-chosen local size: {:?}", info.local);
-    println!("simulated time:           {:.3} ms", info.report.time_s * 1e3);
-    println!("register footprint:       {} x 128-bit", info.report.footprint);
+    println!(
+        "simulated time:           {:.3} ms",
+        info.report.time_s * 1e3
+    );
+    println!(
+        "register footprint:       {} x 128-bit",
+        info.report.footprint
+    );
     println!("resident threads/core:    {}", info.report.resident_threads);
     println!("L2 hit rate:              {:.1}%", {
         let s = info.report.hier;
@@ -68,13 +77,19 @@ fn main() {
     let v = vectorize(&program, 8).expect("saxpy is a vectorizable map kernel");
     let kernel8 = ctx.build_kernel(v.program).expect("builds");
     let yb2 = ctx.create_buffer_init(vec![1.0f32; n].into(), MemFlags::AllocHostPtr);
-    let args8 =
-        [KernelArg::Buf(xb), KernelArg::Buf(yb2), KernelArg::Scalar(Value::f32(3.0))];
+    let args8 = [
+        KernelArg::Buf(xb),
+        KernelArg::Buf(yb2),
+        KernelArg::Scalar(Value::f32(3.0)),
+    ];
     let info8 = ctx
         .enqueue_nd_range(&kernel8, [n / 8, 1, 1], Some([128, 1, 1]), &args8)
         .expect("launch");
     println!("--- float8-vectorized launch (§III-B) ---");
-    println!("simulated time:           {:.3} ms", info8.report.time_s * 1e3);
+    println!(
+        "simulated time:           {:.3} ms",
+        info8.report.time_s * 1e3
+    );
     println!(
         "speedup over scalar:      {:.2}x",
         info.report.time_s / info8.report.time_s

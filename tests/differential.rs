@@ -6,7 +6,7 @@
 
 use kernel_ir::prelude::*;
 use kernel_ir::Access;
-use proptest::prelude::*;
+use sim_rng::Pcg32;
 
 /// A recipe for one random op in a straight-line elementwise kernel.
 #[derive(Clone, Debug)]
@@ -25,20 +25,33 @@ enum Step {
     CastRoundTrip,
 }
 
-fn arb_step() -> impl Strategy<Value = Step> {
-    prop_oneof![
-        (-8.0f32..8.0).prop_map(Step::Add),
-        (-4.0f32..4.0).prop_map(Step::Mul),
-        ((-4.0f32..4.0), (-8.0f32..8.0)).prop_map(|(a, b)| Step::Mad(a, b)),
-        (-8.0f32..8.0).prop_map(Step::Sub),
-        (-8.0f32..8.0).prop_map(Step::MinC),
-        (-8.0f32..8.0).prop_map(Step::MaxC),
-        Just(Step::Abs),
-        Just(Step::Neg),
-        Just(Step::Sqrt),
-        Just(Step::Relu),
-        Just(Step::CastRoundTrip),
-    ]
+fn uniform(rng: &mut Pcg32, span: f32) -> f32 {
+    (rng.next_f64() as f32 * 2.0 - 1.0) * span
+}
+
+fn random_step(rng: &mut Pcg32) -> Step {
+    match rng.gen_below(11) {
+        0 => Step::Add(uniform(rng, 8.0)),
+        1 => Step::Mul(uniform(rng, 4.0)),
+        2 => Step::Mad(uniform(rng, 4.0), uniform(rng, 8.0)),
+        3 => Step::Sub(uniform(rng, 8.0)),
+        4 => Step::MinC(uniform(rng, 8.0)),
+        5 => Step::MaxC(uniform(rng, 8.0)),
+        6 => Step::Abs,
+        7 => Step::Neg,
+        8 => Step::Sqrt,
+        9 => Step::Relu,
+        _ => Step::CastRoundTrip,
+    }
+}
+
+fn random_steps(rng: &mut Pcg32, lo: usize, hi: usize) -> Vec<Step> {
+    let n = rng.gen_range_usize(lo, hi);
+    (0..n).map(|_| random_step(rng)).collect()
+}
+
+fn random_input(rng: &mut Pcg32, n: usize, span: f32) -> Vec<f32> {
+    (0..n).map(|_| uniform(rng, span)).collect()
 }
 
 /// Build the kernel: out[i] = chain(a[i]).
@@ -133,32 +146,43 @@ fn bits(v: &[f32]) -> Vec<u32> {
     v.iter().map(|x| x.to_bits()).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
-
-    /// All four execution paths agree bit-for-bit on random op chains.
-    #[test]
-    fn devices_agree_bitwise(
-        steps in prop::collection::vec(arb_step(), 1..12),
-        input in prop::collection::vec(-50.0f32..50.0, 64),
-        wg_i in 0usize..3,
-    ) {
-        let wg = [8usize, 16, 32][wg_i];
+/// All four execution paths agree bit-for-bit on random op chains.
+#[test]
+fn devices_agree_bitwise() {
+    let mut rng = Pcg32::seed_from_u64(0xD1FF);
+    for case in 0..48 {
+        let steps = random_steps(&mut rng, 1, 12);
+        let input = random_input(&mut rng, 64, 50.0);
+        let wg = [8usize, 16, 32][rng.gen_range_usize(0, 3)];
         let p = build(&steps);
         p.validate().unwrap();
         let base = run_interp(&p, &input, wg);
-        prop_assert_eq!(bits(&base), bits(&run_cpu(&p, &input, wg, 1)), "CPU-1 diverged");
-        prop_assert_eq!(bits(&base), bits(&run_cpu(&p, &input, wg, 2)), "CPU-2 diverged");
-        prop_assert_eq!(bits(&base), bits(&run_gpu(&p, &input, wg)), "GPU diverged");
+        assert_eq!(
+            bits(&base),
+            bits(&run_cpu(&p, &input, wg, 1)),
+            "case {case}: CPU-1 diverged on {steps:?}"
+        );
+        assert_eq!(
+            bits(&base),
+            bits(&run_cpu(&p, &input, wg, 2)),
+            "case {case}: CPU-2 diverged on {steps:?}"
+        );
+        assert_eq!(
+            bits(&base),
+            bits(&run_gpu(&p, &input, wg)),
+            "case {case}: GPU diverged on {steps:?}"
+        );
     }
+}
 
-    /// Vectorization of the same random chain is also bit-exact (lane-wise
-    /// ops are order-independent per element).
-    #[test]
-    fn vectorized_random_chain_bit_exact(
-        steps in prop::collection::vec(arb_step(), 1..10),
-        input in prop::collection::vec(-50.0f32..50.0, 64),
-    ) {
+/// Vectorization of the same random chain is also bit-exact (lane-wise
+/// ops are order-independent per element).
+#[test]
+fn vectorized_random_chain_bit_exact() {
+    let mut rng = Pcg32::seed_from_u64(0x7EC7);
+    for case in 0..48 {
+        let steps = random_steps(&mut rng, 1, 10);
+        let input = random_input(&mut rng, 64, 50.0);
         let p = build(&steps);
         let base = run_interp(&p, &input, 16);
         for w in [2u8, 4, 8] {
@@ -166,26 +190,36 @@ proptest! {
             let mut pool = MemoryPool::new();
             let a = pool.add(input.clone().into());
             let o = pool.add(BufferData::zeroed(Scalar::F32, input.len()));
-            run_ndrange(&v.program,
+            run_ndrange(
+                &v.program,
                 &[ArgBinding::Global(a), ArgBinding::Global(o)],
-                &mut pool, NDRange::d1(input.len() / w as usize, 8),
-                &mut NullTracer).unwrap();
-            prop_assert_eq!(bits(&base), bits(&pool.get(o).as_f32().to_vec()),
-                "width {} diverged", w);
+                &mut pool,
+                NDRange::d1(input.len() / w as usize, 8),
+                &mut NullTracer,
+            )
+            .unwrap();
+            assert_eq!(
+                bits(&base),
+                bits(pool.get(o).as_f32()),
+                "case {case}: width {w} diverged on {steps:?}"
+            );
         }
     }
+}
 
-    /// The fold/DCE optimizer preserves random-chain semantics bit-exactly.
-    #[test]
-    fn optimizer_random_chain_bit_exact(
-        steps in prop::collection::vec(arb_step(), 1..12),
-        input in prop::collection::vec(-50.0f32..50.0, 32),
-    ) {
+/// The fold/DCE optimizer preserves random-chain semantics bit-exactly.
+#[test]
+fn optimizer_random_chain_bit_exact() {
+    let mut rng = Pcg32::seed_from_u64(0xF01D);
+    for case in 0..48 {
+        let steps = random_steps(&mut rng, 1, 12);
+        let input = random_input(&mut rng, 32, 50.0);
         let p = build(&steps);
         let opt = mali_hpc::fold::optimize(&p);
-        prop_assert_eq!(
+        assert_eq!(
             bits(&run_interp(&p, &input, 8)),
-            bits(&run_interp(&opt, &input, 8))
+            bits(&run_interp(&opt, &input, 8)),
+            "case {case}: optimizer diverged on {steps:?}"
         );
     }
 }
@@ -216,7 +250,14 @@ fn three_dimensional_ids_agree() {
 
     let mut pool = MemoryPool::new();
     let o1 = pool.add(BufferData::zeroed(Scalar::U32, n));
-    run_ndrange(&p, &[ArgBinding::Global(o1)], &mut pool, ndr, &mut NullTracer).unwrap();
+    run_ndrange(
+        &p,
+        &[ArgBinding::Global(o1)],
+        &mut pool,
+        ndr,
+        &mut NullTracer,
+    )
+    .unwrap();
     assert_eq!(pool.get(o1).as_u32(), expected.as_slice());
 
     let mut pool2 = MemoryPool::new();

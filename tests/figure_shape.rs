@@ -41,7 +41,9 @@ fn openmp_band_holds() {
     let r = results();
     for prec in Precision::ALL {
         for b in &r.bench_names {
-            let s = r.speedup(b, Variant::OpenMp, prec).expect("OpenMP always runs");
+            let s = r
+                .speedup(b, Variant::OpenMp, prec)
+                .expect("OpenMP always runs");
             assert!(
                 (1.0..2.0).contains(&s),
                 "{b} {}: OpenMP speedup {s:.2} outside the plausible band",
@@ -97,7 +99,10 @@ fn gpu_power_stays_near_serial_while_openmp_rises() {
     let prec = Precision::F32;
     for b in &r.bench_names {
         if let Some(p) = r.power_ratio(b, Variant::OpenMp, prec) {
-            assert!(p > 1.1, "{b}: OpenMP power ratio {p:.2} should exceed serial");
+            assert!(
+                p > 1.1,
+                "{b}: OpenMP power ratio {p:.2} should exceed serial"
+            );
         }
         if let Some(p) = r.power_ratio(b, Variant::OpenCl, prec) {
             assert!(
@@ -141,5 +146,8 @@ fn headline_direction_holds_at_mid_scale() {
     let r = results();
     let (speedup, energy) = headline(r);
     assert!(speedup > 3.0, "headline speedup {speedup:.2} too low");
-    assert!(energy < 0.65, "headline energy fraction {energy:.2} too high");
+    assert!(
+        energy < 0.65,
+        "headline energy fraction {energy:.2} too high"
+    );
 }

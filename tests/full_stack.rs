@@ -50,8 +50,10 @@ fn recommended_host_flow_end_to_end() {
 
     // The profiled queue recorded the whole story.
     let events = ctx.finish();
-    let kinds: Vec<bool> =
-        events.iter().map(|e| matches!(e.kind, EventKind::Kernel { .. })).collect();
+    let kinds: Vec<bool> = events
+        .iter()
+        .map(|e| matches!(e.kind, EventKind::Kernel { .. }))
+        .collect();
     assert_eq!(events.len(), 5); // map, unmap, kernel, map, unmap
     assert_eq!(kinds, [false, false, true, false, false]);
 }
@@ -61,13 +63,17 @@ fn recommended_host_flow_end_to_end() {
 fn activity_to_energy_pipeline() {
     let n = 1 << 16;
     let mut ctx = Context::new(MaliT604::default());
-    let buf =
-        ctx.create_buffer_init(vec![1.5f32; n].into(), MemFlags::AllocHostPtr);
+    let buf = ctx.create_buffer_init(vec![1.5f32; n].into(), MemFlags::AllocHostPtr);
     let mut kb = KernelBuilder::new("scale");
     let a = kb.arg_global(Scalar::F32, Access::ReadWrite, true);
     let gid = kb.query_global_id(0);
     let v = kb.load(Scalar::F32, a, gid.into());
-    let s = kb.bin(BinOp::Mul, v.into(), Operand::ImmF(2.0), VType::scalar(Scalar::F32));
+    let s = kb.bin(
+        BinOp::Mul,
+        v.into(),
+        Operand::ImmF(2.0),
+        VType::scalar(Scalar::F32),
+    );
     kb.store(a, gid.into(), s.into());
     let k = ctx.build_kernel(kb.finish()).unwrap();
     let info = ctx
@@ -100,7 +106,12 @@ fn cpu_and_gpu_agree_bitwise() {
     let o = kb.arg_global(Scalar::F32, Access::WriteOnly, true);
     let gid = kb.query_global_id(0);
     let v = kb.load(Scalar::F32, a, gid.into());
-    let v2 = kb.mad(v.into(), v.into(), Operand::ImmF(1.0), VType::scalar(Scalar::F32));
+    let v2 = kb.mad(
+        v.into(),
+        v.into(),
+        Operand::ImmF(1.0),
+        VType::scalar(Scalar::F32),
+    );
     let v3 = kb.un(UnOp::Rsqrt, v2.into(), VType::scalar(Scalar::F32));
     kb.store(o, gid.into(), v3.into());
     let p = kb.finish();
@@ -112,8 +123,12 @@ fn cpu_and_gpu_agree_bitwise() {
         let ab = pool.add(input.clone().into());
         let ob = pool.add(kernel_ir::BufferData::zeroed(Scalar::F32, n));
         MaliT604::default()
-            .run(&p, &[ArgBinding::Global(ab), ArgBinding::Global(ob)], &mut pool,
-                NDRange::d1(n, 64))
+            .run(
+                &p,
+                &[ArgBinding::Global(ab), ArgBinding::Global(ob)],
+                &mut pool,
+                NDRange::d1(n, 64),
+            )
             .unwrap();
         pool.get(ob).as_f32().to_vec()
     };
@@ -122,14 +137,27 @@ fn cpu_and_gpu_agree_bitwise() {
         let ab = pool.add(input.clone().into());
         let ob = pool.add(kernel_ir::BufferData::zeroed(Scalar::F32, n));
         cpu_sim::CortexA15::default()
-            .run(&p, &[ArgBinding::Global(ab), ArgBinding::Global(ob)], &mut pool,
-                NDRange::d1(n, 64), cores)
+            .run(
+                &p,
+                &[ArgBinding::Global(ab), ArgBinding::Global(ob)],
+                &mut pool,
+                NDRange::d1(n, 64),
+                cores,
+            )
             .unwrap();
         pool.get(ob).as_f32().to_vec()
     };
     let gpu = run_gpu();
-    assert_eq!(gpu, run_cpu(1), "GPU vs 1-core CPU results must be identical");
-    assert_eq!(gpu, run_cpu(2), "GPU vs 2-core CPU results must be identical");
+    assert_eq!(
+        gpu,
+        run_cpu(1),
+        "GPU vs 1-core CPU results must be identical"
+    );
+    assert_eq!(
+        gpu,
+        run_cpu(2),
+        "GPU vs 2-core CPU results must be identical"
+    );
 }
 
 /// Buffers created UseHostPtr + write/read round-trip correctly and cost

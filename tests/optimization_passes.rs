@@ -29,7 +29,11 @@ fn run_on_gpu(p: &Program, n: usize, items: usize, wg: usize) -> (Vec<f32>, f64)
     let rep = MaliT604::default()
         .run(
             p,
-            &[ArgBinding::Global(a), ArgBinding::Global(b), ArgBinding::Global(o)],
+            &[
+                ArgBinding::Global(a),
+                ArgBinding::Global(b),
+                ArgBinding::Global(o),
+            ],
             &mut pool,
             NDRange::d1(items, wg),
         )
@@ -67,10 +71,16 @@ fn vectorize_then_widths_rank_sanely() {
         let (_, t) = run_on_gpu(&v.program, n, n / w as usize, 64);
         times.push(t);
     }
-    assert!(footprints.windows(2).all(|w| w[0] <= w[1]), "footprint monotone in width");
+    assert!(
+        footprints.windows(2).all(|w| w[0] <= w[1]),
+        "footprint monotone in width"
+    );
     let best = times.iter().cloned().fold(f64::INFINITY, f64::min);
     assert!(times[2] <= times[0] * 1.5, "width 16 should not collapse");
-    assert!(best < times[0] * 1.01, "width 8/16 should at least match width 4");
+    assert!(
+        best < times[0] * 1.01,
+        "width 8/16 should at least match width 4"
+    );
 }
 
 /// Unroll composed after vectorize: still correct on-device and the
@@ -83,16 +93,31 @@ fn unroll_composes_with_vectorize_on_device() {
     let b = kb.arg_global(Scalar::F32, Access::ReadOnly, true);
     let o = kb.arg_global(Scalar::F32, Access::WriteOnly, true);
     let gid = kb.query_global_id(0);
-    let base = kb.bin(BinOp::Mul, gid.into(), Operand::ImmI(32), VType::scalar(Scalar::U32));
+    let base = kb.bin(
+        BinOp::Mul,
+        gid.into(),
+        Operand::ImmI(32),
+        VType::scalar(Scalar::U32),
+    );
     let acc = kb.mov(Operand::ImmF(0.0), VType::scalar(Scalar::F32));
-    kb.for_loop(Operand::ImmI(0), Operand::ImmI(32), Operand::ImmI(4), |kb, i| {
-        let idx = kb.bin(BinOp::Add, base.into(), i.into(), VType::scalar(Scalar::U32));
-        let v = kb.vload(Scalar::F32, 4, a, idx.into());
-        let w = kb.vload(Scalar::F32, 4, b, idx.into());
-        let s = kb.bin(BinOp::Add, v.into(), w.into(), VType::new(Scalar::F32, 4));
-        let h = kb.horiz(HorizOp::Add, s);
-        kb.bin_into(acc, BinOp::Add, acc.into(), h.into());
-    });
+    kb.for_loop(
+        Operand::ImmI(0),
+        Operand::ImmI(32),
+        Operand::ImmI(4),
+        |kb, i| {
+            let idx = kb.bin(
+                BinOp::Add,
+                base.into(),
+                i.into(),
+                VType::scalar(Scalar::U32),
+            );
+            let v = kb.vload(Scalar::F32, 4, a, idx.into());
+            let w = kb.vload(Scalar::F32, 4, b, idx.into());
+            let s = kb.bin(BinOp::Add, v.into(), w.into(), VType::new(Scalar::F32, 4));
+            let h = kb.horiz(HorizOp::Add, s);
+            kb.bin_into(acc, BinOp::Add, acc.into(), h.into());
+        },
+    );
     kb.store(o, gid.into(), acc.into());
     let p = kb.finish();
 
@@ -136,7 +161,10 @@ fn autotune_against_the_device_beats_the_naive_launch() {
         Some(run_on_gpu(p, n, items, wg).1)
     });
     let (c, best_cost) = result.best().expect("search succeeds");
-    assert!(c.width > 1, "the tuner must discover vectorization (got {c:?})");
+    assert!(
+        c.width > 1,
+        "the tuner must discover vectorization (got {c:?})"
+    );
     let gain = result.gain_over_baseline().expect("scalar baseline ran");
     assert!(gain > 1.3, "autotuned gain {gain:.2} too small");
     assert!(best_cost > 0.0);

@@ -38,10 +38,18 @@ fn nbody_f64_register_fallback_shrinks_the_gap() {
     let b = hpc_kernels::nbody::Nbody::default();
     // f32 opt launches at the tuned size.
     let f32_opt = b.run(Variant::OpenClOpt, Precision::F32).unwrap();
-    assert!(!f32_opt.note.as_deref().unwrap().contains("CL_OUT_OF_RESOURCES"));
+    assert!(!f32_opt
+        .note
+        .as_deref()
+        .unwrap()
+        .contains("CL_OUT_OF_RESOURCES"));
     // f64 opt records the fallback.
     let f64_opt = b.run(Variant::OpenClOpt, Precision::F64).unwrap();
-    assert!(f64_opt.note.as_deref().unwrap().contains("CL_OUT_OF_RESOURCES"));
+    assert!(f64_opt
+        .note
+        .as_deref()
+        .unwrap()
+        .contains("CL_OUT_OF_RESOURCES"));
     // And the remaining gain over naive is small (paper: 9.3x -> 10x).
     let f64_naive = b.run(Variant::OpenCl, Precision::F64).unwrap();
     let gain = f64_naive.time_s / f64_opt.time_s;
@@ -55,8 +63,16 @@ fn nbody_f64_register_fallback_shrinks_the_gap() {
 #[test]
 fn conv2d_f64_narrows_vectors() {
     let b = hpc_kernels::conv2d::Conv2d::default();
-    let f32_note = b.run(Variant::OpenClOpt, Precision::F32).unwrap().note.unwrap();
-    let f64_note = b.run(Variant::OpenClOpt, Precision::F64).unwrap().note.unwrap();
+    let f32_note = b
+        .run(Variant::OpenClOpt, Precision::F32)
+        .unwrap()
+        .note
+        .unwrap();
+    let f64_note = b
+        .run(Variant::OpenClOpt, Precision::F64)
+        .unwrap()
+        .note
+        .unwrap();
     assert!(f32_note.starts_with("vload8"), "{f32_note}");
     assert!(f64_note.contains("CL_OUT_OF_RESOURCES"), "{f64_note}");
     assert!(f64_note.contains("vload4"), "{f64_note}");
@@ -71,7 +87,12 @@ fn driver_local_size_is_one_dimensional() {
     let a = kb.arg_global(Scalar::F32, Access::ReadWrite, true);
     let gx = kb.query_global_id(0);
     let gy = kb.query_global_id(1);
-    let w = kb.bin(BinOp::Mul, gy.into(), Operand::ImmI(64), VType::scalar(Scalar::U32));
+    let w = kb.bin(
+        BinOp::Mul,
+        gy.into(),
+        Operand::ImmI(64),
+        VType::scalar(Scalar::U32),
+    );
     let idx = kb.bin(BinOp::Add, w.into(), gx.into(), VType::scalar(Scalar::U32));
     let v = kb.load(Scalar::F32, a, idx.into());
     kb.store(a, idx.into(), v.into());
@@ -98,28 +119,48 @@ fn divergent_kernel_runs_at_straight_line_speed() {
         let a = kb.arg_global(Scalar::F32, Access::ReadWrite, true);
         let gid = kb.query_global_id(0);
         let v = kb.load(Scalar::F32, a, gid.into());
-        let parity =
-            kb.bin(BinOp::And, gid.into(), Operand::ImmI(1), VType::scalar(Scalar::U32));
-        let odd =
-            kb.bin(BinOp::Eq, parity.into(), Operand::ImmI(1), VType::scalar(Scalar::U32));
+        let parity = kb.bin(
+            BinOp::And,
+            gid.into(),
+            Operand::ImmI(1),
+            VType::scalar(Scalar::U32),
+        );
+        let odd = kb.bin(
+            BinOp::Eq,
+            parity.into(),
+            Operand::ImmI(1),
+            VType::scalar(Scalar::U32),
+        );
         let out = kb.mov(Operand::ImmF(0.0), VType::scalar(Scalar::F32));
         if divergent {
             kb.if_then_else(
                 odd.into(),
                 |kb| {
-                    let t = kb.bin(BinOp::Mul, v.into(), Operand::ImmF(3.0),
-                        VType::scalar(Scalar::F32));
+                    let t = kb.bin(
+                        BinOp::Mul,
+                        v.into(),
+                        Operand::ImmF(3.0),
+                        VType::scalar(Scalar::F32),
+                    );
                     kb.mov_into(out, t.into());
                 },
                 |kb| {
-                    let t = kb.bin(BinOp::Mul, v.into(), Operand::ImmF(5.0),
-                        VType::scalar(Scalar::F32));
+                    let t = kb.bin(
+                        BinOp::Mul,
+                        v.into(),
+                        Operand::ImmF(5.0),
+                        VType::scalar(Scalar::F32),
+                    );
                     kb.mov_into(out, t.into());
                 },
             );
         } else {
-            let t = kb.bin(BinOp::Mul, v.into(), Operand::ImmF(3.0),
-                VType::scalar(Scalar::F32));
+            let t = kb.bin(
+                BinOp::Mul,
+                v.into(),
+                Operand::ImmF(3.0),
+                VType::scalar(Scalar::F32),
+            );
             kb.mov_into(out, t.into());
         }
         kb.store(a, gid.into(), out.into());
@@ -151,8 +192,9 @@ fn out_of_resources_matches_occupancy_math() {
     let mut kb = KernelBuilder::new("fat");
     let a = kb.arg_global(Scalar::F64, Access::ReadWrite, true);
     // Keep 16 double8 values (4 hw regs each) simultaneously live.
-    let vals: Vec<_> =
-        (0..16).map(|i| kb.mov(Operand::ImmF(i as f64), VType::new(Scalar::F64, 8))).collect();
+    let vals: Vec<_> = (0..16)
+        .map(|i| kb.mov(Operand::ImmF(i as f64), VType::new(Scalar::F64, 8)))
+        .collect();
     let acc = kb.mov(Operand::ImmF(0.0), VType::new(Scalar::F64, 8));
     for v in &vals {
         kb.bin_into(acc, BinOp::Add, acc.into(), (*v).into());
@@ -165,7 +207,9 @@ fn out_of_resources_matches_occupancy_math() {
     let max_wg = dev.cfg.resident_threads(fp);
     // Just-fits succeeds; one-over fails.
     let fit = max_wg.next_power_of_two() / 2; // a power of two <= max_wg
-    assert!(dev.check_resources(&p, NDRange::d1(fit as usize * 4, fit as usize)).is_ok());
+    assert!(dev
+        .check_resources(&p, NDRange::d1(fit as usize * 4, fit as usize))
+        .is_ok());
     let over = (max_wg + 1).next_power_of_two().min(256);
     if over > max_wg && over <= dev.cfg.max_wg_size {
         let err = dev

@@ -1,0 +1,114 @@
+//! Scaling of the parallel simulation engine (`sim-pool` + sharded
+//! work-group execution): the same launches simulated with one worker and
+//! with every available worker. The engine's contract is that only
+//! wall-clock changes — the reports must be bit-identical — so this bench
+//! asserts equality while it times. (Plain timing main — the workspace
+//! builds offline, so no criterion.)
+
+use kernel_ir::prelude::*;
+use kernel_ir::{Access, BufferData};
+use mali_hpc::largest_dividing_pow2;
+
+/// Compute-heavy map kernel: enough per-item work that group simulation
+/// dominates and the pool has something to chew on.
+fn heavy_kernel(n_ops: i64) -> Program {
+    let mut kb = KernelBuilder::new("bench_engine_scaling");
+    let x = kb.arg_global(Scalar::F32, Access::ReadWrite, true);
+    let gid = kb.query_global_id(0);
+    let v = kb.load(Scalar::F32, x, gid.into());
+    let acc = kb.mov(v.into(), VType::scalar(Scalar::F32));
+    kb.for_loop(
+        Operand::ImmI(0),
+        Operand::ImmI(n_ops),
+        Operand::ImmI(1),
+        |kb, _| {
+            kb.mad_into(
+                acc,
+                acc.into(),
+                Operand::ImmF(1.000001),
+                Operand::ImmF(1e-8),
+            );
+        },
+    );
+    kb.store(x, gid.into(), acc.into());
+    kb.finish()
+}
+
+fn gpu_pass(p: &Program, items: usize, wg: usize) -> (f64, mali_gpu::MaliReport) {
+    let gpu = mali_gpu::MaliT604::default();
+    let mut pool = MemoryPool::new();
+    let x = pool.add(BufferData::from(vec![1.0f32; items]));
+    let t0 = std::time::Instant::now();
+    let rep = gpu
+        .run(
+            p,
+            &[ArgBinding::Global(x)],
+            &mut pool,
+            NDRange::d1(items, wg),
+        )
+        .unwrap();
+    (t0.elapsed().as_secs_f64(), rep)
+}
+
+fn cpu_pass(p: &Program, items: usize, wg: usize) -> (f64, cpu_sim::CpuReport) {
+    let cpu = cpu_sim::CortexA15::default();
+    let mut pool = MemoryPool::new();
+    let x = pool.add(BufferData::from(vec![1.0f32; items]));
+    let t0 = std::time::Instant::now();
+    let rep = cpu
+        .run(
+            p,
+            &[ArgBinding::Global(x)],
+            &mut pool,
+            NDRange::d1(items, wg),
+            2,
+        )
+        .unwrap();
+    (t0.elapsed().as_secs_f64(), rep)
+}
+
+fn main() {
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let items = 1 << 14;
+    // The hoisted tuning helper picks a launchable work-group size.
+    let wg = largest_dividing_pow2(items, 128);
+    let p = heavy_kernel(256);
+    println!("engine scaling: {items} items, wg {wg}, host threads {host}\n");
+
+    // Warm-up (page in buffers, decode cache).
+    sim_pool::set_threads(1);
+    let _ = gpu_pass(&p, items, wg);
+
+    sim_pool::set_threads(1);
+    let (gpu_serial, gpu_rep1) = gpu_pass(&p, items, wg);
+    let (cpu_serial, cpu_rep1) = cpu_pass(&p, items, wg);
+    sim_pool::set_threads(host);
+    let (gpu_par, gpu_repn) = gpu_pass(&p, items, wg);
+    let (cpu_par, cpu_repn) = cpu_pass(&p, items, wg);
+
+    assert_eq!(
+        gpu_rep1.time_s.to_bits(),
+        gpu_repn.time_s.to_bits(),
+        "Mali report must be bit-identical across worker counts"
+    );
+    assert_eq!(
+        cpu_rep1.time_s.to_bits(),
+        cpu_repn.time_s.to_bits(),
+        "CPU report must be bit-identical across worker counts"
+    );
+
+    println!(
+        "  mali_t604   1 thread: {:>8.3} ms   {host} threads: {:>8.3} ms   ({:.2}x)",
+        gpu_serial * 1e3,
+        gpu_par * 1e3,
+        gpu_serial / gpu_par
+    );
+    println!(
+        "  cortex_a15  1 thread: {:>8.3} ms   {host} threads: {:>8.3} ms   ({:.2}x)",
+        cpu_serial * 1e3,
+        cpu_par * 1e3,
+        cpu_serial / cpu_par
+    );
+    println!("\n  reports bit-identical across worker counts: ok");
+    println!("  (suite-level numbers: `cargo run --release -p harness -- bench-self`)");
+}

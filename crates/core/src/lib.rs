@@ -31,8 +31,8 @@ pub use autotune::{autotune, AutotuneResult, Candidate, CandidateSkip, SearchSpa
 pub use fold::{eliminate_dead_code, fold_constants, op_count, optimize};
 pub use layout::{aos_flatten, aos_to_soa, soa_to_aos, Particle, ParticlesSoa};
 pub use tuning::{
-    guide_global_size, sweep, wg_size_candidates, TuningEntry, TuningResult,
-    VECTOR_WIDTH_CANDIDATES,
+    guide_global_size, largest_dividing_pow2, local_divides_global, sweep, wg_size_candidates,
+    wg_tiles_global, TuningEntry, TuningResult, VECTOR_WIDTH_CANDIDATES,
 };
 pub use unroll::{unroll, UnrollRefusal};
 pub use vectorize::{vectorize, VectorizeRefusal, Vectorized};

@@ -99,6 +99,37 @@ pub fn guide_global_size(max_wg: u32, shader_cores: u32, constant: u32) -> usize
     (max_wg * shader_cores * constant) as usize
 }
 
+/// The OpenCL launchability precondition for one dimension: a non-zero
+/// local extent that evenly tiles the global extent. Candidate work-group
+/// sizes that violate it are unlaunchable and must be skipped, not
+/// measured.
+pub fn local_divides_global(global: usize, local: usize) -> bool {
+    local != 0 && global.is_multiple_of(local)
+}
+
+/// [`local_divides_global`] across all three NDRange dimensions.
+pub fn wg_tiles_global(global: [usize; 3], local: [usize; 3]) -> bool {
+    global
+        .iter()
+        .zip(local)
+        .all(|(&g, l)| local_divides_global(g, l))
+}
+
+/// Largest power-of-two extent ≤ `max` that divides `global` — the
+/// standard fallback when picking a launchable work-group extent for an
+/// arbitrary (e.g. vector-width-scaled) global size. Returns 1 when
+/// nothing larger divides.
+pub fn largest_dividing_pow2(global: usize, max: usize) -> usize {
+    let mut w = max.max(1).next_power_of_two();
+    if w > max {
+        w /= 2;
+    }
+    while w > 1 && !global.is_multiple_of(w) {
+        w /= 2;
+    }
+    w.max(1)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,5 +184,19 @@ mod tests {
     fn first_minimum_wins_ties() {
         let r = sweep(&[1, 2, 3], |_| Some(5.0));
         assert_eq!(r.best(), Some(&1));
+    }
+
+    #[test]
+    fn divisibility_helpers() {
+        assert!(local_divides_global(1024, 128));
+        assert!(!local_divides_global(1000, 128));
+        assert!(!local_divides_global(1024, 0));
+        assert!(wg_tiles_global([256, 256, 1], [16, 8, 1]));
+        assert!(!wg_tiles_global([256, 100, 1], [16, 8, 1]));
+        assert_eq!(largest_dividing_pow2(256, 16), 16);
+        assert_eq!(largest_dividing_pow2(100, 16), 4);
+        assert_eq!(largest_dividing_pow2(25, 16), 1);
+        assert_eq!(largest_dividing_pow2(96, 12), 8);
+        assert_eq!(largest_dividing_pow2(7, 16), 1);
     }
 }

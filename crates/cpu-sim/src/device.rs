@@ -10,8 +10,8 @@
 
 use crate::config::CortexA15Config;
 use kernel_ir::{
-    ArgBinding, ExecError, ExecTracer, GroupExecutor, MemAccess, MemoryPool, NDRange, OpClass,
-    Pattern, Program, Scalar, VType,
+    run_ndrange_sharded, ArgBinding, ExecError, ExecTracer, MemAccess, MemoryPool, NDRange,
+    OpClass, Pattern, Program, Scalar, ShardTracer, VType,
 };
 use memsim::{Hierarchy, HierarchyStats, StrideClassifier};
 use powersim::Activity;
@@ -39,121 +39,71 @@ pub struct CpuReport {
     /// Per-core work-group execution intervals (simulated time, seconds,
     /// relative to the start of the parallel region).
     pub spans: Vec<WorkSpan>,
+    /// Host worker threads the simulation's group loop actually ran on
+    /// (1 = serial). Simulation-engine metadata — distinct from
+    /// `cores_used`, which is the *modeled* A15 core count — and excluded
+    /// from exported counters so suite outputs stay byte-identical across
+    /// `SIM_THREADS` settings.
+    pub sim_threads: usize,
+    /// Why the engine forced serial group execution (e.g. global atomics),
+    /// if it did.
+    pub sim_serial_reason: Option<&'static str>,
 }
 
-/// Tracer accumulating per-group compute cycles and driving the cache
-/// hierarchy.
+/// Mem-side tracer state: the cache hierarchy and stride classifiers whose
+/// transitions depend on the global access order. Op-side cycles accumulate
+/// per group in a [`CpuShard`]; [`ShardTracer::absorb_group`] recombines the
+/// two halves in ascending group order, identically for 1..N sim threads.
 struct CpuTracer<'c> {
     cfg: &'c CortexA15Config,
     hier: Hierarchy,
-    /// Compute cycles charged to each completed/current group.
+    /// Compute cycles charged to each completed group.
     group_cycles: Vec<f64>,
-    cur: f64,
     strides: StrideClassifier,
     counters: Counters,
 }
 
-impl<'c> CpuTracer<'c> {
-    fn new(cfg: &'c CortexA15Config) -> Self {
-        CpuTracer {
-            cfg,
-            hier: Hierarchy::with_l1(cfg.l1, cfg.l2),
-            group_cycles: Vec::new(),
-            cur: 0.0,
-            strides: StrideClassifier::default(),
-            counters: Counters::default(),
-        }
-    }
+/// One work-group's op-side cycle accumulator (arithmetic, loop and
+/// work-item overheads — everything whose cost needs no cache state).
+struct CpuShard<'c> {
+    cfg: &'c CortexA15Config,
+    cur: f64,
+    counters: Counters,
+}
 
-    fn finish_group(&mut self) {
-        self.group_cycles.push(self.cur);
-        self.cur = 0.0;
-    }
-
-    fn op_cost(&self, class: OpClass, ty: VType) -> f64 {
-        let c = self.cfg;
-        let base = match class {
-            OpClass::Simple => c.cy_simple,
-            OpClass::Mul => c.cy_mul,
-            OpClass::Mad => c.cy_mad,
-            OpClass::Div => c.cy_div,
-            OpClass::Special => c.cy_sqrt,
-            OpClass::Rsqrt => c.cy_rsqrt,
-            OpClass::Transcendental => c.cy_transcendental,
-            OpClass::Move => c.cy_move,
-            OpClass::Horizontal => c.cy_horiz,
-        };
-        // No NEON: vector ops are scalarized lane by lane.
-        let lanes = ty.width as f64;
-        let f64x = if ty.elem == Scalar::F64 {
-            c.f64_factor
-        } else {
-            1.0
-        };
-        // Integer address arithmetic dual-issues and hides behind FP.
-        let intx = if ty.elem.is_int()
-            && matches!(class, OpClass::Simple | OpClass::Mul | OpClass::Move)
-        {
+fn op_cost(c: &CortexA15Config, class: OpClass, ty: VType) -> f64 {
+    let base = match class {
+        OpClass::Simple => c.cy_simple,
+        OpClass::Mul => c.cy_mul,
+        OpClass::Mad => c.cy_mad,
+        OpClass::Div => c.cy_div,
+        OpClass::Special => c.cy_sqrt,
+        OpClass::Rsqrt => c.cy_rsqrt,
+        OpClass::Transcendental => c.cy_transcendental,
+        OpClass::Move => c.cy_move,
+        OpClass::Horizontal => c.cy_horiz,
+    };
+    // No NEON: vector ops are scalarized lane by lane.
+    let lanes = ty.width as f64;
+    let f64x = if ty.elem == Scalar::F64 {
+        c.f64_factor
+    } else {
+        1.0
+    };
+    // Integer address arithmetic dual-issues and hides behind FP.
+    let intx =
+        if ty.elem.is_int() && matches!(class, OpClass::Simple | OpClass::Mul | OpClass::Move) {
             c.int_op_factor
         } else {
             1.0
         };
-        base * lanes * f64x * intx / c.ilp
-    }
+    base * lanes * f64x * intx / c.ilp
 }
 
-impl ExecTracer for CpuTracer<'_> {
+impl ExecTracer for CpuShard<'_> {
     fn op(&mut self, class: OpClass, ty: VType) {
         self.counters.note_op(class, ty);
-        self.cur += self.op_cost(class, ty);
-    }
-
-    fn mem(&mut self, a: &MemAccess) {
-        self.counters.note_mem(a);
-        let c = self.cfg;
-        let write = matches!(a.kind, kernel_ir::AccessKind::Write);
-        let atomic = matches!(a.kind, kernel_ir::AccessKind::Atomic);
-        // Issue cost: one AGU slot per lane (scalarized, no NEON loads).
-        self.cur += c.cy_mem_issue * a.width as f64 / c.ilp;
-        if atomic {
-            self.cur += c.cy_atomic;
-        }
-        match a.pattern {
-            Pattern::Scalar | Pattern::Contiguous => {
-                // Scalar streams that hop around (indirect x[col[j]]) are
-                // scattered traffic even though each access is scalar.
-                let streaming = a.pattern == Pattern::Contiguous
-                    || self.strides.classify_stream(a.stream, a.addr);
-                let out = self
-                    .hier
-                    .access(a.addr, a.bytes, write || atomic, streaming);
-                self.cur += out.l1_hits as f64 * c.cy_l1_hit + out.l2_hits as f64 * c.cy_l2_hit;
-                if !streaming {
-                    // Scattered misses expose latency the prefetcher can't
-                    // hide.
-                    self.cur += out.dram_lines as f64
-                        * c.dram.latency
-                        * c.scatter_latency_exposure
-                        * c.freq_hz;
-                }
-                // Streaming DRAM lines are charged through the bandwidth
-                // term; the prefetcher hides their latency.
-            }
-            Pattern::Gather => {
-                let addrs = a.lane_addrs.expect("gather carries lane addresses");
-                let lane_bytes = a.elem.bytes();
-                for &addr in addrs.iter().take(a.width as usize) {
-                    let out = self.hier.access(addr, lane_bytes, write || atomic, false);
-                    self.cur += out.l1_hits as f64 * c.cy_l1_hit + out.l2_hits as f64 * c.cy_l2_hit;
-                    // Scattered misses expose part of the DRAM latency to
-                    // the core (the OoO window can't hide 110 ns).
-                    self.cur += out.dram_lines as f64
-                        * c.dram.latency
-                        * c.scatter_latency_exposure
-                        * c.freq_hz;
-                }
-            }
-        }
+        self.cur += op_cost(self.cfg, class, ty);
     }
 
     fn loop_iter(&mut self) {
@@ -168,18 +118,95 @@ impl ExecTracer for CpuTracer<'_> {
 
     fn group_start(&mut self) {
         self.counters.note_group_start();
-        if !self.group_cycles.is_empty() || self.cur > 0.0 {
-            self.finish_group();
-        } else if self.group_cycles.is_empty() && self.cur == 0.0 {
-            // First group: nothing to flush, but keep slot alignment by
-            // doing nothing until it completes.
-        }
     }
 
     fn barrier(&mut self, items: u32) {
         // Barriers are free on a sequential CPU schedule (each phase is a
         // plain loop) — but still counted.
         self.counters.note_barrier(items);
+    }
+}
+
+impl<'c> CpuTracer<'c> {
+    fn new(cfg: &'c CortexA15Config) -> Self {
+        CpuTracer {
+            cfg,
+            hier: Hierarchy::with_l1(cfg.l1, cfg.l2),
+            group_cycles: Vec::new(),
+            strides: StrideClassifier::default(),
+            counters: Counters::default(),
+        }
+    }
+
+    /// Replay one recorded memory access through the stateful cache model,
+    /// charging cycles to the group being absorbed.
+    fn replay_mem(&mut self, a: &MemAccess, cur: &mut f64) {
+        self.counters.note_mem(a);
+        let c = self.cfg;
+        let write = matches!(a.kind, kernel_ir::AccessKind::Write);
+        let atomic = matches!(a.kind, kernel_ir::AccessKind::Atomic);
+        // Issue cost: one AGU slot per lane (scalarized, no NEON loads).
+        *cur += c.cy_mem_issue * a.width as f64 / c.ilp;
+        if atomic {
+            *cur += c.cy_atomic;
+        }
+        match a.pattern {
+            Pattern::Scalar | Pattern::Contiguous => {
+                // Scalar streams that hop around (indirect x[col[j]]) are
+                // scattered traffic even though each access is scalar.
+                let streaming = a.pattern == Pattern::Contiguous
+                    || self.strides.classify_stream(a.stream, a.addr);
+                let out = self
+                    .hier
+                    .access(a.addr, a.bytes, write || atomic, streaming);
+                *cur += out.l1_hits as f64 * c.cy_l1_hit + out.l2_hits as f64 * c.cy_l2_hit;
+                if !streaming {
+                    // Scattered misses expose latency the prefetcher can't
+                    // hide.
+                    *cur += out.dram_lines as f64
+                        * c.dram.latency
+                        * c.scatter_latency_exposure
+                        * c.freq_hz;
+                }
+                // Streaming DRAM lines are charged through the bandwidth
+                // term; the prefetcher hides their latency.
+            }
+            Pattern::Gather => {
+                let addrs = a.lane_addrs.expect("gather carries lane addresses");
+                let lane_bytes = a.elem.bytes();
+                for &addr in addrs.iter().take(a.width as usize) {
+                    let out = self.hier.access(addr, lane_bytes, write || atomic, false);
+                    *cur += out.l1_hits as f64 * c.cy_l1_hit + out.l2_hits as f64 * c.cy_l2_hit;
+                    // Scattered misses expose part of the DRAM latency to
+                    // the core (the OoO window can't hide 110 ns).
+                    *cur += out.dram_lines as f64
+                        * c.dram.latency
+                        * c.scatter_latency_exposure
+                        * c.freq_hz;
+                }
+            }
+        }
+    }
+}
+
+impl<'c> ShardTracer for CpuTracer<'c> {
+    type Shard = CpuShard<'c>;
+
+    fn make_shard(&self) -> CpuShard<'c> {
+        CpuShard {
+            cfg: self.cfg,
+            cur: 0.0,
+            counters: Counters::default(),
+        }
+    }
+
+    fn absorb_group(&mut self, shard: CpuShard<'c>, mem: &[MemAccess]) {
+        self.counters.merge_in(&shard.counters);
+        let mut cur = shard.cur;
+        for a in mem {
+            self.replay_mem(a, &mut cur);
+        }
+        self.group_cycles.push(cur);
     }
 }
 
@@ -210,13 +237,14 @@ impl CortexA15 {
             self.cfg.max_cores
         );
         let mut tracer = CpuTracer::new(&self.cfg);
-        {
-            let mut ex = GroupExecutor::new(program, bindings, pool, ndrange, &mut tracer)?;
-            ex.run_all();
-        }
-        tracer.finish_group();
-        // tracer.group_cycles got an extra empty leading slot pattern; the
-        // flush-on-start plus final flush yields exactly one entry per group.
+        let stats = run_ndrange_sharded(
+            program,
+            bindings,
+            pool,
+            ndrange,
+            &mut tracer,
+            sim_pool::threads(),
+        )?;
         let groups = tracer.group_cycles;
         debug_assert_eq!(groups.len(), ndrange.total_groups().max(1));
 
@@ -297,6 +325,8 @@ impl CortexA15 {
             total_cycles,
             counters,
             spans,
+            sim_threads: stats.threads,
+            sim_serial_reason: stats.serial_reason,
         })
     }
 }

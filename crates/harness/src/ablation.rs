@@ -10,7 +10,9 @@ use hpc_kernels::dmmm::Dmmm;
 use hpc_kernels::vecop::Vecop;
 use hpc_kernels::Precision;
 use kernel_ir::{BufferData, Scalar};
-use mali_hpc::{sweep, unroll, vectorize, TuningResult};
+use mali_hpc::{
+    largest_dividing_pow2, local_divides_global, sweep, unroll, vectorize, TuningResult,
+};
 use ocl_runtime::{Context, KernelArg, MemFlags};
 use std::fmt::Write as _;
 
@@ -64,7 +66,7 @@ pub fn wg_sweep_dmmm(n: usize) -> (TuningResult<usize>, usize) {
         ]);
         let k = ctx.build_kernel(prog.clone()).ok()?;
         let args: Vec<KernelArg> = ids.iter().map(|&x| KernelArg::Buf(x)).collect();
-        if !n.is_multiple_of(wgx) {
+        if !local_divides_global(n, wgx) {
             return None;
         }
         launch(&mut ctx, &k, [n, n, 1], Some([wgx, 1, 1]), &args)
@@ -102,10 +104,7 @@ pub fn dmmm_stack(n: usize) -> Vec<(String, f64)> {
         let args: Vec<KernelArg> = ids.iter().map(|&x| KernelArg::Buf(x)).collect();
         // Largest power-of-two x-extent (≤16) that divides the global size,
         // so the vectorized pass (gx = n/4) stays launchable.
-        let lx = [16usize, 8, 4, 2, 1]
-            .into_iter()
-            .find(|&d| gx.is_multiple_of(d))
-            .unwrap_or(1);
+        let lx = largest_dividing_pow2(gx, 16);
         launch(&mut ctx, &k, [gx, n, 1], Some([lx, 8, 1]), &args)
             .expect("launch")
             .0

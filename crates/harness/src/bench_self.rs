@@ -1,0 +1,113 @@
+//! `bench-self` — the simulator benchmarking itself.
+//!
+//! Runs the warm suite twice, once with one worker thread and once with the
+//! configured thread count, and reports the wall-clock ratio. Because the
+//! parallel engine is bit-deterministic, the two passes must also produce
+//! byte-identical CSV/JSONL exports — `--check` turns that invariant into a
+//! hard failure, which is what CI runs.
+//!
+//! Results are written as `BENCH_sim.json` (at the current directory, i.e.
+//! the repo root when invoked from there) so speedups can be tracked across
+//! commits.
+
+use crate::{run_suite, to_csv, to_jsonl};
+use hpc_kernels::Benchmark;
+use std::time::Instant;
+
+/// Outcome of one self-benchmark.
+pub struct SelfBench {
+    /// Host hardware parallelism.
+    pub host_threads: usize,
+    /// Worker threads the parallel pass used (`--threads` / `SIM_THREADS` /
+    /// host parallelism).
+    pub sim_threads: usize,
+    /// `"test"` or `"paper"` input scale.
+    pub scale: &'static str,
+    /// Wall-clock of the warm suite with 1 worker, seconds.
+    pub serial_s: f64,
+    /// Wall-clock of the warm suite with `sim_threads` workers, seconds.
+    pub parallel_s: f64,
+    /// `serial_s / parallel_s`.
+    pub speedup: f64,
+    /// Whether the serial and parallel passes produced byte-identical
+    /// CSV and JSONL exports (the engine's determinism contract).
+    pub outputs_identical: bool,
+}
+
+impl SelfBench {
+    /// Machine-readable form, written to `BENCH_sim.json`.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"host_threads\": {},\n  \"sim_threads\": {},\n  \"scale\": \"{}\",\n  \
+             \"serial_s\": {:.6},\n  \"parallel_s\": {:.6},\n  \"speedup\": {:.3},\n  \
+             \"outputs_identical\": {}\n}}\n",
+            self.host_threads,
+            self.sim_threads,
+            self.scale,
+            self.serial_s,
+            self.parallel_s,
+            self.speedup,
+            self.outputs_identical
+        )
+    }
+
+    /// Human-readable one-screen summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "self-benchmark ({} scale, host has {} hardware threads)\n\
+               serial   (1 worker)   : {:.3} s\n\
+               parallel ({} workers) : {:.3} s\n\
+               speedup              : {:.2}x\n\
+               outputs identical    : {}\n",
+            self.scale,
+            self.host_threads,
+            self.serial_s,
+            self.sim_threads,
+            self.parallel_s,
+            self.speedup,
+            self.outputs_identical
+        )
+    }
+}
+
+/// One timed suite pass at a fixed worker count; returns wall-clock plus
+/// the byte-comparable exports.
+fn timed_pass(benches: &[Box<dyn Benchmark>], threads: usize) -> (f64, String, String) {
+    sim_pool::set_threads(threads);
+    let t0 = Instant::now();
+    let results = run_suite(benches, false);
+    let dt = t0.elapsed().as_secs_f64();
+    (dt, to_csv(&results), to_jsonl(&results))
+}
+
+/// Run the self-benchmark. Restores the configured thread count afterwards.
+pub fn run(test_scale: bool) -> SelfBench {
+    let benches = if test_scale {
+        hpc_kernels::test_suite()
+    } else {
+        hpc_kernels::suite()
+    };
+    let configured = sim_pool::threads().max(1);
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    // Warm-up pass: first-touch page faults, lazy allocator growth and
+    // icache warming would otherwise all land on the serial measurement.
+    sim_pool::set_threads(1);
+    let _ = run_suite(&benches, false);
+
+    let (serial_s, csv_1, jsonl_1) = timed_pass(&benches, 1);
+    let (parallel_s, csv_n, jsonl_n) = timed_pass(&benches, configured);
+    sim_pool::set_threads(configured);
+
+    SelfBench {
+        host_threads,
+        sim_threads: configured,
+        scale: if test_scale { "test" } else { "paper" },
+        serial_s,
+        parallel_s,
+        speedup: serial_s / parallel_s.max(1e-9),
+        outputs_identical: csv_1 == csv_n && jsonl_1 == jsonl_n,
+    }
+}

@@ -7,6 +7,7 @@
 //! for every figure. See the `harness` binary for the CLI.
 
 pub mod ablation;
+pub mod bench_self;
 pub mod dvfs;
 pub mod export;
 pub mod figures;

@@ -13,9 +13,13 @@
 //! harness csv            # machine-readable results (one row per cell)
 //! harness jsonl          # same cells as JSON Lines (counter fields incl.)
 //! harness profile <b>    # per-variant performance-counter report
+//! harness bench-self     # simulator self-benchmark -> BENCH_sim.json
 //!
 //! Flags: --test-scale (small inputs), --trace <dir> (one Chrome trace
-//! file per cell + metrics.jsonl), --quiet, --verbose.
+//! file per cell + metrics.jsonl), --threads <n> (simulation worker
+//! threads; also settable via SIM_THREADS), --check (with bench-self:
+//! fail unless serial/parallel outputs match byte for byte), --quiet,
+//! --verbose.
 //! ```
 
 use harness::{fig2, fig3, fig4, run_suite, summary};
@@ -28,6 +32,7 @@ fn main() {
     let mut quiet = false;
     let mut verbose = false;
     let mut trace_dir: Option<std::path::PathBuf> = None;
+    let mut check = false;
     let mut cmds: Vec<&str> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -35,10 +40,18 @@ fn main() {
             "--test-scale" => test_scale = true,
             "--quiet" => quiet = true,
             "--verbose" => verbose = true,
+            "--check" => check = true,
             "--trace" => match it.next() {
                 Some(dir) => trace_dir = Some(dir.into()),
                 None => {
                     eprintln!("--trace needs a directory argument");
+                    std::process::exit(2);
+                }
+            },
+            "--threads" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => sim_pool::set_threads(n),
+                _ => {
+                    eprintln!("--threads needs a positive integer argument");
                     std::process::exit(2);
                 }
             },
@@ -50,14 +63,29 @@ fn main() {
         }
     }
     let cmd = cmds.first().copied().unwrap_or("all");
-    const KNOWN: [&str; 15] = [
-        "all", "fig2a", "fig2b", "fig3a", "fig3b", "fig4a", "fig4b", "summary", "ablation", "dvfs",
-        "roofline", "hetero", "csv", "jsonl", "profile",
+    const KNOWN: [&str; 16] = [
+        "all",
+        "fig2a",
+        "fig2b",
+        "fig3a",
+        "fig3b",
+        "fig4a",
+        "fig4b",
+        "summary",
+        "ablation",
+        "dvfs",
+        "roofline",
+        "hetero",
+        "csv",
+        "jsonl",
+        "profile",
+        "bench-self",
     ];
     if !KNOWN.contains(&cmd) {
         eprintln!("unknown command '{cmd}'");
         eprintln!(
-            "usage: harness [{}] [--test-scale] [--trace <dir>] [--quiet|--verbose]",
+            "usage: harness [{}] [--test-scale] [--trace <dir>] [--threads <n>] \
+             [--check] [--quiet|--verbose]",
             KNOWN.join("|")
         );
         std::process::exit(2);
@@ -91,6 +119,22 @@ fn main() {
             std::process::exit(2);
         };
         print!("{}", harness::profile::report(b.as_ref()));
+        return;
+    }
+    if cmd == "bench-self" {
+        log::progress("self-benchmark: warm-up pass, then serial and parallel suite runs...");
+        let b = harness::bench_self::run(test_scale);
+        let path = "BENCH_sim.json";
+        if let Err(e) = std::fs::write(path, b.to_json()) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        print!("{}", b.summary());
+        println!("wrote {path}");
+        if check && !b.outputs_identical {
+            eprintln!("bench-self --check: serial and parallel outputs differ");
+            std::process::exit(1);
+        }
         return;
     }
     if cmd == "ablation" {

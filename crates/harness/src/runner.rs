@@ -54,50 +54,64 @@ pub fn measure(outcome: &RunOutcome, model: &PowerModel, seed: u64) -> (Measurem
 /// Run and measure the whole suite. Progress goes through the
 /// [`telemetry::log`] levels; `verbose = false` keeps a caller (tests,
 /// machine-readable subcommands) silent regardless of the global level.
+///
+/// Cells (benchmark × precision × variant) are independent — each builds
+/// fresh pools and device state and meters with a per-cell seed — so they
+/// run on the `sim-pool` work-stealing pool. Every per-cell artifact
+/// (timing, energy, counters, skip reasons) is deterministic in the cell
+/// alone, so results are identical for any `SIM_THREADS`; only the order of
+/// progress log lines varies.
 pub fn run_suite(benches: &[Box<dyn Benchmark>], verbose: bool) -> SuiteResults {
     let model = PowerModel::default();
-    let mut cells = HashMap::new();
-    let mut names = Vec::new();
-    for (bi, b) in benches.iter().enumerate() {
-        names.push(b.name().to_string());
+    let names: Vec<String> = benches.iter().map(|b| b.name().to_string()).collect();
+    let mut jobs = Vec::new();
+    for bi in 0..benches.len() {
         for prec in Precision::ALL {
             for v in Variant::ALL {
-                if verbose {
-                    log::progress(&format!(
-                        "[{}/{}] {} {} {}",
-                        bi + 1,
-                        benches.len(),
-                        b.name(),
-                        v.label(),
-                        prec.label()
-                    ));
-                }
-                let entry = match b.run(v, prec) {
-                    Ok(outcome) => {
-                        assert!(
-                            outcome.validated,
-                            "{} {} {} failed output validation (max rel err {:.3e})",
-                            b.name(),
-                            v.label(),
-                            prec.label(),
-                            outcome.max_rel_err
-                        );
-                        let seed = (bi as u64) << 8 | prec_key(prec) as u64;
-                        let (m, iters, energy) = measure(&outcome, &model, seed);
-                        let counters = outcome.telemetry.counters.clone();
-                        Ok(Cell {
-                            outcome,
-                            measurement: m,
-                            iterations: iters,
-                            energy_j: energy,
-                            counters,
-                        })
-                    }
-                    Err(skip) => Err(skip),
-                };
-                cells.insert((b.name().to_string(), v, prec_key(prec)), entry);
+                jobs.push((bi, prec, v));
             }
         }
+    }
+    let results = sim_pool::parallel_map(jobs.len(), |j| {
+        let (bi, prec, v) = jobs[j];
+        let b = &benches[bi];
+        if verbose {
+            log::progress(&format!(
+                "[{}/{}] {} {} {}",
+                bi + 1,
+                benches.len(),
+                b.name(),
+                v.label(),
+                prec.label()
+            ));
+        }
+        match b.run(v, prec) {
+            Ok(outcome) => {
+                assert!(
+                    outcome.validated,
+                    "{} {} {} failed output validation (max rel err {:.3e})",
+                    b.name(),
+                    v.label(),
+                    prec.label(),
+                    outcome.max_rel_err
+                );
+                let seed = (bi as u64) << 8 | prec_key(prec) as u64;
+                let (m, iters, energy) = measure(&outcome, &model, seed);
+                let counters = outcome.telemetry.counters.clone();
+                Ok(Cell {
+                    outcome,
+                    measurement: m,
+                    iterations: iters,
+                    energy_j: energy,
+                    counters,
+                })
+            }
+            Err(skip) => Err(skip),
+        }
+    });
+    let mut cells = HashMap::new();
+    for ((bi, prec, v), entry) in jobs.into_iter().zip(results) {
+        cells.insert((names[bi].clone(), v, prec_key(prec)), entry);
     }
     SuiteResults {
         cells,

@@ -14,6 +14,7 @@ use crate::common::{
 };
 use kernel_ir::prelude::*;
 use kernel_ir::Access;
+use mali_hpc::{largest_dividing_pow2, local_divides_global};
 use ocl_runtime::KernelArg;
 
 /// Convolution parameters: an `n×n` image, 5×5 kernel, interior-only
@@ -302,7 +303,7 @@ impl Benchmark for Conv2d {
                     ArgBinding::Global(w),
                 ];
                 let cores = if variant == Variant::Serial { 1 } else { 2 };
-                let local_x = if m.is_multiple_of(64) { 64 } else { 16 };
+                let local_x = if local_divides_global(m, 64) { 64 } else { 16 };
                 let (t, act, pool, tel) = run_cpu_kernel(
                     &self.kernel(prec),
                     &bindings,
@@ -357,14 +358,8 @@ impl Benchmark for Conv2d {
                 // Largest tile {16,8,4,2,1}^2 dividing the global sizes,
                 // capped at 256 work-items — the tuned choice per width.
                 let tuned_wg = |gx: usize, gy: usize| -> [usize; 3] {
-                    let pick = |g: usize| {
-                        [16usize, 8, 4, 2, 1]
-                            .into_iter()
-                            .find(|w| g.is_multiple_of(*w))
-                            .unwrap()
-                    };
-                    let wx = pick(gx);
-                    let mut wy = pick(gy);
+                    let wx = largest_dividing_pow2(gx, 16);
+                    let mut wy = largest_dividing_pow2(gy, 16);
                     while wx * wy > 256 {
                         wy /= 2;
                     }
@@ -374,7 +369,7 @@ impl Benchmark for Conv2d {
                 // launch narrows the width — the paper's double-precision
                 // fallback.
                 for width in [8u8, 4, 2] {
-                    if !m.is_multiple_of(width as usize) {
+                    if !local_divides_global(m, width as usize) {
                         continue;
                     }
                     let wg = tuned_wg(m / width as usize, m);

@@ -13,7 +13,7 @@ use crate::common::{
 };
 use kernel_ir::prelude::*;
 use kernel_ir::Access;
-use mali_hpc::unroll;
+use mali_hpc::{unroll, wg_tiles_global};
 use ocl_runtime::KernelArg;
 
 /// Matrix dimension (N×N). Must be divisible by 64.
@@ -284,7 +284,7 @@ impl Benchmark for Dmmm {
                         .build_kernel(self.opt_kernel(prec, width))
                         .map_err(|e| RunSkip::CompilerBug(e.to_string()))?;
                     for &wg in &[[16usize, 8, 1], [16, 4, 1], [8, 4, 1]] {
-                        if !(n / width as usize).is_multiple_of(wg[0]) || !n.is_multiple_of(wg[1]) {
+                        if !wg_tiles_global([n / width as usize, n, 1], wg) {
                             continue;
                         }
                         match launch(&mut ctx, &k, [n / width as usize, n, 1], Some(wg), &args) {

@@ -6,14 +6,36 @@
 //! kernels). Every issued op and memory access is reported to an
 //! [`ExecTracer`], which is how the device models meter cost without the
 //! interpreter knowing anything about cycles.
+//!
+//! # Hot path
+//!
+//! Programs are pre-decoded once per launch into a flat, dense-indexed
+//! [`DecodedProgram`]: immediates are splatted to their consumer's type at
+//! decode time, register/destination types and op classes are resolved, and
+//! argument bindings are baked into each load/store, so the per-item
+//! execution loop does no type resolution and no per-use `Value` splats.
+//! Register files and local-memory buffers live in an [`ExecScratch`] reused
+//! across groups.
+//!
+//! # Parallel work-groups
+//!
+//! Work-groups are independent between barriers, so [`run_ndrange_sharded`]
+//! executes them on a work-stealing pool (`sim-pool`). Cost accounting stays
+//! **bit-identical** to serial execution through a record/replay scheme: see
+//! [`ShardTracer`]. Kernels that perform global atomics are the one coupling
+//! between groups — those launches fall back to serial group execution (and
+//! say so in [`LaunchStats::serial_reason`]).
 
-use crate::instr::{ArgDecl, AtomicOp, Builtin, HorizOp, Op, Operand};
+use crate::instr::{ArgDecl, AtomicOp, BinOp, Builtin, HorizOp, Op, Operand, UnOp};
 use crate::memory::{BufferData, MemoryPool};
 use crate::ops::{eval_bin, eval_mad, eval_select, eval_un};
 use crate::program::Program;
-use crate::trace::{AccessKind, ExecTracer, MemAccess, OpClass, Pattern};
+use crate::trace::{
+    AccessKind, ExecTracer, MemAccess, OpClass, Pattern, RecordingTracer, ShardTracer,
+};
 use crate::types::{MemSpace, Scalar, VType, MAX_LANES};
 use crate::value::Value;
+use std::cell::RefCell;
 
 /// Simulated base address of the per-group "local memory" window. On Mali
 /// local memory is carved out of global memory; we place it in a distinct
@@ -176,167 +198,216 @@ pub fn check_bindings(
     Ok(())
 }
 
-/// Per-work-item execution state.
-struct ItemCtx {
-    regs: Vec<Value>,
-    global_id: [usize; 3],
-    local_id: [usize; 3],
+// ---------------------------------------------------------------------------
+// Decoded program
+// ---------------------------------------------------------------------------
+
+/// A pre-resolved operand: registers carry their final index (and broadcast
+/// width when the consumer is wider); immediates are splatted to the
+/// consumer's type once, at decode time.
+#[derive(Clone, Debug)]
+enum DOperand {
+    /// Register whose declared width already matches the consumer's.
+    Reg(u32),
+    /// Register broadcast to `width` lanes at each use.
+    RegBc(u32, u8),
+    /// Immediate pre-splatted to the consumer's type.
+    Const(Value),
 }
 
-/// Executes one work-group at a time.
-pub struct GroupExecutor<'a, T: ExecTracer> {
-    program: &'a Program,
-    bindings: &'a [ArgBinding],
-    pool: &'a mut MemoryPool,
-    ndrange: NDRange,
-    pub tracer: &'a mut T,
+/// Where a buffer op lands, with the binding already resolved.
+#[derive(Clone, Copy, Debug)]
+enum DLoc {
+    /// Index into the launch's [`MemoryPool`].
+    Global(usize),
+    /// Kernel-argument index of a per-group local buffer.
+    Local(usize),
 }
 
-impl<'a, T: ExecTracer> GroupExecutor<'a, T> {
-    pub fn new(
-        program: &'a Program,
-        bindings: &'a [ArgBinding],
-        pool: &'a mut MemoryPool,
-        ndrange: NDRange,
-        tracer: &'a mut T,
-    ) -> Result<Self, ExecError> {
-        if !ndrange.valid() {
-            return Err(ExecError::InvalidNDRange(ndrange));
-        }
-        check_bindings(program, bindings, pool)?;
-        Ok(GroupExecutor {
-            program,
+/// One decoded instruction. Destination registers are dense `u32` indices;
+/// result types, op classes and traced types are resolved at decode time.
+#[derive(Clone, Debug)]
+enum DOp {
+    Bin {
+        dst: u32,
+        op: BinOp,
+        a: DOperand,
+        b: DOperand,
+        class: OpClass,
+        ty: VType,
+    },
+    Un {
+        dst: u32,
+        op: UnOp,
+        a: DOperand,
+        class: OpClass,
+        ty: VType,
+    },
+    Mad {
+        dst: u32,
+        a: DOperand,
+        b: DOperand,
+        c: DOperand,
+        ty: VType,
+    },
+    Select {
+        dst: u32,
+        cond: DOperand,
+        a: DOperand,
+        b: DOperand,
+        ty: VType,
+    },
+    Mov {
+        dst: u32,
+        a: DOperand,
+        ty: VType,
+    },
+    CastReg {
+        dst: u32,
+        src: u32,
+        to: Scalar,
+        ty: VType,
+    },
+    Horiz {
+        dst: u32,
+        op: HorizOp,
+        src: u32,
+        ty: VType,
+    },
+    Extract {
+        dst: u32,
+        src: u32,
+        lane: u8,
+        ty: VType,
+    },
+    Insert {
+        dst: u32,
+        v: DOperand,
+        lane: u8,
+        ty: VType,
+    },
+    Query {
+        dst: u32,
+        q: Builtin,
+    },
+    /// By-value scalar arg read: free register write, no memory event.
+    LoadScalarArg {
+        dst: u32,
+        v: Value,
+    },
+    Load {
+        dst: u32,
+        loc: DLoc,
+        idx: DOperand,
+        ty: VType,
+        stream: u32,
+    },
+    VLoad {
+        dst: u32,
+        loc: DLoc,
+        base: DOperand,
+        ty: VType,
+        stream: u32,
+    },
+    Store {
+        loc: DLoc,
+        idx: DOperand,
+        val: DOperand,
+        vt: VType,
+        stream: u32,
+    },
+    VStore {
+        loc: DLoc,
+        base: DOperand,
+        val: u32,
+        stream: u32,
+    },
+    Atomic {
+        op: AtomicOp,
+        loc: DLoc,
+        idx: DOperand,
+        val: DOperand,
+        /// Pre-splatted constant 1 for `atomic_inc`.
+        one: Value,
+        old: Option<u32>,
+        elem: Scalar,
+        stream: u32,
+    },
+    For {
+        var: u32,
+        elem: Scalar,
+        start: DOperand,
+        end: DOperand,
+        step: DOperand,
+        body: (u32, u32),
+    },
+    If {
+        cond: DOperand,
+        then: (u32, u32),
+        els: (u32, u32),
+    },
+}
+
+/// A [`Program`] decoded against one launch's bindings: flat op arena,
+/// per-phase ranges, the zeroed register-file template, and the local-buffer
+/// layout. Built once per launch, shared read-only by all workers.
+pub struct DecodedProgram {
+    ops: Vec<DOp>,
+    /// Top-level barrier phases as `ops` ranges, in execution order.
+    phases: Vec<(u32, u32)>,
+    /// Zero-of-declared-type template copied into each item's register file.
+    reg_init: Vec<Value>,
+    /// Per-argument local-buffer spec: `(elem, len)` for local args.
+    local_specs: Vec<Option<(Scalar, usize)>>,
+    /// Whether any atomic targets a global buffer (forces serial groups).
+    has_global_atomic: bool,
+}
+
+impl DecodedProgram {
+    /// Decode `program` against `bindings`. The caller must have validated
+    /// the bindings with [`check_bindings`] first.
+    pub fn decode(program: &Program, bindings: &[ArgBinding], pool: &MemoryPool) -> Self {
+        let mut dec = Decoder {
+            prog: program,
             bindings,
             pool,
-            ndrange,
-            tracer,
-        })
-    }
-
-    /// Run one work-group identified by its linear id.
-    pub fn run_group(&mut self, group_linear: usize) {
-        let group_id = self.ndrange.group_coords(group_linear);
-        self.tracer.group_start();
-
-        // Allocate this group's local buffers.
-        let mut locals: Vec<Option<BufferData>> = Vec::with_capacity(self.bindings.len());
-        let mut local_addrs: Vec<u64> = Vec::with_capacity(self.bindings.len());
-        let mut next_local = LOCAL_MEM_BASE + group_linear as u64 * LOCAL_MEM_STRIDE;
-        for (decl, bind) in self.program.args.iter().zip(self.bindings) {
-            match (decl, bind) {
-                (ArgDecl::LocalBuf { elem }, ArgBinding::LocalSize(n)) => {
-                    locals.push(Some(BufferData::zeroed(*elem, *n)));
-                    local_addrs.push(next_local);
-                    next_local += (*n as u64 * elem.bytes() as u64).max(64);
-                }
-                _ => {
-                    locals.push(None);
-                    local_addrs.push(0);
-                }
-            }
-        }
-
-        // Materialize per-item contexts.
-        let lsz = self.ndrange.local;
-        let n_items = self.ndrange.group_size();
-        let mut items: Vec<ItemCtx> = (0..n_items)
-            .map(|lin| {
-                let local_id = [
-                    lin % lsz[0],
-                    (lin / lsz[0]) % lsz[1],
-                    lin / (lsz[0] * lsz[1]),
-                ];
-                let global_id = [
-                    group_id[0] * lsz[0] + local_id[0],
-                    group_id[1] * lsz[1] + local_id[1],
-                    group_id[2] * lsz[2] + local_id[2],
-                ];
-                ItemCtx {
-                    regs: self.program.regs.iter().map(|t| Value::zero(*t)).collect(),
-                    global_id,
-                    local_id,
-                }
+            ops: Vec::new(),
+            has_global_atomic: false,
+        };
+        let phases = program
+            .phases()
+            .iter()
+            .map(|phase| dec.block(phase))
+            .collect();
+        let local_specs = program
+            .args
+            .iter()
+            .zip(bindings)
+            .map(|(decl, bind)| match (decl, bind) {
+                (ArgDecl::LocalBuf { elem }, ArgBinding::LocalSize(n)) => Some((*elem, *n)),
+                _ => None,
             })
             .collect();
-
-        let phases = self.program.phases();
-        let mut group = GroupState {
-            locals,
-            local_addrs,
-            group_id,
-        };
-        for (pi, phase) in phases.iter().enumerate() {
-            for item in items.iter_mut() {
-                if pi == 0 {
-                    self.tracer.thread_start();
-                }
-                exec_block(
-                    self.program,
-                    self.bindings,
-                    self.pool,
-                    &mut group,
-                    self.ndrange,
-                    item,
-                    phase,
-                    self.tracer,
-                );
-            }
-            if pi + 1 < phases.len() {
-                self.tracer.barrier(n_items as u32);
-            }
+        DecodedProgram {
+            ops: dec.ops,
+            phases,
+            reg_init: program.regs.iter().map(|t| Value::zero(*t)).collect(),
+            local_specs,
+            has_global_atomic: dec.has_global_atomic,
         }
     }
 
-    /// Run every group in linear order (functional-reference schedule).
-    pub fn run_all(&mut self) {
-        for g in 0..self.ndrange.total_groups() {
-            self.run_group(g);
-        }
+    /// Whether this launch performs atomics on global buffers.
+    pub fn has_global_atomic(&self) -> bool {
+        self.has_global_atomic
     }
 }
 
-/// Convenience: run a full NDRange over a pool with a tracer.
-pub fn run_ndrange<T: ExecTracer>(
-    program: &Program,
-    bindings: &[ArgBinding],
-    pool: &mut MemoryPool,
-    ndrange: NDRange,
-    tracer: &mut T,
-) -> Result<(), ExecError> {
-    let mut ex = GroupExecutor::new(program, bindings, pool, ndrange, tracer)?;
-    ex.run_all();
-    Ok(())
-}
-
-struct GroupState {
-    locals: Vec<Option<BufferData>>,
-    local_addrs: Vec<u64>,
-    #[allow(dead_code)]
-    group_id: [usize; 3],
-}
-
-#[allow(clippy::too_many_arguments)]
-fn exec_block<T: ExecTracer>(
-    prog: &Program,
-    bindings: &[ArgBinding],
-    pool: &mut MemoryPool,
-    group: &mut GroupState,
-    ndr: NDRange,
-    item: &mut ItemCtx,
-    ops: &[Op],
-    tracer: &mut T,
-) {
-    for op in ops {
-        exec_op(prog, bindings, pool, group, ndr, item, op, tracer);
-    }
-}
-
-fn eval_operand(item: &ItemCtx, o: &Operand, want: VType) -> Value {
+/// Splat an immediate to the consumer's type (decode-time twin of the old
+/// per-use `eval_operand` immediate path).
+fn splat_imm(o: &Operand, want: VType) -> Value {
     match o {
-        Operand::Reg(r) => {
-            let v = item.regs[r.0 as usize];
-            v.broadcast(want.width)
-        }
+        Operand::Reg(_) => unreachable!("register operand in immediate splat"),
         Operand::ImmF(x) => match want.elem {
             Scalar::F32 => Value::splat_f32(*x as f32, want.width),
             Scalar::F64 => Value::splat_f64(*x, want.width),
@@ -354,6 +425,321 @@ fn eval_operand(item: &ItemCtx, o: &Operand, want: VType) -> Value {
     }
 }
 
+struct Decoder<'a> {
+    prog: &'a Program,
+    bindings: &'a [ArgBinding],
+    pool: &'a MemoryPool,
+    ops: Vec<DOp>,
+    has_global_atomic: bool,
+}
+
+impl Decoder<'_> {
+    fn operand(&self, o: &Operand, want: VType) -> DOperand {
+        match o {
+            Operand::Reg(r) => {
+                if self.prog.reg_ty(*r).width == want.width {
+                    DOperand::Reg(r.0)
+                } else {
+                    DOperand::RegBc(r.0, want.width)
+                }
+            }
+            imm => DOperand::Const(splat_imm(imm, want)),
+        }
+    }
+
+    /// Decode a block contiguously into the arena. Nested bodies are decoded
+    /// first (they land earlier in the arena); ranges are unaffected.
+    fn block(&mut self, ops: &[Op]) -> (u32, u32) {
+        let mut decoded = Vec::with_capacity(ops.len());
+        for op in ops {
+            decoded.push(self.op(op));
+        }
+        let start = self.ops.len() as u32;
+        self.ops.extend(decoded);
+        (start, self.ops.len() as u32)
+    }
+
+    /// Resolve a buffer argument to its location and stream id.
+    fn loc(&self, buf: crate::instr::ArgIdx, what: &str) -> (DLoc, u32) {
+        match &self.bindings[buf.0 as usize] {
+            ArgBinding::Global(pool_idx) => (DLoc::Global(*pool_idx), buf.0),
+            ArgBinding::LocalSize(_) => (DLoc::Local(buf.0 as usize), buf.0),
+            ArgBinding::Scalar(_) => panic!("{what} scalar argument"),
+        }
+    }
+
+    /// Element type of a buffer argument.
+    fn buf_elem(&self, buf: crate::instr::ArgIdx) -> Scalar {
+        match (
+            &self.prog.args[buf.0 as usize],
+            &self.bindings[buf.0 as usize],
+        ) {
+            (ArgDecl::GlobalBuf { .. }, ArgBinding::Global(pool_idx)) => {
+                self.pool.get(*pool_idx).elem()
+            }
+            (ArgDecl::LocalBuf { elem }, _) => *elem,
+            _ => unreachable!("checked by check_bindings"),
+        }
+    }
+
+    fn op(&mut self, op: &Op) -> DOp {
+        let prog = self.prog;
+        match op {
+            Op::Bin {
+                dst,
+                op: b,
+                a,
+                b: rhs,
+            } => {
+                let dt = prog.reg_ty(*dst);
+                let src_ty = if b.is_compare() {
+                    // operand type comes from whichever side is a register
+                    match (a, rhs) {
+                        (Operand::Reg(r), _) | (_, Operand::Reg(r)) => prog.reg_ty(*r),
+                        _ => panic!("compare with two immediates"),
+                    }
+                } else {
+                    dt
+                };
+                let class = match b {
+                    BinOp::Mul => OpClass::Mul,
+                    BinOp::Div | BinOp::Rem => OpClass::Div,
+                    _ => OpClass::Simple,
+                };
+                DOp::Bin {
+                    dst: dst.0,
+                    op: *b,
+                    a: self.operand(a, src_ty),
+                    b: self.operand(rhs, src_ty),
+                    class,
+                    ty: src_ty,
+                }
+            }
+            Op::Un { dst, op: u, a } => {
+                let dt = prog.reg_ty(*dst);
+                let class = match u {
+                    UnOp::Exp | UnOp::Log => OpClass::Transcendental,
+                    UnOp::Rsqrt => OpClass::Rsqrt,
+                    _ if u.is_special() => OpClass::Special,
+                    _ => OpClass::Simple,
+                };
+                DOp::Un {
+                    dst: dst.0,
+                    op: *u,
+                    a: self.operand(a, dt),
+                    class,
+                    ty: dt,
+                }
+            }
+            Op::Mad { dst, a, b, c } => {
+                let dt = prog.reg_ty(*dst);
+                DOp::Mad {
+                    dst: dst.0,
+                    a: self.operand(a, dt),
+                    b: self.operand(b, dt),
+                    c: self.operand(c, dt),
+                    ty: dt,
+                }
+            }
+            Op::Select { dst, cond, a, b } => {
+                let dt = prog.reg_ty(*dst);
+                DOp::Select {
+                    dst: dst.0,
+                    cond: self.operand(
+                        cond,
+                        VType {
+                            elem: Scalar::Bool,
+                            width: dt.width,
+                        },
+                    ),
+                    a: self.operand(a, dt),
+                    b: self.operand(b, dt),
+                    ty: dt,
+                }
+            }
+            Op::Mov { dst, a } => {
+                let dt = prog.reg_ty(*dst);
+                DOp::Mov {
+                    dst: dst.0,
+                    a: self.operand(a, dt),
+                    ty: dt,
+                }
+            }
+            Op::Cast { dst, a } => {
+                let dt = prog.reg_ty(*dst);
+                match a {
+                    Operand::Reg(r) => DOp::CastReg {
+                        dst: dst.0,
+                        src: r.0,
+                        to: dt.elem,
+                        ty: dt,
+                    },
+                    // Immediate: splat-to-dt then cast-to-dt.elem is just the
+                    // splat; traced identically to Mov (OpClass::Move, dt).
+                    imm => DOp::Mov {
+                        dst: dst.0,
+                        a: DOperand::Const(splat_imm(imm, dt).cast(dt.elem)),
+                        ty: dt,
+                    },
+                }
+            }
+            Op::Horiz { dst, op: h, a } => {
+                let src = match a {
+                    Operand::Reg(r) => r,
+                    _ => panic!("horizontal reduction of immediate"),
+                };
+                DOp::Horiz {
+                    dst: dst.0,
+                    op: *h,
+                    src: src.0,
+                    ty: prog.reg_ty(*src),
+                }
+            }
+            Op::Extract { dst, a, lane } => {
+                let src = match a {
+                    Operand::Reg(r) => r,
+                    _ => panic!("extract from immediate"),
+                };
+                DOp::Extract {
+                    dst: dst.0,
+                    src: src.0,
+                    lane: *lane,
+                    ty: VType::scalar(prog.reg_ty(*src).elem),
+                }
+            }
+            Op::Insert { dst, v, lane } => {
+                let dt = prog.reg_ty(*dst);
+                DOp::Insert {
+                    dst: dst.0,
+                    v: self.operand(v, VType::scalar(dt.elem)),
+                    lane: *lane,
+                    ty: VType::scalar(dt.elem),
+                }
+            }
+            Op::Query { dst, q } => DOp::Query { dst: dst.0, q: *q },
+            Op::Load { dst, buf, idx } => {
+                let dt = prog.reg_ty(*dst);
+                if let ArgBinding::Scalar(v) = &self.bindings[buf.0 as usize] {
+                    return DOp::LoadScalarArg { dst: dst.0, v: *v };
+                }
+                let iw = operand_width(prog, idx);
+                let (loc, stream) = self.loc(*buf, "load from");
+                DOp::Load {
+                    dst: dst.0,
+                    loc,
+                    idx: self.operand(
+                        idx,
+                        VType {
+                            elem: Scalar::U32,
+                            width: iw.max(1),
+                        },
+                    ),
+                    ty: dt,
+                    stream,
+                }
+            }
+            Op::VLoad { dst, buf, base } => {
+                let dt = prog.reg_ty(*dst);
+                let (loc, stream) = self.loc(*buf, "vload from");
+                DOp::VLoad {
+                    dst: dst.0,
+                    loc,
+                    base: self.operand(base, VType::scalar(Scalar::U32)),
+                    ty: dt,
+                    stream,
+                }
+            }
+            Op::Store { buf, idx, val } => {
+                let iw = operand_width(prog, idx);
+                let vt = VType {
+                    elem: self.buf_elem(*buf),
+                    width: iw,
+                };
+                let (loc, stream) = self.loc(*buf, "store to");
+                DOp::Store {
+                    loc,
+                    idx: self.operand(
+                        idx,
+                        VType {
+                            elem: Scalar::U32,
+                            width: iw,
+                        },
+                    ),
+                    val: self.operand(val, vt),
+                    vt,
+                    stream,
+                }
+            }
+            Op::VStore { buf, base, val } => {
+                let v = match val {
+                    Operand::Reg(r) => r,
+                    _ => panic!("vstore of immediate"),
+                };
+                let (loc, stream) = self.loc(*buf, "vstore to");
+                DOp::VStore {
+                    loc,
+                    base: self.operand(base, VType::scalar(Scalar::U32)),
+                    val: v.0,
+                    stream,
+                }
+            }
+            Op::Atomic {
+                op: aop,
+                buf,
+                idx,
+                val,
+                old,
+            } => {
+                let elem = self.buf_elem(*buf);
+                let (loc, stream) = self.loc(*buf, "atomic on");
+                if matches!(loc, DLoc::Global(_)) {
+                    self.has_global_atomic = true;
+                }
+                DOp::Atomic {
+                    op: *aop,
+                    loc,
+                    idx: self.operand(idx, VType::scalar(Scalar::U32)),
+                    val: self.operand(val, VType::scalar(elem)),
+                    one: splat_imm(&Operand::ImmI(1), VType::scalar(elem)),
+                    old: old.map(|r| r.0),
+                    elem,
+                    stream,
+                }
+            }
+            Op::For {
+                var,
+                start,
+                end,
+                step,
+                body,
+            } => {
+                let vt = prog.reg_ty(*var);
+                let body = self.block(body);
+                DOp::For {
+                    var: var.0,
+                    elem: vt.elem,
+                    start: self.operand(start, vt),
+                    end: self.operand(end, vt),
+                    step: self.operand(step, vt),
+                    body,
+                }
+            }
+            Op::If { cond, then, els } => {
+                let then = self.block(then);
+                let els = self.block(els);
+                DOp::If {
+                    cond: self.operand(cond, VType::scalar(Scalar::Bool)),
+                    then,
+                    els,
+                }
+            }
+            Op::Barrier => {
+                unreachable!("barriers are phase boundaries, split by Program::phases")
+            }
+        }
+    }
+}
+
 /// Element-index width of an index operand used for gathers.
 fn operand_width(prog: &Program, o: &Operand) -> u8 {
     match o {
@@ -362,121 +748,280 @@ fn operand_width(prog: &Program, o: &Operand) -> u8 {
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn exec_op<T: ExecTracer>(
-    prog: &Program,
-    bindings: &[ArgBinding],
+// ---------------------------------------------------------------------------
+// Execution state
+// ---------------------------------------------------------------------------
+
+/// Per-work-item execution state.
+struct ItemCtx {
+    regs: Vec<Value>,
+    global_id: [usize; 3],
+    local_id: [usize; 3],
+}
+
+/// Per-group mutable memory state (local buffers + their addresses).
+#[derive(Default)]
+struct GroupState {
+    locals: Vec<Option<BufferData>>,
+    local_addrs: Vec<u64>,
+}
+
+/// Reusable execution scratch: item contexts (register files) and local
+/// buffers survive across groups — and, via a thread-local, across the tasks
+/// a pool worker executes — instead of being reallocated per group.
+#[derive(Default)]
+struct ExecScratch {
+    items: Vec<ItemCtx>,
+    group: GroupState,
+}
+
+impl ExecScratch {
+    /// Make the scratch shape match `dp`/`ndr` (no-op when it already does).
+    fn prepare(&mut self, dp: &DecodedProgram, ndr: NDRange) {
+        let n_items = ndr.group_size();
+        let n_regs = dp.reg_init.len();
+        if self.items.len() != n_items
+            || self.items.first().is_some_and(|it| it.regs.len() != n_regs)
+        {
+            self.items = (0..n_items)
+                .map(|_| ItemCtx {
+                    regs: dp.reg_init.clone(),
+                    global_id: [0; 3],
+                    local_id: [0; 3],
+                })
+                .collect();
+        }
+        let locals_match = self.group.locals.len() == dp.local_specs.len()
+            && dp
+                .local_specs
+                .iter()
+                .zip(&self.group.locals)
+                .all(|(spec, have)| match (spec, have) {
+                    (Some((e, n)), Some(b)) => b.elem() == *e && b.len() == *n,
+                    (None, None) => true,
+                    _ => false,
+                });
+        if !locals_match {
+            self.group.locals = dp
+                .local_specs
+                .iter()
+                .map(|s| s.map(|(e, n)| BufferData::zeroed(e, n)))
+                .collect();
+            self.group.local_addrs = vec![0; dp.local_specs.len()];
+        }
+    }
+
+    /// Reset item ids/registers and local buffers for `group_linear`.
+    fn begin_group(&mut self, dp: &DecodedProgram, ndr: NDRange, group_linear: usize) {
+        let group_id = ndr.group_coords(group_linear);
+        let lsz = ndr.local;
+        for (lin, item) in self.items.iter_mut().enumerate() {
+            item.local_id = [
+                lin % lsz[0],
+                (lin / lsz[0]) % lsz[1],
+                lin / (lsz[0] * lsz[1]),
+            ];
+            item.global_id = [
+                group_id[0] * lsz[0] + item.local_id[0],
+                group_id[1] * lsz[1] + item.local_id[1],
+                group_id[2] * lsz[2] + item.local_id[2],
+            ];
+            item.regs.copy_from_slice(&dp.reg_init);
+        }
+        let mut next_local = LOCAL_MEM_BASE + group_linear as u64 * LOCAL_MEM_STRIDE;
+        for (i, spec) in dp.local_specs.iter().enumerate() {
+            match spec {
+                Some((elem, n)) => {
+                    if let Some(b) = self.group.locals[i].as_mut() {
+                        b.zero_fill();
+                    }
+                    self.group.local_addrs[i] = next_local;
+                    next_local += (*n as u64 * elem.bytes() as u64).max(64);
+                }
+                None => self.group.local_addrs[i] = 0,
+            }
+        }
+    }
+}
+
+thread_local! {
+    /// Worker-local scratch for the sharded engine: reused across every
+    /// group a pool worker executes.
+    static SCRATCH: RefCell<ExecScratch> = RefCell::new(ExecScratch::default());
+}
+
+/// Execute one work-group into `tracer`, reusing `scratch`.
+fn exec_group_into<T: ExecTracer>(
+    dp: &DecodedProgram,
+    ndr: NDRange,
+    group_linear: usize,
     pool: &mut MemoryPool,
-    group: &mut GroupState,
+    scratch: &mut ExecScratch,
+    tracer: &mut T,
+) {
+    tracer.group_start();
+    scratch.prepare(dp, ndr);
+    scratch.begin_group(dp, ndr, group_linear);
+    let n_items = ndr.group_size() as u32;
+    let n_phases = dp.phases.len();
+    let ExecScratch { items, group } = scratch;
+    for (pi, range) in dp.phases.iter().enumerate() {
+        for item in items.iter_mut() {
+            if pi == 0 {
+                tracer.thread_start();
+            }
+            exec_range(dp, pool, group, ndr, item, *range, tracer);
+        }
+        if pi + 1 < n_phases {
+            tracer.barrier(n_items);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The hot loop
+// ---------------------------------------------------------------------------
+
+/// Operand value: a borrow of a register or decoded constant when no
+/// broadcast is needed (the common case — no 136-byte `Value` copy), an
+/// owned temporary otherwise.
+enum OpVal<'a> {
+    Ref(&'a Value),
+    Own(Value),
+}
+
+impl OpVal<'_> {
+    #[inline]
+    fn get(&self) -> &Value {
+        match self {
+            OpVal::Ref(v) => v,
+            OpVal::Own(v) => v,
+        }
+    }
+}
+
+#[inline]
+fn ev<'a>(regs: &'a [Value], o: &'a DOperand) -> OpVal<'a> {
+    match o {
+        DOperand::Reg(i) => OpVal::Ref(&regs[*i as usize]),
+        DOperand::RegBc(i, w) => OpVal::Own(regs[*i as usize].broadcast(*w)),
+        DOperand::Const(v) => OpVal::Ref(v),
+    }
+}
+
+fn exec_range<T: ExecTracer>(
+    dp: &DecodedProgram,
+    pool: &mut MemoryPool,
+    grp: &mut GroupState,
     ndr: NDRange,
     item: &mut ItemCtx,
-    op: &Op,
+    range: (u32, u32),
+    tracer: &mut T,
+) {
+    for i in range.0..range.1 {
+        exec_dop(dp, pool, grp, ndr, item, &dp.ops[i as usize], tracer);
+    }
+}
+
+#[inline]
+fn exec_dop<T: ExecTracer>(
+    dp: &DecodedProgram,
+    pool: &mut MemoryPool,
+    grp: &mut GroupState,
+    ndr: NDRange,
+    item: &mut ItemCtx,
+    op: &DOp,
     tracer: &mut T,
 ) {
     match op {
-        Op::Bin {
+        DOp::Bin {
             dst,
-            op: b,
+            op,
             a,
-            b: rhs,
+            b,
+            class,
+            ty,
         } => {
-            let dt = prog.reg_ty(*dst);
-            let src_ty = if b.is_compare() {
-                // operand type comes from whichever side is a register
-                match (a, rhs) {
-                    (Operand::Reg(r), _) | (_, Operand::Reg(r)) => prog.reg_ty(*r),
-                    _ => panic!("compare with two immediates"),
-                }
-            } else {
-                dt
+            let r = {
+                let va = ev(&item.regs, a);
+                let vb = ev(&item.regs, b);
+                tracer.op(*class, *ty);
+                eval_bin(*op, va.get(), vb.get())
             };
-            let va = eval_operand(item, a, src_ty);
-            let vb = eval_operand(item, rhs, src_ty);
-            let class = match b {
-                crate::instr::BinOp::Mul => OpClass::Mul,
-                crate::instr::BinOp::Div | crate::instr::BinOp::Rem => OpClass::Div,
-                _ => OpClass::Simple,
+            item.regs[*dst as usize] = r;
+        }
+        DOp::Un {
+            dst,
+            op,
+            a,
+            class,
+            ty,
+        } => {
+            let r = {
+                let va = ev(&item.regs, a);
+                tracer.op(*class, *ty);
+                eval_un(*op, va.get())
             };
-            tracer.op(class, src_ty);
-            item.regs[dst.0 as usize] = eval_bin(*b, &va, &vb);
+            item.regs[*dst as usize] = r;
         }
-        Op::Un { dst, op: u, a } => {
-            let dt = prog.reg_ty(*dst);
-            let va = eval_operand(item, a, dt);
-            let class = match u {
-                crate::instr::UnOp::Exp | crate::instr::UnOp::Log => OpClass::Transcendental,
-                crate::instr::UnOp::Rsqrt => OpClass::Rsqrt,
-                _ if u.is_special() => OpClass::Special,
-                _ => OpClass::Simple,
+        DOp::Mad { dst, a, b, c, ty } => {
+            let r = {
+                let va = ev(&item.regs, a);
+                let vb = ev(&item.regs, b);
+                let vc = ev(&item.regs, c);
+                tracer.op(OpClass::Mad, *ty);
+                eval_mad(va.get(), vb.get(), vc.get())
             };
-            tracer.op(class, dt);
-            item.regs[dst.0 as usize] = eval_un(*u, &va);
+            item.regs[*dst as usize] = r;
         }
-        Op::Mad { dst, a, b, c } => {
-            let dt = prog.reg_ty(*dst);
-            let va = eval_operand(item, a, dt);
-            let vb = eval_operand(item, b, dt);
-            let vc = eval_operand(item, c, dt);
-            tracer.op(OpClass::Mad, dt);
-            item.regs[dst.0 as usize] = eval_mad(&va, &vb, &vc);
-        }
-        Op::Select { dst, cond, a, b } => {
-            let dt = prog.reg_ty(*dst);
-            let vc = eval_operand(
-                item,
-                cond,
-                VType {
-                    elem: Scalar::Bool,
-                    width: dt.width,
-                },
-            );
-            let va = eval_operand(item, a, dt);
-            let vb = eval_operand(item, b, dt);
-            tracer.op(OpClass::Move, dt);
-            item.regs[dst.0 as usize] = eval_select(&vc, &va, &vb);
-        }
-        Op::Mov { dst, a } => {
-            let dt = prog.reg_ty(*dst);
-            tracer.op(OpClass::Move, dt);
-            item.regs[dst.0 as usize] = eval_operand(item, a, dt);
-        }
-        Op::Cast { dst, a } => {
-            let dt = prog.reg_ty(*dst);
-            let src = match a {
-                Operand::Reg(r) => item.regs[r.0 as usize],
-                _ => eval_operand(item, a, dt),
+        DOp::Select {
+            dst,
+            cond,
+            a,
+            b,
+            ty,
+        } => {
+            let r = {
+                let vc = ev(&item.regs, cond);
+                let va = ev(&item.regs, a);
+                let vb = ev(&item.regs, b);
+                tracer.op(OpClass::Move, *ty);
+                eval_select(vc.get(), va.get(), vb.get())
             };
-            tracer.op(OpClass::Move, dt);
-            item.regs[dst.0 as usize] = src.cast(dt.elem);
+            item.regs[*dst as usize] = r;
         }
-        Op::Horiz { dst, op: h, a } => {
-            let src = match a {
-                Operand::Reg(r) => item.regs[r.0 as usize],
-                _ => panic!("horizontal reduction of immediate"),
-            };
-            tracer.op(OpClass::Horizontal, src.vtype());
-            item.regs[dst.0 as usize] = match h {
+        DOp::Mov { dst, a, ty } => {
+            tracer.op(OpClass::Move, *ty);
+            let r = *ev(&item.regs, a).get();
+            item.regs[*dst as usize] = r;
+        }
+        DOp::CastReg { dst, src, to, ty } => {
+            tracer.op(OpClass::Move, *ty);
+            let r = item.regs[*src as usize].cast(*to);
+            item.regs[*dst as usize] = r;
+        }
+        DOp::Horiz { dst, op, src, ty } => {
+            tracer.op(OpClass::Horizontal, *ty);
+            let src = &item.regs[*src as usize];
+            let r = match op {
                 HorizOp::Add => src.reduce_add(),
                 HorizOp::Min => src.reduce_min(),
                 HorizOp::Max => src.reduce_max(),
             };
+            item.regs[*dst as usize] = r;
         }
-        Op::Extract { dst, a, lane } => {
-            let src = match a {
-                Operand::Reg(r) => item.regs[r.0 as usize],
-                _ => panic!("extract from immediate"),
-            };
-            tracer.op(OpClass::Move, VType::scalar(src.elem()));
-            item.regs[dst.0 as usize] = src.extract(*lane as usize);
+        DOp::Extract { dst, src, lane, ty } => {
+            tracer.op(OpClass::Move, *ty);
+            let r = item.regs[*src as usize].extract(*lane as usize);
+            item.regs[*dst as usize] = r;
         }
-        Op::Insert { dst, v, lane } => {
-            let dt = prog.reg_ty(*dst);
-            let val = eval_operand(item, v, VType::scalar(dt.elem));
-            tracer.op(OpClass::Move, VType::scalar(dt.elem));
-            let cur = item.regs[dst.0 as usize];
-            item.regs[dst.0 as usize] = cur.insert(*lane as usize, &val);
+        DOp::Insert { dst, v, lane, ty } => {
+            let val = *ev(&item.regs, v).get();
+            tracer.op(OpClass::Move, *ty);
+            let cur = item.regs[*dst as usize];
+            item.regs[*dst as usize] = cur.insert(*lane as usize, &val);
         }
-        Op::Query { dst, q } => {
+        DOp::Query { dst, q } => {
             let v = match q {
                 Builtin::GlobalId(d) => item.global_id[*d as usize],
                 Builtin::LocalId(d) => item.local_id[*d as usize],
@@ -486,276 +1031,254 @@ fn exec_op<T: ExecTracer>(
                 Builtin::NumGroups(d) => ndr.num_groups()[*d as usize],
             };
             tracer.op(OpClass::Move, VType::scalar(Scalar::U32));
-            item.regs[dst.0 as usize] = Value::u32(v as u32);
+            item.regs[*dst as usize] = Value::u32(v as u32);
         }
-        Op::Load { dst, buf, idx } => {
-            let dt = prog.reg_ty(*dst);
-            match &bindings[buf.0 as usize] {
-                ArgBinding::Scalar(v) => {
-                    // By-value scalar arg: free register read, no memory event.
-                    item.regs[dst.0 as usize] = *v;
-                }
-                ArgBinding::Global(pool_idx) => {
-                    let iw = operand_width(prog, idx);
-                    let vidx = eval_operand(
-                        item,
-                        idx,
-                        VType {
-                            elem: Scalar::U32,
-                            width: iw.max(1),
-                        },
-                    );
-                    let data = pool.get(*pool_idx);
-                    let val = if dt.width == 1 {
-                        data.get(vidx.lane_index(0))
-                    } else {
-                        data.gather(&vidx)
-                    };
-                    emit_global_access(pool, *pool_idx, &vidx, dt, AccessKind::Read, buf.0, tracer);
-                    item.regs[dst.0 as usize] = val;
-                }
-                ArgBinding::LocalSize(_) => {
-                    let iw = operand_width(prog, idx);
-                    let vidx = eval_operand(
-                        item,
-                        idx,
-                        VType {
-                            elem: Scalar::U32,
-                            width: iw.max(1),
-                        },
-                    );
-                    let base = group.local_addrs[buf.0 as usize];
-                    let data = group.locals[buf.0 as usize].as_ref().expect("local buffer");
-                    let val = if dt.width == 1 {
-                        data.get(vidx.lane_index(0))
-                    } else {
-                        data.gather(&vidx)
-                    };
-                    emit_local_access(base, &vidx, dt, AccessKind::Read, buf.0, tracer);
-                    item.regs[dst.0 as usize] = val;
-                }
-            }
+        DOp::LoadScalarArg { dst, v } => {
+            item.regs[*dst as usize] = *v;
         }
-        Op::VLoad { dst, buf, base } => {
-            let dt = prog.reg_ty(*dst);
-            let b = eval_operand(item, base, VType::scalar(Scalar::U32)).lane_index(0);
-            match &bindings[buf.0 as usize] {
-                ArgBinding::Global(pool_idx) => {
-                    let val = pool.get(*pool_idx).vload(b, dt.width);
+        DOp::Load {
+            dst,
+            loc,
+            idx,
+            ty,
+            stream,
+        } => {
+            let val = {
+                let vidx = ev(&item.regs, idx);
+                let vidx = vidx.get();
+                match loc {
+                    DLoc::Global(pool_idx) => {
+                        let data = pool.get(*pool_idx);
+                        let val = if ty.width == 1 {
+                            data.get(vidx.lane_index(0))
+                        } else {
+                            data.gather(vidx)
+                        };
+                        emit_global_access(
+                            pool,
+                            *pool_idx,
+                            vidx,
+                            *ty,
+                            AccessKind::Read,
+                            *stream,
+                            tracer,
+                        );
+                        val
+                    }
+                    DLoc::Local(arg_idx) => {
+                        let base = grp.local_addrs[*arg_idx];
+                        let data = grp.locals[*arg_idx].as_ref().expect("local buffer");
+                        let val = if ty.width == 1 {
+                            data.get(vidx.lane_index(0))
+                        } else {
+                            data.gather(vidx)
+                        };
+                        emit_local_access(base, vidx, *ty, AccessKind::Read, *stream, tracer);
+                        val
+                    }
+                }
+            };
+            item.regs[*dst as usize] = val;
+        }
+        DOp::VLoad {
+            dst,
+            loc,
+            base,
+            ty,
+            stream,
+        } => {
+            let b = ev(&item.regs, base).get().lane_index(0);
+            let pattern = if ty.width == 1 {
+                Pattern::Scalar
+            } else {
+                Pattern::Contiguous
+            };
+            let val = match loc {
+                DLoc::Global(pool_idx) => {
+                    let val = pool.get(*pool_idx).vload(b, ty.width);
                     tracer.mem(&MemAccess {
-                        stream: buf.0,
+                        stream: *stream,
                         space: MemSpace::Global,
                         kind: AccessKind::Read,
                         addr: pool.elem_addr(*pool_idx, b),
-                        bytes: dt.bytes(),
-                        elem: dt.elem,
-                        width: dt.width,
-                        pattern: if dt.width == 1 {
-                            Pattern::Scalar
-                        } else {
-                            Pattern::Contiguous
-                        },
+                        bytes: ty.bytes(),
+                        elem: ty.elem,
+                        width: ty.width,
+                        pattern,
                         lane_addrs: None,
                     });
-                    item.regs[dst.0 as usize] = val;
+                    val
                 }
-                ArgBinding::LocalSize(_) => {
-                    let addr =
-                        group.local_addrs[buf.0 as usize] + b as u64 * dt.elem.bytes() as u64;
-                    let data = group.locals[buf.0 as usize].as_ref().expect("local buffer");
-                    let val = data.vload(b, dt.width);
+                DLoc::Local(arg_idx) => {
+                    let addr = grp.local_addrs[*arg_idx] + b as u64 * ty.elem.bytes() as u64;
+                    let data = grp.locals[*arg_idx].as_ref().expect("local buffer");
+                    let val = data.vload(b, ty.width);
                     tracer.mem(&MemAccess {
-                        stream: buf.0,
+                        stream: *stream,
                         space: MemSpace::Local,
                         kind: AccessKind::Read,
                         addr,
-                        bytes: dt.bytes(),
-                        elem: dt.elem,
-                        width: dt.width,
-                        pattern: if dt.width == 1 {
-                            Pattern::Scalar
-                        } else {
-                            Pattern::Contiguous
-                        },
+                        bytes: ty.bytes(),
+                        elem: ty.elem,
+                        width: ty.width,
+                        pattern,
                         lane_addrs: None,
                     });
-                    item.regs[dst.0 as usize] = val;
+                    val
                 }
-                ArgBinding::Scalar(_) => panic!("vload from scalar argument"),
-            }
-        }
-        Op::Store { buf, idx, val } => {
-            let iw = operand_width(prog, idx);
-            let elem = match &bindings[buf.0 as usize] {
-                ArgBinding::Global(pool_idx) => pool.get(*pool_idx).elem(),
-                ArgBinding::LocalSize(_) => group.locals[buf.0 as usize]
-                    .as_ref()
-                    .expect("local buffer")
-                    .elem(),
-                ArgBinding::Scalar(_) => panic!("store to scalar argument"),
             };
-            let vt = VType { elem, width: iw };
-            let vidx = eval_operand(
-                item,
-                idx,
-                VType {
-                    elem: Scalar::U32,
-                    width: iw,
-                },
-            );
-            let vval = eval_operand(item, val, vt);
-            match &bindings[buf.0 as usize] {
-                ArgBinding::Global(pool_idx) => {
+            item.regs[*dst as usize] = val;
+        }
+        DOp::Store {
+            loc,
+            idx,
+            val,
+            vt,
+            stream,
+        } => {
+            let vidx = ev(&item.regs, idx);
+            let vidx = vidx.get();
+            let vval = ev(&item.regs, val);
+            let vval = vval.get();
+            match loc {
+                DLoc::Global(pool_idx) => {
                     emit_global_access(
                         pool,
                         *pool_idx,
-                        &vidx,
-                        vt,
+                        vidx,
+                        *vt,
                         AccessKind::Write,
-                        buf.0,
+                        *stream,
                         tracer,
                     );
                     let data = pool.get_mut(*pool_idx);
-                    for lane in 0..iw as usize {
-                        data.set(vidx.lane_index(lane), &vval, lane);
+                    for lane in 0..vt.width as usize {
+                        data.set(vidx.lane_index(lane), vval, lane);
                     }
                 }
-                ArgBinding::LocalSize(_) => {
-                    let base = group.local_addrs[buf.0 as usize];
-                    emit_local_access(base, &vidx, vt, AccessKind::Write, buf.0, tracer);
-                    let data = group.locals[buf.0 as usize].as_mut().expect("local buffer");
-                    for lane in 0..iw as usize {
-                        data.set(vidx.lane_index(lane), &vval, lane);
+                DLoc::Local(arg_idx) => {
+                    let base = grp.local_addrs[*arg_idx];
+                    emit_local_access(base, vidx, *vt, AccessKind::Write, *stream, tracer);
+                    let data = grp.locals[*arg_idx].as_mut().expect("local buffer");
+                    for lane in 0..vt.width as usize {
+                        data.set(vidx.lane_index(lane), vval, lane);
                     }
                 }
-                ArgBinding::Scalar(_) => unreachable!(),
             }
         }
-        Op::VStore { buf, base, val } => {
-            let b = eval_operand(item, base, VType::scalar(Scalar::U32)).lane_index(0);
-            let vval = match val {
-                Operand::Reg(r) => item.regs[r.0 as usize],
-                _ => panic!("vstore of immediate"),
-            };
+        DOp::VStore {
+            loc,
+            base,
+            val,
+            stream,
+        } => {
+            let b = ev(&item.regs, base).get().lane_index(0);
+            let vval = &item.regs[*val as usize];
             let vt = vval.vtype();
-            match &bindings[buf.0 as usize] {
-                ArgBinding::Global(pool_idx) => {
+            let pattern = if vt.width == 1 {
+                Pattern::Scalar
+            } else {
+                Pattern::Contiguous
+            };
+            match loc {
+                DLoc::Global(pool_idx) => {
                     tracer.mem(&MemAccess {
-                        stream: buf.0,
+                        stream: *stream,
                         space: MemSpace::Global,
                         kind: AccessKind::Write,
                         addr: pool.elem_addr(*pool_idx, b),
                         bytes: vt.bytes(),
                         elem: vt.elem,
                         width: vt.width,
-                        pattern: if vt.width == 1 {
-                            Pattern::Scalar
-                        } else {
-                            Pattern::Contiguous
-                        },
+                        pattern,
                         lane_addrs: None,
                     });
+                    let vval = item.regs[*val as usize];
                     pool.get_mut(*pool_idx).vstore(b, &vval);
                 }
-                ArgBinding::LocalSize(_) => {
-                    let addr =
-                        group.local_addrs[buf.0 as usize] + b as u64 * vt.elem.bytes() as u64;
+                DLoc::Local(arg_idx) => {
+                    let addr = grp.local_addrs[*arg_idx] + b as u64 * vt.elem.bytes() as u64;
                     tracer.mem(&MemAccess {
-                        stream: buf.0,
+                        stream: *stream,
                         space: MemSpace::Local,
                         kind: AccessKind::Write,
                         addr,
                         bytes: vt.bytes(),
                         elem: vt.elem,
                         width: vt.width,
-                        pattern: if vt.width == 1 {
-                            Pattern::Scalar
-                        } else {
-                            Pattern::Contiguous
-                        },
+                        pattern,
                         lane_addrs: None,
                     });
-                    group.locals[buf.0 as usize]
+                    let vval = item.regs[*val as usize];
+                    grp.locals[*arg_idx]
                         .as_mut()
                         .expect("local buffer")
                         .vstore(b, &vval);
                 }
-                ArgBinding::Scalar(_) => panic!("vstore to scalar argument"),
             }
         }
-        Op::Atomic {
-            op: aop,
-            buf,
+        DOp::Atomic {
+            op,
+            loc,
             idx,
             val,
+            one,
             old,
+            elem,
+            stream,
         } => {
-            let i = eval_operand(item, idx, VType::scalar(Scalar::U32)).lane_index(0);
-            let (elem, space, addr) = match &bindings[buf.0 as usize] {
-                ArgBinding::Global(pool_idx) => (
-                    pool.get(*pool_idx).elem(),
-                    MemSpace::Global,
-                    pool.elem_addr(*pool_idx, i),
+            let i = ev(&item.regs, idx).get().lane_index(0);
+            let (space, addr) = match loc {
+                DLoc::Global(pool_idx) => (MemSpace::Global, pool.elem_addr(*pool_idx, i)),
+                DLoc::Local(arg_idx) => (
+                    MemSpace::Local,
+                    grp.local_addrs[*arg_idx] + i as u64 * elem.bytes() as u64,
                 ),
-                ArgBinding::LocalSize(_) => {
-                    let e = group.locals[buf.0 as usize]
-                        .as_ref()
-                        .expect("local buffer")
-                        .elem();
-                    let base = group.local_addrs[buf.0 as usize];
-                    (e, MemSpace::Local, base + i as u64 * e.bytes() as u64)
-                }
-                ArgBinding::Scalar(_) => panic!("atomic on scalar argument"),
             };
-            let vval = eval_operand(item, val, VType::scalar(elem));
+            let vval = *ev(&item.regs, val).get();
             tracer.mem(&MemAccess {
-                stream: buf.0,
+                stream: *stream,
                 space,
                 kind: AccessKind::Atomic,
                 addr,
                 bytes: elem.bytes(),
-                elem,
+                elem: *elem,
                 width: 1,
                 pattern: Pattern::Scalar,
                 lane_addrs: None,
             });
-            let data: &mut BufferData = match &bindings[buf.0 as usize] {
-                ArgBinding::Global(pool_idx) => pool.get_mut(*pool_idx),
-                ArgBinding::LocalSize(_) => {
-                    group.locals[buf.0 as usize].as_mut().expect("local buffer")
-                }
-                ArgBinding::Scalar(_) => unreachable!(),
+            let data: &mut BufferData = match loc {
+                DLoc::Global(pool_idx) => pool.get_mut(*pool_idx),
+                DLoc::Local(arg_idx) => grp.locals[*arg_idx].as_mut().expect("local buffer"),
             };
             let cur = data.get(i);
-            if let Some(o) = old {
-                item.regs[o.0 as usize] = cur;
-            }
-            let next = match aop {
-                AtomicOp::Add => eval_bin(crate::instr::BinOp::Add, &cur, &vval),
-                AtomicOp::Inc => {
-                    let one = eval_operand(item, &Operand::ImmI(1), VType::scalar(elem));
-                    eval_bin(crate::instr::BinOp::Add, &cur, &one)
-                }
-                AtomicOp::Min => eval_bin(crate::instr::BinOp::Min, &cur, &vval),
-                AtomicOp::Max => eval_bin(crate::instr::BinOp::Max, &cur, &vval),
+            let next = match op {
+                AtomicOp::Add => eval_bin(BinOp::Add, &cur, &vval),
+                AtomicOp::Inc => eval_bin(BinOp::Add, &cur, one),
+                AtomicOp::Min => eval_bin(BinOp::Min, &cur, &vval),
+                AtomicOp::Max => eval_bin(BinOp::Max, &cur, &vval),
             };
             data.set(i, &next, 0);
+            if let Some(o) = old {
+                item.regs[*o as usize] = cur;
+            }
         }
-        Op::For {
+        DOp::For {
             var,
+            elem,
             start,
             end,
             step,
             body,
         } => {
-            let vt = prog.reg_ty(*var);
-            let vstart = eval_operand(item, start, vt);
-            let vend = eval_operand(item, end, vt);
-            let vstep = eval_operand(item, step, vt);
-            let (mut i, end_i, step_i) = (vstart.lane_i64(0), vend.lane_i64(0), vstep.lane_i64(0));
+            let (mut i, end_i, step_i) = (
+                ev(&item.regs, start).get().lane_i64(0),
+                ev(&item.regs, end).get().lane_i64(0),
+                ev(&item.regs, step).get().lane_i64(0),
+            );
             assert!(step_i != 0, "zero loop step");
             while (step_i > 0 && i < end_i) || (step_i < 0 && i > end_i) {
-                item.regs[var.0 as usize] = match vt.elem {
+                item.regs[*var as usize] = match elem {
                     Scalar::I32 => Value::i32(i as i32),
                     Scalar::I64 => Value::i64(i),
                     Scalar::U32 => Value::u32(i as u32),
@@ -763,21 +1286,18 @@ fn exec_op<T: ExecTracer>(
                     other => panic!("loop counter of type {other}"),
                 };
                 tracer.loop_iter();
-                exec_block(prog, bindings, pool, group, ndr, item, body, tracer);
+                exec_range(dp, pool, grp, ndr, item, *body, tracer);
                 i += step_i;
             }
         }
-        Op::If { cond, then, els } => {
-            let c = eval_operand(item, cond, VType::scalar(Scalar::Bool));
+        DOp::If { cond, then, els } => {
+            let c = ev(&item.regs, cond).get().lane_bool(0);
             tracer.op(OpClass::Simple, VType::scalar(Scalar::Bool));
-            if c.lane_bool(0) {
-                exec_block(prog, bindings, pool, group, ndr, item, then, tracer);
+            if c {
+                exec_range(dp, pool, grp, ndr, item, *then, tracer);
             } else {
-                exec_block(prog, bindings, pool, group, ndr, item, els, tracer);
+                exec_range(dp, pool, grp, ndr, item, *els, tracer);
             }
-        }
-        Op::Barrier => {
-            unreachable!("barriers are phase boundaries, handled by run_group")
         }
     }
 }
@@ -861,6 +1381,183 @@ fn emit_local_access<T: ExecTracer>(
             lane_addrs: Some(lane_addrs),
         });
     }
+}
+
+// ---------------------------------------------------------------------------
+// Serial executor (public API, unchanged)
+// ---------------------------------------------------------------------------
+
+/// Executes one work-group at a time.
+pub struct GroupExecutor<'a, T: ExecTracer> {
+    dp: DecodedProgram,
+    pool: &'a mut MemoryPool,
+    ndrange: NDRange,
+    pub tracer: &'a mut T,
+    scratch: ExecScratch,
+}
+
+impl<'a, T: ExecTracer> GroupExecutor<'a, T> {
+    pub fn new(
+        program: &'a Program,
+        bindings: &'a [ArgBinding],
+        pool: &'a mut MemoryPool,
+        ndrange: NDRange,
+        tracer: &'a mut T,
+    ) -> Result<Self, ExecError> {
+        if !ndrange.valid() {
+            return Err(ExecError::InvalidNDRange(ndrange));
+        }
+        check_bindings(program, bindings, pool)?;
+        Ok(GroupExecutor {
+            dp: DecodedProgram::decode(program, bindings, pool),
+            pool,
+            ndrange,
+            tracer,
+            scratch: ExecScratch::default(),
+        })
+    }
+
+    /// Run one work-group identified by its linear id.
+    pub fn run_group(&mut self, group_linear: usize) {
+        exec_group_into(
+            &self.dp,
+            self.ndrange,
+            group_linear,
+            self.pool,
+            &mut self.scratch,
+            self.tracer,
+        );
+    }
+
+    /// Run every group in linear order (functional-reference schedule).
+    pub fn run_all(&mut self) {
+        for g in 0..self.ndrange.total_groups() {
+            self.run_group(g);
+        }
+    }
+}
+
+/// Convenience: run a full NDRange over a pool with a tracer.
+pub fn run_ndrange<T: ExecTracer>(
+    program: &Program,
+    bindings: &[ArgBinding],
+    pool: &mut MemoryPool,
+    ndrange: NDRange,
+    tracer: &mut T,
+) -> Result<(), ExecError> {
+    let mut ex = GroupExecutor::new(program, bindings, pool, ndrange, tracer)?;
+    ex.run_all();
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Sharded (parallel) executor
+// ---------------------------------------------------------------------------
+
+/// What the sharded engine actually did for one launch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LaunchStats {
+    /// Total work-groups executed.
+    pub groups: usize,
+    /// Worker threads the group loop ran on (1 = serial).
+    pub threads: usize,
+    /// Why the launch was forced serial despite a multi-thread request.
+    pub serial_reason: Option<&'static str>,
+}
+
+/// `&mut MemoryPool` smuggled across worker threads.
+///
+/// SAFETY: sound only under the OpenCL data-parallel contract the interpreter
+/// already assumes — distinct work-groups never race on the same buffer
+/// element (racy kernels are undefined behaviour in OpenCL itself), and
+/// kernels performing *global* atomics (the one sanctioned cross-group
+/// coupling) are excluded by the caller, which runs them serially.
+struct PoolPtr(*mut MemoryPool);
+unsafe impl Send for PoolPtr {}
+unsafe impl Sync for PoolPtr {}
+
+impl PoolPtr {
+    /// SAFETY: callers must only touch buffer elements their work-group owns
+    /// (see the type-level contract above).
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn get(&self) -> &mut MemoryPool {
+        &mut *self.0
+    }
+}
+
+/// How many groups to execute per fork/join window. Bounds the memory held
+/// by recorded-but-not-yet-replayed `MemAccess` logs.
+fn window_size(threads: usize) -> usize {
+    (threads * 8).max(32)
+}
+
+/// Run a full NDRange with work-groups executed in parallel on `threads`
+/// workers, producing **bit-identical** tracer state to a serial run.
+///
+/// Each group's op-side events accumulate into a [`ShardTracer::Shard`] on
+/// the worker that executes it; its memory accesses are recorded. The main
+/// thread then absorbs shards and replays access logs in ascending group
+/// order — the same canonical order the serial engine uses — so every
+/// floating-point accumulation and every stateful cache-model transition
+/// happens identically for any thread count, including 1.
+///
+/// Launches with global atomics run their groups serially (the replayed
+/// trace stays deterministic, but the *functional* RMW order must be the
+/// group order); [`LaunchStats::serial_reason`] reports this.
+pub fn run_ndrange_sharded<T>(
+    program: &Program,
+    bindings: &[ArgBinding],
+    pool: &mut MemoryPool,
+    ndrange: NDRange,
+    tracer: &mut T,
+    threads: usize,
+) -> Result<LaunchStats, ExecError>
+where
+    T: ShardTracer + Sync,
+{
+    if !ndrange.valid() {
+        return Err(ExecError::InvalidNDRange(ndrange));
+    }
+    check_bindings(program, bindings, pool)?;
+    let dp = DecodedProgram::decode(program, bindings, pool);
+    let total = ndrange.total_groups();
+
+    let threads = threads.max(1);
+    let (threads, serial_reason) = if dp.has_global_atomic && threads > 1 {
+        (1, Some("global atomics force serial work-groups"))
+    } else {
+        (threads, None)
+    };
+
+    let window = window_size(threads);
+    let pp = PoolPtr(pool as *mut MemoryPool);
+    let dp_ref = &dp;
+    let mut g0 = 0;
+    while g0 < total {
+        let count = window.min(total - g0);
+        let tracer_ref: &T = tracer;
+        let chunk: Vec<(T::Shard, Vec<MemAccess>)> =
+            sim_pool::parallel_map_threads(threads, count, |k| {
+                let group = g0 + k;
+                // SAFETY: see `PoolPtr` — groups touch disjoint elements.
+                let pool_mut = unsafe { pp.get() };
+                let mut rec = RecordingTracer::new(tracer_ref.make_shard());
+                SCRATCH.with(|s| {
+                    let mut scratch = s.borrow_mut();
+                    exec_group_into(dp_ref, ndrange, group, pool_mut, &mut scratch, &mut rec);
+                });
+                (rec.shard, rec.mem_log)
+            });
+        for (shard, mems) in chunk {
+            tracer.absorb_group(shard, &mems);
+        }
+        g0 += count;
+    }
+    Ok(LaunchStats {
+        groups: total,
+        threads,
+        serial_reason,
+    })
 }
 
 #[cfg(test)]
@@ -1131,5 +1828,188 @@ mod tests {
         )
         .unwrap();
         assert_eq!(pool.get(out_b).as_i32()[0], 5 + 4 + 3 + 2 + 1);
+    }
+
+    // --- sharded engine ----------------------------------------------------
+
+    /// Minimal ShardTracer: shards are CountingTracers; absorb merges the
+    /// shard and replays memory accesses into the main counter.
+    #[derive(Default)]
+    struct CountingShardTracer {
+        total: CountingTracer,
+    }
+
+    impl ShardTracer for CountingShardTracer {
+        type Shard = CountingTracer;
+        fn make_shard(&self) -> CountingTracer {
+            CountingTracer::default()
+        }
+        fn absorb_group(&mut self, shard: CountingTracer, mem: &[MemAccess]) {
+            let t = &mut self.total;
+            t.ops += shard.ops;
+            t.special_ops += shard.special_ops;
+            t.mad_ops += shard.mad_ops;
+            t.barriers += shard.barriers;
+            t.loop_iters += shard.loop_iters;
+            t.threads += shard.threads;
+            t.groups += shard.groups;
+            t.lanes_issued += shard.lanes_issued;
+            for a in mem {
+                t.mem(a);
+            }
+        }
+    }
+
+    fn barrier_kernel() -> Program {
+        let mut kb = KernelBuilder::new("localsum");
+        let out = kb.arg_global(Scalar::U32, Access::WriteOnly, true);
+        let scratch = kb.arg_local(Scalar::U32);
+        let lid = kb.query_local_id(0);
+        kb.store(scratch, lid.into(), lid.into());
+        kb.barrier();
+        let lid2 = kb.query_local_id(0);
+        let is_zero = kb.bin(
+            BinOp::Eq,
+            lid2.into(),
+            Operand::ImmI(0),
+            VType::scalar(Scalar::U32),
+        );
+        kb.if_then(is_zero.into(), |kb| {
+            let acc = kb.mov(Operand::ImmI(0), VType::scalar(Scalar::U32));
+            let lsz = kb.query_local_size(0);
+            kb.for_loop(Operand::ImmI(0), lsz.into(), Operand::ImmI(1), |kb, i| {
+                let v = kb.load(Scalar::U32, scratch, i.into());
+                kb.bin_into(acc, BinOp::Add, acc.into(), v.into());
+            });
+            let gid = kb.query_group_id(0);
+            kb.store(out, gid.into(), acc.into());
+        });
+        kb.finish()
+    }
+
+    fn run_sharded_counts(threads: usize) -> (CountingTracer, Vec<u32>, LaunchStats) {
+        let p = barrier_kernel();
+        let mut pool = MemoryPool::new();
+        let out_b = pool.add(BufferData::zeroed(Scalar::U32, 16));
+        let bindings = [ArgBinding::Global(out_b), ArgBinding::LocalSize(8)];
+        let mut t = CountingShardTracer::default();
+        let stats = run_ndrange_sharded(
+            &p,
+            &bindings,
+            &mut pool,
+            NDRange::d1(128, 8),
+            &mut t,
+            threads,
+        )
+        .unwrap();
+        (t.total, pool.get(out_b).as_u32().to_vec(), stats)
+    }
+
+    #[test]
+    fn sharded_matches_serial_tracer_and_results() {
+        let p = barrier_kernel();
+        let mut pool = MemoryPool::new();
+        let out_b = pool.add(BufferData::zeroed(Scalar::U32, 16));
+        let bindings = [ArgBinding::Global(out_b), ArgBinding::LocalSize(8)];
+        let mut serial = CountingTracer::default();
+        run_ndrange(&p, &bindings, &mut pool, NDRange::d1(128, 8), &mut serial).unwrap();
+        let serial_out = pool.get(out_b).as_u32().to_vec();
+
+        for threads in [1, 4, 8] {
+            let (counts, out, stats) = run_sharded_counts(threads);
+            assert_eq!(out, serial_out, "results diverged at {threads} threads");
+            assert_eq!(stats.threads, threads);
+            assert_eq!(stats.serial_reason, None);
+            assert_eq!(counts.ops, serial.ops);
+            assert_eq!(counts.loads, serial.loads);
+            assert_eq!(counts.stores, serial.stores);
+            assert_eq!(counts.local_accesses, serial.local_accesses);
+            assert_eq!(counts.barriers, serial.barriers);
+            assert_eq!(counts.loop_iters, serial.loop_iters);
+            assert_eq!(counts.threads, serial.threads);
+            assert_eq!(counts.groups, serial.groups);
+        }
+    }
+
+    #[test]
+    fn sharded_atomics_fall_back_to_serial() {
+        let mut kb = KernelBuilder::new("count");
+        let out = kb.arg_global(Scalar::U32, Access::ReadWrite, false);
+        kb.atomic(AtomicOp::Inc, out, Operand::ImmI(0), Operand::ImmI(0));
+        let p = kb.finish();
+        let mut pool = MemoryPool::new();
+        let out_b = pool.add(BufferData::zeroed(Scalar::U32, 1));
+        let mut t = CountingShardTracer::default();
+        let stats = run_ndrange_sharded(
+            &p,
+            &[ArgBinding::Global(out_b)],
+            &mut pool,
+            NDRange::d1(100, 10),
+            &mut t,
+            8,
+        )
+        .unwrap();
+        assert_eq!(stats.threads, 1);
+        assert!(stats.serial_reason.is_some());
+        assert_eq!(pool.get(out_b).as_u32()[0], 100);
+        assert_eq!(t.total.atomics, 100);
+    }
+
+    #[test]
+    fn local_atomics_do_not_force_serial() {
+        // Atomic on a *local* buffer is per-group state — safe in parallel.
+        let mut kb = KernelBuilder::new("localcount");
+        let out = kb.arg_global(Scalar::U32, Access::WriteOnly, true);
+        let scratch = kb.arg_local(Scalar::U32);
+        kb.atomic(AtomicOp::Inc, scratch, Operand::ImmI(0), Operand::ImmI(0));
+        kb.barrier();
+        let lid = kb.query_local_id(0);
+        let is_zero = kb.bin(
+            BinOp::Eq,
+            lid.into(),
+            Operand::ImmI(0),
+            VType::scalar(Scalar::U32),
+        );
+        kb.if_then(is_zero.into(), |kb| {
+            let v = kb.load(Scalar::U32, scratch, Operand::ImmI(0));
+            let gid = kb.query_group_id(0);
+            kb.store(out, gid.into(), v.into());
+        });
+        let p = kb.finish();
+        let mut pool = MemoryPool::new();
+        let out_b = pool.add(BufferData::zeroed(Scalar::U32, 4));
+        let mut t = CountingShardTracer::default();
+        let stats = run_ndrange_sharded(
+            &p,
+            &[ArgBinding::Global(out_b), ArgBinding::LocalSize(1)],
+            &mut pool,
+            NDRange::d1(32, 8),
+            &mut t,
+            4,
+        )
+        .unwrap();
+        assert_eq!(stats.threads, 4);
+        assert_eq!(stats.serial_reason, None);
+        assert_eq!(pool.get(out_b).as_u32(), &[8, 8, 8, 8]);
+    }
+
+    #[test]
+    fn executor_reuse_across_groups_is_clean() {
+        // Registers and local buffers are reused across groups; a kernel
+        // whose result would change if state leaked between groups.
+        let p = barrier_kernel();
+        let mut pool = MemoryPool::new();
+        let out_b = pool.add(BufferData::zeroed(Scalar::U32, 8));
+        let bindings = [ArgBinding::Global(out_b), ArgBinding::LocalSize(4)];
+        run_ndrange(
+            &p,
+            &bindings,
+            &mut pool,
+            NDRange::d1(32, 4),
+            &mut NullTracer,
+        )
+        .unwrap();
+        // each group sums 0+1+2+3 = 6
+        assert_eq!(pool.get(out_b).as_u32(), &[6u32; 8]);
     }
 }

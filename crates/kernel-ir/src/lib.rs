@@ -57,8 +57,8 @@ pub mod value;
 
 pub use builder::KernelBuilder;
 pub use exec::{
-    check_bindings, run_ndrange, ArgBinding, ExecError, GroupExecutor, NDRange, LOCAL_MEM_BASE,
-    LOCAL_MEM_STRIDE,
+    check_bindings, run_ndrange, run_ndrange_sharded, ArgBinding, DecodedProgram, ExecError,
+    GroupExecutor, LaunchStats, NDRange, LOCAL_MEM_BASE, LOCAL_MEM_STRIDE,
 };
 pub use instr::{
     widen, ArgDecl, ArgIdx, AtomicOp, BinOp, Builtin, Hints, HorizOp, Op, Operand, Reg, UnOp,
@@ -67,7 +67,10 @@ pub use memory::{BufferData, MemoryPool, BUFFER_ALIGN};
 pub use ops::{bin_result_type, eval_bin, eval_mad, eval_select, eval_un};
 pub use program::{Program, ValidationError};
 pub use stats::{analyze, StaticMix};
-pub use trace::{AccessKind, CountingTracer, ExecTracer, MemAccess, NullTracer, OpClass, Pattern};
+pub use trace::{
+    AccessKind, CountingTracer, ExecTracer, MemAccess, NullTracer, OpClass, Pattern,
+    RecordingTracer, ShardTracer,
+};
 pub use types::{Access, MemSpace, Scalar, VType, MAX_LANES};
 pub use value::{Lanes, Value};
 

@@ -32,6 +32,19 @@ impl BufferData {
         }
     }
 
+    /// Reset every element to zero in place — lets per-group local buffers
+    /// be reused across groups instead of reallocated.
+    pub fn zero_fill(&mut self) {
+        match self {
+            BufferData::F32(v) => v.fill(0.0),
+            BufferData::F64(v) => v.fill(0.0),
+            BufferData::I32(v) => v.fill(0),
+            BufferData::I64(v) => v.fill(0),
+            BufferData::U32(v) => v.fill(0),
+            BufferData::U64(v) => v.fill(0),
+        }
+    }
+
     pub fn elem(&self) -> Scalar {
         match self {
             BufferData::F32(_) => Scalar::F32,

@@ -101,6 +101,71 @@ pub trait ExecTracer {
     fn group_start(&mut self) {}
 }
 
+/// A tracer whose work-group cost accounting can be decomposed for the
+/// parallel engine while staying **bit-identical** to serial execution.
+///
+/// The decomposition exploits the two kinds of state a device model keeps:
+///
+/// * *op-side* accounting (arithmetic slots, op counters, barrier costs) is
+///   independent per group — it accumulates into a per-group [`Self::Shard`]
+///   on whichever worker executes the group;
+/// * *mem-side* accounting (cache hierarchy, stride classifiers, atomic
+///   contention maps) is stateful **across** groups — memory accesses are
+///   recorded during execution and replayed through the main tracer.
+///
+/// The engine calls [`Self::absorb_group`] once per group **in ascending
+/// linear group order**, in both the serial and the parallel engine, so
+/// every floating-point accumulation happens in one canonical order and the
+/// resulting report is identical bit for bit regardless of thread count.
+pub trait ShardTracer {
+    /// Per-group op-side accumulator; executed on a worker thread.
+    type Shard: ExecTracer + Send;
+
+    /// A fresh, empty shard for one work-group.
+    fn make_shard(&self) -> Self::Shard;
+
+    /// Merge one group's op-side shard and replay its recorded memory
+    /// accesses. Called in ascending group order.
+    fn absorb_group(&mut self, shard: Self::Shard, mem: &[MemAccess]);
+}
+
+/// Wraps a [`ShardTracer::Shard`] for one group's execution: op-side events
+/// flow into the shard, memory accesses are captured for ordered replay.
+pub struct RecordingTracer<S: ExecTracer> {
+    pub shard: S,
+    pub mem_log: Vec<MemAccess>,
+}
+
+impl<S: ExecTracer> RecordingTracer<S> {
+    pub fn new(shard: S) -> Self {
+        RecordingTracer {
+            shard,
+            mem_log: Vec::new(),
+        }
+    }
+}
+
+impl<S: ExecTracer> ExecTracer for RecordingTracer<S> {
+    fn op(&mut self, class: OpClass, ty: VType) {
+        self.shard.op(class, ty);
+    }
+    fn mem(&mut self, access: &MemAccess) {
+        self.mem_log.push(*access);
+    }
+    fn barrier(&mut self, items: u32) {
+        self.shard.barrier(items);
+    }
+    fn loop_iter(&mut self) {
+        self.shard.loop_iter();
+    }
+    fn thread_start(&mut self) {
+        self.shard.thread_start();
+    }
+    fn group_start(&mut self) {
+        self.shard.group_start();
+    }
+}
+
 /// Tracer that discards everything — used for pure-functional runs
 /// (validation against reference implementations).
 #[derive(Default, Clone, Copy)]

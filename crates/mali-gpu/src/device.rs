@@ -13,8 +13,8 @@
 
 use crate::config::MaliConfig;
 use kernel_ir::{
-    ArgBinding, ExecError, ExecTracer, GroupExecutor, MemAccess, MemoryPool, NDRange, OpClass,
-    Pattern, Program, VType,
+    run_ndrange_sharded, ArgBinding, ExecError, ExecTracer, MemAccess, MemoryPool, NDRange,
+    OpClass, Pattern, Program, ShardTracer, VType,
 };
 use memsim::{Hierarchy, HierarchyStats, StrideClassifier};
 use powersim::Activity;
@@ -87,16 +87,26 @@ pub struct MaliReport {
     /// Per-core work-group execution intervals (simulated time, seconds,
     /// relative to the start of the compute phase).
     pub spans: Vec<WorkSpan>,
+    /// Host worker threads the simulation's group loop actually ran on
+    /// (1 = serial). Simulation-engine metadata, **not** part of the modeled
+    /// device state — deliberately excluded from exported counters so suite
+    /// outputs stay byte-identical across `SIM_THREADS` settings.
+    pub sim_threads: usize,
+    /// Why the engine forced serial group execution (e.g. global atomics),
+    /// if it did.
+    pub sim_serial_reason: Option<&'static str>,
 }
 
-/// Per-run accumulation.
+/// Per-run accumulation (the mem-side, group-order-stateful half of the
+/// device model: cache hierarchy, stride classifiers, atomic hotspot map).
+/// Op-side costs accumulate per group in a [`MaliShard`]; the engine feeds
+/// both back through [`ShardTracer::absorb_group`] in ascending group order,
+/// so the accounting is bit-identical for any worker-thread count.
 struct MaliTracer<'c> {
     cfg: &'c MaliConfig,
     hier: Hierarchy,
     /// (arith_slots, ls_cycles, threads) charged per group.
     groups: Vec<GroupCost>,
-    cur: GroupCost,
-    started: bool,
     global_atomics: u64,
     /// Per-L2-line global-atomic counts (hotspot serialization model).
     atomic_lines: std::collections::HashMap<u64, u64>,
@@ -113,119 +123,53 @@ struct GroupCost {
     threads: u32,
 }
 
-impl<'c> MaliTracer<'c> {
-    fn new(cfg: &'c MaliConfig) -> Self {
-        MaliTracer {
-            cfg,
-            hier: Hierarchy::l2_only(cfg.l2),
-            groups: Vec::new(),
-            cur: GroupCost::default(),
-            started: false,
-            global_atomics: 0,
-            atomic_lines: std::collections::HashMap::new(),
-            total_arith_slots: 0.0,
-            total_ls_cycles: 0.0,
-            strides: StrideClassifier::default(),
-            counters: Counters::default(),
-        }
-    }
-
-    fn flush(&mut self) {
-        self.total_arith_slots += self.cur.arith_slots;
-        self.total_ls_cycles += self.cur.ls_cycles;
-        self.groups.push(self.cur);
-        self.cur = GroupCost::default();
-    }
-
-    /// Arithmetic-pipe slots for one op of type `ty`.
-    fn slots_for(&self, class: OpClass, ty: VType) -> f64 {
-        let c = self.cfg;
-        let base = match class {
-            OpClass::Simple => c.slots_simple,
-            OpClass::Mul => c.slots_mul,
-            OpClass::Mad => c.slots_mad,
-            OpClass::Div => c.slots_div,
-            OpClass::Special | OpClass::Rsqrt => c.slots_special,
-            OpClass::Transcendental => c.slots_transcendental,
-            OpClass::Move => c.slots_move,
-            OpClass::Horizontal => c.slots_horiz,
-        };
-        let bits = ty.elem.bytes() as f64 * 8.0 * ty.width as f64;
-        let units = (bits / 128.0).ceil().max(1.0);
-        let special = matches!(
-            class,
-            OpClass::Special | OpClass::Rsqrt | OpClass::Transcendental | OpClass::Div
-        );
-        if ty.width == 1 && !special {
-            // VLIW packing of independent scalar ops (long-latency special
-            // ops monopolize the pipe and do not co-issue; f64 scalars
-            // pack far worse in the 128-bit datapath).
-            let coissue = if ty.elem == kernel_ir::Scalar::F64 {
-                c.scalar_coissue_f64
-            } else {
-                c.scalar_coissue
-            };
-            base / coissue
+/// Arithmetic-pipe slots for one op of type `ty`.
+fn slots_for(c: &MaliConfig, class: OpClass, ty: VType) -> f64 {
+    let base = match class {
+        OpClass::Simple => c.slots_simple,
+        OpClass::Mul => c.slots_mul,
+        OpClass::Mad => c.slots_mad,
+        OpClass::Div => c.slots_div,
+        OpClass::Special | OpClass::Rsqrt => c.slots_special,
+        OpClass::Transcendental => c.slots_transcendental,
+        OpClass::Move => c.slots_move,
+        OpClass::Horizontal => c.slots_horiz,
+    };
+    let bits = ty.elem.bytes() as f64 * 8.0 * ty.width as f64;
+    let units = (bits / 128.0).ceil().max(1.0);
+    let special = matches!(
+        class,
+        OpClass::Special | OpClass::Rsqrt | OpClass::Transcendental | OpClass::Div
+    );
+    if ty.width == 1 && !special {
+        // VLIW packing of independent scalar ops (long-latency special
+        // ops monopolize the pipe and do not co-issue; f64 scalars
+        // pack far worse in the 128-bit datapath).
+        let coissue = if ty.elem == kernel_ir::Scalar::F64 {
+            c.scalar_coissue_f64
         } else {
-            base * units
-        }
+            c.scalar_coissue
+        };
+        base / coissue
+    } else {
+        base * units
     }
 }
 
-impl ExecTracer for MaliTracer<'_> {
+/// One work-group's op-side accumulator, filled on whichever pool worker
+/// executes the group. Holds only per-group state (arith slots, barrier LS
+/// cycles, thread counts, op counters); memory accesses never reach it —
+/// the engine records and replays those through [`MaliTracer`].
+struct MaliShard<'c> {
+    cfg: &'c MaliConfig,
+    cur: GroupCost,
+    counters: Counters,
+}
+
+impl ExecTracer for MaliShard<'_> {
     fn op(&mut self, class: OpClass, ty: VType) {
         self.counters.note_op(class, ty);
-        self.cur.arith_slots += self.slots_for(class, ty);
-    }
-
-    fn mem(&mut self, a: &MemAccess) {
-        self.counters.note_mem(a);
-        let c = self.cfg;
-        let write = !matches!(a.kind, kernel_ir::AccessKind::Read);
-        match a.kind {
-            kernel_ir::AccessKind::Atomic => {
-                // Atomics execute in the L2's atomic unit. Global-space
-                // atomics serialize device-wide; local-space atomics (one
-                // line per work-group) stay core-parallel on the LS pipe.
-                let _ = self.hier.access(a.addr, a.bytes, true, false);
-                match a.space {
-                    kernel_ir::MemSpace::Global => {
-                        self.global_atomics += 1;
-                        *self.atomic_lines.entry(a.addr / 64).or_insert(0) += 1;
-                    }
-                    kernel_ir::MemSpace::Local => self.cur.ls_cycles += c.atomic_local_cy,
-                }
-                self.cur.ls_cycles += c.ls_issue + c.atomic_local_cy;
-            }
-            _ => match a.pattern {
-                Pattern::Scalar | Pattern::Contiguous => {
-                    let streaming = a.pattern == Pattern::Contiguous
-                        || self.strides.classify_stream(a.stream, a.addr);
-                    let out = self.hier.access(a.addr, a.bytes, write, streaming);
-                    let beats = (a.bytes as f64 / 16.0).ceil().max(1.0);
-                    self.cur.ls_cycles += c.ls_issue * beats + out.l2_hits as f64 * c.cy_l2_hit;
-                    // Scattered *global* accesses expose L2 latency; local
-                    // memory (one hot line per group) stays pipelined.
-                    if !streaming && a.space == kernel_ir::MemSpace::Global {
-                        self.cur.ls_cycles += c.cy_ls_scatter;
-                    }
-                }
-                Pattern::Gather => {
-                    let addrs = a.lane_addrs.expect("gather carries lane addresses");
-                    let lane_bytes = a.elem.bytes();
-                    self.cur.ls_cycles += c.ls_issue + c.ls_gather_lane * (a.width as f64 - 1.0);
-                    let scatter = if a.space == kernel_ir::MemSpace::Global {
-                        c.cy_ls_scatter
-                    } else {
-                        0.0
-                    };
-                    for &addr in addrs.iter().take(a.width as usize) {
-                        let out = self.hier.access(addr, lane_bytes, write, false);
-                        self.cur.ls_cycles += out.l2_hits as f64 * c.cy_l2_hit + scatter;
-                    }
-                }
-            },
-        }
+        self.cur.arith_slots += slots_for(self.cfg, class, ty);
     }
 
     fn loop_iter(&mut self) {
@@ -240,10 +184,6 @@ impl ExecTracer for MaliTracer<'_> {
 
     fn group_start(&mut self) {
         self.counters.note_group_start();
-        if self.started {
-            self.flush();
-        }
-        self.started = true;
     }
 
     fn barrier(&mut self, items: u32) {
@@ -251,6 +191,98 @@ impl ExecTracer for MaliTracer<'_> {
         // A barrier drains the core's pipelines: charge one thread-switch
         // per item.
         self.cur.ls_cycles += items as f64 * 1.0;
+    }
+}
+
+impl<'c> MaliTracer<'c> {
+    fn new(cfg: &'c MaliConfig) -> Self {
+        MaliTracer {
+            cfg,
+            hier: Hierarchy::l2_only(cfg.l2),
+            groups: Vec::new(),
+            global_atomics: 0,
+            atomic_lines: std::collections::HashMap::new(),
+            total_arith_slots: 0.0,
+            total_ls_cycles: 0.0,
+            strides: StrideClassifier::default(),
+            counters: Counters::default(),
+        }
+    }
+
+    /// Replay one recorded memory access through the stateful hierarchy /
+    /// stride / atomic models, charging LS cycles to the group being
+    /// absorbed.
+    fn replay_mem(&mut self, a: &MemAccess, cur: &mut GroupCost) {
+        self.counters.note_mem(a);
+        let c = self.cfg;
+        let write = !matches!(a.kind, kernel_ir::AccessKind::Read);
+        match a.kind {
+            kernel_ir::AccessKind::Atomic => {
+                // Atomics execute in the L2's atomic unit. Global-space
+                // atomics serialize device-wide; local-space atomics (one
+                // line per work-group) stay core-parallel on the LS pipe.
+                let _ = self.hier.access(a.addr, a.bytes, true, false);
+                match a.space {
+                    kernel_ir::MemSpace::Global => {
+                        self.global_atomics += 1;
+                        *self.atomic_lines.entry(a.addr / 64).or_insert(0) += 1;
+                    }
+                    kernel_ir::MemSpace::Local => cur.ls_cycles += c.atomic_local_cy,
+                }
+                cur.ls_cycles += c.ls_issue + c.atomic_local_cy;
+            }
+            _ => match a.pattern {
+                Pattern::Scalar | Pattern::Contiguous => {
+                    let streaming = a.pattern == Pattern::Contiguous
+                        || self.strides.classify_stream(a.stream, a.addr);
+                    let out = self.hier.access(a.addr, a.bytes, write, streaming);
+                    let beats = (a.bytes as f64 / 16.0).ceil().max(1.0);
+                    cur.ls_cycles += c.ls_issue * beats + out.l2_hits as f64 * c.cy_l2_hit;
+                    // Scattered *global* accesses expose L2 latency; local
+                    // memory (one hot line per group) stays pipelined.
+                    if !streaming && a.space == kernel_ir::MemSpace::Global {
+                        cur.ls_cycles += c.cy_ls_scatter;
+                    }
+                }
+                Pattern::Gather => {
+                    let addrs = a.lane_addrs.expect("gather carries lane addresses");
+                    let lane_bytes = a.elem.bytes();
+                    cur.ls_cycles += c.ls_issue + c.ls_gather_lane * (a.width as f64 - 1.0);
+                    let scatter = if a.space == kernel_ir::MemSpace::Global {
+                        c.cy_ls_scatter
+                    } else {
+                        0.0
+                    };
+                    for &addr in addrs.iter().take(a.width as usize) {
+                        let out = self.hier.access(addr, lane_bytes, write, false);
+                        cur.ls_cycles += out.l2_hits as f64 * c.cy_l2_hit + scatter;
+                    }
+                }
+            },
+        }
+    }
+}
+
+impl<'c> ShardTracer for MaliTracer<'c> {
+    type Shard = MaliShard<'c>;
+
+    fn make_shard(&self) -> MaliShard<'c> {
+        MaliShard {
+            cfg: self.cfg,
+            cur: GroupCost::default(),
+            counters: Counters::default(),
+        }
+    }
+
+    fn absorb_group(&mut self, shard: MaliShard<'c>, mem: &[MemAccess]) {
+        self.counters.merge_in(&shard.counters);
+        let mut cur = shard.cur;
+        for a in mem {
+            self.replay_mem(a, &mut cur);
+        }
+        self.total_arith_slots += cur.arith_slots;
+        self.total_ls_cycles += cur.ls_cycles;
+        self.groups.push(cur);
     }
 }
 
@@ -290,11 +322,14 @@ impl MaliT604 {
     ) -> Result<MaliReport, MaliError> {
         self.check_resources(program, ndrange)?;
         let mut tracer = MaliTracer::new(&self.cfg);
-        {
-            let mut ex = GroupExecutor::new(program, bindings, pool, ndrange, &mut tracer)?;
-            ex.run_all();
-        }
-        tracer.flush();
+        let stats = run_ndrange_sharded(
+            program,
+            bindings,
+            pool,
+            ndrange,
+            &mut tracer,
+            sim_pool::threads(),
+        )?;
         let groups = tracer.groups;
         debug_assert_eq!(groups.len(), ndrange.total_groups().max(1));
         let cfg = &self.cfg;
@@ -372,6 +407,8 @@ impl MaliT604 {
             groups: groups.len(),
             counters,
             spans,
+            sim_threads: stats.threads,
+            sim_serial_reason: stats.serial_reason,
         })
     }
 }

@@ -371,6 +371,12 @@ impl Context {
             .device
             .run(&kernel.program, &bindings, &mut self.pool, ndr)
             .map_err(ClError::from)?;
+        if let Some(reason) = report.sim_serial_reason {
+            telemetry::log::debug(&format!(
+                "kernel {}: simulation ran work-groups serially ({reason})",
+                kernel.program.name
+            ));
+        }
         // §III-B directives/type qualifiers: small win on the compute side.
         if kernel.hint_factor < 1.0 && report.compute_time_s >= report.mem_time_s {
             let launch = self.device.cfg.launch_overhead_s;

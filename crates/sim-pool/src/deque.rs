@@ -1,0 +1,151 @@
+//! A fixed-capacity Chase–Lev work-stealing deque specialised to `usize`
+//! task indices.
+//!
+//! The owner pushes and pops at the *bottom*; thieves steal from the *top*.
+//! Storing plain indices (instead of boxed closures) sidesteps every memory
+//! reclamation hazard of the general deque: a thief may read a stale slot,
+//! but the `top` compare-exchange guarantees each index is *consumed* exactly
+//! once, and a stale read of a `usize` is harmless.
+//!
+//! Capacity is fixed at construction (the pool knows the task count up
+//! front), so the resize protocol of the original algorithm is not needed.
+
+use std::sync::atomic::{fence, AtomicIsize, AtomicUsize, Ordering};
+
+/// Result of a steal attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Steal {
+    /// The deque looked empty.
+    Empty,
+    /// Lost a race with the owner or another thief; try again.
+    Retry,
+    /// Took this task index.
+    Taken(usize),
+}
+
+/// Single-owner, multi-thief deque of task indices.
+pub struct TaskDeque {
+    buf: Box<[AtomicUsize]>,
+    mask: usize,
+    /// Next slot the owner will push into.
+    bottom: AtomicIsize,
+    /// Oldest live slot; thieves advance this.
+    top: AtomicIsize,
+}
+
+impl TaskDeque {
+    /// Deque able to hold at least `cap` pending tasks.
+    pub fn with_capacity(cap: usize) -> Self {
+        let cap = cap.max(2).next_power_of_two();
+        TaskDeque {
+            buf: (0..cap).map(|_| AtomicUsize::new(0)).collect(),
+            mask: cap - 1,
+            bottom: AtomicIsize::new(0),
+            top: AtomicIsize::new(0),
+        }
+    }
+
+    /// Owner-only: append a task. Returns `false` when full.
+    pub fn push(&self, v: usize) -> bool {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Acquire);
+        if b.wrapping_sub(t) >= self.buf.len() as isize {
+            return false;
+        }
+        self.buf[(b as usize) & self.mask].store(v, Ordering::Relaxed);
+        self.bottom.store(b.wrapping_add(1), Ordering::Release);
+        true
+    }
+
+    /// Owner-only: take the most recently pushed task (LIFO keeps the
+    /// owner's working set hot; thieves take the oldest, largest-grain end).
+    pub fn pop(&self) -> Option<usize> {
+        let b = self.bottom.load(Ordering::Relaxed).wrapping_sub(1);
+        self.bottom.store(b, Ordering::Relaxed);
+        fence(Ordering::SeqCst);
+        let t = self.top.load(Ordering::Relaxed);
+        if t > b {
+            // Empty: restore bottom.
+            self.bottom.store(b.wrapping_add(1), Ordering::Relaxed);
+            return None;
+        }
+        let v = self.buf[(b as usize) & self.mask].load(Ordering::Relaxed);
+        if t == b {
+            // Last element: race the thieves for it via `top`.
+            let won = self
+                .top
+                .compare_exchange(t, t.wrapping_add(1), Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok();
+            self.bottom.store(b.wrapping_add(1), Ordering::Relaxed);
+            return won.then_some(v);
+        }
+        Some(v)
+    }
+
+    /// Any thread: try to take the oldest task.
+    pub fn steal(&self) -> Steal {
+        let t = self.top.load(Ordering::Acquire);
+        fence(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::Acquire);
+        if t >= b {
+            return Steal::Empty;
+        }
+        let v = self.buf[(t as usize) & self.mask].load(Ordering::Relaxed);
+        if self
+            .top
+            .compare_exchange(t, t.wrapping_add(1), Ordering::SeqCst, Ordering::Relaxed)
+            .is_err()
+        {
+            return Steal::Retry;
+        }
+        Steal::Taken(v)
+    }
+
+    /// Approximate number of pending tasks (owner's view).
+    pub fn len(&self) -> usize {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Relaxed);
+        b.wrapping_sub(t).max(0) as usize
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_for_owner() {
+        let d = TaskDeque::with_capacity(8);
+        assert!(d.push(1));
+        assert!(d.push(2));
+        assert!(d.push(3));
+        assert_eq!(d.pop(), Some(3));
+        assert_eq!(d.pop(), Some(2));
+        assert_eq!(d.pop(), Some(1));
+        assert_eq!(d.pop(), None);
+    }
+
+    #[test]
+    fn fifo_for_thief() {
+        let d = TaskDeque::with_capacity(8);
+        d.push(1);
+        d.push(2);
+        assert_eq!(d.steal(), Steal::Taken(1));
+        assert_eq!(d.steal(), Steal::Taken(2));
+        assert_eq!(d.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn push_reports_full() {
+        let d = TaskDeque::with_capacity(2);
+        assert!(d.push(0));
+        assert!(d.push(1));
+        assert!(!d.push(2));
+        assert_eq!(d.pop(), Some(1));
+        assert!(d.push(2));
+    }
+}

@@ -1,0 +1,270 @@
+//! Concurrency stress tests for `sim-pool`: nested scoped spawns,
+//! panic-in-worker propagation, and a loom-style hand-rolled interleaving
+//! test for the work-stealing deque (no external deps — schedules are
+//! enumerated exhaustively and enforced with a turn-taking gate).
+
+use sim_pool::deque::{Steal, TaskDeque};
+use sim_pool::parallel_map_threads;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+#[test]
+fn nested_scoped_spawns_run_serially_inline() {
+    // Outer 4-way map; each task runs an inner 4-way map. The inner map
+    // must detect it is on a worker and run inline (no oversubscription),
+    // and every nested result must still be correct and ordered.
+    let out = parallel_map_threads(4, 16, |i| {
+        let inner = parallel_map_threads(4, 8, move |j| {
+            assert!(sim_pool::in_worker(), "nested map should be on a worker");
+            i * 100 + j
+        });
+        inner.iter().sum::<usize>()
+    });
+    for (i, v) in out.iter().enumerate() {
+        assert_eq!(*v, (0..8).map(|j| i * 100 + j).sum::<usize>());
+    }
+}
+
+#[test]
+fn deeply_nested_maps_terminate() {
+    // Three levels of nesting: only the outermost level spawns threads.
+    let out = parallel_map_threads(8, 8, |a| {
+        parallel_map_threads(8, 4, move |b| {
+            parallel_map_threads(8, 2, move |c| a + b + c)
+                .iter()
+                .sum::<usize>()
+        })
+        .iter()
+        .sum::<usize>()
+    });
+    assert_eq!(out.len(), 8);
+}
+
+#[test]
+fn panic_in_worker_propagates_payload() {
+    let r = catch_unwind(AssertUnwindSafe(|| {
+        parallel_map_threads(4, 64, |i| {
+            if i == 37 {
+                panic!("task 37 exploded");
+            }
+            i
+        })
+    }));
+    let payload = r.expect_err("panic must propagate to the caller");
+    let msg = payload
+        .downcast_ref::<&str>()
+        .copied()
+        .map(str::to_owned)
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_default();
+    assert!(msg.contains("task 37 exploded"), "payload was: {msg}");
+}
+
+#[test]
+fn panic_does_not_poison_the_pool() {
+    let _ = catch_unwind(AssertUnwindSafe(|| {
+        parallel_map_threads(4, 16, |i| {
+            if i % 5 == 0 {
+                panic!("boom");
+            }
+            i
+        })
+    }));
+    // The pool has no persistent state; a fresh map must work.
+    let ok = parallel_map_threads(4, 32, |i| i + 1);
+    assert_eq!(ok[31], 32);
+}
+
+#[test]
+fn heavy_contention_consumes_each_task_once() {
+    // Skewed task costs force constant stealing.
+    for round in 0..20 {
+        let hits = (0..256).map(|_| AtomicUsize::new(0)).collect::<Vec<_>>();
+        parallel_map_threads(8, 256, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+            // Task cost varies by ~100x to unbalance the initial blocks.
+            let spins = if i % 17 == round % 17 { 5000 } else { 50 };
+            let mut acc = i as u64;
+            for _ in 0..spins {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            acc
+        });
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "task {i} ran != once");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Loom-style interleaving test for the deque.
+//
+// Two threads (owner + thief) execute fixed op sequences. A schedule is a
+// bitmask: at step k, bit k selects which thread performs its next op. All
+// interleavings of the two sequences are enumerated; each one is executed
+// with real threads gated by an atomic turn counter, and the outcome is
+// checked for the single invariant that matters: every pushed task is
+// consumed exactly once (and pops/steals never invent tasks).
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum OwnerOp {
+    Push(usize),
+    Pop,
+}
+
+fn run_schedule(owner_ops: &[OwnerOp], thief_steals: usize, schedule: &[u8]) {
+    assert_eq!(schedule.len(), owner_ops.len() + thief_steals);
+    let deque = TaskDeque::with_capacity(8);
+    let step = AtomicUsize::new(0);
+    let consumed: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+    let pushed: Vec<usize> = owner_ops
+        .iter()
+        .filter_map(|o| match o {
+            OwnerOp::Push(v) => Some(*v),
+            OwnerOp::Pop => None,
+        })
+        .collect();
+
+    // Wait until `schedule[step]` names us, run one op, release the turn.
+    let take_turn = |me: u8, op: &mut dyn FnMut()| loop {
+        let s = step.load(Ordering::Acquire);
+        if s >= schedule.len() {
+            return false;
+        }
+        if schedule[s] == me {
+            op();
+            step.store(s + 1, Ordering::Release);
+            return true;
+        }
+        std::hint::spin_loop();
+    };
+
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            for op in owner_ops {
+                let mut action = || match op {
+                    OwnerOp::Push(v) => assert!(deque.push(*v)),
+                    OwnerOp::Pop => {
+                        if let Some(v) = deque.pop() {
+                            consumed.lock().unwrap().push(v);
+                        }
+                    }
+                };
+                assert!(take_turn(0, &mut action));
+            }
+        });
+        s.spawn(|| {
+            for _ in 0..thief_steals {
+                let mut action = || {
+                    // A Retry is a lost race, not a turn to waste: retry
+                    // within the same turn until the outcome is definite.
+                    loop {
+                        match deque.steal() {
+                            Steal::Taken(v) => {
+                                consumed.lock().unwrap().push(v);
+                                break;
+                            }
+                            Steal::Empty => break,
+                            Steal::Retry => std::hint::spin_loop(),
+                        }
+                    }
+                };
+                assert!(take_turn(1, &mut action));
+            }
+        });
+    });
+
+    // Drain what neither side consumed during the schedule.
+    let mut got = consumed.into_inner().unwrap();
+    while let Some(v) = deque.pop() {
+        got.push(v);
+    }
+    got.sort_unstable();
+    let mut want = pushed;
+    want.sort_unstable();
+    assert_eq!(got, want, "schedule {schedule:?} lost or duplicated a task");
+}
+
+#[test]
+fn deque_interleavings_exhaustive() {
+    // Owner: push 10, push 20, pop, pop — thief: steal, steal.
+    let owner = [
+        OwnerOp::Push(10),
+        OwnerOp::Push(20),
+        OwnerOp::Pop,
+        OwnerOp::Pop,
+    ];
+    let thief_steals = 2;
+    let total = owner.len() + thief_steals;
+    // Enumerate every placement of the thief's 2 ops among 6 steps.
+    let mut schedules = 0;
+    for mask in 0u32..(1 << total) {
+        if mask.count_ones() as usize != thief_steals {
+            continue;
+        }
+        let schedule: Vec<u8> = (0..total).map(|k| ((mask >> k) & 1) as u8).collect();
+        run_schedule(&owner, thief_steals, &schedule);
+        schedules += 1;
+    }
+    assert_eq!(schedules, 15); // C(6,2)
+}
+
+#[test]
+fn deque_interleavings_single_element_race() {
+    // The hard case: one element, owner pop racing one steal — every
+    // placement of the steal among the 3 steps.
+    let owner = [OwnerOp::Push(42), OwnerOp::Pop];
+    for mask in 0u32..(1 << 3) {
+        if mask.count_ones() != 1 {
+            continue;
+        }
+        let schedule: Vec<u8> = (0..3).map(|k| ((mask >> k) & 1) as u8).collect();
+        run_schedule(&owner, 1, &schedule);
+    }
+}
+
+#[test]
+fn deque_concurrent_free_for_all() {
+    // Unconstrained stress: 1 owner pushing/popping, 3 thieves stealing.
+    const N: usize = 10_000;
+    for _ in 0..5 {
+        let deque = TaskDeque::with_capacity(N);
+        let seen = (0..N).map(|_| AtomicUsize::new(0)).collect::<Vec<_>>();
+        let done = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                s.spawn(|| loop {
+                    match deque.steal() {
+                        Steal::Taken(v) => {
+                            seen[v].fetch_add(1, Ordering::Relaxed);
+                        }
+                        Steal::Empty if done.load(Ordering::Acquire) == 1 => break,
+                        _ => std::hint::spin_loop(),
+                    }
+                });
+            }
+            for i in 0..N {
+                while !deque.push(i) {
+                    // Full: help drain from our own end.
+                    if let Some(v) = deque.pop() {
+                        seen[v].fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                if i % 3 == 0 {
+                    if let Some(v) = deque.pop() {
+                        seen[v].fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            while let Some(v) = deque.pop() {
+                seen[v].fetch_add(1, Ordering::Relaxed);
+            }
+            done.store(1, Ordering::Release);
+        });
+        for (i, c) in seen.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), 1, "task {i} consumed != once");
+        }
+    }
+}

@@ -206,44 +206,53 @@ impl Counters {
     /// block keeps the more register-pressured (smaller-occupancy) launch.
     pub fn merge(&self, other: &Counters) -> Counters {
         let mut out = self.clone();
-        for i in 0..OP_CLASS_COUNT {
-            out.ops_by_class[i] += other.ops_by_class[i];
-        }
-        for i in 0..out.width_hist.len() {
-            out.width_hist[i] += other.width_hist[i];
-        }
-        out.flops += other.flops;
-        out.int_ops += other.int_ops;
-        out.special_ops += other.special_ops;
-        out.loads += other.loads;
-        out.stores += other.stores;
-        out.atomics += other.atomics;
-        out.bytes_read += other.bytes_read;
-        out.bytes_written += other.bytes_written;
-        out.local_accesses += other.local_accesses;
-        out.gather_accesses += other.gather_accesses;
-        out.contiguous_accesses += other.contiguous_accesses;
-        out.barriers += other.barriers;
-        out.loop_iters += other.loop_iters;
-        out.threads += other.threads;
-        out.groups += other.groups;
-        out.hier_accesses += other.hier_accesses;
-        out.l1_hits += other.l1_hits;
-        out.l2_hits += other.l2_hits;
-        out.dram_lines += other.dram_lines;
-        out.dram_stream_lines += other.dram_stream_lines;
-        out.dram_scatter_lines += other.dram_scatter_lines;
-        out.dram_writeback_lines += other.dram_writeback_lines;
+        out.merge_in(other);
+        out
+    }
+
+    /// In-place [`Counters::merge`] — the hot path of the parallel engine,
+    /// which absorbs one per-group counter shard per work-group without
+    /// cloning. Field additions are integer-valued (even the `f64` op
+    /// totals), so the result is independent of merge association and the
+    /// serial/parallel engines agree bit for bit.
+    pub fn merge_in(&mut self, other: &Counters) {
         let self_occ = self.occupancy();
+        for i in 0..OP_CLASS_COUNT {
+            self.ops_by_class[i] += other.ops_by_class[i];
+        }
+        for i in 0..self.width_hist.len() {
+            self.width_hist[i] += other.width_hist[i];
+        }
+        self.flops += other.flops;
+        self.int_ops += other.int_ops;
+        self.special_ops += other.special_ops;
+        self.loads += other.loads;
+        self.stores += other.stores;
+        self.atomics += other.atomics;
+        self.bytes_read += other.bytes_read;
+        self.bytes_written += other.bytes_written;
+        self.local_accesses += other.local_accesses;
+        self.gather_accesses += other.gather_accesses;
+        self.contiguous_accesses += other.contiguous_accesses;
+        self.barriers += other.barriers;
+        self.loop_iters += other.loop_iters;
+        self.threads += other.threads;
+        self.groups += other.groups;
+        self.hier_accesses += other.hier_accesses;
+        self.l1_hits += other.l1_hits;
+        self.l2_hits += other.l2_hits;
+        self.dram_lines += other.dram_lines;
+        self.dram_stream_lines += other.dram_stream_lines;
+        self.dram_scatter_lines += other.dram_scatter_lines;
+        self.dram_writeback_lines += other.dram_writeback_lines;
         let other_occ = other.occupancy();
         if other.max_resident_threads != 0
             && (self.max_resident_threads == 0 || other_occ < self_occ)
         {
-            out.resident_threads = other.resident_threads;
-            out.max_resident_threads = other.max_resident_threads;
-            out.registers_per_thread = other.registers_per_thread;
+            self.resident_threads = other.resident_threads;
+            self.max_resident_threads = other.max_resident_threads;
+            self.registers_per_thread = other.registers_per_thread;
         }
-        out
     }
 
     // ---- derived rates ----

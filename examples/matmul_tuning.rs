@@ -10,7 +10,7 @@ use harness::ablation;
 use hpc_kernels::common::{gpu_context, launch};
 use hpc_kernels::Precision;
 use kernel_ir::{BufferData, Scalar};
-use mali_hpc::{autotune, SearchSpace};
+use mali_hpc::{autotune, local_divides_global, SearchSpace};
 use ocl_runtime::KernelArg;
 
 fn main() {
@@ -61,7 +61,7 @@ fn main() {
     );
     let result = autotune(&base, &space, |p, divisor, wg| {
         let items = nt / divisor;
-        if items % wg != 0 {
+        if !local_divides_global(items, wg) {
             return None;
         }
         let (mut ctx, ids) = gpu_context(vec![

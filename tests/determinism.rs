@@ -1,0 +1,100 @@
+//! The parallel engine's determinism contract: running the suite with
+//! `SIM_THREADS=1` and `SIM_THREADS=8` must produce **byte-identical**
+//! results — every cell's timing, energy, counters and skip reasons, and
+//! every exported artifact (CSV, JSONL, Chrome trace files).
+//!
+//! This works because the engine decomposes each work-group's cost
+//! accounting into a per-group op-side shard plus an ordered replay of its
+//! recorded memory accesses, and absorbs both in ascending group order on
+//! every code path (see `kernel_ir::trace::ShardTracer`). Suite cells are
+//! likewise independent, with per-cell meter seeds.
+
+use harness::{run_suite, to_csv, to_jsonl, write_traces, SuiteResults};
+use hpc_kernels::test_suite;
+use std::path::PathBuf;
+
+fn suite_at(threads: usize) -> SuiteResults {
+    sim_pool::set_threads(threads);
+    run_suite(&test_suite(), false)
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("mali-hpc-determinism-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+#[test]
+fn suite_is_bit_identical_across_thread_counts() {
+    let r1 = suite_at(1);
+    let r8 = suite_at(8);
+
+    // Every cell, field by field, at the bit level.
+    assert_eq!(r1.bench_names, r8.bench_names);
+    let mut k1: Vec<_> = r1.cells.keys().map(|k| format!("{k:?}")).collect();
+    let mut k8: Vec<_> = r8.cells.keys().map(|k| format!("{k:?}")).collect();
+    k1.sort();
+    k8.sort();
+    assert_eq!(k1, k8, "same set of cells");
+    for (key, e1) in &r1.cells {
+        let e8 = &r8.cells[key];
+        match (e1, e8) {
+            (Ok(c1), Ok(c8)) => {
+                let tag = format!("{key:?}");
+                assert_eq!(
+                    c1.outcome.time_s.to_bits(),
+                    c8.outcome.time_s.to_bits(),
+                    "time_s differs for {tag}"
+                );
+                assert_eq!(
+                    c1.energy_j.to_bits(),
+                    c8.energy_j.to_bits(),
+                    "energy_j differs for {tag}"
+                );
+                assert_eq!(
+                    c1.measurement.mean_power_w.to_bits(),
+                    c8.measurement.mean_power_w.to_bits(),
+                    "mean power differs for {tag}"
+                );
+                assert_eq!(c1.iterations, c8.iterations, "iterations differ for {tag}");
+                assert_eq!(c1.counters, c8.counters, "counters differ for {tag}");
+                assert_eq!(
+                    c1.outcome.max_rel_err.to_bits(),
+                    c8.outcome.max_rel_err.to_bits(),
+                    "validation error differs for {tag}"
+                );
+                assert_eq!(c1.outcome.note, c8.outcome.note, "note differs for {tag}");
+            }
+            (Err(s1), Err(s8)) => {
+                assert_eq!(format!("{s1:?}"), format!("{s8:?}"), "skip reason differs");
+            }
+            _ => panic!("cell {key:?} succeeded under one thread count only"),
+        }
+    }
+
+    // Exported artifacts, byte for byte.
+    assert_eq!(to_csv(&r1), to_csv(&r8), "CSV export differs");
+    assert_eq!(to_jsonl(&r1), to_jsonl(&r8), "JSONL export differs");
+
+    let d1 = tmpdir("t1");
+    let d8 = tmpdir("t8");
+    let p1 = write_traces(&r1, &d1).expect("trace write (serial)");
+    let p8 = write_traces(&r8, &d8).expect("trace write (parallel)");
+    assert_eq!(p1.len(), p8.len(), "trace file count differs");
+    for (a, b) in p1.iter().zip(&p8) {
+        assert_eq!(a.file_name(), b.file_name());
+        assert_eq!(
+            std::fs::read(a).unwrap(),
+            std::fs::read(b).unwrap(),
+            "trace file {:?} differs",
+            a.file_name()
+        );
+    }
+    assert_eq!(
+        std::fs::read(d1.join("metrics.jsonl")).unwrap(),
+        std::fs::read(d8.join("metrics.jsonl")).unwrap(),
+        "metrics.jsonl differs"
+    );
+    let _ = std::fs::remove_dir_all(&d1);
+    let _ = std::fs::remove_dir_all(&d8);
+}

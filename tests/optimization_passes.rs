@@ -5,7 +5,9 @@
 use kernel_ir::prelude::*;
 use kernel_ir::Access;
 use mali_gpu::MaliT604;
-use mali_hpc::{autotune, sweep, unroll, vectorize, wg_size_candidates, SearchSpace};
+use mali_hpc::{
+    autotune, local_divides_global, sweep, unroll, vectorize, wg_size_candidates, SearchSpace,
+};
 
 /// `out[i] = a[i]*a[i] + b[i]` — a clean vectorization target.
 fn fma_map() -> Program {
@@ -134,7 +136,7 @@ fn wg_sweep_on_device_finds_a_divisible_winner() {
     let n = 1 << 14;
     let p = fma_map();
     let result = sweep(&wg_size_candidates(256), |&wg| {
-        if n % wg != 0 {
+        if !local_divides_global(n, wg) {
             return None;
         }
         Some(run_on_gpu(&p, n, n, wg).1)
@@ -155,7 +157,7 @@ fn autotune_against_the_device_beats_the_naive_launch() {
     };
     let result = autotune(&base, &space, |p, divisor, wg| {
         let items = n / divisor;
-        if items % wg != 0 {
+        if !local_divides_global(items, wg) {
             return None;
         }
         Some(run_on_gpu(p, n, items, wg).1)

@@ -48,6 +48,9 @@ pub struct CpuReport {
     /// Why the engine forced serial group execution (e.g. global atomics),
     /// if it did.
     pub sim_serial_reason: Option<&'static str>,
+    /// Injected mid-run DVFS throttle factor (> 1 stretches every
+    /// time-like quantity), if the ambient fault plan fired one.
+    pub dvfs_throttle: Option<f64>,
 }
 
 /// Mem-side tracer state: the cache hierarchy and stride classifiers whose
@@ -315,7 +318,7 @@ impl CortexA15 {
             dram_bytes: hier.traffic.total_lines() * self.cfg.dram.line_bytes as u64,
         };
 
-        Ok(CpuReport {
+        let mut report = CpuReport {
             time_s,
             compute_time_s: compute_time,
             mem_time_s: mem_time,
@@ -327,7 +330,39 @@ impl CortexA15 {
             spans,
             sim_threads: stats.threads,
             sim_serial_reason: stats.serial_reason,
-        })
+            dvfs_throttle: None,
+        };
+        maybe_throttle(&mut report, &program.name);
+        Ok(report)
+    }
+}
+
+/// Fault injection: the `interactive` governor throttles the big cluster
+/// mid-run, stretching every time-like quantity by one uniform factor.
+/// Keyed on the kernel name, core count and group count so the decision is
+/// a pure function of the run. Counters and traffic are unaffected.
+fn maybe_throttle(report: &mut CpuReport, program_name: &str) {
+    let Some(plan) = sim_faults::current() else {
+        return;
+    };
+    let seq = sim_faults::hash_key(program_name)
+        ^ (report.spans.len() as u64)
+        ^ ((report.cores_used as u64) << 32);
+    if !plan.roll(sim_faults::FaultSite::DvfsThrottle, seq) {
+        return;
+    }
+    let k = plan.uniform(sim_faults::FaultSite::DvfsThrottle, seq, 1.1, 1.4);
+    sim_faults::note(sim_faults::FaultSite::DvfsThrottle);
+    report.dvfs_throttle = Some(k);
+    report.time_s *= k;
+    report.compute_time_s *= k;
+    report.mem_time_s *= k;
+    report.activity.duration_s *= k;
+    report.activity.cpu_busy_s[0] *= k;
+    report.activity.cpu_busy_s[1] *= k;
+    for s in &mut report.spans {
+        s.start_s *= k;
+        s.end_s *= k;
     }
 }
 

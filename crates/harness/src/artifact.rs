@@ -1,0 +1,73 @@
+//! Crash-safe artifact writes.
+//!
+//! Every file the harness emits (CSV, JSONL, traces, `BENCH_sim.json`,
+//! the `suite.state` checkpoint) goes through [`atomic_write`]: the
+//! content lands in a temporary sibling first and is renamed into place,
+//! so a crash — injected or genuine — mid-write never leaves a truncated
+//! artifact behind. `rename(2)` within one directory is atomic on every
+//! platform the simulator targets.
+
+use std::io;
+use std::path::Path;
+
+/// Write `content` to `path` atomically (temp file + rename). The
+/// temporary name embeds the process id so concurrent harness processes
+/// sharing an output directory never clobber each other's staging files.
+pub fn atomic_write(path: &Path, content: &[u8]) -> io::Result<()> {
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
+    let tmp_name = format!(
+        ".{}.tmp.{}",
+        file_name.to_string_lossy(),
+        std::process::id()
+    );
+    let tmp = match dir {
+        Some(d) => d.join(&tmp_name),
+        None => std::path::PathBuf::from(&tmp_name),
+    };
+    std::fs::write(&tmp, content)?;
+    match std::fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            // Leave no droppings when the rename itself fails.
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("harness-artifact-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn writes_and_replaces() {
+        let d = tmp_dir("basic");
+        let p = d.join("out.txt");
+        atomic_write(&p, b"one").unwrap();
+        assert_eq!(std::fs::read(&p).unwrap(), b"one");
+        atomic_write(&p, b"two").unwrap();
+        assert_eq!(std::fs::read(&p).unwrap(), b"two");
+        // No staging files left behind.
+        let leftovers: Vec<_> = std::fs::read_dir(&d)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn missing_file_name_is_an_error() {
+        assert!(atomic_write(Path::new("/"), b"x").is_err());
+    }
+}

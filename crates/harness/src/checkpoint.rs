@@ -1,0 +1,578 @@
+//! `suite.state` — the crash-safe sweep checkpoint.
+//!
+//! A dependency-free, line-oriented text format: one `meta` header line
+//! identifying the suite (state tag, fault seed, benchmark list) and one
+//! `cell` line per completed cell, fully serializing the [`CellEntry`] —
+//! floats as IEEE-754 bit patterns in hex so the round trip is exact and a
+//! resumed run's artifacts are byte-identical to an uninterrupted one.
+//!
+//! The file is rewritten atomically (temp + rename) after every completed
+//! cell and the lines are kept sorted, so the on-disk bytes are a pure
+//! function of the *set* of finished cells, independent of completion
+//! order and thread count. Corrupt or unknown lines are skipped on load:
+//! a damaged checkpoint costs rework, never a crash.
+
+use crate::artifact::atomic_write;
+use crate::runner::{Cell, CellEntry, CellError, CellKey, FailKind};
+use hpc_kernels::{RunOutcome, RunSkip, Variant};
+use powersim::{Activity, Measurement};
+use std::collections::HashMap;
+use std::io;
+use std::path::Path;
+use telemetry::{CommandSpan, Counters, RunTelemetry, WorkSpan};
+
+const MAGIC: &str = "simstate v1";
+
+/// Identity of the sweep a checkpoint belongs to. Loaded state is only
+/// reused when the whole header matches the resuming run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StateHeader {
+    /// Suite scale tag ("paper" / "test").
+    pub tag: String,
+    /// Fault-plan seed of the run, if chaos was enabled.
+    pub fault_seed: Option<u64>,
+    /// Benchmark names, in suite order.
+    pub benches: Vec<String>,
+}
+
+// ---- token-level encoding ----
+
+/// Percent-encode the bytes that would break the line/field structure.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        match b {
+            b'%' | b'|' | b',' | b'\n' | b'\r' => out.push_str(&format!("%{b:02x}")),
+            _ => out.push(b as char),
+        }
+    }
+    out
+}
+
+fn unesc(s: &str) -> Option<String> {
+    let mut out = Vec::with_capacity(s.len());
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hex = bytes.get(i + 1..i + 3)?;
+            out.push(u8::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?);
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
+fn fbits(x: f64) -> String {
+    format!("{:016x}", x.to_bits())
+}
+
+/// Sequential token reader over one '|'-separated line.
+struct Tokens<'a> {
+    it: std::str::Split<'a, char>,
+}
+
+impl<'a> Tokens<'a> {
+    fn new(line: &'a str) -> Self {
+        Tokens {
+            it: line.split('|'),
+        }
+    }
+
+    fn str(&mut self) -> Option<&'a str> {
+        self.it.next()
+    }
+
+    fn string(&mut self) -> Option<String> {
+        unesc(self.it.next()?)
+    }
+
+    fn f64(&mut self) -> Option<f64> {
+        Some(f64::from_bits(
+            u64::from_str_radix(self.it.next()?, 16).ok()?,
+        ))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.it.next()?.parse().ok()
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.it.next()?.parse().ok()
+    }
+
+    fn usize(&mut self) -> Option<usize> {
+        self.it.next()?.parse().ok()
+    }
+}
+
+/// `CommandSpan::cat` is a `&'static str`; map the stored string back to
+/// the known statics (unknown categories make the line corrupt).
+fn static_cat(s: &str) -> Option<&'static str> {
+    Some(match s {
+        "kernel" => "kernel",
+        "write" => "write",
+        "read" => "read",
+        "map" => "map",
+        "unmap" => "unmap",
+        "cpu" => "cpu",
+        _ => return None,
+    })
+}
+
+fn push_counters(t: &mut Vec<String>, c: &Counters) {
+    for v in c.ops_by_class {
+        t.push(v.to_string());
+    }
+    for v in c.width_hist {
+        t.push(v.to_string());
+    }
+    for v in [c.flops, c.int_ops, c.special_ops] {
+        t.push(fbits(v));
+    }
+    for v in [
+        c.loads,
+        c.stores,
+        c.atomics,
+        c.bytes_read,
+        c.bytes_written,
+        c.local_accesses,
+        c.gather_accesses,
+        c.contiguous_accesses,
+        c.barriers,
+        c.loop_iters,
+        c.threads,
+        c.groups,
+        c.hier_accesses,
+        c.l1_hits,
+        c.l2_hits,
+        c.dram_lines,
+        c.dram_stream_lines,
+        c.dram_scatter_lines,
+        c.dram_writeback_lines,
+    ] {
+        t.push(v.to_string());
+    }
+    for v in [
+        c.resident_threads,
+        c.max_resident_threads,
+        c.registers_per_thread,
+    ] {
+        t.push(v.to_string());
+    }
+}
+
+fn read_counters(t: &mut Tokens) -> Option<Counters> {
+    let mut ops_by_class = [0u64; 9];
+    for v in &mut ops_by_class {
+        *v = t.u64()?;
+    }
+    let mut width_hist = [0u64; 5];
+    for v in &mut width_hist {
+        *v = t.u64()?;
+    }
+    // Exhaustive literal: adding a Counters field breaks this build until
+    // the checkpoint codec learns about it.
+    Some(Counters {
+        ops_by_class,
+        width_hist,
+        flops: t.f64()?,
+        int_ops: t.f64()?,
+        special_ops: t.f64()?,
+        loads: t.u64()?,
+        stores: t.u64()?,
+        atomics: t.u64()?,
+        bytes_read: t.u64()?,
+        bytes_written: t.u64()?,
+        local_accesses: t.u64()?,
+        gather_accesses: t.u64()?,
+        contiguous_accesses: t.u64()?,
+        barriers: t.u64()?,
+        loop_iters: t.u64()?,
+        threads: t.u64()?,
+        groups: t.u64()?,
+        hier_accesses: t.u64()?,
+        l1_hits: t.u64()?,
+        l2_hits: t.u64()?,
+        dram_lines: t.u64()?,
+        dram_stream_lines: t.u64()?,
+        dram_scatter_lines: t.u64()?,
+        dram_writeback_lines: t.u64()?,
+        resident_threads: t.u32()?,
+        max_resident_threads: t.u32()?,
+        registers_per_thread: t.u32()?,
+    })
+}
+
+fn push_cell(t: &mut Vec<String>, cell: &Cell) {
+    t.push(cell.attempts.to_string());
+    let o = &cell.outcome;
+    t.push(fbits(o.time_s));
+    let a = &o.activity;
+    for v in [
+        a.duration_s,
+        a.cpu_busy_s[0],
+        a.cpu_busy_s[1],
+        a.gpu_active_s,
+        a.gpu_arith_util_s,
+        a.gpu_ls_util_s,
+    ] {
+        t.push(fbits(v));
+    }
+    t.push(a.dram_bytes.to_string());
+    t.push(if o.validated { "1" } else { "0" }.into());
+    t.push(fbits(o.max_rel_err));
+    t.push(match &o.note {
+        Some(n) => format!("+{}", esc(n)),
+        None => "-".into(),
+    });
+    push_counters(t, &o.telemetry.counters);
+    t.push(o.telemetry.commands.len().to_string());
+    for c in &o.telemetry.commands {
+        t.push(esc(&c.name));
+        t.push(esc(c.cat));
+        t.push(fbits(c.start_s));
+        t.push(fbits(c.end_s));
+    }
+    t.push(o.telemetry.core_spans.len().to_string());
+    for s in &o.telemetry.core_spans {
+        t.push(s.core.to_string());
+        t.push(s.group.to_string());
+        t.push(fbits(s.start_s));
+        t.push(fbits(s.end_s));
+    }
+    let m = &cell.measurement;
+    for v in [
+        m.duration_s,
+        m.mean_power_w,
+        m.std_power_w,
+        m.mean_energy_j,
+        m.std_energy_j,
+    ] {
+        t.push(fbits(v));
+    }
+    t.push(m.repetitions.to_string());
+    t.push(cell.iterations.to_string());
+    t.push(fbits(cell.energy_j));
+}
+
+fn read_cell(t: &mut Tokens) -> Option<Cell> {
+    let attempts = t.u32()?;
+    let time_s = t.f64()?;
+    let activity = Activity {
+        duration_s: t.f64()?,
+        cpu_busy_s: [t.f64()?, t.f64()?],
+        gpu_active_s: t.f64()?,
+        gpu_arith_util_s: t.f64()?,
+        gpu_ls_util_s: t.f64()?,
+        dram_bytes: t.u64()?,
+    };
+    let validated = match t.str()? {
+        "1" => true,
+        "0" => false,
+        _ => return None,
+    };
+    let max_rel_err = t.f64()?;
+    let note = match t.str()? {
+        "-" => None,
+        s => Some(unesc(s.strip_prefix('+')?)?),
+    };
+    let counters = read_counters(t)?;
+    let n_cmds = t.usize()?;
+    // Cap counts to the remaining token estimate to avoid absurd
+    // allocations from a corrupt line.
+    if n_cmds > 1_000_000 {
+        return None;
+    }
+    let mut commands = Vec::with_capacity(n_cmds);
+    for _ in 0..n_cmds {
+        commands.push(CommandSpan {
+            name: t.string()?,
+            cat: static_cat(&t.string()?)?,
+            start_s: t.f64()?,
+            end_s: t.f64()?,
+        });
+    }
+    let n_spans = t.usize()?;
+    if n_spans > 10_000_000 {
+        return None;
+    }
+    let mut core_spans = Vec::with_capacity(n_spans);
+    for _ in 0..n_spans {
+        core_spans.push(WorkSpan {
+            core: t.u32()?,
+            group: t.u32()?,
+            start_s: t.f64()?,
+            end_s: t.f64()?,
+        });
+    }
+    let measurement = Measurement {
+        duration_s: t.f64()?,
+        mean_power_w: t.f64()?,
+        std_power_w: t.f64()?,
+        mean_energy_j: t.f64()?,
+        std_energy_j: t.f64()?,
+        repetitions: t.u32()?,
+    };
+    let iterations = t.u32()?;
+    let energy_j = t.f64()?;
+    Some(Cell {
+        outcome: RunOutcome {
+            time_s,
+            activity,
+            validated,
+            max_rel_err,
+            note,
+            telemetry: RunTelemetry {
+                counters: counters.clone(),
+                commands,
+                core_spans,
+            },
+        },
+        measurement,
+        iterations,
+        energy_j,
+        counters,
+        attempts,
+    })
+}
+
+fn variant_index(v: Variant) -> usize {
+    Variant::ALL.iter().position(|x| *x == v).unwrap()
+}
+
+fn entry_line(key: &CellKey, entry: &CellEntry) -> String {
+    let (bench, v, prec) = key;
+    let mut t = vec![
+        "cell".to_string(),
+        esc(bench),
+        variant_index(*v).to_string(),
+        prec.to_string(),
+    ];
+    match entry {
+        CellEntry::Ok(cell) => {
+            t.push("ok".into());
+            push_cell(&mut t, cell);
+        }
+        CellEntry::Skipped(skip) => {
+            t.push("skip".into());
+            let (kind, msg) = match skip {
+                RunSkip::CompilerBug(m) => ("compiler-bug", m),
+                RunSkip::LaunchFailure(m) => ("launch-failure", m),
+            };
+            t.push(kind.into());
+            t.push(esc(msg));
+        }
+        CellEntry::Failed(err) => {
+            t.push("fail".into());
+            t.push(err.kind.label().into());
+            t.push(esc(&err.message));
+            t.push(err.attempts.to_string());
+            t.push(err.backoff_ms.to_string());
+        }
+    }
+    t.join("|")
+}
+
+fn parse_entry(line: &str) -> Option<(CellKey, CellEntry)> {
+    let mut t = Tokens::new(line);
+    if t.str()? != "cell" {
+        return None;
+    }
+    let bench = t.string()?;
+    let v = *Variant::ALL.get(t.usize()?)?;
+    let prec = t.str()?.parse::<u8>().ok()?;
+    let entry = match t.str()? {
+        "ok" => CellEntry::Ok(read_cell(&mut t)?),
+        "skip" => {
+            let kind = t.str()?.to_string();
+            let msg = t.string()?;
+            CellEntry::Skipped(match kind.as_str() {
+                "compiler-bug" => RunSkip::CompilerBug(msg),
+                "launch-failure" => RunSkip::LaunchFailure(msg),
+                _ => return None,
+            })
+        }
+        "fail" => CellEntry::Failed(CellError {
+            kind: FailKind::from_label(t.str()?)?,
+            message: t.string()?,
+            attempts: t.u32()?,
+            backoff_ms: t.u64()?,
+        }),
+        _ => return None,
+    };
+    Some(((bench, v, prec), entry))
+}
+
+fn meta_line(h: &StateHeader) -> String {
+    format!(
+        "meta|{}|{}|{}",
+        esc(&h.tag),
+        h.fault_seed.map(|s| s.to_string()).unwrap_or("-".into()),
+        h.benches
+            .iter()
+            .map(|b| esc(b))
+            .collect::<Vec<_>>()
+            .join(",")
+    )
+}
+
+fn parse_meta(line: &str) -> Option<StateHeader> {
+    let mut t = Tokens::new(line);
+    if t.str()? != "meta" {
+        return None;
+    }
+    let tag = t.string()?;
+    let fault_seed = match t.str()? {
+        "-" => None,
+        s => Some(s.parse().ok()?),
+    };
+    let benches = match t.str()? {
+        "" => Vec::new(),
+        s => s.split(',').map(unesc).collect::<Option<Vec<String>>>()?,
+    };
+    Some(StateHeader {
+        tag,
+        fault_seed,
+        benches,
+    })
+}
+
+/// Serialize the whole state (header + every finished cell) and write it
+/// atomically. Lines are sorted so the bytes depend only on the set of
+/// finished cells, not on completion order.
+pub fn save(
+    path: &Path,
+    header: &StateHeader,
+    entries: &HashMap<CellKey, CellEntry>,
+) -> io::Result<()> {
+    let mut lines: Vec<String> = entries.iter().map(|(k, e)| entry_line(k, e)).collect();
+    lines.sort_unstable();
+    let mut out = String::new();
+    out.push_str(MAGIC);
+    out.push('\n');
+    out.push_str(&meta_line(header));
+    out.push('\n');
+    for l in &lines {
+        out.push_str(l);
+        out.push('\n');
+    }
+    atomic_write(path, out.as_bytes())
+}
+
+/// Load a checkpoint. Returns `None` when the file is missing or its
+/// magic/header is unreadable; individual corrupt cell lines (e.g. a
+/// truncated tail) are silently dropped — they just get recomputed.
+pub fn load(path: &Path) -> Option<(StateHeader, HashMap<CellKey, CellEntry>)> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let mut lines = text.lines();
+    if lines.next()? != MAGIC {
+        return None;
+    }
+    let header = parse_meta(lines.next()?)?;
+    let mut entries = HashMap::new();
+    for line in lines {
+        if let Some((k, e)) = parse_entry(line) {
+            entries.insert(k, e);
+        }
+    }
+    Some((header, entries))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_suite;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("harness-ckpt-{name}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn escaping_round_trips() {
+        for s in ["plain", "a|b,c%d", "line\nbreak\r", "", "100%"] {
+            assert_eq!(unesc(&esc(s)).as_deref(), Some(s));
+            assert!(!esc(s).contains('|') || s.is_empty());
+        }
+        assert_eq!(unesc("%zz"), None);
+        assert_eq!(unesc("%7"), None);
+    }
+
+    #[test]
+    fn full_suite_state_round_trips_exactly() {
+        let results = run_suite(&hpc_kernels::test_suite(), false);
+        let header = StateHeader {
+            tag: "test".into(),
+            fault_seed: Some(42),
+            benches: results.bench_names.clone(),
+        };
+        let path = tmp("roundtrip");
+        save(&path, &header, &results.cells).unwrap();
+        let (h2, cells2) = load(&path).unwrap();
+        assert_eq!(h2, header);
+        assert_eq!(cells2.len(), results.cells.len());
+        // Byte-exact: serializing the loaded state reproduces the file.
+        let path2 = tmp("roundtrip2");
+        save(&path2, &h2, &cells2).unwrap();
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            std::fs::read(&path2).unwrap()
+        );
+        // Spot-check bit-exact floats through the round trip.
+        for (k, e) in &results.cells {
+            match (e, &cells2[k]) {
+                (CellEntry::Ok(a), CellEntry::Ok(b)) => {
+                    assert_eq!(a.outcome.time_s.to_bits(), b.outcome.time_s.to_bits());
+                    assert_eq!(a.energy_j.to_bits(), b.energy_j.to_bits());
+                    assert_eq!(a.counters, b.counters);
+                    assert_eq!(a.outcome.telemetry.commands, b.outcome.telemetry.commands);
+                    assert_eq!(
+                        a.outcome.telemetry.core_spans,
+                        b.outcome.telemetry.core_spans
+                    );
+                    assert_eq!(a.measurement, b.measurement);
+                    assert_eq!(a.attempts, b.attempts);
+                }
+                (CellEntry::Skipped(a), CellEntry::Skipped(b)) => assert_eq!(a, b),
+                (CellEntry::Failed(a), CellEntry::Failed(b)) => assert_eq!(a, b),
+                (a, b) => panic!("variant mismatch for {k:?}: {a:?} vs {b:?}"),
+            }
+        }
+        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(&path2).unwrap();
+    }
+
+    #[test]
+    fn corrupt_lines_are_dropped_not_fatal() {
+        let path = tmp("corrupt");
+        let good = run_suite(&hpc_kernels::test_suite(), false);
+        let header = StateHeader {
+            tag: "test".into(),
+            fault_seed: None,
+            benches: good.bench_names.clone(),
+        };
+        save(&path, &header, &good.cells).unwrap();
+        // Truncate the last line mid-token, as a crash mid-append would.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.truncate(text.len() - 40);
+        text.push_str("\ncell|garbage");
+        std::fs::write(&path, &text).unwrap();
+        let (h, cells) = load(&path).unwrap();
+        assert_eq!(h, header);
+        assert!(cells.len() >= good.cells.len() - 2);
+        assert!(cells.len() < good.cells.len() + 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_or_foreign_files_load_as_none() {
+        assert!(load(Path::new("/nonexistent/suite.state")).is_none());
+        let path = tmp("foreign");
+        std::fs::write(&path, "not a state file\n").unwrap();
+        assert!(load(&path).is_none());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

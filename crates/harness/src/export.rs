@@ -3,16 +3,19 @@
 //! One row per (benchmark, version, precision) cell with the raw measured
 //! quantities plus the serial-normalized ratios the paper's figures plot.
 //! Skipped cells (the amcd double-precision driver bug) export with a
-//! `skip_reason` and empty numeric fields, so a plotting script sees the
-//! missing bars explicitly.
+//! `skip_reason` and empty numeric fields, and failed cells (chaos runs,
+//! genuine bugs) export with `status=fail` plus the structured failure
+//! columns — so a plotting script sees the missing bars explicitly and a
+//! chaos sweep never silently loses a cell.
 
-use crate::runner::SuiteResults;
+use crate::runner::{CellEntry, SuiteResults};
 use hpc_kernels::{Precision, Variant};
 use std::fmt::Write as _;
 
 /// CSV header, stable across releases (append-only policy).
 pub const HEADER: &str = "bench,version,precision,time_s,power_w,power_sigma_w,\
-energy_j,iterations,speedup,power_ratio,energy_ratio,note,skip_reason";
+energy_j,iterations,speedup,power_ratio,energy_ratio,note,skip_reason,\
+status,fail_kind,fail_detail,attempts";
 
 fn esc(s: &str) -> String {
     // RFC 4180: a field containing separators, quotes OR line breaks must
@@ -71,11 +74,11 @@ pub fn to_csv(results: &SuiteResults) -> String {
     for bench in &results.bench_names {
         for prec in Precision::ALL {
             for v in Variant::ALL {
-                match results.cell(bench, v, prec) {
-                    Some(cell) => {
+                match results.entry(bench, v, prec) {
+                    Some(CellEntry::Ok(cell)) => {
                         let _ = writeln!(
                             out,
-                            "{bench},{},{},{:.6e},{:.4},{:.6},{:.6e},{},{},{},{},{},",
+                            "{bench},{},{},{:.6e},{:.4},{:.6},{:.6e},{},{},{},{},{},,ok,,,{}",
                             v.label().replace(' ', "-"),
                             prec.label(),
                             cell.outcome.time_s,
@@ -87,19 +90,35 @@ pub fn to_csv(results: &SuiteResults) -> String {
                             fmt_ratio(results.power_ratio(bench, v, prec)),
                             fmt_ratio(results.energy_ratio(bench, v, prec)),
                             esc(cell.outcome.note.as_deref().unwrap_or("")),
+                            cell.attempts,
+                        );
+                    }
+                    Some(CellEntry::Skipped(reason)) => {
+                        let _ = writeln!(
+                            out,
+                            "{bench},{},{},,,,,,,,,,{},skip,,,",
+                            v.label().replace(' ', "-"),
+                            prec.label(),
+                            esc(&reason.to_string()),
+                        );
+                    }
+                    Some(CellEntry::Failed(err)) => {
+                        let _ = writeln!(
+                            out,
+                            "{bench},{},{},,,,,,,,,,,fail,{},{},{}",
+                            v.label().replace(' ', "-"),
+                            prec.label(),
+                            err.kind.label(),
+                            esc(&err.message),
+                            err.attempts,
                         );
                     }
                     None => {
-                        let reason = results
-                            .skip_reason(bench, v, prec)
-                            .map(|r| r.to_string())
-                            .unwrap_or_default();
                         let _ = writeln!(
                             out,
-                            "{bench},{},{},,,,,,,,,,{}",
+                            "{bench},{},{},,,,,,,,,,,,,,",
                             v.label().replace(' ', "-"),
                             prec.label(),
-                            esc(&reason),
                         );
                     }
                 }
@@ -147,10 +166,12 @@ pub fn to_jsonl(results: &SuiteResults) -> String {
                     ("version".into(), jstr(&v.label().replace(' ', "-"))),
                     ("precision".into(), jstr(prec.label())),
                 ];
-                match results.cell(bench, v, prec) {
-                    Some(cell) => {
+                match results.entry(bench, v, prec) {
+                    Some(CellEntry::Ok(cell)) => {
                         let c = &cell.counters;
                         obj.extend([
+                            ("status".into(), jstr("ok")),
+                            ("attempts".into(), format!("{}", cell.attempts)),
                             ("time_s".into(), jnum(cell.outcome.time_s)),
                             ("power_w".into(), jnum(cell.measurement.mean_power_w)),
                             ("power_sigma_w".into(), jnum(cell.measurement.std_power_w)),
@@ -201,13 +222,20 @@ pub fn to_jsonl(results: &SuiteResults) -> String {
                             ),
                         ]);
                     }
-                    None => {
-                        let reason = results
-                            .skip_reason(bench, v, prec)
-                            .map(|r| r.to_string())
-                            .unwrap_or_default();
-                        obj.push(("skip_reason".into(), jstr(&reason)));
+                    Some(CellEntry::Skipped(reason)) => {
+                        obj.push(("status".into(), jstr("skip")));
+                        obj.push(("skip_reason".into(), jstr(&reason.to_string())));
                     }
+                    Some(CellEntry::Failed(err)) => {
+                        obj.extend([
+                            ("status".into(), jstr("fail")),
+                            ("fail_kind".into(), jstr(err.kind.label())),
+                            ("fail_detail".into(), jstr(&err.message)),
+                            ("attempts".into(), format!("{}", err.attempts)),
+                            ("backoff_ms".into(), format!("{}", err.backoff_ms)),
+                        ]);
+                    }
+                    None => {}
                 }
                 let fields: Vec<String> = obj
                     .iter()
@@ -259,7 +287,18 @@ mod tests {
         assert_eq!(amcd_skips.len(), 2);
         for l in amcd_skips {
             assert!(l.contains("compiler bug"), "{l}");
+            assert!(l.contains(",skip,"), "{l}");
         }
+        // Every row carries a status column; clean cells say ok with one
+        // attempt.
+        for r in records.iter().skip(1) {
+            assert!(matches!(r[13].as_str(), "ok" | "skip" | "fail"), "{r:?}");
+            if r[13] == "ok" {
+                assert_eq!(r[16], "1", "{r:?}");
+            }
+        }
+        assert!(jsonl.contains("\"status\":\"ok\""));
+        assert!(jsonl.contains("\"status\":\"skip\""));
         // Serial rows have speedup 1.
         assert!(lines
             .iter()

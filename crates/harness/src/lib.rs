@@ -7,7 +7,9 @@
 //! for every figure. See the `harness` binary for the CLI.
 
 pub mod ablation;
+pub mod artifact;
 pub mod bench_self;
+pub mod checkpoint;
 pub mod dvfs;
 pub mod export;
 pub mod figures;
@@ -18,7 +20,11 @@ pub mod roofline;
 pub mod runner;
 pub mod trace;
 
+pub use artifact::atomic_write;
 pub use export::{parse_csv, to_csv, to_jsonl};
 pub use figures::{fig2, fig3, fig4, headline, summary};
-pub use runner::{measure, run_suite, Cell, SuiteResults};
+pub use runner::{
+    measure, run_suite, run_suite_with, Cell, CellEntry, CellError, FailKind, SuiteConfig,
+    SuiteResults,
+};
 pub use trace::write_traces;

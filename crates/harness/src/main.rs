@@ -6,6 +6,7 @@
 //! harness fig3a|fig3b    # Figure 3 power
 //! harness fig4a|fig4b    # Figure 4 energy-to-solution
 //! harness summary        # §V-D headline numbers
+//! harness suite          # run the sweep, print a completion report
 //! harness ablation       # §III per-technique decomposition
 //! harness dvfs           # extension: GPU frequency/voltage sweep
 //! harness roofline       # roofline placement of the GPU kernels
@@ -14,88 +15,207 @@
 //! harness jsonl          # same cells as JSON Lines (counter fields incl.)
 //! harness profile <b>    # per-variant performance-counter report
 //! harness bench-self     # simulator self-benchmark -> BENCH_sim.json
-//!
-//! Flags: --test-scale (small inputs), --trace <dir> (one Chrome trace
-//! file per cell + metrics.jsonl), --threads <n> (simulation worker
-//! threads; also settable via SIM_THREADS), --check (with bench-self:
-//! fail unless serial/parallel outputs match byte for byte), --quiet,
-//! --verbose.
 //! ```
+//!
+//! Run `harness --help` for the flags (fault injection, resume,
+//! fail-fast, traces, threads) and the exit-code contract.
 
-use harness::{fig2, fig3, fig4, run_suite, summary};
+use harness::{fig2, fig3, fig4, run_suite_with, summary, SuiteConfig};
 use hpc_kernels::Precision;
 use telemetry::log;
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut test_scale = false;
-    let mut quiet = false;
-    let mut verbose = false;
-    let mut trace_dir: Option<std::path::PathBuf> = None;
-    let mut check = false;
-    let mut cmds: Vec<&str> = Vec::new();
+const KNOWN: [&str; 17] = [
+    "all",
+    "fig2a",
+    "fig2b",
+    "fig3a",
+    "fig3b",
+    "fig4a",
+    "fig4b",
+    "summary",
+    "suite",
+    "ablation",
+    "dvfs",
+    "roofline",
+    "hetero",
+    "csv",
+    "jsonl",
+    "profile",
+    "bench-self",
+];
+
+fn usage() -> String {
+    format!(
+        "usage: harness [{}] [flags]
+
+flags:
+  --test-scale        small inputs (fast; CI scale)
+  --trace <dir>       one Chrome trace file per cell + metrics.jsonl
+  --threads <n>       simulation worker threads (or SIM_THREADS env)
+  --fault-seed <n>    enable deterministic fault injection with this seed
+                      (or FAULT_SEED env); same seed => byte-identical
+                      artifacts at any thread count
+  --state <path>      checkpoint file for suite runs (default suite.state
+                      when --resume is given; otherwise no checkpointing
+                      unless --state is passed)
+  --resume            preload finished cells from the checkpoint instead
+                      of rerunning them
+  --keep-going        record cell failures and continue (default)
+  --fail-fast         stop scheduling new cells after the first failure
+                      (remaining cells export as status=fail/aborted;
+                      which cells were reached depends on thread timing)
+  --check             with bench-self: fail unless serial and parallel
+                      outputs match byte for byte
+  --quiet | --verbose log verbosity
+  --help              this text
+
+exit codes:
+  0  every cell ran (skips from the paper's known driver bugs are fine)
+  1  at least one cell failed (status=fail rows in the artifacts), or an
+     artifact could not be written
+  2  usage or configuration error",
+        KNOWN.join("|")
+    )
+}
+
+struct Opts {
+    test_scale: bool,
+    quiet: bool,
+    verbose: bool,
+    check: bool,
+    trace_dir: Option<std::path::PathBuf>,
+    fault_seed: Option<u64>,
+    state: Option<std::path::PathBuf>,
+    resume: bool,
+    fail_fast: bool,
+    cmds: Vec<String>,
+}
+
+/// Parse the command line. `Err` is a usage error (exit 2), never a panic.
+fn parse_args(args: &[String]) -> Result<Opts, String> {
+    let mut o = Opts {
+        test_scale: false,
+        quiet: false,
+        verbose: false,
+        check: false,
+        trace_dir: None,
+        fault_seed: None,
+        state: None,
+        resume: false,
+        fail_fast: false,
+        cmds: Vec::new(),
+    };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--test-scale" => test_scale = true,
-            "--quiet" => quiet = true,
-            "--verbose" => verbose = true,
-            "--check" => check = true,
+            "--test-scale" => o.test_scale = true,
+            "--quiet" => o.quiet = true,
+            "--verbose" => o.verbose = true,
+            "--check" => o.check = true,
+            "--keep-going" => o.fail_fast = false,
+            "--fail-fast" => o.fail_fast = true,
+            "--resume" => o.resume = true,
+            "--help" | "-h" => return Err(String::new()),
             "--trace" => match it.next() {
-                Some(dir) => trace_dir = Some(dir.into()),
-                None => {
-                    eprintln!("--trace needs a directory argument");
-                    std::process::exit(2);
-                }
+                Some(dir) if !dir.starts_with("--") => o.trace_dir = Some(dir.into()),
+                _ => return Err("--trace needs a directory argument".into()),
             },
-            "--threads" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
-                Some(n) if n >= 1 => sim_pool::set_threads(n),
-                _ => {
-                    eprintln!("--threads needs a positive integer argument");
-                    std::process::exit(2);
-                }
+            "--state" => match it.next() {
+                Some(p) if !p.starts_with("--") => o.state = Some(p.into()),
+                _ => return Err("--state needs a file path argument".into()),
             },
-            flag if flag.starts_with("--") => {
-                eprintln!("unknown flag '{flag}'");
-                std::process::exit(2);
-            }
-            cmd => cmds.push(cmd),
+            "--threads" => match it.next().map(|n| n.parse::<usize>()) {
+                Some(Ok(n)) if n >= 1 => sim_pool::set_threads(n),
+                _ => return Err("--threads needs a positive integer argument".into()),
+            },
+            "--fault-seed" => match it.next().map(|n| n.parse::<u64>()) {
+                Some(Ok(n)) => o.fault_seed = Some(n),
+                _ => return Err("--fault-seed needs an unsigned integer argument".into()),
+            },
+            flag if flag.starts_with("--") => return Err(format!("unknown flag '{flag}'")),
+            cmd => o.cmds.push(cmd.to_string()),
         }
     }
-    let cmd = cmds.first().copied().unwrap_or("all");
-    const KNOWN: [&str; 16] = [
-        "all",
-        "fig2a",
-        "fig2b",
-        "fig3a",
-        "fig3b",
-        "fig4a",
-        "fig4b",
-        "summary",
-        "ablation",
-        "dvfs",
-        "roofline",
-        "hetero",
-        "csv",
-        "jsonl",
-        "profile",
-        "bench-self",
-    ];
+    if o.fault_seed.is_none() {
+        if let Ok(s) = std::env::var("FAULT_SEED") {
+            match s.trim().parse::<u64>() {
+                Ok(n) => o.fault_seed = Some(n),
+                Err(_) => return Err(format!("FAULT_SEED must be an unsigned integer, got '{s}'")),
+            }
+        }
+    }
+    Ok(o)
+}
+
+/// Print a completion report for a sweep; returns the process exit code
+/// (0 clean, 1 if any cell failed).
+fn report_outcome(results: &harness::SuiteResults, faulty: bool) -> i32 {
+    let (ok, skipped, failed) = results.counts();
+    log::progress(&format!(
+        "suite complete: {ok} ok, {skipped} skipped, {failed} failed"
+    ));
+    if faulty {
+        let stats = sim_faults::stats();
+        let fired: Vec<String> = stats
+            .iter()
+            .filter(|(_, n)| *n > 0)
+            .map(|(s, n)| format!("{} x{n}", s.label()))
+            .collect();
+        log::progress(&format!(
+            "injected faults: {}",
+            if fired.is_empty() {
+                "none fired".to_string()
+            } else {
+                fired.join(", ")
+            }
+        ));
+    }
+    if failed == 0 {
+        return 0;
+    }
+    for ((bench, v, prec), err) in results.failed_cells() {
+        eprintln!(
+            "FAILED {bench} {} f{prec}: [{}] {} (attempts {}, backoff {} ms)",
+            v.label(),
+            err.kind.label(),
+            err.message,
+            err.attempts,
+            err.backoff_ms
+        );
+    }
+    1
+}
+
+fn main() {
+    std::process::exit(run());
+}
+
+fn run() -> i32 {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let o = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{}", usage());
+                return 0;
+            }
+            eprintln!("{msg}");
+            eprintln!("{}", usage());
+            return 2;
+        }
+    };
+    let cmd = o.cmds.first().map(String::as_str).unwrap_or("all");
     if !KNOWN.contains(&cmd) {
         eprintln!("unknown command '{cmd}'");
-        eprintln!(
-            "usage: harness [{}] [--test-scale] [--trace <dir>] [--threads <n>] \
-             [--check] [--quiet|--verbose]",
-            KNOWN.join("|")
-        );
-        std::process::exit(2);
+        eprintln!("{}", usage());
+        return 2;
     }
 
     // Machine-readable subcommands keep stderr clean unless asked not to.
     let machine = matches!(cmd, "csv" | "jsonl");
-    log::set_level(if quiet {
+    log::set_level(if o.quiet {
         log::Level::Quiet
-    } else if verbose {
+    } else if o.verbose {
         log::Level::Debug
     } else if machine {
         log::Level::Quiet
@@ -103,12 +223,41 @@ fn main() {
         log::Level::Progress
     });
 
+    // Deterministic chaos: install the plan process-wide (the worker-panic
+    // site and the meters read the ambient plan) and pass it to the runner
+    // for per-cell scoping. Injected panics are expected events — keep
+    // their reports out of stderr, but leave genuine panics loud.
+    let fault_plan = o.fault_seed.map(sim_faults::FaultPlan::new);
+    sim_faults::install(fault_plan);
+    if fault_plan.is_some() {
+        log::progress(&format!(
+            "fault injection enabled (seed {})",
+            o.fault_seed.unwrap_or_default()
+        ));
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(|s| sim_faults::is_injected(s))
+                .or_else(|| {
+                    info.payload()
+                        .downcast_ref::<&str>()
+                        .map(|s| sim_faults::is_injected(s))
+                })
+                .unwrap_or(false);
+            if !injected {
+                default_hook(info);
+            }
+        }));
+    }
+
     if cmd == "profile" {
-        let Some(name) = cmds.get(1) else {
+        let Some(name) = o.cmds.get(1) else {
             eprintln!("usage: harness profile <bench> [--test-scale]");
-            std::process::exit(2);
+            return 2;
         };
-        let benches = if test_scale {
+        let benches = if o.test_scale {
             hpc_kernels::test_suite()
         } else {
             hpc_kernels::suite()
@@ -116,65 +265,78 @@ fn main() {
         let Some(b) = benches.iter().find(|b| b.name() == *name) else {
             let names: Vec<&str> = benches.iter().map(|b| b.name()).collect();
             eprintln!("unknown benchmark '{name}' (have: {})", names.join(", "));
-            std::process::exit(2);
+            return 2;
         };
         print!("{}", harness::profile::report(b.as_ref()));
-        return;
+        return 0;
     }
     if cmd == "bench-self" {
         log::progress("self-benchmark: warm-up pass, then serial and parallel suite runs...");
-        let b = harness::bench_self::run(test_scale);
-        let path = "BENCH_sim.json";
-        if let Err(e) = std::fs::write(path, b.to_json()) {
-            eprintln!("failed to write {path}: {e}");
-            std::process::exit(1);
+        let b = harness::bench_self::run(o.test_scale);
+        let path = std::path::Path::new("BENCH_sim.json");
+        if let Err(e) = harness::atomic_write(path, b.to_json().as_bytes()) {
+            eprintln!("failed to write {}: {e}", path.display());
+            return 1;
         }
         print!("{}", b.summary());
-        println!("wrote {path}");
-        if check && !b.outputs_identical {
+        println!("wrote {}", path.display());
+        if o.check && !b.outputs_identical {
             eprintln!("bench-self --check: serial and parallel outputs differ");
-            std::process::exit(1);
+            return 1;
         }
-        return;
+        return 0;
     }
     if cmd == "ablation" {
-        print!("{}", harness::ablation::report(test_scale));
-        return;
+        print!("{}", harness::ablation::report(o.test_scale));
+        return 0;
     }
     if cmd == "dvfs" {
         print!("{}", harness::dvfs::report());
-        return;
+        return 0;
     }
     if cmd == "hetero" {
         print!("{}", harness::hetero::report());
-        return;
+        return 0;
     }
     if cmd == "roofline" {
-        print!("{}", harness::roofline::report(hpc_kernels::Precision::F32));
-        print!(
-            "\n{}",
-            harness::roofline::report(hpc_kernels::Precision::F64)
-        );
-        return;
+        print!("{}", harness::roofline::report(Precision::F32));
+        print!("\n{}", harness::roofline::report(Precision::F64));
+        return 0;
     }
 
-    let benches = if test_scale {
+    let benches = if o.test_scale {
         hpc_kernels::test_suite()
     } else {
         hpc_kernels::suite()
     };
     log::progress(&format!(
         "running the {} suite ({} benchmarks x 4 versions x 2 precisions)...",
-        if test_scale {
+        if o.test_scale {
             "test-scale"
         } else {
             "paper-scale"
         },
         benches.len()
     ));
-    let results = run_suite(&benches, true);
+    // Checkpointing engages when a state path is named or a resume is
+    // requested (default path: suite.state). Plain figure runs stay
+    // file-free.
+    let checkpoint = o
+        .state
+        .clone()
+        .or_else(|| o.resume.then(|| std::path::PathBuf::from("suite.state")));
+    let cfg = SuiteConfig {
+        verbose: true,
+        faults: fault_plan,
+        fail_fast: o.fail_fast,
+        checkpoint,
+        resume: o.resume,
+        state_tag: if o.test_scale { "test" } else { "paper" }.into(),
+        ..SuiteConfig::default()
+    };
+    let results = run_suite_with(&benches, &cfg);
 
-    if let Some(dir) = &trace_dir {
+    if let Some(dir) = &o.trace_dir {
         match harness::write_traces(&results, dir) {
             Ok(paths) => log::progress(&format!(
                 "wrote {} trace files + metrics.jsonl to {}",
@@ -183,18 +345,18 @@ fn main() {
             )),
             Err(e) => {
                 eprintln!("failed to write traces to {}: {e}", dir.display());
-                std::process::exit(1);
+                return 1;
             }
         }
     }
 
     if cmd == "csv" {
         print!("{}", harness::to_csv(&results));
-        return;
+        return report_outcome(&results, fault_plan.is_some());
     }
     if cmd == "jsonl" {
         print!("{}", harness::to_jsonl(&results));
-        return;
+        return report_outcome(&results, fault_plan.is_some());
     }
     let wants = |c: &str| cmd == "all" || cmd == c;
     if wants("fig2a") {
@@ -218,4 +380,5 @@ fn main() {
     if wants("summary") {
         println!("{}", summary(&results));
     }
+    report_outcome(&results, fault_plan.is_some())
 }

@@ -1,10 +1,23 @@
 //! Suite execution + measurement: runs every benchmark/variant/precision,
 //! applies the §IV-D methodology (stretch runs to meter-friendly windows,
 //! 20 repetitions on the simulated WT230), and caches the results.
+//!
+//! Robustness: every cell runs isolated behind `catch_unwind`, transient
+//! faults (the deterministic injection of `sim-faults`, or anything that
+//! looks like a resource exhaustion) are retried with recorded exponential
+//! backoff, and whatever still fails is captured as a structured
+//! [`CellError`] row instead of aborting the suite. With a checkpoint path
+//! configured, every completed cell is persisted (atomically) so an
+//! interrupted sweep can `--resume` without redoing finished work.
 
+use crate::checkpoint;
 use hpc_kernels::{Benchmark, Precision, RunOutcome, RunSkip, Variant};
 use powersim::{Measurement, PowerModel, Wt230};
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
 use telemetry::{log, Counters};
 
 /// One fully-measured cell (benchmark × variant × precision).
@@ -21,15 +34,162 @@ pub struct Cell {
     /// Performance-counter snapshot of the measured region (one iteration;
     /// copied out of `outcome.telemetry` so reports can index it directly).
     pub counters: Counters,
+    /// How many attempts the cell took (1 = clean first try; > 1 means
+    /// transient faults were retried away).
+    pub attempts: u32,
+}
+
+/// Failure classification for a cell that produced no result.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailKind {
+    /// Kernel compilation failed and retries were exhausted.
+    Build,
+    /// Kernel enqueue/launch failed and retries were exhausted.
+    Launch,
+    /// The run completed but its output missed the validation tolerance.
+    Validation,
+    /// The pool worker executing the cell died (injected or genuine).
+    WorkerPanic,
+    /// The benchmark body panicked.
+    Panic,
+    /// Never ran: an earlier failure tripped `--fail-fast`.
+    Aborted,
+}
+
+impl FailKind {
+    pub fn label(self) -> &'static str {
+        match self {
+            FailKind::Build => "build",
+            FailKind::Launch => "launch",
+            FailKind::Validation => "validation",
+            FailKind::WorkerPanic => "worker-panic",
+            FailKind::Panic => "panic",
+            FailKind::Aborted => "aborted",
+        }
+    }
+
+    pub fn from_label(s: &str) -> Option<FailKind> {
+        Some(match s {
+            "build" => FailKind::Build,
+            "launch" => FailKind::Launch,
+            "validation" => FailKind::Validation,
+            "worker-panic" => FailKind::WorkerPanic,
+            "panic" => FailKind::Panic,
+            "aborted" => FailKind::Aborted,
+            _ => return None,
+        })
+    }
+}
+
+/// A cell that failed after isolation and retries. Exported as a
+/// structured row (CSV `status=fail`, JSONL `"status":"fail"`), never as
+/// an abort of the whole suite.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CellError {
+    pub kind: FailKind,
+    pub message: String,
+    /// Attempts consumed (0 for `Aborted` cells that never started).
+    pub attempts: u32,
+    /// Total recorded retry backoff, milliseconds. Recorded rather than
+    /// slept: wall-clock sleeps would make artifacts depend on scheduling.
+    pub backoff_ms: u64,
+}
+
+/// The tri-state outcome of one suite cell.
+// `Ok(Cell)` dwarfs the other variants, but it is also the overwhelmingly
+// common one and the suite holds at most 72 entries — boxing would add an
+// indirection to every normal-path access to save bytes nobody misses.
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone, Debug)]
+pub enum CellEntry {
+    /// Ran and measured.
+    Ok(Cell),
+    /// Deliberately skipped (the paper's missing bars, e.g. the amcd
+    /// double-precision compiler bug).
+    Skipped(RunSkip),
+    /// Failed after isolation + retries.
+    Failed(CellError),
+}
+
+impl CellEntry {
+    pub fn ok(&self) -> Option<&Cell> {
+        match self {
+            CellEntry::Ok(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    pub fn skip(&self) -> Option<&RunSkip> {
+        match self {
+            CellEntry::Skipped(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn failure(&self) -> Option<&CellError> {
+        match self {
+            CellEntry::Failed(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Cell coordinates: (benchmark name, variant, precision bits).
+pub type CellKey = (String, Variant, u8);
+
+/// Knobs for [`run_suite_with`].
+#[derive(Clone, Debug)]
+pub struct SuiteConfig {
+    /// Emit per-cell progress lines.
+    pub verbose: bool,
+    /// Fault plan for chaos runs. `None` (the default) reproduces the
+    /// fault-free pipeline bit for bit. Note: worker-panic injection reads
+    /// the *installed* plan ([`sim_faults::install`]) because it fires on
+    /// pool threads before any cell scope exists — callers wanting that
+    /// site active must install the plan as well as passing it here.
+    pub faults: Option<sim_faults::FaultPlan>,
+    /// Attempts per cell before a transient fault becomes a [`CellError`].
+    pub max_attempts: u32,
+    /// Base of the recorded exponential backoff (ms): attempt `k` adds
+    /// `base << (k-1)`.
+    pub backoff_base_ms: u64,
+    /// Stop scheduling new cells after the first failure (failures are
+    /// still recorded; pending cells become `Aborted` rows). Off by
+    /// default: keep-going is what a long unattended sweep wants.
+    pub fail_fast: bool,
+    /// Checkpoint file: every completed cell is persisted here (atomic
+    /// rewrite) so a crashed run can resume.
+    pub checkpoint: Option<PathBuf>,
+    /// Preload finished cells from `checkpoint` instead of rerunning them.
+    pub resume: bool,
+    /// Suite identity tag stored in the checkpoint header ("paper" /
+    /// "test"); a resume against a checkpoint with a different tag,
+    /// benchmark list or fault seed starts fresh.
+    pub state_tag: String,
+}
+
+impl Default for SuiteConfig {
+    fn default() -> Self {
+        SuiteConfig {
+            verbose: false,
+            faults: None,
+            max_attempts: 3,
+            backoff_base_ms: 50,
+            fail_fast: false,
+            checkpoint: None,
+            resume: false,
+            state_tag: String::new(),
+        }
+    }
 }
 
 /// Results of a full sweep.
 pub struct SuiteResults {
-    pub cells: HashMap<(String, Variant, u8), Result<Cell, RunSkip>>,
+    pub cells: HashMap<CellKey, CellEntry>,
     pub bench_names: Vec<String>,
 }
 
-fn prec_key(p: Precision) -> u8 {
+pub(crate) fn prec_key(p: Precision) -> u8 {
     match p {
         Precision::F32 => 32,
         Precision::F64 => 64,
@@ -51,17 +211,140 @@ pub fn measure(outcome: &RunOutcome, model: &PowerModel, seed: u64) -> (Measurem
     (m, iterations, energy)
 }
 
-/// Run and measure the whole suite. Progress goes through the
-/// [`telemetry::log`] levels; `verbose = false` keeps a caller (tests,
-/// machine-readable subcommands) silent regardless of the global level.
+// Short-lived per-attempt value; see the size note on `CellEntry`.
+#[allow(clippy::large_enum_variant)]
+enum AttemptOutcome {
+    Done(Cell),
+    Skip(RunSkip),
+    Invalid(f64),
+    Panicked(String),
+}
+
+/// One isolated, retried cell.
+fn run_cell(
+    b: &dyn Benchmark,
+    bi: usize,
+    v: Variant,
+    prec: Precision,
+    model: &PowerModel,
+    cfg: &SuiteConfig,
+) -> CellEntry {
+    let scope = format!("{}/{}/{}", b.name(), v.label(), prec.label());
+    let mut backoff_ms = 0u64;
+    let max_attempts = cfg.max_attempts.max(1);
+    for attempt in 1..=max_attempts {
+        let body = || match catch_unwind(AssertUnwindSafe(|| b.run(v, prec))) {
+            Err(p) => AttemptOutcome::Panicked(sim_pool::panic_message(&p)),
+            Ok(Err(skip)) => AttemptOutcome::Skip(skip),
+            Ok(Ok(outcome)) => {
+                if !outcome.validated {
+                    AttemptOutcome::Invalid(outcome.max_rel_err)
+                } else {
+                    let seed = (bi as u64) << 8 | prec_key(prec) as u64;
+                    let (m, iters, energy) = measure(&outcome, model, seed);
+                    let counters = outcome.telemetry.counters.clone();
+                    AttemptOutcome::Done(Cell {
+                        outcome,
+                        measurement: m,
+                        iterations: iters,
+                        energy_j: energy,
+                        counters,
+                        attempts: attempt,
+                    })
+                }
+            }
+        };
+        // Each attempt gets its own derived plan so a retry re-rolls every
+        // fault site (otherwise a deterministic fault would refire forever
+        // and "retry" would be a lie).
+        let out = match cfg.faults {
+            Some(plan) => {
+                let p = plan.derive(&format!("{scope}/a{}", attempt - 1));
+                sim_faults::with_plan(Some(p), body)
+            }
+            None => body(),
+        };
+        match out {
+            AttemptOutcome::Done(cell) => return CellEntry::Ok(cell),
+            AttemptOutcome::Panicked(message) => {
+                // A panic is a bug (or an injected worker death caught one
+                // level up), not a transient driver hiccup: no retry.
+                return CellEntry::Failed(CellError {
+                    kind: FailKind::Panic,
+                    message,
+                    attempts: attempt,
+                    backoff_ms,
+                });
+            }
+            AttemptOutcome::Invalid(err) => {
+                // Wrong answers are deterministic in this simulator;
+                // retrying would reproduce them.
+                return CellEntry::Failed(CellError {
+                    kind: FailKind::Validation,
+                    message: format!("output validation failed (max rel err {err:.3e})"),
+                    attempts: attempt,
+                    backoff_ms,
+                });
+            }
+            AttemptOutcome::Skip(skip) => {
+                let message = skip.to_string();
+                let transient =
+                    sim_faults::is_injected(&message) || message.contains("CL_OUT_OF_RESOURCES");
+                if !transient {
+                    // Genuine, permanent skip (the paper's missing bars).
+                    return CellEntry::Skipped(skip);
+                }
+                if attempt == max_attempts {
+                    let kind = match &skip {
+                        RunSkip::CompilerBug(_) => FailKind::Build,
+                        RunSkip::LaunchFailure(_) => FailKind::Launch,
+                    };
+                    return CellEntry::Failed(CellError {
+                        kind,
+                        message,
+                        attempts: attempt,
+                        backoff_ms,
+                    });
+                }
+                backoff_ms += cfg.backoff_base_ms << (attempt - 1);
+                if cfg.verbose {
+                    log::progress(&format!(
+                        "retry {scope} (attempt {}/{max_attempts}, backoff {backoff_ms} ms): {message}",
+                        attempt + 1
+                    ));
+                }
+            }
+        }
+    }
+    unreachable!("the attempt loop always returns")
+}
+
+/// Run and measure the whole suite with default (fault-free, keep-going)
+/// configuration. Progress goes through the [`telemetry::log`] levels;
+/// `verbose = false` keeps a caller (tests, machine-readable subcommands)
+/// silent regardless of the global level.
+pub fn run_suite(benches: &[Box<dyn Benchmark>], verbose: bool) -> SuiteResults {
+    run_suite_with(
+        benches,
+        &SuiteConfig {
+            verbose,
+            ..SuiteConfig::default()
+        },
+    )
+}
+
+/// Run and measure the whole suite under an explicit [`SuiteConfig`].
 ///
 /// Cells (benchmark × precision × variant) are independent — each builds
 /// fresh pools and device state and meters with a per-cell seed — so they
 /// run on the `sim-pool` work-stealing pool. Every per-cell artifact
-/// (timing, energy, counters, skip reasons) is deterministic in the cell
-/// alone, so results are identical for any `SIM_THREADS`; only the order of
-/// progress log lines varies.
-pub fn run_suite(benches: &[Box<dyn Benchmark>], verbose: bool) -> SuiteResults {
+/// (timing, energy, counters, skip/failure rows) is deterministic in the
+/// cell alone — fault rolls included, because the plan is a pure function
+/// of (seed, scope, site, sequence) — so results are identical for any
+/// `SIM_THREADS`; only the order of progress log lines varies. The one
+/// documented exception is `fail_fast`, whose set of `Aborted` cells
+/// depends on completion order.
+pub fn run_suite_with(benches: &[Box<dyn Benchmark>], cfg: &SuiteConfig) -> SuiteResults {
     let model = PowerModel::default();
     let names: Vec<String> = benches.iter().map(|b| b.name().to_string()).collect();
     let mut jobs = Vec::new();
@@ -72,45 +355,94 @@ pub fn run_suite(benches: &[Box<dyn Benchmark>], verbose: bool) -> SuiteResults 
             }
         }
     }
-    let results = sim_pool::parallel_map(jobs.len(), |j| {
+
+    let header = checkpoint::StateHeader {
+        tag: cfg.state_tag.clone(),
+        fault_seed: cfg.faults.map(|p| p.seed()),
+        benches: names.clone(),
+    };
+    let preloaded: HashMap<CellKey, CellEntry> = match &cfg.checkpoint {
+        Some(path) if cfg.resume => match checkpoint::load(path) {
+            Some((h, entries)) if h == header => {
+                if cfg.verbose {
+                    log::progress(&format!(
+                        "resuming: {} finished cells loaded from {}",
+                        entries.len(),
+                        path.display()
+                    ));
+                }
+                entries
+            }
+            Some(_) => {
+                log::progress(&format!(
+                    "checkpoint {} belongs to a different suite configuration; starting fresh",
+                    path.display()
+                ));
+                HashMap::new()
+            }
+            None => HashMap::new(),
+        },
+        _ => HashMap::new(),
+    };
+
+    let done: Mutex<HashMap<CellKey, CellEntry>> = Mutex::new(preloaded.clone());
+    let abort = AtomicBool::new(false);
+
+    // Every job is scheduled even when its cell is preloaded: keeping job
+    // indices stable keeps the worker-panic fault rolls (keyed by index)
+    // identical between the original and the resumed run.
+    let raw = sim_pool::try_parallel_map(jobs.len(), |j| {
         let (bi, prec, v) = jobs[j];
-        let b = &benches[bi];
-        if verbose {
+        let key: CellKey = (names[bi].clone(), v, prec_key(prec));
+        if let Some(e) = preloaded.get(&key) {
+            return e.clone();
+        }
+        if cfg.fail_fast && abort.load(Ordering::Relaxed) {
+            return CellEntry::Failed(CellError {
+                kind: FailKind::Aborted,
+                message: "not run: an earlier cell failed (--fail-fast)".into(),
+                attempts: 0,
+                backoff_ms: 0,
+            });
+        }
+        if cfg.verbose {
             log::progress(&format!(
                 "[{}/{}] {} {} {}",
                 bi + 1,
                 benches.len(),
-                b.name(),
+                names[bi],
                 v.label(),
                 prec.label()
             ));
         }
-        match b.run(v, prec) {
-            Ok(outcome) => {
-                assert!(
-                    outcome.validated,
-                    "{} {} {} failed output validation (max rel err {:.3e})",
-                    b.name(),
-                    v.label(),
-                    prec.label(),
-                    outcome.max_rel_err
-                );
-                let seed = (bi as u64) << 8 | prec_key(prec) as u64;
-                let (m, iters, energy) = measure(&outcome, &model, seed);
-                let counters = outcome.telemetry.counters.clone();
-                Ok(Cell {
-                    outcome,
-                    measurement: m,
-                    iterations: iters,
-                    energy_j: energy,
-                    counters,
-                })
-            }
-            Err(skip) => Err(skip),
+        let entry = run_cell(benches[bi].as_ref(), bi, v, prec, &model, cfg);
+        if cfg.fail_fast && matches!(entry, CellEntry::Failed(_)) {
+            abort.store(true, Ordering::Relaxed);
         }
+        if let Some(path) = &cfg.checkpoint {
+            let mut d = done.lock().unwrap_or_else(|e| e.into_inner());
+            d.insert(key, entry.clone());
+            if let Err(e) = checkpoint::save(path, &header, &d) {
+                log::progress(&format!(
+                    "warning: failed to checkpoint to {}: {e}",
+                    path.display()
+                ));
+            }
+        }
+        entry
     });
+
     let mut cells = HashMap::new();
-    for ((bi, prec, v), entry) in jobs.into_iter().zip(results) {
+    for ((bi, prec, v), res) in jobs.into_iter().zip(raw) {
+        let entry = match res {
+            Ok(e) => e,
+            Err(tp) => CellEntry::Failed(CellError {
+                kind: FailKind::WorkerPanic,
+                message: tp.message,
+                attempts: 1,
+                backoff_ms: 0,
+            }),
+        };
         cells.insert((names[bi].clone(), v, prec_key(prec)), entry);
     }
     SuiteResults {
@@ -120,16 +452,51 @@ pub fn run_suite(benches: &[Box<dyn Benchmark>], verbose: bool) -> SuiteResults 
 }
 
 impl SuiteResults {
+    pub fn entry(&self, bench: &str, v: Variant, prec: Precision) -> Option<&CellEntry> {
+        self.cells.get(&(bench.to_string(), v, prec_key(prec)))
+    }
+
     pub fn cell(&self, bench: &str, v: Variant, prec: Precision) -> Option<&Cell> {
-        self.cells
-            .get(&(bench.to_string(), v, prec_key(prec)))
-            .and_then(|r| r.as_ref().ok())
+        self.entry(bench, v, prec).and_then(CellEntry::ok)
     }
 
     pub fn skip_reason(&self, bench: &str, v: Variant, prec: Precision) -> Option<&RunSkip> {
-        self.cells
-            .get(&(bench.to_string(), v, prec_key(prec)))
-            .and_then(|r| r.as_ref().err())
+        self.entry(bench, v, prec).and_then(CellEntry::skip)
+    }
+
+    pub fn failure(&self, bench: &str, v: Variant, prec: Precision) -> Option<&CellError> {
+        self.entry(bench, v, prec).and_then(CellEntry::failure)
+    }
+
+    /// All failed cells, sorted by coordinates (deterministic for
+    /// reporting and exit-code decisions).
+    pub fn failed_cells(&self) -> Vec<(&CellKey, &CellError)> {
+        let mut out: Vec<_> = self
+            .cells
+            .iter()
+            .filter_map(|(k, e)| e.failure().map(|f| (k, f)))
+            .collect();
+        out.sort_by_key(|(k, _)| {
+            (
+                k.0.clone(),
+                Variant::ALL.iter().position(|v| *v == k.1),
+                k.2,
+            )
+        });
+        out
+    }
+
+    /// (ok, skipped, failed) cell counts.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        let mut c = (0, 0, 0);
+        for e in self.cells.values() {
+            match e {
+                CellEntry::Ok(_) => c.0 += 1,
+                CellEntry::Skipped(_) => c.1 += 1,
+                CellEntry::Failed(_) => c.2 += 1,
+            }
+        }
+        c
     }
 
     /// Speedup over Serial (same precision).
@@ -205,5 +572,172 @@ mod tests {
         let model = PowerModel::default();
         let (_, iters, _) = measure(&fake_outcome(5.0), &model, 1);
         assert_eq!(iters, 1);
+    }
+
+    #[test]
+    fn fail_kind_labels_round_trip() {
+        for k in [
+            FailKind::Build,
+            FailKind::Launch,
+            FailKind::Validation,
+            FailKind::WorkerPanic,
+            FailKind::Panic,
+            FailKind::Aborted,
+        ] {
+            assert_eq!(FailKind::from_label(k.label()), Some(k));
+        }
+        assert_eq!(FailKind::from_label("nope"), None);
+    }
+
+    /// A panicking benchmark becomes a Failed row, not a suite abort, and
+    /// clean cells still measure.
+    #[test]
+    fn panicking_benchmark_is_isolated() {
+        struct Bomb;
+        impl Benchmark for Bomb {
+            fn name(&self) -> &'static str {
+                "bomb"
+            }
+            fn description(&self) -> &'static str {
+                "test fixture"
+            }
+            fn run(&self, v: Variant, _p: Precision) -> Result<RunOutcome, RunSkip> {
+                if v == Variant::OpenMp {
+                    panic!("synthetic benchmark bug");
+                }
+                Ok(fake_outcome(1e-3))
+            }
+        }
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let benches: Vec<Box<dyn Benchmark>> = vec![Box::new(Bomb)];
+        let r = run_suite(&benches, false);
+        std::panic::set_hook(prev);
+        let (ok, skipped, failed) = r.counts();
+        assert_eq!((ok, skipped, failed), (6, 0, 2));
+        let f = r.failure("bomb", Variant::OpenMp, Precision::F32).unwrap();
+        assert_eq!(f.kind, FailKind::Panic);
+        assert!(f.message.contains("synthetic benchmark bug"));
+        assert_eq!(f.attempts, 1);
+        let c = r.cell("bomb", Variant::Serial, Precision::F32).unwrap();
+        assert_eq!(c.attempts, 1);
+    }
+
+    /// An invalid result is a Validation failure row (the old harness
+    /// asserted and killed the whole process here).
+    #[test]
+    fn invalid_output_is_a_validation_failure() {
+        struct Wrong;
+        impl Benchmark for Wrong {
+            fn name(&self) -> &'static str {
+                "wrong"
+            }
+            fn description(&self) -> &'static str {
+                "test fixture"
+            }
+            fn run(&self, _v: Variant, _p: Precision) -> Result<RunOutcome, RunSkip> {
+                let mut o = fake_outcome(1e-3);
+                o.validated = false;
+                o.max_rel_err = 0.5;
+                Ok(o)
+            }
+        }
+        let benches: Vec<Box<dyn Benchmark>> = vec![Box::new(Wrong)];
+        let r = run_suite(&benches, false);
+        let (ok, skipped, failed) = r.counts();
+        assert_eq!((ok, skipped, failed), (0, 0, 8));
+        let f = r.failure("wrong", Variant::Serial, Precision::F64).unwrap();
+        assert_eq!(f.kind, FailKind::Validation);
+        assert!(f.message.contains("validation"));
+    }
+
+    /// Injected (tagged) skips are retried with recorded backoff; a cell
+    /// that keeps faulting becomes a Failed row with the attempt count.
+    #[test]
+    fn injected_faults_retry_then_fail() {
+        use std::sync::atomic::AtomicU32;
+        struct Flaky {
+            calls: AtomicU32,
+        }
+        impl Benchmark for Flaky {
+            fn name(&self) -> &'static str {
+                "flaky"
+            }
+            fn description(&self) -> &'static str {
+                "test fixture"
+            }
+            fn run(&self, v: Variant, p: Precision) -> Result<RunOutcome, RunSkip> {
+                // One designated cell fails twice then succeeds; another
+                // fails forever.
+                if v == Variant::OpenCl && p == Precision::F32 {
+                    let n = self.calls.fetch_add(1, Ordering::Relaxed);
+                    if n < 2 {
+                        return Err(RunSkip::CompilerBug(format!(
+                            "{} synthetic transient",
+                            sim_faults::TAG
+                        )));
+                    }
+                } else if v == Variant::OpenClOpt && p == Precision::F32 {
+                    return Err(RunSkip::LaunchFailure(format!(
+                        "{} permanent chaos",
+                        sim_faults::TAG
+                    )));
+                }
+                Ok(fake_outcome(1e-3))
+            }
+        }
+        let benches: Vec<Box<dyn Benchmark>> = vec![Box::new(Flaky {
+            calls: AtomicU32::new(0),
+        })];
+        // Retries only engage when a fault plan is configured.
+        let cfg = SuiteConfig {
+            faults: Some(sim_faults::FaultPlan::new(1).with_rates(sim_faults::FaultRates::zero())),
+            ..SuiteConfig::default()
+        };
+        let r = run_suite_with(&benches, &cfg);
+        let healed = r.cell("flaky", Variant::OpenCl, Precision::F32).unwrap();
+        assert_eq!(healed.attempts, 3);
+        let f = r
+            .failure("flaky", Variant::OpenClOpt, Precision::F32)
+            .unwrap();
+        assert_eq!(f.kind, FailKind::Launch);
+        assert_eq!(f.attempts, 3);
+        // 50 + 100 recorded backoff for two retries.
+        assert_eq!(f.backoff_ms, 150);
+        assert!(sim_faults::is_injected(&f.message));
+    }
+
+    /// Untagged skips are permanent: no retry, exported as Skipped.
+    #[test]
+    fn genuine_skips_are_not_retried() {
+        use std::sync::atomic::AtomicU32;
+        use std::sync::Arc;
+        struct Legit {
+            calls: Arc<AtomicU32>,
+        }
+        impl Benchmark for Legit {
+            fn name(&self) -> &'static str {
+                "legit"
+            }
+            fn description(&self) -> &'static str {
+                "test fixture"
+            }
+            fn run(&self, _v: Variant, _p: Precision) -> Result<RunOutcome, RunSkip> {
+                self.calls.fetch_add(1, Ordering::Relaxed);
+                Err(RunSkip::CompilerBug("CL_BUILD_PROGRAM_FAILURE".into()))
+            }
+        }
+        let calls = Arc::new(AtomicU32::new(0));
+        let benches: Vec<Box<dyn Benchmark>> = vec![Box::new(Legit {
+            calls: calls.clone(),
+        })];
+        let r = run_suite(&benches, false);
+        let (ok, skipped, failed) = r.counts();
+        assert_eq!((ok, skipped, failed), (0, 8, 0));
+        // 8 cells, one call each: no retries burned on permanent skips.
+        assert_eq!(calls.load(Ordering::Relaxed), 8);
+        assert!(r
+            .skip_reason("legit", Variant::Serial, Precision::F32)
+            .is_some());
     }
 }

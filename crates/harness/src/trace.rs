@@ -8,6 +8,7 @@
 //! so the power track oversamples the model (with the meter's rated
 //! sample noise) instead of replaying genuine meter readings.
 
+use crate::artifact::atomic_write;
 use crate::export::to_jsonl;
 use crate::runner::{Cell, SuiteResults};
 use hpc_kernels::{Precision, Variant};
@@ -103,13 +104,16 @@ pub fn write_traces(results: &SuiteResults, dir: &Path) -> io::Result<Vec<PathBu
             for v in Variant::ALL {
                 if let Some(cell) = results.cell(bench, v, prec) {
                     let path = dir.join(trace_file_name(bench, v, prec));
-                    std::fs::write(&path, build_trace(bench, v, prec, cell).to_json())?;
+                    atomic_write(
+                        &path,
+                        build_trace(bench, v, prec, cell).to_json().as_bytes(),
+                    )?;
                     written.push(path);
                 }
             }
         }
     }
-    std::fs::write(dir.join("metrics.jsonl"), to_jsonl(results))?;
+    atomic_write(&dir.join("metrics.jsonl"), to_jsonl(results).as_bytes())?;
     Ok(written)
 }
 
@@ -130,6 +134,7 @@ mod tests {
             iterations: iters,
             energy_j: e,
             counters,
+            attempts: 1,
         }
     }
 

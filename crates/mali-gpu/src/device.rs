@@ -95,6 +95,9 @@ pub struct MaliReport {
     /// Why the engine forced serial group execution (e.g. global atomics),
     /// if it did.
     pub sim_serial_reason: Option<&'static str>,
+    /// Injected mid-run DVFS throttle factor (> 1 stretches every
+    /// time-like quantity), if the ambient fault plan fired one.
+    pub dvfs_throttle: Option<f64>,
 }
 
 /// Per-run accumulation (the mem-side, group-order-stateful half of the
@@ -394,7 +397,7 @@ impl MaliT604 {
             dram_bytes: hier.traffic.total_lines() * cfg.dram.line_bytes as u64,
         };
 
-        Ok(MaliReport {
+        let mut report = MaliReport {
             time_s,
             compute_time_s: compute_time,
             mem_time_s: mem_time,
@@ -409,7 +412,41 @@ impl MaliT604 {
             spans,
             sim_threads: stats.threads,
             sim_serial_reason: stats.serial_reason,
-        })
+            dvfs_throttle: None,
+        };
+        maybe_throttle(&mut report, &program.name);
+        Ok(report)
+    }
+}
+
+/// Fault injection: a mid-run governor throttle drops the GPU clock,
+/// stretching every time-like quantity by one uniform factor. Keyed on the
+/// kernel name and group count so the decision is a pure function of the
+/// launch, independent of scheduling. Counters and DRAM traffic are
+/// unaffected — only the clock changed, not the work.
+fn maybe_throttle(report: &mut MaliReport, program_name: &str) {
+    let Some(plan) = sim_faults::current() else {
+        return;
+    };
+    let seq = sim_faults::hash_key(program_name) ^ report.groups as u64;
+    if !plan.roll(sim_faults::FaultSite::DvfsThrottle, seq) {
+        return;
+    }
+    let k = plan.uniform(sim_faults::FaultSite::DvfsThrottle, seq, 1.1, 1.4);
+    sim_faults::note(sim_faults::FaultSite::DvfsThrottle);
+    report.dvfs_throttle = Some(k);
+    report.time_s *= k;
+    report.compute_time_s *= k;
+    report.mem_time_s *= k;
+    report.atomic_time_s *= k;
+    report.exposure_s *= k;
+    report.activity.duration_s *= k;
+    report.activity.gpu_active_s *= k;
+    report.activity.gpu_arith_util_s *= k;
+    report.activity.gpu_ls_util_s *= k;
+    for s in &mut report.spans {
+        s.start_s *= k;
+        s.end_s *= k;
     }
 }
 

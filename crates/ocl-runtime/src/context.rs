@@ -15,7 +15,7 @@
 
 use crate::compiler::{build_for, BuildError, CompiledKernel, Profile};
 use crate::error::ClError;
-use kernel_ir::{ArgBinding, BufferData, MemoryPool, NDRange, Scalar, Value};
+use kernel_ir::{ArgBinding, ArgDecl, BufferData, MemoryPool, NDRange, Scalar, Value};
 use mali_gpu::{MaliReport, MaliT604};
 use powersim::Activity;
 use telemetry::{Counters, WorkSpan};
@@ -115,6 +115,9 @@ pub struct Context {
     events: Vec<Event>,
     /// In-order queue clock: end timestamp of the last enqueued command.
     queue_clock: f64,
+    /// Per-context enqueue counter; sequences the fault-injection rolls so
+    /// they are a pure function of this context's call history.
+    fault_seq: u64,
 }
 
 /// Result handle of a kernel launch.
@@ -137,6 +140,7 @@ impl Context {
             buffers: Vec::new(),
             events: Vec::new(),
             queue_clock: 0.0,
+            fault_seq: 0,
         }
     }
 
@@ -297,7 +301,22 @@ impl Context {
     // ---- programs --------------------------------------------------------
 
     /// `clBuildProgram` + `clCreateKernel` against this device's profile.
+    ///
+    /// Fault injection: the ambient plan may reject the build outright
+    /// (`CL_BUILD_PROGRAM_FAILURE`), keyed on the program name so the
+    /// decision is reproducible — and re-rolled per retry scope.
     pub fn build_kernel(&self, program: kernel_ir::Program) -> Result<CompiledKernel, ClError> {
+        if let Some(plan) = sim_faults::current() {
+            let seq = sim_faults::hash_key(&program.name);
+            if plan.roll(sim_faults::FaultSite::BuildFailure, seq) {
+                sim_faults::note(sim_faults::FaultSite::BuildFailure);
+                return Err(ClError::BuildProgramFailure(format!(
+                    "{} simulated compiler front-end crash building '{}'",
+                    sim_faults::TAG,
+                    program.name
+                )));
+            }
+        }
         build_for(program, self.profile)
             .map_err(|e: BuildError| ClError::BuildProgramFailure(e.to_string()))
     }
@@ -359,12 +378,47 @@ impl Context {
             )));
         }
         let mut bindings = Vec::with_capacity(args.len());
-        for a in args {
+        for (i, (a, decl)) in args.iter().zip(&kernel.program.args).enumerate() {
+            let kind_ok = matches!(
+                (a, decl),
+                (KernelArg::Buf(_), ArgDecl::GlobalBuf { .. })
+                    | (KernelArg::Scalar(_), ArgDecl::Scalar { .. })
+                    | (KernelArg::Local(_), ArgDecl::LocalBuf { .. })
+            );
+            if !kind_ok {
+                return Err(ClError::InvalidKernelArgs(format!(
+                    "kernel {}: arg {i} kind mismatch (declared {decl:?})",
+                    kernel.program.name
+                )));
+            }
             bindings.push(match a {
                 KernelArg::Buf(b) => ArgBinding::Global(self.slot(*b)?.pool_idx),
                 KernelArg::Scalar(v) => ArgBinding::Scalar(*v),
                 KernelArg::Local(n) => ArgBinding::LocalSize(*n),
             });
+        }
+        // Fault injection: after the host-side checks pass, the driver may
+        // still fail the enqueue. Sequenced by this context's enqueue
+        // counter so the decision replays identically for a given context
+        // history regardless of threads.
+        let fault_seq = self.fault_seq;
+        self.fault_seq += 1;
+        if let Some(plan) = sim_faults::current() {
+            if plan.roll(sim_faults::FaultSite::EnqueueOutOfResources, fault_seq) {
+                sim_faults::note(sim_faults::FaultSite::EnqueueOutOfResources);
+                return Err(ClError::OutOfResources {
+                    footprint: kernel.footprint,
+                    wg_size: wg as u32,
+                });
+            }
+            if plan.roll(sim_faults::FaultSite::InvalidKernelArgs, fault_seq) {
+                sim_faults::note(sim_faults::FaultSite::InvalidKernelArgs);
+                return Err(ClError::InvalidKernelArgs(format!(
+                    "{} driver lost an argument binding for kernel {}",
+                    sim_faults::TAG,
+                    kernel.program.name
+                )));
+            }
         }
         let ndr = NDRange { global, local };
         let mut report = self

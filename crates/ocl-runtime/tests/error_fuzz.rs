@@ -1,0 +1,250 @@
+//! Seeded error-path fuzzing of the host API: every way a caller (or the
+//! fault injector) can misuse the runtime must come back as a **typed**
+//! `ClError`, never a panic. Each iteration draws a misuse mode and random
+//! shapes from a fixed-seed PCG stream, so a failure reproduces exactly.
+//!
+//! Together the modes cover all six `ClError` variants:
+//! `BuildProgramFailure` (genuine: f64 on an Embedded-Profile device;
+//! injected: fault-plan build rejection), `OutOfResources` (genuine:
+//! register file exhausted at launch; injected: enqueue-time driver
+//! failure), `InvalidWorkGroupSize`, `InvalidKernelArgs`,
+//! `InvalidMemObject`, and `InvalidValue`.
+
+use kernel_ir::prelude::*;
+use kernel_ir::{Access, BufferData};
+use mali_gpu::MaliT604;
+use ocl_runtime::{ClError, Context, KernelArg, MemFlags, Profile};
+use sim_rng::Pcg32;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+fn saxpy(elem: Scalar) -> kernel_ir::Program {
+    let mut kb = KernelBuilder::new("saxpy-fuzz");
+    let x = kb.arg_global(elem, Access::ReadOnly, true);
+    let y = kb.arg_global(elem, Access::ReadWrite, true);
+    let a = kb.arg_scalar(elem);
+    let gid = kb.query_global_id(0);
+    let va = kb.load_scalar_arg(a);
+    let vx = kb.load(elem, x, gid.into());
+    let vy = kb.load(elem, y, gid.into());
+    let r = kb.mad(va.into(), vx.into(), vy.into(), VType::scalar(elem));
+    kb.store(y, gid.into(), r.into());
+    kb.finish()
+}
+
+/// A register-fat kernel (16 live float16 vectors = 64 hw regs/thread):
+/// at wg=256 it needs 16384 registers of the core's 2048 — a genuine
+/// launch-time `CL_OUT_OF_RESOURCES`, not an injected one.
+fn fat_kernel() -> kernel_ir::Program {
+    let mut kb = KernelBuilder::new("fat-fuzz");
+    let a = kb.arg_global(Scalar::F32, Access::ReadWrite, true);
+    let mut regs = Vec::new();
+    for i in 0..16 {
+        regs.push(kb.mov(Operand::ImmF(i as f64), VType::new(Scalar::F32, 16)));
+    }
+    let acc = kb.mov(Operand::ImmF(0.0), VType::new(Scalar::F32, 16));
+    for r in &regs {
+        kb.bin_into(acc, kernel_ir::BinOp::Add, acc.into(), (*r).into());
+    }
+    let s = kb.horiz(kernel_ir::HorizOp::Add, acc);
+    let gid = kb.query_global_id(0);
+    let v = kb.load(Scalar::F32, a, gid.into());
+    let sum = kb.bin(
+        kernel_ir::BinOp::Add,
+        v.into(),
+        s.into(),
+        VType::scalar(Scalar::F32),
+    );
+    kb.store(a, gid.into(), sum.into());
+    kb.finish()
+}
+
+/// Run `f` and require a typed error — a panic fails the test with the
+/// payload, and an `Ok` fails it with the mode that should have errored.
+fn expect_err<T: std::fmt::Debug>(
+    mode: &str,
+    iter: u32,
+    f: impl FnOnce() -> Result<T, ClError>,
+) -> ClError {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Err(p) => {
+            let msg = p
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| p.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "opaque panic payload".into());
+            panic!("mode {mode} iter {iter}: runtime panicked instead of returning a typed error: {msg}");
+        }
+        Ok(Ok(v)) => panic!("mode {mode} iter {iter}: expected an error, got {v:?}"),
+        Ok(Err(e)) => e,
+    }
+}
+
+fn valid_ctx(n: usize) -> (Context, ocl_runtime::BufId, ocl_runtime::BufId) {
+    let mut ctx = Context::new(MaliT604::default());
+    let x = ctx.create_buffer(Scalar::F32, n, MemFlags::AllocHostPtr);
+    let y = ctx.create_buffer(Scalar::F32, n, MemFlags::AllocHostPtr);
+    (ctx, x, y)
+}
+
+#[test]
+fn fuzz_every_error_path_returns_typed_errors() {
+    let mut rng = Pcg32::seed_from_u64(0x0c1_e4404);
+    for iter in 0..400 {
+        let n = 64 * rng.gen_range_usize(1, 64); // multiples of 64 up to 4032
+        match rng.gen_below(6) {
+            // -- CL_BUILD_PROGRAM_FAILURE: f64 against Embedded Profile.
+            0 => {
+                let mut ctx = Context::new(MaliT604::default());
+                ctx.profile = Profile::Embedded;
+                let e = expect_err("embedded-f64", iter, || {
+                    ctx.build_kernel(saxpy(Scalar::F64))
+                });
+                assert!(
+                    matches!(&e, ClError::BuildProgramFailure(log) if log.contains("cl_khr_fp64")),
+                    "{e}"
+                );
+            }
+            // -- CL_OUT_OF_RESOURCES: register file exhausted at launch.
+            1 => {
+                let (mut ctx, x, _) = valid_ctx(n);
+                let k = ctx.build_kernel(fat_kernel()).unwrap();
+                assert!(k.footprint >= 64);
+                let e = expect_err("register-oor", iter, || {
+                    ctx.enqueue_nd_range(&k, [n * 4, 1, 1], Some([256, 1, 1]), &[KernelArg::Buf(x)])
+                });
+                assert!(
+                    matches!(e, ClError::OutOfResources { wg_size: 256, .. }),
+                    "{e}"
+                );
+            }
+            // -- CL_INVALID_WORK_GROUP_SIZE: indivisible or oversized local.
+            2 => {
+                let (mut ctx, x, y) = valid_ctx(n);
+                let k = ctx.build_kernel(saxpy(Scalar::F32)).unwrap();
+                let (global, local) = if rng.gen_bool() {
+                    ([n, 1, 1], [n + 1, 1, 1]) // local cannot divide global
+                } else {
+                    let over = ctx.device.cfg.max_wg_size as usize * 2;
+                    ([over * 2, 1, 1], [over, 1, 1]) // divides, but too big
+                };
+                let args = [
+                    KernelArg::Buf(x),
+                    KernelArg::Buf(y),
+                    KernelArg::Scalar(Value::f32(2.0)),
+                ];
+                let e = expect_err("bad-wg-size", iter, || {
+                    ctx.enqueue_nd_range(&k, global, Some(local), &args)
+                });
+                assert!(matches!(e, ClError::InvalidWorkGroupSize(_)), "{e}");
+            }
+            // -- CL_INVALID_KERNEL_ARGS: wrong count or mistyped argument.
+            3 => {
+                let (mut ctx, x, y) = valid_ctx(n);
+                let k = ctx.build_kernel(saxpy(Scalar::F32)).unwrap();
+                let args: Vec<KernelArg> = match rng.gen_below(3) {
+                    0 => vec![KernelArg::Buf(x)], // too few
+                    1 => vec![
+                        KernelArg::Buf(x),
+                        KernelArg::Buf(y),
+                        KernelArg::Scalar(Value::f32(1.0)),
+                        KernelArg::Scalar(Value::f32(2.0)), // too many
+                    ],
+                    _ => vec![
+                        KernelArg::Scalar(Value::f32(1.0)), // buffer slot mistyped
+                        KernelArg::Buf(y),
+                        KernelArg::Scalar(Value::f32(2.0)),
+                    ],
+                };
+                let e = expect_err("bad-args", iter, || {
+                    ctx.enqueue_nd_range(&k, [n, 1, 1], Some([64, 1, 1]), &args)
+                });
+                assert!(matches!(e, ClError::InvalidKernelArgs(_)), "{e}");
+            }
+            // -- CL_INVALID_MEM_OBJECT: a handle from a richer context used
+            //    in one that never allocated that slot.
+            4 => {
+                let mut donor = Context::new(MaliT604::default());
+                for _ in 0..3 {
+                    donor.create_buffer(Scalar::F32, 16, MemFlags::AllocHostPtr);
+                }
+                let stale = donor.create_buffer(Scalar::F32, 16, MemFlags::AllocHostPtr);
+                let (mut ctx, x, _) = valid_ctx(n);
+                let k = ctx.build_kernel(saxpy(Scalar::F32)).unwrap();
+                let args = [
+                    KernelArg::Buf(x),
+                    KernelArg::Buf(stale),
+                    KernelArg::Scalar(Value::f32(1.0)),
+                ];
+                let e = if rng.gen_bool() {
+                    expect_err("stale-buf-launch", iter, || {
+                        ctx.enqueue_nd_range(&k, [n, 1, 1], Some([64, 1, 1]), &args)
+                    })
+                } else {
+                    expect_err("stale-buf-read", iter, || ctx.enqueue_read_buffer(stale))
+                };
+                assert!(matches!(e, ClError::InvalidMemObject(_)), "{e}");
+            }
+            // -- CL_INVALID_VALUE: write with a mismatched host shape.
+            _ => {
+                let (mut ctx, x, _) = valid_ctx(n);
+                let data: BufferData = if rng.gen_bool() {
+                    vec![0.0f32; n + rng.gen_range_usize(1, 64)].into() // wrong len
+                } else {
+                    vec![0.0f64; n].into() // wrong element type
+                };
+                let e = expect_err("bad-write", iter, || ctx.enqueue_write_buffer(x, data));
+                assert!(matches!(e, ClError::InvalidValue(_)), "{e}");
+            }
+        }
+    }
+}
+
+/// The injected flavours of `BuildProgramFailure`, `OutOfResources` and
+/// `InvalidKernelArgs` surface through the same typed path as the genuine
+/// ones. Rates of 1.0 (scoped thread-locally, so parallel tests are
+/// unaffected) make every call fail deterministically.
+#[test]
+fn injected_faults_surface_as_typed_errors() {
+    let certain = |site: &str| {
+        let mut rates = sim_faults::FaultRates::zero();
+        match site {
+            "build" => rates.build_failure = 1.0,
+            "oor" => rates.enqueue_oor = 1.0,
+            _ => rates.invalid_args = 1.0,
+        }
+        Some(sim_faults::FaultPlan::new(99).with_rates(rates))
+    };
+
+    sim_faults::with_plan(certain("build"), || {
+        let ctx = Context::new(MaliT604::default());
+        let e = ctx.build_kernel(saxpy(Scalar::F32)).unwrap_err();
+        match &e {
+            ClError::BuildProgramFailure(log) => assert!(sim_faults::is_injected(log), "{log}"),
+            other => panic!("expected injected build failure, got {other}"),
+        }
+    });
+
+    for site in ["oor", "args"] {
+        sim_faults::with_plan(certain(site), || {
+            let (mut ctx, x, y) = valid_ctx(256);
+            let k = ctx.build_kernel(saxpy(Scalar::F32)).unwrap();
+            let args = [
+                KernelArg::Buf(x),
+                KernelArg::Buf(y),
+                KernelArg::Scalar(Value::f32(1.0)),
+            ];
+            let e = ctx
+                .enqueue_nd_range(&k, [256, 1, 1], Some([64, 1, 1]), &args)
+                .unwrap_err();
+            match (site, &e) {
+                ("oor", ClError::OutOfResources { .. }) => {
+                    assert!(e.to_string().contains("CL_OUT_OF_RESOURCES"))
+                }
+                ("args", ClError::InvalidKernelArgs(msg)) => {
+                    assert!(sim_faults::is_injected(msg), "{msg}")
+                }
+                _ => panic!("site {site}: unexpected error {e}"),
+            }
+        });
+    }
+}

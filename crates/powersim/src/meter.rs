@@ -70,14 +70,29 @@ pub struct Wt230 {
     rng: Pcg32,
     /// Per-instrument gain error, fixed at construction (within ±accuracy).
     gain: f64,
+    /// Fault plan captured at construction (the ambient plan forked by the
+    /// meter seed, so two meters with different seeds fault independently).
+    /// `None` disables injection and reproduces the fault-free pipeline
+    /// bit for bit.
+    faults: Option<sim_faults::FaultPlan>,
+    /// Monotonic sample counter sequencing the per-sample fault rolls.
+    fault_seq: u64,
 }
 
 impl Wt230 {
-    /// Deterministic meter: all randomness comes from `seed`.
+    /// Deterministic meter: all randomness comes from `seed` (and, when an
+    /// ambient fault plan is installed, from the plan's seed).
     pub fn new(cfg: MeterConfig, seed: u64) -> Self {
         let mut rng = Pcg32::seed_from_u64(seed);
         let gain = 1.0 + rng.gen_range_f64(-cfg.accuracy, cfg.accuracy);
-        Wt230 { cfg, rng, gain }
+        let faults = sim_faults::current().map(|p| p.derive_u64(seed));
+        Wt230 {
+            cfg,
+            rng,
+            gain,
+            faults,
+            fault_seq: 0,
+        }
     }
 
     pub fn with_defaults(seed: u64) -> Self {
@@ -86,14 +101,39 @@ impl Wt230 {
 
     /// Sample one repetition of a constant-power window; returns
     /// (mean sampled power, integrated energy).
+    ///
+    /// Fault injection: each 100 ms window may be dropped (the meter missed
+    /// the readout) or jittered (extra noise beyond the rated accuracy).
+    /// At least one sample always survives, as the real instrument always
+    /// returns *something*.
     fn sample_once(&mut self, true_power: f64, duration_s: f64) -> (f64, f64) {
         let n = (duration_s * self.cfg.sample_hz).floor().max(1.0) as usize;
         let mut acc = 0.0;
+        let mut kept = 0usize;
         for _ in 0..n {
             let noise = 1.0 + self.rng.gen_range_f64(-1.0, 1.0) * self.cfg.sample_noise;
-            acc += true_power * self.gain * noise;
+            let mut reading = true_power * self.gain * noise;
+            if let Some(plan) = self.faults {
+                let seq = self.fault_seq;
+                self.fault_seq += 1;
+                if plan.roll(sim_faults::FaultSite::MeterDropout, seq) {
+                    sim_faults::note(sim_faults::FaultSite::MeterDropout);
+                    continue;
+                }
+                if plan.roll(sim_faults::FaultSite::MeterJitter, seq) {
+                    sim_faults::note(sim_faults::FaultSite::MeterJitter);
+                    reading *= plan.uniform(sim_faults::FaultSite::MeterJitter, seq, 0.97, 1.03);
+                }
+            }
+            acc += reading;
+            kept += 1;
         }
-        let mean = acc / n as f64;
+        if kept == 0 {
+            // Every window dropped: fall back to the gain-only reading.
+            acc = true_power * self.gain;
+            kept = 1;
+        }
+        let mean = acc / kept as f64;
         (mean, mean * duration_s)
     }
 

@@ -179,6 +179,52 @@ where
         .collect()
 }
 
+/// A task that panicked inside [`try_parallel_map`], reduced to its message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TaskPanic {
+    pub message: String,
+}
+
+impl std::fmt::Display for TaskPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "task panicked: {}", self.message)
+    }
+}
+
+/// Extract a human-readable message from a panic payload.
+pub fn panic_message(p: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// Like [`parallel_map`], but each task is individually isolated: a panic in
+/// task `i` yields `Err(TaskPanic)` in slot `i` instead of poisoning the
+/// whole map. The remaining tasks still run to completion.
+///
+/// Before each task runs, the ambient fault plan (if any) may deterministically
+/// kill the worker via [`sim_faults::maybe_worker_panic`], keyed by the task
+/// index — so the same plan produces the same casualties at any thread count.
+pub fn try_parallel_map<T, F>(n: usize, f: F) -> Vec<Result<T, TaskPanic>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    parallel_map(n, |i| {
+        catch_unwind(AssertUnwindSafe(|| {
+            sim_faults::maybe_worker_panic(i as u64);
+            f(i)
+        }))
+        .map_err(|p| TaskPanic {
+            message: panic_message(&p),
+        })
+    })
+}
+
 /// Scan the other deques for work; retry while any steal hits a race.
 fn steal_any(deques: &[TaskDeque], id: usize) -> Option<usize> {
     let w = deques.len();
@@ -222,6 +268,35 @@ mod tests {
     fn zero_and_one_tasks() {
         assert_eq!(parallel_map_threads(8, 0, |i| i), Vec::<usize>::new());
         assert_eq!(parallel_map_threads(8, 1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn try_map_isolates_panics() {
+        let out = try_parallel_map(16, |i| {
+            if i % 5 == 3 {
+                panic!("boom at {i}");
+            }
+            i * 2
+        });
+        assert_eq!(out.len(), 16);
+        for (i, r) in out.iter().enumerate() {
+            if i % 5 == 3 {
+                let e = r.as_ref().unwrap_err();
+                assert_eq!(e.message, format!("boom at {i}"));
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), i * 2);
+            }
+        }
+    }
+
+    #[test]
+    fn try_map_all_ok_matches_plain_map() {
+        let plain = parallel_map_threads(4, 32, |i| i + 1);
+        let tried: Vec<usize> = try_parallel_map(32, |i| i + 1)
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(plain, tried);
     }
 
     #[test]

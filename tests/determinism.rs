@@ -9,7 +9,7 @@
 //! every code path (see `kernel_ir::trace::ShardTracer`). Suite cells are
 //! likewise independent, with per-cell meter seeds.
 
-use harness::{run_suite, to_csv, to_jsonl, write_traces, SuiteResults};
+use harness::{run_suite, to_csv, to_jsonl, write_traces, CellEntry, SuiteResults};
 use hpc_kernels::test_suite;
 use std::path::PathBuf;
 
@@ -39,7 +39,7 @@ fn suite_is_bit_identical_across_thread_counts() {
     for (key, e1) in &r1.cells {
         let e8 = &r8.cells[key];
         match (e1, e8) {
-            (Ok(c1), Ok(c8)) => {
+            (CellEntry::Ok(c1), CellEntry::Ok(c8)) => {
                 let tag = format!("{key:?}");
                 assert_eq!(
                     c1.outcome.time_s.to_bits(),
@@ -64,9 +64,13 @@ fn suite_is_bit_identical_across_thread_counts() {
                     "validation error differs for {tag}"
                 );
                 assert_eq!(c1.outcome.note, c8.outcome.note, "note differs for {tag}");
+                assert_eq!(c1.attempts, c8.attempts, "attempts differ for {tag}");
             }
-            (Err(s1), Err(s8)) => {
+            (CellEntry::Skipped(s1), CellEntry::Skipped(s8)) => {
                 assert_eq!(format!("{s1:?}"), format!("{s8:?}"), "skip reason differs");
+            }
+            (CellEntry::Failed(f1), CellEntry::Failed(f8)) => {
+                assert_eq!(f1, f8, "failure differs for {key:?}");
             }
             _ => panic!("cell {key:?} succeeded under one thread count only"),
         }

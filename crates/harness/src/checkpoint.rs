@@ -6,6 +6,15 @@
 //! floats as IEEE-754 bit patterns in hex so the round trip is exact and a
 //! resumed run's artifacts are byte-identical to an uninterrupted one.
 //!
+//! The token-level codec (percent escaping, float bit patterns, the
+//! [`Tokens`] reader) lives in [`sim_server::key`] and is shared with the
+//! server's cache snapshot format. Since `simstate v2` every cell line
+//! also carries the cell's content address ([`CellKey`], derived from the
+//! header identity via [`cell_spec`]) as an integrity column: the loader
+//! recomputes it and drops lines whose stored key disagrees, and the
+//! serving layer warm-starts its content-addressed cache directly from
+//! checkpoint files because both speak the same key space.
+//!
 //! The file is rewritten atomically (temp + rename) after every completed
 //! cell and the lines are kept sorted, so the on-disk bytes are a pure
 //! function of the *set* of finished cells, independent of completion
@@ -13,15 +22,54 @@
 //! a damaged checkpoint costs rework, never a crash.
 
 use crate::artifact::atomic_write;
-use crate::runner::{Cell, CellEntry, CellError, CellKey, FailKind};
-use hpc_kernels::{RunOutcome, RunSkip, Variant};
+use crate::runner::{Cell, CellCoord, CellEntry, CellError, FailKind};
+use hpc_kernels::{Precision, RunOutcome, RunSkip, Variant};
 use powersim::{Activity, Measurement};
+use sim_server::key::{esc, fbits, unesc, CellKey, CellSpec, Tokens};
 use std::collections::HashMap;
 use std::io;
 use std::path::Path;
 use telemetry::{CommandSpan, Counters, RunTelemetry, WorkSpan};
 
-const MAGIC: &str = "simstate v1";
+const MAGIC: &str = "simstate v2";
+
+/// Device fingerprint of the simulated platform, part of every cell key.
+pub const DEVICE: &str = "exynos5250";
+
+/// Build the canonical [`CellSpec`] for one cell of a sweep identified by
+/// `(tag, fault_seed)` — the same identity the checkpoint header pins.
+/// This is the single place where harness domain types (variant labels
+/// with spaces, [`Precision`]) are normalized into the wire/key form, so
+/// the checkpoint, the server cache and the HTTP API cannot drift apart.
+pub fn cell_spec(
+    tag: &str,
+    fault_seed: Option<u64>,
+    bench: &str,
+    v: Variant,
+    prec: Precision,
+) -> CellSpec {
+    CellSpec {
+        sim_version: env!("CARGO_PKG_VERSION").to_string(),
+        device: DEVICE.to_string(),
+        scale: tag.to_string(),
+        bench: bench.to_string(),
+        version: v.label().replace(' ', "-"),
+        precision: crate::runner::prec_key(prec),
+        fault_seed,
+        params: Vec::new(),
+    }
+}
+
+/// [`cell_spec`] addressed by coordinate tuple (precision already in
+/// bits), as stored in [`crate::runner::SuiteResults::cells`].
+pub fn coord_spec(tag: &str, fault_seed: Option<u64>, coord: &CellCoord) -> Option<CellSpec> {
+    let prec = match coord.2 {
+        32 => Precision::F32,
+        64 => Precision::F64,
+        _ => return None,
+    };
+    Some(cell_spec(tag, fault_seed, &coord.0, coord.1, prec))
+}
 
 /// Identity of the sweep a checkpoint belongs to. Loaded state is only
 /// reused when the whole header matches the resuming run.
@@ -33,80 +81,6 @@ pub struct StateHeader {
     pub fault_seed: Option<u64>,
     /// Benchmark names, in suite order.
     pub benches: Vec<String>,
-}
-
-// ---- token-level encoding ----
-
-/// Percent-encode the bytes that would break the line/field structure.
-fn esc(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for b in s.bytes() {
-        match b {
-            b'%' | b'|' | b',' | b'\n' | b'\r' => out.push_str(&format!("%{b:02x}")),
-            _ => out.push(b as char),
-        }
-    }
-    out
-}
-
-fn unesc(s: &str) -> Option<String> {
-    let mut out = Vec::with_capacity(s.len());
-    let bytes = s.as_bytes();
-    let mut i = 0;
-    while i < bytes.len() {
-        if bytes[i] == b'%' {
-            let hex = bytes.get(i + 1..i + 3)?;
-            out.push(u8::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?);
-            i += 3;
-        } else {
-            out.push(bytes[i]);
-            i += 1;
-        }
-    }
-    String::from_utf8(out).ok()
-}
-
-fn fbits(x: f64) -> String {
-    format!("{:016x}", x.to_bits())
-}
-
-/// Sequential token reader over one '|'-separated line.
-struct Tokens<'a> {
-    it: std::str::Split<'a, char>,
-}
-
-impl<'a> Tokens<'a> {
-    fn new(line: &'a str) -> Self {
-        Tokens {
-            it: line.split('|'),
-        }
-    }
-
-    fn str(&mut self) -> Option<&'a str> {
-        self.it.next()
-    }
-
-    fn string(&mut self) -> Option<String> {
-        unesc(self.it.next()?)
-    }
-
-    fn f64(&mut self) -> Option<f64> {
-        Some(f64::from_bits(
-            u64::from_str_radix(self.it.next()?, 16).ok()?,
-        ))
-    }
-
-    fn u64(&mut self) -> Option<u64> {
-        self.it.next()?.parse().ok()
-    }
-
-    fn u32(&mut self) -> Option<u32> {
-        self.it.next()?.parse().ok()
-    }
-
-    fn usize(&mut self) -> Option<usize> {
-        self.it.next()?.parse().ok()
-    }
 }
 
 /// `CommandSpan::cat` is a `&'static str`; map the stored string back to
@@ -344,18 +318,11 @@ fn variant_index(v: Variant) -> usize {
     Variant::ALL.iter().position(|x| *x == v).unwrap()
 }
 
-fn entry_line(key: &CellKey, entry: &CellEntry) -> String {
-    let (bench, v, prec) = key;
-    let mut t = vec![
-        "cell".to_string(),
-        esc(bench),
-        variant_index(*v).to_string(),
-        prec.to_string(),
-    ];
+fn push_entry(t: &mut Vec<String>, entry: &CellEntry) {
     match entry {
         CellEntry::Ok(cell) => {
             t.push("ok".into());
-            push_cell(&mut t, cell);
+            push_cell(t, cell);
         }
         CellEntry::Skipped(skip) => {
             t.push("skip".into());
@@ -374,19 +341,11 @@ fn entry_line(key: &CellKey, entry: &CellEntry) -> String {
             t.push(err.backoff_ms.to_string());
         }
     }
-    t.join("|")
 }
 
-fn parse_entry(line: &str) -> Option<(CellKey, CellEntry)> {
-    let mut t = Tokens::new(line);
-    if t.str()? != "cell" {
-        return None;
-    }
-    let bench = t.string()?;
-    let v = *Variant::ALL.get(t.usize()?)?;
-    let prec = t.str()?.parse::<u8>().ok()?;
-    let entry = match t.str()? {
-        "ok" => CellEntry::Ok(read_cell(&mut t)?),
+fn read_entry(t: &mut Tokens) -> Option<CellEntry> {
+    Some(match t.str()? {
+        "ok" => CellEntry::Ok(read_cell(t)?),
         "skip" => {
             let kind = t.str()?.to_string();
             let msg = t.string()?;
@@ -403,8 +362,59 @@ fn parse_entry(line: &str) -> Option<(CellKey, CellEntry)> {
             backoff_ms: t.u64()?,
         }),
         _ => return None,
-    };
-    Some(((bench, v, prec), entry))
+    })
+}
+
+/// Serialize one [`CellEntry`] as a standalone '|'-joined token string —
+/// the payload format of the checkpoint's cell lines *and* of the
+/// server's content-addressed cache, so a cached cell and a checkpointed
+/// cell are byte-identical.
+pub fn encode_entry(entry: &CellEntry) -> String {
+    let mut t = Vec::new();
+    push_entry(&mut t, entry);
+    t.join("|")
+}
+
+/// Inverse of [`encode_entry`]. `None` on any corruption.
+pub fn decode_entry(s: &str) -> Option<CellEntry> {
+    read_entry(&mut Tokens::new(s))
+}
+
+fn entry_line(header: &StateHeader, coord: &CellCoord, entry: &CellEntry) -> String {
+    let keyhex = coord_spec(&header.tag, header.fault_seed, coord)
+        .map(|s| s.key().to_string())
+        .unwrap_or_else(|| "-".into());
+    let (bench, v, prec) = coord;
+    let mut t = vec![
+        "cell".to_string(),
+        keyhex,
+        esc(bench),
+        variant_index(*v).to_string(),
+        prec.to_string(),
+    ];
+    push_entry(&mut t, entry);
+    t.join("|")
+}
+
+fn parse_entry(header: &StateHeader, line: &str) -> Option<(CellCoord, CellEntry)> {
+    let mut t = Tokens::new(line);
+    if t.str()? != "cell" {
+        return None;
+    }
+    let stored: CellKey = t.str()?.parse().ok()?;
+    let bench = t.string()?;
+    let v = *Variant::ALL.get(t.usize()?)?;
+    let prec = t.str()?.parse::<u8>().ok()?;
+    let coord = (bench, v, prec);
+    // Integrity column: the stored content address must match the one this
+    // header derives for the coordinates. A mismatch means the line was
+    // edited, spliced in from another sweep, or produced by a different
+    // simulator version — recompute rather than trust it.
+    if coord_spec(&header.tag, header.fault_seed, &coord)?.key() != stored {
+        return None;
+    }
+    let entry = read_entry(&mut t)?;
+    Some((coord, entry))
 }
 
 fn meta_line(h: &StateHeader) -> String {
@@ -447,9 +457,12 @@ fn parse_meta(line: &str) -> Option<StateHeader> {
 pub fn save(
     path: &Path,
     header: &StateHeader,
-    entries: &HashMap<CellKey, CellEntry>,
+    entries: &HashMap<CellCoord, CellEntry>,
 ) -> io::Result<()> {
-    let mut lines: Vec<String> = entries.iter().map(|(k, e)| entry_line(k, e)).collect();
+    let mut lines: Vec<String> = entries
+        .iter()
+        .map(|(k, e)| entry_line(header, k, e))
+        .collect();
     lines.sort_unstable();
     let mut out = String::new();
     out.push_str(MAGIC);
@@ -466,7 +479,7 @@ pub fn save(
 /// Load a checkpoint. Returns `None` when the file is missing or its
 /// magic/header is unreadable; individual corrupt cell lines (e.g. a
 /// truncated tail) are silently dropped — they just get recomputed.
-pub fn load(path: &Path) -> Option<(StateHeader, HashMap<CellKey, CellEntry>)> {
+pub fn load(path: &Path) -> Option<(StateHeader, HashMap<CellCoord, CellEntry>)> {
     let text = std::fs::read_to_string(path).ok()?;
     let mut lines = text.lines();
     if lines.next()? != MAGIC {
@@ -475,7 +488,7 @@ pub fn load(path: &Path) -> Option<(StateHeader, HashMap<CellKey, CellEntry>)> {
     let header = parse_meta(lines.next()?)?;
     let mut entries = HashMap::new();
     for line in lines {
-        if let Some((k, e)) = parse_entry(line) {
+        if let Some((k, e)) = parse_entry(&header, line) {
             entries.insert(k, e);
         }
     }
@@ -565,6 +578,52 @@ mod tests {
         assert!(cells.len() >= good.cells.len() - 2);
         assert!(cells.len() < good.cells.len() + 1);
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn cell_lines_carry_a_verified_content_address() {
+        let results = run_suite(&hpc_kernels::test_suite(), false);
+        let header = StateHeader {
+            tag: "test".into(),
+            fault_seed: None,
+            benches: results.bench_names.clone(),
+        };
+        let path = tmp("keyed");
+        save(&path, &header, &results.cells).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        // Every cell line's second column is the 16-hex-digit CellKey the
+        // header identity derives for those coordinates.
+        let mut checked = 0;
+        for line in text.lines().filter(|l| l.starts_with("cell|")) {
+            let key = line.split('|').nth(1).unwrap();
+            assert_eq!(key.len(), 16, "{line}");
+            assert!(key.parse::<CellKey>().is_ok(), "{line}");
+            checked += 1;
+        }
+        assert_eq!(checked, results.cells.len());
+        // Tampering with one key drops exactly that line on load.
+        let victim = text.lines().find(|l| l.starts_with("cell|")).unwrap();
+        let mut cols: Vec<&str> = victim.splitn(3, '|').collect();
+        cols[1] = "0000000000000000";
+        let bad_line = cols.join("|");
+        std::fs::write(&path, text.replace(victim, &bad_line)).unwrap();
+        let (_, cells) = load(&path).unwrap();
+        assert_eq!(cells.len(), results.cells.len() - 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn entry_payloads_round_trip_standalone() {
+        let results = run_suite(&hpc_kernels::test_suite(), false);
+        for entry in results.cells.values() {
+            let enc = encode_entry(entry);
+            assert_eq!(enc.lines().count(), 1);
+            let back = decode_entry(&enc).expect("payload decodes");
+            // Re-encoding the decoded entry is byte-identical.
+            assert_eq!(encode_entry(&back), enc);
+        }
+        assert!(decode_entry("ok|truncated").is_none());
+        assert!(decode_entry("nonsense").is_none());
     }
 
     #[test]

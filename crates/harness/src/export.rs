@@ -161,91 +161,101 @@ pub fn to_jsonl(results: &SuiteResults) -> String {
     for bench in &results.bench_names {
         for prec in Precision::ALL {
             for v in Variant::ALL {
-                let mut obj = vec![
-                    ("bench".into(), jstr(bench)),
-                    ("version".into(), jstr(&v.label().replace(' ', "-"))),
-                    ("precision".into(), jstr(prec.label())),
-                ];
-                match results.entry(bench, v, prec) {
-                    Some(CellEntry::Ok(cell)) => {
-                        let c = &cell.counters;
-                        obj.extend([
-                            ("status".into(), jstr("ok")),
-                            ("attempts".into(), format!("{}", cell.attempts)),
-                            ("time_s".into(), jnum(cell.outcome.time_s)),
-                            ("power_w".into(), jnum(cell.measurement.mean_power_w)),
-                            ("power_sigma_w".into(), jnum(cell.measurement.std_power_w)),
-                            ("energy_j".into(), jnum(cell.energy_j)),
-                            ("iterations".into(), format!("{}", cell.iterations)),
-                            ("speedup".into(), jopt(results.speedup(bench, v, prec))),
-                            (
-                                "power_ratio".into(),
-                                jopt(results.power_ratio(bench, v, prec)),
-                            ),
-                            (
-                                "energy_ratio".into(),
-                                jopt(results.energy_ratio(bench, v, prec)),
-                            ),
-                            (
-                                "note".into(),
-                                cell.outcome
-                                    .note
-                                    .as_deref()
-                                    .map(jstr)
-                                    .unwrap_or_else(|| "null".into()),
-                            ),
-                            ("flops".into(), jnum(c.flops)),
-                            ("int_ops".into(), jnum(c.int_ops)),
-                            ("special_ops".into(), jnum(c.special_ops)),
-                            ("total_ops".into(), format!("{}", c.total_ops())),
-                            ("avg_vector_width".into(), jnum(c.avg_vector_width())),
-                            ("loads".into(), format!("{}", c.loads)),
-                            ("stores".into(), format!("{}", c.stores)),
-                            ("atomics".into(), format!("{}", c.atomics)),
-                            ("bytes_read".into(), format!("{}", c.bytes_read)),
-                            ("bytes_written".into(), format!("{}", c.bytes_written)),
-                            ("l1_hit_rate".into(), jnum(c.l1_hit_rate())),
-                            ("l2_hit_rate".into(), jnum(c.l2_hit_rate())),
-                            ("dram_lines".into(), format!("{}", c.dram_lines)),
-                            (
-                                "dram_stream_fraction".into(),
-                                jnum(c.dram_stream_fraction()),
-                            ),
-                            ("occupancy".into(), jnum(c.occupancy())),
-                            (
-                                "registers_per_thread".into(),
-                                format!("{}", c.registers_per_thread),
-                            ),
-                            (
-                                "arithmetic_intensity".into(),
-                                jnum(c.arithmetic_intensity()),
-                            ),
-                        ]);
-                    }
-                    Some(CellEntry::Skipped(reason)) => {
-                        obj.push(("status".into(), jstr("skip")));
-                        obj.push(("skip_reason".into(), jstr(&reason.to_string())));
-                    }
-                    Some(CellEntry::Failed(err)) => {
-                        obj.extend([
-                            ("status".into(), jstr("fail")),
-                            ("fail_kind".into(), jstr(err.kind.label())),
-                            ("fail_detail".into(), jstr(&err.message)),
-                            ("attempts".into(), format!("{}", err.attempts)),
-                            ("backoff_ms".into(), format!("{}", err.backoff_ms)),
-                        ]);
-                    }
-                    None => {}
-                }
-                let fields: Vec<String> = obj
-                    .iter()
-                    .map(|(k, v): &(String, String)| format!("{}:{v}", jstr(k)))
-                    .collect();
-                let _ = writeln!(out, "{{{}}}", fields.join(","));
+                let _ = writeln!(out, "{}", jsonl_row(results, bench, v, prec));
             }
         }
     }
     out
+}
+
+/// Render one cell of the sweep as a single JSONL object (no trailing
+/// newline). Shared between [`to_jsonl`] and the serving layer's
+/// `POST /v1/sweep` response, which is what makes a served sweep
+/// byte-identical to the offline artifact: both go through this exact
+/// formatter, and the ratio columns come from the same [`SuiteResults`]
+/// accessors.
+pub fn jsonl_row(results: &SuiteResults, bench: &str, v: Variant, prec: Precision) -> String {
+    let mut obj = vec![
+        ("bench".into(), jstr(bench)),
+        ("version".into(), jstr(&v.label().replace(' ', "-"))),
+        ("precision".into(), jstr(prec.label())),
+    ];
+    match results.entry(bench, v, prec) {
+        Some(CellEntry::Ok(cell)) => {
+            let c = &cell.counters;
+            obj.extend([
+                ("status".into(), jstr("ok")),
+                ("attempts".into(), format!("{}", cell.attempts)),
+                ("time_s".into(), jnum(cell.outcome.time_s)),
+                ("power_w".into(), jnum(cell.measurement.mean_power_w)),
+                ("power_sigma_w".into(), jnum(cell.measurement.std_power_w)),
+                ("energy_j".into(), jnum(cell.energy_j)),
+                ("iterations".into(), format!("{}", cell.iterations)),
+                ("speedup".into(), jopt(results.speedup(bench, v, prec))),
+                (
+                    "power_ratio".into(),
+                    jopt(results.power_ratio(bench, v, prec)),
+                ),
+                (
+                    "energy_ratio".into(),
+                    jopt(results.energy_ratio(bench, v, prec)),
+                ),
+                (
+                    "note".into(),
+                    cell.outcome
+                        .note
+                        .as_deref()
+                        .map(jstr)
+                        .unwrap_or_else(|| "null".into()),
+                ),
+                ("flops".into(), jnum(c.flops)),
+                ("int_ops".into(), jnum(c.int_ops)),
+                ("special_ops".into(), jnum(c.special_ops)),
+                ("total_ops".into(), format!("{}", c.total_ops())),
+                ("avg_vector_width".into(), jnum(c.avg_vector_width())),
+                ("loads".into(), format!("{}", c.loads)),
+                ("stores".into(), format!("{}", c.stores)),
+                ("atomics".into(), format!("{}", c.atomics)),
+                ("bytes_read".into(), format!("{}", c.bytes_read)),
+                ("bytes_written".into(), format!("{}", c.bytes_written)),
+                ("l1_hit_rate".into(), jnum(c.l1_hit_rate())),
+                ("l2_hit_rate".into(), jnum(c.l2_hit_rate())),
+                ("dram_lines".into(), format!("{}", c.dram_lines)),
+                (
+                    "dram_stream_fraction".into(),
+                    jnum(c.dram_stream_fraction()),
+                ),
+                ("occupancy".into(), jnum(c.occupancy())),
+                (
+                    "registers_per_thread".into(),
+                    format!("{}", c.registers_per_thread),
+                ),
+                (
+                    "arithmetic_intensity".into(),
+                    jnum(c.arithmetic_intensity()),
+                ),
+            ]);
+        }
+        Some(CellEntry::Skipped(reason)) => {
+            obj.push(("status".into(), jstr("skip")));
+            obj.push(("skip_reason".into(), jstr(&reason.to_string())));
+        }
+        Some(CellEntry::Failed(err)) => {
+            obj.extend([
+                ("status".into(), jstr("fail")),
+                ("fail_kind".into(), jstr(err.kind.label())),
+                ("fail_detail".into(), jstr(&err.message)),
+                ("attempts".into(), format!("{}", err.attempts)),
+                ("backoff_ms".into(), format!("{}", err.backoff_ms)),
+            ]);
+        }
+        None => {}
+    }
+    let fields: Vec<String> = obj
+        .iter()
+        .map(|(k, v): &(String, String)| format!("{}:{v}", jstr(k)))
+        .collect();
+    format!("{{{}}}", fields.join(","))
 }
 
 #[cfg(test)]

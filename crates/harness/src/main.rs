@@ -15,6 +15,8 @@
 //! harness jsonl          # same cells as JSON Lines (counter fields incl.)
 //! harness profile <b>    # per-variant performance-counter report
 //! harness bench-self     # simulator self-benchmark -> BENCH_sim.json
+//! harness serve          # HTTP experiment service (cache + batching)
+//! harness submit         # client for a running serve instance
 //! ```
 //!
 //! Run `harness --help` for the flags (fault injection, resume,
@@ -24,7 +26,7 @@ use harness::{fig2, fig3, fig4, run_suite_with, summary, SuiteConfig};
 use hpc_kernels::Precision;
 use telemetry::log;
 
-const KNOWN: [&str; 17] = [
+const KNOWN: [&str; 19] = [
     "all",
     "fig2a",
     "fig2b",
@@ -42,6 +44,8 @@ const KNOWN: [&str; 17] = [
     "jsonl",
     "profile",
     "bench-self",
+    "serve",
+    "submit",
 ];
 
 fn usage() -> String {
@@ -69,6 +73,27 @@ flags:
   --quiet | --verbose log verbosity
   --help              this text
 
+serve flags:
+  --addr <host:port>  bind address (default 127.0.0.1:8080; port 0 binds
+                      an ephemeral port, printed as 'listening on ...')
+  --capacity <n>      result-cache capacity in cells (default 1024; 0
+                      disables caching)
+  --queue <n>         scheduler queue bound; overflowing sweeps get 429
+                      (default 256)
+  --cache <path>      persist the cache here (atomic rewrite after every
+                      batch; restored on startup)
+  --warm <path>       warm-start the cache from a simstate checkpoint
+                      (repeatable)
+
+submit flags:
+  --addr <host:port>  server to talk to (required)
+  --test-scale        sweep at test scale (default: paper scale)
+  --fault-seed <n>    forward a fault-injection seed with the sweep
+  --cells <list>      comma-separated bench/version/precision triples
+                      (e.g. spmv/OpenCL-Opt/single); default: full grid
+  --metrics           print /metrics instead of sweeping
+  --shutdown          ask the server to shut down gracefully
+
 exit codes:
   0  every cell ran (skips from the paper's known driver bugs are fine)
   1  at least one cell failed (status=fail rows in the artifacts), or an
@@ -88,6 +113,14 @@ struct Opts {
     state: Option<std::path::PathBuf>,
     resume: bool,
     fail_fast: bool,
+    addr: Option<String>,
+    capacity: usize,
+    queue: usize,
+    cache: Option<std::path::PathBuf>,
+    warm: Vec<std::path::PathBuf>,
+    cells: Option<Vec<String>>,
+    metrics: bool,
+    shutdown: bool,
     cmds: Vec<String>,
 }
 
@@ -103,6 +136,14 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
         state: None,
         resume: false,
         fail_fast: false,
+        addr: None,
+        capacity: 1024,
+        queue: 256,
+        cache: None,
+        warm: Vec::new(),
+        cells: None,
+        metrics: false,
+        shutdown: false,
         cmds: Vec::new(),
     };
     let mut it = args.iter();
@@ -132,6 +173,34 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
                 Some(Ok(n)) => o.fault_seed = Some(n),
                 _ => return Err("--fault-seed needs an unsigned integer argument".into()),
             },
+            "--addr" => match it.next() {
+                Some(a) if !a.starts_with("--") && !a.is_empty() => o.addr = Some(a.clone()),
+                _ => return Err("--addr needs a host:port argument".into()),
+            },
+            "--capacity" => match it.next().map(|n| n.parse::<usize>()) {
+                Some(Ok(n)) => o.capacity = n,
+                _ => return Err("--capacity needs an unsigned integer argument".into()),
+            },
+            "--queue" => match it.next().map(|n| n.parse::<usize>()) {
+                Some(Ok(n)) => o.queue = n,
+                _ => return Err("--queue needs an unsigned integer argument".into()),
+            },
+            "--cache" => match it.next() {
+                Some(p) if !p.starts_with("--") => o.cache = Some(p.into()),
+                _ => return Err("--cache needs a file path argument".into()),
+            },
+            "--warm" => match it.next() {
+                Some(p) if !p.starts_with("--") => o.warm.push(p.into()),
+                _ => return Err("--warm needs a file path argument".into()),
+            },
+            "--cells" => match it.next() {
+                Some(l) if !l.starts_with("--") && !l.is_empty() => {
+                    o.cells = Some(l.split(',').map(str::to_string).collect())
+                }
+                _ => return Err("--cells needs a comma-separated list argument".into()),
+            },
+            "--metrics" => o.metrics = true,
+            "--shutdown" => o.shutdown = true,
             flag if flag.starts_with("--") => return Err(format!("unknown flag '{flag}'")),
             cmd => o.cmds.push(cmd.to_string()),
         }
@@ -212,7 +281,7 @@ fn run() -> i32 {
     }
 
     // Machine-readable subcommands keep stderr clean unless asked not to.
-    let machine = matches!(cmd, "csv" | "jsonl");
+    let machine = matches!(cmd, "csv" | "jsonl" | "submit");
     log::set_level(if o.quiet {
         log::Level::Quiet
     } else if o.verbose {
@@ -222,6 +291,41 @@ fn run() -> i32 {
     } else {
         log::Level::Progress
     });
+
+    // The serving layer handles fault seeds per request — no ambient plan
+    // install here, so a served cell computes exactly what an offline
+    // `run_suite_with` of the same configuration computes.
+    if cmd == "serve" {
+        let cfg = harness::ServeConfig {
+            addr: o.addr.unwrap_or_else(|| "127.0.0.1:8080".into()),
+            capacity: o.capacity,
+            queue_cap: o.queue,
+            cache_path: o.cache,
+            warm: o.warm,
+        };
+        return match harness::serve::serve(cfg) {
+            Ok(()) => 0,
+            Err(e) => {
+                eprintln!("serve failed: {e}");
+                1
+            }
+        };
+    }
+    if cmd == "submit" {
+        let Some(addr) = o.addr else {
+            eprintln!("submit needs --addr <host:port>");
+            eprintln!("{}", usage());
+            return 2;
+        };
+        return harness::serve::submit(&harness::SubmitConfig {
+            addr,
+            scale: if o.test_scale { "test" } else { "paper" }.into(),
+            fault_seed: o.fault_seed,
+            cells: o.cells,
+            metrics: o.metrics,
+            shutdown: o.shutdown,
+        });
+    }
 
     // Deterministic chaos: install the plan process-wide (the worker-panic
     // site and the meters read the ambient plan) and pass it to the runner

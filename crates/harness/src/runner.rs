@@ -134,8 +134,11 @@ impl CellEntry {
     }
 }
 
-/// Cell coordinates: (benchmark name, variant, precision bits).
-pub type CellKey = (String, Variant, u8);
+/// Cell coordinates: (benchmark name, variant, precision bits). This is
+/// the in-process index into a sweep's results; the *content address* of a
+/// cell (which also pins scale, fault seed, device and simulator version)
+/// is [`sim_server::key::CellKey`], built via [`crate::checkpoint::cell_spec`].
+pub type CellCoord = (String, Variant, u8);
 
 /// Knobs for [`run_suite_with`].
 #[derive(Clone, Debug)]
@@ -185,7 +188,7 @@ impl Default for SuiteConfig {
 
 /// Results of a full sweep.
 pub struct SuiteResults {
-    pub cells: HashMap<CellKey, CellEntry>,
+    pub cells: HashMap<CellCoord, CellEntry>,
     pub bench_names: Vec<String>,
 }
 
@@ -319,6 +322,21 @@ fn run_cell(
     unreachable!("the attempt loop always returns")
 }
 
+/// Run, retry and measure one isolated cell under the default power
+/// model — the serving layer's entry point (offline sweeps go through
+/// [`run_suite_with`]). `bench_index` must be the benchmark's index in
+/// the *full* suite: the measurement seed derives from it, and a served
+/// cell must meter identically to the same cell in an offline sweep.
+pub fn run_one(
+    b: &dyn Benchmark,
+    bench_index: usize,
+    v: Variant,
+    prec: Precision,
+    cfg: &SuiteConfig,
+) -> CellEntry {
+    run_cell(b, bench_index, v, prec, &PowerModel::default(), cfg)
+}
+
 /// Run and measure the whole suite with default (fault-free, keep-going)
 /// configuration. Progress goes through the [`telemetry::log`] levels;
 /// `verbose = false` keeps a caller (tests, machine-readable subcommands)
@@ -361,7 +379,7 @@ pub fn run_suite_with(benches: &[Box<dyn Benchmark>], cfg: &SuiteConfig) -> Suit
         fault_seed: cfg.faults.map(|p| p.seed()),
         benches: names.clone(),
     };
-    let preloaded: HashMap<CellKey, CellEntry> = match &cfg.checkpoint {
+    let preloaded: HashMap<CellCoord, CellEntry> = match &cfg.checkpoint {
         Some(path) if cfg.resume => match checkpoint::load(path) {
             Some((h, entries)) if h == header => {
                 if cfg.verbose {
@@ -385,7 +403,7 @@ pub fn run_suite_with(benches: &[Box<dyn Benchmark>], cfg: &SuiteConfig) -> Suit
         _ => HashMap::new(),
     };
 
-    let done: Mutex<HashMap<CellKey, CellEntry>> = Mutex::new(preloaded.clone());
+    let done: Mutex<HashMap<CellCoord, CellEntry>> = Mutex::new(preloaded.clone());
     let abort = AtomicBool::new(false);
 
     // Every job is scheduled even when its cell is preloaded: keeping job
@@ -393,7 +411,7 @@ pub fn run_suite_with(benches: &[Box<dyn Benchmark>], cfg: &SuiteConfig) -> Suit
     // identical between the original and the resumed run.
     let raw = sim_pool::try_parallel_map(jobs.len(), |j| {
         let (bi, prec, v) = jobs[j];
-        let key: CellKey = (names[bi].clone(), v, prec_key(prec));
+        let key: CellCoord = (names[bi].clone(), v, prec_key(prec));
         if let Some(e) = preloaded.get(&key) {
             return e.clone();
         }
@@ -470,7 +488,7 @@ impl SuiteResults {
 
     /// All failed cells, sorted by coordinates (deterministic for
     /// reporting and exit-code decisions).
-    pub fn failed_cells(&self) -> Vec<(&CellKey, &CellError)> {
+    pub fn failed_cells(&self) -> Vec<(&CellCoord, &CellError)> {
         let mut out: Vec<_> = self
             .cells
             .iter()

@@ -1,0 +1,648 @@
+//! `harness serve` / `harness submit` — the experiment service.
+//!
+//! This module mounts the generic `sim-server` kernel (HTTP, cache,
+//! scheduler) onto the simulator: request cells are normalized through
+//! [`checkpoint::cell_spec`] into the same key space the `simstate v2`
+//! checkpoint uses, results are stored as [`checkpoint::encode_entry`]
+//! payloads, and sweep responses are rendered by [`export::jsonl_row`] —
+//! the exact formatter behind `harness jsonl`. Those three shared code
+//! paths are what make the service's contract hold: a served sweep is
+//! byte-identical to the offline artifact, a warm cache is
+//! indistinguishable from a cold one, and a checkpoint file warm-starts
+//! the cache without translation.
+//!
+//! Endpoints (see DESIGN.md §12 and the README quickstart):
+//!
+//! * `POST /v1/sweep` — JSON batch request, JSONL response rows in
+//!   request order. Ratio columns (speedup/power/energy) are computed
+//!   over the *request's* result set, so a full-grid sweep reproduces
+//!   `harness jsonl` exactly and a subset sweep reports `null` where the
+//!   serial baseline was not requested.
+//! * `GET /v1/cell/<key>` — inspect one cached cell by content address
+//!   (no LRU or counter side effects).
+//! * `GET /metrics` — text exposition of cache/scheduler/service
+//!   counters.
+//! * `GET /healthz` — liveness.
+//! * `POST /v1/shutdown` — graceful stop: in-flight work drains, the
+//!   cache is persisted, the acceptor exits.
+//!
+//! Determinism: a cell's bytes are a pure function of its spec (the
+//! simulator's existing thread-count guarantee), so cache state,
+//! coalescing, batching and arrival order can change only *when* a cell
+//! is computed, never what the client receives.
+
+use crate::checkpoint::{self, cell_spec, coord_spec};
+use crate::export;
+use crate::runner::{
+    run_one, CellCoord, CellEntry, CellError, FailKind, SuiteConfig, SuiteResults,
+};
+use hpc_kernels::{Benchmark, Precision, Variant};
+use sim_server::cache::Cache;
+use sim_server::http::{self, Request, Response, Server, StopHandle};
+use sim_server::json::{self, Json};
+use sim_server::key::{CellKey, CellSpec};
+use sim_server::metrics::{self, Metrics};
+use sim_server::scheduler::{AdmitError, Scheduler, Slot};
+use std::collections::HashMap;
+use std::io::{self, Write};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+use telemetry::log;
+
+/// Server configuration (CLI flags map onto this 1:1).
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Cell cache capacity (entries); 0 disables caching.
+    pub capacity: usize,
+    /// Scheduler queue bound; sweeps that would push past it get 429.
+    pub queue_cap: usize,
+    /// Cache persistence file (`simcache v1`, written atomically after
+    /// every completed batch and on shutdown).
+    pub cache_path: Option<PathBuf>,
+    /// `simstate v2` checkpoint files to warm-start the cache from.
+    pub warm: Vec<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:8080".into(),
+            capacity: 1024,
+            queue_cap: 256,
+            cache_path: None,
+            warm: Vec::new(),
+        }
+    }
+}
+
+/// Labels accepted (and emitted) on the wire, in suite order.
+const VERSIONS: [Variant; 4] = Variant::ALL;
+const SCALES: [&str; 2] = ["test", "paper"];
+
+fn variant_from_wire(s: &str) -> Option<Variant> {
+    VERSIONS
+        .into_iter()
+        .find(|v| v.label().replace(' ', "-") == s)
+}
+
+fn precision_from_wire(s: &str) -> Option<Precision> {
+    match s {
+        "single" => Some(Precision::F32),
+        "double" => Some(Precision::F64),
+        _ => None,
+    }
+}
+
+fn spec_coord(spec: &CellSpec) -> Option<(CellCoord, Precision)> {
+    let v = variant_from_wire(&spec.version)?;
+    let prec = match spec.precision {
+        32 => Precision::F32,
+        64 => Precision::F64,
+        _ => return None,
+    };
+    Some(((spec.bench.clone(), v, spec.precision), prec))
+}
+
+// ---- evaluation (dispatcher side) ----
+
+/// Evaluate one batch of distinct cells on `sim-pool` and return one
+/// encoded payload per spec, in order. Runs on the dispatcher thread, so
+/// the pool's fork/join region is entered from exactly one place.
+fn eval_batch(
+    test: &[Box<dyn Benchmark>],
+    paper: &[Box<dyn Benchmark>],
+    batch: &[CellSpec],
+) -> Vec<String> {
+    let raw = sim_pool::try_parallel_map(batch.len(), |i| {
+        let spec = &batch[i];
+        let benches = if spec.scale == "test" { test } else { paper };
+        let Some(((bench, v, _), prec)) = spec_coord(spec) else {
+            // Admission validates specs; reaching this means a bug, but a
+            // structured failure row beats a panic in a long-lived server.
+            return CellEntry::Failed(CellError {
+                kind: FailKind::Launch,
+                message: format!("unresolvable cell spec: {}", spec.canonical()),
+                attempts: 0,
+                backoff_ms: 0,
+            });
+        };
+        let Some(bi) = benches.iter().position(|b| b.name() == bench) else {
+            return CellEntry::Failed(CellError {
+                kind: FailKind::Launch,
+                message: format!("unknown benchmark '{bench}'"),
+                attempts: 0,
+                backoff_ms: 0,
+            });
+        };
+        let cfg = SuiteConfig {
+            faults: spec.fault_seed.map(sim_faults::FaultPlan::new),
+            ..SuiteConfig::default()
+        };
+        run_one(benches[bi].as_ref(), bi, v, prec, &cfg)
+    });
+    raw.into_iter()
+        .map(|r| match r {
+            Ok(entry) => entry,
+            Err(tp) => CellEntry::Failed(CellError {
+                kind: FailKind::WorkerPanic,
+                message: tp.message,
+                attempts: 1,
+                backoff_ms: 0,
+            }),
+        })
+        .map(|e| checkpoint::encode_entry(&e))
+        .collect()
+}
+
+// ---- the engine ----
+
+struct Engine {
+    cache: Arc<Mutex<Cache>>,
+    scheduler: Scheduler,
+    metrics: Mutex<Metrics>,
+    /// Benchmark names in suite order (identical for both scales).
+    bench_names: Vec<String>,
+    stop: StopHandle,
+    cache_path: Option<PathBuf>,
+}
+
+fn persist(cache: &Cache, path: &Option<PathBuf>) {
+    if let Some(p) = path {
+        if let Err(e) = crate::artifact::atomic_write(p, &cache.snapshot()) {
+            log::progress(&format!(
+                "warning: cache persist to {} failed: {e}",
+                p.display()
+            ));
+        }
+    }
+}
+
+impl Engine {
+    fn new(cfg: &ServeConfig, stop: StopHandle) -> Engine {
+        let bench_names: Vec<String> = hpc_kernels::test_suite()
+            .iter()
+            .map(|b| b.name().to_string())
+            .collect();
+
+        let mut cache = Cache::new(cfg.capacity);
+        if let Some(path) = &cfg.cache_path {
+            if let Ok(bytes) = std::fs::read(path) {
+                let n = cache
+                    .restore(&bytes, |payload| {
+                        checkpoint::decode_entry(payload).is_some()
+                    })
+                    .unwrap_or(0);
+                log::progress(&format!(
+                    "cache: restored {n} cells from {}",
+                    path.display()
+                ));
+            }
+        }
+        for path in &cfg.warm {
+            match checkpoint::load(path) {
+                Some((header, entries)) => {
+                    // Sorted for a deterministic LRU stamp order.
+                    let mut coords: Vec<&CellCoord> = entries.keys().collect();
+                    coords.sort_by_key(|(b, v, p)| {
+                        (b.clone(), Variant::ALL.iter().position(|x| x == v), *p)
+                    });
+                    let mut n = 0usize;
+                    for coord in coords {
+                        if let Some(spec) = coord_spec(&header.tag, header.fault_seed, coord) {
+                            cache.insert(spec, checkpoint::encode_entry(&entries[coord]));
+                            n += 1;
+                        }
+                    }
+                    log::progress(&format!(
+                        "cache: warmed {n} cells from checkpoint {}",
+                        path.display()
+                    ));
+                }
+                None => log::progress(&format!(
+                    "warning: checkpoint {} unreadable; skipped",
+                    path.display()
+                )),
+            }
+        }
+        let cache = Arc::new(Mutex::new(cache));
+
+        let scheduler = {
+            let cache = cache.clone();
+            let cache_path = cfg.cache_path.clone();
+            Scheduler::start(cfg.queue_cap, move || {
+                // Built on the dispatcher thread: benchmark suites are
+                // `Sync` but deliberately not `Send`.
+                let test = hpc_kernels::test_suite();
+                let paper = hpc_kernels::suite();
+                move |batch: &[CellSpec]| {
+                    let payloads = eval_batch(&test, &paper, batch);
+                    let mut c = cache.lock().unwrap_or_else(|e| e.into_inner());
+                    for (spec, payload) in batch.iter().zip(&payloads) {
+                        c.insert(spec.clone(), payload.clone());
+                    }
+                    persist(&c, &cache_path);
+                    payloads
+                }
+            })
+        };
+
+        Engine {
+            cache,
+            scheduler,
+            metrics: Mutex::new(Metrics::default()),
+            bench_names,
+            stop,
+            cache_path: cfg.cache_path.clone(),
+        }
+    }
+
+    fn handle(&self, req: &Request) -> Response {
+        self.metrics
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .requests += 1;
+        match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/healthz") => Response::text(200, "ok\n"),
+            ("GET", "/metrics") => self.metrics_page(),
+            ("POST", "/v1/sweep") => self.sweep(req),
+            ("POST", "/v1/shutdown") => {
+                persist(
+                    &self.cache.lock().unwrap_or_else(|e| e.into_inner()),
+                    &self.cache_path,
+                );
+                self.stop.stop();
+                Response::text(200, "shutting down\n")
+            }
+            ("GET", path) if path.starts_with("/v1/cell/") => self.cell(&path["/v1/cell/".len()..]),
+            _ => Response::json(404, "{\"error\":\"no such route\"}\n"),
+        }
+    }
+
+    fn metrics_page(&self) -> Response {
+        let cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
+        let (cache_stats, entries) = (cache.stats(), cache.len());
+        drop(cache);
+        let sched = self.scheduler.stats();
+        let m = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        Response::text(200, metrics::render(&m, &cache_stats, entries, &sched))
+    }
+
+    fn bad(&self, msg: &str) -> Response {
+        self.metrics
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .bad_requests += 1;
+        Response::json(400, format!("{{\"error\":\"{}\"}}\n", json::escape(msg)))
+    }
+
+    /// `GET /v1/cell/<key>`: pure inspection — `peek`, no LRU stamp
+    /// refresh, no hit/miss accounting. Ratio columns in the row are
+    /// batch-relative and therefore null here (except Serial's own 1.0).
+    fn cell(&self, keyhex: &str) -> Response {
+        let Ok(key) = keyhex.parse::<CellKey>() else {
+            return self.bad("cell key must be 16 hex digits");
+        };
+        let cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
+        let Some(cached) = cache.peek(key) else {
+            return Response::json(404, "{\"error\":\"cell not in cache\"}\n");
+        };
+        let spec = cached.spec.clone();
+        let payload = cached.payload.clone();
+        drop(cache);
+        let Some((coord, prec)) = spec_coord(&spec) else {
+            return Response::json(500, "{\"error\":\"cached spec unresolvable\"}\n");
+        };
+        let Some(entry) = checkpoint::decode_entry(&payload) else {
+            return Response::json(500, "{\"error\":\"cached payload corrupt\"}\n");
+        };
+        let (bench, v, _) = coord.clone();
+        let results = SuiteResults {
+            cells: HashMap::from([(coord, entry)]),
+            bench_names: vec![bench.clone()],
+        };
+        let row = export::jsonl_row(&results, &bench, v, prec);
+        Response::json(
+            200,
+            format!(
+                "{{\"key\":\"{key}\",\"spec\":\"{}\",\"row\":{row}}}\n",
+                json::escape(&spec.canonical())
+            ),
+        )
+    }
+
+    /// Parse and validate a sweep request body into specs + coords, in
+    /// request order. Returns a human-readable error for a 400.
+    fn parse_sweep(&self, body: &[u8]) -> Result<Vec<(CellSpec, Precision)>, String> {
+        let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+        let doc = json::parse(text).map_err(|e| format!("bad JSON: {e}"))?;
+        let scale = match doc.get("scale") {
+            None => "test",
+            Some(s) => s.as_str().ok_or("'scale' must be a string")?,
+        };
+        if !SCALES.contains(&scale) {
+            return Err(format!("unknown scale '{scale}' (have: test, paper)"));
+        }
+        let fault_seed = match doc.get("fault_seed") {
+            None => None,
+            Some(Json::Null) => None,
+            Some(v) => Some(
+                v.as_u64()
+                    .ok_or("'fault_seed' must be an unsigned integer")?,
+            ),
+        };
+        let cells = doc.get("cells").ok_or("missing 'cells'")?;
+        let mut out = Vec::new();
+        if cells.as_str() == Some("all") {
+            for bench in &self.bench_names {
+                for prec in Precision::ALL {
+                    for v in VERSIONS {
+                        out.push((cell_spec(scale, fault_seed, bench, v, prec), prec));
+                    }
+                }
+            }
+            return Ok(out);
+        }
+        let arr = cells
+            .as_arr()
+            .ok_or("'cells' must be \"all\" or an array")?;
+        if arr.is_empty() {
+            return Err("'cells' is empty".into());
+        }
+        for (i, c) in arr.iter().enumerate() {
+            let field = |k: &str| -> Result<&str, String> {
+                c.get(k)
+                    .and_then(Json::as_str)
+                    .ok_or(format!("cells[{i}]: missing string field '{k}'"))
+            };
+            let bench = field("bench")?;
+            if !self.bench_names.iter().any(|b| b == bench) {
+                return Err(format!(
+                    "cells[{i}]: unknown benchmark '{bench}' (have: {})",
+                    self.bench_names.join(", ")
+                ));
+            }
+            let version = field("version")?;
+            let v = variant_from_wire(version).ok_or(format!(
+                "cells[{i}]: unknown version '{version}' (have: Serial, OpenMP, OpenCL, OpenCL-Opt)"
+            ))?;
+            let precision = field("precision")?;
+            let prec = precision_from_wire(precision).ok_or(format!(
+                "cells[{i}]: unknown precision '{precision}' (have: single, double)"
+            ))?;
+            out.push((cell_spec(scale, fault_seed, bench, v, prec), prec));
+        }
+        Ok(out)
+    }
+
+    fn sweep(&self, req: &Request) -> Response {
+        let started = Instant::now();
+        let cells = match self.parse_sweep(&req.body) {
+            Ok(c) => c,
+            Err(msg) => return self.bad(&msg),
+        };
+        {
+            let mut m = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+            m.sweeps += 1;
+            m.cells_requested += cells.len() as u64;
+        }
+
+        // One cache lookup per *distinct* cell; misses are admitted while
+        // the cache lock is held, so a cell cannot complete (and be
+        // evicted) between the check and the admit.
+        let mut payloads: HashMap<CellKey, String> = HashMap::new();
+        let mut pending: Vec<(CellKey, Arc<Slot>)> = Vec::new();
+        {
+            let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
+            let mut need: Vec<CellSpec> = Vec::new();
+            for (spec, _) in &cells {
+                let key = spec.key();
+                if payloads.contains_key(&key) || need.iter().any(|s| s.key() == key) {
+                    continue;
+                }
+                match cache.get(key) {
+                    Some(c) => {
+                        payloads.insert(key, c.payload);
+                    }
+                    None => need.push(spec.clone()),
+                }
+            }
+            match self.scheduler.admit(&need) {
+                Ok(slots) => {
+                    pending.extend(need.iter().map(|s| s.key()).zip(slots));
+                }
+                Err(AdmitError::Busy {
+                    queue_depth,
+                    queue_cap,
+                }) => {
+                    self.metrics
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .rejected_requests += 1;
+                    return Response::json(
+                        429,
+                        format!(
+                            "{{\"error\":\"queue full\",\"queue_depth\":{queue_depth},\"queue_cap\":{queue_cap}}}\n"
+                        ),
+                    )
+                    .with_header("Retry-After", "1");
+                }
+                Err(AdmitError::ShuttingDown) => {
+                    return Response::json(503, "{\"error\":\"shutting down\"}\n");
+                }
+            }
+        }
+        for (key, slot) in pending {
+            payloads.insert(key, slot.wait());
+        }
+
+        // Decode into a SuiteResults over exactly the requested cells, so
+        // the shared jsonl formatter computes ratios against the request's
+        // own serial baselines (full grid => identical to `harness jsonl`).
+        let mut results = SuiteResults {
+            cells: HashMap::new(),
+            bench_names: self.bench_names.clone(),
+        };
+        for (spec, _) in &cells {
+            let Some((coord, _)) = spec_coord(spec) else {
+                continue;
+            };
+            if results.cells.contains_key(&coord) {
+                continue;
+            }
+            let payload = &payloads[&spec.key()];
+            let entry = checkpoint::decode_entry(payload).unwrap_or_else(|| {
+                CellEntry::Failed(CellError {
+                    kind: FailKind::WorkerPanic,
+                    message: "cached payload corrupt".into(),
+                    attempts: 0,
+                    backoff_ms: 0,
+                })
+            });
+            results.cells.insert(coord, entry);
+        }
+        let mut body = String::new();
+        for (spec, prec) in &cells {
+            let Some(((bench, v, _), _)) = spec_coord(spec) else {
+                continue;
+            };
+            body.push_str(&export::jsonl_row(&results, &bench, v, *prec));
+            body.push('\n');
+        }
+        self.metrics
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .sweep_time
+            .record_us(started.elapsed().as_micros() as u64);
+        Response::jsonl(200, body)
+    }
+}
+
+// ---- entry points ----
+
+/// A server running on a background thread (tests, embedding).
+pub struct RunningServer {
+    pub addr: SocketAddr,
+    stop: StopHandle,
+    thread: std::thread::JoinHandle<io::Result<()>>,
+}
+
+impl RunningServer {
+    /// Stop accepting, drain in-flight work, and join the server thread.
+    pub fn shutdown(self) -> io::Result<()> {
+        self.stop.stop();
+        self.thread
+            .join()
+            .map_err(|_| io::Error::other("server thread panicked"))?
+    }
+}
+
+fn run_on(server: Server, cfg: ServeConfig) -> io::Result<()> {
+    let stop = server.stop_handle()?;
+    let engine = Engine::new(&cfg, stop);
+    server.run(|req| engine.handle(req))?;
+    // Dropping the engine shuts the scheduler down (drains, then joins).
+    persist(
+        &engine.cache.lock().unwrap_or_else(|e| e.into_inner()),
+        &engine.cache_path,
+    );
+    Ok(())
+}
+
+/// Bind and serve on a background thread; returns the resolved address.
+pub fn start(cfg: ServeConfig) -> io::Result<RunningServer> {
+    let server = Server::bind(&cfg.addr)?;
+    let addr = server.local_addr()?;
+    let stop = server.stop_handle()?;
+    let thread = std::thread::Builder::new()
+        .name("sim-server-acceptor".into())
+        .spawn(move || run_on(server, cfg))?;
+    Ok(RunningServer { addr, stop, thread })
+}
+
+/// Bind and serve on the calling thread (the `harness serve` path).
+/// Prints the resolved listen address to stdout first, so scripts binding
+/// port 0 can discover the port.
+pub fn serve(cfg: ServeConfig) -> io::Result<()> {
+    let server = Server::bind(&cfg.addr)?;
+    let addr = server.local_addr()?;
+    println!("listening on {addr}");
+    io::stdout().flush()?;
+    run_on(server, cfg)
+}
+
+// ---- the submit client ----
+
+/// Client configuration for `harness submit`.
+#[derive(Clone, Debug)]
+pub struct SubmitConfig {
+    /// Server address, `host:port`.
+    pub addr: String,
+    /// Problem-size scale tag ("test" / "paper").
+    pub scale: String,
+    /// Fault-injection seed forwarded with the sweep.
+    pub fault_seed: Option<u64>,
+    /// `None` sweeps the full grid; `Some` holds `bench/version/precision`
+    /// triples (e.g. `spmv/OpenCL-Opt/single`).
+    pub cells: Option<Vec<String>>,
+    /// Fetch and print `/metrics` instead of sweeping.
+    pub metrics: bool,
+    /// Request a graceful server shutdown instead of sweeping.
+    pub shutdown: bool,
+}
+
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(600);
+
+/// Build the JSON body for a sweep request.
+fn sweep_body(cfg: &SubmitConfig) -> Result<String, String> {
+    let cells = match &cfg.cells {
+        None => "\"all\"".to_string(),
+        Some(list) => {
+            let mut items = Vec::new();
+            for c in list {
+                let parts: Vec<&str> = c.split('/').collect();
+                let [bench, version, precision] = parts[..] else {
+                    return Err(format!(
+                        "bad cell '{c}' (want bench/version/precision, e.g. spmv/OpenCL-Opt/single)"
+                    ));
+                };
+                items.push(format!(
+                    "{{\"bench\":\"{}\",\"version\":\"{}\",\"precision\":\"{}\"}}",
+                    json::escape(bench),
+                    json::escape(version),
+                    json::escape(precision)
+                ));
+            }
+            format!("[{}]", items.join(","))
+        }
+    };
+    let seed = match cfg.fault_seed {
+        Some(s) => format!(",\"fault_seed\":{s}"),
+        None => String::new(),
+    };
+    Ok(format!(
+        "{{\"scale\":\"{}\"{seed},\"cells\":{cells}}}",
+        json::escape(&cfg.scale)
+    ))
+}
+
+/// Run one client interaction; prints the response body to stdout.
+/// Returns the process exit code (0 ok, 1 server/transport error).
+pub fn submit(cfg: &SubmitConfig) -> i32 {
+    let (method, path, body) = if cfg.shutdown {
+        ("POST", "/v1/shutdown", String::new())
+    } else if cfg.metrics {
+        ("GET", "/metrics", String::new())
+    } else {
+        match sweep_body(cfg) {
+            Ok(b) => ("POST", "/v1/sweep", b),
+            Err(msg) => {
+                // Usage-shaped error: the caller maps it to exit 2.
+                eprintln!("{msg}");
+                return 2;
+            }
+        }
+    };
+    match http::request(&cfg.addr, method, path, body.as_bytes(), CLIENT_TIMEOUT) {
+        Ok((200, body)) => {
+            let mut out = io::stdout();
+            let _ = out.write_all(&body);
+            let _ = out.flush();
+            0
+        }
+        Ok((status, body)) => {
+            eprintln!(
+                "server returned {status}: {}",
+                String::from_utf8_lossy(&body).trim_end()
+            );
+            1
+        }
+        Err(e) => {
+            eprintln!("request to {} failed: {e}", cfg.addr);
+            1
+        }
+    }
+}

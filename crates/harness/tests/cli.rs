@@ -1,0 +1,60 @@
+//! CLI contract: bad invocations exit 2 with usage on stderr — never a
+//! panic, never a silent fallback to the default subcommand.
+
+use std::process::{Command, Output};
+
+fn harness(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_harness"))
+        .args(args)
+        .output()
+        .expect("spawn harness")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn unknown_subcommand_exits_2_with_usage() {
+    for bad in ["frobnicate", "Serve", "--serve"] {
+        let out = harness(&[bad]);
+        assert_eq!(out.status.code(), Some(2), "{bad}");
+        let err = stderr(&out);
+        assert!(err.contains("usage"), "{bad}: {err}");
+        assert!(!err.contains("panicked"), "{bad}: {err}");
+    }
+}
+
+#[test]
+fn malformed_flags_exit_2() {
+    for bad in [
+        &["serve", "--capacity", "lots"][..],
+        &["serve", "--queue", "-1"],
+        &["serve", "--addr"],
+        &["submit", "--addr", "127.0.0.1:1", "--fault-seed", "x"],
+        &["submit", "--addr", "127.0.0.1:1", "--cells"],
+        &["suite", "--threads", "zero"],
+        &["jsonl", "--no-such-flag"],
+    ] {
+        let out = harness(bad);
+        assert_eq!(out.status.code(), Some(2), "{bad:?}: {}", stderr(&out));
+        assert!(!stderr(&out).contains("panicked"), "{bad:?}");
+    }
+}
+
+#[test]
+fn submit_requires_an_address() {
+    let out = harness(&["submit"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--addr"), "{}", stderr(&out));
+}
+
+#[test]
+fn help_documents_the_serving_layer() {
+    let out = harness(&["--help"]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8_lossy(&out.stdout).into_owned() + &stderr(&out);
+    for needle in ["serve", "submit", "--queue", "--cache", "--warm"] {
+        assert!(text.contains(needle), "help missing {needle}: {text}");
+    }
+}

@@ -1,0 +1,380 @@
+//! Minimal HTTP/1.1 plumbing over `std::net` — enough protocol for a
+//! localhost experiment service, and nothing more.
+//!
+//! Server side: [`Server::bind`] + [`Server::run`] accept loop, one
+//! handler thread per connection (scoped, so the handler may borrow the
+//! engine), `Connection: close` semantics, bounded header/body sizes and
+//! a read timeout so one stuck client cannot wedge an acceptor thread
+//! forever. Client side: [`request`], a one-shot request helper used by
+//! `harness submit` and the end-to-end tests.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Maximum accepted size of the request head (request line + headers).
+const MAX_HEAD: usize = 16 * 1024;
+/// Maximum accepted request body size.
+const MAX_BODY: usize = 16 * 1024 * 1024;
+/// Per-connection socket timeout.
+const IO_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    pub method: String,
+    /// Path with query string, verbatim (e.g. `/v1/cell/abc123`).
+    pub path: String,
+    /// Header names lowercased.
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// One response to send.
+#[derive(Debug)]
+pub struct Response {
+    pub status: u16,
+    pub content_type: &'static str,
+    pub body: Vec<u8>,
+    /// Extra headers (e.g. `Retry-After` on 429).
+    pub extra_headers: Vec<(String, String)>,
+}
+
+impl Response {
+    pub fn new(status: u16, content_type: &'static str, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status,
+            content_type,
+            body: body.into(),
+            extra_headers: Vec::new(),
+        }
+    }
+
+    pub fn text(status: u16, body: impl Into<Vec<u8>>) -> Response {
+        Response::new(status, "text/plain; charset=utf-8", body)
+    }
+
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Response {
+        Response::new(status, "application/json", body)
+    }
+
+    pub fn jsonl(status: u16, body: impl Into<Vec<u8>>) -> Response {
+        Response::new(status, "application/jsonl", body)
+    }
+
+    pub fn with_header(mut self, name: &str, value: &str) -> Response {
+        self.extra_headers.push((name.into(), value.into()));
+        self
+    }
+
+    fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            413 => "Payload Too Large",
+            429 => "Too Many Requests",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "Unknown",
+        }
+    }
+}
+
+/// Read and parse one request from a stream.
+pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
+    let bad = |m: &str| io::Error::new(io::ErrorKind::InvalidData, m.to_string());
+    // Read until the blank line ending the head.
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    let head_end = loop {
+        if let Some(p) = find_head_end(&buf) {
+            break p;
+        }
+        if buf.len() > MAX_HEAD {
+            return Err(bad("request head too large"));
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-request",
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = std::str::from_utf8(&buf[..head_end]).map_err(|_| bad("non-UTF8 head"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().ok_or_else(|| bad("empty request"))?;
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .ok_or_else(|| bad("bad request line"))?
+        .to_string();
+    let path = parts
+        .next()
+        .ok_or_else(|| bad("bad request line"))?
+        .to_string();
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (k, v) = line.split_once(':').ok_or_else(|| bad("bad header"))?;
+        headers.push((k.trim().to_ascii_lowercase(), v.trim().to_string()));
+    }
+    let req = Request {
+        method,
+        path,
+        headers,
+        body: Vec::new(),
+    };
+    let len: usize = match req.header("content-length") {
+        Some(v) => v.parse().map_err(|_| bad("bad content-length"))?,
+        None => 0,
+    };
+    if len > MAX_BODY {
+        return Err(bad("request body too large"));
+    }
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < len {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-body",
+            ));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(len);
+    Ok(Request { body, ..req })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Serialize and send one response.
+pub fn write_response(stream: &mut TcpStream, resp: &Response) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        resp.status,
+        resp.reason(),
+        resp.content_type,
+        resp.body.len()
+    );
+    for (k, v) in &resp.extra_headers {
+        head.push_str(&format!("{k}: {v}\r\n"));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&resp.body)?;
+    stream.flush()
+}
+
+/// Handle to stop a running [`Server`] from another thread (or from a
+/// handler, e.g. a shutdown endpoint).
+#[derive(Clone)]
+pub struct StopHandle {
+    stop: Arc<AtomicBool>,
+    addr: SocketAddr,
+}
+
+impl StopHandle {
+    /// Request shutdown. Idempotent; pokes the acceptor awake.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // The acceptor blocks in accept(); a throwaway connection wakes it
+        // so it can observe the flag.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+    }
+
+    pub fn is_stopped(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+}
+
+/// A bound listener plus its stop flag.
+pub struct Server {
+    listener: TcpListener,
+    stop: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Bind (use port 0 for an ephemeral port; read it back with
+    /// [`local_addr`](Self::local_addr)).
+    pub fn bind(addr: &str) -> io::Result<Server> {
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    pub fn stop_handle(&self) -> io::Result<StopHandle> {
+        Ok(StopHandle {
+            stop: self.stop.clone(),
+            addr: self.local_addr()?,
+        })
+    }
+
+    /// Accept-and-dispatch loop: one scoped thread per connection, until
+    /// the stop handle fires. Handler errors become 500s; connection I/O
+    /// errors are logged and dropped (the peer is gone anyway).
+    pub fn run<H>(&self, handler: H) -> io::Result<()>
+    where
+        H: Fn(&Request) -> Response + Send + Sync,
+    {
+        let handler = &handler;
+        std::thread::scope(|scope| {
+            loop {
+                let (mut stream, peer) = match self.listener.accept() {
+                    Ok(c) => c,
+                    Err(e) => {
+                        if self.stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        telemetry::log::debug(&format!("accept error: {e}"));
+                        continue;
+                    }
+                };
+                if self.stop.load(Ordering::SeqCst) {
+                    // The wake-up poke (or a late client); close and exit.
+                    break;
+                }
+                scope.spawn(move || {
+                    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+                    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+                    match read_request(&mut stream) {
+                        Ok(req) => {
+                            let resp = handler(&req);
+                            if let Err(e) = write_response(&mut stream, &resp) {
+                                telemetry::log::debug(&format!("write to {peer} failed: {e}"));
+                            }
+                        }
+                        Err(e) => {
+                            telemetry::log::debug(&format!("bad request from {peer}: {e}"));
+                            let resp = Response::text(400, format!("bad request: {e}\n"));
+                            let _ = write_response(&mut stream, &resp);
+                        }
+                    }
+                });
+            }
+        });
+        Ok(())
+    }
+}
+
+/// One-shot HTTP client: connect, send, read the full response. Returns
+/// `(status, body)`.
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &[u8],
+    timeout: Duration,
+) -> io::Result<(u16, Vec<u8>)> {
+    let bad = |m: &str| io::Error::new(io::ErrorKind::InvalidData, m.to_string());
+    let sock_addr = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| bad("unresolvable address"))?;
+    let mut stream = TcpStream::connect_timeout(&sock_addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nContent-Type: application/json\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let head_end = find_head_end(&raw).ok_or_else(|| bad("truncated response head"))?;
+    let head = std::str::from_utf8(&raw[..head_end]).map_err(|_| bad("non-UTF8 head"))?;
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("bad status line"))?;
+    Ok((status, raw[head_end + 4..].to_vec()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loopback_round_trip() {
+        let server = Server::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        let stop = server.stop_handle().unwrap();
+        let t = std::thread::spawn(move || {
+            server.run(|req| match (req.method.as_str(), req.path.as_str()) {
+                ("GET", "/healthz") => Response::text(200, "ok\n"),
+                ("POST", "/echo") => Response::jsonl(200, req.body.clone()),
+                ("GET", "/busy") => Response::text(429, "busy\n").with_header("Retry-After", "1"),
+                _ => Response::text(404, "no such route\n"),
+            })
+        });
+
+        let (st, body) = request(&addr, "GET", "/healthz", b"", Duration::from_secs(5)).unwrap();
+        assert_eq!((st, body.as_slice()), (200, b"ok\n".as_slice()));
+
+        let payload = b"{\"x\":1}\n{\"y\":2}\n";
+        let (st, body) = request(&addr, "POST", "/echo", payload, Duration::from_secs(5)).unwrap();
+        assert_eq!(st, 200);
+        assert_eq!(body, payload);
+
+        let (st, _) = request(&addr, "GET", "/busy", b"", Duration::from_secs(5)).unwrap();
+        assert_eq!(st, 429);
+
+        let (st, _) = request(&addr, "GET", "/nope", b"", Duration::from_secs(5)).unwrap();
+        assert_eq!(st, 404);
+
+        stop.stop();
+        t.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn concurrent_connections_are_served() {
+        let server = Server::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        let stop = server.stop_handle().unwrap();
+        let t = std::thread::spawn(move || {
+            server.run(|req| Response::text(200, format!("len={}\n", req.body.len())))
+        });
+        std::thread::scope(|s| {
+            for i in 0..8usize {
+                let addr = addr.clone();
+                s.spawn(move || {
+                    let body = vec![b'x'; i * 1000];
+                    let (st, out) =
+                        request(&addr, "POST", "/", &body, Duration::from_secs(5)).unwrap();
+                    assert_eq!(st, 200);
+                    assert_eq!(out, format!("len={}\n", i * 1000).into_bytes());
+                });
+            }
+        });
+        stop.stop();
+        t.join().unwrap().unwrap();
+    }
+}

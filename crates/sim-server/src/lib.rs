@@ -1,0 +1,46 @@
+//! # sim-server — the dependency-free experiment service kernel
+//!
+//! The reproduction's sweeps are built from *cells* — fully-specified
+//! experiment points (benchmark × version × precision × scale × device
+//! config × fault seed × simulator version) whose results are
+//! deterministic functions of the spec. That makes the cell the natural
+//! unit of reuse: this crate turns the one-shot CLI simulator into
+//! serving infrastructure by giving cells a stable content address and
+//! building a cache, a scheduler and an HTTP surface around it.
+//!
+//! The crate is deliberately *domain-light*: it knows what a cell spec
+//! looks like on the wire ([`key::CellSpec`]) but treats results as
+//! opaque encoded payloads. The `harness` crate wires in the actual
+//! simulator (its checkpoint codec encodes/decodes payloads, its runner
+//! evaluates batches on `sim-pool`) and mounts the endpoints; see
+//! `harness::serve` and `DESIGN.md` §12.
+//!
+//! Layers, bottom-up:
+//!
+//! * [`key`] — canonical cell specs, the stable [`key::CellKey`] hash,
+//!   and the shared token codec (escaping, float bit-patterns) also used
+//!   by the `simstate` checkpoint format.
+//! * [`json`] — a bounded, exact-integer JSON parser for request bodies.
+//! * [`http`] — minimal HTTP/1.1 server (scoped thread per connection)
+//!   and a one-shot client.
+//! * [`cache`] — content-addressed LRU with deterministic snapshots.
+//! * [`scheduler`] — a single dispatcher that coalesces duplicate
+//!   in-flight cells, batches distinct ones, and bounds the queue with
+//!   explicit backpressure.
+//! * [`metrics`] — counters and p50/p95 service times as a text page.
+//!
+//! Everything is std-only, per the workspace's offline policy.
+
+pub mod cache;
+pub mod http;
+pub mod json;
+pub mod key;
+pub mod metrics;
+pub mod scheduler;
+
+pub use cache::{Cache, CacheStats, CachedCell};
+pub use http::{Request, Response, Server, StopHandle};
+pub use json::Json;
+pub use key::{CellKey, CellSpec, KEY_SCHEMA_VERSION};
+pub use metrics::Metrics;
+pub use scheduler::{AdmitError, Scheduler, SchedulerStats, Slot};

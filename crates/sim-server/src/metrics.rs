@@ -1,0 +1,121 @@
+//! `/metrics` counters and their text exposition.
+//!
+//! Plain `name value` lines (Prometheus-style exposition without types or
+//! labels) so a shell script — the CI smoke job included — can assert on
+//! them with `grep`. Wall-clock service times go through
+//! [`telemetry::DurationStats`]; everything else is a monotone counter or
+//! an instantaneous gauge sampled at render time.
+
+use crate::cache::CacheStats;
+use crate::scheduler::SchedulerStats;
+use telemetry::DurationStats;
+
+/// Server-level request counters + sweep service-time reservoir.
+pub struct Metrics {
+    pub requests: u64,
+    pub sweeps: u64,
+    pub cells_requested: u64,
+    pub rejected_requests: u64,
+    pub bad_requests: u64,
+    pub sweep_time: DurationStats,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            requests: 0,
+            sweeps: 0,
+            cells_requested: 0,
+            rejected_requests: 0,
+            bad_requests: 0,
+            sweep_time: DurationStats::new(4096),
+        }
+    }
+}
+
+/// Render the full metrics page from the three stat sources.
+pub fn render(
+    m: &Metrics,
+    cache: &CacheStats,
+    cache_entries: usize,
+    sched: &SchedulerStats,
+) -> String {
+    let mut out = String::new();
+    let mut line = |name: &str, v: u64| {
+        out.push_str(name);
+        out.push(' ');
+        out.push_str(&v.to_string());
+        out.push('\n');
+    };
+    line("sim_server_requests_total", m.requests);
+    line("sim_server_sweeps_total", m.sweeps);
+    line("sim_server_cells_requested_total", m.cells_requested);
+    line("sim_server_rejected_requests_total", m.rejected_requests);
+    line("sim_server_bad_requests_total", m.bad_requests);
+    line("sim_server_cache_hits", cache.hits);
+    line("sim_server_cache_misses", cache.misses);
+    line("sim_server_cache_insertions", cache.insertions);
+    line("sim_server_cache_evictions", cache.evictions);
+    line("sim_server_cache_entries", cache_entries as u64);
+    line("sim_server_cells_simulated_total", sched.simulated);
+    line("sim_server_cells_coalesced_total", sched.coalesced);
+    line("sim_server_sweeps_rejected_busy_total", sched.rejected);
+    line("sim_server_batches_total", sched.batches);
+    line("sim_server_queue_depth", sched.queue_depth as u64);
+    line("sim_server_in_flight", sched.in_flight as u64);
+    line("sim_server_sweep_time_p50_us", m.sweep_time.p50_us());
+    line("sim_server_sweep_time_p95_us", m.sweep_time.p95_us());
+    line("sim_server_sweep_time_mean_us", m.sweep_time.mean_us());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_every_counter_once() {
+        let mut m = Metrics {
+            requests: 3,
+            sweeps: 2,
+            cells_requested: 144,
+            ..Metrics::default()
+        };
+        m.sweep_time.record_us(100);
+        m.sweep_time.record_us(200);
+        let cache = CacheStats {
+            hits: 72,
+            misses: 72,
+            insertions: 72,
+            evictions: 0,
+        };
+        let sched = SchedulerStats {
+            queue_depth: 1,
+            in_flight: 2,
+            simulated: 72,
+            coalesced: 3,
+            rejected: 0,
+            batches: 4,
+        };
+        let page = render(&m, &cache, 72, &sched);
+        for want in [
+            "sim_server_requests_total 3",
+            "sim_server_sweeps_total 2",
+            "sim_server_cells_requested_total 144",
+            "sim_server_cache_hits 72",
+            "sim_server_cache_misses 72",
+            "sim_server_cache_entries 72",
+            "sim_server_cells_simulated_total 72",
+            "sim_server_cells_coalesced_total 3",
+            "sim_server_queue_depth 1",
+            "sim_server_in_flight 2",
+            "sim_server_sweep_time_p50_us 100",
+            "sim_server_sweep_time_p95_us 200",
+        ] {
+            assert!(
+                page.lines().any(|l| l == want),
+                "missing {want:?} in:\n{page}"
+            );
+        }
+    }
+}

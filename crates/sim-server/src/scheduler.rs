@@ -1,0 +1,473 @@
+//! The job scheduler: coalesce duplicate in-flight cells, batch distinct
+//! cells, bound the queue, and push the overflow back to the client.
+//!
+//! One dispatcher thread owns all simulation work. Request handlers
+//! [`admit`](Scheduler::admit) the cells a sweep still needs (all-or-
+//! nothing against the queue bound — a partially admitted sweep would
+//! strand queued work when the rest is rejected) and then block on the
+//! returned [`Slot`]s. The dispatcher drains the whole queue into one
+//! batch and hands it to the evaluation function, which fans the batch
+//! out on `sim-pool` — so distinct cells from concurrent sweeps share one
+//! fork/join region, and the pool is never entered from two threads at
+//! once.
+//!
+//! Coalescing: a cell that is already queued or running is *joined*, not
+//! re-queued — both sweeps wait on the same slot and the simulator runs
+//! the cell exactly once. Determinism is preserved trivially: the
+//! evaluation function is a pure function of the spec, so batching,
+//! coalescing and arrival order can only change *when* a result is
+//! computed, never its bytes.
+
+use crate::key::{CellKey, CellSpec};
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Why a sweep could not be admitted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdmitError {
+    /// The queue bound would be exceeded: the client should retry later
+    /// (HTTP 429).
+    Busy {
+        queue_depth: usize,
+        queue_cap: usize,
+    },
+    /// The scheduler is draining for shutdown (HTTP 503).
+    ShuttingDown,
+}
+
+/// A future result of one cell. Waiters block on [`wait`](Slot::wait).
+#[derive(Debug)]
+pub struct Slot {
+    result: Mutex<Option<String>>,
+    done: Condvar,
+}
+
+impl Slot {
+    fn new() -> Arc<Slot> {
+        Arc::new(Slot {
+            result: Mutex::new(None),
+            done: Condvar::new(),
+        })
+    }
+
+    /// Block until the dispatcher fulfills this slot; returns the payload.
+    pub fn wait(&self) -> String {
+        let mut guard = self.result.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(p) = guard.as_ref() {
+                return p.clone();
+            }
+            guard = self.done.wait(guard).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn fulfill(&self, payload: String) {
+        let mut guard = self.result.lock().unwrap_or_else(|e| e.into_inner());
+        *guard = Some(payload);
+        self.done.notify_all();
+    }
+}
+
+struct Job {
+    spec: CellSpec,
+    slot: Arc<Slot>,
+}
+
+#[derive(Default)]
+struct State {
+    /// Admitted, not yet picked up by the dispatcher.
+    queue: VecDeque<CellKey>,
+    /// Every admitted-but-unfinished cell (queued or in the running
+    /// batch); the coalescing index.
+    active: HashMap<CellKey, Job>,
+    /// Cells in the batch currently being evaluated.
+    running: usize,
+    shutdown: bool,
+    // Monotone counters for /metrics.
+    simulated: u64,
+    coalesced: u64,
+    rejected: u64,
+    batches: u64,
+}
+
+/// Live + lifetime scheduler numbers for `/metrics`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SchedulerStats {
+    pub queue_depth: usize,
+    pub in_flight: usize,
+    pub simulated: u64,
+    pub coalesced: u64,
+    pub rejected: u64,
+    pub batches: u64,
+}
+
+struct Shared {
+    st: Mutex<State>,
+    work: Condvar,
+}
+
+/// The coalescing batch scheduler. See the module docs for the contract.
+pub struct Scheduler {
+    shared: Arc<Shared>,
+    queue_cap: usize,
+    dispatcher: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Scheduler {
+    /// Start the dispatcher.
+    ///
+    /// `make_eval` runs once *on the dispatcher thread* and returns the
+    /// batch evaluation function — this indirection lets the owner build
+    /// thread-bound state (benchmark suites are `Sync` but not `Send`)
+    /// without requiring it to cross threads. The evaluation function
+    /// must return exactly one payload per input spec, in order.
+    pub fn start<M, F>(queue_cap: usize, make_eval: M) -> Scheduler
+    where
+        M: FnOnce() -> F + Send + 'static,
+        F: FnMut(&[CellSpec]) -> Vec<String>,
+    {
+        let shared = Arc::new(Shared {
+            st: Mutex::new(State::default()),
+            work: Condvar::new(),
+        });
+        let dispatcher = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("sim-server-dispatcher".into())
+                .spawn(move || dispatcher_loop(&shared, make_eval))
+                .expect("spawn dispatcher")
+        };
+        Scheduler {
+            shared,
+            queue_cap,
+            dispatcher: Some(dispatcher),
+        }
+    }
+
+    /// Admit the distinct cells a sweep still needs. Returns one slot per
+    /// input (coalesced cells share slots with earlier sweeps). All-or-
+    /// nothing: when the *new* cells would push the queue past its bound,
+    /// nothing is enqueued and the caller gets [`AdmitError::Busy`].
+    pub fn admit(&self, cells: &[CellSpec]) -> Result<Vec<Arc<Slot>>, AdmitError> {
+        let mut st = self.shared.st.lock().unwrap_or_else(|e| e.into_inner());
+        if st.shutdown {
+            return Err(AdmitError::ShuttingDown);
+        }
+        // First pass: count how many are genuinely new (a sweep may also
+        // carry duplicates within itself — those coalesce too).
+        let mut new_keys: Vec<CellKey> = Vec::new();
+        for spec in cells {
+            let key = spec.key();
+            if !st.active.contains_key(&key) && !new_keys.contains(&key) {
+                new_keys.push(key);
+            }
+        }
+        if st.queue.len() + new_keys.len() > self.queue_cap {
+            st.rejected += 1;
+            return Err(AdmitError::Busy {
+                queue_depth: st.queue.len(),
+                queue_cap: self.queue_cap,
+            });
+        }
+        let mut slots = Vec::with_capacity(cells.len());
+        for spec in cells {
+            let key = spec.key();
+            if let Some(job) = st.active.get(&key) {
+                let shared = job.slot.clone();
+                st.coalesced += 1;
+                slots.push(shared);
+                continue;
+            }
+            let slot = Slot::new();
+            st.active.insert(
+                key,
+                Job {
+                    spec: spec.clone(),
+                    slot: slot.clone(),
+                },
+            );
+            st.queue.push_back(key);
+            slots.push(slot);
+        }
+        drop(st);
+        self.shared.work.notify_one();
+        Ok(slots)
+    }
+
+    pub fn stats(&self) -> SchedulerStats {
+        let st = self.shared.st.lock().unwrap_or_else(|e| e.into_inner());
+        SchedulerStats {
+            queue_depth: st.queue.len(),
+            in_flight: st.running,
+            simulated: st.simulated,
+            coalesced: st.coalesced,
+            rejected: st.rejected,
+            batches: st.batches,
+        }
+    }
+
+    /// Stop admitting, drain the queue, and join the dispatcher. Every
+    /// already-admitted cell is still evaluated and its waiters released.
+    pub fn shutdown(&mut self) {
+        {
+            let mut st = self.shared.st.lock().unwrap_or_else(|e| e.into_inner());
+            st.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        if let Some(h) = self.dispatcher.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn dispatcher_loop<M, F>(shared: &Shared, make_eval: M)
+where
+    M: FnOnce() -> F,
+    F: FnMut(&[CellSpec]) -> Vec<String>,
+{
+    let mut eval = make_eval();
+    loop {
+        // Pick up the whole queue as one batch.
+        let batch: Vec<(CellKey, CellSpec, Arc<Slot>)> = {
+            let mut st = shared.st.lock().unwrap_or_else(|e| e.into_inner());
+            while st.queue.is_empty() && !st.shutdown {
+                st = shared.work.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+            if st.queue.is_empty() && st.shutdown {
+                return;
+            }
+            let keys: Vec<CellKey> = st.queue.drain(..).collect();
+            st.running = keys.len();
+            st.batches += 1;
+            keys.into_iter()
+                .map(|k| {
+                    let job = st.active.get(&k).expect("queued key is active");
+                    (k, job.spec.clone(), job.slot.clone())
+                })
+                .collect()
+        };
+
+        let specs: Vec<CellSpec> = batch.iter().map(|(_, s, _)| s.clone()).collect();
+        let payloads = eval(&specs);
+        assert_eq!(
+            payloads.len(),
+            batch.len(),
+            "eval must return one payload per spec"
+        );
+
+        let mut st = shared.st.lock().unwrap_or_else(|e| e.into_inner());
+        st.simulated += batch.len() as u64;
+        st.running = 0;
+        for ((key, _, slot), payload) in batch.into_iter().zip(payloads) {
+            st.active.remove(&key);
+            slot.fulfill(payload);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::time::Duration;
+
+    fn spec(bench: &str) -> CellSpec {
+        CellSpec {
+            sim_version: "0.1.0".into(),
+            device: "dev".into(),
+            scale: "test".into(),
+            bench: bench.into(),
+            version: "Serial".into(),
+            precision: 32,
+            fault_seed: None,
+            params: vec![],
+        }
+    }
+
+    fn echo_eval() -> impl FnMut(&[CellSpec]) -> Vec<String> {
+        |specs: &[CellSpec]| specs.iter().map(|s| format!("r:{}", s.bench)).collect()
+    }
+
+    #[test]
+    fn evaluates_and_fulfills() {
+        let sched = Scheduler::start(64, echo_eval);
+        let slots = sched.admit(&[spec("a"), spec("b")]).unwrap();
+        assert_eq!(slots[0].wait(), "r:a");
+        assert_eq!(slots[1].wait(), "r:b");
+        let st = sched.stats();
+        assert_eq!(st.simulated, 2);
+        assert_eq!(st.queue_depth, 0);
+        assert_eq!(st.in_flight, 0);
+    }
+
+    /// Two identical concurrent submissions run the simulation once: the
+    /// second joins the first's slot while the eval function is gated.
+    #[test]
+    fn duplicate_in_flight_cells_coalesce() {
+        let evals = Arc::new(AtomicU64::new(0));
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let sched = {
+            let evals = evals.clone();
+            let gate = gate.clone();
+            Scheduler::start(64, move || {
+                move |specs: &[CellSpec]| {
+                    evals.fetch_add(specs.len() as u64, Ordering::SeqCst);
+                    // Hold the batch until the test opens the gate, so the
+                    // second submission provably arrives while in-flight.
+                    let (lock, cv) = &*gate;
+                    let mut open = lock.lock().unwrap();
+                    while !*open {
+                        open = cv.wait(open).unwrap();
+                    }
+                    specs.iter().map(|s| format!("r:{}", s.bench)).collect()
+                }
+            })
+        };
+
+        let s1 = sched.admit(&[spec("x")]).unwrap();
+        // Wait until the dispatcher has picked the batch up (in_flight=1).
+        while sched.stats().in_flight != 1 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let s2 = sched.admit(&[spec("x")]).unwrap();
+        assert_eq!(sched.stats().coalesced, 1);
+        // Same slot object: both waiters get the single evaluation.
+        assert!(Arc::ptr_eq(&s1[0], &s2[0]));
+
+        let waiter = std::thread::spawn(move || (s1[0].wait(), s2[0].wait()));
+        {
+            let (lock, cv) = &*gate;
+            *lock.lock().unwrap() = true;
+            cv.notify_all();
+        }
+        let (r1, r2) = waiter.join().unwrap();
+        assert_eq!(r1, "r:x");
+        assert_eq!(r2, "r:x");
+        assert_eq!(evals.load(Ordering::SeqCst), 1, "exactly one simulation");
+    }
+
+    /// Duplicates inside a single sweep also collapse to one evaluation.
+    #[test]
+    fn intra_sweep_duplicates_coalesce() {
+        let sched = Scheduler::start(64, echo_eval);
+        let slots = sched.admit(&[spec("a"), spec("a"), spec("a")]).unwrap();
+        for s in &slots {
+            assert_eq!(s.wait(), "r:a");
+        }
+        assert_eq!(sched.stats().simulated, 1);
+        assert_eq!(sched.stats().coalesced, 2);
+    }
+
+    #[test]
+    fn queue_bound_rejects_all_or_nothing() {
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let sched = {
+            let gate = gate.clone();
+            Scheduler::start(2, move || {
+                move |specs: &[CellSpec]| {
+                    let (lock, cv) = &*gate;
+                    let mut open = lock.lock().unwrap();
+                    while !*open {
+                        open = cv.wait(open).unwrap();
+                    }
+                    specs.iter().map(|s| format!("r:{}", s.bench)).collect()
+                }
+            })
+        };
+        // First admission is drained into the running batch immediately;
+        // park it behind the gate.
+        let s0 = sched.admit(&[spec("warm")]).unwrap();
+        while sched.stats().in_flight != 1 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // Queue capacity is 2: two queued cells fit...
+        let s1 = sched.admit(&[spec("a"), spec("b")]).unwrap();
+        // ...a third does not, and the oversized sweep is rejected whole —
+        // even its coalescible member "a" is not joined on rejection.
+        let err = sched.admit(&[spec("a"), spec("c"), spec("d")]).unwrap_err();
+        assert_eq!(
+            err,
+            AdmitError::Busy {
+                queue_depth: 2,
+                queue_cap: 2
+            }
+        );
+        assert_eq!(sched.stats().rejected, 1);
+        // Coalescing against queued cells needs no capacity and still works.
+        let s2 = sched.admit(&[spec("a")]).unwrap();
+        assert!(Arc::ptr_eq(&s1[0], &s2[0]));
+
+        let (lock, cv) = &*gate;
+        *lock.lock().unwrap() = true;
+        cv.notify_all();
+        assert_eq!(s0[0].wait(), "r:warm");
+        assert_eq!(s1[1].wait(), "r:b");
+        assert_eq!(s2[0].wait(), "r:a");
+    }
+
+    /// Concurrent distinct sweeps end up in one fork/join batch when they
+    /// arrive while the dispatcher is busy.
+    #[test]
+    fn distinct_cells_batch_together() {
+        let batches = Arc::new(Mutex::new(Vec::<usize>::new()));
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let sched = {
+            let batches = batches.clone();
+            let gate = gate.clone();
+            Scheduler::start(64, move || {
+                let mut first = true;
+                move |specs: &[CellSpec]| {
+                    batches.lock().unwrap().push(specs.len());
+                    if first {
+                        first = false;
+                        let (lock, cv) = &*gate;
+                        let mut open = lock.lock().unwrap();
+                        while !*open {
+                            open = cv.wait(open).unwrap();
+                        }
+                    }
+                    specs.iter().map(|s| format!("r:{}", s.bench)).collect()
+                }
+            })
+        };
+        let s0 = sched.admit(&[spec("w")]).unwrap();
+        while sched.stats().in_flight != 1 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // These three sweeps queue while the first batch is gated...
+        let sa = sched.admit(&[spec("a")]).unwrap();
+        let sb = sched.admit(&[spec("b")]).unwrap();
+        let sc = sched.admit(&[spec("c")]).unwrap();
+        {
+            let (lock, cv) = &*gate;
+            *lock.lock().unwrap() = true;
+            cv.notify_all();
+        }
+        s0[0].wait();
+        sa[0].wait();
+        sb[0].wait();
+        sc[0].wait();
+        // ...and are drained as one 3-cell batch.
+        assert_eq!(*batches.lock().unwrap(), vec![1, 3]);
+    }
+
+    #[test]
+    fn shutdown_drains_admitted_work() {
+        let mut sched = Scheduler::start(64, echo_eval);
+        let slots = sched.admit(&[spec("a"), spec("b"), spec("c")]).unwrap();
+        sched.shutdown();
+        for (s, b) in slots.iter().zip(["a", "b", "c"]) {
+            assert_eq!(s.wait(), format!("r:{b}"));
+        }
+        assert!(matches!(
+            sched.admit(&[spec("d")]),
+            Err(AdmitError::ShuttingDown)
+        ));
+    }
+}

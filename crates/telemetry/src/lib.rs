@@ -21,10 +21,12 @@
 pub mod counters;
 pub mod log;
 pub mod span;
+pub mod stats;
 pub mod trace;
 
 pub use counters::{
     op_class_index, CounterTracer, Counters, OP_CLASS_COUNT, OP_CLASS_NAMES, WIDTH_BUCKETS,
 };
 pub use span::{CommandSpan, RunTelemetry, WorkSpan};
+pub use stats::DurationStats;
 pub use trace::{json_escape, TraceBuilder};

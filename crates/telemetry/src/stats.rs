@@ -1,0 +1,136 @@
+//! Small streaming statistics helpers for service-level telemetry.
+//!
+//! The device simulators count *simulated* time; the serving layer also
+//! needs *wall-clock* service-time percentiles for its `/metrics`
+//! endpoint. [`DurationStats`] is a bounded sliding-window reservoir:
+//! exact nearest-rank percentiles over the last `capacity` samples, O(1)
+//! record, O(n log n) only when a percentile is actually read. No clocks
+//! in here — callers record durations they measured themselves, which
+//! keeps this crate deterministic and trivially testable.
+
+/// Sliding-window duration reservoir with nearest-rank percentiles.
+#[derive(Clone, Debug)]
+pub struct DurationStats {
+    /// Ring buffer of the most recent samples, microseconds.
+    window: Vec<u64>,
+    /// Next write position in the ring.
+    head: usize,
+    /// Total samples ever recorded (not just retained).
+    count: u64,
+    /// Sum over all recorded samples, for a lifetime mean.
+    total_us: u128,
+}
+
+impl DurationStats {
+    /// `capacity` is the window size; 4096 is plenty for a /metrics page.
+    pub fn new(capacity: usize) -> DurationStats {
+        DurationStats {
+            window: Vec::with_capacity(capacity.max(1)),
+            head: 0,
+            count: 0,
+            total_us: 0,
+        }
+    }
+
+    /// Record one duration in microseconds.
+    pub fn record_us(&mut self, us: u64) {
+        self.count += 1;
+        self.total_us += us as u128;
+        if self.window.len() < self.window.capacity() {
+            self.window.push(us);
+        } else {
+            self.window[self.head] = us;
+            self.head = (self.head + 1) % self.window.len();
+        }
+    }
+
+    /// Samples ever recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Lifetime mean in microseconds (0 when empty).
+    pub fn mean_us(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            (self.total_us / self.count as u128) as u64
+        }
+    }
+
+    /// Nearest-rank percentile over the retained window, `p` in [0, 100].
+    /// Returns 0 when no samples have been recorded.
+    pub fn percentile_us(&self, p: f64) -> u64 {
+        if self.window.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.window.clone();
+        sorted.sort_unstable();
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        sorted[rank.clamp(1, sorted.len()) - 1]
+    }
+
+    pub fn p50_us(&self) -> u64 {
+        self.percentile_us(50.0)
+    }
+
+    pub fn p95_us(&self) -> u64 {
+        self.percentile_us(95.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_all_zero() {
+        let s = DurationStats::new(16);
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean_us(), 0);
+        assert_eq!(s.p50_us(), 0);
+        assert_eq!(s.p95_us(), 0);
+    }
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let mut s = DurationStats::new(128);
+        for us in 1..=100u64 {
+            s.record_us(us);
+        }
+        assert_eq!(s.count(), 100);
+        assert_eq!(s.mean_us(), 50); // 50.5 truncated
+        assert_eq!(s.p50_us(), 50);
+        assert_eq!(s.p95_us(), 95);
+        assert_eq!(s.percentile_us(100.0), 100);
+        assert_eq!(s.percentile_us(1.0), 1);
+        // Degenerate percentiles clamp instead of panicking.
+        assert_eq!(s.percentile_us(0.0), 1);
+    }
+
+    #[test]
+    fn window_slides_and_lifetime_stats_do_not() {
+        let mut s = DurationStats::new(4);
+        for us in [1000, 1000, 1000, 1000] {
+            s.record_us(us);
+        }
+        // Four fast samples push the old slow ones out of the window...
+        for us in [10, 20, 30, 40] {
+            s.record_us(us);
+        }
+        assert_eq!(s.p50_us(), 20);
+        assert_eq!(s.percentile_us(100.0), 40);
+        // ...but the lifetime mean still remembers them.
+        assert_eq!(s.count(), 8);
+        assert_eq!(s.mean_us(), (4 * 1000 + 10 + 20 + 30 + 40) / 8);
+    }
+
+    #[test]
+    fn single_sample() {
+        let mut s = DurationStats::new(8);
+        s.record_us(7);
+        assert_eq!(s.p50_us(), 7);
+        assert_eq!(s.p95_us(), 7);
+        assert_eq!(s.mean_us(), 7);
+    }
+}

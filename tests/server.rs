@@ -1,0 +1,297 @@
+//! End-to-end tests of the experiment service over a real TCP socket.
+//!
+//! The contract under test: a served sweep is byte-identical to the
+//! offline `harness jsonl` artifact, a warm (cached) response is
+//! byte-identical to the cold one that populated it, checkpoints
+//! warm-start the cache, the cache persists across server restarts, and
+//! backpressure/validation surface as proper HTTP statuses — all
+//! regardless of thread count, cache state or arrival order.
+
+use harness::runner::run_suite_with;
+use harness::{to_jsonl, SuiteConfig};
+use hpc_kernels::{test_suite, Precision, Variant};
+use sim_server::http::request;
+use std::path::PathBuf;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+const T: Duration = Duration::from_secs(600);
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("sim-server-e2e-{name}-{}", std::process::id()))
+}
+
+/// One offline fault-free test-scale sweep, shared across tests: its
+/// JSONL artifact is the byte-identity reference and its checkpoint file
+/// is the warm-start fixture.
+fn offline() -> &'static (String, PathBuf) {
+    static OFFLINE: OnceLock<(String, PathBuf)> = OnceLock::new();
+    OFFLINE.get_or_init(|| {
+        let state = tmp("offline-state");
+        let cfg = SuiteConfig {
+            checkpoint: Some(state.clone()),
+            state_tag: "test".into(),
+            ..SuiteConfig::default()
+        };
+        let results = run_suite_with(&test_suite(), &cfg);
+        (to_jsonl(&results), state)
+    })
+}
+
+fn serve(
+    capacity: usize,
+    queue: usize,
+    cache: Option<PathBuf>,
+    warm: Vec<PathBuf>,
+) -> harness::serve::RunningServer {
+    harness::serve::start(harness::ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        capacity,
+        queue_cap: queue,
+        cache_path: cache,
+        warm,
+    })
+    .expect("server starts")
+}
+
+fn metric(addr: &str, name: &str) -> u64 {
+    let (st, body) = request(addr, "GET", "/metrics", b"", T).unwrap();
+    assert_eq!(st, 200);
+    let text = String::from_utf8(body).unwrap();
+    text.lines()
+        .find_map(|l| l.strip_prefix(&format!("{name} ")))
+        .unwrap_or_else(|| panic!("metric {name} missing in:\n{text}"))
+        .parse()
+        .unwrap()
+}
+
+fn sweep(addr: &str, body: &str) -> (u16, String) {
+    let (st, resp) = request(addr, "POST", "/v1/sweep", body.as_bytes(), T).unwrap();
+    (st, String::from_utf8(resp).unwrap())
+}
+
+/// Cold sweep simulates; an identical second sweep is served entirely
+/// from cache; both bodies are byte-identical to each other and to the
+/// offline artifact. Single cells are inspectable by content address.
+#[test]
+fn cold_then_warm_full_sweep_matches_offline_artifact() {
+    let (offline_jsonl, _) = offline();
+    let srv = serve(1024, 256, None, vec![]);
+    let addr = srv.addr.to_string();
+
+    let (st, body) = request(&addr, "GET", "/healthz", b"", T).unwrap();
+    assert_eq!((st, body.as_slice()), (200, b"ok\n".as_slice()));
+
+    let req = r#"{"scale":"test","cells":"all"}"#;
+    let (st, cold) = sweep(&addr, req);
+    assert_eq!(st, 200);
+    assert_eq!(metric(&addr, "sim_server_cache_misses"), 72);
+    assert_eq!(metric(&addr, "sim_server_cache_hits"), 0);
+    assert_eq!(metric(&addr, "sim_server_cells_simulated_total"), 72);
+
+    let (st, warm) = sweep(&addr, req);
+    assert_eq!(st, 200);
+    assert_eq!(cold, warm, "cache state must not change response bytes");
+    assert_eq!(
+        &cold, offline_jsonl,
+        "served full-grid sweep must be byte-identical to `harness jsonl`"
+    );
+    assert_eq!(metric(&addr, "sim_server_cache_hits"), 72);
+    assert_eq!(metric(&addr, "sim_server_cells_simulated_total"), 72);
+
+    // Single-cell inspection by content address (vecop Serial single is
+    // its own serial baseline, so its row carries speedup 1).
+    let key = harness::cell_spec("test", None, "vecop", Variant::Serial, Precision::F32).key();
+    let (st, body) = request(&addr, "GET", &format!("/v1/cell/{key}"), b"", T).unwrap();
+    let body = String::from_utf8(body).unwrap();
+    assert_eq!(st, 200, "{body}");
+    assert!(body.contains(&format!("\"key\":\"{key}\"")), "{body}");
+    assert!(body.contains("\"bench\":\"vecop\""), "{body}");
+    assert!(body.contains("\"speedup\":1"), "{body}");
+
+    // Unknown key -> 404; malformed key -> 400.
+    let (st, _) = request(&addr, "GET", "/v1/cell/ffffffffffffffff", b"", T).unwrap();
+    assert_eq!(st, 404);
+    let (st, _) = request(&addr, "GET", "/v1/cell/nope", b"", T).unwrap();
+    assert_eq!(st, 400);
+
+    srv.shutdown().unwrap();
+}
+
+/// Subset sweeps: rows come back in request order, intra-request
+/// duplicates coalesce to one simulation, and ratios are computed over
+/// the request's own result set (null without a serial baseline).
+#[test]
+fn subset_sweeps_coalesce_and_order_rows() {
+    let srv = serve(64, 64, None, vec![]);
+    let addr = srv.addr.to_string();
+
+    // The same cell requested twice in one sweep: two rows, one
+    // simulation — deterministic coalescing, no thread races involved.
+    let dup = r#"{"scale":"test","cells":[
+        {"bench":"vecop","version":"OpenCL","precision":"single"},
+        {"bench":"vecop","version":"OpenCL","precision":"single"}]}"#;
+    let (st, body) = sweep(&addr, dup);
+    assert_eq!(st, 200);
+    let rows: Vec<&str> = body.lines().collect();
+    assert_eq!(rows.len(), 2);
+    assert_eq!(rows[0], rows[1]);
+    assert_eq!(metric(&addr, "sim_server_cells_simulated_total"), 1);
+    assert_eq!(metric(&addr, "sim_server_cache_misses"), 1);
+    // No serial baseline in the request: ratio columns are null.
+    assert!(rows[0].contains("\"speedup\":null"), "{}", rows[0]);
+
+    // Adding the baseline turns the ratios on; row order follows the
+    // request, not the suite.
+    let with_serial = r#"{"scale":"test","cells":[
+        {"bench":"vecop","version":"OpenCL","precision":"single"},
+        {"bench":"vecop","version":"Serial","precision":"single"}]}"#;
+    let (st, body) = sweep(&addr, with_serial);
+    assert_eq!(st, 200);
+    let rows: Vec<&str> = body.lines().collect();
+    assert_eq!(rows.len(), 2);
+    assert!(rows[0].contains("\"version\":\"OpenCL\""), "{}", rows[0]);
+    assert!(rows[1].contains("\"version\":\"Serial\""), "{}", rows[1]);
+    assert!(!rows[0].contains("\"speedup\":null"), "{}", rows[0]);
+    // Only Serial was new; the OpenCL cell came from cache.
+    assert_eq!(metric(&addr, "sim_server_cells_simulated_total"), 2);
+
+    srv.shutdown().unwrap();
+}
+
+/// Malformed requests get 400s with explanations, never a panic or a
+/// simulation.
+#[test]
+fn invalid_sweeps_are_rejected() {
+    let srv = serve(16, 16, None, vec![]);
+    let addr = srv.addr.to_string();
+    for (body, want) in [
+        ("{not json", "bad JSON"),
+        (r#"{"scale":"huge","cells":"all"}"#, "unknown scale"),
+        (r#"{"scale":"test"}"#, "missing 'cells'"),
+        (r#"{"scale":"test","cells":[]}"#, "'cells' is empty"),
+        (
+            r#"{"scale":"test","cells":[{"bench":"nope","version":"Serial","precision":"single"}]}"#,
+            "unknown benchmark",
+        ),
+        (
+            r#"{"scale":"test","cells":[{"bench":"vecop","version":"CUDA","precision":"single"}]}"#,
+            "unknown version",
+        ),
+        (
+            r#"{"scale":"test","cells":[{"bench":"vecop","version":"Serial","precision":"half"}]}"#,
+            "unknown precision",
+        ),
+        (
+            r#"{"scale":"test","fault_seed":-1,"cells":"all"}"#,
+            "unsigned integer",
+        ),
+    ] {
+        let (st, resp) = sweep(&addr, body);
+        assert_eq!(st, 400, "{body} -> {resp}");
+        assert!(resp.contains(want), "{body} -> {resp}");
+    }
+    assert_eq!(metric(&addr, "sim_server_bad_requests_total"), 8);
+    assert_eq!(metric(&addr, "sim_server_cells_simulated_total"), 0);
+    let (st, _) = request(&addr, "PUT", "/v1/sweep", b"{}", T).unwrap();
+    assert_eq!(st, 404);
+    srv.shutdown().unwrap();
+}
+
+/// queue bound 0: every sweep that needs new work is pushed back with
+/// 429 before anything is enqueued.
+#[test]
+fn zero_queue_capacity_rejects_with_429() {
+    let srv = serve(16, 0, None, vec![]);
+    let addr = srv.addr.to_string();
+    let (st, body) = sweep(
+        &addr,
+        r#"{"scale":"test","cells":[{"bench":"vecop","version":"Serial","precision":"single"}]}"#,
+    );
+    assert_eq!(st, 429);
+    assert!(body.contains("queue full"), "{body}");
+    assert_eq!(metric(&addr, "sim_server_cells_simulated_total"), 0);
+    assert_eq!(metric(&addr, "sim_server_sweeps_rejected_busy_total"), 1);
+    srv.shutdown().unwrap();
+}
+
+/// A `simstate v2` checkpoint warm-starts the cache: the first sweep is
+/// served entirely from the checkpointed cells and still matches the
+/// offline artifact byte for byte.
+#[test]
+fn checkpoint_warm_start_serves_without_simulating() {
+    let (offline_jsonl, state) = offline();
+    let srv = serve(1024, 256, None, vec![state.clone()]);
+    let addr = srv.addr.to_string();
+    let (st, body) = sweep(&addr, r#"{"scale":"test","cells":"all"}"#);
+    assert_eq!(st, 200);
+    assert_eq!(&body, offline_jsonl);
+    assert_eq!(metric(&addr, "sim_server_cache_hits"), 72);
+    assert_eq!(metric(&addr, "sim_server_cache_misses"), 0);
+    assert_eq!(metric(&addr, "sim_server_cells_simulated_total"), 0);
+    srv.shutdown().unwrap();
+}
+
+/// The persisted cache survives a server restart: the second process
+/// serves the same bytes without re-simulating.
+#[test]
+fn cache_persists_across_restarts() {
+    let cache = tmp("persist-cache");
+    let _ = std::fs::remove_file(&cache);
+    let req = r#"{"scale":"test","cells":[
+        {"bench":"hist","version":"Serial","precision":"single"},
+        {"bench":"hist","version":"OpenCL-Opt","precision":"single"}]}"#;
+
+    let srv = serve(64, 64, Some(cache.clone()), vec![]);
+    let addr = srv.addr.to_string();
+    let (st, first) = sweep(&addr, req);
+    assert_eq!(st, 200);
+    srv.shutdown().unwrap();
+    assert!(cache.exists(), "shutdown persists the cache");
+
+    let srv = serve(64, 64, Some(cache.clone()), vec![]);
+    let addr = srv.addr.to_string();
+    let (st, second) = sweep(&addr, req);
+    assert_eq!(st, 200);
+    assert_eq!(first, second);
+    assert_eq!(metric(&addr, "sim_server_cache_hits"), 2);
+    assert_eq!(metric(&addr, "sim_server_cells_simulated_total"), 0);
+    srv.shutdown().unwrap();
+    let _ = std::fs::remove_file(&cache);
+}
+
+/// Fault seeds are part of the content address: the same cell with a
+/// different (or no) seed is a different key and simulates separately,
+/// and a seeded served cell matches the offline chaos pipeline.
+#[test]
+fn fault_seed_is_part_of_the_cell_identity() {
+    let k0 = harness::cell_spec("test", None, "red", Variant::Serial, Precision::F32).key();
+    let k7 = harness::cell_spec("test", Some(7), "red", Variant::Serial, Precision::F32).key();
+    assert_ne!(k0, k7);
+
+    let srv = serve(64, 64, None, vec![]);
+    let addr = srv.addr.to_string();
+    let cell = r#"{"bench":"red","version":"Serial","precision":"single"}"#;
+    let (st, plain) = sweep(&addr, &format!(r#"{{"scale":"test","cells":[{cell}]}}"#));
+    assert_eq!(st, 200);
+    let (st, seeded) = sweep(
+        &addr,
+        &format!(r#"{{"scale":"test","fault_seed":7,"cells":[{cell}]}}"#),
+    );
+    assert_eq!(st, 200);
+    assert_eq!(metric(&addr, "sim_server_cells_simulated_total"), 2);
+
+    // Offline equivalent of the seeded run: same per-cell fault plan.
+    let cfg = SuiteConfig {
+        faults: Some(sim_faults::FaultPlan::new(7)),
+        ..SuiteConfig::default()
+    };
+    let offline_seeded = run_suite_with(&test_suite(), &cfg);
+    let row = harness::jsonl_row(&offline_seeded, "red", Variant::Serial, Precision::F32);
+    assert_eq!(seeded.trim_end(), row);
+    // And the unseeded row differs only if a fault actually fired; both
+    // must at minimum be valid rows for the same cell.
+    assert!(plain.contains("\"bench\":\"red\""));
+
+    srv.shutdown().unwrap();
+}

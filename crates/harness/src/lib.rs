@@ -19,6 +19,7 @@ pub mod hetero;
 pub mod paper;
 pub mod profile;
 pub mod roofline;
+pub mod route;
 pub mod runner;
 pub mod serve;
 pub mod trace;
@@ -27,6 +28,7 @@ pub use artifact::atomic_write;
 pub use checkpoint::{cell_spec, coord_spec, decode_entry, encode_entry};
 pub use export::{jsonl_row, parse_csv, to_csv, to_jsonl};
 pub use figures::{fig2, fig3, fig4, headline, summary};
+pub use route::RouteConfig;
 pub use runner::{
     measure, run_one, run_suite, run_suite_with, Cell, CellCoord, CellEntry, CellError, FailKind,
     SuiteConfig, SuiteResults,

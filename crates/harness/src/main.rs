@@ -16,7 +16,8 @@
 //! harness profile <b>    # per-variant performance-counter report
 //! harness bench-self     # simulator self-benchmark -> BENCH_sim.json
 //! harness serve          # HTTP experiment service (cache + batching)
-//! harness submit         # client for a running serve instance
+//! harness route          # shard a sweep across serve backends
+//! harness submit         # client for a running serve/route instance
 //! ```
 //!
 //! Run `harness --help` for the flags (fault injection, resume,
@@ -26,7 +27,7 @@ use harness::{fig2, fig3, fig4, run_suite_with, summary, SuiteConfig};
 use hpc_kernels::Precision;
 use telemetry::log;
 
-const KNOWN: [&str; 19] = [
+const KNOWN: [&str; 20] = [
     "all",
     "fig2a",
     "fig2b",
@@ -45,6 +46,7 @@ const KNOWN: [&str; 19] = [
     "profile",
     "bench-self",
     "serve",
+    "route",
     "submit",
 ];
 
@@ -85,8 +87,15 @@ serve flags:
   --warm <path>       warm-start the cache from a simstate checkpoint
                       (repeatable)
 
+route flags:
+  --addr <host:port>  bind address (default 127.0.0.1:8080; port 0 binds
+                      an ephemeral port, printed as 'listening on ...')
+  --shards <list>     comma-separated serve backend addresses (required);
+                      the cell key space is consistent-hashed across the
+                      list, so order is part of the deployment identity
+
 submit flags:
-  --addr <host:port>  server to talk to (required)
+  --addr <host:port>  server or router to talk to (required)
   --test-scale        sweep at test scale (default: paper scale)
   --fault-seed <n>    forward a fault-injection seed with the sweep
   --cells <list>      comma-separated bench/version/precision triples
@@ -119,6 +128,7 @@ struct Opts {
     cache: Option<std::path::PathBuf>,
     warm: Vec<std::path::PathBuf>,
     cells: Option<Vec<String>>,
+    shards: Vec<String>,
     metrics: bool,
     shutdown: bool,
     cmds: Vec<String>,
@@ -142,6 +152,7 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
         cache: None,
         warm: Vec::new(),
         cells: None,
+        shards: Vec::new(),
         metrics: false,
         shutdown: false,
         cmds: Vec::new(),
@@ -198,6 +209,20 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
                     o.cells = Some(l.split(',').map(str::to_string).collect())
                 }
                 _ => return Err("--cells needs a comma-separated list argument".into()),
+            },
+            "--shards" => match it.next() {
+                Some(l) if !l.starts_with("--") && !l.is_empty() => {
+                    o.shards = l
+                        .split(',')
+                        .map(str::trim)
+                        .filter(|s| !s.is_empty())
+                        .map(str::to_string)
+                        .collect();
+                    if o.shards.is_empty() {
+                        return Err("--shards needs at least one host:port".into());
+                    }
+                }
+                _ => return Err("--shards needs a comma-separated list argument".into()),
             },
             "--metrics" => o.metrics = true,
             "--shutdown" => o.shutdown = true,
@@ -307,6 +332,24 @@ fn run() -> i32 {
             Ok(()) => 0,
             Err(e) => {
                 eprintln!("serve failed: {e}");
+                1
+            }
+        };
+    }
+    if cmd == "route" {
+        if o.shards.is_empty() {
+            eprintln!("route needs --shards <host:port,host:port,...>");
+            eprintln!("{}", usage());
+            return 2;
+        }
+        let cfg = harness::RouteConfig {
+            addr: o.addr.unwrap_or_else(|| "127.0.0.1:8080".into()),
+            shards: o.shards,
+        };
+        return match harness::route::route(cfg) {
+            Ok(()) => 0,
+            Err(e) => {
+                eprintln!("route failed: {e}");
                 1
             }
         };

@@ -1,0 +1,503 @@
+//! `harness route` — sharded multi-process serving.
+//!
+//! A thin HTTP front that partitions the cell key space across N backend
+//! `harness serve` processes with consistent hashing
+//! ([`sim_server::router::Ring`]): the [`sim_server::key::CellKey`] is a
+//! pure function of the spec, so every cell deterministically lands on
+//! the same shard, shard caches stay hot, and in-flight coalescing keeps
+//! working inside each backend.
+//!
+//! The router speaks the same public surface as a single `harness serve`
+//! (`/v1/sweep`, `/v1/cell/<key>`, `/metrics`, `/healthz`,
+//! `/v1/shutdown`) but fans the work out over the backends' internal
+//! `POST /v1/cells` data plane, which returns **raw encoded entries**
+//! (`checkpoint::encode_entry`) instead of formatted rows. That is the
+//! load-bearing design choice: ratio columns (speedup/power/energy) are
+//! computed over the *request's* result set, so the router must collect
+//! all payloads first and format once — per-shard formatting would
+//! compute ratios over shard-local subsets and break the byte-identity
+//! contract. With every shard healthy, a routed full-grid sweep is
+//! byte-identical to single-process `harness serve` and to offline
+//! `harness jsonl`.
+//!
+//! Failure semantics (DESIGN.md §13):
+//! * a down or erroring shard degrades to structured
+//!   `status=fail`/`shard-down` rows for *that shard's cells only* —
+//!   the sweep still answers 200;
+//! * a busy shard (429) makes the whole sweep 429, propagating the
+//!   maximum `Retry-After` (already-computed cells are cached on their
+//!   shards, so the retry is cheap);
+//! * `/healthz` aggregates shard liveness (503 lists the casualties);
+//!   `/metrics` sums shard counters (latency lines take the max) and
+//!   appends `sim_router_*` lines.
+
+use crate::checkpoint;
+use crate::export;
+use crate::runner::{CellEntry, CellError, FailKind, SuiteResults};
+use crate::serve::{parse_sweep, precision_to_wire, spec_coord};
+use sim_server::http::{self, Request, Response, Server, StopHandle};
+use sim_server::json;
+use sim_server::key::{CellKey, CellSpec};
+use sim_server::metrics as server_metrics;
+use sim_server::router::Ring;
+use std::collections::{HashMap, HashSet};
+use std::io::{self, Write};
+use std::net::SocketAddr;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+use telemetry::log;
+
+/// Router configuration (CLI flags map onto this 1:1).
+#[derive(Clone, Debug)]
+pub struct RouteConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Backend `harness serve` addresses. Shard identity is positional:
+    /// reordering the list remaps the key space (and cools every cache).
+    pub shards: Vec<String>,
+}
+
+/// Sweeps may simulate the full paper-scale grid on a cold fleet.
+const SHARD_SWEEP_TIMEOUT: Duration = Duration::from_secs(600);
+/// Health probes and metric scrapes must not hang the front.
+const SHARD_PROBE_TIMEOUT: Duration = Duration::from_secs(10);
+
+#[derive(Default)]
+struct RouterMetrics {
+    requests: u64,
+    sweeps: u64,
+    cells_routed: u64,
+    shard_errors: u64,
+    rejected: u64,
+    bad_requests: u64,
+}
+
+/// What one shard's `/v1/cells` sub-request produced.
+enum ShardOutcome {
+    /// Payloads by content address.
+    Cells(HashMap<CellKey, String>),
+    /// Backend backpressure: retry the whole sweep later.
+    Busy { retry_after: u64 },
+    /// Unreachable or answered with an error; its cells become
+    /// `shard-down` failure rows.
+    Down(String),
+}
+
+struct Router {
+    shards: Vec<String>,
+    ring: Ring,
+    /// Benchmark names in suite order (identical for both scales).
+    bench_names: Vec<String>,
+    metrics: Mutex<RouterMetrics>,
+    stop: StopHandle,
+}
+
+/// Build the `/v1/cells` sub-request body for one shard's specs. All
+/// specs of one sweep share scale and fault seed, so they are lifted
+/// from the first spec.
+fn cells_body(specs: &[&CellSpec]) -> String {
+    let items: Vec<String> = specs
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"bench\":\"{}\",\"version\":\"{}\",\"precision\":\"{}\"}}",
+                json::escape(&s.bench),
+                json::escape(&s.version),
+                precision_to_wire(s.precision)
+            )
+        })
+        .collect();
+    let seed = specs[0]
+        .fault_seed
+        .map(|s| format!(",\"fault_seed\":{s}"))
+        .unwrap_or_default();
+    format!(
+        "{{\"scale\":\"{}\"{seed},\"cells\":[{}]}}",
+        json::escape(&specs[0].scale),
+        items.join(",")
+    )
+}
+
+/// Parse a `/v1/cells` response body (`<key> <payload>` lines).
+fn parse_cells_response(body: &[u8]) -> Option<HashMap<CellKey, String>> {
+    let text = std::str::from_utf8(body).ok()?;
+    let mut out = HashMap::new();
+    for line in text.lines() {
+        let (keyhex, payload) = line.split_once(' ')?;
+        out.insert(keyhex.parse::<CellKey>().ok()?, payload.to_string());
+    }
+    Some(out)
+}
+
+fn shard_down_entry(message: String) -> CellEntry {
+    CellEntry::Failed(CellError {
+        kind: FailKind::ShardDown,
+        message,
+        attempts: 1,
+        backoff_ms: 0,
+    })
+}
+
+impl Router {
+    fn new(cfg: &RouteConfig, stop: StopHandle) -> Router {
+        let bench_names: Vec<String> = hpc_kernels::test_suite()
+            .iter()
+            .map(|b| b.name().to_string())
+            .collect();
+        Router {
+            ring: Ring::new(cfg.shards.len()),
+            shards: cfg.shards.clone(),
+            bench_names,
+            metrics: Mutex::new(RouterMetrics::default()),
+            stop,
+        }
+    }
+
+    fn handle(&self, req: &Request) -> Response {
+        self.metrics
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .requests += 1;
+        match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/healthz") => self.healthz(),
+            ("GET", "/metrics") => self.metrics_page(),
+            ("POST", "/v1/sweep") => self.sweep(req),
+            ("POST", "/v1/shutdown") => {
+                // Best-effort fan-out: the fleet is one logical service,
+                // so a router shutdown drains the backends too.
+                for addr in &self.shards {
+                    if let Err(e) =
+                        http::request(addr, "POST", "/v1/shutdown", b"", SHARD_PROBE_TIMEOUT)
+                    {
+                        log::progress(&format!("warning: shutdown of shard {addr} failed: {e}"));
+                    }
+                }
+                self.stop.stop();
+                Response::text(200, "shutting down\n")
+            }
+            ("GET", path) if path.starts_with("/v1/cell/") => {
+                self.cell_proxy(path, &path["/v1/cell/".len()..])
+            }
+            _ => Response::json(404, "{\"error\":\"no such route\"}\n"),
+        }
+    }
+
+    fn bad(&self, msg: &str) -> Response {
+        self.metrics
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .bad_requests += 1;
+        Response::json(400, format!("{{\"error\":\"{}\"}}\n", json::escape(msg)))
+    }
+
+    /// Probe every shard concurrently; healthy means HTTP 200.
+    fn probe_shards(&self) -> Vec<Result<(), String>> {
+        let mut states: Vec<Result<(), String>> = Vec::with_capacity(self.shards.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter()
+                .map(|addr| {
+                    scope.spawn(move || {
+                        match http::request(addr, "GET", "/healthz", b"", SHARD_PROBE_TIMEOUT) {
+                            Ok((200, _)) => Ok(()),
+                            Ok((status, _)) => Err(format!("answered {status}")),
+                            Err(e) => Err(format!("unreachable: {e}")),
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                states.push(h.join().unwrap_or_else(|_| Err("probe panicked".into())));
+            }
+        });
+        states
+    }
+
+    fn healthz(&self) -> Response {
+        let states = self.probe_shards();
+        if states.iter().all(Result::is_ok) {
+            return Response::text(200, "ok\n");
+        }
+        let mut body = String::new();
+        for (i, (addr, state)) in self.shards.iter().zip(&states).enumerate() {
+            match state {
+                Ok(()) => body.push_str(&format!("shard {i} {addr}: ok\n")),
+                Err(e) => body.push_str(&format!("shard {i} {addr}: {e}\n")),
+            }
+        }
+        Response::text(503, body)
+    }
+
+    /// Aggregate shard `/metrics` pages (sum counters, max latencies) and
+    /// append the router's own counters.
+    fn metrics_page(&self) -> Response {
+        let mut pages: Vec<String> = Vec::new();
+        let mut up = 0usize;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter()
+                .map(|addr| {
+                    scope.spawn(move || {
+                        match http::request(addr, "GET", "/metrics", b"", SHARD_PROBE_TIMEOUT) {
+                            Ok((200, body)) => String::from_utf8(body).ok(),
+                            _ => None,
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                if let Some(page) = h.join().ok().flatten() {
+                    pages.push(page);
+                    up += 1;
+                }
+            }
+        });
+        let mut out = server_metrics::aggregate_pages(&pages);
+        let m = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        for (name, v) in [
+            ("sim_router_shards", self.shards.len() as u64),
+            ("sim_router_shards_up", up as u64),
+            ("sim_router_requests_total", m.requests),
+            ("sim_router_sweeps_total", m.sweeps),
+            ("sim_router_cells_routed_total", m.cells_routed),
+            ("sim_router_shard_errors_total", m.shard_errors),
+            ("sim_router_rejected_total", m.rejected),
+            ("sim_router_bad_requests_total", m.bad_requests),
+        ] {
+            out.push_str(&format!("{name} {v}\n"));
+        }
+        Response::text(200, out)
+    }
+
+    /// Proxy a cell inspection to the shard that owns the key.
+    fn cell_proxy(&self, path: &str, keyhex: &str) -> Response {
+        let Ok(key) = keyhex.parse::<CellKey>() else {
+            return self.bad("cell key must be 16 hex digits");
+        };
+        let addr = &self.shards[self.ring.shard_of(key)];
+        match http::request(addr, "GET", path, b"", SHARD_PROBE_TIMEOUT) {
+            Ok((status, body)) => Response::json(status, body),
+            Err(e) => Response::json(
+                503,
+                format!(
+                    "{{\"error\":\"shard {} unreachable: {}\"}}\n",
+                    json::escape(addr),
+                    json::escape(&e.to_string())
+                ),
+            ),
+        }
+    }
+
+    fn sweep(&self, req: &Request) -> Response {
+        let started = Instant::now();
+        let cells = match parse_sweep(&self.bench_names, &req.body) {
+            Ok(c) => c,
+            Err(msg) => return self.bad(&msg),
+        };
+
+        // Partition the distinct cells by ring position.
+        let mut seen: HashSet<CellKey> = HashSet::new();
+        let mut per_shard: Vec<Vec<&CellSpec>> = vec![Vec::new(); self.shards.len()];
+        for (spec, _) in &cells {
+            let key = spec.key();
+            if seen.insert(key) {
+                per_shard[self.ring.shard_of(key)].push(spec);
+            }
+        }
+        {
+            let mut m = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+            m.sweeps += 1;
+            m.cells_routed += seen.len() as u64;
+        }
+
+        // Fan the non-empty sub-sweeps out concurrently.
+        let mut outcomes: Vec<Option<ShardOutcome>> = Vec::with_capacity(self.shards.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter()
+                .zip(&per_shard)
+                .map(|(addr, specs)| {
+                    scope.spawn(move || {
+                        if specs.is_empty() {
+                            return None;
+                        }
+                        let body = cells_body(specs);
+                        Some(
+                            match http::request_full(
+                                addr,
+                                "POST",
+                                "/v1/cells",
+                                body.as_bytes(),
+                                SHARD_SWEEP_TIMEOUT,
+                            ) {
+                                Ok((200, _, resp)) => match parse_cells_response(&resp) {
+                                    Some(map) => ShardOutcome::Cells(map),
+                                    None => ShardOutcome::Down(format!(
+                                        "shard {addr} returned an unparseable cells response"
+                                    )),
+                                },
+                                Ok((429, headers, _)) => ShardOutcome::Busy {
+                                    retry_after: headers
+                                        .iter()
+                                        .find(|(k, _)| k == "retry-after")
+                                        .and_then(|(_, v)| v.parse().ok())
+                                        .unwrap_or(1),
+                                },
+                                Ok((status, _, resp)) => ShardOutcome::Down(format!(
+                                    "shard {addr} answered {status}: {}",
+                                    String::from_utf8_lossy(&resp).trim_end()
+                                )),
+                                Err(e) => {
+                                    ShardOutcome::Down(format!("shard {addr} unreachable: {e}"))
+                                }
+                            },
+                        )
+                    })
+                })
+                .collect();
+            for h in handles {
+                outcomes.push(h.join().unwrap_or_else(|_| {
+                    Some(ShardOutcome::Down("sub-request thread panicked".into()))
+                }));
+            }
+        });
+
+        // Backpressure first: a busy shard makes the sweep retryable as a
+        // whole (its siblings' finished cells are cached, so the retry
+        // costs only the busy shard's work).
+        let max_retry = outcomes
+            .iter()
+            .filter_map(|o| match o {
+                Some(ShardOutcome::Busy { retry_after }) => Some(*retry_after),
+                _ => None,
+            })
+            .max();
+        if let Some(retry_after) = max_retry {
+            self.metrics
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .rejected += 1;
+            return Response::json(
+                429,
+                format!("{{\"error\":\"shard busy\",\"retry_after\":{retry_after}}}\n"),
+            )
+            .with_header("Retry-After", &retry_after.to_string());
+        }
+
+        // Collect payloads; a down shard degrades to failure entries for
+        // its cells only.
+        let mut payloads: HashMap<CellKey, String> = HashMap::new();
+        let mut down: HashMap<CellKey, String> = HashMap::new();
+        for (specs, outcome) in per_shard.iter().zip(outcomes) {
+            match outcome {
+                None => {}
+                Some(ShardOutcome::Cells(map)) => payloads.extend(map),
+                Some(ShardOutcome::Busy { .. }) => unreachable!("busy handled above"),
+                Some(ShardOutcome::Down(msg)) => {
+                    self.metrics
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .shard_errors += 1;
+                    log::progress(&format!("warning: {msg}"));
+                    for spec in specs {
+                        down.insert(spec.key(), msg.clone());
+                    }
+                }
+            }
+        }
+
+        // Assemble one SuiteResults over exactly the requested cells and
+        // format once — the same shared `jsonl_row` path as the backends
+        // and the offline artifact, which is what keeps routed bytes
+        // identical to unrouted ones.
+        let mut results = SuiteResults {
+            cells: HashMap::new(),
+            bench_names: self.bench_names.clone(),
+        };
+        for (spec, _) in &cells {
+            let Some((coord, _)) = spec_coord(spec) else {
+                continue;
+            };
+            if results.cells.contains_key(&coord) {
+                continue;
+            }
+            let key = spec.key();
+            let entry = match payloads.get(&key) {
+                Some(payload) => checkpoint::decode_entry(payload)
+                    .unwrap_or_else(|| shard_down_entry("shard payload corrupt".into())),
+                None => shard_down_entry(
+                    down.get(&key)
+                        .cloned()
+                        .unwrap_or_else(|| "shard returned no payload for cell".into()),
+                ),
+            };
+            results.cells.insert(coord, entry);
+        }
+        let mut body = String::new();
+        for (spec, prec) in &cells {
+            let Some(((bench, v, _), _)) = spec_coord(spec) else {
+                continue;
+            };
+            body.push_str(&export::jsonl_row(&results, &bench, v, *prec));
+            body.push('\n');
+        }
+        log::debug(&format!(
+            "routed sweep: {} cells over {} shards in {} ms",
+            seen.len(),
+            self.shards.len(),
+            started.elapsed().as_millis()
+        ));
+        Response::jsonl(200, body)
+    }
+}
+
+// ---- entry points ----
+
+/// A router running on a background thread (tests, embedding).
+pub struct RunningRouter {
+    pub addr: SocketAddr,
+    stop: StopHandle,
+    thread: std::thread::JoinHandle<io::Result<()>>,
+}
+
+impl RunningRouter {
+    /// Stop the router's acceptor and join its thread. Backends are left
+    /// running (only `POST /v1/shutdown` drains the whole fleet).
+    pub fn shutdown(self) -> io::Result<()> {
+        self.stop.stop();
+        self.thread
+            .join()
+            .map_err(|_| io::Error::other("router thread panicked"))?
+    }
+}
+
+fn run_on(server: Server, cfg: RouteConfig) -> io::Result<()> {
+    let stop = server.stop_handle()?;
+    let router = Router::new(&cfg, stop);
+    server.run(|req| router.handle(req))
+}
+
+/// Bind and route on a background thread; returns the resolved address.
+pub fn start(cfg: RouteConfig) -> io::Result<RunningRouter> {
+    let server = Server::bind(&cfg.addr)?;
+    let addr = server.local_addr()?;
+    let stop = server.stop_handle()?;
+    let thread = std::thread::Builder::new()
+        .name("sim-router-acceptor".into())
+        .spawn(move || run_on(server, cfg))?;
+    Ok(RunningRouter { addr, stop, thread })
+}
+
+/// Bind and route on the calling thread (the `harness route` path).
+/// Prints the resolved listen address to stdout first, so scripts
+/// binding port 0 can discover the port.
+pub fn route(cfg: RouteConfig) -> io::Result<()> {
+    let server = Server::bind(&cfg.addr)?;
+    let addr = server.local_addr()?;
+    println!("listening on {addr}");
+    io::stdout().flush()?;
+    run_on(server, cfg)
+}

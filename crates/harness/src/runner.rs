@@ -54,6 +54,9 @@ pub enum FailKind {
     Panic,
     /// Never ran: an earlier failure tripped `--fail-fast`.
     Aborted,
+    /// A routed cell's backend shard was unreachable or answered with an
+    /// error (`harness route` degradation; never produced offline).
+    ShardDown,
 }
 
 impl FailKind {
@@ -65,6 +68,7 @@ impl FailKind {
             FailKind::WorkerPanic => "worker-panic",
             FailKind::Panic => "panic",
             FailKind::Aborted => "aborted",
+            FailKind::ShardDown => "shard-down",
         }
     }
 
@@ -76,6 +80,7 @@ impl FailKind {
             "worker-panic" => FailKind::WorkerPanic,
             "panic" => FailKind::Panic,
             "aborted" => FailKind::Aborted,
+            "shard-down" => FailKind::ShardDown,
             _ => return None,
         })
     }
@@ -601,6 +606,7 @@ mod tests {
             FailKind::WorkerPanic,
             FailKind::Panic,
             FailKind::Aborted,
+            FailKind::ShardDown,
         ] {
             assert_eq!(FailKind::from_label(k.label()), Some(k));
         }

@@ -43,7 +43,7 @@ use sim_server::json::{self, Json};
 use sim_server::key::{CellKey, CellSpec};
 use sim_server::metrics::{self, Metrics};
 use sim_server::scheduler::{AdmitError, Scheduler, Slot};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::io::{self, Write};
 use std::net::SocketAddr;
 use std::path::PathBuf;
@@ -97,7 +97,7 @@ fn precision_from_wire(s: &str) -> Option<Precision> {
     }
 }
 
-fn spec_coord(spec: &CellSpec) -> Option<(CellCoord, Precision)> {
+pub(crate) fn spec_coord(spec: &CellSpec) -> Option<(CellCoord, Precision)> {
     let v = variant_from_wire(&spec.version)?;
     let prec = match spec.precision {
         32 => Precision::F32,
@@ -105,6 +105,85 @@ fn spec_coord(spec: &CellSpec) -> Option<(CellCoord, Precision)> {
         _ => return None,
     };
     Some(((spec.bench.clone(), v, spec.precision), prec))
+}
+
+/// Precision back onto the wire ("single" / "double"); inverse of
+/// [`precision_from_wire`] for valid specs.
+pub(crate) fn precision_to_wire(bits: u8) -> &'static str {
+    if bits == 64 {
+        "double"
+    } else {
+        "single"
+    }
+}
+
+/// Parse and validate a sweep request body into specs + coords, in
+/// request order. Returns a human-readable error for a 400. Shared by
+/// the single-process engine and the `harness route` front (the router
+/// must resolve cell keys itself to partition the sweep by shard).
+pub(crate) fn parse_sweep(
+    bench_names: &[String],
+    body: &[u8],
+) -> Result<Vec<(CellSpec, Precision)>, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    let doc = json::parse(text).map_err(|e| format!("bad JSON: {e}"))?;
+    let scale = match doc.get("scale") {
+        None => "test",
+        Some(s) => s.as_str().ok_or("'scale' must be a string")?,
+    };
+    if !SCALES.contains(&scale) {
+        return Err(format!("unknown scale '{scale}' (have: test, paper)"));
+    }
+    let fault_seed = match doc.get("fault_seed") {
+        None => None,
+        Some(Json::Null) => None,
+        Some(v) => Some(
+            v.as_u64()
+                .ok_or("'fault_seed' must be an unsigned integer")?,
+        ),
+    };
+    let cells = doc.get("cells").ok_or("missing 'cells'")?;
+    let mut out = Vec::new();
+    if cells.as_str() == Some("all") {
+        for bench in bench_names {
+            for prec in Precision::ALL {
+                for v in VERSIONS {
+                    out.push((cell_spec(scale, fault_seed, bench, v, prec), prec));
+                }
+            }
+        }
+        return Ok(out);
+    }
+    let arr = cells
+        .as_arr()
+        .ok_or("'cells' must be \"all\" or an array")?;
+    if arr.is_empty() {
+        return Err("'cells' is empty".into());
+    }
+    for (i, c) in arr.iter().enumerate() {
+        let field = |k: &str| -> Result<&str, String> {
+            c.get(k)
+                .and_then(Json::as_str)
+                .ok_or(format!("cells[{i}]: missing string field '{k}'"))
+        };
+        let bench = field("bench")?;
+        if !bench_names.iter().any(|b| b == bench) {
+            return Err(format!(
+                "cells[{i}]: unknown benchmark '{bench}' (have: {})",
+                bench_names.join(", ")
+            ));
+        }
+        let version = field("version")?;
+        let v = variant_from_wire(version).ok_or(format!(
+            "cells[{i}]: unknown version '{version}' (have: Serial, OpenMP, OpenCL, OpenCL-Opt)"
+        ))?;
+        let precision = field("precision")?;
+        let prec = precision_from_wire(precision).ok_or(format!(
+            "cells[{i}]: unknown precision '{precision}' (have: single, double)"
+        ))?;
+        out.push((cell_spec(scale, fault_seed, bench, v, prec), prec));
+    }
+    Ok(out)
 }
 
 // ---- evaluation (dispatcher side) ----
@@ -269,6 +348,7 @@ impl Engine {
             ("GET", "/healthz") => Response::text(200, "ok\n"),
             ("GET", "/metrics") => self.metrics_page(),
             ("POST", "/v1/sweep") => self.sweep(req),
+            ("POST", "/v1/cells") => self.cells(req),
             ("POST", "/v1/shutdown") => {
                 persist(
                     &self.cache.lock().unwrap_or_else(|e| e.into_inner()),
@@ -334,91 +414,23 @@ impl Engine {
         )
     }
 
-    /// Parse and validate a sweep request body into specs + coords, in
-    /// request order. Returns a human-readable error for a 400.
-    fn parse_sweep(&self, body: &[u8]) -> Result<Vec<(CellSpec, Precision)>, String> {
-        let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
-        let doc = json::parse(text).map_err(|e| format!("bad JSON: {e}"))?;
-        let scale = match doc.get("scale") {
-            None => "test",
-            Some(s) => s.as_str().ok_or("'scale' must be a string")?,
-        };
-        if !SCALES.contains(&scale) {
-            return Err(format!("unknown scale '{scale}' (have: test, paper)"));
-        }
-        let fault_seed = match doc.get("fault_seed") {
-            None => None,
-            Some(Json::Null) => None,
-            Some(v) => Some(
-                v.as_u64()
-                    .ok_or("'fault_seed' must be an unsigned integer")?,
-            ),
-        };
-        let cells = doc.get("cells").ok_or("missing 'cells'")?;
-        let mut out = Vec::new();
-        if cells.as_str() == Some("all") {
-            for bench in &self.bench_names {
-                for prec in Precision::ALL {
-                    for v in VERSIONS {
-                        out.push((cell_spec(scale, fault_seed, bench, v, prec), prec));
-                    }
-                }
-            }
-            return Ok(out);
-        }
-        let arr = cells
-            .as_arr()
-            .ok_or("'cells' must be \"all\" or an array")?;
-        if arr.is_empty() {
-            return Err("'cells' is empty".into());
-        }
-        for (i, c) in arr.iter().enumerate() {
-            let field = |k: &str| -> Result<&str, String> {
-                c.get(k)
-                    .and_then(Json::as_str)
-                    .ok_or(format!("cells[{i}]: missing string field '{k}'"))
-            };
-            let bench = field("bench")?;
-            if !self.bench_names.iter().any(|b| b == bench) {
-                return Err(format!(
-                    "cells[{i}]: unknown benchmark '{bench}' (have: {})",
-                    self.bench_names.join(", ")
-                ));
-            }
-            let version = field("version")?;
-            let v = variant_from_wire(version).ok_or(format!(
-                "cells[{i}]: unknown version '{version}' (have: Serial, OpenMP, OpenCL, OpenCL-Opt)"
-            ))?;
-            let precision = field("precision")?;
-            let prec = precision_from_wire(precision).ok_or(format!(
-                "cells[{i}]: unknown precision '{precision}' (have: single, double)"
-            ))?;
-            out.push((cell_spec(scale, fault_seed, bench, v, prec), prec));
-        }
-        Ok(out)
-    }
-
-    fn sweep(&self, req: &Request) -> Response {
-        let started = Instant::now();
-        let cells = match self.parse_sweep(&req.body) {
-            Ok(c) => c,
-            Err(msg) => return self.bad(&msg),
-        };
-        {
-            let mut m = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
-            m.sweeps += 1;
-            m.cells_requested += cells.len() as u64;
-        }
-
-        // One cache lookup per *distinct* cell; misses are admitted while
-        // the cache lock is held, so a cell cannot complete (and be
-        // evicted) between the check and the admit.
+    /// Resolve payloads for a request's *distinct* cells: cache hits
+    /// immediately, misses through the scheduler. `Err` carries a
+    /// ready-to-send backpressure/shutdown/failure response.
+    ///
+    /// One cache lookup per distinct cell; misses are admitted while the
+    /// cache lock is held, so a cell cannot complete (and be evicted)
+    /// between the check and the admit.
+    fn resolve(
+        &self,
+        cells: &[(CellSpec, Precision)],
+    ) -> Result<HashMap<CellKey, String>, Response> {
         let mut payloads: HashMap<CellKey, String> = HashMap::new();
         let mut pending: Vec<(CellKey, Arc<Slot>)> = Vec::new();
         {
             let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
             let mut need: Vec<CellSpec> = Vec::new();
-            for (spec, _) in &cells {
+            for (spec, _) in cells {
                 let key = spec.key();
                 if payloads.contains_key(&key) || need.iter().any(|s| s.key() == key) {
                     continue;
@@ -442,22 +454,61 @@ impl Engine {
                         .lock()
                         .unwrap_or_else(|e| e.into_inner())
                         .rejected_requests += 1;
-                    return Response::json(
+                    return Err(Response::json(
                         429,
                         format!(
                             "{{\"error\":\"queue full\",\"queue_depth\":{queue_depth},\"queue_cap\":{queue_cap}}}\n"
                         ),
                     )
-                    .with_header("Retry-After", "1");
+                    .with_header("Retry-After", "1"));
                 }
                 Err(AdmitError::ShuttingDown) => {
-                    return Response::json(503, "{\"error\":\"shutting down\"}\n");
+                    return Err(Response::json(503, "{\"error\":\"shutting down\"}\n"));
+                }
+                Err(AdmitError::Poisoned) => {
+                    return Err(Response::json(
+                        500,
+                        "{\"error\":\"scheduler dispatcher is dead\"}\n",
+                    ));
                 }
             }
         }
         for (key, slot) in pending {
-            payloads.insert(key, slot.wait());
+            // An abandoned slot (the batch evaluator panicked) is a 500,
+            // not a hang: the scheduler settles every admitted slot.
+            match slot.wait() {
+                Ok(payload) => {
+                    payloads.insert(key, payload);
+                }
+                Err(abandoned) => {
+                    return Err(Response::json(
+                        500,
+                        format!(
+                            "{{\"error\":\"evaluation failed: {}\"}}\n",
+                            json::escape(&abandoned.message)
+                        ),
+                    ));
+                }
+            }
         }
+        Ok(payloads)
+    }
+
+    fn sweep(&self, req: &Request) -> Response {
+        let started = Instant::now();
+        let cells = match parse_sweep(&self.bench_names, &req.body) {
+            Ok(c) => c,
+            Err(msg) => return self.bad(&msg),
+        };
+        {
+            let mut m = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+            m.sweeps += 1;
+            m.cells_requested += cells.len() as u64;
+        }
+        let payloads = match self.resolve(&cells) {
+            Ok(p) => p,
+            Err(resp) => return resp,
+        };
 
         // Decode into a SuiteResults over exactly the requested cells, so
         // the shared jsonl formatter computes ratios against the request's
@@ -498,6 +549,45 @@ impl Engine {
             .sweep_time
             .record_us(started.elapsed().as_micros() as u64);
         Response::jsonl(200, body)
+    }
+
+    /// `POST /v1/cells` — the router's internal data plane: same request
+    /// body as `/v1/sweep`, but the response is one `<key> <payload>`
+    /// line per *distinct* requested cell (first-occurrence order), where
+    /// the payload is the `checkpoint::encode_entry` encoding. Shipping
+    /// raw entries instead of formatted rows lets `harness route` compute
+    /// ratio columns over the whole request rather than per-shard
+    /// subsets — that is what keeps a routed sweep byte-identical to a
+    /// single-process one.
+    fn cells(&self, req: &Request) -> Response {
+        let started = Instant::now();
+        let cells = match parse_sweep(&self.bench_names, &req.body) {
+            Ok(c) => c,
+            Err(msg) => return self.bad(&msg),
+        };
+        {
+            let mut m = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+            m.sweeps += 1;
+            m.cells_requested += cells.len() as u64;
+        }
+        let payloads = match self.resolve(&cells) {
+            Ok(p) => p,
+            Err(resp) => return resp,
+        };
+        let mut body = String::new();
+        let mut seen: HashSet<CellKey> = HashSet::new();
+        for (spec, _) in &cells {
+            let key = spec.key();
+            if seen.insert(key) {
+                body.push_str(&format!("{key} {}\n", payloads[&key]));
+            }
+        }
+        self.metrics
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .sweep_time
+            .record_us(started.elapsed().as_micros() as u64);
+        Response::text(200, body)
     }
 }
 

@@ -8,8 +8,10 @@
 //! forever. Client side: [`request`], a one-shot request helper used by
 //! `harness submit` and the end-to-end tests.
 
+use crate::panic_message;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -94,9 +96,36 @@ impl Response {
     }
 }
 
+/// Why [`read_request`] could not produce a request — each variant maps
+/// to a different answer on the wire.
+#[derive(Debug)]
+pub enum ReadError {
+    /// Head or declared body exceeds the configured caps → 413.
+    TooLarge(String),
+    /// Syntactically broken request → 400.
+    Malformed(String),
+    /// Transport failure (peer gone, timeout): nothing left to answer.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadError::TooLarge(m) | ReadError::Malformed(m) => f.write_str(m),
+            ReadError::Io(e) => e.fmt(f),
+        }
+    }
+}
+
+impl From<io::Error> for ReadError {
+    fn from(e: io::Error) -> ReadError {
+        ReadError::Io(e)
+    }
+}
+
 /// Read and parse one request from a stream.
-pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
-    let bad = |m: &str| io::Error::new(io::ErrorKind::InvalidData, m.to_string());
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, ReadError> {
+    let bad = |m: &str| ReadError::Malformed(m.to_string());
     // Read until the blank line ending the head.
     let mut buf: Vec<u8> = Vec::with_capacity(1024);
     let mut chunk = [0u8; 1024];
@@ -105,14 +134,14 @@ pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
             break p;
         }
         if buf.len() > MAX_HEAD {
-            return Err(bad("request head too large"));
+            return Err(ReadError::TooLarge("request head too large".into()));
         }
         let n = stream.read(&mut chunk)?;
         if n == 0 {
-            return Err(io::Error::new(
+            return Err(ReadError::Io(io::Error::new(
                 io::ErrorKind::UnexpectedEof,
                 "connection closed mid-request",
-            ));
+            )));
         }
         buf.extend_from_slice(&chunk[..n]);
     };
@@ -147,16 +176,16 @@ pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
         None => 0,
     };
     if len > MAX_BODY {
-        return Err(bad("request body too large"));
+        return Err(ReadError::TooLarge("request body too large".into()));
     }
     let mut body = buf[head_end + 4..].to_vec();
     while body.len() < len {
         let n = stream.read(&mut chunk)?;
         if n == 0 {
-            return Err(io::Error::new(
+            return Err(ReadError::Io(io::Error::new(
                 io::ErrorKind::UnexpectedEof,
                 "connection closed mid-body",
-            ));
+            )));
         }
         body.extend_from_slice(&chunk[..n]);
     }
@@ -236,8 +265,9 @@ impl Server {
     }
 
     /// Accept-and-dispatch loop: one scoped thread per connection, until
-    /// the stop handle fires. Handler errors become 500s; connection I/O
-    /// errors are logged and dropped (the peer is gone anyway).
+    /// the stop handle fires. Handler errors (including panics) become
+    /// 500s; oversized requests get 413, malformed ones 400; connection
+    /// I/O errors are logged and dropped (the peer is gone anyway).
     pub fn run<H>(&self, handler: H) -> io::Result<()>
     where
         H: Fn(&Request) -> Response + Send + Sync,
@@ -264,14 +294,39 @@ impl Server {
                     let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
                     match read_request(&mut stream) {
                         Ok(req) => {
-                            let resp = handler(&req);
+                            // A panicking handler must cost one request,
+                            // not the whole accept loop: a panic out of a
+                            // scoped thread would propagate from
+                            // `thread::scope` and kill the server.
+                            let resp = match std::panic::catch_unwind(AssertUnwindSafe(|| {
+                                handler(&req)
+                            })) {
+                                Ok(resp) => resp,
+                                Err(payload) => {
+                                    telemetry::log::debug(&format!(
+                                        "handler panicked on {} {}: {}",
+                                        req.method,
+                                        req.path,
+                                        panic_message(payload.as_ref())
+                                    ));
+                                    Response::text(500, "internal error: handler panicked\n")
+                                }
+                            };
                             if let Err(e) = write_response(&mut stream, &resp) {
                                 telemetry::log::debug(&format!("write to {peer} failed: {e}"));
                             }
                         }
-                        Err(e) => {
-                            telemetry::log::debug(&format!("bad request from {peer}: {e}"));
-                            let resp = Response::text(400, format!("bad request: {e}\n"));
+                        Err(ReadError::Io(e)) => {
+                            telemetry::log::debug(&format!("request from {peer} aborted: {e}"));
+                        }
+                        Err(ReadError::TooLarge(m)) => {
+                            telemetry::log::debug(&format!("oversized request from {peer}: {m}"));
+                            let resp = Response::text(413, format!("{m}\n"));
+                            let _ = write_response(&mut stream, &resp);
+                        }
+                        Err(ReadError::Malformed(m)) => {
+                            telemetry::log::debug(&format!("bad request from {peer}: {m}"));
+                            let resp = Response::text(400, format!("bad request: {m}\n"));
                             let _ = write_response(&mut stream, &resp);
                         }
                     }
@@ -291,6 +346,23 @@ pub fn request(
     body: &[u8],
     timeout: Duration,
 ) -> io::Result<(u16, Vec<u8>)> {
+    let (status, _, body) = request_full(addr, method, path, body, timeout)?;
+    Ok((status, body))
+}
+
+/// A full client-side response: status, headers (names lowercased),
+/// body.
+pub type FullResponse = (u16, Vec<(String, String)>, Vec<u8>);
+
+/// [`request`], but also returning the response headers (names
+/// lowercased) — the router reads `Retry-After` off backend 429s.
+pub fn request_full(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &[u8],
+    timeout: Duration,
+) -> io::Result<FullResponse> {
     let bad = |m: &str| io::Error::new(io::ErrorKind::InvalidData, m.to_string());
     let sock_addr = addr
         .to_socket_addrs()?
@@ -310,12 +382,21 @@ pub fn request(
     stream.read_to_end(&mut raw)?;
     let head_end = find_head_end(&raw).ok_or_else(|| bad("truncated response head"))?;
     let head = std::str::from_utf8(&raw[..head_end]).map_err(|_| bad("non-UTF8 head"))?;
-    let status: u16 = head
-        .split(' ')
-        .nth(1)
+    let mut lines = head.split("\r\n");
+    let status: u16 = lines
+        .next()
+        .and_then(|l| l.split(' ').nth(1))
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| bad("bad status line"))?;
-    Ok((status, raw[head_end + 4..].to_vec()))
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (k, v) = line.split_once(':').ok_or_else(|| bad("bad header"))?;
+        headers.push((k.trim().to_ascii_lowercase(), v.trim().to_string()));
+    }
+    Ok((status, headers, raw[head_end + 4..].to_vec()))
 }
 
 #[cfg(test)]
@@ -350,6 +431,112 @@ mod tests {
         let (st, _) = request(&addr, "GET", "/nope", b"", Duration::from_secs(5)).unwrap();
         assert_eq!(st, 404);
 
+        stop.stop();
+        t.join().unwrap().unwrap();
+    }
+
+    /// A panicking handler answers 500 on that one connection and the
+    /// server keeps serving — the doc-promised behaviour that used to
+    /// propagate out of `thread::scope` and kill the accept loop.
+    #[test]
+    fn handler_panic_answers_500_and_server_survives() {
+        let server = Server::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        let stop = server.stop_handle().unwrap();
+        let t = std::thread::spawn(move || {
+            server.run(|req| match req.path.as_str() {
+                "/boom" => panic!("handler exploded"),
+                _ => Response::text(200, "ok\n"),
+            })
+        });
+
+        for _ in 0..3 {
+            let (st, body) = request(&addr, "GET", "/boom", b"", Duration::from_secs(5)).unwrap();
+            assert_eq!(st, 500);
+            assert!(
+                String::from_utf8_lossy(&body).contains("handler panicked"),
+                "{body:?}"
+            );
+            let (st, _) = request(&addr, "GET", "/fine", b"", Duration::from_secs(5)).unwrap();
+            assert_eq!(st, 200, "server must survive a handler panic");
+        }
+
+        stop.stop();
+        t.join().unwrap().unwrap();
+    }
+
+    /// Oversized requests are a 413 (distinct from malformed 400): a
+    /// declared body over the cap is refused from the Content-Length
+    /// header alone, and a head over the cap is refused mid-read.
+    #[test]
+    fn oversized_requests_get_413_and_malformed_get_400() {
+        let server = Server::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap();
+        let stop = server.stop_handle().unwrap();
+        let t = std::thread::spawn(move || server.run(|_| Response::text(200, "ok\n")));
+
+        let raw = |payload: &[u8]| -> (u16, String) {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+            s.write_all(payload).unwrap();
+            let mut out = Vec::new();
+            s.read_to_end(&mut out).unwrap();
+            let text = String::from_utf8_lossy(&out).into_owned();
+            let status = text
+                .split(' ')
+                .nth(1)
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0);
+            (status, text)
+        };
+
+        // Declared body over MAX_BODY: refused before any body is read.
+        let huge = format!(
+            "POST /v1/sweep HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        let (st, text) = raw(huge.as_bytes());
+        assert_eq!(st, 413, "{text}");
+        assert!(text.contains("request body too large"), "{text}");
+
+        // Head over MAX_HEAD without a terminating blank line.
+        let mut long_head = b"GET / HTTP/1.1\r\n".to_vec();
+        long_head.resize(long_head.len() + MAX_HEAD + 16, b'x');
+        let (st, text) = raw(&long_head);
+        assert_eq!(st, 413, "{text}");
+        assert!(text.contains("request head too large"), "{text}");
+
+        // Genuinely malformed requests keep their 400.
+        let (st, text) = raw(b"NONSENSE\r\n\r\n");
+        assert_eq!(st, 400, "{text}");
+        let (st, text) = raw(b"POST / HTTP/1.1\r\nContent-Length: lots\r\n\r\n");
+        assert_eq!(st, 400, "{text}");
+
+        // And the server still answers a well-formed request afterwards.
+        let a = addr.to_string();
+        let (st, _) = request(&a, "GET", "/", b"", Duration::from_secs(5)).unwrap();
+        assert_eq!(st, 200);
+
+        stop.stop();
+        t.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn request_full_exposes_response_headers() {
+        let server = Server::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        let stop = server.stop_handle().unwrap();
+        let t = std::thread::spawn(move || {
+            server.run(|_| Response::text(429, "busy\n").with_header("Retry-After", "3"))
+        });
+        let (st, headers, _) =
+            request_full(&addr, "GET", "/", b"", Duration::from_secs(5)).unwrap();
+        assert_eq!(st, 429);
+        let retry = headers
+            .iter()
+            .find(|(k, _)| k == "retry-after")
+            .map(|(_, v)| v.as_str());
+        assert_eq!(retry, Some("3"));
         stop.stop();
         t.join().unwrap().unwrap();
     }

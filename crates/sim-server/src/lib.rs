@@ -36,11 +36,24 @@ pub mod http;
 pub mod json;
 pub mod key;
 pub mod metrics;
+pub mod router;
 pub mod scheduler;
+
+/// Best-effort text of a caught panic payload (`String` / `&str` panics;
+/// anything else gets a placeholder). Shared by the HTTP handler guard
+/// and the scheduler's batch-evaluation guard.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<String>()
+        .map(String::as_str)
+        .or_else(|| payload.downcast_ref::<&str>().copied())
+        .unwrap_or("non-string panic payload")
+}
 
 pub use cache::{Cache, CacheStats, CachedCell};
 pub use http::{Request, Response, Server, StopHandle};
 pub use json::Json;
 pub use key::{CellKey, CellSpec, KEY_SCHEMA_VERSION};
 pub use metrics::Metrics;
-pub use scheduler::{AdmitError, Scheduler, SchedulerStats, Slot};
+pub use router::Ring;
+pub use scheduler::{Abandoned, AdmitError, Scheduler, SchedulerStats, Slot};

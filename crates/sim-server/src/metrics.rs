@@ -61,11 +61,50 @@ pub fn render(
     line("sim_server_cells_coalesced_total", sched.coalesced);
     line("sim_server_sweeps_rejected_busy_total", sched.rejected);
     line("sim_server_batches_total", sched.batches);
+    line("sim_server_eval_panics_total", sched.eval_panics);
+    line("sim_server_cells_abandoned_total", sched.abandoned);
     line("sim_server_queue_depth", sched.queue_depth as u64);
     line("sim_server_in_flight", sched.in_flight as u64);
     line("sim_server_sweep_time_p50_us", m.sweep_time.p50_us());
     line("sim_server_sweep_time_p95_us", m.sweep_time.p95_us());
     line("sim_server_sweep_time_mean_us", m.sweep_time.mean_us());
+    out
+}
+
+/// Aggregate several `name value` exposition pages (one per shard) into
+/// one. Counters and gauges sum; latency lines (`*_us`) take the maximum
+/// across shards — summing percentiles would fabricate a number no shard
+/// ever observed, while the max is a true worst-shard bound. Line order
+/// follows the first page; names missing from a page contribute nothing.
+pub fn aggregate_pages(pages: &[String]) -> String {
+    let mut order: Vec<&str> = Vec::new();
+    let mut totals: std::collections::HashMap<&str, u64> = std::collections::HashMap::new();
+    for page in pages {
+        for line in page.lines() {
+            let Some((name, value)) = line.rsplit_once(' ') else {
+                continue;
+            };
+            let Ok(value) = value.parse::<u64>() else {
+                continue;
+            };
+            let slot = totals.entry(name).or_insert_with(|| {
+                order.push(name);
+                0
+            });
+            if name.ends_with("_us") {
+                *slot = (*slot).max(value);
+            } else {
+                *slot += value;
+            }
+        }
+    }
+    let mut out = String::new();
+    for name in order {
+        out.push_str(name);
+        out.push(' ');
+        out.push_str(&totals[name].to_string());
+        out.push('\n');
+    }
     out
 }
 
@@ -96,6 +135,8 @@ mod tests {
             coalesced: 3,
             rejected: 0,
             batches: 4,
+            eval_panics: 5,
+            abandoned: 6,
         };
         let page = render(&m, &cache, 72, &sched);
         for want in [
@@ -109,6 +150,8 @@ mod tests {
             "sim_server_cells_coalesced_total 3",
             "sim_server_queue_depth 1",
             "sim_server_in_flight 2",
+            "sim_server_eval_panics_total 5",
+            "sim_server_cells_abandoned_total 6",
             "sim_server_sweep_time_p50_us 100",
             "sim_server_sweep_time_p95_us 200",
         ] {
@@ -117,5 +160,20 @@ mod tests {
                 "missing {want:?} in:\n{page}"
             );
         }
+    }
+
+    #[test]
+    fn aggregation_sums_counters_and_maxes_latencies() {
+        let a = "sim_server_cache_hits 10\nsim_server_sweep_time_p95_us 500\n".to_string();
+        let b = "sim_server_cache_hits 32\nsim_server_sweep_time_p95_us 200\nextra_total 1\n"
+            .to_string();
+        let merged = aggregate_pages(&[a, b]);
+        assert_eq!(
+            merged,
+            "sim_server_cache_hits 42\nsim_server_sweep_time_p95_us 500\nextra_total 1\n"
+        );
+        // Malformed lines are skipped, not fatal.
+        let merged = aggregate_pages(&["garbage\nx notanumber\nok 1\n".to_string()]);
+        assert_eq!(merged, "ok 1\n");
     }
 }

@@ -1,0 +1,141 @@
+//! Consistent hashing for sharded serving: map [`CellKey`]s onto a ring
+//! of shard indices.
+//!
+//! The router (`harness route`) partitions the cell key space across N
+//! backend `harness serve` processes. Because a `CellKey` is a pure
+//! function of the cell spec, the assignment is deterministic: the same
+//! cell always lands on the same shard, so each shard's result cache
+//! stays hot and duplicate in-flight work still coalesces inside one
+//! process.
+//!
+//! Each shard contributes a fixed set of virtual points derived only
+//! from its *index* — point sets are independent of the shard count, so
+//! growing the fleet from N to N+1 shards only moves the keys that the
+//! new shard's points capture (classic consistent hashing) instead of
+//! reshuffling everything. Shard identity is positional: reordering the
+//! `--shards` list remaps caches (documented in DESIGN.md §13).
+
+use crate::key::{fnv1a64, CellKey};
+
+/// Virtual points per shard. Enough to keep the expected imbalance low
+/// (a few percent at double-digit shard counts) while the ring stays a
+/// small, cache-friendly sorted array.
+const VNODES: usize = 64;
+
+/// SplitMix64 finalizer: a cheap bijective mixer. FNV-1a diffuses low
+/// bits weakly; mixing both the ring points and the looked-up keys makes
+/// placement insensitive to that bias.
+pub fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
+
+/// A consistent-hash ring over `shards` shard indices.
+#[derive(Clone, Debug)]
+pub struct Ring {
+    /// `(point, shard_index)`, sorted by point.
+    points: Vec<(u64, usize)>,
+    shards: usize,
+}
+
+impl Ring {
+    /// Build the ring for `shards` shards. A zero-shard ring is not a
+    /// meaningful router; callers validate the shard list first.
+    pub fn new(shards: usize) -> Ring {
+        assert!(shards > 0, "a ring needs at least one shard");
+        let mut points = Vec::with_capacity(shards * VNODES);
+        for shard in 0..shards {
+            for vnode in 0..VNODES {
+                let point = mix64(fnv1a64(format!("shard-{shard}-vnode-{vnode}").as_bytes()));
+                points.push((point, shard));
+            }
+        }
+        points.sort_unstable();
+        Ring { points, shards }
+    }
+
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning `key`: the first ring point at or after the
+    /// key's mixed hash, wrapping at the top of the u64 space.
+    pub fn shard_of(&self, key: CellKey) -> usize {
+        let h = mix64(key.0);
+        let i = self.points.partition_point(|&(p, _)| p < h);
+        self.points[i % self.points.len()].1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(n: u64) -> impl Iterator<Item = CellKey> {
+        // Spec-shaped inputs: hash strings, as real CellKeys are hashes.
+        (0..n).map(|i| CellKey(fnv1a64(format!("cell-{i}").as_bytes())))
+    }
+
+    #[test]
+    fn assignment_is_deterministic() {
+        let a = Ring::new(4);
+        let b = Ring::new(4);
+        for k in keys(256) {
+            assert_eq!(a.shard_of(k), b.shard_of(k));
+        }
+    }
+
+    #[test]
+    fn every_shard_takes_a_fair_share() {
+        let ring = Ring::new(4);
+        let mut counts = [0usize; 4];
+        for k in keys(4000) {
+            counts[ring.shard_of(k)] += 1;
+        }
+        for (shard, &c) in counts.iter().enumerate() {
+            // Perfect balance is 1000; vnode hashing keeps every shard
+            // within a loose band rather than starving one.
+            assert!(
+                (500..=1500).contains(&c),
+                "shard {shard} got {c} of 4000 keys: {counts:?}"
+            );
+        }
+    }
+
+    /// The consistency property: adding a shard only moves keys *to* the
+    /// new shard — keys staying on old shards keep their assignment, so
+    /// a fleet resize does not invalidate every backend cache.
+    #[test]
+    fn growing_the_ring_only_moves_keys_to_the_new_shard() {
+        let small = Ring::new(3);
+        let grown = Ring::new(4);
+        let mut moved = 0usize;
+        let total = 4000usize;
+        for k in keys(total as u64) {
+            let (before, after) = (small.shard_of(k), grown.shard_of(k));
+            if after != before {
+                assert_eq!(after, 3, "key may only move to the new shard");
+                moved += 1;
+            }
+        }
+        // Expected churn is ~1/4 of the keys; require it to be well under
+        // a naive rehash (which would move ~3/4).
+        assert!(
+            moved < total / 2,
+            "resize moved {moved} of {total} keys — not consistent hashing"
+        );
+    }
+
+    #[test]
+    fn mix64_is_stable() {
+        // Pinned values: ring placement is part of the deployment contract
+        // (a silent mixer change would remap every shard's cache).
+        assert_eq!(mix64(0), 0);
+        assert_eq!(mix64(1), 0x5692_161d_100b_05e5);
+        assert_eq!(mix64(0xdead_beef), 0x4e06_2702_ec92_9eea);
+    }
+}

@@ -19,7 +19,8 @@
 //! computed, never its bytes.
 
 use crate::key::{CellKey, CellSpec};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::panic::AssertUnwindSafe;
 use std::sync::{Arc, Condvar, Mutex};
 
 /// Why a sweep could not be admitted.
@@ -33,12 +34,23 @@ pub enum AdmitError {
     },
     /// The scheduler is draining for shutdown (HTTP 503).
     ShuttingDown,
+    /// The dispatcher thread is gone (its setup panicked or it aborted):
+    /// nothing will ever drain the queue again (HTTP 500).
+    Poisoned,
+}
+
+/// A cell whose evaluation was abandoned: the batch evaluator panicked
+/// (or broke its one-payload-per-spec contract), so this slot will never
+/// carry a payload. Waiters must surface an error, not retry the wait.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Abandoned {
+    pub message: String,
 }
 
 /// A future result of one cell. Waiters block on [`wait`](Slot::wait).
 #[derive(Debug)]
 pub struct Slot {
-    result: Mutex<Option<String>>,
+    result: Mutex<Option<Result<String, Abandoned>>>,
     done: Condvar,
 }
 
@@ -50,20 +62,27 @@ impl Slot {
         })
     }
 
-    /// Block until the dispatcher fulfills this slot; returns the payload.
-    pub fn wait(&self) -> String {
+    /// Block until the dispatcher settles this slot: the payload on
+    /// success, [`Abandoned`] when the evaluation died. A slot is always
+    /// settled eventually — fulfilled by a completed batch, or abandoned
+    /// by the dispatcher's panic guards — so this cannot hang forever.
+    pub fn wait(&self) -> Result<String, Abandoned> {
         let mut guard = self.result.lock().unwrap_or_else(|e| e.into_inner());
         loop {
-            if let Some(p) = guard.as_ref() {
-                return p.clone();
+            if let Some(r) = guard.as_ref() {
+                return r.clone();
             }
             guard = self.done.wait(guard).unwrap_or_else(|e| e.into_inner());
         }
     }
 
-    fn fulfill(&self, payload: String) {
+    fn settle(&self, result: Result<String, Abandoned>) {
         let mut guard = self.result.lock().unwrap_or_else(|e| e.into_inner());
-        *guard = Some(payload);
+        // First writer wins: a batch-panic abandonment and the dispatcher
+        // exit guard may both reach the same slot.
+        if guard.is_none() {
+            *guard = Some(result);
+        }
         self.done.notify_all();
     }
 }
@@ -83,11 +102,15 @@ struct State {
     /// Cells in the batch currently being evaluated.
     running: usize,
     shutdown: bool,
+    /// The dispatcher is gone without draining; nothing new is admitted.
+    poisoned: bool,
     // Monotone counters for /metrics.
     simulated: u64,
     coalesced: u64,
     rejected: u64,
     batches: u64,
+    eval_panics: u64,
+    abandoned: u64,
 }
 
 /// Live + lifetime scheduler numbers for `/metrics`.
@@ -99,6 +122,10 @@ pub struct SchedulerStats {
     pub coalesced: u64,
     pub rejected: u64,
     pub batches: u64,
+    /// Batches whose evaluation panicked (every cell in them abandoned).
+    pub eval_panics: u64,
+    /// Cells abandoned by panicking evaluations or a dying dispatcher.
+    pub abandoned: u64,
 }
 
 struct Shared {
@@ -149,17 +176,23 @@ impl Scheduler {
     /// nothing: when the *new* cells would push the queue past its bound,
     /// nothing is enqueued and the caller gets [`AdmitError::Busy`].
     pub fn admit(&self, cells: &[CellSpec]) -> Result<Vec<Arc<Slot>>, AdmitError> {
+        // Hash every spec before taking the lock: the canonicalization is
+        // the expensive part and needs no shared state.
+        let keys: Vec<CellKey> = cells.iter().map(CellSpec::key).collect();
         let mut st = self.shared.st.lock().unwrap_or_else(|e| e.into_inner());
         if st.shutdown {
             return Err(AdmitError::ShuttingDown);
         }
+        if st.poisoned {
+            return Err(AdmitError::Poisoned);
+        }
         // First pass: count how many are genuinely new (a sweep may also
-        // carry duplicates within itself — those coalesce too).
-        let mut new_keys: Vec<CellKey> = Vec::new();
-        for spec in cells {
-            let key = spec.key();
-            if !st.active.contains_key(&key) && !new_keys.contains(&key) {
-                new_keys.push(key);
+        // carry duplicates within itself — those coalesce too). A set, not
+        // a `contains` scan: paper-scale sweeps made this pass O(n²).
+        let mut new_keys: HashSet<CellKey> = HashSet::with_capacity(keys.len());
+        for key in &keys {
+            if !st.active.contains_key(key) {
+                new_keys.insert(*key);
             }
         }
         if st.queue.len() + new_keys.len() > self.queue_cap {
@@ -170,8 +203,7 @@ impl Scheduler {
             });
         }
         let mut slots = Vec::with_capacity(cells.len());
-        for spec in cells {
-            let key = spec.key();
+        for (spec, &key) in cells.iter().zip(&keys) {
             if let Some(job) = st.active.get(&key) {
                 let shared = job.slot.clone();
                 st.coalesced += 1;
@@ -203,6 +235,8 @@ impl Scheduler {
             coalesced: st.coalesced,
             rejected: st.rejected,
             batches: st.batches,
+            eval_panics: st.eval_panics,
+            abandoned: st.abandoned,
         }
     }
 
@@ -226,11 +260,44 @@ impl Drop for Scheduler {
     }
 }
 
+/// Last-resort poison guard: if the dispatcher thread unwinds past the
+/// per-batch `catch_unwind` (e.g. `make_eval` itself panicked), mark the
+/// scheduler poisoned and abandon every admitted job, so waiters error
+/// out instead of blocking on slots nobody will ever settle.
+struct DispatcherGuard<'a> {
+    shared: &'a Shared,
+    clean_exit: bool,
+}
+
+impl Drop for DispatcherGuard<'_> {
+    fn drop(&mut self) {
+        if self.clean_exit {
+            return;
+        }
+        let mut st = self.shared.st.lock().unwrap_or_else(|e| e.into_inner());
+        st.poisoned = true;
+        st.running = 0;
+        st.queue.clear();
+        let orphans: Vec<Arc<Slot>> = st.active.drain().map(|(_, job)| job.slot).collect();
+        st.abandoned += orphans.len() as u64;
+        drop(st);
+        for slot in orphans {
+            slot.settle(Err(Abandoned {
+                message: "scheduler dispatcher died".into(),
+            }));
+        }
+    }
+}
+
 fn dispatcher_loop<M, F>(shared: &Shared, make_eval: M)
 where
     M: FnOnce() -> F,
     F: FnMut(&[CellSpec]) -> Vec<String>,
 {
+    let mut guard = DispatcherGuard {
+        shared,
+        clean_exit: false,
+    };
     let mut eval = make_eval();
     loop {
         // Pick up the whole queue as one batch.
@@ -240,6 +307,7 @@ where
                 st = shared.work.wait(st).unwrap_or_else(|e| e.into_inner());
             }
             if st.queue.is_empty() && st.shutdown {
+                guard.clean_exit = true;
                 return;
             }
             let keys: Vec<CellKey> = st.queue.drain(..).collect();
@@ -254,19 +322,51 @@ where
         };
 
         let specs: Vec<CellSpec> = batch.iter().map(|(_, s, _)| s.clone()).collect();
-        let payloads = eval(&specs);
-        assert_eq!(
-            payloads.len(),
-            batch.len(),
-            "eval must return one payload per spec"
-        );
+        // A panic in the evaluation function must not kill the dispatcher:
+        // before this guard existed it abandoned every in-flight slot and
+        // handler threads hung in `Slot::wait` forever. The payload-count
+        // contract is checked inside the same guard so a miscounting eval
+        // abandons its batch instead of tearing the thread down.
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| eval(&specs)))
+            .map_err(|p| {
+                format!(
+                    "batch evaluation panicked: {}",
+                    crate::panic_message(p.as_ref())
+                )
+            })
+            .and_then(|payloads| {
+                if payloads.len() == batch.len() {
+                    Ok(payloads)
+                } else {
+                    Err(format!(
+                        "batch evaluation returned {} payloads for {} specs",
+                        payloads.len(),
+                        batch.len()
+                    ))
+                }
+            });
 
         let mut st = shared.st.lock().unwrap_or_else(|e| e.into_inner());
-        st.simulated += batch.len() as u64;
         st.running = 0;
-        for ((key, _, slot), payload) in batch.into_iter().zip(payloads) {
-            st.active.remove(&key);
-            slot.fulfill(payload);
+        match outcome {
+            Ok(payloads) => {
+                st.simulated += batch.len() as u64;
+                for ((key, _, slot), payload) in batch.into_iter().zip(payloads) {
+                    st.active.remove(&key);
+                    slot.settle(Ok(payload));
+                }
+            }
+            Err(message) => {
+                telemetry::log::debug(&message);
+                st.eval_panics += 1;
+                st.abandoned += batch.len() as u64;
+                for (key, _, slot) in batch {
+                    st.active.remove(&key);
+                    slot.settle(Err(Abandoned {
+                        message: message.clone(),
+                    }));
+                }
+            }
         }
     }
 }
@@ -298,8 +398,8 @@ mod tests {
     fn evaluates_and_fulfills() {
         let sched = Scheduler::start(64, echo_eval);
         let slots = sched.admit(&[spec("a"), spec("b")]).unwrap();
-        assert_eq!(slots[0].wait(), "r:a");
-        assert_eq!(slots[1].wait(), "r:b");
+        assert_eq!(slots[0].wait().unwrap(), "r:a");
+        assert_eq!(slots[1].wait().unwrap(), "r:b");
         let st = sched.stats();
         assert_eq!(st.simulated, 2);
         assert_eq!(st.queue_depth, 0);
@@ -340,7 +440,7 @@ mod tests {
         // Same slot object: both waiters get the single evaluation.
         assert!(Arc::ptr_eq(&s1[0], &s2[0]));
 
-        let waiter = std::thread::spawn(move || (s1[0].wait(), s2[0].wait()));
+        let waiter = std::thread::spawn(move || (s1[0].wait().unwrap(), s2[0].wait().unwrap()));
         {
             let (lock, cv) = &*gate;
             *lock.lock().unwrap() = true;
@@ -358,7 +458,7 @@ mod tests {
         let sched = Scheduler::start(64, echo_eval);
         let slots = sched.admit(&[spec("a"), spec("a"), spec("a")]).unwrap();
         for s in &slots {
-            assert_eq!(s.wait(), "r:a");
+            assert_eq!(s.wait().unwrap(), "r:a");
         }
         assert_eq!(sched.stats().simulated, 1);
         assert_eq!(sched.stats().coalesced, 2);
@@ -406,9 +506,9 @@ mod tests {
         let (lock, cv) = &*gate;
         *lock.lock().unwrap() = true;
         cv.notify_all();
-        assert_eq!(s0[0].wait(), "r:warm");
-        assert_eq!(s1[1].wait(), "r:b");
-        assert_eq!(s2[0].wait(), "r:a");
+        assert_eq!(s0[0].wait().unwrap(), "r:warm");
+        assert_eq!(s1[1].wait().unwrap(), "r:b");
+        assert_eq!(s2[0].wait().unwrap(), "r:a");
     }
 
     /// Concurrent distinct sweeps end up in one fork/join batch when they
@@ -449,12 +549,104 @@ mod tests {
             *lock.lock().unwrap() = true;
             cv.notify_all();
         }
-        s0[0].wait();
-        sa[0].wait();
-        sb[0].wait();
-        sc[0].wait();
+        s0[0].wait().unwrap();
+        sa[0].wait().unwrap();
+        sb[0].wait().unwrap();
+        sc[0].wait().unwrap();
         // ...and are drained as one 3-cell batch.
         assert_eq!(*batches.lock().unwrap(), vec![1, 3]);
+    }
+
+    /// A panic in the batch evaluation function used to kill the
+    /// dispatcher and leave every waiter blocked in `Slot::wait` forever.
+    /// Now the batch is abandoned (waiters get `Err`), the dispatcher
+    /// survives, and the next batch evaluates normally.
+    #[test]
+    fn eval_panic_releases_waiters_and_dispatcher_survives() {
+        let sched = Scheduler::start(64, || {
+            |specs: &[CellSpec]| {
+                if specs.iter().any(|s| s.bench == "boom") {
+                    panic!("injected eval panic");
+                }
+                specs.iter().map(|s| format!("r:{}", s.bench)).collect()
+            }
+        });
+
+        let doomed = sched.admit(&[spec("boom"), spec("boom2")]).unwrap();
+        let err = doomed[0].wait().unwrap_err();
+        assert!(
+            err.message.contains("injected eval panic"),
+            "abandonment must carry the panic message, got: {}",
+            err.message
+        );
+        // boom2 rode in the same batch; it is abandoned too, not hung.
+        assert!(doomed[1].wait().is_err());
+
+        let st = sched.stats();
+        assert_eq!(st.eval_panics, 1);
+        assert_eq!(st.abandoned, 2);
+        assert_eq!(st.simulated, 0);
+        assert_eq!(st.in_flight, 0, "abandoned batch is not left in flight");
+
+        // The dispatcher survived: fresh work still evaluates, and the
+        // previously-abandoned key is admittable again (not stuck active).
+        let ok = sched.admit(&[spec("fine"), spec("boom2")]).unwrap();
+        assert_eq!(ok[0].wait().unwrap(), "r:fine");
+        assert_eq!(ok[1].wait().unwrap(), "r:boom2");
+        assert_eq!(sched.stats().simulated, 2);
+    }
+
+    /// An evaluation function that breaks the one-payload-per-spec
+    /// contract abandons its batch instead of tearing the dispatcher down.
+    #[test]
+    fn wrong_payload_count_abandons_batch() {
+        let sched = Scheduler::start(64, || |_specs: &[CellSpec]| vec!["only-one".to_string()]);
+        let slots = sched.admit(&[spec("a"), spec("b")]).unwrap();
+        let err = slots[0].wait().unwrap_err();
+        assert!(err.message.contains("1 payloads for 2 specs"), "{err:?}");
+        assert_eq!(sched.stats().abandoned, 2);
+    }
+
+    /// If `make_eval` itself panics the dispatcher thread is gone for
+    /// good: admitted slots are abandoned by the poison guard and later
+    /// admissions fail fast with `Poisoned` instead of queueing work
+    /// nobody will drain.
+    #[test]
+    fn dispatcher_death_poisons_the_scheduler() {
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let sched = {
+            let gate = gate.clone();
+            Scheduler::start(64, move || {
+                // Stall setup until a victim sweep is admitted, then die.
+                let (lock, cv) = &*gate;
+                let mut open = lock.lock().unwrap();
+                while !*open {
+                    open = cv.wait(open).unwrap();
+                }
+                // `*open` is always true here; the branch just keeps the
+                // returned closure reachable for type inference.
+                if *open {
+                    panic!("make_eval failed");
+                }
+                |_specs: &[CellSpec]| -> Vec<String> { Vec::new() }
+            })
+        };
+        let slots = sched.admit(&[spec("victim")]).unwrap();
+        {
+            let (lock, cv) = &*gate;
+            *lock.lock().unwrap() = true;
+            cv.notify_all();
+        }
+        // The guard flips the poison flag *before* settling the orphaned
+        // slots, so once the victim's wait has returned the flag is
+        // guaranteed visible to new admissions.
+        let err = slots[0].wait().unwrap_err();
+        assert!(err.message.contains("dispatcher died"), "{err:?}");
+        assert!(matches!(
+            sched.admit(&[spec("later")]),
+            Err(AdmitError::Poisoned)
+        ));
+        assert_eq!(sched.stats().abandoned, 1);
     }
 
     #[test]
@@ -463,7 +655,7 @@ mod tests {
         let slots = sched.admit(&[spec("a"), spec("b"), spec("c")]).unwrap();
         sched.shutdown();
         for (s, b) in slots.iter().zip(["a", "b", "c"]) {
-            assert_eq!(s.wait(), format!("r:{b}"));
+            assert_eq!(s.wait().unwrap(), format!("r:{b}"));
         }
         assert!(matches!(
             sched.admit(&[spec("d")]),

@@ -215,6 +215,39 @@ fn zero_queue_capacity_rejects_with_429() {
     srv.shutdown().unwrap();
 }
 
+/// Oversized requests are refused with 413 (not 400, which is reserved
+/// for malformed ones) before the body is read, and the connection-level
+/// rejection leaves the server fully operational.
+#[test]
+fn oversized_requests_get_413_and_the_server_survives() {
+    use std::io::{Read, Write};
+
+    let srv = serve(16, 16, None, vec![]);
+    let addr = srv.addr.to_string();
+
+    // Declared body over the 16 MiB cap: refused up front — no need to
+    // send (or allocate) the body itself.
+    let mut conn = std::net::TcpStream::connect(&addr).unwrap();
+    conn.write_all(b"POST /v1/sweep HTTP/1.1\r\nHost: x\r\nContent-Length: 17000000\r\n\r\n")
+        .unwrap();
+    let mut resp = String::new();
+    let _ = conn.read_to_string(&mut resp);
+    assert!(resp.starts_with("HTTP/1.1 413 "), "{resp}");
+
+    // Malformed (non-numeric length) stays a 400.
+    let mut conn = std::net::TcpStream::connect(&addr).unwrap();
+    conn.write_all(b"POST /v1/sweep HTTP/1.1\r\nHost: x\r\nContent-Length: lots\r\n\r\n")
+        .unwrap();
+    let mut resp = String::new();
+    let _ = conn.read_to_string(&mut resp);
+    assert!(resp.starts_with("HTTP/1.1 400 "), "{resp}");
+
+    // The server kept serving throughout.
+    let (st, body) = request(&addr, "GET", "/healthz", b"", T).unwrap();
+    assert_eq!((st, body.as_slice()), (200, b"ok\n".as_slice()));
+    srv.shutdown().unwrap();
+}
+
 /// A `simstate v2` checkpoint warm-starts the cache: the first sweep is
 /// served entirely from the checkpointed cells and still matches the
 /// offline artifact byte for byte.

@@ -86,6 +86,15 @@ serve flags:
                       batch; restored on startup)
   --warm <path>       warm-start the cache from a simstate checkpoint
                       (repeatable)
+  --trace-dir <dir>   per-request tracing: requests.log (one line per
+                      sweep request) plus req-<traceid>.json Perfetto
+                      traces for sampled requests; response bytes are
+                      never affected
+  --trace-sample <n>  trace 1 in n requests, keyed off the trace id hash
+                      (deterministic: replaying the same ids samples the
+                      same requests; default 1, 0 disables sampling)
+  --slow-ms <n>       force-sample requests slower than n milliseconds
+                      regardless of --trace-sample
 
 route flags:
   --addr <host:port>  bind address (default 127.0.0.1:8080; port 0 binds
@@ -93,6 +102,9 @@ route flags:
   --shards <list>     comma-separated serve backend addresses (required);
                       the cell key space is consistent-hashed across the
                       list, so order is part of the deployment identity
+  --trace-dir, --trace-sample, --slow-ms as for serve; the router stamps
+                      its ingress trace id onto every shard sub-request
+                      (X-Sim-Trace-Id), so one id follows a sweep fleet-wide
 
 submit flags:
   --addr <host:port>  server or router to talk to (required)
@@ -131,6 +143,9 @@ struct Opts {
     shards: Vec<String>,
     metrics: bool,
     shutdown: bool,
+    req_trace_dir: Option<std::path::PathBuf>,
+    trace_sample: u64,
+    slow_ms: Option<u64>,
     cmds: Vec<String>,
 }
 
@@ -155,6 +170,9 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
         shards: Vec::new(),
         metrics: false,
         shutdown: false,
+        req_trace_dir: None,
+        trace_sample: 1,
+        slow_ms: None,
         cmds: Vec::new(),
     };
     let mut it = args.iter();
@@ -226,6 +244,18 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
             },
             "--metrics" => o.metrics = true,
             "--shutdown" => o.shutdown = true,
+            "--trace-dir" => match it.next() {
+                Some(dir) if !dir.starts_with("--") => o.req_trace_dir = Some(dir.into()),
+                _ => return Err("--trace-dir needs a directory argument".into()),
+            },
+            "--trace-sample" => match it.next().map(|n| n.parse::<u64>()) {
+                Some(Ok(n)) => o.trace_sample = n,
+                _ => return Err("--trace-sample needs an unsigned integer argument".into()),
+            },
+            "--slow-ms" => match it.next().map(|n| n.parse::<u64>()) {
+                Some(Ok(n)) => o.slow_ms = Some(n),
+                _ => return Err("--slow-ms needs an unsigned integer argument".into()),
+            },
             flag if flag.starts_with("--") => return Err(format!("unknown flag '{flag}'")),
             cmd => o.cmds.push(cmd.to_string()),
         }
@@ -327,6 +357,9 @@ fn run() -> i32 {
             queue_cap: o.queue,
             cache_path: o.cache,
             warm: o.warm,
+            trace_dir: o.req_trace_dir,
+            trace_sample: o.trace_sample,
+            slow_ms: o.slow_ms,
         };
         return match harness::serve::serve(cfg) {
             Ok(()) => 0,
@@ -345,6 +378,9 @@ fn run() -> i32 {
         let cfg = harness::RouteConfig {
             addr: o.addr.unwrap_or_else(|| "127.0.0.1:8080".into()),
             shards: o.shards,
+            trace_dir: o.req_trace_dir,
+            trace_sample: o.trace_sample,
+            slow_ms: o.slow_ms,
         };
         return match harness::route::route(cfg) {
             Ok(()) => 0,

@@ -34,11 +34,12 @@
 use crate::checkpoint;
 use crate::export;
 use crate::runner::{CellEntry, CellError, FailKind, SuiteResults};
-use crate::serve::{parse_sweep, precision_to_wire, spec_coord};
+use crate::serve::{make_tracer, parse_sweep, precision_to_wire, spec_coord};
 use sim_server::http::{self, Request, Response, Server, StopHandle};
 use sim_server::json;
 use sim_server::key::{CellKey, CellSpec};
 use sim_server::metrics as server_metrics;
+use sim_server::reqtrace::{us_since, RequestRecord, TraceId, Tracer, TRACE_HEADER};
 use sim_server::router::Ring;
 use std::collections::{HashMap, HashSet};
 use std::io::{self, Write};
@@ -55,6 +56,14 @@ pub struct RouteConfig {
     /// Backend `harness serve` addresses. Shard identity is positional:
     /// reordering the list remaps the key space (and cools every cache).
     pub shards: Vec<String>,
+    /// Request-trace output directory (`--trace-dir`); `None` disables
+    /// tracing. The router's ingress trace id is stamped onto every
+    /// shard sub-request, so shard traces correlate by id.
+    pub trace_dir: Option<std::path::PathBuf>,
+    /// Deterministic 1-in-N trace sampling (`--trace-sample`).
+    pub trace_sample: u64,
+    /// Force-sample requests slower than this (`--slow-ms`).
+    pub slow_ms: Option<u64>,
 }
 
 /// Sweeps may simulate the full paper-scale grid on a cold fleet.
@@ -90,6 +99,7 @@ struct Router {
     bench_names: Vec<String>,
     metrics: Mutex<RouterMetrics>,
     stop: StopHandle,
+    tracer: Tracer,
 }
 
 /// Build the `/v1/cells` sub-request body for one shard's specs. All
@@ -139,29 +149,48 @@ fn shard_down_entry(message: String) -> CellEntry {
 }
 
 impl Router {
-    fn new(cfg: &RouteConfig, stop: StopHandle) -> Router {
+    fn new(cfg: &RouteConfig, stop: StopHandle) -> io::Result<Router> {
         let bench_names: Vec<String> = hpc_kernels::test_suite()
             .iter()
             .map(|b| b.name().to_string())
             .collect();
-        Router {
+        let tracer = make_tracer(
+            &cfg.trace_dir,
+            cfg.trace_sample,
+            cfg.slow_ms,
+            &format!("sim-router {}", cfg.addr),
+        )?;
+        Ok(Router {
             ring: Ring::new(cfg.shards.len()),
             shards: cfg.shards.clone(),
             bench_names,
             metrics: Mutex::new(RouterMetrics::default()),
             stop,
-        }
+            tracer,
+        })
     }
 
     fn handle(&self, req: &Request) -> Response {
+        let t0 = Instant::now();
+        // One trace id per request, accepted inbound or generated here;
+        // `sweep` stamps it onto every shard sub-request. Header-only:
+        // response bytes never carry it.
+        let id = TraceId::from_header(req.header(TRACE_HEADER));
         self.metrics
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .requests += 1;
-        match (req.method.as_str(), req.path.as_str()) {
+        let resp = match (req.method.as_str(), req.path.as_str()) {
             ("GET", "/healthz") => self.healthz(),
             ("GET", "/metrics") => self.metrics_page(),
-            ("POST", "/v1/sweep") => self.sweep(req),
+            ("POST", "/v1/sweep") => {
+                let mut rec = RequestRecord::new(id, &req.path);
+                let resp = self.sweep(req, &mut rec);
+                rec.status = resp.status;
+                rec.total_us = us_since(t0);
+                self.tracer.finish(&rec);
+                resp
+            }
             ("POST", "/v1/shutdown") => {
                 // Best-effort fan-out: the fleet is one logical service,
                 // so a router shutdown drains the backends too.
@@ -179,7 +208,8 @@ impl Router {
                 self.cell_proxy(path, &path["/v1/cell/".len()..])
             }
             _ => Response::json(404, "{\"error\":\"no such route\"}\n"),
-        }
+        };
+        resp.with_header(TRACE_HEADER, &id.to_string())
     }
 
     fn bad(&self, msg: &str) -> Response {
@@ -290,9 +320,12 @@ impl Router {
         }
     }
 
-    fn sweep(&self, req: &Request) -> Response {
+    fn sweep(&self, req: &Request, rec: &mut RequestRecord) -> Response {
         let started = Instant::now();
-        let cells = match parse_sweep(&self.bench_names, &req.body) {
+        let parsed = parse_sweep(&self.bench_names, &req.body);
+        let parse_us = us_since(started);
+        rec.span("parse", 0, parse_us);
+        let cells = match parsed {
             Ok(c) => c,
             Err(msg) => return self.bad(&msg),
         };
@@ -312,9 +345,13 @@ impl Router {
             m.cells_routed += seen.len() as u64;
         }
 
-        // Fan the non-empty sub-sweeps out concurrently.
-        let mut outcomes: Vec<Option<ShardOutcome>> = Vec::with_capacity(self.shards.len());
+        // Fan the non-empty sub-sweeps out concurrently, propagating the
+        // ingress trace id so every shard's spans and log lines carry it.
+        let id_hex = rec.id.to_string();
+        let fanout_off = us_since(started);
+        let mut outcomes: Vec<Option<(ShardOutcome, u64)>> = Vec::with_capacity(self.shards.len());
         std::thread::scope(|scope| {
+            let id_hex = &id_hex;
             let handles: Vec<_> = self
                 .shards
                 .iter()
@@ -325,45 +362,53 @@ impl Router {
                             return None;
                         }
                         let body = cells_body(specs);
-                        Some(
-                            match http::request_full(
-                                addr,
-                                "POST",
-                                "/v1/cells",
-                                body.as_bytes(),
-                                SHARD_SWEEP_TIMEOUT,
-                            ) {
-                                Ok((200, _, resp)) => match parse_cells_response(&resp) {
-                                    Some(map) => ShardOutcome::Cells(map),
-                                    None => ShardOutcome::Down(format!(
-                                        "shard {addr} returned an unparseable cells response"
-                                    )),
-                                },
-                                Ok((429, headers, _)) => ShardOutcome::Busy {
-                                    retry_after: headers
-                                        .iter()
-                                        .find(|(k, _)| k == "retry-after")
-                                        .and_then(|(_, v)| v.parse().ok())
-                                        .unwrap_or(1),
-                                },
-                                Ok((status, _, resp)) => ShardOutcome::Down(format!(
-                                    "shard {addr} answered {status}: {}",
-                                    String::from_utf8_lossy(&resp).trim_end()
+                        let shard_started = Instant::now();
+                        let outcome = match http::request_with(
+                            addr,
+                            "POST",
+                            "/v1/cells",
+                            &[(TRACE_HEADER, id_hex.as_str())],
+                            body.as_bytes(),
+                            SHARD_SWEEP_TIMEOUT,
+                        ) {
+                            Ok((200, _, resp)) => match parse_cells_response(&resp) {
+                                Some(map) => ShardOutcome::Cells(map),
+                                None => ShardOutcome::Down(format!(
+                                    "shard {addr} returned an unparseable cells response"
                                 )),
-                                Err(e) => {
-                                    ShardOutcome::Down(format!("shard {addr} unreachable: {e}"))
-                                }
                             },
-                        )
+                            Ok((429, headers, _)) => ShardOutcome::Busy {
+                                retry_after: headers
+                                    .iter()
+                                    .find(|(k, _)| k == "retry-after")
+                                    .and_then(|(_, v)| v.parse().ok())
+                                    .unwrap_or(1),
+                            },
+                            Ok((status, _, resp)) => ShardOutcome::Down(format!(
+                                "shard {addr} answered {status}: {}",
+                                String::from_utf8_lossy(&resp).trim_end()
+                            )),
+                            Err(e) => ShardOutcome::Down(format!("shard {addr} unreachable: {e}")),
+                        };
+                        Some((outcome, us_since(shard_started)))
                     })
                 })
                 .collect();
             for h in handles {
                 outcomes.push(h.join().unwrap_or_else(|_| {
-                    Some(ShardOutcome::Down("sub-request thread panicked".into()))
+                    Some((ShardOutcome::Down("sub-request thread panicked".into()), 0))
                 }));
             }
         });
+        // One span per contacted shard; they overlap, all starting at the
+        // fan-out point.
+        for (i, o) in outcomes.iter().enumerate() {
+            if let Some((_, dur_us)) = o {
+                rec.span(format!("shard_{i}"), fanout_off, *dur_us);
+            }
+        }
+        let outcomes: Vec<Option<ShardOutcome>> =
+            outcomes.into_iter().map(|o| o.map(|(s, _)| s)).collect();
 
         // Backpressure first: a busy shard makes the sweep retryable as a
         // whole (its siblings' finished cells are cached, so the retry
@@ -389,6 +434,11 @@ impl Router {
 
         // Collect payloads; a down shard degrades to failure entries for
         // its cells only.
+        let shards_down = outcomes
+            .iter()
+            .flatten()
+            .filter(|o| matches!(o, ShardOutcome::Down(_)))
+            .count();
         let mut payloads: HashMap<CellKey, String> = HashMap::new();
         let mut down: HashMap<CellKey, String> = HashMap::new();
         for (specs, outcome) in per_shard.iter().zip(outcomes) {
@@ -413,6 +463,7 @@ impl Router {
         // format once — the same shared `jsonl_row` path as the backends
         // and the offline artifact, which is what keeps routed bytes
         // identical to unrouted ones.
+        let format_off = us_since(started);
         let mut results = SuiteResults {
             cells: HashMap::new(),
             bench_names: self.bench_names.clone(),
@@ -444,6 +495,10 @@ impl Router {
             body.push_str(&export::jsonl_row(&results, &bench, v, *prec));
             body.push('\n');
         }
+        rec.span("format", format_off, us_since(started) - format_off);
+        rec.note("cells", seen.len());
+        rec.note("shards", self.shards.len());
+        rec.note("shards_down", shards_down);
         log::debug(&format!(
             "routed sweep: {} cells over {} shards in {} ms",
             seen.len(),
@@ -476,7 +531,7 @@ impl RunningRouter {
 
 fn run_on(server: Server, cfg: RouteConfig) -> io::Result<()> {
     let stop = server.stop_handle()?;
-    let router = Router::new(&cfg, stop);
+    let router = Router::new(&cfg, stop)?;
     server.run(|req| router.handle(req))
 }
 

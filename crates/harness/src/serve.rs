@@ -41,7 +41,8 @@ use sim_server::cache::Cache;
 use sim_server::http::{self, Request, Response, Server, StopHandle};
 use sim_server::json::{self, Json};
 use sim_server::key::{CellKey, CellSpec};
-use sim_server::metrics::{self, Metrics};
+use sim_server::metrics::{self, Metrics, Stage};
+use sim_server::reqtrace::{us_since, RequestRecord, TraceConfig, TraceId, Tracer, TRACE_HEADER};
 use sim_server::scheduler::{AdmitError, Scheduler, Slot};
 use std::collections::{HashMap, HashSet};
 use std::io::{self, Write};
@@ -65,6 +66,15 @@ pub struct ServeConfig {
     pub cache_path: Option<PathBuf>,
     /// `simstate v2` checkpoint files to warm-start the cache from.
     pub warm: Vec<PathBuf>,
+    /// Request-trace output directory (`--trace-dir`); `None` disables
+    /// tracing. Tracing writes headers and files only — response bytes
+    /// are untouched.
+    pub trace_dir: Option<PathBuf>,
+    /// Deterministic 1-in-N trace sampling (`--trace-sample`); 0 samples
+    /// nothing (slow requests may still be force-sampled).
+    pub trace_sample: u64,
+    /// Force-sample requests slower than this (`--slow-ms`).
+    pub slow_ms: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -75,7 +85,31 @@ impl Default for ServeConfig {
             queue_cap: 256,
             cache_path: None,
             warm: Vec::new(),
+            trace_dir: None,
+            trace_sample: 0,
+            slow_ms: None,
         }
+    }
+}
+
+/// Build the [`Tracer`] for a serving process from its CLI-level knobs.
+/// Shared by `harness serve` and `harness route`.
+pub(crate) fn make_tracer(
+    trace_dir: &Option<PathBuf>,
+    trace_sample: u64,
+    slow_ms: Option<u64>,
+    service: &str,
+) -> io::Result<Tracer> {
+    match trace_dir {
+        None => Ok(Tracer::disabled()),
+        Some(dir) => Tracer::new(
+            TraceConfig {
+                dir: dir.clone(),
+                sample: trace_sample,
+                slow_ms,
+            },
+            service,
+        ),
     }
 }
 
@@ -239,6 +273,27 @@ fn eval_batch(
 
 // ---- the engine ----
 
+/// Where a request's resolution time went, filled by [`Engine::resolve`].
+/// Per-cell vectors feed the stage histograms; the `_total` fields feed
+/// the request's trace spans.
+#[derive(Default)]
+struct ResolveReport {
+    cache_hits: u64,
+    cache_misses: u64,
+    /// Per distinct cell: one cache-probe duration.
+    lookup_us: Vec<u64>,
+    /// Per evaluated cell: admission-to-dispatch wait.
+    queue_us: Vec<u64>,
+    /// Per evaluated cell: its batch's evaluation time.
+    eval_us: Vec<u64>,
+    /// Wall-clock of the whole cache-probe loop.
+    lookup_total_us: u64,
+    /// Wall-clock of the scheduler admission call.
+    admit_us: u64,
+    /// Wall-clock spent blocked on slots.
+    wait_total_us: u64,
+}
+
 struct Engine {
     cache: Arc<Mutex<Cache>>,
     scheduler: Scheduler,
@@ -247,6 +302,8 @@ struct Engine {
     bench_names: Vec<String>,
     stop: StopHandle,
     cache_path: Option<PathBuf>,
+    tracer: Tracer,
+    started: Instant,
 }
 
 fn persist(cache: &Cache, path: &Option<PathBuf>) {
@@ -261,7 +318,13 @@ fn persist(cache: &Cache, path: &Option<PathBuf>) {
 }
 
 impl Engine {
-    fn new(cfg: &ServeConfig, stop: StopHandle) -> Engine {
+    fn new(cfg: &ServeConfig, stop: StopHandle) -> io::Result<Engine> {
+        let tracer = make_tracer(
+            &cfg.trace_dir,
+            cfg.trace_sample,
+            cfg.slow_ms,
+            &format!("sim-server {}", cfg.addr),
+        )?;
         let bench_names: Vec<String> = hpc_kernels::test_suite()
             .iter()
             .map(|b| b.name().to_string())
@@ -329,26 +392,34 @@ impl Engine {
             })
         };
 
-        Engine {
+        Ok(Engine {
             cache,
             scheduler,
             metrics: Mutex::new(Metrics::default()),
             bench_names,
             stop,
             cache_path: cfg.cache_path.clone(),
-        }
+            tracer,
+            started: Instant::now(),
+        })
     }
 
     fn handle(&self, req: &Request) -> Response {
+        let t0 = Instant::now();
+        // One trace id per request: the inbound header's (the router
+        // propagates its ingress id to every shard) or a fresh one. Ids
+        // live in headers, log lines and trace files only — never in the
+        // response body, so tracing cannot perturb byte-identity.
+        let id = TraceId::from_header(req.header(TRACE_HEADER));
         self.metrics
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .requests += 1;
-        match (req.method.as_str(), req.path.as_str()) {
+        let resp = match (req.method.as_str(), req.path.as_str()) {
             ("GET", "/healthz") => Response::text(200, "ok\n"),
             ("GET", "/metrics") => self.metrics_page(),
-            ("POST", "/v1/sweep") => self.sweep(req),
-            ("POST", "/v1/cells") => self.cells(req),
+            ("POST", "/v1/sweep") => self.traced(req, id, t0, Self::sweep),
+            ("POST", "/v1/cells") => self.traced(req, id, t0, Self::cells),
             ("POST", "/v1/shutdown") => {
                 persist(
                     &self.cache.lock().unwrap_or_else(|e| e.into_inner()),
@@ -359,7 +430,26 @@ impl Engine {
             }
             ("GET", path) if path.starts_with("/v1/cell/") => self.cell(&path["/v1/cell/".len()..]),
             _ => Response::json(404, "{\"error\":\"no such route\"}\n"),
-        }
+        };
+        resp.with_header(TRACE_HEADER, &id.to_string())
+    }
+
+    /// Run a sweep-evaluating endpoint with per-request tracing: build
+    /// the span record, time the whole request, and hand the finished
+    /// record to the tracer (request log + sampled Perfetto file).
+    fn traced(
+        &self,
+        req: &Request,
+        id: TraceId,
+        t0: Instant,
+        endpoint: fn(&Self, &Request, &mut RequestRecord) -> Response,
+    ) -> Response {
+        let mut rec = RequestRecord::new(id, &req.path);
+        let resp = endpoint(self, req, &mut rec);
+        rec.status = resp.status;
+        rec.total_us = us_since(t0);
+        self.tracer.finish(&rec);
+        resp
     }
 
     fn metrics_page(&self) -> Response {
@@ -368,7 +458,16 @@ impl Engine {
         drop(cache);
         let sched = self.scheduler.stats();
         let m = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
-        Response::text(200, metrics::render(&m, &cache_stats, entries, &sched))
+        Response::text(
+            200,
+            metrics::render(
+                &m,
+                &cache_stats,
+                entries,
+                &sched,
+                self.started.elapsed().as_secs(),
+            ),
+        )
     }
 
     fn bad(&self, msg: &str) -> Response {
@@ -421,13 +520,21 @@ impl Engine {
     /// One cache lookup per distinct cell; misses are admitted while the
     /// cache lock is held, so a cell cannot complete (and be evicted)
     /// between the check and the admit.
+    ///
+    /// Fills `rep` with per-cell timings: one `lookup_us` sample per
+    /// distinct cell, one `queue_us`/`eval_us` sample per cell actually
+    /// evaluated — counts that depend only on the work, not on how the
+    /// fleet is sharded, so router-merged stage histograms reconcile
+    /// exactly with a single-process run.
     fn resolve(
         &self,
         cells: &[(CellSpec, Precision)],
+        rep: &mut ResolveReport,
     ) -> Result<HashMap<CellKey, String>, Response> {
         let mut payloads: HashMap<CellKey, String> = HashMap::new();
         let mut pending: Vec<(CellKey, Arc<Slot>)> = Vec::new();
         {
+            let lookup_started = Instant::now();
             let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
             let mut need: Vec<CellSpec> = Vec::new();
             for (spec, _) in cells {
@@ -435,14 +542,25 @@ impl Engine {
                 if payloads.contains_key(&key) || need.iter().any(|s| s.key() == key) {
                     continue;
                 }
-                match cache.get(key) {
+                let probe_started = Instant::now();
+                let cached = cache.get(key);
+                rep.lookup_us.push(us_since(probe_started));
+                match cached {
                     Some(c) => {
+                        rep.cache_hits += 1;
                         payloads.insert(key, c.payload);
                     }
-                    None => need.push(spec.clone()),
+                    None => {
+                        rep.cache_misses += 1;
+                        need.push(spec.clone());
+                    }
                 }
             }
-            match self.scheduler.admit(&need) {
+            rep.lookup_total_us = us_since(lookup_started);
+            let admit_started = Instant::now();
+            let admitted = self.scheduler.admit(&need);
+            rep.admit_us = us_since(admit_started);
+            match admitted {
                 Ok(slots) => {
                     pending.extend(need.iter().map(|s| s.key()).zip(slots));
                 }
@@ -473,14 +591,19 @@ impl Engine {
                 }
             }
         }
+        let wait_started = Instant::now();
         for (key, slot) in pending {
             // An abandoned slot (the batch evaluator panicked) is a 500,
             // not a hang: the scheduler settles every admitted slot.
-            match slot.wait() {
+            let (outcome, timing) = slot.wait_timed();
+            rep.queue_us.push(timing.queue_us);
+            rep.eval_us.push(timing.eval_us);
+            match outcome {
                 Ok(payload) => {
                     payloads.insert(key, payload);
                 }
                 Err(abandoned) => {
+                    rep.wait_total_us = us_since(wait_started);
                     return Err(Response::json(
                         500,
                         format!(
@@ -491,28 +614,92 @@ impl Engine {
                 }
             }
         }
+        rep.wait_total_us = us_since(wait_started);
         Ok(payloads)
     }
 
-    fn sweep(&self, req: &Request) -> Response {
+    /// Record a finished (or failed) resolution into the stage
+    /// histograms and the request's trace record. `format_us` is `Some`
+    /// only when the request produced a response body — error paths
+    /// contribute no `format` or `sweep_time` samples, matching the
+    /// pre-histogram behaviour.
+    fn record_stages(
+        &self,
+        rec: &mut RequestRecord,
+        parse_us: u64,
+        rep: &ResolveReport,
+        format_us: Option<u64>,
+        started: Instant,
+    ) {
+        {
+            let mut m = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+            m.record_stage(Stage::Parse, parse_us);
+            m.record_stage(Stage::Admit, rep.admit_us);
+            for &us in &rep.lookup_us {
+                m.record_stage(Stage::CacheLookup, us);
+            }
+            for &us in &rep.queue_us {
+                m.record_stage(Stage::QueueWait, us);
+            }
+            for &us in &rep.eval_us {
+                m.record_stage(Stage::EvalBatch, us);
+            }
+            if let Some(us) = format_us {
+                m.record_stage(Stage::Format, us);
+                m.sweep_time.record_us(us_since(started));
+            }
+        }
+        // Trace spans: the handler's sequential phases. Queue-wait and
+        // evaluation overlap across a batch's cells, so their spans show
+        // the request's worst cell.
+        let mut off = 0;
+        rec.span("parse", off, parse_us);
+        off += parse_us;
+        rec.span("cache_lookup", off, rep.lookup_total_us);
+        off += rep.lookup_total_us;
+        rec.span("admit", off, rep.admit_us);
+        off += rep.admit_us;
+        if !rep.queue_us.is_empty() {
+            let queue = *rep.queue_us.iter().max().unwrap();
+            let eval = *rep.eval_us.iter().max().unwrap();
+            rec.span("queue_wait", off, queue);
+            rec.span("eval_batch", off + queue, eval);
+        }
+        off += rep.wait_total_us;
+        if let Some(us) = format_us {
+            rec.span("format", off, us);
+        }
+        rec.note("cache_hits", rep.cache_hits);
+        rec.note("cache_misses", rep.cache_misses);
+    }
+
+    fn sweep(&self, req: &Request, rec: &mut RequestRecord) -> Response {
         let started = Instant::now();
-        let cells = match parse_sweep(&self.bench_names, &req.body) {
+        let parsed = parse_sweep(&self.bench_names, &req.body);
+        let parse_us = us_since(started);
+        let cells = match parsed {
             Ok(c) => c,
             Err(msg) => return self.bad(&msg),
         };
+        rec.note("cells", cells.len());
         {
             let mut m = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
             m.sweeps += 1;
             m.cells_requested += cells.len() as u64;
         }
-        let payloads = match self.resolve(&cells) {
+        let mut rep = ResolveReport::default();
+        let payloads = match self.resolve(&cells, &mut rep) {
             Ok(p) => p,
-            Err(resp) => return resp,
+            Err(resp) => {
+                self.record_stages(rec, parse_us, &rep, None, started);
+                return resp;
+            }
         };
 
         // Decode into a SuiteResults over exactly the requested cells, so
         // the shared jsonl formatter computes ratios against the request's
         // own serial baselines (full grid => identical to `harness jsonl`).
+        let format_started = Instant::now();
         let mut results = SuiteResults {
             cells: HashMap::new(),
             bench_names: self.bench_names.clone(),
@@ -543,11 +730,7 @@ impl Engine {
             body.push_str(&export::jsonl_row(&results, &bench, v, *prec));
             body.push('\n');
         }
-        self.metrics
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .sweep_time
-            .record_us(started.elapsed().as_micros() as u64);
+        self.record_stages(rec, parse_us, &rep, Some(us_since(format_started)), started);
         Response::jsonl(200, body)
     }
 
@@ -559,21 +742,29 @@ impl Engine {
     /// ratio columns over the whole request rather than per-shard
     /// subsets — that is what keeps a routed sweep byte-identical to a
     /// single-process one.
-    fn cells(&self, req: &Request) -> Response {
+    fn cells(&self, req: &Request, rec: &mut RequestRecord) -> Response {
         let started = Instant::now();
-        let cells = match parse_sweep(&self.bench_names, &req.body) {
+        let parsed = parse_sweep(&self.bench_names, &req.body);
+        let parse_us = us_since(started);
+        let cells = match parsed {
             Ok(c) => c,
             Err(msg) => return self.bad(&msg),
         };
+        rec.note("cells", cells.len());
         {
             let mut m = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
             m.sweeps += 1;
             m.cells_requested += cells.len() as u64;
         }
-        let payloads = match self.resolve(&cells) {
+        let mut rep = ResolveReport::default();
+        let payloads = match self.resolve(&cells, &mut rep) {
             Ok(p) => p,
-            Err(resp) => return resp,
+            Err(resp) => {
+                self.record_stages(rec, parse_us, &rep, None, started);
+                return resp;
+            }
         };
+        let format_started = Instant::now();
         let mut body = String::new();
         let mut seen: HashSet<CellKey> = HashSet::new();
         for (spec, _) in &cells {
@@ -582,11 +773,7 @@ impl Engine {
                 body.push_str(&format!("{key} {}\n", payloads[&key]));
             }
         }
-        self.metrics
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .sweep_time
-            .record_us(started.elapsed().as_micros() as u64);
+        self.record_stages(rec, parse_us, &rep, Some(us_since(format_started)), started);
         Response::text(200, body)
     }
 }
@@ -612,7 +799,7 @@ impl RunningServer {
 
 fn run_on(server: Server, cfg: ServeConfig) -> io::Result<()> {
     let stop = server.stop_handle()?;
-    let engine = Engine::new(&cfg, stop);
+    let engine = Engine::new(&cfg, stop)?;
     server.run(|req| engine.handle(req))?;
     // Dropping the engine shuts the scheduler down (drains, then joins).
     persist(
@@ -719,7 +906,14 @@ pub fn submit(cfg: &SubmitConfig) -> i32 {
     match http::request(&cfg.addr, method, path, body.as_bytes(), CLIENT_TIMEOUT) {
         Ok((200, body)) => {
             let mut out = io::stdout();
-            let _ = out.write_all(&body);
+            if cfg.metrics {
+                // Human-facing rendering: aligned columns, histogram
+                // families summarized as derived percentiles.
+                let page = String::from_utf8_lossy(&body);
+                let _ = out.write_all(metrics::pretty(&page).as_bytes());
+            } else {
+                let _ = out.write_all(&body);
+            }
             let _ = out.flush();
             0
         }

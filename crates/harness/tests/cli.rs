@@ -54,7 +54,17 @@ fn help_documents_the_serving_layer() {
     let out = harness(&["--help"]);
     assert_eq!(out.status.code(), Some(0));
     let text = String::from_utf8_lossy(&out.stdout).into_owned() + &stderr(&out);
-    for needle in ["serve", "submit", "--queue", "--cache", "--warm"] {
+    for needle in [
+        "serve",
+        "submit",
+        "--queue",
+        "--cache",
+        "--warm",
+        "--trace-dir",
+        "--trace-sample",
+        "--slow-ms",
+        "X-Sim-Trace-Id",
+    ] {
         assert!(text.contains(needle), "help missing {needle}: {text}");
     }
 }

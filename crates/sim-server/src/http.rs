@@ -363,6 +363,21 @@ pub fn request_full(
     body: &[u8],
     timeout: Duration,
 ) -> io::Result<FullResponse> {
+    request_with(addr, method, path, &[], body, timeout)
+}
+
+/// [`request_full`] with extra request headers — the router stamps
+/// `X-Sim-Trace-Id` onto shard sub-requests so one trace id follows a
+/// sweep across the whole fleet. Header names/values must be single-line
+/// ASCII; callers own that.
+pub fn request_with(
+    addr: &str,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+    timeout: Duration,
+) -> io::Result<FullResponse> {
     let bad = |m: &str| io::Error::new(io::ErrorKind::InvalidData, m.to_string());
     let sock_addr = addr
         .to_socket_addrs()?
@@ -371,10 +386,14 @@ pub fn request_full(
     let mut stream = TcpStream::connect_timeout(&sock_addr, timeout)?;
     stream.set_read_timeout(Some(timeout))?;
     stream.set_write_timeout(Some(timeout))?;
-    let head = format!(
-        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nContent-Type: application/json\r\nConnection: close\r\n\r\n",
+    let mut head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nContent-Type: application/json\r\nConnection: close\r\n",
         body.len()
     );
+    for (k, v) in headers {
+        head.push_str(&format!("{k}: {v}\r\n"));
+    }
+    head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(body)?;
     stream.flush()?;
@@ -431,6 +450,37 @@ mod tests {
         let (st, _) = request(&addr, "GET", "/nope", b"", Duration::from_secs(5)).unwrap();
         assert_eq!(st, 404);
 
+        stop.stop();
+        t.join().unwrap().unwrap();
+    }
+
+    /// `request_with` delivers extra headers to the handler (the trace-id
+    /// propagation path).
+    #[test]
+    fn request_with_sends_extra_headers() {
+        let server = Server::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        let stop = server.stop_handle().unwrap();
+        let t = std::thread::spawn(move || {
+            server.run(|req| {
+                let id = req.header("X-Sim-Trace-Id").unwrap_or("absent");
+                Response::text(200, format!("{id}\n"))
+            })
+        });
+        let (st, _, body) = request_with(
+            &addr,
+            "GET",
+            "/",
+            &[("X-Sim-Trace-Id", "00000000deadbeef")],
+            b"",
+            Duration::from_secs(5),
+        )
+        .unwrap();
+        assert_eq!(st, 200);
+        assert_eq!(body, b"00000000deadbeef\n");
+        let (st, _, body) = request_full(&addr, "GET", "/", b"", Duration::from_secs(5)).unwrap();
+        assert_eq!(st, 200);
+        assert_eq!(body, b"absent\n");
         stop.stop();
         t.join().unwrap().unwrap();
     }

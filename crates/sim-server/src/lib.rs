@@ -27,7 +27,11 @@
 //! * [`scheduler`] — a single dispatcher that coalesces duplicate
 //!   in-flight cells, batches distinct ones, and bounds the queue with
 //!   explicit backpressure.
-//! * [`metrics`] — counters and p50/p95 service times as a text page.
+//! * [`metrics`] — counters and per-stage latency histograms as a
+//!   Prometheus-style text page, with exact cross-shard aggregation.
+//! * [`reqtrace`] — 16-hex trace ids propagated via `X-Sim-Trace-Id`,
+//!   deterministic 1-in-N sampling, per-request Perfetto traces and a
+//!   structured request log.
 //!
 //! Everything is std-only, per the workspace's offline policy.
 
@@ -36,6 +40,7 @@ pub mod http;
 pub mod json;
 pub mod key;
 pub mod metrics;
+pub mod reqtrace;
 pub mod router;
 pub mod scheduler;
 
@@ -55,5 +60,6 @@ pub use http::{Request, Response, Server, StopHandle};
 pub use json::Json;
 pub use key::{CellKey, CellSpec, KEY_SCHEMA_VERSION};
 pub use metrics::Metrics;
+pub use reqtrace::{RequestRecord, TraceConfig, TraceId, Tracer, TRACE_HEADER};
 pub use router::Ring;
-pub use scheduler::{Abandoned, AdmitError, Scheduler, SchedulerStats, Slot};
+pub use scheduler::{Abandoned, AdmitError, Scheduler, SchedulerStats, Slot, SlotTiming};

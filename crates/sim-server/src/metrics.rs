@@ -1,108 +1,445 @@
-//! `/metrics` counters and their text exposition.
+//! `/metrics` counters, stage histograms and their text exposition.
 //!
-//! Plain `name value` lines (Prometheus-style exposition without types or
-//! labels) so a shell script — the CI smoke job included — can assert on
-//! them with `grep`. Wall-clock service times go through
-//! [`telemetry::DurationStats`]; everything else is a monotone counter or
-//! an instantaneous gauge sampled at render time.
+//! Prometheus-style text: `# HELP`/`# TYPE` comments, plain `name value`
+//! lines for counters and gauges (grep-compatible for the CI smoke), and
+//! full `_bucket{le="..."}`/`_sum`/`_count` families for latencies via
+//! [`telemetry::LatencyHistogram`]. The histogram families are the fleet's
+//! unit of wall-clock truth: bucket counts are plain counters, so the
+//! router merges shard pages by *summation* and the result is exactly the
+//! histogram a single process would have recorded ([`aggregate_pages`]).
+//! Legacy `sim_server_sweep_time_p50_us`/`_p95_us`/`_mean_us` lines are
+//! kept, now derived from the histogram, and still aggregate with `max`
+//! (a true worst-shard bound — summing percentiles would fabricate a
+//! number no shard observed).
 
 use crate::cache::CacheStats;
 use crate::scheduler::SchedulerStats;
-use telemetry::DurationStats;
+use std::collections::HashMap;
+use telemetry::LatencyHistogram;
 
-/// Server-level request counters + sweep service-time reservoir.
+/// The per-request pipeline stages instrumented by the serving layer.
+///
+/// `Parse`, `Admit` and `Format` are recorded once per request;
+/// `CacheLookup`, `QueueWait` and `EvalBatch` are recorded once per
+/// *cell* (the queue/eval stages only for cache misses), so their
+/// `_count` depends only on the work done, not on how the fleet is
+/// sharded — a 2-shard sweep and a single process report the same
+/// per-cell sample counts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stage {
+    Parse,
+    Admit,
+    CacheLookup,
+    QueueWait,
+    EvalBatch,
+    Format,
+}
+
+impl Stage {
+    pub const ALL: [Stage; 6] = [
+        Stage::Parse,
+        Stage::Admit,
+        Stage::CacheLookup,
+        Stage::QueueWait,
+        Stage::EvalBatch,
+        Stage::Format,
+    ];
+
+    /// The stage's short name (also its span name in request traces).
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Parse => "parse",
+            Stage::Admit => "admit",
+            Stage::CacheLookup => "cache_lookup",
+            Stage::QueueWait => "queue_wait",
+            Stage::EvalBatch => "eval_batch",
+            Stage::Format => "format",
+        }
+    }
+
+    /// The `/metrics` family name. Ends in `_us` only *before* the
+    /// exposition suffixes (`_bucket{...}`, `_sum`, `_count`), so the
+    /// aggregation max-rule for scalar `*_us` lines never touches
+    /// histogram lines.
+    pub fn metric_name(self) -> String {
+        format!("sim_server_stage_{}_us", self.name())
+    }
+
+    fn help(self) -> &'static str {
+        match self {
+            Stage::Parse => "Request body parse + validation time per request.",
+            Stage::Admit => "Scheduler admission time (lock + queue reservation) per request.",
+            Stage::CacheLookup => "Content-addressed cache probe time per cell.",
+            Stage::QueueWait => "Admission-to-dispatch wait per simulated cell.",
+            Stage::EvalBatch => "Simulator evaluation time per simulated cell.",
+            Stage::Format => "Result decode + response formatting time per request.",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Stage::Parse => 0,
+            Stage::Admit => 1,
+            Stage::CacheLookup => 2,
+            Stage::QueueWait => 3,
+            Stage::EvalBatch => 4,
+            Stage::Format => 5,
+        }
+    }
+}
+
+/// Server-level request counters + sweep/stage latency histograms.
+#[derive(Default)]
 pub struct Metrics {
     pub requests: u64,
     pub sweeps: u64,
     pub cells_requested: u64,
     pub rejected_requests: u64,
     pub bad_requests: u64,
-    pub sweep_time: DurationStats,
+    /// End-to-end sweep service time, one sample per `/v1/sweep` or
+    /// `/v1/cells` request.
+    pub sweep_time: LatencyHistogram,
+    stages: [LatencyHistogram; 6],
 }
 
-impl Default for Metrics {
-    fn default() -> Self {
-        Metrics {
-            requests: 0,
-            sweeps: 0,
-            cells_requested: 0,
-            rejected_requests: 0,
-            bad_requests: 0,
-            sweep_time: DurationStats::new(4096),
-        }
+impl Metrics {
+    /// Record one duration into a stage histogram.
+    pub fn record_stage(&mut self, stage: Stage, us: u64) {
+        self.stages[stage.index()].record_us(us);
+    }
+
+    /// Read access to a stage histogram.
+    pub fn stage(&self, stage: Stage) -> &LatencyHistogram {
+        &self.stages[stage.index()]
     }
 }
 
-/// Render the full metrics page from the three stat sources.
+/// Render the full metrics page from the stat sources. `uptime_secs` is
+/// the caller's process uptime (a gauge; the router aggregate takes the
+/// max, i.e. the oldest shard).
 pub fn render(
     m: &Metrics,
     cache: &CacheStats,
     cache_entries: usize,
     sched: &SchedulerStats,
+    uptime_secs: u64,
 ) -> String {
     let mut out = String::new();
-    let mut line = |name: &str, v: u64| {
+    let mut line = |name: &str, help: &str, kind: &str, v: u64| {
+        out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
         out.push_str(name);
         out.push(' ');
         out.push_str(&v.to_string());
         out.push('\n');
     };
-    line("sim_server_requests_total", m.requests);
-    line("sim_server_sweeps_total", m.sweeps);
-    line("sim_server_cells_requested_total", m.cells_requested);
-    line("sim_server_rejected_requests_total", m.rejected_requests);
-    line("sim_server_bad_requests_total", m.bad_requests);
-    line("sim_server_cache_hits", cache.hits);
-    line("sim_server_cache_misses", cache.misses);
-    line("sim_server_cache_insertions", cache.insertions);
-    line("sim_server_cache_evictions", cache.evictions);
-    line("sim_server_cache_entries", cache_entries as u64);
-    line("sim_server_cells_simulated_total", sched.simulated);
-    line("sim_server_cells_coalesced_total", sched.coalesced);
-    line("sim_server_sweeps_rejected_busy_total", sched.rejected);
-    line("sim_server_batches_total", sched.batches);
-    line("sim_server_eval_panics_total", sched.eval_panics);
-    line("sim_server_cells_abandoned_total", sched.abandoned);
-    line("sim_server_queue_depth", sched.queue_depth as u64);
-    line("sim_server_in_flight", sched.in_flight as u64);
-    line("sim_server_sweep_time_p50_us", m.sweep_time.p50_us());
-    line("sim_server_sweep_time_p95_us", m.sweep_time.p95_us());
-    line("sim_server_sweep_time_mean_us", m.sweep_time.mean_us());
+    line(
+        "sim_server_requests_total",
+        "HTTP requests accepted by this process.",
+        "counter",
+        m.requests,
+    );
+    line(
+        "sim_server_sweeps_total",
+        "Sweep-evaluating requests served (/v1/sweep + /v1/cells).",
+        "counter",
+        m.sweeps,
+    );
+    line(
+        "sim_server_cells_requested_total",
+        "Cells named by incoming sweeps (before cache/coalescing).",
+        "counter",
+        m.cells_requested,
+    );
+    line(
+        "sim_server_rejected_requests_total",
+        "Requests rejected with 429 (queue full).",
+        "counter",
+        m.rejected_requests,
+    );
+    line(
+        "sim_server_bad_requests_total",
+        "Requests rejected with 4xx other than 429.",
+        "counter",
+        m.bad_requests,
+    );
+    line(
+        "sim_server_cache_hits",
+        "Cell results served from the content-addressed cache.",
+        "counter",
+        cache.hits,
+    );
+    line(
+        "sim_server_cache_misses",
+        "Cell lookups that missed the cache.",
+        "counter",
+        cache.misses,
+    );
+    line(
+        "sim_server_cache_insertions",
+        "Cell results inserted into the cache.",
+        "counter",
+        cache.insertions,
+    );
+    line(
+        "sim_server_cache_evictions",
+        "Cache entries evicted by the LRU policy.",
+        "counter",
+        cache.evictions,
+    );
+    line(
+        "sim_server_cache_entries",
+        "Cache entries currently resident.",
+        "gauge",
+        cache_entries as u64,
+    );
+    line(
+        "sim_server_cells_simulated_total",
+        "Cells actually evaluated by the simulator.",
+        "counter",
+        sched.simulated,
+    );
+    line(
+        "sim_server_cells_coalesced_total",
+        "Cell requests coalesced onto an already in-flight cell.",
+        "counter",
+        sched.coalesced,
+    );
+    line(
+        "sim_server_sweeps_rejected_busy_total",
+        "Admissions refused because the queue was full.",
+        "counter",
+        sched.rejected,
+    );
+    line(
+        "sim_server_batches_total",
+        "Dispatcher batches evaluated.",
+        "counter",
+        sched.batches,
+    );
+    line(
+        "sim_server_eval_panics_total",
+        "Batch evaluations that panicked (caught).",
+        "counter",
+        sched.eval_panics,
+    );
+    line(
+        "sim_server_cells_abandoned_total",
+        "In-flight cells abandoned by a dying dispatcher.",
+        "counter",
+        sched.abandoned,
+    );
+    line(
+        "sim_server_queue_depth",
+        "Cells waiting in the scheduler queue.",
+        "gauge",
+        sched.queue_depth as u64,
+    );
+    line(
+        "sim_server_in_flight",
+        "Cells admitted but not yet settled.",
+        "gauge",
+        sched.in_flight as u64,
+    );
+    line(
+        "sim_server_uptime_seconds",
+        "Seconds since this server process started.",
+        "gauge",
+        uptime_secs,
+    );
+
+    out.push_str(
+        "# HELP sim_server_sweep_time_us End-to-end sweep service time per request, microseconds.\n\
+         # TYPE sim_server_sweep_time_us histogram\n",
+    );
+    m.sweep_time.render("sim_server_sweep_time_us", &mut out);
+    for stage in Stage::ALL {
+        let name = stage.metric_name();
+        out.push_str(&format!(
+            "# HELP {name} {}\n# TYPE {name} histogram\n",
+            stage.help()
+        ));
+        m.stage(stage).render(&name, &mut out);
+    }
+
+    // Legacy scalar latency lines, now derived from the histogram. Kept
+    // for existing greps; still max-aggregated across shards.
+    let mut legacy = |name: &str, v: u64| {
+        out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+    };
+    legacy("sim_server_sweep_time_p50_us", m.sweep_time.p50_us());
+    legacy("sim_server_sweep_time_p95_us", m.sweep_time.p95_us());
+    legacy("sim_server_sweep_time_mean_us", m.sweep_time.mean_us());
     out
 }
 
-/// Aggregate several `name value` exposition pages (one per shard) into
-/// one. Counters and gauges sum; latency lines (`*_us`) take the maximum
-/// across shards — summing percentiles would fabricate a number no shard
-/// ever observed, while the max is a true worst-shard bound. Line order
-/// follows the first page; names missing from a page contribute nothing.
+/// A metric line's value during aggregation.
+enum Agg {
+    U64(u64),
+    F64(f64),
+    /// Unparseable value: passed through verbatim (first occurrence wins).
+    Raw(String),
+}
+
+/// True for scalar latency/age lines where cross-shard summation would
+/// fabricate a value: take the max instead (worst shard / oldest shard).
+/// Histogram exposition lines never match — their names end in
+/// `_bucket{...}`, `_sum` or `_count` — so bucket counts sum exactly.
+fn max_aggregated(name: &str) -> bool {
+    name.ends_with("_us") || name.ends_with("_seconds")
+}
+
+/// Aggregate several exposition pages (one per shard) into one.
+///
+/// * `#` comment lines pass through once each, first-seen order.
+/// * Numeric `name value` lines sum across shards — which is an *exact*
+///   histogram merge for `_bucket`/`_sum`/`_count` lines, since sums of
+///   cumulative counts are cumulative counts of the merged histogram —
+///   except scalar `*_us` / `*_seconds` lines, which take the max.
+/// * Lines whose value parses as neither u64 nor f64 pass through
+///   verbatim, so a shard can never silently vanish from the page.
+///
+/// Line order follows first appearance across the pages, so lines
+/// present on only some shards are kept, not dropped.
 pub fn aggregate_pages(pages: &[String]) -> String {
-    let mut order: Vec<&str> = Vec::new();
-    let mut totals: std::collections::HashMap<&str, u64> = std::collections::HashMap::new();
+    let mut order: Vec<String> = Vec::new();
+    let mut totals: HashMap<String, Agg> = HashMap::new();
+    let mut comments: std::collections::HashSet<&str> = std::collections::HashSet::new();
     for page in pages {
         for line in page.lines() {
+            if line.starts_with('#') {
+                if comments.insert(line) {
+                    order.push(line.to_string());
+                }
+                continue;
+            }
             let Some((name, value)) = line.rsplit_once(' ') else {
+                // No separator at all: pass the line through once.
+                if !totals.contains_key(line) {
+                    order.push(line.to_string());
+                    totals.insert(line.to_string(), Agg::Raw(String::new()));
+                }
                 continue;
             };
-            let Ok(value) = value.parse::<u64>() else {
-                continue;
+            let parsed = match value.parse::<u64>() {
+                Ok(v) => Agg::U64(v),
+                Err(_) => match value.parse::<f64>() {
+                    Ok(v) => Agg::F64(v),
+                    Err(_) => Agg::Raw(value.to_string()),
+                },
             };
-            let slot = totals.entry(name).or_insert_with(|| {
-                order.push(name);
-                0
-            });
-            if name.ends_with("_us") {
-                *slot = (*slot).max(value);
-            } else {
-                *slot += value;
+            match totals.get_mut(name) {
+                None => {
+                    order.push(name.to_string());
+                    totals.insert(name.to_string(), parsed);
+                }
+                Some(slot) => {
+                    let take_max = max_aggregated(name);
+                    match (slot, parsed) {
+                        (Agg::U64(a), Agg::U64(b)) => {
+                            *a = if take_max { (*a).max(b) } else { *a + b }
+                        }
+                        (slot @ Agg::U64(_), Agg::F64(b)) => {
+                            let a = match slot {
+                                Agg::U64(a) => *a as f64,
+                                _ => unreachable!(),
+                            };
+                            *slot = Agg::F64(if take_max { a.max(b) } else { a + b });
+                        }
+                        (Agg::F64(a), Agg::U64(b)) => {
+                            let b = b as f64;
+                            *a = if take_max { a.max(b) } else { *a + b }
+                        }
+                        (Agg::F64(a), Agg::F64(b)) => *a = if take_max { a.max(b) } else { *a + b },
+                        // A raw value freezes the line at its first form;
+                        // later numeric values cannot meaningfully combine
+                        // with it.
+                        (Agg::Raw(_), _) => {}
+                        (slot, raw @ Agg::Raw(_)) => *slot = raw,
+                    }
+                }
             }
         }
     }
     let mut out = String::new();
     for name in order {
-        out.push_str(name);
-        out.push(' ');
-        out.push_str(&totals[name].to_string());
+        match &totals.get(&name) {
+            None => {
+                // A comment line.
+                out.push_str(&name);
+                out.push('\n');
+            }
+            Some(Agg::U64(v)) => out.push_str(&format!("{name} {v}\n")),
+            Some(Agg::F64(v)) => out.push_str(&format!("{name} {v}\n")),
+            Some(Agg::Raw(v)) if v.is_empty() => {
+                out.push_str(&name);
+                out.push('\n');
+            }
+            Some(Agg::Raw(v)) => out.push_str(&format!("{name} {v}\n")),
+        }
+    }
+    out
+}
+
+/// Pretty-print an exposition page for humans (`harness submit
+/// --metrics`): comments dropped, `name value` lines aligned into two
+/// columns, histogram families collapsed into one summary line each with
+/// p50/p95/p99/mean derived from the buckets. Scalar lines keep the
+/// `name<spaces>value` shape so CI greps like `^name +value$` still hold.
+pub fn pretty(page: &str) -> String {
+    // Histogram family names, in order of first appearance.
+    let mut families: Vec<String> = Vec::new();
+    for line in page.lines() {
+        if let Some(idx) = line.find("_bucket{le=\"") {
+            let name = &line[..idx];
+            if !families.iter().any(|f| f == name) {
+                families.push(name.to_string());
+            }
+        }
+    }
+    let mut rows: Vec<(String, String)> = Vec::new();
+    let mut emitted: std::collections::HashSet<String> = std::collections::HashSet::new();
+    for line in page.lines() {
+        if line.starts_with('#') {
+            continue;
+        }
+        if let Some(idx) = line.find("_bucket{le=\"") {
+            let name = line[..idx].to_string();
+            if emitted.insert(name.clone()) {
+                let summary = match LatencyHistogram::parse(page, &name) {
+                    Some(h) => format!(
+                        "p50={}us p95={}us p99={}us mean={}us count={}",
+                        h.p50_us(),
+                        h.p95_us(),
+                        h.p99_us(),
+                        h.mean_us(),
+                        h.count()
+                    ),
+                    None => "unparseable histogram".to_string(),
+                };
+                rows.push((name, summary));
+            }
+            continue;
+        }
+        // Suppress the _sum/_count companions of a collapsed family.
+        if families.iter().any(|f| {
+            line.strip_prefix(f.as_str())
+                .is_some_and(|rest| rest.starts_with("_sum ") || rest.starts_with("_count "))
+        }) {
+            continue;
+        }
+        match line.rsplit_once(' ') {
+            Some((name, value)) => rows.push((name.to_string(), value.to_string())),
+            None => rows.push((line.to_string(), String::new())),
+        }
+    }
+    let width = rows.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (name, value) in rows {
+        if value.is_empty() {
+            out.push_str(&name);
+        } else {
+            out.push_str(&format!("{name:<width$}  {value}"));
+        }
         out.push('\n');
     }
     out
@@ -112,8 +449,7 @@ pub fn aggregate_pages(pages: &[String]) -> String {
 mod tests {
     use super::*;
 
-    #[test]
-    fn renders_every_counter_once() {
+    fn sample_page() -> String {
         let mut m = Metrics {
             requests: 3,
             sweeps: 2,
@@ -122,6 +458,8 @@ mod tests {
         };
         m.sweep_time.record_us(100);
         m.sweep_time.record_us(200);
+        m.record_stage(Stage::Parse, 10);
+        m.record_stage(Stage::QueueWait, 1000);
         let cache = CacheStats {
             hits: 72,
             misses: 72,
@@ -138,7 +476,12 @@ mod tests {
             eval_panics: 5,
             abandoned: 6,
         };
-        let page = render(&m, &cache, 72, &sched);
+        render(&m, &cache, 72, &sched, 9)
+    }
+
+    #[test]
+    fn renders_every_counter_once() {
+        let page = sample_page();
         for want in [
             "sim_server_requests_total 3",
             "sim_server_sweeps_total 2",
@@ -152,14 +495,35 @@ mod tests {
             "sim_server_in_flight 2",
             "sim_server_eval_panics_total 5",
             "sim_server_cells_abandoned_total 6",
-            "sim_server_sweep_time_p50_us 100",
-            "sim_server_sweep_time_p95_us 200",
+            "sim_server_uptime_seconds 9",
+            // Legacy percentiles are now bucket upper bounds (100 -> 128,
+            // 200 -> 256).
+            "sim_server_sweep_time_p50_us 128",
+            "sim_server_sweep_time_p95_us 256",
+            "sim_server_sweep_time_mean_us 150",
+            // Histogram families: cumulative buckets + sum + count.
+            "sim_server_sweep_time_us_bucket{le=\"128\"} 1",
+            "sim_server_sweep_time_us_bucket{le=\"+Inf\"} 2",
+            "sim_server_sweep_time_us_count 2",
+            "sim_server_stage_parse_us_count 1",
+            "sim_server_stage_queue_wait_us_bucket{le=\"1024\"} 1",
+            "sim_server_stage_eval_batch_us_count 0",
         ] {
             assert!(
                 page.lines().any(|l| l == want),
                 "missing {want:?} in:\n{page}"
             );
         }
+        // Every family and scalar is annotated.
+        assert!(page.contains("# HELP sim_server_requests_total "), "{page}");
+        assert!(
+            page.contains("# TYPE sim_server_sweep_time_us histogram"),
+            "{page}"
+        );
+        // The page round-trips through the histogram parser.
+        let h = telemetry::LatencyHistogram::parse(&page, "sim_server_sweep_time_us").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum_us(), 300);
     }
 
     #[test]
@@ -172,8 +536,84 @@ mod tests {
             merged,
             "sim_server_cache_hits 42\nsim_server_sweep_time_p95_us 500\nextra_total 1\n"
         );
-        // Malformed lines are skipped, not fatal.
-        let merged = aggregate_pages(&["garbage\nx notanumber\nok 1\n".to_string()]);
-        assert_eq!(merged, "ok 1\n");
+        // Uptime takes the oldest shard, not the sum.
+        let merged = aggregate_pages(&[
+            "sim_server_uptime_seconds 10\n".to_string(),
+            "sim_server_uptime_seconds 3\n".to_string(),
+        ]);
+        assert_eq!(merged, "sim_server_uptime_seconds 10\n");
+    }
+
+    #[test]
+    fn aggregation_keeps_one_sided_comments_and_raw_lines() {
+        let a = "# HELP x y\n# TYPE x counter\nx 1\n".to_string();
+        let b = "# HELP x y\nx 2\nonly_on_b 7\nweird not-a-number\n".to_string();
+        let merged = aggregate_pages(&[a, b]);
+        // Comments deduped, one-sided numeric lines kept, raw values
+        // passed through verbatim.
+        assert_eq!(
+            merged,
+            "# HELP x y\n# TYPE x counter\nx 3\nonly_on_b 7\nweird not-a-number\n"
+        );
+        // Float values survive and sum.
+        let merged = aggregate_pages(&["f 1.5\n".to_string(), "f 2.25\n".to_string()]);
+        assert_eq!(merged, "f 3.75\n");
+    }
+
+    #[test]
+    fn aggregation_merges_histograms_exactly() {
+        let page = |samples: &[u64]| {
+            let mut h = LatencyHistogram::new();
+            for &s in samples {
+                h.record_us(s);
+            }
+            h.to_exposition("m_us")
+        };
+        let a = page(&[1, 100, 70_000]);
+        let b = page(&[2, 100, 1 << 30]);
+        let merged = aggregate_pages(&[a, b]);
+        let got = LatencyHistogram::parse(&merged, "m_us").unwrap();
+        let mut want = LatencyHistogram::new();
+        for s in [1u64, 100, 70_000, 2, 100, 1 << 30] {
+            want.record_us(s);
+        }
+        assert_eq!(got, want, "summed pages must equal the merged histogram");
+    }
+
+    #[test]
+    fn pretty_aligns_and_summarizes_histograms() {
+        let page = sample_page();
+        let out = pretty(&page);
+        // No comments, no raw bucket lines.
+        assert!(!out.contains('#'), "{out}");
+        assert!(!out.contains("_bucket{"), "{out}");
+        assert!(!out.contains("sim_server_sweep_time_us_sum"), "{out}");
+        // Scalar lines stay grep-compatible: name, spaces, value.
+        let hits = out
+            .lines()
+            .find(|l| l.starts_with("sim_server_cache_hits"))
+            .unwrap();
+        assert!(
+            hits.trim_end().ends_with(" 72") && hits.contains("  "),
+            "{hits:?}"
+        );
+        // Histogram families collapse to a one-line summary.
+        let sweep = out
+            .lines()
+            .find(|l| l.starts_with("sim_server_sweep_time_us "))
+            .unwrap();
+        assert!(sweep.contains("p50=128us"), "{sweep}");
+        assert!(sweep.contains("p99=256us"), "{sweep}");
+        assert!(sweep.contains("count=2"), "{sweep}");
+        // All value columns start at the same offset: after the name,
+        // the run of padding spaces ends at one shared column.
+        let offsets: std::collections::HashSet<usize> = out
+            .lines()
+            .map(|l| {
+                let sp = l.find(' ').unwrap();
+                sp + l[sp..].chars().take_while(|c| *c == ' ').count()
+            })
+            .collect();
+        assert_eq!(offsets.len(), 1, "misaligned columns:\n{out}");
     }
 }

@@ -1,0 +1,382 @@
+//! Per-request tracing: trace ids, deterministic sampling, Perfetto
+//! span export and a structured one-line-per-request log.
+//!
+//! Every request through `harness serve` / `harness route` gets a
+//! 16-hex *trace id*: accepted inbound via the `X-Sim-Trace-Id` header
+//! (so the router stamps one id onto every shard sub-request and a
+//! client can follow one sweep across the whole fleet) or generated at
+//! ingress. The id is echoed on the response — headers only, never the
+//! body, so tracing cannot violate the serving layer's byte-identity
+//! contract.
+//!
+//! Under `--trace-dir DIR --trace-sample N`, a [`Tracer`] writes one
+//! Perfetto trace file per *sampled* request (deterministic 1-in-N:
+//! sample iff `fnv1a64(id_hex) % N == 0`, a pure function of the trace
+//! id — replaying a sweep with the same inbound ids samples exactly the
+//! same requests) and appends one structured line per request to
+//! `DIR/requests.log`. `--slow-ms` force-samples requests over the
+//! threshold regardless of the 1-in-N draw, so tail latencies always
+//! leave a trace behind.
+
+use crate::key::fnv1a64;
+use crate::router::mix64;
+use std::fmt;
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use telemetry::TraceBuilder;
+
+/// A 16-hex request trace id.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TraceId(pub u64);
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+impl std::str::FromStr for TraceId {
+    type Err = ();
+
+    fn from_str(s: &str) -> Result<Self, ()> {
+        if s.len() != 16 {
+            return Err(());
+        }
+        u64::from_str_radix(s, 16).map(TraceId).map_err(|_| ())
+    }
+}
+
+/// The propagation header, on requests (inbound id) and responses (echo).
+pub const TRACE_HEADER: &str = "X-Sim-Trace-Id";
+
+/// Process-unique id sequence, seeded once per process.
+static NEXT: AtomicU64 = AtomicU64::new(0);
+static SEED: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
+
+impl TraceId {
+    /// Generate a fresh id: a per-process random seed (boot time ⊕ pid)
+    /// mixed with a monotone counter, so concurrent servers on one host
+    /// do not collide and one server never repeats itself.
+    pub fn generate() -> TraceId {
+        let seed = *SEED.get_or_init(|| {
+            let t = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos() as u64)
+                .unwrap_or(0);
+            mix64(t ^ (std::process::id() as u64) << 32)
+        });
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        TraceId(mix64(
+            seed.wrapping_add(n.wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+        ))
+    }
+
+    /// The inbound id when the header carries a well-formed one, else a
+    /// freshly generated id. Malformed headers are ignored, not errors:
+    /// tracing must never fail a request.
+    pub fn from_header(header: Option<&str>) -> TraceId {
+        header
+            .and_then(|h| h.trim().parse().ok())
+            .unwrap_or_else(TraceId::generate)
+    }
+
+    /// Deterministic 1-in-`sample` draw keyed off the id's hex form:
+    /// a pure function of the id, identical on every process that sees
+    /// the same id (router and all its shards agree on what's sampled).
+    pub fn sampled(&self, sample: u64) -> bool {
+        sample > 0 && fnv1a64(self.to_string().as_bytes()).is_multiple_of(sample)
+    }
+}
+
+/// One recorded stage of a request, offsets relative to request start.
+#[derive(Clone, Debug)]
+pub struct StageSpan {
+    pub name: String,
+    pub start_us: u64,
+    pub dur_us: u64,
+}
+
+/// Everything one request contributes to the trace file and the log.
+#[derive(Debug)]
+pub struct RequestRecord {
+    pub id: TraceId,
+    /// Route, e.g. `/v1/sweep`.
+    pub endpoint: String,
+    pub status: u16,
+    pub total_us: u64,
+    pub spans: Vec<StageSpan>,
+    /// Free-form `key=value` annotations for the structured log line
+    /// (cache hits/misses, shard, cell counts, ...). Values must not
+    /// contain spaces or newlines; callers own that.
+    pub notes: Vec<(&'static str, String)>,
+}
+
+impl RequestRecord {
+    pub fn new(id: TraceId, endpoint: &str) -> RequestRecord {
+        RequestRecord {
+            id,
+            endpoint: endpoint.to_string(),
+            status: 0,
+            total_us: 0,
+            spans: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    pub fn span(&mut self, name: impl Into<String>, start_us: u64, dur_us: u64) {
+        self.spans.push(StageSpan {
+            name: name.into(),
+            start_us,
+            dur_us,
+        });
+    }
+
+    pub fn note(&mut self, key: &'static str, value: impl ToString) {
+        self.notes.push((key, value.to_string()));
+    }
+
+    /// Render the spans as a Perfetto/Chrome trace: one process named
+    /// after the service, the request as tid 0, stages as tid 1.
+    fn to_trace_json(&self, service: &str) -> String {
+        let mut t = TraceBuilder::new();
+        t.process_name(1, service);
+        t.thread_name(1, 0, "request");
+        t.thread_name(1, 1, "stages");
+        t.span(
+            &format!("{} {}", self.endpoint, self.id),
+            "request",
+            1,
+            0,
+            0.0,
+            self.total_us as f64 / 1e6,
+        );
+        for s in &self.spans {
+            t.span(
+                &s.name,
+                "stage",
+                1,
+                1,
+                s.start_us as f64 / 1e6,
+                s.dur_us as f64 / 1e6,
+            );
+        }
+        t.to_json()
+    }
+
+    /// The structured one-line log record.
+    fn log_line(&self, sampled: bool) -> String {
+        let mut line = format!(
+            "trace={} endpoint={} status={} total_us={}",
+            self.id, self.endpoint, self.status, self.total_us
+        );
+        for (k, v) in &self.notes {
+            line.push_str(&format!(" {k}={v}"));
+        }
+        for s in &self.spans {
+            line.push_str(&format!(" {}_us={}", s.name.replace('-', "_"), s.dur_us));
+        }
+        line.push_str(&format!(" sampled={}", if sampled { "yes" } else { "no" }));
+        line
+    }
+}
+
+/// Tracing configuration (CLI flags map onto this 1:1).
+#[derive(Clone, Debug)]
+pub struct TraceConfig {
+    /// Directory for per-request trace files and `requests.log`.
+    pub dir: PathBuf,
+    /// Sample 1 in N requests (0 disables the draw; `slow_ms` still
+    /// force-samples).
+    pub sample: u64,
+    /// Force-sample any request slower than this, regardless of the draw.
+    pub slow_ms: Option<u64>,
+}
+
+/// Sink for request records. With no config it is a no-op whose `finish`
+/// costs one branch — instrumentation stays on in every build.
+pub struct Tracer {
+    cfg: Option<TraceConfig>,
+    service: String,
+    /// Serializes appends to `requests.log`.
+    log: Mutex<()>,
+}
+
+impl Tracer {
+    /// A tracer that drops everything (tracing disabled).
+    pub fn disabled() -> Tracer {
+        Tracer {
+            cfg: None,
+            service: String::new(),
+            log: Mutex::new(()),
+        }
+    }
+
+    /// A tracer writing into `cfg.dir` (created if missing). `service`
+    /// names the process in trace files (e.g. `sim-server 127.0.0.1:80`).
+    pub fn new(cfg: TraceConfig, service: &str) -> std::io::Result<Tracer> {
+        std::fs::create_dir_all(&cfg.dir)?;
+        Ok(Tracer {
+            cfg: Some(cfg),
+            service: service.to_string(),
+            log: Mutex::new(()),
+        })
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.cfg.is_some()
+    }
+
+    /// Whether this request will emit a trace file: the deterministic
+    /// 1-in-N draw, or the slow-request override.
+    pub fn will_sample(&self, id: TraceId, total_us: u64) -> bool {
+        let Some(cfg) = &self.cfg else {
+            return false;
+        };
+        if id.sampled(cfg.sample) {
+            return true;
+        }
+        match cfg.slow_ms {
+            Some(ms) => total_us > ms.saturating_mul(1000),
+            None => false,
+        }
+    }
+
+    /// Record one finished request: append its line to `requests.log`
+    /// (every request) and write `req-<id>.json` (sampled ones). Both
+    /// writes are best-effort — observability must never fail a request
+    /// that the engine already answered.
+    pub fn finish(&self, rec: &RequestRecord) {
+        let Some(cfg) = &self.cfg else {
+            return;
+        };
+        let sampled = self.will_sample(rec.id, rec.total_us);
+        {
+            let _guard = self.log.lock().unwrap_or_else(|e| e.into_inner());
+            let line = rec.log_line(sampled);
+            let ok = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(cfg.dir.join("requests.log"))
+                .and_then(|mut f| writeln!(f, "{line}"));
+            if let Err(e) = ok {
+                telemetry::log::debug(&format!("request log append failed: {e}"));
+            }
+        }
+        if sampled {
+            let path = cfg.dir.join(format!("req-{}.json", rec.id));
+            if let Err(e) = std::fs::write(&path, rec.to_trace_json(&self.service)) {
+                telemetry::log::debug(&format!("trace write to {} failed: {e}", path.display()));
+            }
+        }
+    }
+}
+
+/// Microseconds elapsed since `t0`, saturating into `u64`.
+pub fn us_since(t0: std::time::Instant) -> u64 {
+    t0.elapsed().as_micros().min(u64::MAX as u128) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_ids_are_16_hex_and_round_trip() {
+        let id = TraceId(0x0123_4567_89ab_cdef);
+        assert_eq!(id.to_string(), "0123456789abcdef");
+        assert_eq!("0123456789abcdef".parse::<TraceId>().unwrap(), id);
+        assert!("xyz".parse::<TraceId>().is_err());
+        assert!("123".parse::<TraceId>().is_err());
+        assert!("0123456789abcdef0".parse::<TraceId>().is_err());
+    }
+
+    #[test]
+    fn header_parse_falls_back_to_generation() {
+        let id = TraceId::from_header(Some("00000000000000ff"));
+        assert_eq!(id, TraceId(0xff));
+        // Malformed or absent headers generate instead of failing; two
+        // generated ids differ.
+        let a = TraceId::from_header(Some("not-hex"));
+        let b = TraceId::from_header(None);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_in_the_id() {
+        let id = TraceId(42);
+        for n in [1, 2, 3, 7, 100] {
+            assert_eq!(id.sampled(n), id.sampled(n), "same draw every time");
+        }
+        // sample=1 always samples; sample=0 never does.
+        assert!(id.sampled(1));
+        assert!(!id.sampled(0));
+        // Roughly 1-in-N: over 4096 sequential ids, a 1-in-8 draw stays
+        // within a loose band (this is deterministic, not flaky — the ids
+        // are fixed).
+        let hits = (0..4096).filter(|i| TraceId(*i).sampled(8)).count();
+        assert!((256..=768).contains(&hits), "1-in-8 of 4096 gave {hits}");
+    }
+
+    #[test]
+    fn slow_requests_are_force_sampled() {
+        let dir = std::env::temp_dir().join(format!("reqtrace-slow-{}", std::process::id()));
+        let tracer = Tracer::new(
+            TraceConfig {
+                dir: dir.clone(),
+                sample: 0,
+                slow_ms: Some(10),
+            },
+            "test",
+        )
+        .unwrap();
+        let id = TraceId(7);
+        assert!(!tracer.will_sample(id, 9_999));
+        assert!(tracer.will_sample(id, 10_001));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn finish_writes_log_and_sampled_trace() {
+        let dir = std::env::temp_dir().join(format!("reqtrace-finish-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let tracer = Tracer::new(
+            TraceConfig {
+                dir: dir.clone(),
+                sample: 1,
+                slow_ms: None,
+            },
+            "sim-server test",
+        )
+        .unwrap();
+        let mut rec = RequestRecord::new(TraceId(0xabc), "/v1/sweep");
+        rec.status = 200;
+        rec.total_us = 1234;
+        rec.span("parse", 0, 10);
+        rec.span("queue-wait", 10, 100);
+        rec.note("cells", 72u64);
+        tracer.finish(&rec);
+
+        let log = std::fs::read_to_string(dir.join("requests.log")).unwrap();
+        assert_eq!(log.lines().count(), 1);
+        assert!(log.contains("trace=0000000000000abc"), "{log}");
+        assert!(log.contains("status=200"), "{log}");
+        assert!(log.contains("cells=72"), "{log}");
+        assert!(log.contains("parse_us=10"), "{log}");
+        assert!(log.contains("queue_wait_us=100"), "{log}");
+        assert!(log.contains("sampled=yes"), "{log}");
+
+        let trace = std::fs::read_to_string(dir.join("req-0000000000000abc.json")).unwrap();
+        assert!(trace.contains("\"traceEvents\""), "{trace}");
+        assert!(trace.contains("queue-wait"), "{trace}");
+        assert!(trace.contains("/v1/sweep 0000000000000abc"), "{trace}");
+
+        // Disabled tracer: no-ops.
+        let off = Tracer::disabled();
+        assert!(!off.enabled());
+        assert!(!off.will_sample(TraceId(1), u64::MAX));
+        off.finish(&rec);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

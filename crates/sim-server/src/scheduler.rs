@@ -22,6 +22,7 @@ use crate::key::{CellKey, CellSpec};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::panic::AssertUnwindSafe;
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
 /// Why a sweep could not be admitted.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -47,11 +48,25 @@ pub struct Abandoned {
     pub message: String,
 }
 
+/// Where one cell's wall-clock went: admission-to-dispatch wait, then
+/// batch evaluation. Coalesced waiters on a shared slot see the timing of
+/// the one evaluation that actually ran. Feeds the per-cell `queue_wait`
+/// and `eval_batch` stage histograms — sample counts depend only on the
+/// cells evaluated, never on how requests were sharded.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SlotTiming {
+    /// Microseconds from admission to dispatcher pickup.
+    pub queue_us: u64,
+    /// Microseconds the cell's batch spent in the evaluation function.
+    pub eval_us: u64,
+}
+
 /// A future result of one cell. Waiters block on [`wait`](Slot::wait).
 #[derive(Debug)]
 pub struct Slot {
-    result: Mutex<Option<Result<String, Abandoned>>>,
+    result: Mutex<Option<(Result<String, Abandoned>, SlotTiming)>>,
     done: Condvar,
+    admitted: Instant,
 }
 
 impl Slot {
@@ -59,6 +74,7 @@ impl Slot {
         Arc::new(Slot {
             result: Mutex::new(None),
             done: Condvar::new(),
+            admitted: Instant::now(),
         })
     }
 
@@ -67,23 +83,33 @@ impl Slot {
     /// settled eventually — fulfilled by a completed batch, or abandoned
     /// by the dispatcher's panic guards — so this cannot hang forever.
     pub fn wait(&self) -> Result<String, Abandoned> {
+        self.wait_timed().0
+    }
+
+    /// [`wait`](Slot::wait), also reporting where the time went.
+    pub fn wait_timed(&self) -> (Result<String, Abandoned>, SlotTiming) {
         let mut guard = self.result.lock().unwrap_or_else(|e| e.into_inner());
         loop {
-            if let Some(r) = guard.as_ref() {
-                return r.clone();
+            if let Some((r, t)) = guard.as_ref() {
+                return (r.clone(), *t);
             }
             guard = self.done.wait(guard).unwrap_or_else(|e| e.into_inner());
         }
     }
 
-    fn settle(&self, result: Result<String, Abandoned>) {
+    fn settle(&self, result: Result<String, Abandoned>, timing: SlotTiming) {
         let mut guard = self.result.lock().unwrap_or_else(|e| e.into_inner());
         // First writer wins: a batch-panic abandonment and the dispatcher
         // exit guard may both reach the same slot.
         if guard.is_none() {
-            *guard = Some(result);
+            *guard = Some((result, timing));
         }
         self.done.notify_all();
+    }
+
+    /// Microseconds this slot has been waiting since admission.
+    fn queued_us(&self) -> u64 {
+        self.admitted.elapsed().as_micros().min(u64::MAX as u128) as u64
     }
 }
 
@@ -282,9 +308,16 @@ impl Drop for DispatcherGuard<'_> {
         st.abandoned += orphans.len() as u64;
         drop(st);
         for slot in orphans {
-            slot.settle(Err(Abandoned {
-                message: "scheduler dispatcher died".into(),
-            }));
+            let timing = SlotTiming {
+                queue_us: slot.queued_us(),
+                eval_us: 0,
+            };
+            slot.settle(
+                Err(Abandoned {
+                    message: "scheduler dispatcher died".into(),
+                }),
+                timing,
+            );
         }
     }
 }
@@ -320,6 +353,9 @@ where
                 })
                 .collect()
         };
+        // Queue-wait ends at pickup; everything after is evaluation time.
+        let queue_us: Vec<u64> = batch.iter().map(|(_, _, slot)| slot.queued_us()).collect();
+        let eval_started = Instant::now();
 
         let specs: Vec<CellSpec> = batch.iter().map(|(_, s, _)| s.clone()).collect();
         // A panic in the evaluation function must not kill the dispatcher:
@@ -346,25 +382,40 @@ where
                 }
             });
 
+        let eval_us = eval_started.elapsed().as_micros().min(u64::MAX as u128) as u64;
         let mut st = shared.st.lock().unwrap_or_else(|e| e.into_inner());
         st.running = 0;
         match outcome {
             Ok(payloads) => {
                 st.simulated += batch.len() as u64;
-                for ((key, _, slot), payload) in batch.into_iter().zip(payloads) {
+                for (((key, _, slot), payload), queue_us) in
+                    batch.into_iter().zip(payloads).zip(&queue_us)
+                {
                     st.active.remove(&key);
-                    slot.settle(Ok(payload));
+                    slot.settle(
+                        Ok(payload),
+                        SlotTiming {
+                            queue_us: *queue_us,
+                            eval_us,
+                        },
+                    );
                 }
             }
             Err(message) => {
                 telemetry::log::debug(&message);
                 st.eval_panics += 1;
                 st.abandoned += batch.len() as u64;
-                for (key, _, slot) in batch {
+                for ((key, _, slot), queue_us) in batch.into_iter().zip(&queue_us) {
                     st.active.remove(&key);
-                    slot.settle(Err(Abandoned {
-                        message: message.clone(),
-                    }));
+                    slot.settle(
+                        Err(Abandoned {
+                            message: message.clone(),
+                        }),
+                        SlotTiming {
+                            queue_us: *queue_us,
+                            eval_us,
+                        },
+                    );
                 }
             }
         }
@@ -647,6 +698,27 @@ mod tests {
             Err(AdmitError::Poisoned)
         ));
         assert_eq!(sched.stats().abandoned, 1);
+    }
+
+    /// `wait_timed` attributes wall-clock to queue-wait vs evaluation,
+    /// and coalesced waiters observe the timing of the one evaluation
+    /// that ran.
+    #[test]
+    fn wait_timed_reports_queue_and_eval_time() {
+        let sched = Scheduler::start(64, || {
+            |specs: &[CellSpec]| {
+                std::thread::sleep(Duration::from_millis(5));
+                specs.iter().map(|s| format!("r:{}", s.bench)).collect()
+            }
+        });
+        let s1 = sched.admit(&[spec("t")]).unwrap();
+        let s2 = sched.admit(&[spec("t")]).unwrap();
+        let (r1, t1) = s1[0].wait_timed();
+        let (r2, t2) = s2[0].wait_timed();
+        assert_eq!(r1.unwrap(), "r:t");
+        assert_eq!(r2.unwrap(), "r:t");
+        assert!(t1.eval_us >= 5_000, "eval covers the sleep: {t1:?}");
+        assert_eq!(t1, t2, "coalesced waiters share one timing");
     }
 
     #[test]

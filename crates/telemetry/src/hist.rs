@@ -1,0 +1,370 @@
+//! Log-bucketed latency histograms with exact merge and Prometheus-style
+//! text exposition.
+//!
+//! The serving layer used to publish p50/p95 from a bounded sample
+//! reservoir ([`crate::DurationStats`]) — fine for one process, wrong for
+//! a fleet: percentiles from different shards cannot be combined, so the
+//! router could only take a max and call it a bound. A histogram over a
+//! *fixed* bucket ladder fixes that: bucket counts are plain counters, so
+//! merging shard pages is exact summation, associative and commutative,
+//! and any reader can derive quantiles from the merged counts.
+//!
+//! The ladder is powers of two in microseconds: upper bounds 1 µs, 2 µs,
+//! 4 µs, … 2^26 µs (≈ 67 s), plus a +Inf overflow bucket. Fixed and
+//! identical everywhere — two histograms always merge bucket-by-bucket,
+//! no rebinning. Exposition follows the Prometheus text format
+//! (`name_bucket{le="..."}` cumulative counts, `name_sum`, `name_count`)
+//! and [`LatencyHistogram::parse`] reads it back exactly, which is what
+//! lets the router merge shard `/metrics` pages without a side channel.
+//!
+//! No clocks in here — callers record durations they measured themselves,
+//! keeping the crate deterministic and trivially testable.
+
+/// Number of finite bucket bounds (1 µs … 2^26 µs).
+pub const FINITE_BUCKETS: usize = 27;
+/// Total buckets including the +Inf overflow bucket.
+pub const BUCKETS: usize = FINITE_BUCKETS + 1;
+
+/// Upper bound of finite bucket `i` in microseconds (`2^i`).
+#[inline]
+pub fn bucket_bound_us(i: usize) -> u64 {
+    1u64 << i
+}
+
+/// Index of the bucket a `us` sample lands in: the first bucket whose
+/// upper bound is >= the sample, with everything above 2^26 µs clamped
+/// into the +Inf bucket. 0 lands in the first bucket (le="1").
+#[inline]
+pub fn bucket_index(us: u64) -> usize {
+    if us <= 1 {
+        return 0;
+    }
+    let idx = (u64::BITS - (us - 1).leading_zeros()) as usize;
+    idx.min(FINITE_BUCKETS)
+}
+
+/// A latency histogram over the fixed powers-of-two ladder.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    /// Per-bucket (non-cumulative) sample counts; the last slot is +Inf.
+    counts: [u64; BUCKETS],
+    /// Total samples recorded (== counts.sum(), kept for O(1) reads).
+    count: u64,
+    /// Sum over all samples in microseconds (exact; u128 cannot overflow
+    /// at any realistic rate).
+    sum_us: u128,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            counts: [0; BUCKETS],
+            count: 0,
+            sum_us: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram::default()
+    }
+
+    /// Record one duration in microseconds.
+    pub fn record_us(&mut self, us: u64) {
+        self.counts[bucket_index(us)] += 1;
+        self.count += 1;
+        self.sum_us += us as u128;
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples in microseconds.
+    pub fn sum_us(&self) -> u128 {
+        self.sum_us
+    }
+
+    /// Mean in microseconds (0 when empty, truncated).
+    pub fn mean_us(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            (self.sum_us / self.count as u128) as u64
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact merge: bucket-by-bucket summation. Associative and
+    /// commutative, so fleet aggregation order cannot change the result.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_us += other.sum_us;
+    }
+
+    /// Nearest-rank quantile as a bucket upper bound, `q` in [0, 1].
+    /// Returns 0 when empty. Samples in the +Inf bucket report one power
+    /// of two past the last finite bound (2^27 µs) — a visible "off the
+    /// ladder" marker rather than a fabricated finite value.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return if i < FINITE_BUCKETS {
+                    bucket_bound_us(i)
+                } else {
+                    bucket_bound_us(FINITE_BUCKETS)
+                };
+            }
+        }
+        bucket_bound_us(FINITE_BUCKETS)
+    }
+
+    pub fn p50_us(&self) -> u64 {
+        self.quantile_us(0.50)
+    }
+
+    pub fn p95_us(&self) -> u64 {
+        self.quantile_us(0.95)
+    }
+
+    pub fn p99_us(&self) -> u64 {
+        self.quantile_us(0.99)
+    }
+
+    /// Append the Prometheus text exposition of this histogram: one
+    /// cumulative `name_bucket{le="..."}` line per bucket (ending with
+    /// `+Inf`), then `name_sum` and `name_count`.
+    pub fn render(&self, name: &str, out: &mut String) {
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if i < FINITE_BUCKETS {
+                out.push_str(&format!(
+                    "{name}_bucket{{le=\"{}\"}} {cum}\n",
+                    bucket_bound_us(i)
+                ));
+            } else {
+                out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {cum}\n"));
+            }
+        }
+        out.push_str(&format!("{name}_sum {}\n", self.sum_us));
+        out.push_str(&format!("{name}_count {}\n", self.count));
+    }
+
+    /// Convenience: the exposition as its own string.
+    pub fn to_exposition(&self, name: &str) -> String {
+        let mut out = String::new();
+        self.render(name, &mut out);
+        out
+    }
+
+    /// Parse one histogram family back out of an exposition page
+    /// (inverse of [`render`](Self::render) — the round trip is exact).
+    /// Returns `None` when the family is absent, a bucket line is
+    /// malformed, the cumulative counts are not monotone, or the ladder
+    /// does not match this module's.
+    pub fn parse(page: &str, name: &str) -> Option<LatencyHistogram> {
+        let bucket_prefix = format!("{name}_bucket{{le=\"");
+        let sum_prefix = format!("{name}_sum ");
+        let count_prefix = format!("{name}_count ");
+        let mut cum: Vec<(String, u64)> = Vec::new();
+        let mut sum_us: Option<u128> = None;
+        let mut count: Option<u64> = None;
+        for line in page.lines() {
+            if let Some(rest) = line.strip_prefix(&bucket_prefix) {
+                let (le, value) = rest.split_once("\"} ")?;
+                cum.push((le.to_string(), value.parse().ok()?));
+            } else if let Some(v) = line.strip_prefix(&sum_prefix) {
+                sum_us = Some(v.parse().ok()?);
+            } else if let Some(v) = line.strip_prefix(&count_prefix) {
+                count = Some(v.parse().ok()?);
+            }
+        }
+        if cum.len() != BUCKETS {
+            return None;
+        }
+        let mut h = LatencyHistogram::new();
+        let mut prev = 0u64;
+        for (i, (le, c)) in cum.iter().enumerate() {
+            let want = if i < FINITE_BUCKETS {
+                bucket_bound_us(i).to_string()
+            } else {
+                "+Inf".to_string()
+            };
+            if *le != want || *c < prev {
+                return None;
+            }
+            h.counts[i] = c - prev;
+            prev = *c;
+        }
+        h.count = count?;
+        h.sum_us = sum_us?;
+        if h.count != prev {
+            return None;
+        }
+        Some(h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        // 0 and 1 land in the first bucket (le="1").
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        // Exactly-on-boundary samples land in the bucket they bound:
+        // le is an *upper* (inclusive) bound.
+        for i in 0..FINITE_BUCKETS {
+            let bound = bucket_bound_us(i);
+            assert_eq!(bucket_index(bound), i, "bound {bound}");
+            if bound > 2 {
+                assert_eq!(bucket_index(bound - 1), i, "just under {bound}");
+            }
+            assert_eq!(bucket_index(bound + 1), i + 1, "just over {bound}");
+        }
+        // Everything past 2^26 µs clamps into the +Inf bucket.
+        let max = bucket_bound_us(FINITE_BUCKETS - 1);
+        assert_eq!(bucket_index(max), FINITE_BUCKETS - 1);
+        assert_eq!(bucket_index(max + 1), FINITE_BUCKETS);
+        assert_eq!(bucket_index(u64::MAX), FINITE_BUCKETS);
+    }
+
+    #[test]
+    fn record_count_sum_mean() {
+        let mut h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile_us(0.5), 0);
+        for us in [0, 1, 2, 3, 100, 1_000_000] {
+            h.record_us(us);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum_us(), 1_000_106);
+        assert_eq!(h.mean_us(), 1_000_106 / 6);
+    }
+
+    #[test]
+    fn quantiles_are_bucket_upper_bounds() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..99 {
+            h.record_us(3); // bucket le="4"
+        }
+        h.record_us(1_000_000); // bucket le="1048576"
+        assert_eq!(h.p50_us(), 4);
+        assert_eq!(h.p95_us(), 4);
+        assert_eq!(h.quantile_us(1.0), 1 << 20);
+        // Overflow samples report one bound past the ladder.
+        let mut h = LatencyHistogram::new();
+        h.record_us(u64::MAX);
+        assert_eq!(h.p50_us(), bucket_bound_us(FINITE_BUCKETS));
+    }
+
+    #[test]
+    fn merge_is_exact_associative_and_commutative() {
+        let mk = |samples: &[u64]| {
+            let mut h = LatencyHistogram::new();
+            for &s in samples {
+                h.record_us(s);
+            }
+            h
+        };
+        let a = mk(&[1, 5, 70_000]);
+        let b = mk(&[2, 2, 1 << 30]);
+        let c = mk(&[0, 64, 65]);
+
+        // Merging equals recording everything into one histogram.
+        let mut all = mk(&[1, 5, 70_000, 2, 2, 1 << 30, 0, 64, 65]);
+        let mut ab_c = a.clone();
+        ab_c.merge(&b);
+        ab_c.merge(&c);
+        assert_eq!(ab_c, all);
+
+        // Associativity: (a+b)+c == a+(b+c).
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc);
+
+        // Commutativity: c+b+a == a+b+c.
+        let mut cba = c.clone();
+        cba.merge(&b);
+        cba.merge(&a);
+        assert_eq!(cba, ab_c);
+
+        // Merging an empty histogram is the identity.
+        all.merge(&LatencyHistogram::new());
+        assert_eq!(all, ab_c);
+    }
+
+    #[test]
+    fn exposition_round_trips_exactly() {
+        let mut h = LatencyHistogram::new();
+        for us in [0, 1, 2, 17, 1_000, 60_000_000, u64::MAX] {
+            h.record_us(us);
+        }
+        let page = h.to_exposition("sim_server_sweep_time_us");
+        // Cumulative bucket lines, ending at +Inf == count.
+        assert!(
+            page.contains("sim_server_sweep_time_us_bucket{le=\"1\"} 2\n"),
+            "{page}"
+        );
+        assert!(
+            page.contains("sim_server_sweep_time_us_bucket{le=\"+Inf\"} 7\n"),
+            "{page}"
+        );
+        assert!(
+            page.contains("sim_server_sweep_time_us_count 7\n"),
+            "{page}"
+        );
+        let back = LatencyHistogram::parse(&page, "sim_server_sweep_time_us").unwrap();
+        assert_eq!(back, h);
+        // Round trip through a page that also carries unrelated lines.
+        let noisy = format!("# HELP x y\nother_total 3\n{page}trailing 1\n");
+        assert_eq!(
+            LatencyHistogram::parse(&noisy, "sim_server_sweep_time_us").unwrap(),
+            h
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_families() {
+        let h = {
+            let mut h = LatencyHistogram::new();
+            h.record_us(3); // bucket le="4"
+            h
+        };
+        let page = h.to_exposition("m");
+        // Absent family.
+        assert!(LatencyHistogram::parse(&page, "other").is_none());
+        // Non-monotone cumulative counts.
+        let broken = page.replace("m_bucket{le=\"4\"} 1", "m_bucket{le=\"4\"} 9");
+        assert!(LatencyHistogram::parse(&broken, "m").is_none());
+        // Missing a bucket line.
+        let truncated: String = page
+            .lines()
+            .filter(|l| !l.contains("le=\"2\""))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert!(LatencyHistogram::parse(&truncated, "m").is_none());
+        // Count disagreeing with the +Inf cumulative.
+        let lying = page.replace("m_count 1", "m_count 5");
+        assert!(LatencyHistogram::parse(&lying, "m").is_none());
+    }
+}

@@ -17,8 +17,13 @@
 //! * [`log`] — a tiny leveled stderr logger so the harness's progress
 //!   chatter can be silenced (`--quiet`) or expanded (`--verbose`)
 //!   without threading a verbosity flag through every call.
+//! * [`LatencyHistogram`] — fixed-ladder log-bucketed latency histograms
+//!   with exact merge and Prometheus-style exposition, the unit of
+//!   wall-clock truth for the serving fleet's `/metrics` pages (the
+//!   older [`DurationStats`] reservoir remains for single-process use).
 
 pub mod counters;
+pub mod hist;
 pub mod log;
 pub mod span;
 pub mod stats;
@@ -27,6 +32,7 @@ pub mod trace;
 pub use counters::{
     op_class_index, CounterTracer, Counters, OP_CLASS_COUNT, OP_CLASS_NAMES, WIDTH_BUCKETS,
 };
+pub use hist::LatencyHistogram;
 pub use span::{CommandSpan, RunTelemetry, WorkSpan};
 pub use stats::DurationStats;
 pub use trace::{json_escape, TraceBuilder};

@@ -27,20 +27,37 @@ fn offline_jsonl() -> &'static String {
 }
 
 fn shard(queue: usize) -> harness::serve::RunningServer {
+    shard_traced(queue, None)
+}
+
+fn shard_traced(queue: usize, dir: Option<std::path::PathBuf>) -> harness::serve::RunningServer {
     harness::serve::start(harness::ServeConfig {
         addr: "127.0.0.1:0".into(),
         capacity: 1024,
         queue_cap: queue,
         cache_path: None,
         warm: vec![],
+        trace_sample: u64::from(dir.is_some()),
+        trace_dir: dir,
+        slow_ms: None,
     })
     .expect("shard starts")
 }
 
 fn router_over(shards: &[&harness::serve::RunningServer]) -> harness::route::RunningRouter {
+    router_traced(shards, None)
+}
+
+fn router_traced(
+    shards: &[&harness::serve::RunningServer],
+    dir: Option<std::path::PathBuf>,
+) -> harness::route::RunningRouter {
     harness::route::start(harness::RouteConfig {
         addr: "127.0.0.1:0".into(),
         shards: shards.iter().map(|s| s.addr.to_string()).collect(),
+        trace_sample: u64::from(dir.is_some()),
+        trace_dir: dir,
+        slow_ms: None,
     })
     .expect("router starts")
 }
@@ -200,6 +217,118 @@ fn dead_shard_degrades_to_failure_rows_for_its_cells_only() {
 
     router.shutdown().unwrap();
     s0.shutdown().unwrap();
+}
+
+/// Observability across the fleet: one trace id follows a sweep from the
+/// router to every shard, tracing changes no response bytes, and the
+/// router's `/metrics` histogram families are the *exact* bucket-wise
+/// sum of the shard histograms — per-cell stage counts equal what a
+/// single-process sweep would record, independent of sharding.
+#[test]
+fn traced_two_shard_sweep_propagates_ids_and_merges_histograms_exactly() {
+    use sim_server::http::request_with;
+    use sim_server::TRACE_HEADER;
+    use telemetry::LatencyHistogram;
+
+    let base = std::env::temp_dir().join(format!("sim-router-e2e-trace-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let s0 = shard_traced(256, Some(base.join("shard0")));
+    let s1 = shard_traced(256, Some(base.join("shard1")));
+    let router = router_traced(&[&s0, &s1], Some(base.join("router")));
+    let addr = router.addr.to_string();
+
+    let id = "feedfacecafef00d";
+    let req = r#"{"scale":"test","cells":"all"}"#;
+    let (st, headers, body) = request_with(
+        &addr,
+        "POST",
+        "/v1/sweep",
+        &[(TRACE_HEADER, id)],
+        req.as_bytes(),
+        T,
+    )
+    .unwrap();
+    assert_eq!(st, 200);
+    let echoed = headers
+        .iter()
+        .find(|(k, _)| k == "x-sim-trace-id")
+        .map(|(_, v)| v.as_str());
+    assert_eq!(echoed, Some(id), "headers: {headers:?}");
+    assert_eq!(
+        std::str::from_utf8(&body).unwrap(),
+        offline_jsonl(),
+        "tracing must not change routed response bytes"
+    );
+
+    // The router stamped its trace id onto both shard sub-requests: each
+    // shard's structured log carries the *router's* id.
+    for i in 0..2 {
+        let log = std::fs::read_to_string(base.join(format!("shard{i}/requests.log"))).unwrap();
+        assert!(
+            log.lines()
+                .any(|l| l.contains(&format!("trace={id}")) && l.contains("endpoint=/v1/cells")),
+            "shard {i} never saw trace {id}:\n{log}"
+        );
+    }
+
+    // The router's own Perfetto trace names each shard fan-out span.
+    let trace =
+        std::fs::read_to_string(base.join("router").join(format!("req-{id}.json"))).unwrap();
+    sim_server::json::parse(&trace).expect("router trace is valid JSON");
+    for span in [
+        "\"name\":\"shard_0\"",
+        "\"name\":\"shard_1\"",
+        "\"name\":\"format\"",
+    ] {
+        assert!(trace.contains(span), "{trace}");
+    }
+
+    // Aggregated histograms are the exact bucket-wise sum of the shards'.
+    let page = |a: &str| {
+        let (st, body) = request(a, "GET", "/metrics", b"", T).unwrap();
+        assert_eq!(st, 200);
+        String::from_utf8(body).unwrap()
+    };
+    let (rp, p0, p1) = (
+        page(&addr),
+        page(&s0.addr.to_string()),
+        page(&s1.addr.to_string()),
+    );
+    for stage in [
+        "sim_server_stage_cache_lookup_us",
+        "sim_server_stage_queue_wait_us",
+        "sim_server_stage_eval_batch_us",
+        "sim_server_sweep_time_us",
+    ] {
+        let h0 =
+            LatencyHistogram::parse(&p0, stage).unwrap_or_else(|| panic!("{stage} not on shard 0"));
+        let h1 =
+            LatencyHistogram::parse(&p1, stage).unwrap_or_else(|| panic!("{stage} not on shard 1"));
+        let routed =
+            LatencyHistogram::parse(&rp, stage).unwrap_or_else(|| panic!("{stage} not on router"));
+        let mut merged = h0;
+        merged.merge(&h1);
+        assert_eq!(
+            routed.to_exposition(stage),
+            merged.to_exposition(stage),
+            "router aggregation of {stage} must be an exact histogram merge"
+        );
+    }
+    // Per-cell stages record one sample per grid cell no matter how the
+    // fleet is sharded: the merged count equals a single-process run's.
+    for per_cell in [
+        "sim_server_stage_cache_lookup_us",
+        "sim_server_stage_queue_wait_us",
+        "sim_server_stage_eval_batch_us",
+    ] {
+        let routed = LatencyHistogram::parse(&rp, per_cell).unwrap();
+        assert_eq!(routed.count(), 72, "{per_cell}");
+    }
+
+    router.shutdown().unwrap();
+    s0.shutdown().unwrap();
+    s1.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&base);
 }
 
 /// A busy backend (429) makes the whole routed sweep retryable, and the

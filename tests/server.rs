@@ -50,8 +50,26 @@ fn serve(
         queue_cap: queue,
         cache_path: cache,
         warm,
+        trace_dir: None,
+        trace_sample: 0,
+        slow_ms: None,
     })
     .expect("server starts")
+}
+
+/// A server with request tracing on: every request sampled into `dir`.
+fn serve_traced(dir: PathBuf) -> harness::serve::RunningServer {
+    harness::serve::start(harness::ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        capacity: 1024,
+        queue_cap: 256,
+        cache_path: None,
+        warm: vec![],
+        trace_dir: Some(dir),
+        trace_sample: 1,
+        slow_ms: None,
+    })
+    .expect("traced server starts")
 }
 
 fn metric(addr: &str, name: &str) -> u64 {
@@ -291,6 +309,109 @@ fn cache_persists_across_restarts() {
     assert_eq!(metric(&addr, "sim_server_cells_simulated_total"), 0);
     srv.shutdown().unwrap();
     let _ = std::fs::remove_file(&cache);
+}
+
+/// Request tracing is purely observational: with `--trace-dir` on and
+/// every request sampled, the response bytes are still byte-identical to
+/// the offline artifact, the client-supplied trace id is echoed back and
+/// names the Perfetto file on disk, the trace is valid JSON naming every
+/// pipeline stage, and the structured request log carries the stage
+/// timings.
+#[test]
+fn tracing_never_changes_response_bytes_and_writes_artifacts() {
+    use sim_server::http::request_with;
+    use sim_server::TRACE_HEADER;
+
+    let (offline_jsonl, _) = offline();
+    let dir = tmp("trace-dir");
+    let _ = std::fs::remove_dir_all(&dir);
+    let srv = serve_traced(dir.clone());
+    let addr = srv.addr.to_string();
+
+    // Client-supplied id: accepted, echoed, and it names the artifact.
+    let id = "00000000deadbeef";
+    let req = r#"{"scale":"test","cells":"all"}"#;
+    let (st, headers, body) = request_with(
+        &addr,
+        "POST",
+        "/v1/sweep",
+        &[(TRACE_HEADER, id)],
+        req.as_bytes(),
+        T,
+    )
+    .unwrap();
+    assert_eq!(st, 200);
+    let echoed = headers
+        .iter()
+        .find(|(k, _)| k == "x-sim-trace-id")
+        .map(|(_, v)| v.as_str());
+    assert_eq!(echoed, Some(id), "headers: {headers:?}");
+    assert_eq!(
+        std::str::from_utf8(&body).unwrap(),
+        offline_jsonl,
+        "tracing must not change response bytes"
+    );
+
+    // The sampled trace is on disk, is valid JSON, and names each stage.
+    let trace_path = dir.join(format!("req-{id}.json"));
+    let trace = std::fs::read_to_string(&trace_path).expect("sampled trace written");
+    sim_server::json::parse(&trace).expect("trace is valid JSON");
+    for stage in [
+        "parse",
+        "cache_lookup",
+        "admit",
+        "queue_wait",
+        "eval_batch",
+        "format",
+    ] {
+        assert!(trace.contains(&format!("\"name\":\"{stage}\"")), "{trace}");
+    }
+
+    // One structured log line per request, stage timings inline.
+    let log = std::fs::read_to_string(dir.join("requests.log")).unwrap();
+    let line = log
+        .lines()
+        .find(|l| l.contains(&format!("trace={id}")))
+        .unwrap_or_else(|| panic!("no log line for {id} in:\n{log}"));
+    for field in [
+        "endpoint=/v1/sweep",
+        "status=200",
+        "cells=72",
+        "parse_us=",
+        "eval_batch_us=",
+        "sampled=yes",
+    ] {
+        assert!(line.contains(field), "{line}");
+    }
+
+    // A request without the header gets a generated 16-hex id echoed.
+    let (st, headers, _) =
+        request_with(&addr, "POST", "/v1/sweep", &[], req.as_bytes(), T).unwrap();
+    assert_eq!(st, 200);
+    let generated = headers
+        .iter()
+        .find(|(k, _)| k == "x-sim-trace-id")
+        .map(|(_, v)| v.as_str())
+        .expect("trace id echoed even when client sent none");
+    assert_eq!(generated.len(), 16, "{generated}");
+    assert!(generated.chars().all(|c| c.is_ascii_hexdigit()));
+
+    // The metrics page grew histogram families and metadata.
+    let (st, page) = request(&addr, "GET", "/metrics", b"", T).unwrap();
+    assert_eq!(st, 200);
+    let page = String::from_utf8(page).unwrap();
+    assert!(page.contains("# HELP sim_server_cache_hits"), "{page}");
+    assert!(page.contains("# TYPE sim_server_sweep_time_us histogram"));
+    assert!(page.contains("sim_server_sweep_time_us_bucket{le=\"+Inf\"}"));
+    assert!(page.contains("sim_server_stage_eval_batch_us_count 72"));
+    assert!(page.contains("sim_server_stage_queue_wait_us_count 72"));
+    assert!(page.contains("sim_server_stage_cache_lookup_us_count 144"));
+    assert!(metric(&addr, "sim_server_uptime_seconds") < 600);
+    // Legacy p50/p95 gauges survive for existing dashboards.
+    assert!(page.contains("sim_server_sweep_time_p95_us "), "{page}");
+
+    srv.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// Fault seeds are part of the content address: the same cell with a

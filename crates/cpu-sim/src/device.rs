@@ -143,7 +143,7 @@ impl<'c> CpuTracer<'c> {
 
     /// Replay one recorded memory access through the stateful cache model,
     /// charging cycles to the group being absorbed.
-    fn replay_mem(&mut self, a: &MemAccess, cur: &mut f64) {
+    fn replay_mem(&mut self, a: &MemAccess, lanes: &[u64], cur: &mut f64) {
         self.counters.note_mem(a);
         let c = self.cfg;
         let write = matches!(a.kind, kernel_ir::AccessKind::Write);
@@ -175,9 +175,9 @@ impl<'c> CpuTracer<'c> {
                 // term; the prefetcher hides their latency.
             }
             Pattern::Gather => {
-                let addrs = a.lane_addrs.expect("gather carries lane addresses");
+                debug_assert_eq!(lanes.len(), a.width as usize);
                 let lane_bytes = a.elem.bytes();
-                for &addr in addrs.iter().take(a.width as usize) {
+                for &addr in lanes {
                     let out = self.hier.access(addr, lane_bytes, write || atomic, false);
                     *cur += out.l1_hits as f64 * c.cy_l1_hit + out.l2_hits as f64 * c.cy_l2_hit;
                     // Scattered misses expose part of the DRAM latency to
@@ -203,11 +203,18 @@ impl<'c> ShardTracer for CpuTracer<'c> {
         }
     }
 
-    fn absorb_group(&mut self, shard: CpuShard<'c>, mem: &[MemAccess]) {
+    fn absorb_group(&mut self, shard: CpuShard<'c>, mem: &[MemAccess], lanes: &[u64]) {
         self.counters.merge_in(&shard.counters);
         let mut cur = shard.cur;
+        let mut lc = 0usize;
         for a in mem {
-            self.replay_mem(a, &mut cur);
+            let nl = if a.pattern == Pattern::Gather {
+                a.width as usize
+            } else {
+                0
+            };
+            self.replay_mem(a, &lanes[lc..lc + nl], &mut cur);
+            lc += nl;
         }
         self.group_cycles.push(cur);
     }

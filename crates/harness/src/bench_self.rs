@@ -1,78 +1,150 @@
 //! `bench-self` — the simulator benchmarking itself.
 //!
-//! Runs the warm suite twice, once with one worker thread and once with the
-//! configured thread count, and reports the wall-clock ratio. Because the
-//! parallel engine is bit-deterministic, the two passes must also produce
-//! byte-identical CSV/JSONL exports — `--check` turns that invariant into a
-//! hard failure, which is what CI runs.
+//! Runs the warm suite once per (engine, worker-thread) combination —
+//! scalar and columnar interpreters at 1 and 8 workers — and reports the
+//! wall-clock of each pass. Because both engines are bit-deterministic
+//! *and* bit-identical to each other, all four passes must produce
+//! byte-identical CSV/JSONL exports — `--check` turns that invariant into
+//! a hard failure (exit 2), which is what CI runs.
 //!
 //! Results are written as `BENCH_sim.json` (at the current directory, i.e.
-//! the repo root when invoked from there) so speedups can be tracked across
-//! commits.
+//! the repo root when invoked from there) so speedups can be tracked
+//! across commits: `columnar_speedup` is the single-thread interpreter
+//! gain from the SoA rewrite, `parallel_speedup` the threading gain on
+//! top of it, and `per_bench` breaks the single-thread comparison down by
+//! family (interpreter-bound families vs device-model-bound ones).
 
 use crate::{run_suite, to_csv, to_jsonl};
 use hpc_kernels::Benchmark;
+use kernel_ir::Engine;
 use std::time::Instant;
+
+/// Worker counts every pass is measured at, mirroring the CI matrix.
+pub const THREAD_POINTS: [usize; 2] = [1, 8];
+
+/// One timed suite pass: engine × worker threads → wall-clock.
+pub struct BenchRow {
+    /// `"scalar"` or `"columnar"`.
+    pub engine: &'static str,
+    /// Worker threads the pass used.
+    pub sim_threads: usize,
+    /// Wall-clock of the warm suite, seconds.
+    pub wall_s: f64,
+}
+
+/// Single-thread scalar-vs-columnar wall-clock for one benchmark family.
+/// The suite aggregate mixes interpreter-bound families (where the SoA
+/// engine shines) with gather-replay-bound ones (spmv, red — dominated by
+/// the device models' per-lane cache walks, identical on both engines);
+/// the per-family rows keep the interpreter gain visible.
+pub struct BenchCompare {
+    pub bench: &'static str,
+    pub scalar_1_s: f64,
+    pub columnar_1_s: f64,
+    /// scalar@1 / columnar@1 for this family.
+    pub speedup: f64,
+}
 
 /// Outcome of one self-benchmark.
 pub struct SelfBench {
     /// Host hardware parallelism.
     pub host_threads: usize,
-    /// Worker threads the parallel pass used (`--threads` / `SIM_THREADS` /
-    /// host parallelism).
-    pub sim_threads: usize,
     /// `"test"` or `"paper"` input scale.
     pub scale: &'static str,
-    /// Wall-clock of the warm suite with 1 worker, seconds.
-    pub serial_s: f64,
-    /// Wall-clock of the warm suite with `sim_threads` workers, seconds.
-    pub parallel_s: f64,
-    /// `serial_s / parallel_s`.
-    pub speedup: f64,
-    /// Whether the serial and parallel passes produced byte-identical
-    /// CSV and JSONL exports (the engine's determinism contract).
+    /// One row per engine per thread count, in measurement order.
+    pub rows: Vec<BenchRow>,
+    /// Per-benchmark-family single-thread engine comparison.
+    pub per_bench: Vec<BenchCompare>,
+    /// Single-thread gain of the columnar engine: scalar@1 / columnar@1.
+    pub columnar_speedup: f64,
+    /// Threading gain of the columnar engine: columnar@1 / columnar@8.
+    pub parallel_speedup: f64,
+    /// Whether every pass produced byte-identical CSV and JSONL exports
+    /// (the engines' shared determinism contract).
     pub outputs_identical: bool,
 }
 
 impl SelfBench {
     /// Machine-readable form, written to `BENCH_sim.json`.
     pub fn to_json(&self) -> String {
+        let rows: Vec<String> = self
+            .rows
+            .iter()
+            .map(|r| {
+                format!(
+                    "    {{ \"engine\": \"{}\", \"sim_threads\": {}, \"wall_s\": {:.6} }}",
+                    r.engine, r.sim_threads, r.wall_s
+                )
+            })
+            .collect();
+        let per_bench: Vec<String> = self
+            .per_bench
+            .iter()
+            .map(|b| {
+                format!(
+                    "    {{ \"bench\": \"{}\", \"scalar_1_s\": {:.6}, \"columnar_1_s\": {:.6}, \
+                     \"speedup\": {:.3} }}",
+                    b.bench, b.scalar_1_s, b.columnar_1_s, b.speedup
+                )
+            })
+            .collect();
         format!(
-            "{{\n  \"host_threads\": {},\n  \"sim_threads\": {},\n  \"scale\": \"{}\",\n  \
-             \"serial_s\": {:.6},\n  \"parallel_s\": {:.6},\n  \"speedup\": {:.3},\n  \
+            "{{\n  \"host_threads\": {},\n  \"scale\": \"{}\",\n  \"rows\": [\n{}\n  ],\n  \
+             \"per_bench\": [\n{}\n  ],\n  \
+             \"columnar_speedup\": {:.3},\n  \"parallel_speedup\": {:.3},\n  \
              \"outputs_identical\": {}\n}}\n",
             self.host_threads,
-            self.sim_threads,
             self.scale,
-            self.serial_s,
-            self.parallel_s,
-            self.speedup,
+            rows.join(",\n"),
+            per_bench.join(",\n"),
+            self.columnar_speedup,
+            self.parallel_speedup,
             self.outputs_identical
         )
     }
 
     /// Human-readable one-screen summary.
     pub fn summary(&self) -> String {
-        format!(
-            "self-benchmark ({} scale, host has {} hardware threads)\n\
-               serial   (1 worker)   : {:.3} s\n\
-               parallel ({} workers) : {:.3} s\n\
-               speedup              : {:.2}x\n\
-               outputs identical    : {}\n",
-            self.scale,
-            self.host_threads,
-            self.serial_s,
-            self.sim_threads,
-            self.parallel_s,
-            self.speedup,
-            self.outputs_identical
-        )
+        let mut s = format!(
+            "self-benchmark ({} scale, host has {} hardware threads)\n",
+            self.scale, self.host_threads
+        );
+        for r in &self.rows {
+            s.push_str(&format!(
+                "  {:<8} engine, {} worker{}: {:.3} s\n",
+                r.engine,
+                r.sim_threads,
+                if r.sim_threads == 1 { " " } else { "s" },
+                r.wall_s
+            ));
+        }
+        if !self.per_bench.is_empty() {
+            s.push_str("  per-family (1 worker, scalar -> columnar):\n");
+            for b in &self.per_bench {
+                s.push_str(&format!(
+                    "    {:<10} {:>8.3} s -> {:>8.3} s  ({:.2}x)\n",
+                    b.bench, b.scalar_1_s, b.columnar_1_s, b.speedup
+                ));
+            }
+        }
+        s.push_str(&format!(
+            "  columnar speedup (1 worker) : {:.2}x\n\
+             \x20 parallel speedup (columnar): {:.2}x\n\
+             \x20 outputs identical          : {}\n",
+            self.columnar_speedup, self.parallel_speedup, self.outputs_identical
+        ));
+        s
     }
 }
 
-/// One timed suite pass at a fixed worker count; returns wall-clock plus
-/// the byte-comparable exports.
-fn timed_pass(benches: &[Box<dyn Benchmark>], threads: usize) -> (f64, String, String) {
+/// One timed suite pass at a fixed engine and worker count; returns
+/// wall-clock plus the byte-comparable exports.
+fn timed_pass(
+    benches: &[Box<dyn Benchmark>],
+    engine: Engine,
+    threads: usize,
+) -> (f64, String, String) {
+    kernel_ir::set_engine(engine);
     sim_pool::set_threads(threads);
     let t0 = Instant::now();
     let results = run_suite(benches, false);
@@ -80,34 +152,73 @@ fn timed_pass(benches: &[Box<dyn Benchmark>], threads: usize) -> (f64, String, S
     (dt, to_csv(&results), to_jsonl(&results))
 }
 
-/// Run the self-benchmark. Restores the configured thread count afterwards.
+/// Run the self-benchmark. Restores the configured engine and thread count
+/// afterwards.
 pub fn run(test_scale: bool) -> SelfBench {
     let benches = if test_scale {
         hpc_kernels::test_suite()
     } else {
         hpc_kernels::suite()
     };
-    let configured = sim_pool::threads().max(1);
+    let configured_engine = kernel_ir::engine();
+    let configured_threads = sim_pool::threads().max(1);
     let host_threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
 
     // Warm-up pass: first-touch page faults, lazy allocator growth and
-    // icache warming would otherwise all land on the serial measurement.
+    // icache warming would otherwise all land on the first measurement.
     sim_pool::set_threads(1);
     let _ = run_suite(&benches, false);
 
-    let (serial_s, csv_1, jsonl_1) = timed_pass(&benches, 1);
-    let (parallel_s, csv_n, jsonl_n) = timed_pass(&benches, configured);
-    sim_pool::set_threads(configured);
+    let mut rows = Vec::new();
+    let mut exports: Vec<(String, String)> = Vec::new();
+    let mut wall = |eng: Engine, threads: usize| -> f64 {
+        let (dt, csv, jsonl) = timed_pass(&benches, eng, threads);
+        rows.push(BenchRow {
+            engine: eng.name(),
+            sim_threads: threads,
+            wall_s: dt,
+        });
+        exports.push((csv, jsonl));
+        dt
+    };
+    let scalar_1 = wall(Engine::Scalar, THREAD_POINTS[0]);
+    let _scalar_n = wall(Engine::Scalar, THREAD_POINTS[1]);
+    let col_1 = wall(Engine::Columnar, THREAD_POINTS[0]);
+    let col_n = wall(Engine::Columnar, THREAD_POINTS[1]);
+
+    // Per-family single-thread comparison (timing only — the byte-equality
+    // check above uses the full-suite passes, whose per-cell seeds depend
+    // on position in the full bench list).
+    let mut per_bench = Vec::new();
+    for i in 0..benches.len() {
+        let fam = &benches[i..i + 1];
+        let (s1, _, _) = timed_pass(fam, Engine::Scalar, 1);
+        let (c1, _, _) = timed_pass(fam, Engine::Columnar, 1);
+        per_bench.push(BenchCompare {
+            bench: benches[i].name(),
+            scalar_1_s: s1,
+            columnar_1_s: c1,
+            speedup: s1 / c1.max(1e-9),
+        });
+    }
+
+    kernel_ir::set_engine(configured_engine);
+    sim_pool::set_threads(configured_threads);
+
+    let (base_csv, base_jsonl) = &exports[0];
+    let outputs_identical = exports[1..]
+        .iter()
+        .all(|(c, j)| c == base_csv && j == base_jsonl);
 
     SelfBench {
         host_threads,
-        sim_threads: configured,
         scale: if test_scale { "test" } else { "paper" },
-        serial_s,
-        parallel_s,
-        speedup: serial_s / parallel_s.max(1e-9),
-        outputs_identical: csv_1 == csv_n && jsonl_1 == jsonl_n,
+        rows,
+        per_bench,
+        columnar_speedup: scalar_1 / col_1.max(1e-9),
+        parallel_speedup: col_1 / col_n.max(1e-9),
+        outputs_identical,
     }
 }

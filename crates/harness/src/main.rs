@@ -70,8 +70,8 @@ flags:
   --fail-fast         stop scheduling new cells after the first failure
                       (remaining cells export as status=fail/aborted;
                       which cells were reached depends on thread timing)
-  --check             with bench-self: fail unless serial and parallel
-                      outputs match byte for byte
+  --check             with bench-self: exit 2 unless every engine/thread
+                      pass produced byte-identical outputs
   --quiet | --verbose log verbosity
   --help              this text
 
@@ -119,7 +119,8 @@ exit codes:
   0  every cell ran (skips from the paper's known driver bugs are fine)
   1  at least one cell failed (status=fail rows in the artifacts), or an
      artifact could not be written
-  2  usage or configuration error",
+  2  usage or configuration error, or a bench-self --check determinism
+     violation",
         KNOWN.join("|")
     )
 }
@@ -464,8 +465,8 @@ fn run() -> i32 {
         print!("{}", b.summary());
         println!("wrote {}", path.display());
         if o.check && !b.outputs_identical {
-            eprintln!("bench-self --check: serial and parallel outputs differ");
-            return 1;
+            eprintln!("bench-self --check: engine/thread passes produced different outputs");
+            return 2;
         }
         return 0;
     }

@@ -1,0 +1,2020 @@
+//! Columnar (SoA) work-group interpreter.
+//!
+//! The scalar engine in [`crate::exec`] walks one work-item at a time over
+//! per-item register files of boxed-width [`Value`](crate::value::Value)s —
+//! exactly the AOS layout the source paper tells kernel authors to avoid.
+//! This module applies the paper's own lesson to the interpreter: every
+//! virtual register becomes one contiguous typed column indexed by work-item
+//! (item-major, `idx = item * width + lane`), and the dispatch loop inverts —
+//! each decoded instruction is matched **once** and then applied across the
+//! whole group as a tight monomorphic loop the host compiler can
+//! auto-vectorize.
+//!
+//! ## Divergence
+//!
+//! Structured control flow (`If`/`For`) executes with per-item active masks:
+//! a branch runs its then/else blocks once each under derived masks, a loop
+//! keeps iterating while any item's per-item trip count remains, masking off
+//! finished items. Inactive items' registers and memory are never touched.
+//!
+//! ## Bit-identical event replay
+//!
+//! Tracers observe a *per-item* event stream (`thread_start`, per-op
+//! `op`/`mem`/`loop_iter`), and the sharded engine's determinism contract
+//! (DESIGN §10) depends on reproducing the scalar engine's exact sequence.
+//! Columnar execution records one [`Batch`] per executed instruction (op
+//! class + type, or a run of per-item memory accesses in ascending item
+//! order) together with its active mask. Because structured control flow is
+//! lockstep — every item active at an instruction executes it at the same
+//! batch position — filtering the batch list by one item's mask yields
+//! precisely the dynamic event sequence the scalar engine would have emitted
+//! for that item. [`replay_phase`] does that per item at each barrier
+//! boundary, so `ShardTracer` replay, telemetry counters and
+//! `run_ndrange_sharded` byte-identity all hold unchanged.
+//!
+//! ## Contract
+//!
+//! The columnar engine requires a validated program (element types of
+//! loads/stores match their buffers — [`crate::program`] enforces this), and
+//! is only selected when `DecodedProgram::columnar_ok` holds (integer
+//! atomics without old-value capture, so batch-applying RMWs in item order
+//! leaves the same final bits as the scalar schedule). Two documented
+//! divergences from the scalar engine remain: a kernel that would panic at
+//! several sites may report a different (item, instruction) first, because
+//! execution is instruction-major rather than item-major; and a kernel where
+//! one item plainly reads a location another item writes or atomically
+//! updates *within the same barrier phase* is a data race under the OpenCL
+//! contract both engines already assume — such kernels have no defined
+//! output on either engine.
+
+#![allow(clippy::too_many_arguments, clippy::needless_range_loop)]
+
+use std::rc::Rc;
+
+use crate::exec::{DLoc, DOp, DOperand, DecodedProgram, GroupState, NDRange};
+use crate::instr::{AtomicOp, BinOp, Builtin, HorizOp, UnOp};
+use crate::memory::{BufferData, MemoryPool};
+use crate::trace::{AccessKind, ExecTracer, MemAccess, OpClass, Pattern};
+use crate::types::{MemSpace, Scalar, VType};
+use crate::value::Lanes;
+
+// ---------------------------------------------------------------------------
+// Columns
+// ---------------------------------------------------------------------------
+
+/// One register's storage across the whole work-group: a contiguous typed
+/// vector of `n_items * width` lanes, item-major.
+#[derive(Clone, Debug)]
+enum Col {
+    F32(Vec<f32>),
+    F64(Vec<f64>),
+    I32(Vec<i32>),
+    I64(Vec<i64>),
+    U32(Vec<u32>),
+    U64(Vec<u64>),
+    Bool(Vec<bool>),
+}
+
+impl Default for Col {
+    fn default() -> Self {
+        Col::F32(Vec::new())
+    }
+}
+
+impl Col {
+    fn new(ty: VType, n: usize) -> Col {
+        let len = n * ty.width as usize;
+        match ty.elem {
+            Scalar::F32 => Col::F32(vec![0.0; len]),
+            Scalar::F64 => Col::F64(vec![0.0; len]),
+            Scalar::I32 => Col::I32(vec![0; len]),
+            Scalar::I64 => Col::I64(vec![0; len]),
+            Scalar::U32 => Col::U32(vec![0; len]),
+            Scalar::U64 => Col::U64(vec![0; len]),
+            Scalar::Bool => Col::Bool(vec![false; len]),
+        }
+    }
+
+    fn matches(&self, ty: VType, n: usize) -> bool {
+        let len = n * ty.width as usize;
+        match (self, ty.elem) {
+            (Col::F32(v), Scalar::F32) => v.len() == len,
+            (Col::F64(v), Scalar::F64) => v.len() == len,
+            (Col::I32(v), Scalar::I32) => v.len() == len,
+            (Col::I64(v), Scalar::I64) => v.len() == len,
+            (Col::U32(v), Scalar::U32) => v.len() == len,
+            (Col::U64(v), Scalar::U64) => v.len() == len,
+            (Col::Bool(v), Scalar::Bool) => v.len() == len,
+            _ => false,
+        }
+    }
+
+    /// Reset to the declared-type zero — the same per-group register init
+    /// the scalar engine performs, so uninitialized reads are pinned to zero
+    /// on both engines even when scratch is reused across groups.
+    fn zero(&mut self) {
+        match self {
+            Col::F32(v) => v.fill(0.0),
+            Col::F64(v) => v.fill(0.0),
+            Col::I32(v) => v.fill(0),
+            Col::I64(v) => v.fill(0),
+            Col::U32(v) => v.fill(0),
+            Col::U64(v) => v.fill(0),
+            Col::Bool(v) => v.fill(false),
+        }
+    }
+}
+
+/// A read-only strided view of one operand's lanes: `at(item, lane) =
+/// p[item * is + lane * ls]`. Register operands use `(is=width, ls=1)`,
+/// scalar registers broadcast to wider consumers use `(is=1, ls=0)`, and
+/// decode-time constants use `(is=0, ls=1)` over the splatted lane array.
+#[derive(Clone, Copy)]
+struct V2<'a, T> {
+    p: &'a [T],
+    is: usize,
+    ls: usize,
+}
+
+impl<T: Copy> V2<'_, T> {
+    #[inline(always)]
+    fn at(&self, i: usize, l: usize) -> T {
+        self.p[i * self.is + l * self.ls]
+    }
+}
+
+macro_rules! def_view {
+    ($name:ident, $t:ty, $var:ident) => {
+        /// Build a typed view of `o`. `taken` is the register index whose
+        /// column was `mem::take`n as the destination (or `u32::MAX`);
+        /// reads of it are served from `tmp`, the pre-op copy.
+        fn $name<'a>(
+            o: &'a DOperand,
+            cols: &'a [Col],
+            tmp: &'a Col,
+            taken: u32,
+            tys: &[VType],
+        ) -> V2<'a, $t> {
+            match o {
+                DOperand::Reg(r) => {
+                    let w = tys[*r as usize].width as usize;
+                    let c = if *r == taken { tmp } else { &cols[*r as usize] };
+                    let Col::$var(p) = c else {
+                        unreachable!("column type mismatch")
+                    };
+                    V2 { p, is: w, ls: 1 }
+                }
+                DOperand::RegBc(r, _) => {
+                    let c = if *r == taken { tmp } else { &cols[*r as usize] };
+                    let Col::$var(p) = c else {
+                        unreachable!("column type mismatch")
+                    };
+                    V2 { p, is: 1, ls: 0 }
+                }
+                DOperand::Const(v) => {
+                    let Lanes::$var(a) = v.lanes() else {
+                        unreachable!("column type mismatch")
+                    };
+                    V2 { p: a, is: 0, ls: 1 }
+                }
+            }
+        }
+    };
+}
+
+def_view!(view_f32, f32, F32);
+def_view!(view_f64, f64, F64);
+def_view!(view_i32, i32, I32);
+def_view!(view_i64, i64, I64);
+def_view!(view_u32, u32, U32);
+def_view!(view_u64, u64, U64);
+def_view!(view_bool, bool, Bool);
+
+/// Declared/decoded type of an operand.
+fn operand_vtype(o: &DOperand, tys: &[VType]) -> VType {
+    match o {
+        DOperand::Reg(r) => tys[*r as usize],
+        DOperand::RegBc(r, w) => VType {
+            elem: tys[*r as usize].elem,
+            width: *w,
+        },
+        DOperand::Const(v) => v.vtype(),
+    }
+}
+
+fn src_is(o: &DOperand, r: u32) -> bool {
+    matches!(o, DOperand::Reg(x) | DOperand::RegBc(x, _) if *x == r)
+}
+
+/// Take the destination column out of the register file so it can be
+/// written while sources are viewed. If any source aliases the destination,
+/// the pre-op lanes are first copied into `tmp` (reusing its allocation)
+/// and the returned marker tells the views to read from there.
+fn take_dst(cols: &mut [Col], tmp: &mut Col, dst: u32, srcs: &[&DOperand]) -> (Col, u32) {
+    let taken = if srcs.iter().any(|o| src_is(o, dst)) {
+        tmp.clone_from(&cols[dst as usize]);
+        dst
+    } else {
+        u32::MAX
+    };
+    (std::mem::take(&mut cols[dst as usize]), taken)
+}
+
+/// [`take_dst`] for ops whose source is a bare register index.
+fn take_dst_reg(cols: &mut [Col], tmp: &mut Col, dst: u32, src: u32) -> (Col, u32) {
+    let taken = if src == dst {
+        tmp.clone_from(&cols[dst as usize]);
+        dst
+    } else {
+        u32::MAX
+    };
+    (std::mem::take(&mut cols[dst as usize]), taken)
+}
+
+// ---------------------------------------------------------------------------
+// Active masks
+// ---------------------------------------------------------------------------
+
+/// Which work-items execute the current block.
+#[derive(Clone)]
+enum AMask {
+    /// All items active (the whole-phase common case — no mask checks in
+    /// the hot loops).
+    Full,
+    /// Per-item activity plus the active count.
+    Part(Rc<[bool]>, usize),
+}
+
+impl AMask {
+    #[inline(always)]
+    fn active(&self, i: usize) -> bool {
+        match self {
+            AMask::Full => true,
+            AMask::Part(m, _) => m[i],
+        }
+    }
+
+    fn count(&self, n: usize) -> usize {
+        match self {
+            AMask::Full => n,
+            AMask::Part(_, c) => *c,
+        }
+    }
+
+    /// The mask as recorded into batches: `None` means every item.
+    fn rc(&self) -> Option<Rc<[bool]>> {
+        match self {
+            AMask::Full => None,
+            AMask::Part(m, _) => Some(m.clone()),
+        }
+    }
+}
+
+/// Restrict `parent` to the items where `pred` also holds. When every
+/// parent-active item passes, the parent is reused (no allocation, and
+/// `Full` stays `Full`).
+fn derive_mask(parent: &AMask, n: usize, mut pred: impl FnMut(usize) -> bool) -> AMask {
+    let mut v = vec![false; n];
+    let mut c = 0usize;
+    for (i, slot) in v.iter_mut().enumerate() {
+        if parent.active(i) && pred(i) {
+            *slot = true;
+            c += 1;
+        }
+    }
+    if c == parent.count(n) {
+        parent.clone()
+    } else {
+        AMask::Part(Rc::from(v), c)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Event recording + per-item replay
+// ---------------------------------------------------------------------------
+
+enum BKind {
+    /// One arithmetic-pipe op per active item.
+    Op(OpClass, VType),
+    /// One loop back-edge per active item.
+    LoopIter,
+    /// One memory access per active item, recorded in ascending item order
+    /// starting at this offset into `EventBuf::mems`.
+    Mem(u32),
+}
+
+struct Batch {
+    mask: Option<Rc<[bool]>>,
+    kind: BKind,
+}
+
+/// Per-phase event log: O(dynamic instructions) batches plus the flat
+/// memory-access log, replayed per item at each barrier boundary.
+#[derive(Default)]
+struct EventBuf {
+    batches: Vec<Batch>,
+    mems: Vec<MemAccess>,
+    /// Gather-address side log: access `k`'s lanes start at `lane_at[k]`
+    /// (gathers own `width` entries, scalar/contiguous accesses own none).
+    lanes: Vec<u64>,
+    lane_at: Vec<u32>,
+    cursors: Vec<u32>,
+}
+
+impl EventBuf {
+    fn clear(&mut self) {
+        self.batches.clear();
+        self.mems.clear();
+        self.lanes.clear();
+        self.lane_at.clear();
+    }
+
+    fn push_op(&mut self, mask: &AMask, class: OpClass, ty: VType) {
+        self.batches.push(Batch {
+            mask: mask.rc(),
+            kind: BKind::Op(class, ty),
+        });
+    }
+
+    fn push_loop_iter(&mut self, mask: &AMask) {
+        self.batches.push(Batch {
+            mask: mask.rc(),
+            kind: BKind::LoopIter,
+        });
+    }
+
+    /// Open a memory batch; the executing op then pushes one access per
+    /// active item, in ascending item order.
+    fn begin_mem(&mut self, mask: &AMask) {
+        let start = self.mems.len() as u32;
+        self.batches.push(Batch {
+            mask: mask.rc(),
+            kind: BKind::Mem(start),
+        });
+    }
+
+    fn push_mem(&mut self, m: MemAccess) {
+        self.lane_at.push(self.lanes.len() as u32);
+        self.mems.push(m);
+    }
+}
+
+/// Replay one phase's batches as per-item event streams. For each item,
+/// the batches it was active in — in batch order — are exactly the dynamic
+/// instruction sequence the scalar engine would have executed for it, so
+/// the tracer observes byte-identical events.
+fn replay_phase<T: ExecTracer>(ev: &mut EventBuf, n: usize, first_phase: bool, tracer: &mut T) {
+    let EventBuf {
+        batches,
+        mems,
+        lanes,
+        lane_at,
+        cursors,
+    } = ev;
+    cursors.clear();
+    cursors.resize(batches.len(), 0);
+    for i in 0..n {
+        if first_phase {
+            tracer.thread_start();
+        }
+        for (bi, b) in batches.iter().enumerate() {
+            if let Some(m) = &b.mask {
+                if !m[i] {
+                    continue;
+                }
+            }
+            match b.kind {
+                BKind::Op(class, ty) => tracer.op(class, ty),
+                BKind::LoopIter => tracer.loop_iter(),
+                BKind::Mem(start) => {
+                    let k = (start + cursors[bi]) as usize;
+                    let a = &mems[k];
+                    let nl = if a.pattern == Pattern::Gather {
+                        a.width as usize
+                    } else {
+                        0
+                    };
+                    let la = lane_at[k] as usize;
+                    tracer.mem(a, &lanes[la..la + nl]);
+                    cursors[bi] += 1;
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scratch + group driver
+// ---------------------------------------------------------------------------
+
+/// Reusable columnar execution state: register columns, id columns, the
+/// event log and local buffers survive across groups (and, via the engine's
+/// thread-local, across the tasks a pool worker executes).
+#[derive(Default)]
+pub(crate) struct ColScratch {
+    cols: Vec<Col>,
+    /// Pre-op destination copy for source/dest aliasing.
+    tmp: Col,
+    gid: [Vec<u32>; 3],
+    lid: [Vec<u32>; 3],
+    group_id: [u32; 3],
+    /// Scratch for materialized buffer indices of the current memory op.
+    idx: Vec<usize>,
+    ev: EventBuf,
+    grp: GroupState,
+    n_items: usize,
+}
+
+impl ColScratch {
+    /// Make the scratch shape match `dp`/`ndr` (no-op when it already does).
+    fn prepare(&mut self, dp: &DecodedProgram, ndr: NDRange) {
+        let n = ndr.group_size();
+        let shape_ok = self.n_items == n
+            && self.cols.len() == dp.reg_tys.len()
+            && self
+                .cols
+                .iter()
+                .zip(&dp.reg_tys)
+                .all(|(c, t)| c.matches(*t, n));
+        if !shape_ok {
+            self.cols = dp.reg_tys.iter().map(|t| Col::new(*t, n)).collect();
+            self.gid = [vec![0; n], vec![0; n], vec![0; n]];
+            self.lid = [vec![0; n], vec![0; n], vec![0; n]];
+            self.n_items = n;
+        }
+        self.grp.prepare(dp);
+    }
+
+    /// Zero the register columns, lay out item ids and local buffers for
+    /// `group_linear`.
+    fn begin_group(&mut self, dp: &DecodedProgram, ndr: NDRange, group_linear: usize) {
+        for c in &mut self.cols {
+            c.zero();
+        }
+        let g = ndr.group_coords(group_linear);
+        self.group_id = [g[0] as u32, g[1] as u32, g[2] as u32];
+        let lsz = ndr.local;
+        for lin in 0..self.n_items {
+            let l = [
+                lin % lsz[0],
+                (lin / lsz[0]) % lsz[1],
+                lin / (lsz[0] * lsz[1]),
+            ];
+            for d in 0..3 {
+                self.lid[d][lin] = l[d] as u32;
+                self.gid[d][lin] = (g[d] * lsz[d] + l[d]) as u32;
+            }
+        }
+        self.grp.begin_group(dp, group_linear);
+    }
+}
+
+/// Execute one work-group on the columnar engine, emitting the same
+/// per-item event stream as the scalar [`crate::exec`] path.
+pub(crate) fn exec_group_columnar<T: ExecTracer>(
+    dp: &DecodedProgram,
+    ndr: NDRange,
+    group_linear: usize,
+    pool: &mut MemoryPool,
+    st: &mut ColScratch,
+    tracer: &mut T,
+) {
+    tracer.group_start();
+    st.prepare(dp, ndr);
+    st.begin_group(dp, ndr, group_linear);
+    let n = ndr.group_size();
+    let n_phases = dp.phases.len();
+    for (pi, range) in dp.phases.iter().enumerate() {
+        st.ev.clear();
+        exec_block(dp, ndr, n, pool, st, *range, &AMask::Full);
+        replay_phase(&mut st.ev, n, pi == 0, tracer);
+        if pi + 1 < n_phases {
+            tracer.barrier(n as u32);
+        }
+    }
+}
+
+fn exec_block(
+    dp: &DecodedProgram,
+    ndr: NDRange,
+    n: usize,
+    pool: &mut MemoryPool,
+    st: &mut ColScratch,
+    range: (u32, u32),
+    mask: &AMask,
+) {
+    for i in range.0..range.1 {
+        exec_dop(dp, ndr, n, pool, st, &dp.ops[i as usize], mask);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Monomorphic lane loops
+// ---------------------------------------------------------------------------
+
+#[inline]
+fn map1<T: Copy, O: Copy>(
+    d: &mut [O],
+    a: V2<'_, T>,
+    mask: &AMask,
+    n: usize,
+    w: usize,
+    f: impl Fn(T) -> O,
+) {
+    let d = &mut d[..n * w];
+    if matches!(mask, AMask::Full) && a.is == w && a.ls == 1 {
+        let ap = &a.p[..n * w];
+        for (dk, &ak) in d.iter_mut().zip(ap) {
+            *dk = f(ak);
+        }
+        return;
+    }
+    for i in 0..n {
+        if !mask.active(i) {
+            continue;
+        }
+        for l in 0..w {
+            d[i * w + l] = f(a.at(i, l));
+        }
+    }
+}
+
+#[inline]
+fn map2<T: Copy, O: Copy>(
+    d: &mut [O],
+    a: V2<'_, T>,
+    b: V2<'_, T>,
+    mask: &AMask,
+    n: usize,
+    w: usize,
+    f: impl Fn(T, T) -> O,
+) {
+    let d = &mut d[..n * w];
+    if matches!(mask, AMask::Full) && a.is == w && a.ls == 1 && b.is == w && b.ls == 1 {
+        let (ap, bp) = (&a.p[..n * w], &b.p[..n * w]);
+        for (k, dk) in d.iter_mut().enumerate() {
+            *dk = f(ap[k], bp[k]);
+        }
+        return;
+    }
+    for i in 0..n {
+        if !mask.active(i) {
+            continue;
+        }
+        for l in 0..w {
+            d[i * w + l] = f(a.at(i, l), b.at(i, l));
+        }
+    }
+}
+
+#[inline]
+fn map3<T: Copy, O: Copy>(
+    d: &mut [O],
+    a: V2<'_, T>,
+    b: V2<'_, T>,
+    c: V2<'_, T>,
+    mask: &AMask,
+    n: usize,
+    w: usize,
+    f: impl Fn(T, T, T) -> O,
+) {
+    let d = &mut d[..n * w];
+    if matches!(mask, AMask::Full)
+        && a.is == w
+        && a.ls == 1
+        && b.is == w
+        && b.ls == 1
+        && c.is == w
+        && c.ls == 1
+    {
+        let (ap, bp, cp) = (&a.p[..n * w], &b.p[..n * w], &c.p[..n * w]);
+        for (k, dk) in d.iter_mut().enumerate() {
+            *dk = f(ap[k], bp[k], cp[k]);
+        }
+        return;
+    }
+    for i in 0..n {
+        if !mask.active(i) {
+            continue;
+        }
+        for l in 0..w {
+            d[i * w + l] = f(a.at(i, l), b.at(i, l), c.at(i, l));
+        }
+    }
+}
+
+/// Lane-wise select: `d = cond ? a : b` (same lane semantics as
+/// [`crate::ops::eval_select`]).
+#[inline]
+fn map_sel<T: Copy>(
+    d: &mut [T],
+    cond: V2<'_, bool>,
+    a: V2<'_, T>,
+    b: V2<'_, T>,
+    mask: &AMask,
+    n: usize,
+    w: usize,
+) {
+    let d = &mut d[..n * w];
+    for i in 0..n {
+        if !mask.active(i) {
+            continue;
+        }
+        for l in 0..w {
+            d[i * w + l] = if cond.at(i, l) {
+                a.at(i, l)
+            } else {
+                b.at(i, l)
+            };
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-type op kernels: the operator is matched ONCE, outside the lane loop
+// ---------------------------------------------------------------------------
+
+macro_rules! def_fbin {
+    ($name:ident, $t:ty) => {
+        fn $name(
+            d: &mut [$t],
+            a: V2<'_, $t>,
+            b: V2<'_, $t>,
+            op: BinOp,
+            mask: &AMask,
+            n: usize,
+            w: usize,
+        ) {
+            match op {
+                BinOp::Add => map2(d, a, b, mask, n, w, |x, y| x + y),
+                BinOp::Sub => map2(d, a, b, mask, n, w, |x, y| x - y),
+                BinOp::Mul => map2(d, a, b, mask, n, w, |x, y| x * y),
+                BinOp::Div => map2(d, a, b, mask, n, w, |x, y| x / y),
+                BinOp::Min => map2(d, a, b, mask, n, w, |x, y| x.min(y)),
+                BinOp::Max => map2(d, a, b, mask, n, w, |x, y| x.max(y)),
+                _ => unreachable!("non-arith float op handled elsewhere"),
+            }
+        }
+    };
+}
+
+def_fbin!(fbin_f32, f32);
+def_fbin!(fbin_f64, f64);
+
+macro_rules! def_ibin {
+    ($name:ident, $t:ty) => {
+        fn $name(
+            d: &mut [$t],
+            a: V2<'_, $t>,
+            b: V2<'_, $t>,
+            op: BinOp,
+            mask: &AMask,
+            n: usize,
+            w: usize,
+        ) {
+            let lb = (<$t>::BITS - 1) as $t;
+            match op {
+                BinOp::Add => map2(d, a, b, mask, n, w, |x, y| x.wrapping_add(y)),
+                BinOp::Sub => map2(d, a, b, mask, n, w, |x, y| x.wrapping_sub(y)),
+                BinOp::Mul => map2(d, a, b, mask, n, w, |x, y| x.wrapping_mul(y)),
+                BinOp::Div => map2(d, a, b, mask, n, w, |x, y| {
+                    assert!(y != 0, "integer division by zero in kernel");
+                    x.wrapping_div(y)
+                }),
+                BinOp::Rem => map2(d, a, b, mask, n, w, |x, y| {
+                    assert!(y != 0, "integer remainder by zero in kernel");
+                    x.wrapping_rem(y)
+                }),
+                BinOp::Min => map2(d, a, b, mask, n, w, |x, y| x.min(y)),
+                BinOp::Max => map2(d, a, b, mask, n, w, |x, y| x.max(y)),
+                BinOp::And => map2(d, a, b, mask, n, w, |x, y| x & y),
+                BinOp::Or => map2(d, a, b, mask, n, w, |x, y| x | y),
+                BinOp::Xor => map2(d, a, b, mask, n, w, |x, y| x ^ y),
+                BinOp::Shl => map2(d, a, b, mask, n, w, |x, y| x.wrapping_shl((y & lb) as u32)),
+                BinOp::Shr => map2(d, a, b, mask, n, w, |x, y| x.wrapping_shr((y & lb) as u32)),
+                _ => unreachable!("comparison handled elsewhere"),
+            }
+        }
+    };
+}
+
+def_ibin!(ibin_i32, i32);
+def_ibin!(ibin_i64, i64);
+def_ibin!(ibin_u32, u32);
+def_ibin!(ibin_u64, u64);
+
+macro_rules! def_cmp {
+    ($name:ident, $t:ty) => {
+        fn $name(
+            d: &mut [bool],
+            a: V2<'_, $t>,
+            b: V2<'_, $t>,
+            op: BinOp,
+            mask: &AMask,
+            n: usize,
+            w: usize,
+        ) {
+            match op {
+                BinOp::Lt => map2(d, a, b, mask, n, w, |x, y| x < y),
+                BinOp::Le => map2(d, a, b, mask, n, w, |x, y| x <= y),
+                BinOp::Gt => map2(d, a, b, mask, n, w, |x, y| x > y),
+                BinOp::Ge => map2(d, a, b, mask, n, w, |x, y| x >= y),
+                BinOp::Eq => map2(d, a, b, mask, n, w, |x, y| x == y),
+                BinOp::Ne => map2(d, a, b, mask, n, w, |x, y| x != y),
+                _ => unreachable!("non-compare op in compare dispatch"),
+            }
+        }
+    };
+}
+
+def_cmp!(cmp_f32, f32);
+def_cmp!(cmp_f64, f64);
+def_cmp!(cmp_i32, i32);
+def_cmp!(cmp_i64, i64);
+def_cmp!(cmp_u32, u32);
+def_cmp!(cmp_u64, u64);
+def_cmp!(cmp_bool, bool);
+
+macro_rules! def_fun {
+    ($name:ident, $t:ty) => {
+        fn $name(d: &mut [$t], a: V2<'_, $t>, op: UnOp, mask: &AMask, n: usize, w: usize) {
+            match op {
+                UnOp::Neg => map1(d, a, mask, n, w, |x| -x),
+                UnOp::Abs => map1(d, a, mask, n, w, |x| x.abs()),
+                UnOp::Sqrt => map1(d, a, mask, n, w, |x| x.sqrt()),
+                UnOp::Rsqrt => map1(d, a, mask, n, w, |x| 1.0 / x.sqrt()),
+                UnOp::Exp => map1(d, a, mask, n, w, |x| x.exp()),
+                UnOp::Log => map1(d, a, mask, n, w, |x| x.ln()),
+                UnOp::Not => panic!("bitwise not on float"),
+            }
+        }
+    };
+}
+
+def_fun!(fun_f32, f32);
+def_fun!(fun_f64, f64);
+
+macro_rules! def_iun {
+    ($name:ident, $t:ty, $msg:literal) => {
+        fn $name(d: &mut [$t], a: V2<'_, $t>, op: UnOp, mask: &AMask, n: usize, w: usize) {
+            match op {
+                UnOp::Neg => map1(d, a, mask, n, w, |x| x.wrapping_neg()),
+                UnOp::Abs => map1(d, a, mask, n, w, |x| x.wrapping_abs()),
+                UnOp::Not => map1(d, a, mask, n, w, |x| !x),
+                other => panic!(concat!("{:?} on ", $msg), other),
+            }
+        }
+    };
+}
+
+def_iun!(iun_i32, i32, "int lanes");
+def_iun!(iun_i64, i64, "long lanes");
+
+macro_rules! def_uun {
+    ($name:ident, $t:ty, $msg:literal) => {
+        fn $name(d: &mut [$t], a: V2<'_, $t>, op: UnOp, mask: &AMask, n: usize, w: usize) {
+            match op {
+                UnOp::Neg => map1(d, a, mask, n, w, |x| x.wrapping_neg()),
+                UnOp::Abs => map1(d, a, mask, n, w, |x| x),
+                UnOp::Not => map1(d, a, mask, n, w, |x| !x),
+                other => panic!(concat!("{:?} on ", $msg), other),
+            }
+        }
+    };
+}
+
+def_uun!(uun_u32, u32, "uint lanes");
+def_uun!(uun_u64, u64, "ulong lanes");
+
+fn bun_bool(d: &mut [bool], a: V2<'_, bool>, op: UnOp, mask: &AMask, n: usize, w: usize) {
+    match op {
+        UnOp::Not => map1(d, a, mask, n, w, |x| !x),
+        other => panic!("{other:?} on bool lanes"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Compute ops
+// ---------------------------------------------------------------------------
+
+fn bin_col(
+    cols: &mut [Col],
+    tmp: &mut Col,
+    tys: &[VType],
+    mask: &AMask,
+    n: usize,
+    dst: u32,
+    op: BinOp,
+    a: &DOperand,
+    b: &DOperand,
+) {
+    let sty = operand_vtype(a, tys);
+    let w = sty.width as usize;
+    let (mut d, taken) = take_dst(cols, tmp, dst, &[a, b]);
+    if op.is_compare() {
+        macro_rules! cmp_arm {
+            ($view:ident, $cmp:ident) => {{
+                let va = $view(a, cols, tmp, taken, tys);
+                let vb = $view(b, cols, tmp, taken, tys);
+                let Col::Bool(dv) = &mut d else {
+                    unreachable!("compare destination must be a bool column")
+                };
+                $cmp(dv, va, vb, op, mask, n, w);
+            }};
+        }
+        match sty.elem {
+            Scalar::F32 => cmp_arm!(view_f32, cmp_f32),
+            Scalar::F64 => cmp_arm!(view_f64, cmp_f64),
+            Scalar::I32 => cmp_arm!(view_i32, cmp_i32),
+            Scalar::I64 => cmp_arm!(view_i64, cmp_i64),
+            Scalar::U32 => cmp_arm!(view_u32, cmp_u32),
+            Scalar::U64 => cmp_arm!(view_u64, cmp_u64),
+            Scalar::Bool => cmp_arm!(view_bool, cmp_bool),
+        }
+    } else {
+        macro_rules! arith_arm {
+            ($view:ident, $f:ident, $var:ident) => {{
+                let va = $view(a, cols, tmp, taken, tys);
+                let vb = $view(b, cols, tmp, taken, tys);
+                let Col::$var(dv) = &mut d else {
+                    unreachable!("column type mismatch")
+                };
+                $f(dv, va, vb, op, mask, n, w);
+            }};
+        }
+        match sty.elem {
+            Scalar::F32 => {
+                assert!(!op.int_only(), "{op:?} is integer-only, applied to float");
+                arith_arm!(view_f32, fbin_f32, F32)
+            }
+            Scalar::F64 => {
+                assert!(!op.int_only(), "{op:?} is integer-only, applied to double");
+                arith_arm!(view_f64, fbin_f64, F64)
+            }
+            Scalar::I32 => arith_arm!(view_i32, ibin_i32, I32),
+            Scalar::I64 => arith_arm!(view_i64, ibin_i64, I64),
+            Scalar::U32 => arith_arm!(view_u32, ibin_u32, U32),
+            Scalar::U64 => arith_arm!(view_u64, ibin_u64, U64),
+            Scalar::Bool => panic!("arithmetic binop {op:?} on bool vectors"),
+        }
+    }
+    cols[dst as usize] = d;
+}
+
+fn un_col(
+    cols: &mut [Col],
+    tmp: &mut Col,
+    tys: &[VType],
+    mask: &AMask,
+    n: usize,
+    dst: u32,
+    op: UnOp,
+    a: &DOperand,
+) {
+    let sty = operand_vtype(a, tys);
+    let w = sty.width as usize;
+    let (mut d, taken) = take_dst(cols, tmp, dst, &[a]);
+    macro_rules! un_arm {
+        ($view:ident, $f:ident, $var:ident) => {{
+            let va = $view(a, cols, tmp, taken, tys);
+            let Col::$var(dv) = &mut d else {
+                unreachable!("column type mismatch")
+            };
+            $f(dv, va, op, mask, n, w);
+        }};
+    }
+    match sty.elem {
+        Scalar::F32 => un_arm!(view_f32, fun_f32, F32),
+        Scalar::F64 => un_arm!(view_f64, fun_f64, F64),
+        Scalar::I32 => un_arm!(view_i32, iun_i32, I32),
+        Scalar::I64 => un_arm!(view_i64, iun_i64, I64),
+        Scalar::U32 => un_arm!(view_u32, uun_u32, U32),
+        Scalar::U64 => un_arm!(view_u64, uun_u64, U64),
+        Scalar::Bool => un_arm!(view_bool, bun_bool, Bool),
+    }
+    cols[dst as usize] = d;
+}
+
+fn mad_col(
+    cols: &mut [Col],
+    tmp: &mut Col,
+    tys: &[VType],
+    mask: &AMask,
+    n: usize,
+    dst: u32,
+    a: &DOperand,
+    b: &DOperand,
+    c: &DOperand,
+) {
+    let sty = operand_vtype(a, tys);
+    let w = sty.width as usize;
+    let (mut d, taken) = take_dst(cols, tmp, dst, &[a, b, c]);
+    macro_rules! mad_arm {
+        ($view:ident, $var:ident, $f:expr) => {{
+            let va = $view(a, cols, tmp, taken, tys);
+            let vb = $view(b, cols, tmp, taken, tys);
+            let vc = $view(c, cols, tmp, taken, tys);
+            let Col::$var(dv) = &mut d else {
+                unreachable!("column type mismatch")
+            };
+            map3(dv, va, vb, vc, mask, n, w, $f);
+        }};
+    }
+    match sty.elem {
+        // Fused multiply-add, single rounding — same as the scalar engine.
+        Scalar::F32 => mad_arm!(view_f32, F32, |x: f32, y, z| x.mul_add(y, z)),
+        Scalar::F64 => mad_arm!(view_f64, F64, |x: f64, y, z| x.mul_add(y, z)),
+        // Integer mad: multiply then add, wrapping.
+        Scalar::I32 => mad_arm!(view_i32, I32, |x: i32, y, z| x
+            .wrapping_mul(y)
+            .wrapping_add(z)),
+        Scalar::I64 => mad_arm!(view_i64, I64, |x: i64, y, z| x
+            .wrapping_mul(y)
+            .wrapping_add(z)),
+        Scalar::U32 => mad_arm!(view_u32, U32, |x: u32, y, z| x
+            .wrapping_mul(y)
+            .wrapping_add(z)),
+        Scalar::U64 => mad_arm!(view_u64, U64, |x: u64, y, z| x
+            .wrapping_mul(y)
+            .wrapping_add(z)),
+        Scalar::Bool => panic!("arithmetic binop Mul on bool vectors"),
+    }
+    cols[dst as usize] = d;
+}
+
+fn select_col(
+    cols: &mut [Col],
+    tmp: &mut Col,
+    tys: &[VType],
+    mask: &AMask,
+    n: usize,
+    dst: u32,
+    cond: &DOperand,
+    a: &DOperand,
+    b: &DOperand,
+) {
+    let sty = operand_vtype(a, tys);
+    let w = sty.width as usize;
+    let (mut d, taken) = take_dst(cols, tmp, dst, &[cond, a, b]);
+    let cv = view_bool(cond, cols, tmp, taken, tys);
+    macro_rules! sel_arm {
+        ($view:ident, $var:ident) => {{
+            let va = $view(a, cols, tmp, taken, tys);
+            let vb = $view(b, cols, tmp, taken, tys);
+            let Col::$var(dv) = &mut d else {
+                unreachable!("column type mismatch")
+            };
+            map_sel(dv, cv, va, vb, mask, n, w);
+        }};
+    }
+    match sty.elem {
+        Scalar::F32 => sel_arm!(view_f32, F32),
+        Scalar::F64 => sel_arm!(view_f64, F64),
+        Scalar::I32 => sel_arm!(view_i32, I32),
+        Scalar::I64 => sel_arm!(view_i64, I64),
+        Scalar::U32 => sel_arm!(view_u32, U32),
+        Scalar::U64 => sel_arm!(view_u64, U64),
+        Scalar::Bool => sel_arm!(view_bool, Bool),
+    }
+    cols[dst as usize] = d;
+}
+
+fn mov_col(
+    cols: &mut [Col],
+    tmp: &mut Col,
+    tys: &[VType],
+    mask: &AMask,
+    n: usize,
+    dst: u32,
+    a: &DOperand,
+) {
+    let sty = operand_vtype(a, tys);
+    let w = sty.width as usize;
+    let (mut d, taken) = take_dst(cols, tmp, dst, &[a]);
+    macro_rules! mov_arm {
+        ($view:ident, $var:ident) => {{
+            let va = $view(a, cols, tmp, taken, tys);
+            let Col::$var(dv) = &mut d else {
+                unreachable!("column type mismatch")
+            };
+            map1(dv, va, mask, n, w, |x| x);
+        }};
+    }
+    match sty.elem {
+        Scalar::F32 => mov_arm!(view_f32, F32),
+        Scalar::F64 => mov_arm!(view_f64, F64),
+        Scalar::I32 => mov_arm!(view_i32, I32),
+        Scalar::I64 => mov_arm!(view_i64, I64),
+        Scalar::U32 => mov_arm!(view_u32, U32),
+        Scalar::U64 => mov_arm!(view_u64, U64),
+        Scalar::Bool => mov_arm!(view_bool, Bool),
+    }
+    cols[dst as usize] = d;
+}
+
+/// Write an int-sourced cast through `i64`, exactly like `Value::cast`'s
+/// integer path (int→int conversions must be exact, so they never touch
+/// `f64`).
+fn cast_int<S: Copy>(
+    d: &mut Col,
+    s: V2<'_, S>,
+    cv: impl Fn(S) -> i64,
+    mask: &AMask,
+    n: usize,
+    w: usize,
+) {
+    match d {
+        Col::I32(dv) => map1(dv, s, mask, n, w, |x| cv(x) as i32),
+        Col::I64(dv) => map1(dv, s, mask, n, w, &cv),
+        Col::U32(dv) => map1(dv, s, mask, n, w, |x| cv(x) as u32),
+        Col::U64(dv) => map1(dv, s, mask, n, w, |x| cv(x) as u64),
+        Col::Bool(dv) => map1(dv, s, mask, n, w, |x| cv(x) != 0),
+        _ => unreachable!("integer cast lands in an int or bool column"),
+    }
+}
+
+/// Write a cast through `f64`, exactly like `Value::cast`'s `out_from_f64`
+/// path (every lane conversion mirrors `lane_f64` + the destination `as`
+/// cast).
+fn cast_f64<S: Copy>(
+    d: &mut Col,
+    s: V2<'_, S>,
+    cv: impl Fn(S) -> f64,
+    mask: &AMask,
+    n: usize,
+    w: usize,
+) {
+    match d {
+        Col::F32(dv) => map1(dv, s, mask, n, w, |x| cv(x) as f32),
+        Col::F64(dv) => map1(dv, s, mask, n, w, &cv),
+        Col::I32(dv) => map1(dv, s, mask, n, w, |x| cv(x) as i32),
+        Col::I64(dv) => map1(dv, s, mask, n, w, |x| cv(x) as i64),
+        Col::U32(dv) => map1(dv, s, mask, n, w, |x| cv(x) as u32),
+        Col::U64(dv) => map1(dv, s, mask, n, w, |x| cv(x) as u64),
+        Col::Bool(dv) => map1(dv, s, mask, n, w, |x| cv(x) != 0.0),
+    }
+}
+
+fn vr<T>(p: &[T], w: usize) -> V2<'_, T> {
+    V2 { p, is: w, ls: 1 }
+}
+
+fn cast_col(
+    cols: &mut [Col],
+    tmp: &mut Col,
+    tys: &[VType],
+    mask: &AMask,
+    n: usize,
+    dst: u32,
+    src: u32,
+    to: Scalar,
+) {
+    let sty = tys[src as usize];
+    let w = sty.width as usize;
+    let (mut d, taken) = take_dst_reg(cols, tmp, dst, src);
+    let s = if taken == src {
+        &*tmp
+    } else {
+        &cols[src as usize]
+    };
+    if sty.elem.is_int() && (to.is_int() || to == Scalar::Bool) {
+        match s {
+            Col::I32(v) => cast_int(&mut d, vr(v, w), |x| x as i64, mask, n, w),
+            Col::I64(v) => cast_int(&mut d, vr(v, w), |x| x, mask, n, w),
+            Col::U32(v) => cast_int(&mut d, vr(v, w), |x| x as u64 as i64, mask, n, w),
+            Col::U64(v) => cast_int(&mut d, vr(v, w), |x| x as i64, mask, n, w),
+            _ => unreachable!("column type mismatch"),
+        }
+    } else {
+        match s {
+            Col::F32(v) => cast_f64(&mut d, vr(v, w), |x| x as f64, mask, n, w),
+            Col::F64(v) => cast_f64(&mut d, vr(v, w), |x| x, mask, n, w),
+            Col::I32(v) => cast_f64(&mut d, vr(v, w), |x| x as f64, mask, n, w),
+            Col::I64(v) => cast_f64(&mut d, vr(v, w), |x| x as f64, mask, n, w),
+            Col::U32(v) => cast_f64(&mut d, vr(v, w), |x| x as f64, mask, n, w),
+            Col::U64(v) => cast_f64(&mut d, vr(v, w), |x| x as f64, mask, n, w),
+            Col::Bool(v) => cast_f64(&mut d, vr(v, w), |x| if x { 1.0 } else { 0.0 }, mask, n, w),
+        }
+    }
+    cols[dst as usize] = d;
+}
+
+fn horiz_col(
+    cols: &mut [Col],
+    tmp: &mut Col,
+    mask: &AMask,
+    n: usize,
+    dst: u32,
+    op: HorizOp,
+    src: u32,
+    sw: usize,
+) {
+    let (mut d, taken) = take_dst_reg(cols, tmp, dst, src);
+    let s = if taken == src {
+        &*tmp
+    } else {
+        &cols[src as usize]
+    };
+    macro_rules! fhoriz {
+        ($sv:expr, $dv:expr, $t:ident) => {{
+            // Same left-to-right folds as Value::reduce_*.
+            for i in 0..n {
+                if !mask.active(i) {
+                    continue;
+                }
+                let row = &$sv[i * sw..i * sw + sw];
+                $dv[i] = match op {
+                    HorizOp::Add => row.iter().sum(),
+                    HorizOp::Min => row.iter().copied().fold($t::INFINITY, $t::min),
+                    HorizOp::Max => row.iter().copied().fold($t::NEG_INFINITY, $t::max),
+                };
+            }
+        }};
+    }
+    macro_rules! ihoriz {
+        ($sv:expr, $dv:expr, $zero:expr) => {{
+            for i in 0..n {
+                if !mask.active(i) {
+                    continue;
+                }
+                let row = &$sv[i * sw..i * sw + sw];
+                $dv[i] = match op {
+                    HorizOp::Add => row.iter().fold($zero, |acc, &x| acc.wrapping_add(x)),
+                    HorizOp::Min => *row.iter().min().unwrap(),
+                    HorizOp::Max => *row.iter().max().unwrap(),
+                };
+            }
+        }};
+    }
+    match (s, &mut d) {
+        (Col::F32(sv), Col::F32(dv)) => fhoriz!(sv, dv, f32),
+        (Col::F64(sv), Col::F64(dv)) => fhoriz!(sv, dv, f64),
+        (Col::I32(sv), Col::I32(dv)) => ihoriz!(sv, dv, 0i32),
+        (Col::I64(sv), Col::I64(dv)) => ihoriz!(sv, dv, 0i64),
+        (Col::U32(sv), Col::U32(dv)) => ihoriz!(sv, dv, 0u32),
+        (Col::U64(sv), Col::U64(dv)) => ihoriz!(sv, dv, 0u64),
+        (Col::Bool(_), _) => match op {
+            HorizOp::Add => panic!("reduce_add on bool vector"),
+            HorizOp::Min => panic!("reduce_min on bool vector"),
+            HorizOp::Max => panic!("reduce_max on bool vector"),
+        },
+        _ => unreachable!("column type mismatch"),
+    }
+    cols[dst as usize] = d;
+}
+
+fn extract_col(
+    cols: &mut [Col],
+    tmp: &mut Col,
+    tys: &[VType],
+    mask: &AMask,
+    n: usize,
+    dst: u32,
+    src: u32,
+    lane: usize,
+) {
+    let sw = tys[src as usize].width as usize;
+    assert!(lane < sw, "extract lane {lane} out of range");
+    let (mut d, taken) = take_dst_reg(cols, tmp, dst, src);
+    let s = if taken == src {
+        &*tmp
+    } else {
+        &cols[src as usize]
+    };
+    macro_rules! ex_arm {
+        ($sv:expr, $dv:expr) => {{
+            for i in 0..n {
+                if mask.active(i) {
+                    $dv[i] = $sv[i * sw + lane];
+                }
+            }
+        }};
+    }
+    match (s, &mut d) {
+        (Col::F32(sv), Col::F32(dv)) => ex_arm!(sv, dv),
+        (Col::F64(sv), Col::F64(dv)) => ex_arm!(sv, dv),
+        (Col::I32(sv), Col::I32(dv)) => ex_arm!(sv, dv),
+        (Col::I64(sv), Col::I64(dv)) => ex_arm!(sv, dv),
+        (Col::U32(sv), Col::U32(dv)) => ex_arm!(sv, dv),
+        (Col::U64(sv), Col::U64(dv)) => ex_arm!(sv, dv),
+        (Col::Bool(sv), Col::Bool(dv)) => ex_arm!(sv, dv),
+        _ => unreachable!("column type mismatch"),
+    }
+    cols[dst as usize] = d;
+}
+
+fn insert_col(
+    cols: &mut [Col],
+    tmp: &mut Col,
+    tys: &[VType],
+    mask: &AMask,
+    n: usize,
+    dst: u32,
+    v: &DOperand,
+    lane: usize,
+) {
+    let w = tys[dst as usize].width as usize;
+    assert!(lane < w, "insert lane {lane} out of range");
+    // `take_dst` hands back the live column, so inactive items and the
+    // other lanes of active items keep their current values.
+    let (mut d, taken) = take_dst(cols, tmp, dst, &[v]);
+    macro_rules! ins_arm {
+        ($view:ident, $var:ident) => {{
+            let vv = $view(v, cols, tmp, taken, tys);
+            let Col::$var(dv) = &mut d else {
+                unreachable!("column type mismatch")
+            };
+            for i in 0..n {
+                if mask.active(i) {
+                    dv[i * w + lane] = vv.at(i, 0);
+                }
+            }
+        }};
+    }
+    match tys[dst as usize].elem {
+        Scalar::F32 => ins_arm!(view_f32, F32),
+        Scalar::F64 => ins_arm!(view_f64, F64),
+        Scalar::I32 => ins_arm!(view_i32, I32),
+        Scalar::I64 => ins_arm!(view_i64, I64),
+        Scalar::U32 => ins_arm!(view_u32, U32),
+        Scalar::U64 => ins_arm!(view_u64, U64),
+        Scalar::Bool => ins_arm!(view_bool, Bool),
+    }
+    cols[dst as usize] = d;
+}
+
+// ---------------------------------------------------------------------------
+// Memory ops
+// ---------------------------------------------------------------------------
+
+/// Materialize `lanes` buffer indices per active item into `out`, ascending
+/// item order then ascending lane order — the same order the scalar engine
+/// evaluates (and panics on) them. Conversions mirror `Value::lane_index`.
+fn fill_indices(
+    out: &mut Vec<usize>,
+    o: &DOperand,
+    cols: &[Col],
+    tmp: &Col,
+    taken: u32,
+    tys: &[VType],
+    lanes: usize,
+    mask: &AMask,
+    n: usize,
+) {
+    out.clear();
+    macro_rules! go {
+        ($view:ident, $cv:expr) => {{
+            let v = $view(o, cols, tmp, taken, tys);
+            for i in 0..n {
+                if !mask.active(i) {
+                    continue;
+                }
+                for l in 0..lanes {
+                    let x: i64 = ($cv)(v.at(i, l));
+                    assert!(x >= 0, "negative buffer index {x}");
+                    out.push(x as usize);
+                }
+            }
+        }};
+    }
+    match operand_vtype(o, tys).elem {
+        Scalar::F32 => go!(view_f32, |x: f32| x as i64),
+        Scalar::F64 => go!(view_f64, |x: f64| x as i64),
+        Scalar::I32 => go!(view_i32, |x: i32| x as i64),
+        Scalar::I64 => go!(view_i64, |x: i64| x),
+        Scalar::U32 => go!(view_u32, |x: u32| x as i64),
+        Scalar::U64 => go!(view_u64, |x: u64| x as i64),
+        Scalar::Bool => go!(view_bool, |x: bool| x as i64),
+    }
+}
+
+/// Read lane 0 of `o` as `i64` for each active item (loop bounds).
+/// Conversions mirror `Value::lane_i64`.
+fn fill_lane0_i64(
+    out: &mut [i64],
+    o: &DOperand,
+    cols: &[Col],
+    tmp: &Col,
+    tys: &[VType],
+    mask: &AMask,
+    n: usize,
+) {
+    macro_rules! go {
+        ($view:ident, $cv:expr) => {{
+            let v = $view(o, cols, tmp, u32::MAX, tys);
+            for i in 0..n {
+                if mask.active(i) {
+                    out[i] = ($cv)(v.at(i, 0));
+                }
+            }
+        }};
+    }
+    match operand_vtype(o, tys).elem {
+        Scalar::F32 => go!(view_f32, |x: f32| x as i64),
+        Scalar::F64 => go!(view_f64, |x: f64| x as i64),
+        Scalar::I32 => go!(view_i32, |x: i32| x as i64),
+        Scalar::I64 => go!(view_i64, |x: i64| x),
+        Scalar::U32 => go!(view_u32, |x: u32| x as i64),
+        Scalar::U64 => go!(view_u64, |x: u64| x as i64),
+        Scalar::Bool => go!(view_bool, |x: bool| x as i64),
+    }
+}
+
+/// Push one indexed access event, shaped exactly like the scalar engine's
+/// `emit_global_access`/`emit_local_access`: scalar for one lane, gather
+/// with per-lane addresses (recorded in the event buffer's side log)
+/// otherwise.
+#[allow(clippy::too_many_arguments)]
+fn push_indexed(
+    ev: &mut EventBuf,
+    space: MemSpace,
+    kind: AccessKind,
+    stream: u32,
+    base: u64,
+    elem: Scalar,
+    w: usize,
+    idxs: &[usize],
+) {
+    let eb = elem.bytes();
+    if w == 1 {
+        ev.push_mem(MemAccess {
+            space,
+            kind,
+            stream,
+            addr: base + idxs[0] as u64 * eb as u64,
+            bytes: eb,
+            elem,
+            width: 1,
+            pattern: Pattern::Scalar,
+        });
+    } else {
+        let la = ev.lanes.len();
+        ev.lanes
+            .extend(idxs[..w].iter().map(|&ix| base + ix as u64 * eb as u64));
+        ev.lane_at.push(la as u32);
+        ev.mems.push(MemAccess {
+            space,
+            kind,
+            stream,
+            addr: ev.lanes[la],
+            bytes: eb * w as u32,
+            elem,
+            width: w as u8,
+            pattern: Pattern::Gather,
+        });
+    }
+}
+
+/// One contiguous vload/vstore event (scalar when width is 1).
+fn mem_contig(space: MemSpace, kind: AccessKind, stream: u32, addr: u64, ty: VType) -> MemAccess {
+    MemAccess {
+        space,
+        kind,
+        stream,
+        addr,
+        bytes: ty.bytes(),
+        elem: ty.elem,
+        width: ty.width,
+        pattern: if ty.width == 1 {
+            Pattern::Scalar
+        } else {
+            Pattern::Contiguous
+        },
+    }
+}
+
+/// Set the loop-variable column from the per-item counters.
+fn set_loop_var(c: &mut Col, elem: Scalar, cur: &[i64], im: &AMask, n: usize) {
+    match (elem, c) {
+        (Scalar::I32, Col::I32(v)) => {
+            for i in 0..n {
+                if im.active(i) {
+                    v[i] = cur[i] as i32;
+                }
+            }
+        }
+        (Scalar::I64, Col::I64(v)) => {
+            for i in 0..n {
+                if im.active(i) {
+                    v[i] = cur[i];
+                }
+            }
+        }
+        (Scalar::U32, Col::U32(v)) => {
+            for i in 0..n {
+                if im.active(i) {
+                    v[i] = cur[i] as u32;
+                }
+            }
+        }
+        (Scalar::U64, Col::U64(v)) => {
+            for i in 0..n {
+                if im.active(i) {
+                    v[i] = cur[i] as u64;
+                }
+            }
+        }
+        (other @ (Scalar::F32 | Scalar::F64 | Scalar::Bool), _) => {
+            panic!("loop counter of type {other}")
+        }
+        _ => unreachable!("column type mismatch"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The instruction dispatch: matched once, executed across the whole group
+// ---------------------------------------------------------------------------
+
+fn exec_dop(
+    dp: &DecodedProgram,
+    ndr: NDRange,
+    n: usize,
+    pool: &mut MemoryPool,
+    st: &mut ColScratch,
+    op: &DOp,
+    mask: &AMask,
+) {
+    let tys = &dp.reg_tys;
+    match op {
+        DOp::Bin {
+            dst,
+            op,
+            a,
+            b,
+            class,
+            ty,
+        } => {
+            st.ev.push_op(mask, *class, *ty);
+            bin_col(&mut st.cols, &mut st.tmp, tys, mask, n, *dst, *op, a, b);
+        }
+        DOp::Un {
+            dst,
+            op,
+            a,
+            class,
+            ty,
+        } => {
+            st.ev.push_op(mask, *class, *ty);
+            un_col(&mut st.cols, &mut st.tmp, tys, mask, n, *dst, *op, a);
+        }
+        DOp::Mad { dst, a, b, c, ty } => {
+            st.ev.push_op(mask, OpClass::Mad, *ty);
+            mad_col(&mut st.cols, &mut st.tmp, tys, mask, n, *dst, a, b, c);
+        }
+        DOp::Select {
+            dst,
+            cond,
+            a,
+            b,
+            ty,
+        } => {
+            st.ev.push_op(mask, OpClass::Move, *ty);
+            select_col(&mut st.cols, &mut st.tmp, tys, mask, n, *dst, cond, a, b);
+        }
+        DOp::Mov { dst, a, ty } => {
+            st.ev.push_op(mask, OpClass::Move, *ty);
+            mov_col(&mut st.cols, &mut st.tmp, tys, mask, n, *dst, a);
+        }
+        DOp::CastReg { dst, src, to, ty } => {
+            st.ev.push_op(mask, OpClass::Move, *ty);
+            cast_col(&mut st.cols, &mut st.tmp, tys, mask, n, *dst, *src, *to);
+        }
+        DOp::Horiz { dst, op, src, ty } => {
+            st.ev.push_op(mask, OpClass::Horizontal, *ty);
+            let sw = tys[*src as usize].width as usize;
+            horiz_col(&mut st.cols, &mut st.tmp, mask, n, *dst, *op, *src, sw);
+        }
+        DOp::Extract { dst, src, lane, ty } => {
+            st.ev.push_op(mask, OpClass::Move, *ty);
+            extract_col(
+                &mut st.cols,
+                &mut st.tmp,
+                tys,
+                mask,
+                n,
+                *dst,
+                *src,
+                *lane as usize,
+            );
+        }
+        DOp::Insert { dst, v, lane, ty } => {
+            st.ev.push_op(mask, OpClass::Move, *ty);
+            insert_col(
+                &mut st.cols,
+                &mut st.tmp,
+                tys,
+                mask,
+                n,
+                *dst,
+                v,
+                *lane as usize,
+            );
+        }
+        DOp::Query { dst, q } => {
+            st.ev
+                .push_op(mask, OpClass::Move, VType::scalar(Scalar::U32));
+            let Col::U32(dv) = &mut st.cols[*dst as usize] else {
+                unreachable!("query destination must be a u32 column")
+            };
+            match q {
+                Builtin::GlobalId(dm) => {
+                    let g = &st.gid[*dm as usize];
+                    for i in 0..n {
+                        if mask.active(i) {
+                            dv[i] = g[i];
+                        }
+                    }
+                }
+                Builtin::LocalId(dm) => {
+                    let l = &st.lid[*dm as usize];
+                    for i in 0..n {
+                        if mask.active(i) {
+                            dv[i] = l[i];
+                        }
+                    }
+                }
+                Builtin::GroupId(dm)
+                | Builtin::GlobalSize(dm)
+                | Builtin::LocalSize(dm)
+                | Builtin::NumGroups(dm) => {
+                    let c = match q {
+                        Builtin::GroupId(_) => st.group_id[*dm as usize],
+                        Builtin::GlobalSize(_) => ndr.global[*dm as usize] as u32,
+                        Builtin::LocalSize(_) => ndr.local[*dm as usize] as u32,
+                        _ => ndr.num_groups()[*dm as usize] as u32,
+                    };
+                    for i in 0..n {
+                        if mask.active(i) {
+                            dv[i] = c;
+                        }
+                    }
+                }
+            }
+        }
+        DOp::LoadScalarArg { dst, v } => {
+            // Free register write: no event, like the scalar engine.
+            let d = &mut st.cols[*dst as usize];
+            macro_rules! sc_arm {
+                ($var:ident, $dv:ident, $a:ident) => {{
+                    let x = $a[0];
+                    for i in 0..n {
+                        if mask.active(i) {
+                            $dv[i] = x;
+                        }
+                    }
+                }};
+            }
+            match (d, v.lanes()) {
+                (Col::F32(dv), Lanes::F32(a)) => sc_arm!(F32, dv, a),
+                (Col::F64(dv), Lanes::F64(a)) => sc_arm!(F64, dv, a),
+                (Col::I32(dv), Lanes::I32(a)) => sc_arm!(I32, dv, a),
+                (Col::I64(dv), Lanes::I64(a)) => sc_arm!(I64, dv, a),
+                (Col::U32(dv), Lanes::U32(a)) => sc_arm!(U32, dv, a),
+                (Col::U64(dv), Lanes::U64(a)) => sc_arm!(U64, dv, a),
+                (Col::Bool(dv), Lanes::Bool(a)) => sc_arm!(Bool, dv, a),
+                _ => unreachable!("column type mismatch"),
+            }
+        }
+        DOp::Load {
+            dst,
+            loc,
+            idx,
+            ty,
+            stream,
+        } => {
+            let w = ty.width as usize;
+            // The traced width is the *index* operand's width (the scalar
+            // engine emits whatever the index register carries).
+            let we = operand_vtype(idx, tys).width as usize;
+            let (mut d, taken) = take_dst(&mut st.cols, &mut st.tmp, *dst, &[idx]);
+            fill_indices(&mut st.idx, idx, &st.cols, &st.tmp, taken, tys, we, mask, n);
+            let (space, base, data) = match loc {
+                DLoc::Global(pi) => (MemSpace::Global, pool.base_addr(*pi), pool.get(*pi)),
+                DLoc::Local(ai) => (
+                    MemSpace::Local,
+                    st.grp.local_addrs[*ai],
+                    st.grp.locals[*ai].as_ref().expect("local buffer"),
+                ),
+            };
+            st.ev.begin_mem(mask);
+            let idxs = &st.idx;
+            let ev = &mut st.ev;
+            macro_rules! ld_arm {
+                ($dv:ident, $sv:ident) => {{
+                    let mut k = 0usize;
+                    for i in 0..n {
+                        if !mask.active(i) {
+                            continue;
+                        }
+                        if w == 1 {
+                            $dv[i] = $sv[idxs[k]];
+                        } else {
+                            for l in 0..w {
+                                $dv[i * w + l] = $sv[idxs[k + l]];
+                            }
+                        }
+                        push_indexed(
+                            ev,
+                            space,
+                            AccessKind::Read,
+                            *stream,
+                            base,
+                            ty.elem,
+                            we,
+                            &idxs[k..k + we],
+                        );
+                        k += we;
+                    }
+                }};
+            }
+            match (&mut d, data) {
+                (Col::F32(dv), BufferData::F32(sv)) => ld_arm!(dv, sv),
+                (Col::F64(dv), BufferData::F64(sv)) => ld_arm!(dv, sv),
+                (Col::I32(dv), BufferData::I32(sv)) => ld_arm!(dv, sv),
+                (Col::I64(dv), BufferData::I64(sv)) => ld_arm!(dv, sv),
+                (Col::U32(dv), BufferData::U32(sv)) => ld_arm!(dv, sv),
+                (Col::U64(dv), BufferData::U64(sv)) => ld_arm!(dv, sv),
+                _ => unreachable!("validated: load register elem matches buffer elem"),
+            }
+            st.cols[*dst as usize] = d;
+        }
+        DOp::VLoad {
+            dst,
+            loc,
+            base,
+            ty,
+            stream,
+        } => {
+            let w = ty.width as usize;
+            let (mut d, taken) = take_dst(&mut st.cols, &mut st.tmp, *dst, &[base]);
+            fill_indices(&mut st.idx, base, &st.cols, &st.tmp, taken, tys, 1, mask, n);
+            let (space, bufbase, data) = match loc {
+                DLoc::Global(pi) => (MemSpace::Global, pool.base_addr(*pi), pool.get(*pi)),
+                DLoc::Local(ai) => (
+                    MemSpace::Local,
+                    st.grp.local_addrs[*ai],
+                    st.grp.locals[*ai].as_ref().expect("local buffer"),
+                ),
+            };
+            let eb = ty.elem.bytes() as u64;
+            st.ev.begin_mem(mask);
+            let idxs = &st.idx;
+            let ev = &mut st.ev;
+            macro_rules! vld_arm {
+                ($dv:ident, $sv:ident) => {{
+                    let mut k = 0usize;
+                    for i in 0..n {
+                        if !mask.active(i) {
+                            continue;
+                        }
+                        let b = idxs[k];
+                        for l in 0..w {
+                            $dv[i * w + l] = $sv[b + l];
+                        }
+                        ev.push_mem(mem_contig(
+                            space,
+                            AccessKind::Read,
+                            *stream,
+                            bufbase + b as u64 * eb,
+                            *ty,
+                        ));
+                        k += 1;
+                    }
+                }};
+            }
+            match (&mut d, data) {
+                (Col::F32(dv), BufferData::F32(sv)) => vld_arm!(dv, sv),
+                (Col::F64(dv), BufferData::F64(sv)) => vld_arm!(dv, sv),
+                (Col::I32(dv), BufferData::I32(sv)) => vld_arm!(dv, sv),
+                (Col::I64(dv), BufferData::I64(sv)) => vld_arm!(dv, sv),
+                (Col::U32(dv), BufferData::U32(sv)) => vld_arm!(dv, sv),
+                (Col::U64(dv), BufferData::U64(sv)) => vld_arm!(dv, sv),
+                _ => unreachable!("validated: vload register elem matches buffer elem"),
+            }
+            st.cols[*dst as usize] = d;
+        }
+        DOp::Store {
+            loc,
+            idx,
+            val,
+            vt,
+            stream,
+        } => {
+            let w = vt.width as usize;
+            fill_indices(
+                &mut st.idx,
+                idx,
+                &st.cols,
+                &st.tmp,
+                u32::MAX,
+                tys,
+                w,
+                mask,
+                n,
+            );
+            let (space, base) = match loc {
+                DLoc::Global(pi) => (MemSpace::Global, pool.base_addr(*pi)),
+                DLoc::Local(ai) => (MemSpace::Local, st.grp.local_addrs[*ai]),
+            };
+            st.ev.begin_mem(mask);
+            let data: &mut BufferData = match loc {
+                DLoc::Global(pi) => pool.get_mut(*pi),
+                DLoc::Local(ai) => st.grp.locals[*ai].as_mut().expect("local buffer"),
+            };
+            let idxs = &st.idx;
+            let ev = &mut st.ev;
+            macro_rules! stv_arm {
+                ($view:ident, $var:ident) => {{
+                    let vv = $view(val, &st.cols, &st.tmp, u32::MAX, tys);
+                    let BufferData::$var(sv) = data else {
+                        unreachable!("validated: store value elem matches buffer elem")
+                    };
+                    let mut k = 0usize;
+                    for i in 0..n {
+                        if !mask.active(i) {
+                            continue;
+                        }
+                        // Event first, then the writes — scalar order.
+                        push_indexed(
+                            ev,
+                            space,
+                            AccessKind::Write,
+                            *stream,
+                            base,
+                            vt.elem,
+                            w,
+                            &idxs[k..k + w],
+                        );
+                        for l in 0..w {
+                            sv[idxs[k + l]] = vv.at(i, l);
+                        }
+                        k += w;
+                    }
+                }};
+            }
+            match vt.elem {
+                Scalar::F32 => stv_arm!(view_f32, F32),
+                Scalar::F64 => stv_arm!(view_f64, F64),
+                Scalar::I32 => stv_arm!(view_i32, I32),
+                Scalar::I64 => stv_arm!(view_i64, I64),
+                Scalar::U32 => stv_arm!(view_u32, U32),
+                Scalar::U64 => stv_arm!(view_u64, U64),
+                Scalar::Bool => unreachable!("bool buffers are not storable"),
+            }
+        }
+        DOp::VStore {
+            loc,
+            base,
+            val,
+            stream,
+        } => {
+            let vt = tys[*val as usize];
+            let w = vt.width as usize;
+            fill_indices(
+                &mut st.idx,
+                base,
+                &st.cols,
+                &st.tmp,
+                u32::MAX,
+                tys,
+                1,
+                mask,
+                n,
+            );
+            let (space, bufbase) = match loc {
+                DLoc::Global(pi) => (MemSpace::Global, pool.base_addr(*pi)),
+                DLoc::Local(ai) => (MemSpace::Local, st.grp.local_addrs[*ai]),
+            };
+            let eb = vt.elem.bytes() as u64;
+            st.ev.begin_mem(mask);
+            let data: &mut BufferData = match loc {
+                DLoc::Global(pi) => pool.get_mut(*pi),
+                DLoc::Local(ai) => st.grp.locals[*ai].as_mut().expect("local buffer"),
+            };
+            let idxs = &st.idx;
+            let ev = &mut st.ev;
+            macro_rules! vst_arm {
+                ($var:ident) => {{
+                    let (Col::$var(vv), BufferData::$var(sv)) = (&st.cols[*val as usize], data)
+                    else {
+                        unreachable!("validated: vstore register elem matches buffer elem")
+                    };
+                    let mut k = 0usize;
+                    for i in 0..n {
+                        if !mask.active(i) {
+                            continue;
+                        }
+                        let b = idxs[k];
+                        ev.push_mem(mem_contig(
+                            space,
+                            AccessKind::Write,
+                            *stream,
+                            bufbase + b as u64 * eb,
+                            vt,
+                        ));
+                        for l in 0..w {
+                            sv[b + l] = vv[i * w + l];
+                        }
+                        k += 1;
+                    }
+                }};
+            }
+            match vt.elem {
+                Scalar::F32 => vst_arm!(F32),
+                Scalar::F64 => vst_arm!(F64),
+                Scalar::I32 => vst_arm!(I32),
+                Scalar::I64 => vst_arm!(I64),
+                Scalar::U32 => vst_arm!(U32),
+                Scalar::U64 => vst_arm!(U64),
+                Scalar::Bool => unreachable!("bool buffers are not storable"),
+            }
+        }
+        DOp::Atomic {
+            op,
+            loc,
+            idx,
+            val,
+            one: _,
+            old,
+            elem,
+            stream,
+        } => {
+            debug_assert!(
+                old.is_none(),
+                "columnar atomic with old capture (gated by columnar_ok)"
+            );
+            fill_indices(
+                &mut st.idx,
+                idx,
+                &st.cols,
+                &st.tmp,
+                u32::MAX,
+                tys,
+                1,
+                mask,
+                n,
+            );
+            let (space, base) = match loc {
+                DLoc::Global(pi) => (MemSpace::Global, pool.base_addr(*pi)),
+                DLoc::Local(ai) => (MemSpace::Local, st.grp.local_addrs[*ai]),
+            };
+            let eb = elem.bytes() as u64;
+            st.ev.begin_mem(mask);
+            let data: &mut BufferData = match loc {
+                DLoc::Global(pi) => pool.get_mut(*pi),
+                DLoc::Local(ai) => st.grp.locals[*ai].as_mut().expect("local buffer"),
+            };
+            let idxs = &st.idx;
+            let ev = &mut st.ev;
+            macro_rules! at_arm {
+                ($view:ident, $var:ident) => {{
+                    let vv = $view(val, &st.cols, &st.tmp, u32::MAX, tys);
+                    let BufferData::$var(sv) = data else {
+                        unreachable!("validated: atomic elem matches buffer elem")
+                    };
+                    let mut k = 0usize;
+                    for i in 0..n {
+                        if !mask.active(i) {
+                            continue;
+                        }
+                        let j = idxs[k];
+                        ev.push_mem(MemAccess {
+                            space,
+                            kind: AccessKind::Atomic,
+                            stream: *stream,
+                            addr: base + j as u64 * eb,
+                            bytes: elem.bytes(),
+                            elem: *elem,
+                            width: 1,
+                            pattern: Pattern::Scalar,
+                        });
+                        // Integer RMWs are commutative+associative, so
+                        // applying them in item order leaves the same final
+                        // bits as the scalar item-major schedule.
+                        sv[j] = match op {
+                            AtomicOp::Add => sv[j].wrapping_add(vv.at(i, 0)),
+                            AtomicOp::Inc => sv[j].wrapping_add(1),
+                            AtomicOp::Min => sv[j].min(vv.at(i, 0)),
+                            AtomicOp::Max => sv[j].max(vv.at(i, 0)),
+                        };
+                        k += 1;
+                    }
+                }};
+            }
+            match elem {
+                Scalar::I32 => at_arm!(view_i32, I32),
+                Scalar::I64 => at_arm!(view_i64, I64),
+                Scalar::U32 => at_arm!(view_u32, U32),
+                Scalar::U64 => at_arm!(view_u64, U64),
+                _ => unreachable!("columnar atomics are integer-only (columnar_ok)"),
+            }
+        }
+        DOp::For {
+            var,
+            elem,
+            start,
+            end,
+            step,
+            body,
+        } => {
+            let mut cur = vec![0i64; n];
+            let mut endv = vec![0i64; n];
+            let mut stepv = vec![0i64; n];
+            fill_lane0_i64(&mut cur, start, &st.cols, &st.tmp, tys, mask, n);
+            fill_lane0_i64(&mut endv, end, &st.cols, &st.tmp, tys, mask, n);
+            fill_lane0_i64(&mut stepv, step, &st.cols, &st.tmp, tys, mask, n);
+            for i in 0..n {
+                if mask.active(i) {
+                    assert!(stepv[i] != 0, "zero loop step");
+                }
+            }
+            loop {
+                let im = derive_mask(mask, n, |i| {
+                    (stepv[i] > 0 && cur[i] < endv[i]) || (stepv[i] < 0 && cur[i] > endv[i])
+                });
+                if im.count(n) == 0 {
+                    break;
+                }
+                set_loop_var(&mut st.cols[*var as usize], *elem, &cur, &im, n);
+                st.ev.push_loop_iter(&im);
+                exec_block(dp, ndr, n, pool, st, *body, &im);
+                for i in 0..n {
+                    if im.active(i) {
+                        cur[i] += stepv[i];
+                    }
+                }
+            }
+        }
+        DOp::If { cond, then, els } => {
+            st.ev
+                .push_op(mask, OpClass::Simple, VType::scalar(Scalar::Bool));
+            let (tm, em) = {
+                let cv = view_bool(cond, &st.cols, &st.tmp, u32::MAX, tys);
+                (
+                    derive_mask(mask, n, |i| cv.at(i, 0)),
+                    derive_mask(mask, n, |i| !cv.at(i, 0)),
+                )
+            };
+            if tm.count(n) > 0 {
+                exec_block(dp, ndr, n, pool, st, *then, &tm);
+            }
+            if em.count(n) > 0 {
+                exec_block(dp, ndr, n, pool, st, *els, &em);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derive_mask_reuses_parent_when_all_pass() {
+        let full = AMask::Full;
+        let m = derive_mask(&full, 4, |_| true);
+        assert!(matches!(m, AMask::Full));
+        let part = derive_mask(&full, 4, |i| i % 2 == 0);
+        assert_eq!(part.count(4), 2);
+        // Subset with equal cardinality is the same set → parent reused.
+        let same = derive_mask(&part, 4, |i| i % 2 == 0);
+        assert_eq!(same.count(4), 2);
+        let AMask::Part(a, _) = &part else { panic!() };
+        let AMask::Part(b, _) = &same else { panic!() };
+        assert!(Rc::ptr_eq(a, b));
+    }
+
+    #[test]
+    fn col_shape_checks() {
+        let ty = VType {
+            elem: Scalar::F32,
+            width: 4,
+        };
+        let mut c = Col::new(ty, 8);
+        assert!(c.matches(ty, 8));
+        assert!(!c.matches(ty, 4));
+        assert!(!c.matches(VType::scalar(Scalar::F32), 16));
+        if let Col::F32(v) = &mut c {
+            v[3] = 7.0;
+        }
+        c.zero();
+        let Col::F32(v) = &c else { panic!() };
+        assert!(v.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn replay_filters_batches_per_item() {
+        use crate::trace::CountingTracer;
+        let mut ev = EventBuf::default();
+        let full = AMask::Full;
+        let half = AMask::Part(Rc::from(vec![true, false].into_boxed_slice()), 1);
+        ev.push_op(&full, OpClass::Simple, VType::scalar(Scalar::F32));
+        ev.push_op(&half, OpClass::Mul, VType::scalar(Scalar::F32));
+        ev.push_loop_iter(&full);
+        let mut t = CountingTracer::default();
+        replay_phase(&mut ev, 2, true, &mut t);
+        assert_eq!(t.threads, 2);
+        assert_eq!(t.ops, 3); // 2 full + 1 masked
+        assert_eq!(t.loop_iters, 2);
+    }
+}

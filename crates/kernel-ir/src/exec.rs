@@ -206,7 +206,7 @@ pub fn check_bindings(
 /// width when the consumer is wider); immediates are splatted to the
 /// consumer's type once, at decode time.
 #[derive(Clone, Debug)]
-enum DOperand {
+pub(crate) enum DOperand {
     /// Register whose declared width already matches the consumer's.
     Reg(u32),
     /// Register broadcast to `width` lanes at each use.
@@ -217,7 +217,7 @@ enum DOperand {
 
 /// Where a buffer op lands, with the binding already resolved.
 #[derive(Clone, Copy, Debug)]
-enum DLoc {
+pub(crate) enum DLoc {
     /// Index into the launch's [`MemoryPool`].
     Global(usize),
     /// Kernel-argument index of a per-group local buffer.
@@ -227,7 +227,7 @@ enum DLoc {
 /// One decoded instruction. Destination registers are dense `u32` indices;
 /// result types, op classes and traced types are resolved at decode time.
 #[derive(Clone, Debug)]
-enum DOp {
+pub(crate) enum DOp {
     Bin {
         dst: u32,
         op: BinOp,
@@ -352,15 +352,22 @@ enum DOp {
 /// per-phase ranges, the zeroed register-file template, and the local-buffer
 /// layout. Built once per launch, shared read-only by all workers.
 pub struct DecodedProgram {
-    ops: Vec<DOp>,
+    pub(crate) ops: Vec<DOp>,
     /// Top-level barrier phases as `ops` ranges, in execution order.
-    phases: Vec<(u32, u32)>,
+    pub(crate) phases: Vec<(u32, u32)>,
     /// Zero-of-declared-type template copied into each item's register file.
-    reg_init: Vec<Value>,
+    pub(crate) reg_init: Vec<Value>,
+    /// Declared type of each register (drives the columnar engine's
+    /// per-register column layout).
+    pub(crate) reg_tys: Vec<VType>,
     /// Per-argument local-buffer spec: `(elem, len)` for local args.
-    local_specs: Vec<Option<(Scalar, usize)>>,
+    pub(crate) local_specs: Vec<Option<(Scalar, usize)>>,
     /// Whether any atomic targets a global buffer (forces serial groups).
-    has_global_atomic: bool,
+    pub(crate) has_global_atomic: bool,
+    /// Whether the columnar engine may run this program: every atomic must be
+    /// an integer RMW without an `old` capture, so the final memory bits are
+    /// independent of the order work-items apply them.
+    pub(crate) columnar_ok: bool,
 }
 
 impl DecodedProgram {
@@ -373,6 +380,7 @@ impl DecodedProgram {
             pool,
             ops: Vec::new(),
             has_global_atomic: false,
+            columnar_ok: true,
         };
         let phases = program
             .phases()
@@ -392,14 +400,21 @@ impl DecodedProgram {
             ops: dec.ops,
             phases,
             reg_init: program.regs.iter().map(|t| Value::zero(*t)).collect(),
+            reg_tys: program.regs.clone(),
             local_specs,
             has_global_atomic: dec.has_global_atomic,
+            columnar_ok: dec.columnar_ok,
         }
     }
 
     /// Whether this launch performs atomics on global buffers.
     pub fn has_global_atomic(&self) -> bool {
         self.has_global_atomic
+    }
+
+    /// Whether the columnar engine can execute this launch bit-identically.
+    pub fn columnar_ok(&self) -> bool {
+        self.columnar_ok
     }
 }
 
@@ -431,6 +446,7 @@ struct Decoder<'a> {
     pool: &'a MemoryPool,
     ops: Vec<DOp>,
     has_global_atomic: bool,
+    columnar_ok: bool,
 }
 
 impl Decoder<'_> {
@@ -695,6 +711,13 @@ impl Decoder<'_> {
                 if matches!(loc, DLoc::Global(_)) {
                     self.has_global_atomic = true;
                 }
+                // The columnar engine applies atomics instruction-major, not
+                // item-major. That is only bit-equivalent when the RMW is an
+                // integer commutative/associative update whose intermediate
+                // (`old`) value is never observed.
+                if old.is_some() || !elem.is_int() {
+                    self.columnar_ok = false;
+                }
                 DOp::Atomic {
                     op: *aop,
                     loc,
@@ -759,11 +782,54 @@ struct ItemCtx {
     local_id: [usize; 3],
 }
 
-/// Per-group mutable memory state (local buffers + their addresses).
+/// Per-group mutable memory state (local buffers + their addresses), shared
+/// by the scalar and columnar engines.
 #[derive(Default)]
-struct GroupState {
-    locals: Vec<Option<BufferData>>,
-    local_addrs: Vec<u64>,
+pub(crate) struct GroupState {
+    pub(crate) locals: Vec<Option<BufferData>>,
+    pub(crate) local_addrs: Vec<u64>,
+}
+
+impl GroupState {
+    /// Make the local-buffer set match `dp` (no-op when it already does).
+    pub(crate) fn prepare(&mut self, dp: &DecodedProgram) {
+        let locals_match = self.locals.len() == dp.local_specs.len()
+            && dp
+                .local_specs
+                .iter()
+                .zip(&self.locals)
+                .all(|(spec, have)| match (spec, have) {
+                    (Some((e, n)), Some(b)) => b.elem() == *e && b.len() == *n,
+                    (None, None) => true,
+                    _ => false,
+                });
+        if !locals_match {
+            self.locals = dp
+                .local_specs
+                .iter()
+                .map(|s| s.map(|(e, n)| BufferData::zeroed(e, n)))
+                .collect();
+            self.local_addrs = vec![0; dp.local_specs.len()];
+        }
+    }
+
+    /// Zero the local buffers and lay out their simulated addresses for
+    /// `group_linear`.
+    pub(crate) fn begin_group(&mut self, dp: &DecodedProgram, group_linear: usize) {
+        let mut next_local = LOCAL_MEM_BASE + group_linear as u64 * LOCAL_MEM_STRIDE;
+        for (i, spec) in dp.local_specs.iter().enumerate() {
+            match spec {
+                Some((elem, n)) => {
+                    if let Some(b) = self.locals[i].as_mut() {
+                        b.zero_fill();
+                    }
+                    self.local_addrs[i] = next_local;
+                    next_local += (*n as u64 * elem.bytes() as u64).max(64);
+                }
+                None => self.local_addrs[i] = 0,
+            }
+        }
+    }
 }
 
 /// Reusable execution scratch: item contexts (register files) and local
@@ -791,24 +857,7 @@ impl ExecScratch {
                 })
                 .collect();
         }
-        let locals_match = self.group.locals.len() == dp.local_specs.len()
-            && dp
-                .local_specs
-                .iter()
-                .zip(&self.group.locals)
-                .all(|(spec, have)| match (spec, have) {
-                    (Some((e, n)), Some(b)) => b.elem() == *e && b.len() == *n,
-                    (None, None) => true,
-                    _ => false,
-                });
-        if !locals_match {
-            self.group.locals = dp
-                .local_specs
-                .iter()
-                .map(|s| s.map(|(e, n)| BufferData::zeroed(e, n)))
-                .collect();
-            self.group.local_addrs = vec![0; dp.local_specs.len()];
-        }
+        self.group.prepare(dp);
     }
 
     /// Reset item ids/registers and local buffers for `group_linear`.
@@ -828,19 +877,7 @@ impl ExecScratch {
             ];
             item.regs.copy_from_slice(&dp.reg_init);
         }
-        let mut next_local = LOCAL_MEM_BASE + group_linear as u64 * LOCAL_MEM_STRIDE;
-        for (i, spec) in dp.local_specs.iter().enumerate() {
-            match spec {
-                Some((elem, n)) => {
-                    if let Some(b) = self.group.locals[i].as_mut() {
-                        b.zero_fill();
-                    }
-                    self.group.local_addrs[i] = next_local;
-                    next_local += (*n as u64 * elem.bytes() as u64).max(64);
-                }
-                None => self.group.local_addrs[i] = 0,
-            }
-        }
+        self.group.begin_group(dp, group_linear);
     }
 }
 
@@ -1096,34 +1133,38 @@ fn exec_dop<T: ExecTracer>(
             let val = match loc {
                 DLoc::Global(pool_idx) => {
                     let val = pool.get(*pool_idx).vload(b, ty.width);
-                    tracer.mem(&MemAccess {
-                        stream: *stream,
-                        space: MemSpace::Global,
-                        kind: AccessKind::Read,
-                        addr: pool.elem_addr(*pool_idx, b),
-                        bytes: ty.bytes(),
-                        elem: ty.elem,
-                        width: ty.width,
-                        pattern,
-                        lane_addrs: None,
-                    });
+                    tracer.mem(
+                        &MemAccess {
+                            stream: *stream,
+                            space: MemSpace::Global,
+                            kind: AccessKind::Read,
+                            addr: pool.elem_addr(*pool_idx, b),
+                            bytes: ty.bytes(),
+                            elem: ty.elem,
+                            width: ty.width,
+                            pattern,
+                        },
+                        &[],
+                    );
                     val
                 }
                 DLoc::Local(arg_idx) => {
                     let addr = grp.local_addrs[*arg_idx] + b as u64 * ty.elem.bytes() as u64;
                     let data = grp.locals[*arg_idx].as_ref().expect("local buffer");
                     let val = data.vload(b, ty.width);
-                    tracer.mem(&MemAccess {
-                        stream: *stream,
-                        space: MemSpace::Local,
-                        kind: AccessKind::Read,
-                        addr,
-                        bytes: ty.bytes(),
-                        elem: ty.elem,
-                        width: ty.width,
-                        pattern,
-                        lane_addrs: None,
-                    });
+                    tracer.mem(
+                        &MemAccess {
+                            stream: *stream,
+                            space: MemSpace::Local,
+                            kind: AccessKind::Read,
+                            addr,
+                            bytes: ty.bytes(),
+                            elem: ty.elem,
+                            width: ty.width,
+                            pattern,
+                        },
+                        &[],
+                    );
                     val
                 }
             };
@@ -1182,33 +1223,37 @@ fn exec_dop<T: ExecTracer>(
             };
             match loc {
                 DLoc::Global(pool_idx) => {
-                    tracer.mem(&MemAccess {
-                        stream: *stream,
-                        space: MemSpace::Global,
-                        kind: AccessKind::Write,
-                        addr: pool.elem_addr(*pool_idx, b),
-                        bytes: vt.bytes(),
-                        elem: vt.elem,
-                        width: vt.width,
-                        pattern,
-                        lane_addrs: None,
-                    });
+                    tracer.mem(
+                        &MemAccess {
+                            stream: *stream,
+                            space: MemSpace::Global,
+                            kind: AccessKind::Write,
+                            addr: pool.elem_addr(*pool_idx, b),
+                            bytes: vt.bytes(),
+                            elem: vt.elem,
+                            width: vt.width,
+                            pattern,
+                        },
+                        &[],
+                    );
                     let vval = item.regs[*val as usize];
                     pool.get_mut(*pool_idx).vstore(b, &vval);
                 }
                 DLoc::Local(arg_idx) => {
                     let addr = grp.local_addrs[*arg_idx] + b as u64 * vt.elem.bytes() as u64;
-                    tracer.mem(&MemAccess {
-                        stream: *stream,
-                        space: MemSpace::Local,
-                        kind: AccessKind::Write,
-                        addr,
-                        bytes: vt.bytes(),
-                        elem: vt.elem,
-                        width: vt.width,
-                        pattern,
-                        lane_addrs: None,
-                    });
+                    tracer.mem(
+                        &MemAccess {
+                            stream: *stream,
+                            space: MemSpace::Local,
+                            kind: AccessKind::Write,
+                            addr,
+                            bytes: vt.bytes(),
+                            elem: vt.elem,
+                            width: vt.width,
+                            pattern,
+                        },
+                        &[],
+                    );
                     let vval = item.regs[*val as usize];
                     grp.locals[*arg_idx]
                         .as_mut()
@@ -1236,17 +1281,19 @@ fn exec_dop<T: ExecTracer>(
                 ),
             };
             let vval = *ev(&item.regs, val).get();
-            tracer.mem(&MemAccess {
-                stream: *stream,
-                space,
-                kind: AccessKind::Atomic,
-                addr,
-                bytes: elem.bytes(),
-                elem: *elem,
-                width: 1,
-                pattern: Pattern::Scalar,
-                lane_addrs: None,
-            });
+            tracer.mem(
+                &MemAccess {
+                    stream: *stream,
+                    space,
+                    kind: AccessKind::Atomic,
+                    addr,
+                    bytes: elem.bytes(),
+                    elem: *elem,
+                    width: 1,
+                    pattern: Pattern::Scalar,
+                },
+                &[],
+            );
             let data: &mut BufferData = match loc {
                 DLoc::Global(pool_idx) => pool.get_mut(*pool_idx),
                 DLoc::Local(arg_idx) => grp.locals[*arg_idx].as_mut().expect("local buffer"),
@@ -1313,33 +1360,37 @@ fn emit_global_access<T: ExecTracer>(
 ) {
     let w = vidx.width();
     if w == 1 {
-        tracer.mem(&MemAccess {
-            stream,
-            space: MemSpace::Global,
-            kind,
-            addr: pool.elem_addr(pool_idx, vidx.lane_index(0)),
-            bytes: vt.elem.bytes(),
-            elem: vt.elem,
-            width: 1,
-            pattern: Pattern::Scalar,
-            lane_addrs: None,
-        });
+        tracer.mem(
+            &MemAccess {
+                stream,
+                space: MemSpace::Global,
+                kind,
+                addr: pool.elem_addr(pool_idx, vidx.lane_index(0)),
+                bytes: vt.elem.bytes(),
+                elem: vt.elem,
+                width: 1,
+                pattern: Pattern::Scalar,
+            },
+            &[],
+        );
     } else {
         let mut lane_addrs = [0u64; MAX_LANES];
         for (lane, slot) in lane_addrs.iter_mut().enumerate().take(w as usize) {
             *slot = pool.elem_addr(pool_idx, vidx.lane_index(lane));
         }
-        tracer.mem(&MemAccess {
-            stream,
-            space: MemSpace::Global,
-            kind,
-            addr: lane_addrs[0],
-            bytes: vt.elem.bytes() * w as u32,
-            elem: vt.elem,
-            width: w,
-            pattern: Pattern::Gather,
-            lane_addrs: Some(lane_addrs),
-        });
+        tracer.mem(
+            &MemAccess {
+                stream,
+                space: MemSpace::Global,
+                kind,
+                addr: lane_addrs[0],
+                bytes: vt.elem.bytes() * w as u32,
+                elem: vt.elem,
+                width: w,
+                pattern: Pattern::Gather,
+            },
+            &lane_addrs[..w as usize],
+        );
     }
 }
 
@@ -1353,34 +1404,121 @@ fn emit_local_access<T: ExecTracer>(
 ) {
     let w = vidx.width();
     if w == 1 {
-        tracer.mem(&MemAccess {
-            stream,
-            space: MemSpace::Local,
-            kind,
-            addr: base + vidx.lane_index(0) as u64 * vt.elem.bytes() as u64,
-            bytes: vt.elem.bytes(),
-            elem: vt.elem,
-            width: 1,
-            pattern: Pattern::Scalar,
-            lane_addrs: None,
-        });
+        tracer.mem(
+            &MemAccess {
+                stream,
+                space: MemSpace::Local,
+                kind,
+                addr: base + vidx.lane_index(0) as u64 * vt.elem.bytes() as u64,
+                bytes: vt.elem.bytes(),
+                elem: vt.elem,
+                width: 1,
+                pattern: Pattern::Scalar,
+            },
+            &[],
+        );
     } else {
         let mut lane_addrs = [0u64; MAX_LANES];
         for (lane, slot) in lane_addrs.iter_mut().enumerate().take(w as usize) {
             *slot = base + vidx.lane_index(lane) as u64 * vt.elem.bytes() as u64;
         }
-        tracer.mem(&MemAccess {
-            stream,
-            space: MemSpace::Local,
-            kind,
-            addr: lane_addrs[0],
-            bytes: vt.elem.bytes() * w as u32,
-            elem: vt.elem,
-            width: w,
-            pattern: Pattern::Gather,
-            lane_addrs: Some(lane_addrs),
-        });
+        tracer.mem(
+            &MemAccess {
+                stream,
+                space: MemSpace::Local,
+                kind,
+                addr: lane_addrs[0],
+                bytes: vt.elem.bytes() * w as u32,
+                elem: vt.elem,
+                width: w,
+                pattern: Pattern::Gather,
+            },
+            &lane_addrs[..w as usize],
+        );
     }
+}
+
+// ---------------------------------------------------------------------------
+// Engine selection
+// ---------------------------------------------------------------------------
+
+/// Which interpreter core executes work-groups.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Engine {
+    /// The original per-item path: one work-item at a time, per-item
+    /// register files of boxed-width `Value`s.
+    Scalar,
+    /// The columnar path: registers are SoA columns indexed by work-item,
+    /// each decoded instruction runs across the whole group as a tight
+    /// monomorphic loop, divergence is handled with active-masks.
+    Columnar,
+}
+
+impl Engine {
+    /// Stable name, as accepted by the `SIM_EXEC` environment variable.
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::Scalar => "scalar",
+            Engine::Columnar => "columnar",
+        }
+    }
+}
+
+/// 0 = unresolved (read `SIM_EXEC` lazily), 1 = scalar, 2 = columnar.
+static ENGINE: std::sync::atomic::AtomicU8 = std::sync::atomic::AtomicU8::new(0);
+
+/// The configured execution engine. Resolved once from the `SIM_EXEC`
+/// environment variable (`scalar` | `columnar`, default columnar) unless
+/// [`set_engine`] was called first.
+pub fn engine() -> Engine {
+    match ENGINE.load(std::sync::atomic::Ordering::Relaxed) {
+        1 => Engine::Scalar,
+        2 => Engine::Columnar,
+        _ => {
+            let e = match std::env::var("SIM_EXEC") {
+                Ok(v) if v == "scalar" => Engine::Scalar,
+                Ok(v) if v == "columnar" || v.is_empty() => Engine::Columnar,
+                Ok(v) => panic!("SIM_EXEC must be 'scalar' or 'columnar', got '{v}'"),
+                Err(_) => Engine::Columnar,
+            };
+            set_engine(e);
+            e
+        }
+    }
+}
+
+/// Select the execution engine for subsequent launches (overrides
+/// `SIM_EXEC`). Launches in flight keep the engine they resolved at start.
+pub fn set_engine(e: Engine) {
+    let v = match e {
+        Engine::Scalar => 1,
+        Engine::Columnar => 2,
+    };
+    ENGINE.store(v, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// The engine a launch of `dp` actually uses under `requested`: launches the
+/// columnar core cannot reproduce bit-identically fall back to scalar.
+fn resolve_engine(requested: Engine, dp: &DecodedProgram) -> Engine {
+    if requested == Engine::Columnar && dp.columnar_ok {
+        Engine::Columnar
+    } else {
+        Engine::Scalar
+    }
+}
+
+/// Scratch for whichever engine a launch resolves to; only the used side
+/// allocates.
+#[derive(Default)]
+struct EngineScratch {
+    scalar: ExecScratch,
+    columnar: crate::columnar::ColScratch,
+}
+
+thread_local! {
+    /// Worker-local columnar scratch for the sharded engine.
+    static COL_SCRATCH: RefCell<crate::columnar::ColScratch> =
+        RefCell::new(crate::columnar::ColScratch::default());
 }
 
 // ---------------------------------------------------------------------------
@@ -1393,10 +1531,12 @@ pub struct GroupExecutor<'a, T: ExecTracer> {
     pool: &'a mut MemoryPool,
     ndrange: NDRange,
     pub tracer: &'a mut T,
-    scratch: ExecScratch,
+    scratch: EngineScratch,
+    engine: Engine,
 }
 
 impl<'a, T: ExecTracer> GroupExecutor<'a, T> {
+    /// Build an executor on the globally configured [`engine`].
     pub fn new(
         program: &'a Program,
         bindings: &'a [ArgBinding],
@@ -1404,29 +1544,61 @@ impl<'a, T: ExecTracer> GroupExecutor<'a, T> {
         ndrange: NDRange,
         tracer: &'a mut T,
     ) -> Result<Self, ExecError> {
+        Self::with_engine(program, bindings, pool, ndrange, tracer, engine())
+    }
+
+    /// Build an executor on an explicit engine (differential tests compare
+    /// both cores in-process without touching the global selection).
+    pub fn with_engine(
+        program: &'a Program,
+        bindings: &'a [ArgBinding],
+        pool: &'a mut MemoryPool,
+        ndrange: NDRange,
+        tracer: &'a mut T,
+        engine: Engine,
+    ) -> Result<Self, ExecError> {
         if !ndrange.valid() {
             return Err(ExecError::InvalidNDRange(ndrange));
         }
         check_bindings(program, bindings, pool)?;
+        let dp = DecodedProgram::decode(program, bindings, pool);
+        let engine = resolve_engine(engine, &dp);
         Ok(GroupExecutor {
-            dp: DecodedProgram::decode(program, bindings, pool),
+            dp,
             pool,
             ndrange,
             tracer,
-            scratch: ExecScratch::default(),
+            scratch: EngineScratch::default(),
+            engine,
         })
+    }
+
+    /// The engine this launch resolved to (columnar may fall back to scalar
+    /// for launches it cannot reproduce bit-identically).
+    pub fn engine(&self) -> Engine {
+        self.engine
     }
 
     /// Run one work-group identified by its linear id.
     pub fn run_group(&mut self, group_linear: usize) {
-        exec_group_into(
-            &self.dp,
-            self.ndrange,
-            group_linear,
-            self.pool,
-            &mut self.scratch,
-            self.tracer,
-        );
+        match self.engine {
+            Engine::Scalar => exec_group_into(
+                &self.dp,
+                self.ndrange,
+                group_linear,
+                self.pool,
+                &mut self.scratch.scalar,
+                self.tracer,
+            ),
+            Engine::Columnar => crate::columnar::exec_group_columnar(
+                &self.dp,
+                self.ndrange,
+                group_linear,
+                self.pool,
+                &mut self.scratch.columnar,
+                self.tracer,
+            ),
+        }
     }
 
     /// Run every group in linear order (functional-reference schedule).
@@ -1437,7 +1609,8 @@ impl<'a, T: ExecTracer> GroupExecutor<'a, T> {
     }
 }
 
-/// Convenience: run a full NDRange over a pool with a tracer.
+/// Convenience: run a full NDRange over a pool with a tracer on the globally
+/// configured engine.
 pub fn run_ndrange<T: ExecTracer>(
     program: &Program,
     bindings: &[ArgBinding],
@@ -1446,6 +1619,20 @@ pub fn run_ndrange<T: ExecTracer>(
     tracer: &mut T,
 ) -> Result<(), ExecError> {
     let mut ex = GroupExecutor::new(program, bindings, pool, ndrange, tracer)?;
+    ex.run_all();
+    Ok(())
+}
+
+/// [`run_ndrange`] with an explicit engine.
+pub fn run_ndrange_with_engine<T: ExecTracer>(
+    program: &Program,
+    bindings: &[ArgBinding],
+    pool: &mut MemoryPool,
+    ndrange: NDRange,
+    tracer: &mut T,
+    engine: Engine,
+) -> Result<(), ExecError> {
+    let mut ex = GroupExecutor::with_engine(program, bindings, pool, ndrange, tracer, engine)?;
     ex.run_all();
     Ok(())
 }
@@ -1463,6 +1650,9 @@ pub struct LaunchStats {
     pub threads: usize,
     /// Why the launch was forced serial despite a multi-thread request.
     pub serial_reason: Option<&'static str>,
+    /// Interpreter core the launch resolved to. Never exported into result
+    /// artifacts — outputs are byte-identical across engines by contract.
+    pub engine: Engine,
 }
 
 /// `&mut MemoryPool` smuggled across worker threads.
@@ -1521,6 +1711,7 @@ where
     check_bindings(program, bindings, pool)?;
     let dp = DecodedProgram::decode(program, bindings, pool);
     let total = ndrange.total_groups();
+    let eng = resolve_engine(engine(), &dp);
 
     let threads = threads.max(1);
     let (threads, serial_reason) = if dp.has_global_atomic && threads > 1 {
@@ -1536,20 +1727,33 @@ where
     while g0 < total {
         let count = window.min(total - g0);
         let tracer_ref: &T = tracer;
-        let chunk: Vec<(T::Shard, Vec<MemAccess>)> =
+        let chunk: Vec<(T::Shard, Vec<MemAccess>, Vec<u64>)> =
             sim_pool::parallel_map_threads(threads, count, |k| {
                 let group = g0 + k;
                 // SAFETY: see `PoolPtr` — groups touch disjoint elements.
                 let pool_mut = unsafe { pp.get() };
                 let mut rec = RecordingTracer::new(tracer_ref.make_shard());
-                SCRATCH.with(|s| {
-                    let mut scratch = s.borrow_mut();
-                    exec_group_into(dp_ref, ndrange, group, pool_mut, &mut scratch, &mut rec);
-                });
-                (rec.shard, rec.mem_log)
+                match eng {
+                    Engine::Scalar => SCRATCH.with(|s| {
+                        let mut scratch = s.borrow_mut();
+                        exec_group_into(dp_ref, ndrange, group, pool_mut, &mut scratch, &mut rec);
+                    }),
+                    Engine::Columnar => COL_SCRATCH.with(|s| {
+                        let mut scratch = s.borrow_mut();
+                        crate::columnar::exec_group_columnar(
+                            dp_ref,
+                            ndrange,
+                            group,
+                            pool_mut,
+                            &mut scratch,
+                            &mut rec,
+                        );
+                    }),
+                }
+                (rec.shard, rec.mem_log, rec.lane_log)
             });
-        for (shard, mems) in chunk {
-            tracer.absorb_group(shard, &mems);
+        for (shard, mems, lanes) in chunk {
+            tracer.absorb_group(shard, &mems, &lanes);
         }
         g0 += count;
     }
@@ -1557,6 +1761,7 @@ where
         groups: total,
         threads,
         serial_reason,
+        engine: eng,
     })
 }
 
@@ -1754,6 +1959,79 @@ mod tests {
     }
 
     #[test]
+    fn uninitialized_registers_read_zero_across_group_reuse() {
+        // A register written only under a condition must read as the
+        // declared type's zero everywhere else — including in later groups
+        // whose reused register-file slot was written by an earlier group.
+        let mut kb = KernelBuilder::new("stale");
+        let out = kb.arg_global(Scalar::U32, Access::WriteOnly, true);
+        let acc = kb.reg(VType::scalar(Scalar::U32));
+        let gid = kb.query_global_id(0);
+        let is0 = kb.bin(
+            BinOp::Eq,
+            gid.into(),
+            Operand::ImmI(0),
+            VType::scalar(Scalar::U32),
+        );
+        kb.if_then(is0.into(), |kb| {
+            kb.mov_into(acc, Operand::ImmI(7));
+        });
+        kb.store(out, gid.into(), acc.into());
+        let p = kb.finish();
+        p.validate().expect("valid");
+
+        for eng in [Engine::Scalar, Engine::Columnar] {
+            let mut pool = MemoryPool::new();
+            let out_b = pool.add(BufferData::zeroed(Scalar::U32, 8));
+            let mut t = NullTracer;
+            let bindings = [ArgBinding::Global(out_b)];
+            // Local size 1: every group reuses the same item slot, so a
+            // stale-value leak from group 0's write would surface directly.
+            let mut ex = GroupExecutor::with_engine(
+                &p,
+                &bindings,
+                &mut pool,
+                NDRange::d1(8, 1),
+                &mut t,
+                eng,
+            )
+            .unwrap();
+            assert_eq!(ex.engine(), eng, "kernel should not force a fallback");
+            ex.run_all();
+            let got = pool.get(out_b).as_u32();
+            assert_eq!(got[0], 7, "{eng:?}");
+            assert_eq!(&got[1..], &[0u32; 7], "{eng:?}");
+        }
+    }
+
+    #[test]
+    fn columnar_matches_scalar_counters_and_outputs() {
+        let p = vecadd_kernel();
+        let run = |eng: Engine| {
+            let mut pool = MemoryPool::new();
+            let a = pool.add(BufferData::from(
+                (0..96).map(|i| i as f32 * 0.25).collect::<Vec<_>>(),
+            ));
+            let b = pool.add(BufferData::from(vec![1.5f32; 96]));
+            let c = pool.add(BufferData::zeroed(Scalar::F32, 96));
+            let bindings = [
+                ArgBinding::Global(a),
+                ArgBinding::Global(b),
+                ArgBinding::Global(c),
+            ];
+            let mut t = CountingTracer::default();
+            // Non-power-of-2 local size exercises ragged columns.
+            run_ndrange_with_engine(&p, &bindings, &mut pool, NDRange::d1(96, 12), &mut t, eng)
+                .unwrap();
+            (t, pool.get(c).as_f32().to_vec())
+        };
+        let (ts, outs) = run(Engine::Scalar);
+        let (tc, outc) = run(Engine::Columnar);
+        assert_eq!(ts, tc, "telemetry counters must match across engines");
+        assert_eq!(outs, outc, "outputs must match across engines");
+    }
+
+    #[test]
     fn invalid_ndrange_rejected() {
         let p = vecadd_kernel();
         let mut pool = MemoryPool::new();
@@ -1844,7 +2122,7 @@ mod tests {
         fn make_shard(&self) -> CountingTracer {
             CountingTracer::default()
         }
-        fn absorb_group(&mut self, shard: CountingTracer, mem: &[MemAccess]) {
+        fn absorb_group(&mut self, shard: CountingTracer, mem: &[MemAccess], lanes: &[u64]) {
             let t = &mut self.total;
             t.ops += shard.ops;
             t.special_ops += shard.special_ops;
@@ -1854,8 +2132,15 @@ mod tests {
             t.threads += shard.threads;
             t.groups += shard.groups;
             t.lanes_issued += shard.lanes_issued;
+            let mut lc = 0usize;
             for a in mem {
-                t.mem(a);
+                let w = if a.pattern == Pattern::Gather {
+                    a.width as usize
+                } else {
+                    0
+                };
+                t.mem(a, &lanes[lc..lc + w]);
+                lc += w;
             }
         }
     }

@@ -44,6 +44,7 @@
 //! ```
 
 pub mod builder;
+pub(crate) mod columnar;
 pub mod display;
 pub mod exec;
 pub mod instr;
@@ -57,8 +58,9 @@ pub mod value;
 
 pub use builder::KernelBuilder;
 pub use exec::{
-    check_bindings, run_ndrange, run_ndrange_sharded, ArgBinding, DecodedProgram, ExecError,
-    GroupExecutor, LaunchStats, NDRange, LOCAL_MEM_BASE, LOCAL_MEM_STRIDE,
+    check_bindings, engine, run_ndrange, run_ndrange_sharded, run_ndrange_with_engine, set_engine,
+    ArgBinding, DecodedProgram, Engine, ExecError, GroupExecutor, LaunchStats, NDRange,
+    LOCAL_MEM_BASE, LOCAL_MEM_STRIDE,
 };
 pub use instr::{
     widen, ArgDecl, ArgIdx, AtomicOp, BinOp, Builtin, Hints, HorizOp, Op, Operand, Reg, UnOp,

@@ -21,20 +21,25 @@ pub fn bin_result_type(op: BinOp, ty: VType) -> VType {
     }
 }
 
+// The op dispatch in these macros is hoisted *out* of the lane loop: each
+// match arm selects a monomorphic lane kernel once, and the loop that
+// follows is branch-free so the compiler can vectorize it.
+
 macro_rules! float_bin {
-    ($op:expr, $a:expr, $b:expr, $w:expr, $t:ty, $variant:ident, $ctor:ident) => {{
+    ($op:expr, $a:expr, $b:expr, $w:expr, $t:ty, $ctor:ident) => {{
+        let f: fn($t, $t) -> $t = match $op {
+            BinOp::Add => |x, y| x + y,
+            BinOp::Sub => |x, y| x - y,
+            BinOp::Mul => |x, y| x * y,
+            BinOp::Div => |x, y| x / y,
+            BinOp::Rem => |x, y| x % y,
+            BinOp::Min => |x, y| x.min(y),
+            BinOp::Max => |x, y| x.max(y),
+            _ => unreachable!("non-arith float op handled elsewhere"),
+        };
         let mut out = [<$t>::default(); MAX_LANES];
         for i in 0..$w {
-            out[i] = match $op {
-                BinOp::Add => $a[i] + $b[i],
-                BinOp::Sub => $a[i] - $b[i],
-                BinOp::Mul => $a[i] * $b[i],
-                BinOp::Div => $a[i] / $b[i],
-                BinOp::Rem => $a[i] % $b[i],
-                BinOp::Min => $a[i].min($b[i]),
-                BinOp::Max => $a[i].max($b[i]),
-                _ => unreachable!("non-arith float op handled elsewhere"),
-            };
+            out[i] = f($a[i], $b[i]);
         }
         Value::$ctor(&out[..$w])
     }};
@@ -42,30 +47,31 @@ macro_rules! float_bin {
 
 macro_rules! int_bin {
     ($op:expr, $a:expr, $b:expr, $w:expr, $t:ty, $ctor:ident) => {{
+        const LANE_BITS: $t = (<$t>::BITS - 1) as $t;
+        let f: fn($t, $t) -> $t = match $op {
+            BinOp::Add => |x, y| x.wrapping_add(y),
+            BinOp::Sub => |x, y| x.wrapping_sub(y),
+            BinOp::Mul => |x, y| x.wrapping_mul(y),
+            BinOp::Div => |x, y| {
+                assert!(y != 0, "integer division by zero in kernel");
+                x.wrapping_div(y)
+            },
+            BinOp::Rem => |x, y| {
+                assert!(y != 0, "integer remainder by zero in kernel");
+                x.wrapping_rem(y)
+            },
+            BinOp::Min => |x, y| x.min(y),
+            BinOp::Max => |x, y| x.max(y),
+            BinOp::And => |x, y| x & y,
+            BinOp::Or => |x, y| x | y,
+            BinOp::Xor => |x, y| x ^ y,
+            BinOp::Shl => |x, y| x.wrapping_shl((y & LANE_BITS) as u32),
+            BinOp::Shr => |x, y| x.wrapping_shr((y & LANE_BITS) as u32),
+            _ => unreachable!("comparison handled elsewhere"),
+        };
         let mut out = [<$t>::default(); MAX_LANES];
-        let lane_bits = (<$t>::BITS - 1) as $t;
         for i in 0..$w {
-            out[i] = match $op {
-                BinOp::Add => $a[i].wrapping_add($b[i]),
-                BinOp::Sub => $a[i].wrapping_sub($b[i]),
-                BinOp::Mul => $a[i].wrapping_mul($b[i]),
-                BinOp::Div => {
-                    assert!($b[i] != 0, "integer division by zero in kernel");
-                    $a[i].wrapping_div($b[i])
-                }
-                BinOp::Rem => {
-                    assert!($b[i] != 0, "integer remainder by zero in kernel");
-                    $a[i].wrapping_rem($b[i])
-                }
-                BinOp::Min => $a[i].min($b[i]),
-                BinOp::Max => $a[i].max($b[i]),
-                BinOp::And => $a[i] & $b[i],
-                BinOp::Or => $a[i] | $b[i],
-                BinOp::Xor => $a[i] ^ $b[i],
-                BinOp::Shl => $a[i].wrapping_shl(($b[i] & lane_bits) as u32),
-                BinOp::Shr => $a[i].wrapping_shr(($b[i] & lane_bits) as u32),
-                _ => unreachable!("comparison handled elsewhere"),
-            };
+            out[i] = f($a[i], $b[i]);
         }
         Value::$ctor(&out[..$w])
     }};
@@ -73,17 +79,18 @@ macro_rules! int_bin {
 
 macro_rules! cmp_bin {
     ($op:expr, $a:expr, $b:expr, $w:expr) => {{
+        let f: fn(_, _) -> bool = match $op {
+            BinOp::Lt => |x, y| x < y,
+            BinOp::Le => |x, y| x <= y,
+            BinOp::Gt => |x, y| x > y,
+            BinOp::Ge => |x, y| x >= y,
+            BinOp::Eq => |x, y| x == y,
+            BinOp::Ne => |x, y| x != y,
+            _ => unreachable!(),
+        };
         let mut out = [false; MAX_LANES];
         for i in 0..$w {
-            out[i] = match $op {
-                BinOp::Lt => $a[i] < $b[i],
-                BinOp::Le => $a[i] <= $b[i],
-                BinOp::Gt => $a[i] > $b[i],
-                BinOp::Ge => $a[i] >= $b[i],
-                BinOp::Eq => $a[i] == $b[i],
-                BinOp::Ne => $a[i] != $b[i],
-                _ => unreachable!(),
-            };
+            out[i] = f($a[i], $b[i]);
         }
         Value::bools(&out[..$w])
     }};
@@ -108,11 +115,11 @@ pub fn eval_bin(op: BinOp, a: &Value, b: &Value) -> Value {
     match (a.lanes(), b.lanes()) {
         (Lanes::F32(x), Lanes::F32(y)) => {
             assert!(!op.int_only(), "{op:?} is integer-only, applied to float");
-            float_bin!(op, x, y, w, f32, F32, f32s)
+            float_bin!(op, x, y, w, f32, f32s)
         }
         (Lanes::F64(x), Lanes::F64(y)) => {
             assert!(!op.int_only(), "{op:?} is integer-only, applied to double");
-            float_bin!(op, x, y, w, f64, F64, f64s)
+            float_bin!(op, x, y, w, f64, f64s)
         }
         (Lanes::I32(x), Lanes::I32(y)) => int_bin!(op, x, y, w, i32, i32s),
         (Lanes::I64(x), Lanes::I64(y)) => int_bin!(op, x, y, w, i64, i64s),
@@ -127,17 +134,34 @@ pub fn eval_bin(op: BinOp, a: &Value, b: &Value) -> Value {
 
 macro_rules! float_un {
     ($op:expr, $a:expr, $w:expr, $t:ty, $ctor:ident) => {{
+        let f: fn($t) -> $t = match $op {
+            UnOp::Neg => |x| -x,
+            UnOp::Abs => |x| x.abs(),
+            UnOp::Sqrt => |x| x.sqrt(),
+            UnOp::Rsqrt => |x| 1.0 / x.sqrt(),
+            UnOp::Exp => |x| x.exp(),
+            UnOp::Log => |x| x.ln(),
+            UnOp::Not => panic!("bitwise not on float"),
+        };
         let mut out = [<$t>::default(); MAX_LANES];
         for i in 0..$w {
-            out[i] = match $op {
-                UnOp::Neg => -$a[i],
-                UnOp::Abs => $a[i].abs(),
-                UnOp::Sqrt => $a[i].sqrt(),
-                UnOp::Rsqrt => 1.0 / $a[i].sqrt(),
-                UnOp::Exp => $a[i].exp(),
-                UnOp::Log => $a[i].ln(),
-                UnOp::Not => panic!("bitwise not on float"),
-            };
+            out[i] = f($a[i]);
+        }
+        Value::$ctor(&out[..$w])
+    }};
+}
+
+macro_rules! int_un {
+    ($op:expr, $a:expr, $w:expr, $t:ty, $ctor:ident, $abs:expr, $msg:literal) => {{
+        let f: fn($t) -> $t = match $op {
+            UnOp::Neg => |x| x.wrapping_neg(),
+            UnOp::Abs => $abs,
+            UnOp::Not => |x| !x,
+            other => panic!(concat!("{:?} on ", $msg), other),
+        };
+        let mut out = [<$t>::default(); MAX_LANES];
+        for i in 0..$w {
+            out[i] = f($a[i]);
         }
         Value::$ctor(&out[..$w])
     }};
@@ -149,61 +173,18 @@ pub fn eval_un(op: UnOp, a: &Value) -> Value {
     match a.lanes() {
         Lanes::F32(x) => float_un!(op, x, w, f32, f32s),
         Lanes::F64(x) => float_un!(op, x, w, f64, f64s),
-        Lanes::I32(x) => {
-            let mut out = [0i32; MAX_LANES];
-            for i in 0..w {
-                out[i] = match op {
-                    UnOp::Neg => x[i].wrapping_neg(),
-                    UnOp::Abs => x[i].wrapping_abs(),
-                    UnOp::Not => !x[i],
-                    _ => panic!("{op:?} on int lanes"),
-                };
-            }
-            Value::i32s(&out[..w])
-        }
-        Lanes::I64(x) => {
-            let mut out = [0i64; MAX_LANES];
-            for i in 0..w {
-                out[i] = match op {
-                    UnOp::Neg => x[i].wrapping_neg(),
-                    UnOp::Abs => x[i].wrapping_abs(),
-                    UnOp::Not => !x[i],
-                    _ => panic!("{op:?} on long lanes"),
-                };
-            }
-            Value::i64s(&out[..w])
-        }
-        Lanes::U32(x) => {
-            let mut out = [0u32; MAX_LANES];
-            for i in 0..w {
-                out[i] = match op {
-                    UnOp::Neg => x[i].wrapping_neg(),
-                    UnOp::Abs => x[i],
-                    UnOp::Not => !x[i],
-                    _ => panic!("{op:?} on uint lanes"),
-                };
-            }
-            Value::u32s(&out[..w])
-        }
-        Lanes::U64(x) => {
-            let mut out = [0u64; MAX_LANES];
-            for i in 0..w {
-                out[i] = match op {
-                    UnOp::Neg => x[i].wrapping_neg(),
-                    UnOp::Abs => x[i],
-                    UnOp::Not => !x[i],
-                    _ => panic!("{op:?} on ulong lanes"),
-                };
-            }
-            Value::u64s(&out[..w])
-        }
+        Lanes::I32(x) => int_un!(op, x, w, i32, i32s, |x| x.wrapping_abs(), "int lanes"),
+        Lanes::I64(x) => int_un!(op, x, w, i64, i64s, |x| x.wrapping_abs(), "long lanes"),
+        Lanes::U32(x) => int_un!(op, x, w, u32, u32s, |x| x, "uint lanes"),
+        Lanes::U64(x) => int_un!(op, x, w, u64, u64s, |x| x, "ulong lanes"),
         Lanes::Bool(x) => {
+            let f: fn(bool) -> bool = match op {
+                UnOp::Not => |x| !x,
+                other => panic!("{other:?} on bool lanes"),
+            };
             let mut out = [false; MAX_LANES];
             for i in 0..w {
-                out[i] = match op {
-                    UnOp::Not => !x[i],
-                    _ => panic!("{op:?} on bool lanes"),
-                };
+                out[i] = f(x[i]);
             }
             Value::bools(&out[..w])
         }

@@ -73,9 +73,6 @@ pub struct MemAccess {
     /// Number of lanes.
     pub width: u8,
     pub pattern: Pattern,
-    /// Per-lane addresses for gathers (up to 16); `None` for
-    /// scalar/contiguous where `addr`+`bytes` describe the span.
-    pub lane_addrs: Option<[u64; crate::types::MAX_LANES]>,
 }
 
 /// Observer of interpreter events. All methods have empty defaults so cost
@@ -85,9 +82,14 @@ pub trait ExecTracer {
     fn op(&mut self, class: OpClass, ty: VType) {
         let _ = (class, ty);
     }
-    /// A memory access was issued.
-    fn mem(&mut self, access: &MemAccess) {
-        let _ = access;
+    /// A memory access was issued. `lanes` carries the per-lane addresses
+    /// for [`Pattern::Gather`] accesses (exactly `access.width` entries, in
+    /// lane order) and is empty for scalar/contiguous accesses, where
+    /// `addr`+`bytes` describe the span. Keeping the rare gather addresses
+    /// out of [`MemAccess`] keeps the struct small enough to copy through
+    /// record/replay logs cheaply.
+    fn mem(&mut self, access: &MemAccess, lanes: &[u64]) {
+        let _ = (access, lanes);
     }
     /// A work-group barrier completed for `items` work-items.
     fn barrier(&mut self, items: u32) {
@@ -125,8 +127,10 @@ pub trait ShardTracer {
     fn make_shard(&self) -> Self::Shard;
 
     /// Merge one group's op-side shard and replay its recorded memory
-    /// accesses. Called in ascending group order.
-    fn absorb_group(&mut self, shard: Self::Shard, mem: &[MemAccess]);
+    /// accesses. Called in ascending group order. `lanes` is the group's
+    /// gather-address side log: each [`Pattern::Gather`] access in `mem`
+    /// consumes the next `width` entries of `lanes`, in access order.
+    fn absorb_group(&mut self, shard: Self::Shard, mem: &[MemAccess], lanes: &[u64]);
 }
 
 /// Wraps a [`ShardTracer::Shard`] for one group's execution: op-side events
@@ -134,6 +138,10 @@ pub trait ShardTracer {
 pub struct RecordingTracer<S: ExecTracer> {
     pub shard: S,
     pub mem_log: Vec<MemAccess>,
+    /// Gather-address side log, in the convention of
+    /// [`ShardTracer::absorb_group`]: each gather access in `mem_log` owns
+    /// the next `width` entries.
+    pub lane_log: Vec<u64>,
 }
 
 impl<S: ExecTracer> RecordingTracer<S> {
@@ -141,6 +149,7 @@ impl<S: ExecTracer> RecordingTracer<S> {
         RecordingTracer {
             shard,
             mem_log: Vec::new(),
+            lane_log: Vec::new(),
         }
     }
 }
@@ -149,8 +158,9 @@ impl<S: ExecTracer> ExecTracer for RecordingTracer<S> {
     fn op(&mut self, class: OpClass, ty: VType) {
         self.shard.op(class, ty);
     }
-    fn mem(&mut self, access: &MemAccess) {
+    fn mem(&mut self, access: &MemAccess, lanes: &[u64]) {
         self.mem_log.push(*access);
+        self.lane_log.extend_from_slice(lanes);
     }
     fn barrier(&mut self, items: u32) {
         self.shard.barrier(items);
@@ -174,7 +184,7 @@ pub struct NullTracer;
 impl ExecTracer for NullTracer {}
 
 /// Simple counting tracer used by tests and the ablation harness.
-#[derive(Default, Clone, Debug)]
+#[derive(Default, Clone, Debug, PartialEq, Eq)]
 pub struct CountingTracer {
     pub ops: u64,
     pub special_ops: u64,
@@ -206,7 +216,7 @@ impl ExecTracer for CountingTracer {
         }
     }
 
-    fn mem(&mut self, a: &MemAccess) {
+    fn mem(&mut self, a: &MemAccess, _lanes: &[u64]) {
         match a.kind {
             AccessKind::Read => {
                 self.loads += 1;
@@ -254,28 +264,32 @@ mod tests {
         let mut t = CountingTracer::default();
         t.op(OpClass::Mad, VType::new(Scalar::F32, 4));
         t.op(OpClass::Special, VType::scalar(Scalar::F32));
-        t.mem(&MemAccess {
-            stream: 0,
-            space: MemSpace::Global,
-            kind: AccessKind::Read,
-            addr: 0,
-            bytes: 16,
-            elem: Scalar::F32,
-            width: 4,
-            pattern: Pattern::Contiguous,
-            lane_addrs: None,
-        });
-        t.mem(&MemAccess {
-            stream: 1,
-            space: MemSpace::Local,
-            kind: AccessKind::Atomic,
-            addr: 64,
-            bytes: 4,
-            elem: Scalar::U32,
-            width: 1,
-            pattern: Pattern::Scalar,
-            lane_addrs: None,
-        });
+        t.mem(
+            &MemAccess {
+                stream: 0,
+                space: MemSpace::Global,
+                kind: AccessKind::Read,
+                addr: 0,
+                bytes: 16,
+                elem: Scalar::F32,
+                width: 4,
+                pattern: Pattern::Contiguous,
+            },
+            &[],
+        );
+        t.mem(
+            &MemAccess {
+                stream: 1,
+                space: MemSpace::Local,
+                kind: AccessKind::Atomic,
+                addr: 64,
+                bytes: 4,
+                elem: Scalar::U32,
+                width: 1,
+                pattern: Pattern::Scalar,
+            },
+            &[],
+        );
         assert_eq!(t.ops, 2);
         assert_eq!(t.mad_ops, 1);
         assert_eq!(t.special_ops, 1);

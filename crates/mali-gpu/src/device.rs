@@ -16,7 +16,7 @@ use kernel_ir::{
     run_ndrange_sharded, ArgBinding, ExecError, ExecTracer, MemAccess, MemoryPool, NDRange,
     OpClass, Pattern, Program, ShardTracer, VType,
 };
-use memsim::{Hierarchy, HierarchyStats, StrideClassifier};
+use memsim::{AddrMap, Hierarchy, HierarchyStats, StrideClassifier};
 use powersim::Activity;
 use telemetry::{Counters, WorkSpan};
 
@@ -112,7 +112,7 @@ struct MaliTracer<'c> {
     groups: Vec<GroupCost>,
     global_atomics: u64,
     /// Per-L2-line global-atomic counts (hotspot serialization model).
-    atomic_lines: std::collections::HashMap<u64, u64>,
+    atomic_lines: AddrMap<u64>,
     total_arith_slots: f64,
     total_ls_cycles: f64,
     strides: StrideClassifier,
@@ -204,7 +204,7 @@ impl<'c> MaliTracer<'c> {
             hier: Hierarchy::l2_only(cfg.l2),
             groups: Vec::new(),
             global_atomics: 0,
-            atomic_lines: std::collections::HashMap::new(),
+            atomic_lines: AddrMap::default(),
             total_arith_slots: 0.0,
             total_ls_cycles: 0.0,
             strides: StrideClassifier::default(),
@@ -215,7 +215,7 @@ impl<'c> MaliTracer<'c> {
     /// Replay one recorded memory access through the stateful hierarchy /
     /// stride / atomic models, charging LS cycles to the group being
     /// absorbed.
-    fn replay_mem(&mut self, a: &MemAccess, cur: &mut GroupCost) {
+    fn replay_mem(&mut self, a: &MemAccess, lanes: &[u64], cur: &mut GroupCost) {
         self.counters.note_mem(a);
         let c = self.cfg;
         let write = !matches!(a.kind, kernel_ir::AccessKind::Read);
@@ -248,7 +248,7 @@ impl<'c> MaliTracer<'c> {
                     }
                 }
                 Pattern::Gather => {
-                    let addrs = a.lane_addrs.expect("gather carries lane addresses");
+                    debug_assert_eq!(lanes.len(), a.width as usize);
                     let lane_bytes = a.elem.bytes();
                     cur.ls_cycles += c.ls_issue + c.ls_gather_lane * (a.width as f64 - 1.0);
                     let scatter = if a.space == kernel_ir::MemSpace::Global {
@@ -256,7 +256,7 @@ impl<'c> MaliTracer<'c> {
                     } else {
                         0.0
                     };
-                    for &addr in addrs.iter().take(a.width as usize) {
+                    for &addr in lanes {
                         let out = self.hier.access(addr, lane_bytes, write, false);
                         cur.ls_cycles += out.l2_hits as f64 * c.cy_l2_hit + scatter;
                     }
@@ -277,11 +277,18 @@ impl<'c> ShardTracer for MaliTracer<'c> {
         }
     }
 
-    fn absorb_group(&mut self, shard: MaliShard<'c>, mem: &[MemAccess]) {
+    fn absorb_group(&mut self, shard: MaliShard<'c>, mem: &[MemAccess], lanes: &[u64]) {
         self.counters.merge_in(&shard.counters);
         let mut cur = shard.cur;
+        let mut lc = 0usize;
         for a in mem {
-            self.replay_mem(a, &mut cur);
+            let nl = if a.pattern == Pattern::Gather {
+                a.width as usize
+            } else {
+                0
+            };
+            self.replay_mem(a, &lanes[lc..lc + nl], &mut cur);
+            lc += nl;
         }
         self.total_arith_slots += cur.arith_slots;
         self.total_ls_cycles += cur.ls_cycles;

@@ -89,6 +89,11 @@ pub struct Cache {
     cfg: CacheConfig,
     sets: Vec<Line>,
     clock: u64,
+    /// `log2(line_bytes)` — the line index is a shift, probed per event.
+    line_shift: u32,
+    /// `num_sets - 1` when the set count is a power of two (the common
+    /// geometry), letting the set index be a mask instead of a modulo.
+    set_mask: Option<u64>,
     pub stats: CacheStats,
 }
 
@@ -99,6 +104,11 @@ impl Cache {
             cfg,
             sets: vec![Line::default(); lines],
             clock: 0,
+            line_shift: cfg.line_bytes.trailing_zeros(),
+            set_mask: cfg
+                .num_sets()
+                .is_power_of_two()
+                .then(|| cfg.num_sets() as u64 - 1),
             stats: CacheStats::default(),
         }
     }
@@ -118,9 +128,14 @@ impl Cache {
 
     #[inline]
     fn set_range(&self, addr: u64) -> (usize, u64) {
-        let line = addr / self.cfg.line_bytes as u64;
-        let set = (line % self.cfg.num_sets() as u64) as usize;
-        let tag = line / self.cfg.num_sets() as u64;
+        let line = addr >> self.line_shift;
+        let (set, tag) = match self.set_mask {
+            Some(mask) => ((line & mask) as usize, line >> mask.count_ones()),
+            None => {
+                let sets = self.cfg.num_sets() as u64;
+                ((line % sets) as usize, line / sets)
+            }
+        };
         (set * self.cfg.assoc as usize, tag)
     }
 
@@ -163,15 +178,20 @@ impl Cache {
         }
     }
 
+    /// `log2(line_bytes)`, for address-to-line arithmetic without division.
+    #[inline]
+    pub fn line_shift(&self) -> u32 {
+        self.line_shift
+    }
+
     /// Access a byte span, probing every line it touches. Returns
     /// `(hit_lines, miss_lines, writebacks)`.
     pub fn access(&mut self, addr: u64, bytes: u32, write: bool) -> (u32, u32, u32) {
-        let line = self.cfg.line_bytes as u64;
-        let first = addr / line;
-        let last = (addr + bytes.max(1) as u64 - 1) / line;
+        let first = addr >> self.line_shift;
+        let last = (addr + bytes.max(1) as u64 - 1) >> self.line_shift;
         let (mut hits, mut misses, mut wbs) = (0, 0, 0);
         for l in first..=last {
-            match self.probe(l * line, write) {
+            match self.probe(l << self.line_shift, write) {
                 Probe::Hit => hits += 1,
                 Probe::Miss { writeback } => {
                     misses += 1;

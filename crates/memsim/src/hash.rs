@@ -1,0 +1,91 @@
+//! A fast hasher for the simulator's address-keyed maps.
+//!
+//! The stride classifier and the atomic-hotspot map are probed once per
+//! memory event — hundreds of millions of times in a paper-scale run — and
+//! their keys are already well-mixed u64 region/line numbers, so the
+//! default SipHash costs more than the lookup it protects. This hasher is a
+//! single Fibonacci multiply (the classic `hash = key * 2^64/φ` spread),
+//! which is plenty for power-of-two bucket counts and makes the map probe
+//! a few cycles. DoS resistance is irrelevant here: keys come from the
+//! simulation itself, not from untrusted input, and map iteration order is
+//! never observed, so swapping the hasher cannot change any simulation
+//! output.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative hasher for u64 keys (also accepts the raw-bytes path so
+/// it is a valid general [`Hasher`], just not an optimized one).
+#[derive(Default)]
+pub struct AddrHasher {
+    state: u64,
+}
+
+impl Hasher for AddrHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state = (self.state ^ b as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        // Golden-ratio multiply: spreads low-entropy keys across the high
+        // bits, which HashMap's bucket index is taken from.
+        self.state = (self.state ^ v).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.write_u64(v as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`AddrHasher`] — drop-in for HashMap's default.
+pub type BuildAddrHasher = BuildHasherDefault<AddrHasher>;
+
+/// A `HashMap` keyed by addresses/regions with the fast hasher.
+pub type AddrMap<V> = std::collections::HashMap<u64, V, BuildAddrHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: AddrMap<u64> = AddrMap::default();
+        for i in 0..1000u64 {
+            m.insert(i << 14, i);
+        }
+        for i in 0..1000u64 {
+            assert_eq!(m.get(&(i << 14)), Some(&i));
+        }
+        assert_eq!(m.get(&1), None);
+    }
+
+    #[test]
+    fn nearby_keys_spread() {
+        // Sequential region numbers must not all collide in the high bits.
+        let h = |k: u64| {
+            let mut s = AddrHasher::default();
+            s.write_u64(k);
+            s.finish() >> 57
+        };
+        let distinct: std::collections::HashSet<u64> = (0..64).map(h).collect();
+        assert!(
+            distinct.len() > 16,
+            "only {} distinct buckets",
+            distinct.len()
+        );
+    }
+}

@@ -96,11 +96,11 @@ impl Hierarchy {
     pub fn access(&mut self, addr: u64, bytes: u32, write: bool, streaming: bool) -> AccessOutcome {
         self.stats.accesses += 1;
         let mut out = AccessOutcome::default();
-        let line = self.l2.config().line_bytes as u64;
-        let first = addr / line;
-        let last = (addr + bytes.max(1) as u64 - 1) / line;
+        let shift = self.l2.line_shift();
+        let first = addr >> shift;
+        let last = (addr + bytes.max(1) as u64 - 1) >> shift;
         for l in first..=last {
-            let a = l * line;
+            let a = l << shift;
             // L1 probe (if present).
             if let Some(l1) = &mut self.l1 {
                 match l1.probe(a, write) {

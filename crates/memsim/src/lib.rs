@@ -8,11 +8,13 @@
 
 pub mod cache;
 pub mod dram;
+pub mod hash;
 pub mod hierarchy;
 pub mod stride;
 
 pub use cache::{Cache, CacheConfig, CacheStats, Probe};
 pub use dram::{DramConfig, DramTraffic};
+pub use hash::{AddrMap, BuildAddrHasher};
 pub use hierarchy::{AccessOutcome, Hierarchy, HierarchyStats, HitLevel};
 pub use stride::StrideClassifier;
 

@@ -7,13 +7,13 @@
 //! the address deltas per memory region, the way a hardware prefetcher
 //! decides whether to engage.
 
-use std::collections::HashMap;
+use crate::hash::AddrMap;
 
 /// Address-delta classifier: an access is *streaming* when it lands within
 /// `window` bytes of the previous access to the same region.
 #[derive(Clone, Debug)]
 pub struct StrideClassifier {
-    last: HashMap<u64, u64>,
+    last: AddrMap<u64>,
     /// Region granularity in address bits (default 14 → 16 KiB regions:
     /// fine enough that interleaved walks of different buffers — or of
     /// different planes of one volume — track as independent streams,
@@ -26,7 +26,7 @@ pub struct StrideClassifier {
 impl Default for StrideClassifier {
     fn default() -> Self {
         StrideClassifier {
-            last: HashMap::new(),
+            last: AddrMap::default(),
             region_shift: 14,
             window: 4096,
         }
@@ -36,7 +36,7 @@ impl Default for StrideClassifier {
 impl StrideClassifier {
     pub fn new(region_shift: u32, window: u64) -> Self {
         StrideClassifier {
-            last: HashMap::new(),
+            last: AddrMap::default(),
             region_shift,
             window,
         }

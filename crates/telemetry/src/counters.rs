@@ -352,7 +352,7 @@ impl ExecTracer for CounterTracer {
     fn op(&mut self, class: OpClass, ty: VType) {
         self.0.note_op(class, ty);
     }
-    fn mem(&mut self, access: &MemAccess) {
+    fn mem(&mut self, access: &MemAccess, _lanes: &[u64]) {
         self.0.note_mem(access);
     }
     fn barrier(&mut self, items: u32) {
@@ -384,7 +384,6 @@ mod tests {
             elem: Scalar::F32,
             width: if pattern == Pattern::Scalar { 1 } else { 4 },
             pattern,
-            lane_addrs: None,
         }
     }
 

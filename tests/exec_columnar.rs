@@ -1,0 +1,368 @@
+//! Scalar-vs-columnar engine differential: every `hpc-kernels` kernel
+//! family runs through both interpreter cores across a grid of work-group
+//! shapes (including non-power-of-2 locals, 2-D/3-D ranges, and the
+//! divergent `hist`/`amcd` kernels), asserting byte-equal buffer outputs
+//! and an **identical tracer event sequence** — not just equal counters,
+//! the same ops/accesses/barriers in the same order.
+//!
+//! A second test re-pins the contract at suite level: the full paper suite
+//! must export byte-identical CSV, JSONL and trace files under every
+//! engine × SIM_THREADS combination.
+
+use harness::{run_suite, to_csv, to_jsonl, write_traces, SuiteResults};
+use hpc_kernels::amcd::Amcd;
+use hpc_kernels::common::prng_uniform;
+use hpc_kernels::conv2d::Conv2d;
+use hpc_kernels::dmmm::Dmmm;
+use hpc_kernels::hist::Hist;
+use hpc_kernels::nbody::Nbody;
+use hpc_kernels::red::Red;
+use hpc_kernels::spmv::Spmv;
+use hpc_kernels::stencil3d::Stencil3d;
+use hpc_kernels::test_suite;
+use hpc_kernels::vecop::Vecop;
+use hpc_kernels::Precision;
+use kernel_ir::prelude::*;
+use kernel_ir::{Engine, MemAccess, OpClass};
+
+/// Tracer that logs the complete event stream as comparable strings.
+#[derive(Default)]
+struct EventLog {
+    events: Vec<String>,
+}
+
+impl ExecTracer for EventLog {
+    fn op(&mut self, class: OpClass, ty: VType) {
+        self.events.push(format!("op {class:?} {ty:?}"));
+    }
+    fn mem(&mut self, a: &MemAccess, lanes: &[u64]) {
+        self.events.push(format!("mem {a:?} lanes {lanes:?}"));
+    }
+    fn barrier(&mut self, items: u32) {
+        self.events.push(format!("barrier {items}"));
+    }
+    fn loop_iter(&mut self) {
+        self.events.push("loop".into());
+    }
+    fn thread_start(&mut self) {
+        self.events.push("thread".into());
+    }
+    fn group_start(&mut self) {
+        self.events.push("group".into());
+    }
+}
+
+/// Buffer contents at the bit level (floats compared by bits, not value).
+fn buffer_bits(b: &BufferData) -> Vec<u64> {
+    match b {
+        BufferData::F32(v) => v.iter().map(|x| x.to_bits() as u64).collect(),
+        BufferData::F64(v) => v.iter().map(|x| x.to_bits()).collect(),
+        BufferData::I32(v) => v.iter().map(|&x| x as u32 as u64).collect(),
+        BufferData::I64(v) => v.iter().map(|&x| x as u64).collect(),
+        BufferData::U32(v) => v.iter().map(|&x| x as u64).collect(),
+        BufferData::U64(v) => v.clone(),
+    }
+}
+
+/// Run `p` on one engine: globals bound in order, then local sizes.
+/// Returns the full event log plus the final bits of every global buffer.
+fn run_engine(
+    tag: &str,
+    p: &Program,
+    bufs: &[BufferData],
+    local_sizes: &[usize],
+    ndr: NDRange,
+    eng: Engine,
+) -> (Vec<String>, Vec<Vec<u64>>) {
+    let mut pool = MemoryPool::new();
+    let mut bindings: Vec<ArgBinding> = bufs
+        .iter()
+        .map(|d| ArgBinding::Global(pool.add(d.clone())))
+        .collect();
+    bindings.extend(local_sizes.iter().map(|&n| ArgBinding::LocalSize(n)));
+    let mut log = EventLog::default();
+    let mut ex = GroupExecutor::with_engine(p, &bindings, &mut pool, ndr, &mut log, eng)
+        .unwrap_or_else(|e| panic!("{tag}: launch failed: {e:?}"));
+    assert_eq!(
+        ex.engine(),
+        eng,
+        "{tag}: engine fell back — differential coverage lost"
+    );
+    ex.run_all();
+    let outs = (0..bufs.len()).map(|i| buffer_bits(pool.get(i))).collect();
+    (log.events, outs)
+}
+
+/// Assert both engines produce the same event stream and the same bytes.
+fn differ(tag: &str, p: &Program, bufs: &[BufferData], local_sizes: &[usize], ndr: NDRange) {
+    p.validate().unwrap_or_else(|e| panic!("{tag}: {e:?}"));
+    let (ev_s, out_s) = run_engine(tag, p, bufs, local_sizes, ndr, Engine::Scalar);
+    let (ev_c, out_c) = run_engine(tag, p, bufs, local_sizes, ndr, Engine::Columnar);
+    assert_eq!(ev_s.len(), ev_c.len(), "{tag}: event count differs");
+    for (i, (a, b)) in ev_s.iter().zip(&ev_c).enumerate() {
+        assert_eq!(a, b, "{tag}: event {i} differs");
+    }
+    assert_eq!(out_s, out_c, "{tag}: buffer bits differ");
+}
+
+#[test]
+fn every_kernel_family_agrees_across_shapes() {
+    // --- vecop: elementwise, both precisions, 448 = 64·7 so the local
+    // grid includes non-power-of-2 shapes.
+    let v = Vecop { n: 448 };
+    for prec in [Precision::F32, Precision::F64] {
+        let bufs = [
+            prec.buffer(&prng_uniform(11, v.n)),
+            prec.buffer(&prng_uniform(13, v.n)),
+            BufferData::zeroed(prec.elem(), v.n),
+        ];
+        for wg in [1usize, 7, 16, 64] {
+            differ(
+                &format!("vecop/{}/wg{wg}", prec.label()),
+                &v.kernel(prec),
+                &bufs,
+                &[],
+                NDRange::d1(v.n, wg),
+            );
+        }
+    }
+
+    // --- dmmm: 2-D range, inner reduction loop, 30×30 (non-power-of-2).
+    let d = Dmmm {
+        n: 30,
+        opt_unroll: 2,
+        opt_width: 4,
+    };
+    let dbufs = [
+        Precision::F32.buffer(&prng_uniform(21, d.n * d.n)),
+        Precision::F32.buffer(&prng_uniform(23, d.n * d.n)),
+        BufferData::zeroed(Scalar::F32, d.n * d.n),
+    ];
+    for lx in [5usize, 6, 15, 30] {
+        differ(
+            &format!("dmmm/wg{lx}"),
+            &d.kernel(Precision::F32),
+            &dbufs,
+            &[],
+            NDRange::d2(d.n, d.n, lx, 1),
+        );
+    }
+
+    // --- conv2d: 2-D with border arithmetic; interior 25 gives odd shapes.
+    let c = Conv2d { n: 29 };
+    let m = c.n - 4;
+    let cbufs = [
+        Precision::F32.buffer(&c.input()),
+        BufferData::zeroed(Scalar::F32, c.n * c.n),
+        Precision::F32.buffer(&prng_uniform(31, 25)),
+    ];
+    for lx in [1usize, 5, 25] {
+        differ(
+            &format!("conv2d/wg{lx}"),
+            &c.kernel(Precision::F32),
+            &cbufs,
+            &[],
+            NDRange::d2(m, m, lx, 1),
+        );
+    }
+
+    // --- hist (naive): global atomic scatter with hot buckets.
+    let h = Hist {
+        n: 448,
+        buckets: 8,
+        opt_items_per_thread: 8,
+    };
+    let hin: Vec<u32> = (0..h.n as u32)
+        .map(|i| (i * i) % h.buckets as u32)
+        .collect();
+    let hbufs = [
+        BufferData::U32(hin),
+        BufferData::zeroed(Scalar::U32, h.buckets),
+    ];
+    for wg in [1usize, 7, 16, 64] {
+        differ(
+            &format!("hist/wg{wg}"),
+            &h.kernel(Precision::F32),
+            &hbufs,
+            &[],
+            NDRange::d1(h.n, wg),
+        );
+    }
+
+    // --- hist (optimized): local atomics, barrier, divergent merge phase
+    // (`if lid < buckets { if count > 0 { ... } }`).
+    let hg = h.n / h.opt_items_per_thread; // 56 items
+    for wg in [8usize, 14, 28, 56] {
+        differ(
+            &format!("hist_opt/wg{wg}"),
+            &h.opt_kernel(Precision::F32),
+            &hbufs,
+            &[h.buckets],
+            NDRange::d1(hg, wg),
+        );
+    }
+
+    // --- nbody: all-pairs loop over global size, rsqrt-heavy.
+    let nb = Nbody {
+        n: 60,
+        dt: 0.01,
+        opt_unroll: 4,
+    };
+    let nbufs = [
+        Precision::F32.buffer(&nb.bodies()),
+        BufferData::zeroed(Scalar::F32, nb.n * 4),
+    ];
+    for wg in [1usize, 5, 12, 60] {
+        differ(
+            &format!("nbody/wg{wg}"),
+            &nb.kernel(Precision::F32, Hints::default()),
+            &nbufs,
+            &[],
+            NDRange::d1(nb.n, wg),
+        );
+    }
+
+    // --- spmv: per-item loop bounds from the row pointer — every item in
+    // a group runs a different trip count (mask divergence in loops).
+    let s = Spmv {
+        rows: 60,
+        nnz_per_row: 4,
+    };
+    let mat = s.matrix();
+    let sbufs = [
+        BufferData::U32(mat.row_ptr.clone()),
+        BufferData::U32(mat.col.clone()),
+        Precision::F32.buffer(&mat.val),
+        Precision::F32.buffer(&mat.x),
+        BufferData::zeroed(Scalar::F32, s.rows),
+    ];
+    for wg in [1usize, 5, 12, 60] {
+        differ(
+            &format!("spmv/wg{wg}"),
+            &s.kernel(Precision::F32, Hints::default()),
+            &sbufs,
+            &[],
+            NDRange::d1(s.rows, wg),
+        );
+    }
+
+    // --- stencil3d: 3-D range, interior 9 per axis.
+    let st = Stencil3d {
+        dim: 11,
+        opt_z_per_thread: 4,
+    };
+    let stbufs = [
+        Precision::F32.buffer(&st.input()),
+        BufferData::zeroed(Scalar::F32, st.dim * st.dim * st.dim),
+    ];
+    let n = st.dim - 2;
+    for local in [[n, 1, 1], [3, 3, 1], [1, 1, 1], [3, 1, 3]] {
+        differ(
+            &format!("stencil3d/wg{local:?}"),
+            &st.kernel(Precision::F32),
+            &stbufs,
+            &[],
+            NDRange::d3([n, n, n], local),
+        );
+    }
+
+    // --- amcd: Metropolis accept/reject — data-dependent branches make
+    // every work-group diverge differently.
+    let a = Amcd {
+        walkers: 56,
+        steps: 8,
+    };
+    let abufs = [Precision::F32.buffer(&a.init())];
+    for wg in [1usize, 7, 14, 56] {
+        differ(
+            &format!("amcd/wg{wg}"),
+            &a.kernel(Precision::F32, Hints::default()),
+            &abufs,
+            &[],
+            NDRange::d1(a.walkers, wg),
+        );
+    }
+
+    // --- red: barrier-separated tree fold in local memory, then the
+    // single-item stage-2 fold.
+    let r = Red {
+        n: 448,
+        wg: 16,
+        naive_groups: 4,
+        opt_groups: 4,
+    };
+    let rbufs = [
+        Precision::F32.buffer(&prng_uniform(41, r.n)),
+        BufferData::zeroed(Scalar::F32, r.naive_groups),
+    ];
+    differ(
+        "red/stage1",
+        &r.stage1(Precision::F32),
+        &rbufs,
+        &[r.wg],
+        NDRange::d1(r.wg * r.naive_groups, r.wg),
+    );
+    let r2bufs = [
+        Precision::F32.buffer(&prng_uniform(43, r.naive_groups)),
+        BufferData::zeroed(Scalar::F32, 1),
+    ];
+    differ(
+        "red/stage2",
+        &r.stage2(Precision::F32, r.naive_groups),
+        &r2bufs,
+        &[],
+        NDRange::d1(1, 1),
+    );
+}
+
+fn suite_with(eng: Engine, threads: usize) -> SuiteResults {
+    kernel_ir::set_engine(eng);
+    sim_pool::set_threads(threads);
+    run_suite(&test_suite(), false)
+}
+
+/// The acceptance bar from the issue: the full paper suite exports
+/// byte-identical CSV/JSONL/trace artifacts under scalar and columnar
+/// engines at SIM_THREADS=1 and 8.
+#[test]
+fn suite_artifacts_identical_across_engines_and_threads() {
+    let prior = kernel_ir::engine();
+    let base = suite_with(Engine::Scalar, 1);
+    let base_csv = to_csv(&base);
+    let base_jsonl = to_jsonl(&base);
+    let base_dir = std::env::temp_dir().join(format!("mali-col-base-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base_dir);
+    let base_traces = write_traces(&base, &base_dir).expect("trace write");
+
+    for (eng, threads) in [
+        (Engine::Scalar, 8),
+        (Engine::Columnar, 1),
+        (Engine::Columnar, 8),
+    ] {
+        let tag = format!("{}@{threads}", eng.name());
+        let r = suite_with(eng, threads);
+        assert_eq!(base_csv, to_csv(&r), "CSV differs under {tag}");
+        assert_eq!(base_jsonl, to_jsonl(&r), "JSONL differs under {tag}");
+        let dir = std::env::temp_dir().join(format!(
+            "mali-col-{}-{threads}-{}",
+            eng.name(),
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let traces = write_traces(&r, &dir).expect("trace write");
+        assert_eq!(base_traces.len(), traces.len(), "trace count under {tag}");
+        for (a, b) in base_traces.iter().zip(&traces) {
+            assert_eq!(a.file_name(), b.file_name(), "trace names under {tag}");
+            assert_eq!(
+                std::fs::read(a).unwrap(),
+                std::fs::read(b).unwrap(),
+                "trace file {:?} differs under {tag}",
+                a.file_name()
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    let _ = std::fs::remove_dir_all(&base_dir);
+    kernel_ir::set_engine(prior);
+    sim_pool::set_threads(1);
+}

@@ -95,6 +95,8 @@ serve flags:
                       same requests; default 1, 0 disables sampling)
   --slow-ms <n>       force-sample requests slower than n milliseconds
                       regardless of --trace-sample
+  --timeout-ms <n>    per-connection socket timeout override (default
+                      30000)
 
 route flags:
   --addr <host:port>  bind address (default 127.0.0.1:8080; port 0 binds
@@ -102,6 +104,22 @@ route flags:
   --shards <list>     comma-separated serve backend addresses (required);
                       the cell key space is consistent-hashed across the
                       list, so order is part of the deployment identity
+  --replicas <n>      owners per cell key (default 1): each key gets a
+                      primary plus n-1 distinct ring-successor followers,
+                      and cells fail over when the primary's breaker opens;
+                      shard-down rows appear only when every owner is down
+  --retry-budget <n>  max attempts per shard sub-request (default 3);
+                      transport failures back off with seeded jitter, 429s
+                      wait out Retry-After (capped; malformed headers fall
+                      back to 1 s)
+  --breaker-threshold <n>  consecutive transport failures that open a
+                      shard's circuit breaker (default 3); open shards are
+                      skipped until a half-open /healthz probe succeeds
+  --fault-seed <n>    inject deterministic *network* chaos (connect
+                      refusals, recorded stalls, truncated responses,
+                      garbage status lines) into the router's fan-out
+                      client; cell evaluation on the shards is untouched
+  --timeout-ms <n>    shard sub-request timeout (default 600000)
   --trace-dir, --trace-sample, --slow-ms as for serve; the router stamps
                       its ingress trace id onto every shard sub-request
                       (X-Sim-Trace-Id), so one id follows a sweep fleet-wide
@@ -114,6 +132,9 @@ submit flags:
                       (e.g. spmv/OpenCL-Opt/single); default: full grid
   --metrics           print /metrics instead of sweeping
   --shutdown          ask the server to shut down gracefully
+  --retry-budget <n>  attempts for transient connection failures before
+                      exiting 1 (default 3, seeded backoff between tries)
+  --timeout-ms <n>    request timeout (default 600000)
 
 exit codes:
   0  every cell ran (skips from the paper's known driver bugs are fine)
@@ -147,6 +168,10 @@ struct Opts {
     req_trace_dir: Option<std::path::PathBuf>,
     trace_sample: u64,
     slow_ms: Option<u64>,
+    replicas: usize,
+    retry_budget: u32,
+    breaker_threshold: u32,
+    timeout_ms: Option<u64>,
     cmds: Vec<String>,
 }
 
@@ -174,6 +199,10 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
         req_trace_dir: None,
         trace_sample: 1,
         slow_ms: None,
+        replicas: 1,
+        retry_budget: 3,
+        breaker_threshold: 3,
+        timeout_ms: None,
         cmds: Vec::new(),
     };
     let mut it = args.iter();
@@ -256,6 +285,22 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
             "--slow-ms" => match it.next().map(|n| n.parse::<u64>()) {
                 Some(Ok(n)) => o.slow_ms = Some(n),
                 _ => return Err("--slow-ms needs an unsigned integer argument".into()),
+            },
+            "--replicas" => match it.next().map(|n| n.parse::<usize>()) {
+                Some(Ok(n)) if n >= 1 => o.replicas = n,
+                _ => return Err("--replicas needs a positive integer argument".into()),
+            },
+            "--retry-budget" => match it.next().map(|n| n.parse::<u32>()) {
+                Some(Ok(n)) if n >= 1 => o.retry_budget = n,
+                _ => return Err("--retry-budget needs a positive integer argument".into()),
+            },
+            "--breaker-threshold" => match it.next().map(|n| n.parse::<u32>()) {
+                Some(Ok(n)) if n >= 1 => o.breaker_threshold = n,
+                _ => return Err("--breaker-threshold needs a positive integer argument".into()),
+            },
+            "--timeout-ms" => match it.next().map(|n| n.parse::<u64>()) {
+                Some(Ok(n)) if n >= 1 => o.timeout_ms = Some(n),
+                _ => return Err("--timeout-ms needs a positive integer argument".into()),
             },
             flag if flag.starts_with("--") => return Err(format!("unknown flag '{flag}'")),
             cmd => o.cmds.push(cmd.to_string()),
@@ -361,6 +406,7 @@ fn run() -> i32 {
             trace_dir: o.req_trace_dir,
             trace_sample: o.trace_sample,
             slow_ms: o.slow_ms,
+            timeout_ms: o.timeout_ms,
         };
         return match harness::serve::serve(cfg) {
             Ok(()) => 0,
@@ -379,6 +425,11 @@ fn run() -> i32 {
         let cfg = harness::RouteConfig {
             addr: o.addr.unwrap_or_else(|| "127.0.0.1:8080".into()),
             shards: o.shards,
+            replicas: o.replicas,
+            retry_budget: o.retry_budget,
+            breaker_threshold: o.breaker_threshold,
+            fault_seed: o.fault_seed,
+            timeout_ms: o.timeout_ms,
             trace_dir: o.req_trace_dir,
             trace_sample: o.trace_sample,
             slow_ms: o.slow_ms,
@@ -404,6 +455,8 @@ fn run() -> i32 {
             cells: o.cells,
             metrics: o.metrics,
             shutdown: o.shutdown,
+            retry_budget: o.retry_budget,
+            timeout_ms: o.timeout_ms,
         });
     }
 

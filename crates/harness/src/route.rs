@@ -20,31 +20,44 @@
 //! byte-identical to single-process `harness serve` and to offline
 //! `harness jsonl`.
 //!
-//! Failure semantics (DESIGN.md §13):
-//! * a down or erroring shard degrades to structured
-//!   `status=fail`/`shard-down` rows for *that shard's cells only* —
-//!   the sweep still answers 200;
-//! * a busy shard (429) makes the whole sweep 429, propagating the
-//!   maximum `Retry-After` (already-computed cells are cached on their
-//!   shards, so the retry is cheap);
+//! Failure semantics (DESIGN.md §13, §16):
+//! * transport failures are retried with seeded exponential backoff and
+//!   jitter within a per-request budget (`--retry-budget`); injected
+//!   chaos faults skip the real sleep, so chaos runs stay fast;
+//! * each shard has a circuit breaker (`--breaker-threshold`
+//!   consecutive transport failures → open; a cooldown later, one
+//!   half-open `/healthz` probe re-closes or re-opens it), so a dead
+//!   shard stops eating the retry budget of every sweep;
+//! * with `--replicas R`, every key's cells can fail over to the next
+//!   `R-1` distinct successor shards on the ring; a down or erroring
+//!   shard only degrades to structured `status=fail`/`shard-down` rows
+//!   once *every* owner is down — the sweep still answers 200;
+//! * a busy shard (429) is retried after its `Retry-After` (capped;
+//!   malformed/missing headers fall back to a documented 1 s default),
+//!   and only once the budget is spent does the whole sweep 429,
+//!   propagating the maximum `Retry-After` (already-computed cells are
+//!   cached on their shards, so the retry is cheap);
 //! * `/healthz` aggregates shard liveness (503 lists the casualties);
 //!   `/metrics` sums shard counters (latency lines take the max) and
-//!   appends `sim_router_*` lines.
+//!   appends `sim_router_*` lines, including per-shard breaker states.
 
 use crate::checkpoint;
 use crate::export;
 use crate::runner::{CellEntry, CellError, FailKind, SuiteResults};
 use crate::serve::{make_tracer, parse_sweep, precision_to_wire, spec_coord};
+use sim_faults::FaultPlan;
+use sim_server::breaker::{Breaker, Decision};
 use sim_server::http::{self, Request, Response, Server, StopHandle};
 use sim_server::json;
-use sim_server::key::{CellKey, CellSpec};
+use sim_server::key::{fnv1a64, CellKey, CellSpec};
 use sim_server::metrics as server_metrics;
 use sim_server::reqtrace::{us_since, RequestRecord, TraceId, Tracer, TRACE_HEADER};
+use sim_server::retry::{self, RetryPolicy};
 use sim_server::router::Ring;
 use std::collections::{HashMap, HashSet};
 use std::io::{self, Write};
 use std::net::SocketAddr;
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 use telemetry::log;
 
@@ -56,6 +69,22 @@ pub struct RouteConfig {
     /// Backend `harness serve` addresses. Shard identity is positional:
     /// reordering the list remaps the key space (and cools every cache).
     pub shards: Vec<String>,
+    /// Owners per key (`--replicas`): 1 disables failover; R gives every
+    /// key a primary plus `R-1` distinct ring-successor followers.
+    pub replicas: usize,
+    /// Max attempts per shard sub-request (`--retry-budget`, min 1).
+    pub retry_budget: u32,
+    /// Consecutive transport failures that trip a shard's breaker
+    /// (`--breaker-threshold`).
+    pub breaker_threshold: u32,
+    /// Deterministic *network* chaos seed (`--fault-seed`/`FAULT_SEED`):
+    /// the router injects connect refusals, stalls, truncations and
+    /// garbage status lines into its own fan-out client. Never installed
+    /// ambiently — cell evaluation on the shards is untouched.
+    pub fault_seed: Option<u64>,
+    /// Shard sub-request timeout override in ms (`--timeout-ms`);
+    /// `None` uses [`http::DEFAULT_TIMEOUT_MS`].
+    pub timeout_ms: Option<u64>,
     /// Request-trace output directory (`--trace-dir`); `None` disables
     /// tracing. The router's ingress trace id is stamped onto every
     /// shard sub-request, so shard traces correlate by id.
@@ -66,10 +95,12 @@ pub struct RouteConfig {
     pub slow_ms: Option<u64>,
 }
 
-/// Sweeps may simulate the full paper-scale grid on a cold fleet.
-const SHARD_SWEEP_TIMEOUT: Duration = Duration::from_secs(600);
-/// Health probes and metric scrapes must not hang the front.
-const SHARD_PROBE_TIMEOUT: Duration = Duration::from_secs(10);
+/// An open breaker waits this long before granting a half-open probe.
+const BREAKER_COOLDOWN: Duration = Duration::from_millis(500);
+/// Cap on how long one 429 `Retry-After` is honored per retry: enough to
+/// let real backpressure drain, short enough that a sweep's retry budget
+/// is bounded in wall-clock time.
+const RETRY_AFTER_CAP_MS: u64 = 250;
 
 #[derive(Default)]
 struct RouterMetrics {
@@ -79,6 +110,8 @@ struct RouterMetrics {
     shard_errors: u64,
     rejected: u64,
     bad_requests: u64,
+    retries: u64,
+    failovers: u64,
 }
 
 /// What one shard's `/v1/cells` sub-request produced.
@@ -100,6 +133,17 @@ struct Router {
     metrics: Mutex<RouterMetrics>,
     stop: StopHandle,
     tracer: Tracer,
+    /// One circuit breaker per shard, indexed like `shards`.
+    breakers: Vec<Mutex<Breaker>>,
+    policy: RetryPolicy,
+    /// Owners per key (≥ 1); clamped to the shard count by the ring.
+    replicas: usize,
+    /// Network chaos plan for the fan-out client (`--fault-seed`).
+    net_plan: Option<FaultPlan>,
+    /// Shard sub-request timeout (sweeps may simulate the full grid).
+    sweep_timeout: Duration,
+    /// Health probes and metric scrapes must not hang the front.
+    probe_timeout: Duration,
 }
 
 /// Build the `/v1/cells` sub-request body for one shard's specs. All
@@ -160,14 +204,160 @@ impl Router {
             cfg.slow_ms,
             &format!("sim-router {}", cfg.addr),
         )?;
+        let sweep_timeout =
+            Duration::from_millis(cfg.timeout_ms.unwrap_or(http::DEFAULT_TIMEOUT_MS));
+        let probe_timeout =
+            sweep_timeout.min(Duration::from_millis(http::DEFAULT_PROBE_TIMEOUT_MS));
         Ok(Router {
             ring: Ring::new(cfg.shards.len()),
+            breakers: cfg
+                .shards
+                .iter()
+                .map(|_| Mutex::new(Breaker::new(cfg.breaker_threshold, BREAKER_COOLDOWN)))
+                .collect(),
             shards: cfg.shards.clone(),
             bench_names,
             metrics: Mutex::new(RouterMetrics::default()),
             stop,
             tracer,
+            policy: RetryPolicy {
+                budget: cfg.retry_budget.max(1),
+                seed: cfg.fault_seed.unwrap_or(0),
+                ..RetryPolicy::default()
+            },
+            replicas: cfg.replicas.max(1),
+            // The chaos plan is scoped to the network ("net" fork of the
+            // seed) and handed to the client per attempt — never
+            // installed ambiently, so shard-side cell evaluation (which
+            // reads the *ambient* plan) is untouched.
+            net_plan: cfg.fault_seed.map(|s| FaultPlan::new(s).derive("net")),
+            sweep_timeout,
+            probe_timeout,
         })
+    }
+
+    fn breaker(&self, shard: usize) -> MutexGuard<'_, Breaker> {
+        self.breakers[shard]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// May `shard` take traffic right now? Consults the breaker; an open
+    /// breaker past its cooldown grants one half-open `/healthz` probe
+    /// (control-plane: deliberately not under chaos), whose outcome
+    /// closes or re-opens the breaker.
+    fn shard_available(&self, shard: usize) -> bool {
+        let decision = self.breaker(shard).decide();
+        match decision {
+            Decision::Allow => true,
+            Decision::Deny => false,
+            Decision::Probe => {
+                let ok = matches!(
+                    http::request(
+                        &self.shards[shard],
+                        "GET",
+                        "/healthz",
+                        b"",
+                        self.probe_timeout
+                    ),
+                    Ok((200, _))
+                );
+                let mut b = self.breaker(shard);
+                if ok {
+                    b.on_success();
+                } else {
+                    b.on_failure();
+                }
+                ok
+            }
+        }
+    }
+
+    fn note_retry(&self) {
+        self.metrics
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .retries += 1;
+    }
+
+    /// One shard sub-request with the full retry loop: transport
+    /// failures back off (seeded; injected chaos skips the real sleep)
+    /// and feed the shard's breaker; 429s wait out `Retry-After`
+    /// (capped, defaulted when malformed) and retry. Returns only once
+    /// the outcome is settled for this shard.
+    fn call_shard(&self, shard: usize, specs: &[&CellSpec], id_hex: &str) -> ShardOutcome {
+        let addr = &self.shards[shard];
+        let body = cells_body(specs);
+        let salt = fnv1a64(body.as_bytes());
+        let mut attempt: u32 = 0;
+        loop {
+            let chaos = self.net_plan.as_ref().map(|p| {
+                http::chaos_attempt_plan(p, "POST", "/v1/cells", body.as_bytes(), attempt)
+            });
+            let result = http::request_with_chaos(
+                addr,
+                "POST",
+                "/v1/cells",
+                &[(TRACE_HEADER, id_hex)],
+                body.as_bytes(),
+                self.sweep_timeout,
+                chaos.as_ref(),
+            );
+            attempt += 1;
+            match result {
+                Ok((200, _, resp)) => {
+                    self.breaker(shard).on_success();
+                    return match parse_cells_response(&resp) {
+                        Some(map) => ShardOutcome::Cells(map),
+                        None => ShardOutcome::Down(format!(
+                            "shard {addr} returned an unparseable cells response"
+                        )),
+                    };
+                }
+                Ok((429, headers, _)) => {
+                    // The shard answered: transport is fine.
+                    self.breaker(shard).on_success();
+                    let retry_after = retry::parse_retry_after(
+                        headers
+                            .iter()
+                            .find(|(k, _)| k == "retry-after")
+                            .map(|(_, v)| v.as_str()),
+                    );
+                    if attempt >= self.policy.budget {
+                        return ShardOutcome::Busy { retry_after };
+                    }
+                    self.note_retry();
+                    std::thread::sleep(Duration::from_millis(
+                        retry_after.saturating_mul(1000).min(RETRY_AFTER_CAP_MS),
+                    ));
+                }
+                Ok((status, _, resp)) => {
+                    // A non-2xx answer is the shard's deterministic
+                    // verdict, not a transport flake: no retry.
+                    self.breaker(shard).on_success();
+                    return ShardOutcome::Down(format!(
+                        "shard {addr} answered {status}: {}",
+                        String::from_utf8_lossy(&resp).trim_end()
+                    ));
+                }
+                Err(e) => {
+                    self.breaker(shard).on_failure();
+                    let msg = format!("shard {addr} unreachable: {e}");
+                    if attempt >= self.policy.budget {
+                        return ShardOutcome::Down(msg);
+                    }
+                    self.note_retry();
+                    // Backoff is recorded into the policy's seeded
+                    // schedule; injected chaos faults skip the real
+                    // sleep so chaotic sweeps stay fast.
+                    if !sim_faults::is_injected(&msg) {
+                        std::thread::sleep(Duration::from_millis(
+                            self.policy.backoff_ms(salt, attempt - 1),
+                        ));
+                    }
+                }
+            }
+        }
     }
 
     fn handle(&self, req: &Request) -> Response {
@@ -196,7 +386,7 @@ impl Router {
                 // so a router shutdown drains the backends too.
                 for addr in &self.shards {
                     if let Err(e) =
-                        http::request(addr, "POST", "/v1/shutdown", b"", SHARD_PROBE_TIMEOUT)
+                        http::request(addr, "POST", "/v1/shutdown", b"", self.probe_timeout)
                     {
                         log::progress(&format!("warning: shutdown of shard {addr} failed: {e}"));
                     }
@@ -229,7 +419,7 @@ impl Router {
                 .iter()
                 .map(|addr| {
                     scope.spawn(move || {
-                        match http::request(addr, "GET", "/healthz", b"", SHARD_PROBE_TIMEOUT) {
+                        match http::request(addr, "GET", "/healthz", b"", self.probe_timeout) {
                             Ok((200, _)) => Ok(()),
                             Ok((status, _)) => Err(format!("answered {status}")),
                             Err(e) => Err(format!("unreachable: {e}")),
@@ -270,7 +460,7 @@ impl Router {
                 .iter()
                 .map(|addr| {
                     scope.spawn(move || {
-                        match http::request(addr, "GET", "/metrics", b"", SHARD_PROBE_TIMEOUT) {
+                        match http::request(addr, "GET", "/metrics", b"", self.probe_timeout) {
                             Ok((200, body)) => String::from_utf8(body).ok(),
                             _ => None,
                         }
@@ -289,14 +479,29 @@ impl Router {
         for (name, v) in [
             ("sim_router_shards", self.shards.len() as u64),
             ("sim_router_shards_up", up as u64),
+            ("sim_router_replicas", self.replicas as u64),
             ("sim_router_requests_total", m.requests),
             ("sim_router_sweeps_total", m.sweeps),
             ("sim_router_cells_routed_total", m.cells_routed),
             ("sim_router_shard_errors_total", m.shard_errors),
             ("sim_router_rejected_total", m.rejected),
             ("sim_router_bad_requests_total", m.bad_requests),
+            ("sim_router_retries_total", m.retries),
+            ("sim_router_failovers_total", m.failovers),
+            (
+                "sim_router_net_stall_recorded_ms_total",
+                http::net_stall_recorded_ms_total(),
+            ),
         ] {
             out.push_str(&format!("{name} {v}\n"));
+        }
+        drop(m);
+        for (i, b) in self.breakers.iter().enumerate() {
+            let state = b.lock().unwrap_or_else(|e| e.into_inner()).state();
+            out.push_str(&format!(
+                "sim_router_breaker_state{{shard=\"{i}\"}} {}\n",
+                state.code()
+            ));
         }
         Response::text(200, out)
     }
@@ -307,7 +512,7 @@ impl Router {
             return self.bad("cell key must be 16 hex digits");
         };
         let addr = &self.shards[self.ring.shard_of(key)];
-        match http::request(addr, "GET", path, b"", SHARD_PROBE_TIMEOUT) {
+        match http::request(addr, "GET", path, b"", self.probe_timeout) {
             Ok((status, body)) => Response::json(status, body),
             Err(e) => Response::json(
                 503,
@@ -330,13 +535,26 @@ impl Router {
             Err(msg) => return self.bad(&msg),
         };
 
-        // Partition the distinct cells by ring position.
+        // Each distinct cell gets an owner list: the primary plus
+        // `replicas - 1` distinct ring successors it may fail over to.
+        struct PendingCell<'a> {
+            spec: &'a CellSpec,
+            owners: Vec<usize>,
+            /// Next owner rank to try.
+            rank: usize,
+            last_err: Option<String>,
+        }
         let mut seen: HashSet<CellKey> = HashSet::new();
-        let mut per_shard: Vec<Vec<&CellSpec>> = vec![Vec::new(); self.shards.len()];
+        let mut pending: Vec<PendingCell<'_>> = Vec::new();
         for (spec, _) in &cells {
             let key = spec.key();
             if seen.insert(key) {
-                per_shard[self.ring.shard_of(key)].push(spec);
+                pending.push(PendingCell {
+                    spec,
+                    owners: self.ring.owners(key, self.replicas),
+                    rank: 0,
+                    last_err: None,
+                });
             }
         }
         {
@@ -345,119 +563,171 @@ impl Router {
             m.cells_routed += seen.len() as u64;
         }
 
-        // Fan the non-empty sub-sweeps out concurrently, propagating the
-        // ingress trace id so every shard's spans and log lines carry it.
+        // Fan out in waves. Wave 0 targets every cell's first available
+        // owner (the primary unless its breaker is open); a shard that
+        // fails its whole retry budget sends its cells to the next wave,
+        // which re-routes them to their next owner. A cell degrades to a
+        // `shard-down` row only when every owner has been exhausted.
         let id_hex = rec.id.to_string();
-        let fanout_off = us_since(started);
-        let mut outcomes: Vec<Option<(ShardOutcome, u64)>> = Vec::with_capacity(self.shards.len());
-        std::thread::scope(|scope| {
-            let id_hex = &id_hex;
-            let handles: Vec<_> = self
-                .shards
-                .iter()
-                .zip(&per_shard)
-                .map(|(addr, specs)| {
-                    scope.spawn(move || {
-                        if specs.is_empty() {
-                            return None;
-                        }
-                        let body = cells_body(specs);
-                        let shard_started = Instant::now();
-                        let outcome = match http::request_with(
-                            addr,
-                            "POST",
-                            "/v1/cells",
-                            &[(TRACE_HEADER, id_hex.as_str())],
-                            body.as_bytes(),
-                            SHARD_SWEEP_TIMEOUT,
-                        ) {
-                            Ok((200, _, resp)) => match parse_cells_response(&resp) {
-                                Some(map) => ShardOutcome::Cells(map),
-                                None => ShardOutcome::Down(format!(
-                                    "shard {addr} returned an unparseable cells response"
-                                )),
-                            },
-                            Ok((429, headers, _)) => ShardOutcome::Busy {
-                                retry_after: headers
-                                    .iter()
-                                    .find(|(k, _)| k == "retry-after")
-                                    .and_then(|(_, v)| v.parse().ok())
-                                    .unwrap_or(1),
-                            },
-                            Ok((status, _, resp)) => ShardOutcome::Down(format!(
-                                "shard {addr} answered {status}: {}",
-                                String::from_utf8_lossy(&resp).trim_end()
-                            )),
-                            Err(e) => ShardOutcome::Down(format!("shard {addr} unreachable: {e}")),
-                        };
-                        Some((outcome, us_since(shard_started)))
-                    })
-                })
-                .collect();
-            for h in handles {
-                outcomes.push(h.join().unwrap_or_else(|_| {
-                    Some((ShardOutcome::Down("sub-request thread panicked".into()), 0))
-                }));
-            }
-        });
-        // One span per contacted shard; they overlap, all starting at the
-        // fan-out point.
-        for (i, o) in outcomes.iter().enumerate() {
-            if let Some((_, dur_us)) = o {
-                rec.span(format!("shard_{i}"), fanout_off, *dur_us);
-            }
-        }
-        let outcomes: Vec<Option<ShardOutcome>> =
-            outcomes.into_iter().map(|o| o.map(|(s, _)| s)).collect();
-
-        // Backpressure first: a busy shard makes the sweep retryable as a
-        // whole (its siblings' finished cells are cached, so the retry
-        // costs only the busy shard's work).
-        let max_retry = outcomes
-            .iter()
-            .filter_map(|o| match o {
-                Some(ShardOutcome::Busy { retry_after }) => Some(*retry_after),
-                _ => None,
-            })
-            .max();
-        if let Some(retry_after) = max_retry {
-            self.metrics
-                .lock()
-                .unwrap_or_else(|e| e.into_inner())
-                .rejected += 1;
-            return Response::json(
-                429,
-                format!("{{\"error\":\"shard busy\",\"retry_after\":{retry_after}}}\n"),
-            )
-            .with_header("Retry-After", &retry_after.to_string());
-        }
-
-        // Collect payloads; a down shard degrades to failure entries for
-        // its cells only.
-        let shards_down = outcomes
-            .iter()
-            .flatten()
-            .filter(|o| matches!(o, ShardOutcome::Down(_)))
-            .count();
         let mut payloads: HashMap<CellKey, String> = HashMap::new();
         let mut down: HashMap<CellKey, String> = HashMap::new();
-        for (specs, outcome) in per_shard.iter().zip(outcomes) {
-            match outcome {
-                None => {}
-                Some(ShardOutcome::Cells(map)) => payloads.extend(map),
-                Some(ShardOutcome::Busy { .. }) => unreachable!("busy handled above"),
-                Some(ShardOutcome::Down(msg)) => {
-                    self.metrics
-                        .lock()
-                        .unwrap_or_else(|e| e.into_inner())
-                        .shard_errors += 1;
-                    log::progress(&format!("warning: {msg}"));
-                    for spec in specs {
-                        down.insert(spec.key(), msg.clone());
+        let mut shards_down: HashSet<usize> = HashSet::new();
+        let mut wave = 0usize;
+        while !pending.is_empty() {
+            // Assign every pending cell to its next live owner, skipping
+            // shards whose breaker denies traffic right now. Availability
+            // is computed once per shard per wave.
+            let mut available: HashMap<usize, bool> = HashMap::new();
+            let mut groups: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+            let mut exhausted: Vec<usize> = Vec::new();
+            let mut failovers = 0u64;
+            for (idx, cell) in pending.iter_mut().enumerate() {
+                while cell.rank < cell.owners.len() {
+                    let shard = cell.owners[cell.rank];
+                    let ok = *available
+                        .entry(shard)
+                        .or_insert_with(|| self.shard_available(shard));
+                    if ok {
+                        break;
+                    }
+                    cell.last_err
+                        .get_or_insert_with(|| format!("shard {shard} quarantined (breaker open)"));
+                    cell.rank += 1;
+                }
+                if cell.rank >= cell.owners.len() {
+                    exhausted.push(idx);
+                } else {
+                    if cell.rank > 0 {
+                        failovers += 1;
+                    }
+                    groups[cell.owners[cell.rank]].push(idx);
+                }
+            }
+            if failovers > 0 {
+                self.metrics
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .failovers += failovers;
+            }
+            for idx in &exhausted {
+                let cell = &pending[*idx];
+                down.insert(
+                    cell.spec.key(),
+                    cell.last_err
+                        .clone()
+                        .unwrap_or_else(|| "no owner available".into()),
+                );
+            }
+            if groups.iter().all(Vec::is_empty) {
+                break;
+            }
+
+            // Contact this wave's shards concurrently, propagating the
+            // ingress trace id so every shard's spans and log lines
+            // carry it.
+            let fanout_off = us_since(started);
+            let mut outcomes: Vec<Option<(ShardOutcome, u64)>> =
+                Vec::with_capacity(self.shards.len());
+            std::thread::scope(|scope| {
+                let id_hex = &id_hex;
+                let pending = &pending;
+                let handles: Vec<_> = groups
+                    .iter()
+                    .enumerate()
+                    .map(|(shard, idxs)| {
+                        scope.spawn(move || {
+                            if idxs.is_empty() {
+                                return None;
+                            }
+                            let specs: Vec<&CellSpec> =
+                                idxs.iter().map(|&i| pending[i].spec).collect();
+                            let shard_started = Instant::now();
+                            let outcome = self.call_shard(shard, &specs, id_hex);
+                            Some((outcome, us_since(shard_started)))
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    outcomes.push(h.join().unwrap_or_else(|_| {
+                        Some((ShardOutcome::Down("sub-request thread panicked".into()), 0))
+                    }));
+                }
+            });
+            // One span per contacted shard; they overlap, all starting
+            // at the wave's fan-out point. Failover waves carry a wave
+            // suffix so traces show the re-route.
+            for (i, o) in outcomes.iter().enumerate() {
+                if let Some((_, dur_us)) = o {
+                    let name = if wave == 0 {
+                        format!("shard_{i}")
+                    } else {
+                        format!("shard_{i}_w{wave}")
+                    };
+                    rec.span(name, fanout_off, *dur_us);
+                }
+            }
+
+            // Backpressure first: a busy shard makes the sweep
+            // retryable as a whole (its siblings' finished cells are
+            // cached, so the client's retry costs only the busy shard's
+            // work).
+            let max_retry = outcomes
+                .iter()
+                .flatten()
+                .filter_map(|(o, _)| match o {
+                    ShardOutcome::Busy { retry_after } => Some(*retry_after),
+                    _ => None,
+                })
+                .max();
+            if let Some(retry_after) = max_retry {
+                self.metrics
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .rejected += 1;
+                return Response::json(
+                    429,
+                    format!("{{\"error\":\"shard busy\",\"retry_after\":{retry_after}}}\n"),
+                )
+                .with_header("Retry-After", &retry_after.to_string());
+            }
+
+            // Settle this wave: resolved cells leave `pending`, cells on
+            // a down shard advance to their next owner.
+            let mut next_wave: Vec<usize> = Vec::new();
+            for (shard, outcome) in outcomes.into_iter().enumerate() {
+                match outcome {
+                    None => {}
+                    Some((ShardOutcome::Cells(map), _)) => payloads.extend(map),
+                    Some((ShardOutcome::Busy { .. }, _)) => unreachable!("busy handled above"),
+                    Some((ShardOutcome::Down(msg), _)) => {
+                        self.metrics
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .shard_errors += 1;
+                        shards_down.insert(shard);
+                        log::progress(&format!("warning: {msg}"));
+                        for &idx in &groups[shard] {
+                            next_wave.push(idx);
+                        }
+                        for &idx in &groups[shard] {
+                            let cell = &mut pending[idx];
+                            cell.rank += 1;
+                            cell.last_err = Some(msg.clone());
+                        }
                     }
                 }
             }
+            next_wave.sort_unstable();
+            let keep: HashSet<usize> = next_wave.into_iter().collect();
+            let mut idx = 0usize;
+            pending.retain(|_| {
+                let k = keep.contains(&idx);
+                idx += 1;
+                k
+            });
+            wave += 1;
         }
+        let shards_down = shards_down.len();
 
         // Assemble one SuiteResults over exactly the requested cells and
         // format once — the same shared `jsonl_row` path as the backends

@@ -43,6 +43,7 @@ use sim_server::json::{self, Json};
 use sim_server::key::{CellKey, CellSpec};
 use sim_server::metrics::{self, Metrics, Stage};
 use sim_server::reqtrace::{us_since, RequestRecord, TraceConfig, TraceId, Tracer, TRACE_HEADER};
+use sim_server::retry::RetryPolicy;
 use sim_server::scheduler::{AdmitError, Scheduler, Slot};
 use std::collections::{HashMap, HashSet};
 use std::io::{self, Write};
@@ -75,6 +76,9 @@ pub struct ServeConfig {
     pub trace_sample: u64,
     /// Force-sample requests slower than this (`--slow-ms`).
     pub slow_ms: Option<u64>,
+    /// Per-connection socket I/O timeout (`--timeout-ms`); `None` uses
+    /// [`http::DEFAULT_IO_TIMEOUT_MS`].
+    pub timeout_ms: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -88,6 +92,7 @@ impl Default for ServeConfig {
             trace_dir: None,
             trace_sample: 0,
             slow_ms: None,
+            timeout_ms: None,
         }
     }
 }
@@ -797,7 +802,10 @@ impl RunningServer {
     }
 }
 
-fn run_on(server: Server, cfg: ServeConfig) -> io::Result<()> {
+fn run_on(mut server: Server, cfg: ServeConfig) -> io::Result<()> {
+    if let Some(ms) = cfg.timeout_ms {
+        server.set_io_timeout(Duration::from_millis(ms));
+    }
     let stop = server.stop_handle()?;
     let engine = Engine::new(&cfg, stop)?;
     server.run(|req| engine.handle(req))?;
@@ -849,9 +857,28 @@ pub struct SubmitConfig {
     pub metrics: bool,
     /// Request a graceful server shutdown instead of sweeping.
     pub shutdown: bool,
+    /// Attempts before giving up on transient connection failures
+    /// (`--retry-budget`); backoff is seeded from `fault_seed`.
+    pub retry_budget: u32,
+    /// Request timeout (`--timeout-ms`); `None` uses
+    /// [`http::DEFAULT_TIMEOUT_MS`].
+    pub timeout_ms: Option<u64>,
 }
 
-const CLIENT_TIMEOUT: Duration = Duration::from_secs(600);
+/// Transport errors worth retrying from the client: the server may be
+/// mid-restart (refused), mid-shutdown (reset/aborted), or briefly
+/// wedged (timeout). Anything else — DNS failure, a malformed response —
+/// will not heal by waiting.
+fn transient(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::ConnectionRefused
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::TimedOut
+            | io::ErrorKind::WouldBlock
+    )
+}
 
 /// Build the JSON body for a sweep request.
 fn sweep_body(cfg: &SubmitConfig) -> Result<String, String> {
@@ -888,6 +915,10 @@ fn sweep_body(cfg: &SubmitConfig) -> Result<String, String> {
 
 /// Run one client interaction; prints the response body to stdout.
 /// Returns the process exit code (0 ok, 1 server/transport error).
+/// Transient connection failures (refused, reset, timed out) are retried
+/// up to the configured budget with seeded exponential backoff before
+/// the client gives up — a server restarting between waves no longer
+/// fails the whole script.
 pub fn submit(cfg: &SubmitConfig) -> i32 {
     let (method, path, body) = if cfg.shutdown {
         ("POST", "/v1/shutdown", String::new())
@@ -903,7 +934,31 @@ pub fn submit(cfg: &SubmitConfig) -> i32 {
             }
         }
     };
-    match http::request(&cfg.addr, method, path, body.as_bytes(), CLIENT_TIMEOUT) {
+    let timeout = Duration::from_millis(cfg.timeout_ms.unwrap_or(http::DEFAULT_TIMEOUT_MS));
+    let policy = RetryPolicy {
+        budget: cfg.retry_budget.max(1),
+        seed: cfg.fault_seed.unwrap_or(0),
+        ..RetryPolicy::default()
+    };
+    let salt = sim_server::key::fnv1a64(path.as_bytes());
+    let mut attempt = 0u32;
+    let result = loop {
+        match http::request(&cfg.addr, method, path, body.as_bytes(), timeout) {
+            Err(e) if transient(&e) && attempt + 1 < policy.budget => {
+                let wait = policy.backoff_ms(salt, attempt);
+                eprintln!(
+                    "request to {} failed ({e}); retrying in {wait} ms (attempt {} of {})",
+                    cfg.addr,
+                    attempt + 2,
+                    policy.budget
+                );
+                std::thread::sleep(Duration::from_millis(wait));
+                attempt += 1;
+            }
+            other => break other,
+        }
+    };
+    match result {
         Ok((200, body)) => {
             let mut out = io::stdout();
             if cfg.metrics {

@@ -63,8 +63,60 @@ fn help_documents_the_serving_layer() {
         "--trace-dir",
         "--trace-sample",
         "--slow-ms",
+        "--replicas",
+        "--retry-budget",
+        "--breaker-threshold",
+        "--timeout-ms",
         "X-Sim-Trace-Id",
     ] {
         assert!(text.contains(needle), "help missing {needle}: {text}");
     }
+}
+
+#[test]
+fn bounded_serving_flags_reject_zero() {
+    for bad in [
+        &[
+            "route",
+            "--addr",
+            "127.0.0.1:0",
+            "--shards",
+            "127.0.0.1:1",
+            "--replicas",
+            "0",
+        ][..],
+        &[
+            "route",
+            "--addr",
+            "127.0.0.1:0",
+            "--shards",
+            "127.0.0.1:1",
+            "--retry-budget",
+            "0",
+        ],
+        &["serve", "--timeout-ms", "0"],
+    ] {
+        let out = harness(bad);
+        assert_eq!(out.status.code(), Some(2), "{bad:?}: {}", stderr(&out));
+        assert!(!stderr(&out).contains("panicked"), "{bad:?}");
+    }
+}
+
+/// `harness submit` retries transient connection failures with seeded
+/// backoff before giving up: against a dead address it reports each
+/// retry on stderr and still exits 1 (transport error), not 2 (usage).
+#[test]
+fn submit_retries_transient_connection_failures_before_failing() {
+    let out = harness(&[
+        "submit",
+        "--addr",
+        "127.0.0.1:1",
+        "--retry-budget",
+        "2",
+        "--metrics",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    let err = stderr(&out);
+    assert!(err.contains("retrying"), "no retry reported: {err}");
+    assert!(err.contains("attempt 2 of 2"), "{err}");
 }

@@ -66,10 +66,21 @@ pub enum FaultSite {
     DvfsThrottle,
     /// A pool worker thread dies (panic) while holding a task.
     WorkerPanic,
+    /// The TCP connect to a peer is refused (the fleet's shard died, a
+    /// restart is racing the request).
+    NetConnectRefused,
+    /// A socket read/write stalls. The stall duration is *recorded*, not
+    /// slept (like the cell retry backoff), so chaos runs stay fast.
+    NetStall,
+    /// The peer's response is cut short mid-stream (FIN mid-body).
+    NetTruncatedResponse,
+    /// The response status line arrives as garbage (proxy corruption,
+    /// protocol desync).
+    NetGarbageStatus,
 }
 
 impl FaultSite {
-    pub const ALL: [FaultSite; 7] = [
+    pub const ALL: [FaultSite; 11] = [
         FaultSite::BuildFailure,
         FaultSite::EnqueueOutOfResources,
         FaultSite::InvalidKernelArgs,
@@ -77,6 +88,10 @@ impl FaultSite {
         FaultSite::MeterJitter,
         FaultSite::DvfsThrottle,
         FaultSite::WorkerPanic,
+        FaultSite::NetConnectRefused,
+        FaultSite::NetStall,
+        FaultSite::NetTruncatedResponse,
+        FaultSite::NetGarbageStatus,
     ];
 
     fn index(self) -> usize {
@@ -88,6 +103,10 @@ impl FaultSite {
             FaultSite::MeterJitter => 4,
             FaultSite::DvfsThrottle => 5,
             FaultSite::WorkerPanic => 6,
+            FaultSite::NetConnectRefused => 7,
+            FaultSite::NetStall => 8,
+            FaultSite::NetTruncatedResponse => 9,
+            FaultSite::NetGarbageStatus => 10,
         }
     }
 
@@ -100,6 +119,10 @@ impl FaultSite {
             FaultSite::MeterJitter => "meter-jitter",
             FaultSite::DvfsThrottle => "dvfs-throttle",
             FaultSite::WorkerPanic => "worker-panic",
+            FaultSite::NetConnectRefused => "net-connect-refused",
+            FaultSite::NetStall => "net-stall",
+            FaultSite::NetTruncatedResponse => "net-truncate",
+            FaultSite::NetGarbageStatus => "net-garbage-status",
         }
     }
 }
@@ -114,6 +137,10 @@ pub struct FaultRates {
     pub meter_jitter: f64,
     pub dvfs_throttle: f64,
     pub worker_panic: f64,
+    pub net_connect_refused: f64,
+    pub net_stall: f64,
+    pub net_truncated_response: f64,
+    pub net_garbage_status: f64,
 }
 
 impl Default for FaultRates {
@@ -129,6 +156,10 @@ impl Default for FaultRates {
             meter_jitter: 0.05,
             dvfs_throttle: 0.10,
             worker_panic: 0.03,
+            net_connect_refused: 0.08,
+            net_stall: 0.08,
+            net_truncated_response: 0.08,
+            net_garbage_status: 0.05,
         }
     }
 }
@@ -144,6 +175,10 @@ impl FaultRates {
             meter_jitter: 0.0,
             dvfs_throttle: 0.0,
             worker_panic: 0.0,
+            net_connect_refused: 0.0,
+            net_stall: 0.0,
+            net_truncated_response: 0.0,
+            net_garbage_status: 0.0,
         }
     }
 
@@ -156,6 +191,10 @@ impl FaultRates {
             FaultSite::MeterJitter => self.meter_jitter,
             FaultSite::DvfsThrottle => self.dvfs_throttle,
             FaultSite::WorkerPanic => self.worker_panic,
+            FaultSite::NetConnectRefused => self.net_connect_refused,
+            FaultSite::NetStall => self.net_stall,
+            FaultSite::NetTruncatedResponse => self.net_truncated_response,
+            FaultSite::NetGarbageStatus => self.net_garbage_status,
         }
     }
 }
@@ -295,7 +334,11 @@ pub fn with_plan<R>(plan: Option<FaultPlan>, f: impl FnOnce() -> R) -> R {
 
 // ---- stats ----
 
-static STATS: [AtomicU64; 7] = [
+static STATS: [AtomicU64; 11] = [
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),
@@ -312,8 +355,8 @@ pub fn note(site: FaultSite) {
 }
 
 /// Injected-fault counts per site, in [`FaultSite::ALL`] order.
-pub fn stats() -> [(FaultSite, u64); 7] {
-    let mut out = [(FaultSite::BuildFailure, 0); 7];
+pub fn stats() -> [(FaultSite, u64); 11] {
+    let mut out = [(FaultSite::BuildFailure, 0); 11];
     for (i, site) in FaultSite::ALL.into_iter().enumerate() {
         out[i] = (site, STATS[site.index()].load(Ordering::Relaxed));
     }

@@ -1,0 +1,176 @@
+//! Per-shard circuit breaker for the router's fan-out path.
+//!
+//! A dead or flapping shard must not eat the retry budget of every sweep
+//! that touches it. The breaker trips **open** after `threshold`
+//! consecutive transport failures; open shards are skipped outright until
+//! a cooldown elapses, at which point one caller is granted a
+//! **half-open probe** (the router hits `/healthz`) — success closes the
+//! breaker, failure re-opens it and restarts the cooldown.
+//!
+//! The breaker tracks *transport* outcomes only: a shard that answers —
+//! even with 429 or 500 — is alive, and callers report that as success.
+
+use std::time::{Duration, Instant};
+
+/// Breaker state, exported on `/metrics` as
+/// `sim_router_breaker_state{shard="i"}` via [`BreakerState::code`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    Closed,
+    Open,
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Metric encoding: 0 = closed (healthy), 1 = half-open (probing),
+    /// 2 = open (shard quarantined).
+    pub fn code(self) -> u64 {
+        match self {
+            BreakerState::Closed => 0,
+            BreakerState::HalfOpen => 1,
+            BreakerState::Open => 2,
+        }
+    }
+}
+
+/// What the caller may do with a shard right now.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Decision {
+    /// Breaker closed: send the request.
+    Allow,
+    /// Breaker open (cooldown running) or a probe is already in flight:
+    /// skip this shard.
+    Deny,
+    /// Cooldown elapsed: the caller holds the one half-open probe slot
+    /// and must report the probe's outcome via `on_success`/`on_failure`.
+    Probe,
+}
+
+#[derive(Debug)]
+pub struct Breaker {
+    threshold: u32,
+    cooldown: Duration,
+    consecutive_failures: u32,
+    state: BreakerState,
+    opened_at: Option<Instant>,
+}
+
+impl Breaker {
+    /// `threshold` consecutive transport failures trip the breaker;
+    /// `cooldown` must elapse before a half-open probe is granted.
+    /// A threshold of 0 is clamped to 1.
+    pub fn new(threshold: u32, cooldown: Duration) -> Breaker {
+        Breaker {
+            threshold: threshold.max(1),
+            cooldown,
+            consecutive_failures: 0,
+            state: BreakerState::Closed,
+            opened_at: None,
+        }
+    }
+
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// May the caller contact the shard? Open breakers grant exactly one
+    /// [`Decision::Probe`] per elapsed cooldown (the state moves to
+    /// half-open until the probe reports back).
+    pub fn decide(&mut self) -> Decision {
+        match self.state {
+            BreakerState::Closed => Decision::Allow,
+            BreakerState::HalfOpen => Decision::Deny,
+            BreakerState::Open => {
+                let elapsed = self
+                    .opened_at
+                    .map(|t| t.elapsed() >= self.cooldown)
+                    .unwrap_or(true);
+                if elapsed {
+                    self.state = BreakerState::HalfOpen;
+                    Decision::Probe
+                } else {
+                    Decision::Deny
+                }
+            }
+        }
+    }
+
+    /// A request (or probe) reached the shard and got an HTTP answer.
+    pub fn on_success(&mut self) {
+        self.consecutive_failures = 0;
+        self.state = BreakerState::Closed;
+        self.opened_at = None;
+    }
+
+    /// A request (or probe) failed at the transport layer.
+    pub fn on_failure(&mut self) {
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        if self.state == BreakerState::HalfOpen || self.consecutive_failures >= self.threshold {
+            self.state = BreakerState::Open;
+            self.opened_at = Some(Instant::now());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opens_after_threshold_consecutive_failures() {
+        let mut b = Breaker::new(3, Duration::from_secs(3600));
+        for _ in 0..2 {
+            b.on_failure();
+            assert_eq!(b.state(), BreakerState::Closed);
+            assert_eq!(b.decide(), Decision::Allow);
+        }
+        b.on_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.decide(), Decision::Deny, "cooldown still running");
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let mut b = Breaker::new(3, Duration::from_secs(3600));
+        b.on_failure();
+        b.on_failure();
+        b.on_success();
+        b.on_failure();
+        b.on_failure();
+        assert_eq!(b.state(), BreakerState::Closed, "streak was reset");
+    }
+
+    #[test]
+    fn half_open_probe_closes_on_success_and_reopens_on_failure() {
+        let mut b = Breaker::new(1, Duration::ZERO);
+        b.on_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        // Zero cooldown: the next decide grants the probe slot.
+        assert_eq!(b.decide(), Decision::Probe);
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // While the probe is out, other callers are denied.
+        assert_eq!(b.decide(), Decision::Deny);
+        // Probe fails → back to open, cooldown restarted.
+        b.on_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        // Probe again; this time it succeeds → closed.
+        assert_eq!(b.decide(), Decision::Probe);
+        b.on_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.decide(), Decision::Allow);
+    }
+
+    #[test]
+    fn zero_threshold_is_clamped_to_one() {
+        let mut b = Breaker::new(0, Duration::from_secs(3600));
+        b.on_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+
+    #[test]
+    fn state_codes_are_stable() {
+        assert_eq!(BreakerState::Closed.code(), 0);
+        assert_eq!(BreakerState::HalfOpen.code(), 1);
+        assert_eq!(BreakerState::Open.code(), 2);
+    }
+}

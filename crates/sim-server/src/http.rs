@@ -7,12 +7,21 @@
 //! a read timeout so one stuck client cannot wedge an acceptor thread
 //! forever. Client side: [`request`], a one-shot request helper used by
 //! `harness submit` and the end-to-end tests.
+//!
+//! The client can also carry a deterministic network [`FaultPlan`]
+//! ([`request_with_chaos`]): connect refusal, recorded (never slept)
+//! stalls, truncated responses and garbage status lines are rolled as
+//! pure functions of the request *content* and attempt number, so a
+//! chaotic routed sweep makes identical fault decisions at any
+//! `SIM_THREADS` and across runs with ephemeral ports.
 
+use crate::key::fnv1a64;
 use crate::panic_message;
+use sim_faults::{FaultPlan, FaultSite};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -20,8 +29,21 @@ use std::time::Duration;
 const MAX_HEAD: usize = 16 * 1024;
 /// Maximum accepted request body size.
 const MAX_BODY: usize = 16 * 1024 * 1024;
-/// Per-connection socket timeout.
-const IO_TIMEOUT: Duration = Duration::from_secs(30);
+
+// ---- timeout defaults ----
+//
+// Every timeout the serving stack uses defaults here, in one place; the
+// CLI's `--timeout-ms` overrides the per-request one.
+
+/// Default client request timeout (ms): a full-grid sweep simulates many
+/// cells, so the data-plane default is generous.
+pub const DEFAULT_TIMEOUT_MS: u64 = 600_000;
+/// Default timeout (ms) for cheap control-plane probes (`/healthz`).
+pub const DEFAULT_PROBE_TIMEOUT_MS: u64 = 10_000;
+/// Default per-connection server socket timeout (ms).
+pub const DEFAULT_IO_TIMEOUT_MS: u64 = 30_000;
+/// Timeout for the stop handle's wake-up poke to the acceptor.
+const STOP_POKE_TIMEOUT: Duration = Duration::from_secs(1);
 
 /// One parsed request.
 #[derive(Debug)]
@@ -229,7 +251,7 @@ impl StopHandle {
         self.stop.store(true, Ordering::SeqCst);
         // The acceptor blocks in accept(); a throwaway connection wakes it
         // so it can observe the flag.
-        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        let _ = TcpStream::connect_timeout(&self.addr, STOP_POKE_TIMEOUT);
     }
 
     pub fn is_stopped(&self) -> bool {
@@ -241,6 +263,7 @@ impl StopHandle {
 pub struct Server {
     listener: TcpListener,
     stop: Arc<AtomicBool>,
+    io_timeout: Duration,
 }
 
 impl Server {
@@ -250,7 +273,13 @@ impl Server {
         Ok(Server {
             listener: TcpListener::bind(addr)?,
             stop: Arc::new(AtomicBool::new(false)),
+            io_timeout: Duration::from_millis(DEFAULT_IO_TIMEOUT_MS),
         })
+    }
+
+    /// Override the per-connection socket timeout (`--timeout-ms`).
+    pub fn set_io_timeout(&mut self, timeout: Duration) {
+        self.io_timeout = timeout;
     }
 
     pub fn local_addr(&self) -> io::Result<SocketAddr> {
@@ -289,9 +318,10 @@ impl Server {
                     // The wake-up poke (or a late client); close and exit.
                     break;
                 }
+                let io_timeout = self.io_timeout;
                 scope.spawn(move || {
-                    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
-                    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+                    let _ = stream.set_read_timeout(Some(io_timeout));
+                    let _ = stream.set_write_timeout(Some(io_timeout));
                     match read_request(&mut stream) {
                         Ok(req) => {
                             // A panicking handler must cost one request,
@@ -378,7 +408,64 @@ pub fn request_with(
     body: &[u8],
     timeout: Duration,
 ) -> io::Result<FullResponse> {
+    request_with_chaos(addr, method, path, headers, body, timeout, None)
+}
+
+// ---- deterministic network chaos ----
+
+/// Total milliseconds of injected socket stall *recorded* by the client
+/// (never slept, like the cell retry backoff — chaos runs stay fast).
+static NET_STALL_RECORDED_MS: AtomicU64 = AtomicU64::new(0);
+
+pub fn net_stall_recorded_ms_total() -> u64 {
+    NET_STALL_RECORDED_MS.load(Ordering::Relaxed)
+}
+
+/// Scope a network fault plan to one attempt of one request. Rolls are
+/// keyed on the request *content* (method, path, body hash) and the
+/// attempt number — never on socket addresses or timing — so the chaos a
+/// sweep sees is a pure function of the sweep itself: identical at any
+/// `SIM_THREADS`, across runs, and across ephemeral-port restarts.
+pub fn chaos_attempt_plan(
+    base: &FaultPlan,
+    method: &str,
+    path: &str,
+    body: &[u8],
+    attempt: u32,
+) -> FaultPlan {
+    base.derive(&format!("{method} {path}"))
+        .derive_u64(fnv1a64(body))
+        .derive_u64(attempt as u64 + 1)
+}
+
+/// [`request_with`], optionally under a network fault plan already scoped
+/// to this attempt (see [`chaos_attempt_plan`]). Injected failures carry
+/// the [`sim_faults::TAG`] marker so retry policies can skip real backoff
+/// sleeps for them.
+pub fn request_with_chaos(
+    addr: &str,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+    timeout: Duration,
+    chaos: Option<&FaultPlan>,
+) -> io::Result<FullResponse> {
     let bad = |m: &str| io::Error::new(io::ErrorKind::InvalidData, m.to_string());
+    if let Some(plan) = chaos {
+        if plan.roll(FaultSite::NetConnectRefused, 0) {
+            sim_faults::note(FaultSite::NetConnectRefused);
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                format!("{} connect to {addr} refused", sim_faults::TAG),
+            ));
+        }
+        if plan.roll(FaultSite::NetStall, 0) {
+            sim_faults::note(FaultSite::NetStall);
+            let ms = plan.uniform(FaultSite::NetStall, 0, 5.0, 80.0) as u64;
+            NET_STALL_RECORDED_MS.fetch_add(ms, Ordering::Relaxed);
+        }
+    }
     let sock_addr = addr
         .to_socket_addrs()?
         .next()
@@ -399,7 +486,37 @@ pub fn request_with(
     stream.flush()?;
     let mut raw = Vec::new();
     stream.read_to_end(&mut raw)?;
-    let head_end = find_head_end(&raw).ok_or_else(|| bad("truncated response head"))?;
+    let mut corrupted = false;
+    if let Some(plan) = chaos {
+        if plan.roll(FaultSite::NetGarbageStatus, 0) {
+            sim_faults::note(FaultSite::NetGarbageStatus);
+            let n = raw.len().min(12);
+            raw[..n].fill(b'#');
+            corrupted = true;
+        } else if plan.roll(FaultSite::NetTruncatedResponse, 0) && !raw.is_empty() {
+            sim_faults::note(FaultSite::NetTruncatedResponse);
+            // Cut the stream at a seeded point, always losing at least one
+            // byte so the cut never goes unnoticed.
+            let frac = plan.uniform(FaultSite::NetTruncatedResponse, 0, 0.0, 0.95);
+            let keep = ((raw.len() as f64 * frac) as usize).min(raw.len() - 1);
+            raw.truncate(keep);
+            corrupted = true;
+        }
+    }
+    match parse_response(&raw) {
+        Ok(resp) => Ok(resp),
+        Err(e) if corrupted => Err(io::Error::new(e.kind(), format!("{} {e}", sim_faults::TAG))),
+        Err(e) => Err(e),
+    }
+}
+
+/// Parse a raw HTTP/1.1 response: status line, headers (names
+/// lowercased), body. The body is validated against `Content-Length` when
+/// the header is present — a short read (peer died mid-stream) is an
+/// error here rather than a silently partial payload downstream.
+fn parse_response(raw: &[u8]) -> io::Result<FullResponse> {
+    let bad = |m: &str| io::Error::new(io::ErrorKind::InvalidData, m.to_string());
+    let head_end = find_head_end(raw).ok_or_else(|| bad("truncated response head"))?;
     let head = std::str::from_utf8(&raw[..head_end]).map_err(|_| bad("non-UTF8 head"))?;
     let mut lines = head.split("\r\n");
     let status: u16 = lines
@@ -415,7 +532,18 @@ pub fn request_with(
         let (k, v) = line.split_once(':').ok_or_else(|| bad("bad header"))?;
         headers.push((k.trim().to_ascii_lowercase(), v.trim().to_string()));
     }
-    Ok((status, headers, raw[head_end + 4..].to_vec()))
+    let mut body = raw[head_end + 4..].to_vec();
+    if let Some((_, v)) = headers.iter().find(|(k, _)| k == "content-length") {
+        let declared: usize = v.parse().map_err(|_| bad("bad content-length"))?;
+        if body.len() < declared {
+            return Err(bad(&format!(
+                "truncated response body: got {} of {declared} bytes",
+                body.len()
+            )));
+        }
+        body.truncate(declared);
+    }
+    Ok((status, headers, body))
 }
 
 #[cfg(test)]
@@ -589,6 +717,123 @@ mod tests {
         assert_eq!(retry, Some("3"));
         stop.stop();
         t.join().unwrap().unwrap();
+    }
+
+    /// Content-Length is validated client-side: a body shorter than the
+    /// declared length is an error, not a silently partial payload.
+    #[test]
+    fn client_rejects_truncated_response_body() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let t = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let mut buf = [0u8; 4096];
+            let _ = s.read(&mut buf);
+            s.write_all(b"HTTP/1.1 200 OK\r\nContent-Length: 100\r\n\r\nshort")
+                .unwrap();
+        });
+        let err = request(&addr, "GET", "/", b"", Duration::from_secs(5)).unwrap_err();
+        assert!(err.to_string().contains("truncated response body"), "{err}");
+        t.join().unwrap();
+    }
+
+    fn net_plan(rates: sim_faults::FaultRates) -> FaultPlan {
+        FaultPlan::new(9).with_rates(rates)
+    }
+
+    /// An injected connect refusal never touches the network and carries
+    /// the injected-fault tag, so retry policies skip real sleeps for it.
+    #[test]
+    fn injected_connect_refusal_is_tagged() {
+        let plan = net_plan(sim_faults::FaultRates {
+            net_connect_refused: 1.0,
+            ..sim_faults::FaultRates::zero()
+        });
+        let scoped = chaos_attempt_plan(&plan, "POST", "/v1/cells", b"body", 0);
+        // Reserved port 1: if the roll failed to fire we would error
+        // differently, without the tag.
+        let err = request_with_chaos(
+            "127.0.0.1:1",
+            "POST",
+            "/v1/cells",
+            &[],
+            b"body",
+            Duration::from_millis(200),
+            Some(&scoped),
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionRefused);
+        assert!(sim_faults::is_injected(&err.to_string()), "{err}");
+    }
+
+    /// Garbage status lines and truncated responses hit the wire for real
+    /// and surface as tagged parse errors; a stall is recorded, not slept.
+    #[test]
+    fn injected_corruption_is_tagged_and_stall_is_recorded() {
+        let server = Server::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        let stop = server.stop_handle().unwrap();
+        let t = std::thread::spawn(move || server.run(|_| Response::text(200, "hello world\n")));
+
+        let run = |rates: sim_faults::FaultRates| {
+            let scoped = chaos_attempt_plan(&net_plan(rates), "GET", "/", b"", 0);
+            request_with_chaos(
+                &addr,
+                "GET",
+                "/",
+                &[],
+                b"",
+                Duration::from_secs(5),
+                Some(&scoped),
+            )
+        };
+
+        let err = run(sim_faults::FaultRates {
+            net_garbage_status: 1.0,
+            ..sim_faults::FaultRates::zero()
+        })
+        .unwrap_err();
+        assert!(sim_faults::is_injected(&err.to_string()), "{err}");
+
+        let err = run(sim_faults::FaultRates {
+            net_truncated_response: 1.0,
+            ..sim_faults::FaultRates::zero()
+        })
+        .unwrap_err();
+        assert!(sim_faults::is_injected(&err.to_string()), "{err}");
+
+        let before = net_stall_recorded_ms_total();
+        let started = std::time::Instant::now();
+        let (st, _, body) = run(sim_faults::FaultRates {
+            net_stall: 1.0,
+            ..sim_faults::FaultRates::zero()
+        })
+        .unwrap();
+        assert_eq!(st, 200);
+        assert_eq!(body, b"hello world\n");
+        assert!(net_stall_recorded_ms_total() >= before + 5);
+        assert!(
+            started.elapsed() < Duration::from_secs(2),
+            "stall must be recorded, not slept"
+        );
+
+        stop.stop();
+        t.join().unwrap().unwrap();
+    }
+
+    /// Chaos decisions are keyed on request content and attempt number:
+    /// the same request re-rolls per attempt, and a different body makes
+    /// independent decisions.
+    #[test]
+    fn chaos_plans_are_content_and_attempt_scoped() {
+        let base = FaultPlan::new(17);
+        let a0 = chaos_attempt_plan(&base, "POST", "/v1/cells", b"k1", 0);
+        let a0_again = chaos_attempt_plan(&base, "POST", "/v1/cells", b"k1", 0);
+        let a1 = chaos_attempt_plan(&base, "POST", "/v1/cells", b"k1", 1);
+        let other = chaos_attempt_plan(&base, "POST", "/v1/cells", b"k2", 0);
+        assert_eq!(a0, a0_again);
+        assert_ne!(a0, a1);
+        assert_ne!(a0, other);
     }
 
     #[test]

@@ -35,12 +35,14 @@
 //!
 //! Everything is std-only, per the workspace's offline policy.
 
+pub mod breaker;
 pub mod cache;
 pub mod http;
 pub mod json;
 pub mod key;
 pub mod metrics;
 pub mod reqtrace;
+pub mod retry;
 pub mod router;
 pub mod scheduler;
 
@@ -55,11 +57,13 @@ pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
         .unwrap_or("non-string panic payload")
 }
 
+pub use breaker::{Breaker, BreakerState, Decision};
 pub use cache::{Cache, CacheStats, CachedCell};
 pub use http::{Request, Response, Server, StopHandle};
 pub use json::Json;
 pub use key::{CellKey, CellSpec, KEY_SCHEMA_VERSION};
 pub use metrics::Metrics;
 pub use reqtrace::{RequestRecord, TraceConfig, TraceId, Tracer, TRACE_HEADER};
+pub use retry::{RetryPolicy, DEFAULT_RETRY_AFTER_SECS};
 pub use router::Ring;
 pub use scheduler::{Abandoned, AdmitError, Scheduler, SchedulerStats, Slot, SlotTiming};

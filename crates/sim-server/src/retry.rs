@@ -1,0 +1,108 @@
+//! Seeded retry policy for the serving fleet's clients.
+//!
+//! Transient transport failures (a shard restarting, an injected chaos
+//! fault) should cost a bounded number of re-attempts with exponential
+//! backoff, not fail a whole sweep. The jitter is a **pure function** of
+//! `(seed, salt, attempt)` via SplitMix64 — same discipline as
+//! `sim-faults` — so a chaotic run retries identically at any thread
+//! count. Callers skip the *real* sleep entirely for injected faults
+//! (`sim_faults::is_injected`), keeping chaos tests fast.
+
+use sim_rng::SplitMix64;
+
+/// Fallback `Retry-After`, in seconds, when a 429 carries a malformed or
+/// missing header (documented default: 1 s).
+pub const DEFAULT_RETRY_AFTER_SECS: u64 = 1;
+
+/// Bounded, seeded exponential backoff.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum attempts per request; `1` means no retries.
+    pub budget: u32,
+    /// Base backoff in milliseconds; retry `k` (0-based) backs off
+    /// `base_ms << k` plus jitter.
+    pub base_ms: u64,
+    /// Cap on any single computed backoff, in milliseconds.
+    pub cap_ms: u64,
+    /// Seed for the deterministic jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            budget: 3,
+            base_ms: 50,
+            cap_ms: 2_000,
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before retry `attempt` (0-based) of the request scoped by
+    /// `salt` (e.g. a hash of the request body): exponential in the
+    /// attempt with seeded jitter in `[0, base_ms)`, capped at `cap_ms`.
+    /// A pure function of `(seed, salt, attempt)`.
+    pub fn backoff_ms(&self, salt: u64, attempt: u32) -> u64 {
+        let exp = self.base_ms.saturating_mul(1u64 << attempt.min(16));
+        let mut sm = SplitMix64::new(
+            self.seed
+                ^ salt.rotate_left(17)
+                ^ (attempt as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        let jitter = sm.next_u64() % self.base_ms.max(1);
+        exp.saturating_add(jitter).min(self.cap_ms)
+    }
+}
+
+/// Parse a `Retry-After` header (delta-seconds form). A malformed or
+/// absent value falls back to [`DEFAULT_RETRY_AFTER_SECS`] instead of
+/// being silently dropped.
+pub fn parse_retry_after(value: Option<&str>) -> u64 {
+    value
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .unwrap_or(DEFAULT_RETRY_AFTER_SECS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_and_grows() {
+        let p = RetryPolicy::default();
+        for salt in [0u64, 7, 0xdead_beef] {
+            for attempt in 0..4 {
+                assert_eq!(p.backoff_ms(salt, attempt), p.backoff_ms(salt, attempt));
+            }
+        }
+        // Exponential floor: each retry's backoff is at least the base
+        // shifted, until the cap kicks in.
+        let b0 = p.backoff_ms(1, 0);
+        let b1 = p.backoff_ms(1, 1);
+        let b2 = p.backoff_ms(1, 2);
+        assert!((50..100).contains(&b0), "{b0}");
+        assert!((100..200).contains(&b1), "{b1}");
+        assert!((200..400).contains(&b2), "{b2}");
+        assert_eq!(p.backoff_ms(1, 16), p.cap_ms, "large attempts hit the cap");
+    }
+
+    #[test]
+    fn backoff_jitter_decorrelates_salts() {
+        let p = RetryPolicy::default();
+        let a: Vec<u64> = (0..4).map(|k| p.backoff_ms(1, k)).collect();
+        let b: Vec<u64> = (0..4).map(|k| p.backoff_ms(2, k)).collect();
+        assert_ne!(a, b, "different requests jitter differently");
+    }
+
+    #[test]
+    fn retry_after_falls_back_to_documented_default() {
+        assert_eq!(parse_retry_after(Some("3")), 3);
+        assert_eq!(parse_retry_after(Some(" 12 ")), 12);
+        assert_eq!(parse_retry_after(Some("soon")), DEFAULT_RETRY_AFTER_SECS);
+        assert_eq!(parse_retry_after(Some("-1")), DEFAULT_RETRY_AFTER_SECS);
+        assert_eq!(parse_retry_after(Some("")), DEFAULT_RETRY_AFTER_SECS);
+        assert_eq!(parse_retry_after(None), DEFAULT_RETRY_AFTER_SECS);
+    }
+}

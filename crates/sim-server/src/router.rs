@@ -69,6 +69,28 @@ impl Ring {
         let i = self.points.partition_point(|&(p, _)| p < h);
         self.points[i % self.points.len()].1
     }
+
+    /// The first `n` *distinct* shards owning `key`, walking the ring
+    /// clockwise from the key's point: `owners(k, n)[0] == shard_of(k)`
+    /// (the primary), the rest are successor replicas in ring order. The
+    /// router fails a key over to `owners[1]` when the primary's breaker
+    /// is open. `n` is clamped to the shard count.
+    pub fn owners(&self, key: CellKey, n: usize) -> Vec<usize> {
+        let want = n.clamp(1, self.shards);
+        let h = mix64(key.0);
+        let start = self.points.partition_point(|&(p, _)| p < h);
+        let mut out = Vec::with_capacity(want);
+        for off in 0..self.points.len() {
+            let shard = self.points[(start + off) % self.points.len()].1;
+            if !out.contains(&shard) {
+                out.push(shard);
+                if out.len() == want {
+                    break;
+                }
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -128,6 +150,56 @@ mod tests {
             moved < total / 2,
             "resize moved {moved} of {total} keys — not consistent hashing"
         );
+    }
+
+    /// Replica placement: the primary leads the owner list, followers
+    /// are distinct shards, and the list is deterministic.
+    #[test]
+    fn owners_are_distinct_and_led_by_the_primary() {
+        let ring = Ring::new(4);
+        for k in keys(512) {
+            let owners = ring.owners(k, 2);
+            assert_eq!(owners.len(), 2);
+            assert_eq!(owners[0], ring.shard_of(k), "primary leads");
+            assert_ne!(owners[0], owners[1], "follower is a distinct shard");
+            assert_eq!(owners, ring.owners(k, 2), "deterministic");
+        }
+    }
+
+    /// Requesting more replicas than shards clamps to the shard count;
+    /// requesting zero still yields the primary.
+    #[test]
+    fn owners_clamp_to_the_fleet_size() {
+        let ring = Ring::new(3);
+        for k in keys(64) {
+            let all = ring.owners(k, 10);
+            assert_eq!(all.len(), 3);
+            let mut sorted = all.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2], "all shards appear once");
+            assert_eq!(ring.owners(k, 0), vec![ring.shard_of(k)]);
+        }
+        let single = Ring::new(1);
+        for k in keys(16) {
+            assert_eq!(single.owners(k, 2), vec![0]);
+        }
+    }
+
+    /// Followers spread load: with 4 shards, no single shard is the
+    /// follower for everything.
+    #[test]
+    fn followers_are_spread_across_the_fleet() {
+        let ring = Ring::new(4);
+        let mut follower_counts = [0usize; 4];
+        for k in keys(4000) {
+            follower_counts[ring.owners(k, 2)[1]] += 1;
+        }
+        for (shard, &c) in follower_counts.iter().enumerate() {
+            assert!(
+                c > 200,
+                "shard {shard} follows only {c} of 4000 keys: {follower_counts:?}"
+            );
+        }
     }
 
     #[test]

@@ -40,6 +40,7 @@ fn shard_traced(queue: usize, dir: Option<std::path::PathBuf>) -> harness::serve
         trace_sample: u64::from(dir.is_some()),
         trace_dir: dir,
         slow_ms: None,
+        timeout_ms: None,
     })
     .expect("shard starts")
 }
@@ -58,6 +59,11 @@ fn router_traced(
         trace_sample: u64::from(dir.is_some()),
         trace_dir: dir,
         slow_ms: None,
+        replicas: 1,
+        retry_budget: 1,
+        breaker_threshold: 3,
+        fault_seed: None,
+        timeout_ms: None,
     })
     .expect("router starts")
 }

@@ -53,6 +53,7 @@ fn serve(
         trace_dir: None,
         trace_sample: 0,
         slow_ms: None,
+        timeout_ms: None,
     })
     .expect("server starts")
 }
@@ -68,6 +69,7 @@ fn serve_traced(dir: PathBuf) -> harness::serve::RunningServer {
         trace_dir: Some(dir),
         trace_sample: 1,
         slow_ms: None,
+        timeout_ms: None,
     })
     .expect("traced server starts")
 }

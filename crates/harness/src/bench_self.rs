@@ -14,8 +14,9 @@
 //! top of it, and `per_bench` breaks the single-thread comparison down by
 //! family (interpreter-bound families vs device-model-bound ones).
 
-use crate::{run_suite, to_csv, to_jsonl};
+use crate::{run_suite, run_suite_with, to_csv, to_jsonl, SuiteConfig};
 use hpc_kernels::Benchmark;
+use kernel_ir::opt::Pipeline;
 use kernel_ir::Engine;
 use std::time::Instant;
 
@@ -28,6 +29,8 @@ pub struct BenchRow {
     pub engine: &'static str,
     /// Worker threads the pass used.
     pub sim_threads: usize,
+    /// Optimizer pipeline the pass pinned (`"-"` = unoptimized).
+    pub passes: &'static str,
     /// Wall-clock of the warm suite, seconds.
     pub wall_s: f64,
 }
@@ -59,8 +62,15 @@ pub struct SelfBench {
     pub columnar_speedup: f64,
     /// Threading gain of the columnar engine: columnar@1 / columnar@8.
     pub parallel_speedup: f64,
+    /// Interpreter gain of the canonical full optimizer pipeline on the
+    /// columnar engine: columnar@1 unoptimized / columnar@1 optimized.
+    /// Fewer executed instructions -> less interpreter work per launch.
+    pub opt_speedup: f64,
     /// Whether every pass produced byte-identical CSV and JSONL exports
-    /// (the engines' shared determinism contract).
+    /// (the engines' shared determinism contract). Optimized passes are
+    /// compared against each other (their simulated times legitimately
+    /// differ from the unoptimized runs), unoptimized passes against the
+    /// first unoptimized pass.
     pub outputs_identical: bool,
 }
 
@@ -72,8 +82,9 @@ impl SelfBench {
             .iter()
             .map(|r| {
                 format!(
-                    "    {{ \"engine\": \"{}\", \"sim_threads\": {}, \"wall_s\": {:.6} }}",
-                    r.engine, r.sim_threads, r.wall_s
+                    "    {{ \"engine\": \"{}\", \"sim_threads\": {}, \"passes\": \"{}\", \
+                     \"wall_s\": {:.6} }}",
+                    r.engine, r.sim_threads, r.passes, r.wall_s
                 )
             })
             .collect();
@@ -92,6 +103,7 @@ impl SelfBench {
             "{{\n  \"host_threads\": {},\n  \"scale\": \"{}\",\n  \"rows\": [\n{}\n  ],\n  \
              \"per_bench\": [\n{}\n  ],\n  \
              \"columnar_speedup\": {:.3},\n  \"parallel_speedup\": {:.3},\n  \
+             \"opt_speedup\": {:.3},\n  \
              \"outputs_identical\": {}\n}}\n",
             self.host_threads,
             self.scale,
@@ -99,6 +111,7 @@ impl SelfBench {
             per_bench.join(",\n"),
             self.columnar_speedup,
             self.parallel_speedup,
+            self.opt_speedup,
             self.outputs_identical
         )
     }
@@ -111,10 +124,15 @@ impl SelfBench {
         );
         for r in &self.rows {
             s.push_str(&format!(
-                "  {:<8} engine, {} worker{}: {:.3} s\n",
+                "  {:<8} engine, {} worker{}{}: {:.3} s\n",
                 r.engine,
                 r.sim_threads,
                 if r.sim_threads == 1 { " " } else { "s" },
+                if r.passes == "-" {
+                    String::new()
+                } else {
+                    format!(", passes={}", r.passes)
+                },
                 r.wall_s
             ));
         }
@@ -130,24 +148,36 @@ impl SelfBench {
         s.push_str(&format!(
             "  columnar speedup (1 worker) : {:.2}x\n\
              \x20 parallel speedup (columnar): {:.2}x\n\
+             \x20 optimizer speedup (full)   : {:.2}x\n\
              \x20 outputs identical          : {}\n",
-            self.columnar_speedup, self.parallel_speedup, self.outputs_identical
+            self.columnar_speedup, self.parallel_speedup, self.opt_speedup, self.outputs_identical
         ));
         s
     }
 }
 
-/// One timed suite pass at a fixed engine and worker count; returns
-/// wall-clock plus the byte-comparable exports.
+/// One timed suite pass at a fixed engine, worker count and optimizer
+/// pipeline; returns wall-clock plus the byte-comparable exports. The
+/// pipeline rides in `SuiteConfig::passes` (installed per cell on the
+/// executing worker) rather than a `with_passes` wrap around the suite
+/// call — a thread-local override on this thread would be invisible to
+/// the pool workers the suite fans cells out to. An empty pipeline is
+/// pinned for unoptimized passes so an ambient `SIM_PASSES` cannot skew
+/// the baseline rows.
 fn timed_pass(
     benches: &[Box<dyn Benchmark>],
     engine: Engine,
     threads: usize,
+    passes: Option<&Pipeline>,
 ) -> (f64, String, String) {
     kernel_ir::set_engine(engine);
     sim_pool::set_threads(threads);
+    let cfg = SuiteConfig {
+        passes: Some(passes.cloned().unwrap_or_default()),
+        ..SuiteConfig::default()
+    };
     let t0 = Instant::now();
-    let results = run_suite(benches, false);
+    let results = run_suite_with(benches, &cfg);
     let dt = t0.elapsed().as_secs_f64();
     (dt, to_csv(&results), to_jsonl(&results))
 }
@@ -173,20 +203,28 @@ pub fn run(test_scale: bool) -> SelfBench {
 
     let mut rows = Vec::new();
     let mut exports: Vec<(String, String)> = Vec::new();
-    let mut wall = |eng: Engine, threads: usize| -> f64 {
-        let (dt, csv, jsonl) = timed_pass(&benches, eng, threads);
+    let full = Pipeline::full();
+    let mut wall = |eng: Engine, threads: usize, passes: Option<&Pipeline>| -> f64 {
+        let (dt, csv, jsonl) = timed_pass(&benches, eng, threads, passes);
         rows.push(BenchRow {
             engine: eng.name(),
             sim_threads: threads,
+            passes: if passes.is_some() { "full" } else { "-" },
             wall_s: dt,
         });
         exports.push((csv, jsonl));
         dt
     };
-    let scalar_1 = wall(Engine::Scalar, THREAD_POINTS[0]);
-    let _scalar_n = wall(Engine::Scalar, THREAD_POINTS[1]);
-    let col_1 = wall(Engine::Columnar, THREAD_POINTS[0]);
-    let col_n = wall(Engine::Columnar, THREAD_POINTS[1]);
+    let scalar_1 = wall(Engine::Scalar, THREAD_POINTS[0], None);
+    let _scalar_n = wall(Engine::Scalar, THREAD_POINTS[1], None);
+    let col_1 = wall(Engine::Columnar, THREAD_POINTS[0], None);
+    let col_n = wall(Engine::Columnar, THREAD_POINTS[1], None);
+    // Optimized passes: the canonical full pipeline on the columnar
+    // engine, at both worker counts (their exports must agree with each
+    // other — not with the unoptimized runs, whose simulated times
+    // legitimately differ).
+    let opt_1 = wall(Engine::Columnar, THREAD_POINTS[0], Some(&full));
+    let _opt_n = wall(Engine::Columnar, THREAD_POINTS[1], Some(&full));
 
     // Per-family single-thread comparison (timing only — the byte-equality
     // check above uses the full-suite passes, whose per-cell seeds depend
@@ -194,8 +232,8 @@ pub fn run(test_scale: bool) -> SelfBench {
     let mut per_bench = Vec::new();
     for i in 0..benches.len() {
         let fam = &benches[i..i + 1];
-        let (s1, _, _) = timed_pass(fam, Engine::Scalar, 1);
-        let (c1, _, _) = timed_pass(fam, Engine::Columnar, 1);
+        let (s1, _, _) = timed_pass(fam, Engine::Scalar, 1, None);
+        let (c1, _, _) = timed_pass(fam, Engine::Columnar, 1, None);
         per_bench.push(BenchCompare {
             bench: benches[i].name(),
             scalar_1_s: s1,
@@ -208,9 +246,11 @@ pub fn run(test_scale: bool) -> SelfBench {
     sim_pool::set_threads(configured_threads);
 
     let (base_csv, base_jsonl) = &exports[0];
-    let outputs_identical = exports[1..]
+    let unopt_identical = exports[1..4]
         .iter()
         .all(|(c, j)| c == base_csv && j == base_jsonl);
+    let opt_identical = exports[4] == exports[5];
+    let outputs_identical = unopt_identical && opt_identical;
 
     SelfBench {
         host_threads,
@@ -219,6 +259,7 @@ pub fn run(test_scale: bool) -> SelfBench {
         per_bench,
         columnar_speedup: scalar_1 / col_1.max(1e-9),
         parallel_speedup: col_1 / col_n.max(1e-9),
+        opt_speedup: col_1 / opt_1.max(1e-9),
         outputs_identical,
     }
 }

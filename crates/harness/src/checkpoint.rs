@@ -13,7 +13,10 @@
 //! header identity via [`cell_spec`]) as an integrity column: the loader
 //! recomputes it and drops lines whose stored key disagrees, and the
 //! serving layer warm-starts its content-addressed cache directly from
-//! checkpoint files because both speak the same key space.
+//! checkpoint files because both speak the same key space. `simstate v3`
+//! added the optimizer pipeline to the header identity (a sweep run under
+//! `cf,cse,dce` is a different sweep than the unoptimized one) and the
+//! per-cell output digest to the cell payload.
 //!
 //! The file is rewritten atomically (temp + rename) after every completed
 //! cell and the lines are kept sorted, so the on-disk bytes are a pure
@@ -31,7 +34,7 @@ use std::io;
 use std::path::Path;
 use telemetry::{CommandSpan, Counters, RunTelemetry, WorkSpan};
 
-const MAGIC: &str = "simstate v2";
+const MAGIC: &str = "simstate v3";
 
 /// Device fingerprint of the simulated platform, part of every cell key.
 pub const DEVICE: &str = "exynos5250";
@@ -44,6 +47,7 @@ pub const DEVICE: &str = "exynos5250";
 pub fn cell_spec(
     tag: &str,
     fault_seed: Option<u64>,
+    passes: Option<&str>,
     bench: &str,
     v: Variant,
     prec: Precision,
@@ -56,19 +60,25 @@ pub fn cell_spec(
         version: v.label().replace(' ', "-"),
         precision: crate::runner::prec_key(prec),
         fault_seed,
+        passes: passes.map(str::to_string),
         params: Vec::new(),
     }
 }
 
 /// [`cell_spec`] addressed by coordinate tuple (precision already in
 /// bits), as stored in [`crate::runner::SuiteResults::cells`].
-pub fn coord_spec(tag: &str, fault_seed: Option<u64>, coord: &CellCoord) -> Option<CellSpec> {
+pub fn coord_spec(
+    tag: &str,
+    fault_seed: Option<u64>,
+    passes: Option<&str>,
+    coord: &CellCoord,
+) -> Option<CellSpec> {
     let prec = match coord.2 {
         32 => Precision::F32,
         64 => Precision::F64,
         _ => return None,
     };
-    Some(cell_spec(tag, fault_seed, &coord.0, coord.1, prec))
+    Some(cell_spec(tag, fault_seed, passes, &coord.0, coord.1, prec))
 }
 
 /// Identity of the sweep a checkpoint belongs to. Loaded state is only
@@ -79,6 +89,11 @@ pub struct StateHeader {
     pub tag: String,
     /// Fault-plan seed of the run, if chaos was enabled.
     pub fault_seed: Option<u64>,
+    /// Optimizer pipeline pinned for the sweep (comma-separated
+    /// [`kernel_ir::opt::Pipeline`] form), if any. Part of the identity:
+    /// cells measured under different pass pipelines are never
+    /// interchangeable, even when their outputs agree bit for bit.
+    pub passes: Option<String>,
     /// Benchmark names, in suite order.
     pub benches: Vec<String>,
 }
@@ -231,6 +246,7 @@ fn push_cell(t: &mut Vec<String>, cell: &Cell) {
     t.push(m.repetitions.to_string());
     t.push(cell.iterations.to_string());
     t.push(fbits(cell.energy_j));
+    t.push(format!("{:016x}", cell.output_digest));
 }
 
 fn read_cell(t: &mut Tokens) -> Option<Cell> {
@@ -293,6 +309,7 @@ fn read_cell(t: &mut Tokens) -> Option<Cell> {
     };
     let iterations = t.u32()?;
     let energy_j = t.f64()?;
+    let output_digest = u64::from_str_radix(t.str()?, 16).ok()?;
     Some(Cell {
         outcome: RunOutcome {
             time_s,
@@ -311,6 +328,7 @@ fn read_cell(t: &mut Tokens) -> Option<Cell> {
         energy_j,
         counters,
         attempts,
+        output_digest,
     })
 }
 
@@ -381,9 +399,14 @@ pub fn decode_entry(s: &str) -> Option<CellEntry> {
 }
 
 fn entry_line(header: &StateHeader, coord: &CellCoord, entry: &CellEntry) -> String {
-    let keyhex = coord_spec(&header.tag, header.fault_seed, coord)
-        .map(|s| s.key().to_string())
-        .unwrap_or_else(|| "-".into());
+    let keyhex = coord_spec(
+        &header.tag,
+        header.fault_seed,
+        header.passes.as_deref(),
+        coord,
+    )
+    .map(|s| s.key().to_string())
+    .unwrap_or_else(|| "-".into());
     let (bench, v, prec) = coord;
     let mut t = vec![
         "cell".to_string(),
@@ -410,7 +433,15 @@ fn parse_entry(header: &StateHeader, line: &str) -> Option<(CellCoord, CellEntry
     // header derives for the coordinates. A mismatch means the line was
     // edited, spliced in from another sweep, or produced by a different
     // simulator version — recompute rather than trust it.
-    if coord_spec(&header.tag, header.fault_seed, &coord)?.key() != stored {
+    if coord_spec(
+        &header.tag,
+        header.fault_seed,
+        header.passes.as_deref(),
+        &coord,
+    )?
+    .key()
+        != stored
+    {
         return None;
     }
     let entry = read_entry(&mut t)?;
@@ -419,9 +450,10 @@ fn parse_entry(header: &StateHeader, line: &str) -> Option<(CellCoord, CellEntry
 
 fn meta_line(h: &StateHeader) -> String {
     format!(
-        "meta|{}|{}|{}",
+        "meta|{}|{}|{}|{}",
         esc(&h.tag),
         h.fault_seed.map(|s| s.to_string()).unwrap_or("-".into()),
+        h.passes.as_deref().map(esc).unwrap_or_else(|| "-".into()),
         h.benches
             .iter()
             .map(|b| esc(b))
@@ -440,6 +472,10 @@ fn parse_meta(line: &str) -> Option<StateHeader> {
         "-" => None,
         s => Some(s.parse().ok()?),
     };
+    let passes = match t.str()? {
+        "-" => None,
+        s => Some(unesc(s)?),
+    };
     let benches = match t.str()? {
         "" => Vec::new(),
         s => s.split(',').map(unesc).collect::<Option<Vec<String>>>()?,
@@ -447,6 +483,7 @@ fn parse_meta(line: &str) -> Option<StateHeader> {
     Some(StateHeader {
         tag,
         fault_seed,
+        passes,
         benches,
     })
 }
@@ -520,6 +557,7 @@ mod tests {
         let header = StateHeader {
             tag: "test".into(),
             fault_seed: Some(42),
+            passes: Some("cf,cse,dce".into()),
             benches: results.bench_names.clone(),
         };
         let path = tmp("roundtrip");
@@ -565,6 +603,7 @@ mod tests {
         let header = StateHeader {
             tag: "test".into(),
             fault_seed: None,
+            passes: None,
             benches: good.bench_names.clone(),
         };
         save(&path, &header, &good.cells).unwrap();
@@ -586,6 +625,7 @@ mod tests {
         let header = StateHeader {
             tag: "test".into(),
             fault_seed: None,
+            passes: None,
             benches: results.bench_names.clone(),
         };
         let path = tmp("keyed");

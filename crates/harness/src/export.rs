@@ -208,6 +208,10 @@ pub fn jsonl_row(results: &SuiteResults, bench: &str, v: Variant, prec: Precisio
                         .map(jstr)
                         .unwrap_or_else(|| "null".into()),
                 ),
+                (
+                    "output_digest".into(),
+                    jstr(&format!("{:016x}", cell.output_digest)),
+                ),
                 ("flops".into(), jnum(c.flops)),
                 ("int_ops".into(), jnum(c.int_ops)),
                 ("special_ops".into(), jnum(c.special_ops)),

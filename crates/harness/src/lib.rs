@@ -10,6 +10,7 @@
 
 pub mod ablation;
 pub mod artifact;
+pub mod autotune;
 pub mod bench_self;
 pub mod checkpoint;
 pub mod dvfs;
@@ -25,6 +26,7 @@ pub mod serve;
 pub mod trace;
 
 pub use artifact::atomic_write;
+pub use autotune::{AutotuneConfig, AutotuneReport};
 pub use checkpoint::{cell_spec, coord_spec, decode_entry, encode_entry};
 pub use export::{jsonl_row, parse_csv, to_csv, to_jsonl};
 pub use figures::{fig2, fig3, fig4, headline, summary};

@@ -15,6 +15,7 @@
 //! harness jsonl          # same cells as JSON Lines (counter fields incl.)
 //! harness profile <b>    # per-variant performance-counter report
 //! harness bench-self     # simulator self-benchmark -> BENCH_sim.json
+//! harness autotune       # optimizer phase-ordering search -> BENCH_opt.json
 //! harness serve          # HTTP experiment service (cache + batching)
 //! harness route          # shard a sweep across serve backends
 //! harness submit         # client for a running serve/route instance
@@ -27,7 +28,7 @@ use harness::{fig2, fig3, fig4, run_suite_with, summary, SuiteConfig};
 use hpc_kernels::Precision;
 use telemetry::log;
 
-const KNOWN: [&str; 20] = [
+const KNOWN: [&str; 21] = [
     "all",
     "fig2a",
     "fig2b",
@@ -45,6 +46,7 @@ const KNOWN: [&str; 20] = [
     "jsonl",
     "profile",
     "bench-self",
+    "autotune",
     "serve",
     "route",
     "submit",
@@ -71,9 +73,28 @@ flags:
                       (remaining cells export as status=fail/aborted;
                       which cells were reached depends on thread timing)
   --check             with bench-self: exit 2 unless every engine/thread
-                      pass produced byte-identical outputs
+                      pass produced byte-identical outputs; with autotune:
+                      exit 2 unless every pipeline produced byte-identical
+                      kernel outputs
+  --passes <list>     run kernels through this optimizer pass pipeline
+                      (comma-separated, e.g. cf,cse,dce, or 'full'; same
+                      names as the SIM_PASSES env var); for suite/figure
+                      runs it pins the sweep's pipeline (part of the
+                      checkpoint identity), for submit it is forwarded
+                      with the sweep and folded into every cell key
   --quiet | --verbose log verbosity
   --help              this text
+
+autotune flags:
+  --test-scale        tune at test scale (default: paper scale)
+  --smoke             smoke-sized candidate set (baseline, full, 2
+                      shuffles) instead of the full search
+  --addr <host:port>  evaluate candidates through a running serve/route
+                      instance (default: in-process); each candidate is
+                      one sweep, cells cached by their pass list
+  --check             exit 2 unless outputs were identical across all
+                      candidate pipelines
+  --timeout-ms <n>    fleet request timeout (default 600000)
 
 serve flags:
   --addr <host:port>  bind address (default 127.0.0.1:8080; port 0 binds
@@ -151,6 +172,8 @@ struct Opts {
     quiet: bool,
     verbose: bool,
     check: bool,
+    smoke: bool,
+    passes: Option<kernel_ir::opt::Pipeline>,
     trace_dir: Option<std::path::PathBuf>,
     fault_seed: Option<u64>,
     state: Option<std::path::PathBuf>,
@@ -182,6 +205,8 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
         quiet: false,
         verbose: false,
         check: false,
+        smoke: false,
+        passes: None,
         trace_dir: None,
         fault_seed: None,
         state: None,
@@ -212,6 +237,14 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
             "--quiet" => o.quiet = true,
             "--verbose" => o.verbose = true,
             "--check" => o.check = true,
+            "--smoke" => o.smoke = true,
+            "--passes" => match it.next() {
+                Some(p) if !p.starts_with("--") => match kernel_ir::opt::Pipeline::parse(p) {
+                    Ok(pl) => o.passes = Some(pl),
+                    Err(e) => return Err(format!("--passes: {e}")),
+                },
+                _ => return Err("--passes needs a comma-separated pass list argument".into()),
+            },
             "--keep-going" => o.fail_fast = false,
             "--fail-fast" => o.fail_fast = true,
             "--resume" => o.resume = true,
@@ -452,12 +485,41 @@ fn run() -> i32 {
             addr,
             scale: if o.test_scale { "test" } else { "paper" }.into(),
             fault_seed: o.fault_seed,
+            passes: o.passes.as_ref().map(|p| p.to_string()),
             cells: o.cells,
             metrics: o.metrics,
             shutdown: o.shutdown,
             retry_budget: o.retry_budget,
             timeout_ms: o.timeout_ms,
         });
+    }
+    if cmd == "autotune" {
+        let cfg = harness::AutotuneConfig {
+            test_scale: o.test_scale,
+            smoke: o.smoke,
+            addr: o.addr,
+            timeout_ms: o.timeout_ms,
+        };
+        return match harness::autotune::run(&cfg) {
+            Ok(rep) => {
+                let path = std::path::Path::new("BENCH_opt.json");
+                if let Err(e) = harness::atomic_write(path, rep.to_json().as_bytes()) {
+                    eprintln!("failed to write {}: {e}", path.display());
+                    return 1;
+                }
+                print!("{}", rep.summary());
+                println!("wrote {}", path.display());
+                if o.check && !rep.outputs_identical {
+                    eprintln!("autotune --check: a pass pipeline changed kernel outputs");
+                    return 2;
+                }
+                0
+            }
+            Err(e) => {
+                eprintln!("autotune failed: {e}");
+                1
+            }
+        };
     }
 
     // Deterministic chaos: install the plan process-wide (the worker-panic
@@ -569,6 +631,7 @@ fn run() -> i32 {
         checkpoint,
         resume: o.resume,
         state_tag: if o.test_scale { "test" } else { "paper" }.into(),
+        passes: o.passes.clone(),
         ..SuiteConfig::default()
     };
     let results = run_suite_with(&benches, &cfg);

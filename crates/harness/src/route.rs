@@ -147,8 +147,8 @@ struct Router {
 }
 
 /// Build the `/v1/cells` sub-request body for one shard's specs. All
-/// specs of one sweep share scale and fault seed, so they are lifted
-/// from the first spec.
+/// specs of one sweep share scale, fault seed and pass pipeline, so they
+/// are lifted from the first spec.
 fn cells_body(specs: &[&CellSpec]) -> String {
     let items: Vec<String> = specs
         .iter()
@@ -165,8 +165,13 @@ fn cells_body(specs: &[&CellSpec]) -> String {
         .fault_seed
         .map(|s| format!(",\"fault_seed\":{s}"))
         .unwrap_or_default();
+    let passes = specs[0]
+        .passes
+        .as_deref()
+        .map(|p| format!(",\"passes\":\"{}\"", json::escape(p)))
+        .unwrap_or_default();
     format!(
-        "{{\"scale\":\"{}\"{seed},\"cells\":[{}]}}",
+        "{{\"scale\":\"{}\"{seed}{passes},\"cells\":[{}]}}",
         json::escape(&specs[0].scale),
         items.join(",")
     )

@@ -37,6 +37,11 @@ pub struct Cell {
     /// How many attempts the cell took (1 = clean first try; > 1 means
     /// transient faults were retried away).
     pub attempts: u32,
+    /// FNV-1a digest of every validated output element (bit patterns, not
+    /// values). Two runs of the same cell — across thread counts, execution
+    /// engines and optimizer pipelines — must agree on this; the autotuner
+    /// and the SSA differential oracle compare it to prove pass legality.
+    pub output_digest: u64,
 }
 
 /// Failure classification for a cell that produced no result.
@@ -174,6 +179,13 @@ pub struct SuiteConfig {
     /// "test"); a resume against a checkpoint with a different tag,
     /// benchmark list or fault seed starts fresh.
     pub state_tag: String,
+    /// Optimizer pipeline applied to every kernel launched by the sweep.
+    /// `None` inherits the ambient setting (`SIM_PASSES` or a caller's
+    /// [`kernel_ir::opt::with_passes`] scope) — it does *not* force the
+    /// optimizer off. `Some` pins the pipeline for every cell, which is
+    /// what the autotuner and the serving layer use so a cell's passes
+    /// match its content-address key.
+    pub passes: Option<kernel_ir::opt::Pipeline>,
 }
 
 impl Default for SuiteConfig {
@@ -187,6 +199,7 @@ impl Default for SuiteConfig {
             checkpoint: None,
             resume: false,
             state_tag: String::new(),
+            passes: None,
         }
     }
 }
@@ -241,26 +254,40 @@ fn run_cell(
     let mut backoff_ms = 0u64;
     let max_attempts = cfg.max_attempts.max(1);
     for attempt in 1..=max_attempts {
-        let body = || match catch_unwind(AssertUnwindSafe(|| b.run(v, prec))) {
-            Err(p) => AttemptOutcome::Panicked(sim_pool::panic_message(&p)),
-            Ok(Err(skip)) => AttemptOutcome::Skip(skip),
-            Ok(Ok(outcome)) => {
-                if !outcome.validated {
-                    AttemptOutcome::Invalid(outcome.max_rel_err)
-                } else {
-                    let seed = (bi as u64) << 8 | prec_key(prec) as u64;
-                    let (m, iters, energy) = measure(&outcome, model, seed);
-                    let counters = outcome.telemetry.counters.clone();
-                    AttemptOutcome::Done(Cell {
-                        outcome,
-                        measurement: m,
-                        iterations: iters,
-                        energy_j: energy,
-                        counters,
-                        attempts: attempt,
-                    })
+        let body = || {
+            // Drain whatever a previous attempt (or unrelated validation on
+            // this thread) folded, so the digest covers exactly this attempt.
+            let _ = hpc_kernels::take_output_digest();
+            match catch_unwind(AssertUnwindSafe(|| b.run(v, prec))) {
+                Err(p) => AttemptOutcome::Panicked(sim_pool::panic_message(&p)),
+                Ok(Err(skip)) => AttemptOutcome::Skip(skip),
+                Ok(Ok(outcome)) => {
+                    if !outcome.validated {
+                        AttemptOutcome::Invalid(outcome.max_rel_err)
+                    } else {
+                        let output_digest = hpc_kernels::take_output_digest();
+                        let seed = (bi as u64) << 8 | prec_key(prec) as u64;
+                        let (m, iters, energy) = measure(&outcome, model, seed);
+                        let counters = outcome.telemetry.counters.clone();
+                        AttemptOutcome::Done(Cell {
+                            outcome,
+                            measurement: m,
+                            iterations: iters,
+                            energy_j: energy,
+                            counters,
+                            attempts: attempt,
+                            output_digest,
+                        })
+                    }
                 }
             }
+        };
+        // A pinned pipeline scopes the whole attempt (`None` inherits the
+        // ambient `SIM_PASSES` setting rather than forcing the optimizer
+        // off — the scope is only pushed when the config pins one).
+        let body = || match &cfg.passes {
+            Some(pl) => kernel_ir::opt::with_passes(Some(pl.clone()), body),
+            None => body(),
         };
         // Each attempt gets its own derived plan so a retry re-rolls every
         // fault site (otherwise a deterministic fault would refire forever
@@ -382,6 +409,7 @@ pub fn run_suite_with(benches: &[Box<dyn Benchmark>], cfg: &SuiteConfig) -> Suit
     let header = checkpoint::StateHeader {
         tag: cfg.state_tag.clone(),
         fault_seed: cfg.faults.map(|p| p.seed()),
+        passes: cfg.passes.as_ref().map(|p| p.to_string()),
         benches: names.clone(),
     };
     let preloaded: HashMap<CellCoord, CellEntry> = match &cfg.checkpoint {

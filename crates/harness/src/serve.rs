@@ -2,7 +2,7 @@
 //!
 //! This module mounts the generic `sim-server` kernel (HTTP, cache,
 //! scheduler) onto the simulator: request cells are normalized through
-//! [`checkpoint::cell_spec`] into the same key space the `simstate v2`
+//! [`checkpoint::cell_spec`] into the same key space the `simstate v3`
 //! checkpoint uses, results are stored as [`checkpoint::encode_entry`]
 //! payloads, and sweep responses are rendered by [`export::jsonl_row`] —
 //! the exact formatter behind `harness jsonl`. Those three shared code
@@ -65,7 +65,7 @@ pub struct ServeConfig {
     /// Cache persistence file (`simcache v1`, written atomically after
     /// every completed batch and on shutdown).
     pub cache_path: Option<PathBuf>,
-    /// `simstate v2` checkpoint files to warm-start the cache from.
+    /// `simstate v3` checkpoint files to warm-start the cache from.
     pub warm: Vec<PathBuf>,
     /// Request-trace output directory (`--trace-dir`); `None` disables
     /// tracing. Tracing writes headers and files only — response bytes
@@ -181,13 +181,29 @@ pub(crate) fn parse_sweep(
                 .ok_or("'fault_seed' must be an unsigned integer")?,
         ),
     };
+    let passes = match doc.get("passes") {
+        None => None,
+        Some(Json::Null) => None,
+        Some(v) => {
+            let s = v.as_str().ok_or("'passes' must be a string")?;
+            // Admission-time validation: reject unknown pass names with a
+            // 400 instead of failing every cell at evaluation time. The
+            // canonical (normalized) form goes into the key so equivalent
+            // spellings share a content address.
+            let pl = kernel_ir::opt::Pipeline::parse(s).map_err(|e| format!("'passes': {e}"))?;
+            Some(pl.to_string())
+        }
+    };
     let cells = doc.get("cells").ok_or("missing 'cells'")?;
     let mut out = Vec::new();
     if cells.as_str() == Some("all") {
         for bench in bench_names {
             for prec in Precision::ALL {
                 for v in VERSIONS {
-                    out.push((cell_spec(scale, fault_seed, bench, v, prec), prec));
+                    out.push((
+                        cell_spec(scale, fault_seed, passes.as_deref(), bench, v, prec),
+                        prec,
+                    ));
                 }
             }
         }
@@ -220,7 +236,10 @@ pub(crate) fn parse_sweep(
         let prec = precision_from_wire(precision).ok_or(format!(
             "cells[{i}]: unknown precision '{precision}' (have: single, double)"
         ))?;
-        out.push((cell_spec(scale, fault_seed, bench, v, prec), prec));
+        out.push((
+            cell_spec(scale, fault_seed, passes.as_deref(), bench, v, prec),
+            prec,
+        ));
     }
     Ok(out)
 }
@@ -256,8 +275,24 @@ fn eval_batch(
                 backoff_ms: 0,
             });
         };
+        // Specs are validated at admission, so a parse failure here means
+        // the key was forged; fail the cell rather than silently running
+        // it unoptimized under an optimized key.
+        let passes = match spec.passes.as_deref().map(kernel_ir::opt::Pipeline::parse) {
+            None => None,
+            Some(Ok(pl)) => Some(pl),
+            Some(Err(e)) => {
+                return CellEntry::Failed(CellError {
+                    kind: FailKind::Launch,
+                    message: format!("bad pass pipeline in cell spec: {e}"),
+                    attempts: 0,
+                    backoff_ms: 0,
+                })
+            }
+        };
         let cfg = SuiteConfig {
             faults: spec.fault_seed.map(sim_faults::FaultPlan::new),
+            passes,
             ..SuiteConfig::default()
         };
         run_one(benches[bi].as_ref(), bi, v, prec, &cfg)
@@ -359,7 +394,12 @@ impl Engine {
                     });
                     let mut n = 0usize;
                     for coord in coords {
-                        if let Some(spec) = coord_spec(&header.tag, header.fault_seed, coord) {
+                        if let Some(spec) = coord_spec(
+                            &header.tag,
+                            header.fault_seed,
+                            header.passes.as_deref(),
+                            coord,
+                        ) {
                             cache.insert(spec, checkpoint::encode_entry(&entries[coord]));
                             n += 1;
                         }
@@ -850,6 +890,10 @@ pub struct SubmitConfig {
     pub scale: String,
     /// Fault-injection seed forwarded with the sweep.
     pub fault_seed: Option<u64>,
+    /// Optimizer pass pipeline forwarded with the sweep (`--passes`,
+    /// comma-separated pass names). Folded into every cell's content
+    /// address by the server.
+    pub passes: Option<String>,
     /// `None` sweeps the full grid; `Some` holds `bench/version/precision`
     /// triples (e.g. `spmv/OpenCL-Opt/single`).
     pub cells: Option<Vec<String>>,
@@ -907,8 +951,12 @@ fn sweep_body(cfg: &SubmitConfig) -> Result<String, String> {
         Some(s) => format!(",\"fault_seed\":{s}"),
         None => String::new(),
     };
+    let passes = match &cfg.passes {
+        Some(p) => format!(",\"passes\":\"{}\"", json::escape(p)),
+        None => String::new(),
+    };
     Ok(format!(
-        "{{\"scale\":\"{}\"{seed},\"cells\":{cells}}}",
+        "{{\"scale\":\"{}\"{seed}{passes},\"cells\":{cells}}}",
         json::escape(&cfg.scale)
     ))
 }

@@ -125,6 +125,7 @@ mod tests {
 
     fn cell_for(b: &dyn Benchmark, v: Variant) -> Cell {
         let outcome = b.run(v, Precision::F32).unwrap();
+        let output_digest = hpc_kernels::take_output_digest();
         let model = PowerModel::default();
         let (m, iters, e) = measure(&outcome, &model, 7);
         let counters = outcome.telemetry.counters.clone();
@@ -135,6 +136,7 @@ mod tests {
             energy_j: e,
             counters,
             attempts: 1,
+            output_digest,
         }
     }
 

@@ -29,5 +29,5 @@ pub mod stencil3d;
 pub mod suite;
 pub mod vecop;
 
-pub use common::{Benchmark, Precision, RunOutcome, RunSkip, Variant};
+pub use common::{take_output_digest, Benchmark, Precision, RunOutcome, RunSkip, Variant};
 pub use suite::{mid_suite, suite, test_suite};

@@ -259,6 +259,14 @@ impl std::fmt::Display for Program {
     }
 }
 
+/// Render `p` in SSA form: versioned values (`v7:float = ...`), phi nodes
+/// with per-predecessor arguments, and `bb<N>` block labels. This is the
+/// dump `harness profile` and failing differential tests print for an
+/// optimized kernel, next to the flat [`Program`] listing.
+pub fn ssa_text(p: &Program) -> String {
+    crate::opt::ssa::Ssa::build(p).to_string()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -399,5 +407,60 @@ mod tests {
             assert!(s.contains(&format!("r{i}")), "missing r{i} in:\n{s}");
         }
         let _ = VType::scalar(Scalar::F32); // silence unused import in some cfgs
+    }
+
+    #[test]
+    fn ssa_text_renders_phis_blocks_and_versions() {
+        // A loop-carried accumulator under an `If`: the SSA dump must show
+        // block labels, predecessor lists, phi nodes with per-edge args,
+        // versioned values with types, and loop machinery.
+        let mut kb = KernelBuilder::new("ssa_demo");
+        let a = kb.arg_global(Scalar::F32, Access::ReadOnly, true);
+        let out = kb.arg_global(Scalar::F32, Access::WriteOnly, false);
+        let gid = kb.query_global_id(0);
+        let acc = kb.mov(Operand::ImmF(0.0), VType::scalar(Scalar::F32));
+        kb.for_loop(
+            Operand::ImmI(0),
+            Operand::ImmI(4),
+            Operand::ImmI(1),
+            |kb, i| {
+                let v = kb.load(Scalar::F32, a, i.into());
+                kb.bin_into(acc, BinOp::Add, acc.into(), v.into());
+            },
+        );
+        let big = kb.bin(
+            BinOp::Gt,
+            acc.into(),
+            Operand::ImmF(1.0),
+            VType::scalar(Scalar::F32),
+        );
+        kb.if_then(big.into(), |kb| {
+            kb.bin_into(acc, BinOp::Mul, acc.into(), Operand::ImmF(0.5));
+        });
+        kb.store(out, gid.into(), acc.into());
+        let p = kb.finish();
+        p.validate().unwrap();
+
+        let s = ssa_text(&p);
+        for needle in [
+            "ssa kernel \"ssa_demo\"",
+            "bb0:  ; preds: entry",
+            "phi [bb",
+            ":float = ",
+            "for_index",
+            "loop_bounds 0, 4, 1",
+            "if_cond v",
+            "store a1[",
+            "; preds: bb",
+        ] {
+            assert!(s.contains(needle), "missing `{needle}` in SSA dump:\n{s}");
+        }
+        // Round trip: the SSA form lowers back to a valid program computing
+        // the same thing (full equality is pinned by the opt tests; here we
+        // pin validity plus stable re-rendering).
+        let lowered = crate::opt::Pipeline::of(&[]).run(&p);
+        assert_eq!(lowered, p, "empty pipeline must be the identity");
+        let s2 = ssa_text(&p);
+        assert_eq!(s, s2, "SSA rendering must be deterministic");
     }
 }

@@ -1560,6 +1560,11 @@ impl<'a, T: ExecTracer> GroupExecutor<'a, T> {
         if !ndrange.valid() {
             return Err(ExecError::InvalidNDRange(ndrange));
         }
+        // Ambient optimizer pipeline (SIM_PASSES / opt::with_passes), the
+        // same hook for every engine and thread count so results stay
+        // byte-identical across the execution matrix.
+        let opt = crate::opt::ambient().map(|pl| pl.run(program));
+        let program = opt.as_ref().unwrap_or(program);
         check_bindings(program, bindings, pool)?;
         let dp = DecodedProgram::decode(program, bindings, pool);
         let engine = resolve_engine(engine, &dp);
@@ -1708,6 +1713,9 @@ where
     if !ndrange.valid() {
         return Err(ExecError::InvalidNDRange(ndrange));
     }
+    // Same ambient-optimizer hook as `GroupExecutor::with_engine`.
+    let opt = crate::opt::ambient().map(|pl| pl.run(program));
+    let program = opt.as_ref().unwrap_or(program);
     check_bindings(program, bindings, pool)?;
     let dp = DecodedProgram::decode(program, bindings, pool);
     let total = ndrange.total_groups();

@@ -50,6 +50,7 @@ pub mod exec;
 pub mod instr;
 pub mod memory;
 pub mod ops;
+pub mod opt;
 pub mod program;
 pub mod stats;
 pub mod trace;
@@ -67,6 +68,7 @@ pub use instr::{
 };
 pub use memory::{BufferData, MemoryPool, BUFFER_ALIGN};
 pub use ops::{bin_result_type, eval_bin, eval_mad, eval_select, eval_un};
+pub use opt::{Pass, PassCounters, Pipeline};
 pub use program::{Program, ValidationError};
 pub use stats::{analyze, StaticMix};
 pub use trace::{

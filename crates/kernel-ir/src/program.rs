@@ -7,7 +7,7 @@ use crate::types::{Scalar, VType};
 
 /// A complete kernel: what `clCreateKernel` would hand back, before the
 /// device compiler (in `ocl-runtime`) checks resource limits.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Program {
     pub name: String,
     pub args: Vec<ArgDecl>,

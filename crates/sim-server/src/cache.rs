@@ -212,6 +212,7 @@ mod tests {
             version: "Serial".into(),
             precision: 32,
             fault_seed: None,
+            passes: None,
             params: vec![],
         }
     }

@@ -1,11 +1,11 @@
 //! Canonical cell identity: [`CellSpec`] → [`CellKey`].
 //!
 //! A *cell* is one fully-specified experiment point: benchmark × version ×
-//! precision × problem scale × device config × fault seed × simulator
-//! version. Its [`CellKey`] is a stable 64-bit FNV-1a hash of the
+//! precision × problem scale × device config × fault seed × optimizer
+//! pass pipeline × simulator version. Its [`CellKey`] is a stable 64-bit FNV-1a hash of the
 //! *canonical serialization* of the spec, so any two parties that agree on
 //! the spec agree on the key — the `harness` checkpoint store
-//! (`simstate v2` lines carry the key) and the server's content-addressed
+//! (`simstate v3` lines carry the key) and the server's content-addressed
 //! cache speak the same identity, and a warm-start from a checkpoint is a
 //! pure key-space import.
 //!
@@ -29,7 +29,9 @@
 use std::fmt;
 
 /// Version of the canonicalization schema itself (hashed into every key).
-pub const KEY_SCHEMA_VERSION: u32 = 1;
+/// v2 added the optimizer `passes` field; v1 keys are deliberately orphaned
+/// (an optimized and an unoptimized run must never share a cache line).
+pub const KEY_SCHEMA_VERSION: u32 = 2;
 
 // ---- shared token-level codec ----
 
@@ -139,6 +141,11 @@ pub struct CellSpec {
     pub precision: u8,
     /// Fault-injection seed, when chaos is requested for this cell.
     pub fault_seed: Option<u64>,
+    /// Optimizer pass pipeline applied to every kernel of the cell, in the
+    /// comma-separated form `kernel_ir::Pipeline` parses ("cf,cse,dce").
+    /// `None` means the unoptimized baseline — a distinct key from any
+    /// pipeline, including an empty one.
+    pub passes: Option<String>,
     /// Named numeric overrides (DVFS frequency, voltage, …), hashed as
     /// bit patterns and sorted by name. Empty for the default config.
     pub params: Vec<(String, f64)>,
@@ -157,7 +164,7 @@ impl CellSpec {
             .collect::<Vec<_>>()
             .join(",");
         format!(
-            "cellspec v{}|{}|{}|{}|{}|{}|{}|{}|{}",
+            "cellspec v{}|{}|{}|{}|{}|{}|{}|{}|{}|{}",
             KEY_SCHEMA_VERSION,
             esc(&self.sim_version),
             esc(&self.device),
@@ -167,6 +174,10 @@ impl CellSpec {
             self.precision,
             self.fault_seed
                 .map(|s| s.to_string())
+                .unwrap_or_else(|| "-".into()),
+            self.passes
+                .as_deref()
+                .map(esc)
                 .unwrap_or_else(|| "-".into()),
             params,
         )
@@ -188,6 +199,10 @@ impl CellSpec {
             "-" => None,
             s => Some(s.parse().ok()?),
         };
+        let passes = match t.str()? {
+            "-" => None,
+            s => Some(unesc(s)?),
+        };
         let mut params = Vec::new();
         match t.str()? {
             "" => {}
@@ -206,6 +221,7 @@ impl CellSpec {
             version,
             precision,
             fault_seed,
+            passes,
             params,
         })
     }
@@ -217,7 +233,7 @@ impl CellSpec {
 }
 
 /// Stable 64-bit content address of a [`CellSpec`]. Displays as 16 hex
-/// digits (the form used in `GET /v1/cell/<key>` and `simstate v2`
+/// digits (the form used in `GET /v1/cell/<key>` and `simstate v3`
 /// lines).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct CellKey(pub u64);
@@ -263,6 +279,7 @@ mod tests {
             version: "OpenCL-Opt".into(),
             precision: 32,
             fault_seed: Some(7),
+            passes: Some("cf,cse,dce".into()),
             params: vec![("gpu_mhz".into(), 533.0), ("a".into(), 0.1)],
         }
     }
@@ -313,6 +330,12 @@ mod tests {
         s.fault_seed = None;
         assert_ne!(s.key(), base);
         let mut s = spec();
+        s.passes = None;
+        assert_ne!(s.key(), base);
+        let mut s = spec();
+        s.passes = Some("cf".into());
+        assert_ne!(s.key(), base);
+        let mut s = spec();
         s.params[1].1 = 0.2;
         assert_ne!(s.key(), base);
     }
@@ -324,8 +347,8 @@ mod tests {
     fn key_is_pinned() {
         assert_eq!(
             spec().canonical(),
-            "cellspec v1|0.1.0|exynos5250|test|spmv|OpenCL-Opt|32|7\
-             |a=3fb999999999999a,gpu_mhz=4080a80000000000"
+            "cellspec v2|0.1.0|exynos5250|test|spmv|OpenCL-Opt|32|7\
+             |cf%2ccse%2cdce|a=3fb999999999999a,gpu_mhz=4080a80000000000"
         );
         assert_eq!(spec().key().0, fnv1a64(spec().canonical().as_bytes()));
         assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);

@@ -92,7 +92,7 @@ fn chaos_suite_survives_and_stays_deterministic() {
     // finished cells, drop the rest.
     let text = std::fs::read_to_string(&state).unwrap();
     let lines: Vec<&str> = text.lines().collect();
-    assert_eq!(lines[0], "simstate v2");
+    assert_eq!(lines[0], "simstate v3");
     assert!(lines.len() > 24, "expected a populated state file");
     let truncated: String = lines[..22].iter().map(|l| format!("{l}\n")).collect();
     std::fs::write(&state, truncated).unwrap();

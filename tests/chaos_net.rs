@@ -116,7 +116,7 @@ fn replica_failover_keeps_sweeps_byte_identical_after_shard_loss() {
     for b in test_suite() {
         for prec in Precision::ALL {
             for v in Variant::ALL {
-                let key = harness::cell_spec("test", None, b.name(), v, prec).key();
+                let key = harness::cell_spec("test", None, None, b.name(), v, prec).key();
                 if ring.shard_of(key) == 1 {
                     dead_cells += 1;
                 }
@@ -182,7 +182,7 @@ fn without_replicas_a_dead_shard_degrades_and_trips_its_breaker() {
     for b in test_suite() {
         for prec in Precision::ALL {
             for v in Variant::ALL {
-                let key = harness::cell_spec("test", None, b.name(), v, prec).key();
+                let key = harness::cell_spec("test", None, None, b.name(), v, prec).key();
                 let r = row.next().unwrap();
                 if ring.shard_of(key) == 1 {
                     dead += 1;
@@ -238,7 +238,7 @@ fn seeded_network_chaos_heals_within_the_retry_budget() {
         replicas: 2,
         retry_budget: 6,
         breaker_threshold: 3,
-        fault_seed: Some(0xC4A05),
+        fault_seed: Some(0xC4A07),
     };
 
     let s0 = shard();
@@ -256,7 +256,7 @@ fn seeded_network_chaos_heals_within_the_retry_budget() {
     let retries = metric(&addr, "sim_router_retries_total");
     assert!(
         retries > 0,
-        "seed 0xC4A05 injected no faults; test is vacuous"
+        "seed 0xC4A07 injected no faults; test is vacuous"
     );
 
     // Same seed, fresh fleet: the same chaos schedule replays exactly.
@@ -292,7 +292,7 @@ fn chaos_and_shard_loss_combined_stay_byte_identical_with_replicas() {
             replicas: 2,
             retry_budget: 6,
             breaker_threshold: 3,
-            fault_seed: Some(0xFEED),
+            fault_seed: Some(0xC4A07),
         },
     );
     let addr = router.addr.to_string();

@@ -9,7 +9,9 @@
 //! every code path (see `kernel_ir::trace::ShardTracer`). Suite cells are
 //! likewise independent, with per-cell meter seeds.
 
-use harness::{run_suite, to_csv, to_jsonl, write_traces, CellEntry, SuiteResults};
+use harness::{
+    run_suite, run_suite_with, to_csv, to_jsonl, write_traces, CellEntry, SuiteConfig, SuiteResults,
+};
 use hpc_kernels::test_suite;
 use std::path::PathBuf;
 
@@ -101,4 +103,54 @@ fn suite_is_bit_identical_across_thread_counts() {
     );
     let _ = std::fs::remove_dir_all(&d1);
     let _ = std::fs::remove_dir_all(&d8);
+}
+
+/// The same contract with the optimizer on: a `SIM_PASSES`-style full
+/// pipeline must keep the sweep byte-identical across `SIM_THREADS` = {1,8}
+/// × both execution engines. Optimization happens once per launch on the
+/// thread executing the cell, so neither worker count nor engine may see a
+/// different program — and the passes themselves are deterministic by
+/// construction (ordered maps, no addresses, no iteration-order
+/// dependence). The pipeline rides in `SuiteConfig::passes` because the
+/// suite runner distributes cells across pool workers, where a
+/// `with_passes` thread-local override installed here would be invisible.
+#[test]
+fn optimized_sweep_is_bit_identical_across_threads_and_engines() {
+    use kernel_ir::opt::Pipeline;
+    use kernel_ir::Engine;
+
+    let configured = kernel_ir::engine();
+    let optimized_suite = |threads: usize, engine: Engine| {
+        kernel_ir::set_engine(engine);
+        sim_pool::set_threads(threads);
+        let cfg = SuiteConfig {
+            passes: Some(Pipeline::full()),
+            ..SuiteConfig::default()
+        };
+        run_suite_with(&test_suite(), &cfg)
+    };
+    let base = optimized_suite(1, Engine::Scalar);
+    let base_csv = to_csv(&base);
+    let base_jsonl = to_jsonl(&base);
+    for (threads, engine) in [
+        (8, Engine::Scalar),
+        (1, Engine::Columnar),
+        (8, Engine::Columnar),
+    ] {
+        let r = optimized_suite(threads, engine);
+        assert_eq!(
+            base_csv,
+            to_csv(&r),
+            "optimized CSV differs at {threads} threads on {:?}",
+            engine
+        );
+        assert_eq!(
+            base_jsonl,
+            to_jsonl(&r),
+            "optimized JSONL differs at {threads} threads on {:?}",
+            engine
+        );
+    }
+    kernel_ir::set_engine(configured);
+    sim_pool::set_threads(1);
 }

@@ -91,7 +91,7 @@ fn full_grid_keys() -> Vec<CellKey> {
     for b in test_suite() {
         for prec in Precision::ALL {
             for v in Variant::ALL {
-                keys.push(harness::cell_spec("test", None, b.name(), v, prec).key());
+                keys.push(harness::cell_spec("test", None, None, b.name(), v, prec).key());
             }
         }
     }
@@ -148,7 +148,8 @@ fn two_shard_full_sweep_matches_offline_artifact() {
     // Cell inspection proxies to the owning shard and answers the same
     // bytes a direct hit would.
     let ring = Ring::new(2);
-    let key = harness::cell_spec("test", None, "vecop", Variant::Serial, Precision::F32).key();
+    let key =
+        harness::cell_spec("test", None, None, "vecop", Variant::Serial, Precision::F32).key();
     let (st, via_router) = request(&addr, "GET", &format!("/v1/cell/{key}"), b"", T).unwrap();
     assert_eq!(st, 200);
     let owner = shards[ring.shard_of(key)].addr.to_string();

@@ -121,7 +121,8 @@ fn cold_then_warm_full_sweep_matches_offline_artifact() {
 
     // Single-cell inspection by content address (vecop Serial single is
     // its own serial baseline, so its row carries speedup 1).
-    let key = harness::cell_spec("test", None, "vecop", Variant::Serial, Precision::F32).key();
+    let key =
+        harness::cell_spec("test", None, None, "vecop", Variant::Serial, Precision::F32).key();
     let (st, body) = request(&addr, "GET", &format!("/v1/cell/{key}"), b"", T).unwrap();
     let body = String::from_utf8(body).unwrap();
     assert_eq!(st, 200, "{body}");
@@ -268,7 +269,7 @@ fn oversized_requests_get_413_and_the_server_survives() {
     srv.shutdown().unwrap();
 }
 
-/// A `simstate v2` checkpoint warm-starts the cache: the first sweep is
+/// A `simstate v3` checkpoint warm-starts the cache: the first sweep is
 /// served entirely from the checkpointed cells and still matches the
 /// offline artifact byte for byte.
 #[test]
@@ -421,8 +422,16 @@ fn tracing_never_changes_response_bytes_and_writes_artifacts() {
 /// and a seeded served cell matches the offline chaos pipeline.
 #[test]
 fn fault_seed_is_part_of_the_cell_identity() {
-    let k0 = harness::cell_spec("test", None, "red", Variant::Serial, Precision::F32).key();
-    let k7 = harness::cell_spec("test", Some(7), "red", Variant::Serial, Precision::F32).key();
+    let k0 = harness::cell_spec("test", None, None, "red", Variant::Serial, Precision::F32).key();
+    let k7 = harness::cell_spec(
+        "test",
+        Some(7),
+        None,
+        "red",
+        Variant::Serial,
+        Precision::F32,
+    )
+    .key();
     assert_ne!(k0, k7);
 
     let srv = serve(64, 64, None, vec![]);

@@ -117,7 +117,15 @@ serve flags:
   --slow-ms <n>       force-sample requests slower than n milliseconds
                       regardless of --trace-sample
   --timeout-ms <n>    per-connection socket timeout override (default
-                      30000)
+                      30000); also bounds how long a handler waits for a
+                      wedged evaluation before answering 503
+  --workers <n>       handler worker threads (default 4); connections are
+                      held by a non-blocking reactor, so open sockets are
+                      bounded by the fd limit, not the worker count
+  --priority-cells <n> sweeps naming at most n cells share the
+                      interactive dispatch lane with GET /v1/cell
+                      (default 8); larger sweeps queue in the bulk lane,
+                      which ages onto the fast lane so it never starves
 
 route flags:
   --addr <host:port>  bind address (default 127.0.0.1:8080; port 0 binds
@@ -141,6 +149,8 @@ route flags:
                       garbage status lines) into the router's fan-out
                       client; cell evaluation on the shards is untouched
   --timeout-ms <n>    shard sub-request timeout (default 600000)
+  --workers <n>, --priority-cells <n>  as for serve, applied to the
+                      router's own front (lane metrics: sim_router_lane_*)
   --trace-dir, --trace-sample, --slow-ms as for serve; the router stamps
                       its ingress trace id onto every shard sub-request
                       (X-Sim-Trace-Id), so one id follows a sweep fleet-wide
@@ -195,6 +205,8 @@ struct Opts {
     retry_budget: u32,
     breaker_threshold: u32,
     timeout_ms: Option<u64>,
+    workers: usize,
+    priority_cells: usize,
     cmds: Vec<String>,
 }
 
@@ -228,6 +240,8 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
         retry_budget: 3,
         breaker_threshold: 3,
         timeout_ms: None,
+        workers: sim_server::http::DEFAULT_WORKERS,
+        priority_cells: sim_server::http::DEFAULT_PRIORITY_CELLS,
         cmds: Vec::new(),
     };
     let mut it = args.iter();
@@ -335,6 +349,14 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
                 Some(Ok(n)) if n >= 1 => o.timeout_ms = Some(n),
                 _ => return Err("--timeout-ms needs a positive integer argument".into()),
             },
+            "--workers" => match it.next().map(|n| n.parse::<usize>()) {
+                Some(Ok(n)) if n >= 1 => o.workers = n,
+                _ => return Err("--workers needs a positive integer argument".into()),
+            },
+            "--priority-cells" => match it.next().map(|n| n.parse::<usize>()) {
+                Some(Ok(n)) => o.priority_cells = n,
+                _ => return Err("--priority-cells needs an unsigned integer argument".into()),
+            },
             flag if flag.starts_with("--") => return Err(format!("unknown flag '{flag}'")),
             cmd => o.cmds.push(cmd.to_string()),
         }
@@ -440,6 +462,8 @@ fn run() -> i32 {
             trace_sample: o.trace_sample,
             slow_ms: o.slow_ms,
             timeout_ms: o.timeout_ms,
+            workers: o.workers,
+            priority_cells: o.priority_cells,
         };
         return match harness::serve::serve(cfg) {
             Ok(()) => 0,
@@ -466,6 +490,8 @@ fn run() -> i32 {
             trace_dir: o.req_trace_dir,
             trace_sample: o.trace_sample,
             slow_ms: o.slow_ms,
+            workers: o.workers,
+            priority_cells: o.priority_cells,
         };
         return match harness::route::route(cfg) {
             Ok(()) => 0,

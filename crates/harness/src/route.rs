@@ -93,6 +93,11 @@ pub struct RouteConfig {
     pub trace_sample: u64,
     /// Force-sample requests slower than this (`--slow-ms`).
     pub slow_ms: Option<u64>,
+    /// Handler worker threads for the router front (`--workers`).
+    pub workers: usize,
+    /// Sweeps naming at most this many cells ride the interactive lane
+    /// (`--priority-cells`); larger sweeps are bulk.
+    pub priority_cells: usize,
 }
 
 /// An open breaker waits this long before granting a half-open probe.
@@ -144,6 +149,9 @@ struct Router {
     sweep_timeout: Duration,
     /// Health probes and metric scrapes must not hang the front.
     probe_timeout: Duration,
+    /// The HTTP front's per-lane dispatch counters, shared with the
+    /// server so `/metrics` can render them as `sim_router_lane_*`.
+    lanes: std::sync::Arc<http::LaneMetrics>,
 }
 
 /// Build the `/v1/cells` sub-request body for one shard's specs. All
@@ -198,7 +206,11 @@ fn shard_down_entry(message: String) -> CellEntry {
 }
 
 impl Router {
-    fn new(cfg: &RouteConfig, stop: StopHandle) -> io::Result<Router> {
+    fn new(
+        cfg: &RouteConfig,
+        stop: StopHandle,
+        lanes: std::sync::Arc<http::LaneMetrics>,
+    ) -> io::Result<Router> {
         let bench_names: Vec<String> = hpc_kernels::test_suite()
             .iter()
             .map(|b| b.name().to_string())
@@ -238,6 +250,7 @@ impl Router {
             net_plan: cfg.fault_seed.map(|s| FaultPlan::new(s).derive("net")),
             sweep_timeout,
             probe_timeout,
+            lanes,
         })
     }
 
@@ -481,26 +494,92 @@ impl Router {
         });
         let mut out = server_metrics::aggregate_pages(&pages);
         let m = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
-        for (name, v) in [
-            ("sim_router_shards", self.shards.len() as u64),
-            ("sim_router_shards_up", up as u64),
-            ("sim_router_replicas", self.replicas as u64),
-            ("sim_router_requests_total", m.requests),
-            ("sim_router_sweeps_total", m.sweeps),
-            ("sim_router_cells_routed_total", m.cells_routed),
-            ("sim_router_shard_errors_total", m.shard_errors),
-            ("sim_router_rejected_total", m.rejected),
-            ("sim_router_bad_requests_total", m.bad_requests),
-            ("sim_router_retries_total", m.retries),
-            ("sim_router_failovers_total", m.failovers),
+        // Typed router lines: the `# TYPE` declarations are what tells
+        // a downstream aggregation that e.g. `sim_router_replicas` is a
+        // gauge (max across pages), not a counter to sum.
+        for (name, help, kind, v) in [
+            (
+                "sim_router_shards",
+                "Backend shards configured on this router.",
+                "gauge",
+                self.shards.len() as u64,
+            ),
+            (
+                "sim_router_shards_up",
+                "Backend shards that answered the last metrics scrape.",
+                "gauge",
+                up as u64,
+            ),
+            (
+                "sim_router_replicas",
+                "Owners per cell key (1 = no failover).",
+                "gauge",
+                self.replicas as u64,
+            ),
+            (
+                "sim_router_requests_total",
+                "HTTP requests accepted by the router front.",
+                "counter",
+                m.requests,
+            ),
+            (
+                "sim_router_sweeps_total",
+                "Sweep requests routed.",
+                "counter",
+                m.sweeps,
+            ),
+            (
+                "sim_router_cells_routed_total",
+                "Distinct cells partitioned across shards.",
+                "counter",
+                m.cells_routed,
+            ),
+            (
+                "sim_router_shard_errors_total",
+                "Shard sub-requests that settled as errors.",
+                "counter",
+                m.shard_errors,
+            ),
+            (
+                "sim_router_rejected_total",
+                "Sweeps answered 429 because a shard stayed busy.",
+                "counter",
+                m.rejected,
+            ),
+            (
+                "sim_router_bad_requests_total",
+                "Requests rejected with 4xx other than 429.",
+                "counter",
+                m.bad_requests,
+            ),
+            (
+                "sim_router_retries_total",
+                "Shard sub-request retries.",
+                "counter",
+                m.retries,
+            ),
+            (
+                "sim_router_failovers_total",
+                "Cells re-routed to a replica owner.",
+                "counter",
+                m.failovers,
+            ),
             (
                 "sim_router_net_stall_recorded_ms_total",
+                "Injected network stall time recorded (not slept).",
+                "counter",
                 http::net_stall_recorded_ms_total(),
             ),
         ] {
-            out.push_str(&format!("{name} {v}\n"));
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} {kind}\n{name} {v}\n"
+            ));
         }
         drop(m);
+        out.push_str(
+            "# HELP sim_router_breaker_state Per-shard circuit breaker (0 closed, 1 half-open, 2 open).\n\
+             # TYPE sim_router_breaker_state gauge\n",
+        );
         for (i, b) in self.breakers.iter().enumerate() {
             let state = b.lock().unwrap_or_else(|e| e.into_inner()).state();
             out.push_str(&format!(
@@ -508,6 +587,7 @@ impl Router {
                 state.code()
             ));
         }
+        server_metrics::render_lanes("sim_router", &self.lanes.snapshot(), &mut out);
         Response::text(200, out)
     }
 
@@ -804,9 +884,11 @@ impl RunningRouter {
     }
 }
 
-fn run_on(server: Server, cfg: RouteConfig) -> io::Result<()> {
+fn run_on(mut server: Server, cfg: RouteConfig) -> io::Result<()> {
+    server.set_workers(cfg.workers);
+    server.set_priority_cells(cfg.priority_cells);
     let stop = server.stop_handle()?;
-    let router = Router::new(&cfg, stop)?;
+    let router = Router::new(&cfg, stop, server.lane_metrics())?;
     server.run(|req| router.handle(req))
 }
 

@@ -44,7 +44,7 @@ use sim_server::key::{CellKey, CellSpec};
 use sim_server::metrics::{self, Metrics, Stage};
 use sim_server::reqtrace::{us_since, RequestRecord, TraceConfig, TraceId, Tracer, TRACE_HEADER};
 use sim_server::retry::RetryPolicy;
-use sim_server::scheduler::{AdmitError, Scheduler, Slot};
+use sim_server::scheduler::{AdmitError, Lane, Scheduler, Slot};
 use std::collections::{HashMap, HashSet};
 use std::io::{self, Write};
 use std::net::SocketAddr;
@@ -77,8 +77,15 @@ pub struct ServeConfig {
     /// Force-sample requests slower than this (`--slow-ms`).
     pub slow_ms: Option<u64>,
     /// Per-connection socket I/O timeout (`--timeout-ms`); `None` uses
-    /// [`http::DEFAULT_IO_TIMEOUT_MS`].
+    /// [`http::DEFAULT_IO_TIMEOUT_MS`]. Also bounds how long a handler
+    /// waits for a wedged evaluation before answering 503.
     pub timeout_ms: Option<u64>,
+    /// Handler worker threads (`--workers`); requests beyond this run
+    /// concurrently only at the connection level, queued in the lanes.
+    pub workers: usize,
+    /// Sweeps naming at most this many cells share the interactive lane
+    /// with `GET /v1/cell` (`--priority-cells`); larger sweeps are bulk.
+    pub priority_cells: usize,
 }
 
 impl Default for ServeConfig {
@@ -93,6 +100,8 @@ impl Default for ServeConfig {
             trace_sample: 0,
             slow_ms: None,
             timeout_ms: None,
+            workers: http::DEFAULT_WORKERS,
+            priority_cells: http::DEFAULT_PRIORITY_CELLS,
         }
     }
 }
@@ -344,6 +353,13 @@ struct Engine {
     cache_path: Option<PathBuf>,
     tracer: Tracer,
     started: Instant,
+    /// The HTTP server's per-lane dispatch counters, shared so the
+    /// `/metrics` page can render them.
+    lanes: Arc<http::LaneMetrics>,
+    /// Upper bound on one slot wait before the handler answers 503.
+    wait_timeout: Duration,
+    /// Sweeps at most this large enter the scheduler's interactive lane.
+    priority_cells: usize,
 }
 
 fn persist(cache: &Cache, path: &Option<PathBuf>) {
@@ -358,7 +374,11 @@ fn persist(cache: &Cache, path: &Option<PathBuf>) {
 }
 
 impl Engine {
-    fn new(cfg: &ServeConfig, stop: StopHandle) -> io::Result<Engine> {
+    fn new(
+        cfg: &ServeConfig,
+        stop: StopHandle,
+        lanes: Arc<http::LaneMetrics>,
+    ) -> io::Result<Engine> {
         let tracer = make_tracer(
             &cfg.trace_dir,
             cfg.trace_sample,
@@ -446,6 +466,9 @@ impl Engine {
             cache_path: cfg.cache_path.clone(),
             tracer,
             started: Instant::now(),
+            lanes,
+            wait_timeout: Duration::from_millis(cfg.timeout_ms.unwrap_or(http::DEFAULT_TIMEOUT_MS)),
+            priority_cells: cfg.priority_cells,
         })
     }
 
@@ -502,6 +525,7 @@ impl Engine {
         let (cache_stats, entries) = (cache.stats(), cache.len());
         drop(cache);
         let sched = self.scheduler.stats();
+        let lanes = self.lanes.snapshot();
         let m = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
         Response::text(
             200,
@@ -510,6 +534,7 @@ impl Engine {
                 &cache_stats,
                 entries,
                 &sched,
+                &lanes,
                 self.started.elapsed().as_secs(),
             ),
         )
@@ -602,8 +627,16 @@ impl Engine {
                 }
             }
             rep.lookup_total_us = us_since(lookup_started);
+            // Small sweeps ride the interactive lane so they are not
+            // queued behind a full-grid batch; the threshold mirrors the
+            // HTTP layer's request classification.
+            let lane = if cells.len() <= self.priority_cells {
+                Lane::Interactive
+            } else {
+                Lane::Bulk
+            };
             let admit_started = Instant::now();
-            let admitted = self.scheduler.admit(&need);
+            let admitted = self.scheduler.admit(&need, lane);
             rep.admit_us = us_since(admit_started);
             match admitted {
                 Ok(slots) => {
@@ -639,8 +672,20 @@ impl Engine {
         let wait_started = Instant::now();
         for (key, slot) in pending {
             // An abandoned slot (the batch evaluator panicked) is a 500,
-            // not a hang: the scheduler settles every admitted slot.
-            let (outcome, timing) = slot.wait_timed();
+            // not a hang: the scheduler settles every admitted slot. A
+            // wedged evaluation that never settles is a 503 after the
+            // deadline rather than a connection parked forever.
+            let Some((outcome, timing)) = slot.wait_deadline(self.wait_timeout) else {
+                self.metrics
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .wait_timeouts += 1;
+                rep.wait_total_us = us_since(wait_started);
+                return Err(Response::json(
+                    503,
+                    "{\"error\":\"evaluation wait timed out\"}\n",
+                ));
+            };
             rep.queue_us.push(timing.queue_us);
             rep.eval_us.push(timing.eval_us);
             match outcome {
@@ -846,8 +891,10 @@ fn run_on(mut server: Server, cfg: ServeConfig) -> io::Result<()> {
     if let Some(ms) = cfg.timeout_ms {
         server.set_io_timeout(Duration::from_millis(ms));
     }
+    server.set_workers(cfg.workers);
+    server.set_priority_cells(cfg.priority_cells);
     let stop = server.stop_handle()?;
-    let engine = Engine::new(&cfg, stop)?;
+    let engine = Engine::new(&cfg, stop, server.lane_metrics())?;
     server.run(|req| engine.handle(req))?;
     // Dropping the engine shuts the scheduler down (drains, then joins).
     persist(

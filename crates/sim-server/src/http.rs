@@ -1,12 +1,22 @@
 //! Minimal HTTP/1.1 plumbing over `std::net` — enough protocol for a
 //! localhost experiment service, and nothing more.
 //!
-//! Server side: [`Server::bind`] + [`Server::run`] accept loop, one
-//! handler thread per connection (scoped, so the handler may borrow the
-//! engine), `Connection: close` semantics, bounded header/body sizes and
-//! a read timeout so one stuck client cannot wedge an acceptor thread
-//! forever. Client side: [`request`], a one-shot request helper used by
-//! `harness submit` and the end-to-end tests.
+//! Server side: [`Server::bind`] + [`Server::run`], a std-only
+//! non-blocking event loop. One reactor thread owns every socket: it
+//! accepts from a non-blocking listener and advances per-connection
+//! state machines (reading-head → reading-body → handling → writing,
+//! see [`ConnState`]) as bytes become available, so a slowloris peer
+//! trickling one byte per tick costs an idle state machine instead of a
+//! wedged thread, and one process can hold thousands of open
+//! connections. Complete requests are handed to a fixed pool of
+//! `--workers` handler threads through a two-lane priority queue:
+//! interactive traffic (cell lookups, probes, small sweeps — see
+//! [`classify_lane`]) is drained before bulk full-grid work, and a bulk
+//! request that has waited [`LANE_AGING_ROUNDS`] dispatch rounds is
+//! promoted so bulk is never starved. `Connection: close` semantics,
+//! bounded header/body sizes, and an idle-progress deadline per
+//! connection. Client side: [`request`], a one-shot request helper used
+//! by `harness submit` and the end-to-end tests.
 //!
 //! The client can also carry a deterministic network [`FaultPlan`]
 //! ([`request_with_chaos`]): connect refusal, recorded (never slept)
@@ -17,13 +27,16 @@
 
 use crate::key::fnv1a64;
 use crate::panic_message;
+use crate::scheduler::Lane;
 use sim_faults::{FaultPlan, FaultSite};
+use std::collections::VecDeque;
 use std::io::{self, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+use telemetry::LatencyHistogram;
 
 /// Maximum accepted size of the request head (request line + headers).
 const MAX_HEAD: usize = 16 * 1024;
@@ -40,10 +53,30 @@ const MAX_BODY: usize = 16 * 1024 * 1024;
 pub const DEFAULT_TIMEOUT_MS: u64 = 600_000;
 /// Default timeout (ms) for cheap control-plane probes (`/healthz`).
 pub const DEFAULT_PROBE_TIMEOUT_MS: u64 = 10_000;
-/// Default per-connection server socket timeout (ms).
+/// Default per-connection server socket timeout (ms): a connection that
+/// makes no byte progress for this long while reading or writing is
+/// closed (connections parked in a handler are exempt — the scheduler's
+/// wait deadline covers those).
 pub const DEFAULT_IO_TIMEOUT_MS: u64 = 30_000;
 /// Timeout for the stop handle's wake-up poke to the acceptor.
 const STOP_POKE_TIMEOUT: Duration = Duration::from_secs(1);
+
+// ---- event-loop tuning ----
+
+/// Default number of handler worker threads (`--workers`).
+pub const DEFAULT_WORKERS: usize = 4;
+/// Default interactive-lane budget (`--priority-cells`): sweep bodies
+/// naming at most this many cells ride the interactive lane.
+pub const DEFAULT_PRIORITY_CELLS: usize = 8;
+/// A bulk request that has waited this many dispatch rounds (one round =
+/// one job handed to a worker) is promoted past the interactive lane.
+pub const LANE_AGING_ROUNDS: u64 = 8;
+/// Reactor idle sleep cap: with no readable socket the poll loop backs
+/// off to at most this long per tick.
+const IDLE_TICK_CAP: Duration = Duration::from_millis(1);
+/// Cap on the per-connection read-poll backoff exponent: an idle reader
+/// is polled at most every `2^REACTOR_BACKOFF_MAX` ticks.
+const REACTOR_BACKOFF_MAX: u32 = 6;
 
 /// One parsed request.
 #[derive(Debug)]
@@ -118,8 +151,8 @@ impl Response {
     }
 }
 
-/// Why [`read_request`] could not produce a request — each variant maps
-/// to a different answer on the wire.
+/// Why the request parser could not produce a request — each variant
+/// maps to a different answer on the wire.
 #[derive(Debug)]
 pub enum ReadError {
     /// Head or declared body exceeds the configured caps → 413.
@@ -145,29 +178,37 @@ impl From<io::Error> for ReadError {
     }
 }
 
-/// Read and parse one request from a stream.
-pub fn read_request(stream: &mut TcpStream) -> Result<Request, ReadError> {
+/// Resolve `Content-Length` strictly: absent is `None`, repeated but
+/// *equal* values collapse to one (proxies re-stamp the header), and
+/// conflicting duplicates are an error — the classic request-smuggling
+/// ambiguity, where "take the first match" silently picks a side. Used
+/// by the server-side parser (answers 400) and the client-side
+/// [`parse_response`] alike.
+fn content_length_of(headers: &[(String, String)]) -> Result<Option<usize>, String> {
+    let mut declared: Option<usize> = None;
+    for (k, v) in headers {
+        if k != "content-length" {
+            continue;
+        }
+        let n: usize = v
+            .trim()
+            .parse()
+            .map_err(|_| "bad content-length".to_string())?;
+        match declared {
+            Some(prev) if prev != n => {
+                return Err(format!("conflicting content-length headers: {prev} vs {n}"));
+            }
+            _ => declared = Some(n),
+        }
+    }
+    Ok(declared)
+}
+
+/// Parse the request head (request line + headers); the body is read
+/// separately by the connection state machine.
+fn parse_head(head: &[u8]) -> Result<Request, ReadError> {
     let bad = |m: &str| ReadError::Malformed(m.to_string());
-    // Read until the blank line ending the head.
-    let mut buf: Vec<u8> = Vec::with_capacity(1024);
-    let mut chunk = [0u8; 1024];
-    let head_end = loop {
-        if let Some(p) = find_head_end(&buf) {
-            break p;
-        }
-        if buf.len() > MAX_HEAD {
-            return Err(ReadError::TooLarge("request head too large".into()));
-        }
-        let n = stream.read(&mut chunk)?;
-        if n == 0 {
-            return Err(ReadError::Io(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "connection closed mid-request",
-            )));
-        }
-        buf.extend_from_slice(&chunk[..n]);
-    };
-    let head = std::str::from_utf8(&buf[..head_end]).map_err(|_| bad("non-UTF8 head"))?;
+    let head = std::str::from_utf8(head).map_err(|_| bad("non-UTF8 head"))?;
     let mut lines = head.split("\r\n");
     let request_line = lines.next().ok_or_else(|| bad("empty request"))?;
     let mut parts = request_line.split(' ');
@@ -187,40 +228,20 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, ReadError> {
         let (k, v) = line.split_once(':').ok_or_else(|| bad("bad header"))?;
         headers.push((k.trim().to_ascii_lowercase(), v.trim().to_string()));
     }
-    let req = Request {
+    Ok(Request {
         method,
         path,
         headers,
         body: Vec::new(),
-    };
-    let len: usize = match req.header("content-length") {
-        Some(v) => v.parse().map_err(|_| bad("bad content-length"))?,
-        None => 0,
-    };
-    if len > MAX_BODY {
-        return Err(ReadError::TooLarge("request body too large".into()));
-    }
-    let mut body = buf[head_end + 4..].to_vec();
-    while body.len() < len {
-        let n = stream.read(&mut chunk)?;
-        if n == 0 {
-            return Err(ReadError::Io(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "connection closed mid-body",
-            )));
-        }
-        body.extend_from_slice(&chunk[..n]);
-    }
-    body.truncate(len);
-    Ok(Request { body, ..req })
+    })
 }
 
 fn find_head_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
-/// Serialize and send one response.
-pub fn write_response(stream: &mut TcpStream, resp: &Response) -> io::Result<()> {
+/// Serialize one response to its wire bytes.
+fn encode_response(resp: &Response) -> Vec<u8> {
     let mut head = format!(
         "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
         resp.status,
@@ -232,9 +253,406 @@ pub fn write_response(stream: &mut TcpStream, resp: &Response) -> io::Result<()>
         head.push_str(&format!("{k}: {v}\r\n"));
     }
     head.push_str("\r\n");
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(&resp.body)?;
+    let mut out = head.into_bytes();
+    out.extend_from_slice(&resp.body);
+    out
+}
+
+/// Serialize and send one response over a blocking stream.
+pub fn write_response(stream: &mut TcpStream, resp: &Response) -> io::Result<()> {
+    stream.write_all(&encode_response(resp))?;
     stream.flush()
+}
+
+// ---- priority lanes ----
+
+/// Classify a request into a dispatch [`Lane`]. Only the sweep endpoints
+/// can be bulk: a body asking for the full grid (`"cells":"all"`) or
+/// naming more than `priority_cells` cells rides the bulk lane behind
+/// interactive traffic. Everything else — `/v1/cell`, health and metrics
+/// probes, small sweeps — is interactive. The cell count is a cheap
+/// syntactic estimate (occurrences of the `"bench"` key), deliberately
+/// computed without a JSON parse so classification is O(body) on the
+/// reactor thread; handlers still parse and validate for real.
+pub fn classify_lane(req: &Request, priority_cells: usize) -> Lane {
+    if req.method != "POST" || !matches!(req.path.as_str(), "/v1/sweep" | "/v1/cells") {
+        return Lane::Interactive;
+    }
+    if find_subslice(&req.body, b"\"cells\":\"all\"").is_some()
+        || find_subslice(&req.body, b"\"cells\": \"all\"").is_some()
+    {
+        return Lane::Bulk;
+    }
+    if count_occurrences(&req.body, b"\"bench\"") <= priority_cells {
+        Lane::Interactive
+    } else {
+        Lane::Bulk
+    }
+}
+
+fn find_subslice(hay: &[u8], needle: &[u8]) -> Option<usize> {
+    hay.windows(needle.len()).position(|w| w == needle)
+}
+
+fn count_occurrences(hay: &[u8], needle: &[u8]) -> usize {
+    if hay.len() < needle.len() {
+        return 0;
+    }
+    hay.windows(needle.len()).filter(|w| *w == needle).count()
+}
+
+/// Per-lane dispatch telemetry, shared between the reactor (enqueue),
+/// the workers (dispatch) and the `/metrics` page (snapshot).
+#[derive(Default)]
+pub struct LaneMetrics {
+    inner: Mutex<LaneCounters>,
+}
+
+#[derive(Default)]
+struct LaneCounters {
+    depth: [u64; 2],
+    dispatched: [u64; 2],
+    promoted_bulk: u64,
+    wait: [LatencyHistogram; 2],
+}
+
+/// Point-in-time copy of [`LaneMetrics`] for rendering.
+#[derive(Clone, Debug, Default)]
+pub struct LaneSnapshot {
+    pub interactive_depth: u64,
+    pub bulk_depth: u64,
+    pub dispatched_interactive: u64,
+    pub dispatched_bulk: u64,
+    pub promoted_bulk: u64,
+    pub wait_interactive: LatencyHistogram,
+    pub wait_bulk: LatencyHistogram,
+}
+
+impl LaneMetrics {
+    fn lock(&self) -> MutexGuard<'_, LaneCounters> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn on_enqueue(&self, lane: Lane) {
+        self.lock().depth[lane.index()] += 1;
+    }
+
+    fn on_dispatch(&self, lane: Lane, waited_us: u64, promoted: bool) {
+        let mut c = self.lock();
+        let i = lane.index();
+        c.depth[i] = c.depth[i].saturating_sub(1);
+        c.dispatched[i] += 1;
+        if promoted {
+            c.promoted_bulk += 1;
+        }
+        c.wait[i].record_us(waited_us);
+    }
+
+    pub fn snapshot(&self) -> LaneSnapshot {
+        let c = self.lock();
+        LaneSnapshot {
+            interactive_depth: c.depth[Lane::Interactive.index()],
+            bulk_depth: c.depth[Lane::Bulk.index()],
+            dispatched_interactive: c.dispatched[Lane::Interactive.index()],
+            dispatched_bulk: c.dispatched[Lane::Bulk.index()],
+            promoted_bulk: c.promoted_bulk,
+            wait_interactive: c.wait[Lane::Interactive.index()].clone(),
+            wait_bulk: c.wait[Lane::Bulk.index()].clone(),
+        }
+    }
+}
+
+// ---- dispatch queue ----
+
+/// A complete request waiting for a worker.
+struct PendingJob {
+    /// Connection slot to deliver the response to.
+    token: usize,
+    req: Request,
+    lane: Lane,
+    enqueued: Instant,
+    /// Dispatch-round counter at enqueue time — the aging clock.
+    round: u64,
+}
+
+#[derive(Default)]
+struct DispatchState {
+    hi: VecDeque<PendingJob>,
+    lo: VecDeque<PendingJob>,
+    /// Jobs handed to workers so far; one pick = one round.
+    rounds: u64,
+    stop: bool,
+}
+
+impl DispatchState {
+    fn push(&mut self, mut job: PendingJob) {
+        job.round = self.rounds;
+        match job.lane {
+            Lane::Interactive => self.hi.push_back(job),
+            Lane::Bulk => self.lo.push_back(job),
+        }
+    }
+
+    /// Next job for a worker: interactive first, bulk otherwise — unless
+    /// the oldest bulk job has waited [`LANE_AGING_ROUNDS`] rounds, in
+    /// which case it is promoted past the interactive lane. Returns the
+    /// job and whether this pick was an aging promotion (i.e. it
+    /// overtook queued interactive work).
+    fn pick(&mut self) -> Option<(PendingJob, bool)> {
+        let aged = self
+            .lo
+            .front()
+            .is_some_and(|j| self.rounds.saturating_sub(j.round) >= LANE_AGING_ROUNDS);
+        let (job, promoted) = if aged {
+            (self.lo.pop_front(), !self.hi.is_empty())
+        } else if let Some(job) = self.hi.pop_front() {
+            (Some(job), false)
+        } else {
+            (self.lo.pop_front(), false)
+        };
+        let job = job?;
+        self.rounds += 1;
+        Some((job, promoted))
+    }
+}
+
+struct Dispatch {
+    st: Mutex<DispatchState>,
+    cv: Condvar,
+}
+
+fn worker_loop<H>(
+    dispatch: &Dispatch,
+    completions: &Mutex<Vec<(usize, Response)>>,
+    lanes: &LaneMetrics,
+    handler: &H,
+) where
+    H: Fn(&Request) -> Response + Send + Sync,
+{
+    loop {
+        let picked = {
+            let mut st = dispatch.st.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(p) = st.pick() {
+                    break Some(p);
+                }
+                if st.stop {
+                    break None;
+                }
+                st = dispatch.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        let Some((job, promoted)) = picked else {
+            return;
+        };
+        let waited_us = u64::try_from(job.enqueued.elapsed().as_micros()).unwrap_or(u64::MAX);
+        lanes.on_dispatch(job.lane, waited_us, promoted);
+        // A panicking handler must cost one request, not the whole pool:
+        // a panic out of a scoped worker would propagate from
+        // `thread::scope` and kill the server.
+        let resp = match std::panic::catch_unwind(AssertUnwindSafe(|| handler(&job.req))) {
+            Ok(resp) => resp,
+            Err(payload) => {
+                telemetry::log::debug(&format!(
+                    "handler panicked on {} {}: {}",
+                    job.req.method,
+                    job.req.path,
+                    panic_message(payload.as_ref())
+                ));
+                Response::text(500, "internal error: handler panicked\n")
+            }
+        };
+        completions
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push((job.token, resp));
+    }
+}
+
+// ---- connection state machine ----
+
+/// Per-connection state. `Reading` accumulates bytes until a full
+/// request parses out; `Handling` means a worker owns the request and
+/// the reactor leaves the socket alone; `Writing` drains the encoded
+/// response, then closes (`Connection: close`).
+enum ConnState {
+    Reading {
+        buf: Vec<u8>,
+        head: Option<PartialHead>,
+    },
+    Handling,
+    Writing {
+        buf: Vec<u8>,
+        off: usize,
+    },
+}
+
+/// A parsed head whose declared body has not fully arrived yet.
+struct PartialHead {
+    req: Request,
+    /// Offset of the first body byte in the connection buffer.
+    body_start: usize,
+    /// Total request size: head + CRLFCRLF + declared body.
+    total: usize,
+}
+
+struct Conn {
+    stream: TcpStream,
+    state: ConnState,
+    /// Last byte progress on this socket — the idle deadline clock.
+    last_activity: Instant,
+    /// Read-poll backoff exponent (consecutive empty polls).
+    backoff: u32,
+    /// Ticks left before this connection is polled again.
+    skip: u32,
+}
+
+/// Outcome of advancing one connection by one poll.
+enum IoStep {
+    /// Nothing readable/writable right now.
+    Idle,
+    /// Bytes moved or state changed, but the request/response is not
+    /// done.
+    Progress,
+    /// A complete request parsed out; hand it to the dispatch queue.
+    Dispatch(Request),
+    /// Connection finished (response fully written, peer gone, or a
+    /// transport error).
+    Close,
+}
+
+/// Try to complete a request from buffered bytes: parse the head once
+/// the terminator arrives, then wait for the declared body. Pure —
+/// no I/O.
+fn advance_parse(
+    buf: &mut Vec<u8>,
+    head: &mut Option<PartialHead>,
+) -> Result<Option<Request>, ReadError> {
+    if head.is_none() {
+        let Some(end) = find_head_end(buf) else {
+            if buf.len() > MAX_HEAD {
+                return Err(ReadError::TooLarge("request head too large".into()));
+            }
+            return Ok(None);
+        };
+        if end > MAX_HEAD {
+            return Err(ReadError::TooLarge("request head too large".into()));
+        }
+        let req = parse_head(&buf[..end])?;
+        let len = content_length_of(&req.headers)
+            .map_err(ReadError::Malformed)?
+            .unwrap_or(0);
+        if len > MAX_BODY {
+            return Err(ReadError::TooLarge("request body too large".into()));
+        }
+        *head = Some(PartialHead {
+            req,
+            body_start: end + 4,
+            total: end + 4 + len,
+        });
+    }
+    let total = head.as_ref().map(|h| h.total).unwrap_or(0);
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let ph = head.take().expect("head parsed above");
+    let mut body = std::mem::take(buf);
+    body.truncate(ph.total);
+    let body = body.split_off(ph.body_start);
+    Ok(Some(Request { body, ..ph.req }))
+}
+
+/// Drain readable bytes into the connection buffer and advance the
+/// parser. Oversized/malformed requests flip the connection straight to
+/// writing a 413/400.
+fn step_reading(conn: &mut Conn) -> IoStep {
+    let mut chunk = [0u8; 4096];
+    let mut moved = false;
+    loop {
+        let ConnState::Reading { buf, head } = &mut conn.state else {
+            return IoStep::Progress;
+        };
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => return IoStep::Close, // peer closed before a full request
+            Ok(n) => {
+                moved = true;
+                buf.extend_from_slice(&chunk[..n]);
+                match advance_parse(buf, head) {
+                    Ok(Some(req)) => return IoStep::Dispatch(req),
+                    Ok(None) => {}
+                    Err(ReadError::TooLarge(m)) => {
+                        telemetry::log::debug(&format!("oversized request: {m}"));
+                        let resp = Response::text(413, format!("{m}\n"));
+                        conn.state = ConnState::Writing {
+                            buf: encode_response(&resp),
+                            off: 0,
+                        };
+                        return IoStep::Progress;
+                    }
+                    Err(ReadError::Malformed(m)) => {
+                        telemetry::log::debug(&format!("bad request: {m}"));
+                        let resp = Response::text(400, format!("bad request: {m}\n"));
+                        conn.state = ConnState::Writing {
+                            buf: encode_response(&resp),
+                            off: 0,
+                        };
+                        return IoStep::Progress;
+                    }
+                    Err(ReadError::Io(_)) => unreachable!("advance_parse does no I/O"),
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                return if moved {
+                    IoStep::Progress
+                } else {
+                    IoStep::Idle
+                };
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => {
+                telemetry::log::debug(&format!("read failed: {e}"));
+                return IoStep::Close;
+            }
+        }
+    }
+}
+
+/// Push response bytes out; on completion, close politely (shut down our
+/// write side and swallow any bytes the peer still had in flight, so the
+/// close is an orderly FIN rather than an RST racing the response).
+fn step_writing(conn: &mut Conn) -> IoStep {
+    let mut moved = false;
+    loop {
+        let ConnState::Writing { buf, off } = &mut conn.state else {
+            return IoStep::Progress;
+        };
+        if *off >= buf.len() {
+            let _ = conn.stream.flush();
+            let _ = conn.stream.shutdown(Shutdown::Write);
+            let mut sink = [0u8; 1024];
+            while matches!(conn.stream.read(&mut sink), Ok(n) if n > 0) {}
+            return IoStep::Close;
+        }
+        match conn.stream.write(&buf[*off..]) {
+            Ok(0) => return IoStep::Close,
+            Ok(n) => {
+                *off += n;
+                moved = true;
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                return if moved {
+                    IoStep::Progress
+                } else {
+                    IoStep::Idle
+                };
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => {
+                telemetry::log::debug(&format!("write failed: {e}"));
+                return IoStep::Close;
+            }
+        }
+    }
 }
 
 /// Handle to stop a running [`Server`] from another thread (or from a
@@ -246,11 +664,11 @@ pub struct StopHandle {
 }
 
 impl StopHandle {
-    /// Request shutdown. Idempotent; pokes the acceptor awake.
+    /// Request shutdown. Idempotent; pokes the reactor awake.
     pub fn stop(&self) {
         self.stop.store(true, Ordering::SeqCst);
-        // The acceptor blocks in accept(); a throwaway connection wakes it
-        // so it can observe the flag.
+        // The reactor notices the flag within one idle tick; the
+        // throwaway connection just shortens the wait.
         let _ = TcpStream::connect_timeout(&self.addr, STOP_POKE_TIMEOUT);
     }
 
@@ -259,11 +677,14 @@ impl StopHandle {
     }
 }
 
-/// A bound listener plus its stop flag.
+/// A bound listener plus its stop flag and event-loop tuning.
 pub struct Server {
     listener: TcpListener,
     stop: Arc<AtomicBool>,
     io_timeout: Duration,
+    workers: usize,
+    priority_cells: usize,
+    lanes: Arc<LaneMetrics>,
 }
 
 impl Server {
@@ -274,12 +695,32 @@ impl Server {
             listener: TcpListener::bind(addr)?,
             stop: Arc::new(AtomicBool::new(false)),
             io_timeout: Duration::from_millis(DEFAULT_IO_TIMEOUT_MS),
+            workers: DEFAULT_WORKERS,
+            priority_cells: DEFAULT_PRIORITY_CELLS,
+            lanes: Arc::new(LaneMetrics::default()),
         })
     }
 
-    /// Override the per-connection socket timeout (`--timeout-ms`).
+    /// Override the per-connection idle-progress deadline
+    /// (`--timeout-ms`).
     pub fn set_io_timeout(&mut self, timeout: Duration) {
         self.io_timeout = timeout;
+    }
+
+    /// Override the handler worker-pool size (`--workers`); clamped to
+    /// at least one.
+    pub fn set_workers(&mut self, workers: usize) {
+        self.workers = workers.max(1);
+    }
+
+    /// Override the interactive-lane cell budget (`--priority-cells`).
+    pub fn set_priority_cells(&mut self, cells: usize) {
+        self.priority_cells = cells;
+    }
+
+    /// Shared per-lane dispatch telemetry, for a `/metrics` page.
+    pub fn lane_metrics(&self) -> Arc<LaneMetrics> {
+        self.lanes.clone()
     }
 
     pub fn local_addr(&self) -> io::Result<SocketAddr> {
@@ -293,77 +734,210 @@ impl Server {
         })
     }
 
-    /// Accept-and-dispatch loop: one scoped thread per connection, until
-    /// the stop handle fires. Handler errors (including panics) become
-    /// 500s; oversized requests get 413, malformed ones 400; connection
-    /// I/O errors are logged and dropped (the peer is gone anyway).
+    /// Run the event loop until the stop handle fires: a reactor thread
+    /// polls every socket and a fixed pool of worker threads runs the
+    /// handler (scoped, so the handler may borrow the engine). Handler
+    /// panics become 500s; oversized requests get 413, malformed ones
+    /// 400; connection I/O errors are logged and dropped (the peer is
+    /// gone anyway). On stop, in-flight requests drain before return.
     pub fn run<H>(&self, handler: H) -> io::Result<()>
     where
         H: Fn(&Request) -> Response + Send + Sync,
     {
+        self.listener.set_nonblocking(true)?;
+        let dispatch = Dispatch {
+            st: Mutex::new(DispatchState::default()),
+            cv: Condvar::new(),
+        };
+        let completions: Mutex<Vec<(usize, Response)>> = Mutex::new(Vec::new());
         let handler = &handler;
+        let dispatch = &dispatch;
+        let completions = &completions;
         std::thread::scope(|scope| {
-            loop {
-                let (mut stream, peer) = match self.listener.accept() {
-                    Ok(c) => c,
-                    Err(e) => {
-                        if self.stop.load(Ordering::SeqCst) {
-                            break;
-                        }
-                        telemetry::log::debug(&format!("accept error: {e}"));
-                        continue;
-                    }
-                };
-                if self.stop.load(Ordering::SeqCst) {
-                    // The wake-up poke (or a late client); close and exit.
-                    break;
-                }
-                let io_timeout = self.io_timeout;
-                scope.spawn(move || {
-                    let _ = stream.set_read_timeout(Some(io_timeout));
-                    let _ = stream.set_write_timeout(Some(io_timeout));
-                    match read_request(&mut stream) {
-                        Ok(req) => {
-                            // A panicking handler must cost one request,
-                            // not the whole accept loop: a panic out of a
-                            // scoped thread would propagate from
-                            // `thread::scope` and kill the server.
-                            let resp = match std::panic::catch_unwind(AssertUnwindSafe(|| {
-                                handler(&req)
-                            })) {
-                                Ok(resp) => resp,
-                                Err(payload) => {
-                                    telemetry::log::debug(&format!(
-                                        "handler panicked on {} {}: {}",
-                                        req.method,
-                                        req.path,
-                                        panic_message(payload.as_ref())
-                                    ));
-                                    Response::text(500, "internal error: handler panicked\n")
-                                }
-                            };
-                            if let Err(e) = write_response(&mut stream, &resp) {
-                                telemetry::log::debug(&format!("write to {peer} failed: {e}"));
-                            }
-                        }
-                        Err(ReadError::Io(e)) => {
-                            telemetry::log::debug(&format!("request from {peer} aborted: {e}"));
-                        }
-                        Err(ReadError::TooLarge(m)) => {
-                            telemetry::log::debug(&format!("oversized request from {peer}: {m}"));
-                            let resp = Response::text(413, format!("{m}\n"));
-                            let _ = write_response(&mut stream, &resp);
-                        }
-                        Err(ReadError::Malformed(m)) => {
-                            telemetry::log::debug(&format!("bad request from {peer}: {m}"));
-                            let resp = Response::text(400, format!("bad request: {m}\n"));
-                            let _ = write_response(&mut stream, &resp);
-                        }
-                    }
-                });
+            for _ in 0..self.workers.max(1) {
+                let lanes = &*self.lanes;
+                scope.spawn(move || worker_loop(dispatch, completions, lanes, handler));
             }
+            self.reactor(dispatch, completions);
+            // Reactor exited ⇒ every dispatched request has completed;
+            // release the (now idle) workers.
+            dispatch.st.lock().unwrap_or_else(|e| e.into_inner()).stop = true;
+            dispatch.cv.notify_all();
         });
         Ok(())
+    }
+
+    /// The readiness-polling loop. Owns all connection state; never
+    /// blocks on any one socket.
+    fn reactor(&self, dispatch: &Dispatch, completions: &Mutex<Vec<(usize, Response)>>) {
+        let mut conns: Vec<Option<Conn>> = Vec::new();
+        let mut free: Vec<usize> = Vec::new();
+        // Connections currently owned by a worker; their tokens stay
+        // reserved until the response comes back, so slot reuse can
+        // never misdeliver a completion.
+        let mut handling: usize = 0;
+        let mut draining = false;
+        let mut idle_ticks: u32 = 0;
+        loop {
+            let mut progress = false;
+
+            if !draining && self.stop.load(Ordering::SeqCst) {
+                draining = true;
+                progress = true;
+                // Connections without a complete request yet are dropped;
+                // ones being handled or written drain below.
+                for (i, slot) in conns.iter_mut().enumerate() {
+                    let reading = slot
+                        .as_ref()
+                        .is_some_and(|c| matches!(c.state, ConnState::Reading { .. }));
+                    if reading {
+                        *slot = None;
+                        free.push(i);
+                    }
+                }
+            }
+
+            if !draining {
+                loop {
+                    match self.listener.accept() {
+                        Ok((stream, _)) => {
+                            if stream.set_nonblocking(true).is_err() {
+                                continue;
+                            }
+                            progress = true;
+                            let conn = Conn {
+                                stream,
+                                state: ConnState::Reading {
+                                    buf: Vec::new(),
+                                    head: None,
+                                },
+                                last_activity: Instant::now(),
+                                backoff: 0,
+                                skip: 0,
+                            };
+                            match free.pop() {
+                                Some(i) => conns[i] = Some(conn),
+                                None => conns.push(Some(conn)),
+                            }
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                        Err(e) => {
+                            telemetry::log::debug(&format!("accept error: {e}"));
+                            break;
+                        }
+                    }
+                }
+            }
+
+            let done = {
+                let mut c = completions.lock().unwrap_or_else(|e| e.into_inner());
+                std::mem::take(&mut *c)
+            };
+            for (token, resp) in done {
+                progress = true;
+                handling = handling.saturating_sub(1);
+                if let Some(conn) = conns.get_mut(token).and_then(Option::as_mut) {
+                    conn.state = ConnState::Writing {
+                        buf: encode_response(&resp),
+                        off: 0,
+                    };
+                    conn.last_activity = Instant::now();
+                    conn.backoff = 0;
+                    conn.skip = 0;
+                }
+            }
+
+            let now = Instant::now();
+            for (i, slot) in conns.iter_mut().enumerate() {
+                let Some(conn) = slot.as_mut() else {
+                    continue;
+                };
+                let step = match &conn.state {
+                    ConnState::Handling => None,
+                    ConnState::Reading { .. } if conn.skip > 0 => {
+                        conn.skip -= 1;
+                        None
+                    }
+                    ConnState::Reading { .. } => Some(step_reading(conn)),
+                    ConnState::Writing { .. } => Some(step_writing(conn)),
+                };
+                match step {
+                    None => {
+                        // Not polled this tick (worker-owned, or backing
+                        // off); the idle deadline still applies to
+                        // sockets we owe I/O on.
+                        let waiting_on_io = !matches!(conn.state, ConnState::Handling);
+                        if waiting_on_io && now.duration_since(conn.last_activity) > self.io_timeout
+                        {
+                            *slot = None;
+                            free.push(i);
+                            progress = true;
+                        }
+                    }
+                    Some(IoStep::Idle) => {
+                        if now.duration_since(conn.last_activity) > self.io_timeout {
+                            *slot = None;
+                            free.push(i);
+                            progress = true;
+                        } else if matches!(conn.state, ConnState::Reading { .. }) {
+                            // Idle readers are polled exponentially less
+                            // often (up to every 2^max ticks) so a
+                            // thousand parked connections cost the
+                            // reactor near-zero time per tick.
+                            conn.backoff = (conn.backoff + 1).min(REACTOR_BACKOFF_MAX);
+                            conn.skip = (1u32 << conn.backoff) - 1;
+                        }
+                    }
+                    Some(IoStep::Progress) => {
+                        progress = true;
+                        conn.last_activity = now;
+                        conn.backoff = 0;
+                        conn.skip = 0;
+                    }
+                    Some(IoStep::Dispatch(req)) => {
+                        progress = true;
+                        conn.last_activity = now;
+                        conn.backoff = 0;
+                        conn.skip = 0;
+                        conn.state = ConnState::Handling;
+                        handling += 1;
+                        let lane = classify_lane(&req, self.priority_cells);
+                        self.lanes.on_enqueue(lane);
+                        {
+                            let mut st = dispatch.st.lock().unwrap_or_else(|e| e.into_inner());
+                            st.push(PendingJob {
+                                token: i,
+                                req,
+                                lane,
+                                enqueued: Instant::now(),
+                                round: 0,
+                            });
+                        }
+                        dispatch.cv.notify_one();
+                    }
+                    Some(IoStep::Close) => {
+                        progress = true;
+                        *slot = None;
+                        free.push(i);
+                    }
+                }
+            }
+
+            if draining && handling == 0 && conns.iter().all(Option::is_none) {
+                return;
+            }
+
+            if progress {
+                idle_ticks = 0;
+            } else {
+                idle_ticks = idle_ticks.saturating_add(1);
+                let sleep = Duration::from_micros(50)
+                    .saturating_mul(idle_ticks)
+                    .min(IDLE_TICK_CAP);
+                std::thread::sleep(sleep);
+            }
+        }
     }
 }
 
@@ -513,7 +1087,8 @@ pub fn request_with_chaos(
 /// Parse a raw HTTP/1.1 response: status line, headers (names
 /// lowercased), body. The body is validated against `Content-Length` when
 /// the header is present — a short read (peer died mid-stream) is an
-/// error here rather than a silently partial payload downstream.
+/// error here rather than a silently partial payload downstream, and
+/// conflicting duplicate declarations are rejected outright.
 fn parse_response(raw: &[u8]) -> io::Result<FullResponse> {
     let bad = |m: &str| io::Error::new(io::ErrorKind::InvalidData, m.to_string());
     let head_end = find_head_end(raw).ok_or_else(|| bad("truncated response head"))?;
@@ -533,8 +1108,7 @@ fn parse_response(raw: &[u8]) -> io::Result<FullResponse> {
         headers.push((k.trim().to_ascii_lowercase(), v.trim().to_string()));
     }
     let mut body = raw[head_end + 4..].to_vec();
-    if let Some((_, v)) = headers.iter().find(|(k, _)| k == "content-length") {
-        let declared: usize = v.parse().map_err(|_| bad("bad content-length"))?;
+    if let Some(declared) = content_length_of(&headers).map_err(|m| bad(&m))? {
         if body.len() < declared {
             return Err(bad(&format!(
                 "truncated response body: got {} of {declared} bytes",
@@ -614,8 +1188,8 @@ mod tests {
     }
 
     /// A panicking handler answers 500 on that one connection and the
-    /// server keeps serving — the doc-promised behaviour that used to
-    /// propagate out of `thread::scope` and kill the accept loop.
+    /// server keeps serving — a worker catches the panic instead of
+    /// letting it propagate out of `thread::scope` and kill the server.
     #[test]
     fn handler_panic_answers_500_and_server_survives() {
         let server = Server::bind("127.0.0.1:0").unwrap();
@@ -697,6 +1271,68 @@ mod tests {
 
         stop.stop();
         t.join().unwrap().unwrap();
+    }
+
+    /// Duplicate `Content-Length` headers: equal repeats collapse, but
+    /// conflicting values are refused with 400 instead of silently
+    /// picking the first — the request-smuggling ambiguity.
+    #[test]
+    fn conflicting_content_length_is_rejected_server_side() {
+        let server = Server::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap();
+        let stop = server.stop_handle().unwrap();
+        let t = std::thread::spawn(move || server.run(|req| Response::text(200, req.body.clone())));
+
+        let raw = |payload: &[u8]| -> (u16, String) {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+            s.write_all(payload).unwrap();
+            let mut out = Vec::new();
+            s.read_to_end(&mut out).unwrap();
+            let text = String::from_utf8_lossy(&out).into_owned();
+            let status = text
+                .split(' ')
+                .nth(1)
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0);
+            (status, text)
+        };
+
+        let (st, text) =
+            raw(b"POST /echo HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 6\r\n\r\nhello!");
+        assert_eq!(st, 400, "{text}");
+        assert!(text.contains("conflicting content-length"), "{text}");
+
+        let (st, text) =
+            raw(b"POST /echo HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 5\r\n\r\nhello");
+        assert_eq!(st, 200, "{text}");
+        assert!(text.ends_with("hello"), "{text}");
+
+        stop.stop();
+        t.join().unwrap().unwrap();
+    }
+
+    /// The same strictness applies client-side: a response declaring two
+    /// different lengths is a parse error, not a guess.
+    #[test]
+    fn client_rejects_conflicting_content_length() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let t = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let mut buf = [0u8; 4096];
+            let _ = s.read(&mut buf);
+            s.write_all(
+                b"HTTP/1.1 200 OK\r\nContent-Length: 4\r\nContent-Length: 7\r\n\r\nbody bytes",
+            )
+            .unwrap();
+        });
+        let err = request(&addr, "GET", "/", b"", Duration::from_secs(5)).unwrap_err();
+        assert!(
+            err.to_string().contains("conflicting content-length"),
+            "{err}"
+        );
+        t.join().unwrap();
     }
 
     #[test]
@@ -856,6 +1492,265 @@ mod tests {
                 });
             }
         });
+        stop.stop();
+        t.join().unwrap().unwrap();
+    }
+
+    /// A slowloris peer trickling header bytes occupies one idle state
+    /// machine, not a worker thread: requests arriving behind it still
+    /// complete promptly, and the slow request itself eventually gets its
+    /// answer.
+    #[test]
+    fn slowloris_does_not_stall_other_requests() {
+        let server = Server::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        let stop = server.stop_handle().unwrap();
+        let t = std::thread::spawn(move || server.run(|_| Response::text(200, "ok\n")));
+
+        let slow_addr = addr.clone();
+        let slow = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(&slow_addr).unwrap();
+            s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+            for &b in b"GET /slow HTTP/1.1\r\n\r\n".iter() {
+                s.write_all(&[b]).unwrap();
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            let mut out = Vec::new();
+            s.read_to_end(&mut out).unwrap();
+            String::from_utf8_lossy(&out).into_owned()
+        });
+
+        let started = Instant::now();
+        for _ in 0..10 {
+            let (st, _) = request(&addr, "GET", "/fast", b"", Duration::from_secs(5)).unwrap();
+            assert_eq!(st, 200);
+        }
+        assert!(
+            started.elapsed() < Duration::from_secs(2),
+            "fast requests stalled behind a slowloris peer: {:?}",
+            started.elapsed()
+        );
+
+        let text = slow.join().unwrap();
+        assert!(text.starts_with("HTTP/1.1 200"), "{text}");
+
+        stop.stop();
+        t.join().unwrap().unwrap();
+    }
+
+    /// Hundreds of idle-open connections cost state machines, not
+    /// threads: service stays prompt while they sit there.
+    #[test]
+    fn idle_open_connections_do_not_block_service() {
+        let server = Server::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        let stop = server.stop_handle().unwrap();
+        let t = std::thread::spawn(move || server.run(|_| Response::text(200, "ok\n")));
+
+        let idle: Vec<TcpStream> = (0..200)
+            .map(|_| TcpStream::connect(&addr).unwrap())
+            .collect();
+        let started = Instant::now();
+        for _ in 0..5 {
+            let (st, _) = request(&addr, "GET", "/", b"", Duration::from_secs(5)).unwrap();
+            assert_eq!(st, 200);
+        }
+        assert!(
+            started.elapsed() < Duration::from_secs(2),
+            "requests stalled behind idle connections: {:?}",
+            started.elapsed()
+        );
+        drop(idle);
+
+        stop.stop();
+        t.join().unwrap().unwrap();
+    }
+
+    fn lane_req(method: &str, path: &str, body: &[u8]) -> Request {
+        Request {
+            method: method.into(),
+            path: path.into(),
+            headers: Vec::new(),
+            body: body.to_vec(),
+        }
+    }
+
+    #[test]
+    fn lane_classification() {
+        let pc = 2;
+        assert_eq!(
+            classify_lane(&lane_req("GET", "/v1/cell/abc", b""), pc),
+            Lane::Interactive
+        );
+        assert_eq!(
+            classify_lane(&lane_req("GET", "/metrics", b""), pc),
+            Lane::Interactive
+        );
+        assert_eq!(
+            classify_lane(&lane_req("POST", "/v1/sweep", b"{\"cells\":\"all\"}"), pc),
+            Lane::Bulk
+        );
+        assert_eq!(
+            classify_lane(
+                &lane_req(
+                    "POST",
+                    "/v1/cells",
+                    b"{\"cells\":[{\"bench\":\"a\"},{\"bench\":\"b\"}]}"
+                ),
+                pc
+            ),
+            Lane::Interactive
+        );
+        assert_eq!(
+            classify_lane(
+                &lane_req(
+                    "POST",
+                    "/v1/cells",
+                    b"{\"cells\":[{\"bench\":\"a\"},{\"bench\":\"b\"},{\"bench\":\"c\"}]}"
+                ),
+                pc
+            ),
+            Lane::Bulk
+        );
+    }
+
+    /// Dispatch-order pin: interactive jobs overtake queued bulk jobs,
+    /// and a bulk job that has waited `LANE_AGING_ROUNDS` rounds is
+    /// promoted even while interactive work is still queued.
+    #[test]
+    fn dispatch_prefers_interactive_and_ages_bulk() {
+        let job = |lane: Lane, token: usize| PendingJob {
+            token,
+            req: lane_req("GET", "/", b""),
+            lane,
+            enqueued: Instant::now(),
+            round: 0,
+        };
+        let mut st = DispatchState::default();
+        st.push(job(Lane::Bulk, 100));
+        let extra = LANE_AGING_ROUNDS as usize + 2;
+        for i in 0..extra {
+            st.push(job(Lane::Interactive, i));
+        }
+        let mut picks = Vec::new();
+        while let Some((j, promoted)) = st.pick() {
+            picks.push((j.token, promoted));
+        }
+        // First LANE_AGING_ROUNDS picks are interactive, in FIFO order.
+        for (i, &(token, promoted)) in picks.iter().take(LANE_AGING_ROUNDS as usize).enumerate() {
+            assert_eq!((token, promoted), (i, false), "pick {i}");
+        }
+        // Then the aged bulk job is promoted past the remaining
+        // interactive work.
+        assert_eq!(picks[LANE_AGING_ROUNDS as usize], (100, true));
+        // And the leftover interactive jobs drain after it.
+        assert_eq!(
+            picks.len(),
+            extra + 1,
+            "every queued job must dispatch exactly once"
+        );
+    }
+
+    /// End-to-end lane behaviour on one worker: with the worker held
+    /// busy, an interactive request admitted *after* a queued bulk
+    /// request is dispatched first, and the lane telemetry records both
+    /// waits.
+    #[test]
+    fn interactive_requests_overtake_queued_bulk() {
+        let mut server = Server::bind("127.0.0.1:0").unwrap();
+        server.set_workers(1);
+        server.set_priority_cells(2);
+        let addr = server.local_addr().unwrap().to_string();
+        let stop = server.stop_handle().unwrap();
+        let lanes = server.lane_metrics();
+
+        let order: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+        let gate: Arc<(Mutex<bool>, Condvar)> = Arc::new((Mutex::new(false), Condvar::new()));
+        let h_order = order.clone();
+        let h_gate = gate.clone();
+        let t = std::thread::spawn(move || {
+            server.run(move |req| {
+                h_order.lock().unwrap().push(req.path.clone());
+                if req.body == b"hold" {
+                    let (m, cv) = &*h_gate;
+                    let mut open = m.lock().unwrap();
+                    while !*open {
+                        open = cv.wait(open).unwrap();
+                    }
+                }
+                Response::text(200, "ok\n")
+            })
+        });
+
+        let wait_until = |what: &str, cond: &dyn Fn() -> bool| {
+            let started = Instant::now();
+            while !cond() {
+                assert!(
+                    started.elapsed() < Duration::from_secs(10),
+                    "timed out waiting for {what}"
+                );
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        };
+
+        // Occupy the single worker with a holder request.
+        let a_addr = addr.clone();
+        let hold = std::thread::spawn(move || {
+            request(
+                &a_addr,
+                "POST",
+                "/v1/sweep",
+                b"hold",
+                Duration::from_secs(30),
+            )
+            .unwrap()
+        });
+        wait_until("holder to start", &|| {
+            order.lock().unwrap().contains(&"/v1/sweep".to_string())
+        });
+
+        // Queue a bulk request (3 cells > priority budget of 2)...
+        let b_addr = addr.clone();
+        let bulk = std::thread::spawn(move || {
+            let body = b"{\"cells\":[{\"bench\":\"a\"},{\"bench\":\"b\"},{\"bench\":\"c\"}]}";
+            request(&b_addr, "POST", "/v1/cells", body, Duration::from_secs(30)).unwrap()
+        });
+        wait_until("bulk request to queue", &|| {
+            lanes.snapshot().bulk_depth == 1
+        });
+
+        // ...then an interactive request behind it.
+        let c_addr = addr.clone();
+        let cell = std::thread::spawn(move || {
+            request(&c_addr, "GET", "/v1/cell/abc", b"", Duration::from_secs(30)).unwrap()
+        });
+        wait_until("interactive request to queue", &|| {
+            lanes.snapshot().interactive_depth == 1
+        });
+
+        // Release the worker and let the queue drain.
+        {
+            let (m, cv) = &*gate;
+            *m.lock().unwrap() = true;
+            cv.notify_all();
+        }
+        assert_eq!(hold.join().unwrap().0, 200);
+        assert_eq!(cell.join().unwrap().0, 200);
+        assert_eq!(bulk.join().unwrap().0, 200);
+
+        // The interactive request, though admitted later, ran first.
+        let got = order.lock().unwrap().clone();
+        assert_eq!(got, vec!["/v1/sweep", "/v1/cell/abc", "/v1/cells"]);
+
+        let snap = lanes.snapshot();
+        assert_eq!(snap.dispatched_interactive, 2); // holder + cell
+        assert_eq!(snap.dispatched_bulk, 1);
+        assert_eq!(snap.promoted_bulk, 0);
+        assert_eq!(snap.wait_interactive.count(), 2);
+        assert_eq!(snap.wait_bulk.count(), 1);
+        assert_eq!(snap.interactive_depth, 0);
+        assert_eq!(snap.bulk_depth, 0);
+
         stop.stop();
         t.join().unwrap().unwrap();
     }

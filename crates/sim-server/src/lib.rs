@@ -21,8 +21,9 @@
 //!   and the shared token codec (escaping, float bit-patterns) also used
 //!   by the `simstate` checkpoint format.
 //! * [`json`] — a bounded, exact-integer JSON parser for request bodies.
-//! * [`http`] — minimal HTTP/1.1 server (scoped thread per connection)
-//!   and a one-shot client.
+//! * [`http`] — minimal HTTP/1.1 server (a non-blocking reactor thread
+//!   plus a fixed worker pool with priority lanes) and a one-shot
+//!   client.
 //! * [`cache`] — content-addressed LRU with deterministic snapshots.
 //! * [`scheduler`] — a single dispatcher that coalesces duplicate
 //!   in-flight cells, batches distinct ones, and bounds the queue with
@@ -59,11 +60,13 @@ pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
 
 pub use breaker::{Breaker, BreakerState, Decision};
 pub use cache::{Cache, CacheStats, CachedCell};
-pub use http::{Request, Response, Server, StopHandle};
+pub use http::{classify_lane, LaneMetrics, LaneSnapshot, Request, Response, Server, StopHandle};
 pub use json::Json;
 pub use key::{CellKey, CellSpec, KEY_SCHEMA_VERSION};
 pub use metrics::Metrics;
 pub use reqtrace::{RequestRecord, TraceConfig, TraceId, Tracer, TRACE_HEADER};
 pub use retry::{RetryPolicy, DEFAULT_RETRY_AFTER_SECS};
 pub use router::Ring;
-pub use scheduler::{Abandoned, AdmitError, Scheduler, SchedulerStats, Slot, SlotTiming};
+pub use scheduler::{
+    Abandoned, AdmitError, Lane, Scheduler, SchedulerStats, Slot, SlotTiming, BULK_AGING_ROUNDS,
+};

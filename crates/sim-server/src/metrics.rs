@@ -13,6 +13,7 @@
 //! number no shard observed).
 
 use crate::cache::CacheStats;
+use crate::http::LaneSnapshot;
 use crate::scheduler::SchedulerStats;
 use std::collections::HashMap;
 use telemetry::LatencyHistogram;
@@ -96,6 +97,8 @@ pub struct Metrics {
     pub cells_requested: u64,
     pub rejected_requests: u64,
     pub bad_requests: u64,
+    /// Handlers that gave up waiting for an evaluation (answered 503).
+    pub wait_timeouts: u64,
     /// End-to-end sweep service time, one sample per `/v1/sweep` or
     /// `/v1/cells` request.
     pub sweep_time: LatencyHistogram,
@@ -122,6 +125,7 @@ pub fn render(
     cache: &CacheStats,
     cache_entries: usize,
     sched: &SchedulerStats,
+    lanes: &LaneSnapshot,
     uptime_secs: u64,
 ) -> String {
     let mut out = String::new();
@@ -161,6 +165,12 @@ pub fn render(
         "Requests rejected with 4xx other than 429.",
         "counter",
         m.bad_requests,
+    );
+    line(
+        "sim_server_wait_timeouts_total",
+        "Handlers that timed out waiting for an evaluation (answered 503).",
+        "counter",
+        m.wait_timeouts,
     );
     line(
         "sim_server_cache_hits",
@@ -241,6 +251,24 @@ pub fn render(
         sched.in_flight as u64,
     );
     line(
+        "sim_server_queue_depth_interactive",
+        "Cells waiting in the scheduler's interactive lane.",
+        "gauge",
+        sched.interactive_depth as u64,
+    );
+    line(
+        "sim_server_queue_depth_bulk",
+        "Cells waiting in the scheduler's bulk lane.",
+        "gauge",
+        sched.bulk_depth as u64,
+    );
+    line(
+        "sim_server_bulk_promotions_total",
+        "Bulk batches promoted past queued interactive work by aging.",
+        "counter",
+        sched.bulk_promotions,
+    );
+    line(
         "sim_server_uptime_seconds",
         "Seconds since this server process started.",
         "gauge",
@@ -261,6 +289,8 @@ pub fn render(
         m.stage(stage).render(&name, &mut out);
     }
 
+    render_lanes("sim_server", lanes, &mut out);
+
     // Legacy scalar latency lines, now derived from the histogram. Kept
     // for existing greps; still max-aggregated across shards.
     let mut legacy = |name: &str, v: u64| {
@@ -272,6 +302,58 @@ pub fn render(
     out
 }
 
+/// Append the per-lane HTTP dispatch metrics (queue depth gauges,
+/// dispatch/promotion counters, queue-wait histograms) under the given
+/// family prefix (`sim_server` on shard pages, `sim_router` on the
+/// router's own page).
+pub fn render_lanes(prefix: &str, lanes: &LaneSnapshot, out: &mut String) {
+    let mut line = |name: String, help: &str, kind: &str, v: u64| {
+        out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+        out.push_str(&format!("{name} {v}\n"));
+    };
+    line(
+        format!("{prefix}_lane_depth_interactive"),
+        "HTTP requests queued in the interactive dispatch lane.",
+        "gauge",
+        lanes.interactive_depth,
+    );
+    line(
+        format!("{prefix}_lane_depth_bulk"),
+        "HTTP requests queued in the bulk dispatch lane.",
+        "gauge",
+        lanes.bulk_depth,
+    );
+    line(
+        format!("{prefix}_lane_dispatched_interactive_total"),
+        "HTTP requests dispatched from the interactive lane.",
+        "counter",
+        lanes.dispatched_interactive,
+    );
+    line(
+        format!("{prefix}_lane_dispatched_bulk_total"),
+        "HTTP requests dispatched from the bulk lane.",
+        "counter",
+        lanes.dispatched_bulk,
+    );
+    line(
+        format!("{prefix}_lane_promoted_bulk_total"),
+        "Bulk requests dispatched past waiting interactive work by aging.",
+        "counter",
+        lanes.promoted_bulk,
+    );
+    for (lane, hist) in [
+        ("interactive", &lanes.wait_interactive),
+        ("bulk", &lanes.wait_bulk),
+    ] {
+        let name = format!("{prefix}_lane_wait_{lane}_us");
+        out.push_str(&format!(
+            "# HELP {name} Queue wait before dispatch for the {lane} lane, microseconds.\n\
+             # TYPE {name} histogram\n"
+        ));
+        hist.render(&name, out);
+    }
+}
+
 /// A metric line's value during aggregation.
 enum Agg {
     U64(u64),
@@ -280,12 +362,40 @@ enum Agg {
     Raw(String),
 }
 
-/// True for scalar latency/age lines where cross-shard summation would
-/// fabricate a value: take the max instead (worst shard / oldest shard).
-/// Histogram exposition lines never match — their names end in
-/// `_bucket{...}`, `_sum` or `_count` — so bucket counts sum exactly.
-fn max_aggregated(name: &str) -> bool {
-    name.ends_with("_us") || name.ends_with("_seconds")
+/// Gauges that are *extensive* — each shard holds a disjoint share of
+/// one fleet-wide quantity — so summation is the correct cross-shard
+/// aggregate. Every other declared gauge takes the max (worst/oldest
+/// shard): summing `sim_server_uptime_seconds`, `sim_router_replicas`
+/// or `sim_router_breaker_state{shard="i"}` across pages fabricates a
+/// value no process reported.
+const SUMMED_GAUGES: &[&str] = &[
+    "sim_server_cache_entries",
+    "sim_server_queue_depth",
+    "sim_server_in_flight",
+    "sim_server_queue_depth_interactive",
+    "sim_server_queue_depth_bulk",
+    "sim_server_lane_depth_interactive",
+    "sim_server_lane_depth_bulk",
+    "sim_router_lane_depth_interactive",
+    "sim_router_lane_depth_bulk",
+];
+
+/// True when cross-shard summation would fabricate a value and the max
+/// is the honest aggregate. Classification is driven by the pages' own
+/// `# TYPE` declarations: declared gauges take the max unless they are
+/// on the [`SUMMED_GAUGES`] extensive allowlist; declared counters and
+/// histograms always sum (summing cumulative bucket counts is an exact
+/// histogram merge). Undeclared lines fall back to the name heuristic —
+/// scalar `*_us` / `*_seconds` lines max, everything else sums. The
+/// label block is stripped first so `sim_router_breaker_state{shard="0"}`
+/// matches its family's TYPE declaration.
+fn max_aggregated(name: &str, types: &HashMap<String, String>) -> bool {
+    let base = name.split('{').next().unwrap_or(name);
+    match types.get(base).map(String::as_str) {
+        Some("gauge") => !SUMMED_GAUGES.contains(&base),
+        Some(_) => false,
+        None => name.ends_with("_us") || name.ends_with("_seconds"),
+    }
 }
 
 /// Aggregate several exposition pages (one per shard) into one.
@@ -294,13 +404,28 @@ fn max_aggregated(name: &str) -> bool {
 /// * Numeric `name value` lines sum across shards — which is an *exact*
 ///   histogram merge for `_bucket`/`_sum`/`_count` lines, since sums of
 ///   cumulative counts are cumulative counts of the merged histogram —
-///   except scalar `*_us` / `*_seconds` lines, which take the max.
+///   except gauges (classified from the pages' `# TYPE` declarations,
+///   see [`max_aggregated`]), which take the max unless they are
+///   extensive ([`SUMMED_GAUGES`]).
 /// * Lines whose value parses as neither u64 nor f64 pass through
 ///   verbatim, so a shard can never silently vanish from the page.
 ///
 /// Line order follows first appearance across the pages, so lines
 /// present on only some shards are kept, not dropped.
 pub fn aggregate_pages(pages: &[String]) -> String {
+    // Pre-pass: collect every `# TYPE name kind` declaration so that
+    // classification does not depend on which page a value line appears
+    // in relative to its declaration.
+    let mut types: HashMap<String, String> = HashMap::new();
+    for page in pages {
+        for line in page.lines() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                if let Some((name, kind)) = rest.split_once(' ') {
+                    types.insert(name.to_string(), kind.to_string());
+                }
+            }
+        }
+    }
     let mut order: Vec<String> = Vec::new();
     let mut totals: HashMap<String, Agg> = HashMap::new();
     let mut comments: std::collections::HashSet<&str> = std::collections::HashSet::new();
@@ -333,7 +458,7 @@ pub fn aggregate_pages(pages: &[String]) -> String {
                     totals.insert(name.to_string(), parsed);
                 }
                 Some(slot) => {
-                    let take_max = max_aggregated(name);
+                    let take_max = max_aggregated(name, &types);
                     match (slot, parsed) {
                         (Agg::U64(a), Agg::U64(b)) => {
                             *a = if take_max { (*a).max(b) } else { *a + b }
@@ -475,8 +600,21 @@ mod tests {
             batches: 4,
             eval_panics: 5,
             abandoned: 6,
+            interactive_depth: 1,
+            bulk_depth: 0,
+            bulk_promotions: 7,
         };
-        render(&m, &cache, 72, &sched, 9)
+        let mut lanes = LaneSnapshot {
+            interactive_depth: 2,
+            bulk_depth: 1,
+            dispatched_interactive: 11,
+            dispatched_bulk: 3,
+            promoted_bulk: 1,
+            ..LaneSnapshot::default()
+        };
+        lanes.wait_interactive.record_us(50);
+        lanes.wait_bulk.record_us(5000);
+        render(&m, &cache, 72, &sched, &lanes, 9)
     }
 
     #[test]
@@ -495,6 +633,17 @@ mod tests {
             "sim_server_in_flight 2",
             "sim_server_eval_panics_total 5",
             "sim_server_cells_abandoned_total 6",
+            "sim_server_wait_timeouts_total 0",
+            "sim_server_queue_depth_interactive 1",
+            "sim_server_queue_depth_bulk 0",
+            "sim_server_bulk_promotions_total 7",
+            "sim_server_lane_depth_interactive 2",
+            "sim_server_lane_depth_bulk 1",
+            "sim_server_lane_dispatched_interactive_total 11",
+            "sim_server_lane_dispatched_bulk_total 3",
+            "sim_server_lane_promoted_bulk_total 1",
+            "sim_server_lane_wait_interactive_us_count 1",
+            "sim_server_lane_wait_bulk_us_bucket{le=\"8192\"} 1",
             "sim_server_uptime_seconds 9",
             // Legacy percentiles are now bucket upper bounds (100 -> 128,
             // 200 -> 256).
@@ -542,6 +691,68 @@ mod tests {
             "sim_server_uptime_seconds 3\n".to_string(),
         ]);
         assert_eq!(merged, "sim_server_uptime_seconds 10\n");
+    }
+
+    /// Each previously mis-summed gauge, pinned line by line: a declared
+    /// gauge must aggregate max across pages, never sum.
+    #[test]
+    fn declared_gauges_aggregate_max_not_sum() {
+        let page = |name: &str, v: u64| format!("# TYPE {name} gauge\n{name} {v}\n");
+        let merged_value = |name: &str, line_name: &str, a: u64, b: u64| {
+            let pages = [
+                format!("# TYPE {name} gauge\n{line_name} {a}\n"),
+                format!("# TYPE {name} gauge\n{line_name} {b}\n"),
+            ];
+            let merged = aggregate_pages(&pages);
+            merged
+                .lines()
+                .find_map(|l| l.strip_prefix(&format!("{line_name} ")))
+                .unwrap_or_else(|| panic!("no {line_name} line in:\n{merged}"))
+                .parse::<u64>()
+                .unwrap()
+        };
+
+        // sim_server_uptime_seconds: oldest shard, not fleet-total age.
+        let m = aggregate_pages(&[page("sim_server_uptime_seconds", 10), {
+            page("sim_server_uptime_seconds", 4)
+        }]);
+        assert!(m.contains("sim_server_uptime_seconds 10"), "{m}");
+
+        // sim_router_replicas: every shard reports the same fleet-wide
+        // replica count; 2 + 2 = 4 would double it.
+        assert_eq!(
+            merged_value("sim_router_replicas", "sim_router_replicas", 2, 2),
+            2
+        );
+
+        // sim_router_breaker_state{shard="0"}: a 0/1 state, not a count —
+        // the label block must not hide the family's TYPE declaration.
+        assert_eq!(
+            merged_value(
+                "sim_router_breaker_state",
+                "sim_router_breaker_state{shard=\"0\"}",
+                1,
+                0
+            ),
+            1
+        );
+
+        // Declared counters still sum even without a latency suffix...
+        let pages = [
+            "# TYPE sim_router_retries_total counter\nsim_router_retries_total 3\n".to_string(),
+            "# TYPE sim_router_retries_total counter\nsim_router_retries_total 4\n".to_string(),
+        ];
+        assert!(
+            aggregate_pages(&pages).contains("sim_router_retries_total 7"),
+            "typed counters must sum"
+        );
+        // ...and extensive gauges (disjoint per-shard shares of one
+        // fleet-wide quantity) still sum despite the gauge TYPE.
+        for name in ["sim_server_queue_depth", "sim_server_lane_depth_bulk"] {
+            let pages = [page(name, 2), page(name, 3)];
+            let merged = aggregate_pages(&pages);
+            assert!(merged.contains(&format!("{name} 5")), "{name}:\n{merged}");
+        }
     }
 
     #[test]

@@ -17,12 +17,53 @@
 //! evaluation function is a pure function of the spec, so batching,
 //! coalescing and arrival order can only change *when* a result is
 //! computed, never its bytes.
+//!
+//! Priority: admission carries a [`Lane`]. Interactive cells (single
+//! lookups, small sweeps) queue ahead of bulk full-grid work — the
+//! dispatcher drains the interactive queue into a batch first and leaves
+//! bulk cells parked — but a bulk queue that has been passed over for
+//! [`BULK_AGING_ROUNDS`] consecutive batches is merged into the next one
+//! (a *promotion*), so bulk work is delayed, never starved. Lanes move
+//! only *when* a cell is evaluated; its bytes are lane-independent.
 
 use crate::key::{CellKey, CellSpec};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::panic::AssertUnwindSafe;
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Which scheduler queue admitted cells ride. Interactive work is
+/// drained ahead of bulk; see the module docs for the aging rule.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Lane {
+    /// Cell lookups, probes and small sweeps: drained first.
+    #[default]
+    Interactive,
+    /// Full-grid sweeps and other large batches: drained when the
+    /// interactive queue is empty, or via aging.
+    Bulk,
+}
+
+impl Lane {
+    pub fn index(self) -> usize {
+        match self {
+            Lane::Interactive => 0,
+            Lane::Bulk => 1,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Lane::Interactive => "interactive",
+            Lane::Bulk => "bulk",
+        }
+    }
+}
+
+/// A parked bulk queue passed over for this many consecutive batch
+/// pickups is merged into the next batch regardless of interactive
+/// pressure.
+pub const BULK_AGING_ROUNDS: u64 = 2;
 
 /// Why a sweep could not be admitted.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -97,6 +138,35 @@ impl Slot {
         }
     }
 
+    /// [`wait_timed`](Slot::wait_timed) with a deadline: returns `None`
+    /// if the slot is still unsettled after `timeout`. The safety nets
+    /// (batch panic guard, dispatcher poison guard) settle slots on
+    /// every failure path they can see, but an evaluation that *wedges*
+    /// without panicking — a deadlock or unbounded loop in simulator
+    /// code — settles nothing; before this existed such a cell hung its
+    /// handler, and the connection, forever.
+    pub fn wait_deadline(
+        &self,
+        timeout: Duration,
+    ) -> Option<(Result<String, Abandoned>, SlotTiming)> {
+        let deadline = Instant::now() + timeout;
+        let mut guard = self.result.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some((r, t)) = guard.as_ref() {
+                return Some((r.clone(), *t));
+            }
+            let left = deadline.checked_duration_since(Instant::now())?;
+            let (g, wait) = self
+                .done
+                .wait_timeout(guard, left)
+                .unwrap_or_else(|e| e.into_inner());
+            guard = g;
+            if wait.timed_out() && guard.is_none() {
+                return None;
+            }
+        }
+    }
+
     fn settle(&self, result: Result<String, Abandoned>, timing: SlotTiming) {
         let mut guard = self.result.lock().unwrap_or_else(|e| e.into_inner());
         // First writer wins: a batch-panic abandonment and the dispatcher
@@ -120,8 +190,13 @@ struct Job {
 
 #[derive(Default)]
 struct State {
-    /// Admitted, not yet picked up by the dispatcher.
-    queue: VecDeque<CellKey>,
+    /// Admitted interactive cells, not yet picked up by the dispatcher.
+    queue_hi: VecDeque<CellKey>,
+    /// Admitted bulk cells; drained after `queue_hi`, subject to aging.
+    queue_lo: VecDeque<CellKey>,
+    /// Consecutive batch pickups that left a non-empty bulk queue
+    /// parked — the aging clock.
+    bulk_skipped: u64,
     /// Every admitted-but-unfinished cell (queued or in the running
     /// batch); the coalescing index.
     active: HashMap<CellKey, Job>,
@@ -137,12 +212,23 @@ struct State {
     batches: u64,
     eval_panics: u64,
     abandoned: u64,
+    bulk_promotions: u64,
+}
+
+impl State {
+    fn queued(&self) -> usize {
+        self.queue_hi.len() + self.queue_lo.len()
+    }
 }
 
 /// Live + lifetime scheduler numbers for `/metrics`.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SchedulerStats {
     pub queue_depth: usize,
+    /// Queued cells in the interactive lane.
+    pub interactive_depth: usize,
+    /// Queued cells in the bulk lane.
+    pub bulk_depth: usize,
     pub in_flight: usize,
     pub simulated: u64,
     pub coalesced: u64,
@@ -152,6 +238,9 @@ pub struct SchedulerStats {
     pub eval_panics: u64,
     /// Cells abandoned by panicking evaluations or a dying dispatcher.
     pub abandoned: u64,
+    /// Times an aged bulk queue was merged into a batch despite queued
+    /// interactive work.
+    pub bulk_promotions: u64,
 }
 
 struct Shared {
@@ -197,11 +286,13 @@ impl Scheduler {
         }
     }
 
-    /// Admit the distinct cells a sweep still needs. Returns one slot per
-    /// input (coalesced cells share slots with earlier sweeps). All-or-
-    /// nothing: when the *new* cells would push the queue past its bound,
-    /// nothing is enqueued and the caller gets [`AdmitError::Busy`].
-    pub fn admit(&self, cells: &[CellSpec]) -> Result<Vec<Arc<Slot>>, AdmitError> {
+    /// Admit the distinct cells a sweep still needs, into `lane`. Returns
+    /// one slot per input (coalesced cells share slots with earlier
+    /// sweeps, regardless of lane — the cell runs once either way). All-
+    /// or-nothing: when the *new* cells would push the combined queue
+    /// past its bound, nothing is enqueued and the caller gets
+    /// [`AdmitError::Busy`].
+    pub fn admit(&self, cells: &[CellSpec], lane: Lane) -> Result<Vec<Arc<Slot>>, AdmitError> {
         // Hash every spec before taking the lock: the canonicalization is
         // the expensive part and needs no shared state.
         let keys: Vec<CellKey> = cells.iter().map(CellSpec::key).collect();
@@ -221,10 +312,10 @@ impl Scheduler {
                 new_keys.insert(*key);
             }
         }
-        if st.queue.len() + new_keys.len() > self.queue_cap {
+        if st.queued() + new_keys.len() > self.queue_cap {
             st.rejected += 1;
             return Err(AdmitError::Busy {
-                queue_depth: st.queue.len(),
+                queue_depth: st.queued(),
                 queue_cap: self.queue_cap,
             });
         }
@@ -244,7 +335,10 @@ impl Scheduler {
                     slot: slot.clone(),
                 },
             );
-            st.queue.push_back(key);
+            match lane {
+                Lane::Interactive => st.queue_hi.push_back(key),
+                Lane::Bulk => st.queue_lo.push_back(key),
+            }
             slots.push(slot);
         }
         drop(st);
@@ -255,7 +349,9 @@ impl Scheduler {
     pub fn stats(&self) -> SchedulerStats {
         let st = self.shared.st.lock().unwrap_or_else(|e| e.into_inner());
         SchedulerStats {
-            queue_depth: st.queue.len(),
+            queue_depth: st.queued(),
+            interactive_depth: st.queue_hi.len(),
+            bulk_depth: st.queue_lo.len(),
             in_flight: st.running,
             simulated: st.simulated,
             coalesced: st.coalesced,
@@ -263,6 +359,7 @@ impl Scheduler {
             batches: st.batches,
             eval_panics: st.eval_panics,
             abandoned: st.abandoned,
+            bulk_promotions: st.bulk_promotions,
         }
     }
 
@@ -303,7 +400,8 @@ impl Drop for DispatcherGuard<'_> {
         let mut st = self.shared.st.lock().unwrap_or_else(|e| e.into_inner());
         st.poisoned = true;
         st.running = 0;
-        st.queue.clear();
+        st.queue_hi.clear();
+        st.queue_lo.clear();
         let orphans: Vec<Arc<Slot>> = st.active.drain().map(|(_, job)| job.slot).collect();
         st.abandoned += orphans.len() as u64;
         drop(st);
@@ -333,17 +431,34 @@ where
     };
     let mut eval = make_eval();
     loop {
-        // Pick up the whole queue as one batch.
+        // Pick up a batch: the whole interactive queue first, with the
+        // bulk queue merged in only when no interactive work is waiting,
+        // the scheduler is draining, or the bulk queue has aged past
+        // `BULK_AGING_ROUNDS` consecutive pickups (a promotion).
         let batch: Vec<(CellKey, CellSpec, Arc<Slot>)> = {
             let mut st = shared.st.lock().unwrap_or_else(|e| e.into_inner());
-            while st.queue.is_empty() && !st.shutdown {
+            while st.queued() == 0 && !st.shutdown {
                 st = shared.work.wait(st).unwrap_or_else(|e| e.into_inner());
             }
-            if st.queue.is_empty() && st.shutdown {
+            if st.queued() == 0 && st.shutdown {
                 guard.clean_exit = true;
                 return;
             }
-            let keys: Vec<CellKey> = st.queue.drain(..).collect();
+            let take_hi = !st.queue_hi.is_empty();
+            let aged = st.bulk_skipped >= BULK_AGING_ROUNDS;
+            let take_lo = !st.queue_lo.is_empty() && (!take_hi || aged || st.shutdown);
+            let mut keys: Vec<CellKey> = st.queue_hi.drain(..).collect();
+            if take_lo {
+                if take_hi && aged {
+                    st.bulk_promotions += 1;
+                }
+                keys.extend(st.queue_lo.drain(..));
+                st.bulk_skipped = 0;
+            } else if st.queue_lo.is_empty() {
+                st.bulk_skipped = 0;
+            } else {
+                st.bulk_skipped += 1;
+            }
             st.running = keys.len();
             st.batches += 1;
             keys.into_iter()
@@ -449,7 +564,9 @@ mod tests {
     #[test]
     fn evaluates_and_fulfills() {
         let sched = Scheduler::start(64, echo_eval);
-        let slots = sched.admit(&[spec("a"), spec("b")]).unwrap();
+        let slots = sched
+            .admit(&[spec("a"), spec("b")], Lane::Interactive)
+            .unwrap();
         assert_eq!(slots[0].wait().unwrap(), "r:a");
         assert_eq!(slots[1].wait().unwrap(), "r:b");
         let st = sched.stats();
@@ -482,12 +599,12 @@ mod tests {
             })
         };
 
-        let s1 = sched.admit(&[spec("x")]).unwrap();
+        let s1 = sched.admit(&[spec("x")], Lane::Interactive).unwrap();
         // Wait until the dispatcher has picked the batch up (in_flight=1).
         while sched.stats().in_flight != 1 {
             std::thread::sleep(Duration::from_millis(1));
         }
-        let s2 = sched.admit(&[spec("x")]).unwrap();
+        let s2 = sched.admit(&[spec("x")], Lane::Interactive).unwrap();
         assert_eq!(sched.stats().coalesced, 1);
         // Same slot object: both waiters get the single evaluation.
         assert!(Arc::ptr_eq(&s1[0], &s2[0]));
@@ -508,7 +625,9 @@ mod tests {
     #[test]
     fn intra_sweep_duplicates_coalesce() {
         let sched = Scheduler::start(64, echo_eval);
-        let slots = sched.admit(&[spec("a"), spec("a"), spec("a")]).unwrap();
+        let slots = sched
+            .admit(&[spec("a"), spec("a"), spec("a")], Lane::Interactive)
+            .unwrap();
         for s in &slots {
             assert_eq!(s.wait().unwrap(), "r:a");
         }
@@ -534,15 +653,19 @@ mod tests {
         };
         // First admission is drained into the running batch immediately;
         // park it behind the gate.
-        let s0 = sched.admit(&[spec("warm")]).unwrap();
+        let s0 = sched.admit(&[spec("warm")], Lane::Interactive).unwrap();
         while sched.stats().in_flight != 1 {
             std::thread::sleep(Duration::from_millis(1));
         }
         // Queue capacity is 2: two queued cells fit...
-        let s1 = sched.admit(&[spec("a"), spec("b")]).unwrap();
+        let s1 = sched
+            .admit(&[spec("a"), spec("b")], Lane::Interactive)
+            .unwrap();
         // ...a third does not, and the oversized sweep is rejected whole —
         // even its coalescible member "a" is not joined on rejection.
-        let err = sched.admit(&[spec("a"), spec("c"), spec("d")]).unwrap_err();
+        let err = sched
+            .admit(&[spec("a"), spec("c"), spec("d")], Lane::Interactive)
+            .unwrap_err();
         assert_eq!(
             err,
             AdmitError::Busy {
@@ -552,7 +675,7 @@ mod tests {
         );
         assert_eq!(sched.stats().rejected, 1);
         // Coalescing against queued cells needs no capacity and still works.
-        let s2 = sched.admit(&[spec("a")]).unwrap();
+        let s2 = sched.admit(&[spec("a")], Lane::Interactive).unwrap();
         assert!(Arc::ptr_eq(&s1[0], &s2[0]));
 
         let (lock, cv) = &*gate;
@@ -588,14 +711,14 @@ mod tests {
                 }
             })
         };
-        let s0 = sched.admit(&[spec("w")]).unwrap();
+        let s0 = sched.admit(&[spec("w")], Lane::Interactive).unwrap();
         while sched.stats().in_flight != 1 {
             std::thread::sleep(Duration::from_millis(1));
         }
         // These three sweeps queue while the first batch is gated...
-        let sa = sched.admit(&[spec("a")]).unwrap();
-        let sb = sched.admit(&[spec("b")]).unwrap();
-        let sc = sched.admit(&[spec("c")]).unwrap();
+        let sa = sched.admit(&[spec("a")], Lane::Interactive).unwrap();
+        let sb = sched.admit(&[spec("b")], Lane::Interactive).unwrap();
+        let sc = sched.admit(&[spec("c")], Lane::Interactive).unwrap();
         {
             let (lock, cv) = &*gate;
             *lock.lock().unwrap() = true;
@@ -624,7 +747,9 @@ mod tests {
             }
         });
 
-        let doomed = sched.admit(&[spec("boom"), spec("boom2")]).unwrap();
+        let doomed = sched
+            .admit(&[spec("boom"), spec("boom2")], Lane::Interactive)
+            .unwrap();
         let err = doomed[0].wait().unwrap_err();
         assert!(
             err.message.contains("injected eval panic"),
@@ -642,7 +767,9 @@ mod tests {
 
         // The dispatcher survived: fresh work still evaluates, and the
         // previously-abandoned key is admittable again (not stuck active).
-        let ok = sched.admit(&[spec("fine"), spec("boom2")]).unwrap();
+        let ok = sched
+            .admit(&[spec("fine"), spec("boom2")], Lane::Interactive)
+            .unwrap();
         assert_eq!(ok[0].wait().unwrap(), "r:fine");
         assert_eq!(ok[1].wait().unwrap(), "r:boom2");
         assert_eq!(sched.stats().simulated, 2);
@@ -653,7 +780,9 @@ mod tests {
     #[test]
     fn wrong_payload_count_abandons_batch() {
         let sched = Scheduler::start(64, || |_specs: &[CellSpec]| vec!["only-one".to_string()]);
-        let slots = sched.admit(&[spec("a"), spec("b")]).unwrap();
+        let slots = sched
+            .admit(&[spec("a"), spec("b")], Lane::Interactive)
+            .unwrap();
         let err = slots[0].wait().unwrap_err();
         assert!(err.message.contains("1 payloads for 2 specs"), "{err:?}");
         assert_eq!(sched.stats().abandoned, 2);
@@ -683,7 +812,7 @@ mod tests {
                 |_specs: &[CellSpec]| -> Vec<String> { Vec::new() }
             })
         };
-        let slots = sched.admit(&[spec("victim")]).unwrap();
+        let slots = sched.admit(&[spec("victim")], Lane::Interactive).unwrap();
         {
             let (lock, cv) = &*gate;
             *lock.lock().unwrap() = true;
@@ -695,7 +824,7 @@ mod tests {
         let err = slots[0].wait().unwrap_err();
         assert!(err.message.contains("dispatcher died"), "{err:?}");
         assert!(matches!(
-            sched.admit(&[spec("later")]),
+            sched.admit(&[spec("later")], Lane::Interactive),
             Err(AdmitError::Poisoned)
         ));
         assert_eq!(sched.stats().abandoned, 1);
@@ -712,8 +841,8 @@ mod tests {
                 specs.iter().map(|s| format!("r:{}", s.bench)).collect()
             }
         });
-        let s1 = sched.admit(&[spec("t")]).unwrap();
-        let s2 = sched.admit(&[spec("t")]).unwrap();
+        let s1 = sched.admit(&[spec("t")], Lane::Interactive).unwrap();
+        let s2 = sched.admit(&[spec("t")], Lane::Interactive).unwrap();
         let (r1, t1) = s1[0].wait_timed();
         let (r2, t2) = s2[0].wait_timed();
         assert_eq!(r1.unwrap(), "r:t");
@@ -725,14 +854,189 @@ mod tests {
     #[test]
     fn shutdown_drains_admitted_work() {
         let mut sched = Scheduler::start(64, echo_eval);
-        let slots = sched.admit(&[spec("a"), spec("b"), spec("c")]).unwrap();
+        let slots = sched
+            .admit(&[spec("a"), spec("b"), spec("c")], Lane::Interactive)
+            .unwrap();
         sched.shutdown();
         for (s, b) in slots.iter().zip(["a", "b", "c"]) {
             assert_eq!(s.wait().unwrap(), format!("r:{b}"));
         }
         assert!(matches!(
-            sched.admit(&[spec("d")]),
+            sched.admit(&[spec("d")], Lane::Interactive),
             Err(AdmitError::ShuttingDown)
         ));
+    }
+
+    /// With both lanes populated behind a gated batch, the next pickup
+    /// takes only the interactive queue; the bulk cell waits for a later
+    /// batch. Evaluation results are identical either way — the lane
+    /// changes only *when* the bulk cell runs.
+    #[test]
+    fn interactive_lane_is_drained_before_bulk() {
+        let batches = Arc::new(Mutex::new(Vec::<Vec<String>>::new()));
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let sched = {
+            let batches = batches.clone();
+            let gate = gate.clone();
+            Scheduler::start(64, move || {
+                let mut first = true;
+                move |specs: &[CellSpec]| {
+                    batches
+                        .lock()
+                        .unwrap()
+                        .push(specs.iter().map(|s| s.bench.clone()).collect());
+                    if first {
+                        first = false;
+                        let (lock, cv) = &*gate;
+                        let mut open = lock.lock().unwrap();
+                        while !*open {
+                            open = cv.wait(open).unwrap();
+                        }
+                    }
+                    specs.iter().map(|s| format!("r:{}", s.bench)).collect()
+                }
+            })
+        };
+        // Park the dispatcher on a warm batch, then queue bulk BEFORE
+        // interactive.
+        let w = sched.admit(&[spec("w")], Lane::Interactive).unwrap();
+        while sched.stats().in_flight != 1 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let b = sched.admit(&[spec("bulk")], Lane::Bulk).unwrap();
+        let i = sched.admit(&[spec("inter")], Lane::Interactive).unwrap();
+        assert_eq!(sched.stats().bulk_depth, 1);
+        assert_eq!(sched.stats().interactive_depth, 1);
+        {
+            let (lock, cv) = &*gate;
+            *lock.lock().unwrap() = true;
+            cv.notify_all();
+        }
+        assert_eq!(w[0].wait().unwrap(), "r:w");
+        assert_eq!(i[0].wait().unwrap(), "r:inter");
+        assert_eq!(b[0].wait().unwrap(), "r:bulk");
+        // The interactive cell got its own batch ahead of the bulk cell,
+        // despite being admitted after it.
+        assert_eq!(
+            *batches.lock().unwrap(),
+            vec![vec!["w"], vec!["inter"], vec!["bulk"]]
+        );
+        assert_eq!(sched.stats().bulk_promotions, 0);
+    }
+
+    /// A bulk queue passed over for `BULK_AGING_ROUNDS` pickups is merged
+    /// into the next batch even though interactive work is still queued —
+    /// bulk is delayed, never starved.
+    #[test]
+    fn aged_bulk_queue_is_promoted_past_interactive_work() {
+        let batches = Arc::new(Mutex::new(Vec::<Vec<String>>::new()));
+        // A counting semaphore of batch permits: each release lets the
+        // evaluation function finish exactly one batch, so the test can
+        // interleave admissions between pickups deterministically.
+        let permits = Arc::new((Mutex::new(0u64), Condvar::new()));
+        let sched = {
+            let batches = batches.clone();
+            let permits = permits.clone();
+            Scheduler::start(64, move || {
+                move |specs: &[CellSpec]| {
+                    batches
+                        .lock()
+                        .unwrap()
+                        .push(specs.iter().map(|s| s.bench.clone()).collect());
+                    let (lock, cv) = &*permits;
+                    let mut n = lock.lock().unwrap();
+                    while *n == 0 {
+                        n = cv.wait(n).unwrap();
+                    }
+                    *n -= 1;
+                    specs.iter().map(|s| format!("r:{}", s.bench)).collect()
+                }
+            })
+        };
+        let release = || {
+            let (lock, cv) = &*permits;
+            *lock.lock().unwrap() += 1;
+            cv.notify_all();
+        };
+        let await_pickup = |want: usize| {
+            while batches.lock().unwrap().len() != want {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        };
+
+        // Batch 1 ("w") holds the dispatcher while bulk and the first
+        // interactive cell queue up behind it.
+        let mut slots = vec![sched.admit(&[spec("w")], Lane::Interactive).unwrap()];
+        await_pickup(1);
+        slots.push(sched.admit(&[spec("bulk")], Lane::Bulk).unwrap());
+        slots.push(sched.admit(&[spec("i0")], Lane::Interactive).unwrap());
+        // Each released batch evaluates one interactive cell and skips
+        // the parked bulk queue, ticking the aging clock; admit the next
+        // interactive cell only after the pickup, so the bulk queue is
+        // provably non-empty at every skip.
+        for round in 0..BULK_AGING_ROUNDS {
+            release(); // finish current batch -> next pickup skips bulk
+            await_pickup(2 + round as usize);
+            slots.push(
+                sched
+                    .admit(&[spec(&format!("i{}", round + 1))], Lane::Interactive)
+                    .unwrap(),
+            );
+        }
+        // The aging clock has now hit BULK_AGING_ROUNDS: the next pickup
+        // merges the bulk queue in despite queued interactive work.
+        release();
+        await_pickup(2 + BULK_AGING_ROUNDS as usize);
+        let final_batch = batches.lock().unwrap().last().unwrap().clone();
+        assert!(
+            final_batch.contains(&"bulk".to_string()),
+            "aged bulk cell must ride the promoted batch: {final_batch:?}"
+        );
+        release();
+        for s in slots.iter().flatten() {
+            assert!(s.wait().is_ok());
+        }
+        assert_eq!(sched.stats().bulk_promotions, 1);
+        assert_eq!(sched.stats().bulk_depth, 0);
+        // Drain any stray permit waiters before drop joins the thread.
+        release();
+    }
+
+    /// `wait_deadline` returns `None` when evaluation wedges without
+    /// settling the slot, and a settled slot still resolves normally.
+    #[test]
+    fn wait_deadline_times_out_on_wedged_eval_and_resolves_after() {
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let sched = {
+            let gate = gate.clone();
+            Scheduler::start(64, move || {
+                move |specs: &[CellSpec]| {
+                    // Simulate a wedged (not panicking) evaluation.
+                    let (lock, cv) = &*gate;
+                    let mut open = lock.lock().unwrap();
+                    while !*open {
+                        open = cv.wait(open).unwrap();
+                    }
+                    specs.iter().map(|s| format!("r:{}", s.bench)).collect()
+                }
+            })
+        };
+        let slots = sched.admit(&[spec("stuck")], Lane::Interactive).unwrap();
+        let started = Instant::now();
+        assert!(
+            slots[0].wait_deadline(Duration::from_millis(50)).is_none(),
+            "deadline must fire while the evaluation is wedged"
+        );
+        assert!(started.elapsed() >= Duration::from_millis(50));
+        // Un-wedge; the same slot then settles and waiters resolve.
+        {
+            let (lock, cv) = &*gate;
+            *lock.lock().unwrap() = true;
+            cv.notify_all();
+        }
+        let (result, _) = slots[0]
+            .wait_deadline(Duration::from_secs(30))
+            .expect("slot settles once evaluation completes");
+        assert_eq!(result.unwrap(), "r:stuck");
     }
 }

@@ -37,6 +37,7 @@ fn shard() -> harness::serve::RunningServer {
         trace_sample: 0,
         slow_ms: None,
         timeout_ms: None,
+        ..harness::ServeConfig::default()
     })
     .expect("shard starts")
 }
@@ -63,6 +64,8 @@ fn router_with(
         trace_dir: None,
         trace_sample: 0,
         slow_ms: None,
+        workers: sim_server::http::DEFAULT_WORKERS,
+        priority_cells: sim_server::http::DEFAULT_PRIORITY_CELLS,
     })
     .expect("router starts")
 }

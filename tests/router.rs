@@ -41,6 +41,7 @@ fn shard_traced(queue: usize, dir: Option<std::path::PathBuf>) -> harness::serve
         trace_dir: dir,
         slow_ms: None,
         timeout_ms: None,
+        ..harness::ServeConfig::default()
     })
     .expect("shard starts")
 }
@@ -64,6 +65,8 @@ fn router_traced(
         breaker_threshold: 3,
         fault_seed: None,
         timeout_ms: None,
+        workers: sim_server::http::DEFAULT_WORKERS,
+        priority_cells: sim_server::http::DEFAULT_PRIORITY_CELLS,
     })
     .expect("router starts")
 }

@@ -54,6 +54,7 @@ fn serve(
         trace_sample: 0,
         slow_ms: None,
         timeout_ms: None,
+        ..harness::ServeConfig::default()
     })
     .expect("server starts")
 }
@@ -70,6 +71,7 @@ fn serve_traced(dir: PathBuf) -> harness::serve::RunningServer {
         trace_sample: 1,
         slow_ms: None,
         timeout_ms: None,
+        ..harness::ServeConfig::default()
     })
     .expect("traced server starts")
 }
@@ -458,5 +460,91 @@ fn fault_seed_is_part_of_the_cell_identity() {
     // must at minimum be valid rows for the same cell.
     assert!(plain.contains("\"bench\":\"red\""));
 
+    srv.shutdown().unwrap();
+}
+
+/// The reactor holds open sockets without spending a thread or a worker
+/// on them: with 1000 idle connections parked on the server, a full
+/// sweep still completes and stays byte-identical to `harness jsonl`.
+#[test]
+fn thousand_idle_connections_do_not_perturb_sweep_bytes() {
+    let (offline_jsonl, _) = offline();
+    let srv = serve(1024, 256, None, vec![]);
+    let addr = srv.addr.to_string();
+
+    // Park 1000 open connections that never send a byte. Kept alive
+    // until the end of the test; the server must serve around them.
+    let idle: Vec<std::net::TcpStream> = (0..1000)
+        .map(|i| {
+            std::net::TcpStream::connect(&addr)
+                .unwrap_or_else(|e| panic!("idle connection {i} failed: {e}"))
+        })
+        .collect();
+    assert_eq!(idle.len(), 1000);
+
+    let (st, body) = sweep(&addr, r#"{"scale":"test","cells":"all"}"#);
+    assert_eq!(st, 200);
+    assert_eq!(
+        &body, offline_jsonl,
+        "sweep under 1000 idle connections must match the offline artifact"
+    );
+
+    // The parked sockets are still usable afterwards.
+    let (st, _) = request(&addr, "GET", "/healthz", b"", T).unwrap();
+    assert_eq!(st, 200);
+    drop(idle);
+    srv.shutdown().unwrap();
+}
+
+/// Priority scheduling end to end: with one worker and several bulk
+/// full-grid sweeps queued, an interactive request sent afterwards is
+/// answered before the queued bulk work, and the per-lane queue-wait
+/// histograms record both lanes.
+#[test]
+fn interactive_request_overtakes_queued_bulk_sweeps() {
+    let srv = harness::serve::start(harness::ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        priority_cells: 2,
+        ..harness::ServeConfig::default()
+    })
+    .expect("server starts");
+    let addr = srv.addr.to_string();
+
+    // Four bulk sweeps with distinct fault seeds: nothing is cached, so
+    // each occupies the single worker for a full-grid evaluation.
+    let order: std::sync::Mutex<Vec<String>> = std::sync::Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for seed in 1..=4u64 {
+            let addr = &addr;
+            let order = &order;
+            scope.spawn(move || {
+                let body = format!(r#"{{"scale":"test","fault_seed":{seed},"cells":"all"}}"#);
+                let (st, _) = sweep(addr, &body);
+                assert_eq!(st, 200);
+                order.lock().unwrap().push(format!("bulk{seed}"));
+            });
+        }
+        // Give the bulk sweeps time to be accepted and queued, then send
+        // the interactive request; it must jump the bulk queue.
+        std::thread::sleep(Duration::from_millis(300));
+        let (st, _) = request(&addr, "GET", "/healthz", b"", T).unwrap();
+        assert_eq!(st, 200);
+        order.lock().unwrap().push("interactive".into());
+    });
+    let order = order.into_inner().unwrap();
+    assert_eq!(order.len(), 5, "all five requests completed: {order:?}");
+    let pos = |name: &str| order.iter().position(|o| o == name).unwrap();
+    assert!(
+        pos("interactive") < order.len() - 1,
+        "interactive request must finish before the last queued bulk sweep: {order:?}"
+    );
+
+    // Both lanes' wait histograms recorded samples, and bulk dispatches
+    // are visible per lane.
+    assert!(metric(&addr, "sim_server_lane_wait_interactive_us_count") >= 1);
+    assert!(metric(&addr, "sim_server_lane_wait_bulk_us_count") >= 4);
+    assert!(metric(&addr, "sim_server_lane_dispatched_bulk_total") >= 4);
+    assert_eq!(metric(&addr, "sim_server_wait_timeouts_total"), 0);
     srv.shutdown().unwrap();
 }
